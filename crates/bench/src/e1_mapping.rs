@@ -1,0 +1,90 @@
+//! E1 — Table 1: the JCF-FMCAD data model mapping.
+//!
+//! Regenerates the paper's Table 1 and exercises the mapping
+//! operationally: a generated FMCAD library is imported into JCF and
+//! the coupled project must audit clean; the master/slave ablation
+//! lists what the reverse direction would lose.
+
+use std::fmt;
+
+use design_data::generate;
+use hybrid::mapping::{render_table_1, TABLE_1, UNMAPPABLE_TO_FMCAD};
+use hybrid::ImportReport;
+
+use crate::workload::{hybrid_env, populate_fmcad};
+
+/// Result of the E1 run.
+#[derive(Debug, Clone)]
+pub struct E1Result {
+    /// The rendered Table 1.
+    pub table: String,
+    /// Number of mapping rows (the paper's table has 5).
+    pub rows: usize,
+    /// Import statistics of the operational round trip.
+    pub import: ImportReport,
+    /// Consistency findings after import (must be 0).
+    pub findings: usize,
+    /// Ablation: JCF concepts lost if FMCAD were the master.
+    pub reverse_losses: Vec<&'static str>,
+}
+
+impl fmt::Display for E1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E1  Table 1 — JCF-FMCAD mapping ({} rows)", self.rows)?;
+        writeln!(f, "{}", self.table)?;
+        writeln!(
+            f,
+            "operational check: imported {} cells / {} cellviews / {} versions ({} bytes), {} finding(s)",
+            self.import.cells,
+            self.import.design_objects,
+            self.import.versions,
+            self.import.bytes_copied,
+            self.findings
+        )?;
+        writeln!(
+            f,
+            "ablation (FMCAD as master would lose): {}",
+            self.reverse_losses.join(", ")
+        )
+    }
+}
+
+/// Runs experiment E1 with an adder of the given width as the library
+/// content.
+///
+/// # Panics
+///
+/// Panics if the bootstrap or import fails (they cannot on fresh
+/// installations).
+pub fn run(width: usize) -> E1Result {
+    let mut env = hybrid_env(1);
+    let design = generate::ripple_adder(width);
+    populate_fmcad(env.hy.fmcad_mut(), "legacy", &design, true);
+    let (project, import) = env
+        .hy
+        .import_library(env.designers[0], "legacy", env.flow.flow, env.team)
+        .expect("import succeeds on a well-formed library");
+    let findings = env.hy.verify_project(project).expect("audit runs").len();
+    E1Result {
+        table: render_table_1(),
+        rows: TABLE_1.len(),
+        import,
+        findings,
+        reverse_losses: UNMAPPABLE_TO_FMCAD.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reproduces_table_1_shape() {
+        let r = run(4);
+        assert_eq!(r.rows, 5, "the paper's Table 1 has 5 rows");
+        assert_eq!(r.findings, 0, "imported project audits clean");
+        assert_eq!(r.import.cells, 2);
+        assert_eq!(r.import.design_objects, 4, "schematic+layout per cell");
+        assert!(r.reverse_losses.contains(&"Flow"));
+    }
+}

@@ -1,0 +1,188 @@
+//! E2/E3 — Figures 1 and 2: the two information architectures.
+//!
+//! Regenerates both figures as entity/relation inventories extracted
+//! from the running code (not hand-written lists): E2 introspects the
+//! JCF OMS schema, E3 walks a populated FMCAD library's metadata.
+
+use std::fmt;
+
+use design_data::generate;
+use fmcad::Fmcad;
+use jcf::schema::{jcf_schema, CLASSES, RELATIONSHIPS};
+
+use crate::workload::populate_fmcad;
+
+/// Result of the E2 run: the JCF 3.0 architecture (Figure 1).
+#[derive(Debug, Clone)]
+pub struct E2Result {
+    /// Entity (class) names.
+    pub entities: Vec<String>,
+    /// `(relation, source, target)` triples.
+    pub relations: Vec<(String, String, String)>,
+}
+
+impl fmt::Display for E2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E2  Figure 1 — JCF 3.0 information architecture")?;
+        writeln!(f, "entities ({}): {}", self.entities.len(), self.entities.join(", "))?;
+        writeln!(f, "relations ({}):", self.relations.len())?;
+        for (rel, src, dst) in &self.relations {
+            writeln!(f, "  {src} --{rel}--> {dst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs experiment E2: introspect the JCF schema.
+pub fn run_e2() -> E2Result {
+    let schema = jcf_schema();
+    let entities = schema
+        .classes()
+        .map(|c| schema.class(c).name.clone())
+        .collect();
+    let relations = schema
+        .relationships()
+        .map(|r| {
+            let def = schema.relationship(r);
+            (
+                def.name.clone(),
+                schema.class(def.source).name.clone(),
+                schema.class(def.target).name.clone(),
+            )
+        })
+        .collect();
+    E2Result { entities, relations }
+}
+
+/// Result of the E3 run: the FMCAD architecture (Figure 2).
+#[derive(Debug, Clone)]
+pub struct E3Result {
+    /// The Figure 2 object kinds observed in a real library.
+    pub entities: Vec<&'static str>,
+    /// Counts per object kind in the sample library.
+    pub counts: Vec<(&'static str, usize)>,
+    /// Containment chain as rendered text.
+    pub containment: String,
+}
+
+impl fmt::Display for E3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E3  Figure 2 — FMCAD information architecture")?;
+        writeln!(f, "containment: {}", self.containment)?;
+        for (kind, count) in &self.counts {
+            writeln!(f, "  {kind:<18} x{count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs experiment E3: walk a populated library's metadata.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run_e3(width: usize) -> E3Result {
+    let mut fm = Fmcad::new();
+    let design = generate::ripple_adder(width);
+    populate_fmcad(&mut fm, "sample", &design, true);
+    fm.create_config("sample", "golden").expect("fresh config");
+    for cell in fm.cells("sample").expect("library exists").iter().map(|c| c.to_string()).collect::<Vec<_>>() {
+        fm.bind_config("sample", "golden", &cell, "schematic", 1).expect("version 1 exists");
+    }
+    fm.checkout("alice", "sample", "full_adder", "schematic").expect("free cellview");
+
+    let meta = fm.meta_snapshot("sample").expect("library exists");
+    let cells = meta.cells.len();
+    let mut views = 0;
+    let mut versions = 0;
+    let mut checkouts = 0;
+    for cm in meta.cells.values() {
+        views += cm.views.len();
+        for vm in cm.views.values() {
+            versions += vm.versions.len();
+            if vm.checkout.is_some() {
+                checkouts += 1;
+            }
+        }
+    }
+    let configs = meta.configs.len();
+    let cvv_in_config: usize = meta.configs.values().map(|c| c.binds.len()).sum();
+    E3Result {
+        entities: vec![
+            "Library", "Cell", "View", "Viewtype", "Cellview", "Cellview Version",
+            "Config", "CVV in Config", "CheckOut Status", "Locked Flag",
+        ],
+        counts: vec![
+            ("Library", 1),
+            ("Cell", cells),
+            ("Cellview", views),
+            ("Cellview Version", versions),
+            ("Config", configs),
+            ("CVV in Config", cvv_in_config),
+            ("Locked Flag", checkouts),
+        ],
+        containment: "Library > Cell > Cellview(view,viewtype) > Cellview Version > file".to_owned(),
+    }
+}
+
+/// Renders Figure 1 as a Graphviz DOT graph, regenerating the paper's
+/// diagram from the running schema (`dot -Tpng` turns it into the
+/// figure).
+pub fn figure1_dot() -> String {
+    let e2 = run_e2();
+    let mut out = String::from("digraph jcf_figure1 {\n  rankdir=LR;\n  node [shape=box];\n");
+    for entity in &e2.entities {
+        out.push_str(&format!("  \"{entity}\";\n"));
+    }
+    for (rel, src, dst) in &e2.relations {
+        out.push_str(&format!("  \"{src}\" -> \"{dst}\" [label=\"{rel}\"];\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Conformance check: the extracted inventories match the figures.
+pub fn conforms() -> bool {
+    let e2 = run_e2();
+    e2.entities.len() == CLASSES.len() && e2.relations.len() == RELATIONSHIPS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_matches_figure_1_inventory() {
+        let r = run_e2();
+        assert_eq!(r.entities.len(), 15);
+        assert_eq!(r.relations.len(), 28);
+        assert!(r.relations.iter().any(|(rel, src, dst)| rel == "comp_of"
+            && src == "CellVersion"
+            && dst == "Cell"));
+        assert!(conforms());
+    }
+
+    #[test]
+    fn dot_output_contains_every_entity_and_edge() {
+        let dot = figure1_dot();
+        assert!(dot.starts_with("digraph jcf_figure1"));
+        for entity in CLASSES {
+            assert!(dot.contains(&format!("\"{entity}\"")), "missing {entity}");
+        }
+        assert!(dot.contains("\"CellVersion\" -> \"Cell\" [label=\"comp_of\"]"));
+        assert_eq!(dot.matches(" -> ").count(), RELATIONSHIPS.len());
+    }
+
+    #[test]
+    fn e3_matches_figure_2_inventory() {
+        let r = run_e3(4);
+        assert!(r.entities.contains(&"Cellview Version"));
+        let get = |k: &str| r.counts.iter().find(|(n, _)| *n == k).unwrap().1;
+        assert_eq!(get("Cell"), 2);
+        assert_eq!(get("Cellview"), 4);
+        assert_eq!(get("Cellview Version"), 4);
+        assert_eq!(get("Config"), 1);
+        assert_eq!(get("CVV in Config"), 2);
+        assert_eq!(get("Locked Flag"), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! E4 — §3.1: multi-user design and concurrency control.
+//!
+//! N designers share M cells for R working rounds. In standalone FMCAD
+//! each round is a checkout-edit-checkin on a random cellview, with the
+//! single `.meta` file held for the duration of the edit (the explicit
+//! coordination the paper says is required). In the hybrid framework
+//! each designer reserves a cell version; on contention they open a
+//! *new cell version* of the same cell — the §3.1 feature FMCAD lacks —
+//! and keep working.
+//!
+//! Expected shape: FMCAD blocks a large share of attempts and the share
+//! grows with N; the hybrid framework completes every round.
+
+use std::fmt;
+
+use design_data::generate;
+use fmcad::Fmcad;
+use hybrid::ToolOutput;
+use jcf::CellVersionId;
+
+use crate::workload::{cloud_bytes, hybrid_env, populate_fmcad, Rng};
+
+/// Result of one E4 configuration.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Number of concurrent designers.
+    pub designers: usize,
+    /// Work rounds attempted per designer.
+    pub rounds: usize,
+    /// FMCAD: successfully completed edit rounds.
+    pub fmcad_completed: u64,
+    /// FMCAD: attempts blocked (checkout or `.meta` contention).
+    pub fmcad_blocked: u64,
+    /// Hybrid: successfully completed edit rounds.
+    pub hybrid_completed: u64,
+    /// Hybrid: attempts blocked outright.
+    pub hybrid_blocked: u64,
+    /// Hybrid: extra cell versions opened to sidestep contention.
+    pub hybrid_versions_opened: u64,
+}
+
+impl fmt::Display for E4Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={:<3} rounds={:<3} | FMCAD done={:<4} blocked={:<4} | hybrid done={:<4} blocked={:<4} (+{} versions)",
+            self.designers,
+            self.rounds,
+            self.fmcad_completed,
+            self.fmcad_blocked,
+            self.hybrid_completed,
+            self.hybrid_blocked,
+            self.hybrid_versions_opened
+        )
+    }
+}
+
+/// Runs the FMCAD side of E4.
+fn run_fmcad(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64, u64) {
+    let mut fm = Fmcad::new();
+    let design = generate::ripple_adder(1);
+    populate_fmcad(&mut fm, "shared", &design, false);
+    // Give the library `cells` independent cells.
+    for i in 0..cells {
+        let name = format!("block{i}");
+        fm.create_cell("shared", &name).expect("fresh cell");
+        fm.create_cellview("shared", &name, "schematic", "schematic").expect("fresh view");
+        fm.checkin("init", "shared", &name, "schematic", cloud_bytes(10, i as u64))
+            .expect("initial checkin");
+    }
+    let mut rng = Rng::new(seed);
+    let mut completed = 0u64;
+    let mut blocked = 0u64;
+    // Editing sessions span rounds: a designer checks out in one round
+    // and checks in on their next turn, holding the cellview lock in
+    // between — that is how real checkout/checkin design work behaves.
+    let mut editing: Vec<Option<(String, Vec<u8>)>> = vec![None; designers];
+    for round in 0..rounds {
+        #[allow(clippy::needless_range_loop)] // d names the designer, not just an index
+        for d in 0..designers {
+            let user = format!("designer{d}");
+            // Periodically a designer needs the library's single .meta
+            // for a browsing/cleanup session and holds it for a round —
+            // the "explicit coordination" the paper warns about.
+            if d == 0 && round % 3 == 1 {
+                let _ = fm.acquire_meta_lock(&user);
+            } else if d == 0 {
+                fm.release_meta_lock(&user);
+            }
+            match editing[d].take() {
+                Some((cell, data)) => {
+                    // Finish the session: check the edit in.
+                    let mut edited = data;
+                    edited.extend_from_slice(b"# edit\n");
+                    match fm.checkin(&user, "shared", &cell, "schematic", edited.clone()) {
+                        Ok(_) => completed += 1,
+                        Err(_) => {
+                            blocked += 1; // .meta held by someone else
+                            editing[d] = Some((cell, edited));
+                        }
+                    }
+                }
+                None => {
+                    // Start a session: try to check a cellview out.
+                    let cell = format!("block{}", rng.below(cells));
+                    match fm.checkout(&user, "shared", &cell, "schematic") {
+                        Ok(data) => editing[d] = Some((cell, data)),
+                        Err(_) => blocked += 1,
+                    }
+                }
+            }
+        }
+    }
+    (completed, blocked)
+}
+
+/// Runs the hybrid side of E4.
+fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64, u64, u64) {
+    let mut env = hybrid_env(designers);
+    let project = env.hy.create_project("shared").expect("fresh project");
+    let mut cell_ids = Vec::new();
+    let mut versions: Vec<Vec<(CellVersionId, jcf::VariantId, Option<usize>)>> = Vec::new();
+    for i in 0..cells {
+        let cell = env.hy.create_cell(project, &format!("block{i}")).expect("fresh cell");
+        cell_ids.push(cell);
+        versions.push(Vec::new());
+    }
+    let mut rng = Rng::new(seed);
+    let mut completed = 0u64;
+    let mut blocked = 0u64;
+    let mut opened = 0u64;
+    for round in 0..rounds {
+        for d in 0..designers {
+            let user = env.designers[d];
+            let c = rng.below(cells);
+            // Find a cell version this designer already holds, or any
+            // free one; otherwise open a new version (the §3.1 answer
+            // to contention).
+            let slot = versions[c]
+                .iter()
+                .position(|(_, _, holder)| *holder == Some(d))
+                .or_else(|| versions[c].iter().position(|(_, _, holder)| holder.is_none()));
+            let (cv, variant) = match slot {
+                Some(idx) => {
+                    let (cv, variant, holder) = versions[c][idx];
+                    if holder.is_none() {
+                        if env.hy.jcf_mut().reserve(user, cv).is_err() {
+                            blocked += 1;
+                            continue;
+                        }
+                        versions[c][idx].2 = Some(d);
+                    }
+                    (cv, variant)
+                }
+                None => {
+                    let (cv, variant) = env
+                        .hy
+                        .create_cell_version(cell_ids[c], env.flow.flow, env.team)
+                        .expect("versions are unbounded");
+                    env.hy.jcf_mut().reserve(user, cv).expect("fresh version is free");
+                    versions[c].push((cv, variant, Some(d)));
+                    opened += 1;
+                    (cv, variant)
+                }
+            };
+            let bytes = cloud_bytes(10, (round * designers + d) as u64);
+            let result = env.hy.run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            });
+            match result {
+                Ok(_) => {
+                    completed += 1;
+                    // Occasionally publish so others can pick the version up.
+                    if rng.chance(1, 4) {
+                        env.hy.jcf_mut().publish(user, cv).expect("holder publishes");
+                        for slot in versions[c].iter_mut() {
+                            if slot.0 == cv {
+                                slot.2 = None;
+                            }
+                        }
+                    }
+                }
+                Err(_) => blocked += 1,
+            }
+        }
+    }
+    (completed, blocked, opened)
+}
+
+/// Runs one E4 configuration.
+pub fn run(designers: usize, cells: usize, rounds: usize, seed: u64) -> E4Row {
+    let (fmcad_completed, fmcad_blocked) = run_fmcad(designers, cells, rounds, seed);
+    let (hybrid_completed, hybrid_blocked, hybrid_versions_opened) =
+        run_hybrid(designers, cells, rounds, seed);
+    E4Row {
+        designers,
+        rounds,
+        fmcad_completed,
+        fmcad_blocked,
+        hybrid_completed,
+        hybrid_blocked,
+        hybrid_versions_opened,
+    }
+}
+
+/// The standard E4 sweep (the paper gives no numbers; the sweep shows
+/// the claimed shape).
+pub fn sweep() -> Vec<E4Row> {
+    [2, 4, 8, 16].into_iter().map(|n| run(n, 4, 8, 1995)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_outperforms_fmcad_under_contention() {
+        let row = run(8, 3, 6, 7);
+        assert!(row.hybrid_completed > row.fmcad_completed, "{row}");
+        assert!(row.fmcad_blocked > row.hybrid_blocked, "{row}");
+        assert_eq!(row.hybrid_blocked, 0, "hybrid never hard-blocks: {row}");
+    }
+
+    #[test]
+    fn contention_grows_with_team_size_in_fmcad() {
+        let small = run(2, 4, 6, 7);
+        let large = run(16, 4, 6, 7);
+        let small_rate = small.fmcad_blocked as f64
+            / (small.fmcad_blocked + small.fmcad_completed) as f64;
+        let large_rate = large.fmcad_blocked as f64
+            / (large.fmcad_blocked + large.fmcad_completed) as f64;
+        assert!(large_rate > small_rate, "blocking must worsen: {small_rate} vs {large_rate}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep();
+        let b = sweep();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fmcad_completed, y.fmcad_completed);
+            assert_eq!(x.hybrid_completed, y.hybrid_completed);
+        }
+    }
+}

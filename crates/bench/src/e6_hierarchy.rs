@@ -1,0 +1,273 @@
+//! E6 — §3.3: handling of design hierarchies.
+//!
+//! Three measurements:
+//!
+//! 1. *Flexibility*: FMCAD binds any hierarchy dynamically, including
+//!    non-isomorphic ones; the hybrid framework rejects non-isomorphic
+//!    designs and demands pre-declared hierarchy (JCF 3.0 limitation).
+//! 2. *Safety*: after a library-side change, rebinding in FMCAD
+//!    silently picks up new versions; the hybrid framework's metadata
+//!    pins what belongs to what.
+//! 3. *Manual effort*: the number of extra desktop operations the
+//!    hybrid designer pays to declare hierarchy up front.
+
+use std::fmt;
+
+use design_data::{format, generate, Layout, MasterRef, Netlist};
+use fmcad::Fmcad;
+use hybrid::{HybridError, ToolOutput};
+
+use crate::workload::{hybrid_env, populate_fmcad};
+
+/// Result of the E6 run.
+#[derive(Debug, Clone)]
+pub struct E6Result {
+    /// FMCAD: non-isomorphic designs accepted (out of attempts).
+    pub fmcad_noniso_accepted: usize,
+    /// Hybrid: non-isomorphic designs rejected (out of attempts).
+    pub hybrid_noniso_rejected: usize,
+    /// Attempts made on each side.
+    pub attempts: usize,
+    /// FMCAD: silent rebinding events observed (default moved under a
+    /// bound hierarchy without any record).
+    pub fmcad_silent_rebinds: usize,
+    /// Hybrid: undeclared-hierarchy writes rejected.
+    pub hybrid_undeclared_rejected: usize,
+    /// Hybrid: extra desktop ops for manual hierarchy declaration.
+    pub hybrid_declaration_ops: u64,
+    /// Ablation — the future JCF (procedural interface +
+    /// non-isomorphic support): non-isomorphic designs accepted.
+    pub future_noniso_accepted: usize,
+    /// Ablation — manual declaration ops needed under the future JCF.
+    pub future_declaration_ops: u64,
+}
+
+impl fmt::Display for E6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E6  §3.3 — handling of design hierarchies")?;
+        writeln!(
+            f,
+            "non-isomorphic designs : FMCAD accepted {}/{}, hybrid rejected {}/{}",
+            self.fmcad_noniso_accepted, self.attempts, self.hybrid_noniso_rejected, self.attempts
+        )?;
+        writeln!(f, "silent rebinds in FMCAD: {}", self.fmcad_silent_rebinds)?;
+        writeln!(
+            f,
+            "hybrid guards          : {} undeclared writes rejected, {} desktop ops for declarations",
+            self.hybrid_undeclared_rejected, self.hybrid_declaration_ops
+        )?;
+        writeln!(
+            f,
+            "future-JCF ablation    : {}/{} non-isomorphic accepted, {} manual declaration ops",
+            self.future_noniso_accepted, self.attempts, self.future_declaration_ops
+        )
+    }
+}
+
+fn netlist_with_children(top: &str, children: &[&str]) -> Netlist {
+    let mut n = Netlist::new(top);
+    n.add_net("w").expect("fresh netlist");
+    for (i, child) in children.iter().enumerate() {
+        n.add_instance(&format!("u{i}"), MasterRef::Cell((*child).to_owned()), &[("a", "w")])
+            .expect("valid instance");
+    }
+    n
+}
+
+fn layout_with_children(top: &str, children: &[&str]) -> Layout {
+    let mut l = Layout::new(top);
+    for (i, child) in children.iter().enumerate() {
+        l.add_placement(&format!("i{i}"), child, (i as i64) * 20, 0).expect("unique name");
+    }
+    l
+}
+
+/// Runs experiment E6 with `attempts` non-isomorphic design pairs.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run(attempts: usize) -> E6Result {
+    // --- FMCAD: everything is accepted, rebinding is silent ---------------
+    let mut fm = Fmcad::new();
+    let design = generate::ripple_adder(2);
+    populate_fmcad(&mut fm, "lib", &design, false);
+    let mut fmcad_noniso_accepted = 0;
+    for i in 0..attempts {
+        let top = format!("noniso{i}");
+        fm.create_cell("lib", &top).expect("fresh cell");
+        fm.create_cellview("lib", &top, "schematic", "schematic").expect("fresh view");
+        fm.create_cellview("lib", &top, "layout", "layout").expect("fresh view");
+        fm.checkin(
+            "u",
+            "lib",
+            &top,
+            "schematic",
+            format::write_netlist(&netlist_with_children(&top, &["full_adder"])).into_bytes(),
+        )
+        .expect("initial checkin");
+        fm.checkin(
+            "u",
+            "lib",
+            &top,
+            "layout",
+            format::write_layout(&layout_with_children(&top, &["pad_ring"])).into_bytes(),
+        )
+        .expect("initial checkin");
+        let hs = fm.view_hierarchy("lib", &top, "schematic").expect("binds");
+        let hl = fm.view_hierarchy("lib", &top, "layout").expect("binds");
+        if !hs.is_isomorphic_to(&hl) {
+            fmcad_noniso_accepted += 1; // accepted without complaint
+        }
+    }
+    // Silent rebinding: bind, change the leaf, rebind.
+    let mut fmcad_silent_rebinds = 0;
+    let before = fm.bind_hierarchy("lib", "noniso0", "schematic").expect("binds");
+    fm.checkout("eve", "lib", "full_adder", "schematic").expect("free cellview");
+    fm.checkin(
+        "eve",
+        "lib",
+        "full_adder",
+        "schematic",
+        format::write_netlist(&generate::full_adder()).into_bytes(),
+    )
+    .expect("holder checks in");
+    let after = fm.bind_hierarchy("lib", "noniso0", "schematic").expect("binds");
+    if before.bound.get("full_adder").map(|(v, _)| v) != after.bound.get("full_adder").map(|(v, _)| v)
+    {
+        fmcad_silent_rebinds += 1;
+    }
+
+    // --- hybrid: rejection + declaration bookkeeping -----------------------
+    let mut env = hybrid_env(1);
+    let user = env.designers[0];
+    let project = env.hy.create_project("checked").expect("fresh project");
+    let child_a = env.hy.create_cell(project, "child_a").expect("fresh cell");
+    let child_b = env.hy.create_cell(project, "child_b").expect("fresh cell");
+    let mut hybrid_noniso_rejected = 0;
+    let mut hybrid_undeclared_rejected = 0;
+    let ops_before_declarations = env.hy.jcf().desktop_ops();
+    let mut declaration_ops = 0u64;
+    for i in 0..attempts {
+        let cell = env.hy.create_cell(project, &format!("top{i}")).expect("fresh cell");
+        let (cv, variant) = env
+            .hy
+            .create_cell_version(cell, env.flow.flow, env.team)
+            .expect("fresh version");
+        env.hy.jcf_mut().reserve(user, cv).expect("free version");
+
+        // Undeclared child is rejected first.
+        let bytes =
+            format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
+                .into_bytes();
+        let payload = bytes.clone();
+        let result = env.hy.run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        });
+        if matches!(result, Err(HybridError::UndeclaredChild { .. })) {
+            hybrid_undeclared_rejected += 1;
+        }
+
+        // Declare both children (the manual §3.3 step), then the
+        // schematic goes in...
+        let ops0 = env.hy.jcf().desktop_ops();
+        env.hy.jcf_mut().declare_comp_of(user, cv, child_a).expect("declared");
+        env.hy.jcf_mut().declare_comp_of(user, cv, child_b).expect("declared");
+        declaration_ops += env.hy.jcf().desktop_ops() - ops0;
+        let payload = bytes;
+        env.hy
+            .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+            })
+            .expect("declared child accepted");
+
+        // ...but the non-isomorphic layout is refused.
+        let lay =
+            format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
+                .into_bytes();
+        let result = env.hy.run_activity(user, variant, env.flow.enter_layout, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+        });
+        if matches!(result, Err(HybridError::NonIsomorphicHierarchy { .. })) {
+            hybrid_noniso_rejected += 1;
+        }
+    }
+    let _ = ops_before_declarations;
+
+    // --- ablation: the future JCF release --------------------------------
+    let mut fut = hybrid_env(1);
+    fut.hy.set_future_features(hybrid::FutureFeatures {
+        procedural_interface: true,
+        non_isomorphic_hierarchies: true,
+        ..Default::default()
+    });
+    let fuser = fut.designers[0];
+    let fproject = fut.hy.create_project("future").expect("fresh project");
+    fut.hy.create_cell(fproject, "child_a").expect("fresh cell");
+    fut.hy.create_cell(fproject, "child_b").expect("fresh cell");
+    let mut future_noniso_accepted = 0;
+    let mut future_declaration_ops = 0u64;
+    for i in 0..attempts {
+        let cell = fut.hy.create_cell(fproject, &format!("top{i}")).expect("fresh cell");
+        let (cv, variant) = fut
+            .hy
+            .create_cell_version(cell, fut.flow.flow, fut.team)
+            .expect("fresh version");
+        fut.hy.jcf_mut().reserve(fuser, cv).expect("free version");
+        // No declare_comp_of calls at all: the tools pass hierarchy.
+        let sch =
+            format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
+                .into_bytes();
+        fut.hy
+            .run_activity(fuser, variant, fut.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+            })
+            .expect("auto-declared hierarchy accepted");
+        let lay =
+            format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
+                .into_bytes();
+        if fut
+            .hy
+            .run_activity(fuser, variant, fut.flow.enter_layout, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+            })
+            .is_ok()
+        {
+            future_noniso_accepted += 1;
+        }
+        future_declaration_ops += 0; // none were needed
+    }
+
+    E6Result {
+        fmcad_noniso_accepted,
+        hybrid_noniso_rejected,
+        attempts,
+        fmcad_silent_rebinds,
+        hybrid_undeclared_rejected,
+        hybrid_declaration_ops: declaration_ops,
+        future_noniso_accepted,
+        future_declaration_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_reproduces_the_paper_contrast() {
+        let r = run(4);
+        assert_eq!(r.fmcad_noniso_accepted, 4, "FMCAD accepts everything");
+        assert_eq!(r.hybrid_noniso_rejected, 4, "hybrid rejects everything non-isomorphic");
+        assert_eq!(r.hybrid_undeclared_rejected, 4, "hybrid demands declarations");
+        assert_eq!(r.fmcad_silent_rebinds, 1, "FMCAD rebinding is silent");
+        assert!(r.hybrid_declaration_ops >= 8, "manual declarations cost desktop ops");
+    }
+
+    #[test]
+    fn future_jcf_ablation_removes_both_limitations() {
+        let r = run(3);
+        assert_eq!(r.future_noniso_accepted, 3, "future JCF accepts non-isomorphic designs");
+        assert_eq!(r.future_declaration_ops, 0, "tools pass the hierarchy themselves");
+    }
+}

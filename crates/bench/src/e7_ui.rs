@@ -1,0 +1,138 @@
+//! E7 — §3.4: user interface overhead.
+//!
+//! The hybrid designer *"has to work with both the FMCAD and JCF user
+//! interface"*. The experiment runs the identical design task (create a
+//! managed cell, enter a schematic, simulate, release) in both
+//! environments and counts user-visible interaction steps: desktop
+//! operations plus tool windows on the hybrid side, framework commands
+//! on the FMCAD side.
+
+use std::fmt;
+
+use design_data::{format, generate};
+use fmcad::Fmcad;
+use hybrid::ToolOutput;
+
+use crate::workload::hybrid_env;
+
+/// Result of the E7 run.
+#[derive(Debug, Clone)]
+pub struct E7Result {
+    /// Interaction steps in standalone FMCAD (one UI).
+    pub fmcad_steps: u64,
+    /// JCF desktop operations in the hybrid environment.
+    pub hybrid_desktop_steps: u64,
+    /// Extra FMCAD-side windows the hybrid designer faces.
+    pub hybrid_tool_windows: u64,
+    /// Number of distinct user interfaces per environment.
+    pub interfaces: (u32, u32),
+}
+
+impl E7Result {
+    /// Total hybrid interaction steps.
+    pub fn hybrid_total(&self) -> u64 {
+        self.hybrid_desktop_steps + self.hybrid_tool_windows
+    }
+
+    /// The step overhead factor of the hybrid environment.
+    pub fn overhead_factor(&self) -> f64 {
+        self.hybrid_total() as f64 / self.fmcad_steps.max(1) as f64
+    }
+}
+
+impl fmt::Display for E7Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E7  §3.4 — user interface")?;
+        writeln!(
+            f,
+            "FMCAD : {} steps in {} UI",
+            self.fmcad_steps, self.interfaces.0
+        )?;
+        writeln!(
+            f,
+            "hybrid: {} desktop ops + {} tool windows = {} steps in {} UIs ({:.1}x)",
+            self.hybrid_desktop_steps,
+            self.hybrid_tool_windows,
+            self.hybrid_total(),
+            self.interfaces.1,
+            self.overhead_factor()
+        )
+    }
+}
+
+/// Runs experiment E7: the same task in both environments.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run() -> E7Result {
+    let schematic = format::write_netlist(&generate::full_adder()).into_bytes();
+
+    // --- standalone FMCAD: count each framework command as one step ------
+    let mut fm = Fmcad::new();
+    let mut fmcad_steps = 0u64;
+    fm.create_library("task").expect("fresh library");
+    fmcad_steps += 1;
+    fm.create_cell("task", "fa").expect("fresh cell");
+    fmcad_steps += 1;
+    fm.create_cellview("task", "fa", "schematic", "schematic").expect("fresh view");
+    fmcad_steps += 1;
+    fm.checkin("alice", "task", "fa", "schematic", schematic.clone()).expect("initial checkin");
+    fmcad_steps += 1; // the editor window
+    fm.invoke_tool("alice", "task", "fa", "schematic").expect("tool opens");
+    fmcad_steps += 1; // the simulator window
+    // (no release/publish concept: the data simply is the default)
+
+    // --- hybrid: the desktop counts itself; tool windows add on top -------
+    let mut env = hybrid_env(1);
+    let user = env.designers[0];
+    let desktop_before = env.hy.jcf().desktop_ops();
+    let windows_before = env.hy.fmcad_ui_ops();
+    let project = env.hy.create_project("task").expect("fresh project");
+    let cell = env.hy.create_cell(project, "fa").expect("fresh cell");
+    let (cv, variant) = env
+        .hy
+        .create_cell_version(cell, env.flow.flow, env.team)
+        .expect("fresh version");
+    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    let payload = schematic.clone();
+    env.hy
+        .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        })
+        .expect("activity runs");
+    env.hy
+        .run_activity(user, variant, env.flow.simulate, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+        })
+        .expect("activity runs");
+    env.hy.jcf_mut().publish(user, cv).expect("holder publishes");
+
+    E7Result {
+        fmcad_steps,
+        hybrid_desktop_steps: env.hy.jcf().desktop_ops() - desktop_before,
+        hybrid_tool_windows: env.hy.fmcad_ui_ops() - windows_before,
+        interfaces: (1, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_costs_more_interaction_steps() {
+        let r = run();
+        assert!(r.hybrid_total() > r.fmcad_steps, "{r}");
+        assert_eq!(r.interfaces, (1, 2));
+        assert!(r.overhead_factor() > 1.0);
+    }
+
+    #[test]
+    fn e7_is_deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(a.hybrid_total(), b.hybrid_total());
+        assert_eq!(a.fmcad_steps, b.fmcad_steps);
+    }
+}

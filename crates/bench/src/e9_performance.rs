@@ -1,0 +1,205 @@
+//! E9 — §3.6: performance.
+//!
+//! The paper's qualitative claims, made quantitative on the
+//! deterministic I/O cost model:
+//!
+//! * metadata operations are *"sufficiently high"* performance — near
+//!   zero I/O ticks;
+//! * design-data operations are *"strongly dependent on the amount of
+//!   data"* because everything is copied through the file system, even
+//!   for read-only access;
+//! * FMCAD native access works in place and stays cheap.
+//!
+//! The ablation models the paper's future-work *"JCF procedural
+//! interface"*: tools read the database directly, skipping the staging
+//! copy entirely.
+
+use std::fmt;
+
+use hybrid::ToolOutput;
+
+use crate::workload::{cloud_bytes, hybrid_env};
+
+/// One row of the E9 size sweep.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Gate count of the workload design.
+    pub gates: usize,
+    /// Bytes of the design's schematic view.
+    pub bytes: u64,
+    /// Ticks of one hybrid metadata operation (variant derivation).
+    pub metadata_ticks: u64,
+    /// Ticks of a hybrid read-only browse (copy out of the database).
+    pub hybrid_read_ticks: u64,
+    /// Ticks of the equivalent FMCAD in-place read.
+    pub fmcad_read_ticks: u64,
+    /// Ticks of a full encapsulated activity run (stage + mirror).
+    pub activity_ticks: u64,
+    /// Ticks of a direct database read (what the procedural interface
+    /// gives readers: no staging file at all).
+    pub procedural_ticks: u64,
+    /// Ticks of the same activity with the future-work procedural
+    /// interface enabled (mirror-only I/O) — the §4 ablation.
+    pub procedural_activity_ticks: u64,
+}
+
+impl E9Row {
+    /// How much slower hybrid read-only access is than FMCAD native.
+    pub fn read_penalty(&self) -> f64 {
+        self.hybrid_read_ticks as f64 / self.fmcad_read_ticks.max(1) as f64
+    }
+}
+
+impl fmt::Display for E9Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gates={:<5} bytes={:<8} | meta={:<6} read: hybrid={:<8} fmcad={:<8} ({:>4.1}x) | activity={:<9} procedural-if={}",
+            self.gates,
+            self.bytes,
+            self.metadata_ticks,
+            self.hybrid_read_ticks,
+            self.fmcad_read_ticks,
+            self.read_penalty(),
+            self.activity_ticks,
+            self.procedural_activity_ticks
+        )
+    }
+}
+
+/// Runs one size point of E9.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run(gates: usize) -> E9Row {
+    let mut env = hybrid_env(1);
+    let user = env.designers[0];
+    let project = env.hy.create_project("perf").expect("fresh project");
+    let cell = env.hy.create_cell(project, "cloud").expect("fresh cell");
+    let (cv, variant) = env
+        .hy
+        .create_cell_version(cell, env.flow.flow, env.team)
+        .expect("fresh version");
+    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+
+    let data = cloud_bytes(gates, 42);
+    let bytes = data.len() as u64;
+
+    // Full activity run (stage out, tool, stage in, mirror).
+    let before = env.hy.io_meter();
+    let dovs = env
+        .hy
+        .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data }])
+        })
+        .expect("activity runs");
+    let activity_ticks = env.hy.io_meter().since(&before).ticks;
+
+    // Metadata operation.
+    let before = env.hy.io_meter();
+    env.hy
+        .jcf_mut()
+        .derive_variant(user, cv, "probe", Some(variant))
+        .expect("holder derives");
+    let metadata_ticks = env.hy.io_meter().since(&before).ticks;
+
+    // Read-only through the hybrid environment (copies).
+    let before = env.hy.io_meter();
+    env.hy.browse(user, dovs[0]).expect("visible to holder");
+    let hybrid_read_ticks = env.hy.io_meter().since(&before).ticks;
+
+    // The same bytes read natively by FMCAD, in place.
+    let mirror = env.hy.mirror_of(dovs[0]).expect("mirrored").clone();
+    let before = env.hy.io_meter();
+    env.hy
+        .fmcad_mut()
+        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+        .expect("mirror readable");
+    let fmcad_read_ticks = env.hy.io_meter().since(&before).ticks;
+
+    // Ablation: a procedural interface hands the tool the database
+    // bytes directly — no staging file, no I/O ticks at all.
+    let before = env.hy.io_meter();
+    let direct = env
+        .hy
+        .jcf_mut()
+        .read_design_data(user, dovs[0])
+        .expect("visible to holder");
+    assert_eq!(direct.len() as u64, bytes);
+    let procedural_ticks = env.hy.io_meter().since(&before).ticks;
+
+    // The full §4 ablation: the identical activity in an installation
+    // with the procedural interface switched on.
+    let mut fut = hybrid_env(1);
+    fut.hy.set_future_features(hybrid::FutureFeatures {
+        procedural_interface: true,
+        ..Default::default()
+    });
+    let fuser = fut.designers[0];
+    let fproject = fut.hy.create_project("perf").expect("fresh project");
+    let fcell = fut.hy.create_cell(fproject, "cloud").expect("fresh cell");
+    let (fcv, fvariant) = fut
+        .hy
+        .create_cell_version(fcell, fut.flow.flow, fut.team)
+        .expect("fresh version");
+    fut.hy.jcf_mut().reserve(fuser, fcv).expect("free version");
+    let data = cloud_bytes(gates, 42);
+    let before = fut.hy.io_meter();
+    fut.hy
+        .run_activity(fuser, fvariant, fut.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data }])
+        })
+        .expect("activity runs");
+    let procedural_activity_ticks = fut.hy.io_meter().since(&before).ticks;
+
+    E9Row {
+        gates,
+        bytes,
+        metadata_ticks,
+        hybrid_read_ticks,
+        fmcad_read_ticks,
+        activity_ticks,
+        procedural_ticks,
+        procedural_activity_ticks,
+    }
+}
+
+/// The standard E9 sweep over design sizes.
+pub fn sweep() -> Vec<E9Row> {
+    [10, 50, 200, 800, 3200].into_iter().map(run).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_section_3_6() {
+        let small = run(10);
+        let large = run(800);
+        // Metadata cost does not grow with design size.
+        assert_eq!(small.metadata_ticks, large.metadata_ticks);
+        // Design-data cost grows roughly with bytes.
+        assert!(large.hybrid_read_ticks > 10 * small.hybrid_read_ticks);
+        // The copy path always costs more than in-place access.
+        assert!(small.read_penalty() > 1.0);
+        assert!(large.read_penalty() > 1.0);
+        // The procedural interface would eliminate the staging I/O.
+        assert_eq!(large.procedural_ticks, 0);
+        // A full activity moves the data several times.
+        assert!(large.activity_ticks > large.hybrid_read_ticks);
+        // The §4 ablation: enabling the procedural interface cuts the
+        // activity cost to the mirror-only share.
+        assert!(large.procedural_activity_ticks < large.activity_ticks / 2);
+    }
+
+    #[test]
+    fn sweep_sizes_are_monotone() {
+        let rows = sweep();
+        for pair in rows.windows(2) {
+            assert!(pair[1].bytes > pair[0].bytes);
+            assert!(pair[1].hybrid_read_ticks > pair[0].hybrid_read_ticks);
+        }
+    }
+}

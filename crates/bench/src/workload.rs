@@ -1,0 +1,140 @@
+//! Shared synthetic workloads for the experiments.
+
+use design_data::{format, generate, GeneratedDesign};
+use fmcad::Fmcad;
+use hybrid::{Hybrid, StandardFlow};
+use jcf::{TeamId, UserId};
+
+/// A bootstrapped hybrid environment with one team of `n` designers.
+pub struct HybridEnv {
+    /// The framework under test.
+    pub hy: Hybrid,
+    /// The designers, in creation order.
+    pub designers: Vec<UserId>,
+    /// Their team.
+    pub team: TeamId,
+    /// The frozen three-tool flow.
+    pub flow: StandardFlow,
+}
+
+/// Builds a hybrid environment with `n` designers on one team.
+///
+/// # Panics
+///
+/// Panics on bootstrap failures (fresh installations cannot fail).
+pub fn hybrid_env(n: usize) -> HybridEnv {
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let team = hy.jcf_mut().add_team(admin, "team").expect("fresh installation");
+    let mut designers = Vec::with_capacity(n);
+    for i in 0..n {
+        let user = hy.jcf_mut().add_user(&format!("designer{i}"), false).expect("unique name");
+        hy.jcf_mut().add_team_member(admin, team, user).expect("manager adds members");
+        designers.push(user);
+    }
+    let flow = hy.standard_flow("flow").expect("fresh installation");
+    HybridEnv { hy, designers, team, flow }
+}
+
+/// Populates a standalone FMCAD library with the schematics (and
+/// optionally layouts) of a generated design, via initial checkins.
+///
+/// # Panics
+///
+/// Panics if the library already exists.
+pub fn populate_fmcad(fm: &mut Fmcad, lib: &str, design: &GeneratedDesign, with_layouts: bool) {
+    fm.create_library(lib).expect("fresh library");
+    for (cell, netlist) in &design.netlists {
+        fm.create_cell(lib, cell).expect("fresh cell");
+        fm.create_cellview(lib, cell, "schematic", "schematic").expect("fresh view");
+        fm.checkin("init", lib, cell, "schematic", format::write_netlist(netlist).into_bytes())
+            .expect("initial checkin");
+        if with_layouts {
+            fm.create_cellview(lib, cell, "layout", "layout").expect("fresh view");
+            fm.checkin(
+                "init",
+                lib,
+                cell,
+                "layout",
+                format::write_layout(&design.layouts[cell]).into_bytes(),
+            )
+            .expect("initial checkin");
+        }
+    }
+}
+
+/// The schematic bytes of a generated random-logic design.
+pub fn cloud_bytes(gates: usize, seed: u64) -> Vec<u8> {
+    let design = generate::random_logic(gates, seed);
+    format::write_netlist(&design.netlists[&design.top]).into_bytes()
+}
+
+/// A tiny deterministic RNG (xorshift64*) so experiments never depend
+/// on crate-level RNG changes.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// The next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A value in `0..bound` (`bound` must be positive).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// A biased coin: true with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_env_bootstraps() {
+        let env = hybrid_env(3);
+        assert_eq!(env.designers.len(), 3);
+        assert!(env.hy.jcf().is_flow_frozen(env.flow.flow).unwrap());
+    }
+
+    #[test]
+    fn populate_builds_library() {
+        let mut fm = Fmcad::new();
+        let design = generate::ripple_adder(2);
+        populate_fmcad(&mut fm, "l", &design, true);
+        assert_eq!(fm.cells("l").unwrap().len(), 2);
+        assert_eq!(fm.views("l", "full_adder").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn rng_below_respects_bound() {
+        let mut r = Rng::new(3);
+        for _ in 0..100 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Netlist analysis: static timing and switching activity.
+//!
+//! Two classic analysis passes that complete the tool set: a static
+//! timing analyser over the flattened gate DAG (whose results the tests
+//! cross-validate against the event-driven simulator — same delays,
+//! same answer) and a switching-activity/power estimate computed from
+//! recorded waveforms.
+
+use std::collections::BTreeMap;
+
+use design_data::{Direction, GateKind, MasterRef, Netlist, Waveforms};
+
+use crate::error::{ToolError, ToolResult};
+
+/// The result of static timing analysis on one flat netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingReport {
+    /// The worst-case (critical) path delay in simulator time units.
+    pub critical_delay: u64,
+    /// The nets along the critical path, input to output.
+    pub critical_path: Vec<String>,
+    /// Arrival time per net (worst case from any input).
+    pub arrival: BTreeMap<String, u64>,
+}
+
+/// Runs static timing analysis over a *flat, combinational* netlist:
+/// arrival times propagate from input ports through gate delays;
+/// flip-flop outputs count as timing start points, flip-flop `d`
+/// inputs as end points.
+///
+/// # Errors
+///
+/// Returns [`ToolError::DesignData`] wrapping a hierarchy error when
+/// the netlist instantiates subcells (flatten first), or a cycle error
+/// when the combinational logic loops.
+///
+/// # Examples
+///
+/// ```
+/// use cad_tools::static_timing;
+/// use design_data::generate;
+///
+/// let report = static_timing(&generate::full_adder()).unwrap();
+/// // sum goes through two XORs: 3 + 3 = 6 time units.
+/// assert_eq!(report.arrival["sum"], 6);
+/// ```
+pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
+    if !netlist.subcells().is_empty() {
+        return Err(ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(
+            format!("{} is hierarchical; flatten before timing", netlist.name()),
+        )));
+    }
+    // Arrival of input ports and flip-flop outputs is 0.
+    let mut arrival: BTreeMap<String, u64> = BTreeMap::new();
+    for port in netlist.ports() {
+        if port.direction == Direction::Input {
+            arrival.insert(port.name.clone(), 0);
+        }
+    }
+    struct GateRef<'a> {
+        kind: GateKind,
+        inputs: Vec<&'a str>,
+        output: &'a str,
+    }
+    let mut gates = Vec::new();
+    for inst in netlist.instances() {
+        let MasterRef::Gate(kind) = inst.master else { unreachable!("flat netlist") };
+        if kind == GateKind::Dff {
+            if let Some(q) = inst.connections.get("q") {
+                arrival.insert(q.clone(), 0); // a timing start point
+            }
+            continue;
+        }
+        let mut inputs = Vec::new();
+        let mut output = "";
+        for (pin, dir) in kind.pins() {
+            if let Some(net) = inst.connections.get(*pin) {
+                match dir {
+                    Direction::Input => inputs.push(net.as_str()),
+                    _ => output = net.as_str(),
+                }
+            }
+        }
+        gates.push(GateRef { kind, inputs, output });
+    }
+    // Relaxation over the DAG; a pass count beyond |gates| means a loop.
+    let mut predecessor: BTreeMap<String, String> = BTreeMap::new();
+    let mut passes = 0usize;
+    loop {
+        let mut changed = false;
+        for gate in &gates {
+            let Some(worst) = gate
+                .inputs
+                .iter()
+                .filter_map(|i| arrival.get(*i).map(|&t| (t, *i)))
+                .max()
+            else {
+                continue; // inputs not yet arrived
+            };
+            if gate.inputs.iter().any(|i| !arrival.contains_key(*i)) {
+                continue; // wait until every input has a time
+            }
+            let t = worst.0 + gate.kind.delay();
+            if arrival.get(gate.output).copied().is_none_or(|old| t > old) {
+                arrival.insert(gate.output.to_owned(), t);
+                predecessor.insert(gate.output.to_owned(), worst.1.to_owned());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        passes += 1;
+        if passes > gates.len() + 1 {
+            return Err(ToolError::DesignData(design_data::DesignDataError::HierarchyTooDeep {
+                cell: netlist.name().to_owned(),
+                limit: gates.len(),
+            }));
+        }
+    }
+    // A gate output that never arrived sits in (or behind) a
+    // combinational cycle — in an ERC-clean netlist every net is driven.
+    if let Some(stuck) = gates.iter().find(|g| !arrival.contains_key(g.output)) {
+        return Err(ToolError::DesignData(design_data::DesignDataError::HierarchyTooDeep {
+            cell: format!("{} (combinational loop through {})", netlist.name(), stuck.output),
+            limit: gates.len(),
+        }));
+    }
+    // The critical end point: the output port or dff d-net with the
+    // largest arrival.
+    let (end, critical_delay) = arrival
+        .iter()
+        .max_by_key(|(net, &t)| (t, std::cmp::Reverse(net.as_str())))
+        .map(|(net, &t)| (net.clone(), t))
+        .unwrap_or_default();
+    let mut critical_path = vec![end.clone()];
+    let mut cursor = end;
+    while let Some(prev) = predecessor.get(&cursor) {
+        critical_path.push(prev.clone());
+        cursor = prev.clone();
+    }
+    critical_path.reverse();
+    Ok(TimingReport { critical_delay, critical_path, arrival })
+}
+
+/// Switching activity extracted from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActivityReport {
+    /// Transition count per signal.
+    pub toggles: BTreeMap<String, u64>,
+    /// Total transitions across all signals.
+    pub total_toggles: u64,
+    /// A relative dynamic-power figure: toggles per signal summed with
+    /// unit load (arbitrary units; compare runs, not absolutes).
+    pub relative_power: u64,
+}
+
+/// Counts signal transitions in a waveform set — the classic
+/// activity-based dynamic power estimate.
+pub fn switching_activity(waves: &Waveforms) -> ActivityReport {
+    let mut report = ActivityReport::default();
+    for (signal, trace) in waves.iter() {
+        let toggles = trace.events().len().saturating_sub(1) as u64;
+        report.total_toggles += toggles;
+        report.toggles.insert(signal.to_owned(), toggles);
+    }
+    report.relative_power = report.total_toggles;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use design_data::{generate, Logic};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn full_adder_critical_path_is_the_carry() {
+        let report = static_timing(&generate::full_adder()).unwrap();
+        // cout = or2(and2(..), and2(xor2(..))): 3 + 2 + 2 = 7.
+        assert_eq!(report.arrival["cout"], 7);
+        assert_eq!(report.critical_delay, 7);
+        assert_eq!(report.critical_path.last().map(String::as_str), Some("cout"));
+        assert!(report.critical_path.len() >= 3);
+    }
+
+    #[test]
+    fn sta_matches_the_event_simulator() {
+        // Same delays, same worst case: the simulator's settle time for
+        // the worst-case input transition equals the static bound.
+        let fa = generate::full_adder();
+        let report = static_timing(&fa).unwrap();
+        let mut all = BTreeMap::new();
+        all.insert(fa.name().to_owned(), fa.clone());
+        let mut sim = Simulator::elaborate(fa.name(), &all).unwrap();
+        // Drive the carry-generate path: a=1, b toggles 0->1 with cin=1.
+        sim.set_input("a", Logic::One).unwrap();
+        sim.set_input("b", Logic::Zero).unwrap();
+        sim.set_input("cin", Logic::One).unwrap();
+        sim.settle().unwrap();
+        let t0 = sim.now();
+        sim.set_input("b", Logic::One).unwrap();
+        sim.settle().unwrap();
+        let observed = sim.now() - t0;
+        assert!(
+            observed <= report.critical_delay,
+            "dynamic delay {observed} must be bounded by the static {}, ",
+            report.critical_delay
+        );
+        assert!(observed > 0);
+    }
+
+    #[test]
+    fn hierarchical_netlists_are_rejected() {
+        let design = generate::ripple_adder(2);
+        assert!(static_timing(&design.netlists[&design.top]).is_err());
+    }
+
+    #[test]
+    fn combinational_loops_are_detected() {
+        let mut n = design_data::Netlist::new("loop");
+        n.add_port("x", Direction::Input).unwrap();
+        n.add_net("a").unwrap();
+        n.add_net("b").unwrap();
+        n.add_instance("g1", MasterRef::Gate(GateKind::And2), &[("a", "x"), ("b", "b"), ("y", "a")])
+            .unwrap();
+        n.add_instance("g2", MasterRef::Gate(GateKind::Buf), &[("a", "a"), ("y", "b")])
+            .unwrap();
+        assert!(static_timing(&n).is_err());
+    }
+
+    #[test]
+    fn dff_boundaries_cut_timing_paths() {
+        let design = generate::counter(4);
+        let report = static_timing(&design.netlists[&design.top]).unwrap();
+        // The longest combinational path in the counter is the carry
+        // chain into the last XOR: 3 AND gates + XOR = 2*3 + 3 = 9.
+        assert_eq!(report.critical_delay, 9);
+    }
+
+    #[test]
+    fn mapped_netlists_get_slower() {
+        let fa = generate::full_adder();
+        let before = static_timing(&fa).unwrap().critical_delay;
+        let (mapped, _) = crate::techmap::map_to_nand(&fa).unwrap();
+        let after = static_timing(&mapped).unwrap().critical_delay;
+        assert!(after > before, "NAND mapping deepens the logic: {before} -> {after}");
+    }
+
+    #[test]
+    fn switching_activity_counts_toggles() {
+        let mut w = Waveforms::new();
+        w.record("clk", 0, Logic::Zero);
+        w.record("clk", 5, Logic::One);
+        w.record("clk", 10, Logic::Zero);
+        w.record("quiet", 3, Logic::One);
+        let report = switching_activity(&w);
+        assert_eq!(report.toggles["clk"], 2);
+        assert_eq!(report.toggles["quiet"], 0);
+        assert_eq!(report.total_toggles, 2);
+    }
+
+    #[test]
+    fn activity_tracks_workload_intensity() {
+        // A clocked counter toggles far more than a settled adder.
+        let counter = generate::counter(3);
+        let mut sim = Simulator::elaborate(&counter.top, &counter.netlists).unwrap();
+        let mut stim = design_data::Stimulus::new();
+        stim.drive(0, "en", Logic::One);
+        for i in 0..3 {
+            stim.drive(0, &format!("q{i}"), Logic::Zero);
+        }
+        stim.clock("clk", 10, 8);
+        let busy = switching_activity(&sim.run_testbench(&stim).unwrap());
+
+        let adder = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&adder.top, &adder.netlists).unwrap();
+        sim.set_input("a0", Logic::One).unwrap();
+        sim.set_input("b0", Logic::Zero).unwrap();
+        sim.set_input("cin", Logic::Zero).unwrap();
+        sim.settle().unwrap();
+        let calm = switching_activity(sim.waves());
+        assert!(busy.relative_power > 5 * calm.relative_power);
+    }
+}

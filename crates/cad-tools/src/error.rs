@@ -1,0 +1,75 @@
+//! Error type for the design tools.
+
+use std::error::Error;
+use std::fmt;
+
+use design_data::DesignDataError;
+
+/// Error returned by tool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// A design-data operation inside the tool failed.
+    DesignData(DesignDataError),
+    /// A referenced object (net, instance, rect) was not found.
+    NotFound(String),
+    /// The simulator was driven with an unknown signal.
+    UnknownSignal(String),
+    /// Simulation exceeded its event budget without quiescing.
+    SimulationDiverged {
+        /// Events processed before giving up.
+        events: u64,
+    },
+    /// The tool was asked to operate without an open design.
+    NoOpenDesign,
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::DesignData(e) => write!(f, "design data error: {e}"),
+            ToolError::NotFound(what) => write!(f, "not found: {what}"),
+            ToolError::UnknownSignal(s) => write!(f, "unknown signal {s:?}"),
+            ToolError::SimulationDiverged { events } => {
+                write!(f, "simulation did not quiesce after {events} events")
+            }
+            ToolError::NoOpenDesign => write!(f, "no design is open in the tool"),
+        }
+    }
+}
+
+impl Error for ToolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToolError::DesignData(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<DesignDataError> for ToolError {
+    fn from(e: DesignDataError) -> Self {
+        ToolError::DesignData(e)
+    }
+}
+
+/// Convenience alias for tool results.
+pub type ToolResult<T> = Result<T, ToolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ToolError>();
+    }
+
+    #[test]
+    fn design_data_errors_convert() {
+        let e: ToolError = DesignDataError::UnknownName("x".into()).into();
+        assert!(matches!(e, ToolError::DesignData(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

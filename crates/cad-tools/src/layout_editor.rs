@@ -1,0 +1,217 @@
+//! The layout entry tool.
+
+use design_data::{format, DrcViolation, Layout, Rect};
+
+use crate::error::{ToolError, ToolResult};
+use crate::itc::{ItcBus, ItcMessage, SubscriberId};
+
+/// The layout editor: an editing session over a [`Layout`].
+///
+/// The second of the three encapsulated FMCAD tools (§2.4). Supports
+/// geometry editing, placement, DRC and cross-probing by net label.
+///
+/// # Examples
+///
+/// ```
+/// # use cad_tools::LayoutEditor;
+/// # use design_data::{Layer, Rect};
+/// # fn main() -> Result<(), cad_tools::ToolError> {
+/// let mut ed = LayoutEditor::create("inv");
+/// ed.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "out")?)?;
+/// assert!(ed.run_drc().is_empty());
+/// assert_eq!(ed.rects_on_net("out"), vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LayoutEditor {
+    layout: Layout,
+    dirty: bool,
+    highlighted: Vec<usize>,
+}
+
+impl LayoutEditor {
+    /// Starts an editing session on a brand-new, empty layout.
+    pub fn create(cell: &str) -> Self {
+        LayoutEditor { layout: Layout::new(cell), dirty: true, highlighted: Vec::new() }
+    }
+
+    /// Opens serialized layout `bytes` (a cellview version's content).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the bytes are not a valid layout file.
+    pub fn open(bytes: &[u8]) -> ToolResult<Self> {
+        let text = String::from_utf8_lossy(bytes);
+        let layout = format::parse_layout(&text).map_err(ToolError::DesignData)?;
+        Ok(LayoutEditor { layout, dirty: false, highlighted: Vec::new() })
+    }
+
+    /// The cell name being edited.
+    pub fn cell(&self) -> &str {
+        self.layout.name()
+    }
+
+    /// Read access to the working layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Returns `true` if the session has unsaved changes.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Adds a geometry rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation errors.
+    pub fn add_rect(&mut self, rect: Rect) -> ToolResult<()> {
+        self.layout.add_rect(rect)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Places a subcell instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the layout's duplicate-name error.
+    pub fn add_placement(&mut self, name: &str, cell: &str, dx: i64, dy: i64) -> ToolResult<()> {
+        self.layout.add_placement(name, cell, dx, dy)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Indices of rectangles labelled with `net`.
+    pub fn rects_on_net(&self, net: &str) -> Vec<usize> {
+        self.layout
+            .rects()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.net.as_deref() == Some(net))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Selects a net's shapes and cross-probes to the other tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::NotFound`] if no shape carries the label.
+    pub fn select_net(&mut self, net: &str, bus: &mut ItcBus, me: SubscriberId) -> ToolResult<()> {
+        let shapes = self.rects_on_net(net);
+        if shapes.is_empty() {
+            return Err(ToolError::NotFound(format!("net label {net}")));
+        }
+        self.highlighted = shapes;
+        bus.publish(
+            me,
+            ItcMessage::CrossProbe { cell: self.layout.name().to_owned(), net: net.to_owned() },
+        );
+        Ok(())
+    }
+
+    /// The currently highlighted rectangle indices.
+    pub fn highlighted(&self) -> &[usize] {
+        &self.highlighted
+    }
+
+    /// Handles an incoming cross-probe: highlights the net's shapes if
+    /// any exist in this cell and returns whether it did.
+    pub fn handle_cross_probe(&mut self, cell: &str, net: &str) -> bool {
+        if cell != self.layout.name() {
+            return false;
+        }
+        let shapes = self.rects_on_net(net);
+        if shapes.is_empty() {
+            return false;
+        }
+        self.highlighted = shapes;
+        true
+    }
+
+    /// Runs the design rule check on the working copy.
+    pub fn run_drc(&self) -> Vec<DrcViolation> {
+        self.layout.check()
+    }
+
+    /// Serialises the working copy, clearing the dirty flag.
+    pub fn save(&mut self) -> Vec<u8> {
+        self.dirty = false;
+        format::write_layout(&self.layout).into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itc::ToolKind;
+    use design_data::Layer;
+
+    fn editor_with_shapes() -> LayoutEditor {
+        let mut ed = LayoutEditor::create("cellA");
+        ed.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
+        ed.add_rect(Rect::labelled(Layer::Metal1, 20, 0, 30, 10, "y").unwrap()).unwrap();
+        ed.add_rect(Rect::labelled(Layer::Metal2, 0, 20, 10, 30, "a").unwrap()).unwrap();
+        ed
+    }
+
+    #[test]
+    fn open_save_round_trip() {
+        let mut ed = editor_with_shapes();
+        let bytes = ed.save();
+        let reopened = LayoutEditor::open(&bytes).unwrap();
+        assert_eq!(reopened.layout(), ed.layout());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        assert!(LayoutEditor::open(b"netlist nope").is_err());
+    }
+
+    #[test]
+    fn rects_on_net_spans_layers() {
+        let ed = editor_with_shapes();
+        assert_eq!(ed.rects_on_net("a"), vec![0, 2]);
+        assert_eq!(ed.rects_on_net("y"), vec![1]);
+        assert!(ed.rects_on_net("ghost").is_empty());
+    }
+
+    #[test]
+    fn select_net_highlights_and_probes() {
+        let mut bus = ItcBus::new();
+        let lay = bus.subscribe(ToolKind::LayoutEditor);
+        let sch = bus.subscribe(ToolKind::SchematicEntry);
+        let mut ed = editor_with_shapes();
+        ed.select_net("a", &mut bus, lay).unwrap();
+        assert_eq!(ed.highlighted(), &[0, 2]);
+        assert_eq!(bus.drain(sch).len(), 1);
+    }
+
+    #[test]
+    fn cross_probe_requires_matching_cell() {
+        let mut ed = editor_with_shapes();
+        assert!(ed.handle_cross_probe("cellA", "y"));
+        assert_eq!(ed.highlighted(), &[1]);
+        assert!(!ed.handle_cross_probe("other", "y"));
+        assert!(!ed.handle_cross_probe("cellA", "ghost"));
+    }
+
+    #[test]
+    fn drc_flags_bad_geometry() {
+        let mut ed = LayoutEditor::create("bad");
+        ed.add_rect(Rect::new(Layer::Metal1, 0, 0, 1, 1).unwrap()).unwrap();
+        assert!(!ed.run_drc().is_empty());
+    }
+
+    #[test]
+    fn placements_round_trip() {
+        let mut ed = LayoutEditor::create("top");
+        ed.add_placement("i1", "inv", 5, 5).unwrap();
+        let bytes = ed.save();
+        let reopened = LayoutEditor::open(&bytes).unwrap();
+        assert_eq!(reopened.layout().placements().len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # cad-tools — the integrated design tools
+//!
+//! The three FMCAD tools the paper's encapsulation scenario covers
+//! (§2.4), plus the inter-tool communication bus they share:
+//!
+//! * [`SchematicEditor`] — schematic entry with ERC and netlist
+//!   extraction;
+//! * [`LayoutEditor`] — layout entry with DRC and net highlighting;
+//! * [`Simulator`] — an event-driven, four-valued gate-level digital
+//!   simulator over flattened hierarchical netlists;
+//! * [`ItcBus`] — the publish/subscribe inter-tool communication
+//!   channel used for cross-probing (§2.2).
+//!
+//! The tools are framework-agnostic: they edit bytes in, bytes out.
+//! FMCAD invokes them directly on library files; the hybrid framework
+//! wraps them as JCF activities and stages their data through the VFS.
+//!
+//! # Examples
+//!
+//! ```
+//! use cad_tools::{Simulator, SchematicEditor};
+//! use design_data::{generate, Logic};
+//!
+//! # fn main() -> Result<(), cad_tools::ToolError> {
+//! let design = generate::ripple_adder(2);
+//! let mut sim = Simulator::elaborate(&design.top, &design.netlists)?;
+//! sim.set_input("a0", Logic::One)?;
+//! sim.set_input("b0", Logic::One)?;
+//! sim.set_input("a1", Logic::Zero)?;
+//! sim.set_input("b1", Logic::Zero)?;
+//! sim.set_input("cin", Logic::Zero)?;
+//! sim.settle()?;
+//! assert_eq!(sim.value("s1")?, Logic::One); // 1 + 1 = 0b10
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod error;
+mod itc;
+mod layout_editor;
+mod lvs;
+mod schematic;
+mod simulator;
+mod techmap;
+mod wavecheck;
+
+pub use analysis::{static_timing, switching_activity, ActivityReport, TimingReport};
+pub use error::{ToolError, ToolResult};
+pub use itc::{Delivery, ItcBus, ItcMessage, SubscriberId, ToolKind};
+pub use layout_editor::LayoutEditor;
+pub use lvs::{check_lvs, LvsReport, LvsViolation};
+pub use schematic::SchematicEditor;
+pub use simulator::{Simulator, DEFAULT_EVENT_BUDGET};
+pub use techmap::{map_to_nand, TechmapStats};
+pub use wavecheck::{compare_waveforms, WaveMismatch};

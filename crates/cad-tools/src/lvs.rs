@@ -1,0 +1,238 @@
+//! Layout-versus-schematic (LVS) checking.
+//!
+//! A lightweight LVS in the spirit of mid-90s flows: it compares the
+//! *connectivity surface* of a layout against its schematic — net
+//! labels, hierarchy instances — rather than extracting devices. The
+//! hybrid framework runs it as a cross-view consistency check, the kind
+//! of verification the paper's §3.2 "more powerful data consistency
+//! check" alludes to.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use design_data::{Layout, Netlist};
+
+/// One LVS discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LvsViolation {
+    /// A schematic net never appears as a layout label.
+    MissingNet {
+        /// The unlabelled net.
+        net: String,
+    },
+    /// A layout label names a net the schematic does not have.
+    PhantomNet {
+        /// The phantom label.
+        net: String,
+    },
+    /// Subcell usage differs between the views.
+    InstanceMismatch {
+        /// The subcell master.
+        cell: String,
+        /// Instances in the schematic.
+        schematic: usize,
+        /// Placements in the layout.
+        layout: usize,
+    },
+}
+
+impl fmt::Display for LvsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LvsViolation::MissingNet { net } => write!(f, "net {net:?} has no layout geometry"),
+            LvsViolation::PhantomNet { net } => write!(f, "layout label {net:?} not in schematic"),
+            LvsViolation::InstanceMismatch { cell, schematic, layout } => write!(
+                f,
+                "subcell {cell:?}: {schematic} schematic instance(s) vs {layout} placement(s)"
+            ),
+        }
+    }
+}
+
+/// The result of one LVS run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LvsReport {
+    /// All discrepancies found, in deterministic order.
+    pub violations: Vec<LvsViolation>,
+    /// Nets successfully matched between the views.
+    pub matched_nets: usize,
+}
+
+impl LvsReport {
+    /// Returns `true` if layout and schematic agree.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for LvsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "LVS clean ({} nets matched)", self.matched_nets)
+        } else {
+            writeln!(f, "LVS: {} violation(s), {} nets matched", self.violations.len(), self.matched_nets)?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Compares a layout against its schematic.
+///
+/// Checks three properties: every schematic net is present as a layout
+/// label, every layout label names a schematic net, and each subcell
+/// master is instantiated the same number of times in both views.
+///
+/// # Examples
+///
+/// ```
+/// use cad_tools::check_lvs;
+/// use design_data::generate;
+///
+/// let design = generate::ripple_adder(2);
+/// let report = check_lvs(
+///     &design.netlists["full_adder"],
+///     &design.layouts["full_adder"],
+/// );
+/// assert!(report.is_clean(), "{report}");
+/// ```
+pub fn check_lvs(netlist: &Netlist, layout: &Layout) -> LvsReport {
+    let mut report = LvsReport::default();
+
+    // Net label comparison.
+    let mut layout_nets: BTreeMap<&str, usize> = BTreeMap::new();
+    for rect in layout.rects() {
+        if let Some(net) = &rect.net {
+            *layout_nets.entry(net.as_str()).or_default() += 1;
+        }
+    }
+    for net in netlist.nets() {
+        if layout_nets.contains_key(net) {
+            report.matched_nets += 1;
+        } else {
+            report.violations.push(LvsViolation::MissingNet { net: net.to_owned() });
+        }
+    }
+    for net in layout_nets.keys() {
+        if !netlist.nets().any(|n| n == *net) {
+            report
+                .violations
+                .push(LvsViolation::PhantomNet { net: (*net).to_owned() });
+        }
+    }
+
+    // Subcell instance correspondence.
+    let mut schematic_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for inst in netlist.instances() {
+        if let design_data::MasterRef::Cell(cell) = &inst.master {
+            *schematic_counts.entry(cell.as_str()).or_default() += 1;
+        }
+    }
+    let mut layout_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for placement in layout.placements() {
+        *layout_counts.entry(placement.cell.as_str()).or_default() += 1;
+    }
+    let all_cells: std::collections::BTreeSet<&str> = schematic_counts
+        .keys()
+        .chain(layout_counts.keys())
+        .copied()
+        .collect();
+    for cell in all_cells {
+        let s = schematic_counts.get(cell).copied().unwrap_or(0);
+        let l = layout_counts.get(cell).copied().unwrap_or(0);
+        if s != l {
+            report.violations.push(LvsViolation::InstanceMismatch {
+                cell: cell.to_owned(),
+                schematic: s,
+                layout: l,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_data::{generate, Layer, MasterRef, Rect};
+
+    #[test]
+    fn generated_designs_are_lvs_clean() {
+        for design in [generate::ripple_adder(4), generate::counter(3), generate::random_logic(60, 5)] {
+            for (cell, netlist) in &design.netlists {
+                let report = check_lvs(netlist, &design.layouts[cell]);
+                assert!(report.is_clean(), "{cell}: {report}");
+                assert!(report.matched_nets > 0 || netlist.net_count() == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_net_detected() {
+        let design = generate::ripple_adder(1);
+        let netlist = &design.netlists["full_adder"];
+        let mut layout = design.layouts["full_adder"].clone();
+        // Remove all wires carrying the "s1" label.
+        let rects: Vec<Rect> = layout
+            .rects()
+            .iter()
+            .filter(|r| r.net.as_deref() != Some("s1"))
+            .cloned()
+            .collect();
+        let mut stripped = design_data::Layout::new("full_adder");
+        for r in rects {
+            stripped.add_rect(r).unwrap();
+        }
+        for p in layout.placements() {
+            stripped.add_placement(&p.name, &p.cell, p.dx, p.dy).unwrap();
+        }
+        layout = stripped;
+        let report = check_lvs(netlist, &layout);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LvsViolation::MissingNet { net } if net == "s1")));
+    }
+
+    #[test]
+    fn phantom_net_detected() {
+        let design = generate::ripple_adder(1);
+        let netlist = &design.netlists["full_adder"];
+        let mut layout = design.layouts["full_adder"].clone();
+        layout
+            .add_rect(Rect::labelled(Layer::Metal2, 500, 0, 520, 5, "ghost_net").unwrap())
+            .unwrap();
+        let report = check_lvs(netlist, &layout);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LvsViolation::PhantomNet { net } if net == "ghost_net")));
+    }
+
+    #[test]
+    fn instance_mismatch_detected() {
+        let mut netlist = design_data::Netlist::new("top");
+        netlist.add_net("n").unwrap();
+        netlist
+            .add_instance("u1", MasterRef::Cell("fa".into()), &[("a", "n")])
+            .unwrap();
+        let mut layout = design_data::Layout::new("top");
+        layout.add_rect(Rect::labelled(Layer::Metal2, 0, 0, 20, 5, "n").unwrap()).unwrap();
+        layout.add_placement("i1", "fa", 0, 0).unwrap();
+        layout.add_placement("i2", "fa", 20, 0).unwrap();
+        let report = check_lvs(&netlist, &layout);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            LvsViolation::InstanceMismatch { cell, schematic: 1, layout: 2 } if cell == "fa"
+        )));
+    }
+
+    #[test]
+    fn report_displays_cleanly() {
+        let design = generate::ripple_adder(1);
+        let report = check_lvs(&design.netlists["full_adder"], &design.layouts["full_adder"]);
+        assert!(report.to_string().contains("LVS clean"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The schematic entry tool.
+
+use design_data::{format, Direction, ErcViolation, MasterRef, Netlist};
+
+use crate::error::{ToolError, ToolResult};
+use crate::itc::{ItcBus, ItcMessage, SubscriberId};
+
+/// The schematic entry tool: an editing session over a [`Netlist`].
+///
+/// One of the three FMCAD tools the paper encapsulates (§2.4). The
+/// editor owns a working copy of the design; the framework decides
+/// where the bytes come from (a cellview version, or a staging file the
+/// JCF encapsulation copied out of OMS) and where they go on save.
+///
+/// # Examples
+///
+/// ```
+/// # use cad_tools::SchematicEditor;
+/// # use design_data::{Direction, GateKind, MasterRef};
+/// # fn main() -> Result<(), cad_tools::ToolError> {
+/// let mut ed = SchematicEditor::create("latch");
+/// ed.add_port("d", Direction::Input)?;
+/// ed.add_port("q", Direction::Output)?;
+/// ed.add_instance("b1", MasterRef::Gate(GateKind::Buf), &[("a", "d"), ("y", "q")])?;
+/// assert!(ed.run_erc().is_empty());
+/// let bytes = ed.save();
+/// assert!(bytes.starts_with(b"netlist latch"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SchematicEditor {
+    netlist: Netlist,
+    dirty: bool,
+    selection: Option<String>,
+}
+
+impl SchematicEditor {
+    /// Starts an editing session on a brand-new, empty schematic.
+    pub fn create(cell: &str) -> Self {
+        SchematicEditor { netlist: Netlist::new(cell), dirty: true, selection: None }
+    }
+
+    /// Opens the serialized schematic `bytes` (a cellview version's
+    /// content).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the bytes are not a valid netlist file.
+    pub fn open(bytes: &[u8]) -> ToolResult<Self> {
+        let text = String::from_utf8_lossy(bytes);
+        let netlist = format::parse_netlist(&text).map_err(ToolError::DesignData)?;
+        Ok(SchematicEditor { netlist, dirty: false, selection: None })
+    }
+
+    /// The cell name being edited.
+    pub fn cell(&self) -> &str {
+        self.netlist.name()
+    }
+
+    /// Read access to the working netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Returns `true` if the session has unsaved changes.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Adds a port (see [`Netlist::add_port`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the netlist's duplicate-name error.
+    pub fn add_port(&mut self, name: &str, direction: Direction) -> ToolResult<()> {
+        self.netlist.add_port(name, direction)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Adds an internal net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the netlist's duplicate-name error.
+    pub fn add_net(&mut self, name: &str) -> ToolResult<()> {
+        self.netlist.add_net(name)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Places a component instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors (unknown nets/pins,
+    /// duplicate names).
+    pub fn add_instance(
+        &mut self,
+        name: &str,
+        master: MasterRef,
+        connections: &[(&str, &str)],
+    ) -> ToolResult<()> {
+        self.netlist.add_instance(name, master, connections)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Deletes an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's unknown-name error if absent.
+    pub fn remove_instance(&mut self, name: &str) -> ToolResult<()> {
+        self.netlist.remove_instance(name)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Selects a net and cross-probes it to the other tools on `bus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::NotFound`] for nets the schematic lacks.
+    pub fn select_net(&mut self, net: &str, bus: &mut ItcBus, me: SubscriberId) -> ToolResult<()> {
+        if !self.netlist.nets().any(|n| n == net) {
+            return Err(ToolError::NotFound(format!("net {net}")));
+        }
+        self.selection = Some(net.to_owned());
+        bus.publish(
+            me,
+            ItcMessage::CrossProbe { cell: self.netlist.name().to_owned(), net: net.to_owned() },
+        );
+        Ok(())
+    }
+
+    /// The currently selected net, if any.
+    pub fn selection(&self) -> Option<&str> {
+        self.selection.as_deref()
+    }
+
+    /// Handles an incoming cross-probe: highlights the net if this
+    /// schematic has it and returns whether it did.
+    pub fn handle_cross_probe(&mut self, cell: &str, net: &str) -> bool {
+        if cell == self.netlist.name() && self.netlist.nets().any(|n| n == net) {
+            self.selection = Some(net.to_owned());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs the electrical rule check on the working copy.
+    pub fn run_erc(&self) -> Vec<ErcViolation> {
+        self.netlist.check()
+    }
+
+    /// Serialises the working copy, clearing the dirty flag. The caller
+    /// (framework) stores the bytes as a new cellview version.
+    pub fn save(&mut self) -> Vec<u8> {
+        self.dirty = false;
+        format::write_netlist(&self.netlist).into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itc::ToolKind;
+    use design_data::GateKind;
+
+    fn editor_with_gate() -> SchematicEditor {
+        let mut ed = SchematicEditor::create("cellA");
+        ed.add_port("a", Direction::Input).unwrap();
+        ed.add_port("y", Direction::Output).unwrap();
+        ed.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "a"), ("y", "y")])
+            .unwrap();
+        ed
+    }
+
+    #[test]
+    fn open_save_round_trip() {
+        let mut ed = editor_with_gate();
+        let bytes = ed.save();
+        assert!(!ed.is_dirty());
+        let reopened = SchematicEditor::open(&bytes).unwrap();
+        assert_eq!(reopened.netlist(), ed.netlist());
+        assert!(!reopened.is_dirty());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        assert!(SchematicEditor::open(b"layout wrong-kind").is_err());
+    }
+
+    #[test]
+    fn edits_mark_dirty() {
+        let mut ed = editor_with_gate();
+        ed.save();
+        assert!(!ed.is_dirty());
+        ed.add_net("n2").unwrap();
+        assert!(ed.is_dirty());
+    }
+
+    #[test]
+    fn select_net_cross_probes() {
+        let mut bus = ItcBus::new();
+        let sch = bus.subscribe(ToolKind::SchematicEntry);
+        let lay = bus.subscribe(ToolKind::LayoutEditor);
+        let mut ed = editor_with_gate();
+        ed.select_net("a", &mut bus, sch).unwrap();
+        assert_eq!(ed.selection(), Some("a"));
+        let inbox = bus.drain(lay);
+        assert!(matches!(
+            &inbox[0].message,
+            ItcMessage::CrossProbe { cell, net } if cell == "cellA" && net == "a"
+        ));
+    }
+
+    #[test]
+    fn select_unknown_net_fails() {
+        let mut bus = ItcBus::new();
+        let sch = bus.subscribe(ToolKind::SchematicEntry);
+        let mut ed = editor_with_gate();
+        assert!(matches!(ed.select_net("ghost", &mut bus, sch), Err(ToolError::NotFound(_))));
+        assert!(bus.log().is_empty(), "failed selection must not publish");
+    }
+
+    #[test]
+    fn handle_cross_probe_matches_cell_and_net() {
+        let mut ed = editor_with_gate();
+        assert!(ed.handle_cross_probe("cellA", "y"));
+        assert_eq!(ed.selection(), Some("y"));
+        assert!(!ed.handle_cross_probe("cellB", "y"));
+        assert!(!ed.handle_cross_probe("cellA", "ghost"));
+    }
+
+    #[test]
+    fn erc_runs_on_working_copy() {
+        let mut ed = SchematicEditor::create("bad");
+        ed.add_net("floating").unwrap();
+        assert!(!ed.run_erc().is_empty());
+    }
+
+    #[test]
+    fn remove_instance_works() {
+        let mut ed = editor_with_gate();
+        ed.remove_instance("u1").unwrap();
+        assert!(ed.netlist().instance("u1").is_none());
+        assert!(ed.remove_instance("u1").is_err());
+    }
+}

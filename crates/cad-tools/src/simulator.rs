@@ -1,0 +1,651 @@
+//! The event-driven digital simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use design_data::{Direction, GateKind, Logic, MasterRef, Netlist, Waveforms, MAX_DEPTH};
+
+use crate::error::{ToolError, ToolResult};
+
+/// Index of a flattened signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SignalId(usize);
+
+#[derive(Debug)]
+struct Gate {
+    kind: GateKind,
+    /// Input signals in pin order (`a`,`b` or `d`,`clk`).
+    inputs: Vec<SignalId>,
+    output: SignalId,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    signal: SignalId,
+    value_tag: u8,
+}
+
+fn tag(v: Logic) -> u8 {
+    match v {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::X => 2,
+        Logic::Z => 3,
+    }
+}
+
+fn untag(t: u8) -> Logic {
+    match t {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
+}
+
+/// Default event budget for [`Simulator::settle`].
+pub const DEFAULT_EVENT_BUDGET: u64 = 1_000_000;
+
+/// An event-driven, four-valued gate-level simulator.
+///
+/// The third encapsulated FMCAD tool (§2.4): the *digital simulator*.
+/// Hierarchical netlists are flattened at elaboration time (subcell
+/// instances expand recursively, internal nets become `inst/net`
+/// paths), then events propagate through the gate graph with per-gate
+/// delays; every signal change is recorded into a
+/// [`Waveforms`] set, which becomes the derived design data that JCF's
+/// derivation tracking attributes to the simulation activity.
+///
+/// # Examples
+///
+/// ```
+/// # use std::collections::BTreeMap;
+/// # use cad_tools::Simulator;
+/// # use design_data::{generate, Logic};
+/// # fn main() -> Result<(), cad_tools::ToolError> {
+/// let design = generate::ripple_adder(2);
+/// let mut sim = Simulator::elaborate(&design.top, &design.netlists)?;
+/// // 1 + 1 = 2 in two bits.
+/// for (pin, v) in [("a0", Logic::One), ("b0", Logic::One), ("a1", Logic::Zero),
+///                  ("b1", Logic::Zero), ("cin", Logic::Zero)] {
+///     sim.set_input(pin, v)?;
+/// }
+/// sim.settle()?;
+/// assert_eq!(sim.value("s0")?, Logic::Zero);
+/// assert_eq!(sim.value("s1")?, Logic::One);
+/// assert_eq!(sim.value("cout")?, Logic::Zero);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    names: Vec<String>,
+    by_name: BTreeMap<String, SignalId>,
+    values: Vec<Logic>,
+    gates: Vec<Gate>,
+    fanout: Vec<Vec<usize>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: u64,
+    seq: u64,
+    waves: Waveforms,
+    events_processed: u64,
+    event_budget: u64,
+}
+
+impl Simulator {
+    /// Elaborates (flattens) a hierarchical netlist into a simulator.
+    ///
+    /// `netlists` resolves subcell names; cells without a netlist
+    /// cannot be simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::DesignData`] wrapping an unresolved-cell or
+    /// hierarchy-depth error, or an unconnected-pin error for primitive
+    /// pins left open.
+    pub fn elaborate(top: &str, netlists: &BTreeMap<String, Netlist>) -> ToolResult<Self> {
+        let mut sim = Simulator {
+            names: Vec::new(),
+            by_name: BTreeMap::new(),
+            values: Vec::new(),
+            gates: Vec::new(),
+            fanout: Vec::new(),
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            waves: Waveforms::new(),
+            events_processed: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+        };
+        let net = netlists
+            .get(top)
+            .ok_or_else(|| ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(top.to_owned())))?;
+        sim.expand(net, "", netlists, &BTreeMap::new(), 0)?;
+        for (i, gate) in sim.gates.iter().enumerate() {
+            for input in &gate.inputs {
+                sim.fanout[input.0].push(i);
+            }
+        }
+        Ok(sim)
+    }
+
+    fn signal(&mut self, name: &str) -> SignalId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SignalId(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.values.push(Logic::X);
+        self.fanout.push(Vec::new());
+        id
+    }
+
+    fn expand(
+        &mut self,
+        netlist: &Netlist,
+        prefix: &str,
+        netlists: &BTreeMap<String, Netlist>,
+        port_map: &BTreeMap<String, SignalId>,
+        depth: usize,
+    ) -> ToolResult<()> {
+        if depth > MAX_DEPTH {
+            return Err(ToolError::DesignData(
+                design_data::DesignDataError::HierarchyTooDeep {
+                    cell: netlist.name().to_owned(),
+                    limit: MAX_DEPTH,
+                },
+            ));
+        }
+        // Resolve every local net to a signal: bound ports use the
+        // parent's signal, everything else gets a prefixed fresh one.
+        let mut local: BTreeMap<String, SignalId> = BTreeMap::new();
+        for port in netlist.ports() {
+            let id = match port_map.get(&port.name) {
+                Some(&bound) => bound,
+                None => self.signal(&format!("{prefix}{}", port.name)),
+            };
+            local.insert(port.name.clone(), id);
+        }
+        let net_names: Vec<String> = netlist.nets().map(str::to_owned).collect();
+        for net in net_names {
+            local
+                .entry(net.clone())
+                .or_insert_with_key(|k| {
+                    // Closure cannot call self.signal (borrow); fill below.
+                    let _ = k;
+                    SignalId(usize::MAX)
+                });
+        }
+        // Second pass to create missing signals (avoids double borrow).
+        let missing: Vec<String> = local
+            .iter()
+            .filter(|(_, id)| id.0 == usize::MAX)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for name in missing {
+            let id = self.signal(&format!("{prefix}{name}"));
+            local.insert(name, id);
+        }
+
+        for inst in netlist.instances() {
+            match &inst.master {
+                MasterRef::Gate(kind) => {
+                    let mut inputs = Vec::new();
+                    let mut output = None;
+                    for (pin, dir) in kind.pins() {
+                        let net = inst.connections.get(*pin).ok_or_else(|| {
+                            ToolError::DesignData(design_data::DesignDataError::UnconnectedPin {
+                                instance: format!("{prefix}{}", inst.name),
+                                pin: (*pin).to_owned(),
+                            })
+                        })?;
+                        let id = local[net];
+                        match dir {
+                            Direction::Input => inputs.push(id),
+                            Direction::Output | Direction::InOut => output = Some(id),
+                        }
+                    }
+                    let output = output.expect("every gate kind has an output pin");
+                    self.gates.push(Gate { kind: *kind, inputs, output });
+                }
+                MasterRef::Cell(cell) => {
+                    let child = netlists.get(cell).ok_or_else(|| {
+                        ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(
+                            cell.clone(),
+                        ))
+                    })?;
+                    let mut child_ports = BTreeMap::new();
+                    for (pin, net) in &inst.connections {
+                        if let Some(&id) = local.get(net) {
+                            child_ports.insert(pin.clone(), id);
+                        }
+                    }
+                    let child_prefix = format!("{prefix}{}/", inst.name);
+                    self.expand(child, &child_prefix, netlists, &child_ports, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of flattened signals.
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of flattened primitive gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Sets the event budget used by [`Simulator::settle`].
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// The value of signal `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::UnknownSignal`] for unknown names.
+    pub fn value(&self, name: &str) -> ToolResult<Logic> {
+        let id = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ToolError::UnknownSignal(name.to_owned()))?;
+        Ok(self.values[id.0])
+    }
+
+    /// Drives signal `name` to `value` at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::UnknownSignal`] for unknown names.
+    pub fn set_input(&mut self, name: &str, value: Logic) -> ToolResult<()> {
+        self.schedule_input(name, self.time, value)
+    }
+
+    /// Schedules a future stimulus on signal `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::UnknownSignal`] for unknown names.
+    pub fn schedule_input(&mut self, name: &str, at: u64, value: Logic) -> ToolResult<()> {
+        let id = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ToolError::UnknownSignal(name.to_owned()))?;
+        self.push_event(at.max(self.time), id, value);
+        Ok(())
+    }
+
+    fn push_event(&mut self, time: u64, signal: SignalId, value: Logic) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq: self.seq, signal, value_tag: tag(value) }));
+    }
+
+    /// Processes events until the queue drains or `self.event_budget`
+    /// events have been handled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::SimulationDiverged`] when the budget is
+    /// exhausted (oscillating feedback without a flip-flop).
+    pub fn settle(&mut self) -> ToolResult<u64> {
+        let mut handled = 0u64;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            handled += 1;
+            self.events_processed += 1;
+            if handled > self.event_budget {
+                return Err(ToolError::SimulationDiverged { events: handled });
+            }
+            self.time = self.time.max(event.time);
+            let new = untag(event.value_tag);
+            let old = self.values[event.signal.0];
+            if old == new {
+                continue;
+            }
+            self.values[event.signal.0] = new;
+            self.waves.record(&self.names[event.signal.0], event.time, new);
+            let fanout = self.fanout[event.signal.0].clone();
+            for gate_idx in fanout {
+                self.evaluate_gate(gate_idx, event.signal, old, new, event.time);
+            }
+        }
+        Ok(handled)
+    }
+
+    fn evaluate_gate(&mut self, gate_idx: usize, cause: SignalId, old: Logic, new: Logic, at: u64) {
+        let (kind, output, combinational) = {
+            let gate = &self.gates[gate_idx];
+            match gate.kind {
+                GateKind::Dff => {
+                    // inputs are [d, clk] in pin order.
+                    let clk = gate.inputs[1];
+                    let rising = cause == clk && old != Logic::One && new == Logic::One;
+                    if !rising {
+                        return;
+                    }
+                    let d = self.values[gate.inputs[0].0];
+                    (GateKind::Dff, gate.output, Some(d))
+                }
+                kind => {
+                    let a = self.values[gate.inputs[0].0];
+                    let b = gate.inputs.get(1).map(|s| self.values[s.0]);
+                    let out = match kind {
+                        GateKind::And2 => a.and(b.expect("2-input gate")),
+                        GateKind::Or2 => a.or(b.expect("2-input gate")),
+                        GateKind::Nand2 => a.and(b.expect("2-input gate")).not(),
+                        GateKind::Nor2 => a.or(b.expect("2-input gate")).not(),
+                        GateKind::Xor2 => a.xor(b.expect("2-input gate")),
+                        GateKind::Xnor2 => a.xor(b.expect("2-input gate")).not(),
+                        GateKind::Not => a.not(),
+                        GateKind::Buf => match a {
+                            Logic::Z => Logic::X,
+                            v => v,
+                        },
+                        GateKind::Dff => unreachable!("handled above"),
+                    };
+                    (kind, gate.output, Some(out))
+                }
+            }
+        };
+        if let Some(value) = combinational {
+            self.push_event(at + kind.delay(), output, value);
+        }
+    }
+
+    /// Runs a clock on `clk` for `cycles` full periods, settling after
+    /// every edge. Returns the final time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-signal and divergence errors.
+    pub fn run_clock(&mut self, clk: &str, half_period: u64, cycles: usize) -> ToolResult<u64> {
+        for _ in 0..cycles {
+            let t_rise = self.time + half_period;
+            self.schedule_input(clk, t_rise, Logic::One)?;
+            self.settle()?;
+            self.time = self.time.max(t_rise);
+            let t_fall = self.time + half_period;
+            self.schedule_input(clk, t_fall, Logic::Zero)?;
+            self.settle()?;
+            self.time = self.time.max(t_fall);
+        }
+        Ok(self.time)
+    }
+
+    /// Runs a complete test bench: applies a [`design_data::Stimulus`] (drives and
+    /// clock), settles, and returns the traces of its probed signals
+    /// (all signals when no probes are listed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::UnknownSignal`] for drives or probes naming
+    /// signals the design lacks, and divergence errors.
+    pub fn run_testbench(&mut self, stimulus: &design_data::Stimulus) -> ToolResult<Waveforms> {
+        for drive in stimulus.drives() {
+            self.schedule_input(&drive.signal, drive.time, drive.value)?;
+        }
+        self.settle()?;
+        if let Some(clock) = stimulus.clock_spec() {
+            // Start the clock low if undriven, then toggle.
+            if self.value(&clock.signal)? == Logic::X {
+                self.set_input(&clock.signal, Logic::Zero)?;
+                self.settle()?;
+            }
+            self.run_clock(&clock.signal, clock.half_period, clock.cycles as usize)?;
+        }
+        if stimulus.probes().is_empty() {
+            return Ok(self.waves.clone());
+        }
+        let mut out = Waveforms::new();
+        for probe in stimulus.probes() {
+            if !self.by_name.contains_key(probe) {
+                return Err(ToolError::UnknownSignal(probe.clone()));
+            }
+            if let Some(trace) = self.waves.trace(probe) {
+                for &(t, v) in trace.events() {
+                    out.record(probe, t, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The recorded waveforms (shared reference).
+    pub fn waves(&self) -> &Waveforms {
+        &self.waves
+    }
+
+    /// Consumes the simulator and returns the recorded waveforms — the
+    /// derived design data the framework stores after the activity.
+    pub fn into_waves(self) -> Waveforms {
+        self.waves
+    }
+
+    /// All flattened signal names, sorted.
+    pub fn signal_names(&self) -> Vec<&str> {
+        self.by_name.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_data::generate;
+
+    fn adder_inputs(sim: &mut Simulator, a: u64, b: u64, width: usize) {
+        for i in 0..width {
+            let av = if (a >> i) & 1 == 1 { Logic::One } else { Logic::Zero };
+            let bv = if (b >> i) & 1 == 1 { Logic::One } else { Logic::Zero };
+            sim.set_input(&format!("a{i}"), av).unwrap();
+            sim.set_input(&format!("b{i}"), bv).unwrap();
+        }
+        sim.set_input("cin", Logic::Zero).unwrap();
+    }
+
+    fn adder_output(sim: &Simulator, width: usize) -> Option<u64> {
+        let mut sum = 0u64;
+        for i in 0..width {
+            match sim.value(&format!("s{i}")).unwrap() {
+                Logic::One => sum |= 1 << i,
+                Logic::Zero => {}
+                _ => return None,
+            }
+        }
+        match sim.value("cout").unwrap() {
+            Logic::One => Some(sum | (1 << width)),
+            Logic::Zero => Some(sum),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn four_bit_adder_is_exhaustively_correct() {
+        let design = generate::ripple_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+                adder_inputs(&mut sim, a, b, 4);
+                sim.settle().unwrap();
+                assert_eq!(adder_output(&sim, 4), Some(a + b), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn elaboration_flattens_hierarchy() {
+        let design = generate::ripple_adder(4);
+        let sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        // 4 full adders x 5 gates each.
+        assert_eq!(sim.gate_count(), 20);
+        assert!(sim.signal_names().iter().any(|s| s.starts_with("fa0/")));
+    }
+
+    #[test]
+    fn unresolved_subcell_rejected() {
+        let mut netlists = BTreeMap::new();
+        let mut top = Netlist::new("top");
+        top.add_net("n").unwrap();
+        top.add_instance("u", MasterRef::Cell("ghost".into()), &[("a", "n")]).unwrap();
+        netlists.insert("top".to_owned(), top);
+        assert!(Simulator::elaborate("top", &netlists).is_err());
+        assert!(Simulator::elaborate("missing_top", &netlists).is_err());
+    }
+
+    #[test]
+    fn recursive_hierarchy_rejected() {
+        let mut netlists = BTreeMap::new();
+        let mut a = Netlist::new("a");
+        a.add_net("n").unwrap();
+        a.add_instance("u", MasterRef::Cell("a".into()), &[("p", "n")]).unwrap();
+        netlists.insert("a".to_owned(), a);
+        let err = Simulator::elaborate("a", &netlists).unwrap_err();
+        assert!(matches!(
+            err,
+            ToolError::DesignData(design_data::DesignDataError::HierarchyTooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_signal_reported() {
+        let design = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        assert!(matches!(sim.value("nope"), Err(ToolError::UnknownSignal(_))));
+        assert!(matches!(sim.set_input("nope", Logic::One), Err(ToolError::UnknownSignal(_))));
+    }
+
+    #[test]
+    fn oscillator_diverges_within_budget() {
+        // not gate feeding itself oscillates forever.
+        let mut netlists = BTreeMap::new();
+        let mut osc = Netlist::new("osc");
+        osc.add_net("n").unwrap();
+        osc.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "n"), ("y", "n")])
+            .unwrap();
+        netlists.insert("osc".to_owned(), osc);
+        let mut sim = Simulator::elaborate("osc", &netlists).unwrap();
+        sim.set_event_budget(10_000);
+        sim.set_input("n", Logic::Zero).unwrap();
+        assert!(matches!(sim.settle(), Err(ToolError::SimulationDiverged { .. })));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let design = generate::counter(3);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        sim.set_input("clk", Logic::Zero).unwrap();
+        sim.set_input("en", Logic::One).unwrap();
+        // Flops power up X; drive them to a known state via the d-pins?
+        // Instead force q outputs low by initialising inputs: the dff q
+        // starts X, so clock once and check that after reset-less
+        // operation the counter becomes defined only if we preset.
+        // Preset by direct stimulus (test bench convenience):
+        for i in 0..3 {
+            sim.set_input(&format!("q{i}"), Logic::Zero).unwrap();
+        }
+        sim.settle().unwrap();
+        for step in 1..=10u64 {
+            sim.run_clock("clk", 10, 1).unwrap();
+            let mut value = 0u64;
+            for i in 0..3 {
+                if sim.value(&format!("q{i}")).unwrap() == Logic::One {
+                    value |= 1 << i;
+                }
+            }
+            assert_eq!(value, step % 8, "after {step} clocks");
+        }
+    }
+
+    #[test]
+    fn testbench_runs_a_clocked_counter() {
+        let design = generate::counter(3);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        let mut stim = design_data::Stimulus::new();
+        stim.drive(0, "en", Logic::One);
+        for i in 0..3 {
+            stim.drive(0, &format!("q{i}"), Logic::Zero); // preset the flops
+        }
+        stim.clock("clk", 10, 5);
+        stim.probe("q0");
+        stim.probe("q1");
+        stim.probe("q2");
+        let waves = sim.run_testbench(&stim).unwrap();
+        assert_eq!(waves.signal_count(), 3, "only the probes are returned");
+        // After 5 clocks the counter holds 5 = 0b101.
+        let t = sim.now();
+        assert_eq!(waves.value_at("q0", t), Logic::One);
+        assert_eq!(waves.value_at("q1", t), Logic::Zero);
+        assert_eq!(waves.value_at("q2", t), Logic::One);
+    }
+
+    #[test]
+    fn testbench_rejects_unknown_probes_and_drives() {
+        let design = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        let mut stim = design_data::Stimulus::new();
+        stim.drive(0, "ghost", Logic::One);
+        assert!(matches!(sim.run_testbench(&stim), Err(ToolError::UnknownSignal(_))));
+        let mut stim = design_data::Stimulus::new();
+        stim.probe("ghost");
+        assert!(matches!(sim.run_testbench(&stim), Err(ToolError::UnknownSignal(_))));
+    }
+
+    #[test]
+    fn testbench_without_probes_returns_everything() {
+        let design = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        let mut stim = design_data::Stimulus::new();
+        for (pin, v) in [("a0", Logic::One), ("b0", Logic::Zero), ("cin", Logic::Zero)] {
+            stim.drive(0, pin, v);
+        }
+        let waves = sim.run_testbench(&stim).unwrap();
+        assert!(waves.signal_count() > 3, "all touched signals are recorded");
+    }
+
+    #[test]
+    fn waveforms_record_changes() {
+        let design = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        adder_inputs(&mut sim, 1, 1, 1);
+        sim.settle().unwrap();
+        let waves = sim.waves();
+        assert!(waves.signal_count() > 0);
+        assert_eq!(waves.value_at("cout", sim.now()), Logic::One);
+    }
+
+    #[test]
+    fn x_propagates_through_undriven_inputs() {
+        let design = generate::ripple_adder(1);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        // Only drive a0; b0 and cin stay X.
+        sim.set_input("a0", Logic::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.value("s0").unwrap(), Logic::X);
+    }
+
+    #[test]
+    fn gate_delays_accumulate_along_paths() {
+        let design = generate::ripple_adder(8);
+        let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
+        adder_inputs(&mut sim, 0xFF, 1, 8); // worst-case carry ripple
+        sim.settle().unwrap();
+        // The carry chain is long: final time must exceed a single gate delay.
+        assert!(sim.now() > GateKind::And2.delay() * 8);
+        assert_eq!(adder_output(&sim, 8), Some(0x100));
+    }
+}

@@ -1,0 +1,151 @@
+//! Waveform regression comparison.
+//!
+//! Compares a simulation run against a golden reference — the
+//! "successful execution of the required tools" quality aspect of §3.5
+//! needs a machine-checkable definition of *successful*, and comparing
+//! waveforms against a released golden set is the classic one.
+
+use std::fmt;
+
+use design_data::{Logic, Waveforms};
+
+/// One waveform discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveMismatch {
+    /// A golden signal is absent from the actual run.
+    MissingSignal {
+        /// The absent signal.
+        signal: String,
+    },
+    /// The signals diverge at a specific time.
+    ValueDivergence {
+        /// The diverging signal.
+        signal: String,
+        /// First time of divergence.
+        time: u64,
+        /// Golden value at that time.
+        expected: Logic,
+        /// Actual value at that time.
+        actual: Logic,
+    },
+}
+
+impl fmt::Display for WaveMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveMismatch::MissingSignal { signal } => {
+                write!(f, "signal {signal:?} missing from the run")
+            }
+            WaveMismatch::ValueDivergence { signal, time, expected, actual } => {
+                write!(f, "{signal:?} diverges at t={time}: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+/// Compares `actual` against `golden` on the golden set's signals.
+///
+/// Signals that exist only in `actual` are ignored (a run may record
+/// more probes than the reference); for each golden signal the values
+/// are compared at every event time of either trace.
+///
+/// # Examples
+///
+/// ```
+/// use cad_tools::compare_waveforms;
+/// use design_data::{Logic, Waveforms};
+///
+/// let mut golden = Waveforms::new();
+/// golden.record("q", 5, Logic::One);
+/// let mut actual = Waveforms::new();
+/// actual.record("q", 5, Logic::One);
+/// actual.record("debug", 1, Logic::Zero); // extra probes are fine
+/// assert!(compare_waveforms(&golden, &actual).is_empty());
+/// ```
+pub fn compare_waveforms(golden: &Waveforms, actual: &Waveforms) -> Vec<WaveMismatch> {
+    let mut mismatches = Vec::new();
+    for (signal, golden_trace) in golden.iter() {
+        let Some(actual_trace) = actual.trace(signal) else {
+            mismatches.push(WaveMismatch::MissingSignal { signal: signal.to_owned() });
+            continue;
+        };
+        let mut times: Vec<u64> = golden_trace
+            .events()
+            .iter()
+            .chain(actual_trace.events())
+            .map(|(t, _)| *t)
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        for t in times {
+            let expected = golden_trace.value_at(t);
+            let found = actual_trace.value_at(t);
+            if expected != found {
+                mismatches.push(WaveMismatch::ValueDivergence {
+                    signal: signal.to_owned(),
+                    time: t,
+                    expected,
+                    actual: found,
+                });
+                break; // first divergence per signal is enough
+            }
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waves(events: &[(&str, u64, Logic)]) -> Waveforms {
+        let mut w = Waveforms::new();
+        for (s, t, v) in events {
+            w.record(s, *t, *v);
+        }
+        w
+    }
+
+    #[test]
+    fn identical_runs_match() {
+        let g = waves(&[("q", 5, Logic::One), ("q", 9, Logic::Zero)]);
+        assert!(compare_waveforms(&g, &g.clone()).is_empty());
+    }
+
+    #[test]
+    fn missing_signal_reported() {
+        let g = waves(&[("q", 5, Logic::One)]);
+        let a = waves(&[("other", 5, Logic::One)]);
+        assert_eq!(
+            compare_waveforms(&g, &a),
+            vec![WaveMismatch::MissingSignal { signal: "q".into() }]
+        );
+    }
+
+    #[test]
+    fn first_divergence_reported_per_signal() {
+        let g = waves(&[("q", 5, Logic::One), ("q", 9, Logic::Zero)]);
+        let a = waves(&[("q", 5, Logic::One), ("q", 9, Logic::One), ("q", 12, Logic::X)]);
+        let m = compare_waveforms(&g, &a);
+        assert_eq!(m.len(), 1);
+        assert!(matches!(
+            &m[0],
+            WaveMismatch::ValueDivergence { time: 9, expected: Logic::Zero, actual: Logic::One, .. }
+        ));
+    }
+
+    #[test]
+    fn timing_shift_is_a_divergence() {
+        let g = waves(&[("q", 5, Logic::One)]);
+        let a = waves(&[("q", 7, Logic::One)]);
+        let m = compare_waveforms(&g, &a);
+        assert!(matches!(&m[0], WaveMismatch::ValueDivergence { time: 5, .. }));
+    }
+
+    #[test]
+    fn extra_actual_signals_are_ignored() {
+        let g = waves(&[("q", 5, Logic::One)]);
+        let a = waves(&[("q", 5, Logic::One), ("probe", 1, Logic::X)]);
+        assert!(compare_waveforms(&g, &a).is_empty());
+    }
+}

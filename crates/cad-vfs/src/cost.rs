@@ -1,0 +1,160 @@
+//! Deterministic I/O cost accounting.
+//!
+//! §3.6 of the paper attributes the hybrid framework's performance
+//! problems on realistic designs to the fact that *"design data have to
+//! be copied to and from the JCF database even in the case of read only
+//! accesses"*. To reproduce that claim deterministically (instead of
+//! depending on the benchmark host's disks) every [`Vfs`](crate::Vfs)
+//! operation charges a [`CostMeter`] according to an [`IoCostModel`].
+//! Experiment E9 reads the meter to regenerate the paper's
+//! metadata-vs-design-data performance discussion.
+
+/// Cost parameters for simulated I/O, in abstract *ticks*.
+///
+/// The defaults approximate a mid-90s workstation disk relative to its
+/// CPU: a fixed per-operation seek cost plus a per-byte streaming cost,
+/// with writes slightly more expensive than reads and metadata
+/// operations cheap.
+///
+/// # Examples
+///
+/// ```
+/// # use cad_vfs::IoCostModel;
+/// let model = IoCostModel::default();
+/// assert!(model.write_byte >= model.read_byte);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCostModel {
+    /// Fixed cost charged once per operation that touches file content.
+    pub seek: u64,
+    /// Cost per byte read from a file.
+    pub read_byte: u64,
+    /// Cost per byte written to a file.
+    pub write_byte: u64,
+    /// Cost of a pure metadata operation (stat, list, mkdir, rename).
+    pub metadata_op: u64,
+}
+
+impl Default for IoCostModel {
+    fn default() -> Self {
+        IoCostModel { seek: 500, read_byte: 1, write_byte: 2, metadata_op: 50 }
+    }
+}
+
+impl IoCostModel {
+    /// A model where all operations are free; useful in tests that only
+    /// care about file system semantics.
+    pub fn free() -> Self {
+        IoCostModel { seek: 0, read_byte: 0, write_byte: 0, metadata_op: 0 }
+    }
+
+    /// Cost of reading a file of `len` bytes.
+    pub fn read_cost(&self, len: u64) -> u64 {
+        self.seek + self.read_byte.saturating_mul(len)
+    }
+
+    /// Cost of writing a file of `len` bytes.
+    pub fn write_cost(&self, len: u64) -> u64 {
+        self.seek + self.write_byte.saturating_mul(len)
+    }
+}
+
+/// Accumulated I/O activity of a [`Vfs`](crate::Vfs).
+///
+/// The meter is monotonically increasing; callers snapshot it before
+/// and after a scenario and subtract. All fields are saturating so the
+/// meter never panics, even in pathological synthetic workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    /// Total simulated ticks charged so far.
+    pub ticks: u64,
+    /// Total bytes read from file content.
+    pub bytes_read: u64,
+    /// Total bytes written to file content.
+    pub bytes_written: u64,
+    /// Number of content operations (read/write/copy legs).
+    pub content_ops: u64,
+    /// Number of metadata operations (stat/list/mkdir/rename/remove).
+    pub metadata_ops: u64,
+}
+
+impl CostMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Difference `self - earlier`, field by field.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually an earlier
+    /// snapshot of the same meter (any field would underflow).
+    pub fn since(&self, earlier: &CostMeter) -> CostMeter {
+        debug_assert!(self.ticks >= earlier.ticks, "snapshots out of order");
+        CostMeter {
+            ticks: self.ticks.saturating_sub(earlier.ticks),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            content_ops: self.content_ops.saturating_sub(earlier.content_ops),
+            metadata_ops: self.metadata_ops.saturating_sub(earlier.metadata_ops),
+        }
+    }
+
+    pub(crate) fn charge_read(&mut self, model: &IoCostModel, len: u64) {
+        self.ticks = self.ticks.saturating_add(model.read_cost(len));
+        self.bytes_read = self.bytes_read.saturating_add(len);
+        self.content_ops += 1;
+    }
+
+    pub(crate) fn charge_write(&mut self, model: &IoCostModel, len: u64) {
+        self.ticks = self.ticks.saturating_add(model.write_cost(len));
+        self.bytes_written = self.bytes_written.saturating_add(len);
+        self.content_ops += 1;
+    }
+
+    pub(crate) fn charge_metadata(&mut self, model: &IoCostModel) {
+        self.ticks = self.ticks.saturating_add(model.metadata_op);
+        self.metadata_ops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_makes_large_files_expensive() {
+        let m = IoCostModel::default();
+        assert!(m.read_cost(1_000_000) > 100 * m.read_cost(100));
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = IoCostModel::free();
+        assert_eq!(m.read_cost(12345), 0);
+        assert_eq!(m.write_cost(12345), 0);
+    }
+
+    #[test]
+    fn meter_accumulates_and_diffs() {
+        let model = IoCostModel::default();
+        let mut meter = CostMeter::new();
+        meter.charge_metadata(&model);
+        let snap = meter;
+        meter.charge_read(&model, 100);
+        meter.charge_write(&model, 10);
+        let delta = meter.since(&snap);
+        assert_eq!(delta.metadata_ops, 0);
+        assert_eq!(delta.content_ops, 2);
+        assert_eq!(delta.bytes_read, 100);
+        assert_eq!(delta.bytes_written, 10);
+        assert_eq!(delta.ticks, model.read_cost(100) + model.write_cost(10));
+    }
+
+    #[test]
+    fn write_cost_exceeds_read_cost_by_default() {
+        let m = IoCostModel::default();
+        assert!(m.write_cost(1000) > m.read_cost(1000));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for virtual file system operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::path::VfsPath;
+
+/// Error returned by fallible [`Vfs`](crate::Vfs) operations.
+///
+/// The variants mirror the classic UNIX `errno` conditions the paper's
+/// encapsulation layer had to cope with when copying design data between
+/// the OMS database and FMCAD libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The path (or one of its ancestors) does not exist.
+    NotFound(VfsPath),
+    /// A directory was expected but a regular file was found.
+    NotADirectory(VfsPath),
+    /// A regular file was expected but a directory was found.
+    IsADirectory(VfsPath),
+    /// The target of a creating operation already exists.
+    AlreadyExists(VfsPath),
+    /// A directory scheduled for removal still contains entries.
+    DirectoryNotEmpty(VfsPath),
+    /// The textual path could not be parsed into a [`VfsPath`].
+    InvalidPath(String),
+    /// A destination lies inside the source of a recursive copy or rename.
+    RecursiveTransfer {
+        /// The transfer source.
+        source: VfsPath,
+        /// The offending destination inside `source`.
+        dest: VfsPath,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            VfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            VfsError::InvalidPath(s) => write!(f, "invalid path: {s:?}"),
+            VfsError::RecursiveTransfer { source, dest } => {
+                write!(f, "cannot transfer {source} into its own subtree {dest}")
+            }
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+/// Convenience alias for results of virtual file system operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let p = VfsPath::parse("/a/b").unwrap();
+        let msg = VfsError::NotFound(p).to_string();
+        assert!(msg.starts_with("no such file"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VfsError>();
+    }
+}

@@ -1,0 +1,658 @@
+//! The in-memory file system tree.
+
+use std::collections::BTreeMap;
+
+use crate::cost::{CostMeter, IoCostModel};
+use crate::error::{VfsError, VfsResult};
+use crate::path::VfsPath;
+
+/// Whether a directory entry is a file or a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A regular file holding bytes.
+    File,
+    /// A directory holding named children.
+    Directory,
+}
+
+/// Metadata of a file system node, as returned by [`Vfs::metadata`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Content length in bytes (0 for directories).
+    pub len: u64,
+    /// Logical modification time (a monotonically increasing counter).
+    pub mtime: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Dir { children: BTreeMap<String, Node>, mtime: u64 },
+    File { content: Vec<u8>, mtime: u64 },
+}
+
+impl Node {
+    fn kind(&self) -> NodeKind {
+        match self {
+            Node::Dir { .. } => NodeKind::Directory,
+            Node::File { .. } => NodeKind::File,
+        }
+    }
+
+    fn mtime(&self) -> u64 {
+        match self {
+            Node::Dir { mtime, .. } | Node::File { mtime, .. } => *mtime,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            Node::Dir { .. } => 0,
+            Node::File { content, .. } => content.len() as u64,
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        match self {
+            Node::File { content, .. } => content.len() as u64,
+            Node::Dir { children, .. } => children.values().map(Node::total_bytes).sum(),
+        }
+    }
+}
+
+/// An in-memory UNIX-like file system with deterministic I/O costs.
+///
+/// This is the substrate the paper's encapsulation uses: *"the required
+/// data are copied to and from the database via the UNIX file system"*
+/// (§2.1). Both frameworks of the reproduction sit on top of a `Vfs`:
+/// FMCAD keeps its libraries directly in it, while JCF's OMS database
+/// checkpoints into it and stages tool data through it.
+///
+/// Every operation charges the internal [`CostMeter`] according to the
+/// [`IoCostModel`], so experiments can compare transfer strategies
+/// without depending on host hardware.
+///
+/// # Examples
+///
+/// ```
+/// # use cad_vfs::{Vfs, VfsPath};
+/// # fn main() -> Result<(), cad_vfs::VfsError> {
+/// let mut fs = Vfs::new();
+/// fs.mkdir_all(&VfsPath::parse("/libs/adder")?)?;
+/// fs.write(&VfsPath::parse("/libs/adder/sch.cdb")?, b"(netlist)".to_vec())?;
+/// assert_eq!(fs.read(&VfsPath::parse("/libs/adder/sch.cdb")?)?, b"(netlist)");
+/// assert!(fs.meter().ticks > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    root: Node,
+    model: IoCostModel,
+    meter: CostMeter,
+    clock: u64,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// Creates an empty file system with the default cost model.
+    pub fn new() -> Self {
+        Self::with_model(IoCostModel::default())
+    }
+
+    /// Creates an empty file system with an explicit cost model.
+    pub fn with_model(model: IoCostModel) -> Self {
+        Vfs {
+            root: Node::Dir { children: BTreeMap::new(), mtime: 0 },
+            model,
+            meter: CostMeter::new(),
+            clock: 0,
+        }
+    }
+
+    /// Returns the accumulated I/O cost meter.
+    pub fn meter(&self) -> CostMeter {
+        self.meter
+    }
+
+    /// Returns the cost model in force.
+    pub fn model(&self) -> IoCostModel {
+        self.model
+    }
+
+    /// Returns the current logical clock value (advances on mutation).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn lookup(&self, path: &VfsPath) -> VfsResult<&Node> {
+        let mut node = &self.root;
+        let mut walked = VfsPath::root();
+        for comp in path.components() {
+            walked = walked.join(comp).expect("component already validated");
+            match node {
+                Node::Dir { children, .. } => match children.get(comp) {
+                    Some(child) => node = child,
+                    None => return Err(VfsError::NotFound(walked)),
+                },
+                Node::File { .. } => {
+                    return Err(VfsError::NotADirectory(walked.parent().unwrap_or_else(VfsPath::root)))
+                }
+            }
+        }
+        Ok(node)
+    }
+
+    fn lookup_dir_mut(&mut self, path: &VfsPath) -> VfsResult<&mut BTreeMap<String, Node>> {
+        let mut node = &mut self.root;
+        let mut walked = VfsPath::root();
+        for comp in path.components() {
+            walked = walked.join(comp).expect("component already validated");
+            match node {
+                Node::Dir { children, .. } => match children.get_mut(comp) {
+                    Some(child) => node = child,
+                    None => return Err(VfsError::NotFound(walked)),
+                },
+                Node::File { .. } => {
+                    return Err(VfsError::NotADirectory(walked.parent().unwrap_or_else(VfsPath::root)))
+                }
+            }
+        }
+        match node {
+            Node::Dir { children, .. } => Ok(children),
+            Node::File { .. } => Err(VfsError::NotADirectory(path.clone())),
+        }
+    }
+
+    /// Returns `true` if a node exists at `path`.
+    pub fn exists(&self, path: &VfsPath) -> bool {
+        self.lookup(path).is_ok()
+    }
+
+    /// Returns metadata for the node at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if the path does not exist.
+    pub fn metadata(&mut self, path: &VfsPath) -> VfsResult<Metadata> {
+        self.meter.charge_metadata(&self.model);
+        let node = self.lookup(path)?;
+        Ok(Metadata { kind: node.kind(), len: node.len(), mtime: node.mtime() })
+    }
+
+    /// Creates a single directory; the parent must already exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::AlreadyExists`] if `path` exists,
+    /// [`VfsError::NotFound`]/[`VfsError::NotADirectory`] if the parent
+    /// is missing or a file, and [`VfsError::InvalidPath`] for the root.
+    pub fn mkdir(&mut self, path: &VfsPath) -> VfsResult<()> {
+        self.meter.charge_metadata(&self.model);
+        let name = path
+            .file_name()
+            .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
+            .to_owned();
+        let mtime = self.tick();
+        let parent = path.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&parent)?;
+        if children.contains_key(&name) {
+            return Err(VfsError::AlreadyExists(path.clone()));
+        }
+        children.insert(name, Node::Dir { children: BTreeMap::new(), mtime });
+        Ok(())
+    }
+
+    /// Creates a directory and all missing ancestors.
+    ///
+    /// Existing directories along the way are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotADirectory`] if an existing ancestor is a
+    /// regular file.
+    pub fn mkdir_all(&mut self, path: &VfsPath) -> VfsResult<()> {
+        let mut current = VfsPath::root();
+        for comp in path.components() {
+            current = current.join(comp).expect("component already validated");
+            match self.lookup(&current) {
+                Ok(Node::Dir { .. }) => {}
+                Ok(Node::File { .. }) => return Err(VfsError::NotADirectory(current)),
+                Err(_) => self.mkdir(&current)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `content` to the file at `path`, creating or truncating it.
+    ///
+    /// The parent directory must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
+    /// and parent-resolution errors otherwise.
+    pub fn write(&mut self, path: &VfsPath, content: Vec<u8>) -> VfsResult<()> {
+        self.meter.charge_write(&self.model, content.len() as u64);
+        let name = path
+            .file_name()
+            .ok_or_else(|| VfsError::IsADirectory(path.clone()))?
+            .to_owned();
+        let mtime = self.tick();
+        let parent = path.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&parent)?;
+        match children.get_mut(&name) {
+            Some(Node::Dir { .. }) => Err(VfsError::IsADirectory(path.clone())),
+            Some(Node::File { content: existing, mtime: m }) => {
+                *existing = content;
+                *m = mtime;
+                Ok(())
+            }
+            None => {
+                children.insert(name, Node::File { content, mtime });
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads the full content of the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
+    /// or [`VfsError::NotFound`] if it does not exist.
+    pub fn read(&mut self, path: &VfsPath) -> VfsResult<Vec<u8>> {
+        let content = match self.lookup(path)? {
+            Node::File { content, .. } => content.clone(),
+            Node::Dir { .. } => return Err(VfsError::IsADirectory(path.clone())),
+        };
+        self.meter.charge_read(&self.model, content.len() as u64);
+        Ok(content)
+    }
+
+    /// Lists the entry names of the directory at `path`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotADirectory`] if `path` names a file.
+    pub fn read_dir(&mut self, path: &VfsPath) -> VfsResult<Vec<String>> {
+        self.meter.charge_metadata(&self.model);
+        match self.lookup(path)? {
+            Node::Dir { children, .. } => Ok(children.keys().cloned().collect()),
+            Node::File { .. } => Err(VfsError::NotADirectory(path.clone())),
+        }
+    }
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::IsADirectory`] when pointed at a directory.
+    pub fn remove_file(&mut self, path: &VfsPath) -> VfsResult<()> {
+        self.meter.charge_metadata(&self.model);
+        let name = path
+            .file_name()
+            .ok_or_else(|| VfsError::IsADirectory(path.clone()))?
+            .to_owned();
+        let parent = path.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&parent)?;
+        match children.get(&name) {
+            Some(Node::File { .. }) => {
+                children.remove(&name);
+                Ok(())
+            }
+            Some(Node::Dir { .. }) => Err(VfsError::IsADirectory(path.clone())),
+            None => Err(VfsError::NotFound(path.clone())),
+        }
+    }
+
+    /// Removes the *empty* directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::DirectoryNotEmpty`] if it still has entries,
+    /// or [`VfsError::NotADirectory`] when pointed at a file.
+    pub fn remove_dir(&mut self, path: &VfsPath) -> VfsResult<()> {
+        self.meter.charge_metadata(&self.model);
+        let name = path
+            .file_name()
+            .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
+            .to_owned();
+        let parent = path.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&parent)?;
+        match children.get(&name) {
+            Some(Node::Dir { children: grand, .. }) if grand.is_empty() => {
+                children.remove(&name);
+                Ok(())
+            }
+            Some(Node::Dir { .. }) => Err(VfsError::DirectoryNotEmpty(path.clone())),
+            Some(Node::File { .. }) => Err(VfsError::NotADirectory(path.clone())),
+            None => Err(VfsError::NotFound(path.clone())),
+        }
+    }
+
+    /// Removes the node at `path` and everything underneath it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if nothing exists at `path`, or
+    /// [`VfsError::InvalidPath`] when asked to remove the root.
+    pub fn remove_all(&mut self, path: &VfsPath) -> VfsResult<()> {
+        self.meter.charge_metadata(&self.model);
+        let name = path
+            .file_name()
+            .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
+            .to_owned();
+        let parent = path.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&parent)?;
+        if children.remove(&name).is_none() {
+            return Err(VfsError::NotFound(path.clone()));
+        }
+        Ok(())
+    }
+
+    /// Moves the node at `source` to `dest` (metadata-only, no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::AlreadyExists`] if `dest` exists and
+    /// [`VfsError::RecursiveTransfer`] if `dest` lies inside `source`.
+    pub fn rename(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
+        self.meter.charge_metadata(&self.model);
+        if source.is_prefix_of(dest) {
+            return Err(VfsError::RecursiveTransfer { source: source.clone(), dest: dest.clone() });
+        }
+        if self.exists(dest) {
+            return Err(VfsError::AlreadyExists(dest.clone()));
+        }
+        let src_name = source
+            .file_name()
+            .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
+            .to_owned();
+        let dst_name = dest
+            .file_name()
+            .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
+            .to_owned();
+        // Detach.
+        let src_parent = source.parent().expect("non-root path has a parent");
+        let children = self.lookup_dir_mut(&src_parent)?;
+        let node = children.remove(&src_name).ok_or_else(|| VfsError::NotFound(source.clone()))?;
+        // Attach (restore on failure so the fs is never left inconsistent).
+        let dst_parent = dest.parent().expect("non-root path has a parent");
+        match self.lookup_dir_mut(&dst_parent) {
+            Ok(children) => {
+                children.insert(dst_name, node);
+                Ok(())
+            }
+            Err(e) => {
+                let children =
+                    self.lookup_dir_mut(&src_parent).expect("source parent existed a moment ago");
+                children.insert(src_name, node);
+                Err(e)
+            }
+        }
+    }
+
+    /// Copies the file at `source` to `dest`, paying read + write cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::IsADirectory`] if `source` is a directory.
+    pub fn copy_file(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
+        let content = self.read(source)?;
+        self.write(dest, content)
+    }
+
+    /// Recursively copies the tree at `source` to `dest`.
+    ///
+    /// `dest` must not yet exist; its parent must. Every file copied
+    /// pays full read + write cost — this is exactly the overhead the
+    /// paper's §3.6 identifies in the JCF encapsulation path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::RecursiveTransfer`] if `dest` lies inside
+    /// `source`, or [`VfsError::AlreadyExists`] if `dest` exists.
+    pub fn copy_tree(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
+        if source.is_prefix_of(dest) {
+            return Err(VfsError::RecursiveTransfer { source: source.clone(), dest: dest.clone() });
+        }
+        if self.exists(dest) {
+            return Err(VfsError::AlreadyExists(dest.clone()));
+        }
+        match self.lookup(source)? {
+            Node::File { .. } => self.copy_file(source, dest),
+            Node::Dir { .. } => {
+                self.mkdir(dest)?;
+                let entries = self.read_dir(source)?;
+                for name in entries {
+                    let s = source.join(&name).expect("existing entry name is valid");
+                    let d = dest.join(&name).expect("existing entry name is valid");
+                    self.copy_tree(&s, &d)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns the total content bytes stored under `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if the path does not exist.
+    pub fn tree_size(&mut self, path: &VfsPath) -> VfsResult<u64> {
+        self.meter.charge_metadata(&self.model);
+        Ok(self.lookup(path)?.total_bytes())
+    }
+
+    /// Returns the paths of all files under `path` (depth-first, sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] if the path does not exist.
+    pub fn walk_files(&mut self, path: &VfsPath) -> VfsResult<Vec<VfsPath>> {
+        self.meter.charge_metadata(&self.model);
+        fn collect(node: &Node, at: &VfsPath, out: &mut Vec<VfsPath>) {
+            match node {
+                Node::File { .. } => out.push(at.clone()),
+                Node::Dir { children, .. } => {
+                    for (name, child) in children {
+                        let p = at.join(name).expect("existing entry name is valid");
+                        collect(child, &p, out);
+                    }
+                }
+            }
+        }
+        let node = self.lookup(path)?;
+        let mut out = Vec::new();
+        collect(node, path, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/f"), b"hello".to_vec()).unwrap();
+        assert_eq!(fs.read(&p("/f")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn write_requires_existing_parent() {
+        let mut fs = Vfs::new();
+        assert!(matches!(fs.write(&p("/d/f"), vec![]), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn mkdir_all_is_idempotent() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/a/b/c")).unwrap();
+        fs.mkdir_all(&p("/a/b/c")).unwrap();
+        assert!(fs.exists(&p("/a/b/c")));
+    }
+
+    #[test]
+    fn mkdir_rejects_existing() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/a")).unwrap();
+        assert!(matches!(fs.mkdir(&p("/a")), Err(VfsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn mkdir_all_fails_through_file() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/a"), vec![1]).unwrap();
+        assert!(matches!(fs.mkdir_all(&p("/a/b")), Err(VfsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn read_dir_sorted() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/d")).unwrap();
+        fs.write(&p("/d/z"), vec![]).unwrap();
+        fs.write(&p("/d/a"), vec![]).unwrap();
+        assert_eq!(fs.read_dir(&p("/d")).unwrap(), vec!["a".to_owned(), "z".to_owned()]);
+    }
+
+    #[test]
+    fn remove_dir_requires_empty() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/d")).unwrap();
+        fs.write(&p("/d/f"), vec![]).unwrap();
+        assert!(matches!(fs.remove_dir(&p("/d")), Err(VfsError::DirectoryNotEmpty(_))));
+        fs.remove_file(&p("/d/f")).unwrap();
+        fs.remove_dir(&p("/d")).unwrap();
+        assert!(!fs.exists(&p("/d")));
+    }
+
+    #[test]
+    fn remove_all_removes_subtree() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/d/e")).unwrap();
+        fs.write(&p("/d/e/f"), vec![1, 2]).unwrap();
+        fs.remove_all(&p("/d")).unwrap();
+        assert!(!fs.exists(&p("/d")));
+    }
+
+    #[test]
+    fn rename_moves_subtree_without_content_cost() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/a/b")).unwrap();
+        fs.write(&p("/a/b/f"), b"xyz".to_vec()).unwrap();
+        let before = fs.meter();
+        fs.rename(&p("/a"), &p("/c")).unwrap();
+        let delta = fs.meter().since(&before);
+        assert_eq!(delta.content_ops, 0, "rename must not touch content");
+        assert_eq!(fs.read(&p("/c/b/f")).unwrap(), b"xyz");
+        assert!(!fs.exists(&p("/a")));
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/a/b")).unwrap();
+        assert!(matches!(
+            fs.rename(&p("/a"), &p("/a/b/c")),
+            Err(VfsError::RecursiveTransfer { .. })
+        ));
+        assert!(fs.exists(&p("/a/b")), "failed rename must not destroy the source");
+    }
+
+    #[test]
+    fn rename_restores_source_if_dest_parent_missing() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/a")).unwrap();
+        assert!(fs.rename(&p("/a"), &p("/missing/a")).is_err());
+        assert!(fs.exists(&p("/a")));
+    }
+
+    #[test]
+    fn copy_tree_replicates_structure_and_pays_per_byte() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/src/sub")).unwrap();
+        fs.write(&p("/src/f1"), vec![0u8; 100]).unwrap();
+        fs.write(&p("/src/sub/f2"), vec![0u8; 50]).unwrap();
+        let before = fs.meter();
+        fs.copy_tree(&p("/src"), &p("/dst")).unwrap();
+        let delta = fs.meter().since(&before);
+        assert_eq!(delta.bytes_read, 150);
+        assert_eq!(delta.bytes_written, 150);
+        assert_eq!(fs.read(&p("/dst/sub/f2")).unwrap().len(), 50);
+        assert_eq!(fs.tree_size(&p("/dst")).unwrap(), 150);
+    }
+
+    #[test]
+    fn copy_tree_into_itself_rejected() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/a")).unwrap();
+        assert!(matches!(
+            fs.copy_tree(&p("/a"), &p("/a/copy")),
+            Err(VfsError::RecursiveTransfer { .. })
+        ));
+    }
+
+    #[test]
+    fn walk_files_lists_depth_first() {
+        let mut fs = Vfs::new();
+        fs.mkdir_all(&p("/a/b")).unwrap();
+        fs.write(&p("/a/x"), vec![]).unwrap();
+        fs.write(&p("/a/b/y"), vec![]).unwrap();
+        let files = fs.walk_files(&p("/a")).unwrap();
+        let names: Vec<String> = files.iter().map(|f| f.to_string()).collect();
+        assert_eq!(names, vec!["/a/b/y", "/a/x"]);
+    }
+
+    #[test]
+    fn mtime_advances_on_writes() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/f"), vec![1]).unwrap();
+        let m1 = fs.metadata(&p("/f")).unwrap().mtime;
+        fs.write(&p("/f"), vec![2]).unwrap();
+        let m2 = fs.metadata(&p("/f")).unwrap().mtime;
+        assert!(m2 > m1);
+    }
+
+    #[test]
+    fn metadata_reports_kind_and_len() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/d")).unwrap();
+        fs.write(&p("/d/f"), vec![9; 7]).unwrap();
+        let md = fs.metadata(&p("/d/f")).unwrap();
+        assert_eq!(md.kind, NodeKind::File);
+        assert_eq!(md.len, 7);
+        let dd = fs.metadata(&p("/d")).unwrap();
+        assert_eq!(dd.kind, NodeKind::Directory);
+        assert_eq!(dd.len, 0);
+    }
+
+    #[test]
+    fn read_only_access_still_charges_read_cost() {
+        // The §3.6 claim depends on reads being metered.
+        let mut fs = Vfs::new();
+        fs.write(&p("/f"), vec![0u8; 10_000]).unwrap();
+        let before = fs.meter();
+        fs.read(&p("/f")).unwrap();
+        let delta = fs.meter().since(&before);
+        assert_eq!(delta.bytes_read, 10_000);
+        assert!(delta.ticks >= fs.model().read_cost(10_000));
+    }
+}

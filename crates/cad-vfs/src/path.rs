@@ -1,0 +1,207 @@
+//! Absolute, normalised paths for the virtual file system.
+
+use std::fmt;
+
+use crate::error::{VfsError, VfsResult};
+
+/// An absolute, normalised path inside a [`Vfs`](crate::Vfs).
+///
+/// Paths are always rooted at `/`; `.` segments are dropped and `..`
+/// segments resolve against the parent during parsing, so two equal
+/// `VfsPath` values always denote the same node. Component names may
+/// contain any character except `/` and NUL and must be non-empty.
+///
+/// # Examples
+///
+/// ```
+/// # use cad_vfs::VfsPath;
+/// # fn main() -> Result<(), cad_vfs::VfsError> {
+/// let p = VfsPath::parse("/libs/./adder/../counter/schematic")?;
+/// assert_eq!(p.to_string(), "/libs/counter/schematic");
+/// assert_eq!(p.file_name(), Some("schematic"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VfsPath {
+    components: Vec<String>,
+}
+
+impl VfsPath {
+    /// The root directory `/`.
+    pub fn root() -> Self {
+        VfsPath { components: Vec::new() }
+    }
+
+    /// Parses a textual path into a normalised absolute path.
+    ///
+    /// Relative paths are interpreted against the root, matching the
+    /// behaviour of the paper's encapsulation scripts which always ran
+    /// from a fixed working directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if a component contains a NUL
+    /// byte or `..` would escape the root.
+    pub fn parse(text: &str) -> VfsResult<Self> {
+        let mut components: Vec<String> = Vec::new();
+        for raw in text.split('/') {
+            match raw {
+                "" | "." => {}
+                ".." => {
+                    if components.pop().is_none() {
+                        return Err(VfsError::InvalidPath(text.to_owned()));
+                    }
+                }
+                name => {
+                    if name.contains('\0') {
+                        return Err(VfsError::InvalidPath(text.to_owned()));
+                    }
+                    components.push(name.to_owned());
+                }
+            }
+        }
+        Ok(VfsPath { components })
+    }
+
+    /// Returns a new path with `name` appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if `name` is empty or contains
+    /// `/` or NUL.
+    pub fn join(&self, name: &str) -> VfsResult<Self> {
+        if name.is_empty() || name.contains('/') || name.contains('\0') || name == "." || name == ".." {
+            return Err(VfsError::InvalidPath(name.to_owned()));
+        }
+        let mut components = self.components.clone();
+        components.push(name.to_owned());
+        Ok(VfsPath { components })
+    }
+
+    /// Returns the parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.components.is_empty() {
+            return None;
+        }
+        let mut components = self.components.clone();
+        components.pop();
+        Some(VfsPath { components })
+    }
+
+    /// Returns the final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// Returns the path components from the root downwards.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.components.iter().map(String::as_str)
+    }
+
+    /// Returns how many components the path has (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if this path is the root directory.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns `true` if `self` is `other` or an ancestor of `other`.
+    pub fn is_prefix_of(&self, other: &VfsPath) -> bool {
+        other.components.len() >= self.components.len()
+            && self.components[..] == other.components[..self.components.len()]
+    }
+}
+
+impl fmt::Display for VfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return f.write_str("/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for VfsPath {
+    type Err = VfsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        VfsPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalises_dot_segments() {
+        let p = VfsPath::parse("/a/./b/../c").unwrap();
+        assert_eq!(p.to_string(), "/a/c");
+    }
+
+    #[test]
+    fn parse_rejects_escape_above_root() {
+        assert!(matches!(VfsPath::parse("/.."), Err(VfsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn parse_collapses_duplicate_slashes() {
+        assert_eq!(VfsPath::parse("//a///b").unwrap().to_string(), "/a/b");
+    }
+
+    #[test]
+    fn relative_paths_root_at_slash() {
+        assert_eq!(VfsPath::parse("a/b").unwrap().to_string(), "/a/b");
+    }
+
+    #[test]
+    fn root_displays_as_slash() {
+        assert_eq!(VfsPath::root().to_string(), "/");
+        assert!(VfsPath::root().is_root());
+        assert_eq!(VfsPath::root().parent(), None);
+    }
+
+    #[test]
+    fn join_rejects_separator_and_dots() {
+        let root = VfsPath::root();
+        assert!(root.join("a/b").is_err());
+        assert!(root.join("").is_err());
+        assert!(root.join(".").is_err());
+        assert!(root.join("..").is_err());
+        assert!(root.join("ok.name").is_ok());
+    }
+
+    #[test]
+    fn parent_and_file_name_agree() {
+        let p = VfsPath::parse("/x/y/z").unwrap();
+        assert_eq!(p.file_name(), Some("z"));
+        assert_eq!(p.parent().unwrap().to_string(), "/x/y");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = VfsPath::parse("/a").unwrap();
+        let ab = VfsPath::parse("/a/b").unwrap();
+        let ax = VfsPath::parse("/ax").unwrap();
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!a.is_prefix_of(&ax));
+        assert!(VfsPath::root().is_prefix_of(&ab));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for text in ["/", "/a", "/a/b/c", "/with space/and.dot"] {
+            let p = VfsPath::parse(text).unwrap();
+            assert_eq!(VfsPath::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+}

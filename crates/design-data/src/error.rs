@@ -1,0 +1,95 @@
+//! Error type for design-data construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by design-data constructors and format parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignDataError {
+    /// A name (net, instance, pin, port, cell) was declared twice.
+    DuplicateName(String),
+    /// A referenced name does not exist.
+    UnknownName(String),
+    /// A primitive gate was instantiated with a pin it does not have.
+    UnknownPin {
+        /// The gate master's library name.
+        master: String,
+        /// The pin that does not exist on it.
+        pin: String,
+    },
+    /// A required pin of an instance is not connected to any net.
+    UnconnectedPin {
+        /// The instance with the open pin.
+        instance: String,
+        /// The unconnected pin name.
+        pin: String,
+    },
+    /// A geometric rectangle has non-positive width or height.
+    DegenerateRect {
+        /// Lower-left x.
+        x0: i64,
+        /// Lower-left y.
+        y0: i64,
+        /// Upper-right x.
+        x1: i64,
+        /// Upper-right y.
+        y1: i64,
+    },
+    /// A serialized design file could not be parsed.
+    ParseError {
+        /// 1-based line of the offending entry.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Hierarchy elaboration exceeded the depth limit (cycle suspected).
+    HierarchyTooDeep {
+        /// The cell whose expansion exceeded the limit.
+        cell: String,
+        /// The depth limit in force.
+        limit: usize,
+    },
+    /// A subcell reference could not be resolved during elaboration.
+    UnresolvedCell(String),
+}
+
+impl fmt::Display for DesignDataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignDataError::DuplicateName(n) => write!(f, "duplicate name {n:?}"),
+            DesignDataError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            DesignDataError::UnknownPin { master, pin } => {
+                write!(f, "master {master:?} has no pin {pin:?}")
+            }
+            DesignDataError::UnconnectedPin { instance, pin } => {
+                write!(f, "pin {pin:?} of instance {instance:?} is unconnected")
+            }
+            DesignDataError::DegenerateRect { x0, y0, x1, y1 } => {
+                write!(f, "degenerate rectangle ({x0},{y0})-({x1},{y1})")
+            }
+            DesignDataError::ParseError { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            DesignDataError::HierarchyTooDeep { cell, limit } => {
+                write!(f, "hierarchy under {cell:?} exceeds depth {limit} (cycle?)")
+            }
+            DesignDataError::UnresolvedCell(n) => write!(f, "unresolved subcell {n:?}"),
+        }
+    }
+}
+
+impl Error for DesignDataError {}
+
+/// Convenience alias for design-data results.
+pub type DesignDataResult<T> = Result<T, DesignDataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesignDataError>();
+    }
+}

@@ -1,0 +1,553 @@
+//! Text interchange formats for design data.
+//!
+//! These line-oriented formats play the role of the proprietary design
+//! files FMCAD kept inside its library directories. They are what gets
+//! stored in cellview versions, copied through the VFS into the OMS
+//! database, and diffed by consistency checks. Identifiers must be free
+//! of whitespace; a label text may contain spaces as it ends the line.
+
+use crate::error::{DesignDataError, DesignDataResult};
+use crate::layout::{Layer, Layout, Rect};
+use crate::netlist::{Direction, GateKind, MasterRef, Netlist};
+use crate::symbol::{Shape, Symbol};
+use crate::waveform::{Logic, Waveforms};
+
+fn dir_name(d: Direction) -> &'static str {
+    match d {
+        Direction::Input => "input",
+        Direction::Output => "output",
+        Direction::InOut => "inout",
+    }
+}
+
+fn parse_dir(s: &str) -> Option<Direction> {
+    match s {
+        "input" => Some(Direction::Input),
+        "output" => Some(Direction::Output),
+        "inout" => Some(Direction::InOut),
+        _ => None,
+    }
+}
+
+fn err(line: usize, reason: impl Into<String>) -> DesignDataError {
+    DesignDataError::ParseError { line, reason: reason.into() }
+}
+
+// --- netlist ---------------------------------------------------------------
+
+/// Serialises a netlist into its text form.
+pub fn write_netlist(n: &Netlist) -> String {
+    let mut out = format!("netlist {}\n", n.name());
+    for p in n.ports() {
+        out.push_str(&format!("port {} {}\n", p.name, dir_name(p.direction)));
+    }
+    let port_names: Vec<&str> = n.ports().iter().map(|p| p.name.as_str()).collect();
+    for net in n.nets() {
+        if !port_names.contains(&net) {
+            out.push_str(&format!("net {net}\n"));
+        }
+    }
+    for i in n.instances() {
+        let master = match &i.master {
+            MasterRef::Gate(g) => g.name().to_owned(),
+            MasterRef::Cell(c) => format!("cell:{c}"),
+        };
+        out.push_str(&format!("inst {} {}", i.name, master));
+        for (pin, net) in &i.connections {
+            out.push_str(&format!(" {pin}={net}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text form back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`DesignDataError::ParseError`] on malformed input, plus any
+/// constructor error (duplicate names, unknown nets/pins) re-raised at
+/// the offending line.
+pub fn parse_netlist(text: &str) -> DesignDataResult<Netlist> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty netlist file"))?;
+    let name = header
+        .strip_prefix("netlist ")
+        .ok_or_else(|| err(1, "expected `netlist <name>` header"))?;
+    let mut n = Netlist::new(name);
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("port") => {
+                let pname = words.next().ok_or_else(|| err(lineno, "port needs a name"))?;
+                let dir = words
+                    .next()
+                    .and_then(parse_dir)
+                    .ok_or_else(|| err(lineno, "port needs a direction"))?;
+                n.add_port(pname, dir).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some("net") => {
+                let nname = words.next().ok_or_else(|| err(lineno, "net needs a name"))?;
+                n.add_net(nname).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some("inst") => {
+                let iname = words.next().ok_or_else(|| err(lineno, "inst needs a name"))?;
+                let master_word =
+                    words.next().ok_or_else(|| err(lineno, "inst needs a master"))?;
+                let master = if let Some(cell) = master_word.strip_prefix("cell:") {
+                    MasterRef::Cell(cell.to_owned())
+                } else {
+                    MasterRef::Gate(
+                        GateKind::parse(master_word)
+                            .ok_or_else(|| err(lineno, format!("unknown gate {master_word:?}")))?,
+                    )
+                };
+                let mut conns = Vec::new();
+                for w in words {
+                    let (pin, net) = w
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("bad connection {w:?}")))?;
+                    conns.push((pin, net));
+                }
+                n.add_instance(iname, master, &conns).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+            None => {}
+        }
+    }
+    Ok(n)
+}
+
+// --- layout ----------------------------------------------------------------
+
+/// Serialises a layout into its text form.
+pub fn write_layout(l: &Layout) -> String {
+    let mut out = format!("layout {}\n", l.name());
+    for r in l.rects() {
+        out.push_str(&format!("rect {} {} {} {} {}", r.layer.name(), r.x0, r.y0, r.x1, r.y1));
+        if let Some(net) = &r.net {
+            out.push_str(&format!(" {net}"));
+        }
+        out.push('\n');
+    }
+    for p in l.placements() {
+        out.push_str(&format!("place {} {} {} {}\n", p.name, p.cell, p.dx, p.dy));
+    }
+    out
+}
+
+/// Parses the text form back into a [`Layout`].
+///
+/// # Errors
+///
+/// Returns [`DesignDataError::ParseError`] on malformed input.
+pub fn parse_layout(text: &str) -> DesignDataResult<Layout> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty layout file"))?;
+    let name = header
+        .strip_prefix("layout ")
+        .ok_or_else(|| err(1, "expected `layout <name>` header"))?;
+    let mut l = Layout::new(name);
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("rect") => {
+                let layer = words
+                    .next()
+                    .and_then(Layer::parse)
+                    .ok_or_else(|| err(lineno, "rect needs a known layer"))?;
+                let mut coord = |what: &str| -> DesignDataResult<i64> {
+                    words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err(lineno, format!("rect needs {what}")))
+                };
+                let (x0, y0, x1, y1) = (coord("x0")?, coord("y0")?, coord("x1")?, coord("y1")?);
+                let rect = match words.next() {
+                    Some(net) => Rect::labelled(layer, x0, y0, x1, y1, net),
+                    None => Rect::new(layer, x0, y0, x1, y1),
+                }
+                .map_err(|e| err(lineno, e.to_string()))?;
+                l.add_rect(rect).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some("place") => {
+                let pname = words.next().ok_or_else(|| err(lineno, "place needs a name"))?;
+                let cell = words.next().ok_or_else(|| err(lineno, "place needs a cell"))?;
+                let dx: i64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "place needs dx"))?;
+                let dy: i64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "place needs dy"))?;
+                l.add_placement(pname, cell, dx, dy).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+            None => {}
+        }
+    }
+    Ok(l)
+}
+
+// --- symbol ----------------------------------------------------------------
+
+/// Serialises a symbol into its text form.
+pub fn write_symbol(s: &Symbol) -> String {
+    let mut out = format!("symbol {}\n", s.name());
+    for p in s.pins() {
+        out.push_str(&format!("pin {} {} {} {}\n", p.name, dir_name(p.direction), p.x, p.y));
+    }
+    for shape in s.shapes() {
+        match shape {
+            Shape::Line { x0, y0, x1, y1 } => out.push_str(&format!("line {x0} {y0} {x1} {y1}\n")),
+            Shape::Box { x0, y0, x1, y1 } => out.push_str(&format!("box {x0} {y0} {x1} {y1}\n")),
+            Shape::Label { x, y, text } => out.push_str(&format!("label {x} {y} {text}\n")),
+        }
+    }
+    out
+}
+
+/// Parses the text form back into a [`Symbol`].
+///
+/// # Errors
+///
+/// Returns [`DesignDataError::ParseError`] on malformed input.
+pub fn parse_symbol(text: &str) -> DesignDataResult<Symbol> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty symbol file"))?;
+    let name = header
+        .strip_prefix("symbol ")
+        .ok_or_else(|| err(1, "expected `symbol <name>` header"))?;
+    let mut s = Symbol::new(name);
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next();
+        let mut coord = |what: &str| -> DesignDataResult<i64> {
+            words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| err(lineno, format!("expected {what}")))
+        };
+        match keyword {
+            Some("pin") => {
+                // Re-split: pin has name + dir before coordinates.
+                let mut words = line.split_whitespace().skip(1);
+                let pname = words.next().ok_or_else(|| err(lineno, "pin needs a name"))?;
+                let dir = words
+                    .next()
+                    .and_then(parse_dir)
+                    .ok_or_else(|| err(lineno, "pin needs a direction"))?;
+                let x: i64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "pin needs x"))?;
+                let y: i64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "pin needs y"))?;
+                s.add_pin(pname, dir, x, y).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            Some("line") => {
+                let shape = Shape::Line { x0: coord("x0")?, y0: coord("y0")?, x1: coord("x1")?, y1: coord("y1")? };
+                s.add_shape(shape);
+            }
+            Some("box") => {
+                let shape = Shape::Box { x0: coord("x0")?, y0: coord("y0")?, x1: coord("x1")?, y1: coord("y1")? };
+                s.add_shape(shape);
+            }
+            Some("label") => {
+                let x = coord("x")?;
+                let y = coord("y")?;
+                let prefix_len = line
+                    .split_whitespace()
+                    .take(3)
+                    .map(|w| w.len())
+                    .sum::<usize>()
+                    + 3;
+                let text = line.get(prefix_len.min(line.len())..).unwrap_or("").to_owned();
+                s.add_shape(Shape::Label { x, y, text });
+            }
+            Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+            None => {}
+        }
+    }
+    Ok(s)
+}
+
+// --- waveforms ---------------------------------------------------------------
+
+/// Serialises a waveform set into its text form.
+pub fn write_waveforms(w: &Waveforms) -> String {
+    let mut out = String::from("waves\n");
+    for (signal, trace) in w.iter() {
+        out.push_str(&format!("sig {signal}\n"));
+        for (t, v) in trace.events() {
+            out.push_str(&format!("ev {t} {v}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the text form back into a [`Waveforms`] set.
+///
+/// # Errors
+///
+/// Returns [`DesignDataError::ParseError`] on malformed input.
+pub fn parse_waveforms(text: &str) -> DesignDataResult<Waveforms> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "waves")) => {}
+        _ => return Err(err(1, "expected `waves` header")),
+    }
+    let mut w = Waveforms::new();
+    let mut current: Option<String> = None;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("sig") => {
+                let name = words.next().ok_or_else(|| err(lineno, "sig needs a name"))?;
+                current = Some(name.to_owned());
+            }
+            Some("ev") => {
+                let signal = current
+                    .as_deref()
+                    .ok_or_else(|| err(lineno, "ev before any sig"))?;
+                let t: u64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "ev needs a time"))?;
+                let v = words
+                    .next()
+                    .and_then(|w| w.chars().next())
+                    .and_then(Logic::parse)
+                    .ok_or_else(|| err(lineno, "ev needs a logic value"))?;
+                w.record(signal, t, v);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+            None => {}
+        }
+    }
+    Ok(w)
+}
+
+// --- VCD export ---------------------------------------------------------
+
+/// Exports a waveform set as an IEEE-1364 value change dump (VCD) —
+/// the interchange format every mid-90s waveform viewer understood.
+///
+/// Signals are assigned single-character identifiers in name order
+/// (extended to multi-character codes beyond 94 signals).
+pub fn write_vcd(w: &Waveforms, timescale: &str) -> String {
+    fn code(mut index: usize) -> String {
+        // Printable identifier alphabet per the VCD spec: '!'..'~'.
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (index % 94) as u8) as char);
+            index /= 94;
+            if index == 0 {
+                break;
+            }
+            index -= 1;
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str("$date simulated $end\n");
+    out.push_str("$version jcf-fmcad reproduction $end\n");
+    out.push_str(&format!("$timescale {timescale} $end\n"));
+    out.push_str("$scope module top $end\n");
+    let signals: Vec<&str> = w.iter().map(|(name, _)| name).collect();
+    for (i, name) in signals.iter().enumerate() {
+        out.push_str(&format!("$var wire 1 {} {name} $end\n", code(i)));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    // Merge all events into a single time-ordered dump.
+    let mut events: Vec<(u64, usize, Logic)> = Vec::new();
+    for (i, (_, trace)) in w.iter().enumerate() {
+        for &(t, v) in trace.events() {
+            events.push((t, i, v));
+        }
+    }
+    events.sort_by_key(|&(t, i, _)| (t, i));
+    let mut current_time = None;
+    for (t, i, v) in events {
+        if current_time != Some(t) {
+            out.push_str(&format!("#{t}\n"));
+            current_time = Some(t);
+        }
+        let value = match v {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        };
+        out.push_str(&format!("{value}{}\n", code(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_netlist() -> Netlist {
+        let mut n = Netlist::new("half_adder");
+        n.add_port("a", Direction::Input).unwrap();
+        n.add_port("b", Direction::Input).unwrap();
+        n.add_port("sum", Direction::Output).unwrap();
+        n.add_port("carry", Direction::Output).unwrap();
+        n.add_instance("x1", MasterRef::Gate(GateKind::Xor2), &[("a", "a"), ("b", "b"), ("y", "sum")])
+            .unwrap();
+        n.add_instance("a1", MasterRef::Gate(GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "carry")])
+            .unwrap();
+        n
+    }
+
+    #[test]
+    fn netlist_round_trip() {
+        let n = sample_netlist();
+        let text = write_netlist(&n);
+        let parsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn netlist_with_subcells_round_trips() {
+        let mut n = Netlist::new("top");
+        n.add_net("w").unwrap();
+        n.add_instance("u1", MasterRef::Cell("half_adder".to_owned()), &[("a", "w")]).unwrap();
+        let parsed = parse_netlist(&write_netlist(&n)).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn netlist_bad_header_rejected() {
+        assert!(parse_netlist("nonsense x\n").is_err());
+        assert!(parse_netlist("").is_err());
+    }
+
+    #[test]
+    fn netlist_unknown_gate_rejected() {
+        let text = "netlist x\nnet n\ninst u1 warp9 a=n\n";
+        let e = parse_netlist(text).unwrap_err();
+        assert!(matches!(e, DesignDataError::ParseError { line: 3, .. }));
+    }
+
+    #[test]
+    fn netlist_comments_and_blanks_ignored() {
+        let text = "netlist x\n\n# comment\nnet n\n";
+        assert_eq!(parse_netlist(text).unwrap().net_count(), 1);
+    }
+
+    fn sample_layout() -> Layout {
+        let mut l = Layout::new("inv");
+        l.add_rect(Rect::new(Layer::Poly, 0, -2, 2, 12).unwrap()).unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 4, 0, 8, 4, "out").unwrap()).unwrap();
+        l.add_placement("well", "nwell_tap", -5, -5).unwrap();
+        l
+    }
+
+    #[test]
+    fn layout_round_trip() {
+        let l = sample_layout();
+        let parsed = parse_layout(&write_layout(&l)).unwrap();
+        assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn layout_degenerate_rect_rejected_at_parse() {
+        let text = "layout x\nrect poly 0 0 0 5\n";
+        assert!(parse_layout(text).is_err());
+    }
+
+    #[test]
+    fn layout_unknown_layer_rejected() {
+        let text = "layout x\nrect metal9 0 0 5 5\n";
+        assert!(parse_layout(text).is_err());
+    }
+
+    fn sample_symbol() -> Symbol {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Input, -10, 0).unwrap();
+        s.add_pin("y", Direction::Output, 10, 0).unwrap();
+        s.add_shape(Shape::Box { x0: -8, y0: -5, x1: 8, y1: 5 });
+        s.add_shape(Shape::Line { x0: 8, y0: 0, x1: 10, y1: 0 });
+        s.add_shape(Shape::Label { x: 0, y: 6, text: "inverter cell".to_owned() });
+        s
+    }
+
+    #[test]
+    fn symbol_round_trip_including_spaced_label() {
+        let s = sample_symbol();
+        let parsed = parse_symbol(&write_symbol(&s)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn waveform_round_trip() {
+        let mut w = Waveforms::new();
+        w.record("clk", 0, Logic::Zero);
+        w.record("clk", 5, Logic::One);
+        w.record("q", 7, Logic::X);
+        w.record("bus", 9, Logic::Z);
+        let parsed = parse_waveforms(&write_waveforms(&w)).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn waveform_event_before_signal_rejected() {
+        assert!(parse_waveforms("waves\nev 5 1\n").is_err());
+    }
+
+    #[test]
+    fn vcd_export_contains_declarations_and_changes() {
+        let mut w = Waveforms::new();
+        w.record("clk", 0, Logic::Zero);
+        w.record("clk", 5, Logic::One);
+        w.record("q", 7, Logic::X);
+        let vcd = write_vcd(&w, "1ns");
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("$var wire 1 \" q $end"));
+        assert!(vcd.contains("#0\n0!"));
+        assert!(vcd.contains("#5\n1!"));
+        assert!(vcd.contains("#7\nx\""));
+    }
+
+    #[test]
+    fn vcd_groups_simultaneous_events_under_one_timestamp() {
+        let mut w = Waveforms::new();
+        w.record("a", 3, Logic::One);
+        w.record("b", 3, Logic::Zero);
+        let vcd = write_vcd(&w, "1ns");
+        assert_eq!(vcd.matches("#3\n").count(), 1);
+    }
+
+    #[test]
+    fn vcd_identifier_codes_extend_past_94_signals() {
+        let mut w = Waveforms::new();
+        for i in 0..100 {
+            w.record(&format!("sig{i:03}"), i, Logic::Zero);
+        }
+        let vcd = write_vcd(&w, "1ns");
+        // The 95th signal (index 94) wraps to a two-character code "!!".
+        assert!(vcd.contains("$var wire 1 !! sig094 $end"));
+    }
+}

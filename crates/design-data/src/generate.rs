@@ -1,0 +1,392 @@
+//! Parametric generators for synthetic benchmark designs.
+//!
+//! The paper evaluates its prototype on real Philips designs we do not
+//! have; these deterministic generators produce structurally realistic
+//! substitutes — hierarchical ripple-carry adders, synchronous counters
+//! and random combinational clouds — whose data volume scales with a
+//! size parameter, which is exactly what the §3.6 performance
+//! experiment needs.
+
+use std::collections::BTreeMap;
+
+use crate::layout::{Layer, Layout, Rect};
+use crate::netlist::{Direction, GateKind, MasterRef, Netlist};
+use crate::symbol::{Shape, Symbol};
+
+/// A complete generated design: one netlist, layout and symbol per
+/// cell, plus the name of the top cell.
+#[derive(Debug, Clone, Default)]
+pub struct GeneratedDesign {
+    /// Schematic netlists keyed by cell name.
+    pub netlists: BTreeMap<String, Netlist>,
+    /// Mask layouts keyed by cell name.
+    pub layouts: BTreeMap<String, Layout>,
+    /// Symbols keyed by cell name.
+    pub symbols: BTreeMap<String, Symbol>,
+    /// Name of the root cell.
+    pub top: String,
+}
+
+impl GeneratedDesign {
+    /// All cell names, sorted.
+    pub fn cells(&self) -> Vec<&str> {
+        self.netlists.keys().map(String::as_str).collect()
+    }
+
+    /// Total byte volume of all views — the "design size" knob of the
+    /// performance experiments.
+    pub fn total_bytes(&self) -> u64 {
+        self.netlists.values().map(Netlist::data_size).sum::<u64>()
+            + self.layouts.values().map(Layout::data_size).sum::<u64>()
+            + self.symbols.values().map(Symbol::data_size).sum::<u64>()
+    }
+}
+
+/// Derives a symbol from a netlist's port list: inputs on the left
+/// edge, outputs on the right, a box body and a name label.
+pub fn symbol_for(netlist: &Netlist) -> Symbol {
+    let mut s = Symbol::new(netlist.name());
+    let mut left = 0i64;
+    let mut right = 0i64;
+    for port in netlist.ports() {
+        match port.direction {
+            Direction::Input => {
+                s.add_pin(&port.name, port.direction, -20, left * 10)
+                    .expect("ports are unique");
+                left += 1;
+            }
+            Direction::Output | Direction::InOut => {
+                s.add_pin(&port.name, port.direction, 20, right * 10)
+                    .expect("ports are unique");
+                right += 1;
+            }
+        }
+    }
+    let h = left.max(right).max(1) * 10;
+    s.add_shape(Shape::Box { x0: -18, y0: -5, x1: 18, y1: h });
+    s.add_shape(Shape::Label { x: 0, y: h + 2, text: netlist.name().to_owned() });
+    s
+}
+
+/// Derives an abstract layout from a netlist: one labelled metal1 tile
+/// per gate instance on a square-ish grid, one placement per subcell
+/// instance, and one labelled metal2 wire per net (so layout-vs-
+/// schematic checks have full connectivity to compare). The result is
+/// DRC-clean by construction.
+pub fn layout_for(netlist: &Netlist) -> Layout {
+    let mut l = Layout::new(netlist.name());
+    let pitch = 10i64;
+    let columns = (netlist.instances().len() as f64).sqrt().ceil().max(1.0) as i64;
+    let mut max_row = 0i64;
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        let col = i as i64 % columns;
+        let row = i as i64 / columns;
+        max_row = max_row.max(row);
+        let (x, y) = (col * pitch, row * pitch);
+        match &inst.master {
+            MasterRef::Gate(_) => {
+                let net = inst.connections.values().next().cloned();
+                let mut rect =
+                    Rect::new(Layer::Metal1, x, y, x + 6, y + 6).expect("tile is non-degenerate");
+                rect.net = net;
+                l.add_rect(rect).expect("layout accepts tiles");
+            }
+            MasterRef::Cell(cell) => {
+                l.add_placement(&inst.name, cell, x, y).expect("instance names are unique");
+            }
+        }
+    }
+    // Routing: one horizontal metal2 wire per net in a channel above
+    // the tiles, each carrying its net label.
+    let channel_y = (max_row + 2) * pitch;
+    for (i, net) in netlist.nets().enumerate() {
+        let y = channel_y + i as i64 * pitch;
+        let wire = Rect::labelled(Layer::Metal2, 0, y, (columns * pitch).max(pitch), y + 5, net)
+            .expect("wire is non-degenerate");
+        l.add_rect(wire).expect("layout accepts wires");
+    }
+    l
+}
+
+fn finish(design: &mut GeneratedDesign, netlist: Netlist) {
+    let name = netlist.name().to_owned();
+    design.symbols.insert(name.clone(), symbol_for(&netlist));
+    design.layouts.insert(name.clone(), layout_for(&netlist));
+    design.netlists.insert(name, netlist);
+}
+
+/// Generates the classic 1-bit full adder cell.
+pub fn full_adder() -> Netlist {
+    let mut n = Netlist::new("full_adder");
+    for p in ["a", "b", "cin"] {
+        n.add_port(p, Direction::Input).expect("fresh netlist");
+    }
+    n.add_port("sum", Direction::Output).expect("fresh netlist");
+    n.add_port("cout", Direction::Output).expect("fresh netlist");
+    for net in ["s1", "c1", "c2"] {
+        n.add_net(net).expect("fresh netlist");
+    }
+    let g = |k| MasterRef::Gate(k);
+    n.add_instance("x1", g(GateKind::Xor2), &[("a", "a"), ("b", "b"), ("y", "s1")])
+        .expect("valid instance");
+    n.add_instance("x2", g(GateKind::Xor2), &[("a", "s1"), ("b", "cin"), ("y", "sum")])
+        .expect("valid instance");
+    n.add_instance("a1", g(GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "c1")])
+        .expect("valid instance");
+    n.add_instance("a2", g(GateKind::And2), &[("a", "s1"), ("b", "cin"), ("y", "c2")])
+        .expect("valid instance");
+    n.add_instance("o1", g(GateKind::Or2), &[("a", "c1"), ("b", "c2"), ("y", "cout")])
+        .expect("valid instance");
+    n
+}
+
+/// Generates a hierarchical `width`-bit ripple-carry adder: a
+/// `full_adder` leaf cell plus a top cell chaining `width` instances.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn ripple_adder(width: usize) -> GeneratedDesign {
+    assert!(width > 0, "adder width must be positive");
+    let mut design = GeneratedDesign { top: format!("adder{width}"), ..Default::default() };
+    finish(&mut design, full_adder());
+
+    let mut top = Netlist::new(format!("adder{width}"));
+    for i in 0..width {
+        top.add_port(&format!("a{i}"), Direction::Input).expect("fresh netlist");
+        top.add_port(&format!("b{i}"), Direction::Input).expect("fresh netlist");
+        top.add_port(&format!("s{i}"), Direction::Output).expect("fresh netlist");
+    }
+    top.add_port("cin", Direction::Input).expect("fresh netlist");
+    top.add_port("cout", Direction::Output).expect("fresh netlist");
+    for i in 0..width.saturating_sub(1) {
+        top.add_net(&format!("c{i}")).expect("fresh netlist");
+    }
+    for i in 0..width {
+        let cin = if i == 0 { "cin".to_owned() } else { format!("c{}", i - 1) };
+        let cout = if i == width - 1 { "cout".to_owned() } else { format!("c{i}") };
+        top.add_instance(
+            &format!("fa{i}"),
+            MasterRef::Cell("full_adder".to_owned()),
+            &[
+                ("a", format!("a{i}").as_str()),
+                ("b", format!("b{i}").as_str()),
+                ("cin", cin.as_str()),
+                ("sum", format!("s{i}").as_str()),
+                ("cout", cout.as_str()),
+            ],
+        )
+        .expect("valid instance");
+    }
+    finish(&mut design, top);
+    design
+}
+
+/// Generates a `bits`-wide synchronous binary counter built from D
+/// flip-flops, XOR increment logic and an AND carry chain.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0.
+pub fn counter(bits: usize) -> GeneratedDesign {
+    assert!(bits > 0, "counter width must be positive");
+    let mut design = GeneratedDesign { top: format!("counter{bits}"), ..Default::default() };
+    let mut n = Netlist::new(format!("counter{bits}"));
+    n.add_port("clk", Direction::Input).expect("fresh netlist");
+    n.add_port("en", Direction::Input).expect("fresh netlist");
+    for i in 0..bits {
+        n.add_port(&format!("q{i}"), Direction::Output).expect("fresh netlist");
+        n.add_net(&format!("d{i}")).expect("fresh netlist");
+        if i + 1 < bits {
+            n.add_net(&format!("carry{i}")).expect("fresh netlist");
+        }
+    }
+    let g = |k| MasterRef::Gate(k);
+    for i in 0..bits {
+        let carry_in = if i == 0 { "en".to_owned() } else { format!("carry{}", i - 1) };
+        n.add_instance(
+            &format!("x{i}"),
+            g(GateKind::Xor2),
+            &[("a", format!("q{i}").as_str()), ("b", carry_in.as_str()), ("y", format!("d{i}").as_str())],
+        )
+        .expect("valid instance");
+        if i + 1 < bits {
+            n.add_instance(
+                &format!("c{i}"),
+                g(GateKind::And2),
+                &[("a", format!("q{i}").as_str()), ("b", carry_in.as_str()), ("y", format!("carry{i}").as_str())],
+            )
+            .expect("valid instance");
+        }
+        n.add_instance(
+            &format!("ff{i}"),
+            g(GateKind::Dff),
+            &[("d", format!("d{i}").as_str()), ("clk", "clk"), ("q", format!("q{i}").as_str())],
+        )
+        .expect("valid instance");
+    }
+    finish(&mut design, n);
+    design
+}
+
+/// Generates a flat, acyclic random combinational netlist with
+/// `gates` gates, deterministically from `seed`.
+///
+/// Each gate draws its inputs from already-driven nets so the result is
+/// a DAG; outputs that drive nothing become output ports.
+///
+/// # Panics
+///
+/// Panics if `gates` is 0.
+pub fn random_logic(gates: usize, seed: u64) -> GeneratedDesign {
+    assert!(gates > 0, "gate count must be positive");
+    let mut design = GeneratedDesign { top: format!("cloud{gates}_{seed}"), ..Default::default() };
+    let mut n = Netlist::new(design.top.clone());
+
+    // A small multiplicative LCG keeps the crate dependency-free.
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = |bound: usize| -> usize {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+
+    let inputs = (gates / 4).clamp(2, 64);
+    let mut driven: Vec<String> = Vec::new();
+    for i in 0..inputs {
+        let name = format!("in{i}");
+        n.add_port(&name, Direction::Input).expect("fresh netlist");
+        driven.push(name);
+    }
+    let combinational = [
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut loads: BTreeMap<String, u32> = BTreeMap::new();
+    for i in 0..gates {
+        let kind = combinational[next(combinational.len())];
+        let out = format!("w{i}");
+        n.add_net(&out).expect("fresh netlist");
+        let a = driven[next(driven.len())].clone();
+        *loads.entry(a.clone()).or_default() += 1;
+        let mut conns: Vec<(String, String)> = vec![("a".to_owned(), a), ("y".to_owned(), out.clone())];
+        if kind.pins().len() == 3 {
+            let b = driven[next(driven.len())].clone();
+            *loads.entry(b.clone()).or_default() += 1;
+            conns.push(("b".to_owned(), b));
+        }
+        let borrowed: Vec<(&str, &str)> =
+            conns.iter().map(|(p, v)| (p.as_str(), v.as_str())).collect();
+        n.add_instance(&format!("g{i}"), MasterRef::Gate(kind), &borrowed)
+            .expect("valid instance");
+        driven.push(out);
+    }
+    // Expose undriven-load-free wires as outputs through buffers so the
+    // netlist is ERC-clean.
+    let unread: Vec<String> = driven
+        .iter()
+        .skip(inputs)
+        .filter(|w| !loads.contains_key(*w))
+        .cloned()
+        .collect();
+    for (i, w) in unread.into_iter().enumerate() {
+        let port = format!("out{i}");
+        n.add_port(&port, Direction::Output).expect("fresh netlist");
+        n.add_instance(
+            &format!("ob{i}"),
+            MasterRef::Gate(GateKind::Buf),
+            &[("a", w.as_str()), ("y", port.as_str())],
+        )
+        .expect("valid instance");
+    }
+    finish(&mut design, n);
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{layout_hierarchy, schematic_hierarchy};
+
+    #[test]
+    fn full_adder_is_erc_clean() {
+        assert!(full_adder().check().is_empty());
+    }
+
+    #[test]
+    fn ripple_adder_has_expected_structure() {
+        let d = ripple_adder(4);
+        let top = &d.netlists[&d.top];
+        assert_eq!(top.instances().len(), 4);
+        assert_eq!(top.subcells(), vec!["full_adder"]);
+        assert!(top.check().is_empty());
+        assert!(d.netlists["full_adder"].check().is_empty());
+    }
+
+    #[test]
+    fn ripple_adder_views_are_isomorphic() {
+        let d = ripple_adder(3);
+        let hs = schematic_hierarchy(&d.top, &d.netlists);
+        let hl = layout_hierarchy(&d.top, &d.layouts);
+        assert!(hs.is_isomorphic_to(&hl));
+    }
+
+    #[test]
+    fn generated_layouts_are_drc_clean() {
+        let d = ripple_adder(8);
+        for layout in d.layouts.values() {
+            assert!(layout.check().is_empty(), "layout {} has violations", layout.name());
+        }
+    }
+
+    #[test]
+    fn generated_symbols_match_ports() {
+        let d = counter(4);
+        for (name, sym) in &d.symbols {
+            let ports = d.netlists[name].ports();
+            assert!(sym.check_against_ports(ports).is_empty());
+        }
+    }
+
+    #[test]
+    fn counter_is_erc_clean_and_scales() {
+        for bits in [1, 2, 8] {
+            let d = counter(bits);
+            assert!(d.netlists[&d.top].check().is_empty());
+        }
+        assert!(counter(8).total_bytes() > counter(2).total_bytes());
+    }
+
+    #[test]
+    fn random_logic_is_deterministic() {
+        let a = random_logic(50, 7);
+        let b = random_logic(50, 7);
+        assert_eq!(a.netlists[&a.top], b.netlists[&b.top]);
+    }
+
+    #[test]
+    fn random_logic_seeds_differ() {
+        let a = random_logic(50, 7);
+        let b = random_logic(50, 8);
+        assert_ne!(a.netlists[&a.top], b.netlists[&b.top]);
+    }
+
+    #[test]
+    fn random_logic_is_erc_clean() {
+        for seed in 0..5 {
+            let d = random_logic(100, seed);
+            let violations = d.netlists[&d.top].check();
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn total_bytes_scale_with_gate_count() {
+        assert!(random_logic(400, 1).total_bytes() > 4 * random_logic(50, 1).total_bytes());
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-viewtype design hierarchies and their comparison.
+//!
+//! FMCAD *"supports non-isomorphic hierarchies because the hierarchies
+//! depend on the viewtypes"* (§2.2) — the schematic hierarchy of a cell
+//! may differ from its layout hierarchy. JCF 3.0 does not support this,
+//! which is why the hybrid framework must detect and reject such
+//! designs (§3.3). This module extracts the hierarchy of each viewtype
+//! and decides isomorphism.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::error::{DesignDataError, DesignDataResult};
+use crate::layout::Layout;
+use crate::netlist::Netlist;
+
+/// Maximum supported hierarchy depth; exceeding it implies a cycle.
+pub const MAX_DEPTH: usize = 64;
+
+/// The hierarchy of one viewtype: which cells instantiate which.
+///
+/// Nodes are cell names; an edge `parent -> child` exists when the
+/// parent's view of this viewtype instantiates the child. Leaf cells
+/// (only primitives inside) have an entry with no children.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::ViewHierarchy;
+/// let mut h = ViewHierarchy::new("top");
+/// h.add_cell("top", &["alu", "regfile"]);
+/// h.add_cell("alu", &[]);
+/// h.add_cell("regfile", &[]);
+/// assert_eq!(h.children("top"), ["alu", "regfile"]);
+/// assert!(h.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewHierarchy {
+    root: String,
+    edges: BTreeMap<String, Vec<String>>,
+}
+
+impl ViewHierarchy {
+    /// Creates a hierarchy with only the root registered (no children).
+    pub fn new(root: impl Into<String>) -> Self {
+        let root = root.into();
+        let mut edges = BTreeMap::new();
+        edges.insert(root.clone(), Vec::new());
+        ViewHierarchy { root, edges }
+    }
+
+    /// The root cell name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Registers `cell` with its (sorted, deduplicated) children.
+    pub fn add_cell(&mut self, cell: &str, children: &[&str]) {
+        let mut kids: Vec<String> = children.iter().map(|s| (*s).to_owned()).collect();
+        kids.sort();
+        kids.dedup();
+        self.edges.insert(cell.to_owned(), kids);
+    }
+
+    /// The children of `cell` (empty for unknown cells).
+    pub fn children(&self, cell: &str) -> &[String] {
+        self.edges.get(cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All registered cell names, sorted.
+    pub fn cells(&self) -> Vec<&str> {
+        self.edges.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if only the root is registered without children.
+    pub fn is_empty(&self) -> bool {
+        self.edges.len() == 1 && self.children(&self.root).is_empty()
+    }
+
+    /// Checks well-formedness: every referenced child is registered and
+    /// the hierarchy below the root is acyclic within [`MAX_DEPTH`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::UnresolvedCell`] for dangling child
+    /// references and [`DesignDataError::HierarchyTooDeep`] for cycles.
+    pub fn validate(&self) -> DesignDataResult<()> {
+        for (cell, children) in &self.edges {
+            for child in children {
+                if !self.edges.contains_key(child) {
+                    return Err(DesignDataError::UnresolvedCell(format!("{child} (under {cell})")));
+                }
+            }
+        }
+        // Depth-bounded BFS from the root detects cycles.
+        let mut frontier = VecDeque::from([(self.root.clone(), 0usize)]);
+        while let Some((cell, depth)) = frontier.pop_front() {
+            if depth > MAX_DEPTH {
+                return Err(DesignDataError::HierarchyTooDeep { cell, limit: MAX_DEPTH });
+            }
+            for child in self.children(&cell) {
+                frontier.push_back((child.clone(), depth + 1));
+            }
+        }
+        Ok(())
+    }
+
+    /// The maximum depth below the root (0 for a leaf-only root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is cyclic; call [`ViewHierarchy::validate`]
+    /// first.
+    pub fn depth(&self) -> usize {
+        fn depth_of(h: &ViewHierarchy, cell: &str, fuel: usize) -> usize {
+            assert!(fuel > 0, "cyclic hierarchy");
+            h.children(cell)
+                .iter()
+                .map(|c| 1 + depth_of(h, c, fuel - 1))
+                .max()
+                .unwrap_or(0)
+        }
+        depth_of(self, &self.root, MAX_DEPTH + 1)
+    }
+
+    /// The set of cells reachable from the root, sorted.
+    pub fn reachable(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![self.root.as_str()];
+        while let Some(cell) = frontier.pop() {
+            if seen.insert(cell) {
+                for child in self.children(cell) {
+                    frontier.push(child.as_str());
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Decides whether two hierarchies are *isomorphic* in the paper's
+    /// sense: the same cells instantiate the same child cells in both
+    /// viewtypes (instance multiplicity is deliberately ignored — one
+    /// schematic gate may explode into several layout tiles).
+    pub fn is_isomorphic_to(&self, other: &ViewHierarchy) -> bool {
+        if self.root != other.root {
+            return false;
+        }
+        let mine = self.reachable();
+        let theirs = other.reachable();
+        if mine != theirs {
+            return false;
+        }
+        mine.iter().all(|cell| self.children(cell) == other.children(cell))
+    }
+
+    /// Describes the differences to another hierarchy, for consistency
+    /// reports; empty when isomorphic.
+    pub fn diff(&self, other: &ViewHierarchy) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.root != other.root {
+            out.push(format!("roots differ: {} vs {}", self.root, other.root));
+            return out;
+        }
+        let mine: BTreeSet<&str> = self.reachable().into_iter().collect();
+        let theirs: BTreeSet<&str> = other.reachable().into_iter().collect();
+        for only in mine.difference(&theirs) {
+            out.push(format!("cell {only:?} only in first hierarchy"));
+        }
+        for only in theirs.difference(&mine) {
+            out.push(format!("cell {only:?} only in second hierarchy"));
+        }
+        for cell in mine.intersection(&theirs) {
+            if self.children(cell) != other.children(cell) {
+                out.push(format!(
+                    "cell {cell:?} children differ: {:?} vs {:?}",
+                    self.children(cell),
+                    other.children(cell)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the schematic hierarchy rooted at `root` from a set of
+/// netlists keyed by cell name.
+///
+/// Cells without a netlist are treated as leaves (library cells).
+pub fn schematic_hierarchy(root: &str, netlists: &BTreeMap<String, Netlist>) -> ViewHierarchy {
+    let mut h = ViewHierarchy::new(root);
+    let mut frontier = vec![root.to_owned()];
+    let mut seen = BTreeSet::new();
+    while let Some(cell) = frontier.pop() {
+        if !seen.insert(cell.clone()) {
+            continue;
+        }
+        match netlists.get(&cell) {
+            Some(n) => {
+                let children = n.subcells();
+                h.add_cell(&cell, &children);
+                for child in children {
+                    frontier.push(child.to_owned());
+                }
+            }
+            None => h.add_cell(&cell, &[]),
+        }
+    }
+    h
+}
+
+/// Extracts the layout hierarchy rooted at `root` from a set of layouts
+/// keyed by cell name.
+///
+/// Cells without a layout are treated as leaves.
+pub fn layout_hierarchy(root: &str, layouts: &BTreeMap<String, Layout>) -> ViewHierarchy {
+    let mut h = ViewHierarchy::new(root);
+    let mut frontier = vec![root.to_owned()];
+    let mut seen = BTreeSet::new();
+    while let Some(cell) = frontier.pop() {
+        if !seen.insert(cell.clone()) {
+            continue;
+        }
+        match layouts.get(&cell) {
+            Some(l) => {
+                let children = l.subcells();
+                h.add_cell(&cell, &children);
+                for child in children {
+                    frontier.push(child.to_owned());
+                }
+            }
+            None => h.add_cell(&cell, &[]),
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Direction, MasterRef};
+
+    fn linear(root: &str, chain: &[&str]) -> ViewHierarchy {
+        let mut h = ViewHierarchy::new(root);
+        let mut prev = root;
+        for c in chain {
+            h.add_cell(prev, &[c]);
+            prev = c;
+        }
+        h.add_cell(prev, &[]);
+        h
+    }
+
+    #[test]
+    fn identical_hierarchies_are_isomorphic() {
+        let a = linear("top", &["mid", "leaf"]);
+        let b = linear("top", &["mid", "leaf"]);
+        assert!(a.is_isomorphic_to(&b));
+        assert!(a.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn different_children_not_isomorphic() {
+        let a = linear("top", &["mid", "leaf"]);
+        let mut b = ViewHierarchy::new("top");
+        b.add_cell("top", &["leaf"]); // skips "mid"
+        b.add_cell("leaf", &[]);
+        assert!(!a.is_isomorphic_to(&b));
+        assert!(!a.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn different_roots_not_isomorphic() {
+        let a = linear("top", &[]);
+        let b = linear("other", &[]);
+        assert!(!a.is_isomorphic_to(&b));
+        assert_eq!(a.diff(&b).len(), 1);
+    }
+
+    #[test]
+    fn multiplicity_is_ignored() {
+        // One schematic adder may become two layout tiles of the same
+        // child cell: still isomorphic per the paper's definition.
+        let mut a = ViewHierarchy::new("top");
+        a.add_cell("top", &["tile", "tile"]);
+        a.add_cell("tile", &[]);
+        let mut b = ViewHierarchy::new("top");
+        b.add_cell("top", &["tile"]);
+        b.add_cell("tile", &[]);
+        assert!(a.is_isomorphic_to(&b));
+    }
+
+    #[test]
+    fn unreachable_cells_do_not_affect_isomorphism() {
+        let mut a = linear("top", &["leaf"]);
+        a.add_cell("orphan", &[]);
+        let b = linear("top", &["leaf"]);
+        assert!(a.is_isomorphic_to(&b));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_child() {
+        let mut h = ViewHierarchy::new("top");
+        h.add_cell("top", &["ghost"]);
+        assert!(matches!(h.validate(), Err(DesignDataError::UnresolvedCell(_))));
+    }
+
+    #[test]
+    fn validate_rejects_cycles() {
+        let mut h = ViewHierarchy::new("a");
+        h.add_cell("a", &["b"]);
+        h.add_cell("b", &["a"]);
+        assert!(matches!(h.validate(), Err(DesignDataError::HierarchyTooDeep { .. })));
+    }
+
+    #[test]
+    fn depth_counts_longest_path() {
+        let h = linear("top", &["m1", "m2", "leaf"]);
+        assert_eq!(h.depth(), 3);
+        assert_eq!(linear("top", &[]).depth(), 0);
+    }
+
+    #[test]
+    fn schematic_hierarchy_extraction() {
+        let mut netlists = BTreeMap::new();
+        let mut top = Netlist::new("top");
+        top.add_port("x", Direction::Input).unwrap();
+        top.add_instance("u1", MasterRef::Cell("adder".to_owned()), &[("a", "x")]).unwrap();
+        netlists.insert("top".to_owned(), top);
+        let mut adder = Netlist::new("adder");
+        adder.add_net("n").unwrap();
+        adder
+            .add_instance("u1", MasterRef::Cell("fa".to_owned()), &[("a", "n")])
+            .unwrap();
+        netlists.insert("adder".to_owned(), adder);
+        // "fa" has no netlist: leaf.
+        let h = schematic_hierarchy("top", &netlists);
+        assert_eq!(h.children("top"), ["adder"]);
+        assert_eq!(h.children("adder"), ["fa"]);
+        assert_eq!(h.children("fa"), Vec::<String>::new().as_slice());
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn layout_hierarchy_extraction() {
+        let mut layouts = BTreeMap::new();
+        let mut top = Layout::new("top");
+        top.add_placement("i1", "tile", 0, 0).unwrap();
+        top.add_placement("i2", "tile", 10, 0).unwrap();
+        layouts.insert("top".to_owned(), top);
+        let h = layout_hierarchy("top", &layouts);
+        assert_eq!(h.children("top"), ["tile"]);
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn non_isomorphic_viewtypes_detected() {
+        // Schematic: top -> {fa}; layout flattens fa away: top -> {}.
+        let mut netlists = BTreeMap::new();
+        let mut top_n = Netlist::new("top");
+        top_n.add_net("n").unwrap();
+        top_n
+            .add_instance("u1", MasterRef::Cell("fa".to_owned()), &[("a", "n")])
+            .unwrap();
+        netlists.insert("top".to_owned(), top_n);
+
+        let mut layouts = BTreeMap::new();
+        layouts.insert("top".to_owned(), Layout::new("top"));
+
+        let hs = schematic_hierarchy("top", &netlists);
+        let hl = layout_hierarchy("top", &layouts);
+        assert!(!hs.is_isomorphic_to(&hl));
+    }
+}

@@ -1,0 +1,484 @@
+//! Mask layout geometry: layers, rectangles and placed instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{DesignDataError, DesignDataResult};
+
+/// Mask layer of a layout shape (a small mid-90s CMOS stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// N-well.
+    Nwell,
+    /// Active diffusion.
+    Diffusion,
+    /// Polysilicon (gates).
+    Poly,
+    /// Contact cut between diffusion/poly and metal1.
+    Contact,
+    /// First metal.
+    Metal1,
+    /// Via between metal1 and metal2.
+    Via1,
+    /// Second metal.
+    Metal2,
+}
+
+impl Layer {
+    /// All layers in stack order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Nwell,
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via1,
+        Layer::Metal2,
+    ];
+
+    /// The canonical stream name of the layer.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Nwell => "nwell",
+            Layer::Diffusion => "diff",
+            Layer::Poly => "poly",
+            Layer::Contact => "cont",
+            Layer::Metal1 => "metal1",
+            Layer::Via1 => "via1",
+            Layer::Metal2 => "metal2",
+        }
+    }
+
+    /// Parses a stream name back into a layer.
+    pub fn parse(name: &str) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.name() == name)
+    }
+
+    /// Minimum feature width on this layer in database units, used by
+    /// the design rule check.
+    pub fn min_width(self) -> i64 {
+        match self {
+            Layer::Nwell => 10,
+            Layer::Diffusion => 4,
+            Layer::Poly => 2,
+            Layer::Contact => 2,
+            Layer::Metal1 => 3,
+            Layer::Via1 => 2,
+            Layer::Metal2 => 4,
+        }
+    }
+
+    /// Minimum same-layer spacing in database units.
+    pub fn min_spacing(self) -> i64 {
+        match self {
+            Layer::Nwell => 12,
+            Layer::Diffusion => 4,
+            Layer::Poly => 3,
+            Layer::Contact => 2,
+            Layer::Metal1 => 3,
+            Layer::Via1 => 3,
+            Layer::Metal2 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An axis-aligned rectangle on a mask layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Mask layer.
+    pub layer: Layer,
+    /// Lower-left x.
+    pub x0: i64,
+    /// Lower-left y.
+    pub y0: i64,
+    /// Upper-right x (exclusive edge, must exceed `x0`).
+    pub x1: i64,
+    /// Upper-right y (exclusive edge, must exceed `y0`).
+    pub y1: i64,
+    /// Optional net label for connectivity extraction.
+    pub net: Option<String>,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating that it has positive area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DegenerateRect`] for empty or
+    /// inverted rectangles.
+    pub fn new(layer: Layer, x0: i64, y0: i64, x1: i64, y1: i64) -> DesignDataResult<Rect> {
+        if x1 <= x0 || y1 <= y0 {
+            return Err(DesignDataError::DegenerateRect { x0, y0, x1, y1 });
+        }
+        Ok(Rect { layer, x0, y0, x1, y1, net: None })
+    }
+
+    /// Creates a labelled rectangle (see [`Rect::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DegenerateRect`] for empty or
+    /// inverted rectangles.
+    pub fn labelled(
+        layer: Layer,
+        x0: i64,
+        y0: i64,
+        x1: i64,
+        y1: i64,
+        net: &str,
+    ) -> DesignDataResult<Rect> {
+        let mut r = Rect::new(layer, x0, y0, x1, y1)?;
+        r.net = Some(net.to_owned());
+        Ok(r)
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in square database units.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` if the rectangles overlap or share area (not just
+    /// an edge) on any layer-agnostic basis.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Euclidean-free spacing: the rectilinear gap between two disjoint
+    /// rectangles (0 if they touch or overlap).
+    pub fn spacing_to(&self, other: &Rect) -> i64 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        dx.max(dy)
+    }
+}
+
+/// A placed instance of another layout cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Instance name, unique within the layout.
+    pub name: String,
+    /// Name of the instantiated layout cell.
+    pub cell: String,
+    /// Placement offset x.
+    pub dx: i64,
+    /// Placement offset y.
+    pub dy: i64,
+}
+
+/// A mask layout: the design data of a `layout` cellview.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::{Layout, Layer, Rect};
+/// # fn main() -> Result<(), design_data::DesignDataError> {
+/// let mut l = Layout::new("inv");
+/// l.add_rect(Rect::new(Layer::Poly, 0, 0, 2, 10)?)?;
+/// l.add_rect(Rect::labelled(Layer::Metal1, 4, 0, 8, 4, "out")?)?;
+/// assert_eq!(l.rects().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    name: String,
+    rects: Vec<Rect>,
+    placements: Vec<Placement>,
+}
+
+impl Layout {
+    /// Creates an empty layout for cell `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Layout { name: name.into(), rects: Vec::new(), placements: Vec::new() }
+    }
+
+    /// The cell name this layout describes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The geometry rectangles, in insertion order.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The placed subcell instances, in insertion order.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Adds a rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated [`Rect`]s; kept fallible so
+    /// future invariants (e.g. off-grid checks) stay non-breaking.
+    pub fn add_rect(&mut self, rect: Rect) -> DesignDataResult<()> {
+        self.rects.push(rect);
+        Ok(())
+    }
+
+    /// Places an instance of another layout cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DuplicateName`] for a reused instance
+    /// name.
+    pub fn add_placement(&mut self, name: &str, cell: &str, dx: i64, dy: i64) -> DesignDataResult<()> {
+        if self.placements.iter().any(|p| p.name == name) {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        self.placements.push(Placement {
+            name: name.to_owned(),
+            cell: cell.to_owned(),
+            dx,
+            dy,
+        });
+        Ok(())
+    }
+
+    /// The names of subcells this layout places, sorted and deduplicated
+    /// — the layout hierarchy edge set.
+    pub fn subcells(&self) -> Vec<&str> {
+        let mut cells: Vec<&str> = self.placements.iter().map(|p| p.cell.as_str()).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Bounding box of the local geometry `(x0, y0, x1, y1)`, or `None`
+    /// for an empty layout.
+    pub fn bbox(&self) -> Option<(i64, i64, i64, i64)> {
+        let first = self.rects.first()?;
+        let mut bb = (first.x0, first.y0, first.x1, first.y1);
+        for r in &self.rects[1..] {
+            bb.0 = bb.0.min(r.x0);
+            bb.1 = bb.1.min(r.y0);
+            bb.2 = bb.2.max(r.x1);
+            bb.3 = bb.3.max(r.y1);
+        }
+        Some(bb)
+    }
+
+    /// Approximate on-disk size of this layout in bytes.
+    pub fn data_size(&self) -> u64 {
+        crate::format::write_layout(self).len() as u64
+    }
+
+    /// Design rule check over the local geometry (placements are
+    /// checked in their own cells).
+    pub fn check(&self) -> Vec<DrcViolation> {
+        let mut violations = Vec::new();
+        for (i, r) in self.rects.iter().enumerate() {
+            if r.width() < r.layer.min_width() || r.height() < r.layer.min_width() {
+                violations.push(DrcViolation::MinWidth { index: i, layer: r.layer });
+            }
+        }
+        let mut by_layer: BTreeMap<Layer, Vec<(usize, &Rect)>> = BTreeMap::new();
+        for (i, r) in self.rects.iter().enumerate() {
+            by_layer.entry(r.layer).or_default().push((i, r));
+        }
+        for (layer, rects) in by_layer {
+            for (a_pos, (ai, a)) in rects.iter().enumerate() {
+                for (bi, b) in rects.iter().skip(a_pos + 1) {
+                    if a.overlaps(b) {
+                        // Overlapping same-layer shapes merge; if their nets
+                        // disagree, that is a short.
+                        if let (Some(na), Some(nb)) = (&a.net, &b.net) {
+                            if na != nb {
+                                violations.push(DrcViolation::Short {
+                                    first: *ai,
+                                    second: *bi,
+                                    layer,
+                                });
+                            }
+                        }
+                    } else {
+                        let gap = a.spacing_to(b);
+                        if gap > 0 && gap < layer.min_spacing() {
+                            violations.push(DrcViolation::MinSpacing {
+                                first: *ai,
+                                second: *bi,
+                                layer,
+                                gap,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// One design rule violation reported by [`Layout::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrcViolation {
+    /// A rectangle is narrower than its layer's minimum width.
+    MinWidth {
+        /// Index of the rectangle in [`Layout::rects`].
+        index: usize,
+        /// The layer whose rule is violated.
+        layer: Layer,
+    },
+    /// Two disjoint same-layer rectangles are closer than allowed.
+    MinSpacing {
+        /// Index of the first rectangle.
+        first: usize,
+        /// Index of the second rectangle.
+        second: usize,
+        /// The layer whose rule is violated.
+        layer: Layer,
+        /// The measured gap.
+        gap: i64,
+    },
+    /// Two overlapping same-layer rectangles carry different nets.
+    Short {
+        /// Index of the first rectangle.
+        first: usize,
+        /// Index of the second rectangle.
+        second: usize,
+        /// The layer on which the short occurs.
+        layer: Layer,
+    },
+}
+
+impl fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcViolation::MinWidth { index, layer } => {
+                write!(f, "rect #{index} under minimum width on {layer}")
+            }
+            DrcViolation::MinSpacing { first, second, layer, gap } => {
+                write!(f, "rects #{first}/#{second} spaced {gap} on {layer}")
+            }
+            DrcViolation::Short { first, second, layer } => {
+                write!(f, "rects #{first}/#{second} short different nets on {layer}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_validates_area() {
+        assert!(Rect::new(Layer::Metal1, 0, 0, 0, 5).is_err());
+        assert!(Rect::new(Layer::Metal1, 5, 0, 0, 5).is_err());
+        assert!(Rect::new(Layer::Metal1, 0, 0, 5, 5).is_ok());
+    }
+
+    #[test]
+    fn overlap_and_spacing() {
+        let a = Rect::new(Layer::Metal1, 0, 0, 10, 10).unwrap();
+        let b = Rect::new(Layer::Metal1, 5, 5, 15, 15).unwrap();
+        let c = Rect::new(Layer::Metal1, 20, 0, 30, 10).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.spacing_to(&c), 10);
+        assert_eq!(a.spacing_to(&b), 0);
+    }
+
+    #[test]
+    fn diagonal_spacing_uses_max_axis_gap() {
+        let a = Rect::new(Layer::Metal1, 0, 0, 10, 10).unwrap();
+        let d = Rect::new(Layer::Metal1, 12, 14, 20, 20).unwrap();
+        assert_eq!(a.spacing_to(&d), 4);
+    }
+
+    #[test]
+    fn drc_detects_min_width() {
+        let mut l = Layout::new("x");
+        l.add_rect(Rect::new(Layer::Metal2, 0, 0, 1, 20).unwrap()).unwrap();
+        assert!(l
+            .check()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::MinWidth { layer: Layer::Metal2, .. })));
+    }
+
+    #[test]
+    fn drc_detects_min_spacing_same_layer_only() {
+        let mut l = Layout::new("x");
+        l.add_rect(Rect::new(Layer::Metal1, 0, 0, 10, 10).unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Metal1, 11, 0, 21, 10).unwrap()).unwrap();
+        // Different layer at same distance must not be flagged.
+        l.add_rect(Rect::new(Layer::Metal2, 0, 11, 10, 21).unwrap()).unwrap();
+        let v = l.check();
+        assert_eq!(
+            v.iter()
+                .filter(|v| matches!(v, DrcViolation::MinSpacing { layer: Layer::Metal1, .. }))
+                .count(),
+            1
+        );
+        assert!(!v
+            .iter()
+            .any(|v| matches!(v, DrcViolation::MinSpacing { layer: Layer::Metal2, .. })));
+    }
+
+    #[test]
+    fn drc_detects_short_between_labelled_nets() {
+        let mut l = Layout::new("x");
+        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "b").unwrap()).unwrap();
+        assert!(l.check().iter().any(|v| matches!(v, DrcViolation::Short { .. })));
+    }
+
+    #[test]
+    fn same_net_overlap_is_not_a_short() {
+        let mut l = Layout::new("x");
+        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "a").unwrap()).unwrap();
+        assert!(!l.check().iter().any(|v| matches!(v, DrcViolation::Short { .. })));
+    }
+
+    #[test]
+    fn bbox_covers_all_rects() {
+        let mut l = Layout::new("x");
+        assert_eq!(l.bbox(), None);
+        l.add_rect(Rect::new(Layer::Poly, -5, 0, 2, 10).unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Metal1, 0, -3, 8, 4).unwrap()).unwrap();
+        assert_eq!(l.bbox(), Some((-5, -3, 8, 10)));
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let mut l = Layout::new("top");
+        l.add_placement("i1", "inv", 0, 0).unwrap();
+        assert!(l.add_placement("i1", "nand", 5, 0).is_err());
+    }
+
+    #[test]
+    fn subcells_sorted_unique() {
+        let mut l = Layout::new("top");
+        l.add_placement("i1", "inv", 0, 0).unwrap();
+        l.add_placement("i2", "adder", 10, 0).unwrap();
+        l.add_placement("i3", "inv", 20, 0).unwrap();
+        assert_eq!(l.subcells(), vec!["adder", "inv"]);
+    }
+
+    #[test]
+    fn layer_name_round_trip() {
+        for layer in Layer::ALL {
+            assert_eq!(Layer::parse(layer.name()), Some(layer));
+        }
+        assert_eq!(Layer::parse("metal9"), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! # design-data — electronic design data models
+//!
+//! The actual *design data* that flows through both frameworks of the
+//! reproduction: schematic [`Netlist`]s, mask [`Layout`]s, [`Symbol`]
+//! views and simulation [`Waveforms`], together with their text
+//! interchange [`mod@format`]s, per-viewtype hierarchy extraction and
+//! deterministic workload [`generate`]ors.
+//!
+//! In the paper these are the files FMCAD keeps in its library
+//! directories and the blobs JCF copies in and out of the OMS database
+//! during tool encapsulation. Keeping them as a real, checkable data
+//! model (with ERC and DRC) lets every evaluation criterion of §3 be
+//! exercised against genuine design content instead of stubs.
+//!
+//! # Examples
+//!
+//! ```
+//! use design_data::{generate, format};
+//!
+//! let design = generate::ripple_adder(4);
+//! let top = &design.netlists[&design.top];
+//! assert!(top.check().is_empty(), "generated designs are ERC-clean");
+//!
+//! // Serialise the schematic exactly as a cellview version would store it.
+//! let bytes = format::write_netlist(top);
+//! let parsed = format::parse_netlist(&bytes).unwrap();
+//! assert_eq!(&parsed, top);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod format;
+pub mod generate;
+mod hierarchy;
+mod layout;
+mod netlist;
+mod stimulus;
+mod symbol;
+mod waveform;
+
+pub use error::{DesignDataError, DesignDataResult};
+pub use generate::GeneratedDesign;
+pub use hierarchy::{layout_hierarchy, schematic_hierarchy, ViewHierarchy, MAX_DEPTH};
+pub use layout::{DrcViolation, Layer, Layout, Placement, Rect};
+pub use netlist::{Direction, ErcViolation, GateKind, Instance, MasterRef, Netlist, Port};
+pub use stimulus::{ClockSpec, DriveEvent, Stimulus};
+pub use symbol::{Shape, Symbol, SymbolPin};
+pub use waveform::{Logic, Trace, Waveforms};

@@ -1,0 +1,653 @@
+//! Schematic netlists: gates, subcell instances, nets and ports.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::{DesignDataError, DesignDataResult};
+
+/// Direction of a port or pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Signal flows into the cell.
+    Input,
+    /// Signal flows out of the cell.
+    Output,
+    /// Bidirectional signal.
+    InOut,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Input => "input",
+            Direction::Output => "output",
+            Direction::InOut => "inout",
+        })
+    }
+}
+
+/// The primitive gate library of the digital simulator.
+///
+/// A deliberately small mid-90s standard-cell set: combinational gates,
+/// a buffer/inverter pair and a rising-edge D flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// Inverter.
+    Not,
+    /// Non-inverting buffer.
+    Buf,
+    /// Rising-edge D flip-flop with pins `d`, `clk`, `q`.
+    Dff,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Dff,
+    ];
+
+    /// The canonical library name of the gate.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And2 => "and2",
+            GateKind::Or2 => "or2",
+            GateKind::Nand2 => "nand2",
+            GateKind::Nor2 => "nor2",
+            GateKind::Xor2 => "xor2",
+            GateKind::Xnor2 => "xnor2",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+            GateKind::Dff => "dff",
+        }
+    }
+
+    /// Parses a library name back into a gate kind.
+    pub fn parse(name: &str) -> Option<GateKind> {
+        GateKind::ALL.into_iter().find(|g| g.name() == name)
+    }
+
+    /// The pin interface of the gate: `(name, direction)` pairs.
+    pub fn pins(self) -> &'static [(&'static str, Direction)] {
+        match self {
+            GateKind::Not | GateKind::Buf => {
+                &[("a", Direction::Input), ("y", Direction::Output)]
+            }
+            GateKind::Dff => &[
+                ("d", Direction::Input),
+                ("clk", Direction::Input),
+                ("q", Direction::Output),
+            ],
+            _ => &[
+                ("a", Direction::Input),
+                ("b", Direction::Input),
+                ("y", Direction::Output),
+            ],
+        }
+    }
+
+    /// Unit propagation delay of the gate in simulator time steps.
+    pub fn delay(self) -> u64 {
+        match self {
+            GateKind::Buf => 1,
+            GateKind::Not => 1,
+            GateKind::Dff => 2,
+            GateKind::Xor2 | GateKind::Xnor2 => 3,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an instance instantiates: a library primitive or a subcell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MasterRef {
+    /// A primitive gate from the built-in library.
+    Gate(GateKind),
+    /// A hierarchical reference to another cell's schematic by name.
+    Cell(String),
+}
+
+impl MasterRef {
+    /// The master's name as written in netlist files.
+    pub fn name(&self) -> &str {
+        match self {
+            MasterRef::Gate(g) => g.name(),
+            MasterRef::Cell(n) => n,
+        }
+    }
+}
+
+/// A typed connection point of the cell itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// Port name, unique within the netlist.
+    pub name: String,
+    /// Signal direction as seen from outside the cell.
+    pub direction: Direction,
+}
+
+/// One component instance inside a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// What is instantiated.
+    pub master: MasterRef,
+    /// Pin-to-net connections, keyed by pin name.
+    pub connections: BTreeMap<String, String>,
+}
+
+/// A schematic netlist: the design data of a `schematic` cellview.
+///
+/// Invariants enforced at construction time:
+///
+/// * port, net and instance names are unique;
+/// * every connection references a declared net;
+/// * primitive instances connect only pins their [`GateKind`] has.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::{Netlist, Direction, GateKind, MasterRef};
+/// # fn main() -> Result<(), design_data::DesignDataError> {
+/// let mut n = Netlist::new("inv_chain");
+/// n.add_port("in", Direction::Input)?;
+/// n.add_port("out", Direction::Output)?;
+/// n.add_net("mid")?;
+/// n.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "in"), ("y", "mid")])?;
+/// n.add_instance("u2", MasterRef::Gate(GateKind::Not), &[("a", "mid"), ("y", "out")])?;
+/// assert_eq!(n.instances().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    ports: Vec<Port>,
+    nets: BTreeSet<String>,
+    instances: Vec<Instance>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist for cell `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ports: Vec::new(),
+            nets: BTreeSet::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// The cell name this netlist describes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared ports, in declaration order.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// The declared nets, sorted.
+    pub fn nets(&self) -> impl Iterator<Item = &str> {
+        self.nets.iter().map(String::as_str)
+    }
+
+    /// Number of declared nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The component instances, in declaration order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// Declares a port; a net of the same name is created implicitly,
+    /// mirroring how schematic editors bind ports to their net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DuplicateName`] if the name is taken.
+    pub fn add_port(&mut self, name: &str, direction: Direction) -> DesignDataResult<()> {
+        if self.ports.iter().any(|p| p.name == name) {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        self.nets.insert(name.to_owned());
+        self.ports.push(Port { name: name.to_owned(), direction });
+        Ok(())
+    }
+
+    /// Declares an internal net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DuplicateName`] if the net exists.
+    pub fn add_net(&mut self, name: &str) -> DesignDataResult<()> {
+        if !self.nets.insert(name.to_owned()) {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Adds a component instance with its pin connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DuplicateName`] for a reused instance
+    /// name, [`DesignDataError::UnknownName`] for a connection to an
+    /// undeclared net, and [`DesignDataError::UnknownPin`] when a
+    /// primitive is connected on a pin it does not have.
+    pub fn add_instance(
+        &mut self,
+        name: &str,
+        master: MasterRef,
+        connections: &[(&str, &str)],
+    ) -> DesignDataResult<()> {
+        if self.instances.iter().any(|i| i.name == name) {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        let mut map = BTreeMap::new();
+        for (pin, net) in connections {
+            if !self.nets.contains(*net) {
+                return Err(DesignDataError::UnknownName((*net).to_owned()));
+            }
+            if let MasterRef::Gate(g) = &master {
+                if !g.pins().iter().any(|(p, _)| p == pin) {
+                    return Err(DesignDataError::UnknownPin {
+                        master: g.name().to_owned(),
+                        pin: (*pin).to_owned(),
+                    });
+                }
+            }
+            map.insert((*pin).to_owned(), (*net).to_owned());
+        }
+        self.instances.push(Instance { name: name.to_owned(), master, connections: map });
+        Ok(())
+    }
+
+    /// Removes the instance named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::UnknownName`] if no such instance
+    /// exists.
+    pub fn remove_instance(&mut self, name: &str) -> DesignDataResult<Instance> {
+        match self.instances.iter().position(|i| i.name == name) {
+            Some(pos) => Ok(self.instances.remove(pos)),
+            None => Err(DesignDataError::UnknownName(name.to_owned())),
+        }
+    }
+
+    /// Removes an internal net that no instance references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::UnknownName`] if the net does not
+    /// exist or names a port, and [`DesignDataError::DuplicateName`]
+    /// (re-used as "still referenced") if connections still use it.
+    pub fn remove_net(&mut self, name: &str) -> DesignDataResult<()> {
+        if !self.nets.contains(name) || self.ports.iter().any(|p| p.name == name) {
+            return Err(DesignDataError::UnknownName(name.to_owned()));
+        }
+        if self
+            .instances
+            .iter()
+            .any(|i| i.connections.values().any(|n| n == name))
+        {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        self.nets.remove(name);
+        Ok(())
+    }
+
+    /// The names of subcells this netlist instantiates, sorted and
+    /// deduplicated — the schematic hierarchy edge set.
+    pub fn subcells(&self) -> Vec<&str> {
+        let mut cells: Vec<&str> = self
+            .instances
+            .iter()
+            .filter_map(|i| match &i.master {
+                MasterRef::Cell(n) => Some(n.as_str()),
+                MasterRef::Gate(_) => None,
+            })
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Approximate on-disk size of this netlist in bytes (used by the
+    /// performance experiments to scale design-data volume).
+    pub fn data_size(&self) -> u64 {
+        crate::format::write_netlist(self).len() as u64
+    }
+
+    /// Electrical rule check: reports violations without failing fast.
+    ///
+    /// Detects nets with multiple drivers, nets with no driver that
+    /// feed gate inputs, unconnected primitive pins and unused nets.
+    pub fn check(&self) -> Vec<ErcViolation> {
+        let mut violations = Vec::new();
+        let mut drivers: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut loads: BTreeMap<&str, u32> = BTreeMap::new();
+
+        for port in &self.ports {
+            match port.direction {
+                Direction::Input => *drivers.entry(port.name.as_str()).or_default() += 1,
+                Direction::Output => *loads.entry(port.name.as_str()).or_default() += 1,
+                Direction::InOut => {
+                    *drivers.entry(port.name.as_str()).or_default() += 1;
+                    *loads.entry(port.name.as_str()).or_default() += 1;
+                }
+            }
+        }
+        for inst in &self.instances {
+            if let MasterRef::Gate(g) = &inst.master {
+                for (pin, dir) in g.pins() {
+                    match inst.connections.get(*pin) {
+                        Some(net) => match dir {
+                            Direction::Input => *loads.entry(net.as_str()).or_default() += 1,
+                            Direction::Output => *drivers.entry(net.as_str()).or_default() += 1,
+                            Direction::InOut => {
+                                *drivers.entry(net.as_str()).or_default() += 1;
+                                *loads.entry(net.as_str()).or_default() += 1;
+                            }
+                        },
+                        None => violations.push(ErcViolation::UnconnectedPin {
+                            instance: inst.name.clone(),
+                            pin: (*pin).to_owned(),
+                        }),
+                    }
+                }
+            } else {
+                // Subcell pins count as both potential drivers and loads;
+                // cross-cell ERC happens after elaboration.
+                for net in inst.connections.values() {
+                    *drivers.entry(net.as_str()).or_default() += 1;
+                    *loads.entry(net.as_str()).or_default() += 1;
+                }
+            }
+        }
+        for net in &self.nets {
+            let d = drivers.get(net.as_str()).copied().unwrap_or(0);
+            let l = loads.get(net.as_str()).copied().unwrap_or(0);
+            if d > 1 {
+                // Subcell connections are counted optimistically; only
+                // flag nets driven by more than one *primitive* output.
+                let primitive_drivers = self
+                    .instances
+                    .iter()
+                    .filter_map(|i| match &i.master {
+                        MasterRef::Gate(g) => Some((i, g)),
+                        MasterRef::Cell(_) => None,
+                    })
+                    .flat_map(|(i, g)| {
+                        g.pins()
+                            .iter()
+                            .filter(|(_, dir)| *dir == Direction::Output)
+                            .filter_map(move |(pin, _)| i.connections.get(*pin))
+                    })
+                    .filter(|n| n.as_str() == net.as_str())
+                    .count();
+                let port_drivers = self
+                    .ports
+                    .iter()
+                    .filter(|p| p.direction == Direction::Input && p.name == *net)
+                    .count();
+                if primitive_drivers + port_drivers > 1 {
+                    violations.push(ErcViolation::MultipleDrivers { net: net.clone() });
+                }
+            }
+            if d == 0 && l > 0 {
+                violations.push(ErcViolation::UndrivenNet { net: net.clone() });
+            }
+            if d == 0 && l == 0 {
+                violations.push(ErcViolation::UnusedNet { net: net.clone() });
+            }
+        }
+        violations
+    }
+}
+
+/// One electrical rule violation reported by [`Netlist::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErcViolation {
+    /// A net is driven by more than one output.
+    MultipleDrivers {
+        /// The offending net.
+        net: String,
+    },
+    /// A net feeds inputs but has no driver.
+    UndrivenNet {
+        /// The offending net.
+        net: String,
+    },
+    /// A declared net is connected to nothing.
+    UnusedNet {
+        /// The offending net.
+        net: String,
+    },
+    /// A primitive pin was left unconnected.
+    UnconnectedPin {
+        /// Instance with the open pin.
+        instance: String,
+        /// The open pin name.
+        pin: String,
+    },
+}
+
+impl fmt::Display for ErcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErcViolation::MultipleDrivers { net } => write!(f, "net {net:?} has multiple drivers"),
+            ErcViolation::UndrivenNet { net } => write!(f, "net {net:?} is undriven"),
+            ErcViolation::UnusedNet { net } => write!(f, "net {net:?} is unused"),
+            ErcViolation::UnconnectedPin { instance, pin } => {
+                write!(f, "pin {pin:?} of {instance:?} is unconnected")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter_chain() -> Netlist {
+        let mut n = Netlist::new("chain");
+        n.add_port("in", Direction::Input).unwrap();
+        n.add_port("out", Direction::Output).unwrap();
+        n.add_net("mid").unwrap();
+        n.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "in"), ("y", "mid")])
+            .unwrap();
+        n.add_instance("u2", MasterRef::Gate(GateKind::Not), &[("a", "mid"), ("y", "out")])
+            .unwrap();
+        n
+    }
+
+    #[test]
+    fn clean_netlist_passes_erc() {
+        assert!(inverter_chain().check().is_empty());
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let mut n = Netlist::new("x");
+        n.add_port("a", Direction::Input).unwrap();
+        assert!(matches!(
+            n.add_port("a", Direction::Output),
+            Err(DesignDataError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut n = Netlist::new("x");
+        n.add_net("n").unwrap();
+        assert!(n.add_net("n").is_err());
+    }
+
+    #[test]
+    fn port_creates_net_of_same_name() {
+        let mut n = Netlist::new("x");
+        n.add_port("a", Direction::Input).unwrap();
+        assert!(n.add_net("a").is_err(), "port name occupies the net namespace");
+    }
+
+    #[test]
+    fn connection_to_unknown_net_rejected() {
+        let mut n = Netlist::new("x");
+        assert!(matches!(
+            n.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "ghost")]),
+            Err(DesignDataError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_primitive_pin_rejected() {
+        let mut n = Netlist::new("x");
+        n.add_net("n").unwrap();
+        assert!(matches!(
+            n.add_instance("u", MasterRef::Gate(GateKind::Not), &[("zz", "n")]),
+            Err(DesignDataError::UnknownPin { .. })
+        ));
+    }
+
+    #[test]
+    fn erc_detects_multiple_drivers() {
+        let mut n = Netlist::new("x");
+        n.add_port("a", Direction::Input).unwrap();
+        n.add_net("y").unwrap();
+        n.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "a"), ("y", "y")])
+            .unwrap();
+        n.add_instance("u2", MasterRef::Gate(GateKind::Buf), &[("a", "a"), ("y", "y")])
+            .unwrap();
+        assert!(n
+            .check()
+            .iter()
+            .any(|v| matches!(v, ErcViolation::MultipleDrivers { net } if net == "y")));
+    }
+
+    #[test]
+    fn erc_detects_undriven_and_unused_nets() {
+        let mut n = Netlist::new("x");
+        n.add_net("floating").unwrap();
+        n.add_net("undriven").unwrap();
+        n.add_port("out", Direction::Output).unwrap();
+        n.add_instance("u", MasterRef::Gate(GateKind::Buf), &[("a", "undriven"), ("y", "out")])
+            .unwrap();
+        let v = n.check();
+        assert!(v.iter().any(|v| matches!(v, ErcViolation::UnusedNet { net } if net == "floating")));
+        assert!(v.iter().any(|v| matches!(v, ErcViolation::UndrivenNet { net } if net == "undriven")));
+    }
+
+    #[test]
+    fn erc_detects_unconnected_pin() {
+        let mut n = Netlist::new("x");
+        n.add_port("a", Direction::Input).unwrap();
+        n.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "a")]).unwrap();
+        assert!(n
+            .check()
+            .iter()
+            .any(|v| matches!(v, ErcViolation::UnconnectedPin { pin, .. } if pin == "y")));
+    }
+
+    #[test]
+    fn remove_instance_round_trip() {
+        let mut n = inverter_chain();
+        let removed = n.remove_instance("u1").unwrap();
+        assert_eq!(removed.name, "u1");
+        assert!(n.instance("u1").is_none());
+        assert!(n.remove_instance("u1").is_err());
+    }
+
+    #[test]
+    fn remove_net_guards_references() {
+        let mut n = inverter_chain();
+        assert!(n.remove_net("mid").is_err(), "mid is still referenced");
+        n.remove_instance("u1").unwrap();
+        n.remove_instance("u2").unwrap();
+        n.remove_net("mid").unwrap();
+        assert!(n.remove_net("in").is_err(), "ports cannot be removed as nets");
+        assert!(n.remove_net("ghost").is_err());
+    }
+
+    #[test]
+    fn subcells_sorted_and_unique() {
+        let mut n = Netlist::new("top");
+        n.add_net("n").unwrap();
+        n.add_instance("i1", MasterRef::Cell("beta".to_owned()), &[("p", "n")]).unwrap();
+        n.add_instance("i2", MasterRef::Cell("alpha".to_owned()), &[("p", "n")]).unwrap();
+        n.add_instance("i3", MasterRef::Cell("beta".to_owned()), &[("p", "n")]).unwrap();
+        assert_eq!(n.subcells(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn gate_pins_match_arity() {
+        assert_eq!(GateKind::Not.pins().len(), 2);
+        assert_eq!(GateKind::Nand2.pins().len(), 3);
+        assert_eq!(GateKind::Dff.pins().len(), 3);
+    }
+
+    #[test]
+    fn gate_name_round_trip() {
+        for g in GateKind::ALL {
+            assert_eq!(GateKind::parse(g.name()), Some(g));
+        }
+        assert_eq!(GateKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn all_gates_have_positive_delay() {
+        for g in GateKind::ALL {
+            assert!(g.delay() > 0);
+        }
+    }
+
+    #[test]
+    fn data_size_grows_with_content() {
+        let small = inverter_chain().data_size();
+        let mut big = inverter_chain();
+        for i in 0..50 {
+            big.add_net(&format!("extra{i}")).unwrap();
+        }
+        assert!(big.data_size() > small);
+    }
+}

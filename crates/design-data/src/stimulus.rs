@@ -1,0 +1,211 @@
+//! Stimulus descriptions: the test bench input of a simulation run.
+//!
+//! A stimulus is its own kind of design data (many flows store it as a
+//! `stimulus` cellview next to the schematic): a list of timed drive
+//! events plus an optional clock definition.
+
+use std::fmt;
+
+use crate::error::{DesignDataError, DesignDataResult};
+use crate::waveform::Logic;
+
+/// A clock definition: a signal toggled with a fixed half-period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockSpec {
+    /// The driven signal.
+    pub signal: String,
+    /// Half-period in simulator time units.
+    pub half_period: u64,
+    /// Number of full cycles to run.
+    pub cycles: u32,
+}
+
+/// One timed drive event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveEvent {
+    /// Time of the drive.
+    pub time: u64,
+    /// The driven signal.
+    pub signal: String,
+    /// The value driven.
+    pub value: Logic,
+}
+
+/// A complete stimulus: drives, optional clock, probes of interest.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::{Stimulus, Logic};
+/// let mut s = Stimulus::new();
+/// s.drive(0, "reset", Logic::One);
+/// s.drive(20, "reset", Logic::Zero);
+/// s.clock("clk", 10, 8);
+/// s.probe("q0");
+/// assert_eq!(s.drives().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stimulus {
+    drives: Vec<DriveEvent>,
+    clock: Option<ClockSpec>,
+    probes: Vec<String>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a timed drive event.
+    pub fn drive(&mut self, time: u64, signal: &str, value: Logic) {
+        self.drives.push(DriveEvent { time, signal: signal.to_owned(), value });
+    }
+
+    /// Defines the clock (replacing any previous definition).
+    pub fn clock(&mut self, signal: &str, half_period: u64, cycles: u32) {
+        self.clock = Some(ClockSpec {
+            signal: signal.to_owned(),
+            half_period,
+            cycles,
+        });
+    }
+
+    /// Adds a signal to the probe list.
+    pub fn probe(&mut self, signal: &str) {
+        self.probes.push(signal.to_owned());
+    }
+
+    /// The drive events, in insertion order.
+    pub fn drives(&self) -> &[DriveEvent] {
+        &self.drives
+    }
+
+    /// The clock definition, if any.
+    pub fn clock_spec(&self) -> Option<&ClockSpec> {
+        self.clock.as_ref()
+    }
+
+    /// The probed signals.
+    pub fn probes(&self) -> &[String] {
+        &self.probes
+    }
+
+    /// Serialises to the stimulus text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("stimulus\n");
+        if let Some(c) = &self.clock {
+            out.push_str(&format!("clock {} {} {}\n", c.signal, c.half_period, c.cycles));
+        }
+        for d in &self.drives {
+            out.push_str(&format!("drive {} {} {}\n", d.time, d.signal, d.value));
+        }
+        for p in &self.probes {
+            out.push_str(&format!("probe {p}\n"));
+        }
+        out
+    }
+
+    /// Parses the stimulus text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::ParseError`] on malformed input.
+    pub fn parse(text: &str) -> DesignDataResult<Stimulus> {
+        let err = |line: usize, reason: &str| DesignDataError::ParseError {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "stimulus")) => {}
+            _ => return Err(err(1, "expected `stimulus` header")),
+        }
+        let mut s = Stimulus::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["clock", signal, half, cycles] => {
+                    let half = half.parse().map_err(|_| err(lineno, "bad half-period"))?;
+                    let cycles = cycles.parse().map_err(|_| err(lineno, "bad cycle count"))?;
+                    s.clock(signal, half, cycles);
+                }
+                ["drive", time, signal, value] => {
+                    let time = time.parse().map_err(|_| err(lineno, "bad time"))?;
+                    let value = value
+                        .chars()
+                        .next()
+                        .and_then(Logic::parse)
+                        .ok_or_else(|| err(lineno, "bad logic value"))?;
+                    s.drive(time, signal, value);
+                }
+                ["probe", signal] => s.probe(signal),
+                _ => return Err(err(lineno, "unknown stimulus entry")),
+            }
+        }
+        Ok(s)
+    }
+}
+
+impl fmt::Display for Stimulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stimulus ({} drive(s), {} probe(s){})",
+            self.drives.len(),
+            self.probes.len(),
+            if self.clock.is_some() { ", clocked" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stimulus {
+        let mut s = Stimulus::new();
+        s.clock("clk", 10, 16);
+        s.drive(0, "reset", Logic::One);
+        s.drive(25, "reset", Logic::Zero);
+        s.drive(30, "en", Logic::X);
+        s.probe("q0");
+        s.probe("q1");
+        s
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = sample();
+        assert_eq!(Stimulus::parse(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_stimulus_round_trips() {
+        let s = Stimulus::new();
+        assert_eq!(Stimulus::parse(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_entries_rejected() {
+        assert!(Stimulus::parse("nonsense").is_err());
+        assert!(Stimulus::parse("stimulus\ndrive x y z\n").is_err());
+        assert!(Stimulus::parse("stimulus\nwarp 9\n").is_err());
+        assert!(Stimulus::parse("stimulus\nclock clk ten 5\n").is_err());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let s = Stimulus::parse("stimulus\n# a comment\ndrive 5 a 1\n").unwrap();
+        assert_eq!(s.drives().len(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(sample().to_string(), "stimulus (3 drive(s), 2 probe(s), clocked)");
+    }
+}

@@ -1,0 +1,206 @@
+//! Symbol views: the graphical interface of a cell in schematics.
+
+use crate::error::{DesignDataError, DesignDataResult};
+use crate::netlist::Direction;
+
+/// A pin of a symbol, with its graphical position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymbolPin {
+    /// Pin name; must match a port of the cell's schematic.
+    pub name: String,
+    /// Signal direction.
+    pub direction: Direction,
+    /// Graphical x position on the symbol body.
+    pub x: i64,
+    /// Graphical y position on the symbol body.
+    pub y: i64,
+}
+
+/// A graphical shape on a symbol body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A line segment.
+    Line {
+        /// Start x.
+        x0: i64,
+        /// Start y.
+        y0: i64,
+        /// End x.
+        x1: i64,
+        /// End y.
+        y1: i64,
+    },
+    /// An outline rectangle.
+    Box {
+        /// Lower-left x.
+        x0: i64,
+        /// Lower-left y.
+        y0: i64,
+        /// Upper-right x.
+        x1: i64,
+        /// Upper-right y.
+        y1: i64,
+    },
+    /// A text label.
+    Label {
+        /// Anchor x.
+        x: i64,
+        /// Anchor y.
+        y: i64,
+        /// The label text.
+        text: String,
+    },
+}
+
+/// A symbol view: the design data of a `symbol` cellview.
+///
+/// Symbols are what FMCAD's schematic editor places when a cell is
+/// instantiated; Figure 2 shows `Symbol in Sch.V` as its own entity.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::{Symbol, Direction, Shape};
+/// # fn main() -> Result<(), design_data::DesignDataError> {
+/// let mut s = Symbol::new("inv");
+/// s.add_pin("a", Direction::Input, -10, 0)?;
+/// s.add_pin("y", Direction::Output, 10, 0)?;
+/// s.add_shape(Shape::Box { x0: -8, y0: -5, x1: 8, y1: 5 });
+/// assert_eq!(s.pins().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    name: String,
+    pins: Vec<SymbolPin>,
+    shapes: Vec<Shape>,
+}
+
+impl Symbol {
+    /// Creates an empty symbol for cell `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Symbol { name: name.into(), pins: Vec::new(), shapes: Vec::new() }
+    }
+
+    /// The cell name this symbol represents.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol pins, in declaration order.
+    pub fn pins(&self) -> &[SymbolPin] {
+        &self.pins
+    }
+
+    /// The body shapes, in declaration order.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Adds a pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignDataError::DuplicateName`] for a reused pin name.
+    pub fn add_pin(&mut self, name: &str, direction: Direction, x: i64, y: i64) -> DesignDataResult<()> {
+        if self.pins.iter().any(|p| p.name == name) {
+            return Err(DesignDataError::DuplicateName(name.to_owned()));
+        }
+        self.pins.push(SymbolPin { name: name.to_owned(), direction, x, y });
+        Ok(())
+    }
+
+    /// Adds a body shape.
+    pub fn add_shape(&mut self, shape: Shape) {
+        self.shapes.push(shape);
+    }
+
+    /// Checks this symbol against the port list of a schematic: every
+    /// pin must match a port with the same direction and vice versa.
+    /// Returns human-readable mismatch descriptions.
+    pub fn check_against_ports(&self, ports: &[crate::netlist::Port]) -> Vec<String> {
+        let mut problems = Vec::new();
+        for pin in &self.pins {
+            match ports.iter().find(|p| p.name == pin.name) {
+                None => problems.push(format!("symbol pin {:?} has no schematic port", pin.name)),
+                Some(port) if port.direction != pin.direction => problems.push(format!(
+                    "pin {:?} direction {} differs from port direction {}",
+                    pin.name, pin.direction, port.direction
+                )),
+                Some(_) => {}
+            }
+        }
+        for port in ports {
+            if !self.pins.iter().any(|p| p.name == port.name) {
+                problems.push(format!("schematic port {:?} missing from symbol", port.name));
+            }
+        }
+        problems
+    }
+
+    /// Approximate on-disk size of this symbol in bytes.
+    pub fn data_size(&self) -> u64 {
+        crate::format::write_symbol(self).len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Port;
+
+    fn ports() -> Vec<Port> {
+        vec![
+            Port { name: "a".to_owned(), direction: Direction::Input },
+            Port { name: "y".to_owned(), direction: Direction::Output },
+        ]
+    }
+
+    #[test]
+    fn matching_symbol_passes() {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Input, -10, 0).unwrap();
+        s.add_pin("y", Direction::Output, 10, 0).unwrap();
+        assert!(s.check_against_ports(&ports()).is_empty());
+    }
+
+    #[test]
+    fn missing_pin_reported() {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Input, -10, 0).unwrap();
+        let problems = s.check_against_ports(&ports());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("missing from symbol"));
+    }
+
+    #[test]
+    fn direction_mismatch_reported() {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Output, -10, 0).unwrap();
+        s.add_pin("y", Direction::Output, 10, 0).unwrap();
+        assert!(s
+            .check_against_ports(&ports())
+            .iter()
+            .any(|p| p.contains("differs from port direction")));
+    }
+
+    #[test]
+    fn extra_pin_reported() {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Input, -10, 0).unwrap();
+        s.add_pin("y", Direction::Output, 10, 0).unwrap();
+        s.add_pin("en", Direction::Input, 0, 10).unwrap();
+        assert!(s
+            .check_against_ports(&ports())
+            .iter()
+            .any(|p| p.contains("no schematic port")));
+    }
+
+    #[test]
+    fn duplicate_pin_rejected() {
+        let mut s = Symbol::new("inv");
+        s.add_pin("a", Direction::Input, 0, 0).unwrap();
+        assert!(s.add_pin("a", Direction::Input, 1, 1).is_err());
+    }
+}

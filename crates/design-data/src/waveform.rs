@@ -1,0 +1,288 @@
+//! Simulation waveforms: four-valued logic traces over time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Four-valued digital logic, as used by event-driven gate simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Logic {
+    /// Strong low.
+    Zero,
+    /// Strong high.
+    One,
+    /// Unknown (uninitialised or conflicting).
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Parses the single-character display form.
+    pub fn parse(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'X' | 'x' => Some(Logic::X),
+            'Z' | 'z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// Logical AND in four-valued logic.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.known(), other.known()) {
+            (Some(false), _) | (_, Some(false)) => Logic::Zero,
+            (Some(true), Some(true)) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR in four-valued logic.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.known(), other.known()) {
+            (Some(true), _) | (_, Some(true)) => Logic::One,
+            (Some(false), Some(false)) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR in four-valued logic.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.known(), other.known()) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            }
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical NOT in four-valued logic.
+    #[allow(clippy::should_implement_trait)] // `not` is the domain term; Logic is not a bool
+    pub fn not(self) -> Logic {
+        match self.known() {
+            Some(true) => Logic::Zero,
+            Some(false) => Logic::One,
+            None => Logic::X,
+        }
+    }
+
+    /// Returns `Some(bool)` for the strong values, `None` for X and Z.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "X",
+            Logic::Z => "Z",
+        })
+    }
+}
+
+/// The value trace of one signal: time-ordered change events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<(u64, Logic)>,
+}
+
+impl Trace {
+    /// Creates an empty trace (value is Z before any event).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value change at `time`. Out-of-order events are
+    /// inserted at their proper place; same-time events overwrite.
+    pub fn record(&mut self, time: u64, value: Logic) {
+        match self.events.binary_search_by_key(&time, |(t, _)| *t) {
+            Ok(i) => self.events[i].1 = value,
+            Err(i) => self.events.insert(i, (time, value)),
+        }
+    }
+
+    /// The signal value at `time` (value of the latest event at or
+    /// before `time`; [`Logic::Z`] before the first event).
+    pub fn value_at(&self, time: u64) -> Logic {
+        match self.events.binary_search_by_key(&time, |(t, _)| *t) {
+            Ok(i) => self.events[i].1,
+            Err(0) => Logic::Z,
+            Err(i) => self.events[i - 1].1,
+        }
+    }
+
+    /// All change events in time order.
+    pub fn events(&self) -> &[(u64, Logic)] {
+        &self.events
+    }
+
+    /// Number of recorded change events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The final value of the trace, if any event was recorded.
+    pub fn final_value(&self) -> Option<Logic> {
+        self.events.last().map(|(_, v)| *v)
+    }
+}
+
+/// A set of named signal traces — the output of one simulation run and
+/// the design data of a `waveform` cellview.
+///
+/// # Examples
+///
+/// ```
+/// # use design_data::{Waveforms, Logic};
+/// let mut w = Waveforms::new();
+/// w.record("clk", 0, Logic::Zero);
+/// w.record("clk", 5, Logic::One);
+/// assert_eq!(w.value_at("clk", 7), Logic::One);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Waveforms {
+    traces: BTreeMap<String, Trace>,
+}
+
+impl Waveforms {
+    /// Creates an empty waveform set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a change event on `signal`.
+    pub fn record(&mut self, signal: &str, time: u64, value: Logic) {
+        self.traces.entry(signal.to_owned()).or_default().record(time, value);
+    }
+
+    /// The value of `signal` at `time` ([`Logic::Z`] if never recorded).
+    pub fn value_at(&self, signal: &str, time: u64) -> Logic {
+        self.traces.get(signal).map_or(Logic::Z, |t| t.value_at(time))
+    }
+
+    /// The trace of `signal`, if any events were recorded for it.
+    pub fn trace(&self, signal: &str) -> Option<&Trace> {
+        self.traces.get(signal)
+    }
+
+    /// Iterates over `(signal, trace)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Trace)> {
+        self.traces.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of signals with at least one event.
+    pub fn signal_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The largest event time across all traces, or 0 if empty.
+    pub fn horizon(&self) -> u64 {
+        self.traces
+            .values()
+            .filter_map(|t| t.events().last().map(|(t, _)| *t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate on-disk size of the waveform data in bytes.
+    pub fn data_size(&self) -> u64 {
+        crate::format::write_waveforms(self).len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_valued_and_or_truth() {
+        use Logic::*;
+        assert_eq!(Zero.and(X), Zero, "0 AND anything is 0");
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.or(X), One, "1 OR anything is 1");
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(Zero.or(Zero), Zero);
+    }
+
+    #[test]
+    fn xor_and_not_propagate_unknowns() {
+        use Logic::*;
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(Z.not(), X);
+        assert_eq!(Zero.not(), One);
+    }
+
+    #[test]
+    fn z_behaves_as_unknown_in_gates() {
+        assert_eq!(Logic::Z.and(Logic::One), Logic::X);
+        assert_eq!(Logic::Z.or(Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for l in [Logic::Zero, Logic::One, Logic::X, Logic::Z] {
+            assert_eq!(Logic::parse(l.to_string().chars().next().unwrap()), Some(l));
+        }
+        assert_eq!(Logic::parse('q'), None);
+    }
+
+    #[test]
+    fn trace_value_lookup() {
+        let mut t = Trace::new();
+        t.record(10, Logic::One);
+        t.record(20, Logic::Zero);
+        assert_eq!(t.value_at(5), Logic::Z);
+        assert_eq!(t.value_at(10), Logic::One);
+        assert_eq!(t.value_at(15), Logic::One);
+        assert_eq!(t.value_at(20), Logic::Zero);
+        assert_eq!(t.value_at(100), Logic::Zero);
+        assert_eq!(t.final_value(), Some(Logic::Zero));
+    }
+
+    #[test]
+    fn out_of_order_recording_sorts() {
+        let mut t = Trace::new();
+        t.record(20, Logic::Zero);
+        t.record(10, Logic::One);
+        assert_eq!(t.events(), &[(10, Logic::One), (20, Logic::Zero)]);
+    }
+
+    #[test]
+    fn same_time_recording_overwrites() {
+        let mut t = Trace::new();
+        t.record(10, Logic::One);
+        t.record(10, Logic::Zero);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value_at(10), Logic::Zero);
+    }
+
+    #[test]
+    fn waveforms_horizon_and_counts() {
+        let mut w = Waveforms::new();
+        assert_eq!(w.horizon(), 0);
+        w.record("a", 5, Logic::One);
+        w.record("b", 12, Logic::Zero);
+        assert_eq!(w.horizon(), 12);
+        assert_eq!(w.signal_count(), 2);
+        assert_eq!(w.value_at("missing", 100), Logic::Z);
+    }
+}

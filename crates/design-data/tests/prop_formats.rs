@@ -1,0 +1,63 @@
+//! Property-based tests: format round trips over generated designs.
+
+use design_data::{format, generate, layout_hierarchy, schematic_hierarchy, Logic, Waveforms};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every generated random-logic design round-trips through the
+    /// netlist format losslessly.
+    #[test]
+    fn netlist_format_round_trip(gates in 1usize..120, seed in any::<u64>()) {
+        let d = generate::random_logic(gates, seed);
+        let n = &d.netlists[&d.top];
+        let parsed = format::parse_netlist(&format::write_netlist(n)).unwrap();
+        prop_assert_eq!(&parsed, n);
+    }
+
+    /// Layout and symbol views of generated designs round-trip too.
+    #[test]
+    fn layout_symbol_round_trip(width in 1usize..12) {
+        let d = generate::ripple_adder(width);
+        for l in d.layouts.values() {
+            let parsed = format::parse_layout(&format::write_layout(l)).unwrap();
+            prop_assert_eq!(&parsed, l);
+        }
+        for s in d.symbols.values() {
+            let parsed = format::parse_symbol(&format::write_symbol(s)).unwrap();
+            prop_assert_eq!(&parsed, s);
+        }
+    }
+
+    /// Generated designs are always ERC-clean, DRC-clean and have
+    /// isomorphic schematic/layout hierarchies.
+    #[test]
+    fn generated_designs_are_clean(gates in 1usize..80, seed in any::<u64>()) {
+        let d = generate::random_logic(gates, seed);
+        for n in d.netlists.values() {
+            prop_assert!(n.check().is_empty());
+        }
+        for l in d.layouts.values() {
+            prop_assert!(l.check().is_empty());
+        }
+        let hs = schematic_hierarchy(&d.top, &d.netlists);
+        let hl = layout_hierarchy(&d.top, &d.layouts);
+        prop_assert!(hs.is_isomorphic_to(&hl));
+    }
+
+    /// Waveform sets round-trip through their text format.
+    #[test]
+    fn waveform_round_trip(events in prop::collection::vec((0u64..1000, 0u8..4), 0..64)) {
+        let mut w = Waveforms::new();
+        for (i, (t, v)) in events.iter().enumerate() {
+            let logic = match v {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                2 => Logic::X,
+                _ => Logic::Z,
+            };
+            w.record(&format!("sig{}", i % 5), *t, logic);
+        }
+        let parsed = format::parse_waveforms(&format::write_waveforms(&w)).unwrap();
+        prop_assert_eq!(parsed, w);
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness fuzzing: no parser in the workspace may panic on
+//! arbitrary input — a framework must survive corrupt design files.
+
+use design_data::{format, Stimulus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The netlist parser returns Ok or Err, never panics.
+    #[test]
+    fn netlist_parser_never_panics(input in "\\PC*") {
+        let _ = format::parse_netlist(&input);
+    }
+
+    /// Ditto for layouts, symbols, waveforms and stimuli.
+    #[test]
+    fn other_parsers_never_panic(input in "\\PC*") {
+        let _ = format::parse_layout(&input);
+        let _ = format::parse_symbol(&input);
+        let _ = format::parse_waveforms(&input);
+        let _ = Stimulus::parse(&input);
+    }
+
+    /// Inputs that *look* like the formats but carry random payloads.
+    #[test]
+    fn structured_garbage_never_panics(
+        keyword in "(netlist|layout|symbol|waves|stimulus)",
+        lines in prop::collection::vec("[ -~]{0,40}", 0..20),
+    ) {
+        let mut text = format!("{keyword} x\n");
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let _ = format::parse_netlist(&text);
+        let _ = format::parse_layout(&text);
+        let _ = format::parse_symbol(&text);
+        let _ = format::parse_waveforms(&text);
+        let _ = Stimulus::parse(&text);
+    }
+}

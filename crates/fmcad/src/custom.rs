@@ -1,0 +1,232 @@
+//! Extension-language customisation: triggers and menu locking.
+//!
+//! The paper's encapsulation *"was extended by several extension
+//! language procedures to trigger functions and lock menu points in
+//! order to prevent data inconsistency"* (§2.4). This module wires the
+//! [`fml`] interpreter into FMCAD: scripts can lock and unlock menu
+//! entries and register trigger procedures that the framework fires on
+//! events (checkin, checkout, tool invocation, ...).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fml::{FmlError, FmlResult, Host, Interp, Value};
+
+use crate::error::{FmcadError, FmcadResult};
+use crate::library::Fmcad;
+
+/// Mutable framework state exposed to extension scripts.
+#[derive(Debug, Default)]
+pub struct CustomState {
+    menus_locked: BTreeSet<String>,
+    triggers: BTreeMap<String, Vec<String>>,
+    log: Vec<String>,
+}
+
+impl Host for CustomState {
+    fn host_call(&mut self, name: &str, args: &[Value]) -> FmlResult<Value> {
+        let text_arg = |i: usize| -> FmlResult<&str> {
+            match args.get(i) {
+                Some(Value::Str(s)) => Ok(s.as_str()),
+                Some(other) => Err(FmlError::TypeError {
+                    expected: "string",
+                    found: other.to_string(),
+                }),
+                None => Err(FmlError::ArityMismatch {
+                    callee: name.to_owned(),
+                    expected: format!("at least {}", i + 1),
+                    found: args.len(),
+                }),
+            }
+        };
+        match name {
+            "lock-menu" => {
+                self.menus_locked.insert(text_arg(0)?.to_owned());
+                Ok(Value::Bool(true))
+            }
+            "unlock-menu" => {
+                let removed = self.menus_locked.remove(text_arg(0)?);
+                Ok(Value::Bool(removed))
+            }
+            "menu-locked?" => Ok(Value::Bool(self.menus_locked.contains(text_arg(0)?))),
+            "register-trigger" => {
+                let event = text_arg(0)?.to_owned();
+                let proc_name = text_arg(1)?.to_owned();
+                self.triggers.entry(event).or_default().push(proc_name);
+                Ok(Value::Bool(true))
+            }
+            "log" => {
+                self.log.push(text_arg(0)?.to_owned());
+                Ok(Value::nil())
+            }
+            other => Err(FmlError::HostError(format!("unknown host function {other:?}"))),
+        }
+    }
+}
+
+/// The customisation layer of one FMCAD installation.
+#[derive(Debug, Default)]
+pub struct Customization {
+    interp: Interp,
+    state: CustomState,
+}
+
+impl Customization {
+    /// Creates an empty customisation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs an extension-language script.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script's error, if any.
+    pub fn run(&mut self, source: &str) -> Result<Value, FmlError> {
+        self.interp.run(source, &mut self.state)
+    }
+
+    /// Fires all trigger procedures registered for `event`, passing
+    /// `args` to each. Returns their results in registration order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first failing trigger's error.
+    pub fn fire(&mut self, event: &str, args: &[Value]) -> Result<Vec<Value>, FmlError> {
+        let procs = self.state.triggers.get(event).cloned().unwrap_or_default();
+        let mut results = Vec::with_capacity(procs.len());
+        for proc_name in procs {
+            results.push(self.interp.call(&proc_name, args, &mut self.state)?);
+        }
+        Ok(results)
+    }
+
+    /// Returns `true` if any trigger is registered for `event`.
+    pub fn has_trigger(&self, event: &str) -> bool {
+        self.state.triggers.get(event).is_some_and(|p| !p.is_empty())
+    }
+
+    /// Returns `true` if the menu entry is locked.
+    pub fn is_menu_locked(&self, menu: &str) -> bool {
+        self.state.menus_locked.contains(menu)
+    }
+
+    /// The accumulated script log lines.
+    pub fn log(&self) -> &[String] {
+        &self.state.log
+    }
+
+    /// Everything the scripts printed so far.
+    pub fn take_output(&mut self) -> Vec<String> {
+        self.interp.take_output()
+    }
+}
+
+impl Fmcad {
+    /// Runs a customisation script against this installation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::Script`] wrapping the script failure.
+    pub fn run_script(&mut self, source: &str) -> FmcadResult<Value> {
+        Ok(self.custom.run(source)?)
+    }
+
+    /// Fires the triggers registered for an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::Script`] if a trigger fails.
+    pub fn fire_trigger(&mut self, event: &str, args: &[Value]) -> FmcadResult<Vec<Value>> {
+        Ok(self.custom.fire(event, args)?)
+    }
+
+    /// Invokes a framework menu entry, honouring customisation locks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::MenuLocked`] if a script locked it.
+    pub fn menu_invoke(&mut self, menu: &str) -> FmcadResult<()> {
+        if self.custom.is_menu_locked(menu) {
+            return Err(FmcadError::MenuLocked(menu.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Read access to the customisation layer.
+    pub fn customization(&self) -> &Customization {
+        &self.custom
+    }
+
+    /// Mutable access to the customisation layer.
+    pub fn customization_mut(&mut self) -> &mut Customization {
+        &mut self.custom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_lock_and_unlock_menus() {
+        let mut fm = Fmcad::new();
+        fm.run_script("(host-call \"lock-menu\" \"Check In\")").unwrap();
+        assert!(matches!(fm.menu_invoke("Check In"), Err(FmcadError::MenuLocked(_))));
+        fm.menu_invoke("Check Out").unwrap();
+        fm.run_script("(host-call \"unlock-menu\" \"Check In\")").unwrap();
+        fm.menu_invoke("Check In").unwrap();
+    }
+
+    #[test]
+    fn triggers_fire_registered_procedures() {
+        let mut fm = Fmcad::new();
+        fm.run_script(
+            "(define hits 0)
+             (define (on-checkin cell) (set! hits (+ hits 1)) hits)
+             (host-call \"register-trigger\" \"checkin\" \"on-checkin\")",
+        )
+        .unwrap();
+        assert!(fm.customization().has_trigger("checkin"));
+        let r1 = fm.fire_trigger("checkin", &[Value::Str("adder".into())]).unwrap();
+        let r2 = fm.fire_trigger("checkin", &[Value::Str("adder".into())]).unwrap();
+        assert!(matches!(r1[0], Value::Int(1)));
+        assert!(matches!(r2[0], Value::Int(2)));
+        assert!(fm.fire_trigger("unused-event", &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trigger_can_lock_menu_to_prevent_inconsistency() {
+        // The paper's consistency guard pattern: a trigger that locks
+        // the checkin menu while a predecessor activity is pending.
+        let mut fm = Fmcad::new();
+        fm.run_script(
+            "(define (guard state)
+               (if (= state \"pending\")
+                   (host-call \"lock-menu\" \"Check In\")
+                   (host-call \"unlock-menu\" \"Check In\")))
+             (host-call \"register-trigger\" \"predecessor-state\" \"guard\")",
+        )
+        .unwrap();
+        fm.fire_trigger("predecessor-state", &[Value::Str("pending".into())]).unwrap();
+        assert!(matches!(fm.menu_invoke("Check In"), Err(FmcadError::MenuLocked(_))));
+        fm.fire_trigger("predecessor-state", &[Value::Str("done".into())]).unwrap();
+        fm.menu_invoke("Check In").unwrap();
+    }
+
+    #[test]
+    fn script_errors_surface() {
+        let mut fm = Fmcad::new();
+        assert!(matches!(fm.run_script("(error \"bad\")"), Err(FmcadError::Script(_))));
+        assert!(matches!(
+            fm.fire_trigger("nothing", &[Value::Int(1)]),
+            Ok(v) if v.is_empty()
+        ));
+    }
+
+    #[test]
+    fn host_log_collects_messages() {
+        let mut fm = Fmcad::new();
+        fm.run_script("(host-call \"log\" \"encapsulation ready\")").unwrap();
+        assert_eq!(fm.customization().log(), ["encapsulation ready"]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for FMCAD framework operations.
+
+use std::error::Error;
+use std::fmt;
+
+use cad_vfs::VfsError;
+use fml::FmlError;
+
+/// Error returned by FMCAD framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmcadError {
+    /// A file system operation under the library directory failed.
+    Vfs(VfsError),
+    /// A named library, cell, view or version was not found.
+    NotFound(String),
+    /// The name is already in use within its namespace.
+    NameTaken(String),
+    /// The cellview is checked out by another user.
+    CheckedOutBy {
+        /// Holder of the checkout.
+        user: String,
+    },
+    /// A checkin without holding the checkout.
+    NotCheckedOut,
+    /// The project's single `.meta` file is held by another designer.
+    MetaLocked {
+        /// Who holds the metadata lock.
+        holder: String,
+    },
+    /// The viewtype is not registered with any application.
+    UnknownViewtype(String),
+    /// A configuration already binds a version of this cellview.
+    ConfigConflict {
+        /// The doubly-bound cellview, as `cell/view`.
+        cellview: String,
+    },
+    /// A menu entry is locked by customisation code (§2.4 wrappers).
+    MenuLocked(String),
+    /// An extension-language script failed.
+    Script(FmlError),
+    /// The `.meta` file on disk could not be parsed.
+    CorruptMeta {
+        /// Line of the offending entry.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FmcadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmcadError::Vfs(e) => write!(f, "library file system error: {e}"),
+            FmcadError::NotFound(n) => write!(f, "not found: {n}"),
+            FmcadError::NameTaken(n) => write!(f, "name already in use: {n}"),
+            FmcadError::CheckedOutBy { user } => write!(f, "cellview is checked out by {user:?}"),
+            FmcadError::NotCheckedOut => write!(f, "cellview is not checked out by you"),
+            FmcadError::MetaLocked { holder } => {
+                write!(f, ".meta file is locked by {holder:?}")
+            }
+            FmcadError::UnknownViewtype(v) => write!(f, "unknown viewtype {v:?}"),
+            FmcadError::ConfigConflict { cellview } => {
+                write!(f, "configuration already contains a version of {cellview}")
+            }
+            FmcadError::MenuLocked(m) => write!(f, "menu entry {m:?} is locked"),
+            FmcadError::Script(e) => write!(f, "extension language error: {e}"),
+            FmcadError::CorruptMeta { line, reason } => {
+                write!(f, "corrupt .meta at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FmcadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FmcadError::Vfs(e) => Some(e),
+            FmcadError::Script(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<VfsError> for FmcadError {
+    fn from(e: VfsError) -> Self {
+        FmcadError::Vfs(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<FmlError> for FmcadError {
+    fn from(e: FmlError) -> Self {
+        FmcadError::Script(e)
+    }
+}
+
+/// Convenience alias for FMCAD results.
+pub type FmcadResult<T> = Result<T, FmcadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FmcadError>();
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: FmcadError = FmlError::UnexpectedEof.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,206 @@
+//! Dynamic hierarchy binding.
+//!
+//! In FMCAD the design hierarchy lives *inside the design files* and is
+//! bound dynamically *"by always using the default version of a
+//! cellview"*, *"without storing what belongs to what relationships"*
+//! (§2.2). Re-binding after someone checks in a new default can
+//! silently change the design — flexible, but with *"poor consistency
+//! control of versioned hierarchical designs"* (§3.3). Because the
+//! hierarchy depends on the viewtype, schematic and layout hierarchies
+//! may legitimately differ (non-isomorphic hierarchies).
+
+use std::collections::BTreeMap;
+
+use design_data::{format, ViewHierarchy};
+
+use crate::error::{FmcadError, FmcadResult};
+use crate::library::Fmcad;
+
+/// The result of dynamically binding one viewtype's hierarchy: for
+/// every reached cell, the version that was bound and its content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundDesign {
+    /// The root cell.
+    pub top: String,
+    /// The view name that was traversed.
+    pub view: String,
+    /// Bound version and bytes per cell, keyed by cell name.
+    pub bound: BTreeMap<String, (u32, Vec<u8>)>,
+}
+
+impl BoundDesign {
+    /// The `(cell, version)` pairs of the binding, sorted by cell.
+    pub fn versions(&self) -> Vec<(&str, u32)> {
+        self.bound.iter().map(|(c, (v, _))| (c.as_str(), *v)).collect()
+    }
+}
+
+impl Fmcad {
+    /// Dynamically binds the hierarchy of `view` under `top`,
+    /// recursively following subcell references in the design files and
+    /// always taking each cellview's **current default version**.
+    ///
+    /// Cells that have no such view in the library are treated as
+    /// leaves (library primitives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] if the top cellview has no
+    /// version, and parse errors for corrupt design files.
+    pub fn bind_hierarchy(&mut self, lib: &str, top: &str, view: &str) -> FmcadResult<BoundDesign> {
+        let mut bound = BTreeMap::new();
+        let mut frontier = vec![top.to_owned()];
+        while let Some(cell) = frontier.pop() {
+            if bound.contains_key(&cell) {
+                continue;
+            }
+            let has_view = self.meta(lib)?.view(&cell, view).is_some();
+            if !has_view {
+                if cell == top {
+                    return Err(FmcadError::NotFound(format!("cellview {top}/{view}")));
+                }
+                continue; // leaf: no such view in the library
+            }
+            let version = self
+                .default_version(lib, &cell, view)?
+                .ok_or_else(|| FmcadError::NotFound(format!("no versions of {cell}/{view}")))?;
+            let data = self.read_version(lib, &cell, view, version)?;
+            for child in subcells_in(view, &data)? {
+                frontier.push(child);
+            }
+            bound.insert(cell, (version, data));
+        }
+        Ok(BoundDesign { top: top.to_owned(), view: view.to_owned(), bound })
+    }
+
+    /// Extracts the [`ViewHierarchy`] of one viewtype by dynamic
+    /// binding — the per-viewtype hierarchy that may legitimately be
+    /// non-isomorphic to another viewtype's (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fmcad::bind_hierarchy`] errors.
+    pub fn view_hierarchy(&mut self, lib: &str, top: &str, view: &str) -> FmcadResult<ViewHierarchy> {
+        let design = self.bind_hierarchy(lib, top, view)?;
+        let mut h = ViewHierarchy::new(top);
+        for (cell, (_, data)) in &design.bound {
+            let children = subcells_in(view, data)?;
+            let refs: Vec<&str> = children.iter().map(String::as_str).collect();
+            h.add_cell(cell, &refs);
+            // Leaves referenced but not bound (no view) still need nodes.
+            for child in &children {
+                if !design.bound.contains_key(child) {
+                    h.add_cell(child, &[]);
+                }
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// Parses a design file just enough to find its subcell references.
+fn subcells_in(view: &str, data: &[u8]) -> FmcadResult<Vec<String>> {
+    let text = String::from_utf8_lossy(data);
+    match view {
+        "schematic" => {
+            let netlist = format::parse_netlist(&text)
+                .map_err(|e| FmcadError::CorruptMeta { line: 0, reason: e.to_string() })?;
+            Ok(netlist.subcells().into_iter().map(str::to_owned).collect())
+        }
+        "layout" => {
+            let layout = format::parse_layout(&text)
+                .map_err(|e| FmcadError::CorruptMeta { line: 0, reason: e.to_string() })?;
+            Ok(layout.subcells().into_iter().map(str::to_owned).collect())
+        }
+        _ => Ok(Vec::new()), // symbols, waveforms etc. have no hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_data::generate;
+
+    /// Populates a library from a generated design (initial checkins).
+    fn populate(fm: &mut Fmcad, lib: &str, design: &design_data::GeneratedDesign) {
+        fm.create_library(lib).unwrap();
+        for (cell, netlist) in &design.netlists {
+            fm.create_cell(lib, cell).unwrap();
+            fm.create_cellview(lib, cell, "schematic", "schematic").unwrap();
+            fm.checkin("gen", lib, cell, "schematic", format::write_netlist(netlist).into_bytes())
+                .unwrap();
+        }
+        for (cell, layout) in &design.layouts {
+            fm.create_cellview(lib, cell, "layout", "layout").unwrap();
+            fm.checkin("gen", lib, cell, "layout", format::write_layout(layout).into_bytes())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn binds_whole_hierarchy_at_default_versions() {
+        let mut fm = Fmcad::new();
+        let design = generate::ripple_adder(4);
+        populate(&mut fm, "alu", &design);
+        let bound = fm.bind_hierarchy("alu", &design.top, "schematic").unwrap();
+        assert_eq!(bound.bound.len(), 2, "top + full_adder");
+        assert!(bound.versions().iter().all(|(_, v)| *v == 1));
+    }
+
+    #[test]
+    fn rebinding_follows_new_defaults_silently() {
+        // The §3.3 hazard: checking in a new full_adder changes every
+        // subsequent binding of the top design without any record.
+        let mut fm = Fmcad::new();
+        let design = generate::ripple_adder(2);
+        populate(&mut fm, "alu", &design);
+        let before = fm.bind_hierarchy("alu", &design.top, "schematic").unwrap();
+        fm.checkout("eve", "alu", "full_adder", "schematic").unwrap();
+        let replacement = format::write_netlist(&generate::full_adder());
+        fm.checkin("eve", "alu", "full_adder", "schematic", replacement.into_bytes()).unwrap();
+        let after = fm.bind_hierarchy("alu", &design.top, "schematic").unwrap();
+        assert_eq!(before.bound["full_adder"].0, 1);
+        assert_eq!(after.bound["full_adder"].0, 2, "binding silently moved to v2");
+    }
+
+    #[test]
+    fn hierarchies_are_per_viewtype_and_may_differ() {
+        let mut fm = Fmcad::new();
+        let design = generate::ripple_adder(2);
+        populate(&mut fm, "alu", &design);
+        // Flatten the layout of the top cell: no placements at all.
+        fm.checkout("eve", "alu", &design.top, "layout").unwrap();
+        let flat = design_data::Layout::new(design.top.clone());
+        fm.checkin("eve", "alu", &design.top, "layout", format::write_layout(&flat).into_bytes())
+            .unwrap();
+        let hs = fm.view_hierarchy("alu", &design.top, "schematic").unwrap();
+        let hl = fm.view_hierarchy("alu", &design.top, "layout").unwrap();
+        // FMCAD accepts this non-isomorphic pair without complaint.
+        assert!(!hs.is_isomorphic_to(&hl));
+    }
+
+    #[test]
+    fn missing_top_view_is_an_error_but_leaf_gaps_are_not() {
+        let mut fm = Fmcad::new();
+        let design = generate::ripple_adder(2);
+        populate(&mut fm, "alu", &design);
+        assert!(fm.bind_hierarchy("alu", &design.top, "symbol").is_err());
+        // Remove the leaf's schematic cellview list entry: binding still
+        // succeeds treating it as a primitive leaf.
+        let mut fm2 = Fmcad::new();
+        fm2.create_library("l").unwrap();
+        fm2.create_cell("l", "top").unwrap();
+        fm2.create_cellview("l", "top", "schematic", "schematic").unwrap();
+        let mut top = design_data::Netlist::new("top");
+        top.add_net("n").unwrap();
+        top.add_instance("u1", design_data::MasterRef::Cell("hard_ip".into()), &[("p", "n")])
+            .unwrap();
+        fm2.checkin("gen", "l", "top", "schematic", format::write_netlist(&top).into_bytes())
+            .unwrap();
+        let bound = fm2.bind_hierarchy("l", "top", "schematic").unwrap();
+        assert_eq!(bound.bound.len(), 1);
+        let h = fm2.view_hierarchy("l", "top", "schematic").unwrap();
+        assert_eq!(h.children("top"), ["hard_ip"]);
+        assert!(h.validate().is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! # fmcad — the ECAD framework model
+//!
+//! A from-scratch executable model of the *"widespread ECAD framework
+//! (called FMCAD)"* of §2.2 and Figure 2 — the *slave* framework of the
+//! hybrid coupling, with the profile of a mid-90s Cadence Design
+//! Framework II:
+//!
+//! * **Libraries in the file system.** A library is a directory plus a
+//!   [`meta::LibraryMeta`] `.meta` file; cells, views, cellviews and
+//!   cellview versions are entries in it; tools operate on files **in
+//!   place** (fast, §3.6).
+//! * **Checkout/checkin concurrency.** One checked-out version per
+//!   cellview; parallel work on two versions of a cellview is
+//!   impossible (§3.1), and the single `.meta` per library demands
+//!   explicit coordination (the metadata lock).
+//! * **Manual metadata refresh.** Files written behind the framework's
+//!   back go unnoticed until [`Fmcad::refresh`]; [`Fmcad::verify`]
+//!   reports the drift.
+//! * **Dynamic, per-viewtype hierarchy binding.** Hierarchies live in
+//!   the design files, are bound to default versions on every open and
+//!   may be non-isomorphic across viewtypes ([`Fmcad::bind_hierarchy`],
+//!   [`Fmcad::view_hierarchy`]).
+//! * **Extension language.** Customisation scripts in [`fml`] register
+//!   triggers and lock menu points ([`Fmcad::run_script`],
+//!   [`Fmcad::fire_trigger`], [`Fmcad::menu_invoke`]).
+//! * **Free tool invocation.** Any tool, any order, no flow management
+//!   and no derivation records (§3.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use fmcad::Fmcad;
+//!
+//! # fn main() -> Result<(), fmcad::FmcadError> {
+//! let mut fm = Fmcad::new();
+//! fm.create_library("alu")?;
+//! fm.create_cell("alu", "adder")?;
+//! fm.create_cellview("alu", "adder", "schematic", "schematic")?;
+//! fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder".to_vec())?;
+//!
+//! // Bob cannot edit while Alice holds the checkout:
+//! fm.checkout("alice", "alu", "adder", "schematic")?;
+//! assert!(fm.checkout("bob", "alu", "adder", "schematic").is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod custom;
+mod error;
+mod hierarchy;
+mod library;
+pub mod meta;
+
+pub use custom::{CustomState, Customization};
+pub use error::{FmcadError, FmcadResult};
+pub use hierarchy::BoundDesign;
+pub use library::{Fmcad, MetaInconsistency, LIBS_ROOT};

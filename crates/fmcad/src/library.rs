@@ -1,0 +1,1181 @@
+//! Libraries, cellviews, versions and the checkout/checkin model.
+
+use std::collections::BTreeMap;
+
+use cad_tools::{ItcBus, ItcMessage, SubscriberId, ToolKind};
+use cad_vfs::{Vfs, VfsPath};
+
+use crate::error::{FmcadError, FmcadResult};
+use crate::meta::{CellMeta, Checkout, ConfigMeta, LibraryMeta, ViewMeta};
+
+/// Root directory of all FMCAD libraries in the virtual file system.
+pub const LIBS_ROOT: &str = "/libs";
+
+/// One detected mismatch between a library's `.meta` and its directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaInconsistency {
+    /// A version file exists on disk that the metadata does not know.
+    UnknownFile {
+        /// The file's path.
+        path: String,
+    },
+    /// The metadata lists a version whose file is missing.
+    MissingFile {
+        /// Cell name.
+        cell: String,
+        /// View name.
+        view: String,
+        /// The dangling version number.
+        version: u32,
+    },
+    /// The default version is not in the version list.
+    BadDefault {
+        /// Cell name.
+        cell: String,
+        /// View name.
+        view: String,
+    },
+}
+
+/// The FMCAD ECAD framework.
+///
+/// Design data lives in *libraries*: a directory in the (virtual) UNIX
+/// file system plus a `.meta` file describing it (§2.2, Figure 2). The
+/// framework runs the integrated tools directly on those files — no
+/// copies, which is why FMCAD is fast where JCF's encapsulation is not
+/// (§3.6) — but pays for it with weak concurrency control:
+///
+/// * a cellview has at most one checked-out version at a time; two
+///   users can never work on two versions of a cellview in parallel;
+/// * there is exactly one `.meta` per library, and designers must
+///   coordinate explicitly (the metadata lock here); the paper calls
+///   the result *"severe locking problems"*;
+/// * metadata refresh is manual ([`Fmcad::refresh`]); stale metadata
+///   goes undetected until someone runs [`Fmcad::verify`].
+///
+/// # Examples
+///
+/// ```
+/// use fmcad::Fmcad;
+///
+/// # fn main() -> Result<(), fmcad::FmcadError> {
+/// let mut fm = Fmcad::new();
+/// fm.create_library("alu")?;
+/// fm.create_cell("alu", "adder")?;
+/// fm.create_cellview("alu", "adder", "schematic", "schematic")?;
+/// fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder".to_vec())?;
+/// assert_eq!(fm.read_default("alu", "adder", "schematic")?, b"netlist adder");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Fmcad {
+    pub(crate) fs: Vfs,
+    pub(crate) metas: BTreeMap<String, LibraryMeta>,
+    viewtypes: BTreeMap<String, ToolKind>,
+    meta_lock: Option<String>,
+    blocked_meta_ops: u64,
+    blocked_checkouts: u64,
+    pub(crate) tool_invocations: Vec<(String, ToolKind, String)>,
+    pub(crate) custom: crate::custom::Customization,
+    itc: ItcBus,
+    itc_self: SubscriberId,
+}
+
+impl Default for Fmcad {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fmcad {
+    /// Creates a framework with the standard viewtypes registered.
+    pub fn new() -> Self {
+        Self::with_fs(Vfs::new())
+    }
+
+    /// Creates a framework over an existing virtual file system (the
+    /// hybrid coupling shares one file system between both frameworks).
+    pub fn with_fs(mut fs: Vfs) -> Self {
+        let root = VfsPath::parse(LIBS_ROOT).expect("constant path is valid");
+        fs.mkdir_all(&root).expect("root directory is creatable");
+        let mut itc = ItcBus::new();
+        let itc_self = itc.subscribe(ToolKind::Framework);
+        let mut viewtypes = BTreeMap::new();
+        viewtypes.insert("schematic".to_owned(), ToolKind::SchematicEntry);
+        viewtypes.insert("symbol".to_owned(), ToolKind::SchematicEntry);
+        viewtypes.insert("layout".to_owned(), ToolKind::LayoutEditor);
+        viewtypes.insert("waveform".to_owned(), ToolKind::Simulator);
+        Fmcad {
+            fs,
+            metas: BTreeMap::new(),
+            viewtypes,
+            meta_lock: None,
+            blocked_meta_ops: 0,
+            blocked_checkouts: 0,
+            tool_invocations: Vec::new(),
+            custom: crate::custom::Customization::new(),
+            itc,
+            itc_self,
+        }
+    }
+
+    /// Re-opens a framework over a file system that already contains
+    /// libraries (a framework restart): every `<lib>/.meta` under
+    /// [`LIBS_ROOT`] is parsed back into memory. Files the `.meta`s do
+    /// not mention stay invisible until a [`Fmcad::refresh`] — exactly
+    /// the restart behaviour of the original system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::CorruptMeta`] if any `.meta` fails to
+    /// parse, or file system errors.
+    pub fn open_existing(mut fs: Vfs) -> FmcadResult<Self> {
+        let root = VfsPath::parse(LIBS_ROOT)?;
+        fs.mkdir_all(&root)?;
+        let libs = fs.read_dir(&root)?;
+        let mut fm = Fmcad::with_fs(fs);
+        for lib in libs {
+            let meta_path = root.join(&lib)?.join(".meta")?;
+            if !fm.fs.exists(&meta_path) {
+                continue; // a stray directory without metadata
+            }
+            let bytes = fm.fs.read(&meta_path)?;
+            let text = String::from_utf8(bytes).map_err(|_| FmcadError::CorruptMeta {
+                line: 0,
+                reason: ".meta is not utf-8".to_owned(),
+            })?;
+            let meta = LibraryMeta::parse(&text)?;
+            fm.metas.insert(lib, meta);
+        }
+        Ok(fm)
+    }
+
+    /// Access to the underlying virtual file system.
+    pub fn fs(&mut self) -> &mut Vfs {
+        &mut self.fs
+    }
+
+    /// Consumes the framework and returns its file system (to restart
+    /// it later with [`Fmcad::open_existing`]).
+    pub fn into_fs(self) -> Vfs {
+        self.fs
+    }
+
+    // --- inter-tool communication (§2.2) ------------------------------------
+
+    /// Attaches a tool to the framework's ITC bus and returns its
+    /// mailbox handle. *"FMCAD provides all necessary interfaces and
+    /// inter-tool communication (ITC)"* (§2.2).
+    pub fn itc_subscribe(&mut self, kind: ToolKind) -> SubscriberId {
+        self.itc.subscribe(kind)
+    }
+
+    /// Publishes an ITC message on behalf of a subscribed tool (e.g. a
+    /// cross-probe selection).
+    pub fn itc_publish(&mut self, from: SubscriberId, message: ItcMessage) {
+        self.itc.publish(from, message);
+    }
+
+    /// Drains a tool's ITC mailbox.
+    pub fn itc_drain(&mut self, id: SubscriberId) -> Vec<cad_tools::Delivery> {
+        self.itc.drain(id)
+    }
+
+    /// The complete ITC traffic log.
+    pub fn itc_log(&self) -> &[cad_tools::Delivery] {
+        self.itc.log()
+    }
+
+    fn notify_data_changed(&mut self, cell: &str, view: &str) {
+        let message = ItcMessage::DataChanged { cell: cell.to_owned(), view: view.to_owned() };
+        self.itc.publish(self.itc_self, message);
+    }
+
+    /// Registers a viewtype and the application that opens it. The
+    /// viewtype concept *"allows viewtypes to be easily switched with
+    /// the same tool"* (§2.2).
+    pub fn register_viewtype(&mut self, name: &str, tool: ToolKind) {
+        self.viewtypes.insert(name.to_owned(), tool);
+    }
+
+    /// The application registered for a viewtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::UnknownViewtype`] if unregistered.
+    pub fn application_for(&self, viewtype: &str) -> FmcadResult<ToolKind> {
+        self.viewtypes
+            .get(viewtype)
+            .copied()
+            .ok_or_else(|| FmcadError::UnknownViewtype(viewtype.to_owned()))
+    }
+
+    /// Number of operations blocked on the metadata lock so far (E4).
+    pub fn blocked_meta_ops(&self) -> u64 {
+        self.blocked_meta_ops
+    }
+
+    /// Number of checkout attempts rejected because another user held
+    /// the cellview (E4).
+    pub fn blocked_checkouts(&self) -> u64 {
+        self.blocked_checkouts
+    }
+
+    // --- the single .meta coordination lock ---------------------------------
+
+    /// Takes the project-wide metadata lock for a designer session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::MetaLocked`] if another user holds it.
+    pub fn acquire_meta_lock(&mut self, user: &str) -> FmcadResult<()> {
+        match &self.meta_lock {
+            Some(holder) if holder != user => {
+                self.blocked_meta_ops += 1;
+                Err(FmcadError::MetaLocked { holder: holder.clone() })
+            }
+            _ => {
+                self.meta_lock = Some(user.to_owned());
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases the metadata lock (no-op if `user` does not hold it).
+    pub fn release_meta_lock(&mut self, user: &str) {
+        if self.meta_lock.as_deref() == Some(user) {
+            self.meta_lock = None;
+        }
+    }
+
+    fn meta_access(&mut self, user: &str) -> FmcadResult<()> {
+        match &self.meta_lock {
+            Some(holder) if holder != user => {
+                self.blocked_meta_ops += 1;
+                Err(FmcadError::MetaLocked { holder: holder.clone() })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    // --- paths ---------------------------------------------------------------
+
+    pub(crate) fn lib_path(&self, lib: &str) -> FmcadResult<VfsPath> {
+        Ok(VfsPath::parse(LIBS_ROOT)?.join(lib)?)
+    }
+
+    pub(crate) fn meta_path(&self, lib: &str) -> FmcadResult<VfsPath> {
+        Ok(self.lib_path(lib)?.join(".meta")?)
+    }
+
+    pub(crate) fn view_dir(&self, lib: &str, cell: &str, view: &str) -> FmcadResult<VfsPath> {
+        Ok(self.lib_path(lib)?.join(cell)?.join(view)?)
+    }
+
+    pub(crate) fn version_path(
+        &self,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> FmcadResult<VfsPath> {
+        Ok(self.view_dir(lib, cell, view)?.join(&format!("{view}.{version}"))?)
+    }
+
+    fn persist_meta(&mut self, lib: &str) -> FmcadResult<()> {
+        let meta = self
+            .metas
+            .get(lib)
+            .ok_or_else(|| FmcadError::NotFound(format!("library {lib}")))?;
+        let text = meta.to_text();
+        let path = self.meta_path(lib)?;
+        self.fs.write(&path, text.into_bytes())?;
+        Ok(())
+    }
+
+    /// A snapshot of the library's current (possibly stale) metadata,
+    /// for introspection and experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown libraries.
+    pub fn meta_snapshot(&self, lib: &str) -> FmcadResult<LibraryMeta> {
+        self.meta(lib).cloned()
+    }
+
+    pub(crate) fn meta(&self, lib: &str) -> FmcadResult<&LibraryMeta> {
+        self.metas
+            .get(lib)
+            .ok_or_else(|| FmcadError::NotFound(format!("library {lib}")))
+    }
+
+    fn meta_mut(&mut self, lib: &str) -> FmcadResult<&mut LibraryMeta> {
+        self.metas
+            .get_mut(lib)
+            .ok_or_else(|| FmcadError::NotFound(format!("library {lib}")))
+    }
+
+    // --- library / cell / cellview management -------------------------------
+
+    /// Creates a library: its directory and an empty `.meta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NameTaken`] if the library exists.
+    pub fn create_library(&mut self, name: &str) -> FmcadResult<()> {
+        if self.metas.contains_key(name) {
+            return Err(FmcadError::NameTaken(format!("library {name}")));
+        }
+        let path = self.lib_path(name)?;
+        self.fs.mkdir_all(&path)?;
+        self.metas.insert(name.to_owned(), LibraryMeta::new(name));
+        self.persist_meta(name)
+    }
+
+    /// The known library names.
+    pub fn libraries(&self) -> Vec<&str> {
+        self.metas.keys().map(String::as_str).collect()
+    }
+
+    /// Creates a cell in a library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NameTaken`] if the cell exists and
+    /// metadata lock errors.
+    pub fn create_cell(&mut self, lib: &str, cell: &str) -> FmcadResult<()> {
+        self.meta_access("")?; // creation is a metadata update by "the system"
+        let meta = self.meta_mut(lib)?;
+        if meta.cells.contains_key(cell) {
+            return Err(FmcadError::NameTaken(format!("cell {cell}")));
+        }
+        meta.cells.insert(cell.to_owned(), CellMeta::default());
+        let dir = self.lib_path(lib)?.join(cell)?;
+        self.fs.mkdir_all(&dir)?;
+        self.persist_meta(lib)
+    }
+
+    /// Creates a cellview of the given viewtype under a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::UnknownViewtype`] for unregistered
+    /// viewtypes and [`FmcadError::NameTaken`] for duplicates.
+    pub fn create_cellview(
+        &mut self,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        viewtype: &str,
+    ) -> FmcadResult<()> {
+        self.application_for(viewtype)?;
+        let meta = self.meta_mut(lib)?;
+        let cm = meta
+            .cells
+            .get_mut(cell)
+            .ok_or_else(|| FmcadError::NotFound(format!("cell {cell}")))?;
+        if cm.views.contains_key(view) {
+            return Err(FmcadError::NameTaken(format!("view {view}")));
+        }
+        cm.views.insert(
+            view.to_owned(),
+            ViewMeta { viewtype: viewtype.to_owned(), ..ViewMeta::default() },
+        );
+        let dir = self.view_dir(lib, cell, view)?;
+        self.fs.mkdir_all(&dir)?;
+        self.persist_meta(lib)
+    }
+
+    /// The cells of a library (as the possibly-stale metadata sees them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown libraries.
+    pub fn cells(&self, lib: &str) -> FmcadResult<Vec<&str>> {
+        Ok(self.meta(lib)?.cells.keys().map(String::as_str).collect())
+    }
+
+    /// The views of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown cells.
+    pub fn views(&self, lib: &str, cell: &str) -> FmcadResult<Vec<&str>> {
+        let meta = self.meta(lib)?;
+        let cm = meta
+            .cells
+            .get(cell)
+            .ok_or_else(|| FmcadError::NotFound(format!("cell {cell}")))?;
+        Ok(cm.views.keys().map(String::as_str).collect())
+    }
+
+    /// The known version numbers of a cellview.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown cellviews.
+    pub fn versions(&self, lib: &str, cell: &str, view: &str) -> FmcadResult<Vec<u32>> {
+        let meta = self.meta(lib)?;
+        let vm = meta
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        Ok(vm.versions.clone())
+    }
+
+    // --- checkout / checkin ---------------------------------------------------
+
+    /// Checks out the default version of a cellview for editing,
+    /// returning its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::CheckedOutBy`] if another user holds it —
+    /// FMCAD has no variant mechanism; this is §3.1's limitation —
+    /// metadata-lock errors, and [`FmcadError::NotFound`].
+    pub fn checkout(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<Vec<u8>> {
+        self.meta_access(user)?;
+        let holder = self
+            .meta(lib)?
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?
+            .checkout
+            .as_ref()
+            .map(|co| co.user.clone());
+        if let Some(holder) = holder {
+            if holder != user {
+                self.blocked_checkouts += 1;
+                return Err(FmcadError::CheckedOutBy { user: holder });
+            }
+        }
+        let meta = self.meta_mut(lib)?;
+        let vm = meta.view_mut(cell, view).expect("checked above");
+        let version = vm
+            .default_version
+            .or_else(|| vm.versions.last().copied())
+            .ok_or_else(|| FmcadError::NotFound(format!("no versions of {cell}/{view}")))?;
+        vm.checkout = Some(Checkout { user: user.to_owned(), version });
+        self.persist_meta(lib)?;
+        let path = self.version_path(lib, cell, view, version)?;
+        Ok(self.fs.read(&path)?)
+    }
+
+    /// Checks in new content: creates the next version, makes it the
+    /// default and releases the checkout. An initial checkin on a fresh
+    /// cellview needs no prior checkout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::CheckedOutBy`] /
+    /// [`FmcadError::NotCheckedOut`] on lock mismatches and
+    /// metadata-lock errors.
+    pub fn checkin(
+        &mut self,
+        user: &str,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        data: Vec<u8>,
+    ) -> FmcadResult<u32> {
+        self.meta_access(user)?;
+        let (holder, has_versions) = {
+            let vm = self
+                .meta(lib)?
+                .view(cell, view)
+                .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+            (vm.checkout.as_ref().map(|co| co.user.clone()), !vm.versions.is_empty())
+        };
+        match holder {
+            Some(h) if h == user => {}
+            Some(h) => {
+                self.blocked_checkouts += 1;
+                return Err(FmcadError::CheckedOutBy { user: h });
+            }
+            None if !has_versions => {} // initial checkin
+            None => return Err(FmcadError::NotCheckedOut),
+        }
+        let meta = self.meta_mut(lib)?;
+        let vm = meta.view_mut(cell, view).expect("checked above");
+        let next = vm.versions.last().copied().unwrap_or(0) + 1;
+        vm.versions.push(next);
+        vm.default_version = Some(next);
+        vm.checkout = None;
+        self.persist_meta(lib)?;
+        let path = self.version_path(lib, cell, view, next)?;
+        self.fs.write(&path, data)?;
+        self.notify_data_changed(cell, view);
+        Ok(next)
+    }
+
+    /// Abandons a checkout without creating a version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotCheckedOut`] if `user` holds nothing.
+    pub fn cancel_checkout(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<()> {
+        let meta = self.meta_mut(lib)?;
+        let vm = meta
+            .view_mut(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        match &vm.checkout {
+            Some(co) if co.user == user => {
+                vm.checkout = None;
+                self.persist_meta(lib)
+            }
+            _ => Err(FmcadError::NotCheckedOut),
+        }
+    }
+
+    /// Who currently holds the cellview, if anyone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown cellviews.
+    pub fn checkout_holder(&self, lib: &str, cell: &str, view: &str) -> FmcadResult<Option<&str>> {
+        let meta = self.meta(lib)?;
+        let vm = meta
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        Ok(vm.checkout.as_ref().map(|c| c.user.as_str()))
+    }
+
+    /// Reads the default version of a cellview **in place** — no
+    /// copying; this is FMCAD's §3.6 performance advantage over the
+    /// JCF staging path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] when no version exists.
+    pub fn read_default(&mut self, lib: &str, cell: &str, view: &str) -> FmcadResult<Vec<u8>> {
+        let meta = self.meta(lib)?;
+        let vm = meta
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        let version = vm
+            .default_version
+            .or_else(|| vm.versions.last().copied())
+            .ok_or_else(|| FmcadError::NotFound(format!("no versions of {cell}/{view}")))?;
+        let path = self.version_path(lib, cell, view, version)?;
+        Ok(self.fs.read(&path)?)
+    }
+
+    /// Reads a specific version of a cellview in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] when absent.
+    pub fn read_version(
+        &mut self,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> FmcadResult<Vec<u8>> {
+        let path = self.version_path(lib, cell, view, version)?;
+        Ok(self.fs.read(&path)?)
+    }
+
+    /// Changes the default version of a cellview.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] if the version is not in the
+    /// metadata.
+    pub fn set_default(&mut self, lib: &str, cell: &str, view: &str, version: u32) -> FmcadResult<()> {
+        let meta = self.meta_mut(lib)?;
+        let vm = meta
+            .view_mut(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        if !vm.versions.contains(&version) {
+            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+        }
+        vm.default_version = Some(version);
+        self.persist_meta(lib)
+    }
+
+    /// The default version number of a cellview, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown cellviews.
+    pub fn default_version(&self, lib: &str, cell: &str, view: &str) -> FmcadResult<Option<u32>> {
+        let meta = self.meta(lib)?;
+        let vm = meta
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        Ok(vm.default_version.or_else(|| vm.versions.last().copied()))
+    }
+
+    /// Purges an old version of a cellview: removes its file and its
+    /// metadata entry. The version must not be the default, must not be
+    /// checked out and must not be bound by any configuration —
+    /// configurations pin history, so purging them out would corrupt
+    /// the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown versions,
+    /// [`FmcadError::CheckedOutBy`] while it is being edited, and
+    /// [`FmcadError::ConfigConflict`] when a configuration still binds
+    /// it (or it is the default).
+    pub fn purge_version(
+        &mut self,
+        user: &str,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> FmcadResult<()> {
+        self.meta_access(user)?;
+        let meta = self.meta(lib)?;
+        let vm = meta
+            .view(cell, view)
+            .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+        if !vm.versions.contains(&version) {
+            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+        }
+        if let Some(co) = &vm.checkout {
+            if co.version == version {
+                return Err(FmcadError::CheckedOutBy { user: co.user.clone() });
+            }
+        }
+        if vm.default_version == Some(version) {
+            return Err(FmcadError::ConfigConflict {
+                cellview: format!("{cell}/{view} (is the default version)"),
+            });
+        }
+        let bound = meta.configs.iter().any(|(_, cfg)| {
+            cfg.binds.get(&(cell.to_owned(), view.to_owned())) == Some(&version)
+        });
+        if bound {
+            return Err(FmcadError::ConfigConflict { cellview: format!("{cell}/{view}") });
+        }
+        let meta = self.meta_mut(lib)?;
+        let vm = meta.view_mut(cell, view).expect("checked above");
+        vm.versions.retain(|&v| v != version);
+        self.persist_meta(lib)?;
+        let path = self.version_path(lib, cell, view, version)?;
+        self.fs.remove_file(&path)?;
+        Ok(())
+    }
+
+    // --- direct file writes and manual refresh -------------------------------
+
+    /// Writes a version file directly into the library directory,
+    /// **bypassing the metadata** — what external scripts and
+    /// misbehaving tools did in practice. The `.meta` stays stale until
+    /// someone calls [`Fmcad::refresh`]; [`Fmcad::verify`] detects it.
+    ///
+    /// # Errors
+    ///
+    /// Returns file system errors.
+    pub fn direct_file_write(
+        &mut self,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+        data: Vec<u8>,
+    ) -> FmcadResult<()> {
+        let dir = self.view_dir(lib, cell, view)?;
+        self.fs.mkdir_all(&dir)?;
+        let path = self.version_path(lib, cell, view, version)?;
+        self.fs.write(&path, data)?;
+        Ok(())
+    }
+
+    /// Rescans the library directory and updates the metadata to match
+    /// — the manual refresh that is *"the responsibility of the
+    /// designer"* (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns file system errors.
+    pub fn refresh(&mut self, user: &str, lib: &str) -> FmcadResult<()> {
+        self.meta_access(user)?;
+        let lib_dir = self.lib_path(lib)?;
+        let cells = self.fs.read_dir(&lib_dir)?;
+        for cell in cells.iter().filter(|c| *c != ".meta") {
+            let cell_dir = lib_dir.join(cell)?;
+            if !self.fs.exists(&cell_dir) {
+                continue;
+            }
+            let views = self.fs.read_dir(&cell_dir)?;
+            for view in views {
+                let view_dir = cell_dir.join(&view)?;
+                let files = self.fs.read_dir(&view_dir)?;
+                let mut versions: Vec<u32> = files
+                    .iter()
+                    .filter_map(|f| f.strip_prefix(&format!("{view}.")))
+                    .filter_map(|n| n.parse().ok())
+                    .collect();
+                versions.sort_unstable();
+                let meta = self.meta_mut(lib)?;
+                let cm = meta.cells.entry(cell.clone()).or_default();
+                let vm = cm.views.entry(view.clone()).or_insert_with(|| ViewMeta {
+                    viewtype: view.clone(),
+                    ..ViewMeta::default()
+                });
+                vm.versions = versions;
+                if let Some(d) = vm.default_version {
+                    if !vm.versions.contains(&d) {
+                        vm.default_version = vm.versions.last().copied();
+                    }
+                }
+            }
+        }
+        self.persist_meta(lib)
+    }
+
+    /// Compares the metadata against the directory, reporting every
+    /// mismatch. FMCAD itself never runs this automatically — that is
+    /// the point of experiment E5.
+    ///
+    /// # Errors
+    ///
+    /// Returns file system errors.
+    pub fn verify(&mut self, lib: &str) -> FmcadResult<Vec<MetaInconsistency>> {
+        let mut report = Vec::new();
+        let meta = self.meta(lib)?.clone();
+        // Metadata entries whose files are gone, and bad defaults.
+        for (cell, cm) in &meta.cells {
+            for (view, vm) in &cm.views {
+                for &version in &vm.versions {
+                    let path = self.version_path(lib, cell, view, version)?;
+                    if !self.fs.exists(&path) {
+                        report.push(MetaInconsistency::MissingFile {
+                            cell: cell.clone(),
+                            view: view.clone(),
+                            version,
+                        });
+                    }
+                }
+                if let Some(d) = vm.default_version {
+                    if !vm.versions.contains(&d) {
+                        report.push(MetaInconsistency::BadDefault {
+                            cell: cell.clone(),
+                            view: view.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Files on disk the metadata does not know.
+        let lib_dir = self.lib_path(lib)?;
+        for file in self.fs.walk_files(&lib_dir)? {
+            let rel: Vec<String> = file
+                .components()
+                .skip(lib_dir.depth())
+                .map(str::to_owned)
+                .collect();
+            match rel.as_slice() {
+                [name] if name == ".meta" => {}
+                [cell, view, filename] => {
+                    let known = meta
+                        .view(cell, view)
+                        .map(|vm| {
+                            filename
+                                .strip_prefix(&format!("{view}."))
+                                .and_then(|n| n.parse::<u32>().ok())
+                                .is_some_and(|n| vm.versions.contains(&n))
+                        })
+                        .unwrap_or(false);
+                    if !known {
+                        report.push(MetaInconsistency::UnknownFile { path: file.to_string() });
+                    }
+                }
+                _ => report.push(MetaInconsistency::UnknownFile { path: file.to_string() }),
+            }
+        }
+        Ok(report)
+    }
+
+    // --- configurations ---------------------------------------------------
+
+    /// Creates a configuration in a library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NameTaken`] for duplicates.
+    pub fn create_config(&mut self, lib: &str, name: &str) -> FmcadResult<()> {
+        let meta = self.meta_mut(lib)?;
+        if meta.configs.contains_key(name) {
+            return Err(FmcadError::NameTaken(format!("config {name}")));
+        }
+        meta.configs.insert(name.to_owned(), ConfigMeta::default());
+        self.persist_meta(lib)
+    }
+
+    /// Binds a cellview version into a configuration. *"For each
+    /// cellview, at maximum one version can be part of the
+    /// configuration"* (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::ConfigConflict`] on a second binding for
+    /// the same cellview and [`FmcadError::NotFound`] for unknown
+    /// entities.
+    pub fn bind_config(
+        &mut self,
+        lib: &str,
+        config: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> FmcadResult<()> {
+        let meta = self.meta_mut(lib)?;
+        let known = meta
+            .view(cell, view)
+            .is_some_and(|vm| vm.versions.contains(&version));
+        if !known {
+            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+        }
+        let cfg = meta
+            .configs
+            .get_mut(config)
+            .ok_or_else(|| FmcadError::NotFound(format!("config {config}")))?;
+        let key = (cell.to_owned(), view.to_owned());
+        if cfg.binds.contains_key(&key) {
+            return Err(FmcadError::ConfigConflict { cellview: format!("{cell}/{view}") });
+        }
+        cfg.binds.insert(key, version);
+        self.persist_meta(lib)
+    }
+
+    /// The bindings of a configuration as `(cell, view, version)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] for unknown configs.
+    pub fn config_bindings(&self, lib: &str, config: &str) -> FmcadResult<Vec<(String, String, u32)>> {
+        let meta = self.meta(lib)?;
+        let cfg = meta
+            .configs
+            .get(config)
+            .ok_or_else(|| FmcadError::NotFound(format!("config {config}")))?;
+        Ok(cfg
+            .binds
+            .iter()
+            .map(|((c, v), n)| (c.clone(), v.clone(), *n))
+            .collect())
+    }
+
+    // --- free tool invocation (no flow management, §3.5) ---------------------
+
+    /// Invokes the application registered for a cellview's viewtype on
+    /// its default version, in place. FMCAD imposes **no order** on
+    /// tool invocations and records **no derivation relations** — the
+    /// §3.5 contrast with the hybrid framework.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::NotFound`] / viewtype errors.
+    pub fn invoke_tool(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<(ToolKind, Vec<u8>)> {
+        let viewtype = {
+            let meta = self.meta(lib)?;
+            let vm = meta
+                .view(cell, view)
+                .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
+            vm.viewtype.clone()
+        };
+        let tool = self.application_for(&viewtype)?;
+        let data = self.read_default(lib, cell, view)?;
+        self.tool_invocations
+            .push((user.to_owned(), tool, format!("{lib}/{cell}/{view}")));
+        Ok((tool, data))
+    }
+
+    /// The log of free tool invocations (E8 counts them).
+    pub fn tool_invocation_log(&self) -> &[(String, ToolKind, String)] {
+        &self.tool_invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framework_with_cellview() -> Fmcad {
+        let mut fm = Fmcad::new();
+        fm.create_library("alu").unwrap();
+        fm.create_cell("alu", "adder").unwrap();
+        fm.create_cellview("alu", "adder", "schematic", "schematic").unwrap();
+        fm
+    }
+
+    #[test]
+    fn initial_checkin_then_read() {
+        let mut fm = framework_with_cellview();
+        let v = fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(fm.read_default("alu", "adder", "schematic").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn checkout_checkin_cycle() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        let data = fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        assert_eq!(data, b"v1");
+        let v2 = fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 2]);
+        assert_eq!(fm.default_version("alu", "adder", "schematic").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn only_one_user_edits_a_cellview() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        assert!(matches!(
+            fm.checkout("bob", "alu", "adder", "schematic"),
+            Err(FmcadError::CheckedOutBy { .. })
+        ));
+        assert!(matches!(
+            fm.checkin("bob", "alu", "adder", "schematic", b"hijack".to_vec()),
+            Err(FmcadError::CheckedOutBy { .. })
+        ));
+        assert_eq!(fm.blocked_checkouts(), 2);
+    }
+
+    #[test]
+    fn checkin_without_checkout_rejected_after_first_version() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        assert!(matches!(
+            fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()),
+            Err(FmcadError::NotCheckedOut)
+        ));
+    }
+
+    #[test]
+    fn cancel_checkout_releases() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        assert_eq!(fm.checkout_holder("alu", "adder", "schematic").unwrap(), Some("alice"));
+        fm.cancel_checkout("alice", "alu", "adder", "schematic").unwrap();
+        assert_eq!(fm.checkout_holder("alu", "adder", "schematic").unwrap(), None);
+        fm.checkout("bob", "alu", "adder", "schematic").unwrap();
+    }
+
+    #[test]
+    fn meta_lock_blocks_other_users() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.acquire_meta_lock("alice").unwrap();
+        assert!(matches!(
+            fm.checkout("bob", "alu", "adder", "schematic"),
+            Err(FmcadError::MetaLocked { .. })
+        ));
+        assert!(matches!(
+            fm.acquire_meta_lock("bob"),
+            Err(FmcadError::MetaLocked { .. })
+        ));
+        assert_eq!(fm.blocked_meta_ops(), 2);
+        fm.release_meta_lock("alice");
+        fm.checkout("bob", "alu", "adder", "schematic").unwrap();
+    }
+
+    #[test]
+    fn direct_writes_leave_stale_meta() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.direct_file_write("alu", "adder", "schematic", 7, b"rogue".to_vec()).unwrap();
+        // Metadata does not see version 7...
+        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1]);
+        // ...verify() reports the unknown file...
+        let report = fm.verify("alu").unwrap();
+        assert!(report.iter().any(|i| matches!(i, MetaInconsistency::UnknownFile { .. })));
+        // ...and refresh() repairs the metadata.
+        fm.refresh("alice", "alu").unwrap();
+        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 7]);
+        assert!(fm.verify("alu").unwrap().is_empty());
+    }
+
+    #[test]
+    fn verify_detects_missing_files() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        let path = fm.version_path("alu", "adder", "schematic", 1).unwrap();
+        fm.fs.remove_file(&path).unwrap();
+        let report = fm.verify("alu").unwrap();
+        assert!(report
+            .iter()
+            .any(|i| matches!(i, MetaInconsistency::MissingFile { version: 1, .. })));
+    }
+
+    #[test]
+    fn configs_bind_at_most_one_version_per_cellview() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.create_config("alu", "golden").unwrap();
+        fm.bind_config("alu", "golden", "adder", "schematic", 1).unwrap();
+        assert!(matches!(
+            fm.bind_config("alu", "golden", "adder", "schematic", 2),
+            Err(FmcadError::ConfigConflict { .. })
+        ));
+        assert_eq!(
+            fm.config_bindings("alu", "golden").unwrap(),
+            vec![("adder".to_owned(), "schematic".to_owned(), 1)]
+        );
+    }
+
+    #[test]
+    fn config_rejects_unknown_versions() {
+        let mut fm = framework_with_cellview();
+        fm.create_config("alu", "golden").unwrap();
+        assert!(matches!(
+            fm.bind_config("alu", "golden", "adder", "schematic", 9),
+            Err(FmcadError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn tool_invocation_is_free_and_unrecorded_in_any_flow() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder".to_vec()).unwrap();
+        // Any tool, any order, no derivation bookkeeping:
+        let (tool, data) = fm.invoke_tool("bob", "alu", "adder", "schematic").unwrap();
+        assert_eq!(tool, ToolKind::SchematicEntry);
+        assert_eq!(data, b"netlist adder");
+        assert_eq!(fm.tool_invocation_log().len(), 1);
+    }
+
+    #[test]
+    fn unknown_viewtype_rejected() {
+        let mut fm = Fmcad::new();
+        fm.create_library("l").unwrap();
+        fm.create_cell("l", "c").unwrap();
+        assert!(matches!(
+            fm.create_cellview("l", "c", "v", "hologram"),
+            Err(FmcadError::UnknownViewtype(_))
+        ));
+        fm.register_viewtype("hologram", ToolKind::LayoutEditor);
+        fm.create_cellview("l", "c", "v", "hologram").unwrap();
+    }
+
+    #[test]
+    fn purge_respects_defaults_checkouts_and_configs() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v3".to_vec()).unwrap();
+        // v3 is the default: cannot be purged.
+        assert!(matches!(
+            fm.purge_version("alice", "alu", "adder", "schematic", 3),
+            Err(FmcadError::ConfigConflict { .. })
+        ));
+        // A configuration pins v1: cannot be purged either.
+        fm.create_config("alu", "golden").unwrap();
+        fm.bind_config("alu", "golden", "adder", "schematic", 1).unwrap();
+        assert!(matches!(
+            fm.purge_version("alice", "alu", "adder", "schematic", 1),
+            Err(FmcadError::ConfigConflict { .. })
+        ));
+        // v2 is free: purged, file gone, verify stays clean.
+        fm.purge_version("alice", "alu", "adder", "schematic", 2).unwrap();
+        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 3]);
+        assert!(fm.read_version("alu", "adder", "schematic", 2).is_err());
+        assert!(fm.verify("alu").unwrap().is_empty());
+        // Unknown versions report NotFound.
+        assert!(matches!(
+            fm.purge_version("alice", "alu", "adder", "schematic", 9),
+            Err(FmcadError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn purge_refuses_the_checked_out_version() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.set_default("alu", "adder", "schematic", 2).unwrap();
+        fm.checkout("bob", "alu", "adder", "schematic").unwrap(); // holds v2
+        // bob holds v2 (the default); try purging v1 while v2 is held: fine.
+        fm.purge_version("alice", "alu", "adder", "schematic", 1).unwrap();
+        // purging the held version itself is refused.
+        assert!(matches!(
+            fm.purge_version("alice", "alu", "adder", "schematic", 2),
+            Err(FmcadError::ConfigConflict { .. }) | Err(FmcadError::CheckedOutBy { .. })
+        ));
+    }
+
+    #[test]
+    fn itc_broadcasts_checkins_and_relays_cross_probes() {
+        let mut fm = framework_with_cellview();
+        let sch = fm.itc_subscribe(ToolKind::SchematicEntry);
+        let lay = fm.itc_subscribe(ToolKind::LayoutEditor);
+        // A checkin notifies every subscribed tool.
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        let inbox = fm.itc_drain(lay);
+        assert!(inbox.iter().any(|d| matches!(
+            &d.message,
+            ItcMessage::DataChanged { cell, view } if cell == "adder" && view == "schematic"
+        )));
+        assert_eq!(inbox[0].from, ToolKind::Framework);
+        // Cross-probing between tools rides the same bus.
+        fm.itc_publish(sch, ItcMessage::CrossProbe { cell: "adder".into(), net: "sum".into() });
+        let probes = fm.itc_drain(lay);
+        assert!(probes
+            .iter()
+            .any(|d| matches!(&d.message, ItcMessage::CrossProbe { net, .. } if net == "sum")));
+        assert!(fm.itc_log().len() >= 2);
+    }
+
+    #[test]
+    fn restart_restores_library_state() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkout("alice", "alu", "adder", "schematic").unwrap();
+        // "Power off" the framework, keep the disk.
+        let fs = fm.into_fs();
+        let mut fm2 = Fmcad::open_existing(fs).unwrap();
+        assert_eq!(fm2.libraries(), vec!["alu"]);
+        assert_eq!(fm2.versions("alu", "adder", "schematic").unwrap(), vec![1]);
+        // The checkout survived the restart (it lives in the .meta).
+        assert_eq!(fm2.checkout_holder("alu", "adder", "schematic").unwrap(), Some("alice"));
+        assert_eq!(fm2.read_default("alu", "adder", "schematic").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn restart_does_not_see_unrefreshed_files() {
+        let mut fm = framework_with_cellview();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.direct_file_write("alu", "adder", "schematic", 9, b"rogue".to_vec()).unwrap();
+        let mut fm2 = Fmcad::open_existing(fm.into_fs()).unwrap();
+        assert_eq!(
+            fm2.versions("alu", "adder", "schematic").unwrap(),
+            vec![1],
+            "stale metadata survives restarts until a refresh"
+        );
+        fm2.refresh("alice", "alu").unwrap();
+        assert_eq!(fm2.versions("alu", "adder", "schematic").unwrap(), vec![1, 9]);
+    }
+
+    #[test]
+    fn restart_rejects_corrupt_meta() {
+        let mut fm = framework_with_cellview();
+        let meta_path = fm.meta_path("alu").unwrap();
+        fm.fs.write(&meta_path, b"garbage".to_vec()).unwrap();
+        assert!(matches!(
+            Fmcad::open_existing(fm.into_fs()),
+            Err(FmcadError::CorruptMeta { .. })
+        ));
+    }
+
+    #[test]
+    fn meta_file_written_to_library_directory() {
+        let mut fm = framework_with_cellview();
+        let meta_path = fm.meta_path("alu").unwrap();
+        let bytes = fm.fs.read(&meta_path).unwrap();
+        let parsed = crate::meta::LibraryMeta::parse(&String::from_utf8(bytes).unwrap()).unwrap();
+        assert!(parsed.view("adder", "schematic").is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! The `.meta` file: FMCAD's per-library metadata.
+//!
+//! *"The library consists of a UNIX directory and the related `.meta`
+//! file describes the contents of the directory (metadata)"* (§2.2).
+//! Crucially, *"the refreshment of the metadata objects is not
+//! performed automatically"* — files written into the directory do not
+//! appear in the metadata until a designer refreshes it, and metadata
+//! can reference files that are gone. Experiment E5 injects exactly
+//! those faults.
+
+use std::collections::BTreeMap;
+
+use crate::error::{FmcadError, FmcadResult};
+
+/// An active checkout of one cellview.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkout {
+    /// The user holding the checkout.
+    pub user: String,
+    /// The version that was checked out.
+    pub version: u32,
+}
+
+/// Metadata of one view of a cell (a *cellview* with its versions).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewMeta {
+    /// The registered viewtype of the view (e.g. `schematic`).
+    pub viewtype: String,
+    /// Version numbers known to the metadata, ascending.
+    pub versions: Vec<u32>,
+    /// The default version dynamic hierarchy binding resolves to.
+    pub default_version: Option<u32>,
+    /// The active checkout, if any (the Figure 2 `Locked Flag`).
+    pub checkout: Option<Checkout>,
+}
+
+/// Metadata of one cell: its views keyed by view name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CellMeta {
+    /// Views keyed by view name.
+    pub views: BTreeMap<String, ViewMeta>,
+}
+
+/// A configuration: at most one version per cellview (`CVV in Config`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigMeta {
+    /// Bindings keyed by `(cell, view)`.
+    pub binds: BTreeMap<(String, String), u32>,
+}
+
+/// The parsed content of a library's `.meta` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryMeta {
+    /// The library name.
+    pub name: String,
+    /// Cells keyed by name.
+    pub cells: BTreeMap<String, CellMeta>,
+    /// Configurations keyed by name.
+    pub configs: BTreeMap<String, ConfigMeta>,
+}
+
+impl LibraryMeta {
+    /// Creates empty metadata for library `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        LibraryMeta { name: name.into(), cells: BTreeMap::new(), configs: BTreeMap::new() }
+    }
+
+    /// Looks up a view's metadata.
+    pub fn view(&self, cell: &str, view: &str) -> Option<&ViewMeta> {
+        self.cells.get(cell)?.views.get(view)
+    }
+
+    /// Mutable view lookup.
+    pub fn view_mut(&mut self, cell: &str, view: &str) -> Option<&mut ViewMeta> {
+        self.cells.get_mut(cell)?.views.get_mut(view)
+    }
+
+    /// Serialises to the `.meta` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("meta {}\n", self.name);
+        for (cell, cm) in &self.cells {
+            out.push_str(&format!("cell {cell}\n"));
+            for (view, vm) in &cm.views {
+                out.push_str(&format!("view {cell} {view} {}\n", vm.viewtype));
+                for v in &vm.versions {
+                    out.push_str(&format!("version {cell} {view} {v}\n"));
+                }
+                if let Some(d) = vm.default_version {
+                    out.push_str(&format!("default {cell} {view} {d}\n"));
+                }
+                if let Some(co) = &vm.checkout {
+                    out.push_str(&format!("checkout {cell} {view} {} {}\n", co.user, co.version));
+                }
+            }
+        }
+        for (config, cfg) in &self.configs {
+            out.push_str(&format!("config {config}\n"));
+            for ((cell, view), v) in &cfg.binds {
+                out.push_str(&format!("cvv {config} {cell} {view} {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the `.meta` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmcadError::CorruptMeta`] on malformed content.
+    pub fn parse(text: &str) -> FmcadResult<Self> {
+        let corrupt = |line: usize, reason: &str| FmcadError::CorruptMeta {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        let name = match lines.next() {
+            Some((_, header)) => header
+                .strip_prefix("meta ")
+                .ok_or_else(|| corrupt(1, "expected `meta <name>` header"))?
+                .to_owned(),
+            None => return Err(corrupt(1, "empty .meta file")),
+        };
+        let mut meta = LibraryMeta::new(name);
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["cell", cell] => {
+                    meta.cells.entry((*cell).to_owned()).or_default();
+                }
+                ["view", cell, view, viewtype] => {
+                    let cm = meta
+                        .cells
+                        .get_mut(*cell)
+                        .ok_or_else(|| corrupt(lineno, "view before cell"))?;
+                    cm.views.insert(
+                        (*view).to_owned(),
+                        ViewMeta { viewtype: (*viewtype).to_owned(), ..ViewMeta::default() },
+                    );
+                }
+                ["version", cell, view, v] => {
+                    let vm = meta
+                        .view_mut(cell, view)
+                        .ok_or_else(|| corrupt(lineno, "version before view"))?;
+                    let v: u32 = v.parse().map_err(|_| corrupt(lineno, "bad version number"))?;
+                    vm.versions.push(v);
+                }
+                ["default", cell, view, v] => {
+                    let vm = meta
+                        .view_mut(cell, view)
+                        .ok_or_else(|| corrupt(lineno, "default before view"))?;
+                    vm.default_version =
+                        Some(v.parse().map_err(|_| corrupt(lineno, "bad version number"))?);
+                }
+                ["checkout", cell, view, user, v] => {
+                    let vm = meta
+                        .view_mut(cell, view)
+                        .ok_or_else(|| corrupt(lineno, "checkout before view"))?;
+                    vm.checkout = Some(Checkout {
+                        user: (*user).to_owned(),
+                        version: v.parse().map_err(|_| corrupt(lineno, "bad version number"))?,
+                    });
+                }
+                ["config", config] => {
+                    meta.configs.entry((*config).to_owned()).or_default();
+                }
+                ["cvv", config, cell, view, v] => {
+                    let cfg = meta
+                        .configs
+                        .get_mut(*config)
+                        .ok_or_else(|| corrupt(lineno, "cvv before config"))?;
+                    cfg.binds.insert(
+                        ((*cell).to_owned(), (*view).to_owned()),
+                        v.parse().map_err(|_| corrupt(lineno, "bad version number"))?,
+                    );
+                }
+                _ => return Err(corrupt(lineno, "unknown entry")),
+            }
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LibraryMeta {
+        let mut m = LibraryMeta::new("alu");
+        let mut cell = CellMeta::default();
+        cell.views.insert(
+            "schematic".to_owned(),
+            ViewMeta {
+                viewtype: "schematic".to_owned(),
+                versions: vec![1, 2],
+                default_version: Some(2),
+                checkout: Some(Checkout { user: "alice".to_owned(), version: 2 }),
+            },
+        );
+        m.cells.insert("adder".to_owned(), cell);
+        let mut cfg = ConfigMeta::default();
+        cfg.binds.insert(("adder".to_owned(), "schematic".to_owned()), 1);
+        m.configs.insert("golden".to_owned(), cfg);
+        m
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = sample();
+        let parsed = LibraryMeta::parse(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn empty_library_round_trips() {
+        let m = LibraryMeta::new("empty");
+        assert_eq!(LibraryMeta::parse(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            LibraryMeta::parse("nonsense"),
+            Err(FmcadError::CorruptMeta { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_entries_rejected() {
+        assert!(LibraryMeta::parse("meta x\nview ghost v schematic\n").is_err());
+        assert!(LibraryMeta::parse("meta x\ncvv nocfg c v 1\n").is_err());
+    }
+
+    #[test]
+    fn view_lookup() {
+        let m = sample();
+        assert!(m.view("adder", "schematic").is_some());
+        assert!(m.view("adder", "layout").is_none());
+        assert!(m.view("ghost", "schematic").is_none());
+    }
+}

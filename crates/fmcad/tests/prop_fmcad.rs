@@ -1,0 +1,140 @@
+//! Property-based tests for the FMCAD framework: metadata persistence
+//! and the checkout protocol under random operation sequences.
+
+use fmcad::{Fmcad, FmcadError};
+use proptest::prelude::*;
+
+/// A random framework operation by one of three users on one of three
+/// cellviews.
+#[derive(Debug, Clone)]
+enum Op {
+    Checkout(u8, u8),
+    Checkin(u8, u8),
+    Cancel(u8, u8),
+    DirectWrite(u8, u8),
+    Refresh(u8),
+    SetDefault(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u8..3).prop_map(|(u, c)| Op::Checkout(u, c)),
+        (0u8..3, 0u8..3).prop_map(|(u, c)| Op::Checkin(u, c)),
+        (0u8..3, 0u8..3).prop_map(|(u, c)| Op::Cancel(u, c)),
+        (0u8..3, 0u8..8).prop_map(|(c, v)| Op::DirectWrite(c, v)),
+        (0u8..3).prop_map(Op::Refresh),
+        (0u8..3, 0u8..4).prop_map(|(c, v)| Op::SetDefault(c, v)),
+    ]
+}
+
+fn build() -> Fmcad {
+    let mut fm = Fmcad::new();
+    fm.create_library("lib").unwrap();
+    for c in 0..3 {
+        let cell = format!("c{c}");
+        fm.create_cell("lib", &cell).unwrap();
+        fm.create_cellview("lib", &cell, "schematic", "schematic").unwrap();
+        fm.checkin("init", "lib", &cell, "schematic", format!("netlist c{c}\n").into_bytes())
+            .unwrap();
+    }
+    fm
+}
+
+fn apply(fm: &mut Fmcad, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Checkout(u, c) => {
+                let _ = fm.checkout(&format!("u{u}"), "lib", &format!("c{c}"), "schematic");
+            }
+            Op::Checkin(u, c) => {
+                let _ = fm.checkin(
+                    &format!("u{u}"),
+                    "lib",
+                    &format!("c{c}"),
+                    "schematic",
+                    format!("netlist c{c}\n# by u{u}\n").into_bytes(),
+                );
+            }
+            Op::Cancel(u, c) => {
+                let _ = fm.cancel_checkout(&format!("u{u}"), "lib", &format!("c{c}"), "schematic");
+            }
+            Op::DirectWrite(c, v) => {
+                let _ = fm.direct_file_write(
+                    "lib",
+                    &format!("c{c}"),
+                    "schematic",
+                    100 + u32::from(*v),
+                    b"rogue".to_vec(),
+                );
+            }
+            Op::Refresh(c) => {
+                let _ = c;
+                let _ = fm.refresh("u0", "lib");
+            }
+            Op::SetDefault(c, v) => {
+                let _ = fm.set_default("lib", &format!("c{c}"), "schematic", 1 + u32::from(*v));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// After any operation sequence, the in-memory metadata and the
+    /// persisted `.meta` agree exactly (a restart loses nothing).
+    #[test]
+    fn meta_persistence_matches_memory(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut fm = build();
+        apply(&mut fm, &ops);
+        let snapshot = fm.meta_snapshot("lib").unwrap();
+        let restarted = Fmcad::open_existing(fm.into_fs()).unwrap();
+        prop_assert_eq!(restarted.meta_snapshot("lib").unwrap(), snapshot);
+    }
+
+    /// The checkout protocol never lets two users hold one cellview,
+    /// and after a refresh the metadata contains every version file on
+    /// disk.
+    #[test]
+    fn checkout_exclusivity_and_refresh_completeness(
+        ops in prop::collection::vec(op_strategy(), 0..40)
+    ) {
+        let mut fm = build();
+        apply(&mut fm, &ops);
+        // Exclusivity: a second user's checkout while held must fail.
+        for c in 0..3 {
+            let cell = format!("c{c}");
+            if let Ok(Some(holder)) = fm.checkout_holder("lib", &cell, "schematic") {
+                let holder = holder.to_owned();
+                let other = if holder == "u0" { "u1" } else { "u0" };
+                let result = fm.checkout(other, "lib", &cell, "schematic");
+                let exclusive = matches!(result, Err(FmcadError::CheckedOutBy { .. }));
+                prop_assert!(exclusive, "second checkout must be refused");
+            }
+        }
+        // Refresh completeness: after refreshing, verify() is clean of
+        // unknown files.
+        fm.refresh("u0", "lib").unwrap();
+        let report = fm.verify("lib").unwrap();
+        prop_assert!(
+            !report.iter().any(|i| matches!(i, fmcad::MetaInconsistency::UnknownFile { .. })),
+            "refresh must absorb all files: {report:?}"
+        );
+    }
+
+    /// Version numbers per cellview are strictly increasing and the
+    /// default is always a known version after any sequence.
+    #[test]
+    fn version_lists_are_sorted_and_default_is_known(
+        ops in prop::collection::vec(op_strategy(), 0..40)
+    ) {
+        let mut fm = build();
+        apply(&mut fm, &ops);
+        for c in 0..3 {
+            let cell = format!("c{c}");
+            let versions = fm.versions("lib", &cell, "schematic").unwrap();
+            prop_assert!(versions.windows(2).all(|w| w[0] < w[1]), "{versions:?}");
+            if let Some(d) = fm.default_version("lib", &cell, "schematic").unwrap() {
+                prop_assert!(versions.contains(&d), "default {d} not in {versions:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness fuzzing for the `.meta` parser and the FML front end:
+//! corrupt customisation scripts and metadata files must fail cleanly.
+
+use fmcad::meta::LibraryMeta;
+use fml::{Interp, NoHost};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The .meta parser never panics on arbitrary input.
+    #[test]
+    fn meta_parser_never_panics(input in "\\PC*") {
+        let _ = LibraryMeta::parse(&input);
+    }
+
+    /// Structured-garbage .meta files parse or fail cleanly, and
+    /// whatever parses re-serialises without loss.
+    #[test]
+    fn meta_round_trips_whenever_it_parses(
+        lines in prop::collection::vec("(cell|view|version|default|checkout|config|cvv) [a-z]{1,4}( [a-z0-9]{1,4}){0,4}", 0..15),
+    ) {
+        let mut text = String::from("meta lib\n");
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        if let Ok(meta) = LibraryMeta::parse(&text) {
+            let again = LibraryMeta::parse(&meta.to_text()).unwrap();
+            prop_assert_eq!(again, meta);
+        }
+    }
+
+    /// The FML interpreter never panics on arbitrary scripts (it may
+    /// error or exhaust fuel, both are fine).
+    #[test]
+    fn fml_never_panics(input in "[ -~\\n]{0,200}") {
+        let mut interp = Interp::new();
+        interp.set_fuel(50_000);
+        let _ = interp.run(&input, &mut NoHost);
+    }
+}

@@ -1,0 +1,125 @@
+//! Lexical environments (scope chains).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::value::Value;
+
+/// A lexical environment: a frame of bindings with an optional parent.
+///
+/// Environments are reference-counted and interior-mutable because
+/// closures capture their defining environment and `set!` mutates
+/// through the chain.
+#[derive(Debug, Clone)]
+pub struct Env {
+    inner: Rc<RefCell<Frame>>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    bindings: HashMap<String, Value>,
+    parent: Option<Env>,
+}
+
+impl Env {
+    /// Creates a root environment with no bindings.
+    pub fn root() -> Env {
+        Env {
+            inner: Rc::new(RefCell::new(Frame { bindings: HashMap::new(), parent: None })),
+        }
+    }
+
+    /// Creates a child environment whose lookups fall through to `self`.
+    pub fn child(&self) -> Env {
+        Env {
+            inner: Rc::new(RefCell::new(Frame {
+                bindings: HashMap::new(),
+                parent: Some(self.clone()),
+            })),
+        }
+    }
+
+    /// Binds `name` in this frame (shadowing any outer binding).
+    pub fn define(&self, name: &str, value: Value) {
+        self.inner.borrow_mut().bindings.insert(name.to_owned(), value);
+    }
+
+    /// Looks `name` up through the scope chain.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        let frame = self.inner.borrow();
+        if let Some(v) = frame.bindings.get(name) {
+            return Some(v.clone());
+        }
+        frame.parent.as_ref().and_then(|p| p.lookup(name))
+    }
+
+    /// Assigns to an existing binding, searching up the chain.
+    /// Returns `false` if the name is unbound anywhere.
+    pub fn assign(&self, name: &str, value: Value) -> bool {
+        let mut frame = self.inner.borrow_mut();
+        if frame.bindings.contains_key(name) {
+            frame.bindings.insert(name.to_owned(), value);
+            return true;
+        }
+        match &frame.parent {
+            Some(p) => p.assign(name, value),
+            None => false,
+        }
+    }
+
+    /// Returns `true` when both handles refer to the same frame.
+    pub fn same_frame(&self, other: &Env) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let env = Env::root();
+        env.define("x", Value::Int(1));
+        assert!(matches!(env.lookup("x"), Some(Value::Int(1))));
+        assert!(env.lookup("y").is_none());
+    }
+
+    #[test]
+    fn child_sees_parent_bindings() {
+        let root = Env::root();
+        root.define("x", Value::Int(1));
+        let child = root.child();
+        assert!(matches!(child.lookup("x"), Some(Value::Int(1))));
+    }
+
+    #[test]
+    fn child_shadows_without_mutating_parent() {
+        let root = Env::root();
+        root.define("x", Value::Int(1));
+        let child = root.child();
+        child.define("x", Value::Int(2));
+        assert!(matches!(child.lookup("x"), Some(Value::Int(2))));
+        assert!(matches!(root.lookup("x"), Some(Value::Int(1))));
+    }
+
+    #[test]
+    fn assign_mutates_defining_frame() {
+        let root = Env::root();
+        root.define("x", Value::Int(1));
+        let child = root.child();
+        assert!(child.assign("x", Value::Int(9)));
+        assert!(matches!(root.lookup("x"), Some(Value::Int(9))));
+        assert!(!child.assign("ghost", Value::Int(0)));
+    }
+
+    #[test]
+    fn same_frame_identity() {
+        let a = Env::root();
+        let b = a.clone();
+        let c = a.child();
+        assert!(a.same_frame(&b));
+        assert!(!a.same_frame(&c));
+    }
+}

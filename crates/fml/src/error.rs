@@ -1,0 +1,102 @@
+//! Error type for the FMCAD extension language.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while lexing, parsing or evaluating FML source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmlError {
+    /// A character that cannot start any token.
+    LexError {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// An unterminated string literal.
+    UnterminatedString {
+        /// 1-based line where the string started.
+        line: usize,
+    },
+    /// The parser hit the end of input with open parentheses.
+    UnexpectedEof,
+    /// A closing parenthesis without a matching opener.
+    UnbalancedParen {
+        /// 1-based line of the stray parenthesis.
+        line: usize,
+    },
+    /// Evaluation of an unbound symbol.
+    Unbound(String),
+    /// A value of the wrong type in an operator or special form.
+    TypeError {
+        /// What was expected.
+        expected: &'static str,
+        /// Display form of what was found.
+        found: String,
+    },
+    /// A call with the wrong number of arguments.
+    ArityMismatch {
+        /// Name of the callee.
+        callee: String,
+        /// Expected arity description (e.g. "2" or "at least 1").
+        expected: String,
+        /// Number of arguments received.
+        found: usize,
+    },
+    /// Attempt to call a non-procedure value.
+    NotCallable(String),
+    /// The evaluation fuel budget ran out (runaway loop protection).
+    FuelExhausted,
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// An `(error "msg")` raised by the script itself.
+    UserError(String),
+    /// A host callback failed.
+    HostError(String),
+    /// An `(assert ...)` whose condition evaluated false.
+    AssertionFailed(String),
+}
+
+impl fmt::Display for FmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmlError::LexError { line, found } => {
+                write!(f, "line {line}: unexpected character {found:?}")
+            }
+            FmlError::UnterminatedString { line } => {
+                write!(f, "line {line}: unterminated string literal")
+            }
+            FmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            FmlError::UnbalancedParen { line } => write!(f, "line {line}: unbalanced parenthesis"),
+            FmlError::Unbound(name) => write!(f, "unbound symbol {name}"),
+            FmlError::TypeError { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            FmlError::ArityMismatch { callee, expected, found } => {
+                write!(f, "{callee}: expected {expected} argument(s), got {found}")
+            }
+            FmlError::NotCallable(v) => write!(f, "not callable: {v}"),
+            FmlError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+            FmlError::DivisionByZero => write!(f, "division by zero"),
+            FmlError::UserError(msg) => write!(f, "error: {msg}"),
+            FmlError::HostError(msg) => write!(f, "host error: {msg}"),
+            FmlError::AssertionFailed(what) => write!(f, "assertion failed: {what}"),
+        }
+    }
+}
+
+impl Error for FmlError {}
+
+/// Convenience alias for FML results.
+pub type FmlResult<T> = Result<T, FmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FmlError>();
+    }
+}

@@ -1,0 +1,916 @@
+//! The FML evaluator and its host interface.
+
+use crate::env::Env;
+use crate::error::{FmlError, FmlResult};
+use crate::parser::parse;
+use crate::value::Value;
+use std::rc::Rc;
+
+/// The host side of the extension language: framework functions the
+/// script may call via `(host-call "name" args...)`.
+///
+/// FMCAD registers callbacks here — the paper's encapsulation used
+/// *"several extension language procedures to trigger functions and
+/// lock menu points in order to prevent data inconsistency"* (§2.4).
+pub trait Host {
+    /// Invokes the host function `name` with evaluated arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmlError::HostError`] (or any other error) to abort the
+    /// calling script with a diagnosable message.
+    fn host_call(&mut self, name: &str, args: &[Value]) -> FmlResult<Value>;
+}
+
+/// A host that rejects every call; useful for pure scripts and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHost;
+
+impl Host for NoHost {
+    fn host_call(&mut self, name: &str, _args: &[Value]) -> FmlResult<Value> {
+        Err(FmlError::HostError(format!("no host function {name:?} available")))
+    }
+}
+
+/// Default evaluation fuel: generous for customisation scripts, small
+/// enough to stop runaway loops quickly.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+const BUILTINS: &[&str] = &[
+    "+", "-", "*", "/", "mod", "<", ">", "<=", ">=", "=", "!=", "not", "min", "max", "abs",
+    "list", "first", "rest", "cons", "nth", "length", "append", "null?", "number?", "string?",
+    "list?", "symbol?", "print", "string-append", "to-string", "error", "assert", "host-call",
+    "apply", "map", "filter", "reduce", "range",
+];
+
+/// The FML interpreter: global environment, fuel budget and captured
+/// print output.
+///
+/// # Examples
+///
+/// ```
+/// use fml::{Interp, NoHost, Value};
+///
+/// # fn main() -> Result<(), fml::FmlError> {
+/// let mut interp = Interp::new();
+/// let v = interp.run("(define (square x) (* x x)) (square 7)", &mut NoHost)?;
+/// assert!(matches!(v, Value::Int(49)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interp {
+    global: Env,
+    fuel_limit: u64,
+    fuel: u64,
+    output: Vec<String>,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the standard builtins bound.
+    pub fn new() -> Self {
+        let global = Env::root();
+        for name in BUILTINS {
+            global.define(name, Value::Builtin(name));
+        }
+        Interp { global, fuel_limit: DEFAULT_FUEL, fuel: DEFAULT_FUEL, output: Vec::new() }
+    }
+
+    /// Sets the per-run fuel budget (evaluation steps).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel_limit = fuel;
+    }
+
+    /// The global environment (to predefine host-specific bindings).
+    pub fn global_env(&self) -> &Env {
+        &self.global
+    }
+
+    /// Returns and clears everything the script `print`ed so far.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Returns `true` if a global binding with `name` exists (e.g. a
+    /// trigger procedure the host wants to fire).
+    pub fn has_definition(&self, name: &str) -> bool {
+        self.global.lookup(name).is_some()
+    }
+
+    /// Parses and evaluates `source`, returning the last expression's
+    /// value (nil for empty input). The fuel budget is refilled first.
+    ///
+    /// # Errors
+    ///
+    /// Returns any lex, parse or evaluation error.
+    pub fn run(&mut self, source: &str, host: &mut dyn Host) -> FmlResult<Value> {
+        self.fuel = self.fuel_limit;
+        let exprs = parse(source)?;
+        let mut last = Value::nil();
+        let env = self.global.clone();
+        for expr in exprs {
+            last = self.eval(&expr, &env, host)?;
+        }
+        Ok(last)
+    }
+
+    /// Calls a previously defined procedure by name — how the host
+    /// fires registered trigger procedures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmlError::Unbound`] if no such definition exists, or
+    /// any evaluation error from the body.
+    pub fn call(&mut self, name: &str, args: &[Value], host: &mut dyn Host) -> FmlResult<Value> {
+        self.fuel = self.fuel_limit;
+        let callee = self
+            .global
+            .lookup(name)
+            .ok_or_else(|| FmlError::Unbound(name.to_owned()))?;
+        self.apply(&callee, args.to_vec(), host)
+    }
+
+    fn burn(&mut self) -> FmlResult<()> {
+        if self.fuel == 0 {
+            return Err(FmlError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, expr: &Value, env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        self.burn()?;
+        match expr {
+            Value::Int(_) | Value::Str(_) | Value::Bool(_) | Value::Lambda { .. } | Value::Builtin(_) => {
+                Ok(expr.clone())
+            }
+            Value::Sym(name) => env.lookup(name).ok_or_else(|| FmlError::Unbound(name.clone())),
+            Value::List(items) => {
+                let Some(head) = items.first() else {
+                    return Ok(Value::nil());
+                };
+                if let Value::Sym(form) = head {
+                    match form.as_str() {
+                        "quote" => return self.special_quote(items),
+                        "if" => return self.special_if(items, env, host),
+                        "define" => return self.special_define(items, env, host),
+                        "set!" => return self.special_set(items, env, host),
+                        "lambda" => return self.special_lambda(items, env),
+                        "begin" => return self.eval_sequence(&items[1..], env, host),
+                        "let" => return self.special_let(items, env, host),
+                        "while" => return self.special_while(items, env, host),
+                        "and" => return self.special_and(items, env, host),
+                        "or" => return self.special_or(items, env, host),
+                        "cond" => return self.special_cond(items, env, host),
+                        _ => {}
+                    }
+                }
+                let callee = self.eval(head, env, host)?;
+                let mut args = Vec::with_capacity(items.len() - 1);
+                for arg in &items[1..] {
+                    args.push(self.eval(arg, env, host)?);
+                }
+                self.apply(&callee, args, host)
+            }
+        }
+    }
+
+    fn eval_sequence(&mut self, exprs: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        let mut last = Value::nil();
+        for e in exprs {
+            last = self.eval(e, env, host)?;
+        }
+        Ok(last)
+    }
+
+    fn apply(&mut self, callee: &Value, args: Vec<Value>, host: &mut dyn Host) -> FmlResult<Value> {
+        match callee {
+            Value::Builtin(name) => self.call_builtin(name, args, host),
+            Value::Lambda { params, body, env, name } => {
+                if params.len() != args.len() {
+                    return Err(FmlError::ArityMismatch {
+                        callee: name.clone().unwrap_or_else(|| "lambda".to_owned()),
+                        expected: params.len().to_string(),
+                        found: args.len(),
+                    });
+                }
+                let frame = env.child();
+                for (p, a) in params.iter().zip(args) {
+                    frame.define(p, a);
+                }
+                self.eval_sequence(body, &frame, host)
+            }
+            other => Err(FmlError::NotCallable(other.to_string())),
+        }
+    }
+
+    // --- special forms ------------------------------------------------
+
+    fn special_quote(&mut self, items: &[Value]) -> FmlResult<Value> {
+        match items {
+            [_, quoted] => Ok(quoted.clone()),
+            _ => Err(arity("quote", "1", items.len() - 1)),
+        }
+    }
+
+    fn special_if(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        match items {
+            [_, cond, then_branch] => {
+                if self.eval(cond, env, host)?.truthy() {
+                    self.eval(then_branch, env, host)
+                } else {
+                    Ok(Value::nil())
+                }
+            }
+            [_, cond, then_branch, else_branch] => {
+                if self.eval(cond, env, host)?.truthy() {
+                    self.eval(then_branch, env, host)
+                } else {
+                    self.eval(else_branch, env, host)
+                }
+            }
+            _ => Err(arity("if", "2 or 3", items.len() - 1)),
+        }
+    }
+
+    fn special_define(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        match items {
+            // (define x expr)
+            [_, Value::Sym(name), expr] => {
+                let value = self.eval(expr, env, host)?;
+                let value = match value {
+                    Value::Lambda { params, body, env, name: None } => {
+                        Value::Lambda { params, body, env, name: Some(name.clone()) }
+                    }
+                    v => v,
+                };
+                env.define(name, value);
+                Ok(Value::Sym(name.clone()))
+            }
+            // (define (f a b) body...)
+            [_, Value::List(signature), ..] if !signature.is_empty() => {
+                let Value::Sym(fname) = &signature[0] else {
+                    return Err(FmlError::TypeError {
+                        expected: "symbol",
+                        found: signature[0].to_string(),
+                    });
+                };
+                let mut params = Vec::new();
+                for p in &signature[1..] {
+                    match p {
+                        Value::Sym(s) => params.push(s.clone()),
+                        other => {
+                            return Err(FmlError::TypeError {
+                                expected: "symbol",
+                                found: other.to_string(),
+                            })
+                        }
+                    }
+                }
+                let body: Vec<Value> = items[2..].to_vec();
+                if body.is_empty() {
+                    return Err(arity("define", "a body", 0));
+                }
+                env.define(
+                    fname,
+                    Value::Lambda {
+                        params: Rc::new(params),
+                        body: Rc::new(body),
+                        env: env.clone(),
+                        name: Some(fname.clone()),
+                    },
+                );
+                Ok(Value::Sym(fname.clone()))
+            }
+            _ => Err(arity("define", "2", items.len() - 1)),
+        }
+    }
+
+    fn special_set(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        match items {
+            [_, Value::Sym(name), expr] => {
+                let value = self.eval(expr, env, host)?;
+                if env.assign(name, value.clone()) {
+                    Ok(value)
+                } else {
+                    Err(FmlError::Unbound(name.clone()))
+                }
+            }
+            _ => Err(arity("set!", "2", items.len() - 1)),
+        }
+    }
+
+    fn special_lambda(&mut self, items: &[Value], env: &Env) -> FmlResult<Value> {
+        match items {
+            [_, Value::List(param_list), ..] if items.len() >= 3 => {
+                let mut params = Vec::new();
+                for p in param_list {
+                    match p {
+                        Value::Sym(s) => params.push(s.clone()),
+                        other => {
+                            return Err(FmlError::TypeError {
+                                expected: "symbol",
+                                found: other.to_string(),
+                            })
+                        }
+                    }
+                }
+                Ok(Value::Lambda {
+                    params: Rc::new(params),
+                    body: Rc::new(items[2..].to_vec()),
+                    env: env.clone(),
+                    name: None,
+                })
+            }
+            _ => Err(arity("lambda", "a parameter list and body", items.len() - 1)),
+        }
+    }
+
+    fn special_let(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        match items {
+            [_, Value::List(bindings), ..] if items.len() >= 3 => {
+                let frame = env.child();
+                for b in bindings {
+                    match b {
+                        Value::List(pair) if pair.len() == 2 => {
+                            let Value::Sym(name) = &pair[0] else {
+                                return Err(FmlError::TypeError {
+                                    expected: "symbol",
+                                    found: pair[0].to_string(),
+                                });
+                            };
+                            let value = self.eval(&pair[1], env, host)?;
+                            frame.define(name, value);
+                        }
+                        other => {
+                            return Err(FmlError::TypeError {
+                                expected: "(name value) binding",
+                                found: other.to_string(),
+                            })
+                        }
+                    }
+                }
+                self.eval_sequence(&items[2..], &frame, host)
+            }
+            _ => Err(arity("let", "bindings and a body", items.len() - 1)),
+        }
+    }
+
+    fn special_while(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        if items.len() < 2 {
+            return Err(arity("while", "a condition and body", items.len() - 1));
+        }
+        let cond = &items[1];
+        let mut last = Value::nil();
+        while self.eval(cond, env, host)?.truthy() {
+            last = self.eval_sequence(&items[2..], env, host)?;
+        }
+        Ok(last)
+    }
+
+    fn special_and(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        let mut last = Value::Bool(true);
+        for e in &items[1..] {
+            last = self.eval(e, env, host)?;
+            if !last.truthy() {
+                return Ok(last);
+            }
+        }
+        Ok(last)
+    }
+
+    fn special_or(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        for e in &items[1..] {
+            let v = self.eval(e, env, host)?;
+            if v.truthy() {
+                return Ok(v);
+            }
+        }
+        Ok(Value::Bool(false))
+    }
+
+    fn special_cond(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+        for clause in &items[1..] {
+            let Value::List(pair) = clause else {
+                return Err(FmlError::TypeError { expected: "cond clause", found: clause.to_string() });
+            };
+            if pair.is_empty() {
+                continue;
+            }
+            let is_else = matches!(&pair[0], Value::Sym(s) if s == "else");
+            if is_else || self.eval(&pair[0], env, host)?.truthy() {
+                return self.eval_sequence(&pair[1..], env, host);
+            }
+        }
+        Ok(Value::nil())
+    }
+
+    // --- builtins -------------------------------------------------------
+
+    fn call_builtin(&mut self, name: &str, args: Vec<Value>, host: &mut dyn Host) -> FmlResult<Value> {
+        match name {
+            "+" | "-" | "*" | "/" | "mod" | "min" | "max" => self.numeric(name, args),
+            "<" | ">" | "<=" | ">=" => self.comparison(name, args),
+            "=" => match args.as_slice() {
+                [a, b] => Ok(Value::Bool(a.equals(b))),
+                _ => Err(arity("=", "2", args.len())),
+            },
+            "!=" => match args.as_slice() {
+                [a, b] => Ok(Value::Bool(!a.equals(b))),
+                _ => Err(arity("!=", "2", args.len())),
+            },
+            "not" => match args.as_slice() {
+                [a] => Ok(Value::Bool(!a.truthy())),
+                _ => Err(arity("not", "1", args.len())),
+            },
+            "abs" => match args.as_slice() {
+                [Value::Int(i)] => Ok(Value::Int(i.abs())),
+                [other] => Err(FmlError::TypeError { expected: "int", found: other.to_string() }),
+                _ => Err(arity("abs", "1", args.len())),
+            },
+            "list" => Ok(Value::List(args)),
+            "first" => match args.as_slice() {
+                [Value::List(l)] => Ok(l.first().cloned().unwrap_or_else(Value::nil)),
+                [other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                _ => Err(arity("first", "1", args.len())),
+            },
+            "rest" => match args.as_slice() {
+                [Value::List(l)] => {
+                    Ok(Value::List(l.iter().skip(1).cloned().collect()))
+                }
+                [other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                _ => Err(arity("rest", "1", args.len())),
+            },
+            "cons" => match args.as_slice() {
+                [head, Value::List(tail)] => {
+                    let mut l = Vec::with_capacity(tail.len() + 1);
+                    l.push(head.clone());
+                    l.extend(tail.iter().cloned());
+                    Ok(Value::List(l))
+                }
+                [_, other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                _ => Err(arity("cons", "2", args.len())),
+            },
+            "nth" => match args.as_slice() {
+                [Value::Int(i), Value::List(l)] => {
+                    Ok(l.get(*i as usize).cloned().unwrap_or_else(Value::nil))
+                }
+                _ => Err(arity("nth", "an index and a list", args.len())),
+            },
+            "length" => match args.as_slice() {
+                [Value::List(l)] => Ok(Value::Int(l.len() as i64)),
+                [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+                [other] => Err(FmlError::TypeError { expected: "list or string", found: other.to_string() }),
+                _ => Err(arity("length", "1", args.len())),
+            },
+            "append" => {
+                let mut out = Vec::new();
+                for a in &args {
+                    match a {
+                        Value::List(l) => out.extend(l.iter().cloned()),
+                        other => {
+                            return Err(FmlError::TypeError {
+                                expected: "list",
+                                found: other.to_string(),
+                            })
+                        }
+                    }
+                }
+                Ok(Value::List(out))
+            }
+            "null?" => match args.as_slice() {
+                [Value::List(l)] => Ok(Value::Bool(l.is_empty())),
+                [_] => Ok(Value::Bool(false)),
+                _ => Err(arity("null?", "1", args.len())),
+            },
+            "number?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Int(_)]))),
+            "string?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Str(_)]))),
+            "list?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::List(_)]))),
+            "symbol?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Sym(_)]))),
+            "print" => {
+                let line = args
+                    .iter()
+                    .map(|a| match a {
+                        Value::Str(s) => s.clone(),
+                        other => other.to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.output.push(line);
+                Ok(Value::nil())
+            }
+            "string-append" => {
+                let mut out = String::new();
+                for a in &args {
+                    match a {
+                        Value::Str(s) => out.push_str(s),
+                        other => out.push_str(&other.to_string()),
+                    }
+                }
+                Ok(Value::Str(out))
+            }
+            "to-string" => match args.as_slice() {
+                [Value::Str(s)] => Ok(Value::Str(s.clone())),
+                [other] => Ok(Value::Str(other.to_string())),
+                _ => Err(arity("to-string", "1", args.len())),
+            },
+            "error" => match args.as_slice() {
+                [Value::Str(msg)] => Err(FmlError::UserError(msg.clone())),
+                [other] => Err(FmlError::UserError(other.to_string())),
+                _ => Err(arity("error", "1", args.len())),
+            },
+            "assert" => match args.as_slice() {
+                [cond] => {
+                    if cond.truthy() {
+                        Ok(Value::Bool(true))
+                    } else {
+                        Err(FmlError::AssertionFailed(cond.to_string()))
+                    }
+                }
+                [cond, Value::Str(msg)] => {
+                    if cond.truthy() {
+                        Ok(Value::Bool(true))
+                    } else {
+                        Err(FmlError::AssertionFailed(msg.clone()))
+                    }
+                }
+                _ => Err(arity("assert", "1 or 2", args.len())),
+            },
+            "host-call" => match args.split_first() {
+                Some((Value::Str(fn_name), rest)) => host.host_call(fn_name, rest),
+                Some((other, _)) => {
+                    Err(FmlError::TypeError { expected: "string", found: other.to_string() })
+                }
+                None => Err(arity("host-call", "at least 1", 0)),
+            },
+            "apply" => match args.split_first() {
+                Some((callee, [Value::List(list_args)])) => {
+                    self.apply(callee, list_args.clone(), host)
+                }
+                _ => Err(arity("apply", "a procedure and an argument list", args.len())),
+            },
+            "map" => match args.as_slice() {
+                [callee, Value::List(items)] => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        out.push(self.apply(callee, vec![item.clone()], host)?);
+                    }
+                    Ok(Value::List(out))
+                }
+                _ => Err(arity("map", "a procedure and a list", args.len())),
+            },
+            "filter" => match args.as_slice() {
+                [callee, Value::List(items)] => {
+                    let mut out = Vec::new();
+                    for item in items {
+                        if self.apply(callee, vec![item.clone()], host)?.truthy() {
+                            out.push(item.clone());
+                        }
+                    }
+                    Ok(Value::List(out))
+                }
+                _ => Err(arity("filter", "a procedure and a list", args.len())),
+            },
+            "reduce" => match args.as_slice() {
+                [callee, init, Value::List(items)] => {
+                    let mut acc = init.clone();
+                    for item in items {
+                        acc = self.apply(callee, vec![acc, item.clone()], host)?;
+                    }
+                    Ok(acc)
+                }
+                _ => Err(arity("reduce", "a procedure, an initial value and a list", args.len())),
+            },
+            "range" => match args.as_slice() {
+                [Value::Int(n)] => {
+                    Ok(Value::List((0..*n.max(&0)).map(Value::Int).collect()))
+                }
+                [Value::Int(a), Value::Int(b)] => {
+                    Ok(Value::List((*a..*b).map(Value::Int).collect()))
+                }
+                _ => Err(arity("range", "1 or 2 integers", args.len())),
+            },
+            other => Err(FmlError::Unbound(other.to_owned())),
+        }
+    }
+
+    fn numeric(&mut self, op: &str, args: Vec<Value>) -> FmlResult<Value> {
+        let mut nums = Vec::with_capacity(args.len());
+        for a in &args {
+            match a {
+                Value::Int(i) => nums.push(*i),
+                other => {
+                    return Err(FmlError::TypeError { expected: "int", found: other.to_string() })
+                }
+            }
+        }
+        if nums.is_empty() {
+            return Err(arity(op, "at least 1", 0));
+        }
+        let first = nums[0];
+        let rest = &nums[1..];
+        let result = match op {
+            "+" => nums.iter().fold(0i64, |a, b| a.wrapping_add(*b)),
+            "*" => nums.iter().fold(1i64, |a, b| a.wrapping_mul(*b)),
+            "-" => {
+                if rest.is_empty() {
+                    first.wrapping_neg()
+                } else {
+                    rest.iter().fold(first, |a, b| a.wrapping_sub(*b))
+                }
+            }
+            "/" => {
+                let mut acc = first;
+                for b in rest {
+                    if *b == 0 {
+                        return Err(FmlError::DivisionByZero);
+                    }
+                    acc /= b;
+                }
+                acc
+            }
+            "mod" => {
+                if rest.len() != 1 {
+                    return Err(arity("mod", "2", nums.len()));
+                }
+                if rest[0] == 0 {
+                    return Err(FmlError::DivisionByZero);
+                }
+                first.rem_euclid(rest[0])
+            }
+            "min" => nums.iter().copied().min().expect("non-empty"),
+            "max" => nums.iter().copied().max().expect("non-empty"),
+            _ => unreachable!("numeric dispatch covers all operators"),
+        };
+        Ok(Value::Int(result))
+    }
+
+    fn comparison(&mut self, op: &str, args: Vec<Value>) -> FmlResult<Value> {
+        match args.as_slice() {
+            [Value::Int(a), Value::Int(b)] => Ok(Value::Bool(match op {
+                "<" => a < b,
+                ">" => a > b,
+                "<=" => a <= b,
+                ">=" => a >= b,
+                _ => unreachable!("comparison dispatch covers all operators"),
+            })),
+            [Value::Str(a), Value::Str(b)] => Ok(Value::Bool(match op {
+                "<" => a < b,
+                ">" => a > b,
+                "<=" => a <= b,
+                ">=" => a >= b,
+                _ => unreachable!("comparison dispatch covers all operators"),
+            })),
+            [a, b] => Err(FmlError::TypeError {
+                expected: "two ints or two strings",
+                found: format!("{a} and {b}"),
+            }),
+            _ => Err(arity(op, "2", args.len())),
+        }
+    }
+}
+
+fn arity(callee: &str, expected: &str, found: usize) -> FmlError {
+    FmlError::ArityMismatch { callee: callee.to_owned(), expected: expected.to_owned(), found }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> FmlResult<Value> {
+        Interp::new().run(src, &mut NoHost)
+    }
+
+    fn eval_int(src: &str) -> i64 {
+        match eval(src).unwrap() {
+            Value::Int(i) => i,
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_int("(+ 1 2 3)"), 6);
+        assert_eq!(eval_int("(- 10 3 2)"), 5);
+        assert_eq!(eval_int("(- 5)"), -5);
+        assert_eq!(eval_int("(* 2 3 4)"), 24);
+        assert_eq!(eval_int("(/ 100 5 2)"), 10);
+        assert_eq!(eval_int("(mod 7 3)"), 1);
+        assert_eq!(eval_int("(mod -1 3)"), 2, "mod is euclidean");
+        assert_eq!(eval_int("(min 3 1 2)"), 1);
+        assert_eq!(eval_int("(max 3 1 2)"), 3);
+        assert_eq!(eval_int("(abs -9)"), 9);
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        assert_eq!(eval("(/ 1 0)").unwrap_err(), FmlError::DivisionByZero);
+        assert_eq!(eval("(mod 1 0)").unwrap_err(), FmlError::DivisionByZero);
+    }
+
+    #[test]
+    fn comparisons_and_equality() {
+        assert!(eval("(< 1 2)").unwrap().truthy());
+        assert!(!eval("(>= 1 2)").unwrap().truthy());
+        assert!(eval("(< \"a\" \"b\")").unwrap().truthy());
+        assert!(eval("(= '(1 2) '(1 2))").unwrap().truthy());
+        assert!(eval("(!= 1 2)").unwrap().truthy());
+    }
+
+    #[test]
+    fn define_and_call_function() {
+        assert_eq!(eval_int("(define (add a b) (+ a b)) (add 2 3)"), 5);
+    }
+
+    #[test]
+    fn lambda_closes_over_environment() {
+        let src = "(define (adder n) (lambda (x) (+ x n))) (define add5 (adder 5)) (add5 10)";
+        assert_eq!(eval_int(src), 15);
+    }
+
+    #[test]
+    fn set_mutates_closure_state() {
+        let src = "
+            (define counter 0)
+            (define (tick) (set! counter (+ counter 1)) counter)
+            (tick) (tick) (tick)";
+        assert_eq!(eval_int(src), 3);
+    }
+
+    #[test]
+    fn if_and_cond() {
+        assert_eq!(eval_int("(if (> 2 1) 10 20)"), 10);
+        assert_eq!(eval_int("(if (> 1 2) 10 20)"), 20);
+        assert!(matches!(eval("(if #f 1)").unwrap(), Value::List(l) if l.is_empty()));
+        assert_eq!(
+            eval_int("(cond ((= 1 2) 10) ((= 1 1) 20) (else 30))"),
+            20
+        );
+        assert_eq!(eval_int("(cond ((= 1 2) 10) (else 30))"), 30);
+    }
+
+    #[test]
+    fn let_binds_locally() {
+        assert_eq!(eval_int("(define x 1) (let ((x 10) (y 5)) (+ x y))"), 15);
+        assert_eq!(eval_int("(define x 1) (let ((x 10)) x) x"), 1);
+    }
+
+    #[test]
+    fn while_loops() {
+        let src = "
+            (define i 0)
+            (define sum 0)
+            (while (< i 10)
+              (set! sum (+ sum i))
+              (set! i (+ i 1)))
+            sum";
+        assert_eq!(eval_int(src), 45);
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        assert_eq!(eval_int("(or 0 #f 7 (error \"not reached\"))"), 7);
+        assert!(!eval("(and 1 #f (error \"not reached\"))").unwrap().truthy());
+    }
+
+    #[test]
+    fn list_operations() {
+        assert_eq!(eval_int("(length (list 1 2 3))"), 3);
+        assert_eq!(eval_int("(first '(9 8))"), 9);
+        assert_eq!(eval_int("(nth 1 '(9 8 7))"), 8);
+        assert_eq!(eval_int("(length (append '(1) '(2 3)))"), 3);
+        assert_eq!(eval_int("(length (cons 0 '(1 2)))"), 3);
+        assert!(eval("(null? '())").unwrap().truthy());
+        assert!(eval("(null? '(1))").unwrap().is_truthy_false());
+    }
+
+    #[test]
+    fn recursion_works() {
+        let src = "(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1))))) (fact 10)";
+        assert_eq!(eval_int(src), 3_628_800);
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let mut interp = Interp::new();
+        interp.set_fuel(10_000);
+        let err = interp.run("(while 1 0)", &mut NoHost).unwrap_err();
+        assert_eq!(err, FmlError::FuelExhausted);
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let mut interp = Interp::new();
+        interp.run("(print \"hello\" 42)(print \"bye\")", &mut NoHost).unwrap();
+        assert_eq!(interp.take_output(), vec!["hello 42", "bye"]);
+        assert!(interp.take_output().is_empty());
+    }
+
+    #[test]
+    fn user_error_and_assert() {
+        assert_eq!(eval("(error \"boom\")").unwrap_err(), FmlError::UserError("boom".into()));
+        assert!(eval("(assert (= 1 1))").is_ok());
+        assert_eq!(
+            eval("(assert (= 1 2) \"ones differ\")").unwrap_err(),
+            FmlError::AssertionFailed("ones differ".into())
+        );
+    }
+
+    #[test]
+    fn unbound_symbol_reported() {
+        assert_eq!(eval("ghost").unwrap_err(), FmlError::Unbound("ghost".into()));
+        assert_eq!(eval("(set! ghost 1)").unwrap_err(), FmlError::Unbound("ghost".into()));
+    }
+
+    #[test]
+    fn wrong_arity_reported() {
+        assert!(matches!(
+            eval("(define (f a) a) (f 1 2)").unwrap_err(),
+            FmlError::ArityMismatch { found: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn not_callable_reported() {
+        assert!(matches!(eval("(1 2)").unwrap_err(), FmlError::NotCallable(_)));
+    }
+
+    #[test]
+    fn host_call_reaches_host() {
+        struct Recorder(Vec<String>);
+        impl Host for Recorder {
+            fn host_call(&mut self, name: &str, args: &[Value]) -> FmlResult<Value> {
+                self.0.push(format!("{name}/{}", args.len()));
+                Ok(Value::Int(args.len() as i64))
+            }
+        }
+        let mut host = Recorder(Vec::new());
+        let mut interp = Interp::new();
+        let v = interp.run("(host-call \"lock-menu\" \"save\" \"checkin\")", &mut host).unwrap();
+        assert!(matches!(v, Value::Int(2)));
+        assert_eq!(host.0, vec!["lock-menu/2"]);
+    }
+
+    #[test]
+    fn no_host_rejects_host_calls() {
+        assert!(matches!(
+            eval("(host-call \"anything\")").unwrap_err(),
+            FmlError::HostError(_)
+        ));
+    }
+
+    #[test]
+    fn call_invokes_defined_trigger() {
+        let mut interp = Interp::new();
+        interp
+            .run("(define (on-save file) (string-append \"saved:\" file))", &mut NoHost)
+            .unwrap();
+        assert!(interp.has_definition("on-save"));
+        let v = interp
+            .call("on-save", &[Value::Str("top.sch".into())], &mut NoHost)
+            .unwrap();
+        assert!(matches!(v, Value::Str(s) if s == "saved:top.sch"));
+        assert!(interp.call("missing", &[], &mut NoHost).is_err());
+    }
+
+    #[test]
+    fn apply_spreads_list_arguments() {
+        assert_eq!(eval_int("(apply + '(1 2 3))"), 6);
+    }
+
+    #[test]
+    fn map_filter_reduce_and_range() {
+        assert_eq!(eval_int("(length (range 5))"), 5);
+        assert_eq!(eval_int("(first (range 3 9))"), 3);
+        assert_eq!(eval_int("(apply + (map (lambda (x) (* x x)) (range 1 5)))"), 30);
+        assert_eq!(
+            eval_int("(length (filter (lambda (x) (= (mod x 2) 0)) (range 10)))"),
+            5
+        );
+        assert_eq!(eval_int("(reduce + 0 (range 1 11))"), 55);
+        assert_eq!(eval_int("(reduce max 0 '(3 9 4))"), 9);
+        assert!(eval("(map 1 '(1))").is_err());
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert!(eval("(number? 1)").unwrap().truthy());
+        assert!(eval("(string? \"s\")").unwrap().truthy());
+        assert!(eval("(list? '(1))").unwrap().truthy());
+        assert!(eval("(symbol? 'a)").unwrap().truthy());
+        assert!(!eval("(number? \"s\")").unwrap().truthy());
+    }
+
+    impl Value {
+        fn is_truthy_false(&self) -> bool {
+            !self.truthy()
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Tokeniser for FML source text.
+
+use crate::error::{FmlError, FmlResult};
+
+/// One lexical token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `)`
+    RParen {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `'` — quote shorthand.
+    Quote {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An integer literal.
+    Int {
+        /// The literal value.
+        value: i64,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A string literal (escapes already resolved).
+    Str {
+        /// The literal value.
+        value: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A symbol (identifier or operator).
+    Sym {
+        /// The symbol text.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+impl Token {
+    /// The source line of the token.
+    pub fn line(&self) -> usize {
+        match self {
+            Token::LParen { line }
+            | Token::RParen { line }
+            | Token::Quote { line }
+            | Token::Int { line, .. }
+            | Token::Str { line, .. }
+            | Token::Sym { line, .. } => *line,
+        }
+    }
+}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_alphanumeric() || "+-*/<>=!?_.:&%$@^~#".contains(c)
+}
+
+/// Tokenises FML source.
+///
+/// Comments run from `;` to end of line. String escapes `\"`, `\\` and
+/// `\n` are supported.
+///
+/// # Errors
+///
+/// Returns [`FmlError::LexError`] for characters outside the token
+/// grammar and [`FmlError::UnterminatedString`] for unclosed strings.
+pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen { line });
+                chars.next();
+            }
+            ')' => {
+                tokens.push(Token::RParen { line });
+                chars.next();
+            }
+            '\'' => {
+                tokens.push(Token::Quote { line });
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let start_line = line;
+                let mut value = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(FmlError::UnterminatedString { line: start_line }),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => value.push('\n'),
+                            Some('\\') => value.push('\\'),
+                            Some('"') => value.push('"'),
+                            Some(other) => value.push(other),
+                            None => return Err(FmlError::UnterminatedString { line: start_line }),
+                        },
+                        Some('\n') => {
+                            line += 1;
+                            value.push('\n');
+                        }
+                        Some(other) => value.push(other),
+                    }
+                }
+                tokens.push(Token::Str { value, line: start_line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = text.parse::<i64>().map_err(|_| FmlError::LexError { line, found: c })?;
+                tokens.push(Token::Int { value, line });
+            }
+            c if is_symbol_char(c) => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_symbol_char(d) {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Negative integer literals lex as symbols starting with '-'.
+                if name.len() > 1 && name.starts_with('-') && name[1..].chars().all(|c| c.is_ascii_digit())
+                {
+                    let value = name.parse::<i64>().map_err(|_| FmlError::LexError { line, found: c })?;
+                    tokens.push(Token::Int { value, line });
+                } else {
+                    tokens.push(Token::Sym { name, line });
+                }
+            }
+            other => return Err(FmlError::LexError { line, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_forms() {
+        let tokens = tokenize("(define x 42)").unwrap();
+        assert_eq!(tokens.len(), 5);
+        assert!(matches!(tokens[0], Token::LParen { .. }));
+        assert!(matches!(&tokens[1], Token::Sym { name, .. } if name == "define"));
+        assert!(matches!(tokens[3], Token::Int { value: 42, .. }));
+    }
+
+    #[test]
+    fn negative_numbers_and_minus_symbol() {
+        let tokens = tokenize("-5 - -x").unwrap();
+        assert!(matches!(tokens[0], Token::Int { value: -5, .. }));
+        assert!(matches!(&tokens[1], Token::Sym { name, .. } if name == "-"));
+        assert!(matches!(&tokens[2], Token::Sym { name, .. } if name == "-x"));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let tokens = tokenize(r#""a\"b\n\\c""#).unwrap();
+        assert!(matches!(&tokens[0], Token::Str { value, .. } if value == "a\"b\n\\c"));
+    }
+
+    #[test]
+    fn unterminated_string_reports_start_line() {
+        let err = tokenize("\n\"oops").unwrap_err();
+        assert_eq!(err, FmlError::UnterminatedString { line: 2 });
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = tokenize("; a comment\n42 ; trailing\n").unwrap();
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].line(), 2);
+    }
+
+    #[test]
+    fn quote_shorthand() {
+        let tokens = tokenize("'(1 2)").unwrap();
+        assert!(matches!(tokens[0], Token::Quote { .. }));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let tokens = tokenize("a\nb\nc").unwrap();
+        assert_eq!(tokens[0].line(), 1);
+        assert_eq!(tokens[1].line(), 2);
+        assert_eq!(tokens[2].line(), 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(tokenize("{"), Err(FmlError::LexError { .. })));
+    }
+}

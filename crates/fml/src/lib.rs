@@ -1,0 +1,54 @@
+//! # fml — the FMCAD extension language
+//!
+//! A small, from-scratch Lisp dialect standing in for the proprietary
+//! customisation language of the paper's ECAD framework (Cadence
+//! SKILL). FMCAD is described as modifiable *"by an extension
+//! language"* (§2.2), and the hybrid JCF–FMCAD coupling used it
+//! heavily: *"the customization of the encapsulation was extended by
+//! several extension language procedures to trigger functions and lock
+//! menu points in order to prevent data inconsistency"* (§2.4).
+//!
+//! The language offers the pieces that encapsulation scenario needs:
+//!
+//! * `define` / `lambda` closures, `let`, `while`, `cond` — enough to
+//!   write real customisation procedures;
+//! * a [`Host`] trait through which scripts call back into the
+//!   framework (`(host-call "lock-menu" "Check In")`);
+//! * named procedure invocation from Rust ([`Interp::call`]) so the
+//!   framework can fire registered *trigger* procedures on events;
+//! * a fuel budget that stops runaway scripts — a framework must
+//!   survive bad customisation code.
+//!
+//! # Examples
+//!
+//! ```
+//! use fml::{Interp, NoHost, Value};
+//!
+//! # fn main() -> Result<(), fml::FmlError> {
+//! let mut interp = Interp::new();
+//! interp.run(
+//!     "(define (banner tool) (string-append \"[\" tool \"] ready\"))",
+//!     &mut NoHost,
+//! )?;
+//! let v = interp.call("banner", &[Value::Str("layout".into())], &mut NoHost)?;
+//! assert_eq!(v.to_string(), "\"[layout] ready\"");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use env::Env;
+pub use error::{FmlError, FmlResult};
+pub use interp::{Host, Interp, NoHost, DEFAULT_FUEL};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+pub use value::Value;

@@ -1,0 +1,105 @@
+//! Parser: tokens to expression trees.
+
+use crate::error::{FmlError, FmlResult};
+use crate::lexer::{tokenize, Token};
+use crate::value::Value;
+
+/// Parses FML source into a sequence of top-level expressions.
+///
+/// # Errors
+///
+/// Returns lexer errors, [`FmlError::UnexpectedEof`] for unclosed lists
+/// and [`FmlError::UnbalancedParen`] for stray closers.
+pub fn parse(source: &str) -> FmlResult<Vec<Value>> {
+    let tokens = tokenize(source)?;
+    let mut pos = 0usize;
+    let mut exprs = Vec::new();
+    while pos < tokens.len() {
+        let (expr, next) = parse_expr(&tokens, pos)?;
+        exprs.push(expr);
+        pos = next;
+    }
+    Ok(exprs)
+}
+
+fn parse_expr(tokens: &[Token], pos: usize) -> FmlResult<(Value, usize)> {
+    match tokens.get(pos) {
+        None => Err(FmlError::UnexpectedEof),
+        Some(Token::Int { value, .. }) => Ok((Value::Int(*value), pos + 1)),
+        Some(Token::Str { value, .. }) => Ok((Value::Str(value.clone()), pos + 1)),
+        Some(Token::Sym { name, .. }) => Ok((
+            match name.as_str() {
+                "#t" | "true" => Value::Bool(true),
+                "#f" | "false" => Value::Bool(false),
+                "nil" => Value::nil(),
+                _ => Value::Sym(name.clone()),
+            },
+            pos + 1,
+        )),
+        Some(Token::Quote { .. }) => {
+            let (quoted, next) = parse_expr(tokens, pos + 1)?;
+            Ok((Value::List(vec![Value::Sym("quote".to_owned()), quoted]), next))
+        }
+        Some(Token::LParen { .. }) => {
+            let mut items = Vec::new();
+            let mut cursor = pos + 1;
+            loop {
+                match tokens.get(cursor) {
+                    None => return Err(FmlError::UnexpectedEof),
+                    Some(Token::RParen { .. }) => return Ok((Value::List(items), cursor + 1)),
+                    _ => {
+                        let (item, next) = parse_expr(tokens, cursor)?;
+                        items.push(item);
+                        cursor = next;
+                    }
+                }
+            }
+        }
+        Some(Token::RParen { line }) => Err(FmlError::UnbalancedParen { line: *line }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms() {
+        let exprs = parse("42 \"s\" foo #t #f nil").unwrap();
+        assert_eq!(exprs.len(), 6);
+        assert!(matches!(exprs[0], Value::Int(42)));
+        assert!(matches!(&exprs[1], Value::Str(s) if s == "s"));
+        assert!(matches!(&exprs[2], Value::Sym(s) if s == "foo"));
+        assert!(matches!(exprs[3], Value::Bool(true)));
+        assert!(matches!(exprs[4], Value::Bool(false)));
+        assert!(matches!(&exprs[5], Value::List(l) if l.is_empty()));
+    }
+
+    #[test]
+    fn parses_nested_lists() {
+        let exprs = parse("(a (b c) ())").unwrap();
+        assert_eq!(exprs.len(), 1);
+        assert_eq!(exprs[0].to_string(), "(a (b c) ())");
+    }
+
+    #[test]
+    fn quote_expands_to_quote_form() {
+        let exprs = parse("'(1 2)").unwrap();
+        assert_eq!(exprs[0].to_string(), "(quote (1 2))");
+    }
+
+    #[test]
+    fn unclosed_list_reports_eof() {
+        assert_eq!(parse("(a (b)").unwrap_err(), FmlError::UnexpectedEof);
+    }
+
+    #[test]
+    fn stray_paren_reports_line() {
+        assert!(matches!(parse("\n)").unwrap_err(), FmlError::UnbalancedParen { line: 2 }));
+    }
+
+    #[test]
+    fn multiple_top_level_forms() {
+        assert_eq!(parse("(a) (b) c").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Runtime values of the FML interpreter.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::env::Env;
+
+/// A runtime FML value.
+///
+/// Lists double as the syntax tree (the language is homoiconic, like
+/// the SKILL language FMCAD's customisation layer was modelled on).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Symbol (identifier).
+    Sym(String),
+    /// Proper list; the empty list is also the nil value.
+    List(Vec<Value>),
+    /// A user-defined procedure (lambda) with captured environment.
+    Lambda {
+        /// Parameter names.
+        params: Rc<Vec<String>>,
+        /// Body expressions, evaluated in sequence.
+        body: Rc<Vec<Value>>,
+        /// Captured defining environment.
+        env: Env,
+        /// Optional name for diagnostics (set by `define`).
+        name: Option<String>,
+    },
+    /// A built-in procedure identified by name (dispatched by the
+    /// evaluator).
+    Builtin(&'static str),
+}
+
+impl Value {
+    /// The canonical nil / empty list.
+    pub fn nil() -> Value {
+        Value::List(Vec::new())
+    }
+
+    /// FML truthiness: everything except `#f`-like `Bool(false)`, `0`
+    /// and the empty list is true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::List(l) => !l.is_empty(),
+            _ => true,
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Sym(_) => "symbol",
+            Value::List(_) => "list",
+            Value::Lambda { .. } => "procedure",
+            Value::Builtin(_) => "builtin",
+        }
+    }
+
+    /// Structural equality (procedures are never equal).
+    pub fn equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equals(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Lambda { name, params, .. } => match name {
+                Some(n) => write!(f, "#<procedure {n}/{}>", params.len()),
+                None => write!(f, "#<procedure/{}>", params.len()),
+            },
+            Value::Builtin(name) => write!(f, "#<builtin {name}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::nil().truthy());
+        assert!(Value::List(vec![Value::Int(1)]).truthy());
+        assert!(Value::Str(String::new()).truthy(), "empty string is true, like SKILL");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(true).to_string(), "#t");
+        assert_eq!(
+            Value::List(vec![Value::Sym("a".into()), Value::Int(1)]).to_string(),
+            "(a 1)"
+        );
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = Value::List(vec![Value::Int(1), Value::Str("x".into())]);
+        let b = Value::List(vec![Value::Int(1), Value::Str("x".into())]);
+        let c = Value::List(vec![Value::Int(2)]);
+        assert!(a.equals(&b));
+        assert!(!a.equals(&c));
+        assert!(!Value::Builtin("car").equals(&Value::Builtin("car")));
+    }
+}

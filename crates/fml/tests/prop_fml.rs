@@ -1,0 +1,50 @@
+//! Property-based tests for the extension language.
+
+use fml::{parse, Interp, NoHost, Value};
+use proptest::prelude::*;
+
+/// A strategy over printable expression trees (no procedures).
+fn expr_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z][a-z0-9-]{0,6}".prop_map(Value::Sym),
+        prop_oneof![Just(Value::Bool(true)), Just(Value::Bool(false))],
+        "[ -~&&[^\"\\\\]]{0,10}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(Value::List)
+    })
+}
+
+// Rebuild booleans after parsing: the parser normalises the symbols
+// `#t`/`#f` to booleans, so compare via display.
+proptest! {
+    /// Displaying any expression and re-parsing it yields an expression
+    /// with the same display form (print/read consistency).
+    #[test]
+    fn display_parse_round_trip(expr in expr_strategy()) {
+        let text = expr.to_string();
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].to_string(), text);
+    }
+
+    /// Folded arithmetic agrees with Rust's wrapping semantics.
+    #[test]
+    fn addition_matches_rust(xs in prop::collection::vec(-1000i64..1000, 1..8)) {
+        let src = format!("(+ {})", xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" "));
+        let v = Interp::new().run(&src, &mut NoHost).unwrap();
+        let expected: i64 = xs.iter().sum();
+        prop_assert!(matches!(v, Value::Int(i) if i == expected));
+    }
+
+    /// while-loop summation agrees with the closed form.
+    #[test]
+    fn loop_sum_matches_closed_form(n in 0i64..200) {
+        let src = format!(
+            "(define i 0)(define s 0)(while (< i {n}) (set! s (+ s i)) (set! i (+ i 1))) s"
+        );
+        let v = Interp::new().run(&src, &mut NoHost).unwrap();
+        prop_assert!(matches!(v, Value::Int(i) if i == n * (n - 1) / 2));
+    }
+}

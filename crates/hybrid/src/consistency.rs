@@ -1,0 +1,410 @@
+//! Consistency guards: what the hybrid framework checks that neither
+//! framework alone would.
+//!
+//! §3.2: hierarchy metadata in JCF enables *"a more powerful data
+//! consistency check in JCF-FMCAD"*. §3.3: non-isomorphic hierarchies
+//! must be rejected because JCF 3.0 cannot represent them. This module
+//! implements both the write-time guards (called from the
+//! encapsulation pipeline) and the audit-time project verification.
+
+use std::collections::BTreeSet;
+
+use design_data::format;
+use jcf::{ActivityId, ProjectId, UserId, VariantId};
+
+use crate::encapsulation::ToolOutput;
+use crate::error::{HybridError, HybridResult};
+use crate::framework::Hybrid;
+
+/// One finding of [`Hybrid::verify_project`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyFinding {
+    /// A mirrored design object version differs between the OMS
+    /// database and the FMCAD library.
+    MirrorDrift {
+        /// The drifting location (FMCAD side).
+        location: String,
+    },
+    /// FMCAD's own `.meta` disagrees with its library directory.
+    MetaDrift {
+        /// Description of the library-level inconsistency.
+        description: String,
+    },
+    /// Design data references a child the hierarchy metadata lacks.
+    UndeclaredHierarchy {
+        /// The referencing FMCAD cell.
+        parent: String,
+        /// The unreferenced child.
+        child: String,
+    },
+    /// Schematic and layout hierarchies of a variant differ.
+    NonIsomorphic {
+        /// The FMCAD cell whose views disagree.
+        cell: String,
+        /// The differing child sets, rendered.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ConsistencyFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyFinding::MirrorDrift { location } => {
+                write!(f, "mirror drift at {location}")
+            }
+            ConsistencyFinding::MetaDrift { description } => {
+                write!(f, "library metadata drift: {description}")
+            }
+            ConsistencyFinding::UndeclaredHierarchy { parent, child } => {
+                write!(f, "{parent} uses undeclared child {child}")
+            }
+            ConsistencyFinding::NonIsomorphic { cell, detail } => {
+                write!(f, "non-isomorphic views of {cell}: {detail}")
+            }
+        }
+    }
+}
+
+/// Extracts the child cell names referenced by a view's design data.
+pub(crate) fn children_referenced(viewtype: &str, data: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(data);
+    match viewtype {
+        "schematic" => format::parse_netlist(&text)
+            .map(|n| n.subcells().into_iter().map(str::to_owned).collect())
+            .unwrap_or_default(),
+        "layout" => format::parse_layout(&text)
+            .map(|l| l.subcells().into_iter().map(str::to_owned).collect())
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    }
+}
+
+impl Hybrid {
+    /// Write-time guard run by the encapsulation pipeline before any
+    /// output is persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::UndeclaredOutput`] for viewtypes the
+    /// activity does not create, [`HybridError::UndeclaredChild`] for
+    /// hierarchy references missing from the `CompOf` metadata, and
+    /// [`HybridError::NonIsomorphicHierarchy`] when schematic and
+    /// layout child sets diverge.
+    pub(crate) fn check_outputs(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        activity: ActivityId,
+        outputs: &[ToolOutput],
+    ) -> HybridResult<()> {
+        // 1. Outputs must be declared by the activity.
+        let declared: BTreeSet<String> = self
+            .jcf
+            .creates_of(activity)
+            .into_iter()
+            .filter_map(|v| self.viewtype_names.get(&v).cloned())
+            .collect();
+        let activity_name = self.jcf.display_name(activity.object_id());
+        for output in outputs {
+            if !declared.contains(&output.viewtype) {
+                return Err(HybridError::UndeclaredOutput {
+                    activity: activity_name,
+                    viewtype: output.viewtype.clone(),
+                });
+            }
+        }
+
+        // 2. Hierarchy references must have been declared beforehand
+        //    via the JCF desktop (§3.3) — unless the future-work
+        //    procedural interface is on, in which case the tool itself
+        //    passes the hierarchy to JCF here.
+        let cv = self.jcf.cell_version_of(variant)?;
+        let declared_children: BTreeSet<String> = self
+            .jcf
+            .comp_of(cv)
+            .into_iter()
+            .map(|c| self.jcf.display_name(c.object_id()))
+            .collect();
+        let (_, fmcad_cell) = self.location_of_variant(variant)?;
+        let project = self.jcf.project_of(self.jcf.cell_of(cv)?)?;
+        for output in outputs {
+            for child in children_referenced(&output.viewtype, &output.data) {
+                if declared_children.contains(&child) {
+                    continue;
+                }
+                if self.features.procedural_interface {
+                    if let Some(child_cell) = self.resolve_child_cell(project, &child) {
+                        self.jcf.declare_comp_of(user, cv, child_cell)?;
+                        continue;
+                    }
+                }
+                return Err(HybridError::UndeclaredChild { parent: fmcad_cell, child });
+            }
+        }
+
+        // 3. Schematic and layout hierarchies must stay isomorphic
+        //    (JCF 3.0 cannot represent anything else, §3.3).
+        let mut sch_children: Option<BTreeSet<String>> = None;
+        let mut lay_children: Option<BTreeSet<String>> = None;
+        for view in ["schematic", "layout"] {
+            let from_output = outputs.iter().find(|o| o.viewtype == view);
+            let data: Option<Vec<u8>> = match from_output {
+                Some(o) => Some(o.data.clone()),
+                None => {
+                    let viewtype = self.viewtype(view)?;
+                    match self
+                        .jcf
+                        .design_object_by_viewtype(variant, viewtype)
+                        .and_then(|d| self.jcf.latest_version(d))
+                    {
+                        Some(dov) => Some(self.jcf.read_design_data(user, dov)?),
+                        None => None,
+                    }
+                }
+            };
+            let children =
+                data.map(|d| children_referenced(view, &d).into_iter().collect::<BTreeSet<_>>());
+            match view {
+                "schematic" => sch_children = children,
+                _ => lay_children = children,
+            }
+        }
+        if let (Some(sch), Some(lay)) = (&sch_children, &lay_children) {
+            if sch != lay && !self.features.non_isomorphic_hierarchies {
+                let mut differences = Vec::new();
+                for only in sch.difference(lay) {
+                    differences.push(format!("{only} only in schematic"));
+                }
+                for only in lay.difference(sch) {
+                    differences.push(format!("{only} only in layout"));
+                }
+                return Err(HybridError::NonIsomorphicHierarchy { differences });
+            }
+        }
+        Ok(())
+    }
+
+    /// Audits a coupled project: mirrored data, FMCAD metadata and
+    /// hierarchy declarations. A clean hybrid project returns an empty
+    /// report; standalone FMCAD has no equivalent facility (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/transfer errors; findings are data, not errors.
+    pub fn verify_project(&mut self, project: ProjectId) -> HybridResult<Vec<ConsistencyFinding>> {
+        let mut findings = Vec::new();
+        let lib = self.library_of(project)?.to_owned();
+
+        // FMCAD-side metadata vs directory.
+        for inc in self.fmcad.verify(&lib)? {
+            findings.push(ConsistencyFinding::MetaDrift { description: format!("{inc:?}") });
+        }
+
+        // Mirrored design data: DB bytes must equal library bytes.
+        let mirrors: Vec<(jcf::DovId, crate::framework::MirrorLocation)> = self
+            .dov_mirror
+            .iter()
+            .filter(|(_, m)| m.library == lib)
+            .map(|(d, m)| (*d, m.clone()))
+            .collect();
+        for (dov, mirror) in mirrors {
+            let db_bytes = self
+                .jcf
+                .database()
+                .get(dov.object_id(), "data")
+                .ok()
+                .and_then(|v| v.as_bytes().map(<[u8]>::to_vec));
+            let lib_bytes = self
+                .fmcad
+                .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+                .ok();
+            if db_bytes != lib_bytes {
+                findings.push(ConsistencyFinding::MirrorDrift {
+                    location: format!(
+                        "{}/{}/{} v{}",
+                        mirror.library, mirror.cell, mirror.view, mirror.version
+                    ),
+                });
+            }
+        }
+
+        // Hierarchy: every child referenced by mirrored schematic or
+        // layout data must be declared in CompOf.
+        let cvs: Vec<(jcf::CellVersionId, String)> = self
+            .cv_cell
+            .iter()
+            .map(|(cv, cell)| (*cv, cell.clone()))
+            .collect();
+        for (cv, fmcad_cell) in cvs {
+            let declared: BTreeSet<String> = self
+                .jcf
+                .comp_of(cv)
+                .into_iter()
+                .map(|c| self.jcf.display_name(c.object_id()))
+                .collect();
+            for view in ["schematic", "layout"] {
+                let data = self.fmcad.read_default(&lib, &fmcad_cell, view).ok();
+                if let Some(data) = data {
+                    for child in children_referenced(view, &data) {
+                        if !declared.contains(&child) {
+                            findings.push(ConsistencyFinding::UndeclaredHierarchy {
+                                parent: fmcad_cell.clone(),
+                                child,
+                            });
+                        }
+                    }
+                }
+            }
+            // Per-cell isomorphism between the mirrored default views
+            // (waived when the future JCF release supports it).
+            if self.features.non_isomorphic_hierarchies {
+                continue;
+            }
+            let sch = self.fmcad.read_default(&lib, &fmcad_cell, "schematic").ok();
+            let lay = self.fmcad.read_default(&lib, &fmcad_cell, "layout").ok();
+            if let (Some(sch), Some(lay)) = (sch, lay) {
+                let s: BTreeSet<String> = children_referenced("schematic", &sch).into_iter().collect();
+                let l: BTreeSet<String> = children_referenced("layout", &lay).into_iter().collect();
+                if s != l {
+                    findings.push(ConsistencyFinding::NonIsomorphic {
+                        cell: fmcad_cell.clone(),
+                        detail: format!("schematic {s:?} vs layout {l:?}"),
+                    });
+                }
+            }
+        }
+        Ok(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encapsulation::ToolOutput;
+    use design_data::{format, generate, Layout, MasterRef, Netlist};
+
+    struct Env {
+        hy: Hybrid,
+        alice: UserId,
+        flow: crate::framework::StandardFlow,
+        team: jcf::TeamId,
+    }
+
+    fn env() -> Env {
+        let mut hy = Hybrid::new();
+        let admin = hy.admin();
+        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+        let team = hy.jcf_mut().add_team(admin, "asic").unwrap();
+        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let flow = hy.standard_flow("asic").unwrap();
+        Env { hy, alice, flow, team }
+    }
+
+    fn hierarchical_netlist(child: &str) -> Vec<u8> {
+        let mut n = Netlist::new("top");
+        n.add_net("w").unwrap();
+        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")]).unwrap();
+        format::write_netlist(&n).into_bytes()
+    }
+
+    fn hierarchical_layout(child: &str) -> Vec<u8> {
+        let mut l = Layout::new("top");
+        l.add_placement("i1", child, 0, 0).unwrap();
+        format::write_layout(&l).into_bytes()
+    }
+
+    #[test]
+    fn undeclared_child_rejected_at_write_time() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
+        });
+        assert!(matches!(result, Err(HybridError::UndeclaredChild { .. })));
+    }
+
+    #[test]
+    fn declared_child_accepted() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let fa = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn non_isomorphic_hierarchy_rejected() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let fa = e.hy.create_cell(project, "fa").unwrap();
+        let other = e.hy.create_cell(project, "other").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
+        e.hy.jcf_mut().declare_comp_of(e.alice, cv, other).unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
+        })
+        .unwrap();
+        // The layout places a *different* child: non-isomorphic.
+        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: hierarchical_layout("other") }])
+        });
+        assert!(matches!(result, Err(HybridError::NonIsomorphicHierarchy { .. })));
+        // An isomorphic layout is fine.
+        e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: hierarchical_layout("fa") }])
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn clean_project_verifies_empty() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        })
+        .unwrap();
+        assert!(e.hy.verify_project(project).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_band_library_writes_are_detected() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+        let dovs = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            })
+            .unwrap();
+        // Someone scribbles over the mirrored file behind JCF's back.
+        let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
+        e.hy.fmcad_mut()
+            .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, mirror.version, b"corrupt".to_vec())
+            .unwrap();
+        let findings = e.hy.verify_project(project).unwrap();
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, ConsistencyFinding::MirrorDrift { .. })));
+    }
+}

@@ -1,0 +1,421 @@
+//! Tool encapsulation: running FMCAD tools as JCF activities.
+//!
+//! §2.4: each of the three FMCAD tools is modelled by one JCF activity.
+//! The master copies the activity's input design data out of the OMS
+//! database into the file system, the tool works on the staged files,
+//! and the results are copied back into the database *and* mirrored
+//! into the mapped FMCAD library — which is why JCF *"records all
+//! derivation relationships between schematic and layout versions"*
+//! while the designer keeps using the familiar FMCAD tools.
+
+use std::collections::BTreeMap;
+
+use cad_tools::ToolKind;
+use cad_vfs::VfsPath;
+use jcf::{ActivityId, DovId, UserId, VariantId};
+
+use crate::error::{HybridError, HybridResult};
+use crate::framework::{Hybrid, MirrorLocation, COUPLER};
+
+/// Root of the staging area the encapsulation copies through.
+pub const STAGING_ROOT: &str = "/staging";
+
+/// What an encapsulated tool session sees: the tool to run and the
+/// staged input data per viewtype name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolSession {
+    /// The kind of tool the activity is bound to.
+    pub tool: ToolKind,
+    /// Input bytes per viewtype name (the activity's `needs`).
+    pub inputs: BTreeMap<String, Vec<u8>>,
+}
+
+/// One output of a tool session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolOutput {
+    /// The viewtype the data belongs to (must be declared in the
+    /// activity's `creates`).
+    pub viewtype: String,
+    /// The produced design data.
+    pub data: Vec<u8>,
+}
+
+impl ToolSession {
+    /// The staged input bytes of one viewtype, if the activity needed
+    /// it and a version existed.
+    pub fn input(&self, viewtype: &str) -> Option<&[u8]> {
+        self.inputs.get(viewtype).map(Vec::as_slice)
+    }
+
+    /// Opens the staged `schematic` input in a real schematic editor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::MappingMissing`] when the session has no
+    /// schematic input, or a tool parse error for corrupt data.
+    pub fn open_schematic(&self) -> HybridResult<cad_tools::SchematicEditor> {
+        let bytes = self
+            .input("schematic")
+            .ok_or_else(|| HybridError::MappingMissing("schematic input".to_owned()))?;
+        Ok(cad_tools::SchematicEditor::open(bytes)?)
+    }
+
+    /// Opens the staged `layout` input in a real layout editor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::MappingMissing`] when the session has no
+    /// layout input, or a tool parse error for corrupt data.
+    pub fn open_layout(&self) -> HybridResult<cad_tools::LayoutEditor> {
+        let bytes = self
+            .input("layout")
+            .ok_or_else(|| HybridError::MappingMissing("layout input".to_owned()))?;
+        Ok(cad_tools::LayoutEditor::open(bytes)?)
+    }
+
+    /// Elaborates the staged `schematic` input (plus the given library
+    /// of subcell netlists) into the event-driven simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse and elaboration errors.
+    pub fn elaborate_simulator(
+        &self,
+        subcells: &std::collections::BTreeMap<String, design_data::Netlist>,
+    ) -> HybridResult<cad_tools::Simulator> {
+        let bytes = self
+            .input("schematic")
+            .ok_or_else(|| HybridError::MappingMissing("schematic input".to_owned()))?;
+        let text = String::from_utf8_lossy(bytes);
+        let top = design_data::format::parse_netlist(&text)
+            .map_err(|e| HybridError::Tool(cad_tools::ToolError::DesignData(e)))?;
+        let mut all = subcells.clone();
+        let name = top.name().to_owned();
+        all.insert(name.clone(), top);
+        Ok(cad_tools::Simulator::elaborate(&name, &all)?)
+    }
+}
+
+impl Hybrid {
+    fn stage_dir(&mut self, user: &str) -> HybridResult<VfsPath> {
+        let dir = VfsPath::parse(STAGING_ROOT)?.join(user)?;
+        self.fmcad.fs().mkdir_all(&dir)?;
+        Ok(dir)
+    }
+
+    /// Runs one encapsulated tool session as a JCF activity.
+    ///
+    /// The `session` closure plays the designer inside the tool: it
+    /// receives the staged inputs and returns the produced views. The
+    /// framework performs the full §2.4 pipeline around it: flow
+    /// checks, copy-out, tool run, consistency checks, copy-in,
+    /// derivation recording and FMCAD mirroring.
+    ///
+    /// Set `override_pending` to allow starting although a predecessor
+    /// activity has not finished — the paper's special wrapper windows;
+    /// the override is recorded in the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns flow violations, reservation errors, consistency
+    /// rejections (undeclared children, non-isomorphic hierarchies,
+    /// undeclared outputs) and transfer errors.
+    pub fn run_activity(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        activity: ActivityId,
+        override_pending: bool,
+        session: impl FnOnce(&ToolSession) -> HybridResult<Vec<ToolOutput>>,
+    ) -> HybridResult<Vec<DovId>> {
+        let user_name = self.jcf.display_name(user.object_id());
+        // 1. The master opens the activity (flow + workspace checks).
+        let execution = self.jcf.start_activity(user, variant, activity, override_pending)?;
+
+        // 2. Copy inputs out of the database into the staging area —
+        //    or, with the future-work procedural interface enabled,
+        //    hand the tool the database bytes directly (no copies).
+        let procedural = self.features.procedural_interface;
+        let stage = self.stage_dir(&user_name)?;
+        let mut inputs = BTreeMap::new();
+        for viewtype in self.jcf.needs_of(activity) {
+            let name = self.viewtype_name(viewtype)?.to_owned();
+            let dov = self
+                .jcf
+                .design_object_by_viewtype(variant, viewtype)
+                .and_then(|d| self.jcf.latest_version(d));
+            if let Some(dov) = dov {
+                let data = self.jcf.read_design_data(user, dov)?;
+                if procedural {
+                    inputs.insert(name, data);
+                } else {
+                    let path = stage.join(&format!("{name}.in"))?;
+                    self.fmcad.fs().write(&path, data)?; // DB -> file system
+                    let staged = self.fmcad.fs().read(&path)?; // tool opens the copy
+                    inputs.insert(name, staged);
+                }
+            }
+        }
+
+        // 3. The designer works in the (extra, §3.4) tool window.
+        let tool = self
+            .jcf
+            .tool_of(activity)
+            .ok()
+            .and_then(|t| self.tool_kinds.get(&t).copied())
+            .ok_or_else(|| HybridError::MappingMissing("tool of activity".to_owned()))?;
+        self.bump_fmcad_ui();
+        let outputs = session(&ToolSession { tool, inputs })?;
+
+        // 4. Consistency checks before anything is persisted.
+        self.check_outputs(user, variant, activity, &outputs)?;
+
+        // 5. Copy outputs back into the database (via the staging area)
+        //    and let the master record execution + derivations. The
+        //    procedural interface hands bytes straight to the database.
+        let mut payload = Vec::new();
+        for output in &outputs {
+            let data = if procedural {
+                output.data.clone()
+            } else {
+                let path = stage.join(&format!("{}.out", output.viewtype))?;
+                self.fmcad.fs().write(&path, output.data.clone())?; // tool saves
+                self.fmcad.fs().read(&path)? // file system -> DB
+            };
+            let viewtype = self.viewtype(&output.viewtype)?;
+            payload.push((viewtype, output.viewtype.clone(), data));
+        }
+        let borrowed: Vec<(jcf::ViewTypeId, &str, Vec<u8>)> = payload
+            .iter()
+            .map(|(vt, name, data)| (*vt, name.as_str(), data.clone()))
+            .collect();
+        let dovs = self.jcf.finish_activity(user, execution, &borrowed)?;
+
+        // 6. Mirror into the mapped FMCAD library so the slave's world
+        //    stays consistent with the master's.
+        let (lib, fmcad_cell) = self.location_of_variant(variant)?;
+        for (dov, output) in dovs.iter().zip(&outputs) {
+            let view = &output.viewtype;
+            let known = self
+                .fmcad
+                .views(&lib, &fmcad_cell)
+                .map(|vs| vs.contains(&view.as_str()))
+                .unwrap_or(false);
+            if !known {
+                self.fmcad.create_cellview(&lib, &fmcad_cell, view, view)?;
+            }
+            let has_versions = !self.fmcad.versions(&lib, &fmcad_cell, view)?.is_empty();
+            if has_versions {
+                self.fmcad.checkout(COUPLER, &lib, &fmcad_cell, view)?;
+            }
+            let version = self
+                .fmcad
+                .checkin(COUPLER, &lib, &fmcad_cell, view, output.data.clone())?;
+            self.dov_mirror.insert(
+                *dov,
+                MirrorLocation {
+                    library: lib.clone(),
+                    cell: fmcad_cell.clone(),
+                    view: view.clone(),
+                    version,
+                },
+            );
+            self.fmcad.fire_trigger(
+                "data-changed",
+                &[fml::Value::Str(format!("{lib}/{fmcad_cell}/{view}"))],
+            )?;
+        }
+        Ok(dovs)
+    }
+
+    /// Read-only access to a design object version through the hybrid
+    /// environment. §3.6: *"design data have to be copied to and from
+    /// the JCF database even in the case of read only accesses"* — the
+    /// bytes take the full database → staging file → reader path.
+    ///
+    /// # Errors
+    ///
+    /// Returns visibility and transfer errors.
+    pub fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Vec<u8>> {
+        let user_name = self.jcf.display_name(user.object_id());
+        let data = self.jcf.read_design_data(user, dov)?;
+        let stage = self.stage_dir(&user_name)?;
+        let path = stage.join("browse.tmp")?;
+        self.fmcad.fs().write(&path, data)?; // DB -> file system copy
+        let copied = self.fmcad.fs().read(&path)?; // reader opens the copy
+        self.bump_fmcad_ui();
+        Ok(copied)
+    }
+
+    /// Accumulated I/O meter of the shared file system — the staging
+    /// and mirroring traffic experiment E9 measures.
+    pub fn io_meter(&mut self) -> cad_vfs::CostMeter {
+        self.fmcad.fs().meter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_data::{format, generate};
+    use jcf::TeamId;
+
+    pub(crate) struct Env {
+        pub hy: Hybrid,
+        pub alice: UserId,
+        pub flow: crate::framework::StandardFlow,
+        pub team: TeamId,
+    }
+
+    pub(crate) fn env() -> Env {
+        let mut hy = Hybrid::new();
+        let admin = hy.admin();
+        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+        let team = hy.jcf_mut().add_team(admin, "asic").unwrap();
+        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let flow = hy.standard_flow("asic").unwrap();
+        Env { hy, alice, flow, team }
+    }
+
+    fn schematic_bytes() -> Vec<u8> {
+        format::write_netlist(&generate::full_adder()).into_bytes()
+    }
+
+    #[test]
+    fn schematic_entry_runs_and_mirrors() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let dovs = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |session| {
+                assert_eq!(session.tool, ToolKind::SchematicEntry);
+                assert!(session.inputs.is_empty());
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+            })
+            .unwrap();
+        assert_eq!(dovs.len(), 1);
+        // Mirrored into FMCAD at adder_v1/schematic version 1:
+        let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
+        assert_eq!(mirror.cell, "fa_v1");
+        assert_eq!(mirror.version, 1);
+        let mirrored = e
+            .hy
+            .fmcad_mut()
+            .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+            .unwrap();
+        assert_eq!(mirrored, schematic_bytes());
+    }
+
+    #[test]
+    fn flow_order_enforced_through_encapsulation() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let result = e.hy.run_activity(e.alice, variant, e.flow.simulate, false, |_| {
+            panic!("session must not start when the flow forbids it")
+        });
+        assert!(matches!(result, Err(HybridError::Jcf(jcf::JcfError::FlowOrderViolation { .. }))));
+    }
+
+    #[test]
+    fn simulation_reads_staged_schematic_and_derives_waveform() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let sch = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+            })
+            .unwrap();
+        let waves = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.simulate, false, |session| {
+                // The staged schematic is a faithful copy.
+                assert_eq!(session.inputs["schematic"], schematic_bytes());
+                assert_eq!(session.tool, ToolKind::Simulator);
+                Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+            })
+            .unwrap();
+        // The derivation relation waveform <- schematic was recorded.
+        assert_eq!(e.hy.jcf().derived_from(waves[0]), vec![sch[0]]);
+    }
+
+    #[test]
+    fn undeclared_output_rejected() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: b"layout x\n".to_vec() }])
+        });
+        assert!(matches!(result, Err(HybridError::UndeclaredOutput { .. })));
+    }
+
+    #[test]
+    fn browse_pays_copy_cost_even_for_reads() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let dovs = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+            })
+            .unwrap();
+        let before = e.hy.io_meter();
+        let data = e.hy.browse(e.alice, dovs[0]).unwrap();
+        let delta = e.hy.io_meter().since(&before);
+        assert_eq!(data, schematic_bytes());
+        assert_eq!(delta.bytes_written, schematic_bytes().len() as u64, "read-only still copies");
+        // FMCAD native read of the mirrored data moves no extra copy:
+        let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
+        let before = e.hy.io_meter();
+        e.hy.fmcad_mut()
+            .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+            .unwrap();
+        let delta = e.hy.io_meter().since(&before);
+        assert_eq!(delta.bytes_written, 0, "fmcad reads in place");
+    }
+
+    #[test]
+    fn override_pending_predecessor_is_possible_and_recorded() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        // Seed a schematic without finishing enter-schematic (direct desktop write).
+        let schematic = e.hy.viewtype("schematic").unwrap();
+        let d = e
+            .hy
+            .jcf_mut()
+            .create_design_object(e.alice, variant, "schematic", schematic)
+            .unwrap();
+        e.hy.jcf_mut()
+            .add_design_object_version(e.alice, d, schematic_bytes())
+            .unwrap();
+        // Normal start is refused; the wrapper window overrides.
+        assert!(e
+            .hy
+            .run_activity(e.alice, variant, e.flow.simulate, false, |_| Ok(vec![]))
+            .is_err());
+        e.hy.run_activity(e.alice, variant, e.flow.simulate, true, |_| {
+            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+        })
+        .unwrap();
+        let execs = e.hy.jcf().executions_of(variant);
+        assert!(e.hy.jcf().was_overridden(*execs.last().unwrap()).unwrap());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type for the hybrid JCF-FMCAD framework.
+
+use std::error::Error;
+use std::fmt;
+
+use cad_tools::ToolError;
+use cad_vfs::VfsError;
+use fmcad::FmcadError;
+use jcf::JcfError;
+
+/// Error returned by hybrid framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridError {
+    /// The master framework (JCF) rejected the operation.
+    Jcf(JcfError),
+    /// The slave framework (FMCAD) rejected the operation.
+    Fmcad(FmcadError),
+    /// A staging transfer through the file system failed.
+    Vfs(VfsError),
+    /// An encapsulated tool failed.
+    Tool(ToolError),
+    /// A mapped counterpart is missing (coupling tables corrupt).
+    MappingMissing(String),
+    /// Design data references a child cell that was not declared via
+    /// the JCF desktop beforehand (§3.3).
+    UndeclaredChild {
+        /// The referencing cell version (by FMCAD cell name).
+        parent: String,
+        /// The undeclared child cell.
+        child: String,
+    },
+    /// The schematic and layout hierarchies differ; JCF 3.0 does not
+    /// support non-isomorphic hierarchies, so the hybrid framework must
+    /// reject the design (§3.3).
+    NonIsomorphicHierarchy {
+        /// Human-readable differences between the two hierarchies.
+        differences: Vec<String>,
+    },
+    /// The activity produced a viewtype it did not declare as created.
+    UndeclaredOutput {
+        /// The activity name.
+        activity: String,
+        /// The undeclared viewtype.
+        viewtype: String,
+    },
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::Jcf(e) => write!(f, "jcf: {e}"),
+            HybridError::Fmcad(e) => write!(f, "fmcad: {e}"),
+            HybridError::Vfs(e) => write!(f, "staging: {e}"),
+            HybridError::Tool(e) => write!(f, "tool: {e}"),
+            HybridError::MappingMissing(what) => write!(f, "mapping missing for {what}"),
+            HybridError::UndeclaredChild { parent, child } => write!(
+                f,
+                "cell {parent:?} uses child {child:?} that was not declared via the JCF desktop"
+            ),
+            HybridError::NonIsomorphicHierarchy { differences } => write!(
+                f,
+                "non-isomorphic hierarchies are not supported by JCF 3.0 ({} difference(s))",
+                differences.len()
+            ),
+            HybridError::UndeclaredOutput { activity, viewtype } => write!(
+                f,
+                "activity {activity:?} produced undeclared viewtype {viewtype:?}"
+            ),
+        }
+    }
+}
+
+impl Error for HybridError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HybridError::Jcf(e) => Some(e),
+            HybridError::Fmcad(e) => Some(e),
+            HybridError::Vfs(e) => Some(e),
+            HybridError::Tool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<JcfError> for HybridError {
+    fn from(e: JcfError) -> Self {
+        HybridError::Jcf(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<FmcadError> for HybridError {
+    fn from(e: FmcadError) -> Self {
+        HybridError::Fmcad(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<VfsError> for HybridError {
+    fn from(e: VfsError) -> Self {
+        HybridError::Vfs(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ToolError> for HybridError {
+    fn from(e: ToolError) -> Self {
+        HybridError::Tool(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<design_data::DesignDataError> for HybridError {
+    fn from(e: design_data::DesignDataError) -> Self {
+        HybridError::Tool(ToolError::DesignData(e))
+    }
+}
+
+/// Convenience alias for hybrid results.
+pub type HybridResult<T> = Result<T, HybridError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HybridError>();
+    }
+
+    #[test]
+    fn sources_chain_through_both_frameworks() {
+        let e: HybridError = JcfError::NotFound("x".into()).into();
+        assert!(Error::source(&e).is_some());
+        let e: HybridError = FmcadError::NotCheckedOut.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,246 @@
+//! The paper's future-work features, implemented as opt-in extensions.
+//!
+//! §3.3/§4 sketch three improvements the 1995 prototype lacked:
+//!
+//! 1. a **JCF procedural interface** *"which might be used by the
+//!    design tools to pass the hierarchy information to JCF"* and which
+//!    would also remove the copy-through-the-file-system overhead of
+//!    §3.6 — *"However, JCF release 3.0 does not support this
+//!    feature"*;
+//! 2. **non-isomorphic hierarchies** — *"This feature will be supported
+//!    in future releases of JCF"*;
+//! 3. **data sharing between projects** (§3.1) — *"It would be helpful
+//!    to also provide access to cells of other projects."*
+//!
+//! All three default to *off* so the base configuration reproduces the
+//! paper's prototype exactly; experiments enable them individually as
+//! ablations.
+
+use crate::error::HybridResult;
+use crate::framework::Hybrid;
+use jcf::{CellId, ProjectId, UserId};
+
+/// Opt-in switches for the paper's proposed extensions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FutureFeatures {
+    /// The JCF procedural interface: tools exchange design data with
+    /// the database directly (no staging copies) and pass hierarchy
+    /// information to JCF themselves (auto-declared `CompOf`).
+    pub procedural_interface: bool,
+    /// Accept per-viewtype (non-isomorphic) hierarchies instead of
+    /// rejecting them.
+    pub non_isomorphic_hierarchies: bool,
+    /// Allow shared cells of other projects as hierarchy children.
+    pub cross_project_sharing: bool,
+}
+
+impl FutureFeatures {
+    /// Everything the paper proposes, switched on.
+    pub fn all() -> Self {
+        FutureFeatures {
+            procedural_interface: true,
+            non_isomorphic_hierarchies: true,
+            cross_project_sharing: true,
+        }
+    }
+}
+
+impl Hybrid {
+    /// The future-work features currently enabled.
+    pub fn future_features(&self) -> FutureFeatures {
+        self.features
+    }
+
+    /// Enables or disables future-work features. The default
+    /// (`FutureFeatures::default()`) is the paper's 1995 prototype.
+    pub fn set_future_features(&mut self, features: FutureFeatures) {
+        self.features = features;
+    }
+
+    /// Shares a cell across projects (requires
+    /// [`FutureFeatures::cross_project_sharing`]; delegates to the JCF
+    /// desktop, manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HybridError::MappingMissing`] when the feature
+    /// is off, or JCF permission errors.
+    pub fn share_cell(&mut self, actor: UserId, cell: CellId) -> HybridResult<()> {
+        if !self.features.cross_project_sharing {
+            return Err(crate::HybridError::MappingMissing(
+                "cross-project sharing is a future-work feature; enable it first".to_owned(),
+            ));
+        }
+        self.jcf.set_cell_shared(actor, cell, true)?;
+        Ok(())
+    }
+
+    /// Resolves a child cell name for hierarchy declaration: first in
+    /// `project`, then (with sharing enabled) any shared cell of any
+    /// project.
+    pub(crate) fn resolve_child_cell(&self, project: ProjectId, name: &str) -> Option<CellId> {
+        for cell in self.jcf.cells_of(project) {
+            if self.jcf.display_name(cell.object_id()) == name {
+                return Some(cell);
+            }
+        }
+        if self.features.cross_project_sharing {
+            for &other in self.project_lib.keys() {
+                if other == project {
+                    continue;
+                }
+                for cell in self.jcf.cells_of(other) {
+                    if self.jcf.display_name(cell.object_id()) == name
+                        && self.jcf.is_cell_shared(cell).unwrap_or(false)
+                    {
+                        return Some(cell);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encapsulation::ToolOutput;
+    use design_data::{format, Layout, MasterRef, Netlist};
+
+    struct Env {
+        hy: Hybrid,
+        alice: UserId,
+        flow: crate::framework::StandardFlow,
+        team: jcf::TeamId,
+    }
+
+    fn env(features: FutureFeatures) -> Env {
+        let mut hy = Hybrid::new();
+        hy.set_future_features(features);
+        let admin = hy.admin();
+        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+        let team = hy.jcf_mut().add_team(admin, "t").unwrap();
+        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let flow = hy.standard_flow("f").unwrap();
+        Env { hy, alice, flow, team }
+    }
+
+    fn netlist_using(child: &str) -> Vec<u8> {
+        let mut n = Netlist::new("top");
+        n.add_net("w").unwrap();
+        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")]).unwrap();
+        format::write_netlist(&n).into_bytes()
+    }
+
+    fn layout_using(child: &str) -> Vec<u8> {
+        let mut l = Layout::new("top");
+        l.add_placement("i1", child, 0, 0).unwrap();
+        format::write_layout(&l).into_bytes()
+    }
+
+    #[test]
+    fn defaults_reproduce_the_1995_prototype() {
+        let hy = Hybrid::new();
+        assert_eq!(hy.future_features(), FutureFeatures::default());
+        assert!(!hy.future_features().procedural_interface);
+    }
+
+    #[test]
+    fn procedural_interface_auto_declares_hierarchy() {
+        let mut e = env(FutureFeatures { procedural_interface: true, ..Default::default() });
+        let project = e.hy.create_project("p").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let fa = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        // No manual declaration — the tools pass the hierarchy to JCF.
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("fa") }])
+        })
+        .unwrap();
+        assert!(e.hy.jcf().is_declared_child(cv, fa), "CompOf was auto-declared");
+        assert!(e.hy.verify_project(project).unwrap().is_empty());
+    }
+
+    #[test]
+    fn procedural_interface_skips_staging_io() {
+        let mut base = env(FutureFeatures::default());
+        let mut fut = env(FutureFeatures { procedural_interface: true, ..Default::default() });
+        for e in [&mut base, &mut fut] {
+            let project = e.hy.create_project("p").unwrap();
+            let cell = e.hy.create_cell(project, "c").unwrap();
+            let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+            e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+            // Big enough that design-data transfers dominate over the
+            // fixed .meta bookkeeping.
+            let design = design_data::generate::random_logic(500, 7);
+            let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            })
+            .unwrap();
+        }
+        let base_ticks = base.hy.io_meter().ticks;
+        let fut_ticks = fut.hy.io_meter().ticks;
+        assert!(
+            fut_ticks < base_ticks / 2,
+            "procedural interface must remove the staging copies: {fut_ticks} vs {base_ticks}"
+        );
+    }
+
+    #[test]
+    fn non_isomorphic_support_accepts_differing_views() {
+        let mut e = env(FutureFeatures { non_isomorphic_hierarchies: true, ..Default::default() });
+        let project = e.hy.create_project("p").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let fa = e.hy.create_cell(project, "fa").unwrap();
+        let ring = e.hy.create_cell(project, "ring").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
+        e.hy.jcf_mut().declare_comp_of(e.alice, cv, ring).unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("fa") }])
+        })
+        .unwrap();
+        // The 1995 prototype rejects this; the future release accepts.
+        e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: layout_using("ring") }])
+        })
+        .unwrap();
+        assert!(e.hy.verify_project(project).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_project_sharing_allows_foreign_ip() {
+        let mut e = env(FutureFeatures {
+            cross_project_sharing: true,
+            procedural_interface: true,
+            ..Default::default()
+        });
+        let admin = e.hy.admin();
+        let ip_project = e.hy.create_project("ip-library").unwrap();
+        let ip = e.hy.create_cell(ip_project, "pll").unwrap();
+        e.hy.share_cell(admin, ip).unwrap();
+
+        let project = e.hy.create_project("soc").unwrap();
+        let top = e.hy.create_cell(project, "top").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("pll") }])
+        })
+        .unwrap();
+        assert!(e.hy.jcf().is_declared_child(cv, ip), "shared foreign IP was auto-declared");
+    }
+
+    #[test]
+    fn sharing_requires_the_feature_switch() {
+        let mut e = env(FutureFeatures::default());
+        let admin = e.hy.admin();
+        let p = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(p, "c").unwrap();
+        assert!(e.hy.share_cell(admin, cell).is_err());
+    }
+}

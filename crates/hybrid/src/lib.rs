@@ -1,0 +1,77 @@
+//! # hybrid — the JCF-FMCAD hybrid framework
+//!
+//! The paper's contribution: a coupling of the JESSI-COMMON-Framework
+//! (master) with the FMCAD ECAD framework (slave) that combines JCF's
+//! design management, concurrent engineering and configuration
+//! facilities with FMCAD's integrated tools and customisation language.
+//!
+//! The crate implements the full §2.3–§2.4 machinery:
+//!
+//! * **Data model mapping** ([`mapping`], Table 1): Project↔Library,
+//!   CellVersion↔Cell, ViewType↔View, DesignObject↔Cellview,
+//!   DesignObjectVersion↔Cellview Version — both as a constant table
+//!   and operationally ([`Hybrid::import_library`]).
+//! * **Tool encapsulation** ([`Hybrid::run_activity`]): each FMCAD tool
+//!   is one JCF activity; inputs are copied out of the OMS database
+//!   through the staging area, the tool runs, outputs are consistency
+//!   checked, copied back, derivation-tracked and mirrored into the
+//!   mapped FMCAD library.
+//! * **Consistency guards** ([`Hybrid::verify_project`] and the
+//!   write-time checks): hierarchy references must be declared via the
+//!   JCF desktop beforehand, non-isomorphic schematic/layout
+//!   hierarchies are rejected (JCF 3.0 cannot represent them, §3.3),
+//!   and extension-language wrappers lock the FMCAD menus that would
+//!   bypass the master.
+//! * **The §3.6 performance profile**: metadata operations are cheap;
+//!   design data pays the copy path even for read-only access
+//!   ([`Hybrid::browse`]), while FMCAD natively reads in place.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybrid::{Hybrid, ToolOutput};
+//!
+//! # fn main() -> Result<(), hybrid::HybridError> {
+//! let mut hy = Hybrid::new();
+//! let admin = hy.admin();
+//! let alice = hy.jcf_mut().add_user("alice", false)?;
+//! let team = hy.jcf_mut().add_team(admin, "asic")?;
+//! hy.jcf_mut().add_team_member(admin, team, alice)?;
+//! let flow = hy.standard_flow("asic")?;
+//!
+//! let project = hy.create_project("alu16")?;
+//! let cell = hy.create_cell(project, "adder")?;
+//! let (cv, variant) = hy.create_cell_version(cell, flow.flow, team)?;
+//! hy.jcf_mut().reserve(alice, cv)?;
+//!
+//! // Schematic entry runs as a JCF activity wrapping the FMCAD tool.
+//! let dovs = hy.run_activity(alice, variant, flow.enter_schematic, false, |_session| {
+//!     Ok(vec![ToolOutput {
+//!         viewtype: "schematic".into(),
+//!         data: b"netlist adder\nport a input\n".to_vec(),
+//!     }])
+//! })?;
+//! assert!(hy.mirror_of(dovs[0]).is_some(), "mirrored into the FMCAD library");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consistency;
+mod encapsulation;
+mod error;
+mod framework;
+mod future;
+mod import;
+pub mod mapping;
+mod release;
+
+pub use consistency::ConsistencyFinding;
+pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
+pub use error::{HybridError, HybridResult};
+pub use framework::{Hybrid, MirrorLocation, StandardFlow, COUPLER};
+pub use future::FutureFeatures;
+pub use import::ImportReport;
+pub use release::ExportManifest;

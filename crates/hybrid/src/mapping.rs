@@ -1,0 +1,109 @@
+//! Table 1: the JCF-FMCAD data model mapping.
+//!
+//! *"To summarize the possible mapping of the information models,
+//! Table 1 shows the current mapping strategy."* (§2.3) JCF is the
+//! master; each JCF object class maps onto an FMCAD object class. The
+//! table below is the paper's Table 1 verbatim; experiment E1
+//! regenerates it and exercises it operationally via
+//! [`Hybrid::import_library`](crate::Hybrid::import_library).
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingRow {
+    /// The JCF object class (master side).
+    pub jcf_object: &'static str,
+    /// The FMCAD object class it maps onto (slave side).
+    pub fmcad_object: &'static str,
+}
+
+/// The paper's Table 1, row for row.
+pub const TABLE_1: &[MappingRow] = &[
+    MappingRow { jcf_object: "Project", fmcad_object: "Library" },
+    MappingRow { jcf_object: "CellVersion", fmcad_object: "Cell" },
+    MappingRow { jcf_object: "ViewType", fmcad_object: "View" },
+    MappingRow { jcf_object: "DesignObject", fmcad_object: "Cellview" },
+    MappingRow { jcf_object: "DesignObjectVersion", fmcad_object: "Cellview Version" },
+];
+
+/// JCF concepts with **no** FMCAD counterpart — what the reverse
+/// mapping (FMCAD as master) would lose. §3.2: *"users, teams, tools
+/// and flows and their relationships ... cannot be distinguished within
+/// FMCAD"*; variants and derivation relations have no home either.
+/// The master/slave ablation in experiment E1 reports this list.
+pub const UNMAPPABLE_TO_FMCAD: &[&str] = &[
+    "User",
+    "Team",
+    "Tool",
+    "Flow",
+    "Activity",
+    "ActivityExecution",
+    "Variant",
+    "Derivation relation",
+    "Workspace reservation",
+];
+
+/// FMCAD concepts the forward mapping absorbs rather than mirrors:
+/// checkout state becomes the JCF workspace reservation, and dynamic
+/// hierarchy binding is replaced by declared `CompOf` metadata.
+pub const ABSORBED_FROM_FMCAD: &[&str] = &["CheckOut Status", "Locked Flag", "dynamic hierarchy binding"];
+
+/// Renders Table 1 in the paper's two-column layout.
+pub fn render_table_1() -> String {
+    let mut out = String::from("JCF object            | FMCAD object\n");
+    out.push_str("----------------------+-----------------\n");
+    for row in TABLE_1 {
+        out.push_str(&format!("{:<22}| {}\n", row.jcf_object, row.fmcad_object));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_matches_the_paper() {
+        assert_eq!(TABLE_1.len(), 5);
+        assert_eq!(TABLE_1[0].jcf_object, "Project");
+        assert_eq!(TABLE_1[0].fmcad_object, "Library");
+        assert_eq!(TABLE_1[1].jcf_object, "CellVersion");
+        assert_eq!(TABLE_1[1].fmcad_object, "Cell");
+        assert_eq!(TABLE_1[4].fmcad_object, "Cellview Version");
+    }
+
+    #[test]
+    fn every_jcf_side_class_exists_in_the_jcf_schema() {
+        let schema = jcf::schema::jcf_schema();
+        for row in TABLE_1 {
+            assert!(
+                schema.class_by_name(row.jcf_object).is_some(),
+                "Table 1 references unknown JCF class {}",
+                row.jcf_object
+            );
+        }
+    }
+
+    #[test]
+    fn unmappable_classes_are_genuinely_jcf_only() {
+        let schema = jcf::schema::jcf_schema();
+        for name in UNMAPPABLE_TO_FMCAD {
+            // Entity classes must exist in JCF; relation-like entries are
+            // prose descriptions and are exempt.
+            if !name.contains(' ') {
+                assert!(
+                    schema.class_by_name(name).is_some(),
+                    "{name} should be a JCF class"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_table_lists_all_rows() {
+        let text = render_table_1();
+        for row in TABLE_1 {
+            assert!(text.contains(row.jcf_object));
+            assert!(text.contains(row.fmcad_object));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Release utilities: cross-view verification and configuration export.
+//!
+//! Configurations are one of JCF's headline management features; a
+//! release flow needs (a) a machine check that the views of a variant
+//! agree (LVS) and (b) a way to hand a consistent snapshot — one
+//! version per design object — to downstream consumers. Both are built
+//! on top of the coupled frameworks here.
+
+use cad_tools::{check_lvs, LvsReport};
+use cad_vfs::VfsPath;
+use design_data::format;
+use jcf::{ConfigVersionId, UserId, VariantId};
+
+use crate::error::{HybridError, HybridResult};
+use crate::framework::Hybrid;
+
+/// Manifest of one exported configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExportManifest {
+    /// `(file name, bytes written)` per exported design object version.
+    pub files: Vec<(String, u64)>,
+    /// Total bytes copied out of the database.
+    pub total_bytes: u64,
+}
+
+impl Hybrid {
+    /// Runs layout-versus-schematic on the latest versions of a
+    /// variant's `schematic` and `layout` design objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::MappingMissing`] if either view has no
+    /// version yet, and parse errors for corrupt data.
+    pub fn run_lvs(&mut self, user: UserId, variant: VariantId) -> HybridResult<LvsReport> {
+        let mut bytes = Vec::with_capacity(2);
+        for view in ["schematic", "layout"] {
+            let viewtype = self.viewtype(view)?;
+            let dov = self
+                .jcf
+                .design_object_by_viewtype(variant, viewtype)
+                .and_then(|d| self.jcf.latest_version(d))
+                .ok_or_else(|| HybridError::MappingMissing(format!("{view} of {variant}")))?;
+            bytes.push(self.jcf.read_design_data(user, dov)?);
+        }
+        let netlist = format::parse_netlist(&String::from_utf8_lossy(&bytes[0]))
+            .map_err(|e| HybridError::Tool(e.into()))?;
+        let layout = format::parse_layout(&String::from_utf8_lossy(&bytes[1]))
+            .map_err(|e| HybridError::Tool(e.into()))?;
+        self.bump_fmcad_ui();
+        Ok(check_lvs(&netlist, &layout))
+    }
+
+    /// Exports every design object version selected by a configuration
+    /// version into a directory of the shared file system — the
+    /// "tapeout package". Each file is named
+    /// `<design object>.<version number>` and the copy pays full I/O
+    /// cost (it crosses the database boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns visibility errors for unpublished data the user cannot
+    /// see, and file system errors.
+    pub fn export_config(
+        &mut self,
+        user: UserId,
+        config_version: ConfigVersionId,
+        dest: &VfsPath,
+    ) -> HybridResult<ExportManifest> {
+        self.fmcad.fs().mkdir_all(dest)?;
+        let mut manifest = ExportManifest::default();
+        for dov in self.jcf.config_contents(config_version) {
+            let design_object = self.jcf.design_object_of(dov)?;
+            let number = self
+                .jcf
+                .database()
+                .get(dov.object_id(), "number")
+                .map_err(jcf::JcfError::Database)?
+                .as_int()
+                .unwrap_or(0);
+            let name = format!(
+                "{}.{}",
+                self.jcf.display_name(design_object.object_id()),
+                number
+            );
+            let data = self.jcf.read_design_data(user, dov)?;
+            let len = data.len() as u64;
+            let path = dest.join(&name)?;
+            self.fmcad.fs().write(&path, data)?;
+            manifest.files.push((name, len));
+            manifest.total_bytes += len;
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encapsulation::ToolOutput;
+    use design_data::generate;
+
+    struct Env {
+        hy: Hybrid,
+        alice: UserId,
+        flow: crate::framework::StandardFlow,
+        team: jcf::TeamId,
+    }
+
+    fn env() -> Env {
+        let mut hy = Hybrid::new();
+        let admin = hy.admin();
+        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+        let team = hy.jcf_mut().add_team(admin, "t").unwrap();
+        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let flow = hy.standard_flow("f").unwrap();
+        Env { hy, alice, flow, team }
+    }
+
+    fn design_in_variant(e: &mut Env) -> (jcf::CellVersionId, VariantId, Vec<jcf::DovId>) {
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let design = generate::ripple_adder(1);
+        let sch = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
+        let lay = format::write_layout(&design.layouts["full_adder"]).into_bytes();
+        let mut dovs = e
+            .hy
+            .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+            })
+            .unwrap();
+        dovs.extend(
+            e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, move |_| {
+                Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+            })
+            .unwrap(),
+        );
+        (cv, variant, dovs)
+    }
+
+    #[test]
+    fn lvs_runs_clean_on_matching_views() {
+        let mut e = env();
+        let (_, variant, _) = design_in_variant(&mut e);
+        let report = e.hy.run_lvs(e.alice, variant).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.matched_nets > 0);
+    }
+
+    #[test]
+    fn lvs_requires_both_views() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        assert!(matches!(
+            e.hy.run_lvs(e.alice, variant),
+            Err(HybridError::MappingMissing(_))
+        ));
+    }
+
+    #[test]
+    fn config_export_writes_the_selected_snapshot() {
+        let mut e = env();
+        let (cv, _, dovs) = design_in_variant(&mut e);
+        let config = e.hy.jcf_mut().create_configuration(e.alice, cv, "rel").unwrap();
+        let cfg_v = e.hy.jcf_mut().create_config_version(e.alice, config, &dovs).unwrap();
+        let dest = VfsPath::parse("/releases/rel1").unwrap();
+        let manifest = e.hy.export_config(e.alice, cfg_v, &dest).unwrap();
+        assert_eq!(manifest.files.len(), 2);
+        assert!(manifest.total_bytes > 0);
+        // The files really are in the shared file system.
+        let names: Vec<String> = e.hy.fmcad_mut().fs().read_dir(&dest).unwrap();
+        assert_eq!(names, vec!["layout.1".to_owned(), "schematic.1".to_owned()]);
+        let exported = e
+            .hy
+            .fmcad_mut()
+            .fs()
+            .read(&dest.join("schematic.1").unwrap())
+            .unwrap();
+        assert!(exported.starts_with(b"netlist full_adder"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Configuration management: consistent selections of design object
+//! versions.
+//!
+//! A JCF configuration picks at most one version per design object of a
+//! cell version (Figure 1: `Config Version` with `CVV in Config` and
+//! `Precedes`). Configurations are one of the *"very powerful design
+//! management features"* the paper couples into FMCAD.
+
+use oms::Value;
+
+use crate::error::{JcfError, JcfResult};
+use crate::framework::{CellVersionId, ConfigId, ConfigVersionId, DovId, Jcf, UserId};
+
+impl Jcf {
+    /// Creates a named configuration under a cell version. Requires the
+    /// workspace reservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors and [`JcfError::NameTaken`] within
+    /// the cell version.
+    pub fn create_configuration(
+        &mut self,
+        user: UserId,
+        cv: CellVersionId,
+        name: &str,
+    ) -> JcfResult<ConfigId> {
+        self.bump();
+        self.require_reservation(user, cv)?;
+        for existing in self.configurations_of(cv) {
+            if self.name_of(existing.0) == name {
+                return Err(JcfError::NameTaken(format!("configuration {name}")));
+            }
+        }
+        let class = self.class("Configuration");
+        let rels = self.rels;
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "name", Value::from(name))?;
+            db.link(rels.cell_version_config, cv.0, id)?;
+            Ok(id)
+        })?;
+        Ok(ConfigId(id))
+    }
+
+    /// Creates a new configuration version from a selection of design
+    /// object versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::ConfigConflict`] if two selected versions
+    /// belong to the same design object, and reservation errors.
+    pub fn create_config_version(
+        &mut self,
+        user: UserId,
+        config: ConfigId,
+        selection: &[DovId],
+    ) -> JcfResult<ConfigVersionId> {
+        self.bump();
+        let cv = self.cell_version_of_config(config)?;
+        self.require_reservation(user, cv)?;
+        // Enforce at most one version per design object.
+        let mut seen = Vec::new();
+        for dov in selection {
+            let design_object = self.design_object_of(*dov)?;
+            if seen.contains(&design_object) {
+                return Err(JcfError::ConfigConflict {
+                    design_object: self.name_of(design_object.0),
+                });
+            }
+            seen.push(design_object);
+        }
+        let previous = self.config_versions_of(config).last().copied();
+        let number = self.config_versions_of(config).len() as i64 + 1;
+        let class = self.class("ConfigurationVersion");
+        let rels = self.rels;
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "number", Value::from(number))?;
+            db.link(rels.config_version, config.0, id)?;
+            if let Some(prev) = previous {
+                db.link(rels.config_precedes, prev.0, id)?;
+            }
+            for dov in selection {
+                db.link(rels.config_contains, id, dov.0)?;
+            }
+            Ok(id)
+        })?;
+        Ok(ConfigVersionId(id))
+    }
+
+    /// The configurations of a cell version.
+    pub fn configurations_of(&self, cv: CellVersionId) -> Vec<ConfigId> {
+        self.db
+            .targets(self.rels.cell_version_config, cv.0)
+            .into_iter()
+            .map(ConfigId)
+            .collect()
+    }
+
+    /// The versions of a configuration, oldest first.
+    pub fn config_versions_of(&self, config: ConfigId) -> Vec<ConfigVersionId> {
+        self.db
+            .targets(self.rels.config_version, config.0)
+            .into_iter()
+            .map(ConfigVersionId)
+            .collect()
+    }
+
+    /// The design object versions a configuration version selects.
+    pub fn config_contents(&self, version: ConfigVersionId) -> Vec<DovId> {
+        self.db
+            .targets(self.rels.config_contains, version.0)
+            .into_iter()
+            .map(DovId)
+            .collect()
+    }
+
+    /// The cell version a configuration belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned configurations.
+    pub fn cell_version_of_config(&self, config: ConfigId) -> JcfResult<CellVersionId> {
+        self.db
+            .sources(self.rels.cell_version_config, config.0)
+            .first()
+            .map(|&id| CellVersionId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("cell version of {config}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::VariantId;
+
+    fn fixture() -> (Jcf, UserId, CellVersionId, VariantId) {
+        let mut jcf = Jcf::new();
+        let admin = jcf.add_user("admin", true).unwrap();
+        let alice = jcf.add_user("alice", false).unwrap();
+        let team = jcf.add_team(admin, "t").unwrap();
+        jcf.add_team_member(admin, team, alice).unwrap();
+        let flow = jcf.define_flow(admin, "f").unwrap();
+        let project = jcf.create_project("p").unwrap();
+        let cell = jcf.create_cell(project, "alu").unwrap();
+        let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
+        jcf.reserve(alice, cv).unwrap();
+        (jcf, alice, cv, variant)
+    }
+
+    #[test]
+    fn config_selects_one_version_per_object() {
+        let (mut jcf, alice, cv, variant) = fixture();
+        let vt = jcf.add_viewtype("schematic").unwrap();
+        let d = jcf.create_design_object(alice, variant, "sch", vt).unwrap();
+        let v1 = jcf.add_design_object_version(alice, d, vec![1]).unwrap();
+        let v2 = jcf.add_design_object_version(alice, d, vec![2]).unwrap();
+        let config = jcf.create_configuration(alice, cv, "golden").unwrap();
+        assert!(matches!(
+            jcf.create_config_version(alice, config, &[v1, v2]),
+            Err(JcfError::ConfigConflict { .. })
+        ));
+        let ok = jcf.create_config_version(alice, config, &[v2]).unwrap();
+        assert_eq!(jcf.config_contents(ok), vec![v2]);
+    }
+
+    #[test]
+    fn config_versions_precede_each_other() {
+        let (mut jcf, alice, cv, variant) = fixture();
+        let vt = jcf.add_viewtype("schematic").unwrap();
+        let d = jcf.create_design_object(alice, variant, "sch", vt).unwrap();
+        let v1 = jcf.add_design_object_version(alice, d, vec![1]).unwrap();
+        let config = jcf.create_configuration(alice, cv, "golden").unwrap();
+        let c1 = jcf.create_config_version(alice, config, &[v1]).unwrap();
+        let c2 = jcf.create_config_version(alice, config, &[]).unwrap();
+        assert_eq!(jcf.config_versions_of(config), vec![c1, c2]);
+        assert!(jcf.database().linked(jcf.rels.config_precedes, c1.0, c2.0));
+    }
+
+    #[test]
+    fn duplicate_config_names_rejected() {
+        let (mut jcf, alice, cv, _) = fixture();
+        jcf.create_configuration(alice, cv, "golden").unwrap();
+        assert!(matches!(
+            jcf.create_configuration(alice, cv, "golden"),
+            Err(JcfError::NameTaken(_))
+        ));
+    }
+
+    #[test]
+    fn configs_require_reservation() {
+        let (mut jcf, alice, cv, _) = fixture();
+        jcf.publish(alice, cv).unwrap();
+        assert!(matches!(
+            jcf.create_configuration(alice, cv, "late"),
+            Err(JcfError::NotReserved { .. })
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Error type for JCF desktop operations.
+
+use std::error::Error;
+use std::fmt;
+
+use oms::OmsError;
+
+/// Error returned by JCF framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JcfError {
+    /// A low-level database operation failed (usually a framework bug
+    /// surfaced to keep the error chain inspectable).
+    Database(OmsError),
+    /// A named entity was not found.
+    NotFound(String),
+    /// The name is already taken within its namespace.
+    NameTaken(String),
+    /// The acting user is not a member of the responsible team.
+    NotTeamMember {
+        /// The acting user's name.
+        user: String,
+        /// The team attached to the cell version.
+        team: String,
+    },
+    /// The cell version is reserved in another user's workspace.
+    AlreadyReserved {
+        /// Who holds the reservation.
+        holder: String,
+    },
+    /// A write was attempted without holding the reservation.
+    NotReserved {
+        /// The acting user's name.
+        user: String,
+    },
+    /// Flows are fixed once defined; this one was already frozen.
+    FlowFrozen(String),
+    /// The activity's predecessors have not all completed.
+    FlowOrderViolation {
+        /// The activity that may not run yet.
+        activity: String,
+        /// The unfinished predecessor blocking it.
+        missing_predecessor: String,
+    },
+    /// An input viewtype required by the activity has no design object
+    /// version in the variant.
+    MissingInput {
+        /// The activity that cannot start.
+        activity: String,
+        /// The viewtype with no available version.
+        viewtype: String,
+    },
+    /// The activity is not part of the flow attached to the cell version.
+    ActivityNotInFlow {
+        /// The offending activity.
+        activity: String,
+        /// The governing flow.
+        flow: String,
+    },
+    /// Only the project manager may define or change flows and teams.
+    PermissionDenied {
+        /// The acting user's name.
+        user: String,
+        /// What was attempted.
+        action: &'static str,
+    },
+    /// A configuration may contain at most one version per design object.
+    ConfigConflict {
+        /// The design object selected twice.
+        design_object: String,
+    },
+    /// Hierarchy metadata must be declared before designing (§3.3).
+    HierarchyNotDeclared {
+        /// The undeclared child cell.
+        child: String,
+    },
+    /// Data sharing between projects is not possible (§3.1).
+    CrossProjectAccess {
+        /// The project that owns the data.
+        owner_project: String,
+    },
+}
+
+impl fmt::Display for JcfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JcfError::Database(e) => write!(f, "database error: {e}"),
+            JcfError::NotFound(n) => write!(f, "not found: {n}"),
+            JcfError::NameTaken(n) => write!(f, "name already in use: {n}"),
+            JcfError::NotTeamMember { user, team } => {
+                write!(f, "user {user:?} is not a member of team {team:?}")
+            }
+            JcfError::AlreadyReserved { holder } => {
+                write!(f, "cell version is reserved by {holder:?}")
+            }
+            JcfError::NotReserved { user } => {
+                write!(f, "user {user:?} does not hold the reservation")
+            }
+            JcfError::FlowFrozen(n) => write!(f, "flow {n:?} is frozen and cannot be modified"),
+            JcfError::FlowOrderViolation { activity, missing_predecessor } => write!(
+                f,
+                "activity {activity:?} requires predecessor {missing_predecessor:?} to finish first"
+            ),
+            JcfError::MissingInput { activity, viewtype } => {
+                write!(f, "activity {activity:?} needs a {viewtype:?} version")
+            }
+            JcfError::ActivityNotInFlow { activity, flow } => {
+                write!(f, "activity {activity:?} is not part of flow {flow:?}")
+            }
+            JcfError::PermissionDenied { user, action } => {
+                write!(f, "user {user:?} may not {action}")
+            }
+            JcfError::ConfigConflict { design_object } => write!(
+                f,
+                "configuration already contains a version of {design_object:?}"
+            ),
+            JcfError::HierarchyNotDeclared { child } => {
+                write!(f, "hierarchy to child cell {child:?} was not declared via the desktop")
+            }
+            JcfError::CrossProjectAccess { owner_project } => {
+                write!(f, "data sharing across projects is not supported (owner: {owner_project:?})")
+            }
+        }
+    }
+}
+
+impl Error for JcfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JcfError::Database(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<OmsError> for JcfError {
+    fn from(e: OmsError) -> Self {
+        JcfError::Database(e)
+    }
+}
+
+/// Convenience alias for JCF results.
+pub type JcfResult<T> = Result<T, JcfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JcfError>();
+    }
+
+    #[test]
+    fn database_errors_chain() {
+        let e: JcfError = OmsError::TransactionState("x").into();
+        assert!(Error::source(&e).is_some());
+    }
+}

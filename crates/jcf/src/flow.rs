@@ -1,0 +1,734 @@
+//! Flow management: fixed design flows and their enforced execution.
+//!
+//! *"Flows are fixed and cannot be modified, i.e., the user must follow
+//! the flow constraints"* (§2.1). Flows are defined by the project
+//! manager only; JCF then *"records all derivation relationships"*
+//! between the data an activity reads and the data it creates (§2.4),
+//! yielding the what-belongs-to-what information FMCAD cannot provide
+//! (§3.5).
+
+use oms::Value;
+
+use crate::error::{JcfError, JcfResult};
+use crate::framework::{
+    ActivityId, DovId, ExecutionId, FlowId, Jcf, ToolId, UserId, VariantId, ViewTypeId,
+};
+
+impl Jcf {
+    /// Defines a new, initially unfrozen flow (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::PermissionDenied`] for non-managers and
+    /// [`JcfError::NameTaken`] for duplicate flow names.
+    pub fn define_flow(&mut self, actor: UserId, name: &str) -> JcfResult<FlowId> {
+        self.bump();
+        self.require_manager_pub(actor, "define flows")?;
+        if self
+            .db
+            .find_by_attr(self.class("Flow"), "name", &Value::from(name))
+            .is_some()
+        {
+            return Err(JcfError::NameTaken(format!("flow {name}")));
+        }
+        let class = self.class("Flow");
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "name", Value::from(name))?;
+            db.set(id, "frozen", Value::from(false))?;
+            Ok(id)
+        })?;
+        Ok(FlowId(id))
+    }
+
+    pub(crate) fn require_manager_pub(&self, user: UserId, action: &'static str) -> JcfResult<()> {
+        let is_manager = self
+            .db
+            .get(user.0, "is_manager")?
+            .as_bool()
+            .unwrap_or(false);
+        if !is_manager {
+            return Err(JcfError::PermissionDenied { user: self.name_of(user.0), action });
+        }
+        Ok(())
+    }
+
+    /// Adds an activity to an unfrozen flow (manager-only).
+    ///
+    /// `needs` are the viewtypes whose versions the activity consumes;
+    /// `creates` the viewtypes it produces; `predecessors` the
+    /// activities that must complete first (Figure 1's `Precedes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::FlowFrozen`] once the flow is frozen,
+    /// [`JcfError::PermissionDenied`] for non-managers, and
+    /// [`JcfError::NameTaken`] for duplicate activity names in the flow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_activity(
+        &mut self,
+        actor: UserId,
+        flow: FlowId,
+        name: &str,
+        tool: ToolId,
+        needs: &[ViewTypeId],
+        creates: &[ViewTypeId],
+        predecessors: &[ActivityId],
+    ) -> JcfResult<ActivityId> {
+        self.bump();
+        self.require_manager_pub(actor, "modify flows")?;
+        let frozen = self.db.get(flow.0, "frozen")?.as_bool().unwrap_or(false);
+        if frozen {
+            return Err(JcfError::FlowFrozen(self.name_of(flow.0)));
+        }
+        for existing in self.activities_of(flow) {
+            if self.name_of(existing.0) == name {
+                return Err(JcfError::NameTaken(format!("activity {name}")));
+            }
+        }
+        let class = self.class("Activity");
+        let rels = self.rels;
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "name", Value::from(name))?;
+            db.link(rels.flow_activity, flow.0, id)?;
+            db.link(rels.activity_tool, id, tool.0)?;
+            for v in needs {
+                db.link(rels.activity_needs, id, v.0)?;
+            }
+            for v in creates {
+                db.link(rels.activity_creates, id, v.0)?;
+            }
+            for p in predecessors {
+                db.link(rels.activity_precedes, p.0, id)?;
+            }
+            Ok(id)
+        })?;
+        Ok(ActivityId(id))
+    }
+
+    /// Freezes a flow; from now on it is a fixed resource (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::PermissionDenied`] for non-managers.
+    pub fn freeze_flow(&mut self, actor: UserId, flow: FlowId) -> JcfResult<()> {
+        self.bump();
+        self.require_manager_pub(actor, "freeze flows")?;
+        self.db.set(flow.0, "frozen", Value::from(true))?;
+        Ok(())
+    }
+
+    /// Returns `true` if the flow is frozen.
+    ///
+    /// # Errors
+    ///
+    /// Returns database errors for dead ids.
+    pub fn is_flow_frozen(&self, flow: FlowId) -> JcfResult<bool> {
+        Ok(self.db.get(flow.0, "frozen")?.as_bool().unwrap_or(false))
+    }
+
+    /// The activities of a flow, in definition order.
+    pub fn activities_of(&self, flow: FlowId) -> Vec<ActivityId> {
+        self.db.targets(self.rels.flow_activity, flow.0).into_iter().map(ActivityId).collect()
+    }
+
+    /// The predecessors an activity waits on.
+    pub fn predecessors_of(&self, activity: ActivityId) -> Vec<ActivityId> {
+        self.db
+            .sources(self.rels.activity_precedes, activity.0)
+            .into_iter()
+            .map(ActivityId)
+            .collect()
+    }
+
+    /// The viewtypes an activity needs.
+    pub fn needs_of(&self, activity: ActivityId) -> Vec<ViewTypeId> {
+        self.db
+            .targets(self.rels.activity_needs, activity.0)
+            .into_iter()
+            .map(ViewTypeId)
+            .collect()
+    }
+
+    /// The viewtypes an activity creates.
+    pub fn creates_of(&self, activity: ActivityId) -> Vec<ViewTypeId> {
+        self.db
+            .targets(self.rels.activity_creates, activity.0)
+            .into_iter()
+            .map(ViewTypeId)
+            .collect()
+    }
+
+    /// The tool an activity runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] if the activity has no tool.
+    pub fn tool_of(&self, activity: ActivityId) -> JcfResult<ToolId> {
+        self.db
+            .targets(self.rels.activity_tool, activity.0)
+            .first()
+            .map(|&id| ToolId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("tool of {activity}")))
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Checks whether `activity` may start in `variant` right now:
+    /// it must belong to the attached flow, its predecessors must have
+    /// finished (in this variant) and its needed viewtypes must have at
+    /// least one version available.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific violated constraint.
+    pub fn can_execute(&self, variant: VariantId, activity: ActivityId) -> JcfResult<()> {
+        let cv = self.cell_version_of(variant)?;
+        let flow = self.flow_of(cv)?;
+        if !self.activities_of(flow).contains(&activity) {
+            return Err(JcfError::ActivityNotInFlow {
+                activity: self.name_of(activity.0),
+                flow: self.name_of(flow.0),
+            });
+        }
+        for pred in self.predecessors_of(activity) {
+            if !self.has_finished_execution(variant, pred) {
+                return Err(JcfError::FlowOrderViolation {
+                    activity: self.name_of(activity.0),
+                    missing_predecessor: self.name_of(pred.0),
+                });
+            }
+        }
+        for viewtype in self.needs_of(activity) {
+            let available = self
+                .design_object_by_viewtype(variant, viewtype)
+                .and_then(|d| self.latest_version(d));
+            if available.is_none() {
+                return Err(JcfError::MissingInput {
+                    activity: self.name_of(activity.0),
+                    viewtype: self.name_of(viewtype.0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn has_finished_execution(&self, variant: VariantId, activity: ActivityId) -> bool {
+        self.executions_of(variant).iter().any(|&e| {
+            self.db
+                .targets(self.rels.execution_activity, e.0)
+                .first()
+                .is_some_and(|&a| a == activity.0)
+                && self
+                    .db
+                    .get(e.0, "finished")
+                    .ok()
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Starts an activity in a variant, gathering its inputs (the
+    /// latest version of each needed viewtype). Requires the workspace
+    /// reservation.
+    ///
+    /// With `override_pending` the predecessor-order check is skipped —
+    /// the paper's wrappers *"enabled activity execution when its
+    /// predecessor was not yet finished"* (§2.4); the override is
+    /// recorded on the execution so audits can find it.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors and the [`Jcf::can_execute`]
+    /// constraint violations (input availability is checked even when
+    /// overriding).
+    pub fn start_activity(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        activity: ActivityId,
+        override_pending: bool,
+    ) -> JcfResult<ExecutionId> {
+        let now = self.bump();
+        let cv = self.cell_version_of(variant)?;
+        self.require_reservation(user, cv)?;
+        let mut override_used = false;
+        match self.can_execute(variant, activity) {
+            Ok(()) => {}
+            Err(JcfError::FlowOrderViolation { .. }) if override_pending => {
+                override_used = true;
+                // The wrapper may override the order, but never missing
+                // inputs: the tool would have nothing to run on.
+                for viewtype in self.needs_of(activity) {
+                    let available = self
+                        .design_object_by_viewtype(variant, viewtype)
+                        .and_then(|d| self.latest_version(d));
+                    if available.is_none() {
+                        return Err(JcfError::MissingInput {
+                            activity: self.name_of(activity.0),
+                            viewtype: self.name_of(viewtype.0),
+                        });
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        let mut inputs = Vec::new();
+        for viewtype in self.needs_of(activity) {
+            if let Some(dov) = self
+                .design_object_by_viewtype(variant, viewtype)
+                .and_then(|d| self.latest_version(d))
+            {
+                inputs.push(dov);
+            }
+        }
+        let class = self.class("ActivityExecution");
+        let rels = self.rels;
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "finished", Value::from(false))?;
+            db.set(id, "overridden", Value::from(override_used))?;
+            db.set(id, "started_at", Value::from(now))?;
+            db.link(rels.execution_activity, id, activity.0)?;
+            db.link(rels.execution_variant, id, variant.0)?;
+            for input in &inputs {
+                db.link(rels.execution_reads, id, input.0)?;
+            }
+            Ok(id)
+        })?;
+        Ok(ExecutionId(id))
+    }
+
+    /// Finishes an activity execution, storing its outputs as new
+    /// design object versions and recording every input-to-output
+    /// derivation edge.
+    ///
+    /// Each output is `(viewtype, design object name, data)`; a design
+    /// object is created on first use of the name in the variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn finish_activity(
+        &mut self,
+        user: UserId,
+        execution: ExecutionId,
+        outputs: &[(ViewTypeId, &str, Vec<u8>)],
+    ) -> JcfResult<Vec<DovId>> {
+        self.bump();
+        let variant = self.variant_of_execution(execution)?;
+        let cv = self.cell_version_of(variant)?;
+        self.require_reservation(user, cv)?;
+        let inputs: Vec<DovId> = self
+            .db
+            .targets(self.rels.execution_reads, execution.0)
+            .into_iter()
+            .map(DovId)
+            .collect();
+        let mut created = Vec::new();
+        for (viewtype, name, data) in outputs {
+            let design_object = match self
+                .design_objects_of(variant)
+                .into_iter()
+                .find(|d| self.name_of(d.0) == *name)
+            {
+                Some(d) => d,
+                None => self.create_design_object(user, variant, name, *viewtype)?,
+            };
+            let dov = self.add_design_object_version(user, design_object, data.clone())?;
+            let rels = self.rels;
+            self.db.link(rels.execution_creates, execution.0, dov.0)?;
+            for input in &inputs {
+                // Self-derivation (tool rewriting its own input view) is
+                // recorded by add_design_object_version already.
+                if *input != dov {
+                    let _ = self.db.link(rels.dov_derived, input.0, dov.0);
+                }
+            }
+            created.push(dov);
+        }
+        self.db.set(execution.0, "finished", Value::from(true))?;
+        Ok(created)
+    }
+
+    /// The activity executions recorded in a variant, in start order.
+    pub fn executions_of(&self, variant: VariantId) -> Vec<ExecutionId> {
+        self.db
+            .sources(self.rels.execution_variant, variant.0)
+            .into_iter()
+            .map(ExecutionId)
+            .collect()
+    }
+
+    /// The variant an execution ran in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned executions.
+    pub fn variant_of_execution(&self, execution: ExecutionId) -> JcfResult<VariantId> {
+        self.db
+            .targets(self.rels.execution_variant, execution.0)
+            .first()
+            .map(|&id| VariantId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("variant of {execution}")))
+    }
+
+    /// Returns `true` if the execution used the predecessor override.
+    ///
+    /// # Errors
+    ///
+    /// Returns database errors for dead ids.
+    pub fn was_overridden(&self, execution: ExecutionId) -> JcfResult<bool> {
+        Ok(self.db.get(execution.0, "overridden")?.as_bool().unwrap_or(false))
+    }
+
+    // --- derivation queries -----------------------------------------------
+
+    /// The design object versions this one was directly derived from.
+    pub fn derived_from(&self, dov: DovId) -> Vec<DovId> {
+        self.db.sources(self.rels.dov_derived, dov.0).into_iter().map(DovId).collect()
+    }
+
+    /// The design object versions directly derived from this one.
+    pub fn derivations_of(&self, dov: DovId) -> Vec<DovId> {
+        self.db.targets(self.rels.dov_derived, dov.0).into_iter().map(DovId).collect()
+    }
+
+    /// The transitive derivation ancestry of a version (everything it
+    /// was ultimately derived from), sorted.
+    pub fn derivation_closure(&self, dov: DovId) -> Vec<DovId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut frontier = vec![dov];
+        while let Some(current) = frontier.pop() {
+            for parent in self.derived_from(current) {
+                if seen.insert(parent) {
+                    frontier.push(parent);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Marks two design object versions as equivalent representations
+    /// (Figure 1's `equivalent` relation).
+    ///
+    /// # Errors
+    ///
+    /// Returns database errors for dead ids.
+    pub fn mark_equivalent(&mut self, a: DovId, b: DovId) -> JcfResult<()> {
+        self.bump();
+        self.db.link(self.rels.dov_equivalent, a.0, b.0)?;
+        Ok(())
+    }
+
+    /// The what-belongs-to-what report for a variant: for every design
+    /// object version, which versions it was derived from and which
+    /// execution created it. FMCAD has no equivalent (§3.5).
+    pub fn what_belongs_to_what(&self, variant: VariantId) -> Vec<ProvenanceEntry> {
+        let mut out = Vec::new();
+        for design_object in self.design_objects_of(variant) {
+            for dov in self.versions_of_design_object(design_object) {
+                let created_by = self
+                    .db
+                    .sources(self.rels.execution_creates, dov.0)
+                    .first()
+                    .copied()
+                    .map(ExecutionId);
+                let activity = created_by.and_then(|e| {
+                    self.db
+                        .targets(self.rels.execution_activity, e.0)
+                        .first()
+                        .map(|&a| self.name_of(a))
+                });
+                out.push(ProvenanceEntry {
+                    design_object: self.name_of(design_object.0),
+                    version: dov,
+                    derived_from: self.derived_from(dov),
+                    created_by_activity: activity,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The state of one activity of a flow, relative to a variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivityState {
+    /// At least one execution of the activity has finished here.
+    Finished,
+    /// All constraints are satisfied; the activity may start now.
+    Ready,
+    /// The activity cannot start; the reason is the constraint text.
+    Blocked(String),
+}
+
+impl std::fmt::Display for ActivityState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActivityState::Finished => f.write_str("finished"),
+            ActivityState::Ready => f.write_str("ready"),
+            ActivityState::Blocked(reason) => write!(f, "blocked: {reason}"),
+        }
+    }
+}
+
+impl Jcf {
+    /// The desktop's flow-status view: every activity of the variant's
+    /// flow with its current state, in flow definition order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned variants.
+    pub fn flow_status(&self, variant: VariantId) -> JcfResult<Vec<(ActivityId, ActivityState)>> {
+        let cv = self.cell_version_of(variant)?;
+        let flow = self.flow_of(cv)?;
+        let mut out = Vec::new();
+        for activity in self.activities_of(flow) {
+            let state = if self.has_finished_execution_pub(variant, activity) {
+                ActivityState::Finished
+            } else {
+                match self.can_execute(variant, activity) {
+                    Ok(()) => ActivityState::Ready,
+                    Err(e) => ActivityState::Blocked(e.to_string()),
+                }
+            };
+            out.push((activity, state));
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn has_finished_execution_pub(&self, variant: VariantId, activity: ActivityId) -> bool {
+        self.has_finished_execution(variant, activity)
+    }
+}
+
+/// One row of the what-belongs-to-what report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceEntry {
+    /// Name of the design object.
+    pub design_object: String,
+    /// The version described.
+    pub version: DovId,
+    /// Versions it was directly derived from.
+    pub derived_from: Vec<DovId>,
+    /// Name of the activity whose execution created it, if recorded.
+    pub created_by_activity: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{CellVersionId, TeamId};
+
+    struct Fixture {
+        jcf: Jcf,
+        alice: UserId,
+        cv: CellVersionId,
+        variant: VariantId,
+        schematic: ViewTypeId,
+        waveform: ViewTypeId,
+        enter: ActivityId,
+        simulate: ActivityId,
+        flow: FlowId,
+        team: TeamId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut jcf = Jcf::new();
+        let admin = jcf.add_user("admin", true).unwrap();
+        let alice = jcf.add_user("alice", false).unwrap();
+        let team = jcf.add_team(admin, "asic").unwrap();
+        jcf.add_team_member(admin, team, alice).unwrap();
+        let schematic = jcf.add_viewtype("schematic").unwrap();
+        let waveform = jcf.add_viewtype("waveform").unwrap();
+        let sch_tool = jcf.add_tool("schematic-entry").unwrap();
+        let sim_tool = jcf.add_tool("simulator").unwrap();
+        let flow = jcf.define_flow(admin, "entry-then-sim").unwrap();
+        let enter = jcf
+            .add_activity(admin, flow, "enter", sch_tool, &[], &[schematic], &[])
+            .unwrap();
+        let simulate = jcf
+            .add_activity(admin, flow, "simulate", sim_tool, &[schematic], &[waveform], &[enter])
+            .unwrap();
+        jcf.freeze_flow(admin, flow).unwrap();
+        let project = jcf.create_project("p").unwrap();
+        let cell = jcf.create_cell(project, "alu").unwrap();
+        let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
+        jcf.reserve(alice, cv).unwrap();
+        Fixture { jcf, alice, cv, variant, schematic, waveform, enter, simulate, flow, team }
+    }
+
+    #[test]
+    fn frozen_flows_cannot_change() {
+        let mut f = fixture();
+        let admin = f.jcf.user_by_name("admin").unwrap();
+        let tool = f.jcf.add_tool("x").unwrap();
+        assert!(matches!(
+            f.jcf.add_activity(admin, f.flow, "late", tool, &[], &[], &[]),
+            Err(JcfError::FlowFrozen(_))
+        ));
+        assert!(f.jcf.is_flow_frozen(f.flow).unwrap());
+    }
+
+    #[test]
+    fn designers_cannot_define_flows() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.jcf.define_flow(f.alice, "rogue"),
+            Err(JcfError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            f.jcf.freeze_flow(f.alice, f.flow),
+            Err(JcfError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn flow_order_is_enforced() {
+        let f = fixture();
+        assert!(matches!(
+            f.jcf.can_execute(f.variant, f.simulate),
+            Err(JcfError::FlowOrderViolation { .. })
+        ));
+        assert!(f.jcf.can_execute(f.variant, f.enter).is_ok());
+    }
+
+    #[test]
+    fn full_activity_cycle_records_derivations() {
+        let mut f = fixture();
+        // Run "enter": creates the schematic.
+        let e1 = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        let sch_dovs = f
+            .jcf
+            .finish_activity(f.alice, e1, &[(f.schematic, "sch", b"netlist alu".to_vec())])
+            .unwrap();
+        assert_eq!(sch_dovs.len(), 1);
+        // Now "simulate" may run and must read the schematic.
+        assert!(f.jcf.can_execute(f.variant, f.simulate).is_ok());
+        let e2 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let wave_dovs = f
+            .jcf
+            .finish_activity(f.alice, e2, &[(f.waveform, "waves", b"waves".to_vec())])
+            .unwrap();
+        // Derivation: waveform derived from schematic.
+        assert_eq!(f.jcf.derived_from(wave_dovs[0]), vec![sch_dovs[0]]);
+        assert_eq!(f.jcf.derivations_of(sch_dovs[0]), vec![wave_dovs[0]]);
+        // Provenance report names the creating activities.
+        let report = f.jcf.what_belongs_to_what(f.variant);
+        assert_eq!(report.len(), 2);
+        assert!(report
+            .iter()
+            .any(|r| r.design_object == "waves" && r.created_by_activity.as_deref() == Some("simulate")));
+    }
+
+    #[test]
+    fn missing_input_blocks_even_with_override() {
+        let mut f = fixture();
+        // simulate needs a schematic; overriding order does not waive inputs.
+        assert!(matches!(
+            f.jcf.start_activity(f.alice, f.variant, f.simulate, true),
+            Err(JcfError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn override_skips_order_and_is_recorded() {
+        let mut f = fixture();
+        // Create the schematic out-of-band so only the order constraint bites.
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        f.jcf.add_design_object_version(f.alice, d, b"x".to_vec()).unwrap();
+        assert!(matches!(
+            f.jcf.start_activity(f.alice, f.variant, f.simulate, false),
+            Err(JcfError::FlowOrderViolation { .. })
+        ));
+        let e = f.jcf.start_activity(f.alice, f.variant, f.simulate, true).unwrap();
+        assert!(f.jcf.was_overridden(e).unwrap());
+    }
+
+    #[test]
+    fn foreign_activities_rejected() {
+        let mut f = fixture();
+        let admin = f.jcf.user_by_name("admin").unwrap();
+        let other_flow = f.jcf.define_flow(admin, "other").unwrap();
+        let tool = f.jcf.add_tool("t2").unwrap();
+        let foreign = f
+            .jcf
+            .add_activity(admin, other_flow, "alien", tool, &[], &[], &[])
+            .unwrap();
+        assert!(matches!(
+            f.jcf.can_execute(f.variant, foreign),
+            Err(JcfError::ActivityNotInFlow { .. })
+        ));
+        let _ = (f.cv, f.team);
+    }
+
+    #[test]
+    fn executions_require_reservation() {
+        let mut f = fixture();
+        f.jcf.publish(f.alice, f.cv).unwrap();
+        assert!(matches!(
+            f.jcf.start_activity(f.alice, f.variant, f.enter, false),
+            Err(JcfError::NotReserved { .. })
+        ));
+    }
+
+    #[test]
+    fn derivation_closure_walks_the_full_ancestry() {
+        let mut f = fixture();
+        let e1 = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        let sch = f
+            .jcf
+            .finish_activity(f.alice, e1, &[(f.schematic, "sch", b"a".to_vec())])
+            .unwrap();
+        let e2 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let w1 = f
+            .jcf
+            .finish_activity(f.alice, e2, &[(f.waveform, "waves", b"b".to_vec())])
+            .unwrap();
+        // Second simulation run: its waveform derives from the schematic
+        // and (via versioning) from the first waveform.
+        let e3 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let w2 = f
+            .jcf
+            .finish_activity(f.alice, e3, &[(f.waveform, "waves", b"c".to_vec())])
+            .unwrap();
+        let closure = f.jcf.derivation_closure(w2[0]);
+        assert!(closure.contains(&sch[0]));
+        assert!(closure.contains(&w1[0]));
+        assert!(!closure.contains(&w2[0]), "a version is not its own ancestor");
+        assert!(f.jcf.derivation_closure(sch[0]).is_empty());
+    }
+
+    #[test]
+    fn flow_status_tracks_the_design_state() {
+        let mut f = fixture();
+        let status = f.jcf.flow_status(f.variant).unwrap();
+        assert_eq!(status.len(), 2);
+        assert_eq!(status[0].1, ActivityState::Ready, "enter may start");
+        assert!(matches!(status[1].1, ActivityState::Blocked(_)), "simulate waits");
+        // Run "enter"; simulate becomes ready; enter becomes finished.
+        let e = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        f.jcf
+            .finish_activity(f.alice, e, &[(f.schematic, "sch", b"x".to_vec())])
+            .unwrap();
+        let status = f.jcf.flow_status(f.variant).unwrap();
+        assert_eq!(status[0].1, ActivityState::Finished);
+        assert_eq!(status[1].1, ActivityState::Ready);
+    }
+
+    #[test]
+    fn mark_equivalent_links_both_views() {
+        let mut f = fixture();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let a = f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
+        let d2 = f.jcf.create_design_object(f.alice, f.variant, "waves", f.waveform).unwrap();
+        let b = f.jcf.add_design_object_version(f.alice, d2, vec![2]).unwrap();
+        f.jcf.mark_equivalent(a, b).unwrap();
+        assert!(f.jcf.database().linked(f.jcf.rels.dov_equivalent, a.0, b.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! # jcf — the JESSI-COMMON-Framework 3.0 model
+//!
+//! A from-scratch executable model of JCF 3.0 as described in §2.1 and
+//! Figure 1 of the paper: the *master* framework of the hybrid
+//! JCF–FMCAD coupling.
+//!
+//! The crate reproduces JCF's defining properties:
+//!
+//! * **Resources vs project data.** Users, teams, tools, viewtypes and
+//!   flows are administrator-controlled metadata; projects, cells,
+//!   versions, variants and design objects are project data. Both live
+//!   in the [`oms`] object-oriented database whose schema
+//!   ([`schema::jcf_schema`]) transcribes Figure 1.
+//! * **Two-level versioning.** Cells version into cell versions
+//!   (each with its own attached flow and team); inside a cell version,
+//!   variants branch (§3.2).
+//! * **The workspace concept.** A cell version must be reserved into a
+//!   user's private workspace for writing; others read only published
+//!   data. This is *"the kernel of the JCF multi-user capabilities"*.
+//! * **Fixed flows.** Flows are frozen resources; the flow engine
+//!   enforces activity order and input availability, with the
+//!   override-and-record escape hatch the paper's wrappers added.
+//! * **Derivation tracking.** Every activity execution records which
+//!   design object versions it read and created, giving the
+//!   what-belongs-to-what report FMCAD cannot produce (§3.5).
+//! * **Hierarchy as metadata.** Composition (`CompOf`) is declared
+//!   manually via the desktop, separate from design files (§3.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use jcf::Jcf;
+//!
+//! # fn main() -> Result<(), jcf::JcfError> {
+//! let mut jcf = Jcf::new();
+//! let admin = jcf.add_user("admin", true)?;
+//! let alice = jcf.add_user("alice", false)?;
+//! let team = jcf.add_team(admin, "asic")?;
+//! jcf.add_team_member(admin, team, alice)?;
+//!
+//! let schematic = jcf.add_viewtype("schematic")?;
+//! let tool = jcf.add_tool("schematic-entry")?;
+//! let flow = jcf.define_flow(admin, "entry")?;
+//! let enter = jcf.add_activity(admin, flow, "enter", tool, &[], &[schematic], &[])?;
+//! jcf.freeze_flow(admin, flow)?;
+//!
+//! let project = jcf.create_project("alu16")?;
+//! let cell = jcf.create_cell(project, "adder")?;
+//! let (cv, variant) = jcf.create_cell_version(cell, flow, team)?;
+//! jcf.reserve(alice, cv)?;
+//! let exec = jcf.start_activity(alice, variant, enter, false)?;
+//! jcf.finish_activity(alice, exec, &[(schematic, "sch", b"netlist adder".to_vec())])?;
+//! jcf.publish(alice, cv)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod flow;
+mod framework;
+pub mod schema;
+mod workspace;
+
+pub use error::{JcfError, JcfResult};
+pub use flow::{ActivityState, ProvenanceEntry};
+pub use framework::{
+    ActivityId, CellId, CellVersionId, ConfigId, ConfigVersionId, DesignObjectId, DovId,
+    ExecutionId, FlowId, Jcf, ProjectId, TeamId, ToolId, UserId, VariantId, ViewTypeId,
+};

@@ -1,0 +1,502 @@
+//! The JCF workspace concept: reserve / publish and data access.
+//!
+//! *"The workspace concept of JCF allows only one user to work on a
+//! particular cell version if this cell version is reserved in his
+//! private workspace. Other users are only allowed to read the
+//! published parts of the design data. When the work is finished, the
+//! cell can be published and then be modified by other users. This
+//! workspace concept is the kernel of the JCF multi-user
+//! capabilities."* (§2.1)
+
+use oms::Value;
+
+use crate::error::{JcfError, JcfResult};
+use crate::framework::{CellVersionId, DesignObjectId, DovId, Jcf, UserId, VariantId, ViewTypeId};
+
+impl Jcf {
+    /// Reserves a cell version into the user's private workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotTeamMember`] if the user is not in the
+    /// cell version's team and [`JcfError::AlreadyReserved`] if another
+    /// user holds it. Re-reserving one's own reservation is a no-op.
+    pub fn reserve(&mut self, user: UserId, cv: CellVersionId) -> JcfResult<()> {
+        self.bump();
+        let team = self.team_of(cv)?;
+        if !self.is_team_member(team, user) {
+            return Err(JcfError::NotTeamMember {
+                user: self.name_of(user.0),
+                team: self.name_of(team.0),
+            });
+        }
+        match self.reserver(cv) {
+            Some(holder) if holder == user => Ok(()),
+            Some(holder) => Err(JcfError::AlreadyReserved { holder: self.name_of(holder.0) }),
+            None => {
+                self.db.link(self.rels.reserved_by, cv.0, user.0)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Publishes the user's work on a cell version: all design object
+    /// versions below it become readable by others and the reservation
+    /// is released.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotReserved`] if the user does not hold the
+    /// reservation.
+    pub fn publish(&mut self, user: UserId, cv: CellVersionId) -> JcfResult<()> {
+        self.bump();
+        self.require_reservation(user, cv)?;
+        let dovs: Vec<DovId> = self
+            .variants_of(cv)
+            .into_iter()
+            .flat_map(|v| self.design_objects_of(v))
+            .flat_map(|d| self.versions_of_design_object(d))
+            .collect();
+        for dov in dovs {
+            self.db.set(dov.0, "published", Value::from(true))?;
+        }
+        self.db.unlink(self.rels.reserved_by, cv.0, user.0)?;
+        Ok(())
+    }
+
+    /// The user currently holding the reservation, if any.
+    pub fn reserver(&self, cv: CellVersionId) -> Option<UserId> {
+        self.db.targets(self.rels.reserved_by, cv.0).first().copied().map(UserId)
+    }
+
+    /// All cell versions currently reserved in `user`'s private
+    /// workspace, sorted — the desktop's workspace browser view.
+    pub fn reservations_of(&self, user: UserId) -> Vec<CellVersionId> {
+        self.db
+            .sources(self.rels.reserved_by, user.0)
+            .into_iter()
+            .map(CellVersionId)
+            .collect()
+    }
+
+    /// Checks that `user` holds the reservation on `cv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotReserved`] otherwise.
+    pub fn require_reservation(&self, user: UserId, cv: CellVersionId) -> JcfResult<()> {
+        match self.reserver(cv) {
+            Some(holder) if holder == user => Ok(()),
+            _ => Err(JcfError::NotReserved { user: self.name_of(user.0) }),
+        }
+    }
+
+    /// Promotes a variant: creates a new cell version (same flow and
+    /// team) whose base variant carries a copy of the latest version of
+    /// each design object — the desktop operation behind *"select the
+    /// optimal design solution"* (§2.1) after exploring variants.
+    ///
+    /// The caller must hold the reservation on the source cell version
+    /// and receives the reservation on the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn promote_variant(
+        &mut self,
+        user: UserId,
+        winner: VariantId,
+    ) -> JcfResult<(CellVersionId, VariantId)> {
+        self.bump();
+        let old_cv = self.cell_version_of(winner)?;
+        self.require_reservation(user, old_cv)?;
+        let cell = self.cell_of(old_cv)?;
+        let flow = self.flow_of(old_cv)?;
+        let team = self.team_of(old_cv)?;
+        let (new_cv, new_variant) = self.create_cell_version(cell, flow, team)?;
+        self.reserve(user, new_cv)?;
+        for design_object in self.design_objects_of(winner) {
+            let viewtype = self.viewtype_of(design_object)?;
+            let name = self.name_of(design_object.0);
+            if let Some(latest) = self.latest_version(design_object) {
+                let data = self.read_design_data(user, latest)?;
+                let new_do = self.create_design_object(user, new_variant, &name, viewtype)?;
+                let new_dov = self.add_design_object_version(user, new_do, data)?;
+                // Provenance: the promoted copy derives from the winner.
+                self.db.link(self.rels.dov_derived, latest.0, new_dov.0)?;
+            }
+        }
+        Ok((new_cv, new_variant))
+    }
+
+    // --- design objects and their versions ------------------------------
+
+    /// Creates a design object of `viewtype` in a variant. Requires the
+    /// reservation on the owning cell version.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors or [`JcfError::NameTaken`] within the
+    /// variant.
+    pub fn create_design_object(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        name: &str,
+        viewtype: ViewTypeId,
+    ) -> JcfResult<DesignObjectId> {
+        self.bump();
+        let cv = self.cell_version_of(variant)?;
+        self.require_reservation(user, cv)?;
+        for existing in self.design_objects_of(variant) {
+            if self.name_of(existing.0) == name {
+                return Err(JcfError::NameTaken(format!("design object {name}")));
+            }
+        }
+        let class = self.class("DesignObject");
+        let rels = self.rels;
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "name", Value::from(name))?;
+            db.link(rels.variant_design_object, variant.0, id)?;
+            db.link(rels.design_object_viewtype, id, viewtype.0)?;
+            Ok(id)
+        })?;
+        Ok(DesignObjectId(id))
+    }
+
+    /// Stores a new design object version holding `data`. Requires the
+    /// reservation. The new version is unpublished until
+    /// [`Jcf::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn add_design_object_version(
+        &mut self,
+        user: UserId,
+        design_object: DesignObjectId,
+        data: Vec<u8>,
+    ) -> JcfResult<DovId> {
+        let now = self.bump();
+        let variant = self.variant_of_design_object(design_object)?;
+        let cv = self.cell_version_of(variant)?;
+        self.require_reservation(user, cv)?;
+        let number = self.versions_of_design_object(design_object).len() as i64 + 1;
+        let class = self.class("DesignObjectVersion");
+        let rels = self.rels;
+        let previous = self
+            .versions_of_design_object(design_object)
+            .last()
+            .copied();
+        let id = self.db.transact(|db| {
+            let id = db.create(class)?;
+            db.set(id, "number", Value::from(number))?;
+            db.set(id, "data", Value::from(data))?;
+            db.set(id, "published", Value::from(false))?;
+            db.set(id, "created_at", Value::from(now))?;
+            db.link(rels.design_object_version, design_object.0, id)?;
+            if let Some(prev) = previous {
+                db.link(rels.dov_derived, prev.0, id)?;
+            }
+            Ok(id)
+        })?;
+        Ok(DovId(id))
+    }
+
+    /// Reads a design object version's data, enforcing the workspace
+    /// visibility rule: the reserver sees everything, everyone else
+    /// only published versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotReserved`] (as a stand-in for "not
+    /// visible") when an unpublished version is read by a non-holder.
+    pub fn read_design_data(&mut self, user: UserId, dov: DovId) -> JcfResult<Vec<u8>> {
+        self.bump();
+        let published = self
+            .db
+            .get(dov.0, "published")?
+            .as_bool()
+            .unwrap_or(false);
+        if !published {
+            let design_object = self.design_object_of(dov)?;
+            let variant = self.variant_of_design_object(design_object)?;
+            let cv = self.cell_version_of(variant)?;
+            self.require_reservation(user, cv)?;
+        }
+        Ok(self
+            .db
+            .get(dov.0, "data")?
+            .as_bytes()
+            .unwrap_or_default()
+            .to_vec())
+    }
+
+    /// Returns `true` if the design object version is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns database errors for dead ids.
+    pub fn is_published(&self, dov: DovId) -> JcfResult<bool> {
+        Ok(self.db.get(dov.0, "published")?.as_bool().unwrap_or(false))
+    }
+
+    /// The design objects of a variant, in creation order.
+    pub fn design_objects_of(&self, variant: VariantId) -> Vec<DesignObjectId> {
+        self.db
+            .targets(self.rels.variant_design_object, variant.0)
+            .into_iter()
+            .map(DesignObjectId)
+            .collect()
+    }
+
+    /// The versions of a design object, oldest first.
+    pub fn versions_of_design_object(&self, design_object: DesignObjectId) -> Vec<DovId> {
+        self.db
+            .targets(self.rels.design_object_version, design_object.0)
+            .into_iter()
+            .map(DovId)
+            .collect()
+    }
+
+    /// The design object owning a version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned versions.
+    pub fn design_object_of(&self, dov: DovId) -> JcfResult<DesignObjectId> {
+        self.db
+            .sources(self.rels.design_object_version, dov.0)
+            .first()
+            .map(|&id| DesignObjectId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("design object of {dov}")))
+    }
+
+    /// The variant owning a design object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned design objects.
+    pub fn variant_of_design_object(&self, design_object: DesignObjectId) -> JcfResult<VariantId> {
+        self.db
+            .sources(self.rels.variant_design_object, design_object.0)
+            .first()
+            .map(|&id| VariantId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("variant of {design_object}")))
+    }
+
+    /// The viewtype of a design object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotFound`] for orphaned design objects.
+    pub fn viewtype_of(&self, design_object: DesignObjectId) -> JcfResult<ViewTypeId> {
+        self.db
+            .targets(self.rels.design_object_viewtype, design_object.0)
+            .first()
+            .map(|&id| ViewTypeId(id))
+            .ok_or_else(|| JcfError::NotFound(format!("viewtype of {design_object}")))
+    }
+
+    /// Finds a design object of the given viewtype in a variant, if one
+    /// exists (the flow engine uses this to locate activity inputs).
+    pub fn design_object_by_viewtype(
+        &self,
+        variant: VariantId,
+        viewtype: ViewTypeId,
+    ) -> Option<DesignObjectId> {
+        self.design_objects_of(variant)
+            .into_iter()
+            .find(|d| self.viewtype_of(*d).ok() == Some(viewtype))
+    }
+
+    /// The newest version of a design object, if any.
+    pub fn latest_version(&self, design_object: DesignObjectId) -> Option<DovId> {
+        self.versions_of_design_object(design_object).last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{FlowId, TeamId};
+
+    struct Fixture {
+        jcf: Jcf,
+        admin: UserId,
+        alice: UserId,
+        bob: UserId,
+        team: TeamId,
+        flow: FlowId,
+        cv: CellVersionId,
+        variant: VariantId,
+        schematic: ViewTypeId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut jcf = Jcf::new();
+        let admin = jcf.add_user("admin", true).unwrap();
+        let alice = jcf.add_user("alice", false).unwrap();
+        let bob = jcf.add_user("bob", false).unwrap();
+        let team = jcf.add_team(admin, "asic").unwrap();
+        jcf.add_team_member(admin, team, alice).unwrap();
+        jcf.add_team_member(admin, team, bob).unwrap();
+        let flow = jcf.define_flow(admin, "basic").unwrap();
+        let schematic = jcf.add_viewtype("schematic").unwrap();
+        let project = jcf.create_project("p").unwrap();
+        let cell = jcf.create_cell(project, "alu").unwrap();
+        let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
+        Fixture { jcf, admin, alice, bob, team, flow, cv, variant, schematic }
+    }
+
+    #[test]
+    fn reservation_is_exclusive() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        assert_eq!(f.jcf.reserver(f.cv), Some(f.alice));
+        assert!(matches!(
+            f.jcf.reserve(f.bob, f.cv),
+            Err(JcfError::AlreadyReserved { .. })
+        ));
+        // Re-reserving one's own is fine.
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+    }
+
+    #[test]
+    fn non_team_members_cannot_reserve() {
+        let mut f = fixture();
+        let eve = f.jcf.add_user("eve", false).unwrap();
+        assert!(matches!(
+            f.jcf.reserve(eve, f.cv),
+            Err(JcfError::NotTeamMember { .. })
+        ));
+        let _ = (f.admin, f.team, f.flow);
+    }
+
+    #[test]
+    fn writes_require_reservation() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic),
+            Err(JcfError::NotReserved { .. })
+        ));
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        assert!(matches!(
+            f.jcf.add_design_object_version(f.bob, d, vec![1]),
+            Err(JcfError::NotReserved { .. })
+        ));
+        f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
+    }
+
+    #[test]
+    fn unpublished_data_is_private_to_the_reserver() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let dov = f.jcf.add_design_object_version(f.alice, d, b"secret".to_vec()).unwrap();
+        assert_eq!(f.jcf.read_design_data(f.alice, dov).unwrap(), b"secret");
+        assert!(f.jcf.read_design_data(f.bob, dov).is_err());
+        assert!(!f.jcf.is_published(dov).unwrap());
+    }
+
+    #[test]
+    fn publish_releases_and_exposes() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let dov = f.jcf.add_design_object_version(f.alice, d, b"data".to_vec()).unwrap();
+        f.jcf.publish(f.alice, f.cv).unwrap();
+        assert_eq!(f.jcf.reserver(f.cv), None);
+        assert!(f.jcf.is_published(dov).unwrap());
+        assert_eq!(f.jcf.read_design_data(f.bob, dov).unwrap(), b"data");
+        // Now bob can take over.
+        f.jcf.reserve(f.bob, f.cv).unwrap();
+    }
+
+    #[test]
+    fn publish_requires_holding_the_reservation() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        assert!(matches!(f.jcf.publish(f.bob, f.cv), Err(JcfError::NotReserved { .. })));
+    }
+
+    #[test]
+    fn dov_numbers_increment_and_chain() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let v1 = f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
+        let v2 = f.jcf.add_design_object_version(f.alice, d, vec![2]).unwrap();
+        assert_eq!(f.jcf.versions_of_design_object(d), vec![v1, v2]);
+        assert_eq!(f.jcf.latest_version(d), Some(v2));
+        assert_eq!(f.jcf.derived_from(v2), vec![v1]);
+    }
+
+    #[test]
+    fn design_object_lookup_by_viewtype() {
+        let mut f = fixture();
+        let layout = f.jcf.add_viewtype("layout").unwrap();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        assert_eq!(f.jcf.design_object_by_viewtype(f.variant, f.schematic), Some(d));
+        assert_eq!(f.jcf.design_object_by_viewtype(f.variant, layout), None);
+    }
+
+    #[test]
+    fn promoting_a_variant_starts_the_next_cell_version() {
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        // Explore two variants; the experiment wins.
+        let exp = f.jcf.derive_variant(f.alice, f.cv, "exp", Some(f.variant)).unwrap();
+        let d = f.jcf.create_design_object(f.alice, exp, "sch", f.schematic).unwrap();
+        let winner_dov = f.jcf.add_design_object_version(f.alice, d, b"winning".to_vec()).unwrap();
+
+        let (new_cv, new_variant) = f.jcf.promote_variant(f.alice, exp).unwrap();
+        assert_ne!(new_cv, f.cv);
+        assert_eq!(f.jcf.reserver(new_cv), Some(f.alice));
+        // The data was carried over and its provenance recorded.
+        let new_do = f.jcf.design_objects_of(new_variant)[0];
+        let new_dov = f.jcf.latest_version(new_do).unwrap();
+        assert_eq!(f.jcf.read_design_data(f.alice, new_dov).unwrap(), b"winning");
+        assert_eq!(f.jcf.derived_from(new_dov), vec![winner_dov]);
+        // The cell now has two versions linked by precedes.
+        let cell = f.jcf.cell_of(f.cv).unwrap();
+        assert_eq!(f.jcf.versions_of(cell).len(), 2);
+    }
+
+    #[test]
+    fn promotion_requires_the_reservation() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.jcf.promote_variant(f.alice, f.variant),
+            Err(JcfError::NotReserved { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_browser_lists_reservations() {
+        let mut f = fixture();
+        assert!(f.jcf.reservations_of(f.alice).is_empty());
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        assert_eq!(f.jcf.reservations_of(f.alice), vec![f.cv]);
+        f.jcf.publish(f.alice, f.cv).unwrap();
+        assert!(f.jcf.reservations_of(f.alice).is_empty());
+    }
+
+    #[test]
+    fn two_variants_can_hold_parallel_work() {
+        // The key §3.1 capability: parallel work on different versions
+        // of the same design object via variants.
+        let mut f = fixture();
+        f.jcf.reserve(f.alice, f.cv).unwrap();
+        let v2 = f.jcf.derive_variant(f.alice, f.cv, "experiment", Some(f.variant)).unwrap();
+        let d1 = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let d2 = f.jcf.create_design_object(f.alice, v2, "sch", f.schematic).unwrap();
+        f.jcf.add_design_object_version(f.alice, d1, b"main".to_vec()).unwrap();
+        f.jcf.add_design_object_version(f.alice, d2, b"exp".to_vec()).unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(f.jcf.variants_of(f.cv).len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type for the OMS database kernel.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::schema::{ClassId, RelId};
+use crate::store::ObjectId;
+
+/// Error returned by fallible OMS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmsError {
+    /// No class with this name is defined in the schema.
+    UnknownClass(String),
+    /// No relationship with this name is defined in the schema.
+    UnknownRelationship(String),
+    /// The object id does not (or no longer) denote a live object.
+    NoSuchObject(ObjectId),
+    /// The attribute is not declared on the object's class.
+    UnknownAttribute {
+        /// The class lacking the attribute.
+        class: ClassId,
+        /// The undeclared attribute name.
+        attribute: String,
+    },
+    /// The value's type does not match the attribute declaration.
+    TypeMismatch {
+        /// The attribute being written.
+        attribute: String,
+        /// The declared type.
+        expected: &'static str,
+        /// The value's actual type.
+        found: &'static str,
+    },
+    /// The link endpoints do not match the relationship's classes.
+    EndpointClassMismatch {
+        /// The violated relationship.
+        relationship: RelId,
+    },
+    /// Creating this link would violate the relationship cardinality.
+    CardinalityViolation {
+        /// The violated relationship.
+        relationship: RelId,
+        /// The endpoint whose `One` side is already occupied.
+        object: ObjectId,
+    },
+    /// The requested link does not exist.
+    NoSuchLink {
+        /// The relationship searched.
+        relationship: RelId,
+        /// The link source.
+        source: ObjectId,
+        /// The link target.
+        target: ObjectId,
+    },
+    /// A name was declared twice while building a schema.
+    DuplicateSchemaName(String),
+    /// An operation that requires an open transaction found none, or
+    /// `begin` was called while one was already open.
+    TransactionState(&'static str),
+    /// An object cannot be deleted while links still reference it.
+    ObjectStillLinked(ObjectId),
+    /// A persisted database image could not be parsed.
+    CorruptImage {
+        /// 1-based line of the offending entry (0 for I/O failures).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmsError::UnknownClass(n) => write!(f, "unknown class {n:?}"),
+            OmsError::UnknownRelationship(n) => write!(f, "unknown relationship {n:?}"),
+            OmsError::NoSuchObject(id) => write!(f, "no such object {id}"),
+            OmsError::UnknownAttribute { class, attribute } => {
+                write!(f, "class #{} has no attribute {attribute:?}", class.index())
+            }
+            OmsError::TypeMismatch { attribute, expected, found } => {
+                write!(f, "attribute {attribute:?} expects {expected}, got {found}")
+            }
+            OmsError::EndpointClassMismatch { relationship } => {
+                write!(f, "link endpoints do not match relationship #{}", relationship.index())
+            }
+            OmsError::CardinalityViolation { relationship, object } => write!(
+                f,
+                "cardinality of relationship #{} violated at object {object}",
+                relationship.index()
+            ),
+            OmsError::NoSuchLink { relationship, source, target } => write!(
+                f,
+                "no link {source} -> {target} in relationship #{}",
+                relationship.index()
+            ),
+            OmsError::DuplicateSchemaName(n) => write!(f, "duplicate schema name {n:?}"),
+            OmsError::TransactionState(msg) => write!(f, "transaction state error: {msg}"),
+            OmsError::ObjectStillLinked(id) => {
+                write!(f, "object {id} still participates in links")
+            }
+            OmsError::CorruptImage { line, reason } => {
+                write!(f, "corrupt database image at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for OmsError {}
+
+/// Convenience alias for results of OMS operations.
+pub type OmsResult<T> = Result<T, OmsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OmsError>();
+    }
+
+    #[test]
+    fn display_messages_are_concise() {
+        let e = OmsError::UnknownClass("Cell".to_owned());
+        assert_eq!(e.to_string(), "unknown class \"Cell\"");
+    }
+}

@@ -1,0 +1,331 @@
+//! Checkpointing a [`Database`] to and from the virtual file system.
+//!
+//! JCF stores both metadata and design data in OMS; encapsulated tools
+//! only ever see copies staged through the UNIX file system (§2.1).
+//! This module provides the database half of that pipeline: a complete,
+//! human-readable image of the store that can be written to a
+//! `Vfs` file in the `cad_vfs` file system and read back.
+//!
+//! The image format is line-oriented:
+//!
+//! ```text
+//! oms-image v1
+//! object <raw-id> <class-name>
+//! attr <raw-id> <attr-name> <type>:<hex-or-literal>
+//! link <rel-name> <src-raw-id> <dst-raw-id>
+//! ```
+//!
+//! Text and byte values are hex-encoded so arbitrary content (including
+//! newlines) survives the round trip.
+
+use cad_vfs::{Vfs, VfsPath};
+
+use crate::error::{OmsError, OmsResult};
+use crate::schema::{AttrType, Schema};
+use crate::store::{Database, ObjectId};
+use crate::value::Value;
+
+/// Serialises the full database into its textual image.
+pub fn dump(db: &Database) -> String {
+    let (schema, objects, links) = db.raw_parts();
+    let mut out = String::from("oms-image v1\n");
+    for (id, obj) in objects {
+        let class_name = &schema.class(obj.class).name;
+        out.push_str(&format!("object {} {}\n", id.raw(), class_name));
+        for (name, value) in &obj.attrs {
+            out.push_str(&format!("attr {} {} {}\n", id.raw(), name, encode(value)));
+        }
+    }
+    for (rel, s, t) in links {
+        let rel_name = &schema.relationship(rel).name;
+        out.push_str(&format!("link {} {} {}\n", rel_name, s.raw(), t.raw()));
+    }
+    out
+}
+
+/// Parses a textual image back into a database over `schema`.
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] on any syntactic or schema
+/// mismatch (unknown class, attribute or relationship, bad encoding).
+pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
+    let mut db = Database::new(schema);
+    let mut lines = image.lines().enumerate();
+    match lines.next() {
+        Some((_, "oms-image v1")) => {}
+        Some((n, other)) => {
+            return Err(OmsError::CorruptImage {
+                line: n + 1,
+                reason: format!("bad header {other:?}"),
+            })
+        }
+        None => {
+            return Err(OmsError::CorruptImage { line: 1, reason: "empty image".to_owned() })
+        }
+    }
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let corrupt = |reason: String| OmsError::CorruptImage { line: lineno, reason };
+        let mut parts = line.splitn(2, ' ');
+        let keyword = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        match keyword {
+            "object" => {
+                let (raw, class_name) = split2(rest).ok_or_else(|| corrupt("expected `object <id> <class>`".to_owned()))?;
+                let raw: u64 = raw.parse().map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let class = db
+                    .schema()
+                    .class_by_name(class_name)
+                    .ok_or_else(|| corrupt(format!("unknown class {class_name:?}")))?;
+                db.raw_insert(raw, class);
+            }
+            "attr" => {
+                let (raw, rest2) = split2(rest).ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let (name, encoded) = split2(rest2).ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let raw: u64 = raw.parse().map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let value = decode(encoded).ok_or_else(|| corrupt(format!("bad value {encoded:?}")))?;
+                db.set(ObjectId::for_tests(raw), name, value)
+                    .map_err(|e| corrupt(e.to_string()))?;
+            }
+            "link" => {
+                let (rel_name, rest2) = split2(rest).ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
+                let (s, t) = split2(rest2).ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
+                let rel = db
+                    .schema()
+                    .relationship_by_name(rel_name)
+                    .ok_or_else(|| corrupt(format!("unknown relationship {rel_name:?}")))?;
+                let s: u64 = s.parse().map_err(|_| corrupt(format!("bad id {s:?}")))?;
+                let t: u64 = t.parse().map_err(|_| corrupt(format!("bad id {t:?}")))?;
+                db.link(rel, ObjectId::for_tests(s), ObjectId::for_tests(t))
+                    .map_err(|e| corrupt(e.to_string()))?;
+            }
+            other => return Err(corrupt(format!("unknown keyword {other:?}"))),
+        }
+    }
+    Ok(db)
+}
+
+/// Writes the database image to `path` in the virtual file system.
+///
+/// # Errors
+///
+/// Propagates file system errors as a corrupt-image error carrying the
+/// message (the caller keeps a single error domain).
+pub fn save(db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
+    let image = dump(db);
+    fs.write(path, image.into_bytes())
+        .map_err(|e| OmsError::CorruptImage { line: 0, reason: e.to_string() })
+}
+
+/// Reads a database image from `path` in the virtual file system.
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] if the file is missing, not
+/// UTF-8, or does not parse against `schema`.
+pub fn load(schema: Schema, fs: &mut Vfs, path: &VfsPath) -> OmsResult<Database> {
+    let bytes = fs
+        .read(path)
+        .map_err(|e| OmsError::CorruptImage { line: 0, reason: e.to_string() })?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| OmsError::CorruptImage { line: 0, reason: "image is not utf-8".to_owned() })?;
+    parse(schema, &text)
+}
+
+fn split2(s: &str) -> Option<(&str, &str)> {
+    let mut it = s.splitn(2, ' ');
+    Some((it.next()?, it.next()?))
+}
+
+fn encode(value: &Value) -> String {
+    match value {
+        Value::Int(i) => format!("int:{i}"),
+        Value::Bool(b) => format!("bool:{b}"),
+        Value::Text(s) => format!("text:{}", hex(s.as_bytes())),
+        Value::Bytes(b) => format!("bytes:{}", hex(b)),
+    }
+}
+
+fn decode(encoded: &str) -> Option<Value> {
+    let (tag, body) = {
+        let mut it = encoded.splitn(2, ':');
+        (it.next()?, it.next()?)
+    };
+    match tag {
+        "int" => body.parse::<i64>().ok().map(Value::Int),
+        "bool" => body.parse::<bool>().ok().map(Value::Bool),
+        "text" => String::from_utf8(unhex(body)?).ok().map(Value::Text),
+        "bytes" => unhex(body).map(Value::Bytes),
+        _ => None,
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Returns the attribute type a stored tag string denotes, mainly for
+/// diagnostics in callers that inspect images.
+pub fn tag_type(tag: &str) -> Option<AttrType> {
+    match tag {
+        "int" => Some(AttrType::Int),
+        "bool" => Some(AttrType::Bool),
+        "text" => Some(AttrType::Text),
+        "bytes" => Some(AttrType::Bytes),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Cardinality, SchemaBuilder};
+
+    fn sample_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let cell = b
+            .class(
+                "Cell",
+                &[
+                    ("name", AttrType::Text),
+                    ("size", AttrType::Int),
+                    ("frozen", AttrType::Bool),
+                    ("blob", AttrType::Bytes),
+                ],
+            )
+            .unwrap();
+        b.relationship("uses", cell, cell, Cardinality::ManyToMany).unwrap();
+        b.build()
+    }
+
+    fn populated() -> Database {
+        let mut db = Database::new(sample_schema());
+        let cell = db.schema().class_by_name("Cell").unwrap();
+        let uses = db.schema().relationship_by_name("uses").unwrap();
+        let a = db.create(cell).unwrap();
+        let c = db.create(cell).unwrap();
+        db.set(a, "name", Value::from("top\nwith newline")).unwrap();
+        db.set(a, "size", Value::from(42i64)).unwrap();
+        db.set(a, "frozen", Value::from(true)).unwrap();
+        db.set(a, "blob", Value::from(vec![0u8, 255, 10, 32])).unwrap();
+        db.set(c, "name", Value::from("leaf")).unwrap();
+        db.link(uses, a, c).unwrap();
+        db
+    }
+
+    #[test]
+    fn dump_parse_round_trip() {
+        let db = populated();
+        let image = dump(&db);
+        let restored = parse(sample_schema(), &image).unwrap();
+        assert_eq!(dump(&restored), image);
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_links() {
+        let db = populated();
+        let restored = parse(sample_schema(), &dump(&db)).unwrap();
+        let cell = restored.schema().class_by_name("Cell").unwrap();
+        let uses = restored.schema().relationship_by_name("uses").unwrap();
+        let a = restored
+            .find_by_attr(cell, "name", &Value::from("top\nwith newline"))
+            .expect("object restored");
+        assert_eq!(restored.get(a, "size").unwrap().as_int(), Some(42));
+        assert_eq!(restored.get(a, "frozen").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            restored.get(a, "blob").unwrap().as_bytes(),
+            Some(&[0u8, 255, 10, 32][..])
+        );
+        assert_eq!(restored.targets(uses, a).len(), 1);
+    }
+
+    #[test]
+    fn save_load_through_vfs() {
+        let db = populated();
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/checkpoint.db").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        save(&db, &mut fs, &path).unwrap();
+        let restored = load(sample_schema(), &mut fs, &path).unwrap();
+        assert_eq!(dump(&restored), dump(&db));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            parse(sample_schema(), "nonsense\n"),
+            Err(OmsError::CorruptImage { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let image = "oms-image v1\nobject 1 Ghost\n";
+        assert!(matches!(
+            parse(sample_schema(), image),
+            Err(OmsError::CorruptImage { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_attr_rejected() {
+        let image = "oms-image v1\nobject 1 Cell\nattr 1 name\n";
+        assert!(parse(sample_schema(), image).is_err());
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        let image = "oms-image v1\nobject 1 Cell\nattr 1 name text:zz\n";
+        assert!(parse(sample_schema(), image).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_corrupt_image() {
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/nope").unwrap();
+        assert!(matches!(
+            load(sample_schema(), &mut fs, &path),
+            Err(OmsError::CorruptImage { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_type_maps_all_tags() {
+        assert_eq!(tag_type("int"), Some(AttrType::Int));
+        assert_eq!(tag_type("text"), Some(AttrType::Text));
+        assert_eq!(tag_type("bool"), Some(AttrType::Bool));
+        assert_eq!(tag_type("bytes"), Some(AttrType::Bytes));
+        assert_eq!(tag_type("float"), None);
+    }
+
+    #[test]
+    fn load_preserves_id_allocation() {
+        // New objects created after a load must not collide with
+        // restored ids.
+        let db = populated();
+        let restored = parse(sample_schema(), &dump(&db)).unwrap();
+        let mut restored = restored;
+        let cell = restored.schema().class_by_name("Cell").unwrap();
+        let fresh = restored.create(cell).unwrap();
+        assert!(restored.iter().filter(|&i| i == fresh).count() == 1);
+        assert!(fresh.raw() > 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Schema definitions: classes, attributes and relationships.
+//!
+//! OMS is a *typed* object store: every object belongs to a class, every
+//! attribute is declared with a type, and links may only be created
+//! along declared relationships whose endpoint classes and cardinality
+//! are checked. JCF's Figure 1 information architecture is expressed as
+//! one such schema (see the `jcf` crate).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{OmsError, OmsResult};
+
+/// Identifier of a class inside a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Returns the class's positional index in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a relationship inside a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub(crate) u32);
+
+impl RelId {
+    /// Returns the relationship's positional index in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Type of a declared attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// UTF-8 text.
+    Text,
+    /// Signed 64-bit integer.
+    Int,
+    /// Boolean flag.
+    Bool,
+    /// Opaque byte payload (design data blobs).
+    Bytes,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttrType::Text => "text",
+            AttrType::Int => "int",
+            AttrType::Bool => "bool",
+            AttrType::Bytes => "bytes",
+        })
+    }
+}
+
+/// How many links each side of a relationship may participate in.
+///
+/// Reads as *source-to-target*: [`Cardinality::OneToMany`] means one
+/// source fans out to many targets, but each target has at most one
+/// source (a hierarchy edge, for example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Each source links at most one target and vice versa.
+    OneToOne,
+    /// A source may link many targets; a target has at most one source.
+    OneToMany,
+    /// A target may be linked by many sources; a source has at most one target.
+    ManyToOne,
+    /// No restriction on either side.
+    ManyToMany,
+}
+
+/// Declaration of one attribute of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name, unique within the class.
+    pub name: String,
+    /// Declared value type.
+    pub ty: AttrType,
+}
+
+/// Declaration of a class of objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name, unique within the schema.
+    pub name: String,
+    /// Declared attributes.
+    pub attributes: Vec<AttrDef>,
+}
+
+impl ClassDef {
+    /// Looks up an attribute declaration by name.
+    pub fn attribute(&self, name: &str) -> Option<&AttrDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+/// Declaration of a binary relationship between two classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelDef {
+    /// Relationship name, unique within the schema.
+    pub name: String,
+    /// Class of the source endpoint.
+    pub source: ClassId,
+    /// Class of the target endpoint.
+    pub target: ClassId,
+    /// Cardinality constraint, read source-to-target.
+    pub cardinality: Cardinality,
+}
+
+/// A complete, immutable database schema.
+///
+/// Built once with a [`SchemaBuilder`] and then shared by the
+/// [`Database`](crate::Database); the framework administrator defines
+/// it, users cannot change it at run time — exactly the paper's
+/// distinction between framework-controlled metadata and project data.
+///
+/// # Examples
+///
+/// ```
+/// # use oms::{SchemaBuilder, AttrType, Cardinality};
+/// # fn main() -> Result<(), oms::OmsError> {
+/// let mut b = SchemaBuilder::new();
+/// let cell = b.class("Cell", &[("name", AttrType::Text)])?;
+/// let version = b.class("CellVersion", &[("number", AttrType::Int)])?;
+/// b.relationship("has_version", cell, version, Cardinality::OneToMany)?;
+/// let schema = b.build();
+/// assert_eq!(schema.class_by_name("Cell"), Some(cell));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    classes: Vec<ClassDef>,
+    relationships: Vec<RelDef>,
+    class_names: HashMap<String, ClassId>,
+    rel_names: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Returns the class declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different schema and is out of range.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.index()]
+    }
+
+    /// Returns the relationship declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different schema and is out of range.
+    pub fn relationship(&self, id: RelId) -> &RelDef {
+        &self.relationships[id.index()]
+    }
+
+    /// Resolves a class name to its id.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Resolves a relationship name to its id.
+    pub fn relationship_by_name(&self, name: &str) -> Option<RelId> {
+        self.rel_names.get(name).copied()
+    }
+
+    /// Iterates over all class ids in declaration order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Iterates over all relationship ids in declaration order.
+    pub fn relationships(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relationships.len() as u32).map(RelId)
+    }
+}
+
+/// Incremental builder for a [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    classes: Vec<ClassDef>,
+    relationships: Vec<RelDef>,
+    class_names: HashMap<String, ClassId>,
+    rel_names: HashMap<String, RelId>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a class with the given attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::DuplicateSchemaName`] if the class name or an
+    /// attribute name is declared twice.
+    pub fn class(&mut self, name: &str, attributes: &[(&str, AttrType)]) -> OmsResult<ClassId> {
+        if self.class_names.contains_key(name) {
+            return Err(OmsError::DuplicateSchemaName(name.to_owned()));
+        }
+        let mut attrs = Vec::with_capacity(attributes.len());
+        for (attr_name, ty) in attributes {
+            if attrs.iter().any(|a: &AttrDef| a.name == *attr_name) {
+                return Err(OmsError::DuplicateSchemaName((*attr_name).to_owned()));
+            }
+            attrs.push(AttrDef { name: (*attr_name).to_owned(), ty: *ty });
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassDef { name: name.to_owned(), attributes: attrs });
+        self.class_names.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declares a relationship between two already-declared classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::DuplicateSchemaName`] if the name is taken.
+    pub fn relationship(
+        &mut self,
+        name: &str,
+        source: ClassId,
+        target: ClassId,
+        cardinality: Cardinality,
+    ) -> OmsResult<RelId> {
+        if self.rel_names.contains_key(name) {
+            return Err(OmsError::DuplicateSchemaName(name.to_owned()));
+        }
+        let id = RelId(self.relationships.len() as u32);
+        self.relationships.push(RelDef {
+            name: name.to_owned(),
+            source,
+            target,
+            cardinality,
+        });
+        self.rel_names.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Finalises the schema.
+    pub fn build(self) -> Schema {
+        Schema {
+            classes: self.classes,
+            relationships: self.relationships,
+            class_names: self.class_names,
+            rel_names: self.rel_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A", &[]).unwrap();
+        let c = b.class("B", &[]).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+    }
+
+    #[test]
+    fn duplicate_class_name_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.class("A", &[]).unwrap();
+        assert!(matches!(b.class("A", &[]), Err(OmsError::DuplicateSchemaName(_))));
+    }
+
+    #[test]
+    fn duplicate_attribute_name_rejected() {
+        let mut b = SchemaBuilder::new();
+        let err = b.class("A", &[("x", AttrType::Int), ("x", AttrType::Text)]);
+        assert!(matches!(err, Err(OmsError::DuplicateSchemaName(_))));
+    }
+
+    #[test]
+    fn duplicate_relationship_name_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A", &[]).unwrap();
+        b.relationship("r", a, a, Cardinality::ManyToMany).unwrap();
+        assert!(matches!(
+            b.relationship("r", a, a, Cardinality::OneToOne),
+            Err(OmsError::DuplicateSchemaName(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        let mut b = SchemaBuilder::new();
+        let cell = b.class("Cell", &[("name", AttrType::Text)]).unwrap();
+        let rel = b.relationship("self", cell, cell, Cardinality::ManyToMany).unwrap();
+        let s = b.build();
+        assert_eq!(s.class_by_name("Cell"), Some(cell));
+        assert_eq!(s.relationship_by_name("self"), Some(rel));
+        assert_eq!(s.class(cell).name, "Cell");
+        assert_eq!(s.relationship(rel).cardinality, Cardinality::ManyToMany);
+        assert_eq!(s.class_by_name("Nope"), None);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C", &[("flag", AttrType::Bool)]).unwrap();
+        let s = b.build();
+        assert_eq!(s.class(c).attribute("flag").unwrap().ty, AttrType::Bool);
+        assert!(s.class(c).attribute("other").is_none());
+    }
+
+    #[test]
+    fn iterators_cover_all_declarations() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A", &[]).unwrap();
+        let c = b.class("B", &[]).unwrap();
+        b.relationship("r", a, c, Cardinality::OneToMany).unwrap();
+        let s = b.build();
+        assert_eq!(s.classes().count(), 2);
+        assert_eq!(s.relationships().count(), 1);
+    }
+}

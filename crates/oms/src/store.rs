@@ -1,0 +1,696 @@
+//! The object store: objects, attributes, links and transactions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{OmsError, OmsResult};
+use crate::schema::{Cardinality, ClassId, RelId, Schema};
+use crate::value::Value;
+
+/// Identifier of a live object in a [`Database`].
+///
+/// Ids are never reused, so a stale id reliably reports
+/// [`OmsError::NoSuchObject`] instead of aliasing a new object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub(crate) u64);
+
+impl ObjectId {
+    /// Returns the raw id value (stable across the database lifetime).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Object {
+    pub(crate) class: ClassId,
+    pub(crate) attrs: BTreeMap<String, Value>,
+}
+
+/// One undo step recorded while a transaction is open.
+#[derive(Debug)]
+enum Undo {
+    Created(ObjectId),
+    Deleted(ObjectId, Object, Vec<(RelId, ObjectId, ObjectId)>),
+    AttrSet(ObjectId, String, Value),
+    Linked(RelId, ObjectId, ObjectId),
+    Unlinked(RelId, ObjectId, ObjectId),
+}
+
+/// The OMS object-oriented database.
+///
+/// Models the *"common object-oriented database OMS"* \[Meck92\] in which
+/// JCF 3.0 stores metadata and design data. It is a typed object store:
+/// the immutable [`Schema`] defines classes, attributes and
+/// relationships; the store enforces attribute types, link endpoint
+/// classes and link cardinality on every mutation.
+///
+/// Mutations can be grouped into a transaction ([`Database::begin`],
+/// [`Database::commit`], [`Database::abort`]); aborting rolls the store
+/// back to the state at `begin`. JCF's desktop operations run inside
+/// such transactions so that a failed encapsulation step never leaves
+/// metadata half-updated.
+///
+/// Note the deliberate limitation the paper complains about (§2.1):
+/// *"Direct access to the internal structure of the stored data by an
+/// appropriate interface is not possible"* — external tools never get a
+/// pointer into the store; design data enters and leaves only by value
+/// (copied blobs), which the `hybrid` crate routes through the VFS.
+///
+/// # Examples
+///
+/// ```
+/// # use oms::{Database, SchemaBuilder, AttrType, Value};
+/// # fn main() -> Result<(), oms::OmsError> {
+/// let mut b = SchemaBuilder::new();
+/// let cell = b.class("Cell", &[("name", AttrType::Text)])?;
+/// let mut db = Database::new(b.build());
+/// let adder = db.create(cell)?;
+/// db.set(adder, "name", Value::from("adder"))?;
+/// assert_eq!(db.get(adder, "name")?.as_text(), Some("adder"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    schema: Arc<Schema>,
+    objects: BTreeMap<ObjectId, Object>,
+    /// Forward links per relationship: source -> set of targets.
+    forward: Vec<BTreeMap<ObjectId, BTreeSet<ObjectId>>>,
+    /// Reverse links per relationship: target -> set of sources.
+    reverse: Vec<BTreeMap<ObjectId, BTreeSet<ObjectId>>>,
+    next_id: u64,
+    journal: Option<Vec<Undo>>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let rel_count = schema.relationships().count();
+        Database {
+            schema: Arc::new(schema),
+            objects: BTreeMap::new(),
+            forward: vec![BTreeMap::new(); rel_count],
+            reverse: vec![BTreeMap::new(); rel_count],
+            next_id: 1,
+            journal: None,
+        }
+    }
+
+    /// Returns the schema this database enforces.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Returns the number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if the database holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    fn record(&mut self, undo: Undo) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(undo);
+        }
+    }
+
+    /// Creates a new object of `class` with default attribute values.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a `ClassId` obtained from this database's schema.
+    pub fn create(&mut self, class: ClassId) -> OmsResult<ObjectId> {
+        let def = self.schema.class(class).clone();
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        let attrs = def
+            .attributes
+            .iter()
+            .map(|a| (a.name.clone(), Value::default_for(a.ty)))
+            .collect();
+        self.objects.insert(id, Object { class, attrs });
+        self.record(Undo::Created(id));
+        Ok(id)
+    }
+
+    /// Deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::ObjectStillLinked`] while any link still
+    /// references the object — callers must unlink first, which keeps
+    /// referential integrity without cascades.
+    pub fn delete(&mut self, id: ObjectId) -> OmsResult<()> {
+        if !self.objects.contains_key(&id) {
+            return Err(OmsError::NoSuchObject(id));
+        }
+        let linked = self
+            .forward
+            .iter()
+            .any(|m| m.get(&id).is_some_and(|s| !s.is_empty()))
+            || self
+                .reverse
+                .iter()
+                .any(|m| m.get(&id).is_some_and(|s| !s.is_empty()));
+        if linked {
+            return Err(OmsError::ObjectStillLinked(id));
+        }
+        let obj = self.objects.remove(&id).expect("checked above");
+        self.record(Undo::Deleted(id, obj, Vec::new()));
+        Ok(())
+    }
+
+    /// Returns the class of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::NoSuchObject`] for dead or unknown ids.
+    pub fn class_of(&self, id: ObjectId) -> OmsResult<ClassId> {
+        self.objects
+            .get(&id)
+            .map(|o| o.class)
+            .ok_or(OmsError::NoSuchObject(id))
+    }
+
+    /// Reads an attribute value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::UnknownAttribute`] if the class does not
+    /// declare `name`, or [`OmsError::NoSuchObject`].
+    pub fn get(&self, id: ObjectId, name: &str) -> OmsResult<&Value> {
+        let obj = self.objects.get(&id).ok_or(OmsError::NoSuchObject(id))?;
+        obj.attrs.get(name).ok_or_else(|| OmsError::UnknownAttribute {
+            class: obj.class,
+            attribute: name.to_owned(),
+        })
+    }
+
+    /// Writes an attribute value, checking its declared type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::TypeMismatch`] on a wrongly-typed value,
+    /// [`OmsError::UnknownAttribute`] or [`OmsError::NoSuchObject`].
+    pub fn set(&mut self, id: ObjectId, name: &str, value: Value) -> OmsResult<()> {
+        let obj = self.objects.get(&id).ok_or(OmsError::NoSuchObject(id))?;
+        let decl = self
+            .schema
+            .class(obj.class)
+            .attribute(name)
+            .ok_or_else(|| OmsError::UnknownAttribute {
+                class: obj.class,
+                attribute: name.to_owned(),
+            })?;
+        if decl.ty != value.attr_type() {
+            return Err(OmsError::TypeMismatch {
+                attribute: name.to_owned(),
+                expected: type_name(decl.ty),
+                found: type_name(value.attr_type()),
+            });
+        }
+        let obj = self.objects.get_mut(&id).expect("checked above");
+        let old = obj
+            .attrs
+            .insert(name.to_owned(), value)
+            .expect("declared attributes are always present");
+        self.record(Undo::AttrSet(id, name.to_owned(), old));
+        Ok(())
+    }
+
+    /// Creates a link `source -> target` along `rel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::EndpointClassMismatch`] if the endpoint
+    /// classes differ from the declaration,
+    /// [`OmsError::CardinalityViolation`] if a `One` side already has a
+    /// partner, or [`OmsError::NoSuchObject`].
+    pub fn link(&mut self, rel: RelId, source: ObjectId, target: ObjectId) -> OmsResult<()> {
+        let def = self.schema.relationship(rel).clone();
+        let src_class = self.class_of(source)?;
+        let dst_class = self.class_of(target)?;
+        if src_class != def.source || dst_class != def.target {
+            return Err(OmsError::EndpointClassMismatch { relationship: rel });
+        }
+        let source_limited = matches!(def.cardinality, Cardinality::OneToOne | Cardinality::ManyToOne);
+        let target_limited = matches!(def.cardinality, Cardinality::OneToOne | Cardinality::OneToMany);
+        if source_limited
+            && self.forward[rel.index()]
+                .get(&source)
+                .is_some_and(|s| !s.is_empty())
+        {
+            return Err(OmsError::CardinalityViolation { relationship: rel, object: source });
+        }
+        if target_limited
+            && self.reverse[rel.index()]
+                .get(&target)
+                .is_some_and(|s| !s.is_empty())
+        {
+            return Err(OmsError::CardinalityViolation { relationship: rel, object: target });
+        }
+        let inserted = self.forward[rel.index()]
+            .entry(source)
+            .or_default()
+            .insert(target);
+        self.reverse[rel.index()].entry(target).or_default().insert(source);
+        if inserted {
+            self.record(Undo::Linked(rel, source, target));
+        }
+        Ok(())
+    }
+
+    /// Removes the link `source -> target` along `rel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::NoSuchLink`] if the link does not exist.
+    pub fn unlink(&mut self, rel: RelId, source: ObjectId, target: ObjectId) -> OmsResult<()> {
+        let removed = self.forward[rel.index()]
+            .get_mut(&source)
+            .is_some_and(|s| s.remove(&target));
+        if !removed {
+            return Err(OmsError::NoSuchLink { relationship: rel, source, target });
+        }
+        self.reverse[rel.index()]
+            .get_mut(&target)
+            .expect("reverse index mirrors forward index")
+            .remove(&source);
+        self.record(Undo::Unlinked(rel, source, target));
+        Ok(())
+    }
+
+    /// Returns the targets linked from `source` along `rel`, sorted.
+    pub fn targets(&self, rel: RelId, source: ObjectId) -> Vec<ObjectId> {
+        self.forward[rel.index()]
+            .get(&source)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the sources linking to `target` along `rel`, sorted.
+    pub fn sources(&self, rel: RelId, target: ObjectId) -> Vec<ObjectId> {
+        self.reverse[rel.index()]
+            .get(&target)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if the link `source -> target` exists along `rel`.
+    pub fn linked(&self, rel: RelId, source: ObjectId, target: ObjectId) -> bool {
+        self.forward[rel.index()]
+            .get(&source)
+            .is_some_and(|s| s.contains(&target))
+    }
+
+    /// Returns all live objects of `class`, in id order.
+    pub fn objects_of(&self, class: ClassId) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|(_, o)| o.class == class)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Returns the first object of `class` whose attribute `name` holds
+    /// exactly `value`, if any.
+    pub fn find_by_attr(&self, class: ClassId, name: &str, value: &Value) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .find(|(_, o)| o.class == class && o.attrs.get(name) == Some(value))
+            .map(|(id, _)| *id)
+    }
+
+    /// Iterates over all live object ids in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    // --- transactions -----------------------------------------------------
+
+    /// Opens a transaction; subsequent mutations are journalled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::TransactionState`] if one is already open
+    /// (transactions do not nest).
+    pub fn begin(&mut self) -> OmsResult<()> {
+        if self.journal.is_some() {
+            return Err(OmsError::TransactionState("transaction already open"));
+        }
+        self.journal = Some(Vec::new());
+        Ok(())
+    }
+
+    /// Commits the open transaction, making its mutations permanent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::TransactionState`] if no transaction is open.
+    pub fn commit(&mut self) -> OmsResult<()> {
+        if self.journal.take().is_none() {
+            return Err(OmsError::TransactionState("no transaction open"));
+        }
+        Ok(())
+    }
+
+    /// Aborts the open transaction, rolling back all its mutations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmsError::TransactionState`] if no transaction is open.
+    pub fn abort(&mut self) -> OmsResult<()> {
+        let journal = self
+            .journal
+            .take()
+            .ok_or(OmsError::TransactionState("no transaction open"))?;
+        for undo in journal.into_iter().rev() {
+            match undo {
+                Undo::Created(id) => {
+                    // Any links added to this object were journalled after
+                    // creation and have already been rolled back.
+                    self.objects.remove(&id);
+                }
+                Undo::Deleted(id, obj, links) => {
+                    self.objects.insert(id, obj);
+                    for (rel, s, t) in links {
+                        self.forward[rel.index()].entry(s).or_default().insert(t);
+                        self.reverse[rel.index()].entry(t).or_default().insert(s);
+                    }
+                }
+                Undo::AttrSet(id, name, old) => {
+                    if let Some(obj) = self.objects.get_mut(&id) {
+                        obj.attrs.insert(name, old);
+                    }
+                }
+                Undo::Linked(rel, s, t) => {
+                    if let Some(set) = self.forward[rel.index()].get_mut(&s) {
+                        set.remove(&t);
+                    }
+                    if let Some(set) = self.reverse[rel.index()].get_mut(&t) {
+                        set.remove(&s);
+                    }
+                }
+                Undo::Unlinked(rel, s, t) => {
+                    self.forward[rel.index()].entry(s).or_default().insert(t);
+                    self.reverse[rel.index()].entry(t).or_default().insert(s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside a transaction, committing on `Ok` and rolling
+    /// back on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error after rollback, or a
+    /// [`OmsError::TransactionState`] error from `begin`.
+    pub fn transact<T>(
+        &mut self,
+        f: impl FnOnce(&mut Database) -> OmsResult<T>,
+    ) -> OmsResult<T> {
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit().expect("transaction is open");
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort().expect("transaction is open");
+                Err(e)
+            }
+        }
+    }
+
+    pub(crate) fn raw_parts(&self) -> RawParts<'_> {
+        let mut links = Vec::new();
+        for rel in self.schema.relationships() {
+            for (s, ts) in &self.forward[rel.index()] {
+                for t in ts {
+                    links.push((rel, *s, *t));
+                }
+            }
+        }
+        (&self.schema, &self.objects, links)
+    }
+
+    pub(crate) fn raw_insert(&mut self, raw_id: u64, class: ClassId) -> ObjectId {
+        let id = ObjectId(raw_id);
+        let attrs = self
+            .schema
+            .class(class)
+            .attributes
+            .iter()
+            .map(|a| (a.name.clone(), Value::default_for(a.ty)))
+            .collect();
+        self.objects.insert(id, Object { class, attrs });
+        self.next_id = self.next_id.max(raw_id + 1);
+        id
+    }
+}
+
+/// Borrowed view of the store used by the persistence layer.
+pub(crate) type RawParts<'a> =
+    (&'a Schema, &'a BTreeMap<ObjectId, Object>, Vec<(RelId, ObjectId, ObjectId)>);
+
+fn type_name(ty: crate::schema::AttrType) -> &'static str {
+    match ty {
+        crate::schema::AttrType::Text => "text",
+        crate::schema::AttrType::Int => "int",
+        crate::schema::AttrType::Bool => "bool",
+        crate::schema::AttrType::Bytes => "bytes",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, SchemaBuilder};
+
+    fn two_class_db() -> (Database, ClassId, ClassId, RelId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let cell = b
+            .class("Cell", &[("name", AttrType::Text), ("size", AttrType::Int)])
+            .unwrap();
+        let ver = b.class("Version", &[("n", AttrType::Int)]).unwrap();
+        let has = b.relationship("has", cell, ver, Cardinality::OneToMany).unwrap();
+        let twin = b.relationship("twin", cell, cell, Cardinality::OneToOne).unwrap();
+        (Database::new(b.build()), cell, ver, has, twin)
+    }
+
+    #[test]
+    fn create_initialises_defaults() {
+        let (mut db, cell, ..) = two_class_db();
+        let id = db.create(cell).unwrap();
+        assert_eq!(db.get(id, "name").unwrap().as_text(), Some(""));
+        assert_eq!(db.get(id, "size").unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn set_rejects_wrong_type() {
+        let (mut db, cell, ..) = two_class_db();
+        let id = db.create(cell).unwrap();
+        assert!(matches!(
+            db.set(id, "size", Value::from("big")),
+            Err(OmsError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn set_rejects_undeclared_attribute() {
+        let (mut db, cell, ..) = two_class_db();
+        let id = db.create(cell).unwrap();
+        assert!(matches!(
+            db.set(id, "ghost", Value::from(1i64)),
+            Err(OmsError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias() {
+        let (mut db, cell, ..) = two_class_db();
+        let a = db.create(cell).unwrap();
+        db.delete(a).unwrap();
+        let b = db.create(cell).unwrap();
+        assert_ne!(a, b, "ids must not be reused");
+        assert!(matches!(db.get(a, "name"), Err(OmsError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn link_enforces_endpoint_classes() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let c = db.create(cell).unwrap();
+        let v = db.create(ver).unwrap();
+        db.link(has, c, v).unwrap();
+        assert!(matches!(
+            db.link(has, v, c),
+            Err(OmsError::EndpointClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn one_to_many_limits_target_side() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let c1 = db.create(cell).unwrap();
+        let c2 = db.create(cell).unwrap();
+        let v = db.create(ver).unwrap();
+        db.link(has, c1, v).unwrap();
+        // v already has an owner; a second owner violates OneToMany.
+        assert!(matches!(
+            db.link(has, c2, v),
+            Err(OmsError::CardinalityViolation { .. })
+        ));
+        // ...but c1 may own many versions.
+        let v2 = db.create(ver).unwrap();
+        db.link(has, c1, v2).unwrap();
+        assert_eq!(db.targets(has, c1).len(), 2);
+    }
+
+    #[test]
+    fn one_to_one_limits_both_sides() {
+        let (mut db, cell, _, _, twin) = two_class_db();
+        let a = db.create(cell).unwrap();
+        let b = db.create(cell).unwrap();
+        let c = db.create(cell).unwrap();
+        db.link(twin, a, b).unwrap();
+        assert!(db.link(twin, a, c).is_err(), "source side limited");
+        assert!(db.link(twin, c, b).is_err(), "target side limited");
+    }
+
+    #[test]
+    fn unlink_then_relink_allowed() {
+        let (mut db, cell, _, _, twin) = two_class_db();
+        let a = db.create(cell).unwrap();
+        let b = db.create(cell).unwrap();
+        db.link(twin, a, b).unwrap();
+        db.unlink(twin, a, b).unwrap();
+        assert!(!db.linked(twin, a, b));
+        db.link(twin, a, b).unwrap();
+    }
+
+    #[test]
+    fn unlink_missing_reports_no_such_link() {
+        let (mut db, cell, _, _, twin) = two_class_db();
+        let a = db.create(cell).unwrap();
+        let b = db.create(cell).unwrap();
+        assert!(matches!(db.unlink(twin, a, b), Err(OmsError::NoSuchLink { .. })));
+    }
+
+    #[test]
+    fn delete_refuses_linked_object() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let c = db.create(cell).unwrap();
+        let v = db.create(ver).unwrap();
+        db.link(has, c, v).unwrap();
+        assert!(matches!(db.delete(v), Err(OmsError::ObjectStillLinked(_))));
+        db.unlink(has, c, v).unwrap();
+        db.delete(v).unwrap();
+    }
+
+    #[test]
+    fn navigation_is_sorted_and_symmetric() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let c = db.create(cell).unwrap();
+        let v1 = db.create(ver).unwrap();
+        let v2 = db.create(ver).unwrap();
+        db.link(has, c, v2).unwrap();
+        db.link(has, c, v1).unwrap();
+        assert_eq!(db.targets(has, c), vec![v1, v2]);
+        assert_eq!(db.sources(has, v1), vec![c]);
+    }
+
+    #[test]
+    fn find_by_attr_matches_exact_value() {
+        let (mut db, cell, ..) = two_class_db();
+        let a = db.create(cell).unwrap();
+        db.set(a, "name", Value::from("adder")).unwrap();
+        assert_eq!(db.find_by_attr(cell, "name", &Value::from("adder")), Some(a));
+        assert_eq!(db.find_by_attr(cell, "name", &Value::from("none")), None);
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let keep = db.create(cell).unwrap();
+        db.set(keep, "name", Value::from("before")).unwrap();
+
+        db.begin().unwrap();
+        let temp = db.create(ver).unwrap();
+        db.link(has, keep, temp).unwrap();
+        db.set(keep, "name", Value::from("after")).unwrap();
+        db.unlink(has, keep, temp).unwrap();
+        db.abort().unwrap();
+
+        assert_eq!(db.get(keep, "name").unwrap().as_text(), Some("before"));
+        assert!(matches!(db.get(temp, "n"), Err(OmsError::NoSuchObject(_))));
+        assert!(db.targets(has, keep).is_empty());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn commit_makes_mutations_permanent() {
+        let (mut db, cell, ..) = two_class_db();
+        db.begin().unwrap();
+        let id = db.create(cell).unwrap();
+        db.commit().unwrap();
+        assert!(db.get(id, "name").is_ok());
+    }
+
+    #[test]
+    fn transactions_do_not_nest() {
+        let (mut db, ..) = two_class_db();
+        db.begin().unwrap();
+        assert!(matches!(db.begin(), Err(OmsError::TransactionState(_))));
+        db.commit().unwrap();
+        assert!(matches!(db.commit(), Err(OmsError::TransactionState(_))));
+        assert!(matches!(db.abort(), Err(OmsError::TransactionState(_))));
+    }
+
+    #[test]
+    fn transact_rolls_back_on_error() {
+        let (mut db, cell, ..) = two_class_db();
+        let before = db.len();
+        let result: OmsResult<()> = db.transact(|db| {
+            db.create(cell)?;
+            Err(OmsError::TransactionState("forced failure"))
+        });
+        assert!(result.is_err());
+        assert_eq!(db.len(), before);
+    }
+
+    #[test]
+    fn transact_commits_on_success() {
+        let (mut db, cell, ..) = two_class_db();
+        let id = db.transact(|db| db.create(cell)).unwrap();
+        assert!(db.get(id, "name").is_ok());
+    }
+
+    #[test]
+    fn abort_of_unlink_restores_link() {
+        let (mut db, cell, ver, has, _) = two_class_db();
+        let c = db.create(cell).unwrap();
+        let v = db.create(ver).unwrap();
+        db.link(has, c, v).unwrap();
+        db.begin().unwrap();
+        db.unlink(has, c, v).unwrap();
+        db.abort().unwrap();
+        assert!(db.linked(has, c, v));
+    }
+}

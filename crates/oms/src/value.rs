@@ -1,0 +1,150 @@
+//! Runtime attribute values.
+
+use std::fmt;
+
+use crate::schema::AttrType;
+
+/// A runtime value stored in an object attribute.
+///
+/// Each variant corresponds to one [`AttrType`]; the store checks the
+/// correspondence on every write.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// UTF-8 text.
+    Text(String),
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Opaque byte payload (design data blobs).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the [`AttrType`] this value inhabits.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Text(_) => AttrType::Text,
+            Value::Int(_) => AttrType::Int,
+            Value::Bool(_) => AttrType::Bool,
+            Value::Bytes(_) => AttrType::Bytes,
+        }
+    }
+
+    /// Returns the text content, if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte content, if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The default value for an attribute type (empty/zero/false).
+    pub fn default_for(ty: AttrType) -> Value {
+        match ty {
+            AttrType::Text => Value::Text(String::new()),
+            AttrType::Int => Value::Int(0),
+            AttrType::Bool => Value::Bool(false),
+            AttrType::Bytes => Value::Bytes(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_type_matches_variant() {
+        assert_eq!(Value::from("x").attr_type(), AttrType::Text);
+        assert_eq!(Value::from(3i64).attr_type(), AttrType::Int);
+        assert_eq!(Value::from(true).attr_type(), AttrType::Bool);
+        assert_eq!(Value::from(vec![1u8]).attr_type(), AttrType::Bytes);
+    }
+
+    #[test]
+    fn accessors_return_none_on_wrong_variant() {
+        assert_eq!(Value::from(1i64).as_text(), None);
+        assert_eq!(Value::from("s").as_int(), None);
+        assert_eq!(Value::from("s").as_bool(), None);
+        assert_eq!(Value::from(1i64).as_bytes(), None);
+    }
+
+    #[test]
+    fn defaults_inhabit_their_types() {
+        for ty in [AttrType::Text, AttrType::Int, AttrType::Bool, AttrType::Bytes] {
+            assert_eq!(Value::default_for(ty).attr_type(), ty);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::from(vec![0u8; 5]).to_string(), "<5 bytes>");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+    }
+}

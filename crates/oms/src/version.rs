@@ -1,0 +1,260 @@
+//! Version graphs: derivation histories over stored objects.
+//!
+//! JCF records *"all derivation relationships between schematic and
+//! layout versions"* (§2.4) and offers two versioning levels (cell
+//! versions and variants, §3.2). This module provides the underlying
+//! directed-acyclic derivation graph: nodes are [`ObjectId`]s, edges
+//! point from a predecessor version to a version derived from it.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::store::ObjectId;
+
+/// A directed acyclic graph of derivation edges between objects.
+///
+/// An edge `a -> b` means *b was derived from a* (the paper's
+/// `precedes` relation in Figure 1). A node may have several
+/// predecessors (a merge) and several successors (variant branches).
+/// Cycles are rejected, keeping histories well-founded.
+///
+/// # Examples
+///
+/// ```
+/// # use oms::{VersionGraph, ObjectId};
+/// let mut g = VersionGraph::new();
+/// let v1 = ObjectId::for_tests(1);
+/// let v2 = ObjectId::for_tests(2);
+/// g.add_node(v1);
+/// g.add_node(v2);
+/// assert!(g.derive(v1, v2));
+/// assert!(g.is_ancestor(v1, v2));
+/// assert_eq!(g.heads(), vec![v2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VersionGraph {
+    successors: BTreeMap<ObjectId, BTreeSet<ObjectId>>,
+    predecessors: BTreeMap<ObjectId, BTreeSet<ObjectId>>,
+}
+
+impl VersionGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node without edges (a root version).
+    ///
+    /// Adding an existing node is a no-op.
+    pub fn add_node(&mut self, id: ObjectId) {
+        self.successors.entry(id).or_default();
+        self.predecessors.entry(id).or_default();
+    }
+
+    /// Returns `true` if `id` is a registered node.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.successors.contains_key(&id)
+    }
+
+    /// Number of registered versions.
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Returns `true` if no versions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// Records that `derived` was derived from `base`.
+    ///
+    /// Both nodes are registered if necessary. Returns `false` (and
+    /// changes nothing) if the edge would create a cycle or is a
+    /// self-edge; returns `true` otherwise, including for duplicate
+    /// edges, which are idempotent.
+    pub fn derive(&mut self, base: ObjectId, derived: ObjectId) -> bool {
+        if base == derived {
+            return false;
+        }
+        self.add_node(base);
+        self.add_node(derived);
+        if self.is_ancestor(derived, base) {
+            return false;
+        }
+        self.successors.get_mut(&base).expect("just added").insert(derived);
+        self.predecessors.get_mut(&derived).expect("just added").insert(base);
+        true
+    }
+
+    /// Returns the direct predecessors of `id`, sorted.
+    pub fn predecessors(&self, id: ObjectId) -> Vec<ObjectId> {
+        self.predecessors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Returns the direct successors of `id`, sorted.
+    pub fn successors(&self, id: ObjectId) -> Vec<ObjectId> {
+        self.successors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Returns `true` if `ancestor` precedes `descendant` transitively
+    /// (or equals it).
+    pub fn is_ancestor(&self, ancestor: ObjectId, descendant: ObjectId) -> bool {
+        if ancestor == descendant {
+            return self.contains(ancestor);
+        }
+        let mut queue = VecDeque::from([ancestor]);
+        let mut seen = BTreeSet::new();
+        while let Some(n) = queue.pop_front() {
+            if n == descendant {
+                return true;
+            }
+            if let Some(succ) = self.successors.get(&n) {
+                for &s in succ {
+                    if seen.insert(s) {
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns all versions with no successors (the current heads), sorted.
+    pub fn heads(&self) -> Vec<ObjectId> {
+        self.successors
+            .iter()
+            .filter(|(_, succ)| succ.is_empty())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Returns all versions with no predecessors (the roots), sorted.
+    pub fn roots(&self) -> Vec<ObjectId> {
+        self.predecessors
+            .iter()
+            .filter(|(_, pred)| pred.is_empty())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Returns every transitive ancestor of `id` (excluding `id`), sorted.
+    pub fn ancestors(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            if let Some(preds) = self.predecessors.get(&n) {
+                for &p in preds {
+                    if out.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Returns the full derivation chain from some root to `id`
+    /// following first predecessors (the paper's linear history view).
+    pub fn lineage(&self, id: ObjectId) -> Vec<ObjectId> {
+        let mut chain = vec![id];
+        let mut current = id;
+        let mut guard = self.len() + 1;
+        while let Some(&first) = self
+            .predecessors
+            .get(&current)
+            .and_then(|p| p.iter().next())
+        {
+            chain.push(first);
+            current = first;
+            guard -= 1;
+            if guard == 0 {
+                break; // unreachable for acyclic graphs; guards corruption
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+impl ObjectId {
+    /// Builds an `ObjectId` from a raw value, for tests and examples
+    /// that exercise [`VersionGraph`] without a database.
+    pub fn for_tests(raw: u64) -> Self {
+        ObjectId::from_raw(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ObjectId {
+        ObjectId::for_tests(n)
+    }
+
+    #[test]
+    fn derive_builds_history() {
+        let mut g = VersionGraph::new();
+        assert!(g.derive(id(1), id(2)));
+        assert!(g.derive(id(2), id(3)));
+        assert_eq!(g.lineage(id(3)), vec![id(1), id(2), id(3)]);
+        assert_eq!(g.heads(), vec![id(3)]);
+        assert_eq!(g.roots(), vec![id(1)]);
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let mut g = VersionGraph::new();
+        assert!(!g.derive(id(1), id(1)));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = VersionGraph::new();
+        assert!(g.derive(id(1), id(2)));
+        assert!(g.derive(id(2), id(3)));
+        assert!(!g.derive(id(3), id(1)), "closing a cycle must fail");
+        assert!(g.is_ancestor(id(1), id(3)));
+        assert!(!g.is_ancestor(id(3), id(1)));
+    }
+
+    #[test]
+    fn branching_creates_multiple_heads() {
+        let mut g = VersionGraph::new();
+        g.derive(id(1), id(2));
+        g.derive(id(1), id(3));
+        assert_eq!(g.heads(), vec![id(2), id(3)]);
+        assert_eq!(g.successors(id(1)), vec![id(2), id(3)]);
+    }
+
+    #[test]
+    fn merge_records_multiple_predecessors() {
+        let mut g = VersionGraph::new();
+        g.derive(id(1), id(3));
+        g.derive(id(2), id(3));
+        assert_eq!(g.predecessors(id(3)), vec![id(1), id(2)]);
+        assert_eq!(g.ancestors(id(3)), vec![id(1), id(2)]);
+    }
+
+    #[test]
+    fn is_ancestor_includes_self_only_if_present() {
+        let mut g = VersionGraph::new();
+        g.add_node(id(7));
+        assert!(g.is_ancestor(id(7), id(7)));
+        assert!(!g.is_ancestor(id(8), id(8)));
+    }
+
+    #[test]
+    fn duplicate_edges_idempotent() {
+        let mut g = VersionGraph::new();
+        assert!(g.derive(id(1), id(2)));
+        assert!(g.derive(id(1), id(2)));
+        assert_eq!(g.successors(id(1)), vec![id(2)]);
+    }
+
+    #[test]
+    fn lineage_of_root_is_itself() {
+        let mut g = VersionGraph::new();
+        g.add_node(id(5));
+        assert_eq!(g.lineage(id(5)), vec![id(5)]);
+    }
+}

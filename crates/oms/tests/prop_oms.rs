@@ -1,0 +1,119 @@
+//! Property-based tests: transaction rollback and image round-trip.
+
+use oms::{persist, AttrType, Cardinality, Database, OmsResult, Schema, SchemaBuilder, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let node = b
+        .class("Node", &[("label", AttrType::Text), ("weight", AttrType::Int)])
+        .unwrap();
+    b.relationship("edge", node, node, Cardinality::ManyToMany).unwrap();
+    b.build()
+}
+
+/// A random mutation applied to the store.
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    SetLabel(usize, String),
+    SetWeight(usize, i64),
+    Link(usize, usize),
+    Unlink(usize, usize),
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Create),
+        (any::<usize>(), "[a-z]{0,6}").prop_map(|(i, s)| Op::SetLabel(i, s)),
+        (any::<usize>(), any::<i64>()).prop_map(|(i, w)| Op::SetWeight(i, w)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Link(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Unlink(a, b)),
+        any::<usize>().prop_map(Op::Delete),
+    ]
+}
+
+fn apply(db: &mut Database, ops: &[Op]) {
+    let node = db.schema().class_by_name("Node").unwrap();
+    let edge = db.schema().relationship_by_name("edge").unwrap();
+    for op in ops {
+        let ids = db.objects_of(node);
+        let pick = |i: usize| ids.get(i % ids.len().max(1)).copied();
+        match op {
+            Op::Create => {
+                db.create(node).unwrap();
+            }
+            Op::SetLabel(i, s) => {
+                if let Some(id) = pick(*i) {
+                    db.set(id, "label", Value::from(s.clone())).unwrap();
+                }
+            }
+            Op::SetWeight(i, w) => {
+                if let Some(id) = pick(*i) {
+                    db.set(id, "weight", Value::from(*w)).unwrap();
+                }
+            }
+            Op::Link(a, b) => {
+                if let (Some(x), Some(y)) = (pick(*a), pick(*b)) {
+                    let _ = db.link(edge, x, y);
+                }
+            }
+            Op::Unlink(a, b) => {
+                if let (Some(x), Some(y)) = (pick(*a), pick(*b)) {
+                    let _ = db.unlink(edge, x, y);
+                }
+            }
+            Op::Delete(i) => {
+                if let Some(id) = pick(*i) {
+                    let _ = db.delete(id);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Any sequence of mutations inside an aborted transaction leaves
+    /// the database image bit-identical to the pre-transaction image.
+    #[test]
+    fn abort_restores_exact_image(
+        setup in prop::collection::vec(op_strategy(), 0..20),
+        inside in prop::collection::vec(op_strategy(), 0..30),
+    ) {
+        let mut db = Database::new(schema());
+        apply(&mut db, &setup);
+        let before = persist::dump(&db);
+        db.begin().unwrap();
+        apply(&mut db, &inside);
+        db.abort().unwrap();
+        prop_assert_eq!(persist::dump(&db), before);
+    }
+
+    /// The persistence image is a lossless round trip for any reachable
+    /// database state.
+    #[test]
+    fn image_round_trip(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut db = Database::new(schema());
+        apply(&mut db, &ops);
+        let image = persist::dump(&db);
+        let restored = persist::parse(schema(), &image).unwrap();
+        prop_assert_eq!(persist::dump(&restored), image);
+    }
+
+    /// Committed transactions behave exactly like unjournalled mutations.
+    #[test]
+    fn commit_equals_plain_apply(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        let mut plain = Database::new(schema());
+        apply(&mut plain, &ops);
+
+        let mut txn = Database::new(schema());
+        let ops_ref = &ops;
+        let result: OmsResult<()> = txn.transact(|db| {
+            apply(db, ops_ref);
+            Ok(())
+        });
+        prop_assert!(result.is_ok());
+        prop_assert_eq!(persist::dump(&txn), persist::dump(&plain));
+    }
+}

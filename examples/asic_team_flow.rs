@@ -1,0 +1,126 @@
+//! A design team builds a hierarchical 4-bit ripple-carry adder in the
+//! hybrid framework: concurrent workspaces, declared hierarchy,
+//! variants for parallel experiments and a release configuration.
+//!
+//! This is the workload the paper's introduction motivates: *"teams
+//! working with a large number of different dedicated tools"*.
+//!
+//! Run with `cargo run --example asic_team_flow`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use cad_tools::Simulator;
+use design_data::{format, generate, Logic};
+use hybrid::{Hybrid, ToolOutput};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false)?;
+    let bob = hy.jcf_mut().add_user("bob", false)?;
+    let team = hy.jcf_mut().add_team(admin, "adder-team")?;
+    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    hy.jcf_mut().add_team_member(admin, team, bob)?;
+    let flow = hy.standard_flow("adder-flow")?;
+
+    let project = hy.create_project("alu16")?;
+    let top_cell = hy.create_cell(project, "adder4")?;
+    let fa_cell = hy.create_cell(project, "full_adder")?;
+    let design = generate::ripple_adder(4);
+
+    // --- bob owns the leaf cell ----------------------------------------
+    let (fa_cv, fa_variant) = hy.create_cell_version(fa_cell, flow.flow, team)?;
+    hy.jcf_mut().reserve(bob, fa_cv)?;
+    println!("bob reserved {}", hy.fmcad_cell_of(fa_cv)?);
+
+    // Alice cannot touch bob's cell version (workspace isolation, §3.1)...
+    assert!(hy.jcf_mut().reserve(alice, fa_cv).is_err());
+    println!("alice is locked out of bob's workspace (as §3.1 requires)");
+
+    let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
+    let fa_data = fa_bytes.clone();
+    hy.run_activity(bob, fa_variant, flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: fa_data }])
+    })?;
+    hy.jcf_mut().publish(bob, fa_cv)?;
+    println!("bob published the full adder schematic");
+
+    // --- alice owns the top cell; hierarchy is declared FIRST (§3.3) ----
+    let (top_cv, top_variant) = hy.create_cell_version(top_cell, flow.flow, team)?;
+    hy.jcf_mut().reserve(alice, top_cv)?;
+    hy.jcf_mut().declare_comp_of(alice, top_cv, fa_cell)?;
+    println!("alice declared adder4 CompOf full_adder via the JCF desktop");
+
+    let top_bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+    // The generated netlist references "full_adder": accepted because declared.
+    let top_data = top_bytes.clone();
+    hy.run_activity(alice, top_variant, flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: top_data }])
+    })?;
+
+    // --- alice simulates the whole hierarchy ----------------------------
+    let netlists = design.netlists.clone();
+    hy.run_activity(alice, top_variant, flow.simulate, false, move |session| {
+        let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
+        let top = format::parse_netlist(&text).expect("staged data parses");
+        let mut all: BTreeMap<String, design_data::Netlist> = netlists.clone();
+        all.insert(top.name().to_owned(), top);
+        let mut sim = Simulator::elaborate("adder4", &all).expect("hierarchy elaborates");
+        // 9 + 3 = 12.
+        for (pin, v) in [
+            ("a0", Logic::One), ("a1", Logic::Zero), ("a2", Logic::Zero), ("a3", Logic::One),
+            ("b0", Logic::One), ("b1", Logic::One), ("b2", Logic::Zero), ("b3", Logic::Zero),
+            ("cin", Logic::Zero),
+        ] {
+            sim.set_input(pin, v).expect("pin exists");
+        }
+        sim.settle().expect("combinational logic settles");
+        let mut sum = 0u32;
+        for i in 0..4 {
+            if sim.value(&format!("s{i}")).expect("pin exists") == Logic::One {
+                sum |= 1 << i;
+            }
+        }
+        println!("simulated 9 + 3 = {sum} across {} gates", sim.gate_count());
+        assert_eq!(sum, 12);
+        Ok(vec![ToolOutput {
+            viewtype: "waveform".into(),
+            data: format::write_waveforms(sim.waves()).into_bytes(),
+        }])
+    })?;
+
+    // --- a variant for a risky layout experiment (two-level versioning) -
+    let experiment =
+        hy.jcf_mut().derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
+    println!("alice branched variant 'compact-layout' (JCF's second versioning level)");
+    let top_for_exp = top_bytes.clone();
+    hy.run_activity(alice, experiment, flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: top_for_exp }])
+    })?;
+
+    // --- a release configuration ----------------------------------------
+    let config = hy.jcf_mut().create_configuration(alice, top_cv, "tapeout")?;
+    let schematic_vt = hy.viewtype("schematic")?;
+    let selection: Vec<jcf::DovId> = hy
+        .jcf()
+        .design_object_by_viewtype(top_variant, schematic_vt)
+        .and_then(|d| hy.jcf().latest_version(d))
+        .into_iter()
+        .collect();
+    let cfg_v = hy.jcf_mut().create_config_version(alice, config, &selection)?;
+    println!("configuration 'tapeout' v1 selects {} version(s)", hy.jcf().config_contents(cfg_v).len());
+
+    hy.jcf_mut().publish(alice, top_cv)?;
+    let findings = hy.verify_project(project)?;
+    println!("final consistency audit: {} finding(s)", findings.len());
+    assert!(findings.is_empty());
+
+    println!(
+        "team session complete: {} desktop ops, {} tool windows, {} blocked FMCAD checkouts",
+        hy.jcf().desktop_ops(),
+        hy.fmcad_ui_ops(),
+        hy.fmcad().blocked_checkouts(),
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! The FMCAD extension language at work: the §2.4 wrappers that
+//! trigger functions and lock menu points to prevent data
+//! inconsistency, written as real scripts.
+//!
+//! Run with `cargo run --example customization`.
+
+use std::error::Error;
+
+use fmcad::Fmcad;
+use fml::Value;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut fm = Fmcad::new();
+    fm.create_library("alu")?;
+    fm.create_cell("alu", "adder")?;
+    fm.create_cellview("alu", "adder", "schematic", "schematic")?;
+    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder\n".to_vec())?;
+
+    // A customisation script, as a CAD team's methodology group would
+    // ship it: counts checkins, guards the tapeout menu and logs.
+    fm.run_script(
+        r#"
+        (define checkins 0)
+        (define quality-gate 2) ; versions required before tapeout
+
+        (define (on-checkin cellview)
+          (set! checkins (+ checkins 1))
+          (host-call "log" (string-append "checkin #" (to-string checkins) " of " cellview))
+          (if (< checkins quality-gate)
+              (host-call "lock-menu" "Tapeout")
+              (host-call "unlock-menu" "Tapeout"))
+          checkins)
+
+        (host-call "register-trigger" "checkin" "on-checkin")
+        (host-call "lock-menu" "Tapeout") ; locked until the gate is met
+        "#,
+    )?;
+
+    println!("menu 'Tapeout' locked initially: {}", fm.menu_invoke("Tapeout").is_err());
+
+    // First checkin: still below the quality gate.
+    fm.checkout("alice", "alu", "adder", "schematic")?;
+    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder rev2\n".to_vec())?;
+    fm.fire_trigger("checkin", &[Value::Str("adder/schematic".into())])?;
+    println!("after 1 checkin, 'Tapeout' locked: {}", fm.menu_invoke("Tapeout").is_err());
+
+    // Second checkin satisfies the gate; the trigger unlocks the menu.
+    fm.checkout("alice", "alu", "adder", "schematic")?;
+    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder rev3\n".to_vec())?;
+    fm.fire_trigger("checkin", &[Value::Str("adder/schematic".into())])?;
+    println!("after 2 checkins, 'Tapeout' locked: {}", fm.menu_invoke("Tapeout").is_err());
+
+    println!("\nscript log:");
+    for line in fm.customization().log() {
+        println!("  {line}");
+    }
+
+    // A second script computes over framework state: pure FML.
+    let result = fm.run_script(
+        r#"
+        (define (sum-to n)
+          (define acc 0)
+          (define i 1)
+          (while (<= i n)
+            (set! acc (+ acc i))
+            (set! i (+ i 1)))
+          acc)
+        (sum-to 100)
+        "#,
+    )?;
+    println!("\nFML computed (sum-to 100) = {result}");
+    assert_eq!(result.to_string(), "5050");
+    Ok(())
+}

@@ -1,0 +1,366 @@
+//! A scriptable JCF-FMCAD desktop: the kind of command console the
+//! paper's designers would have used on top of the hybrid framework.
+//!
+//! Reads a command script (one command per line) from the file given as
+//! the first argument, or runs a built-in demo session.
+//!
+//! ```text
+//! adduser <name> [manager]      register a user
+//! addteam <team> <member>...    create a team with members
+//! project <name>                create a coupled project
+//! cell <project> <cell>         create a cell
+//! version <user> <cell>         new cell version, reserved by <user>
+//! declare <user> <cell>@N <child-cell>
+//! schematic <user> <cell>@N gates=<n> seed=<k>
+//! fulladder <user> <cell>@N
+//! simulate <user> <cell>@N     run the event-driven simulator
+//! layout <user> <cell>@N       derive an abstract layout
+//! publish <user> <cell>@N
+//! browse <user> <cell>@N       read-only access (pays the copy, §3.6)
+//! audit <project>
+//! status                       desktop statistics
+//! ```
+//!
+//! Run with `cargo run --example desktop_shell [script.txt]`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use cad_tools::Simulator;
+use design_data::{format, generate, Logic};
+use hybrid::{Hybrid, StandardFlow, ToolOutput};
+use jcf::{CellId, CellVersionId, TeamId, UserId, VariantId};
+
+const DEMO_SCRIPT: &str = "\
+# A two-designer session on a shared project.
+adduser alice
+adduser bob
+addteam asic alice bob
+project demo
+cell demo counter
+cell demo glue
+version alice counter
+version bob glue
+schematic alice counter@1 gates=40 seed=7
+flowstatus counter@1
+simulate alice counter@1
+layout alice counter@1
+lvs alice counter@1
+timing alice counter@1
+fulladder bob glue@1
+simulate bob glue@1
+flowstatus glue@1
+publish alice counter@1
+publish bob glue@1
+tree demo
+audit demo
+status
+";
+
+/// Interpreter state: name registries over one hybrid installation.
+struct Shell {
+    hy: Hybrid,
+    flow: StandardFlow,
+    users: BTreeMap<String, UserId>,
+    teams: BTreeMap<String, TeamId>,
+    projects: BTreeMap<String, jcf::ProjectId>,
+    cells: BTreeMap<String, CellId>,
+    versions: BTreeMap<String, (CellVersionId, VariantId)>,
+    default_team: Option<TeamId>,
+}
+
+#[derive(Debug)]
+struct ShellError(String);
+
+impl fmt::Display for ShellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ShellError {}
+
+fn err(msg: impl Into<String>) -> Box<dyn Error> {
+    Box::new(ShellError(msg.into()))
+}
+
+impl Shell {
+    fn new() -> Result<Self, Box<dyn Error>> {
+        let mut hy = Hybrid::new();
+        let flow = hy.standard_flow("shell-flow")?;
+        Ok(Shell {
+            hy,
+            flow,
+            users: BTreeMap::new(),
+            teams: BTreeMap::new(),
+            projects: BTreeMap::new(),
+            cells: BTreeMap::new(),
+            versions: BTreeMap::new(),
+            default_team: None,
+        })
+    }
+
+    fn user(&self, name: &str) -> Result<UserId, Box<dyn Error>> {
+        self.users.get(name).copied().ok_or_else(|| err(format!("unknown user {name}")))
+    }
+
+    fn version(&self, key: &str) -> Result<(CellVersionId, VariantId), Box<dyn Error>> {
+        self.versions
+            .get(key)
+            .copied()
+            .ok_or_else(|| err(format!("unknown cell version {key}")))
+    }
+
+    fn kv(args: &[&str], key: &str, default: u64) -> u64 {
+        args.iter()
+            .find_map(|a| a.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn exec(&mut self, line: &str) -> Result<(), Box<dyn Error>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["adduser", name, rest @ ..] => {
+                let manager = rest.contains(&"manager");
+                let id = self.hy.jcf_mut().add_user(name, manager)?;
+                self.users.insert((*name).to_owned(), id);
+                println!("+ user {name}{}", if manager { " (manager)" } else { "" });
+            }
+            ["addteam", team, members @ ..] => {
+                let admin = self.hy.admin();
+                let id = self.hy.jcf_mut().add_team(admin, team)?;
+                for m in members {
+                    let user = self.user(m)?;
+                    self.hy.jcf_mut().add_team_member(admin, id, user)?;
+                }
+                self.teams.insert((*team).to_owned(), id);
+                self.default_team = Some(id);
+                println!("+ team {team} with {} member(s)", members.len());
+            }
+            ["project", name] => {
+                let id = self.hy.create_project(name)?;
+                self.projects.insert((*name).to_owned(), id);
+                println!("+ project {name} (library {name} coupled)");
+            }
+            ["cell", project, cell] => {
+                let project_id = *self
+                    .projects
+                    .get(*project)
+                    .ok_or_else(|| err(format!("unknown project {project}")))?;
+                let id = self.hy.create_cell(project_id, cell)?;
+                self.cells.insert((*cell).to_owned(), id);
+                println!("+ cell {project}/{cell}");
+            }
+            ["version", user, cell] => {
+                let user_id = self.user(user)?;
+                let cell_id = *self
+                    .cells
+                    .get(*cell)
+                    .ok_or_else(|| err(format!("unknown cell {cell}")))?;
+                let team = self.default_team.ok_or_else(|| err("no team defined yet"))?;
+                let (cv, variant) = self.hy.create_cell_version(cell_id, self.flow.flow, team)?;
+                self.hy.jcf_mut().reserve(user_id, cv)?;
+                let n = self.hy.jcf().versions_of(cell_id).len();
+                let key = format!("{cell}@{n}");
+                self.versions.insert(key.clone(), (cv, variant));
+                println!("+ {key} reserved by {user} (FMCAD cell {})", self.hy.fmcad_cell_of(cv)?);
+            }
+            ["declare", user, key, child] => {
+                let user_id = self.user(user)?;
+                let (cv, _) = self.version(key)?;
+                let child_id = *self
+                    .cells
+                    .get(*child)
+                    .ok_or_else(|| err(format!("unknown cell {child}")))?;
+                self.hy.jcf_mut().declare_comp_of(user_id, cv, child_id)?;
+                println!("+ {key} CompOf {child}");
+            }
+            ["schematic", user, key, rest @ ..] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let gates = Self::kv(rest, "gates", 20) as usize;
+                let seed = Self::kv(rest, "seed", 1);
+                let design = generate::random_logic(gates, seed);
+                let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+                let n = bytes.len();
+                self.hy.run_activity(user_id, variant, self.flow.enter_schematic, false, move |_| {
+                    Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+                })?;
+                println!("~ schematic entry on {key}: {gates} gates, {n} bytes");
+            }
+            ["fulladder", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+                self.hy.run_activity(user_id, variant, self.flow.enter_schematic, false, move |_| {
+                    Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+                })?;
+                println!("~ schematic entry on {key}: full adder");
+            }
+            ["simulate", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let label = (*key).to_owned();
+                self.hy.run_activity(user_id, variant, self.flow.simulate, false, move |session| {
+                    let text =
+                        String::from_utf8_lossy(session.input("schematic").expect("flow provides it"))
+                            .into_owned();
+                    let netlist = format::parse_netlist(&text)
+                        .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
+                    let mut all = BTreeMap::new();
+                    let top = netlist.name().to_owned();
+                    all.insert(top.clone(), netlist);
+                    let mut sim =
+                        Simulator::elaborate(&top, &all).map_err(hybrid::HybridError::Tool)?;
+                    // Drive all inputs with an alternating pattern.
+                    let names: Vec<String> =
+                        sim.signal_names().iter().map(|s| (*s).to_owned()).collect();
+                    let mut driven = 0;
+                    for (i, name) in names
+                        .iter()
+                        .filter(|n| n.starts_with("in") || ["a", "b", "cin"].contains(&n.as_str()))
+                        .enumerate()
+                    {
+                        let v = if i % 2 == 0 { Logic::One } else { Logic::Zero };
+                        sim.set_input(name, v).map_err(hybrid::HybridError::Tool)?;
+                        driven += 1;
+                    }
+                    sim.settle().map_err(hybrid::HybridError::Tool)?;
+                    println!(
+                        "~ simulate {label}: {} gates, {} inputs driven, {} events, t={}",
+                        sim.gate_count(),
+                        driven,
+                        sim.events_processed(),
+                        sim.now()
+                    );
+                    Ok(vec![ToolOutput {
+                        viewtype: "waveform".into(),
+                        data: format::write_waveforms(sim.waves()).into_bytes(),
+                    }])
+                })?;
+            }
+            ["layout", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                self.hy.run_activity(user_id, variant, self.flow.enter_layout, false, |session| {
+                    let text =
+                        String::from_utf8_lossy(session.input("schematic").expect("flow provides it"))
+                            .into_owned();
+                    let netlist = format::parse_netlist(&text)
+                        .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
+                    let layout = generate::layout_for(&netlist);
+                    Ok(vec![ToolOutput {
+                        viewtype: "layout".into(),
+                        data: format::write_layout(&layout).into_bytes(),
+                    }])
+                })?;
+                println!("~ layout entry on {key}");
+            }
+            ["publish", user, key] => {
+                let user_id = self.user(user)?;
+                let (cv, _) = self.version(key)?;
+                self.hy.jcf_mut().publish(user_id, cv)?;
+                println!("~ published {key}");
+            }
+            ["browse", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let schematic = self.hy.viewtype("schematic")?;
+                let dov = self
+                    .hy
+                    .jcf()
+                    .design_object_by_viewtype(variant, schematic)
+                    .and_then(|d| self.hy.jcf().latest_version(d))
+                    .ok_or_else(|| err(format!("{key} has no schematic yet")))?;
+                let before = self.hy.io_meter();
+                let data = self.hy.browse(user_id, dov)?;
+                let cost = self.hy.io_meter().since(&before);
+                println!("~ browsed {key}: {} bytes, {} I/O ticks (read-only copy)", data.len(), cost.ticks);
+            }
+            ["timing", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let schematic = self.hy.viewtype("schematic")?;
+                let dov = self
+                    .hy
+                    .jcf()
+                    .design_object_by_viewtype(variant, schematic)
+                    .and_then(|d| self.hy.jcf().latest_version(d))
+                    .ok_or_else(|| err(format!("{key} has no schematic yet")))?;
+                let bytes = self.hy.jcf_mut().read_design_data(user_id, dov)?;
+                let netlist = format::parse_netlist(&String::from_utf8_lossy(&bytes))?;
+                let report = cad_tools::static_timing(&netlist)?;
+                println!(
+                    "~ timing {key}: critical delay {} via {}",
+                    report.critical_delay,
+                    report.critical_path.join(" -> ")
+                );
+            }
+            ["lvs", user, key] => {
+                let user_id = self.user(user)?;
+                let (_, variant) = self.version(key)?;
+                let report = self.hy.run_lvs(user_id, variant)?;
+                println!("~ lvs {key}: {report}");
+            }
+            ["flowstatus", key] => {
+                let (_, variant) = self.version(key)?;
+                println!("~ flow status of {key}:");
+                for (activity, state) in self.hy.jcf().flow_status(variant)? {
+                    println!(
+                        "    {:<18} {state}",
+                        self.hy.jcf().display_name(activity.object_id())
+                    );
+                }
+            }
+            ["audit", project] => {
+                let project_id = *self
+                    .projects
+                    .get(*project)
+                    .ok_or_else(|| err(format!("unknown project {project}")))?;
+                let findings = self.hy.verify_project(project_id)?;
+                println!("~ audit {project}: {} finding(s)", findings.len());
+                for finding in findings {
+                    println!("    ! {finding}");
+                }
+            }
+            ["tree", project] => {
+                let project_id = *self
+                    .projects
+                    .get(*project)
+                    .ok_or_else(|| err(format!("unknown project {project}")))?;
+                print!("{}", self.hy.jcf().project_tree(project_id));
+            }
+            ["status"] => {
+                println!(
+                    "~ status: {} desktop ops, {} tool windows, {} blocked checkouts, {} I/O ticks",
+                    self.hy.jcf().desktop_ops(),
+                    self.hy.fmcad_ui_ops(),
+                    self.hy.fmcad().blocked_checkouts(),
+                    self.hy.io_meter().ticks
+                );
+            }
+            _ => return Err(err(format!("unknown command: {line}"))),
+        }
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let script = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEMO_SCRIPT.to_owned(),
+    };
+    let mut shell = Shell::new()?;
+    for (i, line) in script.lines().enumerate() {
+        shell
+            .exec(line)
+            .map_err(|e| err(format!("line {}: {e}", i + 1)))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! The paper's §4 future work, switched on: the JCF procedural
+//! interface (no staging copies, tools pass hierarchy to JCF),
+//! non-isomorphic hierarchy support and cross-project data sharing.
+//!
+//! Run with `cargo run --example future_work`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use design_data::{format, generate, Layout, Logic, MasterRef, Netlist};
+use hybrid::{FutureFeatures, Hybrid, ToolOutput};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut hy = Hybrid::new();
+    hy.set_future_features(FutureFeatures::all());
+    println!("features: {:?}", hy.future_features());
+
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false)?;
+    let team = hy.jcf_mut().add_team(admin, "soc-team")?;
+    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let flow = hy.standard_flow("soc-flow")?;
+
+    // --- a shared IP library in another project (§3.1 future work) -----
+    let ip_project = hy.create_project("ip-library")?;
+    let pll = hy.create_cell(ip_project, "pll")?;
+    hy.share_cell(admin, pll)?;
+    println!("shared cell 'pll' from project 'ip-library'");
+
+    // --- the SoC project uses the foreign IP without manual desktop work
+    let soc = hy.create_project("soc")?;
+    let top = hy.create_cell(soc, "soc_top")?;
+    let core = hy.create_cell(soc, "core")?;
+    let (cv, variant) = hy.create_cell_version(top, flow.flow, team)?;
+    hy.jcf_mut().reserve(alice, cv)?;
+
+    let io_before = hy.io_meter();
+    hy.run_activity(alice, variant, flow.enter_schematic, false, |session| {
+        // The procedural interface hands us database bytes directly.
+        assert!(session.inputs.is_empty());
+        let mut n = Netlist::new("soc_top");
+        n.add_net("clk_root")?;
+        n.add_instance("u_core", MasterRef::Cell("core".into()), &[("clk", "clk_root")])?;
+        n.add_instance("u_pll", MasterRef::Cell("pll".into()), &[("clk", "clk_root")])?;
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: format::write_netlist(&n).into_bytes(),
+        }])
+    })?;
+    let io_after = hy.io_meter().since(&io_before);
+    println!(
+        "hierarchy auto-declared by the tools: core={}, pll={}",
+        hy.jcf().is_declared_child(cv, core),
+        hy.jcf().is_declared_child(cv, pll),
+    );
+    println!(
+        "staging I/O eliminated by the procedural interface: only {} bytes moved (mirror only)",
+        io_after.bytes_written
+    );
+
+    // --- non-isomorphic hierarchies are now representable (§3.3) --------
+    let mut floorplan = Layout::new("soc_top");
+    floorplan.add_placement("i_core", "core", 0, 0)?;
+    // The layout flattens the PLL into the core region: different
+    // children than the schematic — the future JCF accepts it.
+    hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
+        Ok(vec![ToolOutput {
+            viewtype: "layout".into(),
+            data: format::write_layout(&floorplan).into_bytes(),
+        }])
+    })?;
+    println!("non-isomorphic schematic/layout pair accepted");
+
+    // --- and the simulator still runs through the session helpers -------
+    let fa_project_cell = hy.create_cell(soc, "fa")?;
+    let (fa_cv, fa_variant) = hy.create_cell_version(fa_project_cell, flow.flow, team)?;
+    hy.jcf_mut().reserve(alice, fa_cv)?;
+    let fa = generate::full_adder();
+    let fa_bytes = format::write_netlist(&fa).into_bytes();
+    hy.run_activity(alice, fa_variant, flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: fa_bytes }])
+    })?;
+    hy.run_activity(alice, fa_variant, flow.simulate, false, |session| {
+        let mut sim = session.elaborate_simulator(&BTreeMap::new())?;
+        sim.set_input("a", Logic::One).map_err(hybrid::HybridError::Tool)?;
+        sim.set_input("b", Logic::One).map_err(hybrid::HybridError::Tool)?;
+        sim.set_input("cin", Logic::One).map_err(hybrid::HybridError::Tool)?;
+        sim.settle().map_err(hybrid::HybridError::Tool)?;
+        let sum = sim.value("sum").map_err(hybrid::HybridError::Tool)?;
+        let cout = sim.value("cout").map_err(hybrid::HybridError::Tool)?;
+        println!("simulated 1+1+1: sum={sum} cout={cout}");
+        Ok(vec![ToolOutput {
+            viewtype: "waveform".into(),
+            data: format::write_waveforms(sim.waves()).into_bytes(),
+        }])
+    })?;
+
+    let findings = hy.verify_project(soc)?;
+    println!("consistency audit with all future features on: {} finding(s)", findings.len());
+    assert!(findings.is_empty());
+    Ok(())
+}

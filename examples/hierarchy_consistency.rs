@@ -1,0 +1,148 @@
+//! §3.3 side by side: FMCAD's flexible-but-unsafe dynamic hierarchy
+//! binding versus the hybrid framework's declared, checked hierarchy.
+//!
+//! Shows (1) FMCAD silently rebinding a hierarchy after a new checkin,
+//! (2) FMCAD happily accepting non-isomorphic schematic/layout
+//! hierarchies, and (3) the hybrid framework rejecting both hazards.
+//!
+//! Run with `cargo run --example hierarchy_consistency`.
+
+use std::error::Error;
+
+use design_data::{format, generate, Layout, MasterRef, Netlist};
+use fmcad::Fmcad;
+use hybrid::{Hybrid, HybridError, ToolOutput};
+
+fn hierarchical_netlist(top: &str, child: &str) -> Netlist {
+    let mut n = Netlist::new(top);
+    n.add_net("w").expect("fresh netlist");
+    n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")])
+        .expect("valid instance");
+    n
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // ======================= standalone FMCAD =========================
+    println!("--- standalone FMCAD ---");
+    let mut fm = Fmcad::new();
+    fm.create_library("lib")?;
+    for cell in ["top", "fa"] {
+        fm.create_cell("lib", cell)?;
+        fm.create_cellview("lib", cell, "schematic", "schematic")?;
+    }
+    fm.checkin(
+        "alice",
+        "lib",
+        "top",
+        "schematic",
+        format::write_netlist(&hierarchical_netlist("top", "fa")).into_bytes(),
+    )?;
+    fm.checkin(
+        "alice",
+        "lib",
+        "fa",
+        "schematic",
+        format::write_netlist(&generate::full_adder()).into_bytes(),
+    )?;
+
+    let before = fm.bind_hierarchy("lib", "top", "schematic")?;
+    println!("bound top with fa at version {}", before.bound["fa"].0);
+
+    // Eve checks in a new full adder; nothing warns the top's owner.
+    fm.checkout("eve", "lib", "fa", "schematic")?;
+    fm.checkin(
+        "eve",
+        "lib",
+        "fa",
+        "schematic",
+        format::write_netlist(&generate::full_adder()).into_bytes(),
+    )?;
+    let after = fm.bind_hierarchy("lib", "top", "schematic")?;
+    println!(
+        "rebound top: fa silently moved to version {} (history of the development is not stored)",
+        after.bound["fa"].0
+    );
+
+    // Non-isomorphic hierarchies: layout places a different child.
+    fm.create_cellview("lib", "top", "layout", "layout")?;
+    let mut flat = Layout::new("top");
+    flat.add_placement("i1", "pad_ring", 0, 0)?;
+    fm.checkin("alice", "lib", "top", "layout", format::write_layout(&flat).into_bytes())?;
+    let hs = fm.view_hierarchy("lib", "top", "schematic")?;
+    let hl = fm.view_hierarchy("lib", "top", "layout")?;
+    println!(
+        "schematic children: {:?}, layout children: {:?}, isomorphic: {} — FMCAD accepts anyway",
+        hs.children("top"),
+        hl.children("top"),
+        hs.is_isomorphic_to(&hl),
+    );
+
+    // ======================= hybrid JCF-FMCAD ==========================
+    println!("\n--- hybrid JCF-FMCAD ---");
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false)?;
+    let team = hy.jcf_mut().add_team(admin, "t")?;
+    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let flow = hy.standard_flow("f")?;
+    let project = hy.create_project("checked")?;
+    let top = hy.create_cell(project, "top")?;
+    let fa = hy.create_cell(project, "fa")?;
+    let (cv, variant) = hy.create_cell_version(top, flow.flow, team)?;
+    hy.jcf_mut().reserve(alice, cv)?;
+
+    // 1. Hierarchy must be declared via the desktop before designing.
+    let undeclared = hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: format::write_netlist(&hierarchical_netlist("top", "fa")).into_bytes(),
+        }])
+    });
+    match undeclared {
+        Err(HybridError::UndeclaredChild { parent, child }) => {
+            println!("rejected: {parent} uses undeclared child {child}");
+        }
+        other => panic!("expected an undeclared-child rejection, got {other:?}"),
+    }
+
+    hy.jcf_mut().declare_comp_of(alice, cv, fa)?;
+    println!("declared CompOf(top, fa) via the JCF desktop; retrying...");
+    hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: format::write_netlist(&hierarchical_netlist("top", "fa")).into_bytes(),
+        }])
+    })?;
+    println!("accepted with declared hierarchy");
+
+    // 2. Non-isomorphic hierarchies are rejected (JCF 3.0 limitation).
+    //    Even with pad_ring properly declared, a layout whose children
+    //    differ from the schematic's is refused.
+    let pad_ring = hy.create_cell(project, "pad_ring")?;
+    hy.jcf_mut().declare_comp_of(alice, cv, pad_ring)?;
+    let mut alien = Layout::new("top");
+    alien.add_placement("i1", "pad_ring", 0, 0)?;
+    let rejected = hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
+        Ok(vec![ToolOutput {
+            viewtype: "layout".into(),
+            data: format::write_layout(&alien).into_bytes(),
+        }])
+    });
+    match rejected {
+        Err(HybridError::NonIsomorphicHierarchy { differences }) => {
+            println!("rejected non-isomorphic layout: {differences:?}");
+        }
+        other => panic!("expected a non-isomorphic rejection, got {other:?}"),
+    }
+
+    let mut matching = Layout::new("top");
+    matching.add_placement("i1", "fa", 0, 0)?;
+    hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
+        Ok(vec![ToolOutput {
+            viewtype: "layout".into(),
+            data: format::write_layout(&matching).into_bytes(),
+        }])
+    })?;
+    println!("accepted isomorphic layout; consistency holds: {:?}", hy.verify_project(project)?);
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Table 1 in action: importing a legacy FMCAD library into the
+//! hybrid framework, mapping every FMCAD object onto its JCF
+//! counterpart.
+//!
+//! Run with `cargo run --example legacy_import`.
+
+use std::error::Error;
+
+use design_data::{format, generate};
+use hybrid::{mapping, Hybrid};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("{}", mapping::render_table_1());
+
+    // A pre-existing FMCAD library with a hierarchical design in it.
+    let mut hy = Hybrid::new();
+    let design = generate::ripple_adder(8);
+    {
+        let fm = hy.fmcad_mut();
+        fm.create_library("legacy_alu")?;
+        for (cell, netlist) in &design.netlists {
+            fm.create_cell("legacy_alu", cell)?;
+            fm.create_cellview("legacy_alu", cell, "schematic", "schematic")?;
+            fm.checkin(
+                "old-team",
+                "legacy_alu",
+                cell,
+                "schematic",
+                format::write_netlist(netlist).into_bytes(),
+            )?;
+            fm.create_cellview("legacy_alu", cell, "layout", "layout")?;
+            fm.checkin(
+                "old-team",
+                "legacy_alu",
+                cell,
+                "layout",
+                format::write_layout(&design.layouts[cell]).into_bytes(),
+            )?;
+        }
+    }
+
+    // Couple it: the library becomes a JCF project per Table 1.
+    let admin = hy.admin();
+    let keeper = hy.jcf_mut().add_user("keeper", false)?;
+    let team = hy.jcf_mut().add_team(admin, "maintenance")?;
+    hy.jcf_mut().add_team_member(admin, team, keeper)?;
+    let flow = hy.standard_flow("maintenance-flow")?;
+    let (project, report) = hy.import_library(keeper, "legacy_alu", flow.flow, team)?;
+
+    println!("imported library 'legacy_alu' as project {project}:");
+    println!("  {} FMCAD cells      -> JCF cell versions", report.cells);
+    println!("  {} cellviews        -> design objects", report.design_objects);
+    println!("  {} cellview versions -> design object versions", report.versions);
+    println!("  {} bytes copied into the OMS database", report.bytes_copied);
+
+    // The hierarchy was extracted and declared during import.
+    for cell in hy.jcf().cells_of(project) {
+        for cv in hy.jcf().versions_of(cell) {
+            let children = hy.jcf().comp_of(cv);
+            if !children.is_empty() {
+                println!(
+                    "  {} CompOf {:?}",
+                    hy.fmcad_cell_of(cv)?,
+                    children
+                        .iter()
+                        .map(|c| hy.jcf().display_name(c.object_id()))
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    // The reverse direction would lose everything in this list (§3.2).
+    println!("\nJCF concepts with no FMCAD counterpart (why JCF must be the master):");
+    for item in mapping::UNMAPPABLE_TO_FMCAD {
+        println!("  - {item}");
+    }
+
+    let findings = hy.verify_project(project)?;
+    println!("\npost-import consistency audit: {} finding(s)", findings.len());
+    assert!(findings.is_empty());
+    Ok(())
+}

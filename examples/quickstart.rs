@@ -1,0 +1,103 @@
+//! Quickstart: one designer takes a full adder through the paper's
+//! three-tool flow (schematic entry, simulation, layout entry) inside
+//! the hybrid JCF-FMCAD framework.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use cad_tools::Simulator;
+use design_data::{format, generate, Logic};
+use hybrid::{Hybrid, ToolOutput};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- framework administration (once per installation) -------------
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false)?;
+    let team = hy.jcf_mut().add_team(admin, "asic")?;
+    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let flow = hy.standard_flow("asic-flow")?;
+
+    // --- project structure (the JCF desktop) ---------------------------
+    let project = hy.create_project("quickstart")?;
+    let cell = hy.create_cell(project, "full_adder")?;
+    let (cv, variant) = hy.create_cell_version(cell, flow.flow, team)?;
+    hy.jcf_mut().reserve(alice, cv)?;
+    println!("reserved {} into alice's workspace", hy.fmcad_cell_of(cv)?);
+
+    // --- activity 1: schematic entry -----------------------------------
+    let sch = hy.run_activity(alice, variant, flow.enter_schematic, false, |session| {
+        println!("[{}] window opened", session.tool);
+        let netlist = generate::full_adder();
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: format::write_netlist(&netlist).into_bytes(),
+        }])
+    })?;
+    println!("schematic stored as design object version {}", sch[0]);
+
+    // --- activity 2: simulation (exhaustive truth table) ---------------
+    hy.run_activity(alice, variant, flow.simulate, false, |session| {
+        let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
+        let netlist = format::parse_netlist(&text).expect("staged data is well-formed");
+        let mut netlists = BTreeMap::new();
+        netlists.insert(netlist.name().to_owned(), netlist);
+        let mut waves = design_data::Waveforms::new();
+        for a in [Logic::Zero, Logic::One] {
+            for b in [Logic::Zero, Logic::One] {
+                for cin in [Logic::Zero, Logic::One] {
+                    let mut sim = Simulator::elaborate("full_adder", &netlists)
+                        .expect("netlist elaborates");
+                    sim.set_input("a", a).expect("pin exists");
+                    sim.set_input("b", b).expect("pin exists");
+                    sim.set_input("cin", cin).expect("pin exists");
+                    sim.settle().expect("combinational logic settles");
+                    let sum = sim.value("sum").expect("pin exists");
+                    let cout = sim.value("cout").expect("pin exists");
+                    println!("  a={a} b={b} cin={cin}  ->  sum={sum} cout={cout}");
+                    waves.record("sum", waves.horizon() + 10, sum);
+                    waves.record("cout", waves.horizon() + 1, cout);
+                }
+            }
+        }
+        Ok(vec![ToolOutput {
+            viewtype: "waveform".into(),
+            data: format::write_waveforms(&waves).into_bytes(),
+        }])
+    })?;
+
+    // --- activity 3: layout entry ---------------------------------------
+    hy.run_activity(alice, variant, flow.enter_layout, false, |session| {
+        let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
+        let netlist = format::parse_netlist(&text).expect("staged data is well-formed");
+        let layout = generate::layout_for(&netlist);
+        assert!(layout.check().is_empty(), "generated layout is DRC-clean");
+        Ok(vec![ToolOutput {
+            viewtype: "layout".into(),
+            data: format::write_layout(&layout).into_bytes(),
+        }])
+    })?;
+
+    // --- what JCF now knows that FMCAD alone never would ----------------
+    println!("\nwhat-belongs-to-what (derivation report):");
+    for entry in hy.jcf().what_belongs_to_what(variant) {
+        println!(
+            "  {} v{} derived from {} version(s), created by {:?}",
+            entry.design_object,
+            entry.version,
+            entry.derived_from.len(),
+            entry.created_by_activity.as_deref().unwrap_or("-")
+        );
+    }
+
+    hy.jcf_mut().publish(alice, cv)?;
+    println!("\npublished; consistency audit: {:?}", hy.verify_project(project)?);
+    println!(
+        "desktop ops: {}, extra FMCAD windows: {}",
+        hy.jcf().desktop_ops(),
+        hy.fmcad_ui_ops()
+    );
+    Ok(())
+}

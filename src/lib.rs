@@ -1,0 +1,30 @@
+//! # jcf-fmcad — umbrella crate for the hybrid framework reproduction
+//!
+//! Re-exports every crate of the workspace so examples, integration
+//! tests and downstream users can depend on one name.
+//!
+//! The workspace reproduces *"Enhanced Functionality by Coupling the
+//! JESSI-COMMON-Framework with an ECAD Framework"* (Kunzmann & Seepold,
+//! DATE 1995). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the evaluation reproduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use jcf_fmcad::hybrid::Hybrid;
+//!
+//! let hy = Hybrid::new();
+//! assert!(hy.jcf().database().len() > 0, "bootstrap registers resources");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cad_tools;
+pub use cad_vfs;
+pub use design_data;
+pub use fmcad;
+pub use fml;
+pub use hybrid;
+pub use jcf;
+pub use oms;

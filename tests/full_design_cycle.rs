@@ -1,0 +1,176 @@
+//! End-to-end integration: a hierarchical design travels the complete
+//! hybrid pipeline — legacy import, team workspaces, real tool runs
+//! (including gate-level simulation), variants, configurations and a
+//! final consistency audit.
+
+use std::collections::BTreeMap;
+
+use cad_tools::Simulator;
+use design_data::{format, generate, Logic};
+use hybrid::{Hybrid, ToolOutput};
+use jcf::DovId;
+
+struct Team {
+    hy: Hybrid,
+    alice: jcf::UserId,
+    bob: jcf::UserId,
+    team: jcf::TeamId,
+    flow: hybrid::StandardFlow,
+}
+
+fn team() -> Team {
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+    let bob = hy.jcf_mut().add_user("bob", false).unwrap();
+    let team_id = hy.jcf_mut().add_team(admin, "asic").unwrap();
+    hy.jcf_mut().add_team_member(admin, team_id, alice).unwrap();
+    hy.jcf_mut().add_team_member(admin, team_id, bob).unwrap();
+    let flow = hy.standard_flow("asic").unwrap();
+    Team { hy, alice, bob, team: team_id, flow }
+}
+
+#[test]
+fn complete_design_cycle_stays_consistent() {
+    let mut t = team();
+    let design = generate::ripple_adder(4);
+    let project = t.hy.create_project("alu").unwrap();
+
+    // Leaf cell by bob.
+    let fa = t.hy.create_cell(project, "full_adder").unwrap();
+    let (fa_cv, fa_var) = t.hy.create_cell_version(fa, t.flow.flow, t.team).unwrap();
+    t.hy.jcf_mut().reserve(t.bob, fa_cv).unwrap();
+    let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
+    let payload = fa_bytes.clone();
+    t.hy.run_activity(t.bob, fa_var, t.flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+    })
+    .unwrap();
+    t.hy.jcf_mut().publish(t.bob, fa_cv).unwrap();
+
+    // Top cell by alice with declared hierarchy.
+    let top = t.hy.create_cell(project, &design.top).unwrap();
+    let (top_cv, top_var) = t.hy.create_cell_version(top, t.flow.flow, t.team).unwrap();
+    t.hy.jcf_mut().reserve(t.alice, top_cv).unwrap();
+    t.hy.jcf_mut().declare_comp_of(t.alice, top_cv, fa).unwrap();
+    let top_bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+    let payload = top_bytes.clone();
+    let sch_dovs = t
+        .hy
+        .run_activity(t.alice, top_var, t.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        })
+        .unwrap();
+
+    // Simulation activity runs the real event-driven simulator on the
+    // staged schematic plus the published leaf cell.
+    let netlists = design.netlists.clone();
+    let wave_dovs = t
+        .hy
+        .run_activity(t.alice, top_var, t.flow.simulate, false, move |session| {
+            let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
+            let top = format::parse_netlist(&text).expect("staged netlist parses");
+            let mut all: BTreeMap<String, design_data::Netlist> = netlists.clone();
+            all.insert(top.name().to_owned(), top);
+            let mut sim = Simulator::elaborate("adder4", &all).expect("elaborates");
+            for i in 0..4 {
+                sim.set_input(&format!("a{i}"), Logic::One).expect("pin");
+                sim.set_input(&format!("b{i}"), Logic::Zero).expect("pin");
+            }
+            sim.set_input("cin", Logic::One).expect("pin");
+            sim.settle().expect("settles");
+            // 15 + 0 + 1 = 16 -> cout set, sum 0.
+            assert_eq!(sim.value("cout").expect("pin"), Logic::One);
+            for i in 0..4 {
+                assert_eq!(sim.value(&format!("s{i}")).expect("pin"), Logic::Zero);
+            }
+            Ok(vec![ToolOutput {
+                viewtype: "waveform".into(),
+                data: format::write_waveforms(sim.waves()).into_bytes(),
+            }])
+        })
+        .unwrap();
+
+    // Derivation chain: waveform <- schematic.
+    assert_eq!(t.hy.jcf().derived_from(wave_dovs[0]), vec![sch_dovs[0]]);
+
+    // Configuration selecting the released views.
+    let config = t.hy.jcf_mut().create_configuration(t.alice, top_cv, "rel1").unwrap();
+    let selection: Vec<DovId> = vec![sch_dovs[0], wave_dovs[0]];
+    let cfg = t.hy.jcf_mut().create_config_version(t.alice, config, &selection).unwrap();
+    assert_eq!(t.hy.jcf().config_contents(cfg).len(), 2);
+
+    t.hy.jcf_mut().publish(t.alice, top_cv).unwrap();
+    assert!(t.hy.verify_project(project).unwrap().is_empty());
+
+    // Everything is mirrored: FMCAD sees the same bytes in its library.
+    let mirror = t.hy.mirror_of(sch_dovs[0]).unwrap().clone();
+    let lib_bytes = t
+        .hy
+        .fmcad_mut()
+        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+        .unwrap();
+    assert_eq!(lib_bytes, top_bytes);
+}
+
+#[test]
+fn import_then_continue_designing() {
+    let mut t = team();
+    // Legacy world.
+    let design = generate::counter(4);
+    {
+        let fm = t.hy.fmcad_mut();
+        fm.create_library("legacy").unwrap();
+        for (cell, netlist) in &design.netlists {
+            fm.create_cell("legacy", cell).unwrap();
+            fm.create_cellview("legacy", cell, "schematic", "schematic").unwrap();
+            fm.checkin("old", "legacy", cell, "schematic", format::write_netlist(netlist).into_bytes())
+                .unwrap();
+        }
+    }
+    let (project, report) = t.hy.import_library(t.alice, "legacy", t.flow.flow, t.team).unwrap();
+    assert_eq!(report.cells, 1);
+    assert!(t.hy.verify_project(project).unwrap().is_empty());
+
+    // Work continues under full management: new version of the cell.
+    let cell = t.hy.jcf().cells_of(project)[0];
+    let (cv2, var2) = t.hy.create_cell_version(cell, t.flow.flow, t.team).unwrap();
+    t.hy.jcf_mut().reserve(t.bob, cv2).unwrap();
+    let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+    t.hy.run_activity(t.bob, var2, t.flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+    })
+    .unwrap();
+    // The mapped FMCAD cell for version 2 exists alongside the import.
+    assert!(t.hy.fmcad().cells("legacy").unwrap().len() >= 2);
+    assert!(t.hy.verify_project(project).unwrap().is_empty());
+}
+
+#[test]
+fn two_level_versioning_supports_parallel_exploration() {
+    let mut t = team();
+    let project = t.hy.create_project("p").unwrap();
+    let cell = t.hy.create_cell(project, "fa").unwrap();
+    let (cv, base) = t.hy.create_cell_version(cell, t.flow.flow, t.team).unwrap();
+    t.hy.jcf_mut().reserve(t.alice, cv).unwrap();
+
+    let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+    let payload = bytes.clone();
+    t.hy.run_activity(t.alice, base, t.flow.enter_schematic, false, move |_| {
+        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+    })
+    .unwrap();
+
+    // Derive three experimental variants, each with its own work.
+    for name in ["fast", "small", "low-power"] {
+        let variant = t.hy.jcf_mut().derive_variant(t.alice, cv, name, Some(base)).unwrap();
+        let payload = bytes.clone();
+        t.hy.run_activity(t.alice, variant, t.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        })
+        .unwrap();
+    }
+    assert_eq!(t.hy.jcf().variants_of(cv).len(), 4);
+    // Standalone FMCAD cannot represent this at all: one cellview, one
+    // checkout, no variants (§3.1).
+}

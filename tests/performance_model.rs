@@ -1,0 +1,117 @@
+//! §3.6 shape checks: metadata operations are cheap in the hybrid
+//! environment, design-data operations pay the copy path — growing
+//! linearly with design size and hitting even read-only access — while
+//! FMCAD native access works in place.
+
+use design_data::{format, generate};
+use hybrid::{Hybrid, ToolOutput};
+
+struct Env {
+    hy: Hybrid,
+    alice: jcf::UserId,
+    team: jcf::TeamId,
+    flow: hybrid::StandardFlow,
+}
+
+fn env() -> Env {
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
+    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let flow = hy.standard_flow("f").unwrap();
+    Env { hy, alice, team, flow }
+}
+
+/// Stores a design of roughly `gates` gates and returns its DOV.
+fn store_design(e: &mut Env, project_name: &str, gates: usize) -> (jcf::ProjectId, jcf::DovId, u64) {
+    let project = e.hy.create_project(project_name).unwrap();
+    let cell = e.hy.create_cell(project, "cloud").unwrap();
+    let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+    e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+    let design = generate::random_logic(gates, 42);
+    let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+    let size = bytes.len() as u64;
+    let dovs = e
+        .hy
+        .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        })
+        .unwrap();
+    (project, dovs[0], size)
+}
+
+#[test]
+fn metadata_ops_cost_no_content_io() {
+    let mut e = env();
+    let project = e.hy.create_project("meta").unwrap();
+    let cell = e.hy.create_cell(project, "c").unwrap();
+    let before = e.hy.io_meter();
+    // Pure desktop metadata work: versions, variants, reservations.
+    let (cv, v0) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+    e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+    e.hy.jcf_mut().derive_variant(e.alice, cv, "x", Some(v0)).unwrap();
+    let delta = e.hy.io_meter().since(&before);
+    // The only I/O is the slave's tiny .meta rewrite; no design data
+    // moves. §3.6: "the performance of metadata operations ... is
+    // sufficiently high".
+    assert_eq!(delta.bytes_read, 0, "metadata ops read no design data");
+    assert!(delta.bytes_written < 512, "only the .meta is rewritten, got {delta:?}");
+}
+
+#[test]
+fn read_only_browse_scales_with_design_size() {
+    let mut e = env();
+    let (_, small_dov, small_size) = store_design(&mut e, "small", 20);
+    let (_, large_dov, large_size) = store_design(&mut e, "large", 800);
+    assert!(large_size > 10 * small_size, "workload sizes must separate");
+
+    let before = e.hy.io_meter();
+    e.hy.browse(e.alice, small_dov).unwrap();
+    let small_cost = e.hy.io_meter().since(&before);
+
+    let before = e.hy.io_meter();
+    e.hy.browse(e.alice, large_dov).unwrap();
+    let large_cost = e.hy.io_meter().since(&before);
+
+    // §3.6: the copy makes the time "strongly dependent on the amount
+    // of data" — the tick ratio must track the size ratio.
+    assert!(large_cost.ticks > 5 * small_cost.ticks);
+    assert_eq!(large_cost.bytes_written, large_size, "read-only access still writes a copy");
+}
+
+#[test]
+fn fmcad_native_read_beats_hybrid_browse() {
+    let mut e = env();
+    let (_, dov, size) = store_design(&mut e, "p", 400);
+    let mirror = e.hy.mirror_of(dov).unwrap().clone();
+
+    let before = e.hy.io_meter();
+    e.hy.browse(e.alice, dov).unwrap();
+    let hybrid_cost = e.hy.io_meter().since(&before);
+
+    let before = e.hy.io_meter();
+    e.hy.fmcad_mut()
+        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+        .unwrap();
+    let native_cost = e.hy.io_meter().since(&before);
+
+    assert_eq!(native_cost.bytes_written, 0);
+    assert_eq!(native_cost.bytes_read, size);
+    assert!(
+        hybrid_cost.ticks > native_cost.ticks,
+        "the staging copy must cost more than reading in place"
+    );
+}
+
+#[test]
+fn activity_pipeline_moves_each_byte_multiple_times() {
+    // One schematic-entry run writes the staged output, reads it back
+    // into the database and mirrors it into the library: ≥3 traversals.
+    let mut e = env();
+    let before = e.hy.io_meter();
+    let (_, _, size) = store_design(&mut e, "p", 100);
+    let delta = e.hy.io_meter().since(&before);
+    assert!(delta.bytes_written >= 2 * size, "staging + mirror writes");
+    assert!(delta.bytes_read >= size, "staging read-back");
+}

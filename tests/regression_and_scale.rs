@@ -1,0 +1,124 @@
+//! Golden-waveform regression gating and a scale stress test across
+//! the whole stack.
+
+use std::collections::BTreeMap;
+
+use cad_tools::{check_lvs, compare_waveforms, Simulator};
+use design_data::{format, generate, Logic, Waveforms};
+use hybrid::{Hybrid, ToolOutput};
+
+struct Env {
+    hy: Hybrid,
+    alice: jcf::UserId,
+    team: jcf::TeamId,
+    flow: hybrid::StandardFlow,
+}
+
+fn env() -> Env {
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
+    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let flow = hy.standard_flow("f").unwrap();
+    Env { hy, alice, team, flow }
+}
+
+fn simulate_adder(netlists: &BTreeMap<String, design_data::Netlist>, top: &str) -> Waveforms {
+    let mut sim = Simulator::elaborate(top, netlists).unwrap();
+    for (pin, v) in [("a0", Logic::One), ("b0", Logic::One), ("cin", Logic::Zero)] {
+        sim.set_input(pin, v).unwrap();
+    }
+    for i in 1..4 {
+        sim.set_input(&format!("a{i}"), Logic::Zero).unwrap();
+        sim.set_input(&format!("b{i}"), Logic::Zero).unwrap();
+    }
+    sim.settle().unwrap();
+    sim.into_waves()
+}
+
+#[test]
+fn golden_waveform_regression_gates_a_release() {
+    // The "golden" run of the released adder.
+    let design = generate::ripple_adder(4);
+    let golden = simulate_adder(&design.netlists, &design.top);
+
+    // A re-run of the same design must pass the gate...
+    let rerun = simulate_adder(&design.netlists, &design.top);
+    assert!(compare_waveforms(&golden, &rerun).is_empty());
+
+    // ...and a functionally changed leaf cell must fail it.
+    let mut broken = design.netlists.clone();
+    let mut fa = design_data::Netlist::new("full_adder");
+    for p in ["a", "b", "cin"] {
+        fa.add_port(p, design_data::Direction::Input).unwrap();
+    }
+    fa.add_port("sum", design_data::Direction::Output).unwrap();
+    fa.add_port("cout", design_data::Direction::Output).unwrap();
+    // Wrong logic: sum = a AND b, cout = a OR b.
+    fa.add_instance("g1", design_data::MasterRef::Gate(design_data::GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "sum")]).unwrap();
+    fa.add_instance("g2", design_data::MasterRef::Gate(design_data::GateKind::Or2), &[("a", "a"), ("b", "b"), ("y", "cout")]).unwrap();
+    broken.insert("full_adder".to_owned(), fa);
+    let bad = simulate_adder(&broken, &design.top);
+    let mismatches = compare_waveforms(&golden, &bad);
+    assert!(!mismatches.is_empty(), "the regression gate must catch the change");
+}
+
+#[test]
+fn twenty_cell_project_scales_and_stays_consistent() {
+    let mut e = env();
+    let project = e.hy.create_project("big").unwrap();
+    let mut variants = Vec::new();
+    for i in 0..20 {
+        let cell = e.hy.create_cell(project, &format!("block{i:02}")).unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let design = generate::random_logic(30 + i * 5, i as u64);
+        let sch = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+        let lay = format::write_layout(&design.layouts[&design.top]).into_bytes();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+        })
+        .unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.simulate, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+        })
+        .unwrap();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+        })
+        .unwrap();
+        variants.push((cv, variant));
+    }
+    // Every variant: LVS clean, full provenance, three executions.
+    for &(_, variant) in &variants {
+        assert!(e.hy.run_lvs(e.alice, variant).unwrap().is_clean());
+        assert_eq!(e.hy.jcf().executions_of(variant).len(), 3);
+        let report = e.hy.jcf().what_belongs_to_what(variant);
+        assert_eq!(report.len(), 3, "schematic + waveform + layout");
+        assert!(report.iter().all(|r| r.created_by_activity.is_some()));
+    }
+    // Project-wide audit stays clean at scale.
+    assert!(e.hy.verify_project(project).unwrap().is_empty());
+    // And the FMCAD mirror holds 20 cells with 3 views each.
+    assert_eq!(e.hy.fmcad().cells("big").unwrap().len(), 20);
+}
+
+#[test]
+fn lvs_catches_a_cross_view_editing_mistake() {
+    // A designer edits the schematic but forgets the layout: the nets
+    // drift apart and LVS reports it.
+    let design = generate::random_logic(25, 3);
+    let netlist = &design.netlists[&design.top];
+    let layout = &design.layouts[&design.top];
+    assert!(check_lvs(netlist, layout).is_clean());
+
+    let mut edited = netlist.clone();
+    edited.add_net("hotfix_net").unwrap();
+    let report = check_lvs(&edited, layout);
+    assert!(!report.is_clean());
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, cad_tools::LvsViolation::MissingNet { net } if net == "hotfix_net")));
+}

@@ -1,0 +1,104 @@
+//! Restart persistence across both frameworks: the JCF database
+//! checkpoints into the shared file system and FMCAD reloads its
+//! libraries from their `.meta` files — everything a real installation
+//! would survive a power cycle with.
+
+use cad_vfs::VfsPath;
+use design_data::{format, generate};
+use fmcad::Fmcad;
+use hybrid::{Hybrid, ToolOutput};
+use jcf::Jcf;
+
+#[test]
+fn both_frameworks_survive_a_power_cycle_on_one_disk() {
+    // Day 1: a full working session in the hybrid environment.
+    let mut hy = Hybrid::new();
+    let admin = hy.admin();
+    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
+    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
+    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let flow = hy.standard_flow("f").unwrap();
+    let project = hy.create_project("p").unwrap();
+    let cell = hy.create_cell(project, "fa").unwrap();
+    let (cv, variant) = hy.create_cell_version(cell, flow.flow, team).unwrap();
+    hy.jcf_mut().reserve(alice, cv).unwrap();
+    let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+    let expected = bytes.clone();
+    let dovs = hy
+        .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        })
+        .unwrap();
+    let mirror = hy.mirror_of(dovs[0]).unwrap().clone();
+
+    // Shutdown: JCF checkpoints into the same disk FMCAD lives on.
+    let backup = VfsPath::parse("/backup/jcf.db").unwrap();
+    {
+        let parent = backup.parent().unwrap();
+        hy.fmcad_mut().fs().mkdir_all(&parent).unwrap();
+    }
+    // Checkpoint the master into a scratch disk, then place the image
+    // on the FMCAD disk so one medium carries everything.
+    let mut hy = { hy };
+    let checkpoint_fs = {
+        let mut tmp_fs = cad_vfs::Vfs::new();
+        tmp_fs.mkdir_all(&backup.parent().unwrap()).unwrap();
+        hy.jcf_mut().checkpoint(&mut tmp_fs, &backup).unwrap();
+        let image = tmp_fs.read(&backup).unwrap();
+        hy.fmcad_mut().fs().write(&backup, image).unwrap();
+        hy.fmcad_mut().fs().clone()
+    };
+    drop(hy);
+
+    // Day 2: restart both frameworks from the single disk.
+    let mut disk = checkpoint_fs;
+    let restored_jcf = {
+        let mut j = Jcf::restore(&mut disk, &backup).unwrap();
+        // The reservation and design data survived.
+        assert_eq!(j.reserver(cv), Some(alice));
+        assert_eq!(j.read_design_data(alice, dovs[0]).unwrap(), expected);
+        j.publish(alice, cv).unwrap();
+        j
+    };
+    let mut restored_fmcad = Fmcad::open_existing(disk).unwrap();
+    assert!(restored_fmcad.libraries().contains(&"p"));
+    let lib_bytes = restored_fmcad
+        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+        .unwrap();
+    assert_eq!(lib_bytes, expected, "the mirrored data survived on the library side");
+    // Cross-check: master and slave still agree byte for byte.
+    assert_eq!(
+        restored_jcf
+            .database()
+            .get(dovs[0].object_id(), "data")
+            .unwrap()
+            .as_bytes()
+            .unwrap(),
+        lib_bytes.as_slice()
+    );
+}
+
+#[test]
+fn project_tree_renders_the_browser_view() {
+    let mut jcf = Jcf::new();
+    let admin = jcf.add_user("admin", true).unwrap();
+    let alice = jcf.add_user("alice", false).unwrap();
+    let team = jcf.add_team(admin, "t").unwrap();
+    jcf.add_team_member(admin, team, alice).unwrap();
+    let flow = jcf.define_flow(admin, "f").unwrap();
+    let project = jcf.create_project("browser").unwrap();
+    let cell = jcf.create_cell(project, "alu").unwrap();
+    let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
+    jcf.reserve(alice, cv).unwrap();
+    let vt = jcf.add_viewtype("schematic").unwrap();
+    let d = jcf.create_design_object(alice, variant, "sch", vt).unwrap();
+    jcf.add_design_object_version(alice, d, vec![1]).unwrap();
+    jcf.add_design_object_version(alice, d, vec![2]).unwrap();
+
+    let tree = jcf.project_tree(project);
+    assert!(tree.contains("project browser"));
+    assert!(tree.contains("cell alu"));
+    assert!(tree.contains("version 1 [reserved by alice]"));
+    assert!(tree.contains("variant base"));
+    assert!(tree.contains("sch (2 version(s))"));
+}
