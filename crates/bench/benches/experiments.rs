@@ -1,115 +1,75 @@
-//! Criterion timing of every experiment runner: one group per table,
+//! Wall-clock timing of every experiment runner: one group per table,
 //! figure and §3 criterion of the paper.
 //!
 //! Run with `cargo bench -p bench`. Absolute numbers depend on the
 //! host; the *shape* assertions live in the unit tests of each
 //! experiment module and in `EXPERIMENTS.md`.
+//!
+//! This harness is dependency-free (`std::time::Instant` only) so the
+//! workspace builds and benches without crates.io access. The original
+//! criterion harness is gated behind the `criterion-benches` feature of
+//! the `bench` crate: re-add the `criterion` dev-dependency and enable
+//! that feature to get statistical sampling back.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use bench::{
-    e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow,
-    e9_performance,
+    e10_throughput, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui,
+    e8_flow, e9_performance,
 };
 
-/// E1 — Table 1: import mapping over library sizes.
-fn bench_e1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_table1_mapping");
+/// Times `f` over `iters` iterations and prints mean per-iteration time.
+fn time<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warm-up iteration outside the measured window.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<40} {:>10.3} ms/iter  ({iters} iters, {:.3} s total)",
+        total.as_secs_f64() * 1e3 / f64::from(iters),
+        total.as_secs_f64()
+    );
+}
+
+fn main() {
+    println!("experiment timing (plain harness, mean over fixed iterations)");
+    println!("{:-<78}", "");
     for width in [2usize, 8] {
-        group.bench_with_input(BenchmarkId::new("import_adder", width), &width, |b, &w| {
-            b.iter(|| black_box(e1_mapping::run(w)));
-        });
+        time(
+            &format!("e1_table1_mapping/import_adder/{width}"),
+            10,
+            || e1_mapping::run(width),
+        );
     }
-    group.finish();
-}
-
-/// E2/E3 — Figures 1 and 2: schema extraction.
-fn bench_e2_e3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_e3_figures");
-    group.bench_function("figure1_jcf_schema", |b| {
-        b.iter(|| black_box(e2_e3_schemas::run_e2()));
+    time(
+        "e2_e3_figures/figure1_jcf_schema",
+        10,
+        e2_e3_schemas::run_e2,
+    );
+    time("e2_e3_figures/figure2_fmcad_walk", 10, || {
+        e2_e3_schemas::run_e3(4)
     });
-    group.bench_function("figure2_fmcad_walk", |b| {
-        b.iter(|| black_box(e2_e3_schemas::run_e3(4)));
-    });
-    group.finish();
-}
-
-/// E4 — §3.1: the concurrency sweep at several team sizes.
-fn bench_e4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_concurrency");
-    group.sample_size(10);
     for n in [2usize, 8] {
-        group.bench_with_input(BenchmarkId::new("both_backends", n), &n, |b, &n| {
-            b.iter(|| black_box(e4_concurrency::run(n, 4, 8, 1995)));
+        time(&format!("e4_concurrency/both_backends/{n}"), 5, || {
+            e4_concurrency::run(n, 4, 8, 1995)
         });
     }
-    group.finish();
-}
-
-/// E5 — §3.2: fault injection and detection.
-fn bench_e5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_consistency");
-    group.sample_size(10);
-    group.bench_function("inject_and_audit", |b| {
-        b.iter(|| black_box(e5_consistency::run(8, 1995)));
+    time("e5_consistency/inject_and_audit", 5, || {
+        e5_consistency::run(8, 1995)
     });
-    group.finish();
-}
-
-/// E6 — §3.3: hierarchy guards.
-fn bench_e6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_hierarchy");
-    group.sample_size(10);
-    group.bench_function("bind_and_reject", |b| {
-        b.iter(|| black_box(e6_hierarchy::run(3)));
-    });
-    group.finish();
-}
-
-/// E7 — §3.4: interaction step counting.
-fn bench_e7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_ui");
-    group.sample_size(10);
-    group.bench_function("same_task_both_uis", |b| {
-        b.iter(|| black_box(e7_ui::run()));
-    });
-    group.finish();
-}
-
-/// E8 — §3.5: forced vs free invocation.
-fn bench_e8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_flow");
-    group.sample_size(10);
-    group.bench_function("forced_vs_free", |b| {
-        b.iter(|| black_box(e8_flow::run(6, 6, 1995)));
-    });
-    group.finish();
-}
-
-/// E9 — §3.6: the performance sweep; also times the real wall-clock of
-/// the copy path vs native access at one size point.
-fn bench_e9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_performance");
-    group.sample_size(10);
+    time("e6_hierarchy/bind_and_reject", 5, || e6_hierarchy::run(3));
+    time("e7_ui/same_task_both_uis", 5, e7_ui::run);
+    time("e8_flow/forced_vs_free", 5, || e8_flow::run(6, 6, 1995));
     for gates in [50usize, 800] {
-        group.bench_with_input(BenchmarkId::new("full_pipeline", gates), &gates, |b, &g| {
-            b.iter(|| black_box(e9_performance::run(g)));
+        time(&format!("e9_performance/full_pipeline/{gates}"), 5, || {
+            e9_performance::run(gates)
         });
     }
-    group.finish();
+    time("e10_throughput/repeated_activity/800", 1, || {
+        e10_throughput::run(800, 40)
+    });
 }
-
-criterion_group!(
-    experiments,
-    bench_e1,
-    bench_e2_e3,
-    bench_e4,
-    bench_e5,
-    bench_e6,
-    bench_e7,
-    bench_e8,
-    bench_e9
-);
-criterion_main!(experiments);

@@ -1,13 +1,17 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|e2|e3|e4|e5|e6|e7|e8|e9]`
+//! Usage: `cargo run -p bench --bin report [e1|...|e10|verdicts|--json]`
+//!
+//! `--json` reruns the E9 tick sweep and the E10 throughput workload
+//! and writes the machine-readable `BENCH_E9.json` / `BENCH_E10.json`
+//! files at the repository root, seeding the performance trajectory.
 
 use std::env;
 
 use bench::{
-    e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow,
-    e9_performance,
+    e10_throughput, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui,
+    e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -35,7 +39,11 @@ fn print_verdicts() {
         holds: e2_e3_schemas::conforms(),
         measured: {
             let e2 = e2_e3_schemas::run_e2();
-            format!("{} entities / {} relations extracted", e2.entities.len(), e2.relations.len())
+            format!(
+                "{} entities / {} relations extracted",
+                e2.entities.len(),
+                e2.relations.len()
+            )
         },
     });
 
@@ -69,8 +77,7 @@ fn print_verdicts() {
     rows.push(Row {
         exp: "E6",
         claim: "hybrid rejects non-isomorphic hierarchies, FMCAD accepts (§3.3)",
-        holds: e6.hybrid_noniso_rejected == e6.attempts
-            && e6.fmcad_noniso_accepted == e6.attempts,
+        holds: e6.hybrid_noniso_rejected == e6.attempts && e6.fmcad_noniso_accepted == e6.attempts,
         measured: format!(
             "FMCAD accepted {}/{}, hybrid rejected {}/{}; future JCF accepts {}/{}",
             e6.fmcad_noniso_accepted,
@@ -124,6 +131,19 @@ fn print_verdicts() {
         ),
     });
 
+    let e10 = e10_throughput::run(800, 20);
+    rows.push(Row {
+        exp: "E10",
+        claim: "zero-copy staging beats the deep-copy pipeline without changing ticks",
+        holds: e10.speedup() >= 2.0 && e10.zero_copy_materialized < e10.deep_copy_materialized,
+        measured: format!(
+            "{:.1}x wall-clock, {} vs {} bytes physically copied",
+            e10.speedup(),
+            e10.deep_copy_materialized,
+            e10.zero_copy_materialized
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -137,16 +157,81 @@ fn print_verdicts() {
     }
     let all = rows.iter().all(|r| r.holds);
     println!("{:-<100}", "");
-    println!("{} / {} claims reproduced", rows.iter().filter(|r| r.holds).count(), rows.len());
+    println!(
+        "{} / {} claims reproduced",
+        rows.iter().filter(|r| r.holds).count(),
+        rows.len()
+    );
     if !all {
         std::process::exit(1);
     }
+}
+
+/// Serializes the E9 and E10 sweeps as hand-rolled JSON (no external
+/// dependency) into `BENCH_E9.json` / `BENCH_E10.json` at the repo
+/// root.
+fn write_json_reports() -> std::io::Result<()> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    let mut e9 = String::from("[\n");
+    let rows = e9_performance::sweep();
+    for (i, r) in rows.iter().enumerate() {
+        e9.push_str(&format!(
+            "  {{\"gates\": {}, \"bytes\": {}, \"metadata_ticks\": {}, \"hybrid_read_ticks\": {}, \"fmcad_read_ticks\": {}, \"activity_ticks\": {}, \"procedural_ticks\": {}, \"procedural_activity_ticks\": {}}}{}\n",
+            r.gates,
+            r.bytes,
+            r.metadata_ticks,
+            r.hybrid_read_ticks,
+            r.fmcad_read_ticks,
+            r.activity_ticks,
+            r.procedural_ticks,
+            r.procedural_activity_ticks,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    e9.push_str("]\n");
+    let e9_path = format!("{root}/BENCH_E9.json");
+    std::fs::write(&e9_path, e9)?;
+    println!("wrote {e9_path}");
+
+    let mut e10 = String::from("[\n");
+    let rows = e10_throughput::sweep();
+    for (i, r) in rows.iter().enumerate() {
+        e10.push_str(&format!(
+            "  {{\"gates\": {}, \"bytes\": {}, \"reps\": {}, \"deep_copy_ns\": {}, \"zero_copy_ns\": {}, \"speedup\": {:.2}, \"deep_copy_materialized\": {}, \"zero_copy_materialized\": {}, \"mirror_cache_hits\": {}, \"deep_copy_ticks_per_rep\": {}, \"zero_copy_ticks_per_rep\": {}}}{}\n",
+            r.gates,
+            r.bytes,
+            r.reps,
+            r.deep_copy_ns,
+            r.zero_copy_ns,
+            r.speedup(),
+            r.deep_copy_materialized,
+            r.zero_copy_materialized,
+            r.mirror_cache_hits,
+            r.deep_copy_ticks_per_rep,
+            r.zero_copy_ticks_per_rep,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+        println!("{r}");
+    }
+    e10.push_str("]\n");
+    let e10_path = format!("{root}/BENCH_E10.json");
+    std::fs::write(&e10_path, e10)?;
+    println!("wrote {e10_path}");
+    Ok(())
 }
 
 fn main() {
     let filter: Option<String> = env::args().nth(1).map(|s| s.to_lowercase());
     if filter.as_deref() == Some("verdicts") {
         print_verdicts();
+        return;
+    }
+    if filter.as_deref() == Some("--json") {
+        if let Err(e) = write_json_reports() {
+            eprintln!("failed to write JSON reports: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     if filter.as_deref() == Some("e2-dot") {
@@ -197,11 +282,19 @@ fn main() {
         for row in e9_performance::sweep() {
             println!("{row}");
         }
+        println!();
+        printed = true;
+    }
+    if want("e10") {
+        println!("E10 — host wall-clock of the zero-copy blob layer");
+        for row in e10_throughput::sweep() {
+            println!("{row}");
+        }
         printed = true;
     }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e9 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e10 or no argument for all");
         std::process::exit(2);
     }
 }

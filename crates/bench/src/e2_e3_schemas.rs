@@ -24,7 +24,12 @@ pub struct E2Result {
 impl fmt::Display for E2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E2  Figure 1 — JCF 3.0 information architecture")?;
-        writeln!(f, "entities ({}): {}", self.entities.len(), self.entities.join(", "))?;
+        writeln!(
+            f,
+            "entities ({}): {}",
+            self.entities.len(),
+            self.entities.join(", ")
+        )?;
         writeln!(f, "relations ({}):", self.relations.len())?;
         for (rel, src, dst) in &self.relations {
             writeln!(f, "  {src} --{rel}--> {dst}")?;
@@ -51,7 +56,10 @@ pub fn run_e2() -> E2Result {
             )
         })
         .collect();
-    E2Result { entities, relations }
+    E2Result {
+        entities,
+        relations,
+    }
 }
 
 /// Result of the E3 run: the FMCAD architecture (Figure 2).
@@ -86,10 +94,18 @@ pub fn run_e3(width: usize) -> E3Result {
     let design = generate::ripple_adder(width);
     populate_fmcad(&mut fm, "sample", &design, true);
     fm.create_config("sample", "golden").expect("fresh config");
-    for cell in fm.cells("sample").expect("library exists").iter().map(|c| c.to_string()).collect::<Vec<_>>() {
-        fm.bind_config("sample", "golden", &cell, "schematic", 1).expect("version 1 exists");
+    for cell in fm
+        .cells("sample")
+        .expect("library exists")
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+    {
+        fm.bind_config("sample", "golden", &cell, "schematic", 1)
+            .expect("version 1 exists");
     }
-    fm.checkout("alice", "sample", "full_adder", "schematic").expect("free cellview");
+    fm.checkout("alice", "sample", "full_adder", "schematic")
+        .expect("free cellview");
 
     let meta = fm.meta_snapshot("sample").expect("library exists");
     let cells = meta.cells.len();
@@ -109,8 +125,16 @@ pub fn run_e3(width: usize) -> E3Result {
     let cvv_in_config: usize = meta.configs.values().map(|c| c.binds.len()).sum();
     E3Result {
         entities: vec![
-            "Library", "Cell", "View", "Viewtype", "Cellview", "Cellview Version",
-            "Config", "CVV in Config", "CheckOut Status", "Locked Flag",
+            "Library",
+            "Cell",
+            "View",
+            "Viewtype",
+            "Cellview",
+            "Cellview Version",
+            "Config",
+            "CVV in Config",
+            "CheckOut Status",
+            "Locked Flag",
         ],
         counts: vec![
             ("Library", 1),
@@ -121,7 +145,8 @@ pub fn run_e3(width: usize) -> E3Result {
             ("CVV in Config", cvv_in_config),
             ("Locked Flag", checkouts),
         ],
-        containment: "Library > Cell > Cellview(view,viewtype) > Cellview Version > file".to_owned(),
+        containment: "Library > Cell > Cellview(view,viewtype) > Cellview Version > file"
+            .to_owned(),
     }
 }
 
@@ -156,9 +181,10 @@ mod tests {
         let r = run_e2();
         assert_eq!(r.entities.len(), 15);
         assert_eq!(r.relations.len(), 28);
-        assert!(r.relations.iter().any(|(rel, src, dst)| rel == "comp_of"
-            && src == "CellVersion"
-            && dst == "Cell"));
+        assert!(r
+            .relations
+            .iter()
+            .any(|(rel, src, dst)| rel == "comp_of" && src == "CellVersion" && dst == "Cell"));
         assert!(conforms());
     }
 

@@ -64,9 +64,16 @@ fn run_fmcad(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64, 
     for i in 0..cells {
         let name = format!("block{i}");
         fm.create_cell("shared", &name).expect("fresh cell");
-        fm.create_cellview("shared", &name, "schematic", "schematic").expect("fresh view");
-        fm.checkin("init", "shared", &name, "schematic", cloud_bytes(10, i as u64))
-            .expect("initial checkin");
+        fm.create_cellview("shared", &name, "schematic", "schematic")
+            .expect("fresh view");
+        fm.checkin(
+            "init",
+            "shared",
+            &name,
+            "schematic",
+            cloud_bytes(10, i as u64),
+        )
+        .expect("initial checkin");
     }
     let mut rng = Rng::new(seed);
     let mut completed = 0u64;
@@ -104,7 +111,7 @@ fn run_fmcad(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64, 
                     // Start a session: try to check a cellview out.
                     let cell = format!("block{}", rng.below(cells));
                     match fm.checkout(&user, "shared", &cell, "schematic") {
-                        Ok(data) => editing[d] = Some((cell, data)),
+                        Ok(data) => editing[d] = Some((cell, data.to_vec())),
                         Err(_) => blocked += 1,
                     }
                 }
@@ -121,7 +128,10 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
     let mut cell_ids = Vec::new();
     let mut versions: Vec<Vec<(CellVersionId, jcf::VariantId, Option<usize>)>> = Vec::new();
     for i in 0..cells {
-        let cell = env.hy.create_cell(project, &format!("block{i}")).expect("fresh cell");
+        let cell = env
+            .hy
+            .create_cell(project, &format!("block{i}"))
+            .expect("fresh cell");
         cell_ids.push(cell);
         versions.push(Vec::new());
     }
@@ -139,7 +149,11 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
             let slot = versions[c]
                 .iter()
                 .position(|(_, _, holder)| *holder == Some(d))
-                .or_else(|| versions[c].iter().position(|(_, _, holder)| holder.is_none()));
+                .or_else(|| {
+                    versions[c]
+                        .iter()
+                        .position(|(_, _, holder)| holder.is_none())
+                });
             let (cv, variant) = match slot {
                 Some(idx) => {
                     let (cv, variant, holder) = versions[c][idx];
@@ -157,22 +171,33 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
                         .hy
                         .create_cell_version(cell_ids[c], env.flow.flow, env.team)
                         .expect("versions are unbounded");
-                    env.hy.jcf_mut().reserve(user, cv).expect("fresh version is free");
+                    env.hy
+                        .jcf_mut()
+                        .reserve(user, cv)
+                        .expect("fresh version is free");
                     versions[c].push((cv, variant, Some(d)));
                     opened += 1;
                     (cv, variant)
                 }
             };
             let bytes = cloud_bytes(10, (round * designers + d) as u64);
-            let result = env.hy.run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
-            });
+            let result =
+                env.hy
+                    .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+                        Ok(vec![ToolOutput {
+                            viewtype: "schematic".into(),
+                            data: bytes.into(),
+                        }])
+                    });
             match result {
                 Ok(_) => {
                     completed += 1;
                     // Occasionally publish so others can pick the version up.
                     if rng.chance(1, 4) {
-                        env.hy.jcf_mut().publish(user, cv).expect("holder publishes");
+                        env.hy
+                            .jcf_mut()
+                            .publish(user, cv)
+                            .expect("holder publishes");
                         for slot in versions[c].iter_mut() {
                             if slot.0 == cv {
                                 slot.2 = None;
@@ -206,7 +231,10 @@ pub fn run(designers: usize, cells: usize, rounds: usize, seed: u64) -> E4Row {
 /// The standard E4 sweep (the paper gives no numbers; the sweep shows
 /// the claimed shape).
 pub fn sweep() -> Vec<E4Row> {
-    [2, 4, 8, 16].into_iter().map(|n| run(n, 4, 8, 1995)).collect()
+    [2, 4, 8, 16]
+        .into_iter()
+        .map(|n| run(n, 4, 8, 1995))
+        .collect()
 }
 
 #[cfg(test)]
@@ -225,11 +253,14 @@ mod tests {
     fn contention_grows_with_team_size_in_fmcad() {
         let small = run(2, 4, 6, 7);
         let large = run(16, 4, 6, 7);
-        let small_rate = small.fmcad_blocked as f64
-            / (small.fmcad_blocked + small.fmcad_completed) as f64;
-        let large_rate = large.fmcad_blocked as f64
-            / (large.fmcad_blocked + large.fmcad_completed) as f64;
-        assert!(large_rate > small_rate, "blocking must worsen: {small_rate} vs {large_rate}");
+        let small_rate =
+            small.fmcad_blocked as f64 / (small.fmcad_blocked + small.fmcad_completed) as f64;
+        let large_rate =
+            large.fmcad_blocked as f64 / (large.fmcad_blocked + large.fmcad_completed) as f64;
+        assert!(
+            large_rate > small_rate,
+            "blocking must worsen: {small_rate} vs {large_rate}"
+        );
     }
 
     #[test]

@@ -82,13 +82,24 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
     let mut fm = Fmcad::new();
     let design = generate::ripple_adder(2);
     populate_fmcad(&mut fm, "lib", &design, false);
-    let cells: Vec<String> = fm.cells("lib").expect("library exists").iter().map(|c| c.to_string()).collect();
+    let cells: Vec<String> = fm
+        .cells("lib")
+        .expect("library exists")
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     let mut fmcad_injected = 0u64;
     for i in 0..faults {
         let cell = &cells[rng.below(cells.len())];
         // Write a rogue version file the .meta knows nothing about.
-        fm.direct_file_write("lib", cell, "schematic", 100 + i as u32, cloud_bytes(5, i as u64))
-            .expect("direct writes always succeed");
+        fm.direct_file_write(
+            "lib",
+            cell,
+            "schematic",
+            100 + i as u32,
+            cloud_bytes(5, i as u64),
+        )
+        .expect("direct writes always succeed");
         fmcad_injected += 1;
     }
     // FMCAD reports nothing by itself; a designer running verify would see:
@@ -108,7 +119,10 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
     let dovs = env
         .hy
         .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: bytes.into(),
+            }])
         })
         .expect("activity runs");
     let mirror = env.hy.mirror_of(dovs[0]).expect("mirrored").clone();
@@ -118,13 +132,25 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
             // Corrupt the mirrored bytes out-of-band.
             env.hy
                 .fmcad_mut()
-                .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, mirror.version, vec![i as u8])
+                .direct_file_write(
+                    &mirror.library,
+                    &mirror.cell,
+                    &mirror.view,
+                    mirror.version,
+                    vec![i as u8],
+                )
                 .expect("direct writes always succeed");
         } else {
             // Add a rogue file next to the mirror.
             env.hy
                 .fmcad_mut()
-                .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, 50 + i as u32, vec![i as u8])
+                .direct_file_write(
+                    &mirror.library,
+                    &mirror.cell,
+                    &mirror.view,
+                    50 + i as u32,
+                    vec![i as u8],
+                )
                 .expect("direct writes always succeed");
         }
         hybrid_injected += 1;

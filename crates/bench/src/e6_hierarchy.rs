@@ -68,8 +68,12 @@ fn netlist_with_children(top: &str, children: &[&str]) -> Netlist {
     let mut n = Netlist::new(top);
     n.add_net("w").expect("fresh netlist");
     for (i, child) in children.iter().enumerate() {
-        n.add_instance(&format!("u{i}"), MasterRef::Cell((*child).to_owned()), &[("a", "w")])
-            .expect("valid instance");
+        n.add_instance(
+            &format!("u{i}"),
+            MasterRef::Cell((*child).to_owned()),
+            &[("a", "w")],
+        )
+        .expect("valid instance");
     }
     n
 }
@@ -77,7 +81,8 @@ fn netlist_with_children(top: &str, children: &[&str]) -> Netlist {
 fn layout_with_children(top: &str, children: &[&str]) -> Layout {
     let mut l = Layout::new(top);
     for (i, child) in children.iter().enumerate() {
-        l.add_placement(&format!("i{i}"), child, (i as i64) * 20, 0).expect("unique name");
+        l.add_placement(&format!("i{i}"), child, (i as i64) * 20, 0)
+            .expect("unique name");
     }
     l
 }
@@ -96,8 +101,10 @@ pub fn run(attempts: usize) -> E6Result {
     for i in 0..attempts {
         let top = format!("noniso{i}");
         fm.create_cell("lib", &top).expect("fresh cell");
-        fm.create_cellview("lib", &top, "schematic", "schematic").expect("fresh view");
-        fm.create_cellview("lib", &top, "layout", "layout").expect("fresh view");
+        fm.create_cellview("lib", &top, "schematic", "schematic")
+            .expect("fresh view");
+        fm.create_cellview("lib", &top, "layout", "layout")
+            .expect("fresh view");
         fm.checkin(
             "u",
             "lib",
@@ -122,8 +129,11 @@ pub fn run(attempts: usize) -> E6Result {
     }
     // Silent rebinding: bind, change the leaf, rebind.
     let mut fmcad_silent_rebinds = 0;
-    let before = fm.bind_hierarchy("lib", "noniso0", "schematic").expect("binds");
-    fm.checkout("eve", "lib", "full_adder", "schematic").expect("free cellview");
+    let before = fm
+        .bind_hierarchy("lib", "noniso0", "schematic")
+        .expect("binds");
+    fm.checkout("eve", "lib", "full_adder", "schematic")
+        .expect("free cellview");
     fm.checkin(
         "eve",
         "lib",
@@ -132,8 +142,11 @@ pub fn run(attempts: usize) -> E6Result {
         format::write_netlist(&generate::full_adder()).into_bytes(),
     )
     .expect("holder checks in");
-    let after = fm.bind_hierarchy("lib", "noniso0", "schematic").expect("binds");
-    if before.bound.get("full_adder").map(|(v, _)| v) != after.bound.get("full_adder").map(|(v, _)| v)
+    let after = fm
+        .bind_hierarchy("lib", "noniso0", "schematic")
+        .expect("binds");
+    if before.bound.get("full_adder").map(|(v, _)| v)
+        != after.bound.get("full_adder").map(|(v, _)| v)
     {
         fmcad_silent_rebinds += 1;
     }
@@ -149,7 +162,10 @@ pub fn run(attempts: usize) -> E6Result {
     let ops_before_declarations = env.hy.jcf().desktop_ops();
     let mut declaration_ops = 0u64;
     for i in 0..attempts {
-        let cell = env.hy.create_cell(project, &format!("top{i}")).expect("fresh cell");
+        let cell = env
+            .hy
+            .create_cell(project, &format!("top{i}"))
+            .expect("fresh cell");
         let (cv, variant) = env
             .hy
             .create_cell_version(cell, env.flow.flow, env.team)
@@ -157,13 +173,17 @@ pub fn run(attempts: usize) -> E6Result {
         env.hy.jcf_mut().reserve(user, cv).expect("free version");
 
         // Undeclared child is rejected first.
-        let bytes =
-            format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
-                .into_bytes();
+        let bytes = format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
+            .into_bytes();
         let payload = bytes.clone();
-        let result = env.hy.run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
-        });
+        let result =
+            env.hy
+                .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+                    Ok(vec![ToolOutput {
+                        viewtype: "schematic".into(),
+                        data: payload.into(),
+                    }])
+                });
         if matches!(result, Err(HybridError::UndeclaredChild { .. })) {
             hybrid_undeclared_rejected += 1;
         }
@@ -171,23 +191,36 @@ pub fn run(attempts: usize) -> E6Result {
         // Declare both children (the manual §3.3 step), then the
         // schematic goes in...
         let ops0 = env.hy.jcf().desktop_ops();
-        env.hy.jcf_mut().declare_comp_of(user, cv, child_a).expect("declared");
-        env.hy.jcf_mut().declare_comp_of(user, cv, child_b).expect("declared");
+        env.hy
+            .jcf_mut()
+            .declare_comp_of(user, cv, child_a)
+            .expect("declared");
+        env.hy
+            .jcf_mut()
+            .declare_comp_of(user, cv, child_b)
+            .expect("declared");
         declaration_ops += env.hy.jcf().desktop_ops() - ops0;
         let payload = bytes;
         env.hy
             .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: payload.into(),
+                }])
             })
             .expect("declared child accepted");
 
         // ...but the non-isomorphic layout is refused.
-        let lay =
-            format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
-                .into_bytes();
-        let result = env.hy.run_activity(user, variant, env.flow.enter_layout, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
-        });
+        let lay = format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
+            .into_bytes();
+        let result = env
+            .hy
+            .run_activity(user, variant, env.flow.enter_layout, false, move |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "layout".into(),
+                    data: lay.into(),
+                }])
+            });
         if matches!(result, Err(HybridError::NonIsomorphicHierarchy { .. })) {
             hybrid_noniso_rejected += 1;
         }
@@ -208,28 +241,35 @@ pub fn run(attempts: usize) -> E6Result {
     let mut future_noniso_accepted = 0;
     let mut future_declaration_ops = 0u64;
     for i in 0..attempts {
-        let cell = fut.hy.create_cell(fproject, &format!("top{i}")).expect("fresh cell");
+        let cell = fut
+            .hy
+            .create_cell(fproject, &format!("top{i}"))
+            .expect("fresh cell");
         let (cv, variant) = fut
             .hy
             .create_cell_version(cell, fut.flow.flow, fut.team)
             .expect("fresh version");
         fut.hy.jcf_mut().reserve(fuser, cv).expect("free version");
         // No declare_comp_of calls at all: the tools pass hierarchy.
-        let sch =
-            format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
-                .into_bytes();
+        let sch = format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
+            .into_bytes();
         fut.hy
             .run_activity(fuser, variant, fut.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: sch.into(),
+                }])
             })
             .expect("auto-declared hierarchy accepted");
-        let lay =
-            format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
-                .into_bytes();
+        let lay = format::write_layout(&layout_with_children(&format!("top{i}"), &["child_b"]))
+            .into_bytes();
         if fut
             .hy
             .run_activity(fuser, variant, fut.flow.enter_layout, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+                Ok(vec![ToolOutput {
+                    viewtype: "layout".into(),
+                    data: lay.into(),
+                }])
             })
             .is_ok()
         {
@@ -258,16 +298,31 @@ mod tests {
     fn e6_reproduces_the_paper_contrast() {
         let r = run(4);
         assert_eq!(r.fmcad_noniso_accepted, 4, "FMCAD accepts everything");
-        assert_eq!(r.hybrid_noniso_rejected, 4, "hybrid rejects everything non-isomorphic");
-        assert_eq!(r.hybrid_undeclared_rejected, 4, "hybrid demands declarations");
+        assert_eq!(
+            r.hybrid_noniso_rejected, 4,
+            "hybrid rejects everything non-isomorphic"
+        );
+        assert_eq!(
+            r.hybrid_undeclared_rejected, 4,
+            "hybrid demands declarations"
+        );
         assert_eq!(r.fmcad_silent_rebinds, 1, "FMCAD rebinding is silent");
-        assert!(r.hybrid_declaration_ops >= 8, "manual declarations cost desktop ops");
+        assert!(
+            r.hybrid_declaration_ops >= 8,
+            "manual declarations cost desktop ops"
+        );
     }
 
     #[test]
     fn future_jcf_ablation_removes_both_limitations() {
         let r = run(3);
-        assert_eq!(r.future_noniso_accepted, 3, "future JCF accepts non-isomorphic designs");
-        assert_eq!(r.future_declaration_ops, 0, "tools pass the hierarchy themselves");
+        assert_eq!(
+            r.future_noniso_accepted, 3,
+            "future JCF accepts non-isomorphic designs"
+        );
+        assert_eq!(
+            r.future_declaration_ops, 0,
+            "tools pass the hierarchy themselves"
+        );
     }
 }

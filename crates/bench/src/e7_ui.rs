@@ -75,13 +75,16 @@ pub fn run() -> E7Result {
     fmcad_steps += 1;
     fm.create_cell("task", "fa").expect("fresh cell");
     fmcad_steps += 1;
-    fm.create_cellview("task", "fa", "schematic", "schematic").expect("fresh view");
+    fm.create_cellview("task", "fa", "schematic", "schematic")
+        .expect("fresh view");
     fmcad_steps += 1;
-    fm.checkin("alice", "task", "fa", "schematic", schematic.clone()).expect("initial checkin");
+    fm.checkin("alice", "task", "fa", "schematic", schematic.clone())
+        .expect("initial checkin");
     fmcad_steps += 1; // the editor window
-    fm.invoke_tool("alice", "task", "fa", "schematic").expect("tool opens");
+    fm.invoke_tool("alice", "task", "fa", "schematic")
+        .expect("tool opens");
     fmcad_steps += 1; // the simulator window
-    // (no release/publish concept: the data simply is the default)
+                      // (no release/publish concept: the data simply is the default)
 
     // --- hybrid: the desktop counts itself; tool windows add on top -------
     let mut env = hybrid_env(1);
@@ -98,15 +101,24 @@ pub fn run() -> E7Result {
     let payload = schematic.clone();
     env.hy
         .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: payload.into(),
+            }])
         })
         .expect("activity runs");
     env.hy
         .run_activity(user, variant, env.flow.simulate, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+            Ok(vec![ToolOutput {
+                viewtype: "waveform".into(),
+                data: b"waves\n".to_vec().into(),
+            }])
         })
         .expect("activity runs");
-    env.hy.jcf_mut().publish(user, cv).expect("holder publishes");
+    env.hy
+        .jcf_mut()
+        .publish(user, cv)
+        .expect("holder publishes");
 
     E7Result {
         fmcad_steps,

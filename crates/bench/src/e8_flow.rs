@@ -50,7 +50,10 @@ impl fmt::Display for E8Result {
         writeln!(
             f,
             "FMCAD   : {}/{} runs executed, {} derivations, {} quality violations",
-            self.fmcad_executed, self.attempts, self.fmcad_derivations, self.fmcad_quality_violations
+            self.fmcad_executed,
+            self.attempts,
+            self.fmcad_derivations,
+            self.fmcad_quality_violations
         )?;
         writeln!(
             f,
@@ -91,8 +94,9 @@ fn random_steps(rng: &mut Rng, n: usize) -> Vec<Step> {
 /// Panics only on bootstrap failures.
 pub fn run(designs: usize, steps_per_design: usize, seed: u64) -> E8Result {
     let mut rng = Rng::new(seed);
-    let plans: Vec<Vec<Step>> =
-        (0..designs).map(|_| random_steps(&mut rng, steps_per_design)).collect();
+    let plans: Vec<Vec<Step>> = (0..designs)
+        .map(|_| random_steps(&mut rng, steps_per_design))
+        .collect();
     let attempts = (designs * steps_per_design) as u64;
 
     // --- standalone FMCAD ---------------------------------------------------
@@ -105,7 +109,8 @@ pub fn run(designs: usize, steps_per_design: usize, seed: u64) -> E8Result {
         let cell = format!("d{i}");
         fm.create_cell("free", &cell).expect("fresh cell");
         for view in ["schematic", "layout", "waveform"] {
-            fm.create_cellview("free", &cell, view, view).expect("fresh view");
+            fm.create_cellview("free", &cell, view, view)
+                .expect("fresh view");
         }
         let mut simulated = false;
         let mut layout_done_before_sim = false;
@@ -121,11 +126,16 @@ pub fn run(designs: usize, steps_per_design: usize, seed: u64) -> E8Result {
                 Step::Layout => b"layout d\n".to_vec(),
                 Step::Simulate => b"waves\n".to_vec(),
             };
-            let has_versions = !fm.versions("free", &cell, view).expect("view exists").is_empty();
+            let has_versions = !fm
+                .versions("free", &cell, view)
+                .expect("view exists")
+                .is_empty();
             if has_versions {
-                fm.checkout("u", "free", &cell, view).expect("free cellview");
+                fm.checkout("u", "free", &cell, view)
+                    .expect("free cellview");
             }
-            fm.checkin("u", "free", &cell, view, data).expect("holder checks in");
+            fm.checkin("u", "free", &cell, view, data)
+                .expect("holder checks in");
             fmcad_executed += 1;
             match step {
                 Step::Simulate => simulated = true,
@@ -139,8 +149,7 @@ pub fn run(designs: usize, steps_per_design: usize, seed: u64) -> E8Result {
     }
 
     // --- hybrid, forced flows ------------------------------------------------
-    let (hybrid_executed, hybrid_refused, hybrid_derivations, _, _) =
-        run_hybrid(&plans, false);
+    let (hybrid_executed, hybrid_refused, hybrid_derivations, _, _) = run_hybrid(&plans, false);
     // --- hybrid, advisory flows (ablation) ------------------------------------
     let (_, _, _, advisory_overrides, advisory_quality_violations) = run_hybrid(&plans, true);
 
@@ -170,7 +179,10 @@ fn run_hybrid(plans: &[Vec<Step>], advisory: bool) -> (u64, u64, u64, u64, u64) 
     let mut quality_violations = 0u64;
     let mut variants = Vec::new();
     for (i, plan) in plans.iter().enumerate() {
-        let cell = env.hy.create_cell(project, &format!("d{i}")).expect("fresh cell");
+        let cell = env
+            .hy
+            .create_cell(project, &format!("d{i}"))
+            .expect("fresh cell");
         let (cv, variant) = env
             .hy
             .create_cell_version(cell, env.flow.flow, env.team)
@@ -190,9 +202,14 @@ fn run_hybrid(plans: &[Vec<Step>], advisory: bool) -> (u64, u64, u64, u64, u64) 
                 Step::Simulate => (env.flow.simulate, "waveform", b"waves\n".to_vec()),
             };
             let vt = viewtype.to_owned();
-            let result = env.hy.run_activity(user, variant, activity, advisory, move |_| {
-                Ok(vec![ToolOutput { viewtype: vt, data }])
-            });
+            let result = env
+                .hy
+                .run_activity(user, variant, activity, advisory, move |_| {
+                    Ok(vec![ToolOutput {
+                        viewtype: vt,
+                        data: data.into(),
+                    }])
+                });
             match result {
                 Ok(_) => {
                     executed += 1;
@@ -226,7 +243,13 @@ fn run_hybrid(plans: &[Vec<Step>], advisory: bool) -> (u64, u64, u64, u64, u64) 
             }
         }
     }
-    (executed, refused, derivations, overrides, quality_violations)
+    (
+        executed,
+        refused,
+        derivations,
+        overrides,
+        quality_violations,
+    )
 }
 
 #[cfg(test)]
@@ -260,6 +283,9 @@ mod tests {
     #[test]
     fn advisory_ablation_uses_overrides() {
         let r = run(6, 6, 31);
-        assert!(r.advisory_overrides > 0, "advisory mode must exercise the override: {r}");
+        assert!(
+            r.advisory_overrides > 0,
+            "advisory mode must exercise the override: {r}"
+        );
     }
 }

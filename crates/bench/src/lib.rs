@@ -13,6 +13,7 @@
 //! | [`e7_ui`] | §3.4 user interface |
 //! | [`e8_flow`] | §3.5 flow management and derivation relations |
 //! | [`e9_performance`] | §3.6 performance |
+//! | [`e10_throughput`] | host wall-clock of the zero-copy blob layer |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod e10_throughput;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

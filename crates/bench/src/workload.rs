@@ -25,15 +25,28 @@ pub struct HybridEnv {
 pub fn hybrid_env(n: usize) -> HybridEnv {
     let mut hy = Hybrid::new();
     let admin = hy.admin();
-    let team = hy.jcf_mut().add_team(admin, "team").expect("fresh installation");
+    let team = hy
+        .jcf_mut()
+        .add_team(admin, "team")
+        .expect("fresh installation");
     let mut designers = Vec::with_capacity(n);
     for i in 0..n {
-        let user = hy.jcf_mut().add_user(&format!("designer{i}"), false).expect("unique name");
-        hy.jcf_mut().add_team_member(admin, team, user).expect("manager adds members");
+        let user = hy
+            .jcf_mut()
+            .add_user(&format!("designer{i}"), false)
+            .expect("unique name");
+        hy.jcf_mut()
+            .add_team_member(admin, team, user)
+            .expect("manager adds members");
         designers.push(user);
     }
     let flow = hy.standard_flow("flow").expect("fresh installation");
-    HybridEnv { hy, designers, team, flow }
+    HybridEnv {
+        hy,
+        designers,
+        team,
+        flow,
+    }
 }
 
 /// Populates a standalone FMCAD library with the schematics (and
@@ -46,11 +59,19 @@ pub fn populate_fmcad(fm: &mut Fmcad, lib: &str, design: &GeneratedDesign, with_
     fm.create_library(lib).expect("fresh library");
     for (cell, netlist) in &design.netlists {
         fm.create_cell(lib, cell).expect("fresh cell");
-        fm.create_cellview(lib, cell, "schematic", "schematic").expect("fresh view");
-        fm.checkin("init", lib, cell, "schematic", format::write_netlist(netlist).into_bytes())
-            .expect("initial checkin");
+        fm.create_cellview(lib, cell, "schematic", "schematic")
+            .expect("fresh view");
+        fm.checkin(
+            "init",
+            lib,
+            cell,
+            "schematic",
+            format::write_netlist(netlist).into_bytes(),
+        )
+        .expect("initial checkin");
         if with_layouts {
-            fm.create_cellview(lib, cell, "layout", "layout").expect("fresh view");
+            fm.create_cellview(lib, cell, "layout", "layout")
+                .expect("fresh view");
             fm.checkin(
                 "init",
                 lib,

@@ -46,9 +46,12 @@ pub struct TimingReport {
 /// ```
 pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
     if !netlist.subcells().is_empty() {
-        return Err(ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(
-            format!("{} is hierarchical; flatten before timing", netlist.name()),
-        )));
+        return Err(ToolError::DesignData(
+            design_data::DesignDataError::UnresolvedCell(format!(
+                "{} is hierarchical; flatten before timing",
+                netlist.name()
+            )),
+        ));
     }
     // Arrival of input ports and flip-flop outputs is 0.
     let mut arrival: BTreeMap<String, u64> = BTreeMap::new();
@@ -64,7 +67,9 @@ pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
     }
     let mut gates = Vec::new();
     for inst in netlist.instances() {
-        let MasterRef::Gate(kind) = inst.master else { unreachable!("flat netlist") };
+        let MasterRef::Gate(kind) = inst.master else {
+            unreachable!("flat netlist")
+        };
         if kind == GateKind::Dff {
             if let Some(q) = inst.connections.get("q") {
                 arrival.insert(q.clone(), 0); // a timing start point
@@ -81,7 +86,11 @@ pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
                 }
             }
         }
-        gates.push(GateRef { kind, inputs, output });
+        gates.push(GateRef {
+            kind,
+            inputs,
+            output,
+        });
     }
     // Relaxation over the DAG; a pass count beyond |gates| means a loop.
     let mut predecessor: BTreeMap<String, String> = BTreeMap::new();
@@ -112,19 +121,27 @@ pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
         }
         passes += 1;
         if passes > gates.len() + 1 {
-            return Err(ToolError::DesignData(design_data::DesignDataError::HierarchyTooDeep {
-                cell: netlist.name().to_owned(),
-                limit: gates.len(),
-            }));
+            return Err(ToolError::DesignData(
+                design_data::DesignDataError::HierarchyTooDeep {
+                    cell: netlist.name().to_owned(),
+                    limit: gates.len(),
+                },
+            ));
         }
     }
     // A gate output that never arrived sits in (or behind) a
     // combinational cycle — in an ERC-clean netlist every net is driven.
     if let Some(stuck) = gates.iter().find(|g| !arrival.contains_key(g.output)) {
-        return Err(ToolError::DesignData(design_data::DesignDataError::HierarchyTooDeep {
-            cell: format!("{} (combinational loop through {})", netlist.name(), stuck.output),
-            limit: gates.len(),
-        }));
+        return Err(ToolError::DesignData(
+            design_data::DesignDataError::HierarchyTooDeep {
+                cell: format!(
+                    "{} (combinational loop through {})",
+                    netlist.name(),
+                    stuck.output
+                ),
+                limit: gates.len(),
+            },
+        ));
     }
     // The critical end point: the output port or dff d-net with the
     // largest arrival.
@@ -140,7 +157,11 @@ pub fn static_timing(netlist: &Netlist) -> ToolResult<TimingReport> {
         cursor = prev.clone();
     }
     critical_path.reverse();
-    Ok(TimingReport { critical_delay, critical_path, arrival })
+    Ok(TimingReport {
+        critical_delay,
+        critical_path,
+        arrival,
+    })
 }
 
 /// Switching activity extracted from a simulation run.
@@ -181,7 +202,10 @@ mod tests {
         // cout = or2(and2(..), and2(xor2(..))): 3 + 2 + 2 = 7.
         assert_eq!(report.arrival["cout"], 7);
         assert_eq!(report.critical_delay, 7);
-        assert_eq!(report.critical_path.last().map(String::as_str), Some("cout"));
+        assert_eq!(
+            report.critical_path.last().map(String::as_str),
+            Some("cout")
+        );
         assert!(report.critical_path.len() >= 3);
     }
 
@@ -223,10 +247,18 @@ mod tests {
         n.add_port("x", Direction::Input).unwrap();
         n.add_net("a").unwrap();
         n.add_net("b").unwrap();
-        n.add_instance("g1", MasterRef::Gate(GateKind::And2), &[("a", "x"), ("b", "b"), ("y", "a")])
-            .unwrap();
-        n.add_instance("g2", MasterRef::Gate(GateKind::Buf), &[("a", "a"), ("y", "b")])
-            .unwrap();
+        n.add_instance(
+            "g1",
+            MasterRef::Gate(GateKind::And2),
+            &[("a", "x"), ("b", "b"), ("y", "a")],
+        )
+        .unwrap();
+        n.add_instance(
+            "g2",
+            MasterRef::Gate(GateKind::Buf),
+            &[("a", "a"), ("y", "b")],
+        )
+        .unwrap();
         assert!(static_timing(&n).is_err());
     }
 
@@ -245,7 +277,10 @@ mod tests {
         let before = static_timing(&fa).unwrap().critical_delay;
         let (mapped, _) = crate::techmap::map_to_nand(&fa).unwrap();
         let after = static_timing(&mapped).unwrap().critical_delay;
-        assert!(after > before, "NAND mapping deepens the logic: {before} -> {after}");
+        assert!(
+            after > before,
+            "NAND mapping deepens the logic: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl ItcBus {
     /// Publishes a message to every *other* subscriber.
     pub fn publish(&mut self, from: SubscriberId, message: ItcMessage) {
         let from_kind = self.subscribers[from.0].0;
-        let delivery = Delivery { from: from_kind, message };
+        let delivery = Delivery {
+            from: from_kind,
+            message,
+        };
         for (i, (_, mailbox)) in self.subscribers.iter_mut().enumerate() {
             if i != from.0 {
                 mailbox.push_back(delivery.clone());
@@ -152,7 +155,13 @@ mod tests {
         let a = bus.subscribe(ToolKind::SchematicEntry);
         let b = bus.subscribe(ToolKind::LayoutEditor);
         let c = bus.subscribe(ToolKind::Simulator);
-        bus.publish(a, ItcMessage::Custom { name: "ping".into(), args: vec![] });
+        bus.publish(
+            a,
+            ItcMessage::Custom {
+                name: "ping".into(),
+                args: vec![],
+            },
+        );
         assert_eq!(bus.pending(a), 0);
         assert_eq!(bus.pending(b), 1);
         assert_eq!(bus.pending(c), 1);
@@ -167,7 +176,13 @@ mod tests {
         let a = bus.subscribe(ToolKind::SchematicEntry);
         let b = bus.subscribe(ToolKind::LayoutEditor);
         for i in 0..5 {
-            bus.publish(a, ItcMessage::Custom { name: format!("m{i}"), args: vec![] });
+            bus.publish(
+                a,
+                ItcMessage::Custom {
+                    name: format!("m{i}"),
+                    args: vec![],
+                },
+            );
         }
         let inbox = bus.drain(b);
         let names: Vec<String> = inbox
@@ -184,8 +199,20 @@ mod tests {
     fn log_records_everything() {
         let mut bus = ItcBus::new();
         let a = bus.subscribe(ToolKind::SchematicEntry);
-        bus.publish(a, ItcMessage::DataChanged { cell: "x".into(), view: "schematic".into() });
-        bus.publish(a, ItcMessage::CrossProbe { cell: "x".into(), net: "n".into() });
+        bus.publish(
+            a,
+            ItcMessage::DataChanged {
+                cell: "x".into(),
+                view: "schematic".into(),
+            },
+        );
+        bus.publish(
+            a,
+            ItcMessage::CrossProbe {
+                cell: "x".into(),
+                net: "n".into(),
+            },
+        );
         assert_eq!(bus.log().len(), 2);
     }
 }

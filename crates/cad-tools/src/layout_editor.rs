@@ -33,7 +33,11 @@ pub struct LayoutEditor {
 impl LayoutEditor {
     /// Starts an editing session on a brand-new, empty layout.
     pub fn create(cell: &str) -> Self {
-        LayoutEditor { layout: Layout::new(cell), dirty: true, highlighted: Vec::new() }
+        LayoutEditor {
+            layout: Layout::new(cell),
+            dirty: true,
+            highlighted: Vec::new(),
+        }
     }
 
     /// Opens serialized layout `bytes` (a cellview version's content).
@@ -44,7 +48,11 @@ impl LayoutEditor {
     pub fn open(bytes: &[u8]) -> ToolResult<Self> {
         let text = String::from_utf8_lossy(bytes);
         let layout = format::parse_layout(&text).map_err(ToolError::DesignData)?;
-        Ok(LayoutEditor { layout, dirty: false, highlighted: Vec::new() })
+        Ok(LayoutEditor {
+            layout,
+            dirty: false,
+            highlighted: Vec::new(),
+        })
     }
 
     /// The cell name being edited.
@@ -108,7 +116,10 @@ impl LayoutEditor {
         self.highlighted = shapes;
         bus.publish(
             me,
-            ItcMessage::CrossProbe { cell: self.layout.name().to_owned(), net: net.to_owned() },
+            ItcMessage::CrossProbe {
+                cell: self.layout.name().to_owned(),
+                net: net.to_owned(),
+            },
         );
         Ok(())
     }
@@ -152,9 +163,12 @@ mod tests {
 
     fn editor_with_shapes() -> LayoutEditor {
         let mut ed = LayoutEditor::create("cellA");
-        ed.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
-        ed.add_rect(Rect::labelled(Layer::Metal1, 20, 0, 30, 10, "y").unwrap()).unwrap();
-        ed.add_rect(Rect::labelled(Layer::Metal2, 0, 20, 10, 30, "a").unwrap()).unwrap();
+        ed.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap())
+            .unwrap();
+        ed.add_rect(Rect::labelled(Layer::Metal1, 20, 0, 30, 10, "y").unwrap())
+            .unwrap();
+        ed.add_rect(Rect::labelled(Layer::Metal2, 0, 20, 10, 30, "a").unwrap())
+            .unwrap();
         ed
     }
 
@@ -202,7 +216,8 @@ mod tests {
     #[test]
     fn drc_flags_bad_geometry() {
         let mut ed = LayoutEditor::create("bad");
-        ed.add_rect(Rect::new(Layer::Metal1, 0, 0, 1, 1).unwrap()).unwrap();
+        ed.add_rect(Rect::new(Layer::Metal1, 0, 0, 1, 1).unwrap())
+            .unwrap();
         assert!(!ed.run_drc().is_empty());
     }
 

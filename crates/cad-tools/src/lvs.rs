@@ -41,7 +41,11 @@ impl fmt::Display for LvsViolation {
         match self {
             LvsViolation::MissingNet { net } => write!(f, "net {net:?} has no layout geometry"),
             LvsViolation::PhantomNet { net } => write!(f, "layout label {net:?} not in schematic"),
-            LvsViolation::InstanceMismatch { cell, schematic, layout } => write!(
+            LvsViolation::InstanceMismatch {
+                cell,
+                schematic,
+                layout,
+            } => write!(
                 f,
                 "subcell {cell:?}: {schematic} schematic instance(s) vs {layout} placement(s)"
             ),
@@ -70,7 +74,12 @@ impl fmt::Display for LvsReport {
         if self.is_clean() {
             write!(f, "LVS clean ({} nets matched)", self.matched_nets)
         } else {
-            writeln!(f, "LVS: {} violation(s), {} nets matched", self.violations.len(), self.matched_nets)?;
+            writeln!(
+                f,
+                "LVS: {} violation(s), {} nets matched",
+                self.violations.len(),
+                self.matched_nets
+            )?;
             for v in &self.violations {
                 writeln!(f, "  {v}")?;
             }
@@ -112,14 +121,16 @@ pub fn check_lvs(netlist: &Netlist, layout: &Layout) -> LvsReport {
         if layout_nets.contains_key(net) {
             report.matched_nets += 1;
         } else {
-            report.violations.push(LvsViolation::MissingNet { net: net.to_owned() });
+            report.violations.push(LvsViolation::MissingNet {
+                net: net.to_owned(),
+            });
         }
     }
     for net in layout_nets.keys() {
         if !netlist.nets().any(|n| n == *net) {
-            report
-                .violations
-                .push(LvsViolation::PhantomNet { net: (*net).to_owned() });
+            report.violations.push(LvsViolation::PhantomNet {
+                net: (*net).to_owned(),
+            });
         }
     }
 
@@ -160,7 +171,11 @@ mod tests {
 
     #[test]
     fn generated_designs_are_lvs_clean() {
-        for design in [generate::ripple_adder(4), generate::counter(3), generate::random_logic(60, 5)] {
+        for design in [
+            generate::ripple_adder(4),
+            generate::counter(3),
+            generate::random_logic(60, 5),
+        ] {
             for (cell, netlist) in &design.netlists {
                 let report = check_lvs(netlist, &design.layouts[cell]);
                 assert!(report.is_clean(), "{cell}: {report}");
@@ -186,7 +201,9 @@ mod tests {
             stripped.add_rect(r).unwrap();
         }
         for p in layout.placements() {
-            stripped.add_placement(&p.name, &p.cell, p.dx, p.dy).unwrap();
+            stripped
+                .add_placement(&p.name, &p.cell, p.dx, p.dy)
+                .unwrap();
         }
         layout = stripped;
         let report = check_lvs(netlist, &layout);
@@ -219,7 +236,9 @@ mod tests {
             .add_instance("u1", MasterRef::Cell("fa".into()), &[("a", "n")])
             .unwrap();
         let mut layout = design_data::Layout::new("top");
-        layout.add_rect(Rect::labelled(Layer::Metal2, 0, 0, 20, 5, "n").unwrap()).unwrap();
+        layout
+            .add_rect(Rect::labelled(Layer::Metal2, 0, 0, 20, 5, "n").unwrap())
+            .unwrap();
         layout.add_placement("i1", "fa", 0, 0).unwrap();
         layout.add_placement("i2", "fa", 20, 0).unwrap();
         let report = check_lvs(&netlist, &layout);
@@ -232,7 +251,10 @@ mod tests {
     #[test]
     fn report_displays_cleanly() {
         let design = generate::ripple_adder(1);
-        let report = check_lvs(&design.netlists["full_adder"], &design.layouts["full_adder"]);
+        let report = check_lvs(
+            &design.netlists["full_adder"],
+            &design.layouts["full_adder"],
+        );
         assert!(report.to_string().contains("LVS clean"));
     }
 }

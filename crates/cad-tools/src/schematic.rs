@@ -38,7 +38,11 @@ pub struct SchematicEditor {
 impl SchematicEditor {
     /// Starts an editing session on a brand-new, empty schematic.
     pub fn create(cell: &str) -> Self {
-        SchematicEditor { netlist: Netlist::new(cell), dirty: true, selection: None }
+        SchematicEditor {
+            netlist: Netlist::new(cell),
+            dirty: true,
+            selection: None,
+        }
     }
 
     /// Opens the serialized schematic `bytes` (a cellview version's
@@ -50,7 +54,11 @@ impl SchematicEditor {
     pub fn open(bytes: &[u8]) -> ToolResult<Self> {
         let text = String::from_utf8_lossy(bytes);
         let netlist = format::parse_netlist(&text).map_err(ToolError::DesignData)?;
-        Ok(SchematicEditor { netlist, dirty: false, selection: None })
+        Ok(SchematicEditor {
+            netlist,
+            dirty: false,
+            selection: None,
+        })
     }
 
     /// The cell name being edited.
@@ -130,7 +138,10 @@ impl SchematicEditor {
         self.selection = Some(net.to_owned());
         bus.publish(
             me,
-            ItcMessage::CrossProbe { cell: self.netlist.name().to_owned(), net: net.to_owned() },
+            ItcMessage::CrossProbe {
+                cell: self.netlist.name().to_owned(),
+                net: net.to_owned(),
+            },
         );
         Ok(())
     }
@@ -174,8 +185,12 @@ mod tests {
         let mut ed = SchematicEditor::create("cellA");
         ed.add_port("a", Direction::Input).unwrap();
         ed.add_port("y", Direction::Output).unwrap();
-        ed.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "a"), ("y", "y")])
-            .unwrap();
+        ed.add_instance(
+            "u1",
+            MasterRef::Gate(GateKind::Not),
+            &[("a", "a"), ("y", "y")],
+        )
+        .unwrap();
         ed
     }
 
@@ -223,7 +238,10 @@ mod tests {
         let mut bus = ItcBus::new();
         let sch = bus.subscribe(ToolKind::SchematicEntry);
         let mut ed = editor_with_gate();
-        assert!(matches!(ed.select_net("ghost", &mut bus, sch), Err(ToolError::NotFound(_))));
+        assert!(matches!(
+            ed.select_net("ghost", &mut bus, sch),
+            Err(ToolError::NotFound(_))
+        ));
         assert!(bus.log().is_empty(), "failed selection must not publish");
     }
 

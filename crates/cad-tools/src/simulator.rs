@@ -119,9 +119,9 @@ impl Simulator {
             events_processed: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
         };
-        let net = netlists
-            .get(top)
-            .ok_or_else(|| ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(top.to_owned())))?;
+        let net = netlists.get(top).ok_or_else(|| {
+            ToolError::DesignData(design_data::DesignDataError::UnresolvedCell(top.to_owned()))
+        })?;
         sim.expand(net, "", netlists, &BTreeMap::new(), 0)?;
         for (i, gate) in sim.gates.iter().enumerate() {
             for input in &gate.inputs {
@@ -171,13 +171,11 @@ impl Simulator {
         }
         let net_names: Vec<String> = netlist.nets().map(str::to_owned).collect();
         for net in net_names {
-            local
-                .entry(net.clone())
-                .or_insert_with_key(|k| {
-                    // Closure cannot call self.signal (borrow); fill below.
-                    let _ = k;
-                    SignalId(usize::MAX)
-                });
+            local.entry(net.clone()).or_insert_with_key(|k| {
+                // Closure cannot call self.signal (borrow); fill below.
+                let _ = k;
+                SignalId(usize::MAX)
+            });
         }
         // Second pass to create missing signals (avoids double borrow).
         let missing: Vec<String> = local
@@ -209,7 +207,11 @@ impl Simulator {
                         }
                     }
                     let output = output.expect("every gate kind has an output pin");
-                    self.gates.push(Gate { kind: *kind, inputs, output });
+                    self.gates.push(Gate {
+                        kind: *kind,
+                        inputs,
+                        output,
+                    });
                 }
                 MasterRef::Cell(cell) => {
                     let child = netlists.get(cell).ok_or_else(|| {
@@ -294,7 +296,12 @@ impl Simulator {
 
     fn push_event(&mut self, time: u64, signal: SignalId, value: Logic) {
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq: self.seq, signal, value_tag: tag(value) }));
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            signal,
+            value_tag: tag(value),
+        }));
     }
 
     /// Processes events until the queue drains or `self.event_budget`
@@ -319,7 +326,8 @@ impl Simulator {
                 continue;
             }
             self.values[event.signal.0] = new;
-            self.waves.record(&self.names[event.signal.0], event.time, new);
+            self.waves
+                .record(&self.names[event.signal.0], event.time, new);
             let fanout = self.fanout[event.signal.0].clone();
             for gate_idx in fanout {
                 self.evaluate_gate(gate_idx, event.signal, old, new, event.time);
@@ -450,8 +458,16 @@ mod tests {
 
     fn adder_inputs(sim: &mut Simulator, a: u64, b: u64, width: usize) {
         for i in 0..width {
-            let av = if (a >> i) & 1 == 1 { Logic::One } else { Logic::Zero };
-            let bv = if (b >> i) & 1 == 1 { Logic::One } else { Logic::Zero };
+            let av = if (a >> i) & 1 == 1 {
+                Logic::One
+            } else {
+                Logic::Zero
+            };
+            let bv = if (b >> i) & 1 == 1 {
+                Logic::One
+            } else {
+                Logic::Zero
+            };
             sim.set_input(&format!("a{i}"), av).unwrap();
             sim.set_input(&format!("b{i}"), bv).unwrap();
         }
@@ -501,7 +517,8 @@ mod tests {
         let mut netlists = BTreeMap::new();
         let mut top = Netlist::new("top");
         top.add_net("n").unwrap();
-        top.add_instance("u", MasterRef::Cell("ghost".into()), &[("a", "n")]).unwrap();
+        top.add_instance("u", MasterRef::Cell("ghost".into()), &[("a", "n")])
+            .unwrap();
         netlists.insert("top".to_owned(), top);
         assert!(Simulator::elaborate("top", &netlists).is_err());
         assert!(Simulator::elaborate("missing_top", &netlists).is_err());
@@ -512,7 +529,8 @@ mod tests {
         let mut netlists = BTreeMap::new();
         let mut a = Netlist::new("a");
         a.add_net("n").unwrap();
-        a.add_instance("u", MasterRef::Cell("a".into()), &[("p", "n")]).unwrap();
+        a.add_instance("u", MasterRef::Cell("a".into()), &[("p", "n")])
+            .unwrap();
         netlists.insert("a".to_owned(), a);
         let err = Simulator::elaborate("a", &netlists).unwrap_err();
         assert!(matches!(
@@ -525,8 +543,14 @@ mod tests {
     fn unknown_signal_reported() {
         let design = generate::ripple_adder(1);
         let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
-        assert!(matches!(sim.value("nope"), Err(ToolError::UnknownSignal(_))));
-        assert!(matches!(sim.set_input("nope", Logic::One), Err(ToolError::UnknownSignal(_))));
+        assert!(matches!(
+            sim.value("nope"),
+            Err(ToolError::UnknownSignal(_))
+        ));
+        assert!(matches!(
+            sim.set_input("nope", Logic::One),
+            Err(ToolError::UnknownSignal(_))
+        ));
     }
 
     #[test]
@@ -535,13 +559,20 @@ mod tests {
         let mut netlists = BTreeMap::new();
         let mut osc = Netlist::new("osc");
         osc.add_net("n").unwrap();
-        osc.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "n"), ("y", "n")])
-            .unwrap();
+        osc.add_instance(
+            "u",
+            MasterRef::Gate(GateKind::Not),
+            &[("a", "n"), ("y", "n")],
+        )
+        .unwrap();
         netlists.insert("osc".to_owned(), osc);
         let mut sim = Simulator::elaborate("osc", &netlists).unwrap();
         sim.set_event_budget(10_000);
         sim.set_input("n", Logic::Zero).unwrap();
-        assert!(matches!(sim.settle(), Err(ToolError::SimulationDiverged { .. })));
+        assert!(matches!(
+            sim.settle(),
+            Err(ToolError::SimulationDiverged { .. })
+        ));
     }
 
     #[test]
@@ -599,10 +630,16 @@ mod tests {
         let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
         let mut stim = design_data::Stimulus::new();
         stim.drive(0, "ghost", Logic::One);
-        assert!(matches!(sim.run_testbench(&stim), Err(ToolError::UnknownSignal(_))));
+        assert!(matches!(
+            sim.run_testbench(&stim),
+            Err(ToolError::UnknownSignal(_))
+        ));
         let mut stim = design_data::Stimulus::new();
         stim.probe("ghost");
-        assert!(matches!(sim.run_testbench(&stim), Err(ToolError::UnknownSignal(_))));
+        assert!(matches!(
+            sim.run_testbench(&stim),
+            Err(ToolError::UnknownSignal(_))
+        ));
     }
 
     #[test]
@@ -610,7 +647,11 @@ mod tests {
         let design = generate::ripple_adder(1);
         let mut sim = Simulator::elaborate(&design.top, &design.netlists).unwrap();
         let mut stim = design_data::Stimulus::new();
-        for (pin, v) in [("a0", Logic::One), ("b0", Logic::Zero), ("cin", Logic::Zero)] {
+        for (pin, v) in [
+            ("a0", Logic::One),
+            ("b0", Logic::Zero),
+            ("cin", Logic::Zero),
+        ] {
             stim.drive(0, pin, v);
         }
         let waves = sim.run_testbench(&stim).unwrap();

@@ -51,14 +51,18 @@ pub struct TechmapStats {
 pub fn map_to_nand(input: &Netlist) -> ToolResult<(Netlist, TechmapStats)> {
     let mut out = Netlist::new(input.name());
     for port in input.ports() {
-        out.add_port(&port.name, port.direction).map_err(ToolError::DesignData)?;
+        out.add_port(&port.name, port.direction)
+            .map_err(ToolError::DesignData)?;
     }
     for net in input.nets() {
         if input.port(net).is_none() {
             out.add_net(net).map_err(ToolError::DesignData)?;
         }
     }
-    let mut stats = TechmapStats { gates_in: 0, gates_out: 0 };
+    let mut stats = TechmapStats {
+        gates_in: 0,
+        gates_out: 0,
+    };
     let mut fresh = 0usize;
     for inst in input.instances() {
         match &inst.master {
@@ -77,12 +81,12 @@ pub fn map_to_nand(input: &Netlist) -> ToolResult<(Netlist, TechmapStats)> {
                     inst.connections.get(name).cloned().unwrap_or_default()
                 };
                 let emit = |out: &mut Netlist,
-                                fresh: &mut usize,
-                                stats: &mut TechmapStats,
-                                kind: GateKind,
-                                a: &str,
-                                b: Option<&str>,
-                                y: &str|
+                            fresh: &mut usize,
+                            stats: &mut TechmapStats,
+                            kind: GateKind,
+                            a: &str,
+                            b: Option<&str>,
+                            y: &str|
                  -> ToolResult<()> {
                     *fresh += 1;
                     stats.gates_out += 1;
@@ -115,51 +119,187 @@ pub fn map_to_nand(input: &Netlist) -> ToolResult<(Netlist, TechmapStats)> {
                     }
                     GateKind::Nand2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&b), &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&b),
+                            &y,
+                        )?;
                     }
                     GateKind::Not => {
                         let (a, y) = (pin("a"), pin("y"));
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &a, None, &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &a,
+                            None,
+                            &y,
+                        )?;
                     }
                     GateKind::Buf => {
                         let (a, y) = (pin("a"), pin("y"));
                         let w = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &a, None, &w)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &w, None, &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &a,
+                            None,
+                            &w,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &w,
+                            None,
+                            &y,
+                        )?;
                     }
                     GateKind::And2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
                         let w = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&b), &w)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &w, None, &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&b),
+                            &w,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &w,
+                            None,
+                            &y,
+                        )?;
                     }
                     GateKind::Or2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
                         let na = wire(&mut out, &mut fresh)?;
                         let nb = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &a, None, &na)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &b, None, &nb)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &na, Some(&nb), &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &a,
+                            None,
+                            &na,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &b,
+                            None,
+                            &nb,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &na,
+                            Some(&nb),
+                            &y,
+                        )?;
                     }
                     GateKind::Nor2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
                         let na = wire(&mut out, &mut fresh)?;
                         let nb = wire(&mut out, &mut fresh)?;
                         let or = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &a, None, &na)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &b, None, &nb)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &na, Some(&nb), &or)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &or, None, &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &a,
+                            None,
+                            &na,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &b,
+                            None,
+                            &nb,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &na,
+                            Some(&nb),
+                            &or,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &or,
+                            None,
+                            &y,
+                        )?;
                     }
                     GateKind::Xor2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
                         let nab = wire(&mut out, &mut fresh)?;
                         let l = wire(&mut out, &mut fresh)?;
                         let r = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&b), &nab)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&nab), &l)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &b, Some(&nab), &r)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &l, Some(&r), &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&b),
+                            &nab,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&nab),
+                            &l,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &b,
+                            Some(&nab),
+                            &r,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &l,
+                            Some(&r),
+                            &y,
+                        )?;
                     }
                     GateKind::Xnor2 => {
                         let (a, b, y) = (pin("a"), pin("b"), pin("y"));
@@ -167,11 +307,51 @@ pub fn map_to_nand(input: &Netlist) -> ToolResult<(Netlist, TechmapStats)> {
                         let l = wire(&mut out, &mut fresh)?;
                         let r = wire(&mut out, &mut fresh)?;
                         let x = wire(&mut out, &mut fresh)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&b), &nab)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &a, Some(&nab), &l)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &b, Some(&nab), &r)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Nand2, &l, Some(&r), &x)?;
-                        emit(&mut out, &mut fresh, &mut stats, GateKind::Not, &x, None, &y)?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&b),
+                            &nab,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &a,
+                            Some(&nab),
+                            &l,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &b,
+                            Some(&nab),
+                            &r,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Nand2,
+                            &l,
+                            Some(&r),
+                            &x,
+                        )?;
+                        emit(
+                            &mut out,
+                            &mut fresh,
+                            &mut stats,
+                            GateKind::Not,
+                            &x,
+                            None,
+                            &y,
+                        )?;
                     }
                 }
             }
@@ -207,7 +387,8 @@ mod tests {
                 all.insert(netlist.name().to_owned(), netlist.clone());
                 let mut sim = Simulator::elaborate(netlist.name(), &all).unwrap();
                 for (pin, v) in inputs {
-                    sim.set_input(pin, if v { Logic::One } else { Logic::Zero }).unwrap();
+                    sim.set_input(pin, if v { Logic::One } else { Logic::Zero })
+                        .unwrap();
                 }
                 sim.settle().unwrap();
                 outs.push((sim.value("sum").unwrap(), sim.value("cout").unwrap()));
@@ -244,7 +425,11 @@ mod tests {
                     all.insert(netlist.name().to_owned(), netlist.clone());
                     let mut sim = Simulator::elaborate(netlist.name(), &all).unwrap();
                     for (i, pin) in input_names.iter().enumerate() {
-                        let v = if (pattern >> (i % 8)) & 1 == 1 { Logic::One } else { Logic::Zero };
+                        let v = if (pattern >> (i % 8)) & 1 == 1 {
+                            Logic::One
+                        } else {
+                            Logic::Zero
+                        };
                         sim.set_input(pin, v).unwrap();
                     }
                     sim.settle().unwrap();

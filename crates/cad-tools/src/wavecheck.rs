@@ -36,8 +36,16 @@ impl fmt::Display for WaveMismatch {
             WaveMismatch::MissingSignal { signal } => {
                 write!(f, "signal {signal:?} missing from the run")
             }
-            WaveMismatch::ValueDivergence { signal, time, expected, actual } => {
-                write!(f, "{signal:?} diverges at t={time}: expected {expected}, got {actual}")
+            WaveMismatch::ValueDivergence {
+                signal,
+                time,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{signal:?} diverges at t={time}: expected {expected}, got {actual}"
+                )
             }
         }
     }
@@ -66,7 +74,9 @@ pub fn compare_waveforms(golden: &Waveforms, actual: &Waveforms) -> Vec<WaveMism
     let mut mismatches = Vec::new();
     for (signal, golden_trace) in golden.iter() {
         let Some(actual_trace) = actual.trace(signal) else {
-            mismatches.push(WaveMismatch::MissingSignal { signal: signal.to_owned() });
+            mismatches.push(WaveMismatch::MissingSignal {
+                signal: signal.to_owned(),
+            });
             continue;
         };
         let mut times: Vec<u64> = golden_trace
@@ -125,12 +135,21 @@ mod tests {
     #[test]
     fn first_divergence_reported_per_signal() {
         let g = waves(&[("q", 5, Logic::One), ("q", 9, Logic::Zero)]);
-        let a = waves(&[("q", 5, Logic::One), ("q", 9, Logic::One), ("q", 12, Logic::X)]);
+        let a = waves(&[
+            ("q", 5, Logic::One),
+            ("q", 9, Logic::One),
+            ("q", 12, Logic::X),
+        ]);
         let m = compare_waveforms(&g, &a);
         assert_eq!(m.len(), 1);
         assert!(matches!(
             &m[0],
-            WaveMismatch::ValueDivergence { time: 9, expected: Logic::Zero, actual: Logic::One, .. }
+            WaveMismatch::ValueDivergence {
+                time: 9,
+                expected: Logic::Zero,
+                actual: Logic::One,
+                ..
+            }
         ));
     }
 
@@ -139,7 +158,10 @@ mod tests {
         let g = waves(&[("q", 5, Logic::One)]);
         let a = waves(&[("q", 7, Logic::One)]);
         let m = compare_waveforms(&g, &a);
-        assert!(matches!(&m[0], WaveMismatch::ValueDivergence { time: 5, .. }));
+        assert!(matches!(
+            &m[0],
+            WaveMismatch::ValueDivergence { time: 5, .. }
+        ));
     }
 
     #[test]

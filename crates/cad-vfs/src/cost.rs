@@ -37,7 +37,12 @@ pub struct IoCostModel {
 
 impl Default for IoCostModel {
     fn default() -> Self {
-        IoCostModel { seek: 500, read_byte: 1, write_byte: 2, metadata_op: 50 }
+        IoCostModel {
+            seek: 500,
+            read_byte: 1,
+            write_byte: 2,
+            metadata_op: 50,
+        }
     }
 }
 
@@ -45,7 +50,12 @@ impl IoCostModel {
     /// A model where all operations are free; useful in tests that only
     /// care about file system semantics.
     pub fn free() -> Self {
-        IoCostModel { seek: 0, read_byte: 0, write_byte: 0, metadata_op: 0 }
+        IoCostModel {
+            seek: 0,
+            read_byte: 0,
+            write_byte: 0,
+            metadata_op: 0,
+        }
     }
 
     /// Cost of reading a file of `len` bytes.

@@ -1,7 +1,9 @@
 //! The in-memory file system tree.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
+use crate::blob::Blob;
 use crate::cost::{CostMeter, IoCostModel};
 use crate::error::{VfsError, VfsResult};
 use crate::path::VfsPath;
@@ -28,8 +30,14 @@ pub struct Metadata {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Dir { children: BTreeMap<String, Node>, mtime: u64 },
-    File { content: Vec<u8>, mtime: u64 },
+    Dir {
+        children: BTreeMap<String, Node>,
+        mtime: u64,
+    },
+    File {
+        content: Blob,
+        mtime: u64,
+    },
 }
 
 impl Node {
@@ -73,6 +81,13 @@ impl Node {
 /// [`IoCostModel`], so experiments can compare transfer strategies
 /// without depending on host hardware.
 ///
+/// The *modeled* cost is independent of the *host* cost: file contents
+/// are [`Blob`]s, so [`Vfs::read`], [`Vfs::copy_file`] and
+/// [`Vfs::copy_tree`] charge the same per-byte ticks as before while
+/// performing O(1) refcount bumps on the host heap. The meter itself
+/// lives in a [`Cell`], so read-only paths (`read`, `metadata`,
+/// `read_dir`, …) take `&self`.
+///
 /// # Examples
 ///
 /// ```
@@ -90,7 +105,7 @@ impl Node {
 pub struct Vfs {
     root: Node,
     model: IoCostModel,
-    meter: CostMeter,
+    meter: Cell<CostMeter>,
     clock: u64,
 }
 
@@ -109,16 +124,26 @@ impl Vfs {
     /// Creates an empty file system with an explicit cost model.
     pub fn with_model(model: IoCostModel) -> Self {
         Vfs {
-            root: Node::Dir { children: BTreeMap::new(), mtime: 0 },
+            root: Node::Dir {
+                children: BTreeMap::new(),
+                mtime: 0,
+            },
             model,
-            meter: CostMeter::new(),
+            meter: Cell::new(CostMeter::new()),
             clock: 0,
         }
     }
 
     /// Returns the accumulated I/O cost meter.
     pub fn meter(&self) -> CostMeter {
-        self.meter
+        self.meter.get()
+    }
+
+    /// Charges the meter through its `Cell` (the meter is `Copy`).
+    fn charge(&self, f: impl FnOnce(&mut CostMeter, &IoCostModel)) {
+        let mut meter = self.meter.get();
+        f(&mut meter, &self.model);
+        self.meter.set(meter);
     }
 
     /// Returns the cost model in force.
@@ -147,7 +172,9 @@ impl Vfs {
                     None => return Err(VfsError::NotFound(walked)),
                 },
                 Node::File { .. } => {
-                    return Err(VfsError::NotADirectory(walked.parent().unwrap_or_else(VfsPath::root)))
+                    return Err(VfsError::NotADirectory(
+                        walked.parent().unwrap_or_else(VfsPath::root),
+                    ))
                 }
             }
         }
@@ -165,7 +192,9 @@ impl Vfs {
                     None => return Err(VfsError::NotFound(walked)),
                 },
                 Node::File { .. } => {
-                    return Err(VfsError::NotADirectory(walked.parent().unwrap_or_else(VfsPath::root)))
+                    return Err(VfsError::NotADirectory(
+                        walked.parent().unwrap_or_else(VfsPath::root),
+                    ))
                 }
             }
         }
@@ -185,10 +214,14 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::NotFound`] if the path does not exist.
-    pub fn metadata(&mut self, path: &VfsPath) -> VfsResult<Metadata> {
-        self.meter.charge_metadata(&self.model);
+    pub fn metadata(&self, path: &VfsPath) -> VfsResult<Metadata> {
+        self.charge(|m, model| m.charge_metadata(model));
         let node = self.lookup(path)?;
-        Ok(Metadata { kind: node.kind(), len: node.len(), mtime: node.mtime() })
+        Ok(Metadata {
+            kind: node.kind(),
+            len: node.len(),
+            mtime: node.mtime(),
+        })
     }
 
     /// Creates a single directory; the parent must already exist.
@@ -199,7 +232,7 @@ impl Vfs {
     /// [`VfsError::NotFound`]/[`VfsError::NotADirectory`] if the parent
     /// is missing or a file, and [`VfsError::InvalidPath`] for the root.
     pub fn mkdir(&mut self, path: &VfsPath) -> VfsResult<()> {
-        self.meter.charge_metadata(&self.model);
+        self.charge(|m, model| m.charge_metadata(model));
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
@@ -210,7 +243,13 @@ impl Vfs {
         if children.contains_key(&name) {
             return Err(VfsError::AlreadyExists(path.clone()));
         }
-        children.insert(name, Node::Dir { children: BTreeMap::new(), mtime });
+        children.insert(
+            name,
+            Node::Dir {
+                children: BTreeMap::new(),
+                mtime,
+            },
+        );
         Ok(())
     }
 
@@ -237,14 +276,18 @@ impl Vfs {
 
     /// Writes `content` to the file at `path`, creating or truncating it.
     ///
-    /// The parent directory must exist.
+    /// The parent directory must exist. Accepts anything convertible
+    /// into a [`Blob`]; passing a `Blob` (or a `Vec<u8>`) stores the
+    /// bytes without copying them, while the meter still charges full
+    /// per-byte write cost.
     ///
     /// # Errors
     ///
     /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
     /// and parent-resolution errors otherwise.
-    pub fn write(&mut self, path: &VfsPath, content: Vec<u8>) -> VfsResult<()> {
-        self.meter.charge_write(&self.model, content.len() as u64);
+    pub fn write(&mut self, path: &VfsPath, content: impl Into<Blob>) -> VfsResult<()> {
+        let content = content.into();
+        self.charge(|m, model| m.charge_write(model, content.len() as u64));
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::IsADirectory(path.clone()))?
@@ -254,7 +297,10 @@ impl Vfs {
         let children = self.lookup_dir_mut(&parent)?;
         match children.get_mut(&name) {
             Some(Node::Dir { .. }) => Err(VfsError::IsADirectory(path.clone())),
-            Some(Node::File { content: existing, mtime: m }) => {
+            Some(Node::File {
+                content: existing,
+                mtime: m,
+            }) => {
                 *existing = content;
                 *m = mtime;
                 Ok(())
@@ -268,16 +314,21 @@ impl Vfs {
 
     /// Reads the full content of the file at `path`.
     ///
+    /// Returns a [`Blob`] sharing the stored buffer — an O(1) refcount
+    /// bump on the host — while the meter charges the same per-byte
+    /// read cost as a physical transfer. The paper's §3.6 observation
+    /// lives entirely in the meter.
+    ///
     /// # Errors
     ///
     /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
     /// or [`VfsError::NotFound`] if it does not exist.
-    pub fn read(&mut self, path: &VfsPath) -> VfsResult<Vec<u8>> {
+    pub fn read(&self, path: &VfsPath) -> VfsResult<Blob> {
         let content = match self.lookup(path)? {
             Node::File { content, .. } => content.clone(),
             Node::Dir { .. } => return Err(VfsError::IsADirectory(path.clone())),
         };
-        self.meter.charge_read(&self.model, content.len() as u64);
+        self.charge(|m, model| m.charge_read(model, content.len() as u64));
         Ok(content)
     }
 
@@ -286,8 +337,8 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::NotADirectory`] if `path` names a file.
-    pub fn read_dir(&mut self, path: &VfsPath) -> VfsResult<Vec<String>> {
-        self.meter.charge_metadata(&self.model);
+    pub fn read_dir(&self, path: &VfsPath) -> VfsResult<Vec<String>> {
+        self.charge(|m, model| m.charge_metadata(model));
         match self.lookup(path)? {
             Node::Dir { children, .. } => Ok(children.keys().cloned().collect()),
             Node::File { .. } => Err(VfsError::NotADirectory(path.clone())),
@@ -300,7 +351,7 @@ impl Vfs {
     ///
     /// Returns [`VfsError::IsADirectory`] when pointed at a directory.
     pub fn remove_file(&mut self, path: &VfsPath) -> VfsResult<()> {
-        self.meter.charge_metadata(&self.model);
+        self.charge(|m, model| m.charge_metadata(model));
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::IsADirectory(path.clone()))?
@@ -324,7 +375,7 @@ impl Vfs {
     /// Returns [`VfsError::DirectoryNotEmpty`] if it still has entries,
     /// or [`VfsError::NotADirectory`] when pointed at a file.
     pub fn remove_dir(&mut self, path: &VfsPath) -> VfsResult<()> {
-        self.meter.charge_metadata(&self.model);
+        self.charge(|m, model| m.charge_metadata(model));
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
@@ -332,7 +383,9 @@ impl Vfs {
         let parent = path.parent().expect("non-root path has a parent");
         let children = self.lookup_dir_mut(&parent)?;
         match children.get(&name) {
-            Some(Node::Dir { children: grand, .. }) if grand.is_empty() => {
+            Some(Node::Dir {
+                children: grand, ..
+            }) if grand.is_empty() => {
                 children.remove(&name);
                 Ok(())
             }
@@ -349,7 +402,7 @@ impl Vfs {
     /// Returns [`VfsError::NotFound`] if nothing exists at `path`, or
     /// [`VfsError::InvalidPath`] when asked to remove the root.
     pub fn remove_all(&mut self, path: &VfsPath) -> VfsResult<()> {
-        self.meter.charge_metadata(&self.model);
+        self.charge(|m, model| m.charge_metadata(model));
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::InvalidPath("/".to_owned()))?
@@ -369,9 +422,12 @@ impl Vfs {
     /// Returns [`VfsError::AlreadyExists`] if `dest` exists and
     /// [`VfsError::RecursiveTransfer`] if `dest` lies inside `source`.
     pub fn rename(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
-        self.meter.charge_metadata(&self.model);
+        self.charge(|m, model| m.charge_metadata(model));
         if source.is_prefix_of(dest) {
-            return Err(VfsError::RecursiveTransfer { source: source.clone(), dest: dest.clone() });
+            return Err(VfsError::RecursiveTransfer {
+                source: source.clone(),
+                dest: dest.clone(),
+            });
         }
         if self.exists(dest) {
             return Err(VfsError::AlreadyExists(dest.clone()));
@@ -387,7 +443,9 @@ impl Vfs {
         // Detach.
         let src_parent = source.parent().expect("non-root path has a parent");
         let children = self.lookup_dir_mut(&src_parent)?;
-        let node = children.remove(&src_name).ok_or_else(|| VfsError::NotFound(source.clone()))?;
+        let node = children
+            .remove(&src_name)
+            .ok_or_else(|| VfsError::NotFound(source.clone()))?;
         // Attach (restore on failure so the fs is never left inconsistent).
         let dst_parent = dest.parent().expect("non-root path has a parent");
         match self.lookup_dir_mut(&dst_parent) {
@@ -396,8 +454,9 @@ impl Vfs {
                 Ok(())
             }
             Err(e) => {
-                let children =
-                    self.lookup_dir_mut(&src_parent).expect("source parent existed a moment ago");
+                let children = self
+                    .lookup_dir_mut(&src_parent)
+                    .expect("source parent existed a moment ago");
                 children.insert(src_name, node);
                 Err(e)
             }
@@ -405,6 +464,10 @@ impl Vfs {
     }
 
     /// Copies the file at `source` to `dest`, paying read + write cost.
+    ///
+    /// The destination shares the source's backing buffer (copy-on-
+    /// nothing — blobs are immutable), so only the *modeled* cost is
+    /// per-byte; the host does O(1) work.
     ///
     /// # Errors
     ///
@@ -426,7 +489,10 @@ impl Vfs {
     /// `source`, or [`VfsError::AlreadyExists`] if `dest` exists.
     pub fn copy_tree(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
         if source.is_prefix_of(dest) {
-            return Err(VfsError::RecursiveTransfer { source: source.clone(), dest: dest.clone() });
+            return Err(VfsError::RecursiveTransfer {
+                source: source.clone(),
+                dest: dest.clone(),
+            });
         }
         if self.exists(dest) {
             return Err(VfsError::AlreadyExists(dest.clone()));
@@ -451,8 +517,8 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::NotFound`] if the path does not exist.
-    pub fn tree_size(&mut self, path: &VfsPath) -> VfsResult<u64> {
-        self.meter.charge_metadata(&self.model);
+    pub fn tree_size(&self, path: &VfsPath) -> VfsResult<u64> {
+        self.charge(|m, model| m.charge_metadata(model));
         Ok(self.lookup(path)?.total_bytes())
     }
 
@@ -461,8 +527,8 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::NotFound`] if the path does not exist.
-    pub fn walk_files(&mut self, path: &VfsPath) -> VfsResult<Vec<VfsPath>> {
-        self.meter.charge_metadata(&self.model);
+    pub fn walk_files(&self, path: &VfsPath) -> VfsResult<Vec<VfsPath>> {
+        self.charge(|m, model| m.charge_metadata(model));
         fn collect(node: &Node, at: &VfsPath, out: &mut Vec<VfsPath>) {
             match node {
                 Node::File { .. } => out.push(at.clone()),
@@ -499,7 +565,10 @@ mod tests {
     #[test]
     fn write_requires_existing_parent() {
         let mut fs = Vfs::new();
-        assert!(matches!(fs.write(&p("/d/f"), vec![]), Err(VfsError::NotFound(_))));
+        assert!(matches!(
+            fs.write(&p("/d/f"), vec![]),
+            Err(VfsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -514,14 +583,20 @@ mod tests {
     fn mkdir_rejects_existing() {
         let mut fs = Vfs::new();
         fs.mkdir(&p("/a")).unwrap();
-        assert!(matches!(fs.mkdir(&p("/a")), Err(VfsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.mkdir(&p("/a")),
+            Err(VfsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
     fn mkdir_all_fails_through_file() {
         let mut fs = Vfs::new();
         fs.write(&p("/a"), vec![1]).unwrap();
-        assert!(matches!(fs.mkdir_all(&p("/a/b")), Err(VfsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.mkdir_all(&p("/a/b")),
+            Err(VfsError::NotADirectory(_))
+        ));
     }
 
     #[test]
@@ -530,7 +605,10 @@ mod tests {
         fs.mkdir(&p("/d")).unwrap();
         fs.write(&p("/d/z"), vec![]).unwrap();
         fs.write(&p("/d/a"), vec![]).unwrap();
-        assert_eq!(fs.read_dir(&p("/d")).unwrap(), vec!["a".to_owned(), "z".to_owned()]);
+        assert_eq!(
+            fs.read_dir(&p("/d")).unwrap(),
+            vec!["a".to_owned(), "z".to_owned()]
+        );
     }
 
     #[test]
@@ -538,7 +616,10 @@ mod tests {
         let mut fs = Vfs::new();
         fs.mkdir(&p("/d")).unwrap();
         fs.write(&p("/d/f"), vec![]).unwrap();
-        assert!(matches!(fs.remove_dir(&p("/d")), Err(VfsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            fs.remove_dir(&p("/d")),
+            Err(VfsError::DirectoryNotEmpty(_))
+        ));
         fs.remove_file(&p("/d/f")).unwrap();
         fs.remove_dir(&p("/d")).unwrap();
         assert!(!fs.exists(&p("/d")));
@@ -574,7 +655,10 @@ mod tests {
             fs.rename(&p("/a"), &p("/a/b/c")),
             Err(VfsError::RecursiveTransfer { .. })
         ));
-        assert!(fs.exists(&p("/a/b")), "failed rename must not destroy the source");
+        assert!(
+            fs.exists(&p("/a/b")),
+            "failed rename must not destroy the source"
+        );
     }
 
     #[test]
@@ -642,6 +726,40 @@ mod tests {
         let dd = fs.metadata(&p("/d")).unwrap();
         assert_eq!(dd.kind, NodeKind::Directory);
         assert_eq!(dd.len, 0);
+    }
+
+    #[test]
+    fn copy_file_shares_the_backing_buffer() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/src"), vec![7u8; 1000]).unwrap();
+        let copies_before = Blob::materializations();
+        fs.copy_file(&p("/src"), &p("/dst")).unwrap();
+        assert_eq!(
+            Blob::materializations(),
+            copies_before,
+            "copy_file must not memcpy"
+        );
+        let a = fs.read(&p("/src")).unwrap();
+        let b = fs.read(&p("/dst")).unwrap();
+        assert!(Blob::ptr_eq(&a, &b), "both files share one buffer");
+    }
+
+    #[test]
+    fn read_takes_shared_reference() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/f"), b"abc".to_vec()).unwrap();
+        let fs = &fs; // read paths must work through &Vfs
+        let before = fs.meter();
+        assert_eq!(fs.read(&p("/f")).unwrap(), b"abc");
+        let md = fs.metadata(&p("/f")).unwrap();
+        assert_eq!(md.len, 3);
+        assert!(fs.read_dir(&p("/")).unwrap().contains(&"f".to_owned()));
+        assert_eq!(fs.tree_size(&p("/")).unwrap(), 3);
+        assert_eq!(fs.walk_files(&p("/")).unwrap().len(), 1);
+        assert!(
+            fs.meter().since(&before).ticks > 0,
+            "shared reads still charge the meter"
+        );
     }
 
     #[test]

@@ -36,12 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blob;
 mod cost;
 mod error;
 mod fs;
 mod path;
+mod rng;
 
+pub use blob::Blob;
 pub use cost::{CostMeter, IoCostModel};
 pub use error::{VfsError, VfsResult};
 pub use fs::{Metadata, NodeKind, Vfs};
 pub use path::VfsPath;
+pub use rng::SplitMix64;

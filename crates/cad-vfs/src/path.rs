@@ -30,7 +30,9 @@ pub struct VfsPath {
 impl VfsPath {
     /// The root directory `/`.
     pub fn root() -> Self {
-        VfsPath { components: Vec::new() }
+        VfsPath {
+            components: Vec::new(),
+        }
     }
 
     /// Parses a textual path into a normalised absolute path.
@@ -71,7 +73,12 @@ impl VfsPath {
     /// Returns [`VfsError::InvalidPath`] if `name` is empty or contains
     /// `/` or NUL.
     pub fn join(&self, name: &str) -> VfsResult<Self> {
-        if name.is_empty() || name.contains('/') || name.contains('\0') || name == "." || name == ".." {
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains('\0')
+            || name == "."
+            || name == ".."
+        {
             return Err(VfsError::InvalidPath(name.to_owned()));
         }
         let mut components = self.components.clone();
@@ -148,7 +155,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_escape_above_root() {
-        assert!(matches!(VfsPath::parse("/.."), Err(VfsError::InvalidPath(_))));
+        assert!(matches!(
+            VfsPath::parse("/.."),
+            Err(VfsError::InvalidPath(_))
+        ));
     }
 
     #[test]

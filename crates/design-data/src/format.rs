@@ -30,7 +30,10 @@ fn parse_dir(s: &str) -> Option<Direction> {
 }
 
 fn err(line: usize, reason: impl Into<String>) -> DesignDataError {
-    DesignDataError::ParseError { line, reason: reason.into() }
+    DesignDataError::ParseError {
+        line,
+        reason: reason.into(),
+    }
 }
 
 // --- netlist ---------------------------------------------------------------
@@ -83,21 +86,29 @@ pub fn parse_netlist(text: &str) -> DesignDataResult<Netlist> {
         let mut words = line.split_whitespace();
         match words.next() {
             Some("port") => {
-                let pname = words.next().ok_or_else(|| err(lineno, "port needs a name"))?;
+                let pname = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "port needs a name"))?;
                 let dir = words
                     .next()
                     .and_then(parse_dir)
                     .ok_or_else(|| err(lineno, "port needs a direction"))?;
-                n.add_port(pname, dir).map_err(|e| err(lineno, e.to_string()))?;
+                n.add_port(pname, dir)
+                    .map_err(|e| err(lineno, e.to_string()))?;
             }
             Some("net") => {
-                let nname = words.next().ok_or_else(|| err(lineno, "net needs a name"))?;
+                let nname = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "net needs a name"))?;
                 n.add_net(nname).map_err(|e| err(lineno, e.to_string()))?;
             }
             Some("inst") => {
-                let iname = words.next().ok_or_else(|| err(lineno, "inst needs a name"))?;
-                let master_word =
-                    words.next().ok_or_else(|| err(lineno, "inst needs a master"))?;
+                let iname = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "inst needs a name"))?;
+                let master_word = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "inst needs a master"))?;
                 let master = if let Some(cell) = master_word.strip_prefix("cell:") {
                     MasterRef::Cell(cell.to_owned())
                 } else {
@@ -113,7 +124,8 @@ pub fn parse_netlist(text: &str) -> DesignDataResult<Netlist> {
                         .ok_or_else(|| err(lineno, format!("bad connection {w:?}")))?;
                     conns.push((pin, net));
                 }
-                n.add_instance(iname, master, &conns).map_err(|e| err(lineno, e.to_string()))?;
+                n.add_instance(iname, master, &conns)
+                    .map_err(|e| err(lineno, e.to_string()))?;
             }
             Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
             None => {}
@@ -128,7 +140,14 @@ pub fn parse_netlist(text: &str) -> DesignDataResult<Netlist> {
 pub fn write_layout(l: &Layout) -> String {
     let mut out = format!("layout {}\n", l.name());
     for r in l.rects() {
-        out.push_str(&format!("rect {} {} {} {} {}", r.layer.name(), r.x0, r.y0, r.x1, r.y1));
+        out.push_str(&format!(
+            "rect {} {} {} {} {}",
+            r.layer.name(),
+            r.x0,
+            r.y0,
+            r.x1,
+            r.y1
+        ));
         if let Some(net) = &r.net {
             out.push_str(&format!(" {net}"));
         }
@@ -179,8 +198,12 @@ pub fn parse_layout(text: &str) -> DesignDataResult<Layout> {
                 l.add_rect(rect).map_err(|e| err(lineno, e.to_string()))?;
             }
             Some("place") => {
-                let pname = words.next().ok_or_else(|| err(lineno, "place needs a name"))?;
-                let cell = words.next().ok_or_else(|| err(lineno, "place needs a cell"))?;
+                let pname = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "place needs a name"))?;
+                let cell = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "place needs a cell"))?;
                 let dx: i64 = words
                     .next()
                     .and_then(|w| w.parse().ok())
@@ -189,7 +212,8 @@ pub fn parse_layout(text: &str) -> DesignDataResult<Layout> {
                     .next()
                     .and_then(|w| w.parse().ok())
                     .ok_or_else(|| err(lineno, "place needs dy"))?;
-                l.add_placement(pname, cell, dx, dy).map_err(|e| err(lineno, e.to_string()))?;
+                l.add_placement(pname, cell, dx, dy)
+                    .map_err(|e| err(lineno, e.to_string()))?;
             }
             Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
             None => {}
@@ -204,7 +228,13 @@ pub fn parse_layout(text: &str) -> DesignDataResult<Layout> {
 pub fn write_symbol(s: &Symbol) -> String {
     let mut out = format!("symbol {}\n", s.name());
     for p in s.pins() {
-        out.push_str(&format!("pin {} {} {} {}\n", p.name, dir_name(p.direction), p.x, p.y));
+        out.push_str(&format!(
+            "pin {} {} {} {}\n",
+            p.name,
+            dir_name(p.direction),
+            p.x,
+            p.y
+        ));
     }
     for shape in s.shapes() {
         match shape {
@@ -245,7 +275,9 @@ pub fn parse_symbol(text: &str) -> DesignDataResult<Symbol> {
             Some("pin") => {
                 // Re-split: pin has name + dir before coordinates.
                 let mut words = line.split_whitespace().skip(1);
-                let pname = words.next().ok_or_else(|| err(lineno, "pin needs a name"))?;
+                let pname = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "pin needs a name"))?;
                 let dir = words
                     .next()
                     .and_then(parse_dir)
@@ -258,14 +290,25 @@ pub fn parse_symbol(text: &str) -> DesignDataResult<Symbol> {
                     .next()
                     .and_then(|w| w.parse().ok())
                     .ok_or_else(|| err(lineno, "pin needs y"))?;
-                s.add_pin(pname, dir, x, y).map_err(|e| err(lineno, e.to_string()))?;
+                s.add_pin(pname, dir, x, y)
+                    .map_err(|e| err(lineno, e.to_string()))?;
             }
             Some("line") => {
-                let shape = Shape::Line { x0: coord("x0")?, y0: coord("y0")?, x1: coord("x1")?, y1: coord("y1")? };
+                let shape = Shape::Line {
+                    x0: coord("x0")?,
+                    y0: coord("y0")?,
+                    x1: coord("x1")?,
+                    y1: coord("y1")?,
+                };
                 s.add_shape(shape);
             }
             Some("box") => {
-                let shape = Shape::Box { x0: coord("x0")?, y0: coord("y0")?, x1: coord("x1")?, y1: coord("y1")? };
+                let shape = Shape::Box {
+                    x0: coord("x0")?,
+                    y0: coord("y0")?,
+                    x1: coord("x1")?,
+                    y1: coord("y1")?,
+                };
                 s.add_shape(shape);
             }
             Some("label") => {
@@ -277,7 +320,10 @@ pub fn parse_symbol(text: &str) -> DesignDataResult<Symbol> {
                     .map(|w| w.len())
                     .sum::<usize>()
                     + 3;
-                let text = line.get(prefix_len.min(line.len())..).unwrap_or("").to_owned();
+                let text = line
+                    .get(prefix_len.min(line.len())..)
+                    .unwrap_or("")
+                    .to_owned();
                 s.add_shape(Shape::Label { x, y, text });
             }
             Some(other) => return Err(err(lineno, format!("unknown keyword {other:?}"))),
@@ -322,7 +368,9 @@ pub fn parse_waveforms(text: &str) -> DesignDataResult<Waveforms> {
         let mut words = line.split_whitespace();
         match words.next() {
             Some("sig") => {
-                let name = words.next().ok_or_else(|| err(lineno, "sig needs a name"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "sig needs a name"))?;
                 current = Some(name.to_owned());
             }
             Some("ev") => {
@@ -413,10 +461,18 @@ mod tests {
         n.add_port("b", Direction::Input).unwrap();
         n.add_port("sum", Direction::Output).unwrap();
         n.add_port("carry", Direction::Output).unwrap();
-        n.add_instance("x1", MasterRef::Gate(GateKind::Xor2), &[("a", "a"), ("b", "b"), ("y", "sum")])
-            .unwrap();
-        n.add_instance("a1", MasterRef::Gate(GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "carry")])
-            .unwrap();
+        n.add_instance(
+            "x1",
+            MasterRef::Gate(GateKind::Xor2),
+            &[("a", "a"), ("b", "b"), ("y", "sum")],
+        )
+        .unwrap();
+        n.add_instance(
+            "a1",
+            MasterRef::Gate(GateKind::And2),
+            &[("a", "a"), ("b", "b"), ("y", "carry")],
+        )
+        .unwrap();
         n
     }
 
@@ -432,7 +488,12 @@ mod tests {
     fn netlist_with_subcells_round_trips() {
         let mut n = Netlist::new("top");
         n.add_net("w").unwrap();
-        n.add_instance("u1", MasterRef::Cell("half_adder".to_owned()), &[("a", "w")]).unwrap();
+        n.add_instance(
+            "u1",
+            MasterRef::Cell("half_adder".to_owned()),
+            &[("a", "w")],
+        )
+        .unwrap();
         let parsed = parse_netlist(&write_netlist(&n)).unwrap();
         assert_eq!(parsed, n);
     }
@@ -458,8 +519,10 @@ mod tests {
 
     fn sample_layout() -> Layout {
         let mut l = Layout::new("inv");
-        l.add_rect(Rect::new(Layer::Poly, 0, -2, 2, 12).unwrap()).unwrap();
-        l.add_rect(Rect::labelled(Layer::Metal1, 4, 0, 8, 4, "out").unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Poly, 0, -2, 2, 12).unwrap())
+            .unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 4, 0, 8, 4, "out").unwrap())
+            .unwrap();
         l.add_placement("well", "nwell_tap", -5, -5).unwrap();
         l
     }
@@ -487,9 +550,23 @@ mod tests {
         let mut s = Symbol::new("inv");
         s.add_pin("a", Direction::Input, -10, 0).unwrap();
         s.add_pin("y", Direction::Output, 10, 0).unwrap();
-        s.add_shape(Shape::Box { x0: -8, y0: -5, x1: 8, y1: 5 });
-        s.add_shape(Shape::Line { x0: 8, y0: 0, x1: 10, y1: 0 });
-        s.add_shape(Shape::Label { x: 0, y: 6, text: "inverter cell".to_owned() });
+        s.add_shape(Shape::Box {
+            x0: -8,
+            y0: -5,
+            x1: 8,
+            y1: 5,
+        });
+        s.add_shape(Shape::Line {
+            x0: 8,
+            y0: 0,
+            x1: 10,
+            y1: 0,
+        });
+        s.add_shape(Shape::Label {
+            x: 0,
+            y: 6,
+            text: "inverter cell".to_owned(),
+        });
         s
     }
 

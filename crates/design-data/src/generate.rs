@@ -63,8 +63,17 @@ pub fn symbol_for(netlist: &Netlist) -> Symbol {
         }
     }
     let h = left.max(right).max(1) * 10;
-    s.add_shape(Shape::Box { x0: -18, y0: -5, x1: 18, y1: h });
-    s.add_shape(Shape::Label { x: 0, y: h + 2, text: netlist.name().to_owned() });
+    s.add_shape(Shape::Box {
+        x0: -18,
+        y0: -5,
+        x1: 18,
+        y1: h,
+    });
+    s.add_shape(Shape::Label {
+        x: 0,
+        y: h + 2,
+        text: netlist.name().to_owned(),
+    });
     s
 }
 
@@ -92,7 +101,8 @@ pub fn layout_for(netlist: &Netlist) -> Layout {
                 l.add_rect(rect).expect("layout accepts tiles");
             }
             MasterRef::Cell(cell) => {
-                l.add_placement(&inst.name, cell, x, y).expect("instance names are unique");
+                l.add_placement(&inst.name, cell, x, y)
+                    .expect("instance names are unique");
             }
         }
     }
@@ -101,8 +111,15 @@ pub fn layout_for(netlist: &Netlist) -> Layout {
     let channel_y = (max_row + 2) * pitch;
     for (i, net) in netlist.nets().enumerate() {
         let y = channel_y + i as i64 * pitch;
-        let wire = Rect::labelled(Layer::Metal2, 0, y, (columns * pitch).max(pitch), y + 5, net)
-            .expect("wire is non-degenerate");
+        let wire = Rect::labelled(
+            Layer::Metal2,
+            0,
+            y,
+            (columns * pitch).max(pitch),
+            y + 5,
+            net,
+        )
+        .expect("wire is non-degenerate");
         l.add_rect(wire).expect("layout accepts wires");
     }
     l
@@ -122,21 +139,42 @@ pub fn full_adder() -> Netlist {
         n.add_port(p, Direction::Input).expect("fresh netlist");
     }
     n.add_port("sum", Direction::Output).expect("fresh netlist");
-    n.add_port("cout", Direction::Output).expect("fresh netlist");
+    n.add_port("cout", Direction::Output)
+        .expect("fresh netlist");
     for net in ["s1", "c1", "c2"] {
         n.add_net(net).expect("fresh netlist");
     }
     let g = |k| MasterRef::Gate(k);
-    n.add_instance("x1", g(GateKind::Xor2), &[("a", "a"), ("b", "b"), ("y", "s1")])
-        .expect("valid instance");
-    n.add_instance("x2", g(GateKind::Xor2), &[("a", "s1"), ("b", "cin"), ("y", "sum")])
-        .expect("valid instance");
-    n.add_instance("a1", g(GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "c1")])
-        .expect("valid instance");
-    n.add_instance("a2", g(GateKind::And2), &[("a", "s1"), ("b", "cin"), ("y", "c2")])
-        .expect("valid instance");
-    n.add_instance("o1", g(GateKind::Or2), &[("a", "c1"), ("b", "c2"), ("y", "cout")])
-        .expect("valid instance");
+    n.add_instance(
+        "x1",
+        g(GateKind::Xor2),
+        &[("a", "a"), ("b", "b"), ("y", "s1")],
+    )
+    .expect("valid instance");
+    n.add_instance(
+        "x2",
+        g(GateKind::Xor2),
+        &[("a", "s1"), ("b", "cin"), ("y", "sum")],
+    )
+    .expect("valid instance");
+    n.add_instance(
+        "a1",
+        g(GateKind::And2),
+        &[("a", "a"), ("b", "b"), ("y", "c1")],
+    )
+    .expect("valid instance");
+    n.add_instance(
+        "a2",
+        g(GateKind::And2),
+        &[("a", "s1"), ("b", "cin"), ("y", "c2")],
+    )
+    .expect("valid instance");
+    n.add_instance(
+        "o1",
+        g(GateKind::Or2),
+        &[("a", "c1"), ("b", "c2"), ("y", "cout")],
+    )
+    .expect("valid instance");
     n
 }
 
@@ -148,23 +186,39 @@ pub fn full_adder() -> Netlist {
 /// Panics if `width` is 0.
 pub fn ripple_adder(width: usize) -> GeneratedDesign {
     assert!(width > 0, "adder width must be positive");
-    let mut design = GeneratedDesign { top: format!("adder{width}"), ..Default::default() };
+    let mut design = GeneratedDesign {
+        top: format!("adder{width}"),
+        ..Default::default()
+    };
     finish(&mut design, full_adder());
 
     let mut top = Netlist::new(format!("adder{width}"));
     for i in 0..width {
-        top.add_port(&format!("a{i}"), Direction::Input).expect("fresh netlist");
-        top.add_port(&format!("b{i}"), Direction::Input).expect("fresh netlist");
-        top.add_port(&format!("s{i}"), Direction::Output).expect("fresh netlist");
+        top.add_port(&format!("a{i}"), Direction::Input)
+            .expect("fresh netlist");
+        top.add_port(&format!("b{i}"), Direction::Input)
+            .expect("fresh netlist");
+        top.add_port(&format!("s{i}"), Direction::Output)
+            .expect("fresh netlist");
     }
-    top.add_port("cin", Direction::Input).expect("fresh netlist");
-    top.add_port("cout", Direction::Output).expect("fresh netlist");
+    top.add_port("cin", Direction::Input)
+        .expect("fresh netlist");
+    top.add_port("cout", Direction::Output)
+        .expect("fresh netlist");
     for i in 0..width.saturating_sub(1) {
         top.add_net(&format!("c{i}")).expect("fresh netlist");
     }
     for i in 0..width {
-        let cin = if i == 0 { "cin".to_owned() } else { format!("c{}", i - 1) };
-        let cout = if i == width - 1 { "cout".to_owned() } else { format!("c{i}") };
+        let cin = if i == 0 {
+            "cin".to_owned()
+        } else {
+            format!("c{}", i - 1)
+        };
+        let cout = if i == width - 1 {
+            "cout".to_owned()
+        } else {
+            format!("c{i}")
+        };
         top.add_instance(
             &format!("fa{i}"),
             MasterRef::Cell("full_adder".to_owned()),
@@ -190,12 +244,16 @@ pub fn ripple_adder(width: usize) -> GeneratedDesign {
 /// Panics if `bits` is 0.
 pub fn counter(bits: usize) -> GeneratedDesign {
     assert!(bits > 0, "counter width must be positive");
-    let mut design = GeneratedDesign { top: format!("counter{bits}"), ..Default::default() };
+    let mut design = GeneratedDesign {
+        top: format!("counter{bits}"),
+        ..Default::default()
+    };
     let mut n = Netlist::new(format!("counter{bits}"));
     n.add_port("clk", Direction::Input).expect("fresh netlist");
     n.add_port("en", Direction::Input).expect("fresh netlist");
     for i in 0..bits {
-        n.add_port(&format!("q{i}"), Direction::Output).expect("fresh netlist");
+        n.add_port(&format!("q{i}"), Direction::Output)
+            .expect("fresh netlist");
         n.add_net(&format!("d{i}")).expect("fresh netlist");
         if i + 1 < bits {
             n.add_net(&format!("carry{i}")).expect("fresh netlist");
@@ -203,25 +261,41 @@ pub fn counter(bits: usize) -> GeneratedDesign {
     }
     let g = |k| MasterRef::Gate(k);
     for i in 0..bits {
-        let carry_in = if i == 0 { "en".to_owned() } else { format!("carry{}", i - 1) };
+        let carry_in = if i == 0 {
+            "en".to_owned()
+        } else {
+            format!("carry{}", i - 1)
+        };
         n.add_instance(
             &format!("x{i}"),
             g(GateKind::Xor2),
-            &[("a", format!("q{i}").as_str()), ("b", carry_in.as_str()), ("y", format!("d{i}").as_str())],
+            &[
+                ("a", format!("q{i}").as_str()),
+                ("b", carry_in.as_str()),
+                ("y", format!("d{i}").as_str()),
+            ],
         )
         .expect("valid instance");
         if i + 1 < bits {
             n.add_instance(
                 &format!("c{i}"),
                 g(GateKind::And2),
-                &[("a", format!("q{i}").as_str()), ("b", carry_in.as_str()), ("y", format!("carry{i}").as_str())],
+                &[
+                    ("a", format!("q{i}").as_str()),
+                    ("b", carry_in.as_str()),
+                    ("y", format!("carry{i}").as_str()),
+                ],
             )
             .expect("valid instance");
         }
         n.add_instance(
             &format!("ff{i}"),
             g(GateKind::Dff),
-            &[("d", format!("d{i}").as_str()), ("clk", "clk"), ("q", format!("q{i}").as_str())],
+            &[
+                ("d", format!("d{i}").as_str()),
+                ("clk", "clk"),
+                ("q", format!("q{i}").as_str()),
+            ],
         )
         .expect("valid instance");
     }
@@ -240,13 +314,20 @@ pub fn counter(bits: usize) -> GeneratedDesign {
 /// Panics if `gates` is 0.
 pub fn random_logic(gates: usize, seed: u64) -> GeneratedDesign {
     assert!(gates > 0, "gate count must be positive");
-    let mut design = GeneratedDesign { top: format!("cloud{gates}_{seed}"), ..Default::default() };
+    let mut design = GeneratedDesign {
+        top: format!("cloud{gates}_{seed}"),
+        ..Default::default()
+    };
     let mut n = Netlist::new(design.top.clone());
 
     // A small multiplicative LCG keeps the crate dependency-free.
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
     let mut next = |bound: usize| -> usize {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as usize) % bound.max(1)
     };
 
@@ -274,14 +355,17 @@ pub fn random_logic(gates: usize, seed: u64) -> GeneratedDesign {
         n.add_net(&out).expect("fresh netlist");
         let a = driven[next(driven.len())].clone();
         *loads.entry(a.clone()).or_default() += 1;
-        let mut conns: Vec<(String, String)> = vec![("a".to_owned(), a), ("y".to_owned(), out.clone())];
+        let mut conns: Vec<(String, String)> =
+            vec![("a".to_owned(), a), ("y".to_owned(), out.clone())];
         if kind.pins().len() == 3 {
             let b = driven[next(driven.len())].clone();
             *loads.entry(b.clone()).or_default() += 1;
             conns.push(("b".to_owned(), b));
         }
-        let borrowed: Vec<(&str, &str)> =
-            conns.iter().map(|(p, v)| (p.as_str(), v.as_str())).collect();
+        let borrowed: Vec<(&str, &str)> = conns
+            .iter()
+            .map(|(p, v)| (p.as_str(), v.as_str()))
+            .collect();
         n.add_instance(&format!("g{i}"), MasterRef::Gate(kind), &borrowed)
             .expect("valid instance");
         driven.push(out);
@@ -340,7 +424,11 @@ mod tests {
     fn generated_layouts_are_drc_clean() {
         let d = ripple_adder(8);
         for layout in d.layouts.values() {
-            assert!(layout.check().is_empty(), "layout {} has violations", layout.name());
+            assert!(
+                layout.check().is_empty(),
+                "layout {} has violations",
+                layout.name()
+            );
         }
     }
 

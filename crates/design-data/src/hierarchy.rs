@@ -92,7 +92,9 @@ impl ViewHierarchy {
         for (cell, children) in &self.edges {
             for child in children {
                 if !self.edges.contains_key(child) {
-                    return Err(DesignDataError::UnresolvedCell(format!("{child} (under {cell})")));
+                    return Err(DesignDataError::UnresolvedCell(format!(
+                        "{child} (under {cell})"
+                    )));
                 }
             }
         }
@@ -100,7 +102,10 @@ impl ViewHierarchy {
         let mut frontier = VecDeque::from([(self.root.clone(), 0usize)]);
         while let Some((cell, depth)) = frontier.pop_front() {
             if depth > MAX_DEPTH {
-                return Err(DesignDataError::HierarchyTooDeep { cell, limit: MAX_DEPTH });
+                return Err(DesignDataError::HierarchyTooDeep {
+                    cell,
+                    limit: MAX_DEPTH,
+                });
             }
             for child in self.children(&cell) {
                 frontier.push_back((child.clone(), depth + 1));
@@ -154,7 +159,8 @@ impl ViewHierarchy {
         if mine != theirs {
             return false;
         }
-        mine.iter().all(|cell| self.children(cell) == other.children(cell))
+        mine.iter()
+            .all(|cell| self.children(cell) == other.children(cell))
     }
 
     /// Describes the differences to another hierarchy, for consistency
@@ -305,7 +311,10 @@ mod tests {
     fn validate_rejects_dangling_child() {
         let mut h = ViewHierarchy::new("top");
         h.add_cell("top", &["ghost"]);
-        assert!(matches!(h.validate(), Err(DesignDataError::UnresolvedCell(_))));
+        assert!(matches!(
+            h.validate(),
+            Err(DesignDataError::UnresolvedCell(_))
+        ));
     }
 
     #[test]
@@ -313,7 +322,10 @@ mod tests {
         let mut h = ViewHierarchy::new("a");
         h.add_cell("a", &["b"]);
         h.add_cell("b", &["a"]);
-        assert!(matches!(h.validate(), Err(DesignDataError::HierarchyTooDeep { .. })));
+        assert!(matches!(
+            h.validate(),
+            Err(DesignDataError::HierarchyTooDeep { .. })
+        ));
     }
 
     #[test]
@@ -328,7 +340,8 @@ mod tests {
         let mut netlists = BTreeMap::new();
         let mut top = Netlist::new("top");
         top.add_port("x", Direction::Input).unwrap();
-        top.add_instance("u1", MasterRef::Cell("adder".to_owned()), &[("a", "x")]).unwrap();
+        top.add_instance("u1", MasterRef::Cell("adder".to_owned()), &[("a", "x")])
+            .unwrap();
         netlists.insert("top".to_owned(), top);
         let mut adder = Netlist::new("adder");
         adder.add_net("n").unwrap();

@@ -116,7 +116,14 @@ impl Rect {
         if x1 <= x0 || y1 <= y0 {
             return Err(DesignDataError::DegenerateRect { x0, y0, x1, y1 });
         }
-        Ok(Rect { layer, x0, y0, x1, y1, net: None })
+        Ok(Rect {
+            layer,
+            x0,
+            y0,
+            x1,
+            y1,
+            net: None,
+        })
     }
 
     /// Creates a labelled rectangle (see [`Rect::new`]).
@@ -205,7 +212,11 @@ pub struct Layout {
 impl Layout {
     /// Creates an empty layout for cell `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Layout { name: name.into(), rects: Vec::new(), placements: Vec::new() }
+        Layout {
+            name: name.into(),
+            rects: Vec::new(),
+            placements: Vec::new(),
+        }
     }
 
     /// The cell name this layout describes.
@@ -240,7 +251,13 @@ impl Layout {
     ///
     /// Returns [`DesignDataError::DuplicateName`] for a reused instance
     /// name.
-    pub fn add_placement(&mut self, name: &str, cell: &str, dx: i64, dy: i64) -> DesignDataResult<()> {
+    pub fn add_placement(
+        &mut self,
+        name: &str,
+        cell: &str,
+        dx: i64,
+        dy: i64,
+    ) -> DesignDataResult<()> {
         if self.placements.iter().any(|p| p.name == name) {
             return Err(DesignDataError::DuplicateName(name.to_owned()));
         }
@@ -287,7 +304,10 @@ impl Layout {
         let mut violations = Vec::new();
         for (i, r) in self.rects.iter().enumerate() {
             if r.width() < r.layer.min_width() || r.height() < r.layer.min_width() {
-                violations.push(DrcViolation::MinWidth { index: i, layer: r.layer });
+                violations.push(DrcViolation::MinWidth {
+                    index: i,
+                    layer: r.layer,
+                });
             }
         }
         let mut by_layer: BTreeMap<Layer, Vec<(usize, &Rect)>> = BTreeMap::new();
@@ -365,11 +385,23 @@ impl fmt::Display for DrcViolation {
             DrcViolation::MinWidth { index, layer } => {
                 write!(f, "rect #{index} under minimum width on {layer}")
             }
-            DrcViolation::MinSpacing { first, second, layer, gap } => {
+            DrcViolation::MinSpacing {
+                first,
+                second,
+                layer,
+                gap,
+            } => {
                 write!(f, "rects #{first}/#{second} spaced {gap} on {layer}")
             }
-            DrcViolation::Short { first, second, layer } => {
-                write!(f, "rects #{first}/#{second} short different nets on {layer}")
+            DrcViolation::Short {
+                first,
+                second,
+                layer,
+            } => {
+                write!(
+                    f,
+                    "rects #{first}/#{second} short different nets on {layer}"
+                )
             }
         }
     }
@@ -407,54 +439,83 @@ mod tests {
     #[test]
     fn drc_detects_min_width() {
         let mut l = Layout::new("x");
-        l.add_rect(Rect::new(Layer::Metal2, 0, 0, 1, 20).unwrap()).unwrap();
-        assert!(l
-            .check()
-            .iter()
-            .any(|v| matches!(v, DrcViolation::MinWidth { layer: Layer::Metal2, .. })));
+        l.add_rect(Rect::new(Layer::Metal2, 0, 0, 1, 20).unwrap())
+            .unwrap();
+        assert!(l.check().iter().any(|v| matches!(
+            v,
+            DrcViolation::MinWidth {
+                layer: Layer::Metal2,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn drc_detects_min_spacing_same_layer_only() {
         let mut l = Layout::new("x");
-        l.add_rect(Rect::new(Layer::Metal1, 0, 0, 10, 10).unwrap()).unwrap();
-        l.add_rect(Rect::new(Layer::Metal1, 11, 0, 21, 10).unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Metal1, 0, 0, 10, 10).unwrap())
+            .unwrap();
+        l.add_rect(Rect::new(Layer::Metal1, 11, 0, 21, 10).unwrap())
+            .unwrap();
         // Different layer at same distance must not be flagged.
-        l.add_rect(Rect::new(Layer::Metal2, 0, 11, 10, 21).unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Metal2, 0, 11, 10, 21).unwrap())
+            .unwrap();
         let v = l.check();
         assert_eq!(
             v.iter()
-                .filter(|v| matches!(v, DrcViolation::MinSpacing { layer: Layer::Metal1, .. }))
+                .filter(|v| matches!(
+                    v,
+                    DrcViolation::MinSpacing {
+                        layer: Layer::Metal1,
+                        ..
+                    }
+                ))
                 .count(),
             1
         );
-        assert!(!v
-            .iter()
-            .any(|v| matches!(v, DrcViolation::MinSpacing { layer: Layer::Metal2, .. })));
+        assert!(!v.iter().any(|v| matches!(
+            v,
+            DrcViolation::MinSpacing {
+                layer: Layer::Metal2,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn drc_detects_short_between_labelled_nets() {
         let mut l = Layout::new("x");
-        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
-        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "b").unwrap()).unwrap();
-        assert!(l.check().iter().any(|v| matches!(v, DrcViolation::Short { .. })));
+        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap())
+            .unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "b").unwrap())
+            .unwrap();
+        assert!(l
+            .check()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::Short { .. })));
     }
 
     #[test]
     fn same_net_overlap_is_not_a_short() {
         let mut l = Layout::new("x");
-        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap()).unwrap();
-        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "a").unwrap()).unwrap();
-        assert!(!l.check().iter().any(|v| matches!(v, DrcViolation::Short { .. })));
+        l.add_rect(Rect::labelled(Layer::Metal1, 0, 0, 10, 10, "a").unwrap())
+            .unwrap();
+        l.add_rect(Rect::labelled(Layer::Metal1, 5, 5, 15, 15, "a").unwrap())
+            .unwrap();
+        assert!(!l
+            .check()
+            .iter()
+            .any(|v| matches!(v, DrcViolation::Short { .. })));
     }
 
     #[test]
     fn bbox_covers_all_rects() {
         let mut l = Layout::new("x");
         assert_eq!(l.bbox(), None);
-        l.add_rect(Rect::new(Layer::Poly, -5, 0, 2, 10).unwrap()).unwrap();
-        l.add_rect(Rect::new(Layer::Metal1, 0, -3, 8, 4).unwrap()).unwrap();
+        l.add_rect(Rect::new(Layer::Poly, -5, 0, 2, 10).unwrap())
+            .unwrap();
+        l.add_rect(Rect::new(Layer::Metal1, 0, -3, 8, 4).unwrap())
+            .unwrap();
         assert_eq!(l.bbox(), Some((-5, -3, 8, 10)));
     }
 

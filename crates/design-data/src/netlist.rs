@@ -89,9 +89,7 @@ impl GateKind {
     /// The pin interface of the gate: `(name, direction)` pairs.
     pub fn pins(self) -> &'static [(&'static str, Direction)] {
         match self {
-            GateKind::Not | GateKind::Buf => {
-                &[("a", Direction::Input), ("y", Direction::Output)]
-            }
+            GateKind::Not | GateKind::Buf => &[("a", Direction::Input), ("y", Direction::Output)],
             GateKind::Dff => &[
                 ("d", Direction::Input),
                 ("clk", Direction::Input),
@@ -250,7 +248,10 @@ impl Netlist {
             return Err(DesignDataError::DuplicateName(name.to_owned()));
         }
         self.nets.insert(name.to_owned());
-        self.ports.push(Port { name: name.to_owned(), direction });
+        self.ports.push(Port {
+            name: name.to_owned(),
+            direction,
+        });
         Ok(())
     }
 
@@ -298,7 +299,11 @@ impl Netlist {
             }
             map.insert((*pin).to_owned(), (*net).to_owned());
         }
-        self.instances.push(Instance { name: name.to_owned(), master, connections: map });
+        self.instances.push(Instance {
+            name: name.to_owned(),
+            master,
+            connections: map,
+        });
         Ok(())
     }
 
@@ -495,10 +500,18 @@ mod tests {
         n.add_port("in", Direction::Input).unwrap();
         n.add_port("out", Direction::Output).unwrap();
         n.add_net("mid").unwrap();
-        n.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "in"), ("y", "mid")])
-            .unwrap();
-        n.add_instance("u2", MasterRef::Gate(GateKind::Not), &[("a", "mid"), ("y", "out")])
-            .unwrap();
+        n.add_instance(
+            "u1",
+            MasterRef::Gate(GateKind::Not),
+            &[("a", "in"), ("y", "mid")],
+        )
+        .unwrap();
+        n.add_instance(
+            "u2",
+            MasterRef::Gate(GateKind::Not),
+            &[("a", "mid"), ("y", "out")],
+        )
+        .unwrap();
         n
     }
 
@@ -528,7 +541,10 @@ mod tests {
     fn port_creates_net_of_same_name() {
         let mut n = Netlist::new("x");
         n.add_port("a", Direction::Input).unwrap();
-        assert!(n.add_net("a").is_err(), "port name occupies the net namespace");
+        assert!(
+            n.add_net("a").is_err(),
+            "port name occupies the net namespace"
+        );
     }
 
     #[test]
@@ -555,10 +571,18 @@ mod tests {
         let mut n = Netlist::new("x");
         n.add_port("a", Direction::Input).unwrap();
         n.add_net("y").unwrap();
-        n.add_instance("u1", MasterRef::Gate(GateKind::Not), &[("a", "a"), ("y", "y")])
-            .unwrap();
-        n.add_instance("u2", MasterRef::Gate(GateKind::Buf), &[("a", "a"), ("y", "y")])
-            .unwrap();
+        n.add_instance(
+            "u1",
+            MasterRef::Gate(GateKind::Not),
+            &[("a", "a"), ("y", "y")],
+        )
+        .unwrap();
+        n.add_instance(
+            "u2",
+            MasterRef::Gate(GateKind::Buf),
+            &[("a", "a"), ("y", "y")],
+        )
+        .unwrap();
         assert!(n
             .check()
             .iter()
@@ -571,18 +595,27 @@ mod tests {
         n.add_net("floating").unwrap();
         n.add_net("undriven").unwrap();
         n.add_port("out", Direction::Output).unwrap();
-        n.add_instance("u", MasterRef::Gate(GateKind::Buf), &[("a", "undriven"), ("y", "out")])
-            .unwrap();
+        n.add_instance(
+            "u",
+            MasterRef::Gate(GateKind::Buf),
+            &[("a", "undriven"), ("y", "out")],
+        )
+        .unwrap();
         let v = n.check();
-        assert!(v.iter().any(|v| matches!(v, ErcViolation::UnusedNet { net } if net == "floating")));
-        assert!(v.iter().any(|v| matches!(v, ErcViolation::UndrivenNet { net } if net == "undriven")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, ErcViolation::UnusedNet { net } if net == "floating")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, ErcViolation::UndrivenNet { net } if net == "undriven")));
     }
 
     #[test]
     fn erc_detects_unconnected_pin() {
         let mut n = Netlist::new("x");
         n.add_port("a", Direction::Input).unwrap();
-        n.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "a")]).unwrap();
+        n.add_instance("u", MasterRef::Gate(GateKind::Not), &[("a", "a")])
+            .unwrap();
         assert!(n
             .check()
             .iter()
@@ -605,7 +638,10 @@ mod tests {
         n.remove_instance("u1").unwrap();
         n.remove_instance("u2").unwrap();
         n.remove_net("mid").unwrap();
-        assert!(n.remove_net("in").is_err(), "ports cannot be removed as nets");
+        assert!(
+            n.remove_net("in").is_err(),
+            "ports cannot be removed as nets"
+        );
         assert!(n.remove_net("ghost").is_err());
     }
 
@@ -613,9 +649,12 @@ mod tests {
     fn subcells_sorted_and_unique() {
         let mut n = Netlist::new("top");
         n.add_net("n").unwrap();
-        n.add_instance("i1", MasterRef::Cell("beta".to_owned()), &[("p", "n")]).unwrap();
-        n.add_instance("i2", MasterRef::Cell("alpha".to_owned()), &[("p", "n")]).unwrap();
-        n.add_instance("i3", MasterRef::Cell("beta".to_owned()), &[("p", "n")]).unwrap();
+        n.add_instance("i1", MasterRef::Cell("beta".to_owned()), &[("p", "n")])
+            .unwrap();
+        n.add_instance("i2", MasterRef::Cell("alpha".to_owned()), &[("p", "n")])
+            .unwrap();
+        n.add_instance("i3", MasterRef::Cell("beta".to_owned()), &[("p", "n")])
+            .unwrap();
         assert_eq!(n.subcells(), vec!["alpha", "beta"]);
     }
 

@@ -59,7 +59,11 @@ impl Stimulus {
 
     /// Adds a timed drive event.
     pub fn drive(&mut self, time: u64, signal: &str, value: Logic) {
-        self.drives.push(DriveEvent { time, signal: signal.to_owned(), value });
+        self.drives.push(DriveEvent {
+            time,
+            signal: signal.to_owned(),
+            value,
+        });
     }
 
     /// Defines the clock (replacing any previous definition).
@@ -95,7 +99,10 @@ impl Stimulus {
     pub fn to_text(&self) -> String {
         let mut out = String::from("stimulus\n");
         if let Some(c) = &self.clock {
-            out.push_str(&format!("clock {} {} {}\n", c.signal, c.half_period, c.cycles));
+            out.push_str(&format!(
+                "clock {} {} {}\n",
+                c.signal, c.half_period, c.cycles
+            ));
         }
         for d in &self.drives {
             out.push_str(&format!("drive {} {} {}\n", d.time, d.signal, d.value));
@@ -158,7 +165,11 @@ impl fmt::Display for Stimulus {
             "stimulus ({} drive(s), {} probe(s){})",
             self.drives.len(),
             self.probes.len(),
-            if self.clock.is_some() { ", clocked" } else { "" }
+            if self.clock.is_some() {
+                ", clocked"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -206,6 +217,9 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(sample().to_string(), "stimulus (3 drive(s), 2 probe(s), clocked)");
+        assert_eq!(
+            sample().to_string(),
+            "stimulus (3 drive(s), 2 probe(s), clocked)"
+        );
     }
 }

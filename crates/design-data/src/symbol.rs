@@ -80,7 +80,11 @@ pub struct Symbol {
 impl Symbol {
     /// Creates an empty symbol for cell `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Symbol { name: name.into(), pins: Vec::new(), shapes: Vec::new() }
+        Symbol {
+            name: name.into(),
+            pins: Vec::new(),
+            shapes: Vec::new(),
+        }
     }
 
     /// The cell name this symbol represents.
@@ -103,11 +107,22 @@ impl Symbol {
     /// # Errors
     ///
     /// Returns [`DesignDataError::DuplicateName`] for a reused pin name.
-    pub fn add_pin(&mut self, name: &str, direction: Direction, x: i64, y: i64) -> DesignDataResult<()> {
+    pub fn add_pin(
+        &mut self,
+        name: &str,
+        direction: Direction,
+        x: i64,
+        y: i64,
+    ) -> DesignDataResult<()> {
         if self.pins.iter().any(|p| p.name == name) {
             return Err(DesignDataError::DuplicateName(name.to_owned()));
         }
-        self.pins.push(SymbolPin { name: name.to_owned(), direction, x, y });
+        self.pins.push(SymbolPin {
+            name: name.to_owned(),
+            direction,
+            x,
+            y,
+        });
         Ok(())
     }
 
@@ -133,7 +148,10 @@ impl Symbol {
         }
         for port in ports {
             if !self.pins.iter().any(|p| p.name == port.name) {
-                problems.push(format!("schematic port {:?} missing from symbol", port.name));
+                problems.push(format!(
+                    "schematic port {:?} missing from symbol",
+                    port.name
+                ));
             }
         }
         problems
@@ -152,8 +170,14 @@ mod tests {
 
     fn ports() -> Vec<Port> {
         vec![
-            Port { name: "a".to_owned(), direction: Direction::Input },
-            Port { name: "y".to_owned(), direction: Direction::Output },
+            Port {
+                name: "a".to_owned(),
+                direction: Direction::Input,
+            },
+            Port {
+                name: "y".to_owned(),
+                direction: Direction::Output,
+            },
         ]
     }
 

@@ -168,12 +168,17 @@ impl Waveforms {
 
     /// Records a change event on `signal`.
     pub fn record(&mut self, signal: &str, time: u64, value: Logic) {
-        self.traces.entry(signal.to_owned()).or_default().record(time, value);
+        self.traces
+            .entry(signal.to_owned())
+            .or_default()
+            .record(time, value);
     }
 
     /// The value of `signal` at `time` ([`Logic::Z`] if never recorded).
     pub fn value_at(&self, signal: &str, time: u64) -> Logic {
-        self.traces.get(signal).map_or(Logic::Z, |t| t.value_at(time))
+        self.traces
+            .get(signal)
+            .map_or(Logic::Z, |t| t.value_at(time))
     }
 
     /// The trace of `signal`, if any events were recorded for it.

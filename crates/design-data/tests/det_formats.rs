@@ -1,0 +1,76 @@
+//! Deterministic randomized suite (SplitMix64-driven), covering the
+//! same ground as the gated `prop_formats` proptest suite without any
+//! external dependency.
+
+use cad_vfs::SplitMix64;
+use design_data::{format, generate, layout_hierarchy, schematic_hierarchy, Logic, Waveforms};
+
+#[test]
+fn netlist_format_round_trip() {
+    let mut rng = SplitMix64::new(0xF0F0_1995);
+    for _ in 0..20 {
+        let gates = 1 + rng.below(120);
+        let seed = rng.next_u64();
+        let d = generate::random_logic(gates, seed);
+        let n = &d.netlists[&d.top];
+        let parsed = format::parse_netlist(&format::write_netlist(n)).unwrap();
+        assert_eq!(&parsed, n, "gates={gates} seed={seed}");
+    }
+}
+
+#[test]
+fn layout_symbol_round_trip() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..6 {
+        let width = 1 + rng.below(12);
+        let d = generate::ripple_adder(width);
+        for l in d.layouts.values() {
+            let parsed = format::parse_layout(&format::write_layout(l)).unwrap();
+            assert_eq!(&parsed, l);
+        }
+        for s in d.symbols.values() {
+            let parsed = format::parse_symbol(&format::write_symbol(s)).unwrap();
+            assert_eq!(&parsed, s);
+        }
+    }
+}
+
+#[test]
+fn generated_designs_are_clean() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..12 {
+        let gates = 1 + rng.below(80);
+        let seed = rng.next_u64();
+        let d = generate::random_logic(gates, seed);
+        for n in d.netlists.values() {
+            assert!(n.check().is_empty());
+        }
+        for l in d.layouts.values() {
+            assert!(l.check().is_empty());
+        }
+        let hs = schematic_hierarchy(&d.top, &d.netlists);
+        let hl = layout_hierarchy(&d.top, &d.layouts);
+        assert!(hs.is_isomorphic_to(&hl), "gates={gates} seed={seed}");
+    }
+}
+
+#[test]
+fn waveform_round_trip() {
+    let mut rng = SplitMix64::new(13);
+    for _ in 0..20 {
+        let mut w = Waveforms::new();
+        let events = rng.below(64);
+        for i in 0..events {
+            let t = rng.next_u64() % 1000;
+            let logic = match rng.below(4) {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                2 => Logic::X,
+                _ => Logic::Z,
+            };
+            w.record(&format!("sig{}", i % 5), t, logic);
+        }
+        let parsed = format::parse_waveforms(&format::write_waveforms(&w)).unwrap();
+        assert_eq!(parsed, w);
+    }
+}

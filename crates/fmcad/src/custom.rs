@@ -58,7 +58,9 @@ impl Host for CustomState {
                 self.log.push(text_arg(0)?.to_owned());
                 Ok(Value::nil())
             }
-            other => Err(FmlError::HostError(format!("unknown host function {other:?}"))),
+            other => Err(FmlError::HostError(format!(
+                "unknown host function {other:?}"
+            ))),
         }
     }
 }
@@ -102,7 +104,10 @@ impl Customization {
 
     /// Returns `true` if any trigger is registered for `event`.
     pub fn has_trigger(&self, event: &str) -> bool {
-        self.state.triggers.get(event).is_some_and(|p| !p.is_empty())
+        self.state
+            .triggers
+            .get(event)
+            .is_some_and(|p| !p.is_empty())
     }
 
     /// Returns `true` if the menu entry is locked.
@@ -170,10 +175,15 @@ mod tests {
     #[test]
     fn scripts_lock_and_unlock_menus() {
         let mut fm = Fmcad::new();
-        fm.run_script("(host-call \"lock-menu\" \"Check In\")").unwrap();
-        assert!(matches!(fm.menu_invoke("Check In"), Err(FmcadError::MenuLocked(_))));
+        fm.run_script("(host-call \"lock-menu\" \"Check In\")")
+            .unwrap();
+        assert!(matches!(
+            fm.menu_invoke("Check In"),
+            Err(FmcadError::MenuLocked(_))
+        ));
         fm.menu_invoke("Check Out").unwrap();
-        fm.run_script("(host-call \"unlock-menu\" \"Check In\")").unwrap();
+        fm.run_script("(host-call \"unlock-menu\" \"Check In\")")
+            .unwrap();
         fm.menu_invoke("Check In").unwrap();
     }
 
@@ -187,8 +197,12 @@ mod tests {
         )
         .unwrap();
         assert!(fm.customization().has_trigger("checkin"));
-        let r1 = fm.fire_trigger("checkin", &[Value::Str("adder".into())]).unwrap();
-        let r2 = fm.fire_trigger("checkin", &[Value::Str("adder".into())]).unwrap();
+        let r1 = fm
+            .fire_trigger("checkin", &[Value::Str("adder".into())])
+            .unwrap();
+        let r2 = fm
+            .fire_trigger("checkin", &[Value::Str("adder".into())])
+            .unwrap();
         assert!(matches!(r1[0], Value::Int(1)));
         assert!(matches!(r2[0], Value::Int(2)));
         assert!(fm.fire_trigger("unused-event", &[]).unwrap().is_empty());
@@ -207,16 +221,24 @@ mod tests {
              (host-call \"register-trigger\" \"predecessor-state\" \"guard\")",
         )
         .unwrap();
-        fm.fire_trigger("predecessor-state", &[Value::Str("pending".into())]).unwrap();
-        assert!(matches!(fm.menu_invoke("Check In"), Err(FmcadError::MenuLocked(_))));
-        fm.fire_trigger("predecessor-state", &[Value::Str("done".into())]).unwrap();
+        fm.fire_trigger("predecessor-state", &[Value::Str("pending".into())])
+            .unwrap();
+        assert!(matches!(
+            fm.menu_invoke("Check In"),
+            Err(FmcadError::MenuLocked(_))
+        ));
+        fm.fire_trigger("predecessor-state", &[Value::Str("done".into())])
+            .unwrap();
         fm.menu_invoke("Check In").unwrap();
     }
 
     #[test]
     fn script_errors_surface() {
         let mut fm = Fmcad::new();
-        assert!(matches!(fm.run_script("(error \"bad\")"), Err(FmcadError::Script(_))));
+        assert!(matches!(
+            fm.run_script("(error \"bad\")"),
+            Err(FmcadError::Script(_))
+        ));
         assert!(matches!(
             fm.fire_trigger("nothing", &[Value::Int(1)]),
             Ok(v) if v.is_empty()
@@ -226,7 +248,8 @@ mod tests {
     #[test]
     fn host_log_collects_messages() {
         let mut fm = Fmcad::new();
-        fm.run_script("(host-call \"log\" \"encapsulation ready\")").unwrap();
+        fm.run_script("(host-call \"log\" \"encapsulation ready\")")
+            .unwrap();
         assert_eq!(fm.customization().log(), ["encapsulation ready"]);
     }
 }

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use cad_vfs::Blob;
 use design_data::{format, ViewHierarchy};
 
 use crate::error::{FmcadError, FmcadResult};
@@ -25,13 +26,16 @@ pub struct BoundDesign {
     /// The view name that was traversed.
     pub view: String,
     /// Bound version and bytes per cell, keyed by cell name.
-    pub bound: BTreeMap<String, (u32, Vec<u8>)>,
+    pub bound: BTreeMap<String, (u32, Blob)>,
 }
 
 impl BoundDesign {
     /// The `(cell, version)` pairs of the binding, sorted by cell.
     pub fn versions(&self) -> Vec<(&str, u32)> {
-        self.bound.iter().map(|(c, (v, _))| (c.as_str(), *v)).collect()
+        self.bound
+            .iter()
+            .map(|(c, (v, _))| (c.as_str(), *v))
+            .collect()
     }
 }
 
@@ -70,7 +74,11 @@ impl Fmcad {
             }
             bound.insert(cell, (version, data));
         }
-        Ok(BoundDesign { top: top.to_owned(), view: view.to_owned(), bound })
+        Ok(BoundDesign {
+            top: top.to_owned(),
+            view: view.to_owned(),
+            bound,
+        })
     }
 
     /// Extracts the [`ViewHierarchy`] of one viewtype by dynamic
@@ -80,7 +88,12 @@ impl Fmcad {
     /// # Errors
     ///
     /// Propagates [`Fmcad::bind_hierarchy`] errors.
-    pub fn view_hierarchy(&mut self, lib: &str, top: &str, view: &str) -> FmcadResult<ViewHierarchy> {
+    pub fn view_hierarchy(
+        &mut self,
+        lib: &str,
+        top: &str,
+        view: &str,
+    ) -> FmcadResult<ViewHierarchy> {
         let design = self.bind_hierarchy(lib, top, view)?;
         let mut h = ViewHierarchy::new(top);
         for (cell, (_, data)) in &design.bound {
@@ -103,13 +116,17 @@ fn subcells_in(view: &str, data: &[u8]) -> FmcadResult<Vec<String>> {
     let text = String::from_utf8_lossy(data);
     match view {
         "schematic" => {
-            let netlist = format::parse_netlist(&text)
-                .map_err(|e| FmcadError::CorruptMeta { line: 0, reason: e.to_string() })?;
+            let netlist = format::parse_netlist(&text).map_err(|e| FmcadError::CorruptMeta {
+                line: 0,
+                reason: e.to_string(),
+            })?;
             Ok(netlist.subcells().into_iter().map(str::to_owned).collect())
         }
         "layout" => {
-            let layout = format::parse_layout(&text)
-                .map_err(|e| FmcadError::CorruptMeta { line: 0, reason: e.to_string() })?;
+            let layout = format::parse_layout(&text).map_err(|e| FmcadError::CorruptMeta {
+                line: 0,
+                reason: e.to_string(),
+            })?;
             Ok(layout.subcells().into_iter().map(str::to_owned).collect())
         }
         _ => Ok(Vec::new()), // symbols, waveforms etc. have no hierarchy
@@ -126,14 +143,27 @@ mod tests {
         fm.create_library(lib).unwrap();
         for (cell, netlist) in &design.netlists {
             fm.create_cell(lib, cell).unwrap();
-            fm.create_cellview(lib, cell, "schematic", "schematic").unwrap();
-            fm.checkin("gen", lib, cell, "schematic", format::write_netlist(netlist).into_bytes())
+            fm.create_cellview(lib, cell, "schematic", "schematic")
                 .unwrap();
+            fm.checkin(
+                "gen",
+                lib,
+                cell,
+                "schematic",
+                format::write_netlist(netlist).into_bytes(),
+            )
+            .unwrap();
         }
         for (cell, layout) in &design.layouts {
             fm.create_cellview(lib, cell, "layout", "layout").unwrap();
-            fm.checkin("gen", lib, cell, "layout", format::write_layout(layout).into_bytes())
-                .unwrap();
+            fm.checkin(
+                "gen",
+                lib,
+                cell,
+                "layout",
+                format::write_layout(layout).into_bytes(),
+            )
+            .unwrap();
         }
     }
 
@@ -155,12 +185,23 @@ mod tests {
         let design = generate::ripple_adder(2);
         populate(&mut fm, "alu", &design);
         let before = fm.bind_hierarchy("alu", &design.top, "schematic").unwrap();
-        fm.checkout("eve", "alu", "full_adder", "schematic").unwrap();
+        fm.checkout("eve", "alu", "full_adder", "schematic")
+            .unwrap();
         let replacement = format::write_netlist(&generate::full_adder());
-        fm.checkin("eve", "alu", "full_adder", "schematic", replacement.into_bytes()).unwrap();
+        fm.checkin(
+            "eve",
+            "alu",
+            "full_adder",
+            "schematic",
+            replacement.into_bytes(),
+        )
+        .unwrap();
         let after = fm.bind_hierarchy("alu", &design.top, "schematic").unwrap();
         assert_eq!(before.bound["full_adder"].0, 1);
-        assert_eq!(after.bound["full_adder"].0, 2, "binding silently moved to v2");
+        assert_eq!(
+            after.bound["full_adder"].0, 2,
+            "binding silently moved to v2"
+        );
     }
 
     #[test]
@@ -171,8 +212,14 @@ mod tests {
         // Flatten the layout of the top cell: no placements at all.
         fm.checkout("eve", "alu", &design.top, "layout").unwrap();
         let flat = design_data::Layout::new(design.top.clone());
-        fm.checkin("eve", "alu", &design.top, "layout", format::write_layout(&flat).into_bytes())
-            .unwrap();
+        fm.checkin(
+            "eve",
+            "alu",
+            &design.top,
+            "layout",
+            format::write_layout(&flat).into_bytes(),
+        )
+        .unwrap();
         let hs = fm.view_hierarchy("alu", &design.top, "schematic").unwrap();
         let hl = fm.view_hierarchy("alu", &design.top, "layout").unwrap();
         // FMCAD accepts this non-isomorphic pair without complaint.
@@ -190,13 +237,24 @@ mod tests {
         let mut fm2 = Fmcad::new();
         fm2.create_library("l").unwrap();
         fm2.create_cell("l", "top").unwrap();
-        fm2.create_cellview("l", "top", "schematic", "schematic").unwrap();
+        fm2.create_cellview("l", "top", "schematic", "schematic")
+            .unwrap();
         let mut top = design_data::Netlist::new("top");
         top.add_net("n").unwrap();
-        top.add_instance("u1", design_data::MasterRef::Cell("hard_ip".into()), &[("p", "n")])
-            .unwrap();
-        fm2.checkin("gen", "l", "top", "schematic", format::write_netlist(&top).into_bytes())
-            .unwrap();
+        top.add_instance(
+            "u1",
+            design_data::MasterRef::Cell("hard_ip".into()),
+            &[("p", "n")],
+        )
+        .unwrap();
+        fm2.checkin(
+            "gen",
+            "l",
+            "top",
+            "schematic",
+            format::write_netlist(&top).into_bytes(),
+        )
+        .unwrap();
         let bound = fm2.bind_hierarchy("l", "top", "schematic").unwrap();
         assert_eq!(bound.bound.len(), 1);
         let h = fm2.view_hierarchy("l", "top", "schematic").unwrap();

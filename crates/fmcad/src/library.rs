@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use cad_tools::{ItcBus, ItcMessage, SubscriberId, ToolKind};
-use cad_vfs::{Vfs, VfsPath};
+use cad_vfs::{Blob, Vfs, VfsPath};
 
 use crate::error::{FmcadError, FmcadResult};
 use crate::meta::{CellMeta, Checkout, ConfigMeta, LibraryMeta, ViewMeta};
@@ -141,11 +141,11 @@ impl Fmcad {
                 continue; // a stray directory without metadata
             }
             let bytes = fm.fs.read(&meta_path)?;
-            let text = String::from_utf8(bytes).map_err(|_| FmcadError::CorruptMeta {
+            let text = std::str::from_utf8(&bytes).map_err(|_| FmcadError::CorruptMeta {
                 line: 0,
                 reason: ".meta is not utf-8".to_owned(),
             })?;
-            let meta = LibraryMeta::parse(&text)?;
+            let meta = LibraryMeta::parse(text)?;
             fm.metas.insert(lib, meta);
         }
         Ok(fm)
@@ -188,7 +188,10 @@ impl Fmcad {
     }
 
     fn notify_data_changed(&mut self, cell: &str, view: &str) {
-        let message = ItcMessage::DataChanged { cell: cell.to_owned(), view: view.to_owned() };
+        let message = ItcMessage::DataChanged {
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+        };
         self.itc.publish(self.itc_self, message);
     }
 
@@ -233,7 +236,9 @@ impl Fmcad {
         match &self.meta_lock {
             Some(holder) if holder != user => {
                 self.blocked_meta_ops += 1;
-                Err(FmcadError::MetaLocked { holder: holder.clone() })
+                Err(FmcadError::MetaLocked {
+                    holder: holder.clone(),
+                })
             }
             _ => {
                 self.meta_lock = Some(user.to_owned());
@@ -253,7 +258,9 @@ impl Fmcad {
         match &self.meta_lock {
             Some(holder) if holder != user => {
                 self.blocked_meta_ops += 1;
-                Err(FmcadError::MetaLocked { holder: holder.clone() })
+                Err(FmcadError::MetaLocked {
+                    holder: holder.clone(),
+                })
             }
             _ => Ok(()),
         }
@@ -280,7 +287,9 @@ impl Fmcad {
         view: &str,
         version: u32,
     ) -> FmcadResult<VfsPath> {
-        Ok(self.view_dir(lib, cell, view)?.join(&format!("{view}.{version}"))?)
+        Ok(self
+            .view_dir(lib, cell, view)?
+            .join(&format!("{view}.{version}"))?)
     }
 
     fn persist_meta(&mut self, lib: &str) -> FmcadResult<()> {
@@ -380,7 +389,10 @@ impl Fmcad {
         }
         cm.views.insert(
             view.to_owned(),
-            ViewMeta { viewtype: viewtype.to_owned(), ..ViewMeta::default() },
+            ViewMeta {
+                viewtype: viewtype.to_owned(),
+                ..ViewMeta::default()
+            },
         );
         let dir = self.view_dir(lib, cell, view)?;
         self.fs.mkdir_all(&dir)?;
@@ -433,7 +445,7 @@ impl Fmcad {
     /// Returns [`FmcadError::CheckedOutBy`] if another user holds it —
     /// FMCAD has no variant mechanism; this is §3.1's limitation —
     /// metadata-lock errors, and [`FmcadError::NotFound`].
-    pub fn checkout(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<Vec<u8>> {
+    pub fn checkout(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<Blob> {
         self.meta_access(user)?;
         let holder = self
             .meta(lib)?
@@ -454,7 +466,10 @@ impl Fmcad {
             .default_version
             .or_else(|| vm.versions.last().copied())
             .ok_or_else(|| FmcadError::NotFound(format!("no versions of {cell}/{view}")))?;
-        vm.checkout = Some(Checkout { user: user.to_owned(), version });
+        vm.checkout = Some(Checkout {
+            user: user.to_owned(),
+            version,
+        });
         self.persist_meta(lib)?;
         let path = self.version_path(lib, cell, view, version)?;
         Ok(self.fs.read(&path)?)
@@ -475,7 +490,7 @@ impl Fmcad {
         lib: &str,
         cell: &str,
         view: &str,
-        data: Vec<u8>,
+        data: impl Into<Blob>,
     ) -> FmcadResult<u32> {
         self.meta_access(user)?;
         let (holder, has_versions) = {
@@ -483,7 +498,10 @@ impl Fmcad {
                 .meta(lib)?
                 .view(cell, view)
                 .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
-            (vm.checkout.as_ref().map(|co| co.user.clone()), !vm.versions.is_empty())
+            (
+                vm.checkout.as_ref().map(|co| co.user.clone()),
+                !vm.versions.is_empty(),
+            )
         };
         match holder {
             Some(h) if h == user => {}
@@ -512,7 +530,13 @@ impl Fmcad {
     /// # Errors
     ///
     /// Returns [`FmcadError::NotCheckedOut`] if `user` holds nothing.
-    pub fn cancel_checkout(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<()> {
+    pub fn cancel_checkout(
+        &mut self,
+        user: &str,
+        lib: &str,
+        cell: &str,
+        view: &str,
+    ) -> FmcadResult<()> {
         let meta = self.meta_mut(lib)?;
         let vm = meta
             .view_mut(cell, view)
@@ -546,7 +570,7 @@ impl Fmcad {
     /// # Errors
     ///
     /// Returns [`FmcadError::NotFound`] when no version exists.
-    pub fn read_default(&mut self, lib: &str, cell: &str, view: &str) -> FmcadResult<Vec<u8>> {
+    pub fn read_default(&self, lib: &str, cell: &str, view: &str) -> FmcadResult<Blob> {
         let meta = self.meta(lib)?;
         let vm = meta
             .view(cell, view)
@@ -565,12 +589,12 @@ impl Fmcad {
     ///
     /// Returns [`FmcadError::NotFound`] when absent.
     pub fn read_version(
-        &mut self,
+        &self,
         lib: &str,
         cell: &str,
         view: &str,
         version: u32,
-    ) -> FmcadResult<Vec<u8>> {
+    ) -> FmcadResult<Blob> {
         let path = self.version_path(lib, cell, view, version)?;
         Ok(self.fs.read(&path)?)
     }
@@ -581,13 +605,21 @@ impl Fmcad {
     ///
     /// Returns [`FmcadError::NotFound`] if the version is not in the
     /// metadata.
-    pub fn set_default(&mut self, lib: &str, cell: &str, view: &str, version: u32) -> FmcadResult<()> {
+    pub fn set_default(
+        &mut self,
+        lib: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> FmcadResult<()> {
         let meta = self.meta_mut(lib)?;
         let vm = meta
             .view_mut(cell, view)
             .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
         if !vm.versions.contains(&version) {
-            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+            return Err(FmcadError::NotFound(format!(
+                "version {version} of {cell}/{view}"
+            )));
         }
         vm.default_version = Some(version);
         self.persist_meta(lib)
@@ -632,11 +664,15 @@ impl Fmcad {
             .view(cell, view)
             .ok_or_else(|| FmcadError::NotFound(format!("cellview {cell}/{view}")))?;
         if !vm.versions.contains(&version) {
-            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+            return Err(FmcadError::NotFound(format!(
+                "version {version} of {cell}/{view}"
+            )));
         }
         if let Some(co) = &vm.checkout {
             if co.version == version {
-                return Err(FmcadError::CheckedOutBy { user: co.user.clone() });
+                return Err(FmcadError::CheckedOutBy {
+                    user: co.user.clone(),
+                });
             }
         }
         if vm.default_version == Some(version) {
@@ -644,11 +680,14 @@ impl Fmcad {
                 cellview: format!("{cell}/{view} (is the default version)"),
             });
         }
-        let bound = meta.configs.iter().any(|(_, cfg)| {
-            cfg.binds.get(&(cell.to_owned(), view.to_owned())) == Some(&version)
-        });
+        let bound = meta
+            .configs
+            .iter()
+            .any(|(_, cfg)| cfg.binds.get(&(cell.to_owned(), view.to_owned())) == Some(&version));
         if bound {
-            return Err(FmcadError::ConfigConflict { cellview: format!("{cell}/{view}") });
+            return Err(FmcadError::ConfigConflict {
+                cellview: format!("{cell}/{view}"),
+            });
         }
         let meta = self.meta_mut(lib)?;
         let vm = meta.view_mut(cell, view).expect("checked above");
@@ -675,7 +714,7 @@ impl Fmcad {
         cell: &str,
         view: &str,
         version: u32,
-        data: Vec<u8>,
+        data: impl Into<Blob>,
     ) -> FmcadResult<()> {
         let dir = self.view_dir(lib, cell, view)?;
         self.fs.mkdir_all(&dir)?;
@@ -781,10 +820,14 @@ impl Fmcad {
                         })
                         .unwrap_or(false);
                     if !known {
-                        report.push(MetaInconsistency::UnknownFile { path: file.to_string() });
+                        report.push(MetaInconsistency::UnknownFile {
+                            path: file.to_string(),
+                        });
                     }
                 }
-                _ => report.push(MetaInconsistency::UnknownFile { path: file.to_string() }),
+                _ => report.push(MetaInconsistency::UnknownFile {
+                    path: file.to_string(),
+                }),
             }
         }
         Ok(report)
@@ -828,7 +871,9 @@ impl Fmcad {
             .view(cell, view)
             .is_some_and(|vm| vm.versions.contains(&version));
         if !known {
-            return Err(FmcadError::NotFound(format!("version {version} of {cell}/{view}")));
+            return Err(FmcadError::NotFound(format!(
+                "version {version} of {cell}/{view}"
+            )));
         }
         let cfg = meta
             .configs
@@ -836,7 +881,9 @@ impl Fmcad {
             .ok_or_else(|| FmcadError::NotFound(format!("config {config}")))?;
         let key = (cell.to_owned(), view.to_owned());
         if cfg.binds.contains_key(&key) {
-            return Err(FmcadError::ConfigConflict { cellview: format!("{cell}/{view}") });
+            return Err(FmcadError::ConfigConflict {
+                cellview: format!("{cell}/{view}"),
+            });
         }
         cfg.binds.insert(key, version);
         self.persist_meta(lib)
@@ -847,7 +894,11 @@ impl Fmcad {
     /// # Errors
     ///
     /// Returns [`FmcadError::NotFound`] for unknown configs.
-    pub fn config_bindings(&self, lib: &str, config: &str) -> FmcadResult<Vec<(String, String, u32)>> {
+    pub fn config_bindings(
+        &self,
+        lib: &str,
+        config: &str,
+    ) -> FmcadResult<Vec<(String, String, u32)>> {
         let meta = self.meta(lib)?;
         let cfg = meta
             .configs
@@ -870,7 +921,13 @@ impl Fmcad {
     /// # Errors
     ///
     /// Returns [`FmcadError::NotFound`] / viewtype errors.
-    pub fn invoke_tool(&mut self, user: &str, lib: &str, cell: &str, view: &str) -> FmcadResult<(ToolKind, Vec<u8>)> {
+    pub fn invoke_tool(
+        &mut self,
+        user: &str,
+        lib: &str,
+        cell: &str,
+        view: &str,
+    ) -> FmcadResult<(ToolKind, Blob)> {
         let viewtype = {
             let meta = self.meta(lib)?;
             let vm = meta
@@ -899,14 +956,17 @@ mod tests {
         let mut fm = Fmcad::new();
         fm.create_library("alu").unwrap();
         fm.create_cell("alu", "adder").unwrap();
-        fm.create_cellview("alu", "adder", "schematic", "schematic").unwrap();
+        fm.create_cellview("alu", "adder", "schematic", "schematic")
+            .unwrap();
         fm
     }
 
     #[test]
     fn initial_checkin_then_read() {
         let mut fm = framework_with_cellview();
-        let v = fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        let v = fm
+            .checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         assert_eq!(v, 1);
         assert_eq!(fm.read_default("alu", "adder", "schematic").unwrap(), b"v1");
     }
@@ -914,19 +974,29 @@ mod tests {
     #[test]
     fn checkout_checkin_cycle() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         let data = fm.checkout("alice", "alu", "adder", "schematic").unwrap();
         assert_eq!(data, b"v1");
-        let v2 = fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        let v2 = fm
+            .checkin("alice", "alu", "adder", "schematic", b"v2".to_vec())
+            .unwrap();
         assert_eq!(v2, 2);
-        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 2]);
-        assert_eq!(fm.default_version("alu", "adder", "schematic").unwrap(), Some(2));
+        assert_eq!(
+            fm.versions("alu", "adder", "schematic").unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            fm.default_version("alu", "adder", "schematic").unwrap(),
+            Some(2)
+        );
     }
 
     #[test]
     fn only_one_user_edits_a_cellview() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
         assert!(matches!(
             fm.checkout("bob", "alu", "adder", "schematic"),
@@ -942,7 +1012,8 @@ mod tests {
     #[test]
     fn checkin_without_checkout_rejected_after_first_version() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         assert!(matches!(
             fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()),
             Err(FmcadError::NotCheckedOut)
@@ -952,18 +1023,27 @@ mod tests {
     #[test]
     fn cancel_checkout_releases() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
-        assert_eq!(fm.checkout_holder("alu", "adder", "schematic").unwrap(), Some("alice"));
-        fm.cancel_checkout("alice", "alu", "adder", "schematic").unwrap();
-        assert_eq!(fm.checkout_holder("alu", "adder", "schematic").unwrap(), None);
+        assert_eq!(
+            fm.checkout_holder("alu", "adder", "schematic").unwrap(),
+            Some("alice")
+        );
+        fm.cancel_checkout("alice", "alu", "adder", "schematic")
+            .unwrap();
+        assert_eq!(
+            fm.checkout_holder("alu", "adder", "schematic").unwrap(),
+            None
+        );
         fm.checkout("bob", "alu", "adder", "schematic").unwrap();
     }
 
     #[test]
     fn meta_lock_blocks_other_users() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.acquire_meta_lock("alice").unwrap();
         assert!(matches!(
             fm.checkout("bob", "alu", "adder", "schematic"),
@@ -981,23 +1061,31 @@ mod tests {
     #[test]
     fn direct_writes_leave_stale_meta() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
-        fm.direct_file_write("alu", "adder", "schematic", 7, b"rogue".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
+        fm.direct_file_write("alu", "adder", "schematic", 7, b"rogue".to_vec())
+            .unwrap();
         // Metadata does not see version 7...
         assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1]);
         // ...verify() reports the unknown file...
         let report = fm.verify("alu").unwrap();
-        assert!(report.iter().any(|i| matches!(i, MetaInconsistency::UnknownFile { .. })));
+        assert!(report
+            .iter()
+            .any(|i| matches!(i, MetaInconsistency::UnknownFile { .. })));
         // ...and refresh() repairs the metadata.
         fm.refresh("alice", "alu").unwrap();
-        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 7]);
+        assert_eq!(
+            fm.versions("alu", "adder", "schematic").unwrap(),
+            vec![1, 7]
+        );
         assert!(fm.verify("alu").unwrap().is_empty());
     }
 
     #[test]
     fn verify_detects_missing_files() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         let path = fm.version_path("alu", "adder", "schematic", 1).unwrap();
         fm.fs.remove_file(&path).unwrap();
         let report = fm.verify("alu").unwrap();
@@ -1009,11 +1097,14 @@ mod tests {
     #[test]
     fn configs_bind_at_most_one_version_per_cellview() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec())
+            .unwrap();
         fm.create_config("alu", "golden").unwrap();
-        fm.bind_config("alu", "golden", "adder", "schematic", 1).unwrap();
+        fm.bind_config("alu", "golden", "adder", "schematic", 1)
+            .unwrap();
         assert!(matches!(
             fm.bind_config("alu", "golden", "adder", "schematic", 2),
             Err(FmcadError::ConfigConflict { .. })
@@ -1037,7 +1128,14 @@ mod tests {
     #[test]
     fn tool_invocation_is_free_and_unrecorded_in_any_flow() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder".to_vec()).unwrap();
+        fm.checkin(
+            "alice",
+            "alu",
+            "adder",
+            "schematic",
+            b"netlist adder".to_vec(),
+        )
+        .unwrap();
         // Any tool, any order, no derivation bookkeeping:
         let (tool, data) = fm.invoke_tool("bob", "alu", "adder", "schematic").unwrap();
         assert_eq!(tool, ToolKind::SchematicEntry);
@@ -1061,11 +1159,14 @@ mod tests {
     #[test]
     fn purge_respects_defaults_checkouts_and_configs() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v3".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v3".to_vec())
+            .unwrap();
         // v3 is the default: cannot be purged.
         assert!(matches!(
             fm.purge_version("alice", "alu", "adder", "schematic", 3),
@@ -1073,14 +1174,19 @@ mod tests {
         ));
         // A configuration pins v1: cannot be purged either.
         fm.create_config("alu", "golden").unwrap();
-        fm.bind_config("alu", "golden", "adder", "schematic", 1).unwrap();
+        fm.bind_config("alu", "golden", "adder", "schematic", 1)
+            .unwrap();
         assert!(matches!(
             fm.purge_version("alice", "alu", "adder", "schematic", 1),
             Err(FmcadError::ConfigConflict { .. })
         ));
         // v2 is free: purged, file gone, verify stays clean.
-        fm.purge_version("alice", "alu", "adder", "schematic", 2).unwrap();
-        assert_eq!(fm.versions("alu", "adder", "schematic").unwrap(), vec![1, 3]);
+        fm.purge_version("alice", "alu", "adder", "schematic", 2)
+            .unwrap();
+        assert_eq!(
+            fm.versions("alu", "adder", "schematic").unwrap(),
+            vec![1, 3]
+        );
         assert!(fm.read_version("alu", "adder", "schematic", 2).is_err());
         assert!(fm.verify("alu").unwrap().is_empty());
         // Unknown versions report NotFound.
@@ -1093,13 +1199,16 @@ mod tests {
     #[test]
     fn purge_refuses_the_checked_out_version() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v2".to_vec())
+            .unwrap();
         fm.set_default("alu", "adder", "schematic", 2).unwrap();
         fm.checkout("bob", "alu", "adder", "schematic").unwrap(); // holds v2
-        // bob holds v2 (the default); try purging v1 while v2 is held: fine.
-        fm.purge_version("alice", "alu", "adder", "schematic", 1).unwrap();
+                                                                  // bob holds v2 (the default); try purging v1 while v2 is held: fine.
+        fm.purge_version("alice", "alu", "adder", "schematic", 1)
+            .unwrap();
         // purging the held version itself is refused.
         assert!(matches!(
             fm.purge_version("alice", "alu", "adder", "schematic", 2),
@@ -1113,7 +1222,8 @@ mod tests {
         let sch = fm.itc_subscribe(ToolKind::SchematicEntry);
         let lay = fm.itc_subscribe(ToolKind::LayoutEditor);
         // A checkin notifies every subscribed tool.
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         let inbox = fm.itc_drain(lay);
         assert!(inbox.iter().any(|d| matches!(
             &d.message,
@@ -1121,7 +1231,13 @@ mod tests {
         )));
         assert_eq!(inbox[0].from, ToolKind::Framework);
         // Cross-probing between tools rides the same bus.
-        fm.itc_publish(sch, ItcMessage::CrossProbe { cell: "adder".into(), net: "sum".into() });
+        fm.itc_publish(
+            sch,
+            ItcMessage::CrossProbe {
+                cell: "adder".into(),
+                net: "sum".into(),
+            },
+        );
         let probes = fm.itc_drain(lay);
         assert!(probes
             .iter()
@@ -1132,23 +1248,32 @@ mod tests {
     #[test]
     fn restart_restores_library_state() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
         fm.checkout("alice", "alu", "adder", "schematic").unwrap();
         // "Power off" the framework, keep the disk.
         let fs = fm.into_fs();
-        let mut fm2 = Fmcad::open_existing(fs).unwrap();
+        let fm2 = Fmcad::open_existing(fs).unwrap();
         assert_eq!(fm2.libraries(), vec!["alu"]);
         assert_eq!(fm2.versions("alu", "adder", "schematic").unwrap(), vec![1]);
         // The checkout survived the restart (it lives in the .meta).
-        assert_eq!(fm2.checkout_holder("alu", "adder", "schematic").unwrap(), Some("alice"));
-        assert_eq!(fm2.read_default("alu", "adder", "schematic").unwrap(), b"v1");
+        assert_eq!(
+            fm2.checkout_holder("alu", "adder", "schematic").unwrap(),
+            Some("alice")
+        );
+        assert_eq!(
+            fm2.read_default("alu", "adder", "schematic").unwrap(),
+            b"v1"
+        );
     }
 
     #[test]
     fn restart_does_not_see_unrefreshed_files() {
         let mut fm = framework_with_cellview();
-        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec()).unwrap();
-        fm.direct_file_write("alu", "adder", "schematic", 9, b"rogue".to_vec()).unwrap();
+        fm.checkin("alice", "alu", "adder", "schematic", b"v1".to_vec())
+            .unwrap();
+        fm.direct_file_write("alu", "adder", "schematic", 9, b"rogue".to_vec())
+            .unwrap();
         let mut fm2 = Fmcad::open_existing(fm.into_fs()).unwrap();
         assert_eq!(
             fm2.versions("alu", "adder", "schematic").unwrap(),
@@ -1156,7 +1281,10 @@ mod tests {
             "stale metadata survives restarts until a refresh"
         );
         fm2.refresh("alice", "alu").unwrap();
-        assert_eq!(fm2.versions("alu", "adder", "schematic").unwrap(), vec![1, 9]);
+        assert_eq!(
+            fm2.versions("alu", "adder", "schematic").unwrap(),
+            vec![1, 9]
+        );
     }
 
     #[test]
@@ -1172,10 +1300,10 @@ mod tests {
 
     #[test]
     fn meta_file_written_to_library_directory() {
-        let mut fm = framework_with_cellview();
+        let fm = framework_with_cellview();
         let meta_path = fm.meta_path("alu").unwrap();
         let bytes = fm.fs.read(&meta_path).unwrap();
-        let parsed = crate::meta::LibraryMeta::parse(&String::from_utf8(bytes).unwrap()).unwrap();
+        let parsed = crate::meta::LibraryMeta::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
         assert!(parsed.view("adder", "schematic").is_some());
     }
 }

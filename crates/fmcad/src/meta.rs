@@ -62,7 +62,11 @@ pub struct LibraryMeta {
 impl LibraryMeta {
     /// Creates empty metadata for library `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        LibraryMeta { name: name.into(), cells: BTreeMap::new(), configs: BTreeMap::new() }
+        LibraryMeta {
+            name: name.into(),
+            cells: BTreeMap::new(),
+            configs: BTreeMap::new(),
+        }
     }
 
     /// Looks up a view's metadata.
@@ -89,7 +93,10 @@ impl LibraryMeta {
                     out.push_str(&format!("default {cell} {view} {d}\n"));
                 }
                 if let Some(co) = &vm.checkout {
-                    out.push_str(&format!("checkout {cell} {view} {} {}\n", co.user, co.version));
+                    out.push_str(&format!(
+                        "checkout {cell} {view} {} {}\n",
+                        co.user, co.version
+                    ));
                 }
             }
         }
@@ -138,22 +145,29 @@ impl LibraryMeta {
                         .ok_or_else(|| corrupt(lineno, "view before cell"))?;
                     cm.views.insert(
                         (*view).to_owned(),
-                        ViewMeta { viewtype: (*viewtype).to_owned(), ..ViewMeta::default() },
+                        ViewMeta {
+                            viewtype: (*viewtype).to_owned(),
+                            ..ViewMeta::default()
+                        },
                     );
                 }
                 ["version", cell, view, v] => {
                     let vm = meta
                         .view_mut(cell, view)
                         .ok_or_else(|| corrupt(lineno, "version before view"))?;
-                    let v: u32 = v.parse().map_err(|_| corrupt(lineno, "bad version number"))?;
+                    let v: u32 = v
+                        .parse()
+                        .map_err(|_| corrupt(lineno, "bad version number"))?;
                     vm.versions.push(v);
                 }
                 ["default", cell, view, v] => {
                     let vm = meta
                         .view_mut(cell, view)
                         .ok_or_else(|| corrupt(lineno, "default before view"))?;
-                    vm.default_version =
-                        Some(v.parse().map_err(|_| corrupt(lineno, "bad version number"))?);
+                    vm.default_version = Some(
+                        v.parse()
+                            .map_err(|_| corrupt(lineno, "bad version number"))?,
+                    );
                 }
                 ["checkout", cell, view, user, v] => {
                     let vm = meta
@@ -161,7 +175,9 @@ impl LibraryMeta {
                         .ok_or_else(|| corrupt(lineno, "checkout before view"))?;
                     vm.checkout = Some(Checkout {
                         user: (*user).to_owned(),
-                        version: v.parse().map_err(|_| corrupt(lineno, "bad version number"))?,
+                        version: v
+                            .parse()
+                            .map_err(|_| corrupt(lineno, "bad version number"))?,
                     });
                 }
                 ["config", config] => {
@@ -174,7 +190,8 @@ impl LibraryMeta {
                         .ok_or_else(|| corrupt(lineno, "cvv before config"))?;
                     cfg.binds.insert(
                         ((*cell).to_owned(), (*view).to_owned()),
-                        v.parse().map_err(|_| corrupt(lineno, "bad version number"))?,
+                        v.parse()
+                            .map_err(|_| corrupt(lineno, "bad version number"))?,
                     );
                 }
                 _ => return Err(corrupt(lineno, "unknown entry")),
@@ -197,12 +214,16 @@ mod tests {
                 viewtype: "schematic".to_owned(),
                 versions: vec![1, 2],
                 default_version: Some(2),
-                checkout: Some(Checkout { user: "alice".to_owned(), version: 2 }),
+                checkout: Some(Checkout {
+                    user: "alice".to_owned(),
+                    version: 2,
+                }),
             },
         );
         m.cells.insert("adder".to_owned(), cell);
         let mut cfg = ConfigMeta::default();
-        cfg.binds.insert(("adder".to_owned(), "schematic".to_owned()), 1);
+        cfg.binds
+            .insert(("adder".to_owned(), "schematic".to_owned()), 1);
         m.configs.insert("golden".to_owned(), cfg);
         m
     }

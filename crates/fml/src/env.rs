@@ -26,7 +26,10 @@ impl Env {
     /// Creates a root environment with no bindings.
     pub fn root() -> Env {
         Env {
-            inner: Rc::new(RefCell::new(Frame { bindings: HashMap::new(), parent: None })),
+            inner: Rc::new(RefCell::new(Frame {
+                bindings: HashMap::new(),
+                parent: None,
+            })),
         }
     }
 
@@ -42,7 +45,10 @@ impl Env {
 
     /// Binds `name` in this frame (shadowing any outer binding).
     pub fn define(&self, name: &str, value: Value) {
-        self.inner.borrow_mut().bindings.insert(name.to_owned(), value);
+        self.inner
+            .borrow_mut()
+            .bindings
+            .insert(name.to_owned(), value);
     }
 
     /// Looks `name` up through the scope chain.

@@ -72,7 +72,11 @@ impl fmt::Display for FmlError {
             FmlError::TypeError { expected, found } => {
                 write!(f, "type error: expected {expected}, found {found}")
             }
-            FmlError::ArityMismatch { callee, expected, found } => {
+            FmlError::ArityMismatch {
+                callee,
+                expected,
+                found,
+            } => {
                 write!(f, "{callee}: expected {expected} argument(s), got {found}")
             }
             FmlError::NotCallable(v) => write!(f, "not callable: {v}"),

@@ -28,7 +28,9 @@ pub struct NoHost;
 
 impl Host for NoHost {
     fn host_call(&mut self, name: &str, _args: &[Value]) -> FmlResult<Value> {
-        Err(FmlError::HostError(format!("no host function {name:?} available")))
+        Err(FmlError::HostError(format!(
+            "no host function {name:?} available"
+        )))
     }
 }
 
@@ -37,10 +39,44 @@ impl Host for NoHost {
 pub const DEFAULT_FUEL: u64 = 1_000_000;
 
 const BUILTINS: &[&str] = &[
-    "+", "-", "*", "/", "mod", "<", ">", "<=", ">=", "=", "!=", "not", "min", "max", "abs",
-    "list", "first", "rest", "cons", "nth", "length", "append", "null?", "number?", "string?",
-    "list?", "symbol?", "print", "string-append", "to-string", "error", "assert", "host-call",
-    "apply", "map", "filter", "reduce", "range",
+    "+",
+    "-",
+    "*",
+    "/",
+    "mod",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "=",
+    "!=",
+    "not",
+    "min",
+    "max",
+    "abs",
+    "list",
+    "first",
+    "rest",
+    "cons",
+    "nth",
+    "length",
+    "append",
+    "null?",
+    "number?",
+    "string?",
+    "list?",
+    "symbol?",
+    "print",
+    "string-append",
+    "to-string",
+    "error",
+    "assert",
+    "host-call",
+    "apply",
+    "map",
+    "filter",
+    "reduce",
+    "range",
 ];
 
 /// The FML interpreter: global environment, fuel budget and captured
@@ -79,7 +115,12 @@ impl Interp {
         for name in BUILTINS {
             global.define(name, Value::Builtin(name));
         }
-        Interp { global, fuel_limit: DEFAULT_FUEL, fuel: DEFAULT_FUEL, output: Vec::new() }
+        Interp {
+            global,
+            fuel_limit: DEFAULT_FUEL,
+            fuel: DEFAULT_FUEL,
+            output: Vec::new(),
+        }
     }
 
     /// Sets the per-run fuel budget (evaluation steps).
@@ -147,10 +188,14 @@ impl Interp {
     fn eval(&mut self, expr: &Value, env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
         self.burn()?;
         match expr {
-            Value::Int(_) | Value::Str(_) | Value::Bool(_) | Value::Lambda { .. } | Value::Builtin(_) => {
-                Ok(expr.clone())
-            }
-            Value::Sym(name) => env.lookup(name).ok_or_else(|| FmlError::Unbound(name.clone())),
+            Value::Int(_)
+            | Value::Str(_)
+            | Value::Bool(_)
+            | Value::Lambda { .. }
+            | Value::Builtin(_) => Ok(expr.clone()),
+            Value::Sym(name) => env
+                .lookup(name)
+                .ok_or_else(|| FmlError::Unbound(name.clone())),
             Value::List(items) => {
                 let Some(head) = items.first() else {
                     return Ok(Value::nil());
@@ -181,7 +226,12 @@ impl Interp {
         }
     }
 
-    fn eval_sequence(&mut self, exprs: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+    fn eval_sequence(
+        &mut self,
+        exprs: &[Value],
+        env: &Env,
+        host: &mut dyn Host,
+    ) -> FmlResult<Value> {
         let mut last = Value::nil();
         for e in exprs {
             last = self.eval(e, env, host)?;
@@ -192,7 +242,12 @@ impl Interp {
     fn apply(&mut self, callee: &Value, args: Vec<Value>, host: &mut dyn Host) -> FmlResult<Value> {
         match callee {
             Value::Builtin(name) => self.call_builtin(name, args, host),
-            Value::Lambda { params, body, env, name } => {
+            Value::Lambda {
+                params,
+                body,
+                env,
+                name,
+            } => {
                 if params.len() != args.len() {
                     return Err(FmlError::ArityMismatch {
                         callee: name.clone().unwrap_or_else(|| "lambda".to_owned()),
@@ -239,15 +294,28 @@ impl Interp {
         }
     }
 
-    fn special_define(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+    fn special_define(
+        &mut self,
+        items: &[Value],
+        env: &Env,
+        host: &mut dyn Host,
+    ) -> FmlResult<Value> {
         match items {
             // (define x expr)
             [_, Value::Sym(name), expr] => {
                 let value = self.eval(expr, env, host)?;
                 let value = match value {
-                    Value::Lambda { params, body, env, name: None } => {
-                        Value::Lambda { params, body, env, name: Some(name.clone()) }
-                    }
+                    Value::Lambda {
+                        params,
+                        body,
+                        env,
+                        name: None,
+                    } => Value::Lambda {
+                        params,
+                        body,
+                        env,
+                        name: Some(name.clone()),
+                    },
                     v => v,
                 };
                 env.define(name, value);
@@ -328,7 +396,11 @@ impl Interp {
                     name: None,
                 })
             }
-            _ => Err(arity("lambda", "a parameter list and body", items.len() - 1)),
+            _ => Err(arity(
+                "lambda",
+                "a parameter list and body",
+                items.len() - 1,
+            )),
         }
     }
 
@@ -362,7 +434,12 @@ impl Interp {
         }
     }
 
-    fn special_while(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+    fn special_while(
+        &mut self,
+        items: &[Value],
+        env: &Env,
+        host: &mut dyn Host,
+    ) -> FmlResult<Value> {
         if items.len() < 2 {
             return Err(arity("while", "a condition and body", items.len() - 1));
         }
@@ -395,10 +472,18 @@ impl Interp {
         Ok(Value::Bool(false))
     }
 
-    fn special_cond(&mut self, items: &[Value], env: &Env, host: &mut dyn Host) -> FmlResult<Value> {
+    fn special_cond(
+        &mut self,
+        items: &[Value],
+        env: &Env,
+        host: &mut dyn Host,
+    ) -> FmlResult<Value> {
         for clause in &items[1..] {
             let Value::List(pair) = clause else {
-                return Err(FmlError::TypeError { expected: "cond clause", found: clause.to_string() });
+                return Err(FmlError::TypeError {
+                    expected: "cond clause",
+                    found: clause.to_string(),
+                });
             };
             if pair.is_empty() {
                 continue;
@@ -413,7 +498,12 @@ impl Interp {
 
     // --- builtins -------------------------------------------------------
 
-    fn call_builtin(&mut self, name: &str, args: Vec<Value>, host: &mut dyn Host) -> FmlResult<Value> {
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> FmlResult<Value> {
         match name {
             "+" | "-" | "*" | "/" | "mod" | "min" | "max" => self.numeric(name, args),
             "<" | ">" | "<=" | ">=" => self.comparison(name, args),
@@ -431,20 +521,27 @@ impl Interp {
             },
             "abs" => match args.as_slice() {
                 [Value::Int(i)] => Ok(Value::Int(i.abs())),
-                [other] => Err(FmlError::TypeError { expected: "int", found: other.to_string() }),
+                [other] => Err(FmlError::TypeError {
+                    expected: "int",
+                    found: other.to_string(),
+                }),
                 _ => Err(arity("abs", "1", args.len())),
             },
             "list" => Ok(Value::List(args)),
             "first" => match args.as_slice() {
                 [Value::List(l)] => Ok(l.first().cloned().unwrap_or_else(Value::nil)),
-                [other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                [other] => Err(FmlError::TypeError {
+                    expected: "list",
+                    found: other.to_string(),
+                }),
                 _ => Err(arity("first", "1", args.len())),
             },
             "rest" => match args.as_slice() {
-                [Value::List(l)] => {
-                    Ok(Value::List(l.iter().skip(1).cloned().collect()))
-                }
-                [other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                [Value::List(l)] => Ok(Value::List(l.iter().skip(1).cloned().collect())),
+                [other] => Err(FmlError::TypeError {
+                    expected: "list",
+                    found: other.to_string(),
+                }),
                 _ => Err(arity("rest", "1", args.len())),
             },
             "cons" => match args.as_slice() {
@@ -454,7 +551,10 @@ impl Interp {
                     l.extend(tail.iter().cloned());
                     Ok(Value::List(l))
                 }
-                [_, other] => Err(FmlError::TypeError { expected: "list", found: other.to_string() }),
+                [_, other] => Err(FmlError::TypeError {
+                    expected: "list",
+                    found: other.to_string(),
+                }),
                 _ => Err(arity("cons", "2", args.len())),
             },
             "nth" => match args.as_slice() {
@@ -466,7 +566,10 @@ impl Interp {
             "length" => match args.as_slice() {
                 [Value::List(l)] => Ok(Value::Int(l.len() as i64)),
                 [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
-                [other] => Err(FmlError::TypeError { expected: "list or string", found: other.to_string() }),
+                [other] => Err(FmlError::TypeError {
+                    expected: "list or string",
+                    found: other.to_string(),
+                }),
                 _ => Err(arity("length", "1", args.len())),
             },
             "append" => {
@@ -544,16 +647,21 @@ impl Interp {
             },
             "host-call" => match args.split_first() {
                 Some((Value::Str(fn_name), rest)) => host.host_call(fn_name, rest),
-                Some((other, _)) => {
-                    Err(FmlError::TypeError { expected: "string", found: other.to_string() })
-                }
+                Some((other, _)) => Err(FmlError::TypeError {
+                    expected: "string",
+                    found: other.to_string(),
+                }),
                 None => Err(arity("host-call", "at least 1", 0)),
             },
             "apply" => match args.split_first() {
                 Some((callee, [Value::List(list_args)])) => {
                     self.apply(callee, list_args.clone(), host)
                 }
-                _ => Err(arity("apply", "a procedure and an argument list", args.len())),
+                _ => Err(arity(
+                    "apply",
+                    "a procedure and an argument list",
+                    args.len(),
+                )),
             },
             "map" => match args.as_slice() {
                 [callee, Value::List(items)] => {
@@ -585,12 +693,14 @@ impl Interp {
                     }
                     Ok(acc)
                 }
-                _ => Err(arity("reduce", "a procedure, an initial value and a list", args.len())),
+                _ => Err(arity(
+                    "reduce",
+                    "a procedure, an initial value and a list",
+                    args.len(),
+                )),
             },
             "range" => match args.as_slice() {
-                [Value::Int(n)] => {
-                    Ok(Value::List((0..*n.max(&0)).map(Value::Int).collect()))
-                }
+                [Value::Int(n)] => Ok(Value::List((0..*n.max(&0)).map(Value::Int).collect())),
                 [Value::Int(a), Value::Int(b)] => {
                     Ok(Value::List((*a..*b).map(Value::Int).collect()))
                 }
@@ -606,7 +716,10 @@ impl Interp {
             match a {
                 Value::Int(i) => nums.push(*i),
                 other => {
-                    return Err(FmlError::TypeError { expected: "int", found: other.to_string() })
+                    return Err(FmlError::TypeError {
+                        expected: "int",
+                        found: other.to_string(),
+                    })
                 }
             }
         }
@@ -677,7 +790,11 @@ impl Interp {
 }
 
 fn arity(callee: &str, expected: &str, found: usize) -> FmlError {
-    FmlError::ArityMismatch { callee: callee.to_owned(), expected: expected.to_owned(), found }
+    FmlError::ArityMismatch {
+        callee: callee.to_owned(),
+        expected: expected.to_owned(),
+        found,
+    }
 }
 
 #[cfg(test)]
@@ -749,10 +866,7 @@ mod tests {
         assert_eq!(eval_int("(if (> 2 1) 10 20)"), 10);
         assert_eq!(eval_int("(if (> 1 2) 10 20)"), 20);
         assert!(matches!(eval("(if #f 1)").unwrap(), Value::List(l) if l.is_empty()));
-        assert_eq!(
-            eval_int("(cond ((= 1 2) 10) ((= 1 1) 20) (else 30))"),
-            20
-        );
+        assert_eq!(eval_int("(cond ((= 1 2) 10) ((= 1 1) 20) (else 30))"), 20);
         assert_eq!(eval_int("(cond ((= 1 2) 10) (else 30))"), 30);
     }
 
@@ -808,14 +922,19 @@ mod tests {
     #[test]
     fn print_collects_output() {
         let mut interp = Interp::new();
-        interp.run("(print \"hello\" 42)(print \"bye\")", &mut NoHost).unwrap();
+        interp
+            .run("(print \"hello\" 42)(print \"bye\")", &mut NoHost)
+            .unwrap();
         assert_eq!(interp.take_output(), vec!["hello 42", "bye"]);
         assert!(interp.take_output().is_empty());
     }
 
     #[test]
     fn user_error_and_assert() {
-        assert_eq!(eval("(error \"boom\")").unwrap_err(), FmlError::UserError("boom".into()));
+        assert_eq!(
+            eval("(error \"boom\")").unwrap_err(),
+            FmlError::UserError("boom".into())
+        );
         assert!(eval("(assert (= 1 1))").is_ok());
         assert_eq!(
             eval("(assert (= 1 2) \"ones differ\")").unwrap_err(),
@@ -825,8 +944,14 @@ mod tests {
 
     #[test]
     fn unbound_symbol_reported() {
-        assert_eq!(eval("ghost").unwrap_err(), FmlError::Unbound("ghost".into()));
-        assert_eq!(eval("(set! ghost 1)").unwrap_err(), FmlError::Unbound("ghost".into()));
+        assert_eq!(
+            eval("ghost").unwrap_err(),
+            FmlError::Unbound("ghost".into())
+        );
+        assert_eq!(
+            eval("(set! ghost 1)").unwrap_err(),
+            FmlError::Unbound("ghost".into())
+        );
     }
 
     #[test]
@@ -839,7 +964,10 @@ mod tests {
 
     #[test]
     fn not_callable_reported() {
-        assert!(matches!(eval("(1 2)").unwrap_err(), FmlError::NotCallable(_)));
+        assert!(matches!(
+            eval("(1 2)").unwrap_err(),
+            FmlError::NotCallable(_)
+        ));
     }
 
     #[test]
@@ -853,7 +981,9 @@ mod tests {
         }
         let mut host = Recorder(Vec::new());
         let mut interp = Interp::new();
-        let v = interp.run("(host-call \"lock-menu\" \"save\" \"checkin\")", &mut host).unwrap();
+        let v = interp
+            .run("(host-call \"lock-menu\" \"save\" \"checkin\")", &mut host)
+            .unwrap();
         assert!(matches!(v, Value::Int(2)));
         assert_eq!(host.0, vec!["lock-menu/2"]);
     }
@@ -870,7 +1000,10 @@ mod tests {
     fn call_invokes_defined_trigger() {
         let mut interp = Interp::new();
         interp
-            .run("(define (on-save file) (string-append \"saved:\" file))", &mut NoHost)
+            .run(
+                "(define (on-save file) (string-append \"saved:\" file))",
+                &mut NoHost,
+            )
             .unwrap();
         assert!(interp.has_definition("on-save"));
         let v = interp
@@ -889,7 +1022,10 @@ mod tests {
     fn map_filter_reduce_and_range() {
         assert_eq!(eval_int("(length (range 5))"), 5);
         assert_eq!(eval_int("(first (range 3 9))"), 3);
-        assert_eq!(eval_int("(apply + (map (lambda (x) (* x x)) (range 1 5)))"), 30);
+        assert_eq!(
+            eval_int("(apply + (map (lambda (x) (* x x)) (range 1 5)))"),
+            30
+        );
         assert_eq!(
             eval_int("(length (filter (lambda (x) (= (mod x 2) 0)) (range 10)))"),
             5

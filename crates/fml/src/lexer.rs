@@ -125,7 +125,10 @@ pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
                         Some(other) => value.push(other),
                     }
                 }
-                tokens.push(Token::Str { value, line: start_line });
+                tokens.push(Token::Str {
+                    value,
+                    line: start_line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -137,7 +140,9 @@ pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
                         break;
                     }
                 }
-                let value = text.parse::<i64>().map_err(|_| FmlError::LexError { line, found: c })?;
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| FmlError::LexError { line, found: c })?;
                 tokens.push(Token::Int { value, line });
             }
             c if is_symbol_char(c) => {
@@ -151,9 +156,13 @@ pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
                     }
                 }
                 // Negative integer literals lex as symbols starting with '-'.
-                if name.len() > 1 && name.starts_with('-') && name[1..].chars().all(|c| c.is_ascii_digit())
+                if name.len() > 1
+                    && name.starts_with('-')
+                    && name[1..].chars().all(|c| c.is_ascii_digit())
                 {
-                    let value = name.parse::<i64>().map_err(|_| FmlError::LexError { line, found: c })?;
+                    let value = name
+                        .parse::<i64>()
+                        .map_err(|_| FmlError::LexError { line, found: c })?;
                     tokens.push(Token::Int { value, line });
                 } else {
                     tokens.push(Token::Sym { name, line });

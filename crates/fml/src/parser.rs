@@ -38,7 +38,10 @@ fn parse_expr(tokens: &[Token], pos: usize) -> FmlResult<(Value, usize)> {
         )),
         Some(Token::Quote { .. }) => {
             let (quoted, next) = parse_expr(tokens, pos + 1)?;
-            Ok((Value::List(vec![Value::Sym("quote".to_owned()), quoted]), next))
+            Ok((
+                Value::List(vec![Value::Sym("quote".to_owned()), quoted]),
+                next,
+            ))
         }
         Some(Token::LParen { .. }) => {
             let mut items = Vec::new();
@@ -95,7 +98,10 @@ mod tests {
 
     #[test]
     fn stray_paren_reports_line() {
-        assert!(matches!(parse("\n)").unwrap_err(), FmlError::UnbalancedParen { line: 2 }));
+        assert!(matches!(
+            parse("\n)").unwrap_err(),
+            FmlError::UnbalancedParen { line: 2 }
+        ));
     }
 
     #[test]

@@ -121,7 +121,10 @@ mod tests {
         assert!(Value::Bool(true).truthy());
         assert!(!Value::nil().truthy());
         assert!(Value::List(vec![Value::Int(1)]).truthy());
-        assert!(Value::Str(String::new()).truthy(), "empty string is true, like SKILL");
+        assert!(
+            Value::Str(String::new()).truthy(),
+            "empty string is true, like SKILL"
+        );
     }
 
     #[test]

@@ -80,6 +80,26 @@ pub(crate) fn children_referenced(viewtype: &str, data: &[u8]) -> Vec<String> {
 }
 
 impl Hybrid {
+    /// [`children_referenced`], memoized by (viewtype, content hash)
+    /// under zero-copy staging: blobs make content hashing cheap, so
+    /// design data the guard has already parsed is never parsed again.
+    /// Deep-copy staging re-parses every time, like the original
+    /// pipeline did.
+    fn children_of(&mut self, viewtype: &str, data: &cad_vfs::Blob) -> Vec<String> {
+        let cacheable = self.staging_mode == crate::framework::StagingMode::ZeroCopy
+            && matches!(viewtype, "schematic" | "layout");
+        if !cacheable {
+            return children_referenced(viewtype, data);
+        }
+        let key = (viewtype.to_owned(), data.content_hash());
+        if let Some(children) = self.children_cache.get(&key) {
+            return children.clone();
+        }
+        let children = children_referenced(viewtype, data);
+        self.children_cache.insert(key, children.clone());
+        children
+    }
+
     /// Write-time guard run by the encapsulation pipeline before any
     /// output is persisted.
     ///
@@ -128,7 +148,7 @@ impl Hybrid {
         let (_, fmcad_cell) = self.location_of_variant(variant)?;
         let project = self.jcf.project_of(self.jcf.cell_of(cv)?)?;
         for output in outputs {
-            for child in children_referenced(&output.viewtype, &output.data) {
+            for child in self.children_of(&output.viewtype, &output.data) {
                 if declared_children.contains(&child) {
                     continue;
                 }
@@ -138,7 +158,10 @@ impl Hybrid {
                         continue;
                     }
                 }
-                return Err(HybridError::UndeclaredChild { parent: fmcad_cell, child });
+                return Err(HybridError::UndeclaredChild {
+                    parent: fmcad_cell,
+                    child,
+                });
             }
         }
 
@@ -148,7 +171,7 @@ impl Hybrid {
         let mut lay_children: Option<BTreeSet<String>> = None;
         for view in ["schematic", "layout"] {
             let from_output = outputs.iter().find(|o| o.viewtype == view);
-            let data: Option<Vec<u8>> = match from_output {
+            let data: Option<cad_vfs::Blob> = match from_output {
                 Some(o) => Some(o.data.clone()),
                 None => {
                     let viewtype = self.viewtype(view)?;
@@ -162,8 +185,11 @@ impl Hybrid {
                     }
                 }
             };
-            let children =
-                data.map(|d| children_referenced(view, &d).into_iter().collect::<BTreeSet<_>>());
+            let children = data.map(|d| {
+                self.children_of(view, &d)
+                    .into_iter()
+                    .collect::<BTreeSet<_>>()
+            });
             match view {
                 "schematic" => sch_children = children,
                 _ => lay_children = children,
@@ -197,7 +223,9 @@ impl Hybrid {
 
         // FMCAD-side metadata vs directory.
         for inc in self.fmcad.verify(&lib)? {
-            findings.push(ConsistencyFinding::MetaDrift { description: format!("{inc:?}") });
+            findings.push(ConsistencyFinding::MetaDrift {
+                description: format!("{inc:?}"),
+            });
         }
 
         // Mirrored design data: DB bytes must equal library bytes.
@@ -213,7 +241,7 @@ impl Hybrid {
                 .database()
                 .get(dov.object_id(), "data")
                 .ok()
-                .and_then(|v| v.as_bytes().map(<[u8]>::to_vec));
+                .and_then(|v| v.as_blob().cloned());
             let lib_bytes = self
                 .fmcad
                 .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
@@ -263,7 +291,8 @@ impl Hybrid {
             let sch = self.fmcad.read_default(&lib, &fmcad_cell, "schematic").ok();
             let lay = self.fmcad.read_default(&lib, &fmcad_cell, "layout").ok();
             if let (Some(sch), Some(lay)) = (sch, lay) {
-                let s: BTreeSet<String> = children_referenced("schematic", &sch).into_iter().collect();
+                let s: BTreeSet<String> =
+                    children_referenced("schematic", &sch).into_iter().collect();
                 let l: BTreeSet<String> = children_referenced("layout", &lay).into_iter().collect();
                 if s != l {
                     findings.push(ConsistencyFinding::NonIsomorphic {
@@ -297,13 +326,19 @@ mod tests {
         let team = hy.jcf_mut().add_team(admin, "asic").unwrap();
         hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("asic").unwrap();
-        Env { hy, alice, flow, team }
+        Env {
+            hy,
+            alice,
+            flow,
+            team,
+        }
     }
 
     fn hierarchical_netlist(child: &str) -> Vec<u8> {
         let mut n = Netlist::new("top");
         n.add_net("w").unwrap();
-        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")]).unwrap();
+        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")])
+            .unwrap();
         format::write_netlist(&n).into_bytes()
     }
 
@@ -320,9 +355,13 @@ mod tests {
         let top = e.hy.create_cell(project, "top").unwrap();
         let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
-        });
+        let result =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: hierarchical_netlist("fa").into(),
+                }])
+            });
         assert!(matches!(result, Err(HybridError::UndeclaredChild { .. })));
     }
 
@@ -336,7 +375,10 @@ mod tests {
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: hierarchical_netlist("fa").into(),
+            }])
         })
         .unwrap();
     }
@@ -353,17 +395,30 @@ mod tests {
         e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
         e.hy.jcf_mut().declare_comp_of(e.alice, cv, other).unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: hierarchical_netlist("fa") }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: hierarchical_netlist("fa").into(),
+            }])
         })
         .unwrap();
         // The layout places a *different* child: non-isomorphic.
-        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: hierarchical_layout("other") }])
-        });
-        assert!(matches!(result, Err(HybridError::NonIsomorphicHierarchy { .. })));
+        let result =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "layout".into(),
+                    data: hierarchical_layout("other").into(),
+                }])
+            });
+        assert!(matches!(
+            result,
+            Err(HybridError::NonIsomorphicHierarchy { .. })
+        ));
         // An isomorphic layout is fine.
         e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: hierarchical_layout("fa") }])
+            Ok(vec![ToolOutput {
+                viewtype: "layout".into(),
+                data: hierarchical_layout("fa").into(),
+            }])
         })
         .unwrap();
     }
@@ -377,7 +432,10 @@ mod tests {
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: bytes.into(),
+            }])
         })
         .unwrap();
         assert!(e.hy.verify_project(project).unwrap().is_empty());
@@ -391,16 +449,24 @@ mod tests {
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
-        let dovs = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        let dovs =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: bytes.into(),
+                }])
             })
             .unwrap();
         // Someone scribbles over the mirrored file behind JCF's back.
         let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
         e.hy.fmcad_mut()
-            .direct_file_write(&mirror.library, &mirror.cell, &mirror.view, mirror.version, b"corrupt".to_vec())
+            .direct_file_write(
+                &mirror.library,
+                &mirror.cell,
+                &mirror.view,
+                mirror.version,
+                b"corrupt".to_vec(),
+            )
             .unwrap();
         let findings = e.hy.verify_project(project).unwrap();
         assert!(findings

@@ -11,11 +11,11 @@
 use std::collections::BTreeMap;
 
 use cad_tools::ToolKind;
-use cad_vfs::VfsPath;
+use cad_vfs::{Blob, VfsPath};
 use jcf::{ActivityId, DovId, UserId, VariantId};
 
 use crate::error::{HybridError, HybridResult};
-use crate::framework::{Hybrid, MirrorLocation, COUPLER};
+use crate::framework::{Hybrid, MirrorLocation, StagingMode, COUPLER};
 
 /// Root of the staging area the encapsulation copies through.
 pub const STAGING_ROOT: &str = "/staging";
@@ -26,8 +26,9 @@ pub const STAGING_ROOT: &str = "/staging";
 pub struct ToolSession {
     /// The kind of tool the activity is bound to.
     pub tool: ToolKind,
-    /// Input bytes per viewtype name (the activity's `needs`).
-    pub inputs: BTreeMap<String, Vec<u8>>,
+    /// Input data per viewtype name (the activity's `needs`). The
+    /// blobs share their buffers with the staged files.
+    pub inputs: BTreeMap<String, Blob>,
 }
 
 /// One output of a tool session.
@@ -37,14 +38,14 @@ pub struct ToolOutput {
     /// activity's `creates`).
     pub viewtype: String,
     /// The produced design data.
-    pub data: Vec<u8>,
+    pub data: Blob,
 }
 
 impl ToolSession {
     /// The staged input bytes of one viewtype, if the activity needed
     /// it and a version existed.
     pub fn input(&self, viewtype: &str) -> Option<&[u8]> {
-        self.inputs.get(viewtype).map(Vec::as_slice)
+        self.inputs.get(viewtype).map(|b| b.as_ref())
     }
 
     /// Opens the staged `schematic` input in a real schematic editor.
@@ -130,12 +131,15 @@ impl Hybrid {
     ) -> HybridResult<Vec<DovId>> {
         let user_name = self.jcf.display_name(user.object_id());
         // 1. The master opens the activity (flow + workspace checks).
-        let execution = self.jcf.start_activity(user, variant, activity, override_pending)?;
+        let execution = self
+            .jcf
+            .start_activity(user, variant, activity, override_pending)?;
 
         // 2. Copy inputs out of the database into the staging area —
         //    or, with the future-work procedural interface enabled,
         //    hand the tool the database bytes directly (no copies).
         let procedural = self.features.procedural_interface;
+        let mode = self.staging_mode;
         let stage = self.stage_dir(&user_name)?;
         let mut inputs = BTreeMap::new();
         for viewtype in self.jcf.needs_of(activity) {
@@ -145,13 +149,13 @@ impl Hybrid {
                 .design_object_by_viewtype(variant, viewtype)
                 .and_then(|d| self.jcf.latest_version(d));
             if let Some(dov) = dov {
-                let data = self.jcf.read_design_data(user, dov)?;
+                let data = mode.leg(self.jcf.read_design_data(user, dov)?);
                 if procedural {
                     inputs.insert(name, data);
                 } else {
                     let path = stage.join(&format!("{name}.in"))?;
                     self.fmcad.fs().write(&path, data)?; // DB -> file system
-                    let staged = self.fmcad.fs().read(&path)?; // tool opens the copy
+                    let staged = mode.leg(self.fmcad.fs().read(&path)?); // tool opens the copy
                     inputs.insert(name, staged);
                 }
             }
@@ -176,18 +180,20 @@ impl Hybrid {
         let mut payload = Vec::new();
         for output in &outputs {
             let data = if procedural {
-                output.data.clone()
+                mode.leg(output.data.clone())
             } else {
                 let path = stage.join(&format!("{}.out", output.viewtype))?;
-                self.fmcad.fs().write(&path, output.data.clone())?; // tool saves
-                self.fmcad.fs().read(&path)? // file system -> DB
+                self.fmcad
+                    .fs()
+                    .write(&path, mode.leg(output.data.clone()))?; // tool saves
+                mode.leg(self.fmcad.fs().read(&path)?) // file system -> DB
             };
             let viewtype = self.viewtype(&output.viewtype)?;
             payload.push((viewtype, output.viewtype.clone(), data));
         }
-        let borrowed: Vec<(jcf::ViewTypeId, &str, Vec<u8>)> = payload
+        let borrowed: Vec<(jcf::ViewTypeId, &str, Blob)> = payload
             .iter()
-            .map(|(vt, name, data)| (*vt, name.as_str(), data.clone()))
+            .map(|(vt, name, data)| (*vt, name.as_str(), mode.leg(data.clone())))
             .collect();
         let dovs = self.jcf.finish_activity(user, execution, &borrowed)?;
 
@@ -196,6 +202,29 @@ impl Hybrid {
         let (lib, fmcad_cell) = self.location_of_variant(variant)?;
         for (dov, output) in dovs.iter().zip(&outputs) {
             let view = &output.viewtype;
+            let cache_key = (lib.clone(), fmcad_cell.clone(), view.clone());
+            let hash = output.data.content_hash();
+            if self.staging_mode == StagingMode::ZeroCopy {
+                // Content-addressed mirroring: when the mirrored view
+                // already holds exactly these bytes, the physical
+                // check-in (and its `.meta` rewrite) is skipped and the
+                // existing cellview version is reused.
+                if let Some(&(cached_hash, version)) = self.mirror_cache.get(&cache_key) {
+                    if cached_hash == hash {
+                        self.mirror_cache_hits += 1;
+                        self.dov_mirror.insert(
+                            *dov,
+                            MirrorLocation {
+                                library: lib.clone(),
+                                cell: fmcad_cell.clone(),
+                                view: view.clone(),
+                                version,
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
             let known = self
                 .fmcad
                 .views(&lib, &fmcad_cell)
@@ -208,9 +237,13 @@ impl Hybrid {
             if has_versions {
                 self.fmcad.checkout(COUPLER, &lib, &fmcad_cell, view)?;
             }
+            let mirrored = mode.leg(output.data.clone());
             let version = self
                 .fmcad
-                .checkin(COUPLER, &lib, &fmcad_cell, view, output.data.clone())?;
+                .checkin(COUPLER, &lib, &fmcad_cell, view, mirrored)?;
+            if self.staging_mode == StagingMode::ZeroCopy {
+                self.mirror_cache.insert(cache_key, (hash, version));
+            }
             self.dov_mirror.insert(
                 *dov,
                 MirrorLocation {
@@ -236,13 +269,14 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns visibility and transfer errors.
-    pub fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Vec<u8>> {
+    pub fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Blob> {
         let user_name = self.jcf.display_name(user.object_id());
-        let data = self.jcf.read_design_data(user, dov)?;
+        let mode = self.staging_mode;
+        let data = mode.leg(self.jcf.read_design_data(user, dov)?);
         let stage = self.stage_dir(&user_name)?;
         let path = stage.join("browse.tmp")?;
         self.fmcad.fs().write(&path, data)?; // DB -> file system copy
-        let copied = self.fmcad.fs().read(&path)?; // reader opens the copy
+        let copied = mode.leg(self.fmcad.fs().read(&path)?); // reader opens the copy
         self.bump_fmcad_ui();
         Ok(copied)
     }
@@ -274,7 +308,12 @@ mod tests {
         let team = hy.jcf_mut().add_team(admin, "asic").unwrap();
         hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("asic").unwrap();
-        Env { hy, alice, flow, team }
+        Env {
+            hy,
+            alice,
+            flow,
+            team,
+        }
     }
 
     fn schematic_bytes() -> Vec<u8> {
@@ -288,12 +327,14 @@ mod tests {
         let cell = e.hy.create_cell(project, "fa").unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let dovs = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |session| {
+        let dovs =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |session| {
                 assert_eq!(session.tool, ToolKind::SchematicEntry);
                 assert!(session.inputs.is_empty());
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: schematic_bytes().into(),
+                }])
             })
             .unwrap();
         assert_eq!(dovs.len(), 1);
@@ -301,11 +342,10 @@ mod tests {
         let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
         assert_eq!(mirror.cell, "fa_v1");
         assert_eq!(mirror.version, 1);
-        let mirrored = e
-            .hy
-            .fmcad_mut()
-            .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
-            .unwrap();
+        let mirrored =
+            e.hy.fmcad_mut()
+                .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+                .unwrap();
         assert_eq!(mirrored, schematic_bytes());
     }
 
@@ -316,10 +356,14 @@ mod tests {
         let cell = e.hy.create_cell(project, "fa").unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let result = e.hy.run_activity(e.alice, variant, e.flow.simulate, false, |_| {
-            panic!("session must not start when the flow forbids it")
-        });
-        assert!(matches!(result, Err(HybridError::Jcf(jcf::JcfError::FlowOrderViolation { .. }))));
+        let result =
+            e.hy.run_activity(e.alice, variant, e.flow.simulate, false, |_| {
+                panic!("session must not start when the flow forbids it")
+            });
+        assert!(matches!(
+            result,
+            Err(HybridError::Jcf(jcf::JcfError::FlowOrderViolation { .. }))
+        ));
     }
 
     #[test]
@@ -329,19 +373,23 @@ mod tests {
         let cell = e.hy.create_cell(project, "fa").unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let sch = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+        let sch =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: schematic_bytes().into(),
+                }])
             })
             .unwrap();
-        let waves = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.simulate, false, |session| {
+        let waves =
+            e.hy.run_activity(e.alice, variant, e.flow.simulate, false, |session| {
                 // The staged schematic is a faithful copy.
                 assert_eq!(session.inputs["schematic"], schematic_bytes());
                 assert_eq!(session.tool, ToolKind::Simulator);
-                Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+                Ok(vec![ToolOutput {
+                    viewtype: "waveform".into(),
+                    data: b"waves\n".to_vec().into(),
+                }])
             })
             .unwrap();
         // The derivation relation waveform <- schematic was recorded.
@@ -355,9 +403,13 @@ mod tests {
         let cell = e.hy.create_cell(project, "fa").unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let result = e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: b"layout x\n".to_vec() }])
-        });
+        let result =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "layout".into(),
+                    data: b"layout x\n".to_vec().into(),
+                }])
+            });
         assert!(matches!(result, Err(HybridError::UndeclaredOutput { .. })));
     }
 
@@ -368,17 +420,23 @@ mod tests {
         let cell = e.hy.create_cell(project, "fa").unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-        let dovs = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: schematic_bytes() }])
+        let dovs =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: schematic_bytes().into(),
+                }])
             })
             .unwrap();
         let before = e.hy.io_meter();
         let data = e.hy.browse(e.alice, dovs[0]).unwrap();
         let delta = e.hy.io_meter().since(&before);
         assert_eq!(data, schematic_bytes());
-        assert_eq!(delta.bytes_written, schematic_bytes().len() as u64, "read-only still copies");
+        assert_eq!(
+            delta.bytes_written,
+            schematic_bytes().len() as u64,
+            "read-only still copies"
+        );
         // FMCAD native read of the mirrored data moves no extra copy:
         let mirror = e.hy.mirror_of(dovs[0]).unwrap().clone();
         let before = e.hy.io_meter();
@@ -398,11 +456,10 @@ mod tests {
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         // Seed a schematic without finishing enter-schematic (direct desktop write).
         let schematic = e.hy.viewtype("schematic").unwrap();
-        let d = e
-            .hy
-            .jcf_mut()
-            .create_design_object(e.alice, variant, "schematic", schematic)
-            .unwrap();
+        let d =
+            e.hy.jcf_mut()
+                .create_design_object(e.alice, variant, "schematic", schematic)
+                .unwrap();
         e.hy.jcf_mut()
             .add_design_object_version(e.alice, d, schematic_bytes())
             .unwrap();
@@ -412,10 +469,102 @@ mod tests {
             .run_activity(e.alice, variant, e.flow.simulate, false, |_| Ok(vec![]))
             .is_err());
         e.hy.run_activity(e.alice, variant, e.flow.simulate, true, |_| {
-            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+            Ok(vec![ToolOutput {
+                viewtype: "waveform".into(),
+                data: b"waves\n".to_vec().into(),
+            }])
         })
         .unwrap();
         let execs = e.hy.jcf().executions_of(variant);
         assert!(e.hy.jcf().was_overridden(*execs.last().unwrap()).unwrap());
+    }
+
+    /// The zero-copy staging path must not materialize a single host
+    /// byte of the tool output: every leg of the activity (staging,
+    /// database, library, mirror) shares the same buffer. Deep-copy
+    /// mode pays one host copy per leg, like the original pipeline.
+    #[test]
+    fn zero_copy_activity_materializes_no_host_bytes() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let data: Blob = schematic_bytes().into();
+
+        assert_eq!(e.hy.staging_mode(), StagingMode::ZeroCopy);
+        let before = Blob::materializations();
+        let out = data.clone();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: out.clone(),
+            }])
+        })
+        .unwrap();
+        assert_eq!(
+            Blob::materializations(),
+            before,
+            "zero-copy run_activity must not deep-copy the tool output"
+        );
+
+        // The same activity under deep-copy staging materializes the
+        // output several times (staging file, database, library).
+        e.hy.set_staging_mode(StagingMode::DeepCopy);
+        let before = Blob::materializations();
+        let out = data.clone();
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: out.clone(),
+            }])
+        })
+        .unwrap();
+        assert!(Blob::materializations() > before);
+    }
+
+    /// Re-running an activity whose output bytes are unchanged hits the
+    /// content-addressed mirror cache: the library version is reused and
+    /// no new checkin happens.
+    #[test]
+    fn identical_rerun_hits_mirror_cache_and_reuses_version() {
+        let mut e = env();
+        let project = e.hy.create_project("p").unwrap();
+        let cell = e.hy.create_cell(project, "fa").unwrap();
+        let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
+        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        let data: Blob = schematic_bytes().into();
+
+        let run = |e: &mut Env, data: Blob| {
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: data.clone(),
+                }])
+            })
+            .unwrap()
+        };
+        let first = run(&mut e, data.clone());
+        let first_mirror = e.hy.mirror_of(first[0]).cloned().unwrap();
+        assert_eq!(e.hy.mirror_cache_hits(), 0);
+
+        let second = run(&mut e, data.clone());
+        let second_mirror = e.hy.mirror_of(second[0]).cloned().unwrap();
+        assert_eq!(e.hy.mirror_cache_hits(), 1);
+        assert_eq!(
+            second_mirror.version, first_mirror.version,
+            "version must be reused"
+        );
+
+        // Changed content misses the cache and produces a new version.
+        let changed: Blob = {
+            let mut v = schematic_bytes();
+            v.extend_from_slice(b"# edited\n");
+            v.into()
+        };
+        let third = run(&mut e, changed);
+        let third_mirror = e.hy.mirror_of(third[0]).cloned().unwrap();
+        assert_eq!(e.hy.mirror_cache_hits(), 1);
+        assert!(third_mirror.version > second_mirror.version);
     }
 }

@@ -123,13 +123,19 @@ mod tests {
         let team = hy.jcf_mut().add_team(admin, "t").unwrap();
         hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("f").unwrap();
-        Env { hy, alice, flow, team }
+        Env {
+            hy,
+            alice,
+            flow,
+            team,
+        }
     }
 
     fn netlist_using(child: &str) -> Vec<u8> {
         let mut n = Netlist::new("top");
         n.add_net("w").unwrap();
-        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")]).unwrap();
+        n.add_instance("u1", MasterRef::Cell(child.to_owned()), &[("a", "w")])
+            .unwrap();
         format::write_netlist(&n).into_bytes()
     }
 
@@ -148,7 +154,10 @@ mod tests {
 
     #[test]
     fn procedural_interface_auto_declares_hierarchy() {
-        let mut e = env(FutureFeatures { procedural_interface: true, ..Default::default() });
+        let mut e = env(FutureFeatures {
+            procedural_interface: true,
+            ..Default::default()
+        });
         let project = e.hy.create_project("p").unwrap();
         let top = e.hy.create_cell(project, "top").unwrap();
         let fa = e.hy.create_cell(project, "fa").unwrap();
@@ -156,17 +165,26 @@ mod tests {
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         // No manual declaration — the tools pass the hierarchy to JCF.
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("fa") }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: netlist_using("fa").into(),
+            }])
         })
         .unwrap();
-        assert!(e.hy.jcf().is_declared_child(cv, fa), "CompOf was auto-declared");
+        assert!(
+            e.hy.jcf().is_declared_child(cv, fa),
+            "CompOf was auto-declared"
+        );
         assert!(e.hy.verify_project(project).unwrap().is_empty());
     }
 
     #[test]
     fn procedural_interface_skips_staging_io() {
         let mut base = env(FutureFeatures::default());
-        let mut fut = env(FutureFeatures { procedural_interface: true, ..Default::default() });
+        let mut fut = env(FutureFeatures {
+            procedural_interface: true,
+            ..Default::default()
+        });
         for e in [&mut base, &mut fut] {
             let project = e.hy.create_project("p").unwrap();
             let cell = e.hy.create_cell(project, "c").unwrap();
@@ -177,7 +195,10 @@ mod tests {
             let design = design_data::generate::random_logic(500, 7);
             let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
             e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: bytes.into(),
+                }])
             })
             .unwrap();
         }
@@ -191,7 +212,10 @@ mod tests {
 
     #[test]
     fn non_isomorphic_support_accepts_differing_views() {
-        let mut e = env(FutureFeatures { non_isomorphic_hierarchies: true, ..Default::default() });
+        let mut e = env(FutureFeatures {
+            non_isomorphic_hierarchies: true,
+            ..Default::default()
+        });
         let project = e.hy.create_project("p").unwrap();
         let top = e.hy.create_cell(project, "top").unwrap();
         let fa = e.hy.create_cell(project, "fa").unwrap();
@@ -201,12 +225,18 @@ mod tests {
         e.hy.jcf_mut().declare_comp_of(e.alice, cv, fa).unwrap();
         e.hy.jcf_mut().declare_comp_of(e.alice, cv, ring).unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("fa") }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: netlist_using("fa").into(),
+            }])
         })
         .unwrap();
         // The 1995 prototype rejects this; the future release accepts.
         e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: layout_using("ring") }])
+            Ok(vec![ToolOutput {
+                viewtype: "layout".into(),
+                data: layout_using("ring").into(),
+            }])
         })
         .unwrap();
         assert!(e.hy.verify_project(project).unwrap().is_empty());
@@ -229,10 +259,16 @@ mod tests {
         let (cv, variant) = e.hy.create_cell_version(top, e.flow.flow, e.team).unwrap();
         e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: netlist_using("pll") }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: netlist_using("pll").into(),
+            }])
         })
         .unwrap();
-        assert!(e.hy.jcf().is_declared_child(cv, ip), "shared foreign IP was auto-declared");
+        assert!(
+            e.hy.jcf().is_declared_child(cv, ip),
+            "shared foreign IP was auto-declared"
+        );
     }
 
     #[test]

@@ -80,17 +80,21 @@ impl Hybrid {
                 .collect();
             for view in views {
                 let viewtype = self.viewtype(&view)?;
-                let design_object =
-                    self.jcf.create_design_object(actor, *variant, &view, viewtype)?;
+                let design_object = self
+                    .jcf
+                    .create_design_object(actor, *variant, &view, viewtype)?;
                 report.design_objects += 1;
                 for version in self.fmcad.versions(library, cell_name, &view)? {
-                    let data = self.fmcad.read_version(library, cell_name, &view, version)?;
+                    let data = self
+                        .fmcad
+                        .read_version(library, cell_name, &view, version)?;
                     report.bytes_copied += data.len() as u64;
                     for child in crate::consistency::children_referenced(&view, &data) {
                         child_edges.push((*cv, child));
                     }
-                    let dov =
-                        self.jcf.add_design_object_version(actor, design_object, data)?;
+                    let dov = self
+                        .jcf
+                        .add_design_object_version(actor, design_object, data)?;
                     self.dov_mirror.insert(
                         dov,
                         MirrorLocation {
@@ -146,9 +150,16 @@ mod tests {
         fm.create_library("legacy").unwrap();
         for (cell, netlist) in &design.netlists {
             fm.create_cell("legacy", cell).unwrap();
-            fm.create_cellview("legacy", cell, "schematic", "schematic").unwrap();
-            fm.checkin("old", "legacy", cell, "schematic", format::write_netlist(netlist).into_bytes())
+            fm.create_cellview("legacy", cell, "schematic", "schematic")
                 .unwrap();
+            fm.checkin(
+                "old",
+                "legacy",
+                cell,
+                "schematic",
+                format::write_netlist(netlist).into_bytes(),
+            )
+            .unwrap();
         }
 
         let (project, report) = hy.import_library(alice, "legacy", flow.flow, team).unwrap();

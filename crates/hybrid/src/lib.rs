@@ -48,7 +48,7 @@
 //! let dovs = hy.run_activity(alice, variant, flow.enter_schematic, false, |_session| {
 //!     Ok(vec![ToolOutput {
 //!         viewtype: "schematic".into(),
-//!         data: b"netlist adder\nport a input\n".to_vec(),
+//!         data: b"netlist adder\nport a input\n".to_vec().into(),
 //!     }])
 //! })?;
 //! assert!(hy.mirror_of(dovs[0]).is_some(), "mirrored into the FMCAD library");
@@ -71,7 +71,7 @@ mod release;
 pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
 pub use error::{HybridError, HybridResult};
-pub use framework::{Hybrid, MirrorLocation, StandardFlow, COUPLER};
+pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};
 pub use future::FutureFeatures;
 pub use import::ImportReport;
 pub use release::ExportManifest;

@@ -18,11 +18,26 @@ pub struct MappingRow {
 
 /// The paper's Table 1, row for row.
 pub const TABLE_1: &[MappingRow] = &[
-    MappingRow { jcf_object: "Project", fmcad_object: "Library" },
-    MappingRow { jcf_object: "CellVersion", fmcad_object: "Cell" },
-    MappingRow { jcf_object: "ViewType", fmcad_object: "View" },
-    MappingRow { jcf_object: "DesignObject", fmcad_object: "Cellview" },
-    MappingRow { jcf_object: "DesignObjectVersion", fmcad_object: "Cellview Version" },
+    MappingRow {
+        jcf_object: "Project",
+        fmcad_object: "Library",
+    },
+    MappingRow {
+        jcf_object: "CellVersion",
+        fmcad_object: "Cell",
+    },
+    MappingRow {
+        jcf_object: "ViewType",
+        fmcad_object: "View",
+    },
+    MappingRow {
+        jcf_object: "DesignObject",
+        fmcad_object: "Cellview",
+    },
+    MappingRow {
+        jcf_object: "DesignObjectVersion",
+        fmcad_object: "Cellview Version",
+    },
 ];
 
 /// JCF concepts with **no** FMCAD counterpart — what the reverse
@@ -45,7 +60,11 @@ pub const UNMAPPABLE_TO_FMCAD: &[&str] = &[
 /// FMCAD concepts the forward mapping absorbs rather than mirrors:
 /// checkout state becomes the JCF workspace reservation, and dynamic
 /// hierarchy binding is replaced by declared `CompOf` metadata.
-pub const ABSORBED_FROM_FMCAD: &[&str] = &["CheckOut Status", "Locked Flag", "dynamic hierarchy binding"];
+pub const ABSORBED_FROM_FMCAD: &[&str] = &[
+    "CheckOut Status",
+    "Locked Flag",
+    "dynamic hierarchy binding",
+];
 
 /// Renders Table 1 in the paper's two-column layout.
 pub fn render_table_1() -> String {

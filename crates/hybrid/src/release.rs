@@ -113,7 +113,12 @@ mod tests {
         let team = hy.jcf_mut().add_team(admin, "t").unwrap();
         hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("f").unwrap();
-        Env { hy, alice, flow, team }
+        Env {
+            hy,
+            alice,
+            flow,
+            team,
+        }
     }
 
     fn design_in_variant(e: &mut Env) -> (jcf::CellVersionId, VariantId, Vec<jcf::DovId>) {
@@ -124,15 +129,20 @@ mod tests {
         let design = generate::ripple_adder(1);
         let sch = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
         let lay = format::write_layout(&design.layouts["full_adder"]).into_bytes();
-        let mut dovs = e
-            .hy
-            .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+        let mut dovs =
+            e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: sch.into(),
+                }])
             })
             .unwrap();
         dovs.extend(
             e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, move |_| {
-                Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+                Ok(vec![ToolOutput {
+                    viewtype: "layout".into(),
+                    data: lay.into(),
+                }])
             })
             .unwrap(),
         );
@@ -165,8 +175,14 @@ mod tests {
     fn config_export_writes_the_selected_snapshot() {
         let mut e = env();
         let (cv, _, dovs) = design_in_variant(&mut e);
-        let config = e.hy.jcf_mut().create_configuration(e.alice, cv, "rel").unwrap();
-        let cfg_v = e.hy.jcf_mut().create_config_version(e.alice, config, &dovs).unwrap();
+        let config =
+            e.hy.jcf_mut()
+                .create_configuration(e.alice, cv, "rel")
+                .unwrap();
+        let cfg_v =
+            e.hy.jcf_mut()
+                .create_config_version(e.alice, config, &dovs)
+                .unwrap();
         let dest = VfsPath::parse("/releases/rel1").unwrap();
         let manifest = e.hy.export_config(e.alice, cfg_v, &dest).unwrap();
         assert_eq!(manifest.files.len(), 2);
@@ -174,12 +190,11 @@ mod tests {
         // The files really are in the shared file system.
         let names: Vec<String> = e.hy.fmcad_mut().fs().read_dir(&dest).unwrap();
         assert_eq!(names, vec!["layout.1".to_owned(), "schematic.1".to_owned()]);
-        let exported = e
-            .hy
-            .fmcad_mut()
-            .fs()
-            .read(&dest.join("schematic.1").unwrap())
-            .unwrap();
+        let exported =
+            e.hy.fmcad_mut()
+                .fs()
+                .read(&dest.join("schematic.1").unwrap())
+                .unwrap();
         assert!(exported.starts_with(b"netlist full_adder"));
     }
 }

@@ -96,7 +96,10 @@ impl fmt::Display for JcfError {
                 write!(f, "user {user:?} does not hold the reservation")
             }
             JcfError::FlowFrozen(n) => write!(f, "flow {n:?} is frozen and cannot be modified"),
-            JcfError::FlowOrderViolation { activity, missing_predecessor } => write!(
+            JcfError::FlowOrderViolation {
+                activity,
+                missing_predecessor,
+            } => write!(
                 f,
                 "activity {activity:?} requires predecessor {missing_predecessor:?} to finish first"
             ),
@@ -114,10 +117,16 @@ impl fmt::Display for JcfError {
                 "configuration already contains a version of {design_object:?}"
             ),
             JcfError::HierarchyNotDeclared { child } => {
-                write!(f, "hierarchy to child cell {child:?} was not declared via the desktop")
+                write!(
+                    f,
+                    "hierarchy to child cell {child:?} was not declared via the desktop"
+                )
             }
             JcfError::CrossProjectAccess { owner_project } => {
-                write!(f, "data sharing across projects is not supported (owner: {owner_project:?})")
+                write!(
+                    f,
+                    "data sharing across projects is not supported (owner: {owner_project:?})"
+                )
             }
         }
     }

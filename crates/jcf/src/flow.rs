@@ -48,7 +48,10 @@ impl Jcf {
             .as_bool()
             .unwrap_or(false);
         if !is_manager {
-            return Err(JcfError::PermissionDenied { user: self.name_of(user.0), action });
+            return Err(JcfError::PermissionDenied {
+                user: self.name_of(user.0),
+                action,
+            });
         }
         Ok(())
     }
@@ -130,7 +133,11 @@ impl Jcf {
 
     /// The activities of a flow, in definition order.
     pub fn activities_of(&self, flow: FlowId) -> Vec<ActivityId> {
-        self.db.targets(self.rels.flow_activity, flow.0).into_iter().map(ActivityId).collect()
+        self.db
+            .targets(self.rels.flow_activity, flow.0)
+            .into_iter()
+            .map(ActivityId)
+            .collect()
     }
 
     /// The predecessors an activity waits on.
@@ -306,6 +313,8 @@ impl Jcf {
     ///
     /// Each output is `(viewtype, design object name, data)`; a design
     /// object is created on first use of the name in the variant.
+    /// Output payloads are [`Blob`](cad_vfs::Blob)s — storing them in
+    /// the database shares the tool's buffer instead of copying it.
     ///
     /// # Errors
     ///
@@ -314,7 +323,7 @@ impl Jcf {
         &mut self,
         user: UserId,
         execution: ExecutionId,
-        outputs: &[(ViewTypeId, &str, Vec<u8>)],
+        outputs: &[(ViewTypeId, &str, cad_vfs::Blob)],
     ) -> JcfResult<Vec<DovId>> {
         self.bump();
         let variant = self.variant_of_execution(execution)?;
@@ -380,19 +389,31 @@ impl Jcf {
     ///
     /// Returns database errors for dead ids.
     pub fn was_overridden(&self, execution: ExecutionId) -> JcfResult<bool> {
-        Ok(self.db.get(execution.0, "overridden")?.as_bool().unwrap_or(false))
+        Ok(self
+            .db
+            .get(execution.0, "overridden")?
+            .as_bool()
+            .unwrap_or(false))
     }
 
     // --- derivation queries -----------------------------------------------
 
     /// The design object versions this one was directly derived from.
     pub fn derived_from(&self, dov: DovId) -> Vec<DovId> {
-        self.db.sources(self.rels.dov_derived, dov.0).into_iter().map(DovId).collect()
+        self.db
+            .sources(self.rels.dov_derived, dov.0)
+            .into_iter()
+            .map(DovId)
+            .collect()
     }
 
     /// The design object versions directly derived from this one.
     pub fn derivations_of(&self, dov: DovId) -> Vec<DovId> {
-        self.db.targets(self.rels.dov_derived, dov.0).into_iter().map(DovId).collect()
+        self.db
+            .targets(self.rels.dov_derived, dov.0)
+            .into_iter()
+            .map(DovId)
+            .collect()
     }
 
     /// The transitive derivation ancestry of a version (everything it
@@ -499,7 +520,11 @@ impl Jcf {
         Ok(out)
     }
 
-    pub(crate) fn has_finished_execution_pub(&self, variant: VariantId, activity: ActivityId) -> bool {
+    pub(crate) fn has_finished_execution_pub(
+        &self,
+        variant: VariantId,
+        activity: ActivityId,
+    ) -> bool {
         self.has_finished_execution(variant, activity)
     }
 }
@@ -550,14 +575,33 @@ mod tests {
             .add_activity(admin, flow, "enter", sch_tool, &[], &[schematic], &[])
             .unwrap();
         let simulate = jcf
-            .add_activity(admin, flow, "simulate", sim_tool, &[schematic], &[waveform], &[enter])
+            .add_activity(
+                admin,
+                flow,
+                "simulate",
+                sim_tool,
+                &[schematic],
+                &[waveform],
+                &[enter],
+            )
             .unwrap();
         jcf.freeze_flow(admin, flow).unwrap();
         let project = jcf.create_project("p").unwrap();
         let cell = jcf.create_cell(project, "alu").unwrap();
         let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
         jcf.reserve(alice, cv).unwrap();
-        Fixture { jcf, alice, cv, variant, schematic, waveform, enter, simulate, flow, team }
+        Fixture {
+            jcf,
+            alice,
+            cv,
+            variant,
+            schematic,
+            waveform,
+            enter,
+            simulate,
+            flow,
+            team,
+        }
     }
 
     #[test]
@@ -566,7 +610,8 @@ mod tests {
         let admin = f.jcf.user_by_name("admin").unwrap();
         let tool = f.jcf.add_tool("x").unwrap();
         assert!(matches!(
-            f.jcf.add_activity(admin, f.flow, "late", tool, &[], &[], &[]),
+            f.jcf
+                .add_activity(admin, f.flow, "late", tool, &[], &[], &[]),
             Err(JcfError::FlowFrozen(_))
         ));
         assert!(f.jcf.is_flow_frozen(f.flow).unwrap());
@@ -599,18 +644,32 @@ mod tests {
     fn full_activity_cycle_records_derivations() {
         let mut f = fixture();
         // Run "enter": creates the schematic.
-        let e1 = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        let e1 = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.enter, false)
+            .unwrap();
         let sch_dovs = f
             .jcf
-            .finish_activity(f.alice, e1, &[(f.schematic, "sch", b"netlist alu".to_vec())])
+            .finish_activity(
+                f.alice,
+                e1,
+                &[(f.schematic, "sch", b"netlist alu".to_vec().into())],
+            )
             .unwrap();
         assert_eq!(sch_dovs.len(), 1);
         // Now "simulate" may run and must read the schematic.
         assert!(f.jcf.can_execute(f.variant, f.simulate).is_ok());
-        let e2 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let e2 = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.simulate, false)
+            .unwrap();
         let wave_dovs = f
             .jcf
-            .finish_activity(f.alice, e2, &[(f.waveform, "waves", b"waves".to_vec())])
+            .finish_activity(
+                f.alice,
+                e2,
+                &[(f.waveform, "waves", b"waves".to_vec().into())],
+            )
             .unwrap();
         // Derivation: waveform derived from schematic.
         assert_eq!(f.jcf.derived_from(wave_dovs[0]), vec![sch_dovs[0]]);
@@ -620,7 +679,8 @@ mod tests {
         assert_eq!(report.len(), 2);
         assert!(report
             .iter()
-            .any(|r| r.design_object == "waves" && r.created_by_activity.as_deref() == Some("simulate")));
+            .any(|r| r.design_object == "waves"
+                && r.created_by_activity.as_deref() == Some("simulate")));
     }
 
     #[test]
@@ -641,12 +701,17 @@ mod tests {
             .jcf
             .create_design_object(f.alice, f.variant, "sch", f.schematic)
             .unwrap();
-        f.jcf.add_design_object_version(f.alice, d, b"x".to_vec()).unwrap();
+        f.jcf
+            .add_design_object_version(f.alice, d, b"x".to_vec())
+            .unwrap();
         assert!(matches!(
             f.jcf.start_activity(f.alice, f.variant, f.simulate, false),
             Err(JcfError::FlowOrderViolation { .. })
         ));
-        let e = f.jcf.start_activity(f.alice, f.variant, f.simulate, true).unwrap();
+        let e = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.simulate, true)
+            .unwrap();
         assert!(f.jcf.was_overridden(e).unwrap());
     }
 
@@ -680,27 +745,39 @@ mod tests {
     #[test]
     fn derivation_closure_walks_the_full_ancestry() {
         let mut f = fixture();
-        let e1 = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        let e1 = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.enter, false)
+            .unwrap();
         let sch = f
             .jcf
-            .finish_activity(f.alice, e1, &[(f.schematic, "sch", b"a".to_vec())])
+            .finish_activity(f.alice, e1, &[(f.schematic, "sch", b"a".to_vec().into())])
             .unwrap();
-        let e2 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let e2 = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.simulate, false)
+            .unwrap();
         let w1 = f
             .jcf
-            .finish_activity(f.alice, e2, &[(f.waveform, "waves", b"b".to_vec())])
+            .finish_activity(f.alice, e2, &[(f.waveform, "waves", b"b".to_vec().into())])
             .unwrap();
         // Second simulation run: its waveform derives from the schematic
         // and (via versioning) from the first waveform.
-        let e3 = f.jcf.start_activity(f.alice, f.variant, f.simulate, false).unwrap();
+        let e3 = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.simulate, false)
+            .unwrap();
         let w2 = f
             .jcf
-            .finish_activity(f.alice, e3, &[(f.waveform, "waves", b"c".to_vec())])
+            .finish_activity(f.alice, e3, &[(f.waveform, "waves", b"c".to_vec().into())])
             .unwrap();
         let closure = f.jcf.derivation_closure(w2[0]);
         assert!(closure.contains(&sch[0]));
         assert!(closure.contains(&w1[0]));
-        assert!(!closure.contains(&w2[0]), "a version is not its own ancestor");
+        assert!(
+            !closure.contains(&w2[0]),
+            "a version is not its own ancestor"
+        );
         assert!(f.jcf.derivation_closure(sch[0]).is_empty());
     }
 
@@ -710,11 +787,17 @@ mod tests {
         let status = f.jcf.flow_status(f.variant).unwrap();
         assert_eq!(status.len(), 2);
         assert_eq!(status[0].1, ActivityState::Ready, "enter may start");
-        assert!(matches!(status[1].1, ActivityState::Blocked(_)), "simulate waits");
+        assert!(
+            matches!(status[1].1, ActivityState::Blocked(_)),
+            "simulate waits"
+        );
         // Run "enter"; simulate becomes ready; enter becomes finished.
-        let e = f.jcf.start_activity(f.alice, f.variant, f.enter, false).unwrap();
+        let e = f
+            .jcf
+            .start_activity(f.alice, f.variant, f.enter, false)
+            .unwrap();
         f.jcf
-            .finish_activity(f.alice, e, &[(f.schematic, "sch", b"x".to_vec())])
+            .finish_activity(f.alice, e, &[(f.schematic, "sch", b"x".to_vec().into())])
             .unwrap();
         let status = f.jcf.flow_status(f.variant).unwrap();
         assert_eq!(status[0].1, ActivityState::Finished);
@@ -724,10 +807,22 @@ mod tests {
     #[test]
     fn mark_equivalent_links_both_views() {
         let mut f = fixture();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        let a = f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
-        let d2 = f.jcf.create_design_object(f.alice, f.variant, "waves", f.waveform).unwrap();
-        let b = f.jcf.add_design_object_version(f.alice, d2, vec![2]).unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        let a = f
+            .jcf
+            .add_design_object_version(f.alice, d, vec![1])
+            .unwrap();
+        let d2 = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "waves", f.waveform)
+            .unwrap();
+        let b = f
+            .jcf
+            .add_design_object_version(f.alice, d2, vec![2])
+            .unwrap();
         f.jcf.mark_equivalent(a, b).unwrap();
         assert!(f.jcf.database().linked(f.jcf.rels.dov_equivalent, a.0, b.0));
     }

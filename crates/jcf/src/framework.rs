@@ -155,6 +155,7 @@ pub struct Jcf {
     pub(crate) rels: Rels,
     pub(crate) desktop_ops: u64,
     pub(crate) clock: i64,
+    pub(crate) checkpointer: oms::persist::Checkpointer,
 }
 
 impl Default for Jcf {
@@ -167,7 +168,11 @@ impl Jcf {
     /// Creates an empty framework installation.
     pub fn new() -> Self {
         let db = Database::new(jcf_schema());
-        let rel = |name: &str| db.schema().relationship_by_name(name).expect("schema declares it");
+        let rel = |name: &str| {
+            db.schema()
+                .relationship_by_name(name)
+                .expect("schema declares it")
+        };
         let rels = Rels {
             team_member: rel("team_member"),
             flow_activity: rel("flow_activity"),
@@ -198,7 +203,13 @@ impl Jcf {
             config_contains: rel("config_contains"),
             reserved_by: rel("reserved_by"),
         };
-        Jcf { db, rels, desktop_ops: 0, clock: 0 }
+        Jcf {
+            db,
+            rels,
+            desktop_ops: 0,
+            clock: 0,
+            checkpointer: oms::persist::Checkpointer::new(),
+        }
     }
 
     /// Read access to the underlying database (for schema introspection
@@ -211,12 +222,18 @@ impl Jcf {
     /// data — to a file in the virtual file system. This is how JCF
     /// installations were backed up: everything lives in one store.
     ///
+    /// Serialisation is incremental: a per-object content-hash cache
+    /// ([`oms::persist::Checkpointer`]) re-encodes only objects that
+    /// changed since the previous checkpoint of this framework.
+    ///
     /// # Errors
     ///
     /// Returns database/file-system errors wrapped as [`JcfError`].
     pub fn checkpoint(&mut self, fs: &mut cad_vfs::Vfs, path: &cad_vfs::VfsPath) -> JcfResult<()> {
         self.bump();
-        oms::persist::save(&self.db, fs, path).map_err(JcfError::Database)
+        self.checkpointer
+            .save(&self.db, fs, path)
+            .map_err(JcfError::Database)
     }
 
     /// Restores a framework from a checkpoint written by
@@ -260,7 +277,10 @@ impl Jcf {
     }
 
     pub(crate) fn class(&self, name: &str) -> oms::ClassId {
-        self.db.schema().class_by_name(name).expect("schema declares all classes")
+        self.db
+            .schema()
+            .class_by_name(name)
+            .expect("schema declares all classes")
     }
 
     pub(crate) fn name_of(&self, id: ObjectId) -> String {
@@ -290,7 +310,10 @@ impl Jcf {
             .as_bool()
             .unwrap_or(false);
         if !is_manager {
-            return Err(JcfError::PermissionDenied { user: self.name_of(user.0), action });
+            return Err(JcfError::PermissionDenied {
+                user: self.name_of(user.0),
+                action,
+            });
         }
         Ok(())
     }
@@ -349,7 +372,11 @@ impl Jcf {
 
     /// The members of a team.
     pub fn team_members(&self, team: TeamId) -> Vec<UserId> {
-        self.db.targets(self.rels.team_member, team.0).into_iter().map(UserId).collect()
+        self.db
+            .targets(self.rels.team_member, team.0)
+            .into_iter()
+            .map(UserId)
+            .collect()
     }
 
     /// Returns `true` if `user` belongs to `team`.
@@ -400,7 +427,9 @@ impl Jcf {
 
     /// Resolves a user by name.
     pub fn user_by_name(&self, name: &str) -> Option<UserId> {
-        self.db.find_by_attr(self.class("User"), "name", &Value::from(name)).map(UserId)
+        self.db
+            .find_by_attr(self.class("User"), "name", &Value::from(name))
+            .map(UserId)
     }
 
     /// The display name of any framework entity with a `name` attribute.
@@ -466,7 +495,11 @@ impl Jcf {
         team: TeamId,
     ) -> JcfResult<(CellVersionId, VariantId)> {
         self.bump();
-        let previous = self.db.targets(self.rels.cell_version, cell.0).into_iter().last();
+        let previous = self
+            .db
+            .targets(self.rels.cell_version, cell.0)
+            .into_iter()
+            .last();
         let number = self.db.targets(self.rels.cell_version, cell.0).len() as i64 + 1;
         let cv_class = self.class("CellVersion");
         let variant_class = self.class("Variant");
@@ -490,12 +523,20 @@ impl Jcf {
 
     /// The cells of a project, in creation order.
     pub fn cells_of(&self, project: ProjectId) -> Vec<CellId> {
-        self.db.targets(self.rels.project_cell, project.0).into_iter().map(CellId).collect()
+        self.db
+            .targets(self.rels.project_cell, project.0)
+            .into_iter()
+            .map(CellId)
+            .collect()
     }
 
     /// The versions of a cell, in creation (and numbering) order.
     pub fn versions_of(&self, cell: CellId) -> Vec<CellVersionId> {
-        self.db.targets(self.rels.cell_version, cell.0).into_iter().map(CellVersionId).collect()
+        self.db
+            .targets(self.rels.cell_version, cell.0)
+            .into_iter()
+            .map(CellVersionId)
+            .collect()
     }
 
     /// The variants of a cell version, in creation order.
@@ -701,7 +742,11 @@ impl Jcf {
 
     /// The declared children of a cell version (hierarchy metadata).
     pub fn comp_of(&self, cv: CellVersionId) -> Vec<CellId> {
-        self.db.targets(self.rels.comp_of, cv.0).into_iter().map(CellId).collect()
+        self.db
+            .targets(self.rels.comp_of, cv.0)
+            .into_iter()
+            .map(CellId)
+            .collect()
     }
 
     /// Returns `true` if `child` is a declared component of `cv`.
@@ -723,7 +768,10 @@ mod tests {
     #[test]
     fn duplicate_user_names_rejected() {
         let (mut jcf, _) = managed();
-        assert!(matches!(jcf.add_user("admin", false), Err(JcfError::NameTaken(_))));
+        assert!(matches!(
+            jcf.add_user("admin", false),
+            Err(JcfError::NameTaken(_))
+        ));
     }
 
     #[test]
@@ -757,7 +805,9 @@ mod tests {
             jcf.database().get(v2.0, "number").unwrap().as_int(),
             Some(2)
         );
-        assert!(jcf.database().linked(jcf.rels.cell_version_precedes, v1.0, v2.0));
+        assert!(jcf
+            .database()
+            .linked(jcf.rels.cell_version_precedes, v1.0, v2.0));
     }
 
     #[test]
@@ -765,7 +815,10 @@ mod tests {
         let (mut jcf, _) = managed();
         let project = jcf.create_project("p").unwrap();
         jcf.create_cell(project, "alu").unwrap();
-        assert!(matches!(jcf.create_cell(project, "alu"), Err(JcfError::NameTaken(_))));
+        assert!(matches!(
+            jcf.create_cell(project, "alu"),
+            Err(JcfError::NameTaken(_))
+        ));
         let other = jcf.create_project("q").unwrap();
         jcf.create_cell(other, "alu").unwrap();
     }
@@ -821,7 +874,9 @@ mod tests {
         jcf.reserve(alice, cv).unwrap();
         let vt = jcf.add_viewtype("schematic").unwrap();
         let d = jcf.create_design_object(alice, variant, "sch", vt).unwrap();
-        let dov = jcf.add_design_object_version(alice, d, b"data".to_vec()).unwrap();
+        let dov = jcf
+            .add_design_object_version(alice, d, b"data".to_vec())
+            .unwrap();
 
         let mut fs = cad_vfs::Vfs::new();
         let path = cad_vfs::VfsPath::parse("/backup/jcf.db").unwrap();
@@ -834,9 +889,21 @@ mod tests {
         assert_eq!(restored.reserver(cv), Some(alice));
         assert_eq!(restored.read_design_data(alice, dov).unwrap(), b"data");
         // And work continues: a new version stamps after the old one.
-        let dov2 = restored.add_design_object_version(alice, d, b"v2".to_vec()).unwrap();
-        let t1 = restored.database().get(dov.object_id(), "created_at").unwrap().as_int().unwrap();
-        let t2 = restored.database().get(dov2.object_id(), "created_at").unwrap().as_int().unwrap();
+        let dov2 = restored
+            .add_design_object_version(alice, d, b"v2".to_vec())
+            .unwrap();
+        let t1 = restored
+            .database()
+            .get(dov.object_id(), "created_at")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let t2 = restored
+            .database()
+            .get(dov2.object_id(), "created_at")
+            .unwrap()
+            .as_int()
+            .unwrap();
         assert!(t2 > t1, "clock resumes past restored timestamps");
     }
 

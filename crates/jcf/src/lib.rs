@@ -49,7 +49,7 @@
 //! let (cv, variant) = jcf.create_cell_version(cell, flow, team)?;
 //! jcf.reserve(alice, cv)?;
 //! let exec = jcf.start_activity(alice, variant, enter, false)?;
-//! jcf.finish_activity(alice, exec, &[(schematic, "sch", b"netlist adder".to_vec())])?;
+//! jcf.finish_activity(alice, exec, &[(schematic, "sch", b"netlist adder".to_vec().into())])?;
 //! jcf.publish(alice, cv)?;
 //! # Ok(())
 //! # }

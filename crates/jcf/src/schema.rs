@@ -27,34 +27,34 @@ pub const CLASSES: &[&str] = &[
 
 /// Relationship names of the JCF schema (Figure 1 edges).
 pub const RELATIONSHIPS: &[&str] = &[
-    "team_member",           // Team -> User (team structure)
-    "flow_activity",         // Flow -> Activity (flows own activities)
-    "activity_tool",         // Activity -> Tool (the tool an activity runs)
-    "activity_needs",        // Activity -> ViewType ("Needs of Version")
-    "activity_creates",      // Activity -> ViewType ("Creates")
-    "activity_precedes",     // Activity -> Activity ("precedes")
-    "project_cell",          // Project -> Cell ("Project has entry")
-    "cell_version",          // Cell -> CellVersion (version mechanism)
-    "cell_version_precedes", // CellVersion -> CellVersion
-    "cell_version_flow",     // CellVersion -> Flow (attached flow)
-    "cell_version_team",     // CellVersion -> Team (attached team)
-    "comp_of",               // CellVersion -> Cell (CompOf hierarchy)
-    "cell_version_variant",  // CellVersion -> Variant
-    "variant_derived",       // Variant -> Variant (derived)
-    "variant_design_object", // Variant -> DesignObject (design data)
-    "design_object_viewtype",// DesignObject -> ViewType
-    "design_object_version", // DesignObject -> DesignObjectVersion
-    "dov_derived",           // DesignObjectVersion -> DesignObjectVersion
-    "dov_equivalent",        // DesignObjectVersion -> DesignObjectVersion
-    "execution_activity",    // ActivityExecution -> Activity (Activity Proxy)
-    "execution_variant",     // ActivityExecution -> Variant
-    "execution_reads",       // ActivityExecution -> DOV ("Needs of Version")
-    "execution_creates",     // ActivityExecution -> DOV ("Creates")
-    "cell_version_config",   // CellVersion -> Configuration
-    "config_version",        // Configuration -> ConfigurationVersion
-    "config_precedes",       // ConfigurationVersion -> ConfigurationVersion
-    "config_contains",       // ConfigurationVersion -> DOV ("CVV in Config")
-    "reserved_by",           // CellVersion -> User (workspace reservation)
+    "team_member",            // Team -> User (team structure)
+    "flow_activity",          // Flow -> Activity (flows own activities)
+    "activity_tool",          // Activity -> Tool (the tool an activity runs)
+    "activity_needs",         // Activity -> ViewType ("Needs of Version")
+    "activity_creates",       // Activity -> ViewType ("Creates")
+    "activity_precedes",      // Activity -> Activity ("precedes")
+    "project_cell",           // Project -> Cell ("Project has entry")
+    "cell_version",           // Cell -> CellVersion (version mechanism)
+    "cell_version_precedes",  // CellVersion -> CellVersion
+    "cell_version_flow",      // CellVersion -> Flow (attached flow)
+    "cell_version_team",      // CellVersion -> Team (attached team)
+    "comp_of",                // CellVersion -> Cell (CompOf hierarchy)
+    "cell_version_variant",   // CellVersion -> Variant
+    "variant_derived",        // Variant -> Variant (derived)
+    "variant_design_object",  // Variant -> DesignObject (design data)
+    "design_object_viewtype", // DesignObject -> ViewType
+    "design_object_version",  // DesignObject -> DesignObjectVersion
+    "dov_derived",            // DesignObjectVersion -> DesignObjectVersion
+    "dov_equivalent",         // DesignObjectVersion -> DesignObjectVersion
+    "execution_activity",     // ActivityExecution -> Activity (Activity Proxy)
+    "execution_variant",      // ActivityExecution -> Variant
+    "execution_reads",        // ActivityExecution -> DOV ("Needs of Version")
+    "execution_creates",      // ActivityExecution -> DOV ("Creates")
+    "cell_version_config",    // CellVersion -> Configuration
+    "config_version",         // Configuration -> ConfigurationVersion
+    "config_precedes",        // ConfigurationVersion -> ConfigurationVersion
+    "config_contains",        // ConfigurationVersion -> DOV ("CVV in Config")
+    "reserved_by",            // CellVersion -> User (workspace reservation)
 ];
 
 /// Builds the JCF 3.0 schema.
@@ -66,25 +66,46 @@ pub const RELATIONSHIPS: &[&str] = &[
 pub fn jcf_schema() -> Schema {
     let mut b = SchemaBuilder::new();
     let user = b
-        .class("User", &[("name", AttrType::Text), ("is_manager", AttrType::Bool)])
+        .class(
+            "User",
+            &[("name", AttrType::Text), ("is_manager", AttrType::Bool)],
+        )
         .expect("fresh schema");
-    let team = b.class("Team", &[("name", AttrType::Text)]).expect("fresh schema");
-    let tool = b.class("Tool", &[("name", AttrType::Text)]).expect("fresh schema");
-    let viewtype = b.class("ViewType", &[("name", AttrType::Text)]).expect("fresh schema");
+    let team = b
+        .class("Team", &[("name", AttrType::Text)])
+        .expect("fresh schema");
+    let tool = b
+        .class("Tool", &[("name", AttrType::Text)])
+        .expect("fresh schema");
+    let viewtype = b
+        .class("ViewType", &[("name", AttrType::Text)])
+        .expect("fresh schema");
     let flow = b
-        .class("Flow", &[("name", AttrType::Text), ("frozen", AttrType::Bool)])
+        .class(
+            "Flow",
+            &[("name", AttrType::Text), ("frozen", AttrType::Bool)],
+        )
         .expect("fresh schema");
-    let activity = b.class("Activity", &[("name", AttrType::Text)]).expect("fresh schema");
-    let project = b.class("Project", &[("name", AttrType::Text)]).expect("fresh schema");
+    let activity = b
+        .class("Activity", &[("name", AttrType::Text)])
+        .expect("fresh schema");
+    let project = b
+        .class("Project", &[("name", AttrType::Text)])
+        .expect("fresh schema");
     // `shared` is the §3.1 future-work flag: a shared cell may be used
     // as a hierarchy child from other projects once the feature is on.
     let cell = b
-        .class("Cell", &[("name", AttrType::Text), ("shared", AttrType::Bool)])
+        .class(
+            "Cell",
+            &[("name", AttrType::Text), ("shared", AttrType::Bool)],
+        )
         .expect("fresh schema");
     let cell_version = b
         .class("CellVersion", &[("number", AttrType::Int)])
         .expect("fresh schema");
-    let variant = b.class("Variant", &[("name", AttrType::Text)]).expect("fresh schema");
+    let variant = b
+        .class("Variant", &[("name", AttrType::Text)])
+        .expect("fresh schema");
     let design_object = b
         .class("DesignObject", &[("name", AttrType::Text)])
         .expect("fresh schema");
@@ -102,50 +123,87 @@ pub fn jcf_schema() -> Schema {
     let execution = b
         .class(
             "ActivityExecution",
-            &[("finished", AttrType::Bool), ("overridden", AttrType::Bool), ("started_at", AttrType::Int)],
+            &[
+                ("finished", AttrType::Bool),
+                ("overridden", AttrType::Bool),
+                ("started_at", AttrType::Int),
+            ],
         )
         .expect("fresh schema");
-    let config = b.class("Configuration", &[("name", AttrType::Text)]).expect("fresh schema");
+    let config = b
+        .class("Configuration", &[("name", AttrType::Text)])
+        .expect("fresh schema");
     let config_version = b
         .class("ConfigurationVersion", &[("number", AttrType::Int)])
         .expect("fresh schema");
 
     use Cardinality::{ManyToMany, ManyToOne, OneToMany};
-    b.relationship("team_member", team, user, ManyToMany).expect("fresh schema");
-    b.relationship("flow_activity", flow, activity, OneToMany).expect("fresh schema");
-    b.relationship("activity_tool", activity, tool, ManyToOne).expect("fresh schema");
-    b.relationship("activity_needs", activity, viewtype, ManyToMany).expect("fresh schema");
-    b.relationship("activity_creates", activity, viewtype, ManyToMany).expect("fresh schema");
-    b.relationship("activity_precedes", activity, activity, ManyToMany).expect("fresh schema");
-    b.relationship("project_cell", project, cell, OneToMany).expect("fresh schema");
-    b.relationship("cell_version", cell, cell_version, OneToMany).expect("fresh schema");
-    b.relationship("cell_version_precedes", cell_version, cell_version, ManyToMany)
+    b.relationship("team_member", team, user, ManyToMany)
         .expect("fresh schema");
-    b.relationship("cell_version_flow", cell_version, flow, ManyToOne).expect("fresh schema");
-    b.relationship("cell_version_team", cell_version, team, ManyToOne).expect("fresh schema");
-    b.relationship("comp_of", cell_version, cell, ManyToMany).expect("fresh schema");
+    b.relationship("flow_activity", flow, activity, OneToMany)
+        .expect("fresh schema");
+    b.relationship("activity_tool", activity, tool, ManyToOne)
+        .expect("fresh schema");
+    b.relationship("activity_needs", activity, viewtype, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("activity_creates", activity, viewtype, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("activity_precedes", activity, activity, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("project_cell", project, cell, OneToMany)
+        .expect("fresh schema");
+    b.relationship("cell_version", cell, cell_version, OneToMany)
+        .expect("fresh schema");
+    b.relationship(
+        "cell_version_precedes",
+        cell_version,
+        cell_version,
+        ManyToMany,
+    )
+    .expect("fresh schema");
+    b.relationship("cell_version_flow", cell_version, flow, ManyToOne)
+        .expect("fresh schema");
+    b.relationship("cell_version_team", cell_version, team, ManyToOne)
+        .expect("fresh schema");
+    b.relationship("comp_of", cell_version, cell, ManyToMany)
+        .expect("fresh schema");
     b.relationship("cell_version_variant", cell_version, variant, OneToMany)
         .expect("fresh schema");
-    b.relationship("variant_derived", variant, variant, ManyToMany).expect("fresh schema");
+    b.relationship("variant_derived", variant, variant, ManyToMany)
+        .expect("fresh schema");
     b.relationship("variant_design_object", variant, design_object, OneToMany)
         .expect("fresh schema");
     b.relationship("design_object_viewtype", design_object, viewtype, ManyToOne)
         .expect("fresh schema");
     b.relationship("design_object_version", design_object, dov, OneToMany)
         .expect("fresh schema");
-    b.relationship("dov_derived", dov, dov, ManyToMany).expect("fresh schema");
-    b.relationship("dov_equivalent", dov, dov, ManyToMany).expect("fresh schema");
-    b.relationship("execution_activity", execution, activity, ManyToOne).expect("fresh schema");
-    b.relationship("execution_variant", execution, variant, ManyToOne).expect("fresh schema");
-    b.relationship("execution_reads", execution, dov, ManyToMany).expect("fresh schema");
-    b.relationship("execution_creates", execution, dov, ManyToMany).expect("fresh schema");
+    b.relationship("dov_derived", dov, dov, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("dov_equivalent", dov, dov, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("execution_activity", execution, activity, ManyToOne)
+        .expect("fresh schema");
+    b.relationship("execution_variant", execution, variant, ManyToOne)
+        .expect("fresh schema");
+    b.relationship("execution_reads", execution, dov, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("execution_creates", execution, dov, ManyToMany)
+        .expect("fresh schema");
     b.relationship("cell_version_config", cell_version, config, OneToMany)
         .expect("fresh schema");
-    b.relationship("config_version", config, config_version, OneToMany).expect("fresh schema");
-    b.relationship("config_precedes", config_version, config_version, ManyToMany)
+    b.relationship("config_version", config, config_version, OneToMany)
         .expect("fresh schema");
-    b.relationship("config_contains", config_version, dov, ManyToMany).expect("fresh schema");
-    b.relationship("reserved_by", cell_version, user, ManyToOne).expect("fresh schema");
+    b.relationship(
+        "config_precedes",
+        config_version,
+        config_version,
+        ManyToMany,
+    )
+    .expect("fresh schema");
+    b.relationship("config_contains", config_version, dov, ManyToMany)
+        .expect("fresh schema");
+    b.relationship("reserved_by", cell_version, user, ManyToOne)
+        .expect("fresh schema");
     b.build()
 }
 
@@ -166,7 +224,10 @@ mod tests {
     fn schema_declares_all_figure1_relationships() {
         let s = jcf_schema();
         for rel in RELATIONSHIPS {
-            assert!(s.relationship_by_name(rel).is_some(), "missing relationship {rel}");
+            assert!(
+                s.relationship_by_name(rel).is_some(),
+                "missing relationship {rel}"
+            );
         }
         assert_eq!(s.relationships().count(), RELATIONSHIPS.len());
     }
@@ -176,9 +237,15 @@ mod tests {
         // Resources (Figure 1 left column) vs project data: both exist.
         let s = jcf_schema();
         let dov = s.class_by_name("DesignObjectVersion").unwrap();
-        assert!(s.class(dov).attribute("data").is_some(), "design data lives in DOVs");
+        assert!(
+            s.class(dov).attribute("data").is_some(),
+            "design data lives in DOVs"
+        );
         let flow = s.class_by_name("Flow").unwrap();
-        assert!(s.class(flow).attribute("frozen").is_some(), "flows are fixed resources");
+        assert!(
+            s.class(flow).attribute("frozen").is_some(),
+            "flows are fixed resources"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! workspace concept is the kernel of the JCF multi-user
 //! capabilities."* (§2.1)
 
+use cad_vfs::Blob;
 use oms::Value;
 
 use crate::error::{JcfError, JcfResult};
@@ -32,7 +33,9 @@ impl Jcf {
         }
         match self.reserver(cv) {
             Some(holder) if holder == user => Ok(()),
-            Some(holder) => Err(JcfError::AlreadyReserved { holder: self.name_of(holder.0) }),
+            Some(holder) => Err(JcfError::AlreadyReserved {
+                holder: self.name_of(holder.0),
+            }),
             None => {
                 self.db.link(self.rels.reserved_by, cv.0, user.0)?;
                 Ok(())
@@ -66,7 +69,11 @@ impl Jcf {
 
     /// The user currently holding the reservation, if any.
     pub fn reserver(&self, cv: CellVersionId) -> Option<UserId> {
-        self.db.targets(self.rels.reserved_by, cv.0).first().copied().map(UserId)
+        self.db
+            .targets(self.rels.reserved_by, cv.0)
+            .first()
+            .copied()
+            .map(UserId)
     }
 
     /// All cell versions currently reserved in `user`'s private
@@ -87,7 +94,9 @@ impl Jcf {
     pub fn require_reservation(&self, user: UserId, cv: CellVersionId) -> JcfResult<()> {
         match self.reserver(cv) {
             Some(holder) if holder == user => Ok(()),
-            _ => Err(JcfError::NotReserved { user: self.name_of(user.0) }),
+            _ => Err(JcfError::NotReserved {
+                user: self.name_of(user.0),
+            }),
         }
     }
 
@@ -176,8 +185,9 @@ impl Jcf {
         &mut self,
         user: UserId,
         design_object: DesignObjectId,
-        data: Vec<u8>,
+        data: impl Into<Blob>,
     ) -> JcfResult<DovId> {
+        let data = data.into();
         let now = self.bump();
         let variant = self.variant_of_design_object(design_object)?;
         let cv = self.cell_version_of(variant)?;
@@ -208,17 +218,16 @@ impl Jcf {
     /// visibility rule: the reserver sees everything, everyone else
     /// only published versions.
     ///
+    /// Returns a [`Blob`] sharing the stored payload — crossing the
+    /// database boundary no longer duplicates the design data.
+    ///
     /// # Errors
     ///
     /// Returns [`JcfError::NotReserved`] (as a stand-in for "not
     /// visible") when an unpublished version is read by a non-holder.
-    pub fn read_design_data(&mut self, user: UserId, dov: DovId) -> JcfResult<Vec<u8>> {
+    pub fn read_design_data(&mut self, user: UserId, dov: DovId) -> JcfResult<Blob> {
         self.bump();
-        let published = self
-            .db
-            .get(dov.0, "published")?
-            .as_bool()
-            .unwrap_or(false);
+        let published = self.db.get(dov.0, "published")?.as_bool().unwrap_or(false);
         if !published {
             let design_object = self.design_object_of(dov)?;
             let variant = self.variant_of_design_object(design_object)?;
@@ -228,9 +237,9 @@ impl Jcf {
         Ok(self
             .db
             .get(dov.0, "data")?
-            .as_bytes()
-            .unwrap_or_default()
-            .to_vec())
+            .as_blob()
+            .cloned()
+            .unwrap_or_default())
     }
 
     /// Returns `true` if the design object version is published.
@@ -313,7 +322,9 @@ impl Jcf {
 
     /// The newest version of a design object, if any.
     pub fn latest_version(&self, design_object: DesignObjectId) -> Option<DovId> {
-        self.versions_of_design_object(design_object).last().copied()
+        self.versions_of_design_object(design_object)
+            .last()
+            .copied()
     }
 }
 
@@ -347,7 +358,17 @@ mod tests {
         let project = jcf.create_project("p").unwrap();
         let cell = jcf.create_cell(project, "alu").unwrap();
         let (cv, variant) = jcf.create_cell_version(cell, flow, team).unwrap();
-        Fixture { jcf, admin, alice, bob, team, flow, cv, variant, schematic }
+        Fixture {
+            jcf,
+            admin,
+            alice,
+            bob,
+            team,
+            flow,
+            cv,
+            variant,
+            schematic,
+        }
     }
 
     #[test]
@@ -378,24 +399,36 @@ mod tests {
     fn writes_require_reservation() {
         let mut f = fixture();
         assert!(matches!(
-            f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic),
+            f.jcf
+                .create_design_object(f.alice, f.variant, "sch", f.schematic),
             Err(JcfError::NotReserved { .. })
         ));
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
         assert!(matches!(
             f.jcf.add_design_object_version(f.bob, d, vec![1]),
             Err(JcfError::NotReserved { .. })
         ));
-        f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
+        f.jcf
+            .add_design_object_version(f.alice, d, vec![1])
+            .unwrap();
     }
 
     #[test]
     fn unpublished_data_is_private_to_the_reserver() {
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        let dov = f.jcf.add_design_object_version(f.alice, d, b"secret".to_vec()).unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        let dov = f
+            .jcf
+            .add_design_object_version(f.alice, d, b"secret".to_vec())
+            .unwrap();
         assert_eq!(f.jcf.read_design_data(f.alice, dov).unwrap(), b"secret");
         assert!(f.jcf.read_design_data(f.bob, dov).is_err());
         assert!(!f.jcf.is_published(dov).unwrap());
@@ -405,8 +438,14 @@ mod tests {
     fn publish_releases_and_exposes() {
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        let dov = f.jcf.add_design_object_version(f.alice, d, b"data".to_vec()).unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        let dov = f
+            .jcf
+            .add_design_object_version(f.alice, d, b"data".to_vec())
+            .unwrap();
         f.jcf.publish(f.alice, f.cv).unwrap();
         assert_eq!(f.jcf.reserver(f.cv), None);
         assert!(f.jcf.is_published(dov).unwrap());
@@ -419,16 +458,28 @@ mod tests {
     fn publish_requires_holding_the_reservation() {
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        assert!(matches!(f.jcf.publish(f.bob, f.cv), Err(JcfError::NotReserved { .. })));
+        assert!(matches!(
+            f.jcf.publish(f.bob, f.cv),
+            Err(JcfError::NotReserved { .. })
+        ));
     }
 
     #[test]
     fn dov_numbers_increment_and_chain() {
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        let v1 = f.jcf.add_design_object_version(f.alice, d, vec![1]).unwrap();
-        let v2 = f.jcf.add_design_object_version(f.alice, d, vec![2]).unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        let v1 = f
+            .jcf
+            .add_design_object_version(f.alice, d, vec![1])
+            .unwrap();
+        let v2 = f
+            .jcf
+            .add_design_object_version(f.alice, d, vec![2])
+            .unwrap();
         assert_eq!(f.jcf.versions_of_design_object(d), vec![v1, v2]);
         assert_eq!(f.jcf.latest_version(d), Some(v2));
         assert_eq!(f.jcf.derived_from(v2), vec![v1]);
@@ -439,8 +490,14 @@ mod tests {
         let mut f = fixture();
         let layout = f.jcf.add_viewtype("layout").unwrap();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let d = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        assert_eq!(f.jcf.design_object_by_viewtype(f.variant, f.schematic), Some(d));
+        let d = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        assert_eq!(
+            f.jcf.design_object_by_viewtype(f.variant, f.schematic),
+            Some(d)
+        );
         assert_eq!(f.jcf.design_object_by_viewtype(f.variant, layout), None);
     }
 
@@ -449,9 +506,18 @@ mod tests {
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
         // Explore two variants; the experiment wins.
-        let exp = f.jcf.derive_variant(f.alice, f.cv, "exp", Some(f.variant)).unwrap();
-        let d = f.jcf.create_design_object(f.alice, exp, "sch", f.schematic).unwrap();
-        let winner_dov = f.jcf.add_design_object_version(f.alice, d, b"winning".to_vec()).unwrap();
+        let exp = f
+            .jcf
+            .derive_variant(f.alice, f.cv, "exp", Some(f.variant))
+            .unwrap();
+        let d = f
+            .jcf
+            .create_design_object(f.alice, exp, "sch", f.schematic)
+            .unwrap();
+        let winner_dov = f
+            .jcf
+            .add_design_object_version(f.alice, d, b"winning".to_vec())
+            .unwrap();
 
         let (new_cv, new_variant) = f.jcf.promote_variant(f.alice, exp).unwrap();
         assert_ne!(new_cv, f.cv);
@@ -459,7 +525,10 @@ mod tests {
         // The data was carried over and its provenance recorded.
         let new_do = f.jcf.design_objects_of(new_variant)[0];
         let new_dov = f.jcf.latest_version(new_do).unwrap();
-        assert_eq!(f.jcf.read_design_data(f.alice, new_dov).unwrap(), b"winning");
+        assert_eq!(
+            f.jcf.read_design_data(f.alice, new_dov).unwrap(),
+            b"winning"
+        );
         assert_eq!(f.jcf.derived_from(new_dov), vec![winner_dov]);
         // The cell now has two versions linked by precedes.
         let cell = f.jcf.cell_of(f.cv).unwrap();
@@ -491,11 +560,24 @@ mod tests {
         // of the same design object via variants.
         let mut f = fixture();
         f.jcf.reserve(f.alice, f.cv).unwrap();
-        let v2 = f.jcf.derive_variant(f.alice, f.cv, "experiment", Some(f.variant)).unwrap();
-        let d1 = f.jcf.create_design_object(f.alice, f.variant, "sch", f.schematic).unwrap();
-        let d2 = f.jcf.create_design_object(f.alice, v2, "sch", f.schematic).unwrap();
-        f.jcf.add_design_object_version(f.alice, d1, b"main".to_vec()).unwrap();
-        f.jcf.add_design_object_version(f.alice, d2, b"exp".to_vec()).unwrap();
+        let v2 = f
+            .jcf
+            .derive_variant(f.alice, f.cv, "experiment", Some(f.variant))
+            .unwrap();
+        let d1 = f
+            .jcf
+            .create_design_object(f.alice, f.variant, "sch", f.schematic)
+            .unwrap();
+        let d2 = f
+            .jcf
+            .create_design_object(f.alice, v2, "sch", f.schematic)
+            .unwrap();
+        f.jcf
+            .add_design_object_version(f.alice, d1, b"main".to_vec())
+            .unwrap();
+        f.jcf
+            .add_design_object_version(f.alice, d2, b"exp".to_vec())
+            .unwrap();
         assert_ne!(d1, d2);
         assert_eq!(f.jcf.variants_of(f.cv).len(), 2);
     }

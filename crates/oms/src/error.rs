@@ -77,18 +77,33 @@ impl fmt::Display for OmsError {
             OmsError::UnknownAttribute { class, attribute } => {
                 write!(f, "class #{} has no attribute {attribute:?}", class.index())
             }
-            OmsError::TypeMismatch { attribute, expected, found } => {
+            OmsError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => {
                 write!(f, "attribute {attribute:?} expects {expected}, got {found}")
             }
             OmsError::EndpointClassMismatch { relationship } => {
-                write!(f, "link endpoints do not match relationship #{}", relationship.index())
+                write!(
+                    f,
+                    "link endpoints do not match relationship #{}",
+                    relationship.index()
+                )
             }
-            OmsError::CardinalityViolation { relationship, object } => write!(
+            OmsError::CardinalityViolation {
+                relationship,
+                object,
+            } => write!(
                 f,
                 "cardinality of relationship #{} violated at object {object}",
                 relationship.index()
             ),
-            OmsError::NoSuchLink { relationship, source, target } => write!(
+            OmsError::NoSuchLink {
+                relationship,
+                source,
+                target,
+            } => write!(
                 f,
                 "no link {source} -> {target} in relationship #{}",
                 relationship.index()

@@ -57,7 +57,9 @@ mod value;
 mod version;
 
 pub use error::{OmsError, OmsResult};
-pub use schema::{AttrDef, AttrType, Cardinality, ClassDef, ClassId, RelDef, RelId, Schema, SchemaBuilder};
+pub use schema::{
+    AttrDef, AttrType, Cardinality, ClassDef, ClassId, RelDef, RelId, Schema, SchemaBuilder,
+};
 pub use store::{Database, ObjectId};
 pub use value::Value;
 pub use version::VersionGraph;

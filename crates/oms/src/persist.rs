@@ -17,12 +17,21 @@
 //!
 //! Text and byte values are hex-encoded so arbitrary content (including
 //! newlines) survives the round trip.
+//!
+//! Repeated checkpoints of a mostly-unchanged store should not pay
+//! full re-serialisation: a [`Checkpointer`] caches the serialised
+//! block of every object keyed by a content hash (blob payloads
+//! contribute their cached [`Blob`](cad_vfs::Blob) hash, so unchanged
+//! design data is never re-hex-encoded), and reuses the block when the
+//! hash matches.
+
+use std::collections::BTreeMap;
 
 use cad_vfs::{Vfs, VfsPath};
 
 use crate::error::{OmsError, OmsResult};
 use crate::schema::{AttrType, Schema};
-use crate::store::{Database, ObjectId};
+use crate::store::{Database, Object, ObjectId};
 use crate::value::Value;
 
 /// Serialises the full database into its textual image.
@@ -30,17 +39,157 @@ pub fn dump(db: &Database) -> String {
     let (schema, objects, links) = db.raw_parts();
     let mut out = String::from("oms-image v1\n");
     for (id, obj) in objects {
-        let class_name = &schema.class(obj.class).name;
-        out.push_str(&format!("object {} {}\n", id.raw(), class_name));
-        for (name, value) in &obj.attrs {
-            out.push_str(&format!("attr {} {} {}\n", id.raw(), name, encode(value)));
-        }
+        out.push_str(&object_block(*id, obj, schema));
     }
-    for (rel, s, t) in links {
-        let rel_name = &schema.relationship(rel).name;
-        out.push_str(&format!("link {} {} {}\n", rel_name, s.raw(), t.raw()));
+    append_links(&mut out, schema, &links);
+    out
+}
+
+fn object_block(id: ObjectId, obj: &Object, schema: &Schema) -> String {
+    let class_name = &schema.class(obj.class).name;
+    let mut out = format!("object {} {}\n", id.raw(), class_name);
+    for (name, value) in &obj.attrs {
+        out.push_str(&format!("attr {} {} {}\n", id.raw(), name, encode(value)));
     }
     out
+}
+
+fn append_links(
+    out: &mut String,
+    schema: &Schema,
+    links: &[(crate::schema::RelId, ObjectId, ObjectId)],
+) {
+    for (rel, s, t) in links {
+        let rel_name = &schema.relationship(*rel).name;
+        out.push_str(&format!("link {} {} {}\n", rel_name, s.raw(), t.raw()));
+    }
+}
+
+/// FNV-1a 64 accumulator for object fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// A content fingerprint of one object: class plus every attribute.
+/// Byte payloads contribute their cached blob hash, so fingerprinting
+/// an unchanged multi-megabyte design costs one `u64` read, not a
+/// re-scan of the payload.
+fn object_hash(obj: &Object, schema: &Schema) -> u64 {
+    let mut h = Fnv::new();
+    h.write(schema.class(obj.class).name.as_bytes());
+    for (name, value) in &obj.attrs {
+        h.write_u64(name.len() as u64);
+        h.write(name.as_bytes());
+        match value {
+            Value::Int(i) => {
+                h.write_u64(1);
+                h.write_u64(*i as u64);
+            }
+            Value::Bool(b) => {
+                h.write_u64(2);
+                h.write_u64(u64::from(*b));
+            }
+            Value::Text(s) => {
+                h.write_u64(3);
+                h.write_u64(s.len() as u64);
+                h.write(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                h.write_u64(4);
+                h.write_u64(b.content_hash());
+            }
+        }
+    }
+    h.0
+}
+
+/// Incremental image writer with per-object dirty tracking.
+///
+/// Holds the serialised block of every object from the previous
+/// checkpoint keyed by its content fingerprint; objects whose
+/// fingerprint is unchanged reuse the cached block instead of being
+/// re-encoded. Deleted objects fall out of the cache naturally, and
+/// the produced image is byte-identical to [`dump`].
+#[derive(Debug, Default)]
+pub struct Checkpointer {
+    cache: BTreeMap<u64, (u64, String)>,
+    last_reused: usize,
+    last_serialized: usize,
+}
+
+impl Checkpointer {
+    /// A checkpointer with an empty cache (first dump serialises all).
+    pub fn new() -> Checkpointer {
+        Checkpointer::default()
+    }
+
+    /// Objects whose cached block was reused in the last [`Checkpointer::dump`].
+    pub fn last_reused(&self) -> usize {
+        self.last_reused
+    }
+
+    /// Objects that were (re-)serialised in the last [`Checkpointer::dump`].
+    pub fn last_serialized(&self) -> usize {
+        self.last_serialized
+    }
+
+    /// Serialises the database, reusing cached blocks for unchanged
+    /// objects. Output is byte-identical to [`dump`].
+    pub fn dump(&mut self, db: &Database) -> String {
+        let (schema, objects, links) = db.raw_parts();
+        let mut out = String::from("oms-image v1\n");
+        let mut fresh = BTreeMap::new();
+        self.last_reused = 0;
+        self.last_serialized = 0;
+        for (id, obj) in objects {
+            let hash = object_hash(obj, schema);
+            let block = match self.cache.remove(&id.raw()) {
+                Some((cached_hash, block)) if cached_hash == hash => {
+                    self.last_reused += 1;
+                    block
+                }
+                _ => {
+                    self.last_serialized += 1;
+                    object_block(*id, obj, schema)
+                }
+            };
+            out.push_str(&block);
+            fresh.insert(id.raw(), (hash, block));
+        }
+        self.cache = fresh;
+        append_links(&mut out, schema, &links);
+        out
+    }
+
+    /// Writes the (incrementally serialised) image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file system errors as a corrupt-image error carrying
+    /// the message, like [`save`].
+    pub fn save(&mut self, db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
+        let image = self.dump(db);
+        fs.write(path, image.into_bytes())
+            .map_err(|e| OmsError::CorruptImage {
+                line: 0,
+                reason: e.to_string(),
+            })
+    }
 }
 
 /// Parses a textual image back into a database over `schema`.
@@ -61,7 +210,10 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
             })
         }
         None => {
-            return Err(OmsError::CorruptImage { line: 1, reason: "empty image".to_owned() })
+            return Err(OmsError::CorruptImage {
+                line: 1,
+                reason: "empty image".to_owned(),
+            })
         }
     }
     for (idx, line) in lines {
@@ -69,14 +221,20 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
         if line.is_empty() {
             continue;
         }
-        let corrupt = |reason: String| OmsError::CorruptImage { line: lineno, reason };
+        let corrupt = |reason: String| OmsError::CorruptImage {
+            line: lineno,
+            reason,
+        };
         let mut parts = line.splitn(2, ' ');
         let keyword = parts.next().unwrap_or_default();
         let rest = parts.next().unwrap_or_default();
         match keyword {
             "object" => {
-                let (raw, class_name) = split2(rest).ok_or_else(|| corrupt("expected `object <id> <class>`".to_owned()))?;
-                let raw: u64 = raw.parse().map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let (raw, class_name) = split2(rest)
+                    .ok_or_else(|| corrupt("expected `object <id> <class>`".to_owned()))?;
+                let raw: u64 = raw
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad id {raw:?}")))?;
                 let class = db
                     .schema()
                     .class_by_name(class_name)
@@ -84,16 +242,23 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
                 db.raw_insert(raw, class);
             }
             "attr" => {
-                let (raw, rest2) = split2(rest).ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
-                let (name, encoded) = split2(rest2).ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
-                let raw: u64 = raw.parse().map_err(|_| corrupt(format!("bad id {raw:?}")))?;
-                let value = decode(encoded).ok_or_else(|| corrupt(format!("bad value {encoded:?}")))?;
+                let (raw, rest2) = split2(rest)
+                    .ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let (name, encoded) = split2(rest2)
+                    .ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let raw: u64 = raw
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let value =
+                    decode(encoded).ok_or_else(|| corrupt(format!("bad value {encoded:?}")))?;
                 db.set(ObjectId::for_tests(raw), name, value)
                     .map_err(|e| corrupt(e.to_string()))?;
             }
             "link" => {
-                let (rel_name, rest2) = split2(rest).ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
-                let (s, t) = split2(rest2).ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
+                let (rel_name, rest2) = split2(rest)
+                    .ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
+                let (s, t) = split2(rest2)
+                    .ok_or_else(|| corrupt("expected `link <rel> <src> <dst>`".to_owned()))?;
                 let rel = db
                     .schema()
                     .relationship_by_name(rel_name)
@@ -118,7 +283,10 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
 pub fn save(db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
     let image = dump(db);
     fs.write(path, image.into_bytes())
-        .map_err(|e| OmsError::CorruptImage { line: 0, reason: e.to_string() })
+        .map_err(|e| OmsError::CorruptImage {
+            line: 0,
+            reason: e.to_string(),
+        })
 }
 
 /// Reads a database image from `path` in the virtual file system.
@@ -128,12 +296,15 @@ pub fn save(db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
 /// Returns [`OmsError::CorruptImage`] if the file is missing, not
 /// UTF-8, or does not parse against `schema`.
 pub fn load(schema: Schema, fs: &mut Vfs, path: &VfsPath) -> OmsResult<Database> {
-    let bytes = fs
-        .read(path)
-        .map_err(|e| OmsError::CorruptImage { line: 0, reason: e.to_string() })?;
-    let text = String::from_utf8(bytes)
-        .map_err(|_| OmsError::CorruptImage { line: 0, reason: "image is not utf-8".to_owned() })?;
-    parse(schema, &text)
+    let bytes = fs.read(path).map_err(|e| OmsError::CorruptImage {
+        line: 0,
+        reason: e.to_string(),
+    })?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| OmsError::CorruptImage {
+        line: 0,
+        reason: "image is not utf-8".to_owned(),
+    })?;
+    parse(schema, text)
 }
 
 fn split2(s: &str) -> Option<(&str, &str)> {
@@ -159,7 +330,7 @@ fn decode(encoded: &str) -> Option<Value> {
         "int" => body.parse::<i64>().ok().map(Value::Int),
         "bool" => body.parse::<bool>().ok().map(Value::Bool),
         "text" => String::from_utf8(unhex(body)?).ok().map(Value::Text),
-        "bytes" => unhex(body).map(Value::Bytes),
+        "bytes" => unhex(body).map(Value::from),
         _ => None,
     }
 }
@@ -212,7 +383,8 @@ mod tests {
                 ],
             )
             .unwrap();
-        b.relationship("uses", cell, cell, Cardinality::ManyToMany).unwrap();
+        b.relationship("uses", cell, cell, Cardinality::ManyToMany)
+            .unwrap();
         b.build()
     }
 
@@ -225,7 +397,8 @@ mod tests {
         db.set(a, "name", Value::from("top\nwith newline")).unwrap();
         db.set(a, "size", Value::from(42i64)).unwrap();
         db.set(a, "frozen", Value::from(true)).unwrap();
-        db.set(a, "blob", Value::from(vec![0u8, 255, 10, 32])).unwrap();
+        db.set(a, "blob", Value::from(vec![0u8, 255, 10, 32]))
+            .unwrap();
         db.set(c, "name", Value::from("leaf")).unwrap();
         db.link(uses, a, c).unwrap();
         db
@@ -314,6 +487,55 @@ mod tests {
         assert_eq!(tag_type("bool"), Some(AttrType::Bool));
         assert_eq!(tag_type("bytes"), Some(AttrType::Bytes));
         assert_eq!(tag_type("float"), None);
+    }
+
+    #[test]
+    fn checkpointer_matches_full_dump_and_tracks_dirt() {
+        let mut db = populated();
+        let mut ck = Checkpointer::new();
+        // First dump: everything serialised, image identical to dump().
+        assert_eq!(ck.dump(&db), dump(&db));
+        assert_eq!(ck.last_serialized(), 2);
+        assert_eq!(ck.last_reused(), 0);
+        // Nothing changed: everything reused, image still identical.
+        assert_eq!(ck.dump(&db), dump(&db));
+        assert_eq!(ck.last_serialized(), 0);
+        assert_eq!(ck.last_reused(), 2);
+        // Touch one object: exactly one block re-serialised.
+        let cell = db.schema().class_by_name("Cell").unwrap();
+        let a = db.find_by_attr(cell, "name", &Value::from("leaf")).unwrap();
+        db.set(a, "size", Value::from(7i64)).unwrap();
+        assert_eq!(ck.dump(&db), dump(&db));
+        assert_eq!(ck.last_serialized(), 1);
+        assert_eq!(ck.last_reused(), 1);
+    }
+
+    #[test]
+    fn checkpointer_drops_deleted_objects() {
+        let mut db = populated();
+        let mut ck = Checkpointer::new();
+        ck.dump(&db);
+        let cell = db.schema().class_by_name("Cell").unwrap();
+        let uses = db.schema().relationship_by_name("uses").unwrap();
+        let top = db
+            .find_by_attr(cell, "name", &Value::from("top\nwith newline"))
+            .unwrap();
+        let leaf = db.find_by_attr(cell, "name", &Value::from("leaf")).unwrap();
+        db.unlink(uses, top, leaf).unwrap();
+        db.delete(leaf).unwrap();
+        assert_eq!(ck.dump(&db), dump(&db));
+    }
+
+    #[test]
+    fn checkpointer_save_round_trips() {
+        let db = populated();
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/checkpoint.db").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        let mut ck = Checkpointer::new();
+        ck.save(&db, &mut fs, &path).unwrap();
+        let restored = load(sample_schema(), &mut fs, &path).unwrap();
+        assert_eq!(dump(&restored), dump(&db));
     }
 
     #[test]

@@ -211,10 +211,16 @@ impl SchemaBuilder {
             if attrs.iter().any(|a: &AttrDef| a.name == *attr_name) {
                 return Err(OmsError::DuplicateSchemaName((*attr_name).to_owned()));
             }
-            attrs.push(AttrDef { name: (*attr_name).to_owned(), ty: *ty });
+            attrs.push(AttrDef {
+                name: (*attr_name).to_owned(),
+                ty: *ty,
+            });
         }
         let id = ClassId(self.classes.len() as u32);
-        self.classes.push(ClassDef { name: name.to_owned(), attributes: attrs });
+        self.classes.push(ClassDef {
+            name: name.to_owned(),
+            attributes: attrs,
+        });
         self.class_names.insert(name.to_owned(), id);
         Ok(id)
     }
@@ -273,7 +279,10 @@ mod tests {
     fn duplicate_class_name_rejected() {
         let mut b = SchemaBuilder::new();
         b.class("A", &[]).unwrap();
-        assert!(matches!(b.class("A", &[]), Err(OmsError::DuplicateSchemaName(_))));
+        assert!(matches!(
+            b.class("A", &[]),
+            Err(OmsError::DuplicateSchemaName(_))
+        ));
     }
 
     #[test]
@@ -298,7 +307,9 @@ mod tests {
     fn lookup_by_name_round_trips() {
         let mut b = SchemaBuilder::new();
         let cell = b.class("Cell", &[("name", AttrType::Text)]).unwrap();
-        let rel = b.relationship("self", cell, cell, Cardinality::ManyToMany).unwrap();
+        let rel = b
+            .relationship("self", cell, cell, Cardinality::ManyToMany)
+            .unwrap();
         let s = b.build();
         assert_eq!(s.class_by_name("Cell"), Some(cell));
         assert_eq!(s.relationship_by_name("self"), Some(rel));

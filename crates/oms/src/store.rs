@@ -195,10 +195,12 @@ impl Database {
     /// declare `name`, or [`OmsError::NoSuchObject`].
     pub fn get(&self, id: ObjectId, name: &str) -> OmsResult<&Value> {
         let obj = self.objects.get(&id).ok_or(OmsError::NoSuchObject(id))?;
-        obj.attrs.get(name).ok_or_else(|| OmsError::UnknownAttribute {
-            class: obj.class,
-            attribute: name.to_owned(),
-        })
+        obj.attrs
+            .get(name)
+            .ok_or_else(|| OmsError::UnknownAttribute {
+                class: obj.class,
+                attribute: name.to_owned(),
+            })
     }
 
     /// Writes an attribute value, checking its declared type.
@@ -248,27 +250,42 @@ impl Database {
         if src_class != def.source || dst_class != def.target {
             return Err(OmsError::EndpointClassMismatch { relationship: rel });
         }
-        let source_limited = matches!(def.cardinality, Cardinality::OneToOne | Cardinality::ManyToOne);
-        let target_limited = matches!(def.cardinality, Cardinality::OneToOne | Cardinality::OneToMany);
+        let source_limited = matches!(
+            def.cardinality,
+            Cardinality::OneToOne | Cardinality::ManyToOne
+        );
+        let target_limited = matches!(
+            def.cardinality,
+            Cardinality::OneToOne | Cardinality::OneToMany
+        );
         if source_limited
             && self.forward[rel.index()]
                 .get(&source)
                 .is_some_and(|s| !s.is_empty())
         {
-            return Err(OmsError::CardinalityViolation { relationship: rel, object: source });
+            return Err(OmsError::CardinalityViolation {
+                relationship: rel,
+                object: source,
+            });
         }
         if target_limited
             && self.reverse[rel.index()]
                 .get(&target)
                 .is_some_and(|s| !s.is_empty())
         {
-            return Err(OmsError::CardinalityViolation { relationship: rel, object: target });
+            return Err(OmsError::CardinalityViolation {
+                relationship: rel,
+                object: target,
+            });
         }
         let inserted = self.forward[rel.index()]
             .entry(source)
             .or_default()
             .insert(target);
-        self.reverse[rel.index()].entry(target).or_default().insert(source);
+        self.reverse[rel.index()]
+            .entry(target)
+            .or_default()
+            .insert(source);
         if inserted {
             self.record(Undo::Linked(rel, source, target));
         }
@@ -285,7 +302,11 @@ impl Database {
             .get_mut(&source)
             .is_some_and(|s| s.remove(&target));
         if !removed {
-            return Err(OmsError::NoSuchLink { relationship: rel, source, target });
+            return Err(OmsError::NoSuchLink {
+                relationship: rel,
+                source,
+                target,
+            });
         }
         self.reverse[rel.index()]
             .get_mut(&target)
@@ -422,10 +443,7 @@ impl Database {
     ///
     /// Propagates the closure's error after rollback, or a
     /// [`OmsError::TransactionState`] error from `begin`.
-    pub fn transact<T>(
-        &mut self,
-        f: impl FnOnce(&mut Database) -> OmsResult<T>,
-    ) -> OmsResult<T> {
+    pub fn transact<T>(&mut self, f: impl FnOnce(&mut Database) -> OmsResult<T>) -> OmsResult<T> {
         self.begin()?;
         match f(self) {
             Ok(v) => {
@@ -467,8 +485,11 @@ impl Database {
 }
 
 /// Borrowed view of the store used by the persistence layer.
-pub(crate) type RawParts<'a> =
-    (&'a Schema, &'a BTreeMap<ObjectId, Object>, Vec<(RelId, ObjectId, ObjectId)>);
+pub(crate) type RawParts<'a> = (
+    &'a Schema,
+    &'a BTreeMap<ObjectId, Object>,
+    Vec<(RelId, ObjectId, ObjectId)>,
+);
 
 fn type_name(ty: crate::schema::AttrType) -> &'static str {
     match ty {
@@ -490,8 +511,12 @@ mod tests {
             .class("Cell", &[("name", AttrType::Text), ("size", AttrType::Int)])
             .unwrap();
         let ver = b.class("Version", &[("n", AttrType::Int)]).unwrap();
-        let has = b.relationship("has", cell, ver, Cardinality::OneToMany).unwrap();
-        let twin = b.relationship("twin", cell, cell, Cardinality::OneToOne).unwrap();
+        let has = b
+            .relationship("has", cell, ver, Cardinality::OneToMany)
+            .unwrap();
+        let twin = b
+            .relationship("twin", cell, cell, Cardinality::OneToOne)
+            .unwrap();
         (Database::new(b.build()), cell, ver, has, twin)
     }
 
@@ -590,7 +615,10 @@ mod tests {
         let (mut db, cell, _, _, twin) = two_class_db();
         let a = db.create(cell).unwrap();
         let b = db.create(cell).unwrap();
-        assert!(matches!(db.unlink(twin, a, b), Err(OmsError::NoSuchLink { .. })));
+        assert!(matches!(
+            db.unlink(twin, a, b),
+            Err(OmsError::NoSuchLink { .. })
+        ));
     }
 
     #[test]
@@ -621,7 +649,10 @@ mod tests {
         let (mut db, cell, ..) = two_class_db();
         let a = db.create(cell).unwrap();
         db.set(a, "name", Value::from("adder")).unwrap();
-        assert_eq!(db.find_by_attr(cell, "name", &Value::from("adder")), Some(a));
+        assert_eq!(
+            db.find_by_attr(cell, "name", &Value::from("adder")),
+            Some(a)
+        );
         assert_eq!(db.find_by_attr(cell, "name", &Value::from("none")), None);
     }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use cad_vfs::Blob;
+
 use crate::schema::AttrType;
 
 /// A runtime value stored in an object attribute.
@@ -16,8 +18,10 @@ pub enum Value {
     Int(i64),
     /// Boolean flag.
     Bool(bool),
-    /// Opaque byte payload (design data blobs).
-    Bytes(Vec<u8>),
+    /// Opaque byte payload (design data blobs). Held as a [`Blob`],
+    /// so storing and copying design data through the database never
+    /// duplicates the bytes on the host.
+    Bytes(Blob),
 }
 
 impl Value {
@@ -63,13 +67,22 @@ impl Value {
         }
     }
 
+    /// Returns the shared blob, if this is a [`Value::Bytes`]. Clone
+    /// the result to keep the payload without copying it.
+    pub fn as_blob(&self) -> Option<&Blob> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The default value for an attribute type (empty/zero/false).
     pub fn default_for(ty: AttrType) -> Value {
         match ty {
             AttrType::Text => Value::Text(String::new()),
             AttrType::Int => Value::Int(0),
             AttrType::Bool => Value::Bool(false),
-            AttrType::Bytes => Value::Bytes(Vec::new()),
+            AttrType::Bytes => Value::Bytes(Blob::new()),
         }
     }
 }
@@ -111,6 +124,12 @@ impl From<bool> for Value {
 
 impl From<Vec<u8>> for Value {
     fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(Blob::from(b))
+    }
+}
+
+impl From<Blob> for Value {
+    fn from(b: Blob) -> Self {
         Value::Bytes(b)
     }
 }
@@ -137,7 +156,12 @@ mod tests {
 
     #[test]
     fn defaults_inhabit_their_types() {
-        for ty in [AttrType::Text, AttrType::Int, AttrType::Bool, AttrType::Bytes] {
+        for ty in [
+            AttrType::Text,
+            AttrType::Int,
+            AttrType::Bool,
+            AttrType::Bytes,
+        ] {
             assert_eq!(Value::default_for(ty).attr_type(), ty);
         }
     }

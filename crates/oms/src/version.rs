@@ -80,19 +80,31 @@ impl VersionGraph {
         if self.is_ancestor(derived, base) {
             return false;
         }
-        self.successors.get_mut(&base).expect("just added").insert(derived);
-        self.predecessors.get_mut(&derived).expect("just added").insert(base);
+        self.successors
+            .get_mut(&base)
+            .expect("just added")
+            .insert(derived);
+        self.predecessors
+            .get_mut(&derived)
+            .expect("just added")
+            .insert(base);
         true
     }
 
     /// Returns the direct predecessors of `id`, sorted.
     pub fn predecessors(&self, id: ObjectId) -> Vec<ObjectId> {
-        self.predecessors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.predecessors
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Returns the direct successors of `id`, sorted.
     pub fn successors(&self, id: ObjectId) -> Vec<ObjectId> {
-        self.successors.get(&id).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.successors
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Returns `true` if `ancestor` precedes `descendant` transitively

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
     let fa_data = fa_bytes.clone();
     hy.run_activity(bob, fa_variant, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: fa_data }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: fa_data.into(),
+        }])
     })?;
     hy.jcf_mut().publish(bob, fa_cv)?;
     println!("bob published the full adder schematic");
@@ -56,7 +59,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The generated netlist references "full_adder": accepted because declared.
     let top_data = top_bytes.clone();
     hy.run_activity(alice, top_variant, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: top_data }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: top_data.into(),
+        }])
     })?;
 
     // --- alice simulates the whole hierarchy ----------------------------
@@ -69,8 +75,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut sim = Simulator::elaborate("adder4", &all).expect("hierarchy elaborates");
         // 9 + 3 = 12.
         for (pin, v) in [
-            ("a0", Logic::One), ("a1", Logic::Zero), ("a2", Logic::Zero), ("a3", Logic::One),
-            ("b0", Logic::One), ("b1", Logic::One), ("b2", Logic::Zero), ("b3", Logic::Zero),
+            ("a0", Logic::One),
+            ("a1", Logic::Zero),
+            ("a2", Logic::Zero),
+            ("a3", Logic::One),
+            ("b0", Logic::One),
+            ("b1", Logic::One),
+            ("b2", Logic::Zero),
+            ("b3", Logic::Zero),
             ("cin", Logic::Zero),
         ] {
             sim.set_input(pin, v).expect("pin exists");
@@ -86,21 +98,27 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert_eq!(sum, 12);
         Ok(vec![ToolOutput {
             viewtype: "waveform".into(),
-            data: format::write_waveforms(sim.waves()).into_bytes(),
+            data: format::write_waveforms(sim.waves()).into_bytes().into(),
         }])
     })?;
 
     // --- a variant for a risky layout experiment (two-level versioning) -
     let experiment =
-        hy.jcf_mut().derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
+        hy.jcf_mut()
+            .derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
     println!("alice branched variant 'compact-layout' (JCF's second versioning level)");
     let top_for_exp = top_bytes.clone();
     hy.run_activity(alice, experiment, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: top_for_exp }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: top_for_exp.into(),
+        }])
     })?;
 
     // --- a release configuration ----------------------------------------
-    let config = hy.jcf_mut().create_configuration(alice, top_cv, "tapeout")?;
+    let config = hy
+        .jcf_mut()
+        .create_configuration(alice, top_cv, "tapeout")?;
     let schematic_vt = hy.viewtype("schematic")?;
     let selection: Vec<jcf::DovId> = hy
         .jcf()
@@ -108,8 +126,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         .and_then(|d| hy.jcf().latest_version(d))
         .into_iter()
         .collect();
-    let cfg_v = hy.jcf_mut().create_config_version(alice, config, &selection)?;
-    println!("configuration 'tapeout' v1 selects {} version(s)", hy.jcf().config_contents(cfg_v).len());
+    let cfg_v = hy
+        .jcf_mut()
+        .create_config_version(alice, config, &selection)?;
+    println!(
+        "configuration 'tapeout' v1 selects {} version(s)",
+        hy.jcf().config_contents(cfg_v).len()
+    );
 
     hy.jcf_mut().publish(alice, top_cv)?;
     let findings = hy.verify_project(project)?;

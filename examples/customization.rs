@@ -14,7 +14,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     fm.create_library("alu")?;
     fm.create_cell("alu", "adder")?;
     fm.create_cellview("alu", "adder", "schematic", "schematic")?;
-    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder\n".to_vec())?;
+    fm.checkin(
+        "alice",
+        "alu",
+        "adder",
+        "schematic",
+        b"netlist adder\n".to_vec(),
+    )?;
 
     // A customisation script, as a CAD team's methodology group would
     // ship it: counts checkins, guards the tapeout menu and logs.
@@ -36,19 +42,40 @@ fn main() -> Result<(), Box<dyn Error>> {
         "#,
     )?;
 
-    println!("menu 'Tapeout' locked initially: {}", fm.menu_invoke("Tapeout").is_err());
+    println!(
+        "menu 'Tapeout' locked initially: {}",
+        fm.menu_invoke("Tapeout").is_err()
+    );
 
     // First checkin: still below the quality gate.
     fm.checkout("alice", "alu", "adder", "schematic")?;
-    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder rev2\n".to_vec())?;
+    fm.checkin(
+        "alice",
+        "alu",
+        "adder",
+        "schematic",
+        b"netlist adder rev2\n".to_vec(),
+    )?;
     fm.fire_trigger("checkin", &[Value::Str("adder/schematic".into())])?;
-    println!("after 1 checkin, 'Tapeout' locked: {}", fm.menu_invoke("Tapeout").is_err());
+    println!(
+        "after 1 checkin, 'Tapeout' locked: {}",
+        fm.menu_invoke("Tapeout").is_err()
+    );
 
     // Second checkin satisfies the gate; the trigger unlocks the menu.
     fm.checkout("alice", "alu", "adder", "schematic")?;
-    fm.checkin("alice", "alu", "adder", "schematic", b"netlist adder rev3\n".to_vec())?;
+    fm.checkin(
+        "alice",
+        "alu",
+        "adder",
+        "schematic",
+        b"netlist adder rev3\n".to_vec(),
+    )?;
     fm.fire_trigger("checkin", &[Value::Str("adder/schematic".into())])?;
-    println!("after 2 checkins, 'Tapeout' locked: {}", fm.menu_invoke("Tapeout").is_err());
+    println!(
+        "after 2 checkins, 'Tapeout' locked: {}",
+        fm.menu_invoke("Tapeout").is_err()
+    );
 
     println!("\nscript log:");
     for line in fm.customization().log() {

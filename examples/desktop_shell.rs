@@ -102,7 +102,10 @@ impl Shell {
     }
 
     fn user(&self, name: &str) -> Result<UserId, Box<dyn Error>> {
-        self.users.get(name).copied().ok_or_else(|| err(format!("unknown user {name}")))
+        self.users
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unknown user {name}")))
     }
 
     fn version(&self, key: &str) -> Result<(CellVersionId, VariantId), Box<dyn Error>> {
@@ -163,13 +166,18 @@ impl Shell {
                     .cells
                     .get(*cell)
                     .ok_or_else(|| err(format!("unknown cell {cell}")))?;
-                let team = self.default_team.ok_or_else(|| err("no team defined yet"))?;
+                let team = self
+                    .default_team
+                    .ok_or_else(|| err("no team defined yet"))?;
                 let (cv, variant) = self.hy.create_cell_version(cell_id, self.flow.flow, team)?;
                 self.hy.jcf_mut().reserve(user_id, cv)?;
                 let n = self.hy.jcf().versions_of(cell_id).len();
                 let key = format!("{cell}@{n}");
                 self.versions.insert(key.clone(), (cv, variant));
-                println!("+ {key} reserved by {user} (FMCAD cell {})", self.hy.fmcad_cell_of(cv)?);
+                println!(
+                    "+ {key} reserved by {user} (FMCAD cell {})",
+                    self.hy.fmcad_cell_of(cv)?
+                );
             }
             ["declare", user, key, child] => {
                 let user_id = self.user(user)?;
@@ -189,77 +197,111 @@ impl Shell {
                 let design = generate::random_logic(gates, seed);
                 let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
                 let n = bytes.len();
-                self.hy.run_activity(user_id, variant, self.flow.enter_schematic, false, move |_| {
-                    Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
-                })?;
+                self.hy.run_activity(
+                    user_id,
+                    variant,
+                    self.flow.enter_schematic,
+                    false,
+                    move |_| {
+                        Ok(vec![ToolOutput {
+                            viewtype: "schematic".into(),
+                            data: bytes.into(),
+                        }])
+                    },
+                )?;
                 println!("~ schematic entry on {key}: {gates} gates, {n} bytes");
             }
             ["fulladder", user, key] => {
                 let user_id = self.user(user)?;
                 let (_, variant) = self.version(key)?;
                 let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
-                self.hy.run_activity(user_id, variant, self.flow.enter_schematic, false, move |_| {
-                    Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
-                })?;
+                self.hy.run_activity(
+                    user_id,
+                    variant,
+                    self.flow.enter_schematic,
+                    false,
+                    move |_| {
+                        Ok(vec![ToolOutput {
+                            viewtype: "schematic".into(),
+                            data: bytes.into(),
+                        }])
+                    },
+                )?;
                 println!("~ schematic entry on {key}: full adder");
             }
             ["simulate", user, key] => {
                 let user_id = self.user(user)?;
                 let (_, variant) = self.version(key)?;
                 let label = (*key).to_owned();
-                self.hy.run_activity(user_id, variant, self.flow.simulate, false, move |session| {
-                    let text =
-                        String::from_utf8_lossy(session.input("schematic").expect("flow provides it"))
-                            .into_owned();
-                    let netlist = format::parse_netlist(&text)
-                        .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
-                    let mut all = BTreeMap::new();
-                    let top = netlist.name().to_owned();
-                    all.insert(top.clone(), netlist);
-                    let mut sim =
-                        Simulator::elaborate(&top, &all).map_err(hybrid::HybridError::Tool)?;
-                    // Drive all inputs with an alternating pattern.
-                    let names: Vec<String> =
-                        sim.signal_names().iter().map(|s| (*s).to_owned()).collect();
-                    let mut driven = 0;
-                    for (i, name) in names
-                        .iter()
-                        .filter(|n| n.starts_with("in") || ["a", "b", "cin"].contains(&n.as_str()))
-                        .enumerate()
-                    {
-                        let v = if i % 2 == 0 { Logic::One } else { Logic::Zero };
-                        sim.set_input(name, v).map_err(hybrid::HybridError::Tool)?;
-                        driven += 1;
-                    }
-                    sim.settle().map_err(hybrid::HybridError::Tool)?;
-                    println!(
-                        "~ simulate {label}: {} gates, {} inputs driven, {} events, t={}",
-                        sim.gate_count(),
-                        driven,
-                        sim.events_processed(),
-                        sim.now()
-                    );
-                    Ok(vec![ToolOutput {
-                        viewtype: "waveform".into(),
-                        data: format::write_waveforms(sim.waves()).into_bytes(),
-                    }])
-                })?;
+                self.hy.run_activity(
+                    user_id,
+                    variant,
+                    self.flow.simulate,
+                    false,
+                    move |session| {
+                        let text = String::from_utf8_lossy(
+                            session.input("schematic").expect("flow provides it"),
+                        )
+                        .into_owned();
+                        let netlist = format::parse_netlist(&text)
+                            .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
+                        let mut all = BTreeMap::new();
+                        let top = netlist.name().to_owned();
+                        all.insert(top.clone(), netlist);
+                        let mut sim =
+                            Simulator::elaborate(&top, &all).map_err(hybrid::HybridError::Tool)?;
+                        // Drive all inputs with an alternating pattern.
+                        let names: Vec<String> =
+                            sim.signal_names().iter().map(|s| (*s).to_owned()).collect();
+                        let mut driven = 0;
+                        for (i, name) in names
+                            .iter()
+                            .filter(|n| {
+                                n.starts_with("in") || ["a", "b", "cin"].contains(&n.as_str())
+                            })
+                            .enumerate()
+                        {
+                            let v = if i % 2 == 0 { Logic::One } else { Logic::Zero };
+                            sim.set_input(name, v).map_err(hybrid::HybridError::Tool)?;
+                            driven += 1;
+                        }
+                        sim.settle().map_err(hybrid::HybridError::Tool)?;
+                        println!(
+                            "~ simulate {label}: {} gates, {} inputs driven, {} events, t={}",
+                            sim.gate_count(),
+                            driven,
+                            sim.events_processed(),
+                            sim.now()
+                        );
+                        Ok(vec![ToolOutput {
+                            viewtype: "waveform".into(),
+                            data: format::write_waveforms(sim.waves()).into_bytes().into(),
+                        }])
+                    },
+                )?;
             }
             ["layout", user, key] => {
                 let user_id = self.user(user)?;
                 let (_, variant) = self.version(key)?;
-                self.hy.run_activity(user_id, variant, self.flow.enter_layout, false, |session| {
-                    let text =
-                        String::from_utf8_lossy(session.input("schematic").expect("flow provides it"))
-                            .into_owned();
-                    let netlist = format::parse_netlist(&text)
-                        .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
-                    let layout = generate::layout_for(&netlist);
-                    Ok(vec![ToolOutput {
-                        viewtype: "layout".into(),
-                        data: format::write_layout(&layout).into_bytes(),
-                    }])
-                })?;
+                self.hy.run_activity(
+                    user_id,
+                    variant,
+                    self.flow.enter_layout,
+                    false,
+                    |session| {
+                        let text = String::from_utf8_lossy(
+                            session.input("schematic").expect("flow provides it"),
+                        )
+                        .into_owned();
+                        let netlist = format::parse_netlist(&text)
+                            .map_err(|e| hybrid::HybridError::Tool(e.into()))?;
+                        let layout = generate::layout_for(&netlist);
+                        Ok(vec![ToolOutput {
+                            viewtype: "layout".into(),
+                            data: format::write_layout(&layout).into_bytes().into(),
+                        }])
+                    },
+                )?;
                 println!("~ layout entry on {key}");
             }
             ["publish", user, key] => {
@@ -281,7 +323,11 @@ impl Shell {
                 let before = self.hy.io_meter();
                 let data = self.hy.browse(user_id, dov)?;
                 let cost = self.hy.io_meter().since(&before);
-                println!("~ browsed {key}: {} bytes, {} I/O ticks (read-only copy)", data.len(), cost.ticks);
+                println!(
+                    "~ browsed {key}: {} bytes, {} I/O ticks (read-only copy)",
+                    data.len(),
+                    cost.ticks
+                );
             }
             ["timing", user, key] => {
                 let user_id = self.user(user)?;

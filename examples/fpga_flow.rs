@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let place_tool = hy.register_tool("fpga-place", ToolKind::LayoutEditor)?;
     let flow = hy.jcf_mut().define_flow(admin, "fpga")?;
     let a_enter =
-        hy.jcf_mut().add_activity(admin, flow, "enter", enter_tool, &[], &[schematic], &[])?;
+        hy.jcf_mut()
+            .add_activity(admin, flow, "enter", enter_tool, &[], &[schematic], &[])?;
     let a_map = hy.jcf_mut().add_activity(
         admin,
         flow,
@@ -87,7 +88,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.run_activity(alice, variant, a_enter, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
-            data: format::write_netlist(&original_for_entry).into_bytes(),
+            data: format::write_netlist(&original_for_entry)
+                .into_bytes()
+                .into(),
         }])
     })?;
 
@@ -102,8 +105,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.run_activity(alice, variant, a_map, false, |session| {
         let text = String::from_utf8_lossy(session.input("schematic").expect("flow provides it"))
             .into_owned();
-        let netlist =
-            format::parse_netlist(&text).map_err(|e| HybridError::Tool(e.into()))?;
+        let netlist = format::parse_netlist(&text).map_err(|e| HybridError::Tool(e.into()))?;
         let (mapped, stats) = map_to_nand(&netlist).map_err(HybridError::Tool)?;
         let before = cad_tools::static_timing(&netlist).map_err(HybridError::Tool)?;
         let after = cad_tools::static_timing(&mapped).map_err(HybridError::Tool)?;
@@ -113,7 +115,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         Ok(vec![ToolOutput {
             viewtype: "mapped".into(),
-            data: format::write_netlist(&mapped).into_bytes(),
+            data: format::write_netlist(&mapped).into_bytes().into(),
         }])
     })?;
 
@@ -123,9 +125,33 @@ fn main() -> Result<(), Box<dyn Error>> {
         // Walk all 8 input combinations, 20 time units apart.
         for bits in 0..8u64 {
             let t = bits * 20;
-            s.drive(t, "a", if bits & 1 != 0 { Logic::One } else { Logic::Zero });
-            s.drive(t, "b", if bits & 2 != 0 { Logic::One } else { Logic::Zero });
-            s.drive(t, "cin", if bits & 4 != 0 { Logic::One } else { Logic::Zero });
+            s.drive(
+                t,
+                "a",
+                if bits & 1 != 0 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                },
+            );
+            s.drive(
+                t,
+                "b",
+                if bits & 2 != 0 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                },
+            );
+            s.drive(
+                t,
+                "cin",
+                if bits & 4 != 0 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                },
+            );
         }
         s.probe("sum");
         s.probe("cout");
@@ -159,7 +185,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let _ = compare_waveforms; // full-trace comparison is for same-delay runs
         Ok(vec![ToolOutput {
             viewtype: "waveform".into(),
-            data: format::write_waveforms(&mapped).into_bytes(),
+            data: format::write_waveforms(&mapped).into_bytes().into(),
         }])
     })?;
 
@@ -177,7 +203,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         Ok(vec![ToolOutput {
             viewtype: "placement".into(),
-            data: format::write_layout(&placed).into_bytes(),
+            data: format::write_layout(&placed).into_bytes().into(),
         }])
     })?;
 

@@ -40,11 +40,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert!(session.inputs.is_empty());
         let mut n = Netlist::new("soc_top");
         n.add_net("clk_root")?;
-        n.add_instance("u_core", MasterRef::Cell("core".into()), &[("clk", "clk_root")])?;
-        n.add_instance("u_pll", MasterRef::Cell("pll".into()), &[("clk", "clk_root")])?;
+        n.add_instance(
+            "u_core",
+            MasterRef::Cell("core".into()),
+            &[("clk", "clk_root")],
+        )?;
+        n.add_instance(
+            "u_pll",
+            MasterRef::Cell("pll".into()),
+            &[("clk", "clk_root")],
+        )?;
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
-            data: format::write_netlist(&n).into_bytes(),
+            data: format::write_netlist(&n).into_bytes().into(),
         }])
     })?;
     let io_after = hy.io_meter().since(&io_before);
@@ -66,7 +74,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "layout".into(),
-            data: format::write_layout(&floorplan).into_bytes(),
+            data: format::write_layout(&floorplan).into_bytes().into(),
         }])
     })?;
     println!("non-isomorphic schematic/layout pair accepted");
@@ -78,25 +86,34 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fa = generate::full_adder();
     let fa_bytes = format::write_netlist(&fa).into_bytes();
     hy.run_activity(alice, fa_variant, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: fa_bytes }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: fa_bytes.into(),
+        }])
     })?;
     hy.run_activity(alice, fa_variant, flow.simulate, false, |session| {
         let mut sim = session.elaborate_simulator(&BTreeMap::new())?;
-        sim.set_input("a", Logic::One).map_err(hybrid::HybridError::Tool)?;
-        sim.set_input("b", Logic::One).map_err(hybrid::HybridError::Tool)?;
-        sim.set_input("cin", Logic::One).map_err(hybrid::HybridError::Tool)?;
+        sim.set_input("a", Logic::One)
+            .map_err(hybrid::HybridError::Tool)?;
+        sim.set_input("b", Logic::One)
+            .map_err(hybrid::HybridError::Tool)?;
+        sim.set_input("cin", Logic::One)
+            .map_err(hybrid::HybridError::Tool)?;
         sim.settle().map_err(hybrid::HybridError::Tool)?;
         let sum = sim.value("sum").map_err(hybrid::HybridError::Tool)?;
         let cout = sim.value("cout").map_err(hybrid::HybridError::Tool)?;
         println!("simulated 1+1+1: sum={sum} cout={cout}");
         Ok(vec![ToolOutput {
             viewtype: "waveform".into(),
-            data: format::write_waveforms(sim.waves()).into_bytes(),
+            data: format::write_waveforms(sim.waves()).into_bytes().into(),
         }])
     })?;
 
     let findings = hy.verify_project(soc)?;
-    println!("consistency audit with all future features on: {} finding(s)", findings.len());
+    println!(
+        "consistency audit with all future features on: {} finding(s)",
+        findings.len()
+    );
     assert!(findings.is_empty());
     Ok(())
 }

@@ -67,7 +67,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     fm.create_cellview("lib", "top", "layout", "layout")?;
     let mut flat = Layout::new("top");
     flat.add_placement("i1", "pad_ring", 0, 0)?;
-    fm.checkin("alice", "lib", "top", "layout", format::write_layout(&flat).into_bytes())?;
+    fm.checkin(
+        "alice",
+        "lib",
+        "top",
+        "layout",
+        format::write_layout(&flat).into_bytes(),
+    )?;
     let hs = fm.view_hierarchy("lib", "top", "schematic")?;
     let hl = fm.view_hierarchy("lib", "top", "layout")?;
     println!(
@@ -95,7 +101,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let undeclared = hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
-            data: format::write_netlist(&hierarchical_netlist("top", "fa")).into_bytes(),
+            data: format::write_netlist(&hierarchical_netlist("top", "fa"))
+                .into_bytes()
+                .into(),
         }])
     });
     match undeclared {
@@ -110,7 +118,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
-            data: format::write_netlist(&hierarchical_netlist("top", "fa")).into_bytes(),
+            data: format::write_netlist(&hierarchical_netlist("top", "fa"))
+                .into_bytes()
+                .into(),
         }])
     })?;
     println!("accepted with declared hierarchy");
@@ -125,7 +135,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let rejected = hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "layout".into(),
-            data: format::write_layout(&alien).into_bytes(),
+            data: format::write_layout(&alien).into_bytes().into(),
         }])
     });
     match rejected {
@@ -140,9 +150,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "layout".into(),
-            data: format::write_layout(&matching).into_bytes(),
+            data: format::write_layout(&matching).into_bytes().into(),
         }])
     })?;
-    println!("accepted isomorphic layout; consistency holds: {:?}", hy.verify_project(project)?);
+    println!(
+        "accepted isomorphic layout; consistency holds: {:?}",
+        hy.verify_project(project)?
+    );
     Ok(())
 }

@@ -49,9 +49,18 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("imported library 'legacy_alu' as project {project}:");
     println!("  {} FMCAD cells      -> JCF cell versions", report.cells);
-    println!("  {} cellviews        -> design objects", report.design_objects);
-    println!("  {} cellview versions -> design object versions", report.versions);
-    println!("  {} bytes copied into the OMS database", report.bytes_copied);
+    println!(
+        "  {} cellviews        -> design objects",
+        report.design_objects
+    );
+    println!(
+        "  {} cellview versions -> design object versions",
+        report.versions
+    );
+    println!(
+        "  {} bytes copied into the OMS database",
+        report.bytes_copied
+    );
 
     // The hierarchy was extracted and declared during import.
     for cell in hy.jcf().cells_of(project) {
@@ -77,7 +86,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let findings = hy.verify_project(project)?;
-    println!("\npost-import consistency audit: {} finding(s)", findings.len());
+    println!(
+        "\npost-import consistency audit: {} finding(s)",
+        findings.len()
+    );
     assert!(findings.is_empty());
     Ok(())
 }

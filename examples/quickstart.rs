@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let netlist = generate::full_adder();
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
-            data: format::write_netlist(&netlist).into_bytes(),
+            data: format::write_netlist(&netlist).into_bytes().into(),
         }])
     })?;
     println!("schematic stored as design object version {}", sch[0]);
@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         for a in [Logic::Zero, Logic::One] {
             for b in [Logic::Zero, Logic::One] {
                 for cin in [Logic::Zero, Logic::One] {
-                    let mut sim = Simulator::elaborate("full_adder", &netlists)
-                        .expect("netlist elaborates");
+                    let mut sim =
+                        Simulator::elaborate("full_adder", &netlists).expect("netlist elaborates");
                     sim.set_input("a", a).expect("pin exists");
                     sim.set_input("b", b).expect("pin exists");
                     sim.set_input("cin", cin).expect("pin exists");
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         Ok(vec![ToolOutput {
             viewtype: "waveform".into(),
-            data: format::write_waveforms(&waves).into_bytes(),
+            data: format::write_waveforms(&waves).into_bytes().into(),
         }])
     })?;
 
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert!(layout.check().is_empty(), "generated layout is DRC-clean");
         Ok(vec![ToolOutput {
             viewtype: "layout".into(),
-            data: format::write_layout(&layout).into_bytes(),
+            data: format::write_layout(&layout).into_bytes().into(),
         }])
     })?;
 
@@ -93,7 +93,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     hy.jcf_mut().publish(alice, cv)?;
-    println!("\npublished; consistency audit: {:?}", hy.verify_project(project)?);
+    println!(
+        "\npublished; consistency audit: {:?}",
+        hy.verify_project(project)?
+    );
     println!(
         "desktop ops: {}, extra FMCAD windows: {}",
         hy.jcf().desktop_ops(),

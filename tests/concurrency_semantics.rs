@@ -14,8 +14,10 @@ fn fmcad_serialises_designers_on_one_cellview() {
     let mut fm = Fmcad::new();
     fm.create_library("l").unwrap();
     fm.create_cell("l", "c").unwrap();
-    fm.create_cellview("l", "c", "schematic", "schematic").unwrap();
-    fm.checkin("alice", "l", "c", "schematic", b"v1".to_vec()).unwrap();
+    fm.create_cellview("l", "c", "schematic", "schematic")
+        .unwrap();
+    fm.checkin("alice", "l", "c", "schematic", b"v1".to_vec())
+        .unwrap();
 
     fm.checkout("alice", "l", "c", "schematic").unwrap();
     // Bob is fully blocked: no second checkout, no parallel version.
@@ -53,25 +55,41 @@ fn hybrid_isolates_by_cell_version_and_allows_parallel_variants() {
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let p1 = bytes.clone();
     hy.run_activity(alice, v1, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: p1 }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: p1.into(),
+        }])
     })
     .unwrap();
     let p2 = bytes.clone();
     hy.run_activity(bob, v2, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: p2 }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: p2.into(),
+        }])
     })
     .unwrap();
 
     // Same design object, two versions in parallel via variants — the
     // §3.1 capability FMCAD lacks.
-    let exp = hy.jcf_mut().derive_variant(alice, cv1, "exp", Some(v1)).unwrap();
+    let exp = hy
+        .jcf_mut()
+        .derive_variant(alice, cv1, "exp", Some(v1))
+        .unwrap();
     let p3 = bytes;
     hy.run_activity(alice, exp, flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: p3 }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: p3.into(),
+        }])
     })
     .unwrap();
 
-    assert_eq!(hy.fmcad().blocked_checkouts(), 0, "no designer ever blocked");
+    assert_eq!(
+        hy.fmcad().blocked_checkouts(),
+        0,
+        "no designer ever blocked"
+    );
     assert!(hy.verify_project(project).unwrap().is_empty());
 }
 
@@ -93,7 +111,10 @@ fn hybrid_turns_published_work_over_cleanly() {
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let dovs = hy
         .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: bytes.into(),
+            }])
         })
         .unwrap();
 
@@ -111,8 +132,10 @@ fn fmcad_meta_lock_contention_counts() {
     let mut fm = Fmcad::new();
     fm.create_library("l").unwrap();
     fm.create_cell("l", "c").unwrap();
-    fm.create_cellview("l", "c", "schematic", "schematic").unwrap();
-    fm.checkin("u0", "l", "c", "schematic", b"v1".to_vec()).unwrap();
+    fm.create_cellview("l", "c", "schematic", "schematic")
+        .unwrap();
+    fm.checkin("u0", "l", "c", "schematic", b"v1".to_vec())
+        .unwrap();
 
     fm.acquire_meta_lock("u0").unwrap();
     let mut blocked = 0;
@@ -121,7 +144,10 @@ fn fmcad_meta_lock_contention_counts() {
             blocked += 1;
         }
     }
-    assert_eq!(blocked, 4, "the single .meta file serialises the whole team");
+    assert_eq!(
+        blocked, 4,
+        "the single .meta file serialises the whole team"
+    );
     fm.release_meta_lock("u0");
     fm.checkout("u1", "l", "c", "schematic").unwrap();
 }

@@ -16,9 +16,13 @@ fn custom_fpga_flow_runs_end_to_end() {
     hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
 
     let schematic = hy.viewtype("schematic").unwrap();
-    let mapped_vt = hy.register_viewtype("mapped", ToolKind::SchematicEntry).unwrap();
+    let mapped_vt = hy
+        .register_viewtype("mapped", ToolKind::SchematicEntry)
+        .unwrap();
     let entry = hy.register_tool("entry", ToolKind::SchematicEntry).unwrap();
-    let mapper = hy.register_tool("mapper", ToolKind::SchematicEntry).unwrap();
+    let mapper = hy
+        .register_tool("mapper", ToolKind::SchematicEntry)
+        .unwrap();
     let flow = hy.jcf_mut().define_flow(admin, "fpga").unwrap();
     let a_enter = hy
         .jcf_mut()
@@ -26,7 +30,15 @@ fn custom_fpga_flow_runs_end_to_end() {
         .unwrap();
     let a_map = hy
         .jcf_mut()
-        .add_activity(admin, flow, "map", mapper, &[schematic], &[mapped_vt], &[a_enter])
+        .add_activity(
+            admin,
+            flow,
+            "map",
+            mapper,
+            &[schematic],
+            &[mapped_vt],
+            &[a_enter],
+        )
         .unwrap();
     hy.jcf_mut().freeze_flow(admin, flow).unwrap();
 
@@ -38,7 +50,10 @@ fn custom_fpga_flow_runs_end_to_end() {
     let design = generate::random_logic(40, 11);
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     hy.run_activity(alice, variant, a_enter, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: bytes.into(),
+        }])
     })
     .unwrap();
 
@@ -55,7 +70,7 @@ fn custom_fpga_flow_runs_end_to_end() {
             assert!(t.critical_delay > 0);
             Ok(vec![ToolOutput {
                 viewtype: "mapped".into(),
-                data: format::write_netlist(&mapped).into_bytes(),
+                data: format::write_netlist(&mapped).into_bytes().into(),
             }])
         })
         .unwrap();
@@ -77,9 +92,33 @@ fn mapped_design_consumes_more_activity_per_operation() {
     let mut stim = Stimulus::new();
     for bits in 0..8u64 {
         let t = bits * 20;
-        stim.drive(t, "a", if bits & 1 != 0 { Logic::One } else { Logic::Zero });
-        stim.drive(t, "b", if bits & 2 != 0 { Logic::One } else { Logic::Zero });
-        stim.drive(t, "cin", if bits & 4 != 0 { Logic::One } else { Logic::Zero });
+        stim.drive(
+            t,
+            "a",
+            if bits & 1 != 0 {
+                Logic::One
+            } else {
+                Logic::Zero
+            },
+        );
+        stim.drive(
+            t,
+            "b",
+            if bits & 2 != 0 {
+                Logic::One
+            } else {
+                Logic::Zero
+            },
+        );
+        stim.drive(
+            t,
+            "cin",
+            if bits & 4 != 0 {
+                Logic::One
+            } else {
+                Logic::Zero
+            },
+        );
     }
     let mut activity = Vec::new();
     for netlist in [&fa, &mapped] {
@@ -89,5 +128,10 @@ fn mapped_design_consumes_more_activity_per_operation() {
         let waves = sim.run_testbench(&stim).unwrap();
         activity.push(switching_activity(&waves).relative_power);
     }
-    assert!(activity[1] > activity[0], "mapped: {} > original: {}", activity[1], activity[0]);
+    assert!(
+        activity[1] > activity[0],
+        "mapped: {} > original: {}",
+        activity[1],
+        activity[0]
+    );
 }

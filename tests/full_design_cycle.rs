@@ -27,7 +27,13 @@ fn team() -> Team {
     hy.jcf_mut().add_team_member(admin, team_id, alice).unwrap();
     hy.jcf_mut().add_team_member(admin, team_id, bob).unwrap();
     let flow = hy.standard_flow("asic").unwrap();
-    Team { hy, alice, bob, team: team_id, flow }
+    Team {
+        hy,
+        alice,
+        bob,
+        team: team_id,
+        flow,
+    }
 }
 
 #[test]
@@ -43,7 +49,10 @@ fn complete_design_cycle_stays_consistent() {
     let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
     let payload = fa_bytes.clone();
     t.hy.run_activity(t.bob, fa_var, t.flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: payload.into(),
+        }])
     })
     .unwrap();
     t.hy.jcf_mut().publish(t.bob, fa_cv).unwrap();
@@ -55,19 +64,20 @@ fn complete_design_cycle_stays_consistent() {
     t.hy.jcf_mut().declare_comp_of(t.alice, top_cv, fa).unwrap();
     let top_bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     let payload = top_bytes.clone();
-    let sch_dovs = t
-        .hy
-        .run_activity(t.alice, top_var, t.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+    let sch_dovs =
+        t.hy.run_activity(t.alice, top_var, t.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: payload.into(),
+            }])
         })
         .unwrap();
 
     // Simulation activity runs the real event-driven simulator on the
     // staged schematic plus the published leaf cell.
     let netlists = design.netlists.clone();
-    let wave_dovs = t
-        .hy
-        .run_activity(t.alice, top_var, t.flow.simulate, false, move |session| {
+    let wave_dovs =
+        t.hy.run_activity(t.alice, top_var, t.flow.simulate, false, move |session| {
             let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
             let top = format::parse_netlist(&text).expect("staged netlist parses");
             let mut all: BTreeMap<String, design_data::Netlist> = netlists.clone();
@@ -86,7 +96,7 @@ fn complete_design_cycle_stays_consistent() {
             }
             Ok(vec![ToolOutput {
                 viewtype: "waveform".into(),
-                data: format::write_waveforms(sim.waves()).into_bytes(),
+                data: format::write_waveforms(sim.waves()).into_bytes().into(),
             }])
         })
         .unwrap();
@@ -95,9 +105,15 @@ fn complete_design_cycle_stays_consistent() {
     assert_eq!(t.hy.jcf().derived_from(wave_dovs[0]), vec![sch_dovs[0]]);
 
     // Configuration selecting the released views.
-    let config = t.hy.jcf_mut().create_configuration(t.alice, top_cv, "rel1").unwrap();
+    let config =
+        t.hy.jcf_mut()
+            .create_configuration(t.alice, top_cv, "rel1")
+            .unwrap();
     let selection: Vec<DovId> = vec![sch_dovs[0], wave_dovs[0]];
-    let cfg = t.hy.jcf_mut().create_config_version(t.alice, config, &selection).unwrap();
+    let cfg =
+        t.hy.jcf_mut()
+            .create_config_version(t.alice, config, &selection)
+            .unwrap();
     assert_eq!(t.hy.jcf().config_contents(cfg).len(), 2);
 
     t.hy.jcf_mut().publish(t.alice, top_cv).unwrap();
@@ -105,11 +121,10 @@ fn complete_design_cycle_stays_consistent() {
 
     // Everything is mirrored: FMCAD sees the same bytes in its library.
     let mirror = t.hy.mirror_of(sch_dovs[0]).unwrap().clone();
-    let lib_bytes = t
-        .hy
-        .fmcad_mut()
-        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
-        .unwrap();
+    let lib_bytes =
+        t.hy.fmcad_mut()
+            .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+            .unwrap();
     assert_eq!(lib_bytes, top_bytes);
 }
 
@@ -123,12 +138,21 @@ fn import_then_continue_designing() {
         fm.create_library("legacy").unwrap();
         for (cell, netlist) in &design.netlists {
             fm.create_cell("legacy", cell).unwrap();
-            fm.create_cellview("legacy", cell, "schematic", "schematic").unwrap();
-            fm.checkin("old", "legacy", cell, "schematic", format::write_netlist(netlist).into_bytes())
+            fm.create_cellview("legacy", cell, "schematic", "schematic")
                 .unwrap();
+            fm.checkin(
+                "old",
+                "legacy",
+                cell,
+                "schematic",
+                format::write_netlist(netlist).into_bytes(),
+            )
+            .unwrap();
         }
     }
-    let (project, report) = t.hy.import_library(t.alice, "legacy", t.flow.flow, t.team).unwrap();
+    let (project, report) =
+        t.hy.import_library(t.alice, "legacy", t.flow.flow, t.team)
+            .unwrap();
     assert_eq!(report.cells, 1);
     assert!(t.hy.verify_project(project).unwrap().is_empty());
 
@@ -138,7 +162,10 @@ fn import_then_continue_designing() {
     t.hy.jcf_mut().reserve(t.bob, cv2).unwrap();
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     t.hy.run_activity(t.bob, var2, t.flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: bytes.into(),
+        }])
     })
     .unwrap();
     // The mapped FMCAD cell for version 2 exists alongside the import.
@@ -157,16 +184,25 @@ fn two_level_versioning_supports_parallel_exploration() {
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let payload = bytes.clone();
     t.hy.run_activity(t.alice, base, t.flow.enter_schematic, false, move |_| {
-        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+        Ok(vec![ToolOutput {
+            viewtype: "schematic".into(),
+            data: payload.into(),
+        }])
     })
     .unwrap();
 
     // Derive three experimental variants, each with its own work.
     for name in ["fast", "small", "low-power"] {
-        let variant = t.hy.jcf_mut().derive_variant(t.alice, cv, name, Some(base)).unwrap();
+        let variant =
+            t.hy.jcf_mut()
+                .derive_variant(t.alice, cv, name, Some(base))
+                .unwrap();
         let payload = bytes.clone();
         t.hy.run_activity(t.alice, variant, t.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: payload }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: payload.into(),
+            }])
         })
         .unwrap();
     }

