@@ -1,11 +1,15 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e10|verdicts|--json]`
+//! Usage: `cargo run -p bench --bin report [e1|...|e10|verdicts|--json]
+//! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep and the E10 throughput workload
 //! and writes the machine-readable `BENCH_E9.json` / `BENCH_E10.json`
 //! files at the repository root, seeding the performance trajectory.
+//! `--seed` changes the SplitMix64 seed of the random-logic workload
+//! generators (default 42, the golden-value seed); the seed used is
+//! recorded in both JSON files.
 
 use std::env;
 
@@ -167,14 +171,33 @@ fn print_verdicts() {
     }
 }
 
+/// Serializes the observable state of a short engine workload: the
+/// counter sink's ops-by-kind and failures-by-error-kind tables plus
+/// the mirror-cache hit count, as hand-rolled JSON.
+fn engine_counters_json(seed: u64) -> String {
+    let engine = bench::workload::observed_workload(seed);
+    let fmt_map = |map: &std::collections::BTreeMap<String, u64>| {
+        let body: Vec<String> = map.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        format!("{{{}}}", body.join(", "))
+    };
+    format!(
+        "{{\"applied\": {}, \"ops\": {}, \"failures\": {}, \"mirror_cache_hits\": {}}}",
+        engine.seq(),
+        fmt_map(engine.counters().ops()),
+        fmt_map(engine.counters().failures()),
+        engine.mirror_cache_hits()
+    )
+}
+
 /// Serializes the E9 and E10 sweeps as hand-rolled JSON (no external
 /// dependency) into `BENCH_E9.json` / `BENCH_E10.json` at the repo
-/// root.
-fn write_json_reports() -> std::io::Result<()> {
+/// root. Both files record the workload seed; E10 also records the
+/// engine's observability counters.
+fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
-    let mut e9 = String::from("[\n");
-    let rows = e9_performance::sweep();
+    let mut e9 = format!("{{\"seed\": {seed}, \"rows\": [\n");
+    let rows = e9_performance::sweep_with_seed(seed);
     for (i, r) in rows.iter().enumerate() {
         e9.push_str(&format!(
             "  {{\"gates\": {}, \"bytes\": {}, \"metadata_ticks\": {}, \"hybrid_read_ticks\": {}, \"fmcad_read_ticks\": {}, \"activity_ticks\": {}, \"procedural_ticks\": {}, \"procedural_activity_ticks\": {}}}{}\n",
@@ -189,13 +212,13 @@ fn write_json_reports() -> std::io::Result<()> {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    e9.push_str("]\n");
+    e9.push_str("]}\n");
     let e9_path = format!("{root}/BENCH_E9.json");
     std::fs::write(&e9_path, e9)?;
     println!("wrote {e9_path}");
 
-    let mut e10 = String::from("[\n");
-    let rows = e10_throughput::sweep();
+    let mut e10 = format!("{{\"seed\": {seed}, \"rows\": [\n");
+    let rows = e10_throughput::sweep_with_seed(seed);
     for (i, r) in rows.iter().enumerate() {
         e10.push_str(&format!(
             "  {{\"gates\": {}, \"bytes\": {}, \"reps\": {}, \"deep_copy_ns\": {}, \"zero_copy_ns\": {}, \"speedup\": {:.2}, \"deep_copy_materialized\": {}, \"zero_copy_materialized\": {}, \"mirror_cache_hits\": {}, \"deep_copy_ticks_per_rep\": {}, \"zero_copy_ticks_per_rep\": {}}}{}\n",
@@ -214,7 +237,8 @@ fn write_json_reports() -> std::io::Result<()> {
         ));
         println!("{r}");
     }
-    e10.push_str("]\n");
+    e10.push_str("],\n");
+    e10.push_str(&format!("\"engine\": {}}}\n", engine_counters_json(seed)));
     let e10_path = format!("{root}/BENCH_E10.json");
     std::fs::write(&e10_path, e10)?;
     println!("wrote {e10_path}");
@@ -222,13 +246,23 @@ fn write_json_reports() -> std::io::Result<()> {
 }
 
 fn main() {
-    let filter: Option<String> = env::args().nth(1).map(|s| s.to_lowercase());
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        let Some(value) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+            eprintln!("--seed needs an unsigned integer argument");
+            std::process::exit(2);
+        };
+        seed = value;
+        args.drain(pos..=pos + 1);
+    }
+    let filter: Option<String> = args.first().map(|s| s.to_lowercase());
     if filter.as_deref() == Some("verdicts") {
         print_verdicts();
         return;
     }
     if filter.as_deref() == Some("--json") {
-        if let Err(e) = write_json_reports() {
+        if let Err(e) = write_json_reports(seed) {
             eprintln!("failed to write JSON reports: {e}");
             std::process::exit(1);
         }
@@ -278,16 +312,16 @@ fn main() {
         printed = true;
     }
     if want("e9") {
-        println!("E9  §3.6 — performance (simulated I/O ticks)");
-        for row in e9_performance::sweep() {
+        println!("E9  §3.6 — performance (simulated I/O ticks, seed {seed})");
+        for row in e9_performance::sweep_with_seed(seed) {
             println!("{row}");
         }
         println!();
         printed = true;
     }
     if want("e10") {
-        println!("E10 — host wall-clock of the zero-copy blob layer");
-        for row in e10_throughput::sweep() {
+        println!("E10 — host wall-clock of the zero-copy blob layer (seed {seed})");
+        for row in e10_throughput::sweep_with_seed(seed) {
             println!("{row}");
         }
         printed = true;

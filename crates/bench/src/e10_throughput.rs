@@ -88,9 +88,9 @@ struct ModeRun {
 
 /// Runs `reps` identical schematic-entry activities in one mode and
 /// times the whole loop.
-fn run_mode(gates: usize, reps: usize, mode: StagingMode) -> ModeRun {
+fn run_mode(gates: usize, reps: usize, mode: StagingMode, seed: u64) -> ModeRun {
     let mut env = hybrid_env(1);
-    env.hy.set_staging_mode(mode);
+    env.hy.set_staging_mode(mode).expect("engine applies");
     let user = env.designers[0];
     let project = env.hy.create_project("perf").expect("fresh project");
     let cell = env.hy.create_cell(project, "cloud").expect("fresh cell");
@@ -98,9 +98,9 @@ fn run_mode(gates: usize, reps: usize, mode: StagingMode) -> ModeRun {
         .hy
         .create_cell_version(cell, env.flow.flow, env.team)
         .expect("fresh version");
-    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    env.hy.reserve(user, cv).expect("free version");
 
-    let data: Blob = cloud_bytes(gates, 42).into();
+    let data: Blob = cloud_bytes(gates, seed).into();
     let before_mat = Blob::materialized_bytes();
     let before_meter = env.hy.io_meter();
     let start = Instant::now();
@@ -127,11 +127,7 @@ fn run_mode(gates: usize, reps: usize, mode: StagingMode) -> ModeRun {
 
     // Whatever the mode, the pipeline delivered the data.
     let dov = last_dov.expect("at least one rep");
-    let read = env
-        .hy
-        .jcf_mut()
-        .read_design_data(user, dov)
-        .expect("readable");
+    let read = env.hy.read_design_data(user, dov).expect("readable");
     assert_eq!(read, data, "pipeline must deliver the bytes unchanged");
 
     ModeRun {
@@ -142,18 +138,28 @@ fn run_mode(gates: usize, reps: usize, mode: StagingMode) -> ModeRun {
     }
 }
 
-/// Runs one size point of E10: `reps` reruns under each staging mode.
+/// Runs one size point of E10 with the default workload seed (42).
 ///
 /// # Panics
 ///
 /// Panics only on bootstrap failures.
 pub fn run(gates: usize, reps: usize) -> E10Row {
+    run_with_seed(gates, reps, 42)
+}
+
+/// Runs one size point of E10 with an explicit workload seed: `reps`
+/// reruns under each staging mode.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run_with_seed(gates: usize, reps: usize, seed: u64) -> E10Row {
     // Baseline first so a warm allocator favours the baseline, not us.
-    let deep = run_mode(gates, reps, StagingMode::DeepCopy);
-    let zero = run_mode(gates, reps, StagingMode::ZeroCopy);
+    let deep = run_mode(gates, reps, StagingMode::DeepCopy, seed);
+    let zero = run_mode(gates, reps, StagingMode::ZeroCopy, seed);
     E10Row {
         gates,
-        bytes: cloud_bytes(gates, 42).len() as u64,
+        bytes: cloud_bytes(gates, seed).len() as u64,
         reps,
         deep_copy_ns: deep.elapsed_ns,
         zero_copy_ns: zero.elapsed_ns,
@@ -165,12 +171,17 @@ pub fn run(gates: usize, reps: usize) -> E10Row {
     }
 }
 
-/// The standard E10 sweep: the paper-scale 3200-gate cell plus two
-/// smaller points for the trend.
+/// The standard E10 sweep (seed 42): the paper-scale 3200-gate cell
+/// plus two smaller points for the trend.
 pub fn sweep() -> Vec<E10Row> {
+    sweep_with_seed(42)
+}
+
+/// The E10 sweep with an explicit workload seed.
+pub fn sweep_with_seed(seed: u64) -> Vec<E10Row> {
     [(200, 40), (800, 40), (3200, 40)]
         .into_iter()
-        .map(|(gates, reps)| run(gates, reps))
+        .map(|(gates, reps)| run_with_seed(gates, reps, seed))
         .collect()
 }
 

@@ -11,7 +11,7 @@ use design_data::generate;
 use hybrid::mapping::{render_table_1, TABLE_1, UNMAPPABLE_TO_FMCAD};
 use hybrid::ImportReport;
 
-use crate::workload::{hybrid_env, populate_fmcad};
+use crate::workload::{hybrid_env, populate_fmcad_via};
 
 /// Result of the E1 run.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl fmt::Display for E1Result {
 pub fn run(width: usize) -> E1Result {
     let mut env = hybrid_env(1);
     let design = generate::ripple_adder(width);
-    populate_fmcad(env.hy.fmcad_mut(), "legacy", &design, true);
+    populate_fmcad_via(&mut env.hy, "legacy", &design, true);
     let (project, import) = env
         .hy
         .import_library(env.designers[0], "legacy", env.flow.flow, env.team)

@@ -158,7 +158,7 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
                 Some(idx) => {
                     let (cv, variant, holder) = versions[c][idx];
                     if holder.is_none() {
-                        if env.hy.jcf_mut().reserve(user, cv).is_err() {
+                        if env.hy.reserve(user, cv).is_err() {
                             blocked += 1;
                             continue;
                         }
@@ -171,10 +171,7 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
                         .hy
                         .create_cell_version(cell_ids[c], env.flow.flow, env.team)
                         .expect("versions are unbounded");
-                    env.hy
-                        .jcf_mut()
-                        .reserve(user, cv)
-                        .expect("fresh version is free");
+                    env.hy.reserve(user, cv).expect("fresh version is free");
                     versions[c].push((cv, variant, Some(d)));
                     opened += 1;
                     (cv, variant)
@@ -194,10 +191,7 @@ fn run_hybrid(designers: usize, cells: usize, rounds: usize, seed: u64) -> (u64,
                     completed += 1;
                     // Occasionally publish so others can pick the version up.
                     if rng.chance(1, 4) {
-                        env.hy
-                            .jcf_mut()
-                            .publish(user, cv)
-                            .expect("holder publishes");
+                        env.hy.publish(user, cv).expect("holder publishes");
                         for slot in versions[c].iter_mut() {
                             if slot.0 == cv {
                                 slot.2 = None;

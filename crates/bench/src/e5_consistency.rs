@@ -114,7 +114,7 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
         .hy
         .create_cell_version(cell, env.flow.flow, env.team)
         .expect("fresh version");
-    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    env.hy.reserve(user, cv).expect("free version");
     let bytes = cloud_bytes(20, 1);
     let dovs = env
         .hy
@@ -131,8 +131,7 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
         if rng.chance(1, 2) {
             // Corrupt the mirrored bytes out-of-band.
             env.hy
-                .fmcad_mut()
-                .direct_file_write(
+                .fmcad_direct_write(
                     &mirror.library,
                     &mirror.cell,
                     &mirror.view,
@@ -143,8 +142,7 @@ pub fn run(faults: usize, seed: u64) -> E5Result {
         } else {
             // Add a rogue file next to the mirror.
             env.hy
-                .fmcad_mut()
-                .direct_file_write(
+                .fmcad_direct_write(
                     &mirror.library,
                     &mirror.cell,
                     &mirror.view,

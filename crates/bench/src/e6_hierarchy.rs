@@ -170,7 +170,7 @@ pub fn run(attempts: usize) -> E6Result {
             .hy
             .create_cell_version(cell, env.flow.flow, env.team)
             .expect("fresh version");
-        env.hy.jcf_mut().reserve(user, cv).expect("free version");
+        env.hy.reserve(user, cv).expect("free version");
 
         // Undeclared child is rejected first.
         let bytes = format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
@@ -191,14 +191,8 @@ pub fn run(attempts: usize) -> E6Result {
         // Declare both children (the manual §3.3 step), then the
         // schematic goes in...
         let ops0 = env.hy.jcf().desktop_ops();
-        env.hy
-            .jcf_mut()
-            .declare_comp_of(user, cv, child_a)
-            .expect("declared");
-        env.hy
-            .jcf_mut()
-            .declare_comp_of(user, cv, child_b)
-            .expect("declared");
+        env.hy.declare_comp_of(user, cv, child_a).expect("declared");
+        env.hy.declare_comp_of(user, cv, child_b).expect("declared");
         declaration_ops += env.hy.jcf().desktop_ops() - ops0;
         let payload = bytes;
         env.hy
@@ -229,11 +223,13 @@ pub fn run(attempts: usize) -> E6Result {
 
     // --- ablation: the future JCF release --------------------------------
     let mut fut = hybrid_env(1);
-    fut.hy.set_future_features(hybrid::FutureFeatures {
-        procedural_interface: true,
-        non_isomorphic_hierarchies: true,
-        ..Default::default()
-    });
+    fut.hy
+        .set_future_features(hybrid::FutureFeatures {
+            procedural_interface: true,
+            non_isomorphic_hierarchies: true,
+            ..Default::default()
+        })
+        .expect("engine applies");
     let fuser = fut.designers[0];
     let fproject = fut.hy.create_project("future").expect("fresh project");
     fut.hy.create_cell(fproject, "child_a").expect("fresh cell");
@@ -249,7 +245,7 @@ pub fn run(attempts: usize) -> E6Result {
             .hy
             .create_cell_version(cell, fut.flow.flow, fut.team)
             .expect("fresh version");
-        fut.hy.jcf_mut().reserve(fuser, cv).expect("free version");
+        fut.hy.reserve(fuser, cv).expect("free version");
         // No declare_comp_of calls at all: the tools pass hierarchy.
         let sch = format::write_netlist(&netlist_with_children(&format!("top{i}"), &["child_a"]))
             .into_bytes();

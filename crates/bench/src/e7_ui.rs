@@ -97,7 +97,7 @@ pub fn run() -> E7Result {
         .hy
         .create_cell_version(cell, env.flow.flow, env.team)
         .expect("fresh version");
-    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    env.hy.reserve(user, cv).expect("free version");
     let payload = schematic.clone();
     env.hy
         .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
@@ -115,10 +115,7 @@ pub fn run() -> E7Result {
             }])
         })
         .expect("activity runs");
-    env.hy
-        .jcf_mut()
-        .publish(user, cv)
-        .expect("holder publishes");
+    env.hy.publish(user, cv).expect("holder publishes");
 
     E7Result {
         fmcad_steps,

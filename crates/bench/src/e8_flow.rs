@@ -187,7 +187,7 @@ fn run_hybrid(plans: &[Vec<Step>], advisory: bool) -> (u64, u64, u64, u64, u64) 
             .hy
             .create_cell_version(cell, env.flow.flow, env.team)
             .expect("fresh version");
-        env.hy.jcf_mut().reserve(user, cv).expect("free version");
+        env.hy.reserve(user, cv).expect("free version");
         variants.push(variant);
         let mut simulated = false;
         let mut layout_without_sim = false;

@@ -67,12 +67,23 @@ impl fmt::Display for E9Row {
     }
 }
 
-/// Runs one size point of E9.
+/// Runs one size point of E9 with the default workload seed (42, the
+/// golden-value seed).
 ///
 /// # Panics
 ///
 /// Panics only on bootstrap failures.
 pub fn run(gates: usize) -> E9Row {
+    run_with_seed(gates, 42)
+}
+
+/// Runs one size point of E9 with an explicit workload seed, threaded
+/// into the random-logic generator of every measured probe.
+///
+/// # Panics
+///
+/// Panics only on bootstrap failures.
+pub fn run_with_seed(gates: usize, seed: u64) -> E9Row {
     let mut env = hybrid_env(1);
     let user = env.designers[0];
     let project = env.hy.create_project("perf").expect("fresh project");
@@ -81,9 +92,9 @@ pub fn run(gates: usize) -> E9Row {
         .hy
         .create_cell_version(cell, env.flow.flow, env.team)
         .expect("fresh version");
-    env.hy.jcf_mut().reserve(user, cv).expect("free version");
+    env.hy.reserve(user, cv).expect("free version");
 
-    let data = cloud_bytes(gates, 42);
+    let data = cloud_bytes(gates, seed);
     let bytes = data.len() as u64;
 
     // Full activity run (stage out, tool, stage in, mirror).
@@ -102,7 +113,6 @@ pub fn run(gates: usize) -> E9Row {
     // Metadata operation.
     let before = env.hy.io_meter();
     env.hy
-        .jcf_mut()
         .derive_variant(user, cv, "probe", Some(variant))
         .expect("holder derives");
     let metadata_ticks = env.hy.io_meter().since(&before).ticks;
@@ -116,7 +126,7 @@ pub fn run(gates: usize) -> E9Row {
     let mirror = env.hy.mirror_of(dovs[0]).expect("mirrored").clone();
     let before = env.hy.io_meter();
     env.hy
-        .fmcad_mut()
+        .fmcad()
         .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
         .expect("mirror readable");
     let fmcad_read_ticks = env.hy.io_meter().since(&before).ticks;
@@ -126,7 +136,6 @@ pub fn run(gates: usize) -> E9Row {
     let before = env.hy.io_meter();
     let direct = env
         .hy
-        .jcf_mut()
         .read_design_data(user, dovs[0])
         .expect("visible to holder");
     assert_eq!(direct.len() as u64, bytes);
@@ -135,10 +144,12 @@ pub fn run(gates: usize) -> E9Row {
     // The full §4 ablation: the identical activity in an installation
     // with the procedural interface switched on.
     let mut fut = hybrid_env(1);
-    fut.hy.set_future_features(hybrid::FutureFeatures {
-        procedural_interface: true,
-        ..Default::default()
-    });
+    fut.hy
+        .set_future_features(hybrid::FutureFeatures {
+            procedural_interface: true,
+            ..Default::default()
+        })
+        .expect("engine applies");
     let fuser = fut.designers[0];
     let fproject = fut.hy.create_project("perf").expect("fresh project");
     let fcell = fut.hy.create_cell(fproject, "cloud").expect("fresh cell");
@@ -146,8 +157,8 @@ pub fn run(gates: usize) -> E9Row {
         .hy
         .create_cell_version(fcell, fut.flow.flow, fut.team)
         .expect("fresh version");
-    fut.hy.jcf_mut().reserve(fuser, fcv).expect("free version");
-    let data = cloud_bytes(gates, 42);
+    fut.hy.reserve(fuser, fcv).expect("free version");
+    let data = cloud_bytes(gates, seed);
     let before = fut.hy.io_meter();
     fut.hy
         .run_activity(
@@ -177,9 +188,17 @@ pub fn run(gates: usize) -> E9Row {
     }
 }
 
-/// The standard E9 sweep over design sizes.
+/// The standard E9 sweep over design sizes (seed 42).
 pub fn sweep() -> Vec<E9Row> {
-    [10, 50, 200, 800, 3200].into_iter().map(run).collect()
+    sweep_with_seed(42)
+}
+
+/// The E9 sweep over design sizes with an explicit workload seed.
+pub fn sweep_with_seed(seed: u64) -> Vec<E9Row> {
+    [10, 50, 200, 800, 3200]
+        .into_iter()
+        .map(|gates| run_with_seed(gates, seed))
+        .collect()
 }
 
 #[cfg(test)]

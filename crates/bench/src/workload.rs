@@ -2,13 +2,13 @@
 
 use design_data::{format, generate, GeneratedDesign};
 use fmcad::Fmcad;
-use hybrid::{Hybrid, StandardFlow};
+use hybrid::{Engine, StandardFlow};
 use jcf::{TeamId, UserId};
 
 /// A bootstrapped hybrid environment with one team of `n` designers.
 pub struct HybridEnv {
-    /// The framework under test.
-    pub hy: Hybrid,
+    /// The engine over the framework under test.
+    pub hy: Engine,
     /// The designers, in creation order.
     pub designers: Vec<UserId>,
     /// Their team.
@@ -23,20 +23,15 @@ pub struct HybridEnv {
 ///
 /// Panics on bootstrap failures (fresh installations cannot fail).
 pub fn hybrid_env(n: usize) -> HybridEnv {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let team = hy
-        .jcf_mut()
-        .add_team(admin, "team")
-        .expect("fresh installation");
+    let team = hy.add_team(admin, "team").expect("fresh installation");
     let mut designers = Vec::with_capacity(n);
     for i in 0..n {
         let user = hy
-            .jcf_mut()
             .add_user(&format!("designer{i}"), false)
             .expect("unique name");
-        hy.jcf_mut()
-            .add_team_member(admin, team, user)
+        hy.add_team_member(admin, team, user)
             .expect("manager adds members");
         designers.push(user);
     }
@@ -73,6 +68,87 @@ pub fn populate_fmcad(fm: &mut Fmcad, lib: &str, design: &GeneratedDesign, with_
             fm.create_cellview(lib, cell, "layout", "layout")
                 .expect("fresh view");
             fm.checkin(
+                "init",
+                lib,
+                cell,
+                "layout",
+                format::write_layout(&design.layouts[cell]).into_bytes(),
+            )
+            .expect("initial checkin");
+        }
+    }
+}
+
+/// Runs a short standard workload — three activity reruns with
+/// identical content (so the mirror cache gets hits), a browse, and one
+/// deliberately failing op — and returns the engine so callers can
+/// inspect its observability surface (counters, trace, cache hits).
+///
+/// # Panics
+///
+/// Panics on bootstrap failures.
+pub fn observed_workload(seed: u64) -> Engine {
+    let mut env = hybrid_env(1);
+    let user = env.designers[0];
+    let project = env.hy.create_project("observed").expect("fresh project");
+    let cell = env.hy.create_cell(project, "cloud").expect("fresh cell");
+    let (cv, variant) = env
+        .hy
+        .create_cell_version(cell, env.flow.flow, env.team)
+        .expect("fresh version");
+    env.hy.reserve(user, cv).expect("free version");
+    let data: cad_vfs::Blob = cloud_bytes(64, seed).into();
+    for _ in 0..3 {
+        let out = data.clone();
+        env.hy
+            .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
+                Ok(vec![hybrid::ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: out,
+                }])
+            })
+            .expect("activity runs");
+    }
+    let design_object = env.hy.jcf().design_objects_of(variant)[0];
+    let dov = env.hy.jcf().versions_of_design_object(design_object)[0];
+    env.hy.browse(user, dov).expect("visible to holder");
+    // One journaled failure so the failures-by-kind table is non-empty.
+    env.hy
+        .create_project("observed")
+        .expect_err("duplicate project must fail");
+    env.hy
+}
+
+/// Populates a standalone FMCAD library *inside* a hybrid engine with
+/// the schematics (and optionally layouts) of a generated design,
+/// going through the journaled `fmcad-*` ops.
+///
+/// # Panics
+///
+/// Panics if the library already exists.
+pub fn populate_fmcad_via(
+    en: &mut Engine,
+    lib: &str,
+    design: &GeneratedDesign,
+    with_layouts: bool,
+) {
+    en.fmcad_create_library(lib).expect("fresh library");
+    for (cell, netlist) in &design.netlists {
+        en.fmcad_create_cell(lib, cell).expect("fresh cell");
+        en.fmcad_create_cellview(lib, cell, "schematic", "schematic")
+            .expect("fresh view");
+        en.fmcad_checkin(
+            "init",
+            lib,
+            cell,
+            "schematic",
+            format::write_netlist(netlist).into_bytes(),
+        )
+        .expect("initial checkin");
+        if with_layouts {
+            en.fmcad_create_cellview(lib, cell, "layout", "layout")
+                .expect("fresh view");
+            en.fmcad_checkin(
                 "init",
                 lib,
                 cell,

@@ -156,6 +156,20 @@ impl Vfs {
         self.clock
     }
 
+    /// Overwrites the accumulated cost meter, e.g. when rebuilding a
+    /// file system from a persisted image: the restore writes charge
+    /// the meter as usual, then the recorded counters are put back so
+    /// the restored disk reports exactly the charges of the original.
+    pub fn restore_meter(&self, meter: CostMeter) {
+        self.meter.set(meter);
+    }
+
+    /// Overwrites the logical clock, the mtime companion of
+    /// [`Vfs::restore_meter`] for image restores.
+    pub fn restore_clock(&mut self, clock: u64) {
+        self.clock = clock;
+    }
+
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock

@@ -156,6 +156,12 @@ impl Fmcad {
         &mut self.fs
     }
 
+    /// Read-only access to the underlying virtual file system, e.g. for
+    /// meter inspection or image snapshots.
+    pub fn fs_ref(&self) -> &Vfs {
+        &self.fs
+    }
+
     /// Consumes the framework and returns its file system (to restart
     /// it later with [`Fmcad::open_existing`]).
     pub fn into_fs(self) -> Vfs {

@@ -16,7 +16,7 @@ use crate::encapsulation::ToolOutput;
 use crate::error::{HybridError, HybridResult};
 use crate::framework::Hybrid;
 
-/// One finding of [`Hybrid::verify_project`].
+/// One finding of [`Engine::verify_project`](crate::Engine::verify_project).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConsistencyFinding {
     /// A mirrored design object version differs between the OMS
@@ -217,7 +217,10 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns mapping/transfer errors; findings are data, not errors.
-    pub fn verify_project(&mut self, project: ProjectId) -> HybridResult<Vec<ConsistencyFinding>> {
+    pub(crate) fn verify_project(
+        &mut self,
+        project: ProjectId,
+    ) -> HybridResult<Vec<ConsistencyFinding>> {
         let mut findings = Vec::new();
         let lib = self.library_of(project)?.to_owned();
 

@@ -121,7 +121,7 @@ impl Hybrid {
     /// Returns flow violations, reservation errors, consistency
     /// rejections (undeclared children, non-isomorphic hierarchies,
     /// undeclared outputs) and transfer errors.
-    pub fn run_activity(
+    pub(crate) fn run_activity(
         &mut self,
         user: UserId,
         variant: VariantId,
@@ -269,7 +269,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns visibility and transfer errors.
-    pub fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Blob> {
+    pub(crate) fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Blob> {
         let user_name = self.jcf.display_name(user.object_id());
         let mode = self.staging_mode;
         let data = mode.leg(self.jcf.read_design_data(user, dov)?);
@@ -283,8 +283,8 @@ impl Hybrid {
 
     /// Accumulated I/O meter of the shared file system — the staging
     /// and mirroring traffic experiment E9 measures.
-    pub fn io_meter(&mut self) -> cad_vfs::CostMeter {
-        self.fmcad.fs().meter()
+    pub fn io_meter(&self) -> cad_vfs::CostMeter {
+        self.fmcad.fs_ref().meter()
     }
 }
 

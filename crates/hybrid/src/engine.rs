@@ -1,0 +1,1749 @@
+//! The command/event engine — the only public mutation path.
+//!
+//! [`Engine`] wraps a [`Hybrid`] installation and routes every
+//! mutation through [`Engine::apply`]: the [`Op`] is executed, pushed
+//! onto the in-memory ops journal, and its outcome is delivered to the
+//! subscribed [`EventSink`]s. Because the journal is replayable, a
+//! restart is a checkpoint plus a replay of the journal tail
+//! ([`Engine::checkpoint_to`] / [`Engine::restore_from`]), and
+//! snapshot⊕replay provably reproduces the live state
+//! ([`Engine::state_fingerprint`]).
+//!
+//! Convenience wrappers (`engine.reserve(..)`, `engine.publish(..)`,
+//! …) build the [`Op`] and destructure the [`Event`], so call sites
+//! read like the old direct API while everything still flows through
+//! the journal.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Deref;
+
+use cad_tools::ToolKind;
+use cad_vfs::{Blob, CostMeter, NodeKind, Vfs, VfsPath};
+use fmcad::Fmcad;
+use jcf::{
+    ActivityId, CellId, CellVersionId, ConfigId, ConfigVersionId, DesignObjectId, DovId, FlowId,
+    Jcf, ProjectId, TeamId, ToolId, UserId, VariantId, ViewTypeId,
+};
+
+use crate::consistency::ConsistencyFinding;
+use crate::encapsulation::{ToolOutput, ToolSession};
+use crate::error::{HybridError, HybridResult};
+use crate::events::{CounterSink, Event, EventSink, JournalEntry, TraceSink};
+use crate::framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, BOOTSTRAP_SCRIPT};
+use crate::future::FutureFeatures;
+use crate::import::ImportReport;
+use crate::ops::Op;
+use crate::release::ExportManifest;
+
+/// Magic first line of a persisted file-system image.
+const FS_MAGIC: &str = "vfs-image v1";
+/// Magic first line of the persisted hybrid coupling state.
+const META_MAGIC: &str = "hybrid-meta v1";
+
+/// File names inside a checkpoint directory.
+const OMS_IMG: &str = "oms.img";
+const FS_IMG: &str = "fs.img";
+const HYBRID_META: &str = "hybrid.meta";
+const JOURNAL_LOG: &str = "journal.log";
+
+/// The command/event engine over a [`Hybrid`] installation.
+///
+/// Dereferences to [`Hybrid`] for all read access; mutations go
+/// through [`Engine::apply`] (or the typed wrappers built on it).
+pub struct Engine {
+    hy: Hybrid,
+    /// Ops applied since the last checkpoint, in order — including
+    /// failed ones, whose partial effects replay must reproduce.
+    journal: Vec<Op>,
+    /// Total ops applied over the engine's lifetime.
+    seq: u64,
+    trace: TraceSink,
+    counters: CounterSink,
+    extra: Vec<Box<dyn EventSink>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("hy", &self.hy)
+            .field("journal", &self.journal.len())
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deref for Engine {
+    type Target = Hybrid;
+
+    fn deref(&self) -> &Hybrid {
+        &self.hy
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a fresh hybrid installation (see
+    /// [`Hybrid`] for what the bootstrap registers). The bootstrap is
+    /// part of construction, not of the journal.
+    pub fn new() -> Engine {
+        Engine {
+            hy: Hybrid::new(),
+            journal: Vec::new(),
+            seq: 0,
+            trace: TraceSink::default(),
+            counters: CounterSink::default(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the master framework, bypassing the journal.
+    /// Only available with the `raw-handles` feature (tests and
+    /// experiments that must poke the frameworks directly).
+    #[cfg(feature = "raw-handles")]
+    pub fn jcf_mut(&mut self) -> &mut Jcf {
+        self.hy.jcf_mut()
+    }
+
+    /// Mutable access to the slave framework, bypassing the journal.
+    /// Only available with the `raw-handles` feature.
+    #[cfg(feature = "raw-handles")]
+    pub fn fmcad_mut(&mut self) -> &mut Fmcad {
+        self.hy.fmcad_mut()
+    }
+
+    /// Total operations applied so far (successes and failures).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The ops applied since the last checkpoint.
+    pub fn journal_ops(&self) -> &[Op] {
+        &self.journal
+    }
+
+    /// The built-in tracing ring buffer (the shell's `journal` view).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The built-in operation/failure counters.
+    pub fn counters(&self) -> &CounterSink {
+        &self.counters
+    }
+
+    /// Subscribes an additional [`EventSink`]; it is notified after
+    /// the built-in sinks, in subscription order.
+    pub fn subscribe(&mut self, sink: Box<dyn EventSink>) {
+        self.extra.push(sink);
+    }
+
+    /// Applies one operation: executes it against the coupled
+    /// frameworks, journals it (success or failure — failed ops can
+    /// have partial effects, e.g. a started activity execution, that a
+    /// replay must reproduce), and notifies the sinks.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the underlying operation returns.
+    pub fn apply(&mut self, op: Op) -> HybridResult<Event> {
+        let result = self.exec(&op);
+        self.record(op, result.as_ref());
+        result
+    }
+
+    fn record(&mut self, op: Op, outcome: Result<&Event, &HybridError>) {
+        self.seq += 1;
+        let seq = self.seq;
+        match outcome {
+            Ok(event) => {
+                self.trace.on_event(seq, &op, event);
+                self.counters.on_event(seq, &op, event);
+                for sink in &mut self.extra {
+                    sink.on_event(seq, &op, event);
+                }
+            }
+            Err(error) => {
+                self.trace.on_error(seq, &op, error);
+                self.counters.on_error(seq, &op, error);
+                for sink in &mut self.extra {
+                    sink.on_error(seq, &op, error);
+                }
+            }
+        }
+        self.journal.push(op);
+    }
+
+    fn exec(&mut self, op: &Op) -> HybridResult<Event> {
+        let hy = &mut self.hy;
+        match op {
+            Op::AddUser { name, manager } => Ok(Event::UserAdded(hy.jcf.add_user(name, *manager)?)),
+            Op::AddTeam { actor, name } => Ok(Event::TeamAdded(hy.jcf.add_team(*actor, name)?)),
+            Op::AddTeamMember { actor, team, user } => {
+                hy.jcf.add_team_member(*actor, *team, *user)?;
+                Ok(Event::TeamMemberAdded(*team, *user))
+            }
+            Op::RegisterViewtype { name, application } => Ok(Event::ViewtypeRegistered(
+                hy.register_viewtype(name, *application)?,
+            )),
+            Op::RegisterTool { name, kind } => {
+                Ok(Event::ToolRegistered(hy.register_tool(name, *kind)?))
+            }
+            Op::DefineStandardFlow { name } => {
+                Ok(Event::StandardFlowDefined(hy.standard_flow(name)?))
+            }
+            Op::DefineQualityGatedFlow { name } => {
+                Ok(Event::QualityGatedFlowDefined(hy.quality_gated_flow(name)?))
+            }
+            Op::DefineFlow { actor, name } => {
+                Ok(Event::FlowDefined(hy.jcf.define_flow(*actor, name)?))
+            }
+            Op::AddActivity {
+                actor,
+                flow,
+                name,
+                tool,
+                needs,
+                creates,
+                predecessors,
+            } => Ok(Event::ActivityAdded(hy.jcf.add_activity(
+                *actor,
+                *flow,
+                name,
+                *tool,
+                needs,
+                creates,
+                predecessors,
+            )?)),
+            Op::FreezeFlow { actor, flow } => {
+                hy.jcf.freeze_flow(*actor, *flow)?;
+                Ok(Event::FlowFrozen(*flow))
+            }
+            Op::CreateProject { name } => Ok(Event::ProjectCreated(hy.create_project(name)?)),
+            Op::CreateCell { project, name } => {
+                Ok(Event::CellCreated(hy.create_cell(*project, name)?))
+            }
+            Op::CreateCellVersion { cell, flow, team } => {
+                let (cv, variant) = hy.create_cell_version(*cell, *flow, *team)?;
+                Ok(Event::CellVersionCreated(cv, variant))
+            }
+            Op::DeriveVariant {
+                user,
+                cv,
+                name,
+                base,
+            } => Ok(Event::VariantDerived(
+                hy.jcf.derive_variant(*user, *cv, name, *base)?,
+            )),
+            Op::DeclareCompOf { user, cv, child } => {
+                hy.jcf.declare_comp_of(*user, *cv, *child)?;
+                Ok(Event::CompOfDeclared(*cv, *child))
+            }
+            Op::ShareCell { actor, cell } => {
+                hy.share_cell(*actor, *cell)?;
+                Ok(Event::CellShared(*cell))
+            }
+            Op::PromoteVariant { user, winner } => {
+                let (cv, variant) = hy.jcf.promote_variant(*user, *winner)?;
+                Ok(Event::VariantPromoted(cv, variant))
+            }
+            Op::Reserve { user, cv } => {
+                hy.jcf.reserve(*user, *cv)?;
+                Ok(Event::Reserved(*cv))
+            }
+            Op::Publish { user, cv } => {
+                hy.jcf.publish(*user, *cv)?;
+                Ok(Event::Published(*cv))
+            }
+            Op::CreateDesignObject {
+                user,
+                variant,
+                name,
+                viewtype,
+            } => Ok(Event::DesignObjectCreated(
+                hy.jcf
+                    .create_design_object(*user, *variant, name, *viewtype)?,
+            )),
+            Op::AddDesignObjectVersion {
+                user,
+                design_object,
+                data,
+            } => Ok(Event::DovAdded(hy.jcf.add_design_object_version(
+                *user,
+                *design_object,
+                data.clone(),
+            )?)),
+            Op::MarkEquivalent { a, b } => {
+                hy.jcf.mark_equivalent(*a, *b)?;
+                Ok(Event::MarkedEquivalent(*a, *b))
+            }
+            Op::RunActivity {
+                user,
+                variant,
+                activity,
+                override_pending,
+                outputs,
+                session_error,
+            } => {
+                let outs: Vec<ToolOutput> = outputs
+                    .iter()
+                    .map(|(viewtype, data)| ToolOutput {
+                        viewtype: viewtype.clone(),
+                        data: data.clone(),
+                    })
+                    .collect();
+                let error = session_error.clone();
+                let dovs = hy.run_activity(
+                    *user,
+                    *variant,
+                    *activity,
+                    *override_pending,
+                    move |_session| match error {
+                        Some(text) => Err(HybridError::Journal(text)),
+                        None => Ok(outs),
+                    },
+                )?;
+                Ok(Event::ActivityRun { dovs })
+            }
+            Op::Browse { user, dov } => Ok(Event::Browsed {
+                data: hy.browse(*user, *dov)?,
+            }),
+            Op::ReadDesignData { user, dov } => Ok(Event::DesignDataRead {
+                data: hy.jcf.read_design_data(*user, *dov)?,
+            }),
+            Op::CreateConfiguration { user, cv, name } => Ok(Event::ConfigurationCreated(
+                hy.jcf.create_configuration(*user, *cv, name)?,
+            )),
+            Op::CreateConfigVersion {
+                user,
+                config,
+                contents,
+            } => Ok(Event::ConfigVersionCreated(
+                hy.jcf.create_config_version(*user, *config, contents)?,
+            )),
+            Op::ExportConfig {
+                user,
+                config_version,
+                dest,
+            } => {
+                let path = VfsPath::parse(dest)?;
+                Ok(Event::ConfigExported(hy.export_config(
+                    *user,
+                    *config_version,
+                    &path,
+                )?))
+            }
+            Op::RunLvs { user, variant } => Ok(Event::LvsRun(hy.run_lvs(*user, *variant)?)),
+            Op::SetFutureFeatures { features } => {
+                hy.set_future_features(*features);
+                Ok(Event::FutureFeaturesSet)
+            }
+            Op::SetStagingMode { mode } => {
+                hy.set_staging_mode(*mode);
+                Ok(Event::StagingModeSet)
+            }
+            Op::ImportLibrary {
+                actor,
+                library,
+                flow,
+                team,
+            } => {
+                let (project, report) = hy.import_library(*actor, library, *flow, *team)?;
+                Ok(Event::LibraryImported(project, report))
+            }
+            Op::FmcadCreateLibrary { name } => {
+                hy.fmcad.create_library(name)?;
+                Ok(Event::FmcadLibraryCreated)
+            }
+            Op::FmcadCreateCell { library, cell } => {
+                hy.fmcad.create_cell(library, cell)?;
+                Ok(Event::FmcadCellCreated)
+            }
+            Op::FmcadCreateCellview {
+                library,
+                cell,
+                view,
+                viewtype,
+            } => {
+                hy.fmcad.create_cellview(library, cell, view, viewtype)?;
+                Ok(Event::FmcadCellviewCreated)
+            }
+            Op::FmcadCheckout {
+                user,
+                library,
+                cell,
+                view,
+            } => Ok(Event::FmcadCheckedOut {
+                data: hy.fmcad.checkout(user, library, cell, view)?,
+            }),
+            Op::FmcadCheckin {
+                user,
+                library,
+                cell,
+                view,
+                data,
+            } => Ok(Event::FmcadCheckedIn {
+                version: hy.fmcad.checkin(user, library, cell, view, data.clone())?,
+            }),
+            Op::FmcadPurgeVersion {
+                user,
+                library,
+                cell,
+                view,
+                version,
+            } => {
+                hy.fmcad
+                    .purge_version(user, library, cell, view, *version)?;
+                Ok(Event::FmcadVersionPurged)
+            }
+            Op::FmcadDirectWrite {
+                library,
+                cell,
+                view,
+                version,
+                data,
+            } => {
+                hy.fmcad
+                    .direct_file_write(library, cell, view, *version, data.clone())?;
+                Ok(Event::FmcadFileWritten)
+            }
+        }
+    }
+}
+
+/// Typed wrappers: each builds the [`Op`], applies it, and
+/// destructures the matching [`Event`]. Call sites keep the shape of
+/// the old direct API while every mutation still flows through the
+/// journal.
+impl Engine {
+    fn unreachable_event(event: Event) -> ! {
+        unreachable!("apply returned a mismatched event {:?}", event.kind_name())
+    }
+
+    /// Registers a user on the JCF desktop.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF name-clash errors.
+    pub fn add_user(&mut self, name: &str, manager: bool) -> HybridResult<UserId> {
+        match self.apply(Op::AddUser {
+            name: name.to_owned(),
+            manager,
+        })? {
+            Event::UserAdded(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Creates a team (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF permission and name-clash errors.
+    pub fn add_team(&mut self, actor: UserId, name: &str) -> HybridResult<TeamId> {
+        match self.apply(Op::AddTeam {
+            actor,
+            name: name.to_owned(),
+        })? {
+            Event::TeamAdded(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Adds a user to a team (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF permission errors.
+    pub fn add_team_member(
+        &mut self,
+        actor: UserId,
+        team: TeamId,
+        user: UserId,
+    ) -> HybridResult<()> {
+        self.apply(Op::AddTeamMember { actor, team, user })?;
+        Ok(())
+    }
+
+    /// Registers a viewtype on both sides of the coupling.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF name-clash errors.
+    pub fn register_viewtype(
+        &mut self,
+        name: &str,
+        application: ToolKind,
+    ) -> HybridResult<ViewTypeId> {
+        match self.apply(Op::RegisterViewtype {
+            name: name.to_owned(),
+            application,
+        })? {
+            Event::ViewtypeRegistered(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Registers an encapsulated tool resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF name-clash errors.
+    pub fn register_tool(&mut self, name: &str, kind: ToolKind) -> HybridResult<ToolId> {
+        match self.apply(Op::RegisterTool {
+            name: name.to_owned(),
+            kind,
+        })? {
+            Event::ToolRegistered(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Defines and freezes the paper's three-tool standard flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF errors (e.g. a taken flow name).
+    pub fn standard_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
+        match self.apply(Op::DefineStandardFlow {
+            name: name.to_owned(),
+        })? {
+            Event::StandardFlowDefined(flow) => Ok(flow),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Defines and freezes the quality-gated variant of the standard
+    /// flow (§3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF errors (e.g. a taken flow name).
+    pub fn quality_gated_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
+        match self.apply(Op::DefineQualityGatedFlow {
+            name: name.to_owned(),
+        })? {
+            Event::QualityGatedFlowDefined(flow) => Ok(flow),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Defines an empty custom flow (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF permission and name-clash errors.
+    pub fn define_flow(&mut self, actor: UserId, name: &str) -> HybridResult<FlowId> {
+        match self.apply(Op::DefineFlow {
+            actor,
+            name: name.to_owned(),
+        })? {
+            Event::FlowDefined(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Adds an activity to an unfrozen flow (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF permission and frozen-flow errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_activity(
+        &mut self,
+        actor: UserId,
+        flow: FlowId,
+        name: &str,
+        tool: ToolId,
+        needs: &[ViewTypeId],
+        creates: &[ViewTypeId],
+        predecessors: &[ActivityId],
+    ) -> HybridResult<ActivityId> {
+        match self.apply(Op::AddActivity {
+            actor,
+            flow,
+            name: name.to_owned(),
+            tool,
+            needs: needs.to_vec(),
+            creates: creates.to_vec(),
+            predecessors: predecessors.to_vec(),
+        })? {
+            Event::ActivityAdded(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Freezes a flow so cell versions can use it (manager-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF permission errors.
+    pub fn freeze_flow(&mut self, actor: UserId, flow: FlowId) -> HybridResult<()> {
+        self.apply(Op::FreezeFlow { actor, flow })?;
+        Ok(())
+    }
+
+    /// Creates a project and its coupled FMCAD library (Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns name-clash errors from either framework.
+    pub fn create_project(&mut self, name: &str) -> HybridResult<ProjectId> {
+        match self.apply(Op::CreateProject {
+            name: name.to_owned(),
+        })? {
+            Event::ProjectCreated(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Creates a JCF cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF name-clash errors.
+    pub fn create_cell(&mut self, project: ProjectId, name: &str) -> HybridResult<CellId> {
+        match self.apply(Op::CreateCell {
+            project,
+            name: name.to_owned(),
+        })? {
+            Event::CellCreated(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Creates a cell version (with base variant) and the mapped FMCAD
+    /// cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns errors from either framework.
+    pub fn create_cell_version(
+        &mut self,
+        cell: CellId,
+        flow: FlowId,
+        team: TeamId,
+    ) -> HybridResult<(CellVersionId, VariantId)> {
+        match self.apply(Op::CreateCellVersion { cell, flow, team })? {
+            Event::CellVersionCreated(cv, variant) => Ok((cv, variant)),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Derives a named variant inside a reserved cell version.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation and name-clash errors.
+    pub fn derive_variant(
+        &mut self,
+        user: UserId,
+        cv: CellVersionId,
+        name: &str,
+        base: Option<VariantId>,
+    ) -> HybridResult<VariantId> {
+        match self.apply(Op::DeriveVariant {
+            user,
+            cv,
+            name: name.to_owned(),
+            base,
+        })? {
+            Event::VariantDerived(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Declares a hierarchy child of a cell version.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation and cross-project errors.
+    pub fn declare_comp_of(
+        &mut self,
+        user: UserId,
+        cv: CellVersionId,
+        child: CellId,
+    ) -> HybridResult<()> {
+        self.apply(Op::DeclareCompOf { user, cv, child })?;
+        Ok(())
+    }
+
+    /// Shares a cell across projects (future-work feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the feature is off, or JCF permission
+    /// errors.
+    pub fn share_cell(&mut self, actor: UserId, cell: CellId) -> HybridResult<()> {
+        self.apply(Op::ShareCell { actor, cell })?;
+        Ok(())
+    }
+
+    /// Promotes a winning variant into a new cell version.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn promote_variant(
+        &mut self,
+        user: UserId,
+        winner: VariantId,
+    ) -> HybridResult<(CellVersionId, VariantId)> {
+        match self.apply(Op::PromoteVariant { user, winner })? {
+            Event::VariantPromoted(cv, variant) => Ok((cv, variant)),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Reserves a cell version into a designer's workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF reservation errors.
+    pub fn reserve(&mut self, user: UserId, cv: CellVersionId) -> HybridResult<()> {
+        self.apply(Op::Reserve { user, cv })?;
+        Ok(())
+    }
+
+    /// Publishes a reserved cell version back to the team.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF reservation errors.
+    pub fn publish(&mut self, user: UserId, cv: CellVersionId) -> HybridResult<()> {
+        self.apply(Op::Publish { user, cv })?;
+        Ok(())
+    }
+
+    /// Creates a design object under a variant via the desktop.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation and name-clash errors.
+    pub fn create_design_object(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        name: &str,
+        viewtype: ViewTypeId,
+    ) -> HybridResult<DesignObjectId> {
+        match self.apply(Op::CreateDesignObject {
+            user,
+            variant,
+            name: name.to_owned(),
+            viewtype,
+        })? {
+            Event::DesignObjectCreated(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Adds a design object version (raw desktop write, no tool run).
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn add_design_object_version(
+        &mut self,
+        user: UserId,
+        design_object: DesignObjectId,
+        data: impl Into<Blob>,
+    ) -> HybridResult<DovId> {
+        match self.apply(Op::AddDesignObjectVersion {
+            user,
+            design_object,
+            data: data.into(),
+        })? {
+            Event::DovAdded(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Records that two design object versions are equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns JCF database errors.
+    pub fn mark_equivalent(&mut self, a: DovId, b: DovId) -> HybridResult<()> {
+        self.apply(Op::MarkEquivalent { a, b })?;
+        Ok(())
+    }
+
+    /// Runs one encapsulated tool session as a JCF activity (§2.4).
+    ///
+    /// The live tool session runs exactly once; its outputs (or its
+    /// rendered error) are captured into the journaled
+    /// [`Op::RunActivity`], so a replay re-feeds the recorded outputs
+    /// through the full pipeline without re-running the tool.
+    ///
+    /// # Errors
+    ///
+    /// Returns flow violations, reservation errors, consistency
+    /// rejections and transfer errors.
+    pub fn run_activity(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+        activity: ActivityId,
+        override_pending: bool,
+        session: impl FnOnce(&ToolSession) -> HybridResult<Vec<ToolOutput>>,
+    ) -> HybridResult<Vec<DovId>> {
+        let mut captured: Option<Result<Vec<ToolOutput>, String>> = None;
+        let result =
+            self.hy
+                .run_activity(user, variant, activity, override_pending, |tool_session| {
+                    let produced = session(tool_session);
+                    captured = Some(match &produced {
+                        Ok(outputs) => Ok(outputs.clone()),
+                        Err(error) => Err(error.to_string()),
+                    });
+                    produced
+                });
+        let (outputs, session_error) = match captured {
+            Some(Ok(outputs)) => (
+                outputs.into_iter().map(|o| (o.viewtype, o.data)).collect(),
+                None,
+            ),
+            Some(Err(error)) => (Vec::new(), Some(error)),
+            // The pipeline failed before the tool session ran; replay
+            // fails at the same spot before consulting the outputs.
+            None => (Vec::new(), None),
+        };
+        let op = Op::RunActivity {
+            user,
+            variant,
+            activity,
+            override_pending,
+            outputs,
+            session_error,
+        };
+        let event = result.clone().map(|dovs| Event::ActivityRun { dovs });
+        self.record(op, event.as_ref());
+        result
+    }
+
+    /// Browses (read-only opens) a design object version; pays the
+    /// §3.6 copy path.
+    ///
+    /// # Errors
+    ///
+    /// Returns visibility and transfer errors.
+    pub fn browse(&mut self, user: UserId, dov: DovId) -> HybridResult<Blob> {
+        match self.apply(Op::Browse { user, dov })? {
+            Event::Browsed { data } => Ok(data),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Reads design data via the desktop (bumps the desktop counter).
+    ///
+    /// # Errors
+    ///
+    /// Returns visibility errors.
+    pub fn read_design_data(&mut self, user: UserId, dov: DovId) -> HybridResult<Blob> {
+        match self.apply(Op::ReadDesignData { user, dov })? {
+            Event::DesignDataRead { data } => Ok(data),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Creates a configuration under a cell version.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation and name-clash errors.
+    pub fn create_configuration(
+        &mut self,
+        user: UserId,
+        cv: CellVersionId,
+        name: &str,
+    ) -> HybridResult<ConfigId> {
+        match self.apply(Op::CreateConfiguration {
+            user,
+            cv,
+            name: name.to_owned(),
+        })? {
+            Event::ConfigurationCreated(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Freezes a selection of design object versions as a
+    /// configuration version.
+    ///
+    /// # Errors
+    ///
+    /// Returns conflict and reservation errors.
+    pub fn create_config_version(
+        &mut self,
+        user: UserId,
+        config: ConfigId,
+        selection: &[DovId],
+    ) -> HybridResult<ConfigVersionId> {
+        match self.apply(Op::CreateConfigVersion {
+            user,
+            config,
+            contents: selection.to_vec(),
+        })? {
+            Event::ConfigVersionCreated(id) => Ok(id),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Exports a configuration version into a directory of the shared
+    /// file system (the tapeout package).
+    ///
+    /// # Errors
+    ///
+    /// Returns visibility and file system errors.
+    pub fn export_config(
+        &mut self,
+        user: UserId,
+        config_version: ConfigVersionId,
+        dest: &VfsPath,
+    ) -> HybridResult<ExportManifest> {
+        match self.apply(Op::ExportConfig {
+            user,
+            config_version,
+            dest: dest.to_string(),
+        })? {
+            Event::ConfigExported(manifest) => Ok(manifest),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Runs layout-versus-schematic on a variant's latest views.
+    ///
+    /// # Errors
+    ///
+    /// Returns missing-view and parse errors.
+    pub fn run_lvs(
+        &mut self,
+        user: UserId,
+        variant: VariantId,
+    ) -> HybridResult<cad_tools::LvsReport> {
+        match self.apply(Op::RunLvs { user, variant })? {
+            Event::LvsRun(report) => Ok(report),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Switches the future-work feature set.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; journaling keeps the signature fallible.
+    pub fn set_future_features(&mut self, features: FutureFeatures) -> HybridResult<()> {
+        self.apply(Op::SetFutureFeatures { features })?;
+        Ok(())
+    }
+
+    /// Switches how design data moves through the staging area.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; journaling keeps the signature fallible.
+    pub fn set_staging_mode(&mut self, mode: StagingMode) -> HybridResult<()> {
+        self.apply(Op::SetStagingMode { mode })?;
+        Ok(())
+    }
+
+    /// Imports an uncoupled FMCAD library into the master (Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns errors from either framework.
+    pub fn import_library(
+        &mut self,
+        actor: UserId,
+        library: &str,
+        flow: FlowId,
+        team: TeamId,
+    ) -> HybridResult<(ProjectId, ImportReport)> {
+        match self.apply(Op::ImportLibrary {
+            actor,
+            library: library.to_owned(),
+            flow,
+            team,
+        })? {
+            Event::LibraryImported(project, report) => Ok((project, report)),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Verifies the consistency of a project's mirrored data. A
+    /// diagnostic, not an [`Op`]: it journals nothing, so don't rely
+    /// on it between a checkpoint and a fingerprint comparison (it
+    /// charges the shared file system meter, and under the procedural
+    /// interface it may batch-declare discovered hierarchy edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping and file system errors.
+    pub fn verify_project(&mut self, project: ProjectId) -> HybridResult<Vec<ConsistencyFinding>> {
+        self.hy.verify_project(project)
+    }
+
+    /// Creates a standalone FMCAD library (out-of-band legacy data).
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD name-clash errors.
+    pub fn fmcad_create_library(&mut self, name: &str) -> HybridResult<()> {
+        self.apply(Op::FmcadCreateLibrary {
+            name: name.to_owned(),
+        })?;
+        Ok(())
+    }
+
+    /// Creates a cell in an FMCAD library directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD errors.
+    pub fn fmcad_create_cell(&mut self, library: &str, cell: &str) -> HybridResult<()> {
+        self.apply(Op::FmcadCreateCell {
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+        })?;
+        Ok(())
+    }
+
+    /// Creates a cellview in an FMCAD library directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD errors.
+    pub fn fmcad_create_cellview(
+        &mut self,
+        library: &str,
+        cell: &str,
+        view: &str,
+        viewtype: &str,
+    ) -> HybridResult<()> {
+        self.apply(Op::FmcadCreateCellview {
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+            viewtype: viewtype.to_owned(),
+        })?;
+        Ok(())
+    }
+
+    /// Checks a cellview out of an FMCAD library directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD checkout errors.
+    pub fn fmcad_checkout(
+        &mut self,
+        user: &str,
+        library: &str,
+        cell: &str,
+        view: &str,
+    ) -> HybridResult<Blob> {
+        match self.apply(Op::FmcadCheckout {
+            user: user.to_owned(),
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+        })? {
+            Event::FmcadCheckedOut { data } => Ok(data),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Checks data into an FMCAD cellview directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD checkout errors.
+    pub fn fmcad_checkin(
+        &mut self,
+        user: &str,
+        library: &str,
+        cell: &str,
+        view: &str,
+        data: impl Into<Blob>,
+    ) -> HybridResult<u32> {
+        match self.apply(Op::FmcadCheckin {
+            user: user.to_owned(),
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+            data: data.into(),
+        })? {
+            Event::FmcadCheckedIn { version } => Ok(version),
+            other => Self::unreachable_event(other),
+        }
+    }
+
+    /// Purges one cellview version from an FMCAD library.
+    ///
+    /// # Errors
+    ///
+    /// Returns FMCAD conflict errors.
+    pub fn fmcad_purge_version(
+        &mut self,
+        user: &str,
+        library: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+    ) -> HybridResult<()> {
+        self.apply(Op::FmcadPurgeVersion {
+            user: user.to_owned(),
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+            version,
+        })?;
+        Ok(())
+    }
+
+    /// Overwrites a versioned library file behind the framework's back
+    /// (the experiments' out-of-band corruption probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns file system errors.
+    pub fn fmcad_direct_write(
+        &mut self,
+        library: &str,
+        cell: &str,
+        view: &str,
+        version: u32,
+        data: impl Into<Blob>,
+    ) -> HybridResult<()> {
+        self.apply(Op::FmcadDirectWrite {
+            library: library.to_owned(),
+            cell: cell.to_owned(),
+            view: view.to_owned(),
+            version,
+            data: data.into(),
+        })?;
+        Ok(())
+    }
+}
+
+// --- persistence: checkpoint ⊕ replay ---------------------------------------
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+fn unhex_str(s: &str) -> HybridResult<String> {
+    String::from_utf8(unhex(s).ok_or_else(|| HybridError::Journal("bad hex".to_owned()))?)
+        .map_err(|_| HybridError::Journal("hex is not utf-8".to_owned()))
+}
+
+fn bad(line: &str) -> HybridError {
+    HybridError::Journal(format!("bad meta line {line:?}"))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, line: &str) -> HybridResult<T> {
+    raw.parse().map_err(|_| bad(line))
+}
+
+fn kind_str(kind: ToolKind) -> &'static str {
+    match kind {
+        ToolKind::SchematicEntry => "schematic-entry",
+        ToolKind::LayoutEditor => "layout-editor",
+        ToolKind::Simulator => "simulator",
+        ToolKind::Framework => "framework",
+    }
+}
+
+fn parse_kind(raw: &str, line: &str) -> HybridResult<ToolKind> {
+    match raw {
+        "schematic-entry" => Ok(ToolKind::SchematicEntry),
+        "layout-editor" => Ok(ToolKind::LayoutEditor),
+        "simulator" => Ok(ToolKind::Simulator),
+        "framework" => Ok(ToolKind::Framework),
+        _ => Err(bad(line)),
+    }
+}
+
+/// Serialises a whole virtual file system: every directory and file
+/// (bytes hex-armoured), then the clock and the cost meter — captured
+/// *after* the reads, so a restored instance resumes with exactly the
+/// charges the checkpoint walk left behind.
+fn fs_image(fs: &Vfs) -> HybridResult<String> {
+    fn collect(fs: &Vfs, path: &VfsPath, body: &mut String) -> HybridResult<()> {
+        for name in fs.read_dir(path)? {
+            let child = path.join(&name)?;
+            match fs.metadata(&child)?.kind {
+                NodeKind::Directory => {
+                    body.push_str(&format!("dir {}\n", hex(child.to_string().as_bytes())));
+                    collect(fs, &child, body)?;
+                }
+                NodeKind::File => {
+                    let data = fs.read(&child)?;
+                    body.push_str(&format!(
+                        "file {} {}\n",
+                        hex(child.to_string().as_bytes()),
+                        hex(data.as_slice())
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    let mut body = String::new();
+    collect(fs, &VfsPath::root(), &mut body)?;
+    let meter = fs.meter();
+    let mut image = format!("{FS_MAGIC}\n");
+    image.push_str(&body);
+    image.push_str(&format!("clock {}\n", fs.now()));
+    image.push_str(&format!(
+        "meter {} {} {} {} {}\n",
+        meter.ticks, meter.bytes_read, meter.bytes_written, meter.content_ops, meter.metadata_ops
+    ));
+    Ok(image)
+}
+
+/// Rebuilds a virtual file system from [`fs_image`] output. The
+/// recorded meter and clock are returned separately so the caller can
+/// install them *after* re-opening FMCAD over the tree (which charges
+/// its own parse reads).
+fn restore_fs(image: &str) -> HybridResult<(Vfs, CostMeter, u64)> {
+    let mut lines = image.lines();
+    if lines.next() != Some(FS_MAGIC) {
+        return Err(HybridError::Journal(
+            "bad file system image header".to_owned(),
+        ));
+    }
+    let mut fs = Vfs::new();
+    let mut meter = CostMeter::new();
+    let mut clock = 0;
+    for line in lines {
+        let (tag, rest) = line.split_once(' ').ok_or_else(|| bad(line))?;
+        match tag {
+            "dir" => {
+                let path = VfsPath::parse(&unhex_str(rest)?)?;
+                fs.mkdir_all(&path)?;
+            }
+            "file" => {
+                let (raw_path, raw_data) = rest.split_once(' ').ok_or_else(|| bad(line))?;
+                let path = VfsPath::parse(&unhex_str(raw_path)?)?;
+                let data = unhex(raw_data).ok_or_else(|| bad(line))?;
+                if let Some(parent) = path.parent() {
+                    fs.mkdir_all(&parent)?;
+                }
+                fs.write(&path, data)?;
+            }
+            "clock" => clock = parse_num(rest, line)?,
+            "meter" => {
+                let fields: Vec<&str> = rest.split(' ').collect();
+                if fields.len() != 5 {
+                    return Err(bad(line));
+                }
+                meter = CostMeter {
+                    ticks: parse_num(fields[0], line)?,
+                    bytes_read: parse_num(fields[1], line)?,
+                    bytes_written: parse_num(fields[2], line)?,
+                    content_ops: parse_num(fields[3], line)?,
+                    metadata_ops: parse_num(fields[4], line)?,
+                };
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    Ok((fs, meter, clock))
+}
+
+/// Everything `hybrid.meta` records besides the two framework images.
+struct MetaState {
+    admin: UserId,
+    desktop_ops: u64,
+    clock: i64,
+    fmcad_ui_ops: u64,
+    staging_mode: StagingMode,
+    features: FutureFeatures,
+    seq: u64,
+    mirror_cache_hits: u64,
+    project_lib: BTreeMap<ProjectId, String>,
+    cv_cell: BTreeMap<CellVersionId, String>,
+    viewtype_names: BTreeMap<ViewTypeId, String>,
+    viewtype_apps: BTreeMap<String, ToolKind>,
+    tool_kinds: BTreeMap<ToolId, ToolKind>,
+    dov_mirror: BTreeMap<DovId, MirrorLocation>,
+    mirror_cache: BTreeMap<(String, String, String), (u64, u32)>,
+    trace_capacity: usize,
+    trace: Vec<JournalEntry>,
+    counter_ops: BTreeMap<String, u64>,
+    counter_failures: BTreeMap<String, u64>,
+}
+
+impl Engine {
+    fn meta_text(&self) -> String {
+        let hy = &self.hy;
+        let mut text = format!("{META_MAGIC}\n");
+        text.push_str(&format!("admin {}\n", hy.admin.raw()));
+        text.push_str(&format!("desktop-ops {}\n", hy.jcf.desktop_ops()));
+        text.push_str(&format!("clock {}\n", hy.jcf.clock()));
+        text.push_str(&format!("fmcad-ui-ops {}\n", hy.fmcad_ui_ops));
+        text.push_str(&format!(
+            "staging {}\n",
+            match hy.staging_mode {
+                StagingMode::ZeroCopy => "zero",
+                StagingMode::DeepCopy => "deep",
+            }
+        ));
+        text.push_str(&format!(
+            "features {} {} {}\n",
+            hy.features.procedural_interface,
+            hy.features.non_isomorphic_hierarchies,
+            hy.features.cross_project_sharing
+        ));
+        text.push_str(&format!("seq {}\n", self.seq));
+        text.push_str(&format!("mirror-hits {}\n", hy.mirror_cache_hits));
+        for (project, lib) in &hy.project_lib {
+            text.push_str(&format!(
+                "project-lib {} {}\n",
+                project.raw(),
+                hex(lib.as_bytes())
+            ));
+        }
+        for (cv, cell) in &hy.cv_cell {
+            text.push_str(&format!("cv-cell {} {}\n", cv.raw(), hex(cell.as_bytes())));
+        }
+        for (id, name) in &hy.viewtype_names {
+            text.push_str(&format!("viewtype {} {}\n", id.raw(), hex(name.as_bytes())));
+        }
+        for (name, kind) in &hy.viewtype_apps {
+            text.push_str(&format!(
+                "viewtype-app {} {}\n",
+                hex(name.as_bytes()),
+                kind_str(*kind)
+            ));
+        }
+        for (id, kind) in &hy.tool_kinds {
+            text.push_str(&format!("tool {} {}\n", id.raw(), kind_str(*kind)));
+        }
+        for (dov, loc) in &hy.dov_mirror {
+            text.push_str(&format!(
+                "dov-mirror {} {} {} {} {}\n",
+                dov.raw(),
+                hex(loc.library.as_bytes()),
+                hex(loc.cell.as_bytes()),
+                hex(loc.view.as_bytes()),
+                loc.version
+            ));
+        }
+        for ((lib, cell, view), (hash, version)) in &hy.mirror_cache {
+            text.push_str(&format!(
+                "mirror-cache {} {} {} {} {}\n",
+                hex(lib.as_bytes()),
+                hex(cell.as_bytes()),
+                hex(view.as_bytes()),
+                hash,
+                version
+            ));
+        }
+        text.push_str(&format!("trace-cap {}\n", self.trace.capacity()));
+        for entry in self.trace.entries() {
+            text.push_str(&format!(
+                "trace {} {} {} {} {}\n",
+                entry.seq,
+                entry.ok,
+                hex(entry.kind.as_bytes()),
+                hex(entry.summary.as_bytes()),
+                hex(entry.outcome.as_bytes())
+            ));
+        }
+        for (kind, count) in self.counters.ops() {
+            text.push_str(&format!("counter-op {} {count}\n", hex(kind.as_bytes())));
+        }
+        for (kind, count) in self.counters.failures() {
+            text.push_str(&format!("counter-err {} {count}\n", hex(kind.as_bytes())));
+        }
+        text
+    }
+}
+
+fn parse_meta(text: &str) -> HybridResult<MetaState> {
+    let mut lines = text.lines();
+    if lines.next() != Some(META_MAGIC) {
+        return Err(HybridError::Journal("bad hybrid meta header".to_owned()));
+    }
+    let mut meta = MetaState {
+        admin: UserId::from_raw(0),
+        desktop_ops: 0,
+        clock: 0,
+        fmcad_ui_ops: 0,
+        staging_mode: StagingMode::default(),
+        features: FutureFeatures::default(),
+        seq: 0,
+        mirror_cache_hits: 0,
+        project_lib: BTreeMap::new(),
+        cv_cell: BTreeMap::new(),
+        viewtype_names: BTreeMap::new(),
+        viewtype_apps: BTreeMap::new(),
+        tool_kinds: BTreeMap::new(),
+        dov_mirror: BTreeMap::new(),
+        mirror_cache: BTreeMap::new(),
+        trace_capacity: crate::events::TRACE_CAPACITY,
+        trace: Vec::new(),
+        counter_ops: BTreeMap::new(),
+        counter_failures: BTreeMap::new(),
+    };
+    for line in lines {
+        let (tag, rest) = line.split_once(' ').ok_or_else(|| bad(line))?;
+        let fields: Vec<&str> = rest.split(' ').collect();
+        match (tag, fields.as_slice()) {
+            ("admin", [raw]) => meta.admin = UserId::from_raw(parse_num(raw, line)?),
+            ("desktop-ops", [raw]) => meta.desktop_ops = parse_num(raw, line)?,
+            ("clock", [raw]) => meta.clock = parse_num(raw, line)?,
+            ("fmcad-ui-ops", [raw]) => meta.fmcad_ui_ops = parse_num(raw, line)?,
+            ("staging", ["zero"]) => meta.staging_mode = StagingMode::ZeroCopy,
+            ("staging", ["deep"]) => meta.staging_mode = StagingMode::DeepCopy,
+            ("features", [a, b, c]) => {
+                meta.features = FutureFeatures {
+                    procedural_interface: parse_num(a, line)?,
+                    non_isomorphic_hierarchies: parse_num(b, line)?,
+                    cross_project_sharing: parse_num(c, line)?,
+                }
+            }
+            ("seq", [raw]) => meta.seq = parse_num(raw, line)?,
+            ("mirror-hits", [raw]) => meta.mirror_cache_hits = parse_num(raw, line)?,
+            ("project-lib", [raw, name]) => {
+                meta.project_lib
+                    .insert(ProjectId::from_raw(parse_num(raw, line)?), unhex_str(name)?);
+            }
+            ("cv-cell", [raw, name]) => {
+                meta.cv_cell.insert(
+                    CellVersionId::from_raw(parse_num(raw, line)?),
+                    unhex_str(name)?,
+                );
+            }
+            ("viewtype", [raw, name]) => {
+                meta.viewtype_names.insert(
+                    ViewTypeId::from_raw(parse_num(raw, line)?),
+                    unhex_str(name)?,
+                );
+            }
+            ("viewtype-app", [name, kind]) => {
+                meta.viewtype_apps
+                    .insert(unhex_str(name)?, parse_kind(kind, line)?);
+            }
+            ("tool", [raw, kind]) => {
+                meta.tool_kinds.insert(
+                    ToolId::from_raw(parse_num(raw, line)?),
+                    parse_kind(kind, line)?,
+                );
+            }
+            ("dov-mirror", [raw, lib, cell, view, version]) => {
+                meta.dov_mirror.insert(
+                    DovId::from_raw(parse_num(raw, line)?),
+                    MirrorLocation {
+                        library: unhex_str(lib)?,
+                        cell: unhex_str(cell)?,
+                        view: unhex_str(view)?,
+                        version: parse_num(version, line)?,
+                    },
+                );
+            }
+            ("mirror-cache", [lib, cell, view, hash, version]) => {
+                meta.mirror_cache.insert(
+                    (unhex_str(lib)?, unhex_str(cell)?, unhex_str(view)?),
+                    (parse_num(hash, line)?, parse_num(version, line)?),
+                );
+            }
+            ("trace-cap", [raw]) => meta.trace_capacity = parse_num(raw, line)?,
+            ("trace", [seq, ok, kind, summary, outcome]) => meta.trace.push(JournalEntry {
+                seq: parse_num(seq, line)?,
+                ok: parse_num(ok, line)?,
+                kind: unhex_str(kind)?,
+                summary: unhex_str(summary)?,
+                outcome: unhex_str(outcome)?,
+            }),
+            ("counter-op", [kind, count]) => {
+                meta.counter_ops
+                    .insert(unhex_str(kind)?, parse_num(count, line)?);
+            }
+            ("counter-err", [kind, count]) => {
+                meta.counter_failures
+                    .insert(unhex_str(kind)?, parse_num(count, line)?);
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    Ok(meta)
+}
+
+impl Engine {
+    /// Writes a full checkpoint into `dir` of the `backup` file
+    /// system: the OMS database image, the shared file system image,
+    /// the coupling state, and an (empty) ops journal tail. The
+    /// in-memory journal is cleared — ops applied afterwards land in
+    /// the tail that [`Engine::sync_journal`] persists.
+    ///
+    /// Reading the live file system charges its meter; the image
+    /// records the meter *after* the walk, so a restored engine resumes
+    /// with exactly the live instance's charges.
+    ///
+    /// # Errors
+    ///
+    /// Returns image encoding and backup file system errors.
+    pub fn checkpoint_to(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        backup.mkdir_all(dir)?;
+        oms::persist::save(self.hy.jcf.database(), backup, &dir.join(OMS_IMG)?)
+            .map_err(|e| HybridError::Journal(format!("oms image: {e}")))?;
+        let image = fs_image(self.hy.fmcad.fs_ref())?;
+        backup.write(&dir.join(FS_IMG)?, image.into_bytes())?;
+        let meta = self.meta_text();
+        backup.write(&dir.join(HYBRID_META)?, meta.into_bytes())?;
+        self.journal.clear();
+        self.sync_journal(backup, dir)
+    }
+
+    /// Persists the ops journal tail (everything applied since the
+    /// last [`Engine::checkpoint_to`]) next to the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns backup file system errors.
+    pub fn sync_journal(&self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        let entries: Vec<String> = self.journal.iter().map(Op::to_line).collect();
+        oms::persist::save_journal(backup, &dir.join(JOURNAL_LOG)?, &entries)
+            .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+        Ok(())
+    }
+
+    /// Restarts an engine from a checkpoint directory: rebuilds the
+    /// shared file system, re-opens FMCAD over it (re-running the §2.4
+    /// bootstrap and re-coupling every mapped library — customisation
+    /// state is session-local), restores the OMS database with its
+    /// exact desktop counters, and then **replays** the persisted ops
+    /// journal tail. Replayed ops that originally failed fail again,
+    /// reproducing their partial effects, so the result is equivalent
+    /// to the live instance — [`Engine::state_fingerprint`] proves it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::Journal`] for corrupt images, plus
+    /// framework errors from the rebuild.
+    pub fn restore_from(backup: &mut Vfs, dir: &VfsPath) -> HybridResult<Engine> {
+        let meta_bytes = backup.read(&dir.join(HYBRID_META)?)?;
+        let meta = parse_meta(&String::from_utf8_lossy(&meta_bytes))?;
+        let image_bytes = backup.read(&dir.join(FS_IMG)?)?;
+        let (fs, meter, fs_clock) = restore_fs(&String::from_utf8_lossy(&image_bytes))?;
+
+        // Slave: re-open over the restored tree, re-register the
+        // post-bootstrap viewtypes, re-install the customisation layer
+        // and re-couple every mapped library (creation order).
+        let mut fmcad = Fmcad::open_existing(fs)?;
+        for (name, kind) in &meta.viewtype_apps {
+            fmcad.register_viewtype(name, *kind);
+        }
+        fmcad.run_script(BOOTSTRAP_SCRIPT)?;
+        for lib in meta.project_lib.values() {
+            fmcad.fire_trigger("library-coupled", &[fml::Value::Str(lib.clone())])?;
+        }
+        // Install the recorded meter and clock only now: the re-open
+        // parsed `.meta` files, and those reads must not count twice.
+        fmcad.fs().restore_clock(fs_clock);
+        fmcad.fs_ref().restore_meter(meter);
+
+        // Master: the OMS image plus the exact desktop counters (the
+        // lossy timestamp-based recovery is not enough for replay).
+        let mut jcf = Jcf::restore(backup, &dir.join(OMS_IMG)?)?;
+        jcf.resume_counters(meta.desktop_ops, meta.clock);
+
+        let hy = Hybrid {
+            jcf,
+            fmcad,
+            admin: meta.admin,
+            project_lib: meta.project_lib,
+            cv_cell: meta.cv_cell,
+            viewtype_names: meta.viewtype_names.clone(),
+            viewtypes_by_name: meta
+                .viewtype_names
+                .iter()
+                .map(|(id, name)| (name.clone(), *id))
+                .collect(),
+            viewtype_apps: meta.viewtype_apps,
+            tool_kinds: meta.tool_kinds,
+            dov_mirror: meta.dov_mirror,
+            fmcad_ui_ops: meta.fmcad_ui_ops,
+            features: meta.features,
+            staging_mode: meta.staging_mode,
+            mirror_cache: meta.mirror_cache,
+            mirror_cache_hits: meta.mirror_cache_hits,
+            // Pure memoization; rebuilt on demand, never persisted.
+            children_cache: BTreeMap::new(),
+        };
+        let mut trace = TraceSink::new(meta.trace_capacity);
+        trace.restore(meta.trace);
+        let mut counters = CounterSink::default();
+        counters.restore(meta.counter_ops, meta.counter_failures);
+        let mut engine = Engine {
+            hy,
+            journal: Vec::new(),
+            seq: meta.seq,
+            trace,
+            counters,
+            extra: Vec::new(),
+        };
+
+        // Replay the journal tail. Each op is re-applied through the
+        // normal path, so the journal, the sequence counter and the
+        // sinks advance exactly as they did live — including ops that
+        // failed, whose partial effects (started executions, clock
+        // bumps, staged reads) are part of the state being restored.
+        let lines = oms::persist::load_journal(backup, &dir.join(JOURNAL_LOG)?)
+            .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+        for line in lines {
+            let op = Op::parse_line(&line)?;
+            let _ = engine.apply(op);
+        }
+        Ok(engine)
+    }
+
+    /// A deterministic fingerprint of everything the engine models:
+    /// the OMS database, desktop counters, the shared file system
+    /// (tree, contents, clock, cost meter), the coupling tables, and
+    /// the observable engine state (sequence number, trace ring,
+    /// counters). Two engines with equal fingerprints are in
+    /// equivalent states.
+    ///
+    /// The meter is captured *first*; the fingerprint walk itself then
+    /// charges the meter, so compute at most one fingerprint per
+    /// instance when comparing.
+    ///
+    /// # Errors
+    ///
+    /// Returns file system errors from the walk.
+    pub fn state_fingerprint(&self) -> HybridResult<String> {
+        let fs = self.hy.fmcad.fs_ref();
+        let meter = fs.meter();
+        let mut s = String::new();
+        s.push_str(&format!(
+            "meter {} {} {} {} {}\n",
+            meter.ticks,
+            meter.bytes_read,
+            meter.bytes_written,
+            meter.content_ops,
+            meter.metadata_ops
+        ));
+        s.push_str(&format!("fs-clock {}\n", fs.now()));
+        s.push_str(&self.meta_text());
+        s.push_str("oms\n");
+        s.push_str(&oms::persist::dump(self.hy.jcf.database()));
+        for path in fs.walk_files(&VfsPath::root())? {
+            let data = fs.read(&path)?;
+            s.push_str(&format!("hash {path} {}\n", data.content_hash()));
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> (Engine, UserId, StandardFlow, TeamId) {
+        let mut en = Engine::new();
+        let admin = en.admin();
+        let alice = en.add_user("alice", false).unwrap();
+        let team = en.add_team(admin, "asic").unwrap();
+        en.add_team_member(admin, team, alice).unwrap();
+        let flow = en.standard_flow("std").unwrap();
+        (en, alice, flow, team)
+    }
+
+    #[test]
+    fn wrappers_journal_every_op() {
+        let (mut en, alice, flow, team) = seeded();
+        let project = en.create_project("alu").unwrap();
+        let cell = en.create_cell(project, "adder").unwrap();
+        let (cv, variant) = en.create_cell_version(cell, flow.flow, team).unwrap();
+        en.reserve(alice, cv).unwrap();
+        let dovs = en
+            .run_activity(alice, variant, flow.enter_schematic, false, |_s| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: b"netlist adder\nport a input\n".to_vec().into(),
+                }])
+            })
+            .unwrap();
+        assert_eq!(dovs.len(), 1);
+        assert_eq!(en.seq(), 9);
+        assert_eq!(en.journal_ops().len(), 9);
+        assert_eq!(en.counters().ops()["run-activity"], 1);
+        assert!(en.trace().entries().all(|e| e.ok));
+        // Failed ops are journaled too.
+        assert!(en.create_project("alu").is_err());
+        assert_eq!(en.seq(), 10);
+        assert_eq!(en.counters().failures()["jcf"], 1);
+        assert!(!en.trace().entries().last().unwrap().ok);
+    }
+
+    #[test]
+    fn checkpoint_replay_reproduces_live_state() {
+        let (mut en, alice, flow, team) = seeded();
+        let project = en.create_project("alu").unwrap();
+        let cell = en.create_cell(project, "adder").unwrap();
+        let (cv, variant) = en.create_cell_version(cell, flow.flow, team).unwrap();
+        en.reserve(alice, cv).unwrap();
+
+        let mut backup = Vfs::new();
+        let dir = VfsPath::parse("/backup/ck1").unwrap();
+        en.checkpoint_to(&mut backup, &dir).unwrap();
+
+        // Post-checkpoint tail: a real activity plus a failing op.
+        en.run_activity(alice, variant, flow.enter_schematic, false, |_s| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: b"netlist adder\nport a input\n".to_vec().into(),
+            }])
+        })
+        .unwrap();
+        assert!(en.create_cell(project, "adder").is_err());
+        en.publish(alice, cv).unwrap();
+        en.sync_journal(&mut backup, &dir).unwrap();
+
+        let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+        assert_eq!(restored.seq(), en.seq());
+        assert_eq!(
+            restored.state_fingerprint().unwrap(),
+            en.state_fingerprint().unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let mut backup = Vfs::new();
+        let dir = VfsPath::parse("/backup/bad").unwrap();
+        let (mut en, ..) = seeded();
+        en.checkpoint_to(&mut backup, &dir).unwrap();
+        backup
+            .write(&dir.join(HYBRID_META).unwrap(), b"not a meta".to_vec())
+            .unwrap();
+        assert!(matches!(
+            Engine::restore_from(&mut backup, &dir),
+            Err(HybridError::Journal(_))
+        ));
+    }
+}

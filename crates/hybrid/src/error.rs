@@ -43,6 +43,9 @@ pub enum HybridError {
         /// The undeclared viewtype.
         viewtype: String,
     },
+    /// The ops journal is corrupt, or a replayed operation reproduced
+    /// a recorded failure whose original error type was not preserved.
+    Journal(String),
 }
 
 impl fmt::Display for HybridError {
@@ -66,6 +69,24 @@ impl fmt::Display for HybridError {
                 f,
                 "activity {activity:?} produced undeclared viewtype {viewtype:?}"
             ),
+            HybridError::Journal(what) => write!(f, "journal: {what}"),
+        }
+    }
+}
+
+impl HybridError {
+    /// The stable kind name of this error (failure-counter key).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            HybridError::Jcf(_) => "jcf",
+            HybridError::Fmcad(_) => "fmcad",
+            HybridError::Vfs(_) => "vfs",
+            HybridError::Tool(_) => "tool",
+            HybridError::MappingMissing(_) => "mapping-missing",
+            HybridError::UndeclaredChild { .. } => "undeclared-child",
+            HybridError::NonIsomorphicHierarchy { .. } => "non-isomorphic-hierarchy",
+            HybridError::UndeclaredOutput { .. } => "undeclared-output",
+            HybridError::Journal(_) => "journal",
         }
     }
 }

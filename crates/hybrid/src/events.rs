@@ -1,0 +1,349 @@
+//! Typed events and observers of the hybrid engine.
+//!
+//! Each successfully applied [`Op`](crate::Op) produces one [`Event`]
+//! carrying the handles (and, for read-like ops, the data) the
+//! operation yielded. [`EventSink`] subscribers observe the stream;
+//! two built-in sinks back the desktop's `journal` command
+//! ([`TraceSink`]) and the benchmark report's operation counters
+//! ([`CounterSink`]).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use cad_vfs::Blob;
+use jcf::{
+    ActivityId, CellId, CellVersionId, ConfigId, ConfigVersionId, DesignObjectId, DovId, FlowId,
+    ProjectId, TeamId, ToolId, UserId, VariantId, ViewTypeId,
+};
+
+use crate::error::HybridError;
+use crate::framework::StandardFlow;
+use crate::import::ImportReport;
+use crate::ops::Op;
+use crate::release::ExportManifest;
+use cad_tools::LvsReport;
+
+/// The typed outcome of one successfully applied [`Op`](crate::Op).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A user was registered.
+    UserAdded(UserId),
+    /// A team was created.
+    TeamAdded(TeamId),
+    /// A user joined a team.
+    TeamMemberAdded(TeamId, UserId),
+    /// A viewtype was registered on both frameworks.
+    ViewtypeRegistered(ViewTypeId),
+    /// A tool was registered.
+    ToolRegistered(ToolId),
+    /// The standard three-tool flow was defined and frozen.
+    StandardFlowDefined(StandardFlow),
+    /// The quality-gated flow was defined and frozen.
+    QualityGatedFlowDefined(StandardFlow),
+    /// An empty custom flow was defined.
+    FlowDefined(FlowId),
+    /// An activity was added to a flow.
+    ActivityAdded(ActivityId),
+    /// A flow was frozen.
+    FlowFrozen(FlowId),
+    /// A project (and its coupled library) was created.
+    ProjectCreated(ProjectId),
+    /// A cell was created.
+    CellCreated(CellId),
+    /// A cell version (with base variant) was created.
+    CellVersionCreated(CellVersionId, VariantId),
+    /// A variant was derived.
+    VariantDerived(VariantId),
+    /// A hierarchy child was declared.
+    CompOfDeclared(CellVersionId, CellId),
+    /// A cell was shared across projects.
+    CellShared(CellId),
+    /// A variant was promoted into a new cell version.
+    VariantPromoted(CellVersionId, VariantId),
+    /// A cell version was reserved into a workspace.
+    Reserved(CellVersionId),
+    /// A cell version was published.
+    Published(CellVersionId),
+    /// A design object was created.
+    DesignObjectCreated(DesignObjectId),
+    /// A design object version was added.
+    DovAdded(DovId),
+    /// Two design object versions were marked equivalent.
+    MarkedEquivalent(DovId, DovId),
+    /// An encapsulated activity ran; carries the versions it created.
+    ActivityRun {
+        /// The design object versions the run produced.
+        dovs: Vec<DovId>,
+    },
+    /// A design object version was browsed.
+    Browsed {
+        /// The data read.
+        data: Blob,
+    },
+    /// Design data was read via the desktop.
+    DesignDataRead {
+        /// The data read.
+        data: Blob,
+    },
+    /// A configuration was created.
+    ConfigurationCreated(ConfigId),
+    /// A configuration version was frozen.
+    ConfigVersionCreated(ConfigVersionId),
+    /// A configuration version was exported to the file system.
+    ConfigExported(ExportManifest),
+    /// Layout-versus-schematic ran on a variant.
+    LvsRun(LvsReport),
+    /// The future-work feature switches changed.
+    FutureFeaturesSet,
+    /// The staging mode changed.
+    StagingModeSet,
+    /// An uncoupled FMCAD library was imported.
+    LibraryImported(ProjectId, ImportReport),
+    /// A standalone FMCAD library was created.
+    FmcadLibraryCreated,
+    /// An FMCAD cell was created directly.
+    FmcadCellCreated,
+    /// An FMCAD cellview was created directly.
+    FmcadCellviewCreated,
+    /// An FMCAD cellview was checked out directly.
+    FmcadCheckedOut {
+        /// The checked-out data.
+        data: Blob,
+    },
+    /// Data was checked into an FMCAD cellview directly.
+    FmcadCheckedIn {
+        /// The new version number.
+        version: u32,
+    },
+    /// An FMCAD cellview version was purged.
+    FmcadVersionPurged,
+    /// A versioned library file was overwritten out-of-band.
+    FmcadFileWritten,
+}
+
+impl Event {
+    /// The stable kind name of this event.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::UserAdded(_) => "user-added",
+            Event::TeamAdded(_) => "team-added",
+            Event::TeamMemberAdded(..) => "team-member-added",
+            Event::ViewtypeRegistered(_) => "viewtype-registered",
+            Event::ToolRegistered(_) => "tool-registered",
+            Event::StandardFlowDefined(_) => "standard-flow-defined",
+            Event::QualityGatedFlowDefined(_) => "quality-gated-flow-defined",
+            Event::FlowDefined(_) => "flow-defined",
+            Event::ActivityAdded(_) => "activity-added",
+            Event::FlowFrozen(_) => "flow-frozen",
+            Event::ProjectCreated(_) => "project-created",
+            Event::CellCreated(_) => "cell-created",
+            Event::CellVersionCreated(..) => "cell-version-created",
+            Event::VariantDerived(_) => "variant-derived",
+            Event::CompOfDeclared(..) => "comp-of-declared",
+            Event::CellShared(_) => "cell-shared",
+            Event::VariantPromoted(..) => "variant-promoted",
+            Event::Reserved(_) => "reserved",
+            Event::Published(_) => "published",
+            Event::DesignObjectCreated(_) => "design-object-created",
+            Event::DovAdded(_) => "dov-added",
+            Event::MarkedEquivalent(..) => "marked-equivalent",
+            Event::ActivityRun { .. } => "activity-run",
+            Event::Browsed { .. } => "browsed",
+            Event::DesignDataRead { .. } => "design-data-read",
+            Event::ConfigurationCreated(_) => "configuration-created",
+            Event::ConfigVersionCreated(_) => "config-version-created",
+            Event::ConfigExported(_) => "config-exported",
+            Event::LvsRun(_) => "lvs-run",
+            Event::FutureFeaturesSet => "future-features-set",
+            Event::StagingModeSet => "staging-mode-set",
+            Event::LibraryImported(..) => "library-imported",
+            Event::FmcadLibraryCreated => "fmcad-library-created",
+            Event::FmcadCellCreated => "fmcad-cell-created",
+            Event::FmcadCellviewCreated => "fmcad-cellview-created",
+            Event::FmcadCheckedOut { .. } => "fmcad-checked-out",
+            Event::FmcadCheckedIn { .. } => "fmcad-checked-in",
+            Event::FmcadVersionPurged => "fmcad-version-purged",
+            Event::FmcadFileWritten => "fmcad-file-written",
+        }
+    }
+}
+
+/// Observer of the engine's op/event stream.
+///
+/// Sinks are notified after the operation has been executed and
+/// journaled, in subscription order, built-in sinks first.
+pub trait EventSink {
+    /// Called after `op` (sequence number `seq`) succeeded with `event`.
+    fn on_event(&mut self, seq: u64, op: &Op, event: &Event);
+
+    /// Called after `op` failed with `error`. Failed ops are journaled
+    /// too (they may have partial effects that replay must reproduce),
+    /// so sinks see them as well. The default implementation ignores
+    /// failures.
+    fn on_error(&mut self, _seq: u64, _op: &Op, _error: &HybridError) {}
+}
+
+/// One entry of the [`TraceSink`] ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The engine sequence number of the operation.
+    pub seq: u64,
+    /// The operation's kind name.
+    pub kind: String,
+    /// The operation's short summary.
+    pub summary: String,
+    /// The outcome: an event kind name or a rendered error.
+    pub outcome: String,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// Default capacity of the tracing ring buffer.
+pub const TRACE_CAPACITY: usize = 256;
+
+/// Built-in sink keeping the last N operations in a ring buffer; the
+/// desktop shell's `journal` command reads it.
+#[derive(Debug)]
+pub struct TraceSink {
+    entries: VecDeque<JournalEntry>,
+    capacity: usize,
+}
+
+impl TraceSink {
+    /// Creates a sink holding up to `capacity` entries.
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.entries.iter()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn push(&mut self, entry: JournalEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    pub(crate) fn restore(&mut self, entries: Vec<JournalEntry>) {
+        self.entries = entries.into();
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink::new(TRACE_CAPACITY)
+    }
+}
+
+impl EventSink for TraceSink {
+    fn on_event(&mut self, seq: u64, op: &Op, event: &Event) {
+        self.push(JournalEntry {
+            seq,
+            kind: op.kind_name().to_owned(),
+            summary: op.summary(),
+            outcome: event.kind_name().to_owned(),
+            ok: true,
+        });
+    }
+
+    fn on_error(&mut self, seq: u64, op: &Op, error: &HybridError) {
+        self.push(JournalEntry {
+            seq,
+            kind: op.kind_name().to_owned(),
+            summary: op.summary(),
+            outcome: format!("error: {error}"),
+            ok: false,
+        });
+    }
+}
+
+/// Built-in sink counting operations by kind and failures by error
+/// kind; surfaced through the benchmark report's JSON output.
+#[derive(Debug, Default)]
+pub struct CounterSink {
+    ops: BTreeMap<String, u64>,
+    failures: BTreeMap<String, u64>,
+}
+
+impl CounterSink {
+    /// Successful operations by op kind name.
+    pub fn ops(&self) -> &BTreeMap<String, u64> {
+        &self.ops
+    }
+
+    /// Failed operations by error kind name.
+    pub fn failures(&self) -> &BTreeMap<String, u64> {
+        &self.failures
+    }
+
+    /// Total operations observed (successes plus failures).
+    pub fn total(&self) -> u64 {
+        self.ops.values().sum::<u64>() + self.failures.values().sum::<u64>()
+    }
+
+    pub(crate) fn restore(&mut self, ops: BTreeMap<String, u64>, failures: BTreeMap<String, u64>) {
+        self.ops = ops;
+        self.failures = failures;
+    }
+}
+
+impl EventSink for CounterSink {
+    fn on_event(&mut self, _seq: u64, op: &Op, _event: &Event) {
+        *self.ops.entry(op.kind_name().to_owned()).or_insert(0) += 1;
+    }
+
+    fn on_error(&mut self, _seq: u64, _op: &Op, error: &HybridError) {
+        *self
+            .failures
+            .entry(error.kind_name().to_owned())
+            .or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ring_drops_oldest() {
+        let mut sink = TraceSink::new(2);
+        for i in 0..3u64 {
+            sink.on_event(
+                i,
+                &Op::CreateProject {
+                    name: format!("p{i}"),
+                },
+                &Event::ProjectCreated(ProjectId::from_raw(i)),
+            );
+        }
+        let seqs: Vec<u64> = sink.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert!(sink.entries().all(|e| e.ok));
+    }
+
+    #[test]
+    fn counters_split_success_and_failure() {
+        let mut sink = CounterSink::default();
+        let op = Op::CreateProject { name: "p".into() };
+        sink.on_event(1, &op, &Event::ProjectCreated(ProjectId::from_raw(1)));
+        sink.on_event(2, &op, &Event::ProjectCreated(ProjectId::from_raw(2)));
+        sink.on_error(3, &op, &HybridError::MappingMissing("x".into()));
+        assert_eq!(sink.ops()["create-project"], 2);
+        assert_eq!(sink.failures()["mapping-missing"], 1);
+        assert_eq!(sink.total(), 3);
+    }
+}

@@ -14,6 +14,20 @@ use crate::error::{HybridError, HybridResult};
 /// The user name the coupling layer acts under on the FMCAD side.
 pub const COUPLER: &str = "jcf-coupler";
 
+/// The §2.4 bootstrap script installed into FMCAD's customisation
+/// layer: an extension-language wrapper that locks the
+/// direct-manipulation menus of every coupled library. A restart
+/// re-runs it (customisation state is session-local, like the original
+/// system's).
+pub(crate) const BOOTSTRAP_SCRIPT: &str = r#"
+                (define (couple-library lib)
+                  (host-call "lock-menu" (string-append lib ":Check In"))
+                  (host-call "lock-menu" (string-append lib ":Check Out"))
+                  (host-call "lock-menu" (string-append lib ":Delete Cell"))
+                  (host-call "log" (string-append "coupled " lib)))
+                (host-call "register-trigger" "library-coupled" "couple-library")
+                "#;
+
 /// How the encapsulation pipeline moves design data between the OMS
 /// database, the staging area and the mirrored FMCAD library.
 ///
@@ -70,23 +84,27 @@ pub struct MirrorLocation {
 /// and extension-language wrappers keep its menus locked so designers
 /// cannot bypass the master (§2.3–2.4).
 ///
+/// `Hybrid` itself exposes only read access; every mutation goes
+/// through [`Engine::apply`](crate::Engine::apply) (or its typed
+/// wrappers), which dereferences to `Hybrid` for the getters.
+///
 /// # Examples
 ///
 /// ```
-/// use hybrid::Hybrid;
+/// use hybrid::Engine;
 ///
 /// # fn main() -> Result<(), hybrid::HybridError> {
-/// let mut hy = Hybrid::new();
-/// let admin = hy.admin();
-/// let alice = hy.jcf_mut().add_user("alice", false)?;
-/// let team = hy.jcf_mut().add_team(admin, "asic")?;
-/// hy.jcf_mut().add_team_member(admin, team, alice)?;
-/// let flow = hy.standard_flow("asic-flow")?;
-/// let project = hy.create_project("alu16")?;
-/// let cell = hy.create_cell(project, "adder")?;
-/// let (cv, _variant) = hy.create_cell_version(cell, flow.flow, team)?;
+/// let mut engine = Engine::new();
+/// let admin = engine.admin();
+/// let alice = engine.add_user("alice", false)?;
+/// let team = engine.add_team(admin, "asic")?;
+/// engine.add_team_member(admin, team, alice)?;
+/// let flow = engine.standard_flow("asic-flow")?;
+/// let project = engine.create_project("alu16")?;
+/// let cell = engine.create_cell(project, "adder")?;
+/// let (cv, _variant) = engine.create_cell_version(cell, flow.flow, team)?;
 /// // The mapped FMCAD cell exists in the mapped library:
-/// assert_eq!(hy.fmcad_cell_of(cv)?, "adder_v1");
+/// assert_eq!(engine.fmcad_cell_of(cv)?, "adder_v1");
 /// # Ok(())
 /// # }
 /// ```
@@ -94,11 +112,15 @@ pub struct MirrorLocation {
 pub struct Hybrid {
     pub(crate) jcf: Jcf,
     pub(crate) fmcad: Fmcad,
-    admin: UserId,
+    pub(crate) admin: UserId,
     pub(crate) project_lib: BTreeMap<ProjectId, String>,
     pub(crate) cv_cell: BTreeMap<CellVersionId, String>,
     pub(crate) viewtype_names: BTreeMap<ViewTypeId, String>,
     pub(crate) viewtypes_by_name: BTreeMap<String, ViewTypeId>,
+    /// Viewtypes registered *after* bootstrap, with the FMCAD
+    /// application each is bound to; a restart re-registers them (the
+    /// standard four come back with the framework itself).
+    pub(crate) viewtype_apps: BTreeMap<String, ToolKind>,
     pub(crate) tool_kinds: BTreeMap<ToolId, ToolKind>,
     pub(crate) dov_mirror: BTreeMap<DovId, MirrorLocation>,
     pub(crate) fmcad_ui_ops: u64,
@@ -129,12 +151,6 @@ pub struct StandardFlow {
     pub simulate: jcf::ActivityId,
 }
 
-impl Default for Hybrid {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl Hybrid {
     /// Creates a hybrid installation: a fresh JCF, a fresh FMCAD on a
     /// shared virtual file system, the standard viewtypes and tools
@@ -145,7 +161,7 @@ impl Hybrid {
     ///
     /// Never panics; the fixed bootstrap is infallible by construction
     /// and the `expect`s guard against schema edits.
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut jcf = Jcf::new();
         let admin = jcf
             .add_user("framework-admin", true)
@@ -170,16 +186,7 @@ impl Hybrid {
         // §2.4: extension-language wrappers lock the FMCAD menus whose
         // free use would corrupt the master's bookkeeping.
         fmcad
-            .run_script(
-                r#"
-                (define (couple-library lib)
-                  (host-call "lock-menu" (string-append lib ":Check In"))
-                  (host-call "lock-menu" (string-append lib ":Check Out"))
-                  (host-call "lock-menu" (string-append lib ":Delete Cell"))
-                  (host-call "log" (string-append "coupled " lib)))
-                (host-call "register-trigger" "library-coupled" "couple-library")
-                "#,
-            )
+            .run_script(BOOTSTRAP_SCRIPT)
             .expect("bootstrap script is well-formed");
         Hybrid {
             jcf,
@@ -189,6 +196,7 @@ impl Hybrid {
             cv_cell: BTreeMap::new(),
             viewtype_names,
             viewtypes_by_name,
+            viewtype_apps: BTreeMap::new(),
             tool_kinds,
             dov_mirror: BTreeMap::new(),
             fmcad_ui_ops: 0,
@@ -208,7 +216,7 @@ impl Hybrid {
     /// Switches how design data is moved through the staging area.
     /// Switching to [`StagingMode::DeepCopy`] also clears the mirror
     /// cache so later zero-copy runs start from honest state.
-    pub fn set_staging_mode(&mut self, mode: StagingMode) {
+    pub(crate) fn set_staging_mode(&mut self, mode: StagingMode) {
         if mode == StagingMode::DeepCopy {
             self.mirror_cache.clear();
             self.children_cache.clear();
@@ -232,8 +240,19 @@ impl Hybrid {
         &self.jcf
     }
 
-    /// Mutable access to the master framework's desktop.
+    /// Mutable access to the master framework's desktop, bypassing the
+    /// engine's ops journal. Only available with the `raw-handles`
+    /// feature; prefer [`Engine::apply`](crate::Engine::apply).
+    #[cfg(feature = "raw-handles")]
     pub fn jcf_mut(&mut self) -> &mut Jcf {
+        &mut self.jcf
+    }
+
+    /// Mutable access to the master framework's desktop (crate-internal
+    /// without the `raw-handles` feature).
+    #[cfg(not(feature = "raw-handles"))]
+    #[allow(dead_code)]
+    pub(crate) fn jcf_mut(&mut self) -> &mut Jcf {
         &mut self.jcf
     }
 
@@ -242,9 +261,19 @@ impl Hybrid {
         &self.fmcad
     }
 
-    /// Mutable access to the slave framework (used by experiments to
-    /// simulate out-of-band FMCAD activity).
+    /// Mutable access to the slave framework, bypassing the engine's
+    /// ops journal. Only available with the `raw-handles` feature;
+    /// out-of-band FMCAD activity is journalable via the `fmcad-*` ops.
+    #[cfg(feature = "raw-handles")]
     pub fn fmcad_mut(&mut self) -> &mut Fmcad {
+        &mut self.fmcad
+    }
+
+    /// Mutable access to the slave framework (crate-internal without
+    /// the `raw-handles` feature).
+    #[cfg(not(feature = "raw-handles"))]
+    #[allow(dead_code)]
+    pub(crate) fn fmcad_mut(&mut self) -> &mut Fmcad {
         &mut self.fmcad
     }
 
@@ -290,7 +319,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns JCF name-clash errors.
-    pub fn register_viewtype(
+    pub(crate) fn register_viewtype(
         &mut self,
         name: &str,
         application: ToolKind,
@@ -298,6 +327,7 @@ impl Hybrid {
         let id = self.jcf.add_viewtype(name)?;
         self.viewtype_names.insert(id, name.to_owned());
         self.viewtypes_by_name.insert(name.to_owned(), id);
+        self.viewtype_apps.insert(name.to_owned(), application);
         self.fmcad.register_viewtype(name, application);
         Ok(id)
     }
@@ -308,7 +338,11 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns JCF name-clash errors.
-    pub fn register_tool(&mut self, name: &str, kind: ToolKind) -> HybridResult<jcf::ToolId> {
+    pub(crate) fn register_tool(
+        &mut self,
+        name: &str,
+        kind: ToolKind,
+    ) -> HybridResult<jcf::ToolId> {
         let id = self.jcf.add_tool(name)?;
         self.tool_kinds.insert(id, kind);
         Ok(id)
@@ -319,7 +353,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns JCF errors (e.g. a taken flow name).
-    pub fn standard_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
+    pub(crate) fn standard_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
         let admin = self.admin;
         let schematic = self.viewtype("schematic")?;
         let layout = self.viewtype("layout")?;
@@ -381,7 +415,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns JCF errors (e.g. a taken flow name).
-    pub fn quality_gated_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
+    pub(crate) fn quality_gated_flow(&mut self, name: &str) -> HybridResult<StandardFlow> {
         let admin = self.admin;
         let schematic = self.viewtype("schematic")?;
         let layout = self.viewtype("layout")?;
@@ -443,7 +477,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns name-clash errors from either framework.
-    pub fn create_project(&mut self, name: &str) -> HybridResult<ProjectId> {
+    pub(crate) fn create_project(&mut self, name: &str) -> HybridResult<ProjectId> {
         let project = self.jcf.create_project(name)?;
         self.fmcad.create_library(name)?;
         self.fmcad
@@ -458,7 +492,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns JCF name-clash errors.
-    pub fn create_cell(&mut self, project: ProjectId, name: &str) -> HybridResult<CellId> {
+    pub(crate) fn create_cell(&mut self, project: ProjectId, name: &str) -> HybridResult<CellId> {
         Ok(self.jcf.create_cell(project, name)?)
     }
 
@@ -468,7 +502,7 @@ impl Hybrid {
     /// # Errors
     ///
     /// Returns errors from either framework.
-    pub fn create_cell_version(
+    pub(crate) fn create_cell_version(
         &mut self,
         cell: CellId,
         flow: FlowId,

@@ -53,7 +53,7 @@ impl Hybrid {
 
     /// Enables or disables future-work features. The default
     /// (`FutureFeatures::default()`) is the paper's 1995 prototype.
-    pub fn set_future_features(&mut self, features: FutureFeatures) {
+    pub(crate) fn set_future_features(&mut self, features: FutureFeatures) {
         self.features = features;
     }
 
@@ -65,7 +65,7 @@ impl Hybrid {
     ///
     /// Returns [`crate::HybridError::MappingMissing`] when the feature
     /// is off, or JCF permission errors.
-    pub fn share_cell(&mut self, actor: UserId, cell: CellId) -> HybridResult<()> {
+    pub(crate) fn share_cell(&mut self, actor: UserId, cell: CellId) -> HybridResult<()> {
         if !self.features.cross_project_sharing {
             return Err(crate::HybridError::MappingMissing(
                 "cross-project sharing is a future-work feature; enable it first".to_owned(),

@@ -36,7 +36,7 @@ impl Hybrid {
     ///
     /// Returns errors from either framework (e.g. an unknown library
     /// or a project name collision).
-    pub fn import_library(
+    pub(crate) fn import_library(
         &mut self,
         actor: UserId,
         library: &str,

@@ -10,13 +10,13 @@
 //! * **Data model mapping** ([`mapping`], Table 1): Project↔Library,
 //!   CellVersion↔Cell, ViewType↔View, DesignObject↔Cellview,
 //!   DesignObjectVersion↔Cellview Version — both as a constant table
-//!   and operationally ([`Hybrid::import_library`]).
-//! * **Tool encapsulation** ([`Hybrid::run_activity`]): each FMCAD tool
+//!   and operationally ([`Engine::import_library`]).
+//! * **Tool encapsulation** ([`Engine::run_activity`]): each FMCAD tool
 //!   is one JCF activity; inputs are copied out of the OMS database
 //!   through the staging area, the tool runs, outputs are consistency
 //!   checked, copied back, derivation-tracked and mirrored into the
 //!   mapped FMCAD library.
-//! * **Consistency guards** ([`Hybrid::verify_project`] and the
+//! * **Consistency guards** ([`Engine::verify_project`] and the
 //!   write-time checks): hierarchy references must be declared via the
 //!   JCF desktop beforehand, non-isomorphic schematic/layout
 //!   hierarchies are rejected (JCF 3.0 cannot represent them, §3.3),
@@ -24,34 +24,43 @@
 //!   bypass the master.
 //! * **The §3.6 performance profile**: metadata operations are cheap;
 //!   design data pays the copy path even for read-only access
-//!   ([`Hybrid::browse`]), while FMCAD natively reads in place.
+//!   ([`Engine::browse`]), while FMCAD natively reads in place.
+//!
+//! Every mutation flows through the command/event core ([`Engine`]):
+//! call sites build (or let the typed wrappers build) an [`Op`], the
+//! engine applies it, journals it, and emits a typed [`Event`] to the
+//! subscribed [`EventSink`]s. The journal makes restarts replayable
+//! ([`Engine::checkpoint_to`] / [`Engine::restore_from`]).
 //!
 //! # Examples
 //!
 //! ```
-//! use hybrid::{Hybrid, ToolOutput};
+//! use hybrid::{Engine, ToolOutput};
 //!
 //! # fn main() -> Result<(), hybrid::HybridError> {
-//! let mut hy = Hybrid::new();
-//! let admin = hy.admin();
-//! let alice = hy.jcf_mut().add_user("alice", false)?;
-//! let team = hy.jcf_mut().add_team(admin, "asic")?;
-//! hy.jcf_mut().add_team_member(admin, team, alice)?;
-//! let flow = hy.standard_flow("asic")?;
+//! let mut engine = Engine::new();
+//! let admin = engine.admin();
+//! let alice = engine.add_user("alice", false)?;
+//! let team = engine.add_team(admin, "asic")?;
+//! engine.add_team_member(admin, team, alice)?;
+//! let flow = engine.standard_flow("asic")?;
 //!
-//! let project = hy.create_project("alu16")?;
-//! let cell = hy.create_cell(project, "adder")?;
-//! let (cv, variant) = hy.create_cell_version(cell, flow.flow, team)?;
-//! hy.jcf_mut().reserve(alice, cv)?;
+//! let project = engine.create_project("alu16")?;
+//! let cell = engine.create_cell(project, "adder")?;
+//! let (cv, variant) = engine.create_cell_version(cell, flow.flow, team)?;
+//! engine.reserve(alice, cv)?;
 //!
 //! // Schematic entry runs as a JCF activity wrapping the FMCAD tool.
-//! let dovs = hy.run_activity(alice, variant, flow.enter_schematic, false, |_session| {
+//! let dovs = engine.run_activity(alice, variant, flow.enter_schematic, false, |_session| {
 //!     Ok(vec![ToolOutput {
 //!         viewtype: "schematic".into(),
 //!         data: b"netlist adder\nport a input\n".to_vec().into(),
 //!     }])
 //! })?;
-//! assert!(hy.mirror_of(dovs[0]).is_some(), "mirrored into the FMCAD library");
+//! assert!(engine.mirror_of(dovs[0]).is_some(), "mirrored into the FMCAD library");
+//! // Every op above is journaled and observable.
+//! assert_eq!(engine.seq(), 9);
+//! assert_eq!(engine.counters().ops()["run-activity"], 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -61,17 +70,23 @@
 
 mod consistency;
 mod encapsulation;
+mod engine;
 mod error;
+mod events;
 mod framework;
 mod future;
 mod import;
 pub mod mapping;
+mod ops;
 mod release;
 
 pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
+pub use engine::Engine;
 pub use error::{HybridError, HybridResult};
+pub use events::{CounterSink, Event, EventSink, JournalEntry, TraceSink, TRACE_CAPACITY};
 pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};
 pub use future::FutureFeatures;
 pub use import::ImportReport;
+pub use ops::Op;
 pub use release::ExportManifest;

@@ -5,7 +5,7 @@
 //! master; each JCF object class maps onto an FMCAD object class. The
 //! table below is the paper's Table 1 verbatim; experiment E1
 //! regenerates it and exercises it operationally via
-//! [`Hybrid::import_library`](crate::Hybrid::import_library).
+//! [`Engine::import_library`](crate::Engine::import_library).
 
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

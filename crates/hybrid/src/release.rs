@@ -31,7 +31,7 @@ impl Hybrid {
     ///
     /// Returns [`HybridError::MappingMissing`] if either view has no
     /// version yet, and parse errors for corrupt data.
-    pub fn run_lvs(&mut self, user: UserId, variant: VariantId) -> HybridResult<LvsReport> {
+    pub(crate) fn run_lvs(&mut self, user: UserId, variant: VariantId) -> HybridResult<LvsReport> {
         let mut bytes = Vec::with_capacity(2);
         for view in ["schematic", "layout"] {
             let viewtype = self.viewtype(view)?;
@@ -60,7 +60,7 @@ impl Hybrid {
     ///
     /// Returns visibility errors for unpublished data the user cannot
     /// see, and file system errors.
-    pub fn export_config(
+    pub(crate) fn export_config(
         &mut self,
         user: UserId,
         config_version: ConfigVersionId,

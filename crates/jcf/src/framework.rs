@@ -16,6 +16,17 @@ macro_rules! typed_id {
             pub fn object_id(self) -> ObjectId {
                 self.0
             }
+
+            /// The raw id value, for journal/image encoding.
+            pub fn raw(self) -> u64 {
+                self.0.raw()
+            }
+
+            /// Rebuilds the handle from a raw id taken from a journal
+            /// or image of the same database.
+            pub fn from_raw(raw: u64) -> Self {
+                $name(ObjectId::from_raw(raw))
+            }
         }
 
         impl std::fmt::Display for $name {
@@ -268,6 +279,22 @@ impl Jcf {
     /// Number of desktop operations performed so far (experiment E7).
     pub fn desktop_ops(&self) -> u64 {
         self.desktop_ops
+    }
+
+    /// The logical clock value: every desktop operation advances it and
+    /// new timestamps are taken from it.
+    pub fn clock(&self) -> i64 {
+        self.clock
+    }
+
+    /// Resumes the desktop-operation counter and logical clock at exact
+    /// recorded values. [`Jcf::restore`] alone is lossy (it rebuilds the
+    /// clock from the surviving timestamps and zeroes the counter);
+    /// callers that persist the counters alongside the image use this to
+    /// continue the original timeline tick for tick.
+    pub fn resume_counters(&mut self, desktop_ops: u64, clock: i64) {
+        self.desktop_ops = desktop_ops;
+        self.clock = clock;
     }
 
     pub(crate) fn bump(&mut self) -> i64 {

@@ -307,6 +307,67 @@ pub fn load(schema: Schema, fs: &mut Vfs, path: &VfsPath) -> OmsResult<Database>
     parse(schema, text)
 }
 
+/// Header line of a persisted operations journal.
+pub const JOURNAL_MAGIC: &str = "oms-journal v1";
+
+/// Writes an operations journal to `path`: one opaque single-line
+/// entry per operation, under an `oms-journal v1` header. The entries
+/// themselves are produced (and later interpreted) by the caller; the
+/// store only guarantees a faithful line-per-entry round trip.
+///
+/// # Errors
+///
+/// Propagates file system errors as a corrupt-image error carrying the
+/// message, and rejects entries containing newlines (they would break
+/// the line framing).
+pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResult<()> {
+    let mut out = String::from(JOURNAL_MAGIC);
+    out.push('\n');
+    for (n, entry) in entries.iter().enumerate() {
+        if entry.contains('\n') {
+            return Err(OmsError::CorruptImage {
+                line: n + 2,
+                reason: "journal entry contains a newline".to_owned(),
+            });
+        }
+        out.push_str(entry);
+        out.push('\n');
+    }
+    fs.write(path, out.into_bytes())
+        .map_err(|e| OmsError::CorruptImage {
+            line: 0,
+            reason: e.to_string(),
+        })
+}
+
+/// Reads an operations journal written by [`save_journal`].
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] if the file is missing, not
+/// UTF-8, or lacks the journal header.
+pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
+    let bytes = fs.read(path).map_err(|e| OmsError::CorruptImage {
+        line: 0,
+        reason: e.to_string(),
+    })?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| OmsError::CorruptImage {
+        line: 0,
+        reason: "journal is not utf-8".to_owned(),
+    })?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(JOURNAL_MAGIC) => {}
+        other => {
+            return Err(OmsError::CorruptImage {
+                line: 1,
+                reason: format!("bad journal header {other:?}"),
+            })
+        }
+    }
+    Ok(lines.map(str::to_owned).collect())
+}
+
 fn split2(s: &str) -> Option<(&str, &str)> {
     let mut it = s.splitn(2, ' ');
     Some((it.next()?, it.next()?))
@@ -536,6 +597,27 @@ mod tests {
         ck.save(&db, &mut fs, &path).unwrap();
         let restored = load(sample_schema(), &mut fs, &path).unwrap();
         assert_eq!(dump(&restored), dump(&db));
+    }
+
+    #[test]
+    fn journal_round_trips_and_rejects_bad_entries() {
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/journal.log").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        let entries = vec!["op|a=1".to_owned(), "op|b=68656c6c6f".to_owned()];
+        save_journal(&mut fs, &path, &entries).unwrap();
+        assert_eq!(load_journal(&fs, &path).unwrap(), entries);
+        // Empty journal round-trips too.
+        save_journal(&mut fs, &path, &[]).unwrap();
+        assert!(load_journal(&fs, &path).unwrap().is_empty());
+        // Newlines would break the framing and are rejected outright.
+        assert!(save_journal(&mut fs, &path, &["a\nb".to_owned()]).is_err());
+        // A missing header is corrupt.
+        fs.write(&path, b"nonsense\n".to_vec()).unwrap();
+        assert!(matches!(
+            load_journal(&fs, &path),
+            Err(OmsError::CorruptImage { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl ObjectId {
         self.0
     }
 
-    pub(crate) fn from_raw(raw: u64) -> Self {
+    /// Rebuilds an id from its raw value, e.g. when decoding a
+    /// persisted image or an operations journal. The id is only
+    /// meaningful against the database it was taken from.
+    pub fn from_raw(raw: u64) -> Self {
         ObjectId(raw)
     }
 }

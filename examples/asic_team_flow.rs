@@ -12,16 +12,16 @@ use std::error::Error;
 
 use cad_tools::Simulator;
 use design_data::{format, generate, Logic};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false)?;
-    let bob = hy.jcf_mut().add_user("bob", false)?;
-    let team = hy.jcf_mut().add_team(admin, "adder-team")?;
-    hy.jcf_mut().add_team_member(admin, team, alice)?;
-    hy.jcf_mut().add_team_member(admin, team, bob)?;
+    let alice = hy.add_user("alice", false)?;
+    let bob = hy.add_user("bob", false)?;
+    let team = hy.add_team(admin, "adder-team")?;
+    hy.add_team_member(admin, team, alice)?;
+    hy.add_team_member(admin, team, bob)?;
     let flow = hy.standard_flow("adder-flow")?;
 
     let project = hy.create_project("alu16")?;
@@ -31,11 +31,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- bob owns the leaf cell ----------------------------------------
     let (fa_cv, fa_variant) = hy.create_cell_version(fa_cell, flow.flow, team)?;
-    hy.jcf_mut().reserve(bob, fa_cv)?;
+    hy.reserve(bob, fa_cv)?;
     println!("bob reserved {}", hy.fmcad_cell_of(fa_cv)?);
 
     // Alice cannot touch bob's cell version (workspace isolation, §3.1)...
-    assert!(hy.jcf_mut().reserve(alice, fa_cv).is_err());
+    assert!(hy.reserve(alice, fa_cv).is_err());
     println!("alice is locked out of bob's workspace (as §3.1 requires)");
 
     let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
@@ -46,13 +46,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             data: fa_data.into(),
         }])
     })?;
-    hy.jcf_mut().publish(bob, fa_cv)?;
+    hy.publish(bob, fa_cv)?;
     println!("bob published the full adder schematic");
 
     // --- alice owns the top cell; hierarchy is declared FIRST (§3.3) ----
     let (top_cv, top_variant) = hy.create_cell_version(top_cell, flow.flow, team)?;
-    hy.jcf_mut().reserve(alice, top_cv)?;
-    hy.jcf_mut().declare_comp_of(alice, top_cv, fa_cell)?;
+    hy.reserve(alice, top_cv)?;
+    hy.declare_comp_of(alice, top_cv, fa_cell)?;
     println!("alice declared adder4 CompOf full_adder via the JCF desktop");
 
     let top_bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
@@ -103,9 +103,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     })?;
 
     // --- a variant for a risky layout experiment (two-level versioning) -
-    let experiment =
-        hy.jcf_mut()
-            .derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
+    let experiment = hy.derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
     println!("alice branched variant 'compact-layout' (JCF's second versioning level)");
     let top_for_exp = top_bytes.clone();
     hy.run_activity(alice, experiment, flow.enter_schematic, false, move |_| {
@@ -116,9 +114,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     })?;
 
     // --- a release configuration ----------------------------------------
-    let config = hy
-        .jcf_mut()
-        .create_configuration(alice, top_cv, "tapeout")?;
+    let config = hy.create_configuration(alice, top_cv, "tapeout")?;
     let schematic_vt = hy.viewtype("schematic")?;
     let selection: Vec<jcf::DovId> = hy
         .jcf()
@@ -126,15 +122,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         .and_then(|d| hy.jcf().latest_version(d))
         .into_iter()
         .collect();
-    let cfg_v = hy
-        .jcf_mut()
-        .create_config_version(alice, config, &selection)?;
+    let cfg_v = hy.create_config_version(alice, config, &selection)?;
     println!(
         "configuration 'tapeout' v1 selects {} version(s)",
         hy.jcf().config_contents(cfg_v).len()
     );
 
-    hy.jcf_mut().publish(alice, top_cv)?;
+    hy.publish(alice, top_cv)?;
     let findings = hy.verify_project(project)?;
     println!("final consistency audit: {} finding(s)", findings.len());
     assert!(findings.is_empty());

@@ -18,6 +18,7 @@
 //! publish <user> <cell>@N
 //! browse <user> <cell>@N       read-only access (pays the copy, §3.6)
 //! audit <project>
+//! journal [n]                  last n engine ops (default 10)
 //! status                       desktop statistics
 //! ```
 //!
@@ -29,7 +30,7 @@ use std::fmt;
 
 use cad_tools::Simulator;
 use design_data::{format, generate, Logic};
-use hybrid::{Hybrid, StandardFlow, ToolOutput};
+use hybrid::{Engine, StandardFlow, ToolOutput};
 use jcf::{CellId, CellVersionId, TeamId, UserId, VariantId};
 
 const DEMO_SCRIPT: &str = "\
@@ -55,12 +56,13 @@ publish alice counter@1
 publish bob glue@1
 tree demo
 audit demo
+journal 8
 status
 ";
 
 /// Interpreter state: name registries over one hybrid installation.
 struct Shell {
-    hy: Hybrid,
+    hy: Engine,
     flow: StandardFlow,
     users: BTreeMap<String, UserId>,
     teams: BTreeMap<String, TeamId>,
@@ -87,7 +89,7 @@ fn err(msg: impl Into<String>) -> Box<dyn Error> {
 
 impl Shell {
     fn new() -> Result<Self, Box<dyn Error>> {
-        let mut hy = Hybrid::new();
+        let mut hy = Engine::new();
         let flow = hy.standard_flow("shell-flow")?;
         Ok(Shell {
             hy,
@@ -131,16 +133,16 @@ impl Shell {
         match words.as_slice() {
             ["adduser", name, rest @ ..] => {
                 let manager = rest.contains(&"manager");
-                let id = self.hy.jcf_mut().add_user(name, manager)?;
+                let id = self.hy.add_user(name, manager)?;
                 self.users.insert((*name).to_owned(), id);
                 println!("+ user {name}{}", if manager { " (manager)" } else { "" });
             }
             ["addteam", team, members @ ..] => {
                 let admin = self.hy.admin();
-                let id = self.hy.jcf_mut().add_team(admin, team)?;
+                let id = self.hy.add_team(admin, team)?;
                 for m in members {
                     let user = self.user(m)?;
-                    self.hy.jcf_mut().add_team_member(admin, id, user)?;
+                    self.hy.add_team_member(admin, id, user)?;
                 }
                 self.teams.insert((*team).to_owned(), id);
                 self.default_team = Some(id);
@@ -170,7 +172,7 @@ impl Shell {
                     .default_team
                     .ok_or_else(|| err("no team defined yet"))?;
                 let (cv, variant) = self.hy.create_cell_version(cell_id, self.flow.flow, team)?;
-                self.hy.jcf_mut().reserve(user_id, cv)?;
+                self.hy.reserve(user_id, cv)?;
                 let n = self.hy.jcf().versions_of(cell_id).len();
                 let key = format!("{cell}@{n}");
                 self.versions.insert(key.clone(), (cv, variant));
@@ -186,7 +188,7 @@ impl Shell {
                     .cells
                     .get(*child)
                     .ok_or_else(|| err(format!("unknown cell {child}")))?;
-                self.hy.jcf_mut().declare_comp_of(user_id, cv, child_id)?;
+                self.hy.declare_comp_of(user_id, cv, child_id)?;
                 println!("+ {key} CompOf {child}");
             }
             ["schematic", user, key, rest @ ..] => {
@@ -307,7 +309,7 @@ impl Shell {
             ["publish", user, key] => {
                 let user_id = self.user(user)?;
                 let (cv, _) = self.version(key)?;
-                self.hy.jcf_mut().publish(user_id, cv)?;
+                self.hy.publish(user_id, cv)?;
                 println!("~ published {key}");
             }
             ["browse", user, key] => {
@@ -339,7 +341,7 @@ impl Shell {
                     .design_object_by_viewtype(variant, schematic)
                     .and_then(|d| self.hy.jcf().latest_version(d))
                     .ok_or_else(|| err(format!("{key} has no schematic yet")))?;
-                let bytes = self.hy.jcf_mut().read_design_data(user_id, dov)?;
+                let bytes = self.hy.read_design_data(user_id, dov)?;
                 let netlist = format::parse_netlist(&String::from_utf8_lossy(&bytes))?;
                 let report = cad_tools::static_timing(&netlist)?;
                 println!(
@@ -381,6 +383,28 @@ impl Shell {
                     .get(*project)
                     .ok_or_else(|| err(format!("unknown project {project}")))?;
                 print!("{}", self.hy.jcf().project_tree(project_id));
+            }
+            ["journal", rest @ ..] => {
+                let n = rest
+                    .first()
+                    .and_then(|w| w.parse::<usize>().ok())
+                    .unwrap_or(10);
+                let entries: Vec<_> = self.hy.trace().entries().cloned().collect();
+                let shown = entries.len().min(n);
+                println!(
+                    "~ journal: {} op(s) applied, showing last {shown}",
+                    self.hy.seq()
+                );
+                for entry in &entries[entries.len() - shown..] {
+                    println!(
+                        "    #{:<4} {:<22} {:<4} {} -> {}",
+                        entry.seq,
+                        entry.kind,
+                        if entry.ok { "ok" } else { "FAIL" },
+                        entry.summary,
+                        entry.outcome
+                    );
+                }
             }
             ["status"] => {
                 println!(

@@ -14,7 +14,7 @@ use std::error::Error;
 
 use cad_tools::{compare_waveforms, map_to_nand, Simulator, ToolKind};
 use design_data::{format, generate, Logic, Stimulus};
-use hybrid::{Hybrid, HybridError, ToolOutput};
+use hybrid::{Engine, HybridError, ToolOutput};
 
 fn simulate(netlist: &design_data::Netlist, stim: &Stimulus) -> design_data::Waveforms {
     let mut all = BTreeMap::new();
@@ -24,11 +24,11 @@ fn simulate(netlist: &design_data::Netlist, stim: &Stimulus) -> design_data::Wav
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false)?;
-    let team = hy.jcf_mut().add_team(admin, "fpga-team")?;
-    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let alice = hy.add_user("alice", false)?;
+    let team = hy.add_team(admin, "fpga-team")?;
+    hy.add_team_member(admin, team, alice)?;
 
     // --- a custom FPGA flow with its own viewtypes ---------------------
     // "mapped" netlists and "placement" data are new viewtypes; the
@@ -43,11 +43,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let map_tool = hy.register_tool("fpga-map", ToolKind::SchematicEntry)?;
     let verify_tool = hy.register_tool("fpga-verify", ToolKind::Simulator)?;
     let place_tool = hy.register_tool("fpga-place", ToolKind::LayoutEditor)?;
-    let flow = hy.jcf_mut().define_flow(admin, "fpga")?;
-    let a_enter =
-        hy.jcf_mut()
-            .add_activity(admin, flow, "enter", enter_tool, &[], &[schematic], &[])?;
-    let a_map = hy.jcf_mut().add_activity(
+    let flow = hy.define_flow(admin, "fpga")?;
+    let a_enter = hy.add_activity(admin, flow, "enter", enter_tool, &[], &[schematic], &[])?;
+    let a_map = hy.add_activity(
         admin,
         flow,
         "map",
@@ -56,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         &[mapped_vt],
         &[a_enter],
     )?;
-    let a_verify = hy.jcf_mut().add_activity(
+    let a_verify = hy.add_activity(
         admin,
         flow,
         "verify",
@@ -65,7 +63,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         &[waveform],
         &[a_map],
     )?;
-    let a_place = hy.jcf_mut().add_activity(
+    let a_place = hy.add_activity(
         admin,
         flow,
         "place",
@@ -74,13 +72,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         &[placement_vt],
         &[a_verify],
     )?;
-    hy.jcf_mut().freeze_flow(admin, flow)?;
+    hy.freeze_flow(admin, flow)?;
     println!("defined frozen FPGA flow: enter -> map -> verify -> place");
 
     let project = hy.create_project("fpga-demo")?;
     let cell = hy.create_cell(project, "full_adder")?;
     let (cv, variant) = hy.create_cell_version(cell, flow, team)?;
-    hy.jcf_mut().reserve(alice, cv)?;
+    hy.reserve(alice, cv)?;
 
     // Activity 1: design entry.
     let original = generate::full_adder();
@@ -217,7 +215,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             entry.created_by_activity.as_deref().unwrap_or("-")
         );
     }
-    hy.jcf_mut().publish(alice, cv)?;
+    hy.publish(alice, cv)?;
     let findings = hy.verify_project(project)?;
     assert!(findings.is_empty());
     println!("\nFPGA flow complete; audit clean");

@@ -8,17 +8,17 @@ use std::collections::BTreeMap;
 use std::error::Error;
 
 use design_data::{format, generate, Layout, Logic, MasterRef, Netlist};
-use hybrid::{FutureFeatures, Hybrid, ToolOutput};
+use hybrid::{Engine, FutureFeatures, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Hybrid::new();
-    hy.set_future_features(FutureFeatures::all());
+    let mut hy = Engine::new();
+    hy.set_future_features(FutureFeatures::all())?;
     println!("features: {:?}", hy.future_features());
 
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false)?;
-    let team = hy.jcf_mut().add_team(admin, "soc-team")?;
-    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let alice = hy.add_user("alice", false)?;
+    let team = hy.add_team(admin, "soc-team")?;
+    hy.add_team_member(admin, team, alice)?;
     let flow = hy.standard_flow("soc-flow")?;
 
     // --- a shared IP library in another project (§3.1 future work) -----
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let top = hy.create_cell(soc, "soc_top")?;
     let core = hy.create_cell(soc, "core")?;
     let (cv, variant) = hy.create_cell_version(top, flow.flow, team)?;
-    hy.jcf_mut().reserve(alice, cv)?;
+    hy.reserve(alice, cv)?;
 
     let io_before = hy.io_meter();
     hy.run_activity(alice, variant, flow.enter_schematic, false, |session| {
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- and the simulator still runs through the session helpers -------
     let fa_project_cell = hy.create_cell(soc, "fa")?;
     let (fa_cv, fa_variant) = hy.create_cell_version(fa_project_cell, flow.flow, team)?;
-    hy.jcf_mut().reserve(alice, fa_cv)?;
+    hy.reserve(alice, fa_cv)?;
     let fa = generate::full_adder();
     let fa_bytes = format::write_netlist(&fa).into_bytes();
     hy.run_activity(alice, fa_variant, flow.enter_schematic, false, move |_| {

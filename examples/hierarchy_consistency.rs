@@ -11,7 +11,7 @@ use std::error::Error;
 
 use design_data::{format, generate, Layout, MasterRef, Netlist};
 use fmcad::Fmcad;
-use hybrid::{Hybrid, HybridError, ToolOutput};
+use hybrid::{Engine, HybridError, ToolOutput};
 
 fn hierarchical_netlist(top: &str, child: &str) -> Netlist {
     let mut n = Netlist::new(top);
@@ -85,17 +85,17 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // ======================= hybrid JCF-FMCAD ==========================
     println!("\n--- hybrid JCF-FMCAD ---");
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false)?;
-    let team = hy.jcf_mut().add_team(admin, "t")?;
-    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let alice = hy.add_user("alice", false)?;
+    let team = hy.add_team(admin, "t")?;
+    hy.add_team_member(admin, team, alice)?;
     let flow = hy.standard_flow("f")?;
     let project = hy.create_project("checked")?;
     let top = hy.create_cell(project, "top")?;
     let fa = hy.create_cell(project, "fa")?;
     let (cv, variant) = hy.create_cell_version(top, flow.flow, team)?;
-    hy.jcf_mut().reserve(alice, cv)?;
+    hy.reserve(alice, cv)?;
 
     // 1. Hierarchy must be declared via the desktop before designing.
     let undeclared = hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
@@ -113,7 +113,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         other => panic!("expected an undeclared-child rejection, got {other:?}"),
     }
 
-    hy.jcf_mut().declare_comp_of(alice, cv, fa)?;
+    hy.declare_comp_of(alice, cv, fa)?;
     println!("declared CompOf(top, fa) via the JCF desktop; retrying...");
     hy.run_activity(alice, variant, flow.enter_schematic, false, |_| {
         Ok(vec![ToolOutput {
@@ -129,7 +129,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    Even with pad_ring properly declared, a layout whose children
     //    differ from the schematic's is refused.
     let pad_ring = hy.create_cell(project, "pad_ring")?;
-    hy.jcf_mut().declare_comp_of(alice, cv, pad_ring)?;
+    hy.declare_comp_of(alice, cv, pad_ring)?;
     let mut alien = Layout::new("top");
     alien.add_placement("i1", "pad_ring", 0, 0)?;
     let rejected = hy.run_activity(alice, variant, flow.enter_layout, false, move |_| {

@@ -7,43 +7,40 @@
 use std::error::Error;
 
 use design_data::{format, generate};
-use hybrid::{mapping, Hybrid};
+use hybrid::{mapping, Engine};
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", mapping::render_table_1());
 
     // A pre-existing FMCAD library with a hierarchical design in it.
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let design = generate::ripple_adder(8);
-    {
-        let fm = hy.fmcad_mut();
-        fm.create_library("legacy_alu")?;
-        for (cell, netlist) in &design.netlists {
-            fm.create_cell("legacy_alu", cell)?;
-            fm.create_cellview("legacy_alu", cell, "schematic", "schematic")?;
-            fm.checkin(
-                "old-team",
-                "legacy_alu",
-                cell,
-                "schematic",
-                format::write_netlist(netlist).into_bytes(),
-            )?;
-            fm.create_cellview("legacy_alu", cell, "layout", "layout")?;
-            fm.checkin(
-                "old-team",
-                "legacy_alu",
-                cell,
-                "layout",
-                format::write_layout(&design.layouts[cell]).into_bytes(),
-            )?;
-        }
+    hy.fmcad_create_library("legacy_alu")?;
+    for (cell, netlist) in &design.netlists {
+        hy.fmcad_create_cell("legacy_alu", cell)?;
+        hy.fmcad_create_cellview("legacy_alu", cell, "schematic", "schematic")?;
+        hy.fmcad_checkin(
+            "old-team",
+            "legacy_alu",
+            cell,
+            "schematic",
+            format::write_netlist(netlist).into_bytes(),
+        )?;
+        hy.fmcad_create_cellview("legacy_alu", cell, "layout", "layout")?;
+        hy.fmcad_checkin(
+            "old-team",
+            "legacy_alu",
+            cell,
+            "layout",
+            format::write_layout(&design.layouts[cell]).into_bytes(),
+        )?;
     }
 
     // Couple it: the library becomes a JCF project per Table 1.
     let admin = hy.admin();
-    let keeper = hy.jcf_mut().add_user("keeper", false)?;
-    let team = hy.jcf_mut().add_team(admin, "maintenance")?;
-    hy.jcf_mut().add_team_member(admin, team, keeper)?;
+    let keeper = hy.add_user("keeper", false)?;
+    let team = hy.add_team(admin, "maintenance")?;
+    hy.add_team_member(admin, team, keeper)?;
     let flow = hy.standard_flow("maintenance-flow")?;
     let (project, report) = hy.import_library(keeper, "legacy_alu", flow.flow, team)?;
 

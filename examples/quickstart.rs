@@ -9,22 +9,22 @@ use std::error::Error;
 
 use cad_tools::Simulator;
 use design_data::{format, generate, Logic};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
     // --- framework administration (once per installation) -------------
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false)?;
-    let team = hy.jcf_mut().add_team(admin, "asic")?;
-    hy.jcf_mut().add_team_member(admin, team, alice)?;
+    let alice = hy.add_user("alice", false)?;
+    let team = hy.add_team(admin, "asic")?;
+    hy.add_team_member(admin, team, alice)?;
     let flow = hy.standard_flow("asic-flow")?;
 
     // --- project structure (the JCF desktop) ---------------------------
     let project = hy.create_project("quickstart")?;
     let cell = hy.create_cell(project, "full_adder")?;
     let (cv, variant) = hy.create_cell_version(cell, flow.flow, team)?;
-    hy.jcf_mut().reserve(alice, cv)?;
+    hy.reserve(alice, cv)?;
     println!("reserved {} into alice's workspace", hy.fmcad_cell_of(cv)?);
 
     // --- activity 1: schematic entry -----------------------------------
@@ -92,7 +92,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
 
-    hy.jcf_mut().publish(alice, cv)?;
+    hy.publish(alice, cv)?;
     println!(
         "\npublished; consistency audit: {:?}",
         hy.verify_project(project)?

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate over the machine-readable benchmark outputs.
+
+Fails (exit 1) when BENCH_E9.json or BENCH_E10.json is missing or
+unparsable, or when the E9 tick table was produced with the golden
+seed (42) but drifted from the recorded golden values. The modeled
+tick economy is the experiments' measurement instrument: a deliberate
+cost-model change must update the golden table here *and* in
+crates/bench/src/e9_performance.rs in the same commit.
+"""
+
+import json
+import sys
+
+GOLDEN_SEED = 42
+
+# (gates, bytes, metadata, hybrid_read, fmcad_read, activity,
+#  procedural, procedural_activity) — must match the golden test in
+# crates/bench/src/e9_performance.rs.
+E9_GOLDEN = [
+    (10, 649, 0, 2947, 1149, 6243, 0, 3296),
+    (50, 3216, 0, 10648, 3716, 19078, 0, 8430),
+    (200, 12875, 0, 39625, 13375, 67373, 0, 27748),
+    (800, 50705, 0, 153115, 51205, 256523, 0, 103408),
+    (3200, 207885, 0, 624655, 208385, 1042423, 0, 417768),
+]
+
+E9_FIELDS = (
+    "gates",
+    "bytes",
+    "metadata_ticks",
+    "hybrid_read_ticks",
+    "fmcad_read_ticks",
+    "activity_ticks",
+    "procedural_ticks",
+    "procedural_activity_ticks",
+)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"FAIL: {path} is missing (run `report --json` first)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL: {path} is not valid JSON: {e}")
+
+
+def main():
+    e9 = load("BENCH_E9.json")
+    e10 = load("BENCH_E10.json")
+
+    for name, doc in (("BENCH_E9.json", e9), ("BENCH_E10.json", e10)):
+        if "seed" not in doc or not doc.get("rows"):
+            sys.exit(f"FAIL: {name} lacks a seed or has no rows")
+
+    if e9["seed"] == GOLDEN_SEED:
+        rows = [tuple(row[f] for f in E9_FIELDS) for row in e9["rows"]]
+        if rows != E9_GOLDEN:
+            for got, want in zip(rows, E9_GOLDEN):
+                if got != want:
+                    print(f"  drift at gates={got[0]}:", file=sys.stderr)
+                    print(f"    got  {got}", file=sys.stderr)
+                    print(f"    want {want}", file=sys.stderr)
+            sys.exit("FAIL: E9 tick table drifted from the golden seed-42 values")
+        print(f"OK: E9 golden tick table intact ({len(rows)} rows, seed {GOLDEN_SEED})")
+    else:
+        print(f"OK: E9 parsed ({len(e9['rows'])} rows, non-golden seed {e9['seed']})")
+
+    engine = e10.get("engine", {})
+    print(
+        "OK: E10 parsed ({} rows, seed {}, {} engine ops journaled)".format(
+            len(e10["rows"]), e10["seed"], engine.get("applied", "?")
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

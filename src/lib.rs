@@ -11,9 +11,9 @@
 //! # Examples
 //!
 //! ```
-//! use jcf_fmcad::hybrid::Hybrid;
+//! use jcf_fmcad::hybrid:: Engine;
 //!
-//! let hy = Hybrid::new();
+//! let hy = Engine::new();
 //! assert!(hy.jcf().database().len() > 0, "bootstrap registers resources");
 //! ```
 

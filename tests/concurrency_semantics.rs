@@ -7,7 +7,7 @@
 
 use design_data::{format, generate};
 use fmcad::{Fmcad, FmcadError};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 #[test]
 fn fmcad_serialises_designers_on_one_cellview() {
@@ -34,13 +34,13 @@ fn fmcad_serialises_designers_on_one_cellview() {
 
 #[test]
 fn hybrid_isolates_by_cell_version_and_allows_parallel_variants() {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let bob = hy.jcf_mut().add_user("bob", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
-    hy.jcf_mut().add_team_member(admin, team, bob).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let bob = hy.add_user("bob", false).unwrap();
+    let team = hy.add_team(admin, "t").unwrap();
+    hy.add_team_member(admin, team, alice).unwrap();
+    hy.add_team_member(admin, team, bob).unwrap();
     let flow = hy.standard_flow("f").unwrap();
     let project = hy.create_project("p").unwrap();
 
@@ -49,8 +49,8 @@ fn hybrid_isolates_by_cell_version_and_allows_parallel_variants() {
     let c2 = hy.create_cell(project, "regfile").unwrap();
     let (cv1, v1) = hy.create_cell_version(c1, flow.flow, team).unwrap();
     let (cv2, v2) = hy.create_cell_version(c2, flow.flow, team).unwrap();
-    hy.jcf_mut().reserve(alice, cv1).unwrap();
-    hy.jcf_mut().reserve(bob, cv2).unwrap();
+    hy.reserve(alice, cv1).unwrap();
+    hy.reserve(bob, cv2).unwrap();
 
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let p1 = bytes.clone();
@@ -72,10 +72,7 @@ fn hybrid_isolates_by_cell_version_and_allows_parallel_variants() {
 
     // Same design object, two versions in parallel via variants — the
     // §3.1 capability FMCAD lacks.
-    let exp = hy
-        .jcf_mut()
-        .derive_variant(alice, cv1, "exp", Some(v1))
-        .unwrap();
+    let exp = hy.derive_variant(alice, cv1, "exp", Some(v1)).unwrap();
     let p3 = bytes;
     hy.run_activity(alice, exp, flow.enter_schematic, false, move |_| {
         Ok(vec![ToolOutput {
@@ -95,19 +92,19 @@ fn hybrid_isolates_by_cell_version_and_allows_parallel_variants() {
 
 #[test]
 fn hybrid_turns_published_work_over_cleanly() {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let bob = hy.jcf_mut().add_user("bob", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
-    hy.jcf_mut().add_team_member(admin, team, bob).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let bob = hy.add_user("bob", false).unwrap();
+    let team = hy.add_team(admin, "t").unwrap();
+    hy.add_team_member(admin, team, alice).unwrap();
+    hy.add_team_member(admin, team, bob).unwrap();
     let flow = hy.standard_flow("f").unwrap();
     let project = hy.create_project("p").unwrap();
     let cell = hy.create_cell(project, "alu").unwrap();
     let (cv, variant) = hy.create_cell_version(cell, flow.flow, team).unwrap();
 
-    hy.jcf_mut().reserve(alice, cv).unwrap();
+    hy.reserve(alice, cv).unwrap();
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let dovs = hy
         .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
@@ -121,10 +118,10 @@ fn hybrid_turns_published_work_over_cleanly() {
     // While unpublished, bob cannot read the data through the hybrid
     // desktop (only published parts are visible to others).
     assert!(hy.browse(bob, dovs[0]).is_err());
-    hy.jcf_mut().publish(alice, cv).unwrap();
+    hy.publish(alice, cv).unwrap();
     assert!(hy.browse(bob, dovs[0]).is_ok());
     // And bob can now take the workspace.
-    hy.jcf_mut().reserve(bob, cv).unwrap();
+    hy.reserve(bob, cv).unwrap();
 }
 
 #[test]

@@ -4,16 +4,16 @@
 
 use cad_tools::{map_to_nand, static_timing, switching_activity, Simulator, ToolKind};
 use design_data::{format, generate, Logic, Stimulus};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 use std::collections::BTreeMap;
 
 #[test]
 fn custom_fpga_flow_runs_end_to_end() {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let team = hy.add_team(admin, "t").unwrap();
+    hy.add_team_member(admin, team, alice).unwrap();
 
     let schematic = hy.viewtype("schematic").unwrap();
     let mapped_vt = hy
@@ -23,13 +23,11 @@ fn custom_fpga_flow_runs_end_to_end() {
     let mapper = hy
         .register_tool("mapper", ToolKind::SchematicEntry)
         .unwrap();
-    let flow = hy.jcf_mut().define_flow(admin, "fpga").unwrap();
+    let flow = hy.define_flow(admin, "fpga").unwrap();
     let a_enter = hy
-        .jcf_mut()
         .add_activity(admin, flow, "enter", entry, &[], &[schematic], &[])
         .unwrap();
     let a_map = hy
-        .jcf_mut()
         .add_activity(
             admin,
             flow,
@@ -40,12 +38,12 @@ fn custom_fpga_flow_runs_end_to_end() {
             &[a_enter],
         )
         .unwrap();
-    hy.jcf_mut().freeze_flow(admin, flow).unwrap();
+    hy.freeze_flow(admin, flow).unwrap();
 
     let project = hy.create_project("fpga").unwrap();
     let cell = hy.create_cell(project, "cloud").unwrap();
     let (cv, variant) = hy.create_cell_version(cell, flow, team).unwrap();
-    hy.jcf_mut().reserve(alice, cv).unwrap();
+    hy.reserve(alice, cv).unwrap();
 
     let design = generate::random_logic(40, 11);
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();

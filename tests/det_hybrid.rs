@@ -4,7 +4,7 @@
 
 use cad_vfs::SplitMix64;
 use design_data::{format, generate};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 /// A random but *valid* designer action.
 #[derive(Debug, Clone)]
@@ -44,11 +44,11 @@ fn random_sessions_stay_consistent() {
     let mut rng = SplitMix64::new(0x4B1D_1995);
     for case in 0..12 {
         let actions = random_actions(&mut rng);
-        let mut hy = Hybrid::new();
+        let mut hy = Engine::new();
         let admin = hy.admin();
-        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-        let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let alice = hy.add_user("alice", false).unwrap();
+        let team = hy.add_team(admin, "t").unwrap();
+        hy.add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("f").unwrap();
         let project = hy.create_project("p").unwrap();
 
@@ -72,7 +72,7 @@ fn random_sessions_stay_consistent() {
                     }
                     let cell = cells[i % cells.len()];
                     let (cv, variant) = hy.create_cell_version(cell, flow.flow, team).unwrap();
-                    hy.jcf_mut().reserve(alice, cv).unwrap();
+                    hy.reserve(alice, cv).unwrap();
                     slots.push((cv, variant, true));
                 }
                 Action::NewVariant(i, n) => {
@@ -84,7 +84,7 @@ fn random_sessions_stay_consistent() {
                         continue;
                     }
                     let name = format!("var{n}-{i}");
-                    if let Ok(v) = hy.jcf_mut().derive_variant(alice, cv, &name, Some(base)) {
+                    if let Ok(v) = hy.derive_variant(alice, cv, &name, Some(base)) {
                         slots.push((cv, v, true));
                     }
                 }
@@ -130,7 +130,7 @@ fn random_sessions_stay_consistent() {
                     let idx = i % slots.len();
                     let (cv, _, reserved) = slots[idx];
                     if reserved {
-                        hy.jcf_mut().publish(alice, cv).unwrap();
+                        hy.publish(alice, cv).unwrap();
                         for slot in slots.iter_mut().filter(|s| s.0 == cv) {
                             slot.2 = false;
                         }
@@ -159,7 +159,7 @@ fn random_sessions_stay_consistent() {
                             .unwrap()
                             .to_vec();
                         let lib = hy
-                            .fmcad_mut()
+                            .fmcad()
                             .read_version(
                                 &mirror.library,
                                 &mirror.cell,

@@ -1,0 +1,253 @@
+//! Deterministic randomized replay suite (SplitMix64-driven): long
+//! random streams of *ops* — including deliberate failures — applied
+//! through the engine, checkpointed mid-stream, and restored, must
+//! yield a restart state indistinguishable from the live one.
+//!
+//! This is the journal-level counterpart of `det_hybrid`: that suite
+//! checks cross-framework invariants after random sessions; this one
+//! checks that snapshot ⊕ replay reproduces the session itself —
+//! database, file system, tick charges, trace and counters.
+//!
+//! Tool sessions in the stream always *return* `Ok` (a session-raised
+//! error is journaled as its rendered text and replays under the
+//! coarser `journal` error kind, which would make the counter tables
+//! legitimately differ); pipeline-level failures — duplicate names,
+//! flow violations, visibility rejections — happen before or after the
+//! session and replay byte-for-byte, so the stream provokes those
+//! freely.
+
+use cad_vfs::{SplitMix64, Vfs, VfsPath};
+use design_data::{format, generate};
+use hybrid::{Engine, JournalEntry, ToolOutput};
+use jcf::{CellId, CellVersionId, DovId, ProjectId, TeamId, UserId, VariantId};
+
+/// The mutable bookkeeping the driver needs to aim ops at real ids.
+struct World {
+    alice: UserId,
+    team: TeamId,
+    project: ProjectId,
+    cells: Vec<CellId>,
+    slots: Vec<(CellVersionId, VariantId)>,
+    dovs: Vec<DovId>,
+    next_cell: u32,
+    next_variant: u32,
+    next_user: u32,
+}
+
+/// Bootstraps one engine plus the world the op stream runs in.
+fn bootstrap() -> (Engine, hybrid::StandardFlow, World) {
+    let mut en = Engine::new();
+    let admin = en.admin();
+    let alice = en.add_user("alice", false).unwrap();
+    let team = en.add_team(admin, "t").unwrap();
+    en.add_team_member(admin, team, alice).unwrap();
+    let flow = en.standard_flow("f").unwrap();
+    let project = en.create_project("p").unwrap();
+    let world = World {
+        alice,
+        team,
+        project,
+        cells: Vec::new(),
+        slots: Vec::new(),
+        dovs: Vec::new(),
+        next_cell: 0,
+        next_variant: 0,
+        next_user: 0,
+    };
+    (en, flow, world)
+}
+
+/// Applies exactly one random op to the engine. Ops may fail (the
+/// failure is journaled and must replay identically); sessions that do
+/// run always return `Ok`.
+fn step(en: &mut Engine, rng: &mut SplitMix64, flow: &hybrid::StandardFlow, w: &mut World) {
+    match rng.below(12) {
+        0 => {
+            w.next_cell += 1;
+            let cell = en
+                .create_cell(w.project, &format!("cell{}", w.next_cell))
+                .unwrap();
+            w.cells.push(cell);
+        }
+        1 => {
+            if let Some(&cell) = pick(rng, &w.cells) {
+                let (cv, variant) = en.create_cell_version(cell, flow.flow, w.team).unwrap();
+                w.slots.push((cv, variant));
+            } else {
+                // Fallback keeps every step exactly one op.
+                let _ = en.create_project("p");
+            }
+        }
+        2 => {
+            // May fail: already reserved, or published.
+            if let Some(&(cv, _)) = pick(rng, &w.slots) {
+                let _ = en.reserve(w.alice, cv);
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        3 | 4 => {
+            // Schematic entry at a random slot. Unreserved slots fail
+            // before the session runs; reserved ones run it.
+            if let Some(&(_, variant)) = pick(rng, &w.slots) {
+                let gates = 1 + rng.below(24);
+                let seed = rng.next_u64();
+                let design = generate::random_logic(gates, seed);
+                let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
+                if let Ok(dovs) =
+                    en.run_activity(w.alice, variant, flow.enter_schematic, false, move |_| {
+                        Ok(vec![ToolOutput {
+                            viewtype: "schematic".into(),
+                            data: bytes.into(),
+                        }])
+                    })
+                {
+                    w.dovs.extend(dovs);
+                }
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        5 => {
+            // Simulation needs a prior schematic; the flow engine
+            // rejects otherwise, before the session runs.
+            if let Some(&(_, variant)) = pick(rng, &w.slots) {
+                let _ = en.run_activity(w.alice, variant, flow.simulate, false, |_| {
+                    Ok(vec![ToolOutput {
+                        viewtype: "waveform".into(),
+                        data: b"waves\n".to_vec().into(),
+                    }])
+                });
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        6 => {
+            if let Some(&(cv, _)) = pick(rng, &w.slots) {
+                let _ = en.publish(w.alice, cv);
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        7 => {
+            if let Some(&(cv, base)) = pick(rng, &w.slots) {
+                w.next_variant += 1;
+                let name = format!("var{}", w.next_variant);
+                if let Ok(v) = en.derive_variant(w.alice, cv, &name, Some(base)) {
+                    w.slots.push((cv, v));
+                }
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        8 => {
+            if let Some(&dov) = pick(rng, &w.dovs) {
+                let _ = en.browse(w.alice, dov);
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        9 => {
+            if let Some(&dov) = pick(rng, &w.dovs) {
+                let _ = en.read_design_data(w.alice, dov);
+            } else {
+                let _ = en.create_project("p");
+            }
+        }
+        10 => {
+            w.next_user += 1;
+            en.add_user(&format!("user{}", w.next_user), false).unwrap();
+        }
+        _ => {
+            // A guaranteed journaled failure: the bootstrap project
+            // name is taken.
+            en.create_project("p").expect_err("duplicate project");
+        }
+    }
+}
+
+/// Drains a `TraceSink` into a comparable vector.
+fn trace_of(en: &Engine) -> Vec<JournalEntry> {
+    en.trace().entries().cloned().collect()
+}
+
+/// The headline property: ≥200 random ops, a checkpoint two thirds of
+/// the way in, a journal tail, then restore — live and restored
+/// engines must agree on every observable: sequence number, tick
+/// charges, trace, counter tables, and the full state fingerprint.
+#[test]
+fn random_op_streams_replay_to_the_live_state() {
+    let mut rng = SplitMix64::new(0x0D15_EA5E_1995_0042);
+    for case in 0..3u32 {
+        let (mut en, flow, mut world) = bootstrap();
+
+        for _ in 0..140 {
+            step(&mut en, &mut rng, &flow, &mut world);
+        }
+
+        let mut backup = Vfs::new();
+        let dir = VfsPath::parse("/backup/replay").unwrap();
+        en.checkpoint_to(&mut backup, &dir).unwrap();
+
+        for _ in 0..100 {
+            step(&mut en, &mut rng, &flow, &mut world);
+        }
+        en.sync_journal(&mut backup, &dir).unwrap();
+        assert!(en.seq() >= 200, "case {case}: stream too short");
+
+        let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+
+        assert_eq!(restored.seq(), en.seq(), "case {case}");
+        assert_eq!(restored.io_meter(), en.io_meter(), "case {case}");
+        assert_eq!(trace_of(&restored), trace_of(&en), "case {case}");
+        assert_eq!(
+            restored.counters().ops(),
+            en.counters().ops(),
+            "case {case}"
+        );
+        assert_eq!(
+            restored.counters().failures(),
+            en.counters().failures(),
+            "case {case}"
+        );
+        assert_eq!(
+            restored.state_fingerprint().unwrap(),
+            en.state_fingerprint().unwrap(),
+            "case {case}: snapshot ⊕ replay must equal the live state"
+        );
+    }
+}
+
+/// Determinism of the driver itself: the same seed grows the same
+/// history (same trace, same fingerprint), so any future divergence in
+/// this suite points at the engine, not the test.
+#[test]
+fn identical_seeds_grow_identical_histories() {
+    let run = |seed: u64| {
+        let mut rng = SplitMix64::new(seed);
+        let (mut en, flow, mut world) = bootstrap();
+        for _ in 0..80 {
+            step(&mut en, &mut rng, &flow, &mut world);
+        }
+        en
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.seq(), b.seq());
+    assert_eq!(trace_of(&a), trace_of(&b));
+    assert_eq!(
+        a.state_fingerprint().unwrap(),
+        b.state_fingerprint().unwrap()
+    );
+}
+
+/// Picks a uniform random element, or `None` when empty.
+fn pick<'a, T>(rng: &mut SplitMix64, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        // Keep the rng stream aligned regardless of world population.
+        rng.next_u64();
+        None
+    } else {
+        Some(&items[rng.below(items.len())])
+    }
+}

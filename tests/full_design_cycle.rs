@@ -7,11 +7,11 @@ use std::collections::BTreeMap;
 
 use cad_tools::Simulator;
 use design_data::{format, generate, Logic};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 use jcf::DovId;
 
 struct Team {
-    hy: Hybrid,
+    hy: Engine,
     alice: jcf::UserId,
     bob: jcf::UserId,
     team: jcf::TeamId,
@@ -19,13 +19,13 @@ struct Team {
 }
 
 fn team() -> Team {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let bob = hy.jcf_mut().add_user("bob", false).unwrap();
-    let team_id = hy.jcf_mut().add_team(admin, "asic").unwrap();
-    hy.jcf_mut().add_team_member(admin, team_id, alice).unwrap();
-    hy.jcf_mut().add_team_member(admin, team_id, bob).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let bob = hy.add_user("bob", false).unwrap();
+    let team_id = hy.add_team(admin, "asic").unwrap();
+    hy.add_team_member(admin, team_id, alice).unwrap();
+    hy.add_team_member(admin, team_id, bob).unwrap();
     let flow = hy.standard_flow("asic").unwrap();
     Team {
         hy,
@@ -45,7 +45,7 @@ fn complete_design_cycle_stays_consistent() {
     // Leaf cell by bob.
     let fa = t.hy.create_cell(project, "full_adder").unwrap();
     let (fa_cv, fa_var) = t.hy.create_cell_version(fa, t.flow.flow, t.team).unwrap();
-    t.hy.jcf_mut().reserve(t.bob, fa_cv).unwrap();
+    t.hy.reserve(t.bob, fa_cv).unwrap();
     let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
     let payload = fa_bytes.clone();
     t.hy.run_activity(t.bob, fa_var, t.flow.enter_schematic, false, move |_| {
@@ -55,13 +55,13 @@ fn complete_design_cycle_stays_consistent() {
         }])
     })
     .unwrap();
-    t.hy.jcf_mut().publish(t.bob, fa_cv).unwrap();
+    t.hy.publish(t.bob, fa_cv).unwrap();
 
     // Top cell by alice with declared hierarchy.
     let top = t.hy.create_cell(project, &design.top).unwrap();
     let (top_cv, top_var) = t.hy.create_cell_version(top, t.flow.flow, t.team).unwrap();
-    t.hy.jcf_mut().reserve(t.alice, top_cv).unwrap();
-    t.hy.jcf_mut().declare_comp_of(t.alice, top_cv, fa).unwrap();
+    t.hy.reserve(t.alice, top_cv).unwrap();
+    t.hy.declare_comp_of(t.alice, top_cv, fa).unwrap();
     let top_bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     let payload = top_bytes.clone();
     let sch_dovs =
@@ -105,24 +105,20 @@ fn complete_design_cycle_stays_consistent() {
     assert_eq!(t.hy.jcf().derived_from(wave_dovs[0]), vec![sch_dovs[0]]);
 
     // Configuration selecting the released views.
-    let config =
-        t.hy.jcf_mut()
-            .create_configuration(t.alice, top_cv, "rel1")
-            .unwrap();
+    let config = t.hy.create_configuration(t.alice, top_cv, "rel1").unwrap();
     let selection: Vec<DovId> = vec![sch_dovs[0], wave_dovs[0]];
     let cfg =
-        t.hy.jcf_mut()
-            .create_config_version(t.alice, config, &selection)
+        t.hy.create_config_version(t.alice, config, &selection)
             .unwrap();
     assert_eq!(t.hy.jcf().config_contents(cfg).len(), 2);
 
-    t.hy.jcf_mut().publish(t.alice, top_cv).unwrap();
+    t.hy.publish(t.alice, top_cv).unwrap();
     assert!(t.hy.verify_project(project).unwrap().is_empty());
 
     // Everything is mirrored: FMCAD sees the same bytes in its library.
     let mirror = t.hy.mirror_of(sch_dovs[0]).unwrap().clone();
     let lib_bytes =
-        t.hy.fmcad_mut()
+        t.hy.fmcad()
             .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
             .unwrap();
     assert_eq!(lib_bytes, top_bytes);
@@ -133,22 +129,19 @@ fn import_then_continue_designing() {
     let mut t = team();
     // Legacy world.
     let design = generate::counter(4);
-    {
-        let fm = t.hy.fmcad_mut();
-        fm.create_library("legacy").unwrap();
-        for (cell, netlist) in &design.netlists {
-            fm.create_cell("legacy", cell).unwrap();
-            fm.create_cellview("legacy", cell, "schematic", "schematic")
-                .unwrap();
-            fm.checkin(
-                "old",
-                "legacy",
-                cell,
-                "schematic",
-                format::write_netlist(netlist).into_bytes(),
-            )
+    t.hy.fmcad_create_library("legacy").unwrap();
+    for (cell, netlist) in &design.netlists {
+        t.hy.fmcad_create_cell("legacy", cell).unwrap();
+        t.hy.fmcad_create_cellview("legacy", cell, "schematic", "schematic")
             .unwrap();
-        }
+        t.hy.fmcad_checkin(
+            "old",
+            "legacy",
+            cell,
+            "schematic",
+            format::write_netlist(netlist).into_bytes(),
+        )
+        .unwrap();
     }
     let (project, report) =
         t.hy.import_library(t.alice, "legacy", t.flow.flow, t.team)
@@ -159,7 +152,7 @@ fn import_then_continue_designing() {
     // Work continues under full management: new version of the cell.
     let cell = t.hy.jcf().cells_of(project)[0];
     let (cv2, var2) = t.hy.create_cell_version(cell, t.flow.flow, t.team).unwrap();
-    t.hy.jcf_mut().reserve(t.bob, cv2).unwrap();
+    t.hy.reserve(t.bob, cv2).unwrap();
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     t.hy.run_activity(t.bob, var2, t.flow.enter_schematic, false, move |_| {
         Ok(vec![ToolOutput {
@@ -179,7 +172,7 @@ fn two_level_versioning_supports_parallel_exploration() {
     let project = t.hy.create_project("p").unwrap();
     let cell = t.hy.create_cell(project, "fa").unwrap();
     let (cv, base) = t.hy.create_cell_version(cell, t.flow.flow, t.team).unwrap();
-    t.hy.jcf_mut().reserve(t.alice, cv).unwrap();
+    t.hy.reserve(t.alice, cv).unwrap();
 
     let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
     let payload = bytes.clone();
@@ -193,10 +186,7 @@ fn two_level_versioning_supports_parallel_exploration() {
 
     // Derive three experimental variants, each with its own work.
     for name in ["fast", "small", "low-power"] {
-        let variant =
-            t.hy.jcf_mut()
-                .derive_variant(t.alice, cv, name, Some(base))
-                .unwrap();
+        let variant = t.hy.derive_variant(t.alice, cv, name, Some(base)).unwrap();
         let payload = bytes.clone();
         t.hy.run_activity(t.alice, variant, t.flow.enter_schematic, false, move |_| {
             Ok(vec![ToolOutput {

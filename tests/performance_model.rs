@@ -4,21 +4,21 @@
 //! FMCAD native access works in place.
 
 use design_data::{format, generate};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 struct Env {
-    hy: Hybrid,
+    hy: Engine,
     alice: jcf::UserId,
     team: jcf::TeamId,
     flow: hybrid::StandardFlow,
 }
 
 fn env() -> Env {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let team = hy.add_team(admin, "t").unwrap();
+    hy.add_team_member(admin, team, alice).unwrap();
     let flow = hy.standard_flow("f").unwrap();
     Env {
         hy,
@@ -37,7 +37,7 @@ fn store_design(
     let project = e.hy.create_project(project_name).unwrap();
     let cell = e.hy.create_cell(project, "cloud").unwrap();
     let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
-    e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+    e.hy.reserve(e.alice, cv).unwrap();
     let design = generate::random_logic(gates, 42);
     let bytes = format::write_netlist(&design.netlists[&design.top]).into_bytes();
     let size = bytes.len() as u64;
@@ -60,10 +60,8 @@ fn metadata_ops_cost_no_content_io() {
     let before = e.hy.io_meter();
     // Pure desktop metadata work: versions, variants, reservations.
     let (cv, v0) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
-    e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
-    e.hy.jcf_mut()
-        .derive_variant(e.alice, cv, "x", Some(v0))
-        .unwrap();
+    e.hy.reserve(e.alice, cv).unwrap();
+    e.hy.derive_variant(e.alice, cv, "x", Some(v0)).unwrap();
     let delta = e.hy.io_meter().since(&before);
     // The only I/O is the slave's tiny .meta rewrite; no design data
     // moves. §3.6: "the performance of metadata operations ... is
@@ -110,7 +108,7 @@ fn fmcad_native_read_beats_hybrid_browse() {
     let hybrid_cost = e.hy.io_meter().since(&before);
 
     let before = e.hy.io_meter();
-    e.hy.fmcad_mut()
+    e.hy.fmcad()
         .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
         .unwrap();
     let native_cost = e.hy.io_meter().since(&before);

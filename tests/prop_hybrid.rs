@@ -9,7 +9,7 @@
 //! sessions never break the cross-framework invariants.
 
 use design_data::{format, generate};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 use proptest::prelude::*;
 
 /// A random but *valid* designer action.
@@ -42,11 +42,11 @@ proptest! {
     /// in creation time.
     #[test]
     fn random_sessions_stay_consistent(actions in prop::collection::vec(action_strategy(), 1..25)) {
-        let mut hy = Hybrid::new();
+        let mut hy = Engine::new();
         let admin = hy.admin();
-        let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-        let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-        hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+        let alice = hy.add_user("alice", false).unwrap();
+        let team = hy.add_team(admin, "t").unwrap();
+        hy.add_team_member(admin, team, alice).unwrap();
         let flow = hy.standard_flow("f").unwrap();
         let project = hy.create_project("p").unwrap();
 
@@ -66,7 +66,7 @@ proptest! {
                     if cells.is_empty() { continue; }
                     let cell = cells[i % cells.len()];
                     let (cv, variant) = hy.create_cell_version(cell, flow.flow, team).unwrap();
-                    hy.jcf_mut().reserve(alice, cv).unwrap();
+                    hy.reserve(alice, cv).unwrap();
                     slots.push((cv, variant, true));
                 }
                 Action::NewVariant(i, n) => {
@@ -74,7 +74,7 @@ proptest! {
                     let (cv, base, reserved) = slots[i % slots.len()];
                     if !reserved { continue; }
                     let name = format!("var{n}-{i}");
-                    if let Ok(v) = hy.jcf_mut().derive_variant(alice, cv, &name, Some(base)) {
+                    if let Ok(v) = hy.derive_variant(alice, cv, &name, Some(base)) {
                         slots.push((cv, v, true));
                     }
                 }
@@ -103,7 +103,7 @@ proptest! {
                     let idx = i % slots.len();
                     let (cv, _, reserved) = slots[idx];
                     if reserved {
-                        hy.jcf_mut().publish(alice, cv).unwrap();
+                        hy.publish(alice, cv).unwrap();
                         for slot in slots.iter_mut().filter(|s| s.0 == cv) {
                             slot.2 = false;
                         }
@@ -123,8 +123,7 @@ proptest! {
                     if let Some(mirror) = hy.mirror_of(dov).cloned() {
                         let db = hy.jcf().database().get(dov.object_id(), "data").unwrap()
                             .as_bytes().unwrap().to_vec();
-                        let lib = hy.fmcad_mut()
-                            .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+                        let lib = hy.fmcad().read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
                             .unwrap();
                         prop_assert_eq!(db, lib);
                     }

@@ -5,21 +5,21 @@ use std::collections::BTreeMap;
 
 use cad_tools::{check_lvs, compare_waveforms, Simulator};
 use design_data::{format, generate, Logic, Waveforms};
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, ToolOutput};
 
 struct Env {
-    hy: Hybrid,
+    hy: Engine,
     alice: jcf::UserId,
     team: jcf::TeamId,
     flow: hybrid::StandardFlow,
 }
 
 fn env() -> Env {
-    let mut hy = Hybrid::new();
+    let mut hy = Engine::new();
     let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
+    let alice = hy.add_user("alice", false).unwrap();
+    let team = hy.add_team(admin, "t").unwrap();
+    hy.add_team_member(admin, team, alice).unwrap();
     let flow = hy.standard_flow("f").unwrap();
     Env {
         hy,
@@ -90,7 +90,7 @@ fn twenty_cell_project_scales_and_stays_consistent() {
     for i in 0..20 {
         let cell = e.hy.create_cell(project, &format!("block{i:02}")).unwrap();
         let (cv, variant) = e.hy.create_cell_version(cell, e.flow.flow, e.team).unwrap();
-        e.hy.jcf_mut().reserve(e.alice, cv).unwrap();
+        e.hy.reserve(e.alice, cv).unwrap();
         let design = generate::random_logic(30 + i * 5, i as u64);
         let sch = format::write_netlist(&design.netlists[&design.top]).into_bytes();
         let lay = format::write_layout(&design.layouts[&design.top]).into_bytes();

@@ -1,87 +1,111 @@
-//! Restart persistence across both frameworks: the JCF database
-//! checkpoints into the shared file system and FMCAD reloads its
-//! libraries from their `.meta` files — everything a real installation
-//! would survive a power cycle with.
+//! Restart persistence across both frameworks, engine-style: the
+//! engine checkpoints everything (OMS image, file system image,
+//! coupling state) into a backup disk, the ops applied afterwards land
+//! in a persisted journal tail, and a restart is checkpoint ⊕ replay.
 
-use cad_vfs::VfsPath;
+use cad_vfs::{Blob, Vfs, VfsPath};
 use design_data::{format, generate};
-use fmcad::Fmcad;
-use hybrid::{Hybrid, ToolOutput};
+use hybrid::{Engine, StagingMode, ToolOutput};
 use jcf::Jcf;
 
+/// One full power-cycle per staging mode, in a single test function so
+/// the per-thread [`Blob`] materialization counters stay coherent.
 #[test]
-fn both_frameworks_survive_a_power_cycle_on_one_disk() {
-    // Day 1: a full working session in the hybrid environment.
-    let mut hy = Hybrid::new();
-    let admin = hy.admin();
-    let alice = hy.jcf_mut().add_user("alice", false).unwrap();
-    let team = hy.jcf_mut().add_team(admin, "t").unwrap();
-    hy.jcf_mut().add_team_member(admin, team, alice).unwrap();
-    let flow = hy.standard_flow("f").unwrap();
-    let project = hy.create_project("p").unwrap();
-    let cell = hy.create_cell(project, "fa").unwrap();
-    let (cv, variant) = hy.create_cell_version(cell, flow.flow, team).unwrap();
-    hy.jcf_mut().reserve(alice, cv).unwrap();
-    let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
-    let expected = bytes.clone();
-    let dovs = hy
-        .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
+fn checkpoint_and_replay_survive_a_power_cycle_in_both_staging_modes() {
+    for mode in [StagingMode::ZeroCopy, StagingMode::DeepCopy] {
+        let mat_before = Blob::materializations();
+
+        // Day 1: a working session.
+        let mut en = Engine::new();
+        en.set_staging_mode(mode).unwrap();
+        let admin = en.admin();
+        let alice = en.add_user("alice", false).unwrap();
+        let team = en.add_team(admin, "t").unwrap();
+        en.add_team_member(admin, team, alice).unwrap();
+        let flow = en.standard_flow("f").unwrap();
+        let project = en.create_project("p").unwrap();
+        let cell = en.create_cell(project, "fa").unwrap();
+        let (cv, variant) = en.create_cell_version(cell, flow.flow, team).unwrap();
+        en.reserve(alice, cv).unwrap();
+        let bytes = format::write_netlist(&generate::full_adder()).into_bytes();
+        let expected = bytes.clone();
+        let dovs = en
+            .run_activity(alice, variant, flow.enter_schematic, false, move |_| {
+                Ok(vec![ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: bytes.into(),
+                }])
+            })
+            .unwrap();
+        let mirror = en.mirror_of(dovs[0]).unwrap().clone();
+
+        // Shutdown: everything lands on one backup disk.
+        let mut backup = Vfs::new();
+        let dir = VfsPath::parse("/backup/site-a").unwrap();
+        en.checkpoint_to(&mut backup, &dir).unwrap();
+
+        // Day 2 before the crash: more work lands in the journal tail —
+        // including an op that fails, whose partial effects (desktop
+        // clock bumps) the replay must reproduce too.
+        let layout = format::write_layout(&generate::layout_for(&generate::full_adder()));
+        en.run_activity(alice, variant, flow.enter_layout, false, move |_| {
             Ok(vec![ToolOutput {
-                viewtype: "schematic".into(),
-                data: bytes.into(),
+                viewtype: "layout".into(),
+                data: layout.into_bytes().into(),
             }])
         })
         .unwrap();
-    let mirror = hy.mirror_of(dovs[0]).unwrap().clone();
+        assert!(en.create_cell(project, "fa").is_err(), "duplicate cell");
+        en.publish(alice, cv).unwrap();
+        en.sync_journal(&mut backup, &dir).unwrap();
 
-    // Shutdown: JCF checkpoints into the same disk FMCAD lives on.
-    let backup = VfsPath::parse("/backup/jcf.db").unwrap();
-    {
-        let parent = backup.parent().unwrap();
-        hy.fmcad_mut().fs().mkdir_all(&parent).unwrap();
+        // The crash. Restart = snapshot ⊕ replay.
+        let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+
+        // Identical observable state: tick charges, sequence number,
+        // counters, trace — and the full fingerprint (database, file
+        // system tree and contents, coupling tables).
+        assert_eq!(restored.io_meter(), en.io_meter(), "tick charges match");
+        assert_eq!(restored.seq(), en.seq());
+        assert_eq!(restored.counters().ops(), en.counters().ops());
+        assert_eq!(restored.counters().failures(), en.counters().failures());
+        assert_eq!(
+            restored.state_fingerprint().unwrap(),
+            en.state_fingerprint().unwrap(),
+            "snapshot ⊕ replay must equal the live state ({mode:?})"
+        );
+
+        // The data really is there on both sides.
+        assert_eq!(
+            restored
+                .jcf()
+                .database()
+                .get(dovs[0].object_id(), "data")
+                .unwrap()
+                .as_bytes()
+                .unwrap(),
+            expected.as_slice()
+        );
+        assert_eq!(
+            restored
+                .fmcad()
+                .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
+                .unwrap(),
+            expected
+        );
+
+        let materialized = Blob::materializations() - mat_before;
+        match mode {
+            StagingMode::ZeroCopy => assert_eq!(
+                materialized, 0,
+                "zero-copy staging must not deep-copy design data, even across checkpoint and replay"
+            ),
+            StagingMode::DeepCopy => assert!(
+                materialized > 0,
+                "deep-copy staging pays the physical copies, live and replayed"
+            ),
+        }
     }
-    // Checkpoint the master into a scratch disk, then place the image
-    // on the FMCAD disk so one medium carries everything.
-    let mut hy = { hy };
-    let checkpoint_fs = {
-        let mut tmp_fs = cad_vfs::Vfs::new();
-        tmp_fs.mkdir_all(&backup.parent().unwrap()).unwrap();
-        hy.jcf_mut().checkpoint(&mut tmp_fs, &backup).unwrap();
-        let image = tmp_fs.read(&backup).unwrap();
-        hy.fmcad_mut().fs().write(&backup, image).unwrap();
-        hy.fmcad_mut().fs().clone()
-    };
-    drop(hy);
-
-    // Day 2: restart both frameworks from the single disk.
-    let mut disk = checkpoint_fs;
-    let restored_jcf = {
-        let mut j = Jcf::restore(&mut disk, &backup).unwrap();
-        // The reservation and design data survived.
-        assert_eq!(j.reserver(cv), Some(alice));
-        assert_eq!(j.read_design_data(alice, dovs[0]).unwrap(), expected);
-        j.publish(alice, cv).unwrap();
-        j
-    };
-    let restored_fmcad = Fmcad::open_existing(disk).unwrap();
-    assert!(restored_fmcad.libraries().contains(&"p"));
-    let lib_bytes = restored_fmcad
-        .read_version(&mirror.library, &mirror.cell, &mirror.view, mirror.version)
-        .unwrap();
-    assert_eq!(
-        lib_bytes, expected,
-        "the mirrored data survived on the library side"
-    );
-    // Cross-check: master and slave still agree byte for byte.
-    assert_eq!(
-        restored_jcf
-            .database()
-            .get(dovs[0].object_id(), "data")
-            .unwrap()
-            .as_bytes()
-            .unwrap(),
-        lib_bytes.as_slice()
-    );
 }
 
 #[test]
