@@ -1,7 +1,7 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e10|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e11|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep and the E10 throughput workload
@@ -14,8 +14,8 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui,
-    e8_flow, e9_performance,
+    e10_throughput, e11_faults, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency,
+    e6_hierarchy, e7_ui, e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -148,6 +148,17 @@ fn print_verdicts() {
         ),
     });
 
+    let e11 = e11_faults::run(42);
+    rows.push(Row {
+        exp: "E11",
+        claim: "a crash at any persistence write restores to a commit boundary",
+        holds: e11.holds(),
+        measured: format!(
+            "{} points armed, {} fired, {}/{} recoveries verified",
+            e11.injectable_points, e11.faults_fired, e11.recoveries_verified, e11.injectable_points
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -172,20 +183,26 @@ fn print_verdicts() {
 }
 
 /// Serializes the observable state of a short engine workload: the
-/// counter sink's ops-by-kind and failures-by-error-kind tables plus
-/// the mirror-cache hit count, as hand-rolled JSON.
+/// counter sink's ops-by-kind and failures-by-error-kind tables, the
+/// mirror-cache hit count and the E11 fault-injection counters, as
+/// hand-rolled JSON.
 fn engine_counters_json(seed: u64) -> String {
     let engine = bench::workload::observed_workload(seed);
     let fmt_map = |map: &std::collections::BTreeMap<String, u64>| {
         let body: Vec<String> = map.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
         format!("{{{}}}", body.join(", "))
     };
+    let faults = e11_faults::run(seed);
     format!(
-        "{{\"applied\": {}, \"ops\": {}, \"failures\": {}, \"mirror_cache_hits\": {}}}",
+        "{{\"applied\": {}, \"ops\": {}, \"failures\": {}, \"mirror_cache_hits\": {}, \"fault_injection\": {{\"points_armed\": {}, \"faults_fired\": {}, \"recoveries_verified\": {}, \"torn_tails_dropped\": {}}}}}",
         engine.seq(),
         fmt_map(engine.counters().ops()),
         fmt_map(engine.counters().failures()),
-        engine.mirror_cache_hits()
+        engine.mirror_cache_hits(),
+        faults.injectable_points,
+        faults.faults_fired,
+        faults.recoveries_verified,
+        faults.torn_tails_dropped
     )
 }
 
@@ -326,9 +343,13 @@ fn main() {
         }
         printed = true;
     }
+    if want("e11") {
+        println!("{}", e11_faults::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e10 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e11 or no argument for all");
         std::process::exit(2);
     }
 }

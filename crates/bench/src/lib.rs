@@ -14,6 +14,7 @@
 //! | [`e8_flow`] | §3.5 flow management and derivation relations |
 //! | [`e9_performance`] | §3.6 performance |
 //! | [`e10_throughput`] | host wall-clock of the zero-copy blob layer |
+//! | [`e11_faults`] | crash-point matrix of the persistence protocol |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod e10_throughput;
+pub mod e11_faults;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

@@ -31,6 +31,15 @@ pub enum VfsError {
         /// The offending destination inside `source`.
         dest: VfsPath,
     },
+    /// An armed [`FaultPlan`](crate::FaultPlan) failed this write; a
+    /// torn prefix of the payload may have persisted at the path.
+    InjectedWriteFault(VfsPath),
+    /// An armed [`FaultPlan`](crate::FaultPlan) ran the byte quota out
+    /// mid-write (ENOSPC); only the fitting prefix persisted.
+    QuotaExceeded(VfsPath),
+    /// An armed [`FaultPlan`](crate::FaultPlan) failed this read
+    /// transiently; the stored content is intact.
+    InjectedReadFault(VfsPath),
 }
 
 impl fmt::Display for VfsError {
@@ -45,6 +54,9 @@ impl fmt::Display for VfsError {
             VfsError::RecursiveTransfer { source, dest } => {
                 write!(f, "cannot transfer {source} into its own subtree {dest}")
             }
+            VfsError::InjectedWriteFault(p) => write!(f, "injected write fault: {p}"),
+            VfsError::QuotaExceeded(p) => write!(f, "no space left on device: {p}"),
+            VfsError::InjectedReadFault(p) => write!(f, "injected read fault: {p}"),
         }
     }
 }

@@ -1,11 +1,12 @@
 //! The in-memory file system tree.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use crate::blob::Blob;
 use crate::cost::{CostMeter, IoCostModel};
 use crate::error::{VfsError, VfsResult};
+use crate::fault::{FaultPlan, FaultStats, WriteFaultKind, WriteVerdict};
 use crate::path::VfsPath;
 
 /// Whether a directory entry is a file or a directory.
@@ -107,6 +108,10 @@ pub struct Vfs {
     model: IoCostModel,
     meter: Cell<CostMeter>,
     clock: u64,
+    /// Armed fault schedule, if any. A `RefCell` because read-path
+    /// hooks must advance the plan's counters through `&self` (the
+    /// meter already set that precedent with its `Cell`).
+    faults: RefCell<Option<FaultPlan>>,
 }
 
 impl Default for Vfs {
@@ -131,7 +136,28 @@ impl Vfs {
             model,
             meter: Cell::new(CostMeter::new()),
             clock: 0,
+            faults: RefCell::new(None),
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: subsequent content writes
+    /// and reads consult it and may fail, tear, or run out of quota.
+    /// Replaces any plan already armed. Takes `&self` so a plan can be
+    /// armed on a file system only reachable through a shared
+    /// reference (e.g. the live engine's disk).
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        *self.faults.borrow_mut() = Some(plan);
+    }
+
+    /// Disarms fault injection, returning the plan (and its
+    /// accumulated [`FaultStats`]) if one was armed.
+    pub fn disarm_faults(&self) -> Option<FaultPlan> {
+        self.faults.borrow_mut().take()
+    }
+
+    /// The counters of the currently armed plan, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.borrow().as_ref().map(FaultPlan::stats)
     }
 
     /// Returns the accumulated I/O cost meter.
@@ -298,10 +324,45 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
-    /// and parent-resolution errors otherwise.
+    /// parent-resolution errors, and — while a [`FaultPlan`] is armed —
+    /// [`VfsError::InjectedWriteFault`] or [`VfsError::QuotaExceeded`].
+    /// An injected fault may leave a *torn* file at `path`: a strict
+    /// prefix of the payload, exactly like a partially flushed write.
     pub fn write(&mut self, path: &VfsPath, content: impl Into<Blob>) -> VfsResult<()> {
         let content = content.into();
-        self.charge(|m, model| m.charge_write(model, content.len() as u64));
+        let verdict = self
+            .faults
+            .borrow_mut()
+            .as_mut()
+            .map(|plan| plan.on_write(content.len() as u64))
+            .unwrap_or(WriteVerdict::Persist);
+        match verdict {
+            WriteVerdict::Persist => {
+                self.charge(|m, model| m.charge_write(model, content.len() as u64));
+                self.write_node(path, content)
+            }
+            WriteVerdict::Torn { prefix, kind } => {
+                // Persist the prefix that "reached the disk" — only
+                // those bytes are charged — then surface the fault.
+                let torn = Blob::from(content.as_slice()[..prefix].to_vec());
+                self.charge(|m, model| m.charge_write(model, prefix as u64));
+                let _ = self.write_node(path, torn);
+                Err(Self::write_fault_error(kind, path))
+            }
+            WriteVerdict::Reject(kind) => Err(Self::write_fault_error(kind, path)),
+        }
+    }
+
+    fn write_fault_error(kind: WriteFaultKind, path: &VfsPath) -> VfsError {
+        match kind {
+            WriteFaultKind::Injected => VfsError::InjectedWriteFault(path.clone()),
+            WriteFaultKind::Quota => VfsError::QuotaExceeded(path.clone()),
+        }
+    }
+
+    /// The resolution + insertion half of [`Vfs::write`]; charging and
+    /// fault adjudication already happened.
+    fn write_node(&mut self, path: &VfsPath, content: Blob) -> VfsResult<()> {
         let name = path
             .file_name()
             .ok_or_else(|| VfsError::IsADirectory(path.clone()))?
@@ -336,8 +397,18 @@ impl Vfs {
     /// # Errors
     ///
     /// Returns [`VfsError::IsADirectory`] if `path` names a directory,
-    /// or [`VfsError::NotFound`] if it does not exist.
+    /// [`VfsError::NotFound`] if it does not exist, and — while a
+    /// [`FaultPlan`] is armed — a transient
+    /// [`VfsError::InjectedReadFault`] that leaves the content intact.
     pub fn read(&self, path: &VfsPath) -> VfsResult<Blob> {
+        let faulted = self
+            .faults
+            .borrow_mut()
+            .as_mut()
+            .is_some_and(FaultPlan::on_read);
+        if faulted {
+            return Err(VfsError::InjectedReadFault(path.clone()));
+        }
         let content = match self.lookup(path)? {
             Node::File { content, .. } => content.clone(),
             Node::Dir { .. } => return Err(VfsError::IsADirectory(path.clone())),
@@ -431,9 +502,16 @@ impl Vfs {
 
     /// Moves the node at `source` to `dest` (metadata-only, no copy).
     ///
+    /// Like POSIX `rename(2)`, a regular file at `dest` is atomically
+    /// replaced when `source` is a regular file too — this is the
+    /// commit point of the persistence layer's write-to-temp-then-
+    /// rename protocol, and it is never subject to fault injection
+    /// (a same-directory rename is a single directory-entry update).
+    ///
     /// # Errors
     ///
-    /// Returns [`VfsError::AlreadyExists`] if `dest` exists and
+    /// Returns [`VfsError::AlreadyExists`] if `dest` exists and the
+    /// file-over-file replacement does not apply, and
     /// [`VfsError::RecursiveTransfer`] if `dest` lies inside `source`.
     pub fn rename(&mut self, source: &VfsPath, dest: &VfsPath) -> VfsResult<()> {
         self.charge(|m, model| m.charge_metadata(model));
@@ -443,8 +521,14 @@ impl Vfs {
                 dest: dest.clone(),
             });
         }
-        if self.exists(dest) {
-            return Err(VfsError::AlreadyExists(dest.clone()));
+        if let Ok(existing) = self.lookup(dest) {
+            let replaceable = existing.kind() == NodeKind::File
+                && self
+                    .lookup(source)
+                    .is_ok_and(|s| s.kind() == NodeKind::File);
+            if !replaceable {
+                return Err(VfsError::AlreadyExists(dest.clone()));
+            }
         }
         let src_name = source
             .file_name()
@@ -774,6 +858,112 @@ mod tests {
             fs.meter().since(&before).ticks > 0,
             "shared reads still charge the meter"
         );
+    }
+
+    #[test]
+    fn rename_replaces_an_existing_destination_file() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/old"), b"old".to_vec()).unwrap();
+        fs.write(&p("/new.tmp"), b"new".to_vec()).unwrap();
+        let before = fs.meter();
+        fs.rename(&p("/new.tmp"), &p("/old")).unwrap();
+        assert_eq!(fs.meter().since(&before).content_ops, 0);
+        assert_eq!(fs.read(&p("/old")).unwrap(), b"new");
+        assert!(!fs.exists(&p("/new.tmp")));
+    }
+
+    #[test]
+    fn rename_still_rejects_directory_destinations() {
+        let mut fs = Vfs::new();
+        fs.mkdir(&p("/d")).unwrap();
+        fs.write(&p("/f"), b"x".to_vec()).unwrap();
+        assert!(matches!(
+            fs.rename(&p("/f"), &p("/d")),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        fs.mkdir(&p("/e")).unwrap();
+        assert!(matches!(
+            fs.rename(&p("/e"), &p("/f")),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        assert!(fs.exists(&p("/e")) && fs.exists(&p("/f")));
+    }
+
+    #[test]
+    fn injected_write_fault_persists_nothing() {
+        let mut fs = Vfs::new();
+        fs.arm_faults(FaultPlan::new(1).fail_write(1));
+        assert!(matches!(
+            fs.write(&p("/f"), b"doomed".to_vec()),
+            Err(VfsError::InjectedWriteFault(_))
+        ));
+        assert!(!fs.exists(&p("/f")));
+        fs.write(&p("/f"), b"fine".to_vec()).unwrap();
+        assert_eq!(fs.read(&p("/f")).unwrap(), b"fine");
+        let stats = fs.disarm_faults().unwrap().stats();
+        assert_eq!(stats.writes_seen, 2);
+        assert_eq!(stats.faults_fired, 1);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix_and_charges_only_it() {
+        let mut fs = Vfs::new();
+        fs.arm_faults(FaultPlan::new(0xDEAD).torn_write(1));
+        let before = fs.meter();
+        assert!(matches!(
+            fs.write(&p("/f"), vec![7u8; 1000]),
+            Err(VfsError::InjectedWriteFault(_))
+        ));
+        let torn = fs.read(&p("/f")).unwrap();
+        assert!(torn.len() < 1000, "torn prefix must be strict");
+        assert!(torn.iter().all(|&b| b == 7));
+        assert_eq!(fs.meter().since(&before).bytes_written, torn.len() as u64);
+        assert_eq!(fs.fault_stats().unwrap().bytes_admitted, torn.len() as u64);
+    }
+
+    #[test]
+    fn quota_exhaustion_tears_the_crossing_write() {
+        let mut fs = Vfs::new();
+        fs.arm_faults(FaultPlan::new(1).quota(8));
+        fs.write(&p("/a"), vec![1u8; 6]).unwrap();
+        assert!(matches!(
+            fs.write(&p("/b"), vec![2u8; 6]),
+            Err(VfsError::QuotaExceeded(_))
+        ));
+        assert_eq!(fs.read(&p("/b")).unwrap().len(), 2, "fitting prefix only");
+        assert!(matches!(
+            fs.write(&p("/c"), vec![3u8; 1]),
+            Err(VfsError::QuotaExceeded(_))
+        ));
+        assert!(fs.read(&p("/c")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_read_fault_is_transient() {
+        let mut fs = Vfs::new();
+        fs.write(&p("/f"), b"data".to_vec()).unwrap();
+        fs.arm_faults(FaultPlan::new(2).fail_read(1));
+        assert!(matches!(
+            fs.read(&p("/f")),
+            Err(VfsError::InjectedReadFault(_))
+        ));
+        assert_eq!(fs.read(&p("/f")).unwrap(), b"data", "content intact");
+    }
+
+    #[test]
+    fn disarmed_fs_charges_exactly_like_an_unarmed_one() {
+        let run = |arm: bool| {
+            let mut fs = Vfs::new();
+            if arm {
+                fs.arm_faults(FaultPlan::new(5));
+                fs.disarm_faults();
+            }
+            fs.mkdir_all(&p("/d")).unwrap();
+            fs.write(&p("/d/f"), vec![0u8; 500]).unwrap();
+            fs.read(&p("/d/f")).unwrap();
+            fs.meter()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 mod blob;
 mod cost;
 mod error;
+mod fault;
 mod fs;
 mod path;
 mod rng;
@@ -46,6 +47,7 @@ mod rng;
 pub use blob::Blob;
 pub use cost::{CostMeter, IoCostModel};
 pub use error::{VfsError, VfsResult};
+pub use fault::{FaultPlan, FaultStats};
 pub use fs::{Metadata, NodeKind, Vfs};
 pub use path::VfsPath;
 pub use rng::SplitMix64;

@@ -1492,6 +1492,18 @@ fn parse_meta(text: &str) -> HybridResult<MetaState> {
     Ok(meta)
 }
 
+/// What [`Engine::recover_from`] did to bring a crashed journal back:
+/// how many complete entries replayed, and the torn suffix (if any)
+/// that was dropped instead of replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete journal entries replayed after the checkpoint.
+    pub replayed: usize,
+    /// The unterminated trailing bytes dropped from the journal, if
+    /// the tail was torn.
+    pub dropped_fragment: Option<String>,
+}
+
 impl Engine {
     /// Writes a full checkpoint into `dir` of the `backup` file
     /// system: the OMS database image, the shared file system image,
@@ -1503,19 +1515,49 @@ impl Engine {
     /// records the meter *after* the walk, so a restored engine resumes
     /// with exactly the live instance's charges.
     ///
+    /// The checkpoint is a *group commit*: all four files are first
+    /// staged in full at sibling `*.tmp` paths (the only writes that
+    /// can fail), then renamed into place back-to-back — metadata-only
+    /// moves that cannot tear. A crash anywhere during staging leaves
+    /// every destination file exactly as the previous commit wrote it,
+    /// and the in-memory journal is cleared only after the commit, so
+    /// a failed checkpoint loses nothing.
+    ///
     /// # Errors
     ///
     /// Returns image encoding and backup file system errors.
     pub fn checkpoint_to(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
         backup.mkdir_all(dir)?;
-        oms::persist::save(self.hy.jcf.database(), backup, &dir.join(OMS_IMG)?)
-            .map_err(|e| HybridError::Journal(format!("oms image: {e}")))?;
-        let image = fs_image(self.hy.fmcad.fs_ref())?;
-        backup.write(&dir.join(FS_IMG)?, image.into_bytes())?;
-        let meta = self.meta_text();
-        backup.write(&dir.join(HYBRID_META)?, meta.into_bytes())?;
+        let files: [(&str, Vec<u8>); 4] = [
+            (
+                OMS_IMG,
+                oms::persist::dump(self.hy.jcf.database()).into_bytes(),
+            ),
+            (FS_IMG, fs_image(self.hy.fmcad.fs_ref())?.into_bytes()),
+            (HYBRID_META, self.meta_text().into_bytes()),
+            (
+                JOURNAL_LOG,
+                oms::persist::render_journal(&[])
+                    .map_err(|e| HybridError::Journal(format!("journal: {e}")))?
+                    .into_bytes(),
+            ),
+        ];
+        // Stage everything first; any fault aborts before a single
+        // destination file has changed.
+        let mut commits = Vec::with_capacity(files.len());
+        for (name, bytes) in files {
+            let dest = dir.join(name)?;
+            let tmp =
+                oms::persist::staging_path(&dest).expect("checkpoint files are never the root");
+            backup.write(&tmp, bytes)?;
+            commits.push((tmp, dest));
+        }
+        // Commit point: rename the staged files into place.
+        for (tmp, dest) in commits {
+            backup.rename(&tmp, &dest)?;
+        }
         self.journal.clear();
-        self.sync_journal(backup, dir)
+        Ok(())
     }
 
     /// Persists the ops journal tail (everything applied since the
@@ -1542,9 +1584,44 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`HybridError::Journal`] for corrupt images, plus
-    /// framework errors from the rebuild.
+    /// Returns [`HybridError::Journal`] for corrupt images,
+    /// [`HybridError::TornJournal`] when the journal tail is truncated
+    /// mid-entry (see [`Engine::recover_from`]), plus framework errors
+    /// from the rebuild.
     pub fn restore_from(backup: &mut Vfs, dir: &VfsPath) -> HybridResult<Engine> {
+        Ok(Self::restore_inner(backup, dir, false)?.0)
+    }
+
+    /// Restarts like [`Engine::restore_from`], but *recovers* from a
+    /// journal whose final line was torn by a crashed write: the torn
+    /// suffix — necessarily the remains of a single entry, because
+    /// [`Engine::sync_journal`] terminates every line — is dropped and
+    /// only the complete prefix is replayed. The report says how many
+    /// entries replayed and what (if anything) was dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::restore_from`], except a torn tail is handled
+    /// instead of reported.
+    pub fn recover_from(backup: &mut Vfs, dir: &VfsPath) -> HybridResult<(Engine, RecoveryReport)> {
+        let (engine, replayed, dropped_fragment) = Self::restore_inner(backup, dir, true)?;
+        Ok((
+            engine,
+            RecoveryReport {
+                replayed,
+                dropped_fragment,
+            },
+        ))
+    }
+
+    /// Shared body of [`Engine::restore_from`] / [`Engine::recover_from`]:
+    /// rebuilds the engine from the checkpoint and replays the journal,
+    /// either rejecting or dropping a torn tail.
+    fn restore_inner(
+        backup: &mut Vfs,
+        dir: &VfsPath,
+        drop_torn_tail: bool,
+    ) -> HybridResult<(Engine, usize, Option<String>)> {
         let meta_bytes = backup.read(&dir.join(HYBRID_META)?)?;
         let meta = parse_meta(&String::from_utf8_lossy(&meta_bytes))?;
         let image_bytes = backup.read(&dir.join(FS_IMG)?)?;
@@ -1612,13 +1689,22 @@ impl Engine {
         // sinks advance exactly as they did live — including ops that
         // failed, whose partial effects (started executions, clock
         // bumps, staged reads) are part of the state being restored.
-        let lines = oms::persist::load_journal(backup, &dir.join(JOURNAL_LOG)?)
+        let (lines, torn) = oms::persist::load_journal_lenient(backup, &dir.join(JOURNAL_LOG)?)
             .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+        if let Some(fragment) = &torn {
+            if !drop_torn_tail {
+                return Err(HybridError::TornJournal {
+                    complete: lines.len(),
+                    fragment: fragment.clone(),
+                });
+            }
+        }
+        let replayed = lines.len();
         for line in lines {
             let op = Op::parse_line(&line)?;
             let _ = engine.apply(op);
         }
-        Ok(engine)
+        Ok((engine, replayed, torn))
     }
 
     /// A deterministic fingerprint of everything the engine models:

@@ -46,6 +46,16 @@ pub enum HybridError {
     /// The ops journal is corrupt, or a replayed operation reproduced
     /// a recorded failure whose original error type was not preserved.
     Journal(String),
+    /// The persisted ops journal ends in a line truncated mid-entry —
+    /// a write was torn before its trailing newline was flushed.
+    /// [`Engine::recover_from`](crate::Engine::recover_from) restarts
+    /// from such a journal by dropping only the torn suffix.
+    TornJournal {
+        /// Complete entries preceding the torn tail.
+        complete: usize,
+        /// The unterminated trailing bytes.
+        fragment: String,
+    },
 }
 
 impl fmt::Display for HybridError {
@@ -70,6 +80,12 @@ impl fmt::Display for HybridError {
                 "activity {activity:?} produced undeclared viewtype {viewtype:?}"
             ),
             HybridError::Journal(what) => write!(f, "journal: {what}"),
+            HybridError::TornJournal { complete, fragment } => write!(
+                f,
+                "journal tail truncated mid-entry after {complete} complete entrie(s) \
+                 ({} torn byte(s))",
+                fragment.len()
+            ),
         }
     }
 }
@@ -87,6 +103,7 @@ impl HybridError {
             HybridError::NonIsomorphicHierarchy { .. } => "non-isomorphic-hierarchy",
             HybridError::UndeclaredOutput { .. } => "undeclared-output",
             HybridError::Journal(_) => "journal",
+            HybridError::TornJournal { .. } => "torn-journal",
         }
     }
 }

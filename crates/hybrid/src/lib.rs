@@ -82,7 +82,7 @@ mod release;
 
 pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
-pub use engine::Engine;
+pub use engine::{Engine, RecoveryReport};
 pub use error::{HybridError, HybridResult};
 pub use events::{CounterSink, Event, EventSink, JournalEntry, TraceSink, TRACE_CAPACITY};
 pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};

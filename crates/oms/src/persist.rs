@@ -176,7 +176,8 @@ impl Checkpointer {
         out
     }
 
-    /// Writes the (incrementally serialised) image to `path`.
+    /// Writes the (incrementally serialised) image to `path`
+    /// atomically, like [`save`].
     ///
     /// # Errors
     ///
@@ -184,12 +185,36 @@ impl Checkpointer {
     /// the message, like [`save`].
     pub fn save(&mut self, db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
         let image = self.dump(db);
-        fs.write(path, image.into_bytes())
-            .map_err(|e| OmsError::CorruptImage {
-                line: 0,
-                reason: e.to_string(),
-            })
+        atomic_write(fs, path, image.into_bytes())
     }
+}
+
+/// The sibling staging path (`<name>.tmp`) the atomic-commit protocol
+/// writes before renaming onto `path`; `None` for the root. A stale
+/// staging file is the only debris a crashed commit can leave — loaders
+/// never look at it, and the next commit simply overwrites it.
+pub fn staging_path(path: &VfsPath) -> Option<VfsPath> {
+    let name = path.file_name()?;
+    let parent = path.parent()?;
+    parent.join(&format!("{name}.tmp")).ok()
+}
+
+/// Writes `bytes` to `path` atomically: stage the full payload at the
+/// sibling [`staging_path`], then `rename` onto `path` — the commit
+/// point. A crash (or injected fault) mid-write can tear the staged
+/// temporary but never the destination, which either keeps its previous
+/// content or receives the complete new image.
+fn atomic_write(fs: &mut Vfs, path: &VfsPath, bytes: Vec<u8>) -> OmsResult<()> {
+    let fs_err = |e: cad_vfs::VfsError| OmsError::CorruptImage {
+        line: 0,
+        reason: e.to_string(),
+    };
+    let tmp = staging_path(path).ok_or_else(|| OmsError::CorruptImage {
+        line: 0,
+        reason: "cannot stage the root path".to_owned(),
+    })?;
+    fs.write(&tmp, bytes).map_err(fs_err)?;
+    fs.rename(&tmp, path).map_err(fs_err)
 }
 
 /// Parses a textual image back into a database over `schema`.
@@ -274,7 +299,10 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
     Ok(db)
 }
 
-/// Writes the database image to `path` in the virtual file system.
+/// Writes the database image to `path` in the virtual file system,
+/// atomically: the image is staged at a sibling `*.tmp` path and
+/// renamed into place, so a reader at `path` observes either the old
+/// image or the complete new one — never a partial write.
 ///
 /// # Errors
 ///
@@ -282,11 +310,7 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
 /// message (the caller keeps a single error domain).
 pub fn save(db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
     let image = dump(db);
-    fs.write(path, image.into_bytes())
-        .map_err(|e| OmsError::CorruptImage {
-            line: 0,
-            reason: e.to_string(),
-        })
+    atomic_write(fs, path, image.into_bytes())
 }
 
 /// Reads a database image from `path` in the virtual file system.
@@ -310,17 +334,15 @@ pub fn load(schema: Schema, fs: &mut Vfs, path: &VfsPath) -> OmsResult<Database>
 /// Header line of a persisted operations journal.
 pub const JOURNAL_MAGIC: &str = "oms-journal v1";
 
-/// Writes an operations journal to `path`: one opaque single-line
-/// entry per operation, under an `oms-journal v1` header. The entries
-/// themselves are produced (and later interpreted) by the caller; the
-/// store only guarantees a faithful line-per-entry round trip.
+/// Renders an operations journal: one opaque single-line entry per
+/// operation under an `oms-journal v1` header, every line
+/// newline-terminated (which is how a torn tail is detected on load).
 ///
 /// # Errors
 ///
-/// Propagates file system errors as a corrupt-image error carrying the
-/// message, and rejects entries containing newlines (they would break
-/// the line framing).
-pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResult<()> {
+/// Rejects entries containing newlines (they would break the line
+/// framing).
+pub fn render_journal(entries: &[String]) -> OmsResult<String> {
     let mut out = String::from(JOURNAL_MAGIC);
     out.push('\n');
     for (n, entry) in entries.iter().enumerate() {
@@ -333,11 +355,22 @@ pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResu
         out.push_str(entry);
         out.push('\n');
     }
-    fs.write(path, out.into_bytes())
-        .map_err(|e| OmsError::CorruptImage {
-            line: 0,
-            reason: e.to_string(),
-        })
+    Ok(out)
+}
+
+/// Writes an operations journal to `path`, atomically (staged at a
+/// sibling `*.tmp` path, renamed into place). The entries themselves
+/// are produced (and later interpreted) by the caller; the store only
+/// guarantees a faithful line-per-entry round trip.
+///
+/// # Errors
+///
+/// Propagates file system errors as a corrupt-image error carrying the
+/// message, and rejects entries containing newlines (they would break
+/// the line framing).
+pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResult<()> {
+    let out = render_journal(entries)?;
+    atomic_write(fs, path, out.into_bytes())
 }
 
 /// Reads an operations journal written by [`save_journal`].
@@ -345,8 +378,39 @@ pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResu
 /// # Errors
 ///
 /// Returns [`OmsError::CorruptImage`] if the file is missing, not
-/// UTF-8, or lacks the journal header.
+/// UTF-8, lacks the journal header, or ends in a line truncated
+/// mid-entry (no trailing newline). Callers that want to *recover*
+/// from a torn tail instead of rejecting it use
+/// [`load_journal_lenient`].
 pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
+    let (entries, torn) = load_journal_lenient(fs, path)?;
+    if let Some(fragment) = torn {
+        return Err(OmsError::CorruptImage {
+            line: entries.len() + 2,
+            reason: format!(
+                "journal tail truncated mid-entry ({} bytes)",
+                fragment.len()
+            ),
+        });
+    }
+    Ok(entries)
+}
+
+/// Reads an operations journal, tolerating a torn final line.
+///
+/// Every entry [`save_journal`] writes is newline-terminated, so any
+/// trailing bytes after the last newline are the remains of an entry
+/// that never finished flushing. This loader returns the complete
+/// entries plus the torn fragment (if any) and lets the caller decide:
+/// [`load_journal`] rejects the fragment, recovery paths drop it.
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] if the file is missing, not
+/// UTF-8, or its *complete* first line is not the journal header. (A
+/// file whose only content is an unterminated prefix is reported as
+/// zero entries plus a fragment — the header itself never finished.)
+pub fn load_journal_lenient(fs: &Vfs, path: &VfsPath) -> OmsResult<(Vec<String>, Option<String>)> {
     let bytes = fs.read(path).map_err(|e| OmsError::CorruptImage {
         line: 0,
         reason: e.to_string(),
@@ -355,17 +419,29 @@ pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
         line: 0,
         reason: "journal is not utf-8".to_owned(),
     })?;
-    let mut lines = text.lines();
+    let (complete, fragment) = match text.rfind('\n') {
+        Some(nl) => (&text[..nl], &text[nl + 1..]),
+        None => ("", text),
+    };
+    let fragment = (!fragment.is_empty()).then(|| fragment.to_owned());
+    let mut lines = complete.lines();
     match lines.next() {
         Some(JOURNAL_MAGIC) => {}
-        other => {
+        Some(other) => {
             return Err(OmsError::CorruptImage {
                 line: 1,
                 reason: format!("bad journal header {other:?}"),
             })
         }
+        None if fragment.is_some() => return Ok((Vec::new(), fragment)),
+        None => {
+            return Err(OmsError::CorruptImage {
+                line: 1,
+                reason: "bad journal header None".to_owned(),
+            })
+        }
     }
-    Ok(lines.map(str::to_owned).collect())
+    Ok((lines.map(str::to_owned).collect(), fragment))
 }
 
 fn split2(s: &str) -> Option<(&str, &str)> {
@@ -618,6 +694,106 @@ mod tests {
             load_journal(&fs, &path),
             Err(OmsError::CorruptImage { line: 1, .. })
         ));
+    }
+
+    #[test]
+    fn save_is_atomic_under_injected_faults() {
+        use cad_vfs::FaultPlan;
+        let db = populated();
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/checkpoint.db").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        save(&db, &mut fs, &path).unwrap();
+        let committed = fs.read(&path).unwrap();
+        // Tear every subsequent save: the destination must keep the
+        // previously committed image, byte for byte.
+        for seed in 0..8 {
+            fs.arm_faults(FaultPlan::new(seed).torn_write(1));
+            assert!(save(&db, &mut fs, &path).is_err());
+            fs.disarm_faults();
+            assert_eq!(
+                fs.read(&path).unwrap(),
+                committed,
+                "a torn save must never be observable at the destination"
+            );
+        }
+        // A fresh destination with a torn first save: nothing appears.
+        let fresh = VfsPath::parse("/oms/fresh.db").unwrap();
+        fs.arm_faults(FaultPlan::new(1).torn_write(1));
+        assert!(save(&db, &mut fs, &fresh).is_err());
+        fs.disarm_faults();
+        assert!(!fs.exists(&fresh), "no partial image at a fresh path");
+        // After the fault clears, the save commits and loads clean.
+        save(&db, &mut fs, &path).unwrap();
+        let restored = load(sample_schema(), &mut fs, &path).unwrap();
+        assert_eq!(dump(&restored), dump(&db));
+    }
+
+    #[test]
+    fn checkpointer_save_is_atomic_under_injected_faults() {
+        use cad_vfs::FaultPlan;
+        let db = populated();
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/checkpoint.db").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        let mut ck = Checkpointer::new();
+        ck.save(&db, &mut fs, &path).unwrap();
+        let committed = fs.read(&path).unwrap();
+        fs.arm_faults(FaultPlan::new(3).torn_write(1));
+        assert!(ck.save(&db, &mut fs, &path).is_err());
+        fs.disarm_faults();
+        assert_eq!(fs.read(&path).unwrap(), committed);
+    }
+
+    #[test]
+    fn save_journal_is_atomic_under_injected_faults() {
+        use cad_vfs::FaultPlan;
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/oms/journal.log").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        let first = vec!["op|a=1".to_owned()];
+        save_journal(&mut fs, &path, &first).unwrap();
+        fs.arm_faults(FaultPlan::new(11).torn_write(1));
+        let longer = vec!["op|a=1".to_owned(), "op|b=2".to_owned()];
+        assert!(save_journal(&mut fs, &path, &longer).is_err());
+        fs.disarm_faults();
+        assert_eq!(
+            load_journal(&fs, &path).unwrap(),
+            first,
+            "the committed journal survives a torn re-save intact"
+        );
+    }
+
+    #[test]
+    fn torn_journal_tail_is_rejected_strictly_and_split_leniently() {
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/journal.log").unwrap();
+        let entries = vec!["op|a=1".to_owned(), "op|b=2".to_owned()];
+        save_journal(&mut fs, &path, &entries).unwrap();
+        // Hand-truncate the final entry mid-line.
+        let bytes = fs.read(&path).unwrap().to_vec();
+        fs.write(&path, bytes[..bytes.len() - 3].to_vec()).unwrap();
+        let err = load_journal(&fs, &path).unwrap_err();
+        assert!(matches!(err, OmsError::CorruptImage { line: 3, .. }));
+        let (complete, torn) = load_journal_lenient(&fs, &path).unwrap();
+        assert_eq!(complete, vec!["op|a=1".to_owned()]);
+        assert_eq!(torn.as_deref(), Some("op|b"));
+        // A torn *header* yields zero entries plus the fragment.
+        fs.write(&path, b"oms-jour".to_vec()).unwrap();
+        let (complete, torn) = load_journal_lenient(&fs, &path).unwrap();
+        assert!(complete.is_empty());
+        assert_eq!(torn.as_deref(), Some("oms-jour"));
+        assert!(load_journal(&fs, &path).is_err());
+    }
+
+    #[test]
+    fn staging_path_is_a_tmp_sibling() {
+        let p = VfsPath::parse("/backup/oms.img").unwrap();
+        assert_eq!(
+            staging_path(&p).unwrap(),
+            VfsPath::parse("/backup/oms.img.tmp").unwrap()
+        );
+        assert!(staging_path(&VfsPath::root()).is_none());
     }
 
     #[test]

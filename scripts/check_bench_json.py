@@ -69,9 +69,34 @@ def main():
         print(f"OK: E9 parsed ({len(e9['rows'])} rows, non-golden seed {e9['seed']})")
 
     engine = e10.get("engine", {})
+    for field in ("applied", "ops", "failures"):
+        if field not in engine:
+            sys.exit(
+                f"FAIL: BENCH_E10.json engine block lacks {field!r} "
+                "(the observability counters regressed)"
+            )
     print(
-        "OK: E10 parsed ({} rows, seed {}, {} engine ops journaled)".format(
-            len(e10["rows"]), e10["seed"], engine.get("applied", "?")
+        "OK: E10 parsed ({} rows, seed {}, {} engine ops journaled, "
+        "{} failure kind(s) counted)".format(
+            len(e10["rows"]), e10["seed"], engine["applied"], len(engine["failures"])
+        )
+    )
+
+    faults = engine.get("fault_injection")
+    if faults is None:
+        sys.exit("FAIL: BENCH_E10.json engine block lacks the E11 fault counters")
+    for field in ("points_armed", "faults_fired", "recoveries_verified"):
+        if field not in faults:
+            sys.exit(f"FAIL: fault_injection block lacks {field!r}")
+    if faults["recoveries_verified"] != faults["points_armed"]:
+        sys.exit(
+            "FAIL: E11 verified only {}/{} crash recoveries".format(
+                faults["recoveries_verified"], faults["points_armed"]
+            )
+        )
+    print(
+        "OK: E11 fault injection ({} points armed, {} fired, {} recoveries verified)".format(
+            faults["points_armed"], faults["faults_fired"], faults["recoveries_verified"]
         )
     )
 

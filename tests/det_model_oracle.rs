@@ -1,0 +1,561 @@
+//! Model-based differential oracle for the hybrid engine.
+//!
+//! A flat [`Model`] interprets the same operation stream as the real
+//! [`Engine`], but independently of OMS, JCF and FMCAD: it is nothing
+//! but plain vectors and maps encoding the workspace rules of §2.1
+//! (exclusive reservations, publish-to-expose, per-variant name
+//! spaces). After *every* applied op the driver diffs the model's
+//! predicted outcome against the engine's actual result, the model's
+//! sequence number against [`Engine::seq`], and the model's counter
+//! tables against the built-in [`CounterSink`]; periodically it also
+//! deep-checks reservation holders and publication flags through the
+//! JCF read API. Any divergence — a wrong success, a wrong error kind,
+//! a drifted counter, a stale reservation — fails immediately with the
+//! seed and step that exposed it.
+
+use std::collections::BTreeMap;
+
+use cad_vfs::SplitMix64;
+use hybrid::{Engine, HybridError, StandardFlow};
+use jcf::{CellId, CellVersionId, DesignObjectId, DovId, UserId, VariantId, ViewTypeId};
+
+// --- the reference model ------------------------------------------------
+
+/// What the model expects an op application to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    /// Failure with this [`HybridError::kind_name`].
+    Err(&'static str),
+}
+
+/// A cell version: who holds the reservation, which variant names are
+/// taken below it.
+struct MCv {
+    holder: Option<usize>,
+    variant_names: Vec<String>,
+}
+
+/// A variant: its owning cell version and the design object names
+/// already used inside it.
+struct MVariant {
+    cv: usize,
+    names: Vec<String>,
+}
+
+/// A design object: its owning variant and its version list.
+struct MDesign {
+    variant: usize,
+    versions: Vec<usize>,
+}
+
+/// A design object version: publication flag and payload.
+struct MDov {
+    design: usize,
+    published: bool,
+    data: Vec<u8>,
+}
+
+/// The flat reference state. Indices are creation order and align
+/// one-to-one with the id vectors in [`World`].
+struct Model {
+    seq: u64,
+    ops: BTreeMap<String, u64>,
+    failures: BTreeMap<String, u64>,
+    cells: usize,
+    cvs: Vec<MCv>,
+    variants: Vec<MVariant>,
+    designs: Vec<MDesign>,
+    dovs: Vec<MDov>,
+}
+
+impl Model {
+    /// Seeds the model from the engine's post-bootstrap observables.
+    fn from_bootstrap(en: &Engine) -> Model {
+        Model {
+            seq: en.seq(),
+            ops: en.counters().ops().clone(),
+            failures: en.counters().failures().clone(),
+            cells: 0,
+            cvs: Vec::new(),
+            variants: Vec::new(),
+            designs: Vec::new(),
+            dovs: Vec::new(),
+        }
+    }
+
+    /// Records that one op of `kind` was applied with `outcome`.
+    fn record(&mut self, kind: &str, outcome: Outcome) {
+        self.seq += 1;
+        match outcome {
+            Outcome::Ok => *self.ops.entry(kind.to_owned()).or_insert(0) += 1,
+            Outcome::Err(error_kind) => {
+                *self.failures.entry(error_kind.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The §2.1 visibility rule: published, or reserved by the reader.
+    fn visible(&self, user: usize, dov: usize) -> bool {
+        let dov = &self.dovs[dov];
+        if dov.published {
+            return true;
+        }
+        let cv = self.variants[self.designs[dov.design].variant].cv;
+        self.cvs[cv].holder == Some(user)
+    }
+}
+
+// --- real-id mirror -----------------------------------------------------
+
+/// The engine-side ids, index-aligned with the model's vectors.
+struct World {
+    cells: Vec<CellId>,
+    cvs: Vec<CellVersionId>,
+    variants: Vec<VariantId>,
+    designs: Vec<DesignObjectId>,
+    dovs: Vec<DovId>,
+}
+
+struct Rig {
+    en: Engine,
+    users: [UserId; 2],
+    flow: StandardFlow,
+    team: jcf::TeamId,
+    schematic: ViewTypeId,
+    project: jcf::ProjectId,
+}
+
+/// Admin, two team members, the standard flow and one project — the
+/// same §2.1 multi-user floor the workspace rules quantify over.
+fn bootstrap() -> Rig {
+    let mut en = Engine::new();
+    let admin = en.admin();
+    let alice = en.add_user("alice", false).expect("alice");
+    let bob = en.add_user("bob", false).expect("bob");
+    let team = en.add_team(admin, "asic").expect("team");
+    en.add_team_member(admin, team, alice).expect("alice joins");
+    en.add_team_member(admin, team, bob).expect("bob joins");
+    let flow = en.standard_flow("asic").expect("flow");
+    let project = en.create_project("alu16").expect("project");
+    let schematic = en.viewtype("schematic").expect("schematic viewtype");
+    Rig {
+        en,
+        users: [alice, bob],
+        flow,
+        team,
+        schematic,
+        project,
+    }
+}
+
+// --- driver -------------------------------------------------------------
+
+/// Picks from `items` while always consuming exactly one rng draw, so
+/// the stream stays aligned regardless of world population.
+fn pick(rng: &mut SplitMix64, len: usize) -> Option<usize> {
+    if len == 0 {
+        rng.next_u64();
+        None
+    } else {
+        Some(rng.below(len))
+    }
+}
+
+/// Applies one op to both the model and the engine and returns
+/// `(op kind, predicted outcome, actual result)`.
+///
+/// Every arm draws from the rng in a state-independent order, predicts
+/// the outcome from the model *before* touching the engine, applies
+/// the real op, and mutates the model only on predicted success —
+/// exactly mirroring the engine's own all-or-nothing op semantics.
+fn step(
+    rig: &mut Rig,
+    rng: &mut SplitMix64,
+    m: &mut Model,
+    w: &mut World,
+) -> (&'static str, Outcome, Result<(), HybridError>) {
+    // An op every engine rejects wholesale: re-creating the bootstrap
+    // project. Used directly (arm 9) and as the aligned fallback when a
+    // pick finds an empty world list.
+    macro_rules! dup_project {
+        () => {{
+            let actual = rig.en.create_project("alu16").map(|_| ());
+            return ("create-project", Outcome::Err("jcf"), actual);
+        }};
+    }
+
+    match rng.below(10) {
+        // Fresh cell names never clash: always succeeds.
+        0 => {
+            let name = format!("cell{}", m.cells);
+            let actual = rig.en.create_cell(rig.project, &name).map(|id| {
+                w.cells.push(id);
+            });
+            m.cells += 1;
+            ("create-cell", Outcome::Ok, actual)
+        }
+        // A new cell version brings its `base` variant (and the mapped
+        // FMCAD cell): always succeeds.
+        1 => {
+            let Some(cell) = pick(rng, w.cells.len()) else {
+                dup_project!()
+            };
+            let actual = rig
+                .en
+                .create_cell_version(w.cells[cell], rig.flow.flow, rig.team)
+                .map(|(cv, variant)| {
+                    w.cvs.push(cv);
+                    w.variants.push(variant);
+                });
+            m.cvs.push(MCv {
+                holder: None,
+                variant_names: vec!["base".to_owned()],
+            });
+            let cv = m.cvs.len() - 1;
+            m.variants.push(MVariant {
+                cv,
+                names: Vec::new(),
+            });
+            ("create-cell-version", Outcome::Ok, actual)
+        }
+        // Reserve: free or self-held succeeds, held by the other fails.
+        2 => {
+            let user = rng.below(2);
+            let Some(cv) = pick(rng, w.cvs.len()) else {
+                dup_project!()
+            };
+            let predicted = match m.cvs[cv].holder {
+                Some(holder) if holder != user => Outcome::Err("jcf"),
+                _ => Outcome::Ok,
+            };
+            let actual = rig.en.reserve(rig.users[user], w.cvs[cv]);
+            if predicted == Outcome::Ok {
+                m.cvs[cv].holder = Some(user);
+            }
+            ("reserve", predicted, actual)
+        }
+        // Publish: only the holder may; exposes every dov below the
+        // cell version and releases the reservation.
+        3 => {
+            let user = rng.below(2);
+            let Some(cv) = pick(rng, w.cvs.len()) else {
+                dup_project!()
+            };
+            let predicted = if m.cvs[cv].holder == Some(user) {
+                Outcome::Ok
+            } else {
+                Outcome::Err("jcf")
+            };
+            let actual = rig.en.publish(rig.users[user], w.cvs[cv]);
+            if predicted == Outcome::Ok {
+                m.cvs[cv].holder = None;
+                for d in 0..m.dovs.len() {
+                    if m.variants[m.designs[m.dovs[d].design].variant].cv == cv {
+                        m.dovs[d].published = true;
+                    }
+                }
+            }
+            ("publish", predicted, actual)
+        }
+        // Derive a variant: needs the reservation, then a fresh name
+        // within the cell version (the pool forces collisions).
+        4 => {
+            let user = rng.below(2);
+            let name = format!("v{}", rng.below(5));
+            let Some(cv) = pick(rng, w.cvs.len()) else {
+                dup_project!()
+            };
+            // Reservation is checked before the name clash, but both
+            // reject under the same "jcf" error kind.
+            let rejected =
+                m.cvs[cv].holder != Some(user) || m.cvs[cv].variant_names.contains(&name);
+            let predicted = if rejected {
+                Outcome::Err("jcf")
+            } else {
+                Outcome::Ok
+            };
+            let actual = rig
+                .en
+                .derive_variant(rig.users[user], w.cvs[cv], &name, None)
+                .map(|variant| {
+                    w.variants.push(variant);
+                });
+            if predicted == Outcome::Ok {
+                m.cvs[cv].variant_names.push(name);
+                m.variants.push(MVariant {
+                    cv,
+                    names: Vec::new(),
+                });
+            }
+            ("derive-variant", predicted, actual)
+        }
+        // Create a design object: reservation plus per-variant name
+        // uniqueness (pool of four forces collisions).
+        5 => {
+            let user = rng.below(2);
+            let name = format!("d{}", rng.below(4));
+            let Some(variant) = pick(rng, w.variants.len()) else {
+                dup_project!()
+            };
+            let cv = m.variants[variant].cv;
+            let rejected =
+                m.cvs[cv].holder != Some(user) || m.variants[variant].names.contains(&name);
+            let predicted = if rejected {
+                Outcome::Err("jcf")
+            } else {
+                Outcome::Ok
+            };
+            let actual = rig
+                .en
+                .create_design_object(rig.users[user], w.variants[variant], &name, rig.schematic)
+                .map(|id| {
+                    w.designs.push(id);
+                });
+            if predicted == Outcome::Ok {
+                m.variants[variant].names.push(name);
+                m.designs.push(MDesign {
+                    variant,
+                    versions: Vec::new(),
+                });
+            }
+            ("create-design-object", predicted, actual)
+        }
+        // Add a design object version: reservation only. New versions
+        // start unpublished even after an earlier publish.
+        6 => {
+            let user = rng.below(2);
+            let data = format!("netlist {}", rng.next_u64()).into_bytes();
+            let Some(design) = pick(rng, w.designs.len()) else {
+                dup_project!()
+            };
+            let cv = m.variants[m.designs[design].variant].cv;
+            let predicted = if m.cvs[cv].holder == Some(user) {
+                Outcome::Ok
+            } else {
+                Outcome::Err("jcf")
+            };
+            let actual = rig
+                .en
+                .add_design_object_version(rig.users[user], w.designs[design], data.clone())
+                .map(|dov| {
+                    w.dovs.push(dov);
+                });
+            if predicted == Outcome::Ok {
+                m.dovs.push(MDov {
+                    design,
+                    published: false,
+                    data,
+                });
+                let dov = m.dovs.len() - 1;
+                m.designs[design].versions.push(dov);
+            }
+            ("add-design-object-version", predicted, actual)
+        }
+        // Desktop read: visible iff published or reserved by the
+        // reader; on success the bytes must match the model's copy.
+        7 => {
+            let user = rng.below(2);
+            let Some(dov) = pick(rng, w.dovs.len()) else {
+                dup_project!()
+            };
+            let predicted = if m.visible(user, dov) {
+                Outcome::Ok
+            } else {
+                Outcome::Err("jcf")
+            };
+            let actual = rig
+                .en
+                .read_design_data(rig.users[user], w.dovs[dov])
+                .map(|blob| {
+                    assert_eq!(
+                        blob.as_slice(),
+                        m.dovs[dov].data.as_slice(),
+                        "read-design-data returned the wrong payload for dov {dov}"
+                    );
+                });
+            ("read-design-data", predicted, actual)
+        }
+        // Hybrid browse: same visibility rule, but §3.6's copy path —
+        // database → staging file → reader — must still round-trip the
+        // exact bytes.
+        8 => {
+            let user = rng.below(2);
+            let Some(dov) = pick(rng, w.dovs.len()) else {
+                dup_project!()
+            };
+            let predicted = if m.visible(user, dov) {
+                Outcome::Ok
+            } else {
+                Outcome::Err("jcf")
+            };
+            let actual = rig.en.browse(rig.users[user], w.dovs[dov]).map(|blob| {
+                assert_eq!(
+                    blob.as_slice(),
+                    m.dovs[dov].data.as_slice(),
+                    "browse returned the wrong payload for dov {dov}"
+                );
+            });
+            ("browse", predicted, actual)
+        }
+        // Name-clash against the bootstrap project: always fails.
+        _ => dup_project!(),
+    }
+}
+
+/// Compares everything observable after one applied op.
+fn diff_step(
+    rig: &Rig,
+    m: &Model,
+    seed: u64,
+    n: usize,
+    kind: &str,
+    predicted: Outcome,
+    actual: &Result<(), HybridError>,
+) {
+    let at = format!("seed {seed:#x} step {n} ({kind})");
+    match (predicted, actual) {
+        (Outcome::Ok, Ok(())) => {}
+        (Outcome::Err(expected), Err(e)) => assert_eq!(
+            e.kind_name(),
+            expected,
+            "{at}: engine failed with the wrong kind: {e}"
+        ),
+        (Outcome::Ok, Err(e)) => panic!("{at}: model predicted success, engine said: {e}"),
+        (Outcome::Err(expected), Ok(())) => {
+            panic!("{at}: model predicted {expected} failure, engine succeeded")
+        }
+    }
+    assert_eq!(m.seq, rig.en.seq(), "{at}: sequence number diverged");
+    let last = rig
+        .en
+        .trace()
+        .entries()
+        .last()
+        .unwrap_or_else(|| panic!("{at}: empty trace"));
+    assert_eq!(last.seq, m.seq, "{at}: trace seq");
+    assert_eq!(last.kind, kind, "{at}: trace kind");
+    assert_eq!(last.ok, predicted == Outcome::Ok, "{at}: trace ok flag");
+}
+
+/// Deep-checks the invisible state through the JCF read API:
+/// reservation holders and publication flags.
+fn diff_deep(rig: &Rig, m: &Model, w: &World, at: &str) {
+    for (i, cv) in m.cvs.iter().enumerate() {
+        let holder = rig.en.jcf().reserver(w.cvs[i]);
+        let expected = cv.holder.map(|u| rig.users[u]);
+        assert_eq!(holder, expected, "{at}: reservation holder of cv {i}");
+    }
+    for (i, dov) in m.dovs.iter().enumerate() {
+        let published = rig.en.jcf().is_published(w.dovs[i]).expect("live dov id");
+        assert_eq!(published, dov.published, "{at}: published flag of dov {i}");
+    }
+    for (i, design) in m.designs.iter().enumerate() {
+        let versions = rig.en.jcf().versions_of_design_object(w.designs[i]);
+        assert_eq!(
+            versions.len(),
+            design.versions.len(),
+            "{at}: version count of design object {i}"
+        );
+    }
+    assert_eq!(
+        m.ops,
+        *rig.en.counters().ops(),
+        "{at}: success counters diverged"
+    );
+    assert_eq!(
+        m.failures,
+        *rig.en.counters().failures(),
+        "{at}: failure counters diverged"
+    );
+}
+
+/// Runs one full differential campaign: `ops` ops under `seed`, a diff
+/// after every op, a deep diff every 25, and a final deep diff.
+fn campaign(seed: u64, ops: usize) {
+    let mut rig = bootstrap();
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Model::from_bootstrap(&rig.en);
+    let mut w = World {
+        cells: Vec::new(),
+        cvs: Vec::new(),
+        variants: Vec::new(),
+        designs: Vec::new(),
+        dovs: Vec::new(),
+    };
+    let base_seq = rig.en.seq();
+    for n in 0..ops {
+        let (kind, predicted, actual) = step(&mut rig, &mut rng, &mut m, &mut w);
+        m.record(kind, predicted);
+        diff_step(&rig, &m, seed, n, kind, predicted, &actual);
+        if n % 25 == 24 {
+            diff_deep(&rig, &m, &w, &format!("seed {seed:#x} step {n}"));
+        }
+    }
+    assert_eq!(rig.en.seq(), base_seq + ops as u64);
+    assert_eq!(rig.en.journal_ops().len(), base_seq as usize + ops);
+    diff_deep(&rig, &m, &w, &format!("seed {seed:#x} final"));
+}
+
+// --- suites -------------------------------------------------------------
+
+/// The acceptance matrix: ≥5 SplitMix64 seeds × ≥200 ops each, zero
+/// divergence between the flat model and the full engine stack.
+#[test]
+fn model_and_engine_agree_across_seeds() {
+    for seed in [
+        0x1995_0306_0000_0001,
+        0x1995_0306_0000_0002,
+        0x1995_0306_0000_0003,
+        0x1995_0306_0000_0004,
+        0x1995_0306_0000_0005,
+        0xDA7E_0042_C0FF_EE00,
+    ] {
+        campaign(seed, 220);
+    }
+}
+
+/// A longer single-seed soak: more collisions, more publish cycles,
+/// more visibility flips — the regime where a drifting model would
+/// show up as a late divergence.
+#[test]
+fn long_campaign_stays_in_lockstep() {
+    campaign(0x0D15_EA5E_1995_0306, 600);
+}
+
+/// The model also survives a checkpoint/restore cycle in the middle of
+/// a campaign: the restored engine must agree with the same model the
+/// original diverged from nowhere.
+#[test]
+fn restored_engine_agrees_with_the_model() {
+    let seed = 0x0BAC_0015_1995_0042;
+    let mut rig = bootstrap();
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Model::from_bootstrap(&rig.en);
+    let mut w = World {
+        cells: Vec::new(),
+        cvs: Vec::new(),
+        variants: Vec::new(),
+        designs: Vec::new(),
+        dovs: Vec::new(),
+    };
+    for n in 0..120 {
+        let (kind, predicted, actual) = step(&mut rig, &mut rng, &mut m, &mut w);
+        m.record(kind, predicted);
+        diff_step(&rig, &m, seed, n, kind, predicted, &actual);
+    }
+    let mut backup = cad_vfs::Vfs::new();
+    let dir = cad_vfs::VfsPath::parse("/backup/oracle").expect("path");
+    rig.en.checkpoint_to(&mut backup, &dir).expect("checkpoint");
+    let restored = Engine::restore_from(&mut backup, &dir).expect("restore");
+    rig.en = restored;
+    assert_eq!(rig.en.seq(), m.seq, "restored seq");
+    diff_deep(&rig, &m, &w, "after restore");
+    // Keep driving the *restored* engine against the same model.
+    for n in 120..240 {
+        let (kind, predicted, actual) = step(&mut rig, &mut rng, &mut m, &mut w);
+        m.record(kind, predicted);
+        diff_step(&rig, &m, seed, n, kind, predicted, &actual);
+    }
+    diff_deep(&rig, &m, &w, "restored final");
+}

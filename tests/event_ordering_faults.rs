@@ -1,0 +1,318 @@
+//! EventSink ordering under injected faults.
+//!
+//! The engine promises that its three observers never drift apart: the
+//! ops journal (replay), the [`TraceSink`] ring (the desktop `journal`
+//! command) and the [`CounterSink`] tables (the benchmark report) all
+//! describe the same op stream in the same order — including the ops
+//! that *fail*, and including failures manufactured by the [`FaultPlan`]
+//! layer in the live staging file system. This suite drives a seeded
+//! 200-op stream, periodically arms a one-shot write fault on the
+//! engine's own VFS so an otherwise-fine browse comes back as a `vfs`
+//! failure, and then checks entry-by-entry agreement between what the
+//! driver observed, the trace ring, the counters and the journal.
+
+use std::collections::BTreeMap;
+
+use cad_vfs::{FaultPlan, SplitMix64, Vfs, VfsPath};
+use hybrid::{Engine, HybridError, StandardFlow};
+use jcf::{CellId, CellVersionId, DovId, TeamId, UserId, VariantId};
+
+/// One observed application: the op kind the driver issued and the
+/// rendered error if the engine rejected it.
+struct Observed {
+    kind: &'static str,
+    error: Option<String>,
+}
+
+struct Rig {
+    en: Engine,
+    alice: UserId,
+    bob: UserId,
+    flow: StandardFlow,
+    team: TeamId,
+    project: jcf::ProjectId,
+    cells: Vec<CellId>,
+    slots: Vec<(CellVersionId, VariantId)>,
+    /// A dov published during bootstrap — always browsable, so a browse
+    /// against it fails only when a fault is armed.
+    shared_dov: DovId,
+}
+
+fn bootstrap() -> Rig {
+    let mut en = Engine::new();
+    let admin = en.admin();
+    let alice = en.add_user("alice", false).unwrap();
+    let bob = en.add_user("bob", false).unwrap();
+    let team = en.add_team(admin, "t").unwrap();
+    en.add_team_member(admin, team, alice).unwrap();
+    en.add_team_member(admin, team, bob).unwrap();
+    let flow = en.standard_flow("f").unwrap();
+    let project = en.create_project("p").unwrap();
+    let schematic = en.viewtype("schematic").unwrap();
+    let cell = en.create_cell(project, "shared").unwrap();
+    let (cv, variant) = en.create_cell_version(cell, flow.flow, team).unwrap();
+    en.reserve(alice, cv).unwrap();
+    let design = en
+        .create_design_object(alice, variant, "sch", schematic)
+        .unwrap();
+    let shared_dov = en
+        .add_design_object_version(alice, design, b"netlist shared\n".to_vec())
+        .unwrap();
+    en.publish(alice, cv).unwrap();
+    Rig {
+        en,
+        alice,
+        bob,
+        flow,
+        team,
+        project,
+        cells: Vec::new(),
+        slots: Vec::new(),
+        shared_dov,
+    }
+}
+
+fn pick(rng: &mut SplitMix64, len: usize) -> Option<usize> {
+    if len == 0 {
+        rng.next_u64();
+        None
+    } else {
+        Some(rng.below(len))
+    }
+}
+
+/// Applies one random op (failures welcome) and reports what happened.
+fn step(rig: &mut Rig, rng: &mut SplitMix64) -> Observed {
+    let user = if rng.below(2) == 0 {
+        rig.alice
+    } else {
+        rig.bob
+    };
+    let (kind, result): (&'static str, Result<(), HybridError>) = match rng.below(8) {
+        0 => {
+            let name = format!("cell{}", rig.cells.len());
+            (
+                "create-cell",
+                rig.en.create_cell(rig.project, &name).map(|id| {
+                    rig.cells.push(id);
+                }),
+            )
+        }
+        1 => match pick(rng, rig.cells.len()) {
+            Some(cell) => (
+                "create-cell-version",
+                rig.en
+                    .create_cell_version(rig.cells[cell], rig.flow.flow, rig.team)
+                    .map(|slot| rig.slots.push(slot)),
+            ),
+            None => ("create-project", rig.en.create_project("p").map(|_| ())),
+        },
+        2 => match pick(rng, rig.slots.len()) {
+            Some(i) => ("reserve", rig.en.reserve(user, rig.slots[i].0)),
+            None => ("create-project", rig.en.create_project("p").map(|_| ())),
+        },
+        3 => match pick(rng, rig.slots.len()) {
+            Some(i) => ("publish", rig.en.publish(user, rig.slots[i].0)),
+            None => ("create-project", rig.en.create_project("p").map(|_| ())),
+        },
+        4 => {
+            let name = format!("v{}", rng.below(4));
+            match pick(rng, rig.slots.len()) {
+                Some(i) => (
+                    "derive-variant",
+                    rig.en
+                        .derive_variant(user, rig.slots[i].0, &name, None)
+                        .map(|_| ()),
+                ),
+                None => ("create-project", rig.en.create_project("p").map(|_| ())),
+            }
+        }
+        5 => ("browse", rig.en.browse(user, rig.shared_dov).map(|_| ())),
+        6 => (
+            "read-design-data",
+            rig.en.read_design_data(user, rig.shared_dov).map(|_| ()),
+        ),
+        // Guaranteed rejection, to keep failures flowing through the
+        // sinks alongside the injected ones.
+        _ => ("create-project", rig.en.create_project("p").map(|_| ())),
+    };
+    Observed {
+        kind,
+        error: result.err().map(|e| e.to_string()),
+    }
+}
+
+/// The satellite acceptance test: a seeded 200-op stream with one-shot
+/// write faults armed every 20 ops; trace ring, counter tables and ops
+/// journal must agree entry-for-entry with what the driver observed.
+#[test]
+fn sinks_agree_with_the_journal_under_injected_faults() {
+    let mut rig = bootstrap();
+    let mut rng = SplitMix64::new(0x51DE_C0DE_0042);
+    let base_seq = rig.en.seq();
+    let mut observed: Vec<Observed> = Vec::new();
+    let mut injected = 0u64;
+
+    for n in 0..200 {
+        if n % 20 == 19 {
+            // Arm a one-shot fault on the engine's *live* file system:
+            // the next staging write — the browse below — must fail.
+            rig.en
+                .fmcad()
+                .fs_ref()
+                .arm_faults(FaultPlan::new(0xFA17 + n as u64).fail_write(1));
+            let err = rig
+                .en
+                .browse(rig.bob, rig.shared_dov)
+                .expect_err("armed browse must fail");
+            assert!(
+                matches!(err, HybridError::Vfs(_)),
+                "injected staging fault surfaces as a vfs error, got: {err}"
+            );
+            let plan = rig
+                .en
+                .fmcad()
+                .fs_ref()
+                .disarm_faults()
+                .expect("plan still armed");
+            assert_eq!(plan.stats().faults_fired, 1, "exactly one fault fired");
+            injected += 1;
+            observed.push(Observed {
+                kind: "browse",
+                error: Some(err.to_string()),
+            });
+        } else {
+            observed.push(step(&mut rig, &mut rng));
+        }
+    }
+
+    assert_eq!(rig.en.seq(), base_seq + 200, "every op was journaled");
+    assert!(injected >= 10, "the stream actually exercised faults");
+
+    // The counter tables must equal the tables recomputed from what the
+    // driver saw — successes by op kind, failures by error kind.
+    let mut expected_ops: BTreeMap<String, u64> = BTreeMap::new();
+    let mut expected_failures: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        // Fold in the bootstrap prefix (all successes) by replaying the
+        // ops journal for the first `base_seq` entries.
+        for op in &rig.en.journal_ops()[..base_seq as usize] {
+            *expected_ops.entry(op.kind_name().to_owned()).or_insert(0) += 1;
+        }
+    }
+    for obs in &observed {
+        match &obs.error {
+            None => *expected_ops.entry(obs.kind.to_owned()).or_insert(0) += 1,
+            Some(rendered) => {
+                // Recover the error kind from the rendered prefix the
+                // same way a reader of the trace would.
+                let kind = if rendered.starts_with("staging:") {
+                    "vfs"
+                } else if rendered.starts_with("jcf:") {
+                    "jcf"
+                } else {
+                    panic!("unexpected error family in stream: {rendered}")
+                };
+                *expected_failures.entry(kind.to_owned()).or_insert(0) += 1;
+            }
+        }
+    }
+    assert_eq!(*rig.en.counters().ops(), expected_ops, "success counters");
+    assert_eq!(
+        *rig.en.counters().failures(),
+        expected_failures,
+        "failure counters"
+    );
+    assert_eq!(rig.en.counters().total(), rig.en.seq(), "total == seq");
+    assert_eq!(
+        expected_failures.get("vfs").copied().unwrap_or(0),
+        injected,
+        "every vfs failure in the stream was an injected one"
+    );
+
+    // The trace ring holds the newest 256 entries; each must agree with
+    // both the driver's observation and the ops journal at its seq.
+    let journal = rig.en.journal_ops();
+    assert_eq!(journal.len() as u64, rig.en.seq(), "no checkpoint ran");
+    let entries: Vec<_> = rig.en.trace().entries().collect();
+    assert!(!entries.is_empty());
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            assert_eq!(
+                entry.seq,
+                entries[i - 1].seq + 1,
+                "trace seqs are gapless and ordered"
+            );
+        }
+        let op = &journal[(entry.seq - 1) as usize];
+        assert_eq!(entry.kind, op.kind_name(), "trace kind matches journal");
+        assert_eq!(entry.summary, op.summary(), "trace summary matches journal");
+        if entry.seq > base_seq {
+            let obs = &observed[(entry.seq - base_seq - 1) as usize];
+            assert_eq!(entry.kind, obs.kind, "trace kind matches the driver");
+            match &obs.error {
+                None => {
+                    assert!(entry.ok, "seq {}: driver saw success", entry.seq);
+                    assert!(!entry.outcome.starts_with("error:"));
+                }
+                Some(rendered) => {
+                    assert!(!entry.ok, "seq {}: driver saw a failure", entry.seq);
+                    assert_eq!(
+                        entry.outcome,
+                        format!("error: {rendered}"),
+                        "trace records the exact rendered error"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(
+        entries.last().expect("nonempty").seq,
+        rig.en.seq(),
+        "the ring ends at the newest op"
+    );
+}
+
+/// A failed journal sync is invisible to the sinks: `sync_journal` is
+/// not an op, so an injected fault in it must change neither the seq,
+/// nor the counters, nor the trace — and a retry must succeed.
+#[test]
+fn a_failed_journal_sync_leaves_the_sinks_untouched() {
+    let mut rig = bootstrap();
+    let mut backup = Vfs::new();
+    let dir = VfsPath::parse("/backup/sinks").unwrap();
+    rig.en.checkpoint_to(&mut backup, &dir).unwrap();
+    let mut rng = SplitMix64::new(0x000E_DE12);
+    for _ in 0..40 {
+        step(&mut rig, &mut rng);
+    }
+
+    let seq = rig.en.seq();
+    let ops_before = rig.en.counters().ops().clone();
+    let failures_before = rig.en.counters().failures().clone();
+    let last_before = rig.en.trace().entries().last().cloned().unwrap();
+
+    backup.arm_faults(FaultPlan::new(7).fail_write(1));
+    let err = rig
+        .en
+        .sync_journal(&mut backup, &dir)
+        .expect_err("armed sync must fail");
+    assert!(err.to_string().contains("injected write fault"), "{err}");
+    backup.disarm_faults();
+
+    assert_eq!(rig.en.seq(), seq, "a failed sync is not an op");
+    assert_eq!(*rig.en.counters().ops(), ops_before);
+    assert_eq!(*rig.en.counters().failures(), failures_before);
+    assert_eq!(
+        rig.en.trace().entries().last().cloned().unwrap(),
+        last_before,
+        "the trace ring did not move"
+    );
+
+    // The retry persists a journal the restored engine replays in full.
+    rig.en.sync_journal(&mut backup, &dir).unwrap();
+    let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+    assert_eq!(restored.seq(), rig.en.seq());
+    assert_eq!(restored.counters().ops(), rig.en.counters().ops());
+    assert_eq!(restored.counters().failures(), rig.en.counters().failures());
+}
