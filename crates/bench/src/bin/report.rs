@@ -14,8 +14,8 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e11_faults, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency,
-    e6_hierarchy, e7_ui, e8_flow, e9_performance,
+    e10_throughput, e11_faults, e12_sessions, e1_mapping, e2_e3_schemas, e4_concurrency,
+    e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -159,6 +159,20 @@ fn print_verdicts() {
         ),
     });
 
+    let e12 = e12_sessions::run(42);
+    rows.push(Row {
+        exp: "E12",
+        claim: "concurrent sessions scale reads zero-copy and commit deterministically",
+        holds: e12.holds(),
+        measured: format!(
+            "{:.1}x aggregate read speedup, {} reader bytes copied, determinism {}/{}",
+            e12.read_speedup(),
+            e12.reader_materializations,
+            e12.deterministic_zero_copy,
+            e12.deterministic_deep_copy
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -259,6 +273,33 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e10_path = format!("{root}/BENCH_E10.json");
     std::fs::write(&e10_path, e10)?;
     println!("wrote {e10_path}");
+
+    let r = e12_sessions::run(seed);
+    println!("{r}");
+    let e12 = format!(
+        "{{\"seed\": {seed}, \"sessions\": {{\"writers\": {}, \"readers\": {}, \"total_reads\": {}, \"single_session_read_ns\": {}, \"concurrent_read_ns\": {}, \"read_speedup\": {:.2}, \"read_ops_per_sec\": {:.0}, \"write_ops\": {}, \"write_ns\": {}, \"write_ops_per_sec\": {:.0}, \"batches\": {}, \"max_batch\": {}, \"mean_batch\": {:.2}, \"writer_waits\": {}, \"reader_waits\": {}, \"reader_materializations\": {}, \"deterministic_zero_copy\": {}, \"deterministic_deep_copy\": {}}}}}\n",
+        r.writers,
+        r.readers,
+        r.total_reads,
+        r.single_session_read_ns,
+        r.concurrent_read_ns,
+        r.read_speedup(),
+        r.read_ops_per_sec(),
+        r.write_ops,
+        r.write_ns,
+        r.write_ops_per_sec(),
+        r.batches,
+        r.max_batch,
+        r.mean_batch(),
+        r.writer_waits,
+        r.reader_waits,
+        r.reader_materializations,
+        r.deterministic_zero_copy,
+        r.deterministic_deep_copy,
+    );
+    let e12_path = format!("{root}/BENCH_E12.json");
+    std::fs::write(&e12_path, e12)?;
+    println!("wrote {e12_path}");
     Ok(())
 }
 
@@ -347,9 +388,13 @@ fn main() {
         println!("{}", e11_faults::run(seed));
         printed = true;
     }
+    if want("e12") {
+        println!("{}", e12_sessions::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e11 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e12 or no argument for all");
         std::process::exit(2);
     }
 }

@@ -25,7 +25,7 @@ use std::time::Instant;
 use cad_vfs::Blob;
 use hybrid::{StagingMode, ToolOutput};
 
-use crate::workload::{cloud_bytes, hybrid_env};
+use crate::workload::cloud_bytes;
 
 /// One row of the E10 throughput comparison.
 #[derive(Debug, Clone)]
@@ -89,8 +89,8 @@ struct ModeRun {
 /// Runs `reps` identical schematic-entry activities in one mode and
 /// times the whole loop.
 fn run_mode(gates: usize, reps: usize, mode: StagingMode, seed: u64) -> ModeRun {
-    let mut env = hybrid_env(1);
-    env.hy.set_staging_mode(mode).expect("engine applies");
+    let mut env =
+        crate::workload::hybrid_env_built(1, hybrid::Engine::builder().staging_mode(mode));
     let user = env.designers[0];
     let project = env.hy.create_project("perf").expect("fresh project");
     let cell = env.hy.create_cell(project, "cloud").expect("fresh cell");

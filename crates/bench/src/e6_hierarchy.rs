@@ -222,14 +222,14 @@ pub fn run(attempts: usize) -> E6Result {
     let _ = ops_before_declarations;
 
     // --- ablation: the future JCF release --------------------------------
-    let mut fut = hybrid_env(1);
-    fut.hy
-        .set_future_features(hybrid::FutureFeatures {
+    let mut fut = crate::workload::hybrid_env_built(
+        1,
+        hybrid::Engine::builder().future_features(hybrid::FutureFeatures {
             procedural_interface: true,
             non_isomorphic_hierarchies: true,
             ..Default::default()
-        })
-        .expect("engine applies");
+        }),
+    );
     let fuser = fut.designers[0];
     let fproject = fut.hy.create_project("future").expect("fresh project");
     fut.hy.create_cell(fproject, "child_a").expect("fresh cell");

@@ -143,13 +143,13 @@ pub fn run_with_seed(gates: usize, seed: u64) -> E9Row {
 
     // The full §4 ablation: the identical activity in an installation
     // with the procedural interface switched on.
-    let mut fut = hybrid_env(1);
-    fut.hy
-        .set_future_features(hybrid::FutureFeatures {
+    let mut fut = crate::workload::hybrid_env_built(
+        1,
+        hybrid::Engine::builder().future_features(hybrid::FutureFeatures {
             procedural_interface: true,
             ..Default::default()
-        })
-        .expect("engine applies");
+        }),
+    );
     let fuser = fut.designers[0];
     let fproject = fut.hy.create_project("perf").expect("fresh project");
     let fcell = fut.hy.create_cell(fproject, "cloud").expect("fresh cell");

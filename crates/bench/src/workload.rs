@@ -23,7 +23,17 @@ pub struct HybridEnv {
 ///
 /// Panics on bootstrap failures (fresh installations cannot fail).
 pub fn hybrid_env(n: usize) -> HybridEnv {
-    let mut hy = Engine::new();
+    hybrid_env_built(n, Engine::builder())
+}
+
+/// Builds a hybrid environment over an engine configured by the given
+/// builder — how experiments select staging modes or future features.
+///
+/// # Panics
+///
+/// Panics on bootstrap failures (fresh installations cannot fail).
+pub fn hybrid_env_built(n: usize, builder: hybrid::EngineBuilder) -> HybridEnv {
+    let mut hy = builder.build();
     let admin = hy.admin();
     let team = hy.add_team(admin, "team").expect("fresh installation");
     let mut designers = Vec::with_capacity(n);

@@ -10,7 +10,12 @@ use crate::path::VfsPath;
 /// The variants mirror the classic UNIX `errno` conditions the paper's
 /// encapsulation layer had to cope with when copying design data between
 /// the OMS database and FMCAD libraries.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm so new fault conditions can be added without a breaking
+/// release. Use [`VfsError::kind`] for stable programmatic dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum VfsError {
     /// The path (or one of its ancestors) does not exist.
     NotFound(VfsPath),
@@ -61,6 +66,28 @@ impl fmt::Display for VfsError {
     }
 }
 
+impl VfsError {
+    /// A stable, dash-separated kind string for this error.
+    ///
+    /// The strings are part of the public contract (failure counters,
+    /// logs, CI gates key on them) and never change for an existing
+    /// variant, even across `#[non_exhaustive]` additions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VfsError::NotFound(_) => "not-found",
+            VfsError::NotADirectory(_) => "not-a-directory",
+            VfsError::IsADirectory(_) => "is-a-directory",
+            VfsError::AlreadyExists(_) => "already-exists",
+            VfsError::DirectoryNotEmpty(_) => "directory-not-empty",
+            VfsError::InvalidPath(_) => "invalid-path",
+            VfsError::RecursiveTransfer { .. } => "recursive-transfer",
+            VfsError::InjectedWriteFault(_) => "injected-write-fault",
+            VfsError::QuotaExceeded(_) => "quota-exceeded",
+            VfsError::InjectedReadFault(_) => "injected-read-fault",
+        }
+    }
+}
+
 impl Error for VfsError {}
 
 /// Convenience alias for results of virtual file system operations.
@@ -82,5 +109,28 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<VfsError>();
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let p = VfsPath::parse("/a").unwrap();
+        let all = [
+            VfsError::NotFound(p.clone()),
+            VfsError::NotADirectory(p.clone()),
+            VfsError::IsADirectory(p.clone()),
+            VfsError::AlreadyExists(p.clone()),
+            VfsError::DirectoryNotEmpty(p.clone()),
+            VfsError::InvalidPath("x".to_owned()),
+            VfsError::RecursiveTransfer {
+                source: p.clone(),
+                dest: p.clone(),
+            },
+            VfsError::InjectedWriteFault(p.clone()),
+            VfsError::QuotaExceeded(p.clone()),
+            VfsError::InjectedReadFault(p),
+        ];
+        let kinds: std::collections::BTreeSet<&str> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len(), "kind strings must be distinct");
+        assert!(kinds.contains("injected-write-fault"));
     }
 }

@@ -1,8 +1,7 @@
 //! Lexical environments (scope chains).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::value::Value;
 
@@ -10,10 +9,14 @@ use crate::value::Value;
 ///
 /// Environments are reference-counted and interior-mutable because
 /// closures capture their defining environment and `set!` mutates
-/// through the chain.
+/// through the chain. The handles are `Arc<Mutex<..>>` rather than
+/// `Rc<RefCell<..>>` so interpreters (and the frameworks embedding
+/// them) are `Send` and can live behind a service write lock; the
+/// locking discipline is strictly child-to-parent, so the acyclic
+/// scope chain can never deadlock.
 #[derive(Debug, Clone)]
 pub struct Env {
-    inner: Rc<RefCell<Frame>>,
+    inner: Arc<Mutex<Frame>>,
 }
 
 #[derive(Debug)]
@@ -26,7 +29,7 @@ impl Env {
     /// Creates a root environment with no bindings.
     pub fn root() -> Env {
         Env {
-            inner: Rc::new(RefCell::new(Frame {
+            inner: Arc::new(Mutex::new(Frame {
                 bindings: HashMap::new(),
                 parent: None,
             })),
@@ -36,24 +39,25 @@ impl Env {
     /// Creates a child environment whose lookups fall through to `self`.
     pub fn child(&self) -> Env {
         Env {
-            inner: Rc::new(RefCell::new(Frame {
+            inner: Arc::new(Mutex::new(Frame {
                 bindings: HashMap::new(),
                 parent: Some(self.clone()),
             })),
         }
     }
 
+    fn frame(&self) -> std::sync::MutexGuard<'_, Frame> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Binds `name` in this frame (shadowing any outer binding).
     pub fn define(&self, name: &str, value: Value) {
-        self.inner
-            .borrow_mut()
-            .bindings
-            .insert(name.to_owned(), value);
+        self.frame().bindings.insert(name.to_owned(), value);
     }
 
     /// Looks `name` up through the scope chain.
     pub fn lookup(&self, name: &str) -> Option<Value> {
-        let frame = self.inner.borrow();
+        let frame = self.frame();
         if let Some(v) = frame.bindings.get(name) {
             return Some(v.clone());
         }
@@ -63,7 +67,7 @@ impl Env {
     /// Assigns to an existing binding, searching up the chain.
     /// Returns `false` if the name is unbound anywhere.
     pub fn assign(&self, name: &str, value: Value) -> bool {
-        let mut frame = self.inner.borrow_mut();
+        let mut frame = self.frame();
         if frame.bindings.contains_key(name) {
             frame.bindings.insert(name.to_owned(), value);
             return true;
@@ -76,7 +80,7 @@ impl Env {
 
     /// Returns `true` when both handles refer to the same frame.
     pub fn same_frame(&self, other: &Env) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

@@ -4,7 +4,7 @@ use crate::env::Env;
 use crate::error::{FmlError, FmlResult};
 use crate::parser::parse;
 use crate::value::Value;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The host side of the extension language: framework functions the
 /// script may call via `(host-call "name" args...)`.
@@ -348,8 +348,8 @@ impl Interp {
                 env.define(
                     fname,
                     Value::Lambda {
-                        params: Rc::new(params),
-                        body: Rc::new(body),
+                        params: Arc::new(params),
+                        body: Arc::new(body),
                         env: env.clone(),
                         name: Some(fname.clone()),
                     },
@@ -390,8 +390,8 @@ impl Interp {
                     }
                 }
                 Ok(Value::Lambda {
-                    params: Rc::new(params),
-                    body: Rc::new(items[2..].to_vec()),
+                    params: Arc::new(params),
+                    body: Arc::new(items[2..].to_vec()),
                     env: env.clone(),
                     name: None,
                 })
@@ -803,6 +803,16 @@ mod tests {
 
     fn eval(src: &str) -> FmlResult<Value> {
         Interp::new().run(src, &mut NoHost)
+    }
+
+    #[test]
+    fn interpreter_state_is_send_and_sync() {
+        // The customisation layer lives inside the engine behind the
+        // service write lock; everything it holds must cross threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Interp>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<Env>();
     }
 
     fn eval_int(src: &str) -> i64 {

@@ -1,7 +1,7 @@
 //! Runtime values of the FML interpreter.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::env::Env;
 
@@ -24,9 +24,9 @@ pub enum Value {
     /// A user-defined procedure (lambda) with captured environment.
     Lambda {
         /// Parameter names.
-        params: Rc<Vec<String>>,
+        params: Arc<Vec<String>>,
         /// Body expressions, evaluated in sequence.
-        body: Rc<Vec<Value>>,
+        body: Arc<Vec<Value>>,
         /// Captured defining environment.
         env: Env,
         /// Optional name for diagnostics (set by `define`).

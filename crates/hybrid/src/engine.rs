@@ -51,6 +51,15 @@ const JOURNAL_LOG: &str = "journal.log";
 ///
 /// Dereferences to [`Hybrid`] for all read access; mutations go
 /// through [`Engine::apply`] (or the typed wrappers built on it).
+///
+/// With default features that is the *only* mutation path: the raw
+/// `jcf_mut()` / `fmcad_mut()` handles that bypass the journal exist
+/// only behind the `raw-handles` feature, so this does not compile:
+///
+/// ```compile_fail
+/// let mut en = hybrid::Engine::builder().build();
+/// en.jcf_mut(); // requires the `raw-handles` feature
+/// ```
 pub struct Engine {
     hy: Hybrid,
     /// Ops applied since the last checkpoint, in order — including
@@ -60,7 +69,7 @@ pub struct Engine {
     seq: u64,
     trace: TraceSink,
     counters: CounterSink,
-    extra: Vec<Box<dyn EventSink>>,
+    extra: Vec<Box<dyn EventSink + Send>>,
 }
 
 impl fmt::Debug for Engine {
@@ -92,13 +101,31 @@ impl Engine {
     /// [`Hybrid`] for what the bootstrap registers). The bootstrap is
     /// part of construction, not of the journal.
     pub fn new() -> Engine {
+        Engine::assemble(Hybrid::new(), TraceSink::default(), Vec::new())
+    }
+
+    /// Starts an [`EngineBuilder`](crate::EngineBuilder), the preferred
+    /// way to configure staging mode, future features, fault plans and
+    /// event sinks before the first operation runs.
+    pub fn builder() -> crate::EngineBuilder {
+        crate::EngineBuilder::new()
+    }
+
+    /// Assembles an engine around an already-configured [`Hybrid`]
+    /// installation. The journal starts empty: whatever configuration
+    /// the builder applied is construction, not history.
+    pub(crate) fn assemble(
+        hy: Hybrid,
+        trace: TraceSink,
+        extra: Vec<Box<dyn EventSink + Send>>,
+    ) -> Engine {
         Engine {
-            hy: Hybrid::new(),
+            hy,
             journal: Vec::new(),
             seq: 0,
-            trace: TraceSink::default(),
+            trace,
             counters: CounterSink::default(),
-            extra: Vec::new(),
+            extra,
         }
     }
 
@@ -127,6 +154,13 @@ impl Engine {
         &self.journal
     }
 
+    /// Freezes the current state into a thread-shareable
+    /// [`Snapshot`](crate::Snapshot): reads against it are zero-copy
+    /// and cost the engine nothing.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        crate::Snapshot::capture(&self.hy, self.seq)
+    }
+
     /// The built-in tracing ring buffer (the shell's `journal` view).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
@@ -139,7 +173,11 @@ impl Engine {
 
     /// Subscribes an additional [`EventSink`]; it is notified after
     /// the built-in sinks, in subscription order.
-    pub fn subscribe(&mut self, sink: Box<dyn EventSink>) {
+    #[deprecated(
+        since = "0.4.0",
+        note = "register sinks at construction with `Engine::builder().sink(..)`"
+    )]
+    pub fn subscribe(&mut self, sink: Box<dyn EventSink + Send>) {
         self.extra.push(sink);
     }
 
@@ -935,9 +973,17 @@ impl Engine {
 
     /// Switches the future-work feature set.
     ///
+    /// Unlike builder configuration, this shim journals a
+    /// [`Op::SetFutureFeatures`] entry; the op variant stays so that
+    /// journals written by older releases keep replaying.
+    ///
     /// # Errors
     ///
     /// Infallible today; journaling keeps the signature fallible.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `Engine::builder().future_features(..)`"
+    )]
     pub fn set_future_features(&mut self, features: FutureFeatures) -> HybridResult<()> {
         self.apply(Op::SetFutureFeatures { features })?;
         Ok(())
@@ -945,9 +991,17 @@ impl Engine {
 
     /// Switches how design data moves through the staging area.
     ///
+    /// Unlike builder configuration, this shim journals a
+    /// [`Op::SetStagingMode`] entry; the op variant stays so that
+    /// journals written by older releases keep replaying.
+    ///
     /// # Errors
     ///
     /// Infallible today; journaling keeps the signature fallible.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `Engine::builder().staging_mode(..)`"
+    )]
     pub fn set_staging_mode(&mut self, mode: StagingMode) -> HybridResult<()> {
         self.apply(Op::SetStagingMode { mode })?;
         Ok(())
@@ -1565,11 +1619,17 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns backup file system errors.
+    /// Returns backup file system errors — typed [`HybridError::Vfs`]
+    /// faults for injected or out-of-space writes, journal errors for
+    /// framing problems.
     pub fn sync_journal(&self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
         let entries: Vec<String> = self.journal.iter().map(Op::to_line).collect();
-        oms::persist::save_journal(backup, &dir.join(JOURNAL_LOG)?, &entries)
-            .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+        oms::persist::save_journal(backup, &dir.join(JOURNAL_LOG)?, &entries).map_err(
+            |e| match e {
+                oms::OmsError::Vfs(fs) => HybridError::Vfs(fs),
+                other => HybridError::Journal(format!("journal: {other}")),
+            },
+        )?;
         Ok(())
     }
 
@@ -1816,6 +1876,12 @@ mod tests {
             restored.state_fingerprint().unwrap(),
             en.state_fingerprint().unwrap()
         );
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
     }
 
     #[test]

@@ -9,7 +9,13 @@ use fmcad::FmcadError;
 use jcf::JcfError;
 
 /// Error returned by hybrid framework operations.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm so future coupling failures can be added without a
+/// breaking release. Use [`HybridError::kind`] for stable programmatic
+/// dispatch — the kind strings are frozen.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HybridError {
     /// The master framework (JCF) rejected the operation.
     Jcf(JcfError),
@@ -91,8 +97,11 @@ impl fmt::Display for HybridError {
 }
 
 impl HybridError {
-    /// The stable kind name of this error (failure-counter key).
-    pub fn kind_name(&self) -> &'static str {
+    /// The stable kind string of this error — the key under which
+    /// [`CounterSink`](crate::CounterSink) counts failures, and the
+    /// value persisted in checkpoint metadata. These strings never
+    /// change for an existing variant.
+    pub fn kind(&self) -> &'static str {
         match self {
             HybridError::Jcf(_) => "jcf",
             HybridError::Fmcad(_) => "fmcad",
@@ -105,6 +114,12 @@ impl HybridError {
             HybridError::Journal(_) => "journal",
             HybridError::TornJournal { .. } => "torn-journal",
         }
+    }
+
+    /// The stable kind name of this error (failure-counter key).
+    #[deprecated(since = "0.4.0", note = "renamed to `kind()`")]
+    pub fn kind_name(&self) -> &'static str {
+        self.kind()
     }
 }
 

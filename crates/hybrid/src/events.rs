@@ -265,7 +265,7 @@ impl EventSink for TraceSink {
             seq,
             kind: op.kind_name().to_owned(),
             summary: op.summary(),
-            outcome: format!("error: {error}"),
+            outcome: format!("error[{}]: {error}", error.kind()),
             ok: false,
         });
     }
@@ -307,10 +307,7 @@ impl EventSink for CounterSink {
     }
 
     fn on_error(&mut self, _seq: u64, _op: &Op, error: &HybridError) {
-        *self
-            .failures
-            .entry(error.kind_name().to_owned())
-            .or_insert(0) += 1;
+        *self.failures.entry(error.kind().to_owned()).or_insert(0) += 1;
     }
 }
 

@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod consistency;
 mod encapsulation;
 mod engine;
@@ -79,7 +80,10 @@ mod import;
 pub mod mapping;
 mod ops;
 mod release;
+mod service;
+mod snapshot;
 
+pub use builder::EngineBuilder;
 pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
 pub use engine::{Engine, RecoveryReport};
@@ -90,3 +94,5 @@ pub use future::FutureFeatures;
 pub use import::ImportReport;
 pub use ops::Op;
 pub use release::ExportManifest;
+pub use service::{Service, ServiceStats, Session};
+pub use snapshot::Snapshot;

@@ -1,0 +1,784 @@
+//! Concurrent multi-session front-end over the [`Engine`].
+//!
+//! The paper's system was inherently multi-user: several designers
+//! drive the coupled frameworks at once, each through their own JCF
+//! desktop session. This module reproduces that shape as a
+//! thread-safe service with a sharded read/write discipline:
+//!
+//! * **Reads are snapshot reads.** The service keeps a published
+//!   [`Snapshot`] (an immutable view over the OMS database and the
+//!   coupling state); `browse`, `read_design_data` and arbitrary
+//!   queries run against it with `&self`, in parallel, with zero byte
+//!   copies — concurrent readers share [`cad_vfs::Blob`] handles.
+//! * **Writes are group-committed.** All mutations funnel into a
+//!   batched apply queue. The first writer to arrive becomes the
+//!   *leader*: it drains every queued op in one engine critical
+//!   section, fills each submitter's result slot, republishes the
+//!   snapshot once per batch and fans the emitted events out to every
+//!   session's subscription queue. Followers just park on their slot.
+//!
+//! The effect is the classic group-commit trade: writers pay one lock
+//! handoff per *batch* instead of per op, and readers never wait on
+//! writers at all (at worst they read the previous snapshot).
+//!
+//! # Examples
+//!
+//! ```
+//! use hybrid::{Engine, Service};
+//!
+//! # fn main() -> Result<(), hybrid::HybridError> {
+//! let service = Service::new(Engine::builder().build());
+//! let mut admin = service.open_session(service.admin());
+//! let alice_id = admin.add_user("alice", false)?;
+//! let alice = service.open_session(alice_id);
+//! // Reads run against the published snapshot, in parallel, &self:
+//! assert_eq!(alice.snapshot().seq(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use cad_vfs::Blob;
+use jcf::{CellId, CellVersionId, DovId, FlowId, ProjectId, TeamId, UserId, VariantId};
+
+use crate::engine::Engine;
+use crate::error::{HybridError, HybridResult};
+use crate::events::Event;
+use crate::framework::StandardFlow;
+use crate::ops::Op;
+use crate::snapshot::Snapshot;
+
+/// Lock a mutex, riding through poisoning: a writer that panicked
+/// mid-batch must not take the whole service down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A session's private queue of committed `(seq, event)` pairs.
+type EventQueue = Arc<Mutex<VecDeque<(u64, Event)>>>;
+
+/// One submitted op waiting for its batch to commit.
+struct Slot {
+    result: Mutex<Option<HybridResult<Event>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: HybridResult<Event>) {
+        *lock(&self.result) = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> HybridResult<Event> {
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The batched apply queue. `draining` marks that a leader is inside
+/// the engine critical section; writers that arrive meanwhile enqueue
+/// and either park (followers) or take over leadership once the
+/// current leader hands the engine back.
+struct Queue {
+    pending: Vec<(Op, Arc<Slot>, u64)>,
+    draining: bool,
+}
+
+/// Running counters of the service's concurrency behaviour; all
+/// monotone, all cheap (relaxed atomics).
+#[derive(Debug, Default)]
+struct Stats {
+    /// Ops committed through the write queue.
+    ops: AtomicU64,
+    /// Engine critical sections (group commits).
+    batches: AtomicU64,
+    /// Largest single batch.
+    max_batch: AtomicU64,
+    /// Writers that parked as followers instead of leading.
+    writer_waits: AtomicU64,
+    /// Snapshot reads that found the publish lock briefly held.
+    reader_waits: AtomicU64,
+}
+
+/// A point-in-time copy of the service's concurrency counters.
+///
+/// Returned by [`Service::stats`]; the E12 benchmark reports these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Ops committed through the write queue.
+    pub ops: u64,
+    /// Engine critical sections (group commits).
+    pub batches: u64,
+    /// Largest single group commit, in ops.
+    pub max_batch: u64,
+    /// Writers that parked as followers instead of leading a batch.
+    pub writer_waits: u64,
+    /// Snapshot reads that found the publish lock briefly held.
+    pub reader_waits: u64,
+}
+
+struct Inner {
+    engine: Mutex<Engine>,
+    queue: Mutex<Queue>,
+    /// The published read view; replaced (not mutated) once per batch.
+    snapshot: Mutex<Arc<Snapshot>>,
+    /// Sequence number of the published snapshot, for cheap staleness
+    /// checks: sessions revalidate their cached view against this
+    /// atomic instead of taking the snapshot lock on every read.
+    published_seq: AtomicU64,
+    /// Per-session event queues, keyed by session id.
+    subscribers: Mutex<Vec<(u64, EventQueue)>>,
+    next_session: AtomicU64,
+    stats: Stats,
+    admin: UserId,
+}
+
+/// Thread-safe multi-session service over one [`Engine`].
+///
+/// Cloning is cheap (an [`Arc`] bump); clones share the engine, the
+/// write queue and the published snapshot. Open one [`Session`] per
+/// user with [`Service::open_session`].
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Wraps an engine (typically from [`Engine::builder`]) into a
+    /// service and publishes the initial snapshot.
+    pub fn new(engine: Engine) -> Service {
+        let admin = engine.admin();
+        let seq = engine.seq();
+        let snapshot = Arc::new(engine.snapshot());
+        Service {
+            inner: Arc::new(Inner {
+                engine: Mutex::new(engine),
+                queue: Mutex::new(Queue {
+                    pending: Vec::new(),
+                    draining: false,
+                }),
+                snapshot: Mutex::new(snapshot),
+                published_seq: AtomicU64::new(seq),
+                subscribers: Mutex::new(Vec::new()),
+                next_session: AtomicU64::new(1),
+                stats: Stats::default(),
+                admin,
+            }),
+        }
+    }
+
+    /// The built-in framework administrator.
+    pub fn admin(&self) -> UserId {
+        self.inner.admin
+    }
+
+    /// Opens a session acting as `user`. The session subscribes to the
+    /// engine's event stream from this point on.
+    pub fn open_session(&self, user: UserId) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let events = Arc::new(Mutex::new(VecDeque::new()));
+        lock(&self.inner.subscribers).push((id, Arc::clone(&events)));
+        Session {
+            service: self.clone(),
+            id,
+            user,
+            events,
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// The currently published [`Snapshot`]. Never blocks on writers:
+    /// if a leader is just republishing, the previous snapshot is
+    /// returned (and the brush with the lock is counted as a
+    /// `reader_wait`).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        match self.inner.snapshot.try_lock() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.inner
+                    .stats
+                    .reader_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&lock(&self.inner.snapshot))
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    /// A copy of the service's concurrency counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.inner.stats;
+        ServiceStats {
+            ops: s.ops.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+            writer_waits: s.writer_waits.load(Ordering::Relaxed),
+            reader_waits: s.reader_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a closure against the engine under the write lock, outside
+    /// the batching queue. For maintenance paths (checkpointing, fault
+    /// arming) that need the whole engine, not one op.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        let mut engine = lock(&self.inner.engine);
+        let out = f(&mut engine);
+        self.republish(&engine);
+        out
+    }
+
+    /// Submits one op and blocks until its batch commits.
+    fn submit(&self, session: u64, op: Op) -> HybridResult<Event> {
+        let slot = Slot::new();
+        let lead = {
+            let mut queue = lock(&self.inner.queue);
+            queue.pending.push((op, Arc::clone(&slot), session));
+            if queue.draining {
+                // A leader is already inside the engine; it (or the
+                // next leader) will pick this op up.
+                self.inner
+                    .stats
+                    .writer_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                queue.draining = true;
+                true
+            }
+        };
+        if lead {
+            self.drain();
+        }
+        slot.wait()
+    }
+
+    /// Leader path: repeatedly swap out the pending queue and commit
+    /// it as one batch, until no ops remain; then hand leadership back.
+    fn drain(&self) {
+        let mut engine = lock(&self.inner.engine);
+        loop {
+            let batch = {
+                let mut queue = lock(&self.inner.queue);
+                if queue.pending.is_empty() {
+                    queue.draining = false;
+                    break;
+                }
+                std::mem::take(&mut queue.pending)
+            };
+            let size = batch.len() as u64;
+            let stats = &self.inner.stats;
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.ops.fetch_add(size, Ordering::Relaxed);
+            stats.max_batch.fetch_max(size, Ordering::Relaxed);
+            let mut fanout = Vec::new();
+            let mut results = Vec::new();
+            for (op, slot, session) in batch {
+                let result = engine.apply(op);
+                if let Ok(event) = &result {
+                    fanout.push((session, engine.seq(), event.clone()));
+                }
+                results.push((slot, result));
+            }
+            // One republish and one fan-out per batch, not per op — and
+            // the republish happens before any submitter wakes, so every
+            // writer sees its own committed write in the next snapshot
+            // it reads (read-your-writes).
+            self.republish(&engine);
+            for (slot, result) in results {
+                slot.fill(result);
+            }
+            self.fan_out(&fanout);
+        }
+    }
+
+    /// Replaces the published snapshot with the engine's current state.
+    fn republish(&self, engine: &Engine) {
+        *lock(&self.inner.snapshot) = Arc::new(engine.snapshot());
+        self.inner
+            .published_seq
+            .store(engine.seq(), Ordering::Release);
+    }
+
+    /// Delivers committed events to every session's queue (including
+    /// the submitter's own).
+    fn fan_out(&self, events: &[(u64, u64, Event)]) {
+        let subscribers = lock(&self.inner.subscribers);
+        for (_, queue) in subscribers.iter() {
+            let mut queue = lock(queue);
+            for (_session, seq, event) in events {
+                queue.push_back((*seq, event.clone()));
+            }
+        }
+    }
+
+    fn close_session(&self, id: u64) {
+        lock(&self.inner.subscribers).retain(|(sid, _)| *sid != id);
+    }
+}
+
+/// One user's handle on the [`Service`]: typed write wrappers that
+/// group-commit through the shared queue, snapshot reads that never
+/// block on writers, and a private queue of committed events.
+///
+/// Dropping the session unsubscribes it.
+#[derive(Debug)]
+pub struct Session {
+    service: Service,
+    id: u64,
+    user: UserId,
+    events: EventQueue,
+    /// The session's cached view, revalidated against the service's
+    /// published sequence number on every read. A session is driven by
+    /// one thread, so this mutex is effectively uncontended — reads of
+    /// an unchanged snapshot never touch shared service locks.
+    cache: Mutex<Option<Arc<Snapshot>>>,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.service.close_session(self.id);
+    }
+}
+
+impl Session {
+    /// The user this session acts as.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The owning service.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// The currently published [`Snapshot`] — the session's read view.
+    /// Cached per session: only the first read after a write batch
+    /// pays the (brief) shared snapshot lock.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        let mut cache = lock(&self.cache);
+        self.refresh(&mut cache);
+        Arc::clone(cache.as_ref().expect("refresh filled the cache"))
+    }
+
+    /// Runs a closure against the session's (revalidated) cached view
+    /// without cloning the [`Arc`] — the zero-shared-traffic read path.
+    fn with_snapshot<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        let mut cache = lock(&self.cache);
+        self.refresh(&mut cache);
+        f(cache.as_ref().expect("refresh filled the cache"))
+    }
+
+    fn refresh(&self, cache: &mut Option<Arc<Snapshot>>) {
+        let published = self.service.inner.published_seq.load(Ordering::Acquire);
+        let stale = cache.as_ref().is_none_or(|s| s.seq() != published);
+        if stale {
+            *cache = Some(self.service.snapshot());
+        }
+    }
+
+    /// Drains the events committed since the last call (each with the
+    /// engine sequence number it committed at).
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        lock(&self.events).drain(..).collect()
+    }
+
+    /// Submits one raw op through the write queue and blocks until its
+    /// batch commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the op returns on the engine.
+    pub fn apply(&self, op: Op) -> HybridResult<Event> {
+        self.service.submit(self.id, op)
+    }
+
+    /// Reads design data from the published snapshot: zero-copy, in
+    /// parallel with other readers, never blocking on writers.
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop visibility errors.
+    pub fn read_design_data(&self, dov: DovId) -> HybridResult<Blob> {
+        self.with_snapshot(|snap| snap.read_design_data(self.user, dov))
+    }
+
+    /// Browses design data from the published snapshot (same zero-copy
+    /// path as [`Session::read_design_data`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop visibility errors.
+    pub fn browse(&self, dov: DovId) -> HybridResult<Blob> {
+        self.with_snapshot(|snap| snap.browse(self.user, dov))
+    }
+
+    // --- typed write wrappers (the session-side desktop) -----------------
+
+    fn expect<T>(event: Event, pick: impl FnOnce(Event) -> Option<T>) -> HybridResult<T> {
+        let kind = event.kind_name();
+        pick(event)
+            .ok_or_else(|| HybridError::Journal(format!("engine returned unexpected event {kind}")))
+    }
+
+    /// Adds a user (sessions are not permission-checked; the acting
+    /// user travels in the op where the desktop requires one).
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop errors (e.g. a taken name).
+    pub fn add_user(&self, name: &str, manager: bool) -> HybridResult<UserId> {
+        Self::expect(
+            self.apply(Op::AddUser {
+                name: name.to_owned(),
+                manager,
+            })?,
+            |e| match e {
+                Event::UserAdded(id) => Some(id),
+                _ => None,
+            },
+        )
+    }
+
+    /// Adds a team owned by this session's user.
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop errors.
+    pub fn add_team(&self, name: &str) -> HybridResult<TeamId> {
+        Self::expect(
+            self.apply(Op::AddTeam {
+                actor: self.user,
+                name: name.to_owned(),
+            })?,
+            |e| match e {
+                Event::TeamAdded(id) => Some(id),
+                _ => None,
+            },
+        )
+    }
+
+    /// Adds a member to a team.
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop errors.
+    pub fn add_team_member(&self, team: TeamId, user: UserId) -> HybridResult<()> {
+        self.apply(Op::AddTeamMember {
+            actor: self.user,
+            team,
+            user,
+        })?;
+        Ok(())
+    }
+
+    /// Defines and freezes the paper's standard three-tool flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop errors.
+    pub fn standard_flow(&self, name: &str) -> HybridResult<StandardFlow> {
+        Self::expect(
+            self.apply(Op::DefineStandardFlow {
+                name: name.to_owned(),
+            })?,
+            |e| match e {
+                Event::StandardFlowDefined(flow) => Some(flow),
+                _ => None,
+            },
+        )
+    }
+
+    /// Creates a project with its coupled FMCAD library.
+    ///
+    /// # Errors
+    ///
+    /// Returns name-clash errors from either framework.
+    pub fn create_project(&self, name: &str) -> HybridResult<ProjectId> {
+        Self::expect(
+            self.apply(Op::CreateProject {
+                name: name.to_owned(),
+            })?,
+            |e| match e {
+                Event::ProjectCreated(id) => Some(id),
+                _ => None,
+            },
+        )
+    }
+
+    /// Creates a cell under a project.
+    ///
+    /// # Errors
+    ///
+    /// Returns desktop errors.
+    pub fn create_cell(&self, project: ProjectId, name: &str) -> HybridResult<CellId> {
+        Self::expect(
+            self.apply(Op::CreateCell {
+                project,
+                name: name.to_owned(),
+            })?,
+            |e| match e {
+                Event::CellCreated(id) => Some(id),
+                _ => None,
+            },
+        )
+    }
+
+    /// Creates a cell version (and its mapped FMCAD cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns errors from either framework.
+    pub fn create_cell_version(
+        &self,
+        cell: CellId,
+        flow: FlowId,
+        team: TeamId,
+    ) -> HybridResult<(CellVersionId, VariantId)> {
+        Self::expect(
+            self.apply(Op::CreateCellVersion { cell, flow, team })?,
+            |e| match e {
+                Event::CellVersionCreated(cv, variant) => Some((cv, variant)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Reserves a cell version for this session's user.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn reserve(&self, cv: CellVersionId) -> HybridResult<()> {
+        self.apply(Op::Reserve {
+            user: self.user,
+            cv,
+        })?;
+        Ok(())
+    }
+
+    /// Publishes a cell version's design data.
+    ///
+    /// # Errors
+    ///
+    /// Returns reservation errors.
+    pub fn publish(&self, cv: CellVersionId) -> HybridResult<()> {
+        self.apply(Op::Publish {
+            user: self.user,
+            cv,
+        })?;
+        Ok(())
+    }
+
+    /// Runs an encapsulated activity with pre-recorded tool outputs
+    /// (the replayable form of
+    /// [`Engine::run_activity`](crate::Engine::run_activity)).
+    ///
+    /// # Errors
+    ///
+    /// Returns flow, reservation and consistency errors.
+    pub fn run_activity(
+        &self,
+        variant: VariantId,
+        activity: jcf::ActivityId,
+        override_pending: bool,
+        outputs: Vec<crate::ToolOutput>,
+        session_error: Option<String>,
+    ) -> HybridResult<Vec<DovId>> {
+        Self::expect(
+            self.apply(Op::RunActivity {
+                user: self.user,
+                variant,
+                activity,
+                override_pending,
+                outputs: outputs.into_iter().map(|o| (o.viewtype, o.data)).collect(),
+                session_error,
+            })?,
+            |e| match e {
+                Event::ActivityRun { dovs } => Some(dovs),
+                _ => None,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_and_session_are_send_and_sync() {
+        fn assert_both<T: Send + Sync>() {}
+        assert_both::<Service>();
+        assert_both::<Session>();
+        assert_both::<Arc<Snapshot>>();
+    }
+
+    #[test]
+    fn writes_commit_and_events_fan_out_to_all_sessions() {
+        let service = Service::new(Engine::builder().build());
+        let admin = service.open_session(service.admin());
+        let observer = service.open_session(service.admin());
+        let alice = admin.add_user("alice", false).unwrap();
+        let _ = alice;
+        let seen: Vec<_> = observer.events();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 1);
+        assert_eq!(seen[0].1.kind_name(), "user-added");
+        // The submitter sees its own event too.
+        assert_eq!(admin.events().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_republishes_once_per_batch() {
+        let service = Service::new(Engine::builder().build());
+        let session = service.open_session(service.admin());
+        assert_eq!(session.snapshot().seq(), 0);
+        session.create_project("p").unwrap();
+        assert_eq!(session.snapshot().seq(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.ops, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.max_batch, 1);
+    }
+
+    #[test]
+    fn failed_ops_return_their_error_to_the_submitter() {
+        let service = Service::new(Engine::builder().build());
+        let session = service.open_session(service.admin());
+        session.create_project("p").unwrap();
+        let err = session.create_project("p").unwrap_err();
+        assert_eq!(err.kind(), "jcf");
+        // Failures are journaled (engine semantics) but not fanned out.
+        assert_eq!(
+            session.events().len(),
+            1,
+            "only the successful op produced an event"
+        );
+    }
+
+    #[test]
+    fn dropped_sessions_stop_receiving_events() {
+        let service = Service::new(Engine::builder().build());
+        let writer = service.open_session(service.admin());
+        let ephemeral = service.open_session(service.admin());
+        drop(ephemeral);
+        writer.create_project("p").unwrap();
+        assert_eq!(lock(&service.inner.subscribers).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit() {
+        let service = Service::new(Engine::builder().build());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let service = service.clone();
+                std::thread::spawn(move || {
+                    let session = service.open_session(service.admin());
+                    (0..16)
+                        .map(|j| session.create_project(&format!("p-{i}-{j}")).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut projects = Vec::new();
+        for t in threads {
+            projects.extend(t.join().unwrap());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.ops, 128);
+        assert!(stats.batches <= 128);
+        let snap = service.snapshot();
+        assert_eq!(snap.seq(), 128);
+        // Every project committed exactly once, visible in the view.
+        projects.sort();
+        projects.dedup();
+        assert_eq!(projects.len(), 128);
+        for project in projects {
+            assert!(snap.library_of(project).is_ok());
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_share_payloads_with_zero_copies() {
+        let service = Service::new(Engine::builder().build());
+        let admin = service.open_session(service.admin());
+        let alice = admin.add_user("alice", false).unwrap();
+        let team = admin.add_team("asic").unwrap();
+        admin.add_team_member(team, alice).unwrap();
+        let flow = admin.standard_flow("std").unwrap();
+        let project = admin.create_project("alu").unwrap();
+        let cell = admin.create_cell(project, "adder").unwrap();
+        let (cv, variant) = admin.create_cell_version(cell, flow.flow, team).unwrap();
+        let alice_session = service.open_session(alice);
+        alice_session.reserve(cv).unwrap();
+        let dovs = alice_session
+            .run_activity(
+                variant,
+                flow.enter_schematic,
+                false,
+                vec![crate::ToolOutput {
+                    viewtype: "schematic".into(),
+                    data: b"netlist adder\nport a input\n".to_vec().into(),
+                }],
+                None,
+            )
+            .unwrap();
+        let dov = dovs[0];
+        let reference = alice_session.read_design_data(dov).unwrap();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let service = service.clone();
+                let reference = reference.clone();
+                std::thread::spawn(move || {
+                    let session = service.open_session(alice);
+                    let before = Blob::materializations();
+                    for _ in 0..32 {
+                        let data = session.read_design_data(dov).unwrap();
+                        assert!(Blob::ptr_eq(&data, &reference));
+                    }
+                    assert_eq!(Blob::materializations(), before);
+                })
+            })
+            .collect();
+        for t in readers {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn with_engine_republishes_the_snapshot() {
+        let service = Service::new(Engine::builder().build());
+        let session = service.open_session(service.admin());
+        service.with_engine(|engine| {
+            engine.create_project("direct").unwrap();
+        });
+        assert_eq!(session.snapshot().seq(), 1);
+    }
+}

@@ -229,6 +229,24 @@ impl Jcf {
         &self.db
     }
 
+    /// Takes a point-in-time copy of the installation for concurrent
+    /// readers: the OMS store is snapshotted (metadata maps copied,
+    /// design-data blobs shared by reference — see
+    /// [`Database::snapshot`]), the desktop counters are carried over,
+    /// and the incremental checkpoint cache is reset. The copy answers
+    /// every `&self` navigation and [`Jcf::peek_design_data`] query
+    /// exactly as the live installation would at this instant, and is
+    /// fully independent of later desktop operations.
+    pub fn snapshot(&self) -> Jcf {
+        Jcf {
+            db: self.db.snapshot(),
+            rels: self.rels,
+            desktop_ops: self.desktop_ops,
+            clock: self.clock,
+            checkpointer: oms::persist::Checkpointer::new(),
+        }
+    }
+
     /// Checkpoints the entire OMS database — metadata *and* design
     /// data — to a file in the virtual file system. This is how JCF
     /// installations were backed up: everything lives in one store.

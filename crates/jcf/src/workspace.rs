@@ -227,6 +227,20 @@ impl Jcf {
     /// visible") when an unpublished version is read by a non-holder.
     pub fn read_design_data(&mut self, user: UserId, dov: DovId) -> JcfResult<Blob> {
         self.bump();
+        self.peek_design_data(user, dov)
+    }
+
+    /// Reads a design object version's data without charging a desktop
+    /// operation: the same §2.1 visibility rule as
+    /// [`Jcf::read_design_data`], but through `&self` so concurrent
+    /// readers over a [`Jcf::snapshot`](crate::Jcf::snapshot) need no
+    /// write access. The returned [`Blob`] shares the stored payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JcfError::NotReserved`] (as a stand-in for "not
+    /// visible") when an unpublished version is read by a non-holder.
+    pub fn peek_design_data(&self, user: UserId, dov: DovId) -> JcfResult<Blob> {
         let published = self.db.get(dov.0, "published")?.as_bool().unwrap_or(false);
         if !published {
             let design_object = self.design_object_of(dov)?;

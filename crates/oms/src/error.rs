@@ -66,6 +66,10 @@ pub enum OmsError {
         /// What was wrong.
         reason: String,
     },
+    /// A file system operation underneath the persistence layer failed;
+    /// the typed fault (injected write fault, quota, missing file, ...)
+    /// is preserved instead of being flattened into a message.
+    Vfs(cad_vfs::VfsError),
 }
 
 impl fmt::Display for OmsError {
@@ -116,11 +120,26 @@ impl fmt::Display for OmsError {
             OmsError::CorruptImage { line, reason } => {
                 write!(f, "corrupt database image at line {line}: {reason}")
             }
+            OmsError::Vfs(e) => write!(f, "file system error: {e}"),
         }
     }
 }
 
-impl Error for OmsError {}
+impl Error for OmsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OmsError::Vfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<cad_vfs::VfsError> for OmsError {
+    fn from(e: cad_vfs::VfsError) -> Self {
+        OmsError::Vfs(e)
+    }
+}
 
 /// Convenience alias for results of OMS operations.
 pub type OmsResult<T> = Result<T, OmsError>;

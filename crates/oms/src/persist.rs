@@ -205,16 +205,12 @@ pub fn staging_path(path: &VfsPath) -> Option<VfsPath> {
 /// temporary but never the destination, which either keeps its previous
 /// content or receives the complete new image.
 fn atomic_write(fs: &mut Vfs, path: &VfsPath, bytes: Vec<u8>) -> OmsResult<()> {
-    let fs_err = |e: cad_vfs::VfsError| OmsError::CorruptImage {
-        line: 0,
-        reason: e.to_string(),
-    };
     let tmp = staging_path(path).ok_or_else(|| OmsError::CorruptImage {
         line: 0,
         reason: "cannot stage the root path".to_owned(),
     })?;
-    fs.write(&tmp, bytes).map_err(fs_err)?;
-    fs.rename(&tmp, path).map_err(fs_err)
+    fs.write(&tmp, bytes)?;
+    Ok(fs.rename(&tmp, path)?)
 }
 
 /// Parses a textual image back into a database over `schema`.
@@ -306,8 +302,9 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
 ///
 /// # Errors
 ///
-/// Propagates file system errors as a corrupt-image error carrying the
-/// message (the caller keeps a single error domain).
+/// Propagates file system errors as typed [`OmsError::Vfs`] values, so
+/// callers can distinguish an injected fault or a full disk from a
+/// corrupt image.
 pub fn save(db: &Database, fs: &mut Vfs, path: &VfsPath) -> OmsResult<()> {
     let image = dump(db);
     atomic_write(fs, path, image.into_bytes())
@@ -365,9 +362,9 @@ pub fn render_journal(entries: &[String]) -> OmsResult<String> {
 ///
 /// # Errors
 ///
-/// Propagates file system errors as a corrupt-image error carrying the
-/// message, and rejects entries containing newlines (they would break
-/// the line framing).
+/// Propagates file system errors as typed [`OmsError::Vfs`] values, and
+/// rejects entries containing newlines (they would break the line
+/// framing).
 pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResult<()> {
     let out = render_journal(entries)?;
     atomic_write(fs, path, out.into_bytes())

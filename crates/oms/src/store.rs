@@ -116,6 +116,28 @@ impl Database {
         &self.schema
     }
 
+    /// Takes an immutable point-in-time copy of the store for
+    /// concurrent readers.
+    ///
+    /// The schema handle is shared, and every `Value::Bytes` payload is
+    /// an [`Arc`]-backed blob whose clone is a reference-count bump —
+    /// snapshotting a store full of design data copies metadata maps
+    /// but **zero** payload bytes, which is what lets a service hand
+    /// out read views without materializing anything. An open
+    /// transaction on `self` is not carried over: the snapshot starts
+    /// with no transaction in progress and reflects the store exactly
+    /// as it stands now, including uncommitted mutations.
+    pub fn snapshot(&self) -> Database {
+        Database {
+            schema: Arc::clone(&self.schema),
+            objects: self.objects.clone(),
+            forward: self.forward.clone(),
+            reverse: self.reverse.clone(),
+            next_id: self.next_id,
+            journal: None,
+        }
+    }
+
     /// Returns the number of live objects.
     pub fn len(&self) -> usize {
         self.objects.len()
@@ -521,6 +543,57 @@ mod tests {
             .relationship("twin", cell, cell, Cardinality::OneToOne)
             .unwrap();
         (Database::new(b.build()), cell, ver, has, twin)
+    }
+
+    #[test]
+    fn snapshot_is_isolated_and_shares_blob_payloads() {
+        let mut b = SchemaBuilder::new();
+        let cell = b
+            .class(
+                "Cell",
+                &[("name", AttrType::Text), ("data", AttrType::Bytes)],
+            )
+            .unwrap();
+        let mut db = Database::new(b.build());
+        let id = db.create(cell).unwrap();
+        let payload = cad_vfs::Blob::from(b"netlist adder\n".to_vec());
+        db.set(id, "data", Value::Bytes(payload.clone())).unwrap();
+
+        let before = cad_vfs::Blob::materializations();
+        let snap = db.snapshot();
+        assert_eq!(
+            cad_vfs::Blob::materializations(),
+            before,
+            "snapshotting must not materialize any payload bytes"
+        );
+        let shared = snap.get(id, "data").unwrap().as_blob().unwrap().clone();
+        assert!(
+            cad_vfs::Blob::ptr_eq(&payload, &shared),
+            "snapshot shares the original payload allocation"
+        );
+
+        // Mutating the original afterwards must not leak into the copy.
+        db.set(id, "name", Value::from("renamed")).unwrap();
+        db.delete(id).unwrap();
+        assert_eq!(snap.get(id, "name").unwrap().as_text(), Some(""));
+        assert!(matches!(db.get(id, "name"), Err(OmsError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn snapshot_drops_the_open_transaction() {
+        let (mut db, cell, ..) = two_class_db();
+        let id = db.create(cell).unwrap();
+        db.begin().unwrap();
+        db.set(id, "name", Value::from("mid-txn")).unwrap();
+        let snap = db.snapshot();
+        // The snapshot sees the uncommitted value but has no journal:
+        // a fresh transaction opens cleanly.
+        assert_eq!(snap.get(id, "name").unwrap().as_text(), Some("mid-txn"));
+        let mut snap = snap;
+        snap.begin().unwrap();
+        snap.abort().unwrap();
+        db.abort().unwrap();
+        assert_eq!(db.get(id, "name").unwrap().as_text(), Some(""));
     }
 
     #[test]

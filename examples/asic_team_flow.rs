@@ -15,7 +15,7 @@ use design_data::{format, generate, Logic};
 use hybrid::{Engine, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Engine::new();
+    let mut hy = Engine::builder().build();
     let admin = hy.admin();
     let alice = hy.add_user("alice", false)?;
     let bob = hy.add_user("bob", false)?;

@@ -89,7 +89,7 @@ fn err(msg: impl Into<String>) -> Box<dyn Error> {
 
 impl Shell {
     fn new() -> Result<Self, Box<dyn Error>> {
-        let mut hy = Engine::new();
+        let mut hy = Engine::builder().build();
         let flow = hy.standard_flow("shell-flow")?;
         Ok(Shell {
             hy,

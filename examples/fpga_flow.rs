@@ -24,7 +24,7 @@ fn simulate(netlist: &design_data::Netlist, stim: &Stimulus) -> design_data::Wav
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Engine::new();
+    let mut hy = Engine::builder().build();
     let admin = hy.admin();
     let alice = hy.add_user("alice", false)?;
     let team = hy.add_team(admin, "fpga-team")?;

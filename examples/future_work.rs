@@ -11,8 +11,9 @@ use design_data::{format, generate, Layout, Logic, MasterRef, Netlist};
 use hybrid::{Engine, FutureFeatures, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut hy = Engine::new();
-    hy.set_future_features(FutureFeatures::all())?;
+    let mut hy = Engine::builder()
+        .future_features(FutureFeatures::all())
+        .build();
     println!("features: {:?}", hy.future_features());
 
     let admin = hy.admin();

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // ======================= hybrid JCF-FMCAD ==========================
     println!("\n--- hybrid JCF-FMCAD ---");
-    let mut hy = Engine::new();
+    let mut hy = Engine::builder().build();
     let admin = hy.admin();
     let alice = hy.add_user("alice", false)?;
     let team = hy.add_team(admin, "t")?;

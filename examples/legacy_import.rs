@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", mapping::render_table_1());
 
     // A pre-existing FMCAD library with a hierarchical design in it.
-    let mut hy = Engine::new();
+    let mut hy = Engine::builder().build();
     let design = generate::ripple_adder(8);
     hy.fmcad_create_library("legacy_alu")?;
     for (cell, netlist) in &design.netlists {

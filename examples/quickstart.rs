@@ -13,7 +13,7 @@ use hybrid::{Engine, ToolOutput};
 
 fn main() -> Result<(), Box<dyn Error>> {
     // --- framework administration (once per installation) -------------
-    let mut hy = Engine::new();
+    let mut hy = Engine::builder().build();
     let admin = hy.admin();
     let alice = hy.add_user("alice", false)?;
     let team = hy.add_team(admin, "asic")?;

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """CI gate over the machine-readable benchmark outputs.
 
-Fails (exit 1) when BENCH_E9.json or BENCH_E10.json is missing or
-unparsable, or when the E9 tick table was produced with the golden
-seed (42) but drifted from the recorded golden values. The modeled
-tick economy is the experiments' measurement instrument: a deliberate
+Fails (exit 1) when BENCH_E9.json, BENCH_E10.json or BENCH_E12.json is
+missing or unparsable, when the E9 tick table was produced with the
+golden seed (42) but drifted from the recorded golden values, or when
+the E12 session run loses a gated property (read speedup, zero-copy
+readers, determinism) or regresses more than 30% below the committed
+ops/sec baseline in scripts/e12_baseline.json. The modeled tick
+economy is the experiments' measurement instrument: a deliberate
 cost-model change must update the golden table here *and* in
 crates/bench/src/e9_performance.rs in the same commit.
 """
 
 import json
+import os
 import sys
 
 GOLDEN_SEED = 42
@@ -99,6 +103,90 @@ def main():
             faults["points_armed"], faults["faults_fired"], faults["recoveries_verified"]
         )
     )
+
+    check_e12()
+
+
+E12_COUNTERS = (
+    "writers",
+    "readers",
+    "total_reads",
+    "single_session_read_ns",
+    "concurrent_read_ns",
+    "read_speedup",
+    "read_ops_per_sec",
+    "write_ops",
+    "write_ns",
+    "write_ops_per_sec",
+    "batches",
+    "max_batch",
+    "mean_batch",
+    "writer_waits",
+    "reader_waits",
+    "reader_materializations",
+    "deterministic_zero_copy",
+    "deterministic_deep_copy",
+)
+
+# A fresh run must reach at least this fraction of the committed
+# baseline's ops/sec — i.e. a >30% regression fails.
+E12_REGRESSION_FLOOR = 0.7
+
+
+def check_e12():
+    e12 = load("BENCH_E12.json")
+    sessions = e12.get("sessions")
+    if "seed" not in e12 or not isinstance(sessions, dict):
+        sys.exit("FAIL: BENCH_E12.json lacks a seed or a sessions block")
+    for field in E12_COUNTERS:
+        if field not in sessions:
+            sys.exit(
+                f"FAIL: BENCH_E12.json sessions block lacks {field!r} "
+                "(the service counters regressed)"
+            )
+
+    if not sessions["deterministic_zero_copy"] or not sessions["deterministic_deep_copy"]:
+        sys.exit("FAIL: E12 service run diverged from the serial engine fingerprint")
+    if sessions["reader_materializations"] != 0:
+        sys.exit(
+            "FAIL: E12 reader sessions materialized {} bytes "
+            "(snapshot reads must be zero-copy)".format(sessions["reader_materializations"])
+        )
+    if sessions["read_speedup"] <= 1.5:
+        sys.exit(
+            "FAIL: E12 concurrent read speedup {}x <= 1.5x over the "
+            "single-session engine baseline".format(sessions["read_speedup"])
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e12_baseline.json")
+    baseline = load(baseline_path)
+    if e12["seed"] == baseline.get("seed"):
+        for metric in ("read_ops_per_sec", "write_ops_per_sec"):
+            floor = baseline[metric] * E12_REGRESSION_FLOOR
+            if sessions[metric] < floor:
+                sys.exit(
+                    "FAIL: E12 {} regressed >30%: {:.0f} < floor {:.0f} "
+                    "(baseline {:.0f}, see scripts/e12_baseline.json)".format(
+                        metric, sessions[metric], floor, baseline[metric]
+                    )
+                )
+        print(
+            "OK: E12 sessions ({}w x {}r, {:.1f}x read speedup, {:.0f} read/s, "
+            "{:.0f} write/s, {} batches, deterministic both modes)".format(
+                sessions["writers"],
+                sessions["readers"],
+                sessions["read_speedup"],
+                sessions["read_ops_per_sec"],
+                sessions["write_ops_per_sec"],
+                sessions["batches"],
+            )
+        )
+    else:
+        print(
+            "OK: E12 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e12["seed"]
+            )
+        )
 
 
 if __name__ == "__main__":

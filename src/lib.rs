@@ -11,9 +11,9 @@
 //! # Examples
 //!
 //! ```
-//! use jcf_fmcad::hybrid:: Engine;
+//! use jcf_fmcad::hybrid::Engine;
 //!
-//! let hy = Engine::new();
+//! let hy = Engine::builder().build();
 //! assert!(hy.jcf().database().len() > 0, "bootstrap registers resources");
 //! ```
 

@@ -420,7 +420,7 @@ fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
         }
         other => panic!("expected TornJournal, got {other:?}"),
     }
-    assert_eq!(err.kind_name(), "torn-journal");
+    assert_eq!(err.kind(), "torn-journal");
 
     let (recovered, report) = Engine::recover_from(&mut backup, &dir).unwrap();
     assert_eq!(report.replayed as u64, tail_entries - 1);

@@ -25,7 +25,7 @@ use jcf::{CellId, CellVersionId, DesignObjectId, DovId, UserId, VariantId, ViewT
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Outcome {
     Ok,
-    /// Failure with this [`HybridError::kind_name`].
+    /// Failure with this [`HybridError::kind`].
     Err(&'static str),
 }
 
@@ -417,7 +417,7 @@ fn diff_step(
     match (predicted, actual) {
         (Outcome::Ok, Ok(())) => {}
         (Outcome::Err(expected), Err(e)) => assert_eq!(
-            e.kind_name(),
+            e.kind(),
             expected,
             "{at}: engine failed with the wrong kind: {e}"
         ),

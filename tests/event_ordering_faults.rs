@@ -17,11 +17,11 @@ use cad_vfs::{FaultPlan, SplitMix64, Vfs, VfsPath};
 use hybrid::{Engine, HybridError, StandardFlow};
 use jcf::{CellId, CellVersionId, DovId, TeamId, UserId, VariantId};
 
-/// One observed application: the op kind the driver issued and the
-/// rendered error if the engine rejected it.
+/// One observed application: the op kind the driver issued and, if the
+/// engine rejected it, the stable error kind plus the rendered message.
 struct Observed {
     kind: &'static str,
-    error: Option<String>,
+    error: Option<(&'static str, String)>,
 }
 
 struct Rig {
@@ -138,7 +138,7 @@ fn step(rig: &mut Rig, rng: &mut SplitMix64) -> Observed {
     };
     Observed {
         kind,
-        error: result.err().map(|e| e.to_string()),
+        error: result.err().map(|e| (e.kind(), e.to_string())),
     }
 }
 
@@ -179,7 +179,7 @@ fn sinks_agree_with_the_journal_under_injected_faults() {
             injected += 1;
             observed.push(Observed {
                 kind: "browse",
-                error: Some(err.to_string()),
+                error: Some((err.kind(), err.to_string())),
             });
         } else {
             observed.push(step(&mut rig, &mut rng));
@@ -203,17 +203,10 @@ fn sinks_agree_with_the_journal_under_injected_faults() {
     for obs in &observed {
         match &obs.error {
             None => *expected_ops.entry(obs.kind.to_owned()).or_insert(0) += 1,
-            Some(rendered) => {
-                // Recover the error kind from the rendered prefix the
-                // same way a reader of the trace would.
-                let kind = if rendered.starts_with("staging:") {
-                    "vfs"
-                } else if rendered.starts_with("jcf:") {
-                    "jcf"
-                } else {
-                    panic!("unexpected error family in stream: {rendered}")
-                };
-                *expected_failures.entry(kind.to_owned()).or_insert(0) += 1;
+            Some((kind, _rendered)) => {
+                // The stable `kind()` string is exactly the failure
+                // counter key — no prefix sniffing needed.
+                *expected_failures.entry((*kind).to_owned()).or_insert(0) += 1;
             }
         }
     }
@@ -255,12 +248,12 @@ fn sinks_agree_with_the_journal_under_injected_faults() {
                     assert!(entry.ok, "seq {}: driver saw success", entry.seq);
                     assert!(!entry.outcome.starts_with("error:"));
                 }
-                Some(rendered) => {
+                Some((kind, rendered)) => {
                     assert!(!entry.ok, "seq {}: driver saw a failure", entry.seq);
                     assert_eq!(
                         entry.outcome,
-                        format!("error: {rendered}"),
-                        "trace records the exact rendered error"
+                        format!("error[{kind}]: {rendered}"),
+                        "trace records the stable kind and the rendered error"
                     );
                 }
             }

@@ -16,8 +16,7 @@ fn checkpoint_and_replay_survive_a_power_cycle_in_both_staging_modes() {
         let mat_before = Blob::materializations();
 
         // Day 1: a working session.
-        let mut en = Engine::new();
-        en.set_staging_mode(mode).unwrap();
+        let mut en = Engine::builder().staging_mode(mode).build();
         let admin = en.admin();
         let alice = en.add_user("alice", false).unwrap();
         let team = en.add_team(admin, "t").unwrap();
