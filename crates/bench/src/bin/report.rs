@@ -1,12 +1,14 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e11|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e13|verdicts|--json]
 //! [--seed <u64>]`
 //!
-//! `--json` reruns the E9 tick sweep and the E10 throughput workload
-//! and writes the machine-readable `BENCH_E9.json` / `BENCH_E10.json`
-//! files at the repository root, seeding the performance trajectory.
+//! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
+//! E12 session benchmark and the E13 publish sweep, and writes the
+//! machine-readable `BENCH_E9.json` / `BENCH_E10.json` /
+//! `BENCH_E12.json` / `BENCH_E13.json` files at the repository root,
+//! seeding the performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
 //! recorded in both JSON files.
@@ -14,8 +16,8 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e11_faults, e12_sessions, e1_mapping, e2_e3_schemas, e4_concurrency,
-    e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
+    e10_throughput, e11_faults, e12_sessions, e13_publish, e1_mapping, e2_e3_schemas,
+    e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -173,6 +175,20 @@ fn print_verdicts() {
         ),
     });
 
+    let e13 = e13_publish::run();
+    rows.push(Row {
+        exp: "E13",
+        claim: "snapshot publication is O(Δ): near-flat latency, cached capture",
+        holds: e13.holds(),
+        measured: format!(
+            "publish p50 grew {:.1}x over a {:.0}x object growth, captures cached at {}/{} sizes",
+            e13.p50_growth(),
+            e13.size_growth(),
+            e13.rows.iter().filter(|r| r.capture_is_cached).count(),
+            e13.rows.len()
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -300,6 +316,30 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e12_path = format!("{root}/BENCH_E12.json");
     std::fs::write(&e12_path, e12)?;
     println!("wrote {e12_path}");
+
+    let r = e13_publish::run();
+    println!("{r}");
+    let mut e13 = format!("{{\"seed\": {seed}, \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        e13.push_str(&format!(
+            "  {{\"objects\": {}, \"publish_p50_ns\": {}, \"publish_p99_ns\": {}, \"write_ops_per_sec\": {:.0}, \"capture_is_cached\": {}}}{}\n",
+            row.objects,
+            row.publish_p50_ns,
+            row.publish_p99_ns,
+            row.write_ops_per_sec,
+            row.capture_is_cached,
+            if i + 1 == r.rows.len() { "" } else { "," }
+        ));
+    }
+    e13.push_str(&format!(
+        "],\n\"p50_growth\": {:.2}, \"size_growth\": {:.2}, \"holds\": {}}}\n",
+        r.p50_growth(),
+        r.size_growth(),
+        r.holds()
+    ));
+    let e13_path = format!("{root}/BENCH_E13.json");
+    std::fs::write(&e13_path, e13)?;
+    println!("wrote {e13_path}");
     Ok(())
 }
 
@@ -392,9 +432,13 @@ fn main() {
         println!("{}", e12_sessions::run(seed));
         printed = true;
     }
+    if want("e13") {
+        println!("{}", e13_publish::run());
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e12 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e13 or no argument for all");
         std::process::exit(2);
     }
 }

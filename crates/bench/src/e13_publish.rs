@@ -1,0 +1,217 @@
+//! E13 — O(Δ) snapshot publication of the persistent OMS store.
+//!
+//! Before the copy-on-write store, publishing a snapshot cloned the
+//! whole OMS database and every coupling map, so the latency of
+//! [`hybrid::Engine::snapshot`] grew linearly with installation size —
+//! exactly the cost the service layer pays after *every* committed
+//! write batch. With the persistent structures the capture is a
+//! handful of `Arc` bumps and a republish costs only what the ops in
+//! between actually touched.
+//!
+//! E13 measures, at 1k / 10k / 50k database objects:
+//!
+//! 1. **publish latency** — p50/p99 nanoseconds of one
+//!    mutate-then-snapshot cycle (the republish path), which must stay
+//!    *near-flat* across the size sweep (sublinear in objects);
+//! 2. **writer throughput** — ops/sec of the mutating half of the
+//!    cycle, proving the persistent store does not tax writers;
+//! 3. **capture caching** — repeated `snapshot()` calls at an
+//!    unchanged sequence number must return the *same*
+//!    `Arc<Snapshot>` (pointer-equal), the satellite guarantee of the
+//!    engine-level snapshot cache.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hybrid::Engine;
+
+/// One measured size point of the E13 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct E13Row {
+    /// OMS database objects at measurement time.
+    pub objects: usize,
+    /// Median nanoseconds of one mutate+snapshot publish cycle.
+    pub publish_p50_ns: u64,
+    /// 99th-percentile nanoseconds of one publish cycle.
+    pub publish_p99_ns: u64,
+    /// Mutating ops per second during the measured cycles.
+    pub write_ops_per_sec: f64,
+    /// Repeat `snapshot()` at an unchanged seq was pointer-equal.
+    pub capture_is_cached: bool,
+}
+
+impl fmt::Display for E13Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  {:>7} objects: publish p50 {:>8} ns, p99 {:>9} ns, {:>9.0} write ops/s, cached capture {}",
+            self.objects,
+            self.publish_p50_ns,
+            self.publish_p99_ns,
+            self.write_ops_per_sec,
+            if self.capture_is_cached { "SHARED" } else { "COPIED" }
+        )
+    }
+}
+
+/// Results of one E13 run (one row per database size).
+#[derive(Debug, Clone)]
+pub struct E13Report {
+    /// One row per populated size, ascending.
+    pub rows: Vec<E13Row>,
+}
+
+impl E13Report {
+    /// Ratio of the largest to the smallest size's median publish
+    /// latency. O(size) publication would track the ~50x object
+    /// growth; the persistent store must stay well under it.
+    pub fn p50_growth(&self) -> f64 {
+        let first = self.rows.first().map(|r| r.publish_p50_ns).unwrap_or(1);
+        let last = self.rows.last().map(|r| r.publish_p50_ns).unwrap_or(1);
+        last as f64 / first.max(1) as f64
+    }
+
+    /// Ratio of the largest to the smallest database size.
+    pub fn size_growth(&self) -> f64 {
+        let first = self.rows.first().map(|r| r.objects).unwrap_or(1);
+        let last = self.rows.last().map(|r| r.objects).unwrap_or(1);
+        last as f64 / first.max(1) as f64
+    }
+
+    /// Whether every gated property held: sublinear latency growth and
+    /// a shared capture at every size.
+    pub fn holds(&self) -> bool {
+        self.rows.iter().all(|r| r.capture_is_cached)
+            && self.p50_growth() < self.size_growth() / 2.0
+    }
+}
+
+impl fmt::Display for E13Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E13 — O(Δ) snapshot publication (persistent CoW store)")?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        write!(
+            f,
+            "  publish p50 grew {:.1}x over a {:.0}x object growth ({})",
+            self.p50_growth(),
+            self.size_growth(),
+            if self.holds() { "SUBLINEAR" } else { "LINEAR" }
+        )
+    }
+}
+
+/// Boots an engine and grows its database to at least `objects` OMS
+/// objects by creating cells (each cell materializes a handful of
+/// framework objects on both coupling sides).
+fn populated_engine(objects: usize) -> Engine {
+    let mut en = Engine::builder().build();
+    let project = en.create_project("e13").expect("fresh project");
+    let mut i = 0usize;
+    while en.jcf().database().len() < objects {
+        en.create_cell(project, &format!("c{i}"))
+            .expect("unique cell");
+        i += 1;
+    }
+    en
+}
+
+/// Times `iters` mutate-then-snapshot publish cycles on `en` and
+/// returns the measured row.
+fn timed_publishes(mut en: Engine, iters: usize) -> E13Row {
+    // Warm up: the first capture builds the cache entry.
+    let _ = en.snapshot();
+    let objects = en.jcf().database().len();
+    let mut publish_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut write_ns = 0u64;
+    let project = en.create_project("e13-publish").expect("fresh project");
+    for i in 0..iters {
+        let write_start = Instant::now();
+        en.create_cell(project, &format!("p{i}"))
+            .expect("unique cell");
+        write_ns += write_start.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        let snap = en.snapshot();
+        publish_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(snap.seq(), en.seq(), "publish reflects the engine");
+    }
+    publish_ns.sort_unstable();
+    let p50 = publish_ns[iters / 2];
+    let p99 = publish_ns[(iters * 99 / 100).min(iters - 1)];
+    // The cache satellite: an unchanged engine republishes the same Arc.
+    let a = en.snapshot();
+    let b = en.snapshot();
+    E13Row {
+        objects,
+        publish_p50_ns: p50,
+        publish_p99_ns: p99,
+        write_ops_per_sec: iters as f64 / (write_ns.max(1) as f64 / 1e9),
+        capture_is_cached: Arc::ptr_eq(&a, &b),
+    }
+}
+
+/// Runs E13 at the standard sizes (1k / 10k / 50k objects, 300
+/// publish cycles each).
+pub fn run() -> E13Report {
+    run_scaled(&[1_000, 10_000, 50_000], 300)
+}
+
+/// Runs E13 at explicit database sizes with `iters` publish cycles per
+/// size.
+///
+/// # Panics
+///
+/// Panics on bootstrap failures or an empty `sizes`/`iters`.
+pub fn run_scaled(sizes: &[usize], iters: usize) -> E13Report {
+    assert!(!sizes.is_empty() && iters > 0);
+    E13Report {
+        rows: sizes
+            .iter()
+            .map(|&objects| timed_publishes(populated_engine(objects), iters))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_are_cached_at_every_size() {
+        let report = run_scaled(&[50, 150], 20);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.capture_is_cached, "{row}");
+            assert!(row.objects >= 50);
+            assert!(row.publish_p50_ns <= row.publish_p99_ns);
+            assert!(row.write_ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn growth_ratios_are_computed_from_first_and_last_rows() {
+        let report = E13Report {
+            rows: vec![
+                E13Row {
+                    objects: 1_000,
+                    publish_p50_ns: 100,
+                    publish_p99_ns: 200,
+                    write_ops_per_sec: 1.0,
+                    capture_is_cached: true,
+                },
+                E13Row {
+                    objects: 50_000,
+                    publish_p50_ns: 300,
+                    publish_p99_ns: 900,
+                    write_ops_per_sec: 1.0,
+                    capture_is_cached: true,
+                },
+            ],
+        };
+        assert!((report.size_growth() - 50.0).abs() < 1e-9);
+        assert!((report.p50_growth() - 3.0).abs() < 1e-9);
+        assert!(report.holds());
+    }
+}

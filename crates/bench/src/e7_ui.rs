@@ -98,7 +98,7 @@ pub fn run() -> E7Result {
         .create_cell_version(cell, env.flow.flow, env.team)
         .expect("fresh version");
     env.hy.reserve(user, cv).expect("free version");
-    let payload = schematic.clone();
+    let payload = schematic;
     env.hy
         .run_activity(user, variant, env.flow.enter_schematic, false, move |_| {
             Ok(vec![ToolOutput {

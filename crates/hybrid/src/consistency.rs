@@ -118,7 +118,7 @@ impl Hybrid {
         outputs: &[ToolOutput],
     ) -> HybridResult<()> {
         // 1. Outputs must be declared by the activity.
-        let declared: BTreeSet<String> = self
+        let declared: BTreeSet<std::sync::Arc<str>> = self
             .jcf
             .creates_of(activity)
             .into_iter()
@@ -126,7 +126,7 @@ impl Hybrid {
             .collect();
         let activity_name = self.jcf.display_name(activity.object_id());
         for output in outputs {
-            if !declared.contains(&output.viewtype) {
+            if !declared.contains(output.viewtype.as_str()) {
                 return Err(HybridError::UndeclaredOutput {
                     activity: activity_name,
                     viewtype: output.viewtype.clone(),
@@ -232,11 +232,11 @@ impl Hybrid {
         }
 
         // Mirrored design data: DB bytes must equal library bytes.
-        let mirrors: Vec<(jcf::DovId, crate::framework::MirrorLocation)> = self
+        let mirrors: Vec<(jcf::DovId, std::sync::Arc<crate::framework::MirrorLocation>)> = self
             .dov_mirror
             .iter()
             .filter(|(_, m)| m.library == lib)
-            .map(|(d, m)| (*d, m.clone()))
+            .map(|(d, m)| (d, m.clone()))
             .collect();
         for (dov, mirror) in mirrors {
             let db_bytes = self
@@ -261,10 +261,10 @@ impl Hybrid {
 
         // Hierarchy: every child referenced by mirrored schematic or
         // layout data must be declared in CompOf.
-        let cvs: Vec<(jcf::CellVersionId, String)> = self
+        let cvs: Vec<(jcf::CellVersionId, std::sync::Arc<str>)> = self
             .cv_cell
             .iter()
-            .map(|(cv, cell)| (*cv, cell.clone()))
+            .map(|(cv, cell)| (cv, cell.clone()))
             .collect();
         for (cv, fmcad_cell) in cvs {
             let declared: BTreeSet<String> = self
@@ -279,7 +279,7 @@ impl Hybrid {
                     for child in children_referenced(view, &data) {
                         if !declared.contains(&child) {
                             findings.push(ConsistencyFinding::UndeclaredHierarchy {
-                                parent: fmcad_cell.clone(),
+                                parent: fmcad_cell.to_string(),
                                 child,
                             });
                         }
@@ -299,7 +299,7 @@ impl Hybrid {
                 let l: BTreeSet<String> = children_referenced("layout", &lay).into_iter().collect();
                 if s != l {
                     findings.push(ConsistencyFinding::NonIsomorphic {
-                        cell: fmcad_cell.clone(),
+                        cell: fmcad_cell.to_string(),
                         detail: format!("schematic {s:?} vs layout {l:?}"),
                     });
                 }

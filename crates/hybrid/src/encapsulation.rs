@@ -214,12 +214,12 @@ impl Hybrid {
                         self.mirror_cache_hits += 1;
                         self.dov_mirror.insert(
                             *dov,
-                            MirrorLocation {
+                            std::sync::Arc::new(MirrorLocation {
                                 library: lib.clone(),
                                 cell: fmcad_cell.clone(),
                                 view: view.clone(),
                                 version,
-                            },
+                            }),
                         );
                         continue;
                     }
@@ -246,12 +246,12 @@ impl Hybrid {
             }
             self.dov_mirror.insert(
                 *dov,
-                MirrorLocation {
+                std::sync::Arc::new(MirrorLocation {
                     library: lib.clone(),
                     cell: fmcad_cell.clone(),
                     view: view.clone(),
                     version,
-                },
+                }),
             );
             self.fmcad.fire_trigger(
                 "data-changed",
@@ -498,7 +498,7 @@ mod tests {
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
             Ok(vec![ToolOutput {
                 viewtype: "schematic".into(),
-                data: out.clone(),
+                data: out,
             }])
         })
         .unwrap();
@@ -512,11 +512,11 @@ mod tests {
         // output several times (staging file, database, library).
         e.hy.set_staging_mode(StagingMode::DeepCopy);
         let before = Blob::materializations();
-        let out = data.clone();
+        let out = data;
         e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
             Ok(vec![ToolOutput {
                 viewtype: "schematic".into(),
-                data: out.clone(),
+                data: out,
             }])
         })
         .unwrap();
@@ -539,7 +539,7 @@ mod tests {
             e.hy.run_activity(e.alice, variant, e.flow.enter_schematic, false, move |_| {
                 Ok(vec![ToolOutput {
                     viewtype: "schematic".into(),
-                    data: data.clone(),
+                    data,
                 }])
             })
             .unwrap()
@@ -548,7 +548,7 @@ mod tests {
         let first_mirror = e.hy.mirror_of(first[0]).cloned().unwrap();
         assert_eq!(e.hy.mirror_cache_hits(), 0);
 
-        let second = run(&mut e, data.clone());
+        let second = run(&mut e, data);
         let second_mirror = e.hy.mirror_of(second[0]).cloned().unwrap();
         assert_eq!(e.hy.mirror_cache_hits(), 1);
         assert_eq!(

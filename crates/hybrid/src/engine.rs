@@ -70,6 +70,11 @@ pub struct Engine {
     trace: TraceSink,
     counters: CounterSink,
     extra: Vec<Box<dyn EventSink + Send>>,
+    /// The last snapshot published at the current `seq`, if any.
+    /// Capture is already O(1), but callers republish after every
+    /// write batch; when nothing changed in between they all share
+    /// one `Arc<Snapshot>` instead of four map clones each.
+    snap_cache: std::sync::Mutex<Option<std::sync::Arc<crate::Snapshot>>>,
 }
 
 impl fmt::Debug for Engine {
@@ -126,6 +131,7 @@ impl Engine {
             trace,
             counters: CounterSink::default(),
             extra,
+            snap_cache: std::sync::Mutex::new(None),
         }
     }
 
@@ -134,6 +140,9 @@ impl Engine {
     /// experiments that must poke the frameworks directly).
     #[cfg(feature = "raw-handles")]
     pub fn jcf_mut(&mut self) -> &mut Jcf {
+        // Raw handles mutate state without bumping `seq`, so the
+        // seq-keyed snapshot cache cannot tell; drop it.
+        self.invalidate_snap_cache();
         self.hy.jcf_mut()
     }
 
@@ -141,6 +150,7 @@ impl Engine {
     /// Only available with the `raw-handles` feature.
     #[cfg(feature = "raw-handles")]
     pub fn fmcad_mut(&mut self) -> &mut Fmcad {
+        self.invalidate_snap_cache();
         self.hy.fmcad_mut()
     }
 
@@ -157,8 +167,33 @@ impl Engine {
     /// Freezes the current state into a thread-shareable
     /// [`Snapshot`](crate::Snapshot): reads against it are zero-copy
     /// and cost the engine nothing.
-    pub fn snapshot(&self) -> crate::Snapshot {
-        crate::Snapshot::capture(&self.hy, self.seq)
+    ///
+    /// Capture itself is O(1) (the database and coupling maps are
+    /// persistent structures), and repeat calls at an unchanged
+    /// [`Engine::seq`] return the *same* `Arc<Snapshot>` — callers
+    /// that republish defensively share one allocation.
+    pub fn snapshot(&self) -> std::sync::Arc<crate::Snapshot> {
+        let mut cache = self
+            .snap_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(snap) = cache.as_ref() {
+            if snap.seq() == self.seq {
+                return std::sync::Arc::clone(snap);
+            }
+        }
+        let snap = std::sync::Arc::new(crate::Snapshot::capture(&self.hy, self.seq));
+        *cache = Some(std::sync::Arc::clone(&snap));
+        snap
+    }
+
+    /// Drops the cached snapshot; used by the mutation paths that do
+    /// not advance `seq` (raw handles, checkpointing).
+    fn invalidate_snap_cache(&self) {
+        *self
+            .snap_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// The built-in tracing ring buffer (the shell's `journal` view).
@@ -1581,6 +1616,7 @@ impl Engine {
     ///
     /// Returns image encoding and backup file system errors.
     pub fn checkpoint_to(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        self.invalidate_snap_cache();
         backup.mkdir_all(dir)?;
         let files: [(&str, Vec<u8>); 4] = [
             (
@@ -1708,21 +1744,41 @@ impl Engine {
         let mut jcf = Jcf::restore(backup, &dir.join(OMS_IMG)?)?;
         jcf.resume_counters(meta.desktop_ops, meta.clock);
 
+        // The meta file stores plain owned strings; the live coupling
+        // maps are persistent tries over interned `Arc` values, so the
+        // restore re-interns each entry once here.
+        let viewtypes_by_name = meta
+            .viewtype_names
+            .iter()
+            .map(|(id, name)| (name.clone(), *id))
+            .collect();
         let hy = Hybrid {
             jcf,
             fmcad,
             admin: meta.admin,
-            project_lib: meta.project_lib,
-            cv_cell: meta.cv_cell,
-            viewtype_names: meta.viewtype_names.clone(),
-            viewtypes_by_name: meta
-                .viewtype_names
-                .iter()
-                .map(|(id, name)| (name.clone(), *id))
+            project_lib: meta
+                .project_lib
+                .into_iter()
+                .map(|(k, v)| (k, std::sync::Arc::from(v)))
                 .collect(),
+            cv_cell: meta
+                .cv_cell
+                .into_iter()
+                .map(|(k, v)| (k, std::sync::Arc::from(v)))
+                .collect(),
+            viewtype_names: meta
+                .viewtype_names
+                .into_iter()
+                .map(|(k, v)| (k, std::sync::Arc::from(v)))
+                .collect(),
+            viewtypes_by_name,
             viewtype_apps: meta.viewtype_apps,
             tool_kinds: meta.tool_kinds,
-            dov_mirror: meta.dov_mirror,
+            dov_mirror: meta
+                .dov_mirror
+                .into_iter()
+                .map(|(k, v)| (k, std::sync::Arc::new(v)))
+                .collect(),
             fmcad_ui_ops: meta.fmcad_ui_ops,
             features: meta.features,
             staging_mode: meta.staging_mode,
@@ -1742,6 +1798,7 @@ impl Engine {
             trace,
             counters,
             extra: Vec::new(),
+            snap_cache: std::sync::Mutex::new(None),
         };
 
         // Replay the journal tail. Each op is re-applied through the

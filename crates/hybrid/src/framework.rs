@@ -1,6 +1,7 @@
 //! The hybrid framework object: coupling state and project structure.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cad_tools::ToolKind;
 use fmcad::Fmcad;
@@ -8,6 +9,7 @@ use jcf::{
     CellId, CellVersionId, DovId, FlowId, Jcf, ProjectId, TeamId, ToolId, UserId, VariantId,
     ViewTypeId,
 };
+use oms::PMap;
 
 use crate::error::{HybridError, HybridResult};
 
@@ -113,16 +115,20 @@ pub struct Hybrid {
     pub(crate) jcf: Jcf,
     pub(crate) fmcad: Fmcad,
     pub(crate) admin: UserId,
-    pub(crate) project_lib: BTreeMap<ProjectId, String>,
-    pub(crate) cv_cell: BTreeMap<CellVersionId, String>,
-    pub(crate) viewtype_names: BTreeMap<ViewTypeId, String>,
+    /// Coupling maps (Table 1) live on the same persistent trie as the
+    /// object store, with interned `Arc<str>` values: capturing a
+    /// [`Snapshot`](crate::Snapshot) clones four Arcs instead of
+    /// copying every mapping.
+    pub(crate) project_lib: PMap<ProjectId, Arc<str>>,
+    pub(crate) cv_cell: PMap<CellVersionId, Arc<str>>,
+    pub(crate) viewtype_names: PMap<ViewTypeId, Arc<str>>,
     pub(crate) viewtypes_by_name: BTreeMap<String, ViewTypeId>,
     /// Viewtypes registered *after* bootstrap, with the FMCAD
     /// application each is bound to; a restart re-registers them (the
     /// standard four come back with the framework itself).
     pub(crate) viewtype_apps: BTreeMap<String, ToolKind>,
     pub(crate) tool_kinds: BTreeMap<ToolId, ToolKind>,
-    pub(crate) dov_mirror: BTreeMap<DovId, MirrorLocation>,
+    pub(crate) dov_mirror: PMap<DovId, Arc<MirrorLocation>>,
     pub(crate) fmcad_ui_ops: u64,
     pub(crate) features: crate::future::FutureFeatures,
     pub(crate) staging_mode: StagingMode,
@@ -167,11 +173,11 @@ impl Hybrid {
             .add_user("framework-admin", true)
             .expect("fresh installation");
         let mut fmcad = Fmcad::new();
-        let mut viewtype_names = BTreeMap::new();
+        let mut viewtype_names = PMap::new();
         let mut viewtypes_by_name = BTreeMap::new();
         for name in ["schematic", "layout", "symbol", "waveform"] {
             let id = jcf.add_viewtype(name).expect("fresh installation");
-            viewtype_names.insert(id, name.to_owned());
+            viewtype_names.insert(id, Arc::from(name));
             viewtypes_by_name.insert(name.to_owned(), id);
         }
         let mut tool_kinds = BTreeMap::new();
@@ -192,13 +198,13 @@ impl Hybrid {
             jcf,
             fmcad,
             admin,
-            project_lib: BTreeMap::new(),
-            cv_cell: BTreeMap::new(),
+            project_lib: PMap::new(),
+            cv_cell: PMap::new(),
             viewtype_names,
             viewtypes_by_name,
             viewtype_apps: BTreeMap::new(),
             tool_kinds,
-            dov_mirror: BTreeMap::new(),
+            dov_mirror: PMap::new(),
             fmcad_ui_ops: 0,
             features: crate::future::FutureFeatures::default(),
             staging_mode: StagingMode::default(),
@@ -307,7 +313,7 @@ impl Hybrid {
     pub fn viewtype_name(&self, id: ViewTypeId) -> HybridResult<&str> {
         self.viewtype_names
             .get(&id)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("viewtype {id}")))
     }
 
@@ -325,7 +331,7 @@ impl Hybrid {
         application: ToolKind,
     ) -> HybridResult<ViewTypeId> {
         let id = self.jcf.add_viewtype(name)?;
-        self.viewtype_names.insert(id, name.to_owned());
+        self.viewtype_names.insert(id, Arc::from(name));
         self.viewtypes_by_name.insert(name.to_owned(), id);
         self.viewtype_apps.insert(name.to_owned(), application);
         self.fmcad.register_viewtype(name, application);
@@ -482,7 +488,7 @@ impl Hybrid {
         self.fmcad.create_library(name)?;
         self.fmcad
             .fire_trigger("library-coupled", &[fml::Value::Str(name.to_owned())])?;
-        self.project_lib.insert(project, name.to_owned());
+        self.project_lib.insert(project, Arc::from(name));
         Ok(project)
     }
 
@@ -515,7 +521,7 @@ impl Hybrid {
         let cell_name = self.jcf.display_name(cell.object_id());
         let fmcad_cell = format!("{cell_name}_v{number}");
         self.fmcad.create_cell(&lib, &fmcad_cell)?;
-        self.cv_cell.insert(cv, fmcad_cell);
+        self.cv_cell.insert(cv, Arc::from(fmcad_cell));
         Ok((cv, variant))
     }
 
@@ -527,7 +533,7 @@ impl Hybrid {
     pub fn library_of(&self, project: ProjectId) -> HybridResult<&str> {
         self.project_lib
             .get(&project)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("library of {project}")))
     }
 
@@ -539,13 +545,13 @@ impl Hybrid {
     pub fn fmcad_cell_of(&self, cv: CellVersionId) -> HybridResult<&str> {
         self.cv_cell
             .get(&cv)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("fmcad cell of {cv}")))
     }
 
     /// Where a design object version is mirrored in FMCAD, if it is.
     pub fn mirror_of(&self, dov: DovId) -> Option<&MirrorLocation> {
-        self.dov_mirror.get(&dov)
+        self.dov_mirror.get(&dov).map(|m| &**m)
     }
 
     /// The library of the project owning a variant, with the mapped

@@ -85,7 +85,7 @@ impl Hybrid {
             }
         }
         if self.features.cross_project_sharing {
-            for &other in self.project_lib.keys() {
+            for other in self.project_lib.keys() {
                 if other == project {
                     continue;
                 }

@@ -45,7 +45,8 @@ impl Hybrid {
     ) -> HybridResult<(ProjectId, ImportReport)> {
         let mut report = ImportReport::default();
         let project = self.jcf.create_project(library)?;
-        self.project_lib.insert(project, library.to_owned());
+        self.project_lib
+            .insert(project, std::sync::Arc::from(library));
         self.fmcad
             .fire_trigger("library-coupled", &[fml::Value::Str(library.to_owned())])?;
 
@@ -61,7 +62,8 @@ impl Hybrid {
         for cell_name in &cell_names {
             let cell = self.jcf.create_cell(project, cell_name)?;
             let (cv, variant) = self.jcf.create_cell_version(cell, flow, team)?;
-            self.cv_cell.insert(cv, cell_name.clone());
+            self.cv_cell
+                .insert(cv, std::sync::Arc::from(cell_name.as_str()));
             self.jcf.reserve(actor, cv)?;
             report.cells += 1;
             created.push((cell_name.clone(), cell, cv, variant));
@@ -97,12 +99,12 @@ impl Hybrid {
                         .add_design_object_version(actor, design_object, data)?;
                     self.dov_mirror.insert(
                         dov,
-                        MirrorLocation {
+                        std::sync::Arc::new(MirrorLocation {
                             library: library.to_owned(),
                             cell: cell_name.clone(),
                             view: view.clone(),
                             version,
-                        },
+                        }),
                     );
                     report.versions += 1;
                 }

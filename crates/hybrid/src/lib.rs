@@ -67,6 +67,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone)]
 
 mod builder;
 mod consistency;

@@ -176,7 +176,7 @@ impl Service {
     pub fn new(engine: Engine) -> Service {
         let admin = engine.admin();
         let seq = engine.seq();
-        let snapshot = Arc::new(engine.snapshot());
+        let snapshot = engine.snapshot();
         Service {
             inner: Arc::new(Inner {
                 engine: Mutex::new(engine),
@@ -320,7 +320,7 @@ impl Service {
 
     /// Replaces the published snapshot with the engine's current state.
     fn republish(&self, engine: &Engine) {
-        *lock(&self.inner.snapshot) = Arc::new(engine.snapshot());
+        *lock(&self.inner.snapshot) = engine.snapshot();
         self.inner
             .published_seq
             .store(engine.seq(), Ordering::Release);

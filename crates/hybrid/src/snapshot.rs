@@ -16,10 +16,11 @@
 //! (later engine mutations are invisible; take a new snapshot to see
 //! them).
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cad_vfs::Blob;
 use jcf::{CellVersionId, DovId, Jcf, ProjectId, UserId, ViewTypeId};
+use oms::PMap;
 
 use crate::error::{HybridError, HybridResult};
 use crate::framework::{Hybrid, MirrorLocation, StagingMode};
@@ -56,14 +57,19 @@ pub struct Snapshot {
     jcf: Jcf,
     seq: u64,
     staging_mode: StagingMode,
-    project_lib: BTreeMap<ProjectId, String>,
-    cv_cell: BTreeMap<CellVersionId, String>,
-    viewtype_names: BTreeMap<ViewTypeId, String>,
-    dov_mirror: BTreeMap<DovId, MirrorLocation>,
+    project_lib: PMap<ProjectId, Arc<str>>,
+    cv_cell: PMap<CellVersionId, Arc<str>>,
+    viewtype_names: PMap<ViewTypeId, Arc<str>>,
+    dov_mirror: PMap<DovId, Arc<MirrorLocation>>,
 }
 
 impl Snapshot {
     /// Freezes the given hybrid state at the given sequence number.
+    ///
+    /// This is O(1): the OMS database and all four coupling maps are
+    /// persistent structures, so each `clone` below is a reference-count
+    /// bump and later engine writes path-copy away from the snapshot
+    /// instead of invalidating it.
     pub(crate) fn capture(hy: &Hybrid, seq: u64) -> Snapshot {
         Snapshot {
             jcf: hy.jcf.snapshot(),
@@ -125,7 +131,7 @@ impl Snapshot {
     pub fn library_of(&self, project: ProjectId) -> HybridResult<&str> {
         self.project_lib
             .get(&project)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("library of {project}")))
     }
 
@@ -137,7 +143,7 @@ impl Snapshot {
     pub fn fmcad_cell_of(&self, cv: CellVersionId) -> HybridResult<&str> {
         self.cv_cell
             .get(&cv)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("fmcad cell of {cv}")))
     }
 
@@ -149,13 +155,13 @@ impl Snapshot {
     pub fn viewtype_name(&self, id: ViewTypeId) -> HybridResult<&str> {
         self.viewtype_names
             .get(&id)
-            .map(String::as_str)
+            .map(|s| &**s)
             .ok_or_else(|| HybridError::MappingMissing(format!("viewtype {id}")))
     }
 
     /// Where a design object version is mirrored in FMCAD, if it is.
     pub fn mirror_of(&self, dov: DovId) -> Option<&MirrorLocation> {
-        self.dov_mirror.get(&dov)
+        self.dov_mirror.get(&dov).map(|m| &**m)
     }
 }
 

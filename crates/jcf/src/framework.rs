@@ -34,6 +34,17 @@ macro_rules! typed_id {
                 write!(f, "{}{}", stringify!($name), self.0)
             }
         }
+
+        /// Typed ids key the hybrid coupling maps, which live on the
+        /// same persistent trie as the store itself.
+        impl oms::PmapKey for $name {
+            fn to_bits(self) -> u64 {
+                self.0.raw()
+            }
+            fn from_bits(bits: u64) -> Self {
+                $name(ObjectId::from_raw(bits))
+            }
+        }
     };
 }
 

@@ -48,15 +48,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone)]
 
 mod error;
 pub mod persist;
+pub mod pmap;
 mod schema;
 mod store;
 mod value;
 mod version;
 
 pub use error::{OmsError, OmsResult};
+pub use pmap::{PMap, PmapKey};
 pub use schema::{
     AttrDef, AttrType, Cardinality, ClassDef, ClassId, RelDef, RelId, Schema, SchemaBuilder,
 };

@@ -39,7 +39,7 @@ pub fn dump(db: &Database) -> String {
     let (schema, objects, links) = db.raw_parts();
     let mut out = String::from("oms-image v1\n");
     for (id, obj) in objects {
-        out.push_str(&object_block(*id, obj, schema));
+        out.push_str(&object_block(id, obj, schema));
     }
     append_links(&mut out, schema, &links);
     out
@@ -165,7 +165,7 @@ impl Checkpointer {
                 }
                 _ => {
                     self.last_serialized += 1;
-                    object_block(*id, obj, schema)
+                    object_block(id, obj, schema)
                 }
             };
             out.push_str(&block);

@@ -1,0 +1,477 @@
+//! A persistent, structurally-shared ordered map over `u64`-like keys.
+//!
+//! [`PMap`] is the store's answer to the clone-the-world snapshot
+//! problem: cloning one is a single [`Arc`] reference-count bump, and
+//! every mutation *path-copies* only the handful of trie nodes between
+//! the root and the touched key (via [`Arc::make_mut`]), leaving all
+//! other nodes shared with previously taken clones. A snapshot of a
+//! 50k-object database therefore costs O(1) to take and each write
+//! after it costs O(depth) node copies, not O(database).
+//!
+//! The layout is a fixed-depth radix trie over the eight big-endian
+//! bytes of the key: inner nodes hold a sorted, binary-searched vector
+//! of `(byte, child)` entries, leaves sit at depth 8 and hold the
+//! values. Because the byte order of an unsigned integer is its
+//! numeric order, in-order traversal yields keys ascending — the same
+//! order a `BTreeMap` would give — which is what keeps the persisted
+//! image format byte-identical to the pre-persistent store.
+//!
+//! No balancing is ever needed (the depth is fixed), removals prune
+//! empty nodes on the way back up, and the structure is hand-rolled on
+//! `std` only — no external persistent-collection crates.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A key that can be packed into a `u64` such that the numeric order
+/// of the packed bits equals the key's own order.
+///
+/// Implemented by `u64` itself, by [`ObjectId`](crate::ObjectId) and by
+/// the typed id wrappers of downstream crates; this is what lets one
+/// trie implementation serve the object store and every coupling map.
+pub trait PmapKey: Copy {
+    /// Packs the key into its ordering-preserving bit representation.
+    fn to_bits(self) -> u64;
+    /// Rebuilds the key from bits produced by [`PmapKey::to_bits`].
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl PmapKey for u64 {
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// Trie depth: one level per big-endian byte of the `u64` key.
+const DEPTH: u32 = 8;
+
+fn byte_at(bits: u64, depth: u32) -> u8 {
+    (bits >> (8 * (DEPTH - 1 - depth))) as u8
+}
+
+#[derive(Clone)]
+enum Slot<V> {
+    /// An interior node (depths 0..7).
+    Inner(Arc<Node<V>>),
+    /// A value leaf (depth 7 only).
+    Leaf(V),
+}
+
+#[derive(Clone)]
+struct Node<V> {
+    /// Sorted by byte; binary-searched on lookup.
+    entries: Vec<(u8, Slot<V>)>,
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Node {
+            entries: Vec::new(),
+        }
+    }
+
+    fn position(&self, byte: u8) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&byte, |e| e.0)
+    }
+}
+
+/// A persistent ordered map: O(1) clone, O(log n)-ish path-copying
+/// writes, ordered iteration. See the [module docs](self) for the
+/// design rationale.
+pub struct PMap<K, V> {
+    root: Arc<Node<V>>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    /// Cloning is a reference-count bump on the root node — the two
+    /// maps share every node until one of them writes.
+    fn clone(&self) -> Self {
+        PMap {
+            root: Arc::clone(&self.root),
+            len: self.len,
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap::new()
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PMap {
+            root: Arc::new(Node::empty()),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if this map and `other` share their root node —
+    /// i.e. one is an untouched clone of the other. Diagnostic hook
+    /// for structural-sharing tests.
+    pub fn root_shared_with(&self, other: &PMap<K, V>) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+    }
+}
+
+impl<K: PmapKey, V> PMap<K, V> {
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let bits = key.to_bits();
+        let mut node = &*self.root;
+        for depth in 0..DEPTH {
+            let idx = node.position(byte_at(bits, depth)).ok()?;
+            match &node.entries[idx].1 {
+                Slot::Inner(child) => node = child,
+                Slot::Leaf(value) => return Some(value),
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            stack: vec![(self.root.entries.iter(), 0)],
+            _key: PhantomData,
+        }
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: PmapKey, V: Clone> PMap<K, V> {
+    /// Inserts a value, returning the previous one if present. Only
+    /// the nodes on the root→key path are copied; every untouched
+    /// subtree stays shared with older clones.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let old = insert_at(Arc::make_mut(&mut self.root), key.to_bits(), 0, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key, returning its value if present. Nodes left empty
+    /// by the removal are pruned on the way back up.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let old = remove_at(Arc::make_mut(&mut self.root), key.to_bits(), 0);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Mutable access to a value. This path-copies the spine down to
+    /// the key even if the caller ends up not writing, so it belongs on
+    /// mutation paths only.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        get_mut_at(Arc::make_mut(&mut self.root), key.to_bits(), 0)
+    }
+
+    /// Mutable access to the value under `key`, inserting
+    /// `default()` first when the key is absent — the persistent
+    /// analogue of `BTreeMap::entry(k).or_insert_with(f)`.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        if !self.contains_key(&key) {
+            self.insert(key, default());
+        }
+        self.get_mut(&key).expect("just inserted")
+    }
+}
+
+fn insert_at<V: Clone>(node: &mut Node<V>, bits: u64, depth: u32, value: V) -> Option<V> {
+    let byte = byte_at(bits, depth);
+    match node.position(byte) {
+        Ok(idx) => match &mut node.entries[idx].1 {
+            Slot::Leaf(old) => Some(std::mem::replace(old, value)),
+            Slot::Inner(child) => insert_at(Arc::make_mut(child), bits, depth + 1, value),
+        },
+        Err(idx) => {
+            // Build the missing single-entry spine down to the leaf.
+            let mut slot = Slot::Leaf(value);
+            for d in (depth + 1..DEPTH).rev() {
+                slot = Slot::Inner(Arc::new(Node {
+                    entries: vec![(byte_at(bits, d), slot)],
+                }));
+            }
+            node.entries.insert(idx, (byte, slot));
+            None
+        }
+    }
+}
+
+fn remove_at<V: Clone>(node: &mut Node<V>, bits: u64, depth: u32) -> Option<V> {
+    let idx = node.position(byte_at(bits, depth)).ok()?;
+    match &mut node.entries[idx].1 {
+        Slot::Leaf(_) => {
+            if let (_, Slot::Leaf(value)) = node.entries.remove(idx) {
+                Some(value)
+            } else {
+                None
+            }
+        }
+        Slot::Inner(child) => {
+            let child = Arc::make_mut(child);
+            let removed = remove_at(child, bits, depth + 1)?;
+            if child.entries.is_empty() {
+                node.entries.remove(idx);
+            }
+            Some(removed)
+        }
+    }
+}
+
+fn get_mut_at<V: Clone>(node: &mut Node<V>, bits: u64, depth: u32) -> Option<&mut V> {
+    let idx = node.position(byte_at(bits, depth)).ok()?;
+    match &mut node.entries[idx].1 {
+        Slot::Leaf(value) => Some(value),
+        Slot::Inner(child) => get_mut_at(Arc::make_mut(child), bits, depth + 1),
+    }
+}
+
+/// One level of the depth-first walk: the remaining entries plus the
+/// key bits accumulated above that level.
+type IterFrame<'a, V> = (std::slice::Iter<'a, (u8, Slot<V>)>, u64);
+
+/// Ordered iterator over a [`PMap`], yielding `(key, &value)`.
+pub struct Iter<'a, K, V> {
+    stack: Vec<IterFrame<'a, V>>,
+    _key: PhantomData<K>,
+}
+
+impl<'a, K: PmapKey, V> Iterator for Iter<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<(K, &'a V)> {
+        loop {
+            let top = self.stack.last_mut()?;
+            let prefix = top.1;
+            match top.0.next() {
+                None => {
+                    self.stack.pop();
+                }
+                Some((byte, slot)) => {
+                    let bits = (prefix << 8) | u64::from(*byte);
+                    match slot {
+                        Slot::Leaf(value) => return Some((K::from_bits(bits), value)),
+                        Slot::Inner(child) => self.stack.push((child.entries.iter(), bits)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K: PmapKey, V> IntoIterator for &'a PMap<K, V> {
+    type Item = (K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+impl<K: PmapKey, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = PMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: PmapKey, V: Clone> Extend<(K, V)> for PMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: PmapKey + fmt::Debug, V: fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: PmapKey, V: PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((ka, va), (kb, vb))| ka.to_bits() == kb.to_bits() && va == vb)
+    }
+}
+
+impl<K: PmapKey, V: Eq> Eq for PMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: PMap<u64, String> = PMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, "seven".into()), None);
+        assert_eq!(m.insert(7, "VII".into()), Some("seven".into()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&7).map(String::as_str), Some("VII"));
+        assert!(!m.contains_key(&8));
+        assert_eq!(m.remove(&7), Some("VII".into()));
+        assert_eq!(m.remove(&7), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered_like_a_btreemap() {
+        // SplitMix64-ish scramble for a deterministic pseudo-random set.
+        let mut m: PMap<u64, u64> = PMap::new();
+        let mut reference = BTreeMap::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..500u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            let key = if i % 3 == 0 { i } else { x };
+            m.insert(key, i);
+            reference.insert(key, i);
+        }
+        let got: Vec<(u64, u64)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(m.len(), reference.len());
+    }
+
+    #[test]
+    fn random_ops_agree_with_reference_map() {
+        let mut m: PMap<u64, u64> = PMap::new();
+        let mut reference = BTreeMap::new();
+        let mut x = 42u64;
+        for _ in 0..4000 {
+            x = x
+                .wrapping_add(0x9e3779b97f4a7c15)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            let key = (x >> 32) % 257; // force collisions and deletes
+            if x.is_multiple_of(5) {
+                assert_eq!(m.remove(&key), reference.remove(&key));
+            } else {
+                assert_eq!(m.insert(key, x), reference.insert(key, x));
+            }
+            assert_eq!(m.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            assert_eq!(m.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn clone_is_isolated_by_path_copying() {
+        let mut a: PMap<u64, String> = PMap::new();
+        for i in 0..100 {
+            a.insert(i, format!("v{i}"));
+        }
+        let b = a.clone();
+        assert!(a.root_shared_with(&b), "clone shares the root");
+        a.insert(3, "mutated".into());
+        a.remove(&50);
+        assert!(!a.root_shared_with(&b), "writes unshare the spine");
+        assert_eq!(b.get(&3).map(String::as_str), Some("v3"));
+        assert_eq!(b.get(&50).map(String::as_str), Some("v50"));
+        assert_eq!(a.get(&3).map(String::as_str), Some("mutated"));
+        assert_eq!(a.get(&50), None);
+    }
+
+    #[test]
+    fn untouched_values_stay_shared_after_a_write() {
+        let mut a: PMap<u64, Arc<str>> = PMap::new();
+        for i in 0..64 {
+            a.insert(i, Arc::from(format!("v{i}").as_str()));
+        }
+        let sentinel: Arc<str> = a.get(&9).unwrap().clone();
+        // base count: map + local handle.
+        let base = Arc::strong_count(&sentinel);
+        let b = a.clone();
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            base,
+            "cloning the map copies no values at all"
+        );
+        // Writing a sibling key path-copies the shared leaf node, which
+        // bumps (but does not deep-copy) the sentinel's refcount once.
+        a.insert(10, Arc::from("other"));
+        assert!(Arc::ptr_eq(sentinel_ref(&a, 9), &sentinel));
+        assert!(Arc::ptr_eq(sentinel_ref(&b, 9), &sentinel));
+    }
+
+    fn sentinel_ref(m: &PMap<u64, Arc<str>>, k: u64) -> &Arc<str> {
+        m.get(&k).unwrap()
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut m: PMap<u64, Vec<u64>> = PMap::new();
+        m.get_or_insert_with(5, Vec::new).push(1);
+        m.get_or_insert_with(5, || panic!("already present"))
+            .push(2);
+        assert_eq!(m.get(&5), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn extreme_keys_work() {
+        let mut m: PMap<u64, u8> = PMap::new();
+        m.insert(0, 1);
+        m.insert(u64::MAX, 2);
+        m.insert(u64::MAX - 1, 3);
+        let keys: Vec<u64> = m.keys().collect();
+        assert_eq!(keys, vec![0, u64::MAX - 1, u64::MAX]);
+        assert_eq!(m.remove(&u64::MAX), Some(2));
+        assert_eq!(m.get(&(u64::MAX - 1)), Some(&3));
+    }
+
+    #[test]
+    fn equality_and_from_iter() {
+        let a: PMap<u64, u64> = (0..10u64).map(|i| (i, i * i)).collect();
+        let b: PMap<u64, u64> = (0..10u64).rev().map(|i| (i, i * i)).collect();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.insert(3, 0);
+        assert_ne!(a, c);
+    }
+}

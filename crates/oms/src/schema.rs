@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{OmsError, OmsResult};
 
@@ -77,8 +78,11 @@ pub enum Cardinality {
 /// Declaration of one attribute of a class.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrDef {
-    /// Attribute name, unique within the class.
-    pub name: String,
+    /// Attribute name, unique within the class. Interned as an
+    /// `Arc<str>`: every object of the class shares this one allocation
+    /// for its attribute-map keys, so copy-on-write object clones bump
+    /// reference counts instead of copying name strings.
+    pub name: Arc<str>,
     /// Declared value type.
     pub ty: AttrType,
 }
@@ -95,7 +99,7 @@ pub struct ClassDef {
 impl ClassDef {
     /// Looks up an attribute declaration by name.
     pub fn attribute(&self, name: &str) -> Option<&AttrDef> {
-        self.attributes.iter().find(|a| a.name == name)
+        self.attributes.iter().find(|a| &*a.name == name)
     }
 }
 
@@ -208,11 +212,11 @@ impl SchemaBuilder {
         }
         let mut attrs = Vec::with_capacity(attributes.len());
         for (attr_name, ty) in attributes {
-            if attrs.iter().any(|a: &AttrDef| a.name == *attr_name) {
+            if attrs.iter().any(|a: &AttrDef| &*a.name == *attr_name) {
                 return Err(OmsError::DuplicateSchemaName((*attr_name).to_owned()));
             }
             attrs.push(AttrDef {
-                name: (*attr_name).to_owned(),
+                name: Arc::from(*attr_name),
                 ty: *ty,
             });
         }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{OmsError, OmsResult};
+use crate::pmap::{PMap, PmapKey};
 use crate::schema::{Cardinality, ClassId, RelId, Schema};
 use crate::value::Value;
 
@@ -35,18 +36,36 @@ impl fmt::Display for ObjectId {
     }
 }
 
+impl PmapKey for ObjectId {
+    fn to_bits(self) -> u64 {
+        self.0
+    }
+    fn from_bits(bits: u64) -> Self {
+        ObjectId(bits)
+    }
+}
+
+/// Attribute keys are interned `Arc<str>` handles cloned from the
+/// schema's [`AttrDef`](crate::AttrDef) declarations: every object of a
+/// class shares the same name allocations, so copy-on-write clones of
+/// an object copy pointers, not strings.
 #[derive(Debug, Clone)]
 pub(crate) struct Object {
     pub(crate) class: ClassId,
-    pub(crate) attrs: BTreeMap<String, Value>,
+    pub(crate) attrs: BTreeMap<Arc<str>, Value>,
 }
+
+/// One link-index cell: the set of partners of one object along one
+/// relationship. Arc-wrapped so that path-copying a trie node clones
+/// set *handles*, never set contents.
+type LinkSet = Arc<BTreeSet<ObjectId>>;
 
 /// One undo step recorded while a transaction is open.
 #[derive(Debug)]
 enum Undo {
     Created(ObjectId),
-    Deleted(ObjectId, Object, Vec<(RelId, ObjectId, ObjectId)>),
-    AttrSet(ObjectId, String, Value),
+    Deleted(ObjectId, Arc<Object>, Vec<(RelId, ObjectId, ObjectId)>),
+    AttrSet(ObjectId, Arc<str>, Value),
     Linked(RelId, ObjectId, ObjectId),
     Unlinked(RelId, ObjectId, ObjectId),
 }
@@ -88,11 +107,14 @@ enum Undo {
 #[derive(Debug)]
 pub struct Database {
     schema: Arc<Schema>,
-    objects: BTreeMap<ObjectId, Object>,
+    /// Persistent trie of `Arc`-wrapped objects: cloning the map is a
+    /// root refcount bump; mutating an object path-copies its spine and
+    /// `make_mut`s the one object touched.
+    objects: PMap<ObjectId, Arc<Object>>,
     /// Forward links per relationship: source -> set of targets.
-    forward: Vec<BTreeMap<ObjectId, BTreeSet<ObjectId>>>,
+    forward: Vec<PMap<ObjectId, LinkSet>>,
     /// Reverse links per relationship: target -> set of sources.
-    reverse: Vec<BTreeMap<ObjectId, BTreeSet<ObjectId>>>,
+    reverse: Vec<PMap<ObjectId, LinkSet>>,
     next_id: u64,
     journal: Option<Vec<Undo>>,
 }
@@ -103,9 +125,9 @@ impl Database {
         let rel_count = schema.relationships().count();
         Database {
             schema: Arc::new(schema),
-            objects: BTreeMap::new(),
-            forward: vec![BTreeMap::new(); rel_count],
-            reverse: vec![BTreeMap::new(); rel_count],
+            objects: PMap::new(),
+            forward: vec![PMap::new(); rel_count],
+            reverse: vec![PMap::new(); rel_count],
             next_id: 1,
             journal: None,
         }
@@ -119,11 +141,12 @@ impl Database {
     /// Takes an immutable point-in-time copy of the store for
     /// concurrent readers.
     ///
-    /// The schema handle is shared, and every `Value::Bytes` payload is
-    /// an [`Arc`]-backed blob whose clone is a reference-count bump —
-    /// snapshotting a store full of design data copies metadata maps
-    /// but **zero** payload bytes, which is what lets a service hand
-    /// out read views without materializing anything. An open
+    /// This is an **O(1)** operation: the schema handle, the object
+    /// trie and every link trie are persistent, structurally-shared
+    /// structures whose clone is a reference-count bump. No object, no
+    /// attribute map and no `Value::Bytes` payload is copied — later
+    /// writes to `self` path-copy only the trie nodes they touch,
+    /// leaving everything else shared with the snapshot. An open
     /// transaction on `self` is not carried over: the snapshot starts
     /// with no transaction in progress and reflects the store exactly
     /// as it stands now, including uncommitted mutations.
@@ -160,15 +183,16 @@ impl Database {
     ///
     /// Never fails for a `ClassId` obtained from this database's schema.
     pub fn create(&mut self, class: ClassId) -> OmsResult<ObjectId> {
-        let def = self.schema.class(class).clone();
+        let schema = Arc::clone(&self.schema);
+        let def = schema.class(class);
         let id = ObjectId(self.next_id);
         self.next_id += 1;
         let attrs = def
             .attributes
             .iter()
-            .map(|a| (a.name.clone(), Value::default_for(a.ty)))
+            .map(|a| (Arc::clone(&a.name), Value::default_for(a.ty)))
             .collect();
-        self.objects.insert(id, Object { class, attrs });
+        self.objects.insert(id, Arc::new(Object { class, attrs }));
         self.record(Undo::Created(id));
         Ok(id)
     }
@@ -251,12 +275,13 @@ impl Database {
                 found: type_name(value.attr_type()),
             });
         }
-        let obj = self.objects.get_mut(&id).expect("checked above");
+        let key = Arc::clone(&decl.name);
+        let obj = Arc::make_mut(self.objects.get_mut(&id).expect("checked above"));
         let old = obj
             .attrs
-            .insert(name.to_owned(), value)
+            .insert(Arc::clone(&key), value)
             .expect("declared attributes are always present");
-        self.record(Undo::AttrSet(id, name.to_owned(), old));
+        self.record(Undo::AttrSet(id, key, old));
         Ok(())
     }
 
@@ -269,7 +294,8 @@ impl Database {
     /// [`OmsError::CardinalityViolation`] if a `One` side already has a
     /// partner, or [`OmsError::NoSuchObject`].
     pub fn link(&mut self, rel: RelId, source: ObjectId, target: ObjectId) -> OmsResult<()> {
-        let def = self.schema.relationship(rel).clone();
+        let schema = Arc::clone(&self.schema);
+        let def = schema.relationship(rel);
         let src_class = self.class_of(source)?;
         let dst_class = self.class_of(target)?;
         if src_class != def.source || dst_class != def.target {
@@ -303,13 +329,10 @@ impl Database {
                 object: target,
             });
         }
-        let inserted = self.forward[rel.index()]
-            .entry(source)
-            .or_default()
-            .insert(target);
-        self.reverse[rel.index()]
-            .entry(target)
-            .or_default()
+        let inserted =
+            Arc::make_mut(self.forward[rel.index()].get_or_insert_with(source, LinkSet::default))
+                .insert(target);
+        Arc::make_mut(self.reverse[rel.index()].get_or_insert_with(target, LinkSet::default))
             .insert(source);
         if inserted {
             self.record(Undo::Linked(rel, source, target));
@@ -323,20 +346,29 @@ impl Database {
     ///
     /// Returns [`OmsError::NoSuchLink`] if the link does not exist.
     pub fn unlink(&mut self, rel: RelId, source: ObjectId, target: ObjectId) -> OmsResult<()> {
-        let removed = self.forward[rel.index()]
-            .get_mut(&source)
-            .is_some_and(|s| s.remove(&target));
-        if !removed {
+        // Check first so a missing link never path-copies anything.
+        let present = self.forward[rel.index()]
+            .get(&source)
+            .is_some_and(|s| s.contains(&target));
+        if !present {
             return Err(OmsError::NoSuchLink {
                 relationship: rel,
                 source,
                 target,
             });
         }
-        self.reverse[rel.index()]
-            .get_mut(&target)
-            .expect("reverse index mirrors forward index")
-            .remove(&source);
+        Arc::make_mut(
+            self.forward[rel.index()]
+                .get_mut(&source)
+                .expect("checked above"),
+        )
+        .remove(&target);
+        Arc::make_mut(
+            self.reverse[rel.index()]
+                .get_mut(&target)
+                .expect("reverse index mirrors forward index"),
+        )
+        .remove(&source);
         self.record(Undo::Unlinked(rel, source, target));
         Ok(())
     }
@@ -369,7 +401,7 @@ impl Database {
         self.objects
             .iter()
             .filter(|(_, o)| o.class == class)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect()
     }
 
@@ -379,12 +411,34 @@ impl Database {
         self.objects
             .iter()
             .find(|(_, o)| o.class == class && o.attrs.get(name) == Some(value))
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
     }
 
     /// Iterates over all live object ids in id order.
     pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.objects.keys().copied()
+        self.objects.keys()
+    }
+
+    // --- structural-sharing diagnostics -----------------------------------
+
+    /// Number of live `Arc` handles on the object behind `id` (the
+    /// store's own handle included). Diagnostic probe for
+    /// structural-sharing tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn object_strong_count(&self, id: ObjectId) -> Option<usize> {
+        self.objects.get(&id).map(Arc::strong_count)
+    }
+
+    /// Returns `true` if `self` and `other` hold the *same allocation*
+    /// for the object behind `id` — proof that a snapshot shares the
+    /// object rather than owning a copy. Diagnostic probe for
+    /// structural-sharing tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn object_shared_with(&self, other: &Database, id: ObjectId) -> bool {
+        match (self.objects.get(&id), other.objects.get(&id)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     // --- transactions -----------------------------------------------------
@@ -435,26 +489,24 @@ impl Database {
                 Undo::Deleted(id, obj, links) => {
                     self.objects.insert(id, obj);
                     for (rel, s, t) in links {
-                        self.forward[rel.index()].entry(s).or_default().insert(t);
-                        self.reverse[rel.index()].entry(t).or_default().insert(s);
+                        self.relink(rel, s, t);
                     }
                 }
                 Undo::AttrSet(id, name, old) => {
                     if let Some(obj) = self.objects.get_mut(&id) {
-                        obj.attrs.insert(name, old);
+                        Arc::make_mut(obj).attrs.insert(name, old);
                     }
                 }
                 Undo::Linked(rel, s, t) => {
                     if let Some(set) = self.forward[rel.index()].get_mut(&s) {
-                        set.remove(&t);
+                        Arc::make_mut(set).remove(&t);
                     }
                     if let Some(set) = self.reverse[rel.index()].get_mut(&t) {
-                        set.remove(&s);
+                        Arc::make_mut(set).remove(&s);
                     }
                 }
                 Undo::Unlinked(rel, s, t) => {
-                    self.forward[rel.index()].entry(s).or_default().insert(t);
-                    self.reverse[rel.index()].entry(t).or_default().insert(s);
+                    self.relink(rel, s, t);
                 }
             }
         }
@@ -482,12 +534,18 @@ impl Database {
         }
     }
 
+    /// Restores a link pair without journalling — abort-path helper.
+    fn relink(&mut self, rel: RelId, s: ObjectId, t: ObjectId) {
+        Arc::make_mut(self.forward[rel.index()].get_or_insert_with(s, LinkSet::default)).insert(t);
+        Arc::make_mut(self.reverse[rel.index()].get_or_insert_with(t, LinkSet::default)).insert(s);
+    }
+
     pub(crate) fn raw_parts(&self) -> RawParts<'_> {
         let mut links = Vec::new();
         for rel in self.schema.relationships() {
             for (s, ts) in &self.forward[rel.index()] {
-                for t in ts {
-                    links.push((rel, *s, *t));
+                for t in ts.iter() {
+                    links.push((rel, s, *t));
                 }
             }
         }
@@ -501,9 +559,9 @@ impl Database {
             .class(class)
             .attributes
             .iter()
-            .map(|a| (a.name.clone(), Value::default_for(a.ty)))
+            .map(|a| (Arc::clone(&a.name), Value::default_for(a.ty)))
             .collect();
-        self.objects.insert(id, Object { class, attrs });
+        self.objects.insert(id, Arc::new(Object { class, attrs }));
         self.next_id = self.next_id.max(raw_id + 1);
         id
     }
@@ -512,7 +570,7 @@ impl Database {
 /// Borrowed view of the store used by the persistence layer.
 pub(crate) type RawParts<'a> = (
     &'a Schema,
-    &'a BTreeMap<ObjectId, Object>,
+    &'a PMap<ObjectId, Arc<Object>>,
     Vec<(RelId, ObjectId, ObjectId)>,
 );
 
@@ -577,6 +635,34 @@ mod tests {
         db.delete(id).unwrap();
         assert_eq!(snap.get(id, "name").unwrap().as_text(), Some(""));
         assert!(matches!(db.get(id, "name"), Err(OmsError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn snapshot_is_structurally_shared_until_written() {
+        let (mut db, cell, ..) = two_class_db();
+        let sentinel = db.create(cell).unwrap();
+        db.set(sentinel, "name", Value::from("sentinel")).unwrap();
+        let others: Vec<ObjectId> = (0..50).map(|_| db.create(cell).unwrap()).collect();
+
+        let snap = db.snapshot();
+        assert!(
+            db.object_shared_with(&snap, sentinel),
+            "snapshotting copies no objects"
+        );
+        // Writing *another* object path-copies trie nodes only; the
+        // sentinel allocation stays shared between live db and snapshot.
+        db.set(others[0], "name", Value::from("touched")).unwrap();
+        assert!(db.object_shared_with(&snap, sentinel));
+        assert!(!db.object_shared_with(&snap, others[0]));
+        // Writing the sentinel unshares exactly the sentinel.
+        db.set(sentinel, "name", Value::from("changed")).unwrap();
+        assert!(!db.object_shared_with(&snap, sentinel));
+        assert!(db.object_shared_with(&snap, others[10]));
+        assert_eq!(
+            snap.get(sentinel, "name").unwrap().as_text(),
+            Some("sentinel"),
+            "the snapshot keeps the pre-write value"
+        );
     }
 
     #[test]

@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert!(hy.reserve(alice, fa_cv).is_err());
     println!("alice is locked out of bob's workspace (as §3.1 requires)");
 
-    let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
-    let fa_data = fa_bytes.clone();
+    let fa_data = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
     hy.run_activity(bob, fa_variant, flow.enter_schematic, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
@@ -66,11 +65,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     })?;
 
     // --- alice simulates the whole hierarchy ----------------------------
-    let netlists = design.netlists.clone();
+    let netlists = design.netlists;
     hy.run_activity(alice, top_variant, flow.simulate, false, move |session| {
         let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
         let top = format::parse_netlist(&text).expect("staged data parses");
-        let mut all: BTreeMap<String, design_data::Netlist> = netlists.clone();
+        let mut all: BTreeMap<String, design_data::Netlist> = netlists;
         all.insert(top.name().to_owned(), top);
         let mut sim = Simulator::elaborate("adder4", &all).expect("hierarchy elaborates");
         // 9 + 3 = 12.
@@ -105,7 +104,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- a variant for a risky layout experiment (two-level versioning) -
     let experiment = hy.derive_variant(alice, top_cv, "compact-layout", Some(top_variant))?;
     println!("alice branched variant 'compact-layout' (JCF's second versioning level)");
-    let top_for_exp = top_bytes.clone();
+    let top_for_exp = top_bytes;
     hy.run_activity(alice, experiment, flow.enter_schematic, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),

@@ -81,8 +81,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     hy.reserve(alice, cv)?;
 
     // Activity 1: design entry.
-    let original = generate::full_adder();
-    let original_for_entry = original.clone();
+    let original_for_entry = generate::full_adder();
     hy.run_activity(alice, variant, a_enter, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
@@ -155,7 +154,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         s.probe("cout");
         s
     };
-    let stim_for_verify = stim.clone();
+    let stim_for_verify = stim;
     hy.run_activity(alice, variant, a_verify, false, move |session| {
         let golden_netlist = format::parse_netlist(&String::from_utf8_lossy(
             session.input("schematic").expect("flow provides it"),

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """CI gate over the machine-readable benchmark outputs.
 
-Fails (exit 1) when BENCH_E9.json, BENCH_E10.json or BENCH_E12.json is
-missing or unparsable, when the E9 tick table was produced with the
-golden seed (42) but drifted from the recorded golden values, or when
-the E12 session run loses a gated property (read speedup, zero-copy
-readers, determinism) or regresses more than 30% below the committed
-ops/sec baseline in scripts/e12_baseline.json. The modeled tick
-economy is the experiments' measurement instrument: a deliberate
-cost-model change must update the golden table here *and* in
+Fails (exit 1) when BENCH_E9.json, BENCH_E10.json, BENCH_E12.json or
+BENCH_E13.json is missing or unparsable, when the E9 tick table was
+produced with the golden seed (42) but drifted from the recorded
+golden values, when the E12 session run loses a gated property (read
+speedup, zero-copy readers, determinism) or regresses more than 30%
+below the committed ops/sec baseline in scripts/e12_baseline.json, or
+when the E13 publish sweep loses snapshot-capture caching or its
+median publish latency stops being sublinear in database size
+(baseline in scripts/e13_baseline.json). The modeled tick economy is
+the experiments' measurement instrument: a deliberate cost-model
+change must update the golden table here *and* in
 crates/bench/src/e9_performance.rs in the same commit.
 """
 
@@ -105,6 +108,7 @@ def main():
     )
 
     check_e12()
+    check_e13()
 
 
 E12_COUNTERS = (
@@ -185,6 +189,80 @@ def check_e12():
         print(
             "OK: E12 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e12["seed"]
+            )
+        )
+
+
+E13_ROW_FIELDS = (
+    "objects",
+    "publish_p50_ns",
+    "publish_p99_ns",
+    "write_ops_per_sec",
+    "capture_is_cached",
+)
+
+# The largest size has ~50x the objects of the smallest; an O(size)
+# publish would grow its p50 by about that factor. The persistent
+# store must keep the growth to a small multiple (noise allowance
+# included — the capture itself is O(1)).
+E13_MAX_P50_GROWTH = 8.0
+
+# A fresh run's writer throughput must reach at least this fraction of
+# the committed baseline in scripts/e13_baseline.json.
+E13_REGRESSION_FLOOR = 0.5
+
+
+def check_e13():
+    e13 = load("BENCH_E13.json")
+    rows = e13.get("rows")
+    if "seed" not in e13 or not rows:
+        sys.exit("FAIL: BENCH_E13.json lacks a seed or has no rows")
+    for row in rows:
+        for field in E13_ROW_FIELDS:
+            if field not in row:
+                sys.exit(
+                    f"FAIL: BENCH_E13.json row lacks {field!r} "
+                    "(the publish counters regressed)"
+                )
+        if not row["capture_is_cached"]:
+            sys.exit(
+                "FAIL: E13 repeat snapshot() at {} objects was not pointer-equal "
+                "(the engine snapshot cache regressed)".format(row["objects"])
+            )
+
+    first, last = rows[0], rows[-1]
+    size_growth = last["objects"] / max(first["objects"], 1)
+    p50_growth = last["publish_p50_ns"] / max(first["publish_p50_ns"], 1)
+    if p50_growth > E13_MAX_P50_GROWTH:
+        sys.exit(
+            "FAIL: E13 publish p50 grew {:.1f}x over a {:.0f}x object growth "
+            "(> {:.0f}x cap — snapshot publication is no longer O(Δ))".format(
+                p50_growth, size_growth, E13_MAX_P50_GROWTH
+            )
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e13_baseline.json")
+    baseline = load(baseline_path)
+    if e13["seed"] == baseline.get("seed"):
+        floor = baseline["write_ops_per_sec"] * E13_REGRESSION_FLOOR
+        worst = min(row["write_ops_per_sec"] for row in rows)
+        if worst < floor:
+            sys.exit(
+                "FAIL: E13 writer throughput regressed >50%: {:.0f} < floor {:.0f} "
+                "(baseline {:.0f}, see scripts/e13_baseline.json)".format(
+                    worst, floor, baseline["write_ops_per_sec"]
+                )
+            )
+        print(
+            "OK: E13 publish sweep ({} sizes, p50 grew {:.1f}x over {:.0f}x objects, "
+            "captures cached, worst writer {:.0f} ops/s)".format(
+                len(rows), p50_growth, size_growth, worst
+            )
+        )
+    else:
+        print(
+            "OK: E13 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e13["seed"]
             )
         )
 

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use cad_vfs::SplitMix64;
-use hybrid::{Engine, HybridError, StandardFlow};
+use hybrid::{Engine, HybridError, StagingMode, StandardFlow};
 use jcf::{CellId, CellVersionId, DesignObjectId, DovId, UserId, VariantId, ViewTypeId};
 
 // --- the reference model ------------------------------------------------
@@ -129,7 +129,13 @@ struct Rig {
 /// Admin, two team members, the standard flow and one project — the
 /// same §2.1 multi-user floor the workspace rules quantify over.
 fn bootstrap() -> Rig {
-    let mut en = Engine::new();
+    bootstrap_with(StagingMode::default())
+}
+
+/// [`bootstrap`], but with an explicit staging mode — the snapshot
+/// equivalence suite runs the oracle under both.
+fn bootstrap_with(mode: StagingMode) -> Rig {
+    let mut en = Engine::builder().staging_mode(mode).build();
     let admin = en.admin();
     let alice = en.add_user("alice", false).expect("alice");
     let bob = en.add_user("bob", false).expect("bob");
@@ -470,6 +476,72 @@ fn diff_deep(rig: &Rig, m: &Model, w: &World, at: &str) {
     );
 }
 
+/// Diffs a *fresh snapshot* against the model and the live engine: the
+/// frozen view must answer `read_design_data`/`browse`/`library_of`
+/// exactly like the engine it was captured from, and a repeat capture
+/// at the unchanged sequence number must be the same shared
+/// `Arc<Snapshot>`.
+fn diff_snapshot(rig: &Rig, m: &Model, w: &World, at: &str) {
+    let snap = rig.en.snapshot();
+    assert_eq!(snap.seq(), rig.en.seq(), "{at}: snapshot seq");
+    let again = rig.en.snapshot();
+    assert!(
+        std::sync::Arc::ptr_eq(&snap, &again),
+        "{at}: repeat capture at an unchanged seq must share the cached snapshot"
+    );
+    assert_eq!(
+        snap.library_of(rig.project).expect("bootstrap project"),
+        rig.en.library_of(rig.project).expect("bootstrap project"),
+        "{at}: library_of diverged between snapshot and engine"
+    );
+    for (i, mdov) in m.dovs.iter().enumerate() {
+        for (u, user) in rig.users.into_iter().enumerate() {
+            let visible = m.visible(u, i);
+            let read = snap.read_design_data(user, w.dovs[i]);
+            let browsed = snap.browse(user, w.dovs[i]);
+            // The live reference is the unjournaled desktop peek — the
+            // same visibility rule without mutating the engine mid-diff.
+            let live = rig.en.jcf().peek_design_data(user, w.dovs[i]);
+            if visible {
+                let blob = read.unwrap_or_else(|e| panic!("{at}: snapshot hid dov {i}: {e}"));
+                assert_eq!(blob.as_slice(), mdov.data.as_slice(), "{at}: dov {i} bytes");
+                let browsed =
+                    browsed.unwrap_or_else(|e| panic!("{at}: snapshot browse hid dov {i}: {e}"));
+                assert_eq!(browsed, blob, "{at}: browse vs read of dov {i}");
+                let live = live.unwrap_or_else(|e| panic!("{at}: engine hid dov {i}: {e}"));
+                assert_eq!(live, blob, "{at}: snapshot vs live peek of dov {i}");
+            } else {
+                assert!(read.is_err(), "{at}: snapshot exposed invisible dov {i}");
+                assert!(browsed.is_err(), "{at}: browse exposed invisible dov {i}");
+                assert!(live.is_err(), "{at}: engine exposed invisible dov {i}");
+            }
+        }
+    }
+}
+
+/// Runs the oracle with a snapshot-equivalence diff after *every* op:
+/// each applied op captures a fresh snapshot and proves it answers
+/// reads identically to the engine state it froze.
+fn snapshot_campaign(seed: u64, mode: StagingMode, ops: usize) {
+    let mut rig = bootstrap_with(mode);
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Model::from_bootstrap(&rig.en);
+    let mut w = World {
+        cells: Vec::new(),
+        cvs: Vec::new(),
+        variants: Vec::new(),
+        designs: Vec::new(),
+        dovs: Vec::new(),
+    };
+    for n in 0..ops {
+        let (kind, predicted, actual) = step(&mut rig, &mut rng, &mut m, &mut w);
+        m.record(kind, predicted);
+        diff_step(&rig, &m, seed, n, kind, predicted, &actual);
+        diff_snapshot(&rig, &m, &w, &format!("seed {seed:#x} step {n} ({mode:?})"));
+    }
+    diff_deep(&rig, &m, &w, &format!("seed {seed:#x} final ({mode:?})"));
+}
+
 /// Runs one full differential campaign: `ops` ops under `seed`, a diff
 /// after every op, a deep diff every 25, and a final deep diff.
 fn campaign(seed: u64, ops: usize) {
@@ -521,6 +593,19 @@ fn model_and_engine_agree_across_seeds() {
 #[test]
 fn long_campaign_stays_in_lockstep() {
     campaign(0x0D15_EA5E_1995_0306, 600);
+}
+
+/// Snapshot equivalence: after every op, a fresh snapshot of the
+/// persistent store answers reads exactly like the engine it froze —
+/// under both staging modes and multiple seeds, with the repeat
+/// capture shared out of the engine's cache.
+#[test]
+fn snapshots_answer_like_the_engine_after_every_op() {
+    for seed in [0x1995_0306_0000_0011, 0x5EED_CAFE_0000_0002] {
+        for mode in [StagingMode::ZeroCopy, StagingMode::DeepCopy] {
+            snapshot_campaign(seed, mode, 160);
+        }
+    }
 }
 
 /// The model also survives a checkpoint/restore cycle in the middle of

@@ -46,8 +46,7 @@ fn complete_design_cycle_stays_consistent() {
     let fa = t.hy.create_cell(project, "full_adder").unwrap();
     let (fa_cv, fa_var) = t.hy.create_cell_version(fa, t.flow.flow, t.team).unwrap();
     t.hy.reserve(t.bob, fa_cv).unwrap();
-    let fa_bytes = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
-    let payload = fa_bytes.clone();
+    let payload = format::write_netlist(&design.netlists["full_adder"]).into_bytes();
     t.hy.run_activity(t.bob, fa_var, t.flow.enter_schematic, false, move |_| {
         Ok(vec![ToolOutput {
             viewtype: "schematic".into(),
@@ -80,7 +79,7 @@ fn complete_design_cycle_stays_consistent() {
         t.hy.run_activity(t.alice, top_var, t.flow.simulate, false, move |session| {
             let text = String::from_utf8_lossy(&session.inputs["schematic"]).into_owned();
             let top = format::parse_netlist(&text).expect("staged netlist parses");
-            let mut all: BTreeMap<String, design_data::Netlist> = netlists.clone();
+            let mut all: BTreeMap<String, design_data::Netlist> = netlists;
             all.insert(top.name().to_owned(), top);
             let mut sim = Simulator::elaborate("adder4", &all).expect("elaborates");
             for i in 0..4 {

@@ -1,0 +1,121 @@
+//! Structural-sharing proof for snapshot publication.
+//!
+//! A published [`hybrid::Snapshot`] and the live engine hold the *same*
+//! `Arc<Object>` allocations for every object the engine has not
+//! touched since the capture: publication copies handles, never
+//! contents. This suite pins that property end to end — zero blob
+//! materializations across capture and later writes, pointer-equal
+//! object allocations for untouched objects, and copy-on-write
+//! divergence for exactly the objects a later op mutates.
+
+use cad_vfs::Blob;
+use hybrid::{Engine, ToolOutput};
+
+/// Engine with one published design object carrying real data, plus
+/// the ids the probes need.
+fn seeded() -> (Engine, jcf::UserId, jcf::CellVersionId, jcf::DovId) {
+    let mut en = Engine::new();
+    let admin = en.admin();
+    let alice = en.add_user("alice", false).expect("fresh user");
+    let team = en.add_team(admin, "asic").expect("fresh team");
+    en.add_team_member(admin, team, alice)
+        .expect("manager adds");
+    let flow = en.standard_flow("std").expect("fresh flow");
+    let project = en.create_project("alu").expect("fresh project");
+    let cell = en.create_cell(project, "adder").expect("fresh cell");
+    let (cv, variant) = en
+        .create_cell_version(cell, flow.flow, team)
+        .expect("fresh version");
+    en.reserve(alice, cv).expect("free version");
+    let dovs = en
+        .run_activity(alice, variant, flow.enter_schematic, false, |_| {
+            Ok(vec![ToolOutput {
+                viewtype: "schematic".into(),
+                data: b"netlist adder\nport a input\n".to_vec().into(),
+            }])
+        })
+        .expect("activity runs");
+    (en, alice, cv, dovs[0])
+}
+
+/// Capturing a snapshot and then mutating the engine moves zero design
+/// bytes: publication is handle copies, and later writes path-copy
+/// only trie spines, never payloads.
+#[test]
+fn capture_and_later_writes_materialize_nothing() {
+    let (mut en, _alice, _cv, _dov) = seeded();
+    let before = Blob::materializations();
+    let snap = en.snapshot();
+    en.create_project("filter").expect("fresh project");
+    en.create_project("dsp").expect("fresh project");
+    assert_eq!(
+        Blob::materializations(),
+        before,
+        "capture + unrelated writes must copy no design bytes"
+    );
+    assert_eq!(snap.seq() + 2, en.seq(), "snapshot stayed frozen");
+}
+
+/// Objects the engine does not touch after the capture stay the *same
+/// allocation* in both the live database and the snapshot; an op that
+/// touches an object unshares exactly that object.
+#[test]
+fn untouched_objects_stay_shared_touched_objects_diverge() {
+    let (mut en, alice, cv, dov) = seeded();
+    let snap = en.snapshot();
+
+    let sentinel = dov.object_id();
+    let cv_obj = cv.object_id();
+    let live = |en: &Engine| -> bool {
+        en.jcf()
+            .database()
+            .object_shared_with(snap.jcf().database(), sentinel)
+    };
+    assert!(live(&en), "capture shares every object allocation");
+    assert!(en
+        .jcf()
+        .database()
+        .object_shared_with(snap.jcf().database(), cv_obj));
+
+    // Unrelated growth leaves both probes shared.
+    en.create_project("filter").expect("fresh project");
+    assert!(live(&en), "unrelated writes must not copy the dov object");
+
+    // Publishing flips the published flag on the dov object (and
+    // releases the reservation on the cell version object): both
+    // diverge from the snapshot, nothing else does.
+    en.publish(alice, cv).expect("holder publishes");
+    assert!(
+        !en.jcf()
+            .database()
+            .object_shared_with(snap.jcf().database(), sentinel),
+        "publish touched the dov object, so it must diverge"
+    );
+    assert_eq!(
+        snap.jcf().is_published(dov),
+        Ok(false),
+        "the snapshot keeps the pre-publish state"
+    );
+    assert_eq!(en.jcf().is_published(dov), Ok(true));
+}
+
+/// The engine-level capture cache: repeat `snapshot()` calls at one
+/// sequence number return one shared `Arc<Snapshot>`, and any applied
+/// op retires it.
+#[test]
+fn capture_is_cached_per_sequence_number() {
+    let (mut en, _alice, _cv, _dov) = seeded();
+    let a = en.snapshot();
+    let b = en.snapshot();
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "unchanged engine republishes the same snapshot"
+    );
+    en.create_project("filter").expect("fresh project");
+    let c = en.snapshot();
+    assert!(
+        !std::sync::Arc::ptr_eq(&a, &c),
+        "an applied op must retire the cached snapshot"
+    );
+    assert_eq!(c.seq(), a.seq() + 1);
+}
