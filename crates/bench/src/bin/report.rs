@@ -1,14 +1,15 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e13|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e14|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
-//! E12 session benchmark and the E13 publish sweep, and writes the
-//! machine-readable `BENCH_E9.json` / `BENCH_E10.json` /
-//! `BENCH_E12.json` / `BENCH_E13.json` files at the repository root,
-//! seeding the performance trajectory.
+//! E12 session benchmark, the E13 publish sweep and the E14 shard
+//! scaling sweep, and writes the machine-readable `BENCH_E9.json` /
+//! `BENCH_E10.json` / `BENCH_E12.json` / `BENCH_E13.json` /
+//! `BENCH_E14.json` files at the repository root, seeding the
+//! performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
 //! recorded in both JSON files.
@@ -16,7 +17,7 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e11_faults, e12_sessions, e13_publish, e1_mapping, e2_e3_schemas,
+    e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e1_mapping, e2_e3_schemas,
     e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
 };
 
@@ -189,6 +190,23 @@ fn print_verdicts() {
         ),
     });
 
+    let e14 = e14_shards::run(42);
+    rows.push(Row {
+        exp: "E14",
+        claim: "the partitioned write path scales with shards and stays deterministic",
+        holds: e14.holds(),
+        measured: format!(
+            "{:.1}x critical-path write scaling at 4 shards, {} reader bytes copied, tick table {}",
+            e14.write_scaling(),
+            e14.reader_materializations,
+            if e14.tick_table_invariant {
+                "invariant"
+            } else {
+                "diverged"
+            }
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -340,6 +358,46 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e13_path = format!("{root}/BENCH_E13.json");
     std::fs::write(&e13_path, e13)?;
     println!("wrote {e13_path}");
+
+    let r = e14_shards::run(seed);
+    println!("{r}");
+    let mut e14 = format!(
+        "{{\"seed\": {seed}, \"writers\": {}, \"projects_per_writer\": {}, \"rows\": [\n",
+        r.writers, r.projects_per_writer
+    );
+    for (i, row) in r.rows.iter().enumerate() {
+        e14.push_str(&format!(
+            "  {{\"shards\": {}, \"write_ops\": {}, \"wall_ns\": {}, \"max_lane_busy_ns\": {}, \"router_ns\": {}, \"critical_path_ns\": {}, \"critical_ops_per_sec\": {:.0}, \"wall_ops_per_sec\": {:.0}, \"per_shard_ops\": {:?}, \"batches\": {}, \"writer_waits\": {}}}{}\n",
+            row.shards,
+            row.write_ops,
+            row.wall_ns,
+            row.max_lane_busy_ns,
+            row.router_ns,
+            row.critical_path_ns(),
+            row.critical_ops_per_sec(),
+            row.wall_ops_per_sec(),
+            row.per_shard_ops,
+            row.batches,
+            row.writer_waits,
+            if i + 1 == r.rows.len() { "" } else { "," }
+        ));
+    }
+    e14.push_str(&format!(
+        "],\n\"write_scaling\": {:.2}, \"total_reads\": {}, \"base_read_ns\": {}, \"sharded_read_ns\": {}, \"read_ratio\": {:.2}, \"reader_materializations\": {}, \"tick_table_invariant\": {}, \"event_stream_invariant\": {}, \"recovery_roundtrip\": {}, \"holds\": {}}}\n",
+        r.write_scaling(),
+        r.total_reads,
+        r.base_read_ns,
+        r.sharded_read_ns,
+        r.read_ratio(),
+        r.reader_materializations,
+        r.tick_table_invariant,
+        r.event_stream_invariant,
+        r.recovery_roundtrip,
+        r.holds()
+    ));
+    let e14_path = format!("{root}/BENCH_E14.json");
+    std::fs::write(&e14_path, e14)?;
+    println!("wrote {e14_path}");
     Ok(())
 }
 
@@ -436,9 +494,13 @@ fn main() {
         println!("{}", e13_publish::run());
         printed = true;
     }
+    if want("e14") {
+        println!("{}", e14_shards::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e13 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e14 or no argument for all");
         std::process::exit(2);
     }
 }

@@ -17,6 +17,7 @@
 //! | [`e11_faults`] | crash-point matrix of the persistence protocol |
 //! | [`e12_sessions`] | concurrent session throughput of the service layer |
 //! | [`e13_publish`] | O(Δ) snapshot publication of the persistent CoW store |
+//! | [`e14_shards`] | write-path scaling of the partitioned (sharded) service |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -29,6 +30,7 @@ pub mod e10_throughput;
 pub mod e11_faults;
 pub mod e12_sessions;
 pub mod e13_publish;
+pub mod e14_shards;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

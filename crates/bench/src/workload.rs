@@ -176,35 +176,10 @@ pub fn cloud_bytes(gates: usize, seed: u64) -> Vec<u8> {
     format::write_netlist(&design.netlists[&design.top]).into_bytes()
 }
 
-/// A tiny deterministic RNG (xorshift64*) so experiments never depend
-/// on crate-level RNG changes.
-#[derive(Debug, Clone)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Seeds the generator (0 is remapped to a fixed constant).
-    pub fn new(seed: u64) -> Self {
-        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
-    }
-
-    /// The next raw value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 ^= self.0 >> 12;
-        self.0 ^= self.0 << 25;
-        self.0 ^= self.0 >> 27;
-        self.0.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// A value in `0..bound` (`bound` must be positive).
-    pub fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound.max(1) as u64) as usize
-    }
-
-    /// A biased coin: true with probability `num`/`den`.
-    pub fn chance(&mut self, num: u64, den: u64) -> bool {
-        self.next_u64() % den < num
-    }
-}
+/// The deterministic xorshift64* generator the experiments draw from,
+/// shared with the test suites (re-exported from `test-support` so the
+/// golden workload streams stay byte-identical).
+pub use test_support::Rng;
 
 #[cfg(test)]
 mod tests {

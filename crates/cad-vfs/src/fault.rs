@@ -39,6 +39,7 @@
 //! assert_eq!(stats.faults_fired, 1);
 //! ```
 
+use crate::path::VfsPath;
 use crate::rng::SplitMix64;
 
 /// Counters accumulated by an armed [`FaultPlan`].
@@ -96,6 +97,7 @@ pub struct FaultPlan {
     torn: bool,
     fail_read_at: Option<u64>,
     quota_bytes: Option<u64>,
+    scope: Option<VfsPath>,
     stats: FaultStats,
 }
 
@@ -108,8 +110,26 @@ impl FaultPlan {
             torn: false,
             fail_read_at: None,
             quota_bytes: None,
+            scope: None,
             stats: FaultStats::default(),
         }
+    }
+
+    /// Restricts the plan to content operations at or under `dir`:
+    /// traffic outside the scope persists (or reads) normally and is
+    /// *not counted* — `writes_seen`, `reads_seen`, the byte quota and
+    /// the Nth-operation triggers all see scoped traffic only. This is
+    /// how a crash campaign targets one shard's file set while the
+    /// sibling shards keep committing.
+    pub fn scope(mut self, dir: &VfsPath) -> FaultPlan {
+        self.scope = Some(dir.clone());
+        self
+    }
+
+    /// Whether `path` is adjudicated by this plan (always true without
+    /// a [`FaultPlan::scope`]).
+    fn in_scope(&self, path: &VfsPath) -> bool {
+        self.scope.as_ref().is_none_or(|dir| dir.is_prefix_of(path))
     }
 
     /// Fail the `n`th content write (1-based) without persisting
@@ -147,8 +167,12 @@ impl FaultPlan {
         self.stats
     }
 
-    /// Adjudicates one content write of `len` payload bytes.
-    pub(crate) fn on_write(&mut self, len: u64) -> WriteVerdict {
+    /// Adjudicates one content write of `len` payload bytes at `path`.
+    /// Out-of-scope writes persist untouched and uncounted.
+    pub(crate) fn on_write(&mut self, path: &VfsPath, len: u64) -> WriteVerdict {
+        if !self.in_scope(path) {
+            return WriteVerdict::Persist;
+        }
         self.stats.writes_seen += 1;
         if self.fail_write_at == Some(self.stats.writes_seen) {
             self.stats.faults_fired += 1;
@@ -177,8 +201,12 @@ impl FaultPlan {
         WriteVerdict::Persist
     }
 
-    /// Adjudicates one content read; `true` means the read must fail.
-    pub(crate) fn on_read(&mut self) -> bool {
+    /// Adjudicates one content read at `path`; `true` means the read
+    /// must fail. Out-of-scope reads succeed uncounted.
+    pub(crate) fn on_read(&mut self, path: &VfsPath) -> bool {
+        if !self.in_scope(path) {
+            return false;
+        }
         self.stats.reads_seen += 1;
         if self.fail_read_at == Some(self.stats.reads_seen) {
             self.stats.faults_fired += 1;
@@ -192,11 +220,15 @@ impl FaultPlan {
 mod tests {
     use super::*;
 
+    fn root() -> VfsPath {
+        VfsPath::root()
+    }
+
     #[test]
     fn empty_plan_only_counts() {
         let mut plan = FaultPlan::new(1);
-        assert_eq!(plan.on_write(10), WriteVerdict::Persist);
-        assert!(!plan.on_read());
+        assert_eq!(plan.on_write(&root(), 10), WriteVerdict::Persist);
+        assert!(!plan.on_read(&root()));
         assert_eq!(
             plan.stats(),
             FaultStats {
@@ -211,12 +243,12 @@ mod tests {
     #[test]
     fn nth_write_fails_and_the_rest_pass() {
         let mut plan = FaultPlan::new(1).fail_write(2);
-        assert_eq!(plan.on_write(5), WriteVerdict::Persist);
+        assert_eq!(plan.on_write(&root(), 5), WriteVerdict::Persist);
         assert_eq!(
-            plan.on_write(5),
+            plan.on_write(&root(), 5),
             WriteVerdict::Reject(WriteFaultKind::Injected)
         );
-        assert_eq!(plan.on_write(5), WriteVerdict::Persist);
+        assert_eq!(plan.on_write(&root(), 5), WriteVerdict::Persist);
         assert_eq!(plan.stats().faults_fired, 1);
     }
 
@@ -224,7 +256,7 @@ mod tests {
     fn torn_write_persists_a_strict_prefix() {
         for seed in 0..32 {
             let mut plan = FaultPlan::new(seed).torn_write(1);
-            match plan.on_write(100) {
+            match plan.on_write(&root(), 100) {
                 WriteVerdict::Torn { prefix, kind } => {
                     assert!(prefix < 100, "prefix must be strict");
                     assert_eq!(kind, WriteFaultKind::Injected);
@@ -238,7 +270,7 @@ mod tests {
     fn torn_write_of_empty_payload_degrades_to_reject() {
         let mut plan = FaultPlan::new(9).torn_write(1);
         assert_eq!(
-            plan.on_write(0),
+            plan.on_write(&root(), 0),
             WriteVerdict::Reject(WriteFaultKind::Injected)
         );
     }
@@ -246,16 +278,16 @@ mod tests {
     #[test]
     fn quota_admits_the_fitting_prefix_then_nothing() {
         let mut plan = FaultPlan::new(3).quota(12);
-        assert_eq!(plan.on_write(10), WriteVerdict::Persist);
+        assert_eq!(plan.on_write(&root(), 10), WriteVerdict::Persist);
         assert_eq!(
-            plan.on_write(10),
+            plan.on_write(&root(), 10),
             WriteVerdict::Torn {
                 prefix: 2,
                 kind: WriteFaultKind::Quota
             }
         );
         assert_eq!(
-            plan.on_write(10),
+            plan.on_write(&root(), 10),
             WriteVerdict::Torn {
                 prefix: 0,
                 kind: WriteFaultKind::Quota
@@ -268,15 +300,32 @@ mod tests {
     #[test]
     fn nth_read_fails_transiently() {
         let mut plan = FaultPlan::new(4).fail_read(2);
-        assert!(!plan.on_read());
-        assert!(plan.on_read());
-        assert!(!plan.on_read());
+        assert!(!plan.on_read(&root()));
+        assert!(plan.on_read(&root()));
+        assert!(!plan.on_read(&root()));
         assert_eq!(plan.stats().reads_seen, 3);
     }
 
     #[test]
+    fn scoped_plan_ignores_foreign_traffic() {
+        let shard = VfsPath::parse("/backup/shard-1").unwrap();
+        let inside = VfsPath::parse("/backup/shard-1/journal.log").unwrap();
+        let outside = VfsPath::parse("/backup/shard-0/journal.log").unwrap();
+        let mut plan = FaultPlan::new(5).torn_write(1).scope(&shard);
+        assert_eq!(plan.on_write(&outside, 64), WriteVerdict::Persist);
+        assert!(!plan.on_read(&outside));
+        assert_eq!(plan.stats(), FaultStats::default());
+        assert!(matches!(
+            plan.on_write(&inside, 64),
+            WriteVerdict::Torn { .. }
+        ));
+        assert_eq!(plan.stats().writes_seen, 1);
+        assert_eq!(plan.stats().faults_fired, 1);
+    }
+
+    #[test]
     fn same_seed_tears_at_the_same_prefix() {
-        let tear = |seed: u64| match FaultPlan::new(seed).torn_write(1).on_write(1000) {
+        let tear = |seed: u64| match FaultPlan::new(seed).torn_write(1).on_write(&root(), 1000) {
             WriteVerdict::Torn { prefix, .. } => prefix,
             v => panic!("expected torn verdict, got {v:?}"),
         };

@@ -334,7 +334,7 @@ impl Vfs {
             .faults
             .borrow_mut()
             .as_mut()
-            .map(|plan| plan.on_write(content.len() as u64))
+            .map(|plan| plan.on_write(path, content.len() as u64))
             .unwrap_or(WriteVerdict::Persist);
         match verdict {
             WriteVerdict::Persist => {
@@ -405,7 +405,7 @@ impl Vfs {
             .faults
             .borrow_mut()
             .as_mut()
-            .is_some_and(FaultPlan::on_read);
+            .is_some_and(|plan| plan.on_read(path));
         if faulted {
             return Err(VfsError::InjectedReadFault(path.clone()));
         }

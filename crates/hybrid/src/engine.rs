@@ -1591,6 +1591,11 @@ pub struct RecoveryReport {
     /// The unterminated trailing bytes dropped from the journal, if
     /// the tail was torn.
     pub dropped_fragment: Option<String>,
+    /// Commit sequence numbers of cross-shard prepares that were
+    /// rolled back because the matching commit record was missing from
+    /// a participant journal. Always empty for single-engine recovery;
+    /// filled by [`ShardedService::recover`](crate::ShardedService::recover).
+    pub rolled_back_prepares: Vec<u64>,
 }
 
 impl Engine {
@@ -1706,6 +1711,7 @@ impl Engine {
             RecoveryReport {
                 replayed,
                 dropped_fragment,
+                rolled_back_prepares: Vec::new(),
             },
         ))
     }

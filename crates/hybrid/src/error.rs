@@ -62,6 +62,11 @@ pub enum HybridError {
         /// The unterminated trailing bytes.
         fragment: String,
     },
+    /// The shard router could not place the op on a single partition
+    /// engine: an id did not resolve, referenced entities live on
+    /// different partitions where one is required, or a cross-shard
+    /// commit failed validation.
+    ShardRouting(String),
 }
 
 impl fmt::Display for HybridError {
@@ -92,6 +97,7 @@ impl fmt::Display for HybridError {
                  ({} torn byte(s))",
                 fragment.len()
             ),
+            HybridError::ShardRouting(what) => write!(f, "shard routing: {what}"),
         }
     }
 }
@@ -113,6 +119,7 @@ impl HybridError {
             HybridError::UndeclaredOutput { .. } => "undeclared-output",
             HybridError::Journal(_) => "journal",
             HybridError::TornJournal { .. } => "torn-journal",
+            HybridError::ShardRouting(_) => "shard-routing",
         }
     }
 

@@ -82,6 +82,7 @@ pub mod mapping;
 mod ops;
 mod release;
 mod service;
+mod shard;
 mod snapshot;
 
 pub use builder::EngineBuilder;
@@ -96,4 +97,8 @@ pub use import::ImportReport;
 pub use ops::Op;
 pub use release::ExportManifest;
 pub use service::{Service, ServiceStats, Session};
+pub use shard::{
+    shard_of_name, RouterView, ShardLaneStats, ShardStats, ShardView, ShardedService,
+    ShardedServiceBuilder, ShardedSession, VIRT_BASE,
+};
 pub use snapshot::Snapshot;

@@ -328,6 +328,37 @@ pub fn load(schema: Schema, fs: &mut Vfs, path: &VfsPath) -> OmsResult<Database>
     parse(schema, text)
 }
 
+/// Writes a small text file (an epoch pointer, a metadata manifest)
+/// atomically: staged in full at the sibling [`staging_path`], then
+/// renamed into place. The rename is the single commit point, so a
+/// reader at `path` observes either the previous content or the
+/// complete new text — this is what makes a `CURRENT` pointer flip
+/// whole epochs of a multi-file layout atomically.
+///
+/// # Errors
+///
+/// Propagates file system errors as typed [`OmsError::Vfs`] values.
+pub fn save_text(fs: &mut Vfs, path: &VfsPath, text: &str) -> OmsResult<()> {
+    atomic_write(fs, path, text.as_bytes().to_vec())
+}
+
+/// Reads a text file written by [`save_text`].
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] if the file is missing or not
+/// UTF-8.
+pub fn load_text(fs: &Vfs, path: &VfsPath) -> OmsResult<String> {
+    let bytes = fs.read(path).map_err(|e| OmsError::CorruptImage {
+        line: 0,
+        reason: e.to_string(),
+    })?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| OmsError::CorruptImage {
+        line: 0,
+        reason: "text file is not utf-8".to_owned(),
+    })
+}
+
 /// Header line of a persisted operations journal.
 pub const JOURNAL_MAGIC: &str = "oms-journal v1";
 
@@ -781,6 +812,25 @@ mod tests {
         assert!(complete.is_empty());
         assert_eq!(torn.as_deref(), Some("oms-jour"));
         assert!(load_journal(&fs, &path).is_err());
+    }
+
+    #[test]
+    fn text_files_round_trip_atomically() {
+        use cad_vfs::FaultPlan;
+        let mut fs = Vfs::new();
+        let path = VfsPath::parse("/backup/CURRENT").unwrap();
+        fs.mkdir_all(&path.parent().unwrap()).unwrap();
+        save_text(&mut fs, &path, "epoch 1").unwrap();
+        assert_eq!(load_text(&fs, &path).unwrap(), "epoch 1");
+        // A torn re-save never tears the committed pointer.
+        fs.arm_faults(FaultPlan::new(9).torn_write(1));
+        assert!(save_text(&mut fs, &path, "epoch 2").is_err());
+        fs.disarm_faults();
+        assert_eq!(load_text(&fs, &path).unwrap(), "epoch 1");
+        save_text(&mut fs, &path, "epoch 2").unwrap();
+        assert_eq!(load_text(&fs, &path).unwrap(), "epoch 2");
+        // Missing files surface as typed corruption, not panics.
+        assert!(load_text(&fs, &VfsPath::parse("/backup/nope").unwrap()).is_err());
     }
 
     #[test]

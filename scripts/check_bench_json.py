@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
 """CI gate over the machine-readable benchmark outputs.
 
-Fails (exit 1) when BENCH_E9.json, BENCH_E10.json, BENCH_E12.json or
-BENCH_E13.json is missing or unparsable, when the E9 tick table was
-produced with the golden seed (42) but drifted from the recorded
-golden values, when the E12 session run loses a gated property (read
-speedup, zero-copy readers, determinism) or regresses more than 30%
-below the committed ops/sec baseline in scripts/e12_baseline.json, or
-when the E13 publish sweep loses snapshot-capture caching or its
-median publish latency stops being sublinear in database size
-(baseline in scripts/e13_baseline.json). The modeled tick economy is
-the experiments' measurement instrument: a deliberate cost-model
-change must update the golden table here *and* in
-crates/bench/src/e9_performance.rs in the same commit.
+Fails (exit 1) when BENCH_E9.json, BENCH_E10.json, BENCH_E12.json,
+BENCH_E13.json or BENCH_E14.json is missing or unparsable, when the E9
+tick table was produced with the golden seed (42) but drifted from the
+recorded golden values, when the E12 session run loses a gated
+property (read speedup, zero-copy readers, determinism) or regresses
+more than 30% below the committed ops/sec baseline in
+scripts/e12_baseline.json, when the E13 publish sweep loses
+snapshot-capture caching or its median publish latency stops being
+sublinear in database size (baseline in scripts/e13_baseline.json), or
+when the E14 sharded write path loses its >= 2.5x four-shard
+critical-path scaling, any of its determinism invariants, or regresses
+below the committed baseline in scripts/e14_baseline.json. The
+modeled tick economy is the experiments' measurement instrument: a
+deliberate cost-model change must update the golden table here *and*
+in crates/bench/src/e9_performance.rs in the same commit.
 """
 
 import json
@@ -52,6 +55,24 @@ def load(path):
         sys.exit(f"FAIL: {path} is missing (run `report --json` first)")
     except json.JSONDecodeError as e:
         sys.exit(f"FAIL: {path} is not valid JSON: {e}")
+
+
+def baseline_metric(baseline, path, key):
+    """A required numeric key of a committed baseline file.
+
+    Baselines are hand-committed, so a missing key is a baseline-file
+    bug, not a benchmark regression — fail with the file name and key
+    instead of a bare KeyError traceback.
+    """
+    if key not in baseline:
+        sys.exit(
+            f"FAIL: baseline {path} lacks the key {key!r} "
+            "(regenerate it from a golden-seed `report --json` run)"
+        )
+    value = baseline[key]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        sys.exit(f"FAIL: baseline {path} key {key!r} is not a number: {value!r}")
+    return value
 
 
 def main():
@@ -109,6 +130,7 @@ def main():
 
     check_e12()
     check_e13()
+    check_e14()
 
 
 E12_COUNTERS = (
@@ -166,12 +188,13 @@ def check_e12():
     baseline = load(baseline_path)
     if e12["seed"] == baseline.get("seed"):
         for metric in ("read_ops_per_sec", "write_ops_per_sec"):
-            floor = baseline[metric] * E12_REGRESSION_FLOOR
+            recorded = baseline_metric(baseline, baseline_path, metric)
+            floor = recorded * E12_REGRESSION_FLOOR
             if sessions[metric] < floor:
                 sys.exit(
                     "FAIL: E12 {} regressed >30%: {:.0f} < floor {:.0f} "
                     "(baseline {:.0f}, see scripts/e12_baseline.json)".format(
-                        metric, sessions[metric], floor, baseline[metric]
+                        metric, sessions[metric], floor, recorded
                     )
                 )
         print(
@@ -244,13 +267,14 @@ def check_e13():
     baseline_path = os.path.join(os.path.dirname(__file__), "e13_baseline.json")
     baseline = load(baseline_path)
     if e13["seed"] == baseline.get("seed"):
-        floor = baseline["write_ops_per_sec"] * E13_REGRESSION_FLOOR
+        recorded = baseline_metric(baseline, baseline_path, "write_ops_per_sec")
+        floor = recorded * E13_REGRESSION_FLOOR
         worst = min(row["write_ops_per_sec"] for row in rows)
         if worst < floor:
             sys.exit(
                 "FAIL: E13 writer throughput regressed >50%: {:.0f} < floor {:.0f} "
                 "(baseline {:.0f}, see scripts/e13_baseline.json)".format(
-                    worst, floor, baseline["write_ops_per_sec"]
+                    worst, floor, recorded
                 )
             )
         print(
@@ -263,6 +287,127 @@ def check_e13():
         print(
             "OK: E13 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e13["seed"]
+            )
+        )
+
+
+E14_ROW_FIELDS = (
+    "shards",
+    "write_ops",
+    "wall_ns",
+    "max_lane_busy_ns",
+    "router_ns",
+    "critical_path_ns",
+    "critical_ops_per_sec",
+    "wall_ops_per_sec",
+    "per_shard_ops",
+    "batches",
+    "writer_waits",
+)
+
+E14_SHARD_COUNTS = (1, 2, 4, 8)
+
+# Four shards must carry at least this multiple of the one-shard
+# critical-path throughput (matches E14Report::holds in
+# crates/bench/src/e14_shards.rs).
+E14_MIN_WRITE_SCALING = 2.5
+
+# Composed four-shard view reads may cost at most 2x the single-shard
+# view (ratio floor 0.5).
+E14_MIN_READ_RATIO = 0.5
+
+# A fresh run's four-shard critical-path throughput must reach at
+# least this fraction of the committed baseline in
+# scripts/e14_baseline.json.
+E14_REGRESSION_FLOOR = 0.5
+
+
+def check_e14():
+    e14 = load("BENCH_E14.json")
+    rows = e14.get("rows")
+    if "seed" not in e14 or not rows:
+        sys.exit("FAIL: BENCH_E14.json lacks a seed or has no rows")
+
+    by_shards = {}
+    for row in rows:
+        for field in E14_ROW_FIELDS:
+            if field not in row:
+                sys.exit(
+                    f"FAIL: BENCH_E14.json row lacks {field!r} "
+                    "(the per-shard lane counters regressed)"
+                )
+        if len(row["per_shard_ops"]) != row["shards"]:
+            sys.exit(
+                "FAIL: E14 row at {} shards reports {} per-shard counters".format(
+                    row["shards"], len(row["per_shard_ops"])
+                )
+            )
+        if sum(row["per_shard_ops"]) != row["write_ops"]:
+            sys.exit(
+                "FAIL: E14 row at {} shards lost ops: lanes sum to {} of {}".format(
+                    row["shards"], sum(row["per_shard_ops"]), row["write_ops"]
+                )
+            )
+        by_shards[row["shards"]] = row
+    for shards in E14_SHARD_COUNTS:
+        if shards not in by_shards:
+            sys.exit(f"FAIL: BENCH_E14.json has no row for {shards} shard(s)")
+
+    for invariant in ("tick_table_invariant", "event_stream_invariant", "recovery_roundtrip"):
+        if e14.get(invariant) is not True:
+            sys.exit(
+                f"FAIL: E14 {invariant} is not true — the sharded write "
+                "path is no longer deterministic across shard counts"
+            )
+    if e14.get("reader_materializations") != 0:
+        sys.exit(
+            "FAIL: E14 composed-view readers materialized {} bytes "
+            "(sharded snapshot reads must stay zero-copy)".format(
+                e14.get("reader_materializations")
+            )
+        )
+
+    scaling = by_shards[4]["critical_ops_per_sec"] / max(
+        by_shards[1]["critical_ops_per_sec"], 1
+    )
+    if scaling < E14_MIN_WRITE_SCALING:
+        sys.exit(
+            "FAIL: E14 four-shard critical-path scaling {:.2f}x < {:.1f}x "
+            "(the partitioned write path stopped scaling)".format(
+                scaling, E14_MIN_WRITE_SCALING
+            )
+        )
+    read_ratio = e14.get("read_ratio", 0)
+    if read_ratio < E14_MIN_READ_RATIO:
+        sys.exit(
+            "FAIL: E14 four-shard view reads cost {:.2f}x the single-shard "
+            "view (ratio floor {:.1f})".format(read_ratio, E14_MIN_READ_RATIO)
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e14_baseline.json")
+    baseline = load(baseline_path)
+    if e14["seed"] == baseline.get("seed"):
+        recorded = baseline_metric(baseline, baseline_path, "critical_ops_per_sec_4_shards")
+        floor = recorded * E14_REGRESSION_FLOOR
+        measured = by_shards[4]["critical_ops_per_sec"]
+        if measured < floor:
+            sys.exit(
+                "FAIL: E14 four-shard throughput regressed >50%: {:.0f} < floor {:.0f} "
+                "(baseline {:.0f}, see scripts/e14_baseline.json)".format(
+                    measured, floor, recorded
+                )
+            )
+        print(
+            "OK: E14 shards ({} counts, {:.2f}x four-shard scaling, "
+            "{:.0f} critical ops/s at 4 shards, read ratio {:.2f}, "
+            "all invariants hold)".format(
+                len(rows), scaling, measured, read_ratio
+            )
+        )
+    else:
+        print(
+            "OK: E14 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e14["seed"]
             )
         )
 

@@ -22,6 +22,7 @@ use cad_vfs::{FaultPlan, SplitMix64, Vfs, VfsError, VfsPath};
 use design_data::{format, generate};
 use hybrid::{Engine, HybridError, ToolOutput};
 use jcf::{CellId, CellVersionId, DovId, ProjectId, TeamId, UserId, VariantId};
+use test_support::pick;
 
 /// The mutable bookkeeping the driver needs to aim ops at real ids.
 struct World {
@@ -156,17 +157,6 @@ fn step(en: &mut Engine, rng: &mut SplitMix64, flow: &hybrid::StandardFlow, w: &
         _ => {
             en.create_project("p").expect_err("duplicate project");
         }
-    }
-}
-
-/// Picks a uniform random element, or `None` when empty (consuming one
-/// rng draw either way, to keep streams aligned).
-fn pick<'a, T>(rng: &mut SplitMix64, items: &'a [T]) -> Option<&'a T> {
-    if items.is_empty() {
-        rng.next_u64();
-        None
-    } else {
-        Some(&items[rng.below(items.len())])
     }
 }
 
@@ -440,4 +430,214 @@ fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
         full.state_fingerprint().unwrap(),
         en.state_fingerprint().unwrap()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard 2PC crash points (sharded service)
+// ---------------------------------------------------------------------------
+
+use hybrid::{shard_of_name, Op, ShardedService, ShardedSession, StandardFlow};
+
+const SHARDS: usize = 4;
+const SHARD_DIR: &str = "/backup/shards";
+
+/// Bootstraps a 4-shard service with one designer and the standard
+/// flow (all broadcast), plus a cross-partition pair: a reserved cell
+/// version in one project and a child cell in a project placed on a
+/// *different* shard.
+struct CrossWorld {
+    service: ShardedService,
+    alice: ShardedSession,
+    cv_a: CellVersionId,
+    project_b: ProjectId,
+    cell_b: CellId,
+}
+
+fn cross_world() -> CrossWorld {
+    let service = ShardedService::new(SHARDS);
+    let admin = service.open_session(service.admin());
+    let team = admin.add_team("t").unwrap();
+    let user = admin.add_user("alice", false).unwrap();
+    admin.add_team_member(team, user).unwrap();
+    let flow: StandardFlow = admin.standard_flow("f").unwrap();
+    let alice = service.open_session(user);
+
+    let (name_a, name_b) = cross_pair();
+    let project_a = alice.create_project(name_a).unwrap();
+    let cell_a = alice.create_cell(project_a, "top").unwrap();
+    let (cv_a, _) = alice.create_cell_version(cell_a, flow.flow, team).unwrap();
+    alice.reserve(cv_a).unwrap();
+    let project_b = alice.create_project(name_b).unwrap();
+    let cell_b = alice.create_cell(project_b, "leaf").unwrap();
+
+    let (sa, _) = service.resolve_shard(project_a.raw()).unwrap();
+    let (sb, _) = service.resolve_shard(project_b.raw()).unwrap();
+    assert!(sa < sb, "cross_pair must place a strictly below b");
+
+    CrossWorld {
+        service,
+        alice,
+        cv_a,
+        project_b,
+        cell_b,
+    }
+}
+
+/// Two project names whose FNV placement lands on strictly ascending,
+/// distinct shards at [`SHARDS`] partitions.
+fn cross_pair() -> (&'static str, &'static str) {
+    const NAMES: &[&str] = &["alu16", "dsp", "rom", "fpu", "mmu", "uart"];
+    for a in NAMES {
+        for b in NAMES {
+            if shard_of_name(a, SHARDS) < shard_of_name(b, SHARDS) {
+                return (a, b);
+            }
+        }
+    }
+    unreachable!("six names cannot all hash to a single shard")
+}
+
+/// A cross-partition `comp-of` whose commit record reached only one
+/// participant's journal — the crash window between the two per-shard
+/// appends — must be rolled back at recovery, reported, and leave the
+/// sequence burned so post-recovery ids stay monotone.
+#[test]
+fn cross_shard_prepare_without_both_commits_is_rolled_back() {
+    let root = VfsPath::parse(SHARD_DIR).unwrap();
+    let w = cross_world();
+
+    let mut backup = Vfs::new();
+    w.service.checkpoint(&mut backup, &root).unwrap();
+    let cross_seq = w.alice.declare_comp_of(w.cv_a, w.cell_b).unwrap();
+    w.service.sync(&mut backup, &root).unwrap();
+
+    // Drop the commit record from participant b's journal by hand.
+    let (sb, _) = w.service.resolve_shard(w.project_b.raw()).unwrap();
+    let log = root
+        .join("ck-1")
+        .unwrap()
+        .join(&format!("shard-{sb}.log"))
+        .unwrap();
+    let text = String::from_utf8(backup.read(&log).unwrap().to_vec()).unwrap();
+    let kept: Vec<&str> = text.lines().filter(|l| !l.starts_with("cmit|")).collect();
+    assert!(
+        kept.len() < text.lines().count(),
+        "participant b's journal must contain a commit record before the edit"
+    );
+    backup
+        .write(&log, format!("{}\n", kept.join("\n")).into_bytes())
+        .unwrap();
+
+    let (recovered, report) = ShardedService::recover(&mut backup, &root).unwrap();
+    assert_eq!(report.rolled_back_prepares, vec![cross_seq]);
+    assert!(
+        recovered.view().router().cross_comp_edges().is_empty(),
+        "the rolled-back comp-of must not resurface as an edge"
+    );
+
+    // The burned sequence keeps post-recovery commits monotone, and
+    // the op can simply be resubmitted.
+    let session = recovered.open_session(w.alice.user());
+    let (next_seq, _) = session
+        .apply(Op::DeclareCompOf {
+            user: w.alice.user(),
+            cv: w.cv_a,
+            child: w.cell_b,
+        })
+        .unwrap();
+    assert!(
+        next_seq > cross_seq,
+        "rolled-back seq {cross_seq} must stay burned"
+    );
+    assert_eq!(recovered.view().router().cross_comp_edges().len(), 1);
+}
+
+/// A torn journal sync that dies while staging participant b's log
+/// leaves the prepare visible in participant a's journal only; the
+/// recovery must treat it as uncommitted and report the rollback.
+#[test]
+fn torn_sync_of_one_participant_rolls_back_the_cross_commit() {
+    let root = VfsPath::parse(SHARD_DIR).unwrap();
+    let w = cross_world();
+
+    let mut backup = Vfs::new();
+    w.service.checkpoint(&mut backup, &root).unwrap();
+    let cross_seq = w.alice.declare_comp_of(w.cv_a, w.cell_b).unwrap();
+
+    // Sync stages the per-shard logs in ascending shard order, one
+    // content write each; tear participant b's.
+    let (sb, _) = w.service.resolve_shard(w.project_b.raw()).unwrap();
+    backup.arm_faults(
+        FaultPlan::new(0x2BC0_0001)
+            .torn_write(sb as u64 + 1)
+            .scope(&root),
+    );
+    let err = w.service.sync(&mut backup, &root).unwrap_err();
+    assert!(
+        err.to_string().contains("injected write fault"),
+        "expected the injected fault, got {err:?}"
+    );
+    let stats = backup.disarm_faults().unwrap().stats();
+    assert_eq!(stats.faults_fired, 1);
+
+    let (recovered, report) = ShardedService::recover(&mut backup, &root).unwrap();
+    assert_eq!(report.rolled_back_prepares, vec![cross_seq]);
+    assert!(recovered.view().router().cross_comp_edges().is_empty());
+
+    // A clean re-sync from the live service and a fresh recovery see
+    // the commit in both journals and replay it.
+    w.service.sync(&mut backup, &root).unwrap();
+    let (healed, report) = ShardedService::recover(&mut backup, &root).unwrap();
+    assert_eq!(report.rolled_back_prepares, Vec::<u64>::new());
+    assert_eq!(healed.view().router().cross_comp_edges().len(), 1);
+    assert_eq!(
+        healed.state_fingerprint().unwrap(),
+        w.service.state_fingerprint().unwrap()
+    );
+}
+
+/// A crash in the middle of a *later* epoch checkpoint (after some
+/// shards already staged their images) must leave the previous epoch
+/// live: `CURRENT` never flips, and recovery replays the synced
+/// journals — including the cross-partition commit — on top of the
+/// old epoch.
+#[test]
+fn crash_inside_a_later_checkpoint_leaves_the_previous_epoch_live() {
+    let root = VfsPath::parse(SHARD_DIR).unwrap();
+    let w = cross_world();
+
+    let mut backup = Vfs::new();
+    w.service.checkpoint(&mut backup, &root).unwrap();
+    w.alice.declare_comp_of(w.cv_a, w.cell_b).unwrap();
+    w.alice.create_cell(w.project_b, "leaf2").unwrap();
+    w.service.sync(&mut backup, &root).unwrap();
+    let live = w.service.state_fingerprint().unwrap();
+
+    // Each shard's engine checkpoint stages 4 files; tear write 6 —
+    // inside the second shard's staging, after the first completed.
+    backup.arm_faults(FaultPlan::new(0x2BC0_0002).torn_write(6).scope(&root));
+    let err = w.service.checkpoint(&mut backup, &root).unwrap_err();
+    assert!(
+        err.to_string().contains("injected write fault"),
+        "expected the injected fault, got {err:?}"
+    );
+    let stats = backup.disarm_faults().unwrap().stats();
+    assert_eq!(stats.faults_fired, 1);
+
+    let current = String::from_utf8(
+        backup
+            .read(&root.join("CURRENT").unwrap())
+            .unwrap()
+            .to_vec(),
+    )
+    .unwrap();
+    assert_eq!(current.trim(), "ck-1", "the pointer must not flip early");
+
+    let (recovered, report) = ShardedService::recover(&mut backup, &root).unwrap();
+    assert_eq!(report.rolled_back_prepares, Vec::<u64>::new());
+    assert_eq!(
+        report.replayed, 2,
+        "the cross comp-of and the tail cell replay"
+    );
+    assert_eq!(recovered.state_fingerprint().unwrap(), live);
 }

@@ -15,9 +15,12 @@
 
 use std::collections::BTreeMap;
 
-use cad_vfs::SplitMix64;
-use hybrid::{Engine, HybridError, StagingMode, StandardFlow};
+use cad_vfs::{Blob, SplitMix64, Vfs, VfsPath};
+use hybrid::{
+    Engine, Event, HybridError, Op, ShardedService, ShardedSession, StagingMode, StandardFlow,
+};
 use jcf::{CellId, CellVersionId, DesignObjectId, DovId, UserId, VariantId, ViewTypeId};
+use test_support::pick_index as pick;
 
 // --- the reference model ------------------------------------------------
 
@@ -156,17 +159,6 @@ fn bootstrap_with(mode: StagingMode) -> Rig {
 }
 
 // --- driver -------------------------------------------------------------
-
-/// Picks from `items` while always consuming exactly one rng draw, so
-/// the stream stays aligned regardless of world population.
-fn pick(rng: &mut SplitMix64, len: usize) -> Option<usize> {
-    if len == 0 {
-        rng.next_u64();
-        None
-    } else {
-        Some(rng.below(len))
-    }
-}
 
 /// Applies one op to both the model and the engine and returns
 /// `(op kind, predicted outcome, actual result)`.
@@ -643,4 +635,271 @@ fn restored_engine_agrees_with_the_model() {
         diff_step(&rig, &m, seed, n, kind, predicted, &actual);
     }
     diff_deep(&rig, &m, &w, "restored final");
+}
+
+// --- shard-count invariance ---------------------------------------------
+//
+// The partitioned service of §12 must be an implementation detail:
+// the same seeded op stream, submitted in the same order, must yield
+// a byte-identical `(seq, Event)` transcript — including every error
+// kind — at every shard count, even though cross-partition ops run as
+// degenerate same-shard commits at one shard and as real two-phase
+// commits at two or four. A checkpoint/sync/recover round trip must
+// also land each count back on its own live fingerprint.
+
+/// One sharded campaign driver: two designer sessions over a
+/// [`ShardedService`] plus the virtual-id pools the random ops pick
+/// from. The service hands out shard-count-independent virtual ids,
+/// so the pools — and with them the rng draw sequence — evolve
+/// identically at every count.
+struct ShardRig {
+    service: ShardedService,
+    sessions: Vec<ShardedSession>,
+    team: jcf::TeamId,
+    flow: StandardFlow,
+    projects: Vec<jcf::ProjectId>,
+    cells: Vec<CellId>,
+    cvs: Vec<CellVersionId>,
+    variants: Vec<VariantId>,
+    dovs: Vec<DovId>,
+    fresh_names: usize,
+}
+
+/// Boots a sharded service with the same cast as [`bootstrap`]:
+/// a team, two designers with open sessions, and one standard flow.
+fn bootstrap_sharded(shards: usize, mode: StagingMode) -> ShardRig {
+    let service = ShardedService::builder()
+        .shards(shards)
+        .staging_mode(mode)
+        .build();
+    let admin = service.open_session(service.admin());
+    let team = admin.add_team("asic").expect("fresh team");
+    let mut sessions = Vec::with_capacity(2);
+    for name in ["alice", "bob"] {
+        let user = admin.add_user(name, false).expect("unique name");
+        admin.add_team_member(team, user).expect("manager adds");
+        sessions.push(service.open_session(user));
+    }
+    let flow = admin.standard_flow("asic").expect("fresh flow");
+    ShardRig {
+        service,
+        sessions,
+        team,
+        flow,
+        projects: Vec::new(),
+        cells: Vec::new(),
+        cvs: Vec::new(),
+        variants: Vec::new(),
+        dovs: Vec::new(),
+        fresh_names: 0,
+    }
+}
+
+/// Applies one random op through a designer session and renders the
+/// outcome — `seq|event` on success, `err|kind` on failure — so whole
+/// transcripts compare bytewise across shard counts. Project names
+/// come from a fresh counter, so successive projects hash onto
+/// different partitions and the comp-of/equivalence arms regularly
+/// cross them.
+fn shard_step(rig: &mut ShardRig, rng: &mut SplitMix64) -> String {
+    let who = rng.below(2);
+    let user = rig.sessions[who].user();
+    let op = match rng.below(12) {
+        0 => {
+            rig.fresh_names += 1;
+            Op::CreateProject {
+                name: format!("p{}", rig.fresh_names),
+            }
+        }
+        // Deliberate collision: a duplicate once "p1" exists.
+        1 => Op::CreateProject { name: "p1".into() },
+        2 => match pick(rng, rig.projects.len()) {
+            Some(p) => {
+                rig.fresh_names += 1;
+                Op::CreateCell {
+                    project: rig.projects[p],
+                    name: format!("c{}", rig.fresh_names),
+                }
+            }
+            None => fresh_project(rig),
+        },
+        3 => match pick(rng, rig.cells.len()) {
+            Some(c) => Op::CreateCellVersion {
+                cell: rig.cells[c],
+                flow: rig.flow.flow,
+                team: rig.team,
+            },
+            None => fresh_project(rig),
+        },
+        4 => match pick(rng, rig.cvs.len()) {
+            Some(c) => Op::Reserve {
+                user,
+                cv: rig.cvs[c],
+            },
+            None => fresh_project(rig),
+        },
+        5 => match pick(rng, rig.cvs.len()) {
+            Some(c) => Op::Publish {
+                user,
+                cv: rig.cvs[c],
+            },
+            None => fresh_project(rig),
+        },
+        6 => match pick(rng, rig.cvs.len()) {
+            Some(c) => Op::DeriveVariant {
+                user,
+                cv: rig.cvs[c],
+                name: format!("v{}", rng.below(4)),
+                base: None,
+            },
+            None => fresh_project(rig),
+        },
+        7 => {
+            let data = Blob::from(format!("netlist {}", rng.next_u64()));
+            match pick(rng, rig.variants.len()) {
+                Some(v) => Op::RunActivity {
+                    user,
+                    variant: rig.variants[v],
+                    activity: rig.flow.enter_schematic,
+                    override_pending: false,
+                    outputs: vec![("schematic".into(), data)],
+                    session_error: None,
+                },
+                None => fresh_project(rig),
+            }
+        }
+        8 => match pick(rng, rig.dovs.len()) {
+            Some(d) => Op::Browse {
+                user,
+                dov: rig.dovs[d],
+            },
+            None => fresh_project(rig),
+        },
+        9 => match pick(rng, rig.dovs.len()) {
+            Some(d) => Op::ReadDesignData {
+                user,
+                dov: rig.dovs[d],
+            },
+            None => fresh_project(rig),
+        },
+        // The two routing-class-crossing arms: parent and child (or
+        // the two versions) usually live on different partitions.
+        10 => match (pick(rng, rig.cvs.len()), pick(rng, rig.cells.len())) {
+            (Some(c), Some(k)) => Op::DeclareCompOf {
+                user,
+                cv: rig.cvs[c],
+                child: rig.cells[k],
+            },
+            _ => fresh_project(rig),
+        },
+        _ => match (pick(rng, rig.dovs.len()), pick(rng, rig.dovs.len())) {
+            (Some(a), Some(b)) => Op::MarkEquivalent {
+                a: rig.dovs[a],
+                b: rig.dovs[b],
+            },
+            _ => fresh_project(rig),
+        },
+    };
+    match rig.sessions[who].apply(op) {
+        Ok((seq, event)) => {
+            match &event {
+                Event::ProjectCreated(id) => rig.projects.push(*id),
+                Event::CellCreated(id) => rig.cells.push(*id),
+                Event::CellVersionCreated(cv, variant) => {
+                    rig.cvs.push(*cv);
+                    rig.variants.push(*variant);
+                }
+                Event::VariantDerived(id) => rig.variants.push(*id),
+                Event::ActivityRun { dovs } => rig.dovs.extend(dovs.iter().copied()),
+                _ => {}
+            }
+            format!("{seq}|{event:?}")
+        }
+        Err(e) => format!("err|{}", e.kind()),
+    }
+}
+
+/// Fallback op for arms whose pool is still empty: mint another
+/// project, which both feeds later arms and spreads placement.
+fn fresh_project(rig: &mut ShardRig) -> Op {
+    rig.fresh_names += 1;
+    Op::CreateProject {
+        name: format!("p{}", rig.fresh_names),
+    }
+}
+
+/// Runs one seeded campaign and returns its rendered transcript.
+fn sharded_transcript(shards: usize, mode: StagingMode, seed: u64, ops: usize) -> Vec<String> {
+    let mut rig = bootstrap_sharded(shards, mode);
+    let mut rng = SplitMix64::new(seed);
+    (0..ops).map(|_| shard_step(&mut rig, &mut rng)).collect()
+}
+
+/// The flagship invariance check: at two seeds and both staging
+/// modes, the 2- and 4-shard transcripts equal the 1-shard reference
+/// step for step — sequence numbers, event payloads and error kinds.
+#[test]
+fn sharded_transcripts_are_invariant_across_shard_counts() {
+    for seed in [0x51AD_0001_1995_0306, 0xD1CE_0002_0000_0042] {
+        for mode in [StagingMode::ZeroCopy, StagingMode::DeepCopy] {
+            let reference = sharded_transcript(1, mode, seed, 220);
+            for shards in [2usize, 4] {
+                let got = sharded_transcript(shards, mode, seed, 220);
+                assert_eq!(got.len(), reference.len(), "transcript length");
+                for (n, (want, have)) in reference.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        have, want,
+                        "seed {seed:#x} {mode:?}: {shards}-shard transcript \
+                         diverged at step {n}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Checkpoint mid-campaign, keep driving, sync the tail, recover: at
+/// every shard count the recovered service reports a clean shutdown
+/// (no rolled-back prepares), reproduces the live fingerprint and
+/// sequence number, and the transcript around the checkpoint still
+/// matches the 1-shard reference.
+#[test]
+fn sharded_recovery_lands_on_the_live_fingerprint_at_every_count() {
+    let seed = 0x0BAC_0015_1995_0107;
+    let mut reference: Option<Vec<String>> = None;
+    for shards in [1usize, 2, 4] {
+        let mut rig = bootstrap_sharded(shards, StagingMode::default());
+        let mut rng = SplitMix64::new(seed);
+        let mut transcript: Vec<String> =
+            (0..140).map(|_| shard_step(&mut rig, &mut rng)).collect();
+        let mut backup = Vfs::new();
+        let root = VfsPath::parse("/backup/oracle-shards").expect("valid path");
+        rig.service
+            .checkpoint(&mut backup, &root)
+            .expect("checkpoint");
+        transcript.extend((0..60).map(|_| shard_step(&mut rig, &mut rng)));
+        rig.service.sync(&mut backup, &root).expect("sync");
+        let (restored, report) = ShardedService::recover(&mut backup, &root).expect("recover");
+        assert!(
+            report.rolled_back_prepares.is_empty(),
+            "{shards}-shard clean shutdown rolls back nothing"
+        );
+        assert_eq!(
+            restored.state_fingerprint().expect("restored fingerprint"),
+            rig.service.state_fingerprint().expect("live fingerprint"),
+            "{shards}-shard recovery fingerprint"
+        );
+        assert_eq!(
+            restored.stats().seq,
+            rig.service.stats().seq,
+            "{shards}-shard recovered sequence number"
+        );
+        match &reference {
+            None => reference = Some(transcript),
+            Some(want) => assert_eq!(
+                &transcript, want,
+                "{shards}-shard transcript around the checkpoint"
+            ),
+        }
+    }
 }

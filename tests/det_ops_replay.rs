@@ -20,6 +20,7 @@ use cad_vfs::{SplitMix64, Vfs, VfsPath};
 use design_data::{format, generate};
 use hybrid::{Engine, JournalEntry, ToolOutput};
 use jcf::{CellId, CellVersionId, DovId, ProjectId, TeamId, UserId, VariantId};
+use test_support::pick;
 
 /// The mutable bookkeeping the driver needs to aim ops at real ids.
 struct World {
@@ -239,15 +240,4 @@ fn identical_seeds_grow_identical_histories() {
         a.state_fingerprint().unwrap(),
         b.state_fingerprint().unwrap()
     );
-}
-
-/// Picks a uniform random element, or `None` when empty.
-fn pick<'a, T>(rng: &mut SplitMix64, items: &'a [T]) -> Option<&'a T> {
-    if items.is_empty() {
-        // Keep the rng stream aligned regardless of world population.
-        rng.next_u64();
-        None
-    } else {
-        Some(&items[rng.below(items.len())])
-    }
 }

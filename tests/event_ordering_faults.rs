@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use cad_vfs::{FaultPlan, SplitMix64, Vfs, VfsPath};
 use hybrid::{Engine, HybridError, StandardFlow};
 use jcf::{CellId, CellVersionId, DovId, TeamId, UserId, VariantId};
+use test_support::pick_index as pick;
 
 /// One observed application: the op kind the driver issued and, if the
 /// engine rejected it, the stable error kind plus the rendered message.
@@ -69,15 +70,6 @@ fn bootstrap() -> Rig {
         cells: Vec::new(),
         slots: Vec::new(),
         shared_dov,
-    }
-}
-
-fn pick(rng: &mut SplitMix64, len: usize) -> Option<usize> {
-    if len == 0 {
-        rng.next_u64();
-        None
-    } else {
-        Some(rng.below(len))
     }
 }
 
