@@ -1,14 +1,15 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e14|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e15|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
-//! E12 session benchmark, the E13 publish sweep and the E14 shard
-//! scaling sweep, and writes the machine-readable `BENCH_E9.json` /
-//! `BENCH_E10.json` / `BENCH_E12.json` / `BENCH_E13.json` /
-//! `BENCH_E14.json` files at the repository root, seeding the
+//! E12 session benchmark, the E13 publish sweep, the E14 shard
+//! scaling sweep and the E15 durability sweep, and writes the
+//! machine-readable `BENCH_E9.json` / `BENCH_E10.json` /
+//! `BENCH_E12.json` / `BENCH_E13.json` / `BENCH_E14.json` /
+//! `BENCH_E15.json` files at the repository root, seeding the
 //! performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
@@ -17,8 +18,8 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e1_mapping, e2_e3_schemas,
-    e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
+    e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e15_durability, e1_mapping,
+    e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -204,6 +205,19 @@ fn print_verdicts() {
             } else {
                 "diverged"
             }
+        ),
+    });
+
+    let e15 = e15_durability::run();
+    rows.push(Row {
+        exp: "E15",
+        claim: "durability is O(Δ): delta checkpoints and near-flat warm restarts",
+        holds: e15.holds(),
+        measured: format!(
+            "restart grew {:.2}x over {:.0}x objects, final delta/full ratio {:.1}%",
+            e15.restart_growth(),
+            e15.size_growth(),
+            e15.final_delta_ratio() * 100.0
         ),
     });
 
@@ -398,6 +412,36 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e14_path = format!("{root}/BENCH_E14.json");
     std::fs::write(&e14_path, e14)?;
     println!("wrote {e14_path}");
+
+    let r = e15_durability::run();
+    println!("{r}");
+    let mut e15 = format!(
+        "{{\"seed\": {seed}, \"delta_ops\": {}, \"rows\": [\n",
+        r.delta_ops
+    );
+    for (i, row) in r.rows.iter().enumerate() {
+        e15.push_str(&format!(
+            "  {{\"objects\": {}, \"full_p50_ns\": {}, \"delta_p50_ns\": {}, \"delta_ratio\": {:.4}, \"restart_p50_ns\": {}, \"restart_replayed\": {}, \"recovered_matches\": {}}}{}\n",
+            row.objects,
+            row.full_p50_ns,
+            row.delta_p50_ns,
+            row.delta_ratio(),
+            row.restart_p50_ns,
+            row.restart_replayed,
+            row.recovered_matches,
+            if i + 1 == r.rows.len() { "" } else { "," }
+        ));
+    }
+    e15.push_str(&format!(
+        "],\n\"restart_growth\": {:.2}, \"size_growth\": {:.2}, \"final_delta_ratio\": {:.4}, \"holds\": {}}}\n",
+        r.restart_growth(),
+        r.size_growth(),
+        r.final_delta_ratio(),
+        r.holds()
+    ));
+    let e15_path = format!("{root}/BENCH_E15.json");
+    std::fs::write(&e15_path, e15)?;
+    println!("wrote {e15_path}");
     Ok(())
 }
 
@@ -498,9 +542,13 @@ fn main() {
         println!("{}", e14_shards::run(seed));
         printed = true;
     }
+    if want("e15") {
+        println!("{}", e15_durability::run());
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e14 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e15 or no argument for all");
         std::process::exit(2);
     }
 }

@@ -23,23 +23,20 @@ use crate::workload::{hybrid_env, HybridEnv, Rng};
 /// Where the protocol commits inside the schedule.
 #[derive(Clone, Copy)]
 enum Commit {
-    /// Full checkpoint: four staged writes, four renames.
+    /// Chain checkpoint: a full base image the first time (four staged
+    /// writes), an O(Δ) delta checkpoint afterwards (sealed segment +
+    /// delta record + manifest).
     Checkpoint,
-    /// Journal sync: one staged write, one rename.
+    /// Journal sync: rewrites the open segment and the manifest, plus
+    /// one sealed segment per `SEG_CAP` entries outgrown.
     Sync,
 }
 
-impl Commit {
-    fn injectable_writes(self) -> u64 {
-        match self {
-            Commit::Checkpoint => 4,
-            Commit::Sync => 1,
-        }
-    }
-}
-
 /// Ops between commits, and the commit that follows them. 100 ops,
-/// five commits, eleven injectable writes in total.
+/// five commits, thirteen injectable writes in total (4+2+2+3+2) —
+/// but the clean pass *measures* the per-commit write counts rather
+/// than hardcoding them, so the matrix stays honest if the layout
+/// grows another file.
 const SCHEDULE: &[(usize, Commit)] = &[
     (30, Commit::Checkpoint),
     (20, Commit::Sync),
@@ -185,7 +182,7 @@ fn run_schedule(
     for &(ops, commit) in SCHEDULE {
         churn(&mut env, &mut rng, &mut st, ops);
         let result = match commit {
-            Commit::Checkpoint => env.hy.checkpoint_to(backup, &dir),
+            Commit::Checkpoint => env.hy.checkpoint(backup, &dir),
             Commit::Sync => env.hy.sync_journal(backup, &dir),
         };
         match result {
@@ -206,12 +203,17 @@ fn run_schedule(
 pub fn run(seed: u64) -> FaultSummary {
     let dir = VfsPath::parse(DIR).expect("static path");
 
-    // Clean pass: count the injectable writes with a passive plan and
-    // collect the restore fingerprint of every commit boundary.
+    // Clean pass: count the injectable writes with a passive plan —
+    // recording the cumulative count at each commit boundary — and
+    // collect the restore fingerprint of every boundary.
     let mut backup = Vfs::new();
     backup.arm_faults(FaultPlan::new(0));
     let mut boundary_backups: Vec<Vfs> = Vec::new();
-    let crash = run_schedule(seed, &mut backup, |_, b| boundary_backups.push(b.clone()));
+    let mut boundary_writes: Vec<u64> = Vec::new();
+    let crash = run_schedule(seed, &mut backup, |_, b| {
+        boundary_backups.push(b.clone());
+        boundary_writes.push(b.fault_stats().expect("plan armed").writes_seen);
+    });
     assert!(crash.is_none(), "clean pass must not crash: {crash:?}");
     let stats = backup.disarm_faults().expect("plan armed").stats();
     let injectable_points = stats.writes_seen;
@@ -227,19 +229,9 @@ pub fn run(seed: u64) -> FaultSummary {
         })
         .collect();
 
-    // Count how many commits complete before injectable write `k`.
-    let commits_before = |k: u64| {
-        let mut seen = 0;
-        let mut done = 0;
-        for &(_, commit) in SCHEDULE {
-            if seen + commit.injectable_writes() >= k {
-                break;
-            }
-            seen += commit.injectable_writes();
-            done += 1;
-        }
-        done
-    };
+    // Commit `i` completed before injectable write `k` fired iff all
+    // of its writes landed strictly earlier.
+    let commits_before = |k: u64| boundary_writes.iter().filter(|&&c| c < k).count();
 
     // The matrix: one run per injectable point, torn write armed there.
     let mut faults_fired = 0;
@@ -274,13 +266,26 @@ pub fn run(seed: u64) -> FaultSummary {
         recoveries_verified += 1;
     }
 
-    // Torn-tail trial: hand-tear the journal of a completed run and
-    // recover; only the torn fragment may be lost.
+    // Torn-tail trial: hand-tear the open journal segment of a
+    // completed run and recover; only the torn fragment may be lost,
+    // and the report must name the segment and byte offset.
     let mut torn = boundary_backups.last().expect("commits happened").clone();
-    let journal_path = dir.join("journal.log").expect("join");
-    let bytes = torn.read(&journal_path).expect("journal exists").to_vec();
-    assert!(bytes.len() > 4, "the journal has entries to tear");
-    torn.write(&journal_path, bytes[..bytes.len() - 4].to_vec())
+    let manifest = torn
+        .read(&dir.join("ck.manifest").expect("join"))
+        .expect("manifest exists");
+    let open_seg = String::from_utf8(manifest.to_vec())
+        .expect("utf-8 manifest")
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("open|id=")?;
+            let (id, _) = rest.split_once('|')?;
+            Some(format!("seg-{id}.log"))
+        })
+        .expect("manifest records the open segment");
+    let seg_path = dir.join(&open_seg).expect("join");
+    let bytes = torn.read(&seg_path).expect("open segment exists").to_vec();
+    assert!(bytes.len() > 4, "the open segment has entries to tear");
+    torn.write(&seg_path, bytes[..bytes.len() - 4].to_vec())
         .expect("tearing rewrite");
     assert!(
         matches!(
@@ -293,6 +298,15 @@ pub fn run(seed: u64) -> FaultSummary {
     assert!(
         report.dropped_fragment.is_some(),
         "recovery names the dropped fragment"
+    );
+    assert_eq!(
+        report.torn_segment.as_deref(),
+        Some(open_seg.as_str()),
+        "recovery names the torn segment"
+    );
+    assert!(
+        report.torn_offset.is_some(),
+        "recovery names the torn byte offset"
     );
     let torn_tails_dropped = 1;
 
@@ -313,7 +327,7 @@ mod tests {
     fn the_matrix_holds_for_the_golden_seed() {
         let summary = run(42);
         assert!(summary.holds(), "{summary}");
-        assert_eq!(summary.injectable_points, 11, "4+1+1+4+1 staged writes");
+        assert_eq!(summary.injectable_points, 13, "4+2+2+3+2 staged writes");
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! E15 — incremental O(Δ) durability: delta checkpoints and warm
+//! restarts.
+//!
+//! Before the segmented chain layout, every [`hybrid::Engine`]
+//! checkpoint rewrote the full OMS and staging images and every
+//! restart re-parsed them, so durability cost grew with installation
+//! size no matter how little had changed. The chain layout splits the
+//! cost: a *base* image is paid for rarely, while routine durability
+//! writes only a delta checkpoint (the ops since the last boundary)
+//! and restarts replay only what the base does not already cover.
+//!
+//! E15 measures, at 1k / 10k / 100k database objects:
+//!
+//! 1. **checkpoint latency** — p50 nanoseconds of a full-image rebase
+//!    vs a delta checkpoint taken after a fixed batch of ops; the
+//!    delta path must be a small fraction of the full path once the
+//!    database dwarfs the batch;
+//! 2. **warm restart latency** — p50 nanoseconds of
+//!    [`hybrid::Engine::recover_with_base`] over a pre-parsed
+//!    [`hybrid::BaseImage`] with a fixed 200-op journal tail; because
+//!    the replayed delta is constant, restart latency must stay
+//!    near-flat across the size sweep (O(Δ), not O(size));
+//! 3. **recovery fidelity** — the warm-restarted engine's
+//!    [`hybrid::Engine::state_fingerprint`] must equal the live
+//!    engine's at every size.
+
+use std::fmt;
+use std::time::Instant;
+
+use cad_vfs::{Vfs, VfsPath};
+use hybrid::Engine;
+
+/// Ops applied between delta checkpoints and before each measured
+/// warm restart: the fixed Δ of the sweep.
+pub const DELTA_OPS: usize = 200;
+
+/// One measured size point of the E15 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct E15Row {
+    /// OMS database objects at measurement time.
+    pub objects: usize,
+    /// Median nanoseconds of one full-image checkpoint (rebase).
+    pub full_p50_ns: u64,
+    /// Median nanoseconds of one delta checkpoint after [`DELTA_OPS`]
+    /// ops.
+    pub delta_p50_ns: u64,
+    /// Median nanoseconds of one warm restart (cached base + replay
+    /// of a [`DELTA_OPS`]-op journal tail).
+    pub restart_p50_ns: u64,
+    /// Journal entries the measured warm restart replayed.
+    pub restart_replayed: usize,
+    /// The warm-restarted engine fingerprints identically to the
+    /// live one.
+    pub recovered_matches: bool,
+}
+
+impl E15Row {
+    /// Delta-checkpoint cost as a fraction of the full-image cost.
+    pub fn delta_ratio(&self) -> f64 {
+        self.delta_p50_ns as f64 / self.full_p50_ns.max(1) as f64
+    }
+}
+
+impl fmt::Display for E15Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  {:>7} objects: ckpt full p50 {:>9} ns, delta p50 {:>8} ns ({:>5.1}%), warm restart p50 {:>8} ns ({} replayed, fingerprint {})",
+            self.objects,
+            self.full_p50_ns,
+            self.delta_p50_ns,
+            self.delta_ratio() * 100.0,
+            self.restart_p50_ns,
+            self.restart_replayed,
+            if self.recovered_matches { "MATCHES" } else { "DIVERGES" }
+        )
+    }
+}
+
+/// Results of one E15 run (one row per database size).
+#[derive(Debug, Clone)]
+pub struct E15Report {
+    /// One row per populated size, ascending.
+    pub rows: Vec<E15Row>,
+    /// The fixed Δ (ops) behind each delta checkpoint and restart.
+    pub delta_ops: usize,
+}
+
+impl E15Report {
+    /// Ratio of the largest to the smallest size's median warm-restart
+    /// latency. The replayed delta is fixed, so an O(Δ) restart stays
+    /// near-flat; an O(size) restart would track the object growth.
+    pub fn restart_growth(&self) -> f64 {
+        let first = self.rows.first().map(|r| r.restart_p50_ns).unwrap_or(1);
+        let last = self.rows.last().map(|r| r.restart_p50_ns).unwrap_or(1);
+        last as f64 / first.max(1) as f64
+    }
+
+    /// Ratio of the largest to the smallest database size.
+    pub fn size_growth(&self) -> f64 {
+        let first = self.rows.first().map(|r| r.objects).unwrap_or(1);
+        let last = self.rows.last().map(|r| r.objects).unwrap_or(1);
+        last as f64 / first.max(1) as f64
+    }
+
+    /// Delta/full checkpoint cost ratio at the largest size.
+    pub fn final_delta_ratio(&self) -> f64 {
+        self.rows.last().map(|r| r.delta_ratio()).unwrap_or(1.0)
+    }
+
+    /// Whether every gated property held: delta checkpoints never
+    /// meaningfully exceed a full rebase (at the smallest sizes both
+    /// are dominated by fixed per-commit overhead, so a small noise
+    /// allowance applies) and cost at most a quarter of one at the
+    /// largest size, warm restarts grow at most 3x over the whole
+    /// sweep, and every recovered fingerprint matched the live
+    /// engine.
+    pub fn holds(&self) -> bool {
+        self.rows.iter().all(|r| r.recovered_matches)
+            && self.rows.iter().all(|r| r.delta_ratio() <= 1.5)
+            && self.final_delta_ratio() <= 0.25
+            && self.restart_growth() <= 3.0
+    }
+}
+
+impl fmt::Display for E15Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E15 — incremental O(Δ) durability (delta checkpoints, warm restarts, Δ = {} ops)",
+            self.delta_ops
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        write!(
+            f,
+            "  warm restart grew {:.2}x over a {:.0}x object growth; final delta/full ratio {:.1}% ({})",
+            self.restart_growth(),
+            self.size_growth(),
+            self.final_delta_ratio() * 100.0,
+            if self.holds() { "O(DELTA)" } else { "O(SIZE)" }
+        )
+    }
+}
+
+/// Cells per population project: the JCF uniqueness check scans a
+/// project's cells on every create, so bounding the per-project count
+/// keeps population linear in `objects`.
+const CELLS_PER_PROJECT: usize = 500;
+
+/// Boots an engine and grows its database to at least `objects` OMS
+/// objects by creating cells (each cell materializes a handful of
+/// framework objects on both coupling sides), spread over many
+/// projects.
+fn populated_engine(objects: usize) -> Engine {
+    let mut en = Engine::builder().build();
+    let mut project = en.create_project("e15-0").expect("fresh project");
+    let mut i = 0usize;
+    while en.jcf().database().len() < objects {
+        if i.is_multiple_of(CELLS_PER_PROJECT) && i > 0 {
+            project = en
+                .create_project(&format!("e15-{}", i / CELLS_PER_PROJECT))
+                .expect("fresh project");
+        }
+        en.create_cell(project, &format!("c{i}"))
+            .expect("unique cell");
+        i += 1;
+    }
+    en
+}
+
+/// Measures one size point: full-rebase p50, delta-checkpoint p50 and
+/// warm-restart p50 with a fixed [`DELTA_OPS`] journal tail.
+fn timed_durability(mut en: Engine, iters: usize) -> E15Row {
+    let objects = en.jcf().database().len();
+    let mut backup = Vfs::new();
+    let project = en.create_project("e15-delta").expect("fresh project");
+
+    // Full-image rebases: a different directory per iteration forces
+    // the full path (the engine's chain never points there yet).
+    let mut full_ns: Vec<u64> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let dir = VfsPath::parse(&format!("/backup/e15/full-{i}")).expect("static path");
+        let start = Instant::now();
+        en.checkpoint(&mut backup, &dir).expect("full checkpoint");
+        full_ns.push(start.elapsed().as_nanos() as u64);
+        backup.remove_all(&dir).expect("cleanup");
+    }
+
+    // Delta checkpoints: establish a base once, then append a fixed
+    // batch of ops and time only the checkpoint call.
+    let chain = VfsPath::parse("/backup/e15/chain").expect("static path");
+    en.checkpoint(&mut backup, &chain).expect("chain base");
+    let mut delta_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut op = 0usize;
+    for _ in 0..iters {
+        for _ in 0..DELTA_OPS {
+            en.create_cell(project, &format!("d{op}"))
+                .expect("unique cell");
+            op += 1;
+        }
+        let start = Instant::now();
+        en.checkpoint(&mut backup, &chain)
+            .expect("delta checkpoint");
+        delta_ns.push(start.elapsed().as_nanos() as u64);
+    }
+
+    // Warm restarts: a fresh chain whose journal tail holds exactly
+    // DELTA_OPS unapplied ops beyond the base; the base is parsed
+    // once and every restart replays only the tail.
+    let restart = VfsPath::parse("/backup/e15/restart").expect("static path");
+    en.checkpoint(&mut backup, &restart).expect("restart base");
+    for _ in 0..DELTA_OPS {
+        en.create_cell(project, &format!("d{op}"))
+            .expect("unique cell");
+        op += 1;
+    }
+    en.sync_journal(&mut backup, &restart).expect("synced tail");
+    let base = Engine::load_base(&backup, &restart).expect("cached base");
+    let mut restart_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let recovered = Engine::recover_with_base(&backup, &restart, &base).expect("warm restart");
+        restart_ns.push(start.elapsed().as_nanos() as u64);
+        last = Some(recovered);
+    }
+    let (recovered, report) = last.expect("at least one restart");
+    // Fingerprint each instance exactly once: the hash charges the
+    // instance's own simulated-I/O meter, so a second call would
+    // drift.
+    let recovered_matches = recovered
+        .state_fingerprint()
+        .expect("recovered fingerprint")
+        == en.state_fingerprint().expect("live fingerprint");
+
+    full_ns.sort_unstable();
+    delta_ns.sort_unstable();
+    restart_ns.sort_unstable();
+    E15Row {
+        objects,
+        full_p50_ns: full_ns[iters / 2],
+        delta_p50_ns: delta_ns[iters / 2],
+        restart_p50_ns: restart_ns[iters / 2],
+        restart_replayed: report.replayed,
+        recovered_matches,
+    }
+}
+
+/// Runs E15 at the standard sizes (1k / 10k / 100k objects, 7
+/// iterations per measurement).
+pub fn run() -> E15Report {
+    run_scaled(&[1_000, 10_000, 100_000], 7)
+}
+
+/// Runs E15 at explicit database sizes with `iters` timed iterations
+/// per measurement.
+///
+/// # Panics
+///
+/// Panics on bootstrap or persistence failures or an empty
+/// `sizes`/`iters`.
+pub fn run_scaled(sizes: &[usize], iters: usize) -> E15Report {
+    assert!(!sizes.is_empty() && iters > 0);
+    E15Report {
+        rows: sizes
+            .iter()
+            .map(|&objects| timed_durability(populated_engine(objects), iters))
+            .collect(),
+        delta_ops: DELTA_OPS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovered_fingerprints_match_at_every_size() {
+        let report = run_scaled(&[50, 200], 3);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.recovered_matches, "{row}");
+            assert_eq!(row.restart_replayed, DELTA_OPS, "{row}");
+            assert!(row.full_p50_ns > 0 && row.delta_p50_ns > 0 && row.restart_p50_ns > 0);
+        }
+    }
+
+    #[test]
+    fn gates_are_computed_from_first_and_last_rows() {
+        let report = E15Report {
+            rows: vec![
+                E15Row {
+                    objects: 1_000,
+                    full_p50_ns: 1_000,
+                    delta_p50_ns: 400,
+                    restart_p50_ns: 500,
+                    restart_replayed: DELTA_OPS,
+                    recovered_matches: true,
+                },
+                E15Row {
+                    objects: 100_000,
+                    full_p50_ns: 100_000,
+                    delta_p50_ns: 20_000,
+                    restart_p50_ns: 1_000,
+                    restart_replayed: DELTA_OPS,
+                    recovered_matches: true,
+                },
+            ],
+            delta_ops: DELTA_OPS,
+        };
+        assert!((report.size_growth() - 100.0).abs() < 1e-9);
+        assert!((report.restart_growth() - 2.0).abs() < 1e-9);
+        assert!((report.final_delta_ratio() - 0.2).abs() < 1e-9);
+        assert!(report.holds());
+
+        let mut slow = report.clone();
+        slow.rows[1].restart_p50_ns = 5_000;
+        assert!(!slow.holds(), "super-linear restart must fail the gate");
+        let mut fat = report;
+        fat.rows[1].delta_p50_ns = 60_000;
+        assert!(!fat.holds(), "a delta near the full cost must fail");
+    }
+}

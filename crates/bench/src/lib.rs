@@ -18,6 +18,7 @@
 //! | [`e12_sessions`] | concurrent session throughput of the service layer |
 //! | [`e13_publish`] | O(Δ) snapshot publication of the persistent CoW store |
 //! | [`e14_shards`] | write-path scaling of the partitioned (sharded) service |
+//! | [`e15_durability`] | incremental O(Δ) durability: delta checkpoints, warm restarts |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -31,6 +32,7 @@ pub mod e11_faults;
 pub mod e12_sessions;
 pub mod e13_publish;
 pub mod e14_shards;
+pub mod e15_durability;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

@@ -98,6 +98,7 @@ pub struct FaultPlan {
     fail_read_at: Option<u64>,
     quota_bytes: Option<u64>,
     scope: Option<VfsPath>,
+    name_filter: Option<String>,
     stats: FaultStats,
 }
 
@@ -111,6 +112,7 @@ impl FaultPlan {
             fail_read_at: None,
             quota_bytes: None,
             scope: None,
+            name_filter: None,
             stats: FaultStats::default(),
         }
     }
@@ -126,10 +128,27 @@ impl FaultPlan {
         self
     }
 
+    /// Restricts the plan to content operations whose path *contains*
+    /// `needle` — e.g. `"delta-"` to tear exactly the Nth delta-
+    /// checkpoint staging write, or `"ck.manifest"` to crash a
+    /// manifest flip, while every other file in the same directory
+    /// keeps committing. Like [`FaultPlan::scope`] (the two compose),
+    /// traffic that does not match persists normally and is not
+    /// counted by any trigger.
+    pub fn only_paths_containing(mut self, needle: &str) -> FaultPlan {
+        self.name_filter = Some(needle.to_owned());
+        self
+    }
+
     /// Whether `path` is adjudicated by this plan (always true without
-    /// a [`FaultPlan::scope`]).
+    /// a [`FaultPlan::scope`] or [`FaultPlan::only_paths_containing`]
+    /// filter).
     fn in_scope(&self, path: &VfsPath) -> bool {
         self.scope.as_ref().is_none_or(|dir| dir.is_prefix_of(path))
+            && self
+                .name_filter
+                .as_ref()
+                .is_none_or(|needle| path.to_string().contains(needle.as_str()))
     }
 
     /// Fail the `n`th content write (1-based) without persisting
@@ -321,6 +340,35 @@ mod tests {
         ));
         assert_eq!(plan.stats().writes_seen, 1);
         assert_eq!(plan.stats().faults_fired, 1);
+    }
+
+    #[test]
+    fn path_filter_targets_matching_writes_only() {
+        let delta = VfsPath::parse("/backup/delta-3.ck.tmp").unwrap();
+        let image = VfsPath::parse("/backup/oms.img.tmp").unwrap();
+        let mut plan = FaultPlan::new(7)
+            .torn_write(1)
+            .only_paths_containing("delta-");
+        // Non-matching traffic is invisible to every counter/trigger.
+        assert_eq!(plan.on_write(&image, 64), WriteVerdict::Persist);
+        assert_eq!(plan.stats(), FaultStats::default());
+        assert!(matches!(
+            plan.on_write(&delta, 64),
+            WriteVerdict::Torn { .. }
+        ));
+        assert_eq!(plan.stats().faults_fired, 1);
+        // Composes with a directory scope: both must match.
+        let other_dir = VfsPath::parse("/elsewhere/delta-1.ck").unwrap();
+        let mut scoped = FaultPlan::new(7)
+            .fail_write(1)
+            .scope(&VfsPath::parse("/backup").unwrap())
+            .only_paths_containing("delta-");
+        assert_eq!(scoped.on_write(&other_dir, 8), WriteVerdict::Persist);
+        assert_eq!(scoped.on_write(&image, 8), WriteVerdict::Persist);
+        assert!(matches!(
+            scoped.on_write(&delta, 8),
+            WriteVerdict::Reject(WriteFaultKind::Injected)
+        ));
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! mutation through [`Engine::apply`]: the [`Op`] is executed, pushed
 //! onto the in-memory ops journal, and its outcome is delivered to the
 //! subscribed [`EventSink`]s. Because the journal is replayable, a
-//! restart is a checkpoint plus a replay of the journal tail
-//! ([`Engine::checkpoint_to`] / [`Engine::restore_from`]), and
-//! snapshot⊕replay provably reproduces the live state
-//! ([`Engine::state_fingerprint`]).
+//! restart is a checkpoint chain (base image + O(Δ) delta
+//! checkpoints) plus a replay of the segmented journal tail
+//! ([`Engine::checkpoint`] / [`Engine::restore_from`] /
+//! [`Engine::recover_at`]), and snapshot⊕replay provably reproduces
+//! the live state ([`Engine::state_fingerprint`]).
 //!
 //! Convenience wrappers (`engine.reserve(..)`, `engine.publish(..)`,
 //! …) build the [`Op`] and destructure the [`Event`], so call sites
@@ -47,6 +48,29 @@ const FS_IMG: &str = "fs.img";
 const HYBRID_META: &str = "hybrid.meta";
 const JOURNAL_LOG: &str = "journal.log";
 
+/// Magic first line of the checkpoint-chain manifest ([`CK_MANIFEST`]).
+const CK_MAGIC: &str = "hybrid-ck v1";
+/// Magic first line of a combined delta-checkpoint file (`delta-<k>.ck`).
+const DELTA_MAGIC: &str = "hybrid-delta v1";
+/// The chain manifest: renaming its staged replacement into place is
+/// the commit point of every delta checkpoint.
+const CK_MANIFEST: &str = "ck.manifest";
+/// Journal entries per closed segment. Once the open segment reaches
+/// this many entries a sync seals it (immutable from then on) and
+/// starts the next one, so no sync ever rewrites more than
+/// `SEG_CAP - 1` already-persisted entries.
+const SEG_CAP: u64 = 64;
+
+/// File name of journal segment `id`.
+fn seg_file(id: u64) -> String {
+    format!("seg-{id}.log")
+}
+
+/// File name of delta checkpoint `id`.
+fn delta_file(id: u64) -> String {
+    format!("delta-{id}.ck")
+}
+
 /// The command/event engine over a [`Hybrid`] installation.
 ///
 /// Dereferences to [`Hybrid`] for all read access; mutations go
@@ -75,6 +99,12 @@ pub struct Engine {
     /// write batch; when nothing changed in between they all share
     /// one `Arc<Snapshot>` instead of four map clones each.
     snap_cache: std::sync::Mutex<Option<std::sync::Arc<crate::Snapshot>>>,
+    /// The engine's memory of its persisted checkpoint chain, present
+    /// once [`Engine::checkpoint`] has written a base image. Holds the
+    /// chain-head state the next delta diffs against; `None` means the
+    /// next checkpoint writes a full base and [`Engine::sync_journal`]
+    /// falls back to the legacy whole-file journal.
+    durable: Option<DurableState>,
 }
 
 impl fmt::Debug for Engine {
@@ -132,6 +162,7 @@ impl Engine {
             counters: CounterSink::default(),
             extra,
             snap_cache: std::sync::Mutex::new(None),
+            durable: None,
         }
     }
 
@@ -1272,46 +1303,39 @@ fn parse_kind(raw: &str, line: &str) -> HybridResult<ToolKind> {
     }
 }
 
-/// Serialises a whole virtual file system: every directory and file
-/// (bytes hex-armoured), then the clock and the cost meter — captured
-/// *after* the reads, so a restored instance resumes with exactly the
-/// charges the checkpoint walk left behind.
-fn fs_image(fs: &Vfs) -> HybridResult<String> {
-    fn collect(fs: &Vfs, path: &VfsPath, body: &mut String) -> HybridResult<()> {
-        for name in fs.read_dir(path)? {
-            let child = path.join(&name)?;
-            match fs.metadata(&child)?.kind {
-                NodeKind::Directory => {
-                    body.push_str(&format!("dir {}\n", hex(child.to_string().as_bytes())));
-                    collect(fs, &child, body)?;
-                }
-                NodeKind::File => {
-                    let data = fs.read(&child)?;
-                    body.push_str(&format!(
-                        "file {} {}\n",
-                        hex(child.to_string().as_bytes()),
-                        hex(data.as_slice())
-                    ));
-                }
+/// Serialises a whole virtual file system from an already-completed
+/// [`fs_scan`]: every directory and file (bytes hex-armoured), then the
+/// clock and the cost meter — captured *after* the reads, so a restored
+/// instance resumes with exactly the charges the checkpoint walk left
+/// behind. Reads nothing itself, so the scan's meter charges are the
+/// walk's only cost no matter how many consumers share it.
+fn fs_image_from_scan(fs: &Vfs, scan: &[ScanEntry]) -> String {
+    let mut image = format!("{FS_MAGIC}\n");
+    for entry in scan {
+        match entry {
+            ScanEntry::Dir(path) => {
+                image.push_str(&format!("dir {}\n", hex(path.as_bytes())));
+            }
+            ScanEntry::File(path, blob) => {
+                image.push_str(&format!(
+                    "file {} {}\n",
+                    hex(path.as_bytes()),
+                    hex(blob.as_slice())
+                ));
             }
         }
-        Ok(())
     }
-
-    let mut body = String::new();
-    collect(fs, &VfsPath::root(), &mut body)?;
     let meter = fs.meter();
-    let mut image = format!("{FS_MAGIC}\n");
-    image.push_str(&body);
     image.push_str(&format!("clock {}\n", fs.now()));
     image.push_str(&format!(
         "meter {} {} {} {} {}\n",
         meter.ticks, meter.bytes_read, meter.bytes_written, meter.content_ops, meter.metadata_ops
     ));
-    Ok(image)
+    image
 }
 
-/// Rebuilds a virtual file system from [`fs_image`] output. The
+/// Rebuilds a virtual file system from [`fs_image_from_scan`] output.
+/// The
 /// recorded meter and clock are returned separately so the caller can
 /// install them *after* re-opening FMCAD over the tree (which charges
 /// its own parse reads).
@@ -1359,6 +1383,433 @@ fn restore_fs(image: &str) -> HybridResult<(Vfs, CostMeter, u64)> {
         }
     }
     Ok((fs, meter, clock))
+}
+
+/// One node of a deterministic pre-order file-system walk.
+enum ScanEntry {
+    Dir(String),
+    File(String, Blob),
+}
+
+/// Walks the whole tree once, in the exact order (and with the exact
+/// meter charges) the classic full-image walk used: `read_dir` per
+/// directory, `metadata` per child, `read` per file, sorted names.
+/// Every consumer of the walk (full image, delta diff, chain-head
+/// summary) derives from this one pass so checkpointing never charges
+/// a second walk.
+fn fs_scan(fs: &Vfs) -> HybridResult<Vec<ScanEntry>> {
+    fn collect(fs: &Vfs, path: &VfsPath, out: &mut Vec<ScanEntry>) -> HybridResult<()> {
+        for name in fs.read_dir(path)? {
+            let child = path.join(&name)?;
+            match fs.metadata(&child)?.kind {
+                NodeKind::Directory => {
+                    out.push(ScanEntry::Dir(child.to_string()));
+                    collect(fs, &child, out)?;
+                }
+                NodeKind::File => {
+                    let data = fs.read(&child)?;
+                    out.push(ScanEntry::File(child.to_string(), data));
+                }
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    collect(fs, &VfsPath::root(), &mut out)?;
+    Ok(out)
+}
+
+/// Reduces a scan to the summary a delta checkpoint diffs against:
+/// the directory set and each file's content hash.
+fn scan_summary(scan: &[ScanEntry]) -> (std::collections::BTreeSet<String>, BTreeMap<String, u64>) {
+    let mut dirs = std::collections::BTreeSet::new();
+    let mut files = BTreeMap::new();
+    for entry in scan {
+        match entry {
+            ScanEntry::Dir(path) => {
+                dirs.insert(path.clone());
+            }
+            ScanEntry::File(path, blob) => {
+                files.insert(path.clone(), blob.content_hash());
+            }
+        }
+    }
+    (dirs, files)
+}
+
+/// Appends the file-system section of a delta checkpoint: the records
+/// that turn the chain-head tree (`prev_dirs` / `prev_files` hashes)
+/// into the scanned live tree, then the live clock and meter. The
+/// caller must read the meter *after* the scan so a recovered engine
+/// resumes with exactly the charges the checkpoint walk left behind.
+fn fs_delta_section(
+    scan: &[ScanEntry],
+    prev_dirs: &std::collections::BTreeSet<String>,
+    prev_files: &BTreeMap<String, u64>,
+    clock: u64,
+    meter: &CostMeter,
+    out: &mut String,
+) {
+    let (cur_dirs, _) = scan_summary(scan);
+    let mut cur_file_set = std::collections::BTreeSet::new();
+    for entry in scan {
+        if let ScanEntry::File(path, _) = entry {
+            cur_file_set.insert(path.clone());
+        }
+    }
+    for path in prev_files.keys().filter(|p| !cur_file_set.contains(*p)) {
+        out.push_str(&format!("f|del {}\n", hex(path.as_bytes())));
+    }
+    // Deepest-first so a child directory's record never follows the
+    // removal of its parent.
+    for path in prev_dirs
+        .difference(&cur_dirs)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
+        out.push_str(&format!("f|dir- {}\n", hex(path.as_bytes())));
+    }
+    for path in cur_dirs.difference(prev_dirs) {
+        out.push_str(&format!("f|dir+ {}\n", hex(path.as_bytes())));
+    }
+    for entry in scan {
+        if let ScanEntry::File(path, blob) = entry {
+            if prev_files.get(path) != Some(&blob.content_hash()) {
+                out.push_str(&format!(
+                    "f|file {} {}\n",
+                    hex(path.as_bytes()),
+                    hex(blob.as_slice())
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("f|clock {clock}\n"));
+    out.push_str(&format!(
+        "f|meter {} {} {} {} {}\n",
+        meter.ticks, meter.bytes_read, meter.bytes_written, meter.content_ops, meter.metadata_ops
+    ));
+}
+
+/// Applies the `f|` records of a delta checkpoint to the chain-head
+/// tree, returning the recorded clock and meter (installed into FMCAD
+/// only after the re-open, like a full restore does).
+fn apply_fs_delta(fs: &mut Vfs, records: &[String]) -> HybridResult<(u64, CostMeter)> {
+    let mut clock = None;
+    let mut meter = None;
+    for line in records {
+        let (tag, rest) = line.split_once(' ').ok_or_else(|| bad(line))?;
+        match tag {
+            "del" => {
+                let path = VfsPath::parse(&unhex_str(rest)?)?;
+                if fs.exists(&path) {
+                    fs.remove_file(&path)?;
+                }
+            }
+            "dir-" => {
+                let path = VfsPath::parse(&unhex_str(rest)?)?;
+                if fs.exists(&path) {
+                    fs.remove_all(&path)?;
+                }
+            }
+            "dir+" => {
+                fs.mkdir_all(&VfsPath::parse(&unhex_str(rest)?)?)?;
+            }
+            "file" => {
+                let (raw_path, raw_data) = rest.split_once(' ').ok_or_else(|| bad(line))?;
+                let path = VfsPath::parse(&unhex_str(raw_path)?)?;
+                let data = unhex(raw_data).ok_or_else(|| bad(line))?;
+                if let Some(parent) = path.parent() {
+                    fs.mkdir_all(&parent)?;
+                }
+                fs.write(&path, data)?;
+            }
+            "clock" => clock = Some(parse_num(rest, line)?),
+            "meter" => {
+                let fields: Vec<&str> = rest.split(' ').collect();
+                if fields.len() != 5 {
+                    return Err(bad(line));
+                }
+                meter = Some(CostMeter {
+                    ticks: parse_num(fields[0], line)?,
+                    bytes_read: parse_num(fields[1], line)?,
+                    bytes_written: parse_num(fields[2], line)?,
+                    content_ops: parse_num(fields[3], line)?,
+                    metadata_ops: parse_num(fields[4], line)?,
+                });
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    match (clock, meter) {
+        (Some(c), Some(m)) => Ok((c, m)),
+        _ => Err(HybridError::DeltaChain(
+            "delta checkpoint is missing its clock/meter record".to_owned(),
+        )),
+    }
+}
+
+/// One delta checkpoint in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DeltaRec {
+    id: u64,
+    /// Engine sequence number the delta's state corresponds to.
+    seq: u64,
+    /// Sequence number of the chain state the delta extends.
+    parent: u64,
+    /// FNV-1a 64 of the `delta-<id>.ck` file bytes.
+    fp: u64,
+}
+
+/// One sealed (immutable) journal segment in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegRec {
+    id: u64,
+    /// Sequence number of the segment's first entry.
+    start: u64,
+    /// Sequence number of the segment's last entry.
+    end: u64,
+    /// FNV-1a 64 of the `seg-<id>.log` file bytes.
+    fp: u64,
+    /// Sealed segments whose whole range is covered by a later delta
+    /// checkpoint are *retired*: recovery to the chain head never
+    /// reads them, [`Engine::compact`] deletes them (giving up
+    /// point-in-time targets inside their windows).
+    retired: bool,
+}
+
+/// Parsed form of `ck.manifest` — the authoritative description of the
+/// checkpoint chain: one base image, the delta checkpoints stacked on
+/// it, the sealed journal segments, and the identity of the open
+/// (still-growing) segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Manifest {
+    base_seq: u64,
+    /// Chained FNV-1a 64 over the three base image files
+    /// (`oms.img`, then `fs.img`, then `hybrid.meta`).
+    base_fp: u64,
+    deltas: Vec<DeltaRec>,
+    segs: Vec<SegRec>,
+    /// `(id, start)` of the open segment slot. The file may not exist
+    /// yet (no sync since the last checkpoint); a file whose header
+    /// disagrees with this slot is a stale leftover and is ignored.
+    open: (u64, u64),
+}
+
+impl Manifest {
+    /// Sequence number of the chain head — the state the next delta
+    /// checkpoint extends.
+    fn head_seq(&self) -> u64 {
+        self.deltas.last().map_or(self.base_seq, |d| d.seq)
+    }
+
+    fn render(&self) -> String {
+        let mut out = format!("{CK_MAGIC}\n");
+        out.push_str(&format!(
+            "base|seq={}|fp={:016x}\n",
+            self.base_seq, self.base_fp
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "delta|id={}|seq={}|parent={}|fp={:016x}\n",
+                d.id, d.seq, d.parent, d.fp
+            ));
+        }
+        for s in &self.segs {
+            out.push_str(&format!(
+                "seg|id={}|start={}|end={}|fp={:016x}|state={}\n",
+                s.id,
+                s.start,
+                s.end,
+                s.fp,
+                if s.retired { "retired" } else { "live" }
+            ));
+        }
+        out.push_str(&format!("open|id={}|start={}\n", self.open.0, self.open.1));
+        out
+    }
+
+    fn parse(text: &str) -> HybridResult<Manifest> {
+        fn field(raw: &str, key: &str, line: &str) -> HybridResult<String> {
+            raw.strip_prefix(key)
+                .and_then(|r| r.strip_prefix('='))
+                .map(str::to_owned)
+                .ok_or_else(|| {
+                    HybridError::DeltaChain(format!("manifest: expected `{key}=` in {line:?}"))
+                })
+        }
+        fn num(raw: &str, key: &str, line: &str) -> HybridResult<u64> {
+            let val = field(raw, key, line)?;
+            val.parse()
+                .map_err(|_| HybridError::DeltaChain(format!("manifest: bad number in {line:?}")))
+        }
+        fn hexnum(raw: &str, key: &str, line: &str) -> HybridResult<u64> {
+            let val = field(raw, key, line)?;
+            u64::from_str_radix(&val, 16).map_err(|_| {
+                HybridError::DeltaChain(format!("manifest: bad fingerprint in {line:?}"))
+            })
+        }
+
+        let mut lines = text.lines();
+        if lines.next() != Some(CK_MAGIC) {
+            return Err(HybridError::DeltaChain("manifest: bad header".to_owned()));
+        }
+        let mut base = None;
+        let mut deltas = Vec::new();
+        let mut segs = Vec::new();
+        let mut open = None;
+        for line in lines {
+            let parts: Vec<&str> = line.split('|').collect();
+            match parts.as_slice() {
+                ["base", seq, fp] => {
+                    base = Some((num(seq, "seq", line)?, hexnum(fp, "fp", line)?));
+                }
+                ["delta", id, seq, parent, fp] => deltas.push(DeltaRec {
+                    id: num(id, "id", line)?,
+                    seq: num(seq, "seq", line)?,
+                    parent: num(parent, "parent", line)?,
+                    fp: hexnum(fp, "fp", line)?,
+                }),
+                ["seg", id, start, end, fp, state] => segs.push(SegRec {
+                    id: num(id, "id", line)?,
+                    start: num(start, "start", line)?,
+                    end: num(end, "end", line)?,
+                    fp: hexnum(fp, "fp", line)?,
+                    retired: match field(state, "state", line)?.as_str() {
+                        "retired" => true,
+                        "live" => false,
+                        other => {
+                            return Err(HybridError::DeltaChain(format!(
+                                "manifest: unknown segment state {other:?}"
+                            )))
+                        }
+                    },
+                }),
+                ["open", id, start] => {
+                    open = Some((num(id, "id", line)?, num(start, "start", line)?));
+                }
+                _ => {
+                    return Err(HybridError::DeltaChain(format!(
+                        "manifest: unrecognised line {line:?}"
+                    )))
+                }
+            }
+        }
+        let (base_seq, base_fp) = base
+            .ok_or_else(|| HybridError::DeltaChain("manifest: missing base record".to_owned()))?;
+        let open = open.ok_or_else(|| {
+            HybridError::DeltaChain("manifest: missing open-segment record".to_owned())
+        })?;
+        Ok(Manifest {
+            base_seq,
+            base_fp,
+            deltas,
+            segs,
+            open,
+        })
+    }
+}
+
+/// Parsed journal segment file: the self-describing header entry plus
+/// the op lines, and the torn tail if the final write was interrupted.
+struct Segment {
+    id: u64,
+    start: u64,
+    entries: Vec<String>,
+    torn: Option<oms::persist::TornTail>,
+}
+
+/// First entry of every segment file: `@seg|id=<n>|start=<s>`. The
+/// leading `@` cannot begin an op line, and the self-description lets
+/// recovery detect stale segment files left behind by an abandoned
+/// fork or rebase.
+fn seg_header(id: u64, start: u64) -> String {
+    format!("@seg|id={id}|start={start}")
+}
+
+fn parse_segment(fs: &Vfs, path: &VfsPath) -> HybridResult<Segment> {
+    let (mut entries, torn) = oms::persist::load_journal_lenient(fs, path)
+        .map_err(|e| HybridError::DeltaChain(format!("segment {path}: {e}")))?;
+    if entries.is_empty() {
+        return Err(HybridError::DeltaChain(format!(
+            "segment {path}: missing header entry"
+        )));
+    }
+    let header = entries.remove(0);
+    let parts: Vec<&str> = header.split('|').collect();
+    let (id, start) = match parts.as_slice() {
+        ["@seg", id, start] => {
+            let id = id
+                .strip_prefix("id=")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    HybridError::DeltaChain(format!("segment {path}: bad header {header:?}"))
+                })?;
+            let start = start
+                .strip_prefix("start=")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    HybridError::DeltaChain(format!("segment {path}: bad header {header:?}"))
+                })?;
+            (id, start)
+        }
+        _ => {
+            return Err(HybridError::DeltaChain(format!(
+                "segment {path}: bad header {header:?}"
+            )))
+        }
+    };
+    Ok(Segment {
+        id,
+        start,
+        entries,
+        torn,
+    })
+}
+
+/// The engine's in-memory mirror of its persisted chain. `prev_*`
+/// capture the state at the chain head — the baseline the next delta
+/// checkpoint diffs against, kept as O(1) persistent snapshots and a
+/// hash summary rather than a second copy of the data.
+struct DurableState {
+    /// Checkpoint directory the chain lives in; checkpointing to a
+    /// different directory starts a fresh chain with a full base.
+    dir: VfsPath,
+    /// OMS database snapshot at the chain head.
+    prev_db: oms::Database,
+    /// Directory set of the shared file system at the chain head.
+    prev_dirs: std::collections::BTreeSet<String>,
+    /// File content hashes of the shared file system at the chain head.
+    prev_files: BTreeMap<String, u64>,
+    /// Mirror of the on-disk `ck.manifest`.
+    manifest: Manifest,
+    /// Highest sequence number persisted into a *sealed* segment;
+    /// journal entries past this point live only in the open segment
+    /// (or nowhere, if not yet synced).
+    closed_upto: u64,
+    /// Next delta checkpoint id (monotonic, never reused).
+    next_delta: u64,
+}
+
+/// A parsed, reusable base checkpoint. Recovering many times from one
+/// slowly-changing chain (the paper's restart scenario) parses the
+/// base images once and replays only deltas and segments per restart —
+/// the O(Δ) warm path [`Engine::recover_with_base`] exposes.
+pub struct BaseImage {
+    db: oms::Database,
+    fs: Vfs,
+    meter: CostMeter,
+    clock: u64,
+    meta_text: String,
+    seq: u64,
+    fp: u64,
+}
+
+impl BaseImage {
+    /// Engine sequence number the base image captured.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 /// Everything `hybrid.meta` records besides the two framework images.
@@ -1591,6 +2042,18 @@ pub struct RecoveryReport {
     /// The unterminated trailing bytes dropped from the journal, if
     /// the tail was torn.
     pub dropped_fragment: Option<String>,
+    /// File (inside the checkpoint directory) whose tail was torn, if
+    /// any: a journal segment like `seg-3.log`, or `journal.log` for
+    /// the legacy whole-file layout.
+    pub torn_segment: Option<String>,
+    /// Byte offset within [`RecoveryReport::torn_segment`] at which the
+    /// dropped fragment begins.
+    pub torn_offset: Option<usize>,
+    /// Why lenient recovery stopped short of the chain's newest
+    /// record, if it did: a missing or fingerprint-mismatched delta or
+    /// segment. The engine is at the last boundary the intact prefix
+    /// of the chain reaches.
+    pub chain_break: Option<String>,
     /// Commit sequence numbers of cross-shard prepares that were
     /// rolled back because the matching commit record was missing from
     /// a participant journal. Always empty for single-engine recovery;
@@ -1620,57 +2083,302 @@ impl Engine {
     /// # Errors
     ///
     /// Returns image encoding and backup file system errors.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `checkpoint()`, which writes O(Δ) delta checkpoints once a base exists; \
+                `checkpoint_to` now forces a full rebase of the chain"
+    )]
     pub fn checkpoint_to(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        self.checkpoint_full(backup, dir)
+    }
+
+    /// Checkpoints the engine into `dir` of the `backup` file system,
+    /// doing **O(Δ) work**: the first call (per directory) writes a
+    /// full base image; every later call writes a *delta checkpoint* —
+    /// only what changed since the chain head — plus a rewritten
+    /// `ck.manifest`. The in-memory journal is cleared afterwards;
+    /// ops applied next land in the segment tail that
+    /// [`Engine::sync_journal`] persists.
+    ///
+    /// Every checkpoint is a *group commit*: all files are first
+    /// staged in full at sibling `*.tmp` paths (the only writes that
+    /// can fail), then renamed into place back-to-back — metadata-only
+    /// moves that cannot tear. A crash anywhere during staging leaves
+    /// every destination file exactly as the previous commit wrote it,
+    /// and the in-memory journal is cleared only after the commit, so
+    /// a failed checkpoint loses nothing.
+    ///
+    /// Reading the live file system charges its meter; the checkpoint
+    /// records the meter *after* the walk, so a restored engine
+    /// resumes with exactly the live instance's charges.
+    ///
+    /// # Errors
+    ///
+    /// Returns image encoding and backup file system errors.
+    pub fn checkpoint(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        match &self.durable {
+            Some(d) if d.dir == *dir => self.checkpoint_delta(backup, dir),
+            _ => self.checkpoint_full(backup, dir),
+        }
+    }
+
+    /// Writes a full base checkpoint (images of everything) and starts
+    /// a fresh chain: any previous deltas and segments in `dir` are
+    /// dropped from the new manifest and become garbage for
+    /// [`Engine::compact`]. Point-in-time targets older than this base
+    /// are no longer reachable.
+    fn checkpoint_full(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
         self.invalidate_snap_cache();
         backup.mkdir_all(dir)?;
-        let files: [(&str, Vec<u8>); 4] = [
-            (
-                OMS_IMG,
-                oms::persist::dump(self.hy.jcf.database()).into_bytes(),
+        let oms_text = oms::persist::dump(self.hy.jcf.database());
+        let scan = fs_scan(self.hy.fmcad.fs_ref())?;
+        let fs_text = fs_image_from_scan(self.hy.fmcad.fs_ref(), &scan);
+        let meta_text = self.meta_text();
+        let base_fp = oms::persist::fnv64_seeded(
+            oms::persist::fnv64_seeded(
+                oms::persist::fnv64(oms_text.as_bytes()),
+                fs_text.as_bytes(),
             ),
-            (FS_IMG, fs_image(self.hy.fmcad.fs_ref())?.into_bytes()),
-            (HYBRID_META, self.meta_text().into_bytes()),
-            (
-                JOURNAL_LOG,
-                oms::persist::render_journal(&[])
-                    .map_err(|e| HybridError::Journal(format!("journal: {e}")))?
-                    .into_bytes(),
-            ),
+            meta_text.as_bytes(),
+        );
+        // Id continuity across a rebase: never reuse a file name the
+        // old chain may still occupy on disk.
+        let (next_delta, open_id) = match self.durable.as_ref().filter(|d| d.dir == *dir) {
+            Some(d) => (d.next_delta, d.manifest.open.0 + 1),
+            None => (1, 1),
+        };
+        let manifest = Manifest {
+            base_seq: self.seq,
+            base_fp,
+            deltas: Vec::new(),
+            segs: Vec::new(),
+            open: (open_id, self.seq + 1),
+        };
+        let files = [
+            (OMS_IMG.to_owned(), oms_text),
+            (FS_IMG.to_owned(), fs_text),
+            (HYBRID_META.to_owned(), meta_text),
+            (CK_MANIFEST.to_owned(), manifest.render()),
         ];
-        // Stage everything first; any fault aborts before a single
-        // destination file has changed.
+        Self::group_commit(backup, dir, &files)?;
+        let (prev_dirs, prev_files) = scan_summary(&scan);
+        self.journal.clear();
+        self.durable = Some(DurableState {
+            dir: dir.clone(),
+            prev_db: self.hy.jcf.database().snapshot(),
+            prev_dirs,
+            prev_files,
+            manifest,
+            closed_upto: self.seq,
+            next_delta,
+        });
+        Ok(())
+    }
+
+    /// Writes a delta checkpoint against the chain head: the pending
+    /// journal tail is sealed into a final (retired) segment, the OMS
+    /// and file-system diffs plus the full coupling meta go into one
+    /// `delta-<k>.ck` file, and the rewritten manifest commits it all.
+    /// Work and bytes are proportional to the delta, not the database.
+    fn checkpoint_delta(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        self.invalidate_snap_cache();
+        let d = self
+            .durable
+            .as_ref()
+            .expect("delta checkpoint needs a chain");
+        let head = d.manifest.head_seq();
+        debug_assert_eq!(self.seq - head, self.journal.len() as u64);
+        // Nothing happened since the chain head: every engine mutation
+        // is an op, so an unchanged sequence number means an unchanged
+        // state. Writing a delta here would only smear the current
+        // walk's meter charges over a boundary another consumer (a
+        // sharded epoch, a point-in-time target) may have recorded
+        // before this call. Δ = 0 ⟹ zero writes.
+        if self.seq == head {
+            return Ok(());
+        }
+
+        // Seal whatever the journal holds past the last sealed
+        // segment, so every entry up to this checkpoint stays
+        // reachable for point-in-time recovery.
+        let mut files = Vec::with_capacity(3);
+        let mut segs = d.manifest.segs.clone();
+        let mut open_id = d.manifest.open.0;
+        if self.seq > d.closed_upto {
+            let skip = (d.closed_upto - head) as usize;
+            let mut entries = vec![seg_header(open_id, d.closed_upto + 1)];
+            entries.extend(self.journal[skip..].iter().map(Op::to_line));
+            let text = oms::persist::render_journal(&entries)
+                .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+            segs.push(SegRec {
+                id: open_id,
+                start: d.closed_upto + 1,
+                end: self.seq,
+                fp: oms::persist::fnv64(text.as_bytes()),
+                retired: true,
+            });
+            files.push((seg_file(open_id), text));
+            open_id += 1;
+        }
+        for seg in &mut segs {
+            seg.retired |= seg.end <= self.seq;
+        }
+
+        // The delta file: OMS records, file-system records, then the
+        // full coupling meta (small and flat — not worth diffing).
+        let oms_delta =
+            oms::persist::dump_delta(&d.prev_db, self.hy.jcf.database(), &format!("seq-{head}"))
+                .map_err(|e| HybridError::Journal(format!("delta: {e}")))?;
+        let scan = fs_scan(self.hy.fmcad.fs_ref())?;
+        let fs = self.hy.fmcad.fs_ref();
+        let mut delta_text = format!("{DELTA_MAGIC}\nseq {}\nparent {head}\n", self.seq);
+        for line in oms_delta.lines() {
+            delta_text.push_str(&format!("o|{line}\n"));
+        }
+        fs_delta_section(
+            &scan,
+            &d.prev_dirs,
+            &d.prev_files,
+            fs.now(),
+            &fs.meter(),
+            &mut delta_text,
+        );
+        for line in self.meta_text().lines() {
+            delta_text.push_str(&format!("m|{line}\n"));
+        }
+
+        let delta_id = d.next_delta;
+        let mut manifest = Manifest {
+            base_seq: d.manifest.base_seq,
+            base_fp: d.manifest.base_fp,
+            deltas: d.manifest.deltas.clone(),
+            segs,
+            open: (open_id, self.seq + 1),
+        };
+        manifest.deltas.push(DeltaRec {
+            id: delta_id,
+            seq: self.seq,
+            parent: head,
+            fp: oms::persist::fnv64(delta_text.as_bytes()),
+        });
+        files.push((delta_file(delta_id), delta_text));
+        files.push((CK_MANIFEST.to_owned(), manifest.render()));
+        Self::group_commit(backup, dir, &files)?;
+
+        let (prev_dirs, prev_files) = scan_summary(&scan);
+        self.journal.clear();
+        self.durable = Some(DurableState {
+            dir: dir.clone(),
+            prev_db: self.hy.jcf.database().snapshot(),
+            prev_dirs,
+            prev_files,
+            manifest,
+            closed_upto: self.seq,
+            next_delta: delta_id + 1,
+        });
+        Ok(())
+    }
+
+    /// Stages every `(name, text)` at a sibling `*.tmp` path (the only
+    /// writes that can fail), then renames all of them into place —
+    /// the atomic group commit every persistence operation uses.
+    fn group_commit(
+        backup: &mut Vfs,
+        dir: &VfsPath,
+        files: &[(String, String)],
+    ) -> HybridResult<()> {
         let mut commits = Vec::with_capacity(files.len());
-        for (name, bytes) in files {
+        for (name, text) in files {
             let dest = dir.join(name)?;
             let tmp =
                 oms::persist::staging_path(&dest).expect("checkpoint files are never the root");
-            backup.write(&tmp, bytes)?;
+            backup.write(&tmp, text.as_bytes().to_vec())?;
             commits.push((tmp, dest));
         }
-        // Commit point: rename the staged files into place.
         for (tmp, dest) in commits {
             backup.rename(&tmp, &dest)?;
         }
-        self.journal.clear();
         Ok(())
     }
 
     /// Persists the ops journal tail (everything applied since the
-    /// last [`Engine::checkpoint_to`]) next to the checkpoint.
+    /// last [`Engine::checkpoint`]) next to the checkpoint.
+    ///
+    /// With a chain in place ([`Engine::checkpoint`] has run for this
+    /// directory) the tail is **segmented**: entries beyond the
+    /// segment cap seal into immutable, individually-fingerprinted
+    /// `seg-<n>.log` files that are never rewritten again; only the
+    /// open (newest) segment is rewritten per sync, so sync cost is
+    /// bounded by the segment cap instead of growing with the tail.
+    /// The whole sync — sealed segments, open segment, manifest — is
+    /// one atomic group commit. Without a chain the legacy whole-file
+    /// `journal.log` is written instead.
     ///
     /// # Errors
     ///
     /// Returns backup file system errors — typed [`HybridError::Vfs`]
     /// faults for injected or out-of-space writes, journal errors for
     /// framing problems.
-    pub fn sync_journal(&self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
-        let entries: Vec<String> = self.journal.iter().map(Op::to_line).collect();
-        oms::persist::save_journal(backup, &dir.join(JOURNAL_LOG)?, &entries).map_err(
-            |e| match e {
-                oms::OmsError::Vfs(fs) => HybridError::Vfs(fs),
-                other => HybridError::Journal(format!("journal: {other}")),
-            },
-        )?;
+    pub fn sync_journal(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
+        let Some(d) = self.durable.as_ref().filter(|d| d.dir == *dir) else {
+            let entries: Vec<String> = self.journal.iter().map(Op::to_line).collect();
+            oms::persist::save_journal(backup, &dir.join(JOURNAL_LOG)?, &entries).map_err(|e| {
+                match e {
+                    oms::OmsError::Vfs(fs) => HybridError::Vfs(fs),
+                    other => HybridError::Journal(format!("journal: {other}")),
+                }
+            })?;
+            return Ok(());
+        };
+        let head = d.manifest.head_seq();
+        debug_assert_eq!(self.seq - head, self.journal.len() as u64);
+        let render = |id: u64, start: u64, ops: &[Op]| -> HybridResult<String> {
+            let mut entries = vec![seg_header(id, start)];
+            entries.extend(ops.iter().map(Op::to_line));
+            oms::persist::render_journal(&entries)
+                .map_err(|e| HybridError::Journal(format!("journal: {e}")))
+        };
+
+        let mut files = Vec::new();
+        let mut segs = d.manifest.segs.clone();
+        let mut closed_upto = d.closed_upto;
+        let mut open_id = d.manifest.open.0;
+        // Seal full segments; each is written once here and never
+        // touched again.
+        while self.seq - closed_upto >= SEG_CAP {
+            let start = closed_upto + 1;
+            let skip = (closed_upto - head) as usize;
+            let ops = &self.journal[skip..skip + SEG_CAP as usize];
+            let text = render(open_id, start, ops)?;
+            segs.push(SegRec {
+                id: open_id,
+                start,
+                end: closed_upto + SEG_CAP,
+                fp: oms::persist::fnv64(text.as_bytes()),
+                retired: false,
+            });
+            files.push((seg_file(open_id), text));
+            open_id += 1;
+            closed_upto += SEG_CAP;
+        }
+        // The open segment: the (short) remainder, rewritten wholesale.
+        let skip = (closed_upto - head) as usize;
+        files.push((
+            seg_file(open_id),
+            render(open_id, closed_upto + 1, &self.journal[skip..])?,
+        ));
+        let manifest = Manifest {
+            base_seq: d.manifest.base_seq,
+            base_fp: d.manifest.base_fp,
+            deltas: d.manifest.deltas.clone(),
+            segs,
+            open: (open_id, closed_upto + 1),
+        };
+        files.push((CK_MANIFEST.to_owned(), manifest.render()));
+        Self::group_commit(backup, dir, &files)?;
+        let d = self.durable.as_mut().expect("chain checked above");
+        d.manifest = manifest;
+        d.closed_upto = closed_upto;
         Ok(())
     }
 
@@ -1690,7 +2398,12 @@ impl Engine {
     /// mid-entry (see [`Engine::recover_from`]), plus framework errors
     /// from the rebuild.
     pub fn restore_from(backup: &mut Vfs, dir: &VfsPath) -> HybridResult<Engine> {
-        Ok(Self::restore_inner(backup, dir, false)?.0)
+        if backup.exists(&dir.join(CK_MANIFEST)?) {
+            let base = Self::load_base(backup, dir)?;
+            Ok(Self::restore_chain(backup, dir, &base, None, false)?.0)
+        } else {
+            Ok(Self::restore_inner(backup, dir, false)?.0)
+        }
     }
 
     /// Restarts like [`Engine::restore_from`], but *recovers* from a
@@ -1705,15 +2418,491 @@ impl Engine {
     /// Same as [`Engine::restore_from`], except a torn tail is handled
     /// instead of reported.
     pub fn recover_from(backup: &mut Vfs, dir: &VfsPath) -> HybridResult<(Engine, RecoveryReport)> {
-        let (engine, replayed, dropped_fragment) = Self::restore_inner(backup, dir, true)?;
+        if backup.exists(&dir.join(CK_MANIFEST)?) {
+            let base = Self::load_base(backup, dir)?;
+            return Self::restore_chain(backup, dir, &base, None, true);
+        }
+        let (engine, replayed, torn) = Self::restore_inner(backup, dir, true)?;
+        let (dropped_fragment, torn_segment, torn_offset) = match torn {
+            Some(tail) => (
+                Some(tail.fragment),
+                Some(JOURNAL_LOG.to_owned()),
+                Some(tail.offset),
+            ),
+            None => (None, None, None),
+        };
         Ok((
             engine,
             RecoveryReport {
                 replayed,
                 dropped_fragment,
+                torn_segment,
+                torn_offset,
+                chain_break: None,
                 rolled_back_prepares: Vec::new(),
             },
         ))
+    }
+
+    /// **Point-in-time recovery**: restores the engine to *exactly*
+    /// sequence number `seq` — any state the chain persisted, not just
+    /// the newest. The chain is walked only as far as needed: the base
+    /// image, then every delta checkpoint at or below `seq`, then
+    /// journal segments (including retired ones still on disk) up to
+    /// the target. Every file read along the way is verified against
+    /// its manifest fingerprint.
+    ///
+    /// A recovered-then-resumed engine *forks* the timeline: its next
+    /// sync or checkpoint rewrites the manifest and the records beyond
+    /// `seq` become unreferenced garbage for [`Engine::compact`].
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] when `seq` precedes the base or
+    /// exceeds what the chain persisted (after [`Engine::compact`],
+    /// targets inside retired windows are gone too);
+    /// [`HybridError::DeltaChain`] when a file needed to reach `seq`
+    /// is missing or fails fingerprint verification.
+    pub fn recover_at(
+        backup: &mut Vfs,
+        dir: &VfsPath,
+        seq: u64,
+    ) -> HybridResult<(Engine, RecoveryReport)> {
+        if !backup.exists(&dir.join(CK_MANIFEST)?) {
+            return Err(HybridError::DeltaChain(format!(
+                "{dir} has no chain manifest; point-in-time recovery needs the segmented layout"
+            )));
+        }
+        let base = Self::load_base(backup, dir)?;
+        Self::restore_chain(backup, dir, &base, Some(seq), false)
+    }
+
+    /// Parses the base checkpoint of the chain in `dir` once, verified
+    /// against the manifest's base fingerprint, for reuse across many
+    /// [`Engine::recover_with_base`] calls. This is what makes a warm
+    /// restart O(Δ): the (large, slowly-changing) base is paid for
+    /// once, and each restart replays only deltas and segments.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::DeltaChain`] for a missing or corrupt manifest
+    /// or base image.
+    pub fn load_base(backup: &Vfs, dir: &VfsPath) -> HybridResult<BaseImage> {
+        let manifest = Self::load_manifest(backup, dir)?;
+        let oms_text = oms::persist::load_text(backup, &dir.join(OMS_IMG)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{OMS_IMG}: {e}")))?;
+        let fs_text = oms::persist::load_text(backup, &dir.join(FS_IMG)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{FS_IMG}: {e}")))?;
+        let meta_text = oms::persist::load_text(backup, &dir.join(HYBRID_META)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{HYBRID_META}: {e}")))?;
+        let fp = oms::persist::fnv64_seeded(
+            oms::persist::fnv64_seeded(
+                oms::persist::fnv64(oms_text.as_bytes()),
+                fs_text.as_bytes(),
+            ),
+            meta_text.as_bytes(),
+        );
+        if fp != manifest.base_fp {
+            return Err(HybridError::DeltaChain(format!(
+                "base image fingerprint mismatch (manifest {:016x}, files {fp:016x})",
+                manifest.base_fp
+            )));
+        }
+        let db = oms::persist::parse(jcf::schema::jcf_schema(), &oms_text)
+            .map_err(|e| HybridError::Jcf(jcf::JcfError::Database(e)))?;
+        let (fs, meter, clock) = restore_fs(&fs_text)?;
+        Ok(BaseImage {
+            db,
+            fs,
+            meter,
+            clock,
+            meta_text,
+            seq: manifest.base_seq,
+            fp,
+        })
+    }
+
+    /// Recovers to the newest reachable state like
+    /// [`Engine::recover_from`], but reuses an already-parsed
+    /// [`BaseImage`] — the warm-restart fast path: O(1) snapshots of
+    /// the cached base plus replay of the deltas and segments written
+    /// since it, never re-reading the full images.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::recover_from`]; additionally
+    /// [`HybridError::DeltaChain`] when the chain was rebased since
+    /// `base` was loaded (reload it and retry).
+    pub fn recover_with_base(
+        backup: &Vfs,
+        dir: &VfsPath,
+        base: &BaseImage,
+    ) -> HybridResult<(Engine, RecoveryReport)> {
+        Self::restore_chain(backup, dir, base, None, true)
+    }
+
+    /// Reads and parses `ck.manifest`.
+    fn load_manifest(backup: &Vfs, dir: &VfsPath) -> HybridResult<Manifest> {
+        let text = oms::persist::load_text(backup, &dir.join(CK_MANIFEST)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{CK_MANIFEST}: {e}")))?;
+        Manifest::parse(&text)
+    }
+
+    /// Deletes every file in the chain directory the manifest no
+    /// longer needs for a newest-state restore: retired segments
+    /// (their entries are covered by delta checkpoints), stale
+    /// segments and deltas from abandoned forks or rebases, leftover
+    /// `*.tmp` staging debris, and a legacy `journal.log`. The journal
+    /// tail is synced first — recovery may have moved the open slot to
+    /// a fresh segment id whose file is not on disk yet, and the
+    /// rewritten manifest must only ever reference files that exist.
+    /// The manifest is then rewritten without the retired records
+    /// (atomically) and the files are unlinked — a crash in between
+    /// leaves only unreferenced garbage that the next compact removes.
+    ///
+    /// Returns the number of files removed. After compaction,
+    /// point-in-time targets inside retired windows are no longer
+    /// reachable; delta-checkpoint boundaries remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns backup file system errors.
+    pub fn compact(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<usize> {
+        if self.durable.as_ref().filter(|d| d.dir == *dir).is_none() {
+            return Ok(0);
+        }
+        self.sync_journal(backup, dir)?;
+        let d = self.durable.as_ref().expect("chain checked above");
+        let mut manifest = d.manifest.clone();
+        manifest.segs.retain(|s| !s.retired);
+        if manifest != d.manifest {
+            Self::group_commit(backup, dir, &[(CK_MANIFEST.to_owned(), manifest.render())])?;
+        }
+        let mut keep: std::collections::BTreeSet<String> = [
+            OMS_IMG.to_owned(),
+            FS_IMG.to_owned(),
+            HYBRID_META.to_owned(),
+            CK_MANIFEST.to_owned(),
+            seg_file(manifest.open.0),
+        ]
+        .into();
+        keep.extend(manifest.segs.iter().map(|s| seg_file(s.id)));
+        keep.extend(manifest.deltas.iter().map(|del| delta_file(del.id)));
+        let mut removed = 0;
+        for name in backup.read_dir(dir)? {
+            let path = dir.join(&name)?;
+            if keep.contains(&name) || backup.metadata(&path)?.kind == NodeKind::Directory {
+                continue;
+            }
+            backup.remove_file(&path)?;
+            removed += 1;
+        }
+        let d = self.durable.as_mut().expect("chain checked above");
+        d.manifest = manifest;
+        Ok(removed)
+    }
+
+    /// Walks the chain: base (from `base`, already parsed) → delta
+    /// checkpoints → journal segments, stopping at `target` (or the
+    /// newest reachable record when `None`). `lenient` recovery stops
+    /// at the last valid boundary when the chain is damaged and notes
+    /// why; strict mode reports the damage as a typed error. The
+    /// returned engine is ready to continue the chain — its next
+    /// checkpoint is a delta, and a fork (recovery short of the
+    /// newest record) is committed by whichever sync or checkpoint
+    /// next rewrites the manifest.
+    fn restore_chain(
+        backup: &Vfs,
+        dir: &VfsPath,
+        base: &BaseImage,
+        target: Option<u64>,
+        lenient: bool,
+    ) -> HybridResult<(Engine, RecoveryReport)> {
+        let manifest = Self::load_manifest(backup, dir)?;
+        if manifest.base_seq != base.seq || manifest.base_fp != base.fp {
+            return Err(HybridError::DeltaChain(
+                "chain was rebased since the base image was loaded".to_owned(),
+            ));
+        }
+        if let Some(t) = target {
+            if t < base.seq {
+                return Err(HybridError::SeqUnreachable {
+                    requested: t,
+                    reachable: base.seq,
+                });
+            }
+        }
+
+        // Phase 1: fold delta checkpoints over O(1) copies of the base.
+        let mut db = base.db.snapshot();
+        let mut fs = base.fs.clone();
+        let mut meter = base.meter;
+        let mut clock = base.clock;
+        let mut meta_text = base.meta_text.clone();
+        let mut at = base.seq;
+        let mut chain_break = None;
+        let mut applied_deltas = 0;
+        for rec in &manifest.deltas {
+            if target.is_some_and(|t| rec.seq > t) {
+                break;
+            }
+            match Self::read_delta(backup, dir, rec, at) {
+                Ok((oms_lines, fs_lines, meta)) => {
+                    oms::persist::apply_delta(&mut db, &oms_lines)
+                        .map_err(|e| HybridError::DeltaChain(format!("delta {}: {e}", rec.id)))?;
+                    let (c, m) = apply_fs_delta(&mut fs, &fs_lines)?;
+                    clock = c;
+                    meter = m;
+                    meta_text = meta;
+                    at = rec.seq;
+                    applied_deltas += 1;
+                }
+                Err(e) if lenient => {
+                    chain_break = Some(e.to_string());
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Phase 2: capture the chain head (what the engine's next
+        // delta checkpoint will diff against) before replay moves on.
+        let prev_db = db.snapshot();
+        let head_scan = fs_scan(&fs)?;
+        let (prev_dirs, prev_files) = scan_summary(&head_scan);
+        let head = at;
+        let meta = parse_meta(&meta_text)?;
+        if meta.seq != at {
+            return Err(HybridError::DeltaChain(format!(
+                "checkpoint at seq {at} recorded meta seq {}",
+                meta.seq
+            )));
+        }
+        let mut engine = Self::assemble_from_parts(db, fs, meter, clock, meta)?;
+
+        // Phase 3: replay journal segments past the chain head. Sealed
+        // segments verify against their manifest fingerprints; the
+        // open segment may have a torn tail.
+        let mut report = RecoveryReport {
+            replayed: 0,
+            dropped_fragment: None,
+            torn_segment: None,
+            torn_offset: None,
+            chain_break,
+            rolled_back_prepares: Vec::new(),
+        };
+        let mut done = report.chain_break.is_some();
+        let mut replayed_segs = Vec::new();
+        for rec in &manifest.segs {
+            if done || rec.end <= engine.seq {
+                continue;
+            }
+            if target.is_some_and(|t| rec.start > t) {
+                break;
+            }
+            match Self::read_sealed_segment(backup, dir, rec, engine.seq) {
+                Ok(entries) => {
+                    let fully = Self::replay_entries(&mut engine, &entries, target, &mut report)?;
+                    if fully {
+                        replayed_segs.push(rec.clone());
+                    } else {
+                        done = true;
+                    }
+                }
+                Err(e) if lenient => {
+                    report.chain_break = Some(e.to_string());
+                    done = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let (open_id, open_start) = manifest.open;
+        let open_path = dir.join(&seg_file(open_id))?;
+        if !done && open_start == engine.seq + 1 && backup.exists(&open_path) {
+            let seg = parse_segment(backup, &open_path)?;
+            // A file that disagrees with the manifest's open slot is a
+            // stale leftover from before a rebase; nothing is
+            // committed there yet.
+            if seg.id == open_id && seg.start == open_start {
+                if let Some(tail) = &seg.torn {
+                    if !lenient && target.is_none() {
+                        return Err(HybridError::TornJournal {
+                            complete: seg.entries.len(),
+                            fragment: tail.fragment.clone(),
+                        });
+                    }
+                    report.dropped_fragment = Some(tail.fragment.clone());
+                    report.torn_segment = Some(seg_file(open_id));
+                    report.torn_offset = Some(tail.offset);
+                }
+                Self::replay_entries(&mut engine, &seg.entries, target, &mut report)?;
+            }
+        }
+        if let Some(t) = target {
+            if engine.seq != t {
+                return Err(HybridError::SeqUnreachable {
+                    requested: t,
+                    reachable: engine.seq,
+                });
+            }
+        }
+
+        // Rebuild the durable chain state so the engine continues with
+        // O(Δ) checkpoints. The open slot always gets a fresh id: if
+        // recovery forked the timeline, the abandoned records stay
+        // untouched (and recoverable) until the next commit rewrites
+        // the manifest.
+        let closed_upto = replayed_segs.last().map_or(head, |s| s.end);
+        let max_id = manifest
+            .segs
+            .iter()
+            .map(|s| s.id)
+            .chain([open_id])
+            .max()
+            .unwrap_or(0);
+        let next_delta = manifest.deltas.iter().map(|d| d.id).max().unwrap_or(0) + 1;
+        engine.durable = Some(DurableState {
+            dir: dir.clone(),
+            prev_db,
+            prev_dirs,
+            prev_files,
+            manifest: Manifest {
+                base_seq: manifest.base_seq,
+                base_fp: manifest.base_fp,
+                deltas: manifest.deltas[..applied_deltas].to_vec(),
+                segs: {
+                    let mut segs: Vec<SegRec> = manifest
+                        .segs
+                        .iter()
+                        .filter(|s| s.end <= head || replayed_segs.iter().any(|r| r.id == s.id))
+                        .cloned()
+                        .collect();
+                    segs.sort_by_key(|s| s.id);
+                    segs
+                },
+                open: (max_id + 1, closed_upto + 1),
+            },
+            closed_upto,
+            next_delta,
+        });
+        Ok((engine, report))
+    }
+
+    /// Reads and verifies one delta checkpoint file, splitting it into
+    /// its OMS section, file-system records, and meta text.
+    fn read_delta(
+        backup: &Vfs,
+        dir: &VfsPath,
+        rec: &DeltaRec,
+        at: u64,
+    ) -> HybridResult<(String, Vec<String>, String)> {
+        let name = delta_file(rec.id);
+        let text = oms::persist::load_text(backup, &dir.join(&name)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{name}: {e}")))?;
+        if oms::persist::fnv64(text.as_bytes()) != rec.fp {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: fingerprint mismatch"
+            )));
+        }
+        if rec.parent != at {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: extends seq {} but the chain is at {at}",
+                rec.parent
+            )));
+        }
+        let mut lines = text.lines();
+        if lines.next() != Some(DELTA_MAGIC) {
+            return Err(HybridError::DeltaChain(format!("{name}: bad header")));
+        }
+        let mut oms_section = String::new();
+        let mut fs_records = Vec::new();
+        let mut meta_text = String::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("o|") {
+                oms_section.push_str(rest);
+                oms_section.push('\n');
+            } else if let Some(rest) = line.strip_prefix("f|") {
+                fs_records.push(rest.to_owned());
+            } else if let Some(rest) = line.strip_prefix("m|") {
+                meta_text.push_str(rest);
+                meta_text.push('\n');
+            } else if let Some(rest) = line.strip_prefix("seq ") {
+                if parse_num::<u64>(rest, line)? != rec.seq {
+                    return Err(HybridError::DeltaChain(format!(
+                        "{name}: seq disagrees with the manifest"
+                    )));
+                }
+            } else if let Some(rest) = line.strip_prefix("parent ") {
+                if parse_num::<u64>(rest, line)? != rec.parent {
+                    return Err(HybridError::DeltaChain(format!(
+                        "{name}: parent disagrees with the manifest"
+                    )));
+                }
+            } else {
+                return Err(HybridError::DeltaChain(format!(
+                    "{name}: unrecognised line {line:?}"
+                )));
+            }
+        }
+        Ok((oms_section, fs_records, meta_text))
+    }
+
+    /// Reads and verifies one sealed segment, checking fingerprint,
+    /// header, continuity with the chain position, and entry count.
+    fn read_sealed_segment(
+        backup: &Vfs,
+        dir: &VfsPath,
+        rec: &SegRec,
+        at: u64,
+    ) -> HybridResult<Vec<String>> {
+        let name = seg_file(rec.id);
+        if rec.start != at + 1 {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: starts at seq {} but the chain is at {at}",
+                rec.start
+            )));
+        }
+        let text = oms::persist::load_text(backup, &dir.join(&name)?)
+            .map_err(|e| HybridError::DeltaChain(format!("{name}: {e}")))?;
+        if oms::persist::fnv64(text.as_bytes()) != rec.fp {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: fingerprint mismatch"
+            )));
+        }
+        let seg = parse_segment(backup, &dir.join(&name)?)?;
+        if seg.id != rec.id || seg.start != rec.start || seg.torn.is_some() {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: header disagrees with the manifest"
+            )));
+        }
+        if seg.entries.len() as u64 != rec.end - rec.start + 1 {
+            return Err(HybridError::DeltaChain(format!(
+                "{name}: {} entrie(s), manifest says {}",
+                seg.entries.len(),
+                rec.end - rec.start + 1
+            )));
+        }
+        Ok(seg.entries)
+    }
+
+    /// Replays journal entries through the normal apply path (failed
+    /// ops re-fail, reproducing their partial effects), stopping at
+    /// the target. Returns whether every entry was replayed.
+    fn replay_entries(
+        engine: &mut Engine,
+        entries: &[String],
+        target: Option<u64>,
+        report: &mut RecoveryReport,
+    ) -> HybridResult<bool> {
+        for line in entries {
+            if target.is_some_and(|t| engine.seq >= t) {
+                return Ok(false);
+            }
+            let op = Op::parse_line(line)?;
+            let _ = engine.apply(op);
+            report.replayed += 1;
+        }
+        Ok(true)
     }
 
     /// Shared body of [`Engine::restore_from`] / [`Engine::recover_from`]:
@@ -1723,12 +2912,52 @@ impl Engine {
         backup: &mut Vfs,
         dir: &VfsPath,
         drop_torn_tail: bool,
-    ) -> HybridResult<(Engine, usize, Option<String>)> {
+    ) -> HybridResult<(Engine, usize, Option<oms::persist::TornTail>)> {
         let meta_bytes = backup.read(&dir.join(HYBRID_META)?)?;
         let meta = parse_meta(&String::from_utf8_lossy(&meta_bytes))?;
         let image_bytes = backup.read(&dir.join(FS_IMG)?)?;
         let (fs, meter, fs_clock) = restore_fs(&String::from_utf8_lossy(&image_bytes))?;
+        let db = oms::persist::load(jcf::schema::jcf_schema(), backup, &dir.join(OMS_IMG)?)
+            .map_err(|e| HybridError::Jcf(jcf::JcfError::Database(e)))?;
+        let mut engine = Self::assemble_from_parts(db, fs, meter, fs_clock, meta)?;
 
+        // Replay the journal tail. Each op is re-applied through the
+        // normal path, so the journal, the sequence counter and the
+        // sinks advance exactly as they did live — including ops that
+        // failed, whose partial effects (started executions, clock
+        // bumps, staged reads) are part of the state being restored.
+        let (lines, torn) = oms::persist::load_journal_lenient(backup, &dir.join(JOURNAL_LOG)?)
+            .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
+        if let Some(tail) = &torn {
+            if !drop_torn_tail {
+                return Err(HybridError::TornJournal {
+                    complete: lines.len(),
+                    fragment: tail.fragment.clone(),
+                });
+            }
+        }
+        let replayed = lines.len();
+        for line in lines {
+            let op = Op::parse_line(&line)?;
+            let _ = engine.apply(op);
+        }
+        Ok((engine, replayed, torn))
+    }
+
+    /// Rebuilds an engine from its restored parts — the shared middle
+    /// of every restore path, legacy or chained: re-open FMCAD over
+    /// the tree (re-running the §2.4 bootstrap and re-coupling every
+    /// mapped library — customisation state is session-local), resume
+    /// the OMS desktop counters, re-intern the coupling maps, and
+    /// restore the trace ring and counters. The journal starts empty;
+    /// the caller replays whatever tail applies.
+    fn assemble_from_parts(
+        db: oms::Database,
+        fs: Vfs,
+        meter: CostMeter,
+        fs_clock: u64,
+        meta: MetaState,
+    ) -> HybridResult<Engine> {
         // Slave: re-open over the restored tree, re-register the
         // post-bootstrap viewtypes, re-install the customisation layer
         // and re-couple every mapped library (creation order).
@@ -1745,9 +2974,10 @@ impl Engine {
         fmcad.fs().restore_clock(fs_clock);
         fmcad.fs_ref().restore_meter(meter);
 
-        // Master: the OMS image plus the exact desktop counters (the
-        // lossy timestamp-based recovery is not enough for replay).
-        let mut jcf = Jcf::restore(backup, &dir.join(OMS_IMG)?)?;
+        // Master: the OMS database plus the exact desktop counters
+        // (the lossy timestamp-based recovery is not enough for
+        // replay).
+        let mut jcf = Jcf::from_database(db);
         jcf.resume_counters(meta.desktop_ops, meta.clock);
 
         // The meta file stores plain owned strings; the live coupling
@@ -1797,7 +3027,7 @@ impl Engine {
         trace.restore(meta.trace);
         let mut counters = CounterSink::default();
         counters.restore(meta.counter_ops, meta.counter_failures);
-        let mut engine = Engine {
+        Ok(Engine {
             hy,
             journal: Vec::new(),
             seq: meta.seq,
@@ -1805,29 +3035,8 @@ impl Engine {
             counters,
             extra: Vec::new(),
             snap_cache: std::sync::Mutex::new(None),
-        };
-
-        // Replay the journal tail. Each op is re-applied through the
-        // normal path, so the journal, the sequence counter and the
-        // sinks advance exactly as they did live — including ops that
-        // failed, whose partial effects (started executions, clock
-        // bumps, staged reads) are part of the state being restored.
-        let (lines, torn) = oms::persist::load_journal_lenient(backup, &dir.join(JOURNAL_LOG)?)
-            .map_err(|e| HybridError::Journal(format!("journal: {e}")))?;
-        if let Some(fragment) = &torn {
-            if !drop_torn_tail {
-                return Err(HybridError::TornJournal {
-                    complete: lines.len(),
-                    fragment: fragment.clone(),
-                });
-            }
-        }
-        let replayed = lines.len();
-        for line in lines {
-            let op = Op::parse_line(&line)?;
-            let _ = engine.apply(op);
-        }
-        Ok((engine, replayed, torn))
+            durable: None,
+        })
     }
 
     /// A deterministic fingerprint of everything the engine models:
@@ -1919,7 +3128,7 @@ mod tests {
 
         let mut backup = Vfs::new();
         let dir = VfsPath::parse("/backup/ck1").unwrap();
-        en.checkpoint_to(&mut backup, &dir).unwrap();
+        en.checkpoint(&mut backup, &dir).unwrap();
 
         // Post-checkpoint tail: a real activity plus a failing op.
         en.run_activity(alice, variant, flow.enter_schematic, false, |_s| {
@@ -1952,13 +3161,15 @@ mod tests {
         let mut backup = Vfs::new();
         let dir = VfsPath::parse("/backup/bad").unwrap();
         let (mut en, ..) = seeded();
-        en.checkpoint_to(&mut backup, &dir).unwrap();
+        en.checkpoint(&mut backup, &dir).unwrap();
         backup
             .write(&dir.join(HYBRID_META).unwrap(), b"not a meta".to_vec())
             .unwrap();
+        // The base fingerprint recorded in the manifest no longer
+        // matches the tampered image.
         assert!(matches!(
             Engine::restore_from(&mut backup, &dir),
-            Err(HybridError::Journal(_))
+            Err(HybridError::DeltaChain(_))
         ));
     }
 }

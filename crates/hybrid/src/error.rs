@@ -67,6 +67,22 @@ pub enum HybridError {
     /// different partitions where one is required, or a cross-shard
     /// commit failed validation.
     ShardRouting(String),
+    /// The checkpoint chain (base image + delta checkpoints + journal
+    /// segments described by `ck.manifest`) is broken: a listed file is
+    /// missing, a fingerprint does not match, or a delta does not
+    /// extend the state it claims to. Strict restores report this;
+    /// lenient recovery falls back to the last boundary the intact
+    /// prefix of the chain can reach.
+    DeltaChain(String),
+    /// Point-in-time recovery was asked for a sequence number the
+    /// persisted chain cannot reach exactly (before the base
+    /// checkpoint, or past the last persisted entry).
+    SeqUnreachable {
+        /// The sequence number that was requested.
+        requested: u64,
+        /// The closest boundary the chain could have restored instead.
+        reachable: u64,
+    },
 }
 
 impl fmt::Display for HybridError {
@@ -98,6 +114,15 @@ impl fmt::Display for HybridError {
                 fragment.len()
             ),
             HybridError::ShardRouting(what) => write!(f, "shard routing: {what}"),
+            HybridError::DeltaChain(what) => write!(f, "checkpoint chain: {what}"),
+            HybridError::SeqUnreachable {
+                requested,
+                reachable,
+            } => write!(
+                f,
+                "sequence {requested} is not reachable from the persisted chain \
+                 (closest boundary: {reachable})"
+            ),
         }
     }
 }
@@ -120,6 +145,8 @@ impl HybridError {
             HybridError::Journal(_) => "journal",
             HybridError::TornJournal { .. } => "torn-journal",
             HybridError::ShardRouting(_) => "shard-routing",
+            HybridError::DeltaChain(_) => "delta-chain",
+            HybridError::SeqUnreachable { .. } => "seq-unreachable",
         }
     }
 

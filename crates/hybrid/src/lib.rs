@@ -30,7 +30,10 @@
 //! call sites build (or let the typed wrappers build) an [`Op`], the
 //! engine applies it, journals it, and emits a typed [`Event`] to the
 //! subscribed [`EventSink`]s. The journal makes restarts replayable
-//! ([`Engine::checkpoint_to`] / [`Engine::restore_from`]).
+//! ([`Engine::checkpoint`] / [`Engine::restore_from`]), incremental
+//! (delta checkpoints against the last base image, segmented journal
+//! files), and navigable ([`Engine::recover_at`] restores any
+//! persisted sequence number exactly).
 //!
 //! # Examples
 //!
@@ -88,7 +91,7 @@ mod snapshot;
 pub use builder::EngineBuilder;
 pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
-pub use engine::{Engine, RecoveryReport};
+pub use engine::{BaseImage, Engine, RecoveryReport};
 pub use error::{HybridError, HybridResult};
 pub use events::{CounterSink, Event, EventSink, JournalEntry, TraceSink, TRACE_CAPACITY};
 pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};

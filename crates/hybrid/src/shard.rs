@@ -108,6 +108,9 @@ const VID_STRIDE: u64 = 256;
 
 const CURRENT_PTR: &str = "CURRENT";
 const ROUTER_META: &str = "router.meta";
+/// Per-epoch record of where each shard's engine chain stood when the
+/// epoch was committed: `Engine::recover_at` targets at recovery time.
+const EPOCH_META: &str = "epoch.meta";
 
 /// Lock a mutex, riding through poisoning (same policy as
 /// [`Service`](crate::Service): a panicked writer must not take the
@@ -1599,11 +1602,85 @@ enum Merged {
     Cross { a: u32, b: u32, op: Op },
 }
 
+/// Commit sequence number of an envelope record.
+fn env_seq(rec: &EnvelopeRecord) -> u64 {
+    match rec {
+        EnvelopeRecord::Local { seq, .. }
+        | EnvelopeRecord::Bcast { seq, .. }
+        | EnvelopeRecord::Prepare { seq, .. }
+        | EnvelopeRecord::Commit { seq } => *seq,
+    }
+}
+
+/// Parsed `epoch.meta`: the router's next commit sequence at the
+/// epoch flip, and each shard engine's sequence number at its
+/// checkpoint — the exact [`Engine::recover_at`] targets that rebuild
+/// the epoch's engine states from the per-shard chains.
+struct EpochMeta {
+    next_seq: u64,
+    engine_seqs: Vec<u64>,
+}
+
+/// Reads just the `seq|next=` record of an epoch's metadata — enough
+/// to pick the point-in-time anchor epoch before any router state is
+/// loaded. `None` for unreadable or uncommitted epoch directories.
+fn epoch_next_seq(fs: &Vfs, dir: &VfsPath) -> Option<u64> {
+    let path = dir.join(EPOCH_META).ok()?;
+    if !fs.exists(&path) {
+        return None;
+    }
+    let lines = oms::persist::load_journal(fs, &path).ok()?;
+    lines
+        .iter()
+        .find_map(|line| line.strip_prefix("seq|next=")?.parse().ok())
+}
+
+fn load_epoch_meta(fs: &Vfs, dir: &VfsPath, nshards: usize) -> HybridResult<EpochMeta> {
+    let lines = oms::persist::load_journal(fs, &dir.join(EPOCH_META)?).map_err(map_oms)?;
+    let mut next_seq = None;
+    let mut engine_seqs = vec![None; nshards];
+    for line in &lines {
+        let err = || HybridError::Journal(format!("malformed epoch meta line {line:?}"));
+        if let Some(rest) = line.strip_prefix("seq|next=") {
+            next_seq = Some(rest.parse().map_err(|_| err())?);
+        } else if let Some(rest) = line.strip_prefix("engseq|shard=") {
+            let (shard, seq) = rest.split_once("|seq=").ok_or_else(err)?;
+            let shard: usize = shard.parse().map_err(|_| err())?;
+            let slot = engine_seqs.get_mut(shard).ok_or_else(err)?;
+            *slot = Some(seq.parse().map_err(|_| err())?);
+        } else {
+            return Err(err());
+        }
+    }
+    let engine_seqs: Option<Vec<u64>> = engine_seqs.into_iter().collect();
+    match (next_seq, engine_seqs) {
+        (Some(next_seq), Some(engine_seqs)) => Ok(EpochMeta {
+            next_seq,
+            engine_seqs,
+        }),
+        _ => Err(HybridError::Journal(
+            "epoch meta is missing records".to_owned(),
+        )),
+    }
+}
+
+/// Directory of shard `i`'s engine checkpoint chain. The chains live
+/// *beside* the epoch directories and span them: every service
+/// checkpoint adds one O(Δ) delta checkpoint per shard instead of
+/// rewriting full images into a fresh epoch directory.
+fn shard_chain_dir(root: &VfsPath, i: usize) -> HybridResult<VfsPath> {
+    Ok(root.join(&format!("shard-{i}"))?)
+}
+
 impl ShardedService {
-    /// Writes a full epoch checkpoint — one engine checkpoint per
-    /// shard, the router image, and the `CURRENT` pointer flip that
-    /// commits it — then truncates the in-memory envelope journals and
-    /// best-effort removes the previous epoch.
+    /// Writes an epoch checkpoint: one **delta** checkpoint per shard
+    /// into the persistent per-shard chains (`shard-<i>/`; the first
+    /// epoch writes the base images), the epoch metadata and router
+    /// image into `ck-<k>/`, and the `CURRENT` pointer flip that
+    /// commits it all — then truncates the in-memory envelope
+    /// journals. Earlier epoch directories are retained for
+    /// [`ShardedService::recover_at`] until
+    /// [`ShardedService::compact`] removes them.
     ///
     /// Locks every engine (ascending) and the router for the duration,
     /// so the images are mutually consistent.
@@ -1615,13 +1692,19 @@ impl ShardedService {
             .map(|lane| lock(&lane.engine))
             .collect();
         let mut router = lock(&self.inner.router);
-        let previous = router.epoch;
-        let next = previous + 1;
+        let next = router.epoch + 1;
         let dir = root.join(&format!("ck-{next}"))?;
         fs.mkdir_all(&dir)?;
+        // A crash after some engine checkpoints leaves their chains
+        // one delta ahead of the committed epoch; recovery targets
+        // the recorded engine sequences, so the extra delta is simply
+        // an unreferenced fork until a retry commits past it.
+        let mut epoch_lines = vec![format!("seq|next={}", router.next_seq)];
         for (i, engine) in guards.iter_mut().enumerate() {
-            engine.checkpoint_to(fs, &dir.join(&format!("shard-{i}"))?)?;
+            engine.checkpoint(fs, &shard_chain_dir(root, i)?)?;
+            epoch_lines.push(format!("engseq|shard={i}|seq={}", engine.seq()));
         }
+        oms::persist::save_journal(fs, &dir.join(EPOCH_META)?, &epoch_lines).map_err(map_oms)?;
         oms::persist::save_journal(fs, &dir.join(ROUTER_META)?, &router.meta_lines(next))
             .map_err(map_oms)?;
         // The pointer flip is the commit point: everything before it
@@ -1632,12 +1715,41 @@ impl ShardedService {
         for log in &mut router.logs {
             log.clear();
         }
-        drop(router);
-        drop(guards);
-        if previous > 0 {
-            let _ = fs.remove_all(&root.join(&format!("ck-{previous}"))?);
-        }
         Ok(())
+    }
+
+    /// Drops persistence no longer needed to restore the **newest**
+    /// epoch: every epoch directory other than the current one
+    /// (including stale `ck-*` beyond the pointer, left by crashed
+    /// checkpoints) and the retired journal segments of each shard's
+    /// engine chain. Point-in-time recovery to the removed epochs is
+    /// given up; the current epoch is unaffected.
+    ///
+    /// Returns the number of files and directories removed.
+    pub fn compact(&self, fs: &mut Vfs, root: &VfsPath) -> HybridResult<usize> {
+        let mut guards: Vec<MutexGuard<'_, Engine>> = self
+            .inner
+            .lanes
+            .iter()
+            .map(|lane| lock(&lane.engine))
+            .collect();
+        let router = lock(&self.inner.router);
+        if router.epoch == 0 || !fs.exists(root) {
+            return Ok(0);
+        }
+        let mut removed = 0;
+        for name in fs.read_dir(root)? {
+            if let Some(k) = name.strip_prefix("ck-").and_then(|v| v.parse::<u64>().ok()) {
+                if k != router.epoch {
+                    fs.remove_all(&root.join(&name)?)?;
+                    removed += 1;
+                }
+            }
+        }
+        for (i, engine) in guards.iter_mut().enumerate() {
+            removed += engine.compact(fs, &shard_chain_dir(root, i)?)?;
+        }
+        Ok(removed)
     }
 
     /// Rewrites the per-shard envelope journals under the live epoch
@@ -1674,22 +1786,92 @@ impl ShardedService {
         backup: &mut Vfs,
         root: &VfsPath,
     ) -> HybridResult<(ShardedService, RecoveryReport)> {
+        Self::recover_inner(backup, root, None)
+    }
+
+    /// **Point-in-time recovery** to commit sequence `seq`: restores
+    /// the service to the state after exactly the commits numbered
+    /// `0..=seq`. The newest committed epoch whose checkpoint precedes
+    /// the target anchors the restore — each shard engine recovers to
+    /// its recorded chain boundary via [`Engine::recover_at`] — and
+    /// the epoch's envelope journals replay only up to the target
+    /// (cross-shard prepares past it, or without both commit records
+    /// at or below it, are rolled back as usual).
+    ///
+    /// Requires the epochs covering `seq` to still exist:
+    /// [`ShardedService::compact`] removes old epochs and with them
+    /// their targets.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] when no retained epoch
+    /// checkpoint precedes `seq`, or when `seq` lies beyond the last
+    /// commit the synced journals persisted; otherwise as
+    /// [`ShardedService::recover`].
+    pub fn recover_at(
+        backup: &mut Vfs,
+        root: &VfsPath,
+        seq: u64,
+    ) -> HybridResult<(ShardedService, RecoveryReport)> {
+        Self::recover_inner(backup, root, Some(seq))
+    }
+
+    fn recover_inner(
+        backup: &mut Vfs,
+        root: &VfsPath,
+        target: Option<u64>,
+    ) -> HybridResult<(ShardedService, RecoveryReport)> {
         let current = oms::persist::load_text(backup, &root.join(CURRENT_PTR)?).map_err(map_oms)?;
-        let dir = root.join(current.trim())?;
+        let cur_epoch: u64 = current
+            .trim()
+            .strip_prefix("ck-")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                HybridError::Journal(format!("malformed CURRENT pointer {current:?}"))
+            })?;
+        // Epoch selection: the newest committed epoch whose recorded
+        // next commit sequence does not pass the target. Epochs past
+        // `CURRENT` are uncommitted leftovers and never considered.
+        let epoch = match target {
+            None => cur_epoch,
+            Some(t) => (1..=cur_epoch)
+                .rev()
+                .find(|k| {
+                    root.join(&format!("ck-{k}"))
+                        .ok()
+                        .and_then(|d| epoch_next_seq(backup, &d))
+                        .is_some_and(|next| next <= t + 1)
+                })
+                .ok_or(HybridError::SeqUnreachable {
+                    requested: t,
+                    reachable: 0,
+                })?,
+        };
+        let dir = root.join(&format!("ck-{epoch}"))?;
         let meta = oms::persist::load_journal(backup, &dir.join(ROUTER_META)?).map_err(map_oms)?;
         let mut router = ShardRouter::from_meta(&meta).map_err(HybridError::Journal)?;
         let nshards = router.nshards;
+        let epoch_meta = load_epoch_meta(backup, &dir, nshards)?;
+        if epoch_meta.next_seq != router.next_seq {
+            return Err(HybridError::Journal(format!(
+                "epoch meta next sequence {} disagrees with the router image's {}",
+                epoch_meta.next_seq, router.next_seq
+            )));
+        }
+        // Each engine recovers to the exact chain boundary the epoch
+        // recorded — not the newest one, which may belong to a later
+        // (or crashed, uncommitted) checkpoint.
         let mut engines = Vec::with_capacity(nshards);
-        for i in 0..nshards {
-            engines.push(Engine::restore_from(
-                backup,
-                &dir.join(&format!("shard-{i}"))?,
-            )?);
+        for (i, &engseq) in epoch_meta.engine_seqs.iter().enumerate() {
+            let (engine, _) = Engine::recover_at(backup, &shard_chain_dir(root, i)?, engseq)?;
+            engines.push(engine);
         }
         // Merge the per-shard envelope journals by commit sequence.
         // Missing logs mean "no sync since the checkpoint" for that
         // shard; a torn tail drops only the unterminated fragment.
         let mut dropped_fragment = None;
+        let mut torn_segment = None;
+        let mut torn_offset = None;
         let mut merged: BTreeMap<u64, Merged> = BTreeMap::new();
         let mut commits: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); nshards];
         for (shard, shard_commits) in commits.iter_mut().enumerate() {
@@ -1700,10 +1882,18 @@ impl ShardedService {
             let (lines, fragment) =
                 oms::persist::load_journal_lenient(backup, &path).map_err(map_oms)?;
             if dropped_fragment.is_none() {
-                dropped_fragment = fragment;
+                if let Some(tail) = fragment {
+                    dropped_fragment = Some(tail.fragment);
+                    torn_segment = Some(format!("ck-{epoch}/shard-{shard}.log"));
+                    torn_offset = Some(tail.offset);
+                }
             }
             for line in &lines {
-                match EnvelopeRecord::parse_line(line).map_err(HybridError::Journal)? {
+                let record = EnvelopeRecord::parse_line(line).map_err(HybridError::Journal)?;
+                if target.is_some_and(|t| env_seq(&record) > t) {
+                    continue;
+                }
+                match record {
                     EnvelopeRecord::Local { seq, op } => {
                         merged.insert(seq, Merged::Local { shard, op });
                     }
@@ -1812,9 +2002,24 @@ impl ShardedService {
                 }
             }
         }
+        // The target must be reached exactly: a forced-sequence replay
+        // advances the router through every persisted commit at or
+        // below it, so falling short means the journals never recorded
+        // the requested commit.
+        if let Some(t) = target {
+            if router.next_seq != t + 1 {
+                return Err(HybridError::SeqUnreachable {
+                    requested: t,
+                    reachable: router.next_seq.saturating_sub(1),
+                });
+            }
+        }
         let report = RecoveryReport {
             replayed,
             dropped_fragment,
+            torn_segment,
+            torn_offset,
+            chain_break: None,
             rolled_back_prepares,
         };
         Ok((ShardedService::from_engines(engines, router), report))

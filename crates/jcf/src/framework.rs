@@ -305,6 +305,19 @@ impl Jcf {
         Ok(jcf)
     }
 
+    /// Rebuilds a framework around an already-restored [`Database`]
+    /// over the JCF schema — the warm half of delta recovery: the
+    /// caller parsed (or cached) a base image, applied delta records,
+    /// and hands over the result. The desktop counters and logical
+    /// clock start at zero; delta chains always persist the exact
+    /// counters, so callers follow up with [`Jcf::resume_counters`]
+    /// instead of the lossy timestamp scan [`Jcf::restore`] performs.
+    pub fn from_database(db: Database) -> Jcf {
+        let mut jcf = Jcf::new();
+        jcf.db = db;
+        jcf
+    }
+
     /// Number of desktop operations performed so far (experiment E7).
     pub fn desktop_ops(&self) -> u64 {
         self.desktop_ops

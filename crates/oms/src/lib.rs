@@ -59,7 +59,7 @@ mod value;
 mod version;
 
 pub use error::{OmsError, OmsResult};
-pub use pmap::{PMap, PmapKey};
+pub use pmap::{DiffEntry, PMap, PmapKey};
 pub use schema::{
     AttrDef, AttrType, Cardinality, ClassDef, ClassId, RelDef, RelId, Schema, SchemaBuilder,
 };

@@ -30,7 +30,8 @@ use std::collections::BTreeMap;
 use cad_vfs::{Vfs, VfsPath};
 
 use crate::error::{OmsError, OmsResult};
-use crate::schema::{AttrType, Schema};
+use crate::pmap::DiffEntry;
+use crate::schema::{AttrType, RelId, Schema};
 use crate::store::{Database, Object, ObjectId};
 use crate::value::Value;
 
@@ -83,6 +84,26 @@ impl Fnv {
     fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
     }
+}
+
+/// The FNV-1a 64 offset basis — the initial accumulator state for
+/// [`fnv64_seeded`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64 over `bytes`, the same function every persisted
+/// fingerprint in the stack uses.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_seeded(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a 64 accumulation from `state` (start chains at
+/// [`FNV_OFFSET`]). Chained segment fingerprints use this so each
+/// manifest record commits to the whole journal prefix, not just its
+/// own bytes.
+pub fn fnv64_seeded(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = Fnv(state);
+    h.write(bytes);
+    h.0
 }
 
 /// A content fingerprint of one object: class plus every attribute.
@@ -295,6 +316,239 @@ pub fn parse(schema: Schema, image: &str) -> OmsResult<Database> {
     Ok(db)
 }
 
+/// Header line of a persisted delta image.
+pub const DELTA_MAGIC: &str = "oms-delta v1";
+
+/// Serialises the difference between two databases as a **delta
+/// image**: the records that turn `base` into `target`. Both databases
+/// must share one schema (the engine always diffs a snapshot against
+/// its own successor).
+///
+/// The cost is O(changes), not O(database): the object trie and every
+/// link trie are diffed structurally via [`PMap::diff`](crate::PMap::diff),
+/// which skips pointer-shared subtrees, so a 100k-object store with a
+/// 200-op delta serialises ~200 records.
+///
+/// The format extends the image grammar with delta-only keywords, in a
+/// fixed record order that makes application single-pass:
+///
+/// ```text
+/// oms-delta v1
+/// base <tag>                  # caller-chosen line binding the delta to its base
+/// next <next-id>              # the target's exact allocation counter
+/// unlink <rel> <src> <dst>    # links present in base, absent in target
+/// del <raw-id>                # objects present in base, absent in target
+/// object <raw-id> <class>     # added or updated objects (full block,
+/// attr <raw-id> <name> <enc>  #   exactly as in the full image)
+/// link <rel> <src> <dst>      # links present in target, absent in base
+/// ```
+///
+/// Unlinks precede deletes (referential integrity) and object blocks
+/// precede links (endpoints must exist); within each section records
+/// are key-sorted, so equal deltas have equal bytes.
+///
+/// # Errors
+///
+/// Rejects a `base_tag` containing a newline (it would break the line
+/// framing).
+pub fn dump_delta(base: &Database, target: &Database, base_tag: &str) -> OmsResult<String> {
+    if base_tag.contains('\n') {
+        return Err(OmsError::CorruptImage {
+            line: 2,
+            reason: "base tag contains a newline".to_owned(),
+        });
+    }
+    let schema = target.schema();
+    let mut out = format!(
+        "{DELTA_MAGIC}\nbase {base_tag}\nnext {}\n",
+        target.next_id_raw()
+    );
+
+    // Link sections first (computed before object records are written
+    // out, appended after them).
+    let mut unlinks = String::new();
+    let mut links = String::new();
+    for rel in schema.relationships() {
+        let rel_name = &schema.relationship(rel).name;
+        let mut removed = |s: ObjectId, t: ObjectId| {
+            unlinks.push_str(&format!("unlink {} {} {}\n", rel_name, s.raw(), t.raw()));
+        };
+        let mut added = |s: ObjectId, t: ObjectId| {
+            links.push_str(&format!("link {} {} {}\n", rel_name, s.raw(), t.raw()));
+        };
+        for entry in base.forward_map(rel).diff(target.forward_map(rel)) {
+            match entry {
+                DiffEntry::Added(s, set) => {
+                    for t in set.iter() {
+                        added(s, *t);
+                    }
+                }
+                DiffEntry::Removed(s) => {
+                    let old = base.forward_map(rel).get(&s).expect("removed key in base");
+                    for t in old.iter() {
+                        removed(s, *t);
+                    }
+                }
+                DiffEntry::Updated(s, new_set) => {
+                    let old = base.forward_map(rel).get(&s).expect("updated key in base");
+                    for t in old.iter().filter(|t| !new_set.contains(t)) {
+                        removed(s, *t);
+                    }
+                    for t in new_set.iter().filter(|t| !old.contains(t)) {
+                        added(s, *t);
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(&unlinks);
+
+    let mut puts = String::new();
+    for entry in base.objects_map().diff(target.objects_map()) {
+        match entry {
+            DiffEntry::Removed(id) => out.push_str(&format!("del {}\n", id.raw())),
+            DiffEntry::Added(id, obj) | DiffEntry::Updated(id, obj) => {
+                puts.push_str(&object_block(id, &obj, schema));
+            }
+        }
+    }
+    out.push_str(&puts);
+    out.push_str(&links);
+    Ok(out)
+}
+
+/// Reads the `base` tag line of a delta image without applying it, so
+/// a recovery chain can verify the delta really extends the checkpoint
+/// it is about to be applied to.
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] when the header or base line is
+/// missing or malformed.
+pub fn delta_base_tag(text: &str) -> OmsResult<&str> {
+    let mut lines = text.lines();
+    if lines.next() != Some(DELTA_MAGIC) {
+        return Err(OmsError::CorruptImage {
+            line: 1,
+            reason: "bad delta header".to_owned(),
+        });
+    }
+    match lines.next().and_then(|l| l.strip_prefix("base ")) {
+        Some(tag) => Ok(tag),
+        None => Err(OmsError::CorruptImage {
+            line: 2,
+            reason: "missing base tag".to_owned(),
+        }),
+    }
+}
+
+/// Applies a delta image produced by [`dump_delta`] to `db` (which
+/// must be in the delta's base state): after the call, `db` equals the
+/// target the delta was dumped from — [`dump`] outputs byte-identical
+/// images, and the allocation counter matches exactly.
+///
+/// # Errors
+///
+/// Returns [`OmsError::CorruptImage`] on any syntactic or schema
+/// mismatch, including records that do not apply cleanly (an `unlink`
+/// of an absent link, a `del` of a still-linked object) — either means
+/// the delta is being applied to the wrong base.
+pub fn apply_delta(db: &mut Database, text: &str) -> OmsResult<()> {
+    delta_base_tag(text)?;
+    let mut next_id = None;
+    // Skip the two header lines already validated above.
+    for (idx, line) in text.lines().enumerate().skip(2) {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let corrupt = |reason: String| OmsError::CorruptImage {
+            line: lineno,
+            reason,
+        };
+        let mut parts = line.splitn(2, ' ');
+        let keyword = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        match keyword {
+            "next" => {
+                next_id = Some(
+                    rest.parse::<u64>()
+                        .map_err(|_| corrupt(format!("bad next id {rest:?}")))?,
+                );
+            }
+            "unlink" => {
+                let (rel, s, t) = parse_link_triple(db.schema(), rest, &corrupt)?;
+                db.unlink(rel, s, t).map_err(|e| corrupt(e.to_string()))?;
+            }
+            "del" => {
+                let raw: u64 = rest
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad id {rest:?}")))?;
+                db.delete(ObjectId::for_tests(raw))
+                    .map_err(|e| corrupt(e.to_string()))?;
+            }
+            "object" => {
+                let (raw, class_name) = split2(rest)
+                    .ok_or_else(|| corrupt("expected `object <id> <class>`".to_owned()))?;
+                let raw: u64 = raw
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let class = db
+                    .schema()
+                    .class_by_name(class_name)
+                    .ok_or_else(|| corrupt(format!("unknown class {class_name:?}")))?;
+                db.raw_insert(raw, class);
+            }
+            "attr" => {
+                let (raw, rest2) = split2(rest)
+                    .ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let (name, encoded) = split2(rest2)
+                    .ok_or_else(|| corrupt("expected `attr <id> <name> <value>`".to_owned()))?;
+                let raw: u64 = raw
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad id {raw:?}")))?;
+                let value =
+                    decode(encoded).ok_or_else(|| corrupt(format!("bad value {encoded:?}")))?;
+                db.set(ObjectId::for_tests(raw), name, value)
+                    .map_err(|e| corrupt(e.to_string()))?;
+            }
+            "link" => {
+                let (rel, s, t) = parse_link_triple(db.schema(), rest, &corrupt)?;
+                db.link(rel, s, t).map_err(|e| corrupt(e.to_string()))?;
+            }
+            other => return Err(corrupt(format!("unknown keyword {other:?}"))),
+        }
+    }
+    match next_id {
+        Some(n) => db.set_next_id_raw(n),
+        None => {
+            return Err(OmsError::CorruptImage {
+                line: 3,
+                reason: "missing next id".to_owned(),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Parses `<rel> <src> <dst>` against the schema, shared by the `link`
+/// and `unlink` record arms.
+fn parse_link_triple(
+    schema: &Schema,
+    rest: &str,
+    corrupt: &impl Fn(String) -> OmsError,
+) -> OmsResult<(RelId, ObjectId, ObjectId)> {
+    let (rel_name, rest2) =
+        split2(rest).ok_or_else(|| corrupt("expected `<rel> <src> <dst>`".to_owned()))?;
+    let (s, t) = split2(rest2).ok_or_else(|| corrupt("expected `<rel> <src> <dst>`".to_owned()))?;
+    let rel = schema
+        .relationship_by_name(rel_name)
+        .ok_or_else(|| corrupt(format!("unknown relationship {rel_name:?}")))?;
+    let s: u64 = s.parse().map_err(|_| corrupt(format!("bad id {s:?}")))?;
+    let t: u64 = t.parse().map_err(|_| corrupt(format!("bad id {t:?}")))?;
+    Ok((rel, ObjectId::for_tests(s), ObjectId::for_tests(t)))
+}
+
 /// Writes the database image to `path` in the virtual file system,
 /// atomically: the image is staged at a sibling `*.tmp` path and
 /// renamed into place, so a reader at `path` observes either the old
@@ -353,10 +607,14 @@ pub fn load_text(fs: &Vfs, path: &VfsPath) -> OmsResult<String> {
         line: 0,
         reason: e.to_string(),
     })?;
-    String::from_utf8(bytes.to_vec()).map_err(|_| OmsError::CorruptImage {
+    // Validate on the borrowed payload: `Blob::to_vec` would count as
+    // a materialization, and restore paths run under the zero-copy
+    // staging invariant.
+    let text = std::str::from_utf8(&bytes).map_err(|_| OmsError::CorruptImage {
         line: 0,
         reason: "text file is not utf-8".to_owned(),
-    })
+    })?;
+    Ok(text.to_owned())
 }
 
 /// Header line of a persisted operations journal.
@@ -412,16 +670,30 @@ pub fn save_journal(fs: &mut Vfs, path: &VfsPath, entries: &[String]) -> OmsResu
 /// [`load_journal_lenient`].
 pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
     let (entries, torn) = load_journal_lenient(fs, path)?;
-    if let Some(fragment) = torn {
+    if let Some(tail) = torn {
         return Err(OmsError::CorruptImage {
             line: entries.len() + 2,
             reason: format!(
-                "journal tail truncated mid-entry ({} bytes)",
-                fragment.len()
+                "journal tail truncated mid-entry ({} bytes at offset {})",
+                tail.fragment.len(),
+                tail.offset
             ),
         });
     }
     Ok(entries)
+}
+
+/// The unterminated suffix a crashed journal write left behind:
+/// everything after the last newline, plus where in the file it
+/// starts. Recovery reports carry both so an operator can locate the
+/// tear (`<segment file>@<offset>`) instead of just knowing bytes were
+/// dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The dropped trailing bytes (the remains of one entry).
+    pub fragment: String,
+    /// Byte offset in the journal file where the fragment begins.
+    pub offset: usize,
 }
 
 /// Reads an operations journal, tolerating a torn final line.
@@ -429,8 +701,9 @@ pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
 /// Every entry [`save_journal`] writes is newline-terminated, so any
 /// trailing bytes after the last newline are the remains of an entry
 /// that never finished flushing. This loader returns the complete
-/// entries plus the torn fragment (if any) and lets the caller decide:
-/// [`load_journal`] rejects the fragment, recovery paths drop it.
+/// entries plus the torn tail (if any) — fragment *and* its byte
+/// offset in the file — and lets the caller decide: [`load_journal`]
+/// rejects the tail, recovery paths drop it and report where it was.
 ///
 /// # Errors
 ///
@@ -438,7 +711,10 @@ pub fn load_journal(fs: &Vfs, path: &VfsPath) -> OmsResult<Vec<String>> {
 /// UTF-8, or its *complete* first line is not the journal header. (A
 /// file whose only content is an unterminated prefix is reported as
 /// zero entries plus a fragment — the header itself never finished.)
-pub fn load_journal_lenient(fs: &Vfs, path: &VfsPath) -> OmsResult<(Vec<String>, Option<String>)> {
+pub fn load_journal_lenient(
+    fs: &Vfs,
+    path: &VfsPath,
+) -> OmsResult<(Vec<String>, Option<TornTail>)> {
     let bytes = fs.read(path).map_err(|e| OmsError::CorruptImage {
         line: 0,
         reason: e.to_string(),
@@ -447,11 +723,14 @@ pub fn load_journal_lenient(fs: &Vfs, path: &VfsPath) -> OmsResult<(Vec<String>,
         line: 0,
         reason: "journal is not utf-8".to_owned(),
     })?;
-    let (complete, fragment) = match text.rfind('\n') {
-        Some(nl) => (&text[..nl], &text[nl + 1..]),
-        None => ("", text),
+    let (complete, fragment, offset) = match text.rfind('\n') {
+        Some(nl) => (&text[..nl], &text[nl + 1..], nl + 1),
+        None => ("", text, 0),
     };
-    let fragment = (!fragment.is_empty()).then(|| fragment.to_owned());
+    let torn = (!fragment.is_empty()).then(|| TornTail {
+        fragment: fragment.to_owned(),
+        offset,
+    });
     let mut lines = complete.lines();
     match lines.next() {
         Some(JOURNAL_MAGIC) => {}
@@ -461,7 +740,7 @@ pub fn load_journal_lenient(fs: &Vfs, path: &VfsPath) -> OmsResult<(Vec<String>,
                 reason: format!("bad journal header {other:?}"),
             })
         }
-        None if fragment.is_some() => return Ok((Vec::new(), fragment)),
+        None if torn.is_some() => return Ok((Vec::new(), torn)),
         None => {
             return Err(OmsError::CorruptImage {
                 line: 1,
@@ -469,7 +748,7 @@ pub fn load_journal_lenient(fs: &Vfs, path: &VfsPath) -> OmsResult<(Vec<String>,
             })
         }
     }
-    Ok((lines.map(str::to_owned).collect(), fragment))
+    Ok((lines.map(str::to_owned).collect(), torn))
 }
 
 fn split2(s: &str) -> Option<(&str, &str)> {
@@ -805,13 +1084,121 @@ mod tests {
         assert!(matches!(err, OmsError::CorruptImage { line: 3, .. }));
         let (complete, torn) = load_journal_lenient(&fs, &path).unwrap();
         assert_eq!(complete, vec!["op|a=1".to_owned()]);
-        assert_eq!(torn.as_deref(), Some("op|b"));
-        // A torn *header* yields zero entries plus the fragment.
+        let tail = torn.unwrap();
+        assert_eq!(tail.fragment, "op|b");
+        // The fragment starts right after "oms-journal v1\nop|a=1\n".
+        assert_eq!(tail.offset, JOURNAL_MAGIC.len() + 1 + "op|a=1\n".len());
+        assert_eq!(
+            &bytes[tail.offset..bytes.len() - 3],
+            tail.fragment.as_bytes()
+        );
+        // A torn *header* yields zero entries plus the fragment at 0.
         fs.write(&path, b"oms-jour".to_vec()).unwrap();
         let (complete, torn) = load_journal_lenient(&fs, &path).unwrap();
         assert!(complete.is_empty());
-        assert_eq!(torn.as_deref(), Some("oms-jour"));
+        let tail = torn.unwrap();
+        assert_eq!(tail.fragment, "oms-jour");
+        assert_eq!(tail.offset, 0);
         assert!(load_journal(&fs, &path).is_err());
+    }
+
+    /// Mutates `db` through every delta-visible operation class.
+    fn churn(db: &mut Database) {
+        let cell = db.schema().class_by_name("Cell").unwrap();
+        let uses = db.schema().relationship_by_name("uses").unwrap();
+        let a = db
+            .find_by_attr(cell, "name", &Value::from("top\nwith newline"))
+            .unwrap();
+        let c = db.find_by_attr(cell, "name", &Value::from("leaf")).unwrap();
+        // Update, add, relink, delete.
+        db.set(a, "size", Value::from(1995i64)).unwrap();
+        let d = db.create(cell).unwrap();
+        db.set(d, "name", Value::from("fresh")).unwrap();
+        db.link(uses, a, d).unwrap();
+        db.unlink(uses, a, c).unwrap();
+        db.delete(c).unwrap();
+    }
+
+    #[test]
+    fn delta_round_trip_reproduces_the_target_exactly() {
+        let base = populated();
+        let mut target = base.snapshot();
+        churn(&mut target);
+        let delta = dump_delta(&base, &target, "ck-7").unwrap();
+        assert_eq!(delta_base_tag(&delta).unwrap(), "ck-7");
+        let mut rebuilt = base.snapshot();
+        apply_delta(&mut rebuilt, &delta).unwrap();
+        assert_eq!(dump(&rebuilt), dump(&target));
+        // Allocation continues exactly where the live target would.
+        let cell = rebuilt.schema().class_by_name("Cell").unwrap();
+        let mut live = target;
+        assert_eq!(
+            rebuilt.create(cell).unwrap().raw(),
+            live.create(cell).unwrap().raw()
+        );
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_header_only() {
+        let base = populated();
+        let twin = base.snapshot();
+        let delta = dump_delta(&base, &twin, "ck-1").unwrap();
+        assert_eq!(
+            delta,
+            format!("{DELTA_MAGIC}\nbase ck-1\nnext {}\n", 3),
+            "untouched snapshots must produce an empty record set"
+        );
+        let mut rebuilt = base.snapshot();
+        apply_delta(&mut rebuilt, &delta).unwrap();
+        assert_eq!(dump(&rebuilt), dump(&base));
+    }
+
+    #[test]
+    fn delta_records_are_rejected_against_the_wrong_base() {
+        let base = populated();
+        let mut target = base.snapshot();
+        churn(&mut target);
+        let delta = dump_delta(&base, &target, "ck-7").unwrap();
+        // Applying to the *target* (already past the delta) must fail:
+        // the unlink record no longer matches.
+        let mut wrong = target.snapshot();
+        assert!(matches!(
+            apply_delta(&mut wrong, &delta),
+            Err(OmsError::CorruptImage { .. })
+        ));
+        // Headers are validated before any record applies.
+        let mut db = base.snapshot();
+        assert!(apply_delta(&mut db, "nonsense\n").is_err());
+        assert!(apply_delta(&mut db, &format!("{DELTA_MAGIC}\nnope\n")).is_err());
+        assert!(
+            apply_delta(&mut db, &format!("{DELTA_MAGIC}\nbase x\n")).is_err(),
+            "a delta without its next-id line is corrupt"
+        );
+        assert!(dump_delta(&base, &target, "two\nlines").is_err());
+    }
+
+    #[test]
+    fn chained_deltas_replay_a_history() {
+        // base -> t1 -> t2, delta per hop; applying both in order
+        // reproduces t2 from base.
+        let base = populated();
+        let mut t1 = base.snapshot();
+        churn(&mut t1);
+        let mut t2 = t1.snapshot();
+        let cell = t2.schema().class_by_name("Cell").unwrap();
+        let fresh = t2
+            .find_by_attr(cell, "name", &Value::from("fresh"))
+            .unwrap();
+        t2.set(fresh, "size", Value::from(2i64)).unwrap();
+        let e = t2.create(cell).unwrap();
+        t2.set(e, "name", Value::from("later")).unwrap();
+
+        let d1 = dump_delta(&base, &t1, "ck").unwrap();
+        let d2 = dump_delta(&t1, &t2, "ck+1").unwrap();
+        let mut db = base.snapshot();
+        apply_delta(&mut db, &d1).unwrap();
+        apply_delta(&mut db, &d2).unwrap();
+        assert_eq!(dump(&db), dump(&t2));
     }
 
     #[test]

@@ -263,6 +263,150 @@ fn get_mut_at<V: Clone>(node: &mut Node<V>, bits: u64, depth: u32) -> Option<&mu
     }
 }
 
+/// One record of a structural diff between two maps: the operation
+/// that turns the base map's entry into the target map's entry. See
+/// [`PMap::diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffEntry<K, V> {
+    /// The key exists only in the target; value is the target's.
+    Added(K, V),
+    /// The key exists in both with unequal values; value is the
+    /// target's.
+    Updated(K, V),
+    /// The key exists only in the base.
+    Removed(K),
+}
+
+impl<K, V> DiffEntry<K, V> {
+    /// The key this record is about.
+    pub fn key(&self) -> &K {
+        match self {
+            DiffEntry::Added(k, _) | DiffEntry::Updated(k, _) | DiffEntry::Removed(k) => k,
+        }
+    }
+}
+
+impl<K: PmapKey, V: Clone + PartialEq> PMap<K, V> {
+    /// Structural diff: the sorted sequence of [`DiffEntry`] records
+    /// that turns `self` into `target`.
+    ///
+    /// The walk descends both tries in lockstep and **skips every
+    /// subtree whose root [`Arc`] is shared between the two maps**
+    /// (pointer equality), so when `target` is an evolved clone of
+    /// `self` the cost is O(changes · depth), not O(map). Two
+    /// untouched clones diff to an empty vector in O(1) — the root
+    /// pointers are equal. Records come out in ascending key order,
+    /// which is what lets the persisted delta format stay canonical.
+    ///
+    /// Value comparison is by `PartialEq`; an entry whose value was
+    /// rewritten to an equal value is *not* reported.
+    pub fn diff(&self, target: &PMap<K, V>) -> Vec<DiffEntry<K, V>> {
+        if Arc::ptr_eq(&self.root, &target.root) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        diff_nodes(&self.root, &target.root, 0, &mut out);
+        out
+    }
+
+    /// Applies a diff produced by [`PMap::diff`], returning the
+    /// resulting map: `base.apply_diff(&base.diff(&target)) == target`.
+    pub fn apply_diff(&self, diff: &[DiffEntry<K, V>]) -> PMap<K, V> {
+        let mut next = self.clone();
+        for entry in diff {
+            match entry {
+                DiffEntry::Added(k, v) | DiffEntry::Updated(k, v) => {
+                    next.insert(*k, v.clone());
+                }
+                DiffEntry::Removed(k) => {
+                    next.remove(k);
+                }
+            }
+        }
+        next
+    }
+}
+
+/// Merge-walks two sibling nodes at the same depth. `prefix` holds the
+/// key bits accumulated above this level; entry vectors are sorted, so
+/// a classic two-pointer merge emits records in ascending key order.
+fn diff_nodes<K: PmapKey, V: Clone + PartialEq>(
+    base: &Node<V>,
+    target: &Node<V>,
+    prefix: u64,
+    out: &mut Vec<DiffEntry<K, V>>,
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < base.entries.len() || j < target.entries.len() {
+        match (base.entries.get(i), target.entries.get(j)) {
+            (Some((ab, aslot)), Some((bb, bslot))) if ab == bb => {
+                let bits = (prefix << 8) | u64::from(*ab);
+                match (aslot, bslot) {
+                    // The load-bearing case: an untouched subtree is
+                    // the *same allocation* in both maps — skip it
+                    // without descending.
+                    (Slot::Inner(x), Slot::Inner(y)) => {
+                        if !Arc::ptr_eq(x, y) {
+                            diff_nodes(x, y, bits, out);
+                        }
+                    }
+                    (Slot::Leaf(va), Slot::Leaf(vb)) => {
+                        if va != vb {
+                            out.push(DiffEntry::Updated(K::from_bits(bits), vb.clone()));
+                        }
+                    }
+                    // Leaves sit at depth 7 and inner nodes above, so a
+                    // mixed pair cannot arise from map operations; stay
+                    // total anyway by treating it as replace-subtree.
+                    (a, b) => {
+                        emit_removed(a, bits, out);
+                        emit_added(b, bits, out);
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some((ab, aslot)), Some((bb, _))) if ab < bb => {
+                emit_removed(aslot, (prefix << 8) | u64::from(*ab), out);
+                i += 1;
+            }
+            (Some((ab, aslot)), None) => {
+                emit_removed(aslot, (prefix << 8) | u64::from(*ab), out);
+                i += 1;
+            }
+            (_, Some((bb, bslot))) => {
+                emit_added(bslot, (prefix << 8) | u64::from(*bb), out);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+}
+
+/// Emits [`DiffEntry::Added`] for every leaf under `slot`.
+fn emit_added<K: PmapKey, V: Clone>(slot: &Slot<V>, bits: u64, out: &mut Vec<DiffEntry<K, V>>) {
+    match slot {
+        Slot::Leaf(v) => out.push(DiffEntry::Added(K::from_bits(bits), v.clone())),
+        Slot::Inner(child) => {
+            for (byte, s) in &child.entries {
+                emit_added(s, (bits << 8) | u64::from(*byte), out);
+            }
+        }
+    }
+}
+
+/// Emits [`DiffEntry::Removed`] for every leaf under `slot`.
+fn emit_removed<K: PmapKey, V>(slot: &Slot<V>, bits: u64, out: &mut Vec<DiffEntry<K, V>>) {
+    match slot {
+        Slot::Leaf(_) => out.push(DiffEntry::Removed(K::from_bits(bits))),
+        Slot::Inner(child) => {
+            for (byte, s) in &child.entries {
+                emit_removed(s, (bits << 8) | u64::from(*byte), out);
+            }
+        }
+    }
+}
+
 /// One level of the depth-first walk: the remaining entries plus the
 /// key bits accumulated above that level.
 type IterFrame<'a, V> = (std::slice::Iter<'a, (u8, Slot<V>)>, u64);

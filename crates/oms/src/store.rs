@@ -49,7 +49,7 @@ impl PmapKey for ObjectId {
 /// schema's [`AttrDef`](crate::AttrDef) declarations: every object of a
 /// class shares the same name allocations, so copy-on-write clones of
 /// an object copy pointers, not strings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Object {
     pub(crate) class: ClassId,
     pub(crate) attrs: BTreeMap<Arc<str>, Value>,
@@ -58,7 +58,7 @@ pub(crate) struct Object {
 /// One link-index cell: the set of partners of one object along one
 /// relationship. Arc-wrapped so that path-copying a trie node clones
 /// set *handles*, never set contents.
-type LinkSet = Arc<BTreeSet<ObjectId>>;
+pub(crate) type LinkSet = Arc<BTreeSet<ObjectId>>;
 
 /// One undo step recorded while a transaction is open.
 #[derive(Debug)]
@@ -550,6 +550,32 @@ impl Database {
             }
         }
         (&self.schema, &self.objects, links)
+    }
+
+    /// The persistent object trie, for the delta codec in
+    /// [`persist`](crate::persist): diffing two databases walks the
+    /// shared tries directly instead of materialising flat views.
+    pub(crate) fn objects_map(&self) -> &PMap<ObjectId, Arc<Object>> {
+        &self.objects
+    }
+
+    /// The forward link trie of one relationship (source → targets),
+    /// for the delta codec.
+    pub(crate) fn forward_map(&self, rel: RelId) -> &PMap<ObjectId, LinkSet> {
+        &self.forward[rel.index()]
+    }
+
+    /// The id the next [`Database::create`] would allocate. Recorded in
+    /// delta images so a rebuilt store allocates exactly like the live
+    /// one (a full image only lower-bounds this via the max raw id).
+    pub(crate) fn next_id_raw(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Restores the allocation counter; delta-apply only. Never lowers
+    /// it below what the present objects already imply.
+    pub(crate) fn set_next_id_raw(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
     }
 
     pub(crate) fn raw_insert(&mut self, raw_id: u64, class: ClassId) -> ObjectId {

@@ -12,7 +12,12 @@ snapshot-capture caching or its median publish latency stops being
 sublinear in database size (baseline in scripts/e13_baseline.json), or
 when the E14 sharded write path loses its >= 2.5x four-shard
 critical-path scaling, any of its determinism invariants, or regresses
-below the committed baseline in scripts/e14_baseline.json. The
+below the committed baseline in scripts/e14_baseline.json, or when the
+E15 durability sweep loses a gated property (delta checkpoints
+cheaper than full rebases and at most a quarter of one at the largest
+size, warm restarts growing at most 3x over the object sweep,
+recovered fingerprints matching the live engine) or its warm-restart
+latency regresses past the ceiling in scripts/e15_baseline.json. The
 modeled tick economy is the experiments' measurement instrument: a
 deliberate cost-model change must update the golden table here *and*
 in crates/bench/src/e9_performance.rs in the same commit.
@@ -131,6 +136,7 @@ def main():
     check_e12()
     check_e13()
     check_e14()
+    check_e15()
 
 
 E12_COUNTERS = (
@@ -408,6 +414,117 @@ def check_e14():
         print(
             "OK: E14 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e14["seed"]
+            )
+        )
+
+
+E15_ROW_FIELDS = (
+    "objects",
+    "full_p50_ns",
+    "delta_p50_ns",
+    "delta_ratio",
+    "restart_p50_ns",
+    "restart_replayed",
+    "recovered_matches",
+)
+
+# The largest size replays the same fixed 200-op delta as the
+# smallest, so an O(Δ) warm restart stays near-flat; 3x absorbs
+# timing noise (matches E15Report::holds in
+# crates/bench/src/e15_durability.rs).
+E15_MAX_RESTART_GROWTH = 3.0
+
+# At the largest size a delta checkpoint may cost at most a quarter
+# of a full-image rebase.
+E15_MAX_DELTA_RATIO = 0.25
+
+# At every size (including the smallest, where fixed per-commit
+# overhead dominates both paths) a delta checkpoint may never
+# meaningfully exceed a full rebase.
+E15_MAX_ROW_DELTA_RATIO = 1.5
+
+# A fresh run's warm-restart p50 at the largest size may be at most
+# this multiple of the committed baseline in scripts/e15_baseline.json
+# (latency metric: larger is worse, so the gate is a ceiling).
+E15_REGRESSION_CEILING = 2.0
+
+
+def check_e15():
+    e15 = load("BENCH_E15.json")
+    rows = e15.get("rows")
+    if "seed" not in e15 or not rows:
+        sys.exit("FAIL: BENCH_E15.json lacks a seed or has no rows")
+    for row in rows:
+        for field in E15_ROW_FIELDS:
+            if field not in row:
+                sys.exit(
+                    f"FAIL: BENCH_E15.json row lacks {field!r} "
+                    "(the durability counters regressed)"
+                )
+        if not row["recovered_matches"]:
+            sys.exit(
+                "FAIL: E15 warm restart at {} objects diverged from the live "
+                "engine fingerprint".format(row["objects"])
+            )
+        if row["delta_ratio"] > E15_MAX_ROW_DELTA_RATIO:
+            sys.exit(
+                "FAIL: E15 delta checkpoint at {} objects cost {} ns, "
+                "{:.0f}% of the full rebase's {} ns (> {:.0f}% sanity cap)".format(
+                    row["objects"],
+                    row["delta_p50_ns"],
+                    row["delta_ratio"] * 100,
+                    row["full_p50_ns"],
+                    E15_MAX_ROW_DELTA_RATIO * 100,
+                )
+            )
+
+    first, last = rows[0], rows[-1]
+    size_growth = last["objects"] / max(first["objects"], 1)
+    restart_growth = last["restart_p50_ns"] / max(first["restart_p50_ns"], 1)
+    if restart_growth > E15_MAX_RESTART_GROWTH:
+        sys.exit(
+            "FAIL: E15 warm restart p50 grew {:.2f}x over a {:.0f}x object "
+            "growth (> {:.1f}x cap — restart is no longer O(Δ))".format(
+                restart_growth, size_growth, E15_MAX_RESTART_GROWTH
+            )
+        )
+    if last["delta_ratio"] > E15_MAX_DELTA_RATIO:
+        sys.exit(
+            "FAIL: E15 delta checkpoint at {} objects costs {:.1f}% of a full "
+            "rebase (> {:.0f}% cap — checkpointing is no longer O(Δ))".format(
+                last["objects"],
+                last["delta_ratio"] * 100,
+                E15_MAX_DELTA_RATIO * 100,
+            )
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e15_baseline.json")
+    baseline = load(baseline_path)
+    if e15["seed"] == baseline.get("seed"):
+        recorded = baseline_metric(baseline, baseline_path, "restart_p50_ns_largest")
+        ceiling = recorded * E15_REGRESSION_CEILING
+        measured = last["restart_p50_ns"]
+        if measured > ceiling:
+            sys.exit(
+                "FAIL: E15 warm-restart latency regressed >2x: {:.0f} ns > "
+                "ceiling {:.0f} ns (baseline {:.0f}, see "
+                "scripts/e15_baseline.json)".format(measured, ceiling, recorded)
+            )
+        print(
+            "OK: E15 durability ({} sizes, restart grew {:.2f}x over {:.0f}x "
+            "objects, final delta/full {:.1f}%, restart p50 {:.0f} ns at the "
+            "largest size, fingerprints match)".format(
+                len(rows),
+                restart_growth,
+                size_growth,
+                last["delta_ratio"] * 100,
+                measured,
+            )
+        )
+    else:
+        print(
+            "OK: E15 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e15["seed"]
             )
         )
 

@@ -5,9 +5,12 @@
 //!
 //! The workload interleaves ≥200 random ops with checkpoints and
 //! journal syncs. Every content write those persistence calls issue
-//! against the backup file system is an injectable point (a group
-//! checkpoint stages four files, a journal sync stages one; the
-//! `rename` commits are metadata-only and cannot tear). A preliminary
+//! against the backup file system is an injectable point (the base
+//! checkpoint stages four files, a delta checkpoint stages the sealed
+//! tail segment plus the delta record plus the manifest, a journal
+//! sync stages the open segment and the manifest plus one file per
+//! `SEG_CAP` entries sealed; the `rename` commits are metadata-only
+//! and cannot tear). A preliminary
 //! pass with an empty — purely counting — [`FaultPlan`] discovers the
 //! points and records the expected fingerprint at every commit
 //! boundary; the matrix then reruns the identical stream once per
@@ -163,20 +166,28 @@ fn step(en: &mut Engine, rng: &mut SplitMix64, flow: &hybrid::StandardFlow, w: &
 /// One persistence call in the schedule, between batches of ops.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Commit {
-    /// [`Engine::checkpoint_to`] — stages 4 files (4 injectable points).
+    /// [`Engine::checkpoint`] — a full base image the first time, an
+    /// O(Δ) delta checkpoint afterwards.
     Checkpoint,
-    /// [`Engine::sync_journal`] — stages 1 file (1 injectable point).
+    /// [`Engine::sync_journal`] — rewrites the open segment and the
+    /// manifest, sealing one immutable segment per `SEG_CAP = 64`
+    /// entries outgrown.
     Sync,
 }
 
-/// Ops between persistence calls, then the calls themselves: 220 ops,
-/// 5 commits, 4+1+1+4+1 = 11 injectable content writes.
-const SCHEDULE: &[(usize, Commit)] = &[
-    (70, Commit::Checkpoint),
-    (40, Commit::Sync),
-    (40, Commit::Sync),
-    (40, Commit::Checkpoint),
-    (30, Commit::Sync),
+/// Ops between persistence calls, the call itself, and the injectable
+/// content writes it stages: 220 ops, 5 commits, 4+2+3+3+2 = 14
+/// points. The base checkpoint stages the three images plus the
+/// manifest; the first sync holds 40 entries in the open segment (2
+/// writes); the second has outgrown the 64-entry cap and seals one
+/// segment (3); the delta checkpoint seals the 56-entry tail and adds
+/// the delta record plus the manifest (3); the last sync is 2 again.
+const SCHEDULE: &[(usize, Commit, u64)] = &[
+    (70, Commit::Checkpoint, 4),
+    (40, Commit::Sync, 2),
+    (40, Commit::Sync, 3),
+    (40, Commit::Checkpoint, 3),
+    (30, Commit::Sync, 2),
 ];
 
 const STREAM_SEED: u64 = 0x0C4A_540F_1995_0042;
@@ -192,12 +203,12 @@ fn run_schedule(
     let dir = VfsPath::parse(DIR).unwrap();
     let mut rng = SplitMix64::new(STREAM_SEED);
     let (mut en, flow, mut world) = bootstrap();
-    for (idx, &(ops, commit)) in SCHEDULE.iter().enumerate() {
+    for (idx, &(ops, commit, _)) in SCHEDULE.iter().enumerate() {
         for _ in 0..ops {
             step(&mut en, &mut rng, &flow, &mut world);
         }
         let result = match commit {
-            Commit::Checkpoint => en.checkpoint_to(backup, &dir),
+            Commit::Checkpoint => en.checkpoint(backup, &dir),
             Commit::Sync => en.sync_journal(backup, &dir),
         };
         match result {
@@ -208,21 +219,13 @@ fn run_schedule(
     (en, None)
 }
 
-/// Injectable content writes each commit kind issues.
-fn writes_of(commit: Commit) -> u64 {
-    match commit {
-        Commit::Checkpoint => 4,
-        Commit::Sync => 1,
-    }
-}
-
 /// The index of the last commit that completes *before* the commit
 /// containing injectable write `k` (1-based), or `None` if `k` lands
 /// in the very first commit.
 fn boundary_before(k: u64) -> Option<usize> {
     let mut seen = 0;
-    for (idx, &(_, commit)) in SCHEDULE.iter().enumerate() {
-        seen += writes_of(commit);
+    for (idx, &(_, _, writes)) in SCHEDULE.iter().enumerate() {
+        seen += writes;
         if k <= seen {
             return idx.checked_sub(1);
         }
@@ -237,7 +240,7 @@ fn boundary_before(k: u64) -> Option<usize> {
 #[test]
 fn every_crash_point_restores_to_a_commit_boundary() {
     let dir = VfsPath::parse(DIR).unwrap();
-    let expected_points: u64 = SCHEDULE.iter().map(|&(_, c)| writes_of(c)).sum();
+    let expected_points: u64 = SCHEDULE.iter().map(|&(_, _, writes)| writes).sum();
 
     // Clean pass: count injectable points, snapshot every boundary.
     let mut boundaries: Vec<Vfs> = Vec::new();
@@ -250,7 +253,7 @@ fn every_crash_point_restores_to_a_commit_boundary() {
     assert_eq!(
         stats.writes_seen,
         expected_points,
-        "schedule arithmetic out of date: {} commits saw {} content writes",
+        "schedule write arithmetic out of date: {} commits saw {} content writes",
         SCHEDULE.len(),
         stats.writes_seen
     );
@@ -319,7 +322,7 @@ fn quota_exhaustion_aborts_the_checkpoint_and_a_retry_recovers() {
     }
     let mut backup = Vfs::new();
     backup.arm_faults(FaultPlan::new(1).quota(64));
-    let err = en.checkpoint_to(&mut backup, &dir).unwrap_err();
+    let err = en.checkpoint(&mut backup, &dir).unwrap_err();
     assert!(
         matches!(err, HybridError::Vfs(VfsError::QuotaExceeded(_))),
         "expected quota error, got {err:?}"
@@ -327,7 +330,7 @@ fn quota_exhaustion_aborts_the_checkpoint_and_a_retry_recovers() {
     backup.disarm_faults();
     // The journal tail survived the failed checkpoint, so the retry
     // plus restore reproduces the live engine exactly.
-    en.checkpoint_to(&mut backup, &dir).unwrap();
+    en.checkpoint(&mut backup, &dir).unwrap();
     let restored = Engine::restore_from(&mut backup, &dir).unwrap();
     assert_eq!(restored.seq(), en.seq());
     assert_eq!(
@@ -347,13 +350,14 @@ fn transient_read_faults_fail_the_restore_then_a_retry_succeeds() {
         step(&mut en, &mut rng, &flow, &mut world);
     }
     let mut backup = Vfs::new();
-    en.checkpoint_to(&mut backup, &dir).unwrap();
+    en.checkpoint(&mut backup, &dir).unwrap();
     for _ in 0..30 {
         step(&mut en, &mut rng, &flow, &mut world);
     }
     en.sync_journal(&mut backup, &dir).unwrap();
 
-    // Restore reads meta, fs image, oms image, journal — fail each.
+    // Restore reads the manifest, the three images, and the open
+    // segment — fail each of the first four.
     for n in 1..=4 {
         backup.arm_faults(FaultPlan::new(n).fail_read(n));
         let err = Engine::restore_from(&mut backup, &dir).unwrap_err();
@@ -373,21 +377,22 @@ fn transient_read_faults_fail_the_restore_then_a_retry_succeeds() {
     );
 }
 
-/// Satellite regression: a journal whose final line was hand-truncated
-/// mid-entry is rejected by `restore_from` with the typed
-/// `TornJournal` error, and `recover_from` restarts by dropping only
-/// the torn suffix — every complete entry still replays.
+/// Satellite regression: a journal segment whose final line was
+/// hand-truncated mid-entry is rejected by `restore_from` with the
+/// typed `TornJournal` error, and `recover_from` restarts by dropping
+/// only the torn suffix — every complete entry still replays, and the
+/// report names the torn segment and the byte offset of the fragment.
 #[test]
 fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
     let dir = VfsPath::parse(DIR).unwrap();
-    let journal_log = dir.join("journal.log").unwrap();
+    let open_seg = dir.join("seg-1.log").unwrap();
     let mut rng = SplitMix64::new(11);
     let (mut en, flow, mut world) = bootstrap();
     for _ in 0..40 {
         step(&mut en, &mut rng, &flow, &mut world);
     }
     let mut backup = Vfs::new();
-    en.checkpoint_to(&mut backup, &dir).unwrap();
+    en.checkpoint(&mut backup, &dir).unwrap();
     let seq_at_checkpoint = en.seq();
     for _ in 0..25 {
         step(&mut en, &mut rng, &flow, &mut world);
@@ -397,10 +402,14 @@ fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
     assert!(tail_entries >= 2, "need a real tail to truncate");
 
     // Tear the last entry by hand: drop its newline and final bytes.
-    let bytes = backup.read(&journal_log).unwrap().to_vec();
-    backup
-        .write(&journal_log, bytes[..bytes.len() - 4].to_vec())
+    let bytes = backup.read(&open_seg).unwrap().to_vec();
+    let truncated = bytes[..bytes.len() - 4].to_vec();
+    let expect_offset = truncated
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
         .unwrap();
+    backup.write(&open_seg, truncated).unwrap();
 
     let err = Engine::restore_from(&mut backup, &dir).unwrap_err();
     match &err {
@@ -416,6 +425,16 @@ fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
     assert_eq!(report.replayed as u64, tail_entries - 1);
     assert!(report.dropped_fragment.is_some());
     assert_eq!(
+        report.torn_segment.as_deref(),
+        Some("seg-1.log"),
+        "the report names the torn segment"
+    );
+    assert_eq!(
+        report.torn_offset,
+        Some(expect_offset),
+        "the report gives the byte offset of the torn fragment"
+    );
+    assert_eq!(
         recovered.seq(),
         en.seq() - 1,
         "recovery drops exactly the torn final entry"
@@ -425,11 +444,164 @@ fn hand_truncated_journal_is_rejected_typed_and_recovered_minus_the_tail() {
     en.sync_journal(&mut backup, &dir).unwrap();
     let (full, report) = Engine::recover_from(&mut backup, &dir).unwrap();
     assert_eq!(report.dropped_fragment, None);
+    assert_eq!((report.torn_segment, report.torn_offset), (None, None));
     assert_eq!(report.replayed as u64, en.seq() - seq_at_checkpoint);
     assert_eq!(
         full.state_fingerprint().unwrap(),
         en.state_fingerprint().unwrap()
     );
+}
+
+/// A torn write while staging the delta-checkpoint record aborts the
+/// whole group commit: the chain on disk stays exactly at the last
+/// synced boundary, recovery lands there, and a retried checkpoint
+/// then commits the delta cleanly.
+#[test]
+fn torn_delta_checkpoint_write_recovers_to_the_synced_boundary() {
+    let dir = VfsPath::parse(DIR).unwrap();
+    let mut rng = SplitMix64::new(13);
+    let (mut en, flow, mut world) = bootstrap();
+    for _ in 0..40 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    let mut backup = Vfs::new();
+    en.checkpoint(&mut backup, &dir).unwrap();
+    for _ in 0..30 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    en.sync_journal(&mut backup, &dir).unwrap();
+    let synced_boundary = {
+        let mut snap = backup.clone();
+        Engine::restore_from(&mut snap, &dir)
+            .unwrap()
+            .state_fingerprint()
+            .unwrap()
+    };
+    let seq_at_sync = en.seq();
+
+    // Ten more (unsynced) ops, then a delta checkpoint whose delta
+    // record write is torn mid-staging.
+    for _ in 0..10 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    backup.arm_faults(
+        FaultPlan::new(0x0DE1_7A01)
+            .torn_write(1)
+            .only_paths_containing("delta-"),
+    );
+    let err = en.checkpoint(&mut backup, &dir).unwrap_err();
+    assert!(
+        err.to_string().contains("injected write fault"),
+        "expected the injected fault, got {err:?}"
+    );
+    let stats = backup.disarm_faults().unwrap().stats();
+    assert_eq!(stats.faults_fired, 1);
+
+    // Nothing of the aborted group was renamed into place: recovery
+    // lands exactly on the synced boundary.
+    let (recovered, report) = Engine::recover_from(&mut backup, &dir).unwrap();
+    assert_eq!(recovered.seq(), seq_at_sync);
+    assert_eq!(report.chain_break, None);
+    assert_eq!(recovered.state_fingerprint().unwrap(), synced_boundary);
+
+    // The live engine kept its journal tail; the retry commits the
+    // delta and restores to the live state.
+    en.checkpoint(&mut backup, &dir).unwrap();
+    let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+    assert_eq!(
+        restored.state_fingerprint().unwrap(),
+        en.state_fingerprint().unwrap()
+    );
+}
+
+/// Retired segment files that vanish before the manifest stops listing
+/// them — the window a crashed compaction leaves behind — must not
+/// affect recovery: retired segments are never replayed, and a fresh
+/// `compact` finishes the cleanup.
+#[test]
+fn crash_mid_compaction_leaves_a_recoverable_chain() {
+    let dir = VfsPath::parse(DIR).unwrap();
+    let mut rng = SplitMix64::new(17);
+    let (mut en, flow, mut world) = bootstrap();
+    for _ in 0..30 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    let mut backup = Vfs::new();
+    en.checkpoint(&mut backup, &dir).unwrap();
+    for _ in 0..40 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    en.sync_journal(&mut backup, &dir).unwrap();
+    // The delta checkpoint seals the tail into a retired segment.
+    en.checkpoint(&mut backup, &dir).unwrap();
+    // Fingerprinting walks the live file system and advances its cost
+    // meter, so capture the reference once.
+    let live_fp = en.state_fingerprint().unwrap();
+
+    let retired = dir.join("seg-1.log").unwrap();
+    assert!(backup.exists(&retired), "the sealed tail segment exists");
+    backup.remove_all(&retired).unwrap();
+
+    // The manifest still lists the retired segment, but recovery never
+    // reads it: the delta checkpoint covers those entries.
+    let restored = Engine::restore_from(&mut backup, &dir).unwrap();
+    assert_eq!(restored.state_fingerprint().unwrap(), live_fp);
+
+    // A recovered engine can finish the compaction.
+    let (mut recovered, _) = Engine::recover_from(&mut backup, &dir).unwrap();
+    recovered.compact(&mut backup, &dir).unwrap();
+    let after = Engine::restore_from(&mut backup, &dir).unwrap();
+    assert_eq!(after.state_fingerprint().unwrap(), live_fp);
+}
+
+/// A manifest whose live (unretired) sealed segment is missing on disk
+/// is real chain damage: the strict restore reports it typed, and
+/// lenient recovery stops at the last boundary the intact prefix
+/// reaches instead of skipping entries.
+#[test]
+fn manifest_pointing_at_a_missing_live_segment_recovers_to_the_last_boundary() {
+    let dir = VfsPath::parse(DIR).unwrap();
+    let mut rng = SplitMix64::new(19);
+    let (mut en, flow, mut world) = bootstrap();
+    for _ in 0..20 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    let mut backup = Vfs::new();
+    en.checkpoint(&mut backup, &dir).unwrap();
+    let base_boundary = {
+        let mut snap = backup.clone();
+        Engine::restore_from(&mut snap, &dir)
+            .unwrap()
+            .state_fingerprint()
+            .unwrap()
+    };
+    let seq_at_base = en.seq();
+    // 70 ops outgrow the 64-entry cap: the sync seals seg-1 (live) and
+    // keeps the remainder in open seg-2.
+    for _ in 0..70 {
+        step(&mut en, &mut rng, &flow, &mut world);
+    }
+    en.sync_journal(&mut backup, &dir).unwrap();
+    let sealed = dir.join("seg-1.log").unwrap();
+    assert!(backup.exists(&sealed), "the sync sealed a live segment");
+    backup.remove_all(&sealed).unwrap();
+
+    let err = Engine::restore_from(&mut backup, &dir).unwrap_err();
+    assert!(
+        matches!(err, HybridError::DeltaChain(_)),
+        "expected typed chain damage, got {err:?}"
+    );
+    assert_eq!(err.kind(), "delta-chain");
+
+    let (recovered, report) = Engine::recover_from(&mut backup, &dir).unwrap();
+    let break_msg = report.chain_break.expect("the break is reported");
+    assert!(
+        break_msg.contains("seg-1.log"),
+        "the break names the missing segment: {break_msg}"
+    );
+    assert_eq!(report.replayed, 0, "entries past the hole must not replay");
+    assert_eq!(recovered.seq(), seq_at_base);
+    assert_eq!(recovered.state_fingerprint().unwrap(), base_boundary);
 }
 
 // ---------------------------------------------------------------------------

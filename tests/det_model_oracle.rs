@@ -623,7 +623,7 @@ fn restored_engine_agrees_with_the_model() {
     }
     let mut backup = cad_vfs::Vfs::new();
     let dir = cad_vfs::VfsPath::parse("/backup/oracle").expect("path");
-    rig.en.checkpoint_to(&mut backup, &dir).expect("checkpoint");
+    rig.en.checkpoint(&mut backup, &dir).expect("checkpoint");
     let restored = Engine::restore_from(&mut backup, &dir).expect("restore");
     rig.en = restored;
     assert_eq!(rig.en.seq(), m.seq, "restored seq");

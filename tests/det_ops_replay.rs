@@ -188,7 +188,7 @@ fn random_op_streams_replay_to_the_live_state() {
 
         let mut backup = Vfs::new();
         let dir = VfsPath::parse("/backup/replay").unwrap();
-        en.checkpoint_to(&mut backup, &dir).unwrap();
+        en.checkpoint(&mut backup, &dir).unwrap();
 
         for _ in 0..100 {
             step(&mut en, &mut rng, &flow, &mut world);

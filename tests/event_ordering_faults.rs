@@ -266,7 +266,7 @@ fn a_failed_journal_sync_leaves_the_sinks_untouched() {
     let mut rig = bootstrap();
     let mut backup = Vfs::new();
     let dir = VfsPath::parse("/backup/sinks").unwrap();
-    rig.en.checkpoint_to(&mut backup, &dir).unwrap();
+    rig.en.checkpoint(&mut backup, &dir).unwrap();
     let mut rng = SplitMix64::new(0x000E_DE12);
     for _ in 0..40 {
         step(&mut rig, &mut rng);

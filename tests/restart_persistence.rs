@@ -41,7 +41,7 @@ fn checkpoint_and_replay_survive_a_power_cycle_in_both_staging_modes() {
         // Shutdown: everything lands on one backup disk.
         let mut backup = Vfs::new();
         let dir = VfsPath::parse("/backup/site-a").unwrap();
-        en.checkpoint_to(&mut backup, &dir).unwrap();
+        en.checkpoint(&mut backup, &dir).unwrap();
 
         // Day 2 before the crash: more work lands in the journal tail —
         // including an op that fails, whose partial effects (desktop
