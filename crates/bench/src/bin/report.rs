@@ -1,16 +1,16 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e15|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e16|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
 //! E12 session benchmark, the E13 publish sweep, the E14 shard
-//! scaling sweep and the E15 durability sweep, and writes the
-//! machine-readable `BENCH_E9.json` / `BENCH_E10.json` /
-//! `BENCH_E12.json` / `BENCH_E13.json` / `BENCH_E14.json` /
-//! `BENCH_E15.json` files at the repository root, seeding the
-//! performance trajectory.
+//! scaling sweep, the E15 durability sweep and the E16 wire-protocol
+//! flood, and writes the machine-readable `BENCH_E9.json` /
+//! `BENCH_E10.json` / `BENCH_E12.json` / `BENCH_E13.json` /
+//! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` files at
+//! the repository root, seeding the performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
 //! recorded in both JSON files.
@@ -18,8 +18,9 @@
 use std::env;
 
 use bench::{
-    e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e15_durability, e1_mapping,
-    e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow, e9_performance,
+    e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e15_durability, e16_net,
+    e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow,
+    e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -221,6 +222,22 @@ fn print_verdicts() {
         ),
     });
 
+    let e16 = e16_net::run(42);
+    rows.push(Row {
+        exp: "E16",
+        claim: "the wire front-end serves 1000 concurrent clients with typed, complete replies",
+        holds: e16.holds(),
+        measured: format!(
+            "{}/{} ops committed over {} clients, {:.0} ops/s, p99 {:.1}ms, {} panics",
+            e16.committed,
+            e16.total_ops,
+            e16.clients,
+            e16.ops_per_sec(),
+            e16.p99_ns as f64 / 1e6,
+            e16.panics
+        ),
+    });
+
     println!("verdicts — paper claims vs this run");
     println!("{:-<100}", "");
     for row in &rows {
@@ -325,7 +342,7 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let r = e12_sessions::run(seed);
     println!("{r}");
     let e12 = format!(
-        "{{\"seed\": {seed}, \"sessions\": {{\"writers\": {}, \"readers\": {}, \"total_reads\": {}, \"single_session_read_ns\": {}, \"concurrent_read_ns\": {}, \"read_speedup\": {:.2}, \"read_ops_per_sec\": {:.0}, \"write_ops\": {}, \"write_ns\": {}, \"write_ops_per_sec\": {:.0}, \"batches\": {}, \"max_batch\": {}, \"mean_batch\": {:.2}, \"writer_waits\": {}, \"reader_waits\": {}, \"reader_materializations\": {}, \"deterministic_zero_copy\": {}, \"deterministic_deep_copy\": {}}}}}\n",
+        "{{\"seed\": {seed}, \"sessions\": {{\"writers\": {}, \"readers\": {}, \"total_reads\": {}, \"single_session_read_ns\": {}, \"concurrent_read_ns\": {}, \"read_speedup\": {:.2}, \"read_ops_per_sec\": {:.0}, \"write_ops\": {}, \"write_ns\": {}, \"write_ops_per_sec\": {:.0}, \"batches\": {}, \"max_batch\": {}, \"mean_batch\": {:.2}, \"writer_waits\": {}, \"reader_waits\": {}, \"max_queue_depth\": {}, \"reader_materializations\": {}, \"deterministic_zero_copy\": {}, \"deterministic_deep_copy\": {}}}}}\n",
         r.writers,
         r.readers,
         r.total_reads,
@@ -341,6 +358,7 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
         r.mean_batch(),
         r.writer_waits,
         r.reader_waits,
+        r.max_queue_depth,
         r.reader_materializations,
         r.deterministic_zero_copy,
         r.deterministic_deep_copy,
@@ -442,6 +460,34 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e15_path = format!("{root}/BENCH_E15.json");
     std::fs::write(&e15_path, e15)?;
     println!("wrote {e15_path}");
+
+    let r = e16_net::run(seed);
+    println!("{r}");
+    let e16 = format!(
+        "{{\"seed\": {seed}, \"net\": {{\"clients\": {}, \"ops_per_client\": {}, \"total_ops\": {}, \"committed\": {}, \"failed\": {}, \"busy\": {}, \"wall_ns\": {}, \"ops_per_sec\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"handshakes\": {}, \"frames_in\": {}, \"frames_out\": {}, \"timeouts\": {}, \"protocol_errors\": {}, \"panics\": {}, \"max_queue_depth\": {}, \"max_batch\": {}}}}}\n",
+        r.clients,
+        r.ops_per_client,
+        r.total_ops,
+        r.committed,
+        r.failed,
+        r.busy,
+        r.wall_ns,
+        r.ops_per_sec(),
+        r.p50_ns,
+        r.p99_ns,
+        r.max_ns,
+        r.handshakes,
+        r.frames_in,
+        r.frames_out,
+        r.timeouts,
+        r.protocol_errors,
+        r.panics,
+        r.max_queue_depth,
+        r.max_batch,
+    );
+    let e16_path = format!("{root}/BENCH_E16.json");
+    std::fs::write(&e16_path, e16)?;
+    println!("wrote {e16_path}");
     Ok(())
 }
 
@@ -546,9 +592,13 @@ fn main() {
         println!("{}", e15_durability::run());
         printed = true;
     }
+    if want("e16") {
+        println!("{}", e16_net::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e15 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e16 or no argument for all");
         std::process::exit(2);
     }
 }

@@ -65,6 +65,9 @@ pub struct E12Report {
     pub writer_waits: u64,
     /// Snapshot reads that found the publish lock briefly held.
     pub reader_waits: u64,
+    /// Deepest the pending write queue got during the mixed phase
+    /// (the gauge the network front-end's BUSY threshold samples).
+    pub max_queue_depth: u64,
     /// Blob bytes materialized by the reader threads (must be 0).
     pub reader_materializations: u64,
     /// Service run reproduced the serial fingerprint (zero-copy mode).
@@ -133,8 +136,8 @@ impl fmt::Display for E12Report {
         )?;
         writeln!(
             f,
-            "  waits: writers parked {} times, readers brushed the publish lock {} times",
-            self.writer_waits, self.reader_waits
+            "  waits: writers parked {} times, readers brushed the publish lock {} times, queue peaked at {}",
+            self.writer_waits, self.reader_waits, self.max_queue_depth
         )?;
         write!(
             f,
@@ -376,6 +379,7 @@ pub fn run_scaled(writers: usize, readers: usize, gates: usize, seed: u64) -> E1
         max_batch: after.max_batch,
         writer_waits: after.writer_waits - before.writer_waits,
         reader_waits: after.reader_waits,
+        max_queue_depth: after.max_queue_depth,
         reader_materializations,
         deterministic_zero_copy: determinism_holds(StagingMode::ZeroCopy, gates, 6, seed),
         deterministic_deep_copy: determinism_holds(StagingMode::DeepCopy, gates, 6, seed),

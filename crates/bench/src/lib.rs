@@ -19,6 +19,7 @@
 //! | [`e13_publish`] | O(Δ) snapshot publication of the persistent CoW store |
 //! | [`e14_shards`] | write-path scaling of the partitioned (sharded) service |
 //! | [`e15_durability`] | incremental O(Δ) durability: delta checkpoints, warm restarts |
+//! | [`e16_net`] | wire-protocol front-end under 1000 concurrent TCP clients |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -33,6 +34,7 @@ pub mod e12_sessions;
 pub mod e13_publish;
 pub mod e14_shards;
 pub mod e15_durability;
+pub mod e16_net;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

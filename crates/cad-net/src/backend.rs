@@ -1,0 +1,71 @@
+//! The engine-side surface the server runs against.
+//!
+//! The protocol front-end is backend-agnostic: anything that can
+//! resolve desktop user names, execute ops and report its write-queue
+//! pressure can sit behind it. The two production implementations are
+//! the single-engine [`Service`] and the partitioned
+//! [`ShardedService`] — the server code is identical for both.
+
+use hybrid::{Event, HybridResult, Op, Service, ShardedService};
+use jcf::UserId;
+
+/// An op-executing engine the server can front.
+pub trait Backend: Send + Sync + 'static {
+    /// The built-in framework administrator.
+    fn admin_user(&self) -> UserId;
+
+    /// Resolves a registered desktop user name.
+    fn resolve_user(&self, name: &str) -> Option<UserId>;
+
+    /// Executes one op through the write path, returning the commit
+    /// sequence and typed event.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the op returns on the engine.
+    fn execute(&self, op: Op) -> HybridResult<(u64, Event)>;
+
+    /// Ops currently queued behind the write path — the signal the
+    /// server's `busy` threshold samples.
+    fn queue_depth(&self) -> u64;
+}
+
+impl Backend for Service {
+    fn admin_user(&self) -> UserId {
+        self.admin()
+    }
+
+    fn resolve_user(&self, name: &str) -> Option<UserId> {
+        self.snapshot().jcf().user_by_name(name)
+    }
+
+    fn execute(&self, op: Op) -> HybridResult<(u64, Event)> {
+        self.submit(op)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.queue_depth()
+    }
+}
+
+impl Backend for ShardedService {
+    fn admin_user(&self) -> UserId {
+        self.admin()
+    }
+
+    /// Users are broadcast entities: every shard applies the same
+    /// `add-user` stream in lane-0 commit order, so shard 0's local
+    /// ids are valid on every shard (bootstrap passthrough in the
+    /// router's `local_on`).
+    fn resolve_user(&self, name: &str) -> Option<UserId> {
+        self.view().shard(0).jcf().user_by_name(name)
+    }
+
+    fn execute(&self, op: Op) -> HybridResult<(u64, Event)> {
+        self.submit(op)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.queue_depth()
+    }
+}

@@ -1,0 +1,126 @@
+//! The session identity policy: which ops a wire session may submit.
+//!
+//! The desktop visibility model already scopes every *read* to the
+//! acting user; the wire front-end extends the same discipline to
+//! *writes*. A non-administrator session may only submit ops that act
+//! as the user it authenticated as in the handshake; ops with no
+//! embedded actor are administrative (desktop registration, project
+//! structure, feature switches, out-of-band FMCAD surgery) and need
+//! the administrator session.
+//!
+//! The classification match is deliberately wildcard-free: adding an
+//! [`Op`] variant fails compilation here until its identity rule is
+//! decided, exactly like the codec's exhaustiveness guard.
+
+use hybrid::Op;
+use jcf::UserId;
+
+/// The identity an op embeds, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpActor<'a> {
+    /// No embedded identity: administrative ops.
+    Admin,
+    /// A desktop user id (`user`/`actor` field).
+    Id(UserId),
+    /// An FMCAD-side user *name* (the out-of-band `fmcad-*` family).
+    Name(&'a str),
+}
+
+/// Classifies an op's embedded identity.
+pub fn op_actor(op: &Op) -> OpActor<'_> {
+    match op {
+        // Desktop/world administration: no embedded identity.
+        Op::AddUser { .. }
+        | Op::RegisterViewtype { .. }
+        | Op::RegisterTool { .. }
+        | Op::DefineStandardFlow { .. }
+        | Op::DefineQualityGatedFlow { .. }
+        | Op::CreateProject { .. }
+        | Op::CreateCell { .. }
+        | Op::CreateCellVersion { .. }
+        | Op::MarkEquivalent { .. }
+        | Op::SetFutureFeatures { .. }
+        | Op::SetStagingMode { .. }
+        | Op::FmcadCreateLibrary { .. }
+        | Op::FmcadCreateCell { .. }
+        | Op::FmcadCreateCellview { .. }
+        | Op::FmcadDirectWrite { .. } => OpActor::Admin,
+        // Manager/designer ops embedding a desktop user id.
+        Op::AddTeam { actor, .. }
+        | Op::AddTeamMember { actor, .. }
+        | Op::DefineFlow { actor, .. }
+        | Op::AddActivity { actor, .. }
+        | Op::FreezeFlow { actor, .. }
+        | Op::ShareCell { actor, .. }
+        | Op::ImportLibrary { actor, .. } => OpActor::Id(*actor),
+        Op::DeriveVariant { user, .. }
+        | Op::DeclareCompOf { user, .. }
+        | Op::PromoteVariant { user, .. }
+        | Op::Reserve { user, .. }
+        | Op::Publish { user, .. }
+        | Op::CreateDesignObject { user, .. }
+        | Op::AddDesignObjectVersion { user, .. }
+        | Op::RunActivity { user, .. }
+        | Op::Browse { user, .. }
+        | Op::ReadDesignData { user, .. }
+        | Op::CreateConfiguration { user, .. }
+        | Op::CreateConfigVersion { user, .. }
+        | Op::ExportConfig { user, .. }
+        | Op::RunLvs { user, .. } => OpActor::Id(*user),
+        // Out-of-band FMCAD ops embedding an FMCAD-side user name.
+        Op::FmcadCheckout { user, .. }
+        | Op::FmcadCheckin { user, .. }
+        | Op::FmcadPurgeVersion { user, .. } => OpActor::Name(user),
+    }
+}
+
+/// Whether a session authenticated as `(user, user_name)` may submit
+/// `op`. Administrator sessions may submit anything.
+pub fn permits(admin: bool, user: UserId, user_name: &str, op: &Op) -> bool {
+    if admin {
+        return true;
+    }
+    match op_actor(op) {
+        OpActor::Admin => false,
+        OpActor::Id(embedded) => embedded == user,
+        OpActor::Name(embedded) => embedded == user_name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_admins_are_pinned_to_their_own_identity() {
+        let me = UserId::from_raw(3);
+        let other = UserId::from_raw(4);
+        let mine = Op::Reserve {
+            user: me,
+            cv: jcf::CellVersionId::from_raw(1),
+        };
+        let theirs = Op::Reserve {
+            user: other,
+            cv: jcf::CellVersionId::from_raw(1),
+        };
+        let admin_only = Op::CreateProject { name: "p".into() };
+        assert!(permits(false, me, "me", &mine));
+        assert!(!permits(false, me, "me", &theirs));
+        assert!(!permits(false, me, "me", &admin_only));
+        assert!(permits(true, me, "me", &theirs));
+        assert!(permits(true, me, "me", &admin_only));
+    }
+
+    #[test]
+    fn fmcad_side_ops_match_by_name() {
+        let me = UserId::from_raw(3);
+        let op = Op::FmcadCheckout {
+            user: "me".into(),
+            library: "l".into(),
+            cell: "c".into(),
+            view: "v".into(),
+        };
+        assert!(permits(false, me, "me", &op));
+        assert!(!permits(false, me, "someone-else", &op));
+    }
+}

@@ -1,0 +1,100 @@
+//! Line-level helpers of the wire protocol.
+//!
+//! Protocol messages use the same one-line `kind|field=value|...`
+//! shape as the hybrid crate's op journal, with free-form strings
+//! hex-armoured so a message is always a single line of printable
+//! ASCII. The helpers are deliberately tiny and self-contained — the
+//! framing layer must not depend on the engine's internal codec.
+
+/// Lower-case hex of a byte string.
+pub(crate) fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes lower/upper-case hex; `None` on odd length or bad digits.
+pub(crate) fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Hex-armours a string field.
+pub(crate) fn enc_str(s: &str) -> String {
+    hex(s.as_bytes())
+}
+
+/// A parsed `kind|k=v|...` message with typed field accessors.
+pub(crate) struct Fields<'a> {
+    pub(crate) kind: &'a str,
+    fields: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    pub(crate) fn parse(line: &'a str) -> Result<Fields<'a>, String> {
+        if line.is_empty() {
+            return Err("empty message".to_owned());
+        }
+        let mut parts = line.split('|');
+        let kind = parts.next().expect("split yields at least one part");
+        let mut fields = Vec::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            fields.push((k, v));
+        }
+        Ok(Fields { kind, fields })
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Result<&'a str, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing field {name:?} in {:?}", self.kind))
+    }
+
+    pub(crate) fn str(&self, name: &str) -> Result<String, String> {
+        let raw = self.get(name)?;
+        String::from_utf8(unhex(raw).ok_or_else(|| format!("bad hex in {name:?}"))?)
+            .map_err(|_| format!("field {name:?} is not utf-8"))
+    }
+
+    pub(crate) fn u64(&self, name: &str) -> Result<u64, String> {
+        self.get(name)?
+            .parse()
+            .map_err(|_| format!("bad number in {name:?}"))
+    }
+
+    pub(crate) fn u32(&self, name: &str) -> Result<u32, String> {
+        self.get(name)?
+            .parse()
+            .map_err(|_| format!("bad number in {name:?}"))
+    }
+
+    pub(crate) fn bool(&self, name: &str) -> Result<bool, String> {
+        self.get(name)?
+            .parse()
+            .map_err(|_| format!("bad bool in {name:?}"))
+    }
+}
+
+/// Assembles a `kind|k=v|...` message from encoded fields.
+pub(crate) fn assemble(kind: &str, fields: &[(&str, String)]) -> String {
+    let mut line = kind.to_owned();
+    for (k, v) in fields {
+        line.push('|');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(v);
+    }
+    line
+}

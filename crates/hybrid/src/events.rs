@@ -168,6 +168,298 @@ impl Event {
     }
 }
 
+// --- wire codec -------------------------------------------------------------
+//
+// The network front-end ships each committed event back to the client
+// in the same one-line `kind|field=value` form as the ops journal, so
+// a wire response is exactly one hex-armoured line inside one frame.
+
+use crate::codec::{assemble, enc_blob, enc_ids, enc_str, Fields};
+use cad_tools::LvsViolation;
+
+fn enc_manifest(m: &ExportManifest) -> Vec<(&'static str, String)> {
+    let files = m
+        .files
+        .iter()
+        .map(|(name, bytes)| format!("{}:{bytes}", enc_str(name)))
+        .collect::<Vec<_>>()
+        .join(";");
+    vec![("files", files), ("total", m.total_bytes.to_string())]
+}
+
+fn parse_manifest(f: &Fields<'_>) -> Result<ExportManifest, String> {
+    let raw = f.get("files")?;
+    let mut files = Vec::new();
+    if !raw.is_empty() {
+        for pair in raw.split(';') {
+            let (name, bytes) = pair
+                .split_once(':')
+                .ok_or_else(|| "bad manifest entry".to_owned())?;
+            let name = String::from_utf8(
+                crate::codec::unhex(name).ok_or_else(|| "bad manifest name hex".to_owned())?,
+            )
+            .map_err(|_| "manifest name is not utf-8".to_owned())?;
+            let bytes: u64 = bytes
+                .parse()
+                .map_err(|_| "bad manifest byte count".to_owned())?;
+            files.push((name, bytes));
+        }
+    }
+    Ok(ExportManifest {
+        files,
+        total_bytes: f.u64("total")?,
+    })
+}
+
+fn enc_lvs(report: &LvsReport) -> Vec<(&'static str, String)> {
+    let violations = report
+        .violations
+        .iter()
+        .map(|v| match v {
+            LvsViolation::MissingNet { net } => format!("missing:{}", enc_str(net)),
+            LvsViolation::PhantomNet { net } => format!("phantom:{}", enc_str(net)),
+            LvsViolation::InstanceMismatch {
+                cell,
+                schematic,
+                layout,
+            } => format!("instance:{}:{schematic}:{layout}", enc_str(cell)),
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    vec![
+        ("matched", report.matched_nets.to_string()),
+        ("violations", violations),
+    ]
+}
+
+fn parse_lvs(f: &Fields<'_>) -> Result<LvsReport, String> {
+    let dec_str = |raw: &str| -> Result<String, String> {
+        String::from_utf8(crate::codec::unhex(raw).ok_or_else(|| "bad lvs hex".to_owned())?)
+            .map_err(|_| "lvs name is not utf-8".to_owned())
+    };
+    let raw = f.get("violations")?;
+    let mut violations = Vec::new();
+    if !raw.is_empty() {
+        for entry in raw.split(';') {
+            let (tag, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| "bad lvs violation".to_owned())?;
+            violations.push(match tag {
+                "missing" => LvsViolation::MissingNet {
+                    net: dec_str(rest)?,
+                },
+                "phantom" => LvsViolation::PhantomNet {
+                    net: dec_str(rest)?,
+                },
+                "instance" => {
+                    let mut parts = rest.splitn(3, ':');
+                    let cell = dec_str(parts.next().ok_or_else(|| "bad lvs cell".to_owned())?)?;
+                    let schematic = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| "bad lvs instance count".to_owned())?;
+                    let layout = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| "bad lvs placement count".to_owned())?;
+                    LvsViolation::InstanceMismatch {
+                        cell,
+                        schematic,
+                        layout,
+                    }
+                }
+                other => return Err(format!("unknown lvs violation tag {other:?}")),
+            });
+        }
+    }
+    Ok(LvsReport {
+        violations,
+        matched_nets: f.usize("matched")?,
+    })
+}
+
+fn enc_standard_flow(flow: &StandardFlow) -> Vec<(&'static str, String)> {
+    vec![
+        ("flow", flow.flow.raw().to_string()),
+        ("enter_schematic", flow.enter_schematic.raw().to_string()),
+        ("enter_layout", flow.enter_layout.raw().to_string()),
+        ("simulate", flow.simulate.raw().to_string()),
+    ]
+}
+
+fn parse_standard_flow(f: &Fields<'_>) -> Result<StandardFlow, String> {
+    Ok(StandardFlow {
+        flow: f.id("flow", FlowId::from_raw)?,
+        enter_schematic: f.id("enter_schematic", ActivityId::from_raw)?,
+        enter_layout: f.id("enter_layout", ActivityId::from_raw)?,
+        simulate: f.id("simulate", ActivityId::from_raw)?,
+    })
+}
+
+impl Event {
+    /// Serialises the event into its one-line wire form
+    /// (`kind|field=value|...` with hex-armoured strings and payloads),
+    /// the response-side counterpart of [`Op::to_line`](crate::Op::to_line).
+    pub fn to_line(&self) -> String {
+        let mut f: Vec<(&str, String)> = Vec::new();
+        match self {
+            Event::UserAdded(id) => f.push(("id", id.raw().to_string())),
+            Event::TeamAdded(id) => f.push(("id", id.raw().to_string())),
+            Event::TeamMemberAdded(team, user) => {
+                f.push(("team", team.raw().to_string()));
+                f.push(("user", user.raw().to_string()));
+            }
+            Event::ViewtypeRegistered(id) => f.push(("id", id.raw().to_string())),
+            Event::ToolRegistered(id) => f.push(("id", id.raw().to_string())),
+            Event::StandardFlowDefined(flow) | Event::QualityGatedFlowDefined(flow) => {
+                f.extend(enc_standard_flow(flow));
+            }
+            Event::FlowDefined(id) => f.push(("id", id.raw().to_string())),
+            Event::ActivityAdded(id) => f.push(("id", id.raw().to_string())),
+            Event::FlowFrozen(id) => f.push(("id", id.raw().to_string())),
+            Event::ProjectCreated(id) => f.push(("id", id.raw().to_string())),
+            Event::CellCreated(id) => f.push(("id", id.raw().to_string())),
+            Event::CellVersionCreated(cv, variant) | Event::VariantPromoted(cv, variant) => {
+                f.push(("cv", cv.raw().to_string()));
+                f.push(("variant", variant.raw().to_string()));
+            }
+            Event::VariantDerived(id) => f.push(("id", id.raw().to_string())),
+            Event::CompOfDeclared(cv, child) => {
+                f.push(("cv", cv.raw().to_string()));
+                f.push(("child", child.raw().to_string()));
+            }
+            Event::CellShared(id) => f.push(("id", id.raw().to_string())),
+            Event::Reserved(id) => f.push(("id", id.raw().to_string())),
+            Event::Published(id) => f.push(("id", id.raw().to_string())),
+            Event::DesignObjectCreated(id) => f.push(("id", id.raw().to_string())),
+            Event::DovAdded(id) => f.push(("id", id.raw().to_string())),
+            Event::MarkedEquivalent(a, b) => {
+                f.push(("a", a.raw().to_string()));
+                f.push(("b", b.raw().to_string()));
+            }
+            Event::ActivityRun { dovs } => f.push(("dovs", enc_ids(dovs, DovId::raw))),
+            Event::Browsed { data } | Event::DesignDataRead { data } => {
+                f.push(("data", enc_blob(data)));
+            }
+            Event::ConfigurationCreated(id) => f.push(("id", id.raw().to_string())),
+            Event::ConfigVersionCreated(id) => f.push(("id", id.raw().to_string())),
+            Event::ConfigExported(manifest) => f.extend(enc_manifest(manifest)),
+            Event::LvsRun(report) => f.extend(enc_lvs(report)),
+            Event::FutureFeaturesSet
+            | Event::StagingModeSet
+            | Event::FmcadLibraryCreated
+            | Event::FmcadCellCreated
+            | Event::FmcadCellviewCreated
+            | Event::FmcadVersionPurged
+            | Event::FmcadFileWritten => {}
+            Event::LibraryImported(project, report) => {
+                f.push(("project", project.raw().to_string()));
+                f.push(("cells", report.cells.to_string()));
+                f.push(("design_objects", report.design_objects.to_string()));
+                f.push(("versions", report.versions.to_string()));
+                f.push(("bytes_copied", report.bytes_copied.to_string()));
+            }
+            Event::FmcadCheckedOut { data } => f.push(("data", enc_blob(data))),
+            Event::FmcadCheckedIn { version } => f.push(("version", version.to_string())),
+        }
+        assemble(self.kind_name(), &f)
+    }
+
+    /// Parses an event back from its [`Event::to_line`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::Journal`] for malformed lines.
+    pub fn parse_line(line: &str) -> Result<Event, HybridError> {
+        Self::parse_inner(line).map_err(HybridError::Journal)
+    }
+
+    fn parse_inner(line: &str) -> Result<Event, String> {
+        let f = Fields::parse(line)?;
+        let event = match f.kind {
+            "user-added" => Event::UserAdded(f.id("id", UserId::from_raw)?),
+            "team-added" => Event::TeamAdded(f.id("id", TeamId::from_raw)?),
+            "team-member-added" => Event::TeamMemberAdded(
+                f.id("team", TeamId::from_raw)?,
+                f.id("user", UserId::from_raw)?,
+            ),
+            "viewtype-registered" => Event::ViewtypeRegistered(f.id("id", ViewTypeId::from_raw)?),
+            "tool-registered" => Event::ToolRegistered(f.id("id", ToolId::from_raw)?),
+            "standard-flow-defined" => Event::StandardFlowDefined(parse_standard_flow(&f)?),
+            "quality-gated-flow-defined" => {
+                Event::QualityGatedFlowDefined(parse_standard_flow(&f)?)
+            }
+            "flow-defined" => Event::FlowDefined(f.id("id", FlowId::from_raw)?),
+            "activity-added" => Event::ActivityAdded(f.id("id", ActivityId::from_raw)?),
+            "flow-frozen" => Event::FlowFrozen(f.id("id", FlowId::from_raw)?),
+            "project-created" => Event::ProjectCreated(f.id("id", ProjectId::from_raw)?),
+            "cell-created" => Event::CellCreated(f.id("id", CellId::from_raw)?),
+            "cell-version-created" => Event::CellVersionCreated(
+                f.id("cv", CellVersionId::from_raw)?,
+                f.id("variant", VariantId::from_raw)?,
+            ),
+            "variant-derived" => Event::VariantDerived(f.id("id", VariantId::from_raw)?),
+            "comp-of-declared" => Event::CompOfDeclared(
+                f.id("cv", CellVersionId::from_raw)?,
+                f.id("child", CellId::from_raw)?,
+            ),
+            "cell-shared" => Event::CellShared(f.id("id", CellId::from_raw)?),
+            "variant-promoted" => Event::VariantPromoted(
+                f.id("cv", CellVersionId::from_raw)?,
+                f.id("variant", VariantId::from_raw)?,
+            ),
+            "reserved" => Event::Reserved(f.id("id", CellVersionId::from_raw)?),
+            "published" => Event::Published(f.id("id", CellVersionId::from_raw)?),
+            "design-object-created" => {
+                Event::DesignObjectCreated(f.id("id", DesignObjectId::from_raw)?)
+            }
+            "dov-added" => Event::DovAdded(f.id("id", DovId::from_raw)?),
+            "marked-equivalent" => {
+                Event::MarkedEquivalent(f.id("a", DovId::from_raw)?, f.id("b", DovId::from_raw)?)
+            }
+            "activity-run" => Event::ActivityRun {
+                dovs: f.ids("dovs", DovId::from_raw)?,
+            },
+            "browsed" => Event::Browsed {
+                data: f.blob("data")?,
+            },
+            "design-data-read" => Event::DesignDataRead {
+                data: f.blob("data")?,
+            },
+            "configuration-created" => Event::ConfigurationCreated(f.id("id", ConfigId::from_raw)?),
+            "config-version-created" => {
+                Event::ConfigVersionCreated(f.id("id", ConfigVersionId::from_raw)?)
+            }
+            "config-exported" => Event::ConfigExported(parse_manifest(&f)?),
+            "lvs-run" => Event::LvsRun(parse_lvs(&f)?),
+            "future-features-set" => Event::FutureFeaturesSet,
+            "staging-mode-set" => Event::StagingModeSet,
+            "library-imported" => Event::LibraryImported(
+                f.id("project", ProjectId::from_raw)?,
+                ImportReport {
+                    cells: f.usize("cells")?,
+                    design_objects: f.usize("design_objects")?,
+                    versions: f.usize("versions")?,
+                    bytes_copied: f.u64("bytes_copied")?,
+                },
+            ),
+            "fmcad-library-created" => Event::FmcadLibraryCreated,
+            "fmcad-cell-created" => Event::FmcadCellCreated,
+            "fmcad-cellview-created" => Event::FmcadCellviewCreated,
+            "fmcad-checked-out" => Event::FmcadCheckedOut {
+                data: f.blob("data")?,
+            },
+            "fmcad-checked-in" => Event::FmcadCheckedIn {
+                version: f.u32("version")?,
+            },
+            "fmcad-version-purged" => Event::FmcadVersionPurged,
+            "fmcad-file-written" => Event::FmcadFileWritten,
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(event)
+    }
+}
+
 /// Observer of the engine's op/event stream.
 ///
 /// Sinks are notified after the operation has been executed and
@@ -330,6 +622,69 @@ mod tests {
         let seqs: Vec<u64> = sink.entries().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![1, 2]);
         assert!(sink.entries().all(|e| e.ok));
+    }
+
+    #[test]
+    fn event_lines_round_trip_including_structured_payloads() {
+        let samples = vec![
+            Event::UserAdded(UserId::from_raw(7)),
+            Event::StandardFlowDefined(StandardFlow {
+                flow: FlowId::from_raw(1),
+                enter_schematic: ActivityId::from_raw(2),
+                enter_layout: ActivityId::from_raw(3),
+                simulate: ActivityId::from_raw(4),
+            }),
+            Event::ActivityRun {
+                dovs: vec![DovId::from_raw(0), DovId::from_raw(u64::MAX)],
+            },
+            Event::ActivityRun { dovs: vec![] },
+            Event::Browsed {
+                data: (0u8..=255).collect::<Vec<_>>().into(),
+            },
+            Event::ConfigExported(ExportManifest {
+                files: vec![("a|=;:\n".into(), 12), (String::new(), 0)],
+                total_bytes: 12,
+            }),
+            Event::ConfigExported(ExportManifest {
+                files: vec![],
+                total_bytes: 0,
+            }),
+            Event::LvsRun(LvsReport {
+                violations: vec![
+                    LvsViolation::MissingNet { net: "n|1".into() },
+                    LvsViolation::PhantomNet { net: String::new() },
+                    LvsViolation::InstanceMismatch {
+                        cell: "sub:cell".into(),
+                        schematic: 3,
+                        layout: 1,
+                    },
+                ],
+                matched_nets: 9,
+            }),
+            Event::LibraryImported(
+                ProjectId::from_raw(5),
+                ImportReport {
+                    cells: 1,
+                    design_objects: 2,
+                    versions: 3,
+                    bytes_copied: 4,
+                },
+            ),
+            Event::FmcadCheckedIn { version: u32::MAX },
+            Event::FutureFeaturesSet,
+        ];
+        for event in samples {
+            let line = event.to_line();
+            assert!(!line.contains('\n'), "single line: {line:?}");
+            assert_eq!(
+                Event::parse_line(&line).unwrap(),
+                event,
+                "round trip {line}"
+            );
+        }
+        assert!(Event::parse_line("no-such-event|id=1").is_err());
+        assert!(Event::parse_line("user-added|id=zz").is_err());
+        assert!(Event::parse_line("lvs-run|matched=1|violations=warp:00").is_err());
     }
 
     #[test]

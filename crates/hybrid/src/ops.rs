@@ -546,133 +546,7 @@ impl Op {
 
 // --- line codec -------------------------------------------------------------
 
-fn hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
-}
-
-fn unhex(s: &str) -> Option<Vec<u8>> {
-    if !s.len().is_multiple_of(2) {
-        return None;
-    }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
-        .collect()
-}
-
-fn enc_str(s: &str) -> String {
-    hex(s.as_bytes())
-}
-
-fn enc_blob(b: &Blob) -> String {
-    hex(b.as_slice())
-}
-
-fn enc_ids<T: Copy>(ids: &[T], raw: impl Fn(T) -> u64) -> String {
-    ids.iter()
-        .map(|&i| raw(i).to_string())
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn enc_kind(kind: ToolKind) -> &'static str {
-    match kind {
-        ToolKind::SchematicEntry => "schematic-entry",
-        ToolKind::LayoutEditor => "layout-editor",
-        ToolKind::Simulator => "simulator",
-        ToolKind::Framework => "framework",
-    }
-}
-
-struct Fields<'a> {
-    kind: &'a str,
-    fields: Vec<(&'a str, &'a str)>,
-}
-
-impl<'a> Fields<'a> {
-    fn parse(line: &'a str) -> Result<Fields<'a>, String> {
-        let mut parts = line.split('|');
-        let kind = parts.next().ok_or_else(|| "empty line".to_owned())?;
-        let mut fields = Vec::new();
-        for part in parts {
-            let (k, v) = part
-                .split_once('=')
-                .ok_or_else(|| format!("bad field {part:?}"))?;
-            fields.push((k, v));
-        }
-        Ok(Fields { kind, fields })
-    }
-
-    fn get(&self, name: &str) -> Result<&'a str, String> {
-        self.fields
-            .iter()
-            .find(|(k, _)| *k == name)
-            .map(|(_, v)| *v)
-            .ok_or_else(|| format!("missing field {name:?} in {:?}", self.kind))
-    }
-
-    fn str(&self, name: &str) -> Result<String, String> {
-        let raw = self.get(name)?;
-        String::from_utf8(unhex(raw).ok_or_else(|| format!("bad hex in {name:?}"))?)
-            .map_err(|_| format!("field {name:?} is not utf-8"))
-    }
-
-    fn blob(&self, name: &str) -> Result<Blob, String> {
-        Ok(Blob::from(
-            unhex(self.get(name)?).ok_or_else(|| format!("bad hex in {name:?}"))?,
-        ))
-    }
-
-    fn u64(&self, name: &str) -> Result<u64, String> {
-        self.get(name)?
-            .parse()
-            .map_err(|_| format!("bad number in {name:?}"))
-    }
-
-    fn u32(&self, name: &str) -> Result<u32, String> {
-        self.get(name)?
-            .parse()
-            .map_err(|_| format!("bad number in {name:?}"))
-    }
-
-    fn bool(&self, name: &str) -> Result<bool, String> {
-        self.get(name)?
-            .parse()
-            .map_err(|_| format!("bad bool in {name:?}"))
-    }
-
-    fn id<T>(&self, name: &str, from: impl Fn(u64) -> T) -> Result<T, String> {
-        Ok(from(self.u64(name)?))
-    }
-
-    fn ids<T>(&self, name: &str, from: impl Fn(u64) -> T) -> Result<Vec<T>, String> {
-        let raw = self.get(name)?;
-        if raw.is_empty() {
-            return Ok(Vec::new());
-        }
-        raw.split(',')
-            .map(|p| {
-                p.parse::<u64>()
-                    .map(&from)
-                    .map_err(|_| format!("bad id list in {name:?}"))
-            })
-            .collect()
-    }
-
-    fn kind(&self, name: &str) -> Result<ToolKind, String> {
-        match self.get(name)? {
-            "schematic-entry" => Ok(ToolKind::SchematicEntry),
-            "layout-editor" => Ok(ToolKind::LayoutEditor),
-            "simulator" => Ok(ToolKind::Simulator),
-            "framework" => Ok(ToolKind::Framework),
-            other => Err(format!("unknown tool kind {other:?}")),
-        }
-    }
-}
+use crate::codec::{enc_blob, enc_ids, enc_kind, enc_str, unhex, Fields};
 
 impl Op {
     /// Serialises the operation into its one-line journal form:
@@ -949,14 +823,7 @@ impl Op {
                 f.push(("data", enc_blob(data)));
             }
         }
-        let mut line = kind.to_owned();
-        for (k, v) in f {
-            line.push('|');
-            line.push_str(k);
-            line.push('=');
-            line.push_str(&v);
-        }
-        line
+        crate::codec::assemble(kind, &f)
     }
 
     /// Parses an operation back from its [`Op::to_line`] form.

@@ -60,9 +60,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// A session's private queue of committed `(seq, event)` pairs.
 type EventQueue = Arc<Mutex<VecDeque<(u64, Event)>>>;
 
-/// One submitted op waiting for its batch to commit.
+/// One submitted op waiting for its batch to commit. The filled
+/// result carries the engine sequence number the op committed (or,
+/// for failed ops, journaled) at.
 struct Slot {
-    result: Mutex<Option<HybridResult<Event>>>,
+    result: Mutex<Option<HybridResult<(u64, Event)>>>,
     ready: Condvar,
 }
 
@@ -74,12 +76,12 @@ impl Slot {
         })
     }
 
-    fn fill(&self, result: HybridResult<Event>) {
+    fn fill(&self, result: HybridResult<(u64, Event)>) {
         *lock(&self.result) = Some(result);
         self.ready.notify_one();
     }
 
-    fn wait(&self) -> HybridResult<Event> {
+    fn wait(&self) -> HybridResult<(u64, Event)> {
         let mut guard = lock(&self.result);
         loop {
             if let Some(result) = guard.take() {
@@ -116,6 +118,11 @@ struct Stats {
     writer_waits: AtomicU64,
     /// Snapshot reads that found the publish lock briefly held.
     reader_waits: AtomicU64,
+    /// Ops currently enqueued but not yet taken by a leader (gauge,
+    /// the BUSY-threshold signal of the network front-end).
+    queue_depth: AtomicU64,
+    /// Deepest the pending queue has ever been.
+    max_queue_depth: AtomicU64,
 }
 
 /// A point-in-time copy of the service's concurrency counters.
@@ -134,6 +141,11 @@ pub struct ServiceStats {
     pub writer_waits: u64,
     /// Snapshot reads that found the publish lock briefly held.
     pub reader_waits: u64,
+    /// Ops enqueued but not yet taken by a leader at sample time (the
+    /// write-queue depth the network front-end's BUSY threshold reads).
+    pub queue_depth: u64,
+    /// Deepest the pending queue has ever been.
+    pub max_queue_depth: u64,
 }
 
 struct Inner {
@@ -241,7 +253,17 @@ impl Service {
             max_batch: s.max_batch.load(Ordering::Relaxed),
             writer_waits: s.writer_waits.load(Ordering::Relaxed),
             reader_waits: s.reader_waits.load(Ordering::Relaxed),
+            queue_depth: s.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: s.max_queue_depth.load(Ordering::Relaxed),
         }
+    }
+
+    /// The current write-queue depth: ops enqueued but not yet taken
+    /// by a batch leader. One relaxed atomic load — cheap enough for a
+    /// per-request saturation check (the network front-end's BUSY
+    /// threshold).
+    pub fn queue_depth(&self) -> u64 {
+        self.inner.stats.queue_depth.load(Ordering::Relaxed)
     }
 
     /// Runs a closure against the engine under the write lock, outside
@@ -254,12 +276,31 @@ impl Service {
         out
     }
 
-    /// Submits one op and blocks until its batch commits.
-    fn submit(&self, session: u64, op: Op) -> HybridResult<Event> {
+    /// Submits one op through the batched write queue and blocks until
+    /// its batch commits. Returns the engine sequence number the op
+    /// committed at together with its event — the form the network
+    /// front-end ships back over the wire. (In-process callers usually
+    /// go through the typed [`Session`] wrappers instead.)
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the op returns on the engine.
+    pub fn submit(&self, op: Op) -> HybridResult<(u64, Event)> {
+        self.submit_from(0, op)
+    }
+
+    /// Submits one op on behalf of session `session`.
+    fn submit_from(&self, session: u64, op: Op) -> HybridResult<(u64, Event)> {
         let slot = Slot::new();
         let lead = {
             let mut queue = lock(&self.inner.queue);
             queue.pending.push((op, Arc::clone(&slot), session));
+            let depth = queue.pending.len() as u64;
+            self.inner.stats.queue_depth.store(depth, Ordering::Relaxed);
+            self.inner
+                .stats
+                .max_queue_depth
+                .fetch_max(depth, Ordering::Relaxed);
             if queue.draining {
                 // A leader is already inside the engine; it (or the
                 // next leader) will pick this op up.
@@ -294,6 +335,7 @@ impl Service {
             };
             let size = batch.len() as u64;
             let stats = &self.inner.stats;
+            stats.queue_depth.store(0, Ordering::Relaxed);
             stats.batches.fetch_add(1, Ordering::Relaxed);
             stats.ops.fetch_add(size, Ordering::Relaxed);
             stats.max_batch.fetch_max(size, Ordering::Relaxed);
@@ -301,10 +343,11 @@ impl Service {
             let mut results = Vec::new();
             for (op, slot, session) in batch {
                 let result = engine.apply(op);
+                let seq = engine.seq();
                 if let Ok(event) = &result {
-                    fanout.push((session, engine.seq(), event.clone()));
+                    fanout.push((session, seq, event.clone()));
                 }
-                results.push((slot, result));
+                results.push((slot, result.map(|event| (seq, event))));
             }
             // One republish and one fan-out per batch, not per op — and
             // the republish happens before any submitter wakes, so every
@@ -416,7 +459,9 @@ impl Session {
     ///
     /// Returns whatever the op returns on the engine.
     pub fn apply(&self, op: Op) -> HybridResult<Event> {
-        self.service.submit(self.id, op)
+        self.service
+            .submit_from(self.id, op)
+            .map(|(_, event)| event)
     }
 
     /// Reads design data from the published snapshot: zero-copy, in
@@ -723,6 +768,41 @@ mod tests {
         for project in projects {
             assert!(snap.library_of(project).is_ok());
         }
+    }
+
+    #[test]
+    fn queue_depth_counters_track_the_write_queue() {
+        let service = Service::new(Engine::builder().build());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let service = service.clone();
+                std::thread::spawn(move || {
+                    let session = service.open_session(service.admin());
+                    for j in 0..16 {
+                        session.create_project(&format!("q-{i}-{j}")).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = service.stats();
+        assert!(stats.max_queue_depth >= 1, "at least one op was queued");
+        assert!(stats.max_queue_depth <= 128);
+        assert_eq!(service.queue_depth(), 0, "all ops committed, gauge drained");
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn raw_submit_returns_the_commit_sequence() {
+        let service = Service::new(Engine::builder().build());
+        let (seq, event) = service
+            .submit(Op::CreateProject { name: "p".into() })
+            .unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(event.kind_name(), "project-created");
+        assert_eq!(service.snapshot().seq(), 1);
     }
 
     #[test]

@@ -1320,6 +1320,17 @@ impl ShardedService {
         self.inner.lanes.len()
     }
 
+    /// Ops currently queued (not yet committed) across all write
+    /// lanes. The network front-end samples this to decide when to
+    /// answer `busy` instead of accepting more work.
+    pub fn queue_depth(&self) -> u64 {
+        self.inner
+            .lanes
+            .iter()
+            .map(|lane| lock(&lane.queue).pending.len() as u64)
+            .sum()
+    }
+
     /// Opens a session acting as `user`.
     ///
     /// Unlike [`Service::open_session`](crate::Service::open_session),

@@ -21,6 +21,11 @@ latency regresses past the ceiling in scripts/e15_baseline.json. The
 modeled tick economy is the experiments' measurement instrument: a
 deliberate cost-model change must update the golden table here *and*
 in crates/bench/src/e9_performance.rs in the same commit.
+
+BENCH_E16.json (the wire-protocol flood) is gated too: every op of
+every client must get a typed committed reply, the server must count
+zero panics, protocol errors and timeouts, and ops/sec must stay
+above the floor derived from scripts/e16_baseline.json.
 """
 
 import json
@@ -137,6 +142,7 @@ def main():
     check_e13()
     check_e14()
     check_e15()
+    check_e16()
 
 
 E12_COUNTERS = (
@@ -155,6 +161,7 @@ E12_COUNTERS = (
     "mean_batch",
     "writer_waits",
     "reader_waits",
+    "max_queue_depth",
     "reader_materializations",
     "deterministic_zero_copy",
     "deterministic_deep_copy",
@@ -525,6 +532,113 @@ def check_e15():
         print(
             "OK: E15 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e15["seed"]
+            )
+        )
+
+
+E16_COUNTERS = (
+    "clients",
+    "ops_per_client",
+    "total_ops",
+    "committed",
+    "failed",
+    "busy",
+    "wall_ns",
+    "ops_per_sec",
+    "p50_ns",
+    "p99_ns",
+    "max_ns",
+    "handshakes",
+    "frames_in",
+    "frames_out",
+    "timeouts",
+    "protocol_errors",
+    "panics",
+    "max_queue_depth",
+    "max_batch",
+)
+
+# The golden run must keep the paper-scale department on the wire.
+E16_MIN_CLIENTS = 1000
+
+# A fresh run must reach at least this fraction of the committed
+# baseline's ops/sec — the flood is heavily scheduler-bound, so the
+# floor is generous (a >70% regression fails).
+E16_REGRESSION_FLOOR = 0.3
+
+
+def check_e16():
+    e16 = load("BENCH_E16.json")
+    net = e16.get("net")
+    if "seed" not in e16 or not isinstance(net, dict):
+        sys.exit("FAIL: BENCH_E16.json lacks a seed or a net block")
+    for field in E16_COUNTERS:
+        if field not in net:
+            sys.exit(
+                f"FAIL: BENCH_E16.json net block lacks {field!r} "
+                "(the wire-server counters regressed)"
+            )
+
+    if net["clients"] < E16_MIN_CLIENTS:
+        sys.exit(
+            "FAIL: E16 ran only {} concurrent clients (< {})".format(
+                net["clients"], E16_MIN_CLIENTS
+            )
+        )
+    if net["committed"] != net["total_ops"]:
+        sys.exit(
+            "FAIL: E16 committed {}/{} ops ({} failed, {} busy) — the "
+            "conflict-free flood must commit everything".format(
+                net["committed"], net["total_ops"], net["failed"], net["busy"]
+            )
+        )
+    for counter in ("panics", "protocol_errors", "timeouts"):
+        if net[counter] != 0:
+            sys.exit(
+                "FAIL: E16 server counted {} {} under a well-formed flood".format(
+                    net[counter], counter
+                )
+            )
+    if net["handshakes"] < net["clients"]:
+        sys.exit(
+            "FAIL: E16 completed only {}/{} handshakes".format(
+                net["handshakes"], net["clients"]
+            )
+        )
+    if net["p50_ns"] > net["p99_ns"]:
+        sys.exit("FAIL: E16 latency percentiles are inconsistent (p50 > p99)")
+    if net["max_queue_depth"] < 1:
+        sys.exit(
+            "FAIL: E16 write-queue high-water mark is 0 — the queue-depth "
+            "gauge regressed"
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e16_baseline.json")
+    baseline = load(baseline_path)
+    if e16["seed"] == baseline.get("seed"):
+        recorded = baseline_metric(baseline, baseline_path, "ops_per_sec")
+        floor = recorded * E16_REGRESSION_FLOOR
+        if net["ops_per_sec"] < floor:
+            sys.exit(
+                "FAIL: E16 throughput regressed >70%: {:.0f} < floor {:.0f} "
+                "(baseline {:.0f}, see scripts/e16_baseline.json)".format(
+                    net["ops_per_sec"], floor, recorded
+                )
+            )
+        print(
+            "OK: E16 wire flood ({} clients x {} ops, {:.0f} ops/s, "
+            "p99 {:.1f}ms, queue peaked at {}, 0 panics)".format(
+                net["clients"],
+                net["ops_per_client"],
+                net["ops_per_sec"],
+                net["p99_ns"] / 1e6,
+                net["max_queue_depth"],
+            )
+        )
+    else:
+        print(
+            "OK: E16 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e16["seed"]
             )
         )
 

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cad_net;
 pub use cad_tools;
 pub use cad_vfs;
 pub use design_data;

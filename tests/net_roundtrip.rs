@@ -1,0 +1,574 @@
+//! Protocol conformance suite: every op variant crosses a real TCP
+//! socket and the wire-backed engine stays byte-identical to an
+//! in-process one driven with the same schedule.
+//!
+//! The exhaustiveness guard mirrors `op_codec_adversarial.rs`: the
+//! wildcard-free match below fails compilation when the op vocabulary
+//! grows, forcing this suite to cover the new variant's wire path too.
+
+use jcf_fmcad::cad_net::{Client, Outcome, Server, ServerConfig};
+use jcf_fmcad::cad_tools::ToolKind;
+use jcf_fmcad::cad_vfs::Blob;
+use jcf_fmcad::hybrid::{
+    Engine, Event, FutureFeatures, Op, Service, ShardedServiceBuilder, StagingMode,
+};
+use jcf_fmcad::jcf::{
+    ActivityId, CellId, CellVersionId, ConfigId, ConfigVersionId, DesignObjectId, DovId, FlowId,
+    ProjectId, TeamId, ToolId, UserId, VariantId, ViewTypeId,
+};
+
+/// The built-in administrator's desktop name.
+const ADMIN: &str = "framework-admin";
+
+fn serve(service: Service) -> Server {
+    Server::bind("127.0.0.1:0", ServerConfig::default(), service).expect("bind an ephemeral port")
+}
+
+fn connect(server: &Server, user: &str) -> Client {
+    Client::connect(server.local_addr(), user).expect("connect and handshake")
+}
+
+/// Compile-time exhaustiveness guard: no wildcard arm, so adding an
+/// `Op` variant fails compilation here until `wire_samples` covers
+/// its wire path too.
+fn assert_sampled(op: &Op) {
+    match op {
+        Op::AddUser { .. }
+        | Op::AddTeam { .. }
+        | Op::AddTeamMember { .. }
+        | Op::RegisterViewtype { .. }
+        | Op::RegisterTool { .. }
+        | Op::DefineStandardFlow { .. }
+        | Op::DefineQualityGatedFlow { .. }
+        | Op::DefineFlow { .. }
+        | Op::AddActivity { .. }
+        | Op::FreezeFlow { .. }
+        | Op::CreateProject { .. }
+        | Op::CreateCell { .. }
+        | Op::CreateCellVersion { .. }
+        | Op::DeriveVariant { .. }
+        | Op::DeclareCompOf { .. }
+        | Op::ShareCell { .. }
+        | Op::PromoteVariant { .. }
+        | Op::Reserve { .. }
+        | Op::Publish { .. }
+        | Op::CreateDesignObject { .. }
+        | Op::AddDesignObjectVersion { .. }
+        | Op::MarkEquivalent { .. }
+        | Op::RunActivity { .. }
+        | Op::Browse { .. }
+        | Op::ReadDesignData { .. }
+        | Op::CreateConfiguration { .. }
+        | Op::CreateConfigVersion { .. }
+        | Op::ExportConfig { .. }
+        | Op::RunLvs { .. }
+        | Op::SetFutureFeatures { .. }
+        | Op::SetStagingMode { .. }
+        | Op::ImportLibrary { .. }
+        | Op::FmcadCreateLibrary { .. }
+        | Op::FmcadCreateCell { .. }
+        | Op::FmcadCreateCellview { .. }
+        | Op::FmcadCheckout { .. }
+        | Op::FmcadCheckin { .. }
+        | Op::FmcadPurgeVersion { .. }
+        | Op::FmcadDirectWrite { .. } => {}
+    }
+}
+
+/// The number of distinct op kinds `wire_samples` must produce — bump
+/// together with `assert_sampled` when the vocabulary grows.
+const OP_KIND_COUNT: usize = 39;
+
+/// One instance of every op kind. Values need not be *valid* against
+/// a fresh engine — an engine rejection is a typed `fail` reply and
+/// exercises the error path of the wire; what matters is that every
+/// kind crosses the socket and gets a typed answer.
+fn wire_samples() -> Vec<Op> {
+    let user = UserId::from_raw(3);
+    let actor = UserId::from_raw(1);
+    vec![
+        Op::AddUser {
+            name: "wire-alice".into(),
+            manager: false,
+        },
+        Op::AddTeam {
+            actor,
+            name: "wire-team".into(),
+        },
+        Op::AddTeamMember {
+            actor,
+            team: TeamId::from_raw(1),
+            user,
+        },
+        Op::RegisterViewtype {
+            name: "wire-view".into(),
+            application: ToolKind::Simulator,
+        },
+        Op::RegisterTool {
+            name: "wire-tool".into(),
+            kind: ToolKind::LayoutEditor,
+        },
+        Op::DefineStandardFlow {
+            name: "wire-flow".into(),
+        },
+        Op::DefineQualityGatedFlow {
+            name: "wire-qflow".into(),
+        },
+        Op::DefineFlow {
+            actor,
+            name: "wire-custom".into(),
+        },
+        Op::AddActivity {
+            actor,
+            flow: FlowId::from_raw(9),
+            name: "wire-act".into(),
+            tool: ToolId::from_raw(4),
+            needs: vec![ViewTypeId::from_raw(1)],
+            creates: vec![ViewTypeId::from_raw(2)],
+            predecessors: vec![ActivityId::from_raw(7)],
+        },
+        Op::FreezeFlow {
+            actor,
+            flow: FlowId::from_raw(9),
+        },
+        Op::CreateProject {
+            name: "wire-project".into(),
+        },
+        Op::CreateCell {
+            project: ProjectId::from_raw(1),
+            name: "wire-cell".into(),
+        },
+        Op::CreateCellVersion {
+            cell: CellId::from_raw(1),
+            flow: FlowId::from_raw(1),
+            team: TeamId::from_raw(1),
+        },
+        Op::DeriveVariant {
+            user,
+            cv: CellVersionId::from_raw(1),
+            name: "wire-variant".into(),
+            base: None,
+        },
+        Op::DeclareCompOf {
+            user,
+            cv: CellVersionId::from_raw(1),
+            child: CellId::from_raw(2),
+        },
+        Op::ShareCell {
+            actor,
+            cell: CellId::from_raw(1),
+        },
+        Op::PromoteVariant {
+            user,
+            winner: VariantId::from_raw(1),
+        },
+        Op::Reserve {
+            user,
+            cv: CellVersionId::from_raw(1),
+        },
+        Op::Publish {
+            user,
+            cv: CellVersionId::from_raw(1),
+        },
+        Op::CreateDesignObject {
+            user,
+            variant: VariantId::from_raw(1),
+            name: "wire-do".into(),
+            viewtype: ViewTypeId::from_raw(1),
+        },
+        Op::AddDesignObjectVersion {
+            user,
+            design_object: DesignObjectId::from_raw(1),
+            data: b"wire data".to_vec().into(),
+        },
+        Op::MarkEquivalent {
+            a: DovId::from_raw(1),
+            b: DovId::from_raw(2),
+        },
+        Op::RunActivity {
+            user,
+            variant: VariantId::from_raw(1),
+            activity: ActivityId::from_raw(1),
+            override_pending: false,
+            outputs: vec![("schematic".into(), b"netlist x\n".to_vec().into())],
+            session_error: None,
+        },
+        Op::Browse {
+            user,
+            dov: DovId::from_raw(1),
+        },
+        Op::ReadDesignData {
+            user,
+            dov: DovId::from_raw(1),
+        },
+        Op::CreateConfiguration {
+            user,
+            cv: CellVersionId::from_raw(1),
+            name: "wire-config".into(),
+        },
+        Op::CreateConfigVersion {
+            user,
+            config: ConfigId::from_raw(1),
+            contents: vec![DovId::from_raw(1)],
+        },
+        Op::ExportConfig {
+            user,
+            config_version: ConfigVersionId::from_raw(1),
+            dest: "/export/wire".into(),
+        },
+        Op::RunLvs {
+            user,
+            variant: VariantId::from_raw(1),
+        },
+        Op::SetFutureFeatures {
+            features: FutureFeatures::all(),
+        },
+        Op::SetStagingMode {
+            mode: StagingMode::DeepCopy,
+        },
+        Op::ImportLibrary {
+            actor,
+            library: "wire-legacy".into(),
+            flow: FlowId::from_raw(1),
+            team: TeamId::from_raw(1),
+        },
+        Op::FmcadCreateLibrary {
+            name: "wire-fmcad".into(),
+        },
+        Op::FmcadCreateCell {
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+        },
+        Op::FmcadCreateCellview {
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+            view: "wv".into(),
+            viewtype: "schematic".into(),
+        },
+        Op::FmcadCheckout {
+            user: ADMIN.into(),
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+            view: "wv".into(),
+        },
+        Op::FmcadCheckin {
+            user: ADMIN.into(),
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+            view: "wv".into(),
+            data: b"checked in\x00\xff".to_vec().into(),
+        },
+        Op::FmcadPurgeVersion {
+            user: ADMIN.into(),
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+            view: "wv".into(),
+            version: 1,
+        },
+        Op::FmcadDirectWrite {
+            library: "wire-fmcad".into(),
+            cell: "wc".into(),
+            view: "wv".into(),
+            version: 1,
+            data: vec![0xde, 0xad].into(),
+        },
+    ]
+}
+
+#[test]
+fn every_op_kind_crosses_the_wire_with_a_typed_reply() {
+    let samples = wire_samples();
+    let kinds: std::collections::BTreeSet<&str> = samples.iter().map(Op::kind_name).collect();
+    assert_eq!(
+        kinds.len(),
+        OP_KIND_COUNT,
+        "wire_samples must cover every op kind; got {kinds:?}"
+    );
+
+    // The same schedule runs in-process on a twin service; at the end
+    // the two engines must be byte-identical — commits, rejections,
+    // journal and all.
+    let wire_service = Service::new(Engine::builder().build());
+    let twin_service = Service::new(Engine::builder().build());
+    let mut server = serve(wire_service.clone());
+    let mut client = connect(&server, ADMIN);
+    assert!(client.is_admin());
+
+    for op in &samples {
+        assert_sampled(op);
+        let wire_outcome = client.submit(op).expect("typed reply, not transport error");
+        let twin_outcome = twin_service.submit(op.clone());
+        match (&wire_outcome, &twin_outcome) {
+            (Outcome::Committed { seq, event }, Ok((twin_seq, twin_event))) => {
+                assert_eq!(seq, twin_seq, "commit seq diverged for {op:?}");
+                assert_eq!(event, twin_event, "event diverged for {op:?}");
+            }
+            (Outcome::Failed { kind, .. }, Err(twin_err)) => {
+                assert_eq!(kind, twin_err.kind(), "error family diverged for {op:?}");
+            }
+            (wire, twin) => panic!("outcomes diverged for {op:?}: wire {wire:?}, twin {twin:?}"),
+        }
+    }
+
+    let wire_fp = wire_service.with_engine(|e| e.state_fingerprint().unwrap());
+    let twin_fp = twin_service.with_engine(|e| e.state_fingerprint().unwrap());
+    assert_eq!(wire_fp, twin_fp, "wire and in-process engines diverged");
+
+    let stats = server.stats();
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.ops_ok + stats.ops_failed, samples.len() as u64);
+    server.shutdown();
+}
+
+/// Runs the full §2.3 design cycle over the wire — ids taken from the
+/// typed events the server returns — and checks the wire session sees
+/// its own committed writes (read-your-writes across the socket).
+#[test]
+fn a_design_cycle_over_the_wire_matches_in_process() {
+    let wire_service = Service::new(Engine::builder().build());
+    let twin_service = Service::new(Engine::builder().build());
+    let mut server = serve(wire_service.clone());
+    let mut admin = connect(&server, ADMIN);
+
+    // Mirror every wire op onto the twin and insist on identical
+    // events throughout.
+    let run = |client: &mut Client, op: Op| -> Event {
+        let (seq, event) = client.submit_ok(&op).expect("op commits over the wire");
+        let (twin_seq, twin_event) = twin_service.submit(op).expect("op commits in-process");
+        assert_eq!((seq, &event), (twin_seq, &twin_event));
+        event
+    };
+
+    let alice = match run(
+        &mut admin,
+        Op::AddUser {
+            name: "alice".into(),
+            manager: false,
+        },
+    ) {
+        Event::UserAdded(id) => id,
+        other => panic!("expected user-added, got {other:?}"),
+    };
+    let admin_user = admin.user();
+    let team = match run(
+        &mut admin,
+        Op::AddTeam {
+            actor: admin_user,
+            name: "asic".into(),
+        },
+    ) {
+        Event::TeamAdded(id) => id,
+        other => panic!("expected team-added, got {other:?}"),
+    };
+    run(
+        &mut admin,
+        Op::AddTeamMember {
+            actor: admin_user,
+            team,
+            user: alice,
+        },
+    );
+    let flow = match run(
+        &mut admin,
+        Op::DefineStandardFlow {
+            name: "asic-flow".into(),
+        },
+    ) {
+        Event::StandardFlowDefined(flow) => flow,
+        other => panic!("expected standard-flow-defined, got {other:?}"),
+    };
+    let project = match run(
+        &mut admin,
+        Op::CreateProject {
+            name: "alu16".into(),
+        },
+    ) {
+        Event::ProjectCreated(id) => id,
+        other => panic!("expected project-created, got {other:?}"),
+    };
+    let cell = match run(
+        &mut admin,
+        Op::CreateCell {
+            project,
+            name: "adder".into(),
+        },
+    ) {
+        Event::CellCreated(id) => id,
+        other => panic!("expected cell-created, got {other:?}"),
+    };
+    let (cv, variant) = match run(
+        &mut admin,
+        Op::CreateCellVersion {
+            cell,
+            flow: flow.flow,
+            team,
+        },
+    ) {
+        Event::CellVersionCreated(cv, variant) => (cv, variant),
+        other => panic!("expected cell-version-created, got {other:?}"),
+    };
+
+    // Alice takes over on her own authenticated connection.
+    let mut alice_client = connect(&server, "alice");
+    assert!(!alice_client.is_admin());
+    assert_eq!(alice_client.user(), alice);
+    run(&mut alice_client, Op::Reserve { user: alice, cv });
+    let data: Blob = b"netlist adder\nport a input\n".to_vec().into();
+    let dovs = match run(
+        &mut alice_client,
+        Op::RunActivity {
+            user: alice,
+            variant,
+            activity: flow.enter_schematic,
+            override_pending: false,
+            outputs: vec![("schematic".into(), data.clone())],
+            session_error: None,
+        },
+    ) {
+        Event::ActivityRun { dovs } => dovs,
+        other => panic!("expected activity-run, got {other:?}"),
+    };
+    assert!(!dovs.is_empty());
+
+    // Read-your-writes across the socket: the browse travels the same
+    // connection that just committed the activity and must see it.
+    let browsed = match run(
+        &mut alice_client,
+        Op::Browse {
+            user: alice,
+            dov: dovs[0],
+        },
+    ) {
+        Event::Browsed { data } => data,
+        other => panic!("expected browsed, got {other:?}"),
+    };
+    assert_eq!(browsed, data);
+
+    // Identity binding: alice cannot act as the admin's user id, nor
+    // submit administrative ops.
+    match alice_client
+        .submit(&Op::Reserve {
+            user: admin.user(),
+            cv,
+        })
+        .unwrap()
+    {
+        Outcome::Failed { kind, .. } => assert_eq!(kind, "identity"),
+        other => panic!("expected identity failure, got {other:?}"),
+    }
+    match alice_client
+        .submit(&Op::CreateProject {
+            name: "rogue".into(),
+        })
+        .unwrap()
+    {
+        Outcome::Failed { kind, .. } => assert_eq!(kind, "identity"),
+        other => panic!("expected identity failure, got {other:?}"),
+    }
+
+    let wire_fp = wire_service.with_engine(|e| e.state_fingerprint().unwrap());
+    let twin_fp = twin_service.with_engine(|e| e.state_fingerprint().unwrap());
+    assert_eq!(wire_fp, twin_fp);
+
+    let stats = server.stats();
+    assert_eq!(stats.identity_rejections, 2);
+    assert_eq!(stats.panics, 0);
+
+    alice_client.bye().expect("clean goodbye");
+    admin.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let service = Service::new(Engine::builder().build());
+    let mut server = serve(service);
+    let mut client = connect(&server, ADMIN);
+
+    let mut ids = Vec::new();
+    for i in 0..16 {
+        let op = Op::CreateProject {
+            name: format!("pipelined-{i}"),
+        };
+        ids.push(client.send_op(&op).expect("send"));
+    }
+    for want in ids {
+        let reply = client.recv_reply().expect("reply");
+        assert_eq!(reply.id, want, "replies must arrive in request order");
+        assert!(matches!(reply.outcome, Outcome::Committed { .. }));
+    }
+    client.ping().expect("ping round-trips");
+    server.shutdown();
+}
+
+#[test]
+fn the_sharded_backend_speaks_the_same_protocol() {
+    let sharded = ShardedServiceBuilder::new().shards(3).build();
+    let mut server =
+        Server::bind("127.0.0.1:0", ServerConfig::default(), sharded.clone()).expect("bind");
+    let mut admin = connect(&server, ADMIN);
+    assert!(admin.is_admin());
+
+    let alice = match admin
+        .submit_ok(&Op::AddUser {
+            name: "alice".into(),
+            manager: false,
+        })
+        .expect("add user")
+    {
+        (_, Event::UserAdded(id)) => id,
+        (_, other) => panic!("expected user-added, got {other:?}"),
+    };
+
+    // Projects land on their owning shards; the wire is agnostic.
+    for i in 0..6 {
+        let (_, event) = admin
+            .submit_ok(&Op::CreateProject {
+                name: format!("shard-proj-{i}"),
+            })
+            .expect("create project");
+        assert!(matches!(event, Event::ProjectCreated(_)));
+    }
+
+    // A non-admin wire session resolves against the broadcast user
+    // table: the wire hands out the shard-local form of the id (valid
+    // on every shard via the router's bootstrap passthrough), while
+    // the add-user event carried the virtual form — the router maps
+    // one onto the other.
+    let mut alice_client = connect(&server, "alice");
+    assert_eq!(
+        sharded.view().router().local_on(alice.raw(), 0),
+        Some(alice_client.user().raw()),
+        "wire identity must be the local form of the event's virtual id"
+    );
+    match alice_client
+        .submit(&Op::CreateProject {
+            name: "rogue".into(),
+        })
+        .unwrap()
+    {
+        Outcome::Failed { kind, .. } => assert_eq!(kind, "identity"),
+        other => panic!("expected identity failure, got {other:?}"),
+    }
+
+    assert_eq!(server.stats().panics, 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_users_and_version_skew_are_rejected_in_the_handshake() {
+    use jcf_fmcad::cad_net::WireError;
+
+    let service = Service::new(Engine::builder().build());
+    let mut server = serve(service);
+
+    match Client::connect(server.local_addr(), "nobody") {
+        Err(WireError::Rejected { code, .. }) => assert_eq!(code, "auth"),
+        other => panic!("expected auth rejection, got {other:?}"),
+    }
+    // A healthy handshake still works afterwards.
+    let mut client = connect(&server, ADMIN);
+    client.ping().expect("ping");
+    server.shutdown();
+}
