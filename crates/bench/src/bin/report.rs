@@ -1,15 +1,17 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e16|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e17|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
 //! E12 session benchmark, the E13 publish sweep, the E14 shard
 //! scaling sweep, the E15 durability sweep and the E16 wire-protocol
-//! flood, and writes the machine-readable `BENCH_E9.json` /
+//! flood and the E17 history-layer sweep, and writes the
+//! machine-readable `BENCH_E9.json` /
 //! `BENCH_E10.json` / `BENCH_E12.json` / `BENCH_E13.json` /
-//! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` files at
+//! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` /
+//! `BENCH_E17.json` files at
 //! the repository root, seeding the performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
@@ -19,8 +21,8 @@ use std::env;
 
 use bench::{
     e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e15_durability, e16_net,
-    e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui, e8_flow,
-    e9_performance,
+    e17_history, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui,
+    e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -235,6 +237,24 @@ fn print_verdicts() {
             e16.ops_per_sec(),
             e16.p99_ns as f64 / 1e6,
             e16.panics
+        ),
+    });
+
+    let e17 = e17_history::run(42);
+    rows.push(Row {
+        exp: "E17",
+        claim: "history answers off retained snapshots: flat impact queries, clean merges",
+        holds: e17.holds(),
+        measured: format!(
+            "impact p50 grew {:.1}x over {:.0}x objects, {:.0} merges/s, reads {}",
+            e17.impact_growth(),
+            e17.size_growth(),
+            e17.rows.last().map(|r| r.merge_ops_per_sec).unwrap_or(0.0),
+            if e17.rows.iter().all(|r| r.zero_copy) {
+                "zero-copy"
+            } else {
+                "copied"
+            }
         ),
     });
 
@@ -488,6 +508,33 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e16_path = format!("{root}/BENCH_E16.json");
     std::fs::write(&e16_path, e16)?;
     println!("wrote {e16_path}");
+
+    let r = e17_history::run(seed);
+    println!("{r}");
+    let mut e17 = format!("{{\"seed\": {seed}, \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        e17.push_str(&format!(
+            "  {{\"objects\": {}, \"impact_p50_ns\": {}, \"impact_p99_ns\": {}, \"merge_ops_per_sec\": {:.0}, \"merges\": {}, \"zero_copy\": {}, \"retained\": {}, \"retention_bounded\": {}}}{}\n",
+            row.objects,
+            row.impact_p50_ns,
+            row.impact_p99_ns,
+            row.merge_ops_per_sec,
+            row.merges,
+            row.zero_copy,
+            row.retained,
+            row.retention_bounded,
+            if i + 1 == r.rows.len() { "" } else { "," }
+        ));
+    }
+    e17.push_str(&format!(
+        "],\n\"impact_growth\": {:.2}, \"size_growth\": {:.2}, \"holds\": {}}}\n",
+        r.impact_growth(),
+        r.size_growth(),
+        r.holds()
+    ));
+    let e17_path = format!("{root}/BENCH_E17.json");
+    std::fs::write(&e17_path, e17)?;
+    println!("wrote {e17_path}");
     Ok(())
 }
 
@@ -596,9 +643,13 @@ fn main() {
         println!("{}", e16_net::run(seed));
         printed = true;
     }
+    if want("e17") {
+        println!("{}", e17_history::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e16 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e17 or no argument for all");
         std::process::exit(2);
     }
 }

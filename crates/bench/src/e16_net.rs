@@ -225,7 +225,7 @@ pub fn run_scaled(clients: usize, ops_per_client: usize, seed: u64) -> E16Report
                             Outcome::Committed { .. } => counts.0 += 1,
                             Outcome::Failed { .. } => counts.1 += 1,
                             Outcome::Busy { .. } => counts.2 += 1,
-                            Outcome::Pong => panic!("pong for an op id"),
+                            other => panic!("{other:?} for an op id"),
                         }
                     }
                     client.bye().expect("clean goodbye");

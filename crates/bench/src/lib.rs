@@ -20,6 +20,7 @@
 //! | [`e14_shards`] | write-path scaling of the partitioned (sharded) service |
 //! | [`e15_durability`] | incremental O(Δ) durability: delta checkpoints, warm restarts |
 //! | [`e16_net`] | wire-protocol front-end under 1000 concurrent TCP clients |
+//! | [`e17_history`] | time-travel history layer: retained snapshots, merges |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -35,6 +36,7 @@ pub mod e13_publish;
 pub mod e14_shards;
 pub mod e15_durability;
 pub mod e16_net;
+pub mod e17_history;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

@@ -6,8 +6,14 @@
 //! the single-engine [`Service`] and the partitioned
 //! [`ShardedService`] — the server code is identical for both.
 
-use hybrid::{Event, HybridResult, Op, Service, ShardedService};
-use jcf::UserId;
+use std::sync::Arc;
+
+use hybrid::{Event, HybridResult, MirrorLocation, Op, Service, ShardedService};
+use jcf::{CellVersionId, DovId, UserId};
+
+/// The impact-query answer: the full stale derivation cone, plus the
+/// FMCAD-mirrored subset with mirror coordinates.
+pub type ImpactAnswer = (Vec<DovId>, Vec<(DovId, Arc<MirrorLocation>)>);
 
 /// An op-executing engine the server can front.
 pub trait Backend: Send + Sync + 'static {
@@ -28,6 +34,28 @@ pub trait Backend: Send + Sync + 'static {
     /// Ops currently queued behind the write path — the signal the
     /// server's `busy` threshold samples.
     fn queue_depth(&self) -> u64;
+
+    /// The commit seqs the retention ring currently holds, ascending.
+    fn retained_seqs(&self) -> Vec<u64>;
+
+    /// Reads one design object version from the retained snapshot at
+    /// `seq`, visibility-scoped to `user`'s desktop.
+    ///
+    /// # Errors
+    ///
+    /// `SeqUnreachable` if the ring does not retain `seq`, or
+    /// whatever the read rejects with (unknown dov, visibility).
+    fn history_read(&self, user: UserId, seq: u64, dov: DovId) -> HybridResult<Vec<u8>>;
+
+    /// Evaluates the impact query on the retained snapshot at `seq`:
+    /// the full stale derivation cone of `cv` plus the FMCAD-mirrored
+    /// subset with mirror coordinates.
+    ///
+    /// # Errors
+    ///
+    /// `SeqUnreachable` if the ring does not retain `seq`, or an
+    /// unresolvable `cv`.
+    fn history_impact(&self, seq: u64, cv: CellVersionId) -> HybridResult<ImpactAnswer>;
 }
 
 impl Backend for Service {
@@ -45,6 +73,19 @@ impl Backend for Service {
 
     fn queue_depth(&self) -> u64 {
         self.queue_depth()
+    }
+
+    fn retained_seqs(&self) -> Vec<u64> {
+        self.retained_seqs()
+    }
+
+    fn history_read(&self, user: UserId, seq: u64, dov: DovId) -> HybridResult<Vec<u8>> {
+        Ok(self.at(seq)?.read_design_data(user, dov)?.to_vec())
+    }
+
+    fn history_impact(&self, seq: u64, cv: CellVersionId) -> HybridResult<ImpactAnswer> {
+        let snap = self.at(seq)?;
+        Ok((snap.stale_dovs(cv), snap.impacted_cellviews(cv)))
     }
 }
 
@@ -67,5 +108,18 @@ impl Backend for ShardedService {
 
     fn queue_depth(&self) -> u64 {
         self.queue_depth()
+    }
+
+    fn retained_seqs(&self) -> Vec<u64> {
+        self.retained_seqs()
+    }
+
+    fn history_read(&self, user: UserId, seq: u64, dov: DovId) -> HybridResult<Vec<u8>> {
+        Ok(self.at(seq)?.read_design_data(user, dov)?.to_vec())
+    }
+
+    fn history_impact(&self, seq: u64, cv: CellVersionId) -> HybridResult<ImpactAnswer> {
+        let view = self.at(seq)?;
+        Ok((view.stale_dovs(cv)?, view.impacted_cellviews(cv)?))
     }
 }

@@ -14,7 +14,9 @@ use std::time::Duration;
 use hybrid::{Event, Op};
 use jcf::UserId;
 
-use crate::proto::{read_frame, write_frame, Request, Response, WireError, PROTOCOL_VERSION};
+use crate::proto::{
+    read_frame, write_frame, Impacted, Request, Response, WireError, PROTOCOL_VERSION,
+};
 
 /// The outcome of one submitted op, as seen over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +43,24 @@ pub enum Outcome {
     },
     /// The answer to a pipelined `ping`.
     Pong,
+    /// The answer to a `history-retained`: the commit seqs the
+    /// server's retention ring holds, ascending.
+    Retained {
+        /// The retained commit seqs, ascending, pins included.
+        seqs: Vec<u64>,
+    },
+    /// The answer to a successful `history-read`.
+    Data {
+        /// The design data bytes from the retained snapshot.
+        data: Vec<u8>,
+    },
+    /// The answer to a successful `history-impact`.
+    Impact {
+        /// The full stale derivation cone, raw dov ids, ascending.
+        stale: Vec<u64>,
+        /// The FMCAD-mirrored subset with mirror coordinates.
+        impacted: Vec<Impacted>,
+    },
 }
 
 /// One correlated reply from the server.
@@ -164,6 +184,22 @@ impl Client {
                 id,
                 outcome: Outcome::Pong,
             }),
+            Response::Retained { id, seqs } => Ok(Reply {
+                id,
+                outcome: Outcome::Retained { seqs },
+            }),
+            Response::Data { id, data } => Ok(Reply {
+                id,
+                outcome: Outcome::Data { data },
+            }),
+            Response::Impact {
+                id,
+                stale,
+                impacted,
+            } => Ok(Reply {
+                id,
+                outcome: Outcome::Impact { stale, impacted },
+            }),
             Response::Err { code, msg } => Err(WireError::Rejected { code, msg }),
             Response::Welcome { .. } => Err(WireError::Malformed("welcome after handshake".into())),
         }
@@ -201,7 +237,85 @@ impl Client {
                 code: "busy".into(),
                 msg: format!("write queue depth {depth}"),
             }),
-            Outcome::Pong => Err(WireError::Malformed("pong answered an op".into())),
+            other @ (Outcome::Pong
+            | Outcome::Retained { .. }
+            | Outcome::Data { .. }
+            | Outcome::Impact { .. }) => {
+                Err(WireError::Malformed(format!("{other:?} answered an op")))
+            }
+        }
+    }
+
+    /// Sends one request and insists on the in-order reply for it.
+    fn round_trip(&mut self, req: &Request, id: u64) -> Result<Outcome, WireError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let reply = self.recv_reply()?;
+        if reply.id != id {
+            return Err(WireError::Malformed(format!(
+                "reply for id {}, expected {id}",
+                reply.id
+            )));
+        }
+        Ok(reply.outcome)
+    }
+
+    /// Asks which commit seqs the server's retention ring holds.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a non-`retained` answer is a protocol
+    /// violation.
+    pub fn history_retained(&mut self) -> Result<Vec<u64>, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.round_trip(&Request::HistoryRetained { id }, id)? {
+            Outcome::Retained { seqs } => Ok(seqs),
+            other => Err(WireError::Malformed(format!(
+                "expected retained, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads one design object version from the retained snapshot at
+    /// `seq`, visibility-scoped to this session's bound user.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; engine rejections (unretained seq, unknown
+    /// dov, visibility) are folded into [`WireError::Rejected`].
+    pub fn history_read(&mut self, seq: u64, dov: u64) -> Result<Vec<u8>, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.round_trip(&Request::HistoryRead { id, seq, dov }, id)? {
+            Outcome::Data { data } => Ok(data),
+            Outcome::Failed { kind, msg } => Err(WireError::Rejected { code: kind, msg }),
+            other => Err(WireError::Malformed(format!(
+                "expected data, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Evaluates the impact query on the retained snapshot at `seq`:
+    /// the full stale derivation cone of `cv` plus the FMCAD-mirrored
+    /// subset.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; engine rejections are folded into
+    /// [`WireError::Rejected`].
+    pub fn history_impact(
+        &mut self,
+        seq: u64,
+        cv: u64,
+    ) -> Result<(Vec<u64>, Vec<Impacted>), WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.round_trip(&Request::HistoryImpact { id, seq, cv }, id)? {
+            Outcome::Impact { stale, impacted } => Ok((stale, impacted)),
+            Outcome::Failed { kind, msg } => Err(WireError::Rejected { code: kind, msg }),
+            other => Err(WireError::Malformed(format!(
+                "expected impact, got {other:?}"
+            ))),
         }
     }
 

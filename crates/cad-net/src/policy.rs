@@ -66,7 +66,8 @@ pub fn op_actor(op: &Op) -> OpActor<'_> {
         | Op::CreateConfiguration { user, .. }
         | Op::CreateConfigVersion { user, .. }
         | Op::ExportConfig { user, .. }
-        | Op::RunLvs { user, .. } => OpActor::Id(*user),
+        | Op::RunLvs { user, .. }
+        | Op::MergeForward { user, .. } => OpActor::Id(*user),
         // Out-of-band FMCAD ops embedding an FMCAD-side user name.
         Op::FmcadCheckout { user, .. }
         | Op::FmcadCheckin { user, .. }

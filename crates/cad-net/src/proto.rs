@@ -24,6 +24,18 @@
 //! their canonical one-line forms, hex-armoured into a single field,
 //! so the wire vocabulary automatically covers the engine's complete
 //! command set.
+//!
+//! # History requests
+//!
+//! The time-travel layer adds three read-only requests that never
+//! touch the write path: `history-retained` (which commit seqs the
+//! retention ring holds), `history-read` (one design object version's
+//! data from a retained snapshot, visibility-scoped to the session
+//! user) and `history-impact` (the stale derivation cone under a cell
+//! version plus its FMCAD-mirrored subset). A seq outside the ring is
+//! answered with a normal `fail` frame carrying the engine's
+//! `seq-unreachable` error, so clients can discover the nearest
+//! retained boundary from the message.
 
 use std::io::{self, Read, Write};
 
@@ -192,6 +204,34 @@ pub enum Request {
         /// The correlation id echoed in the response.
         id: u64,
     },
+    /// Asks which commit seqs the backend's retention ring holds;
+    /// answered with `retained`.
+    HistoryRetained {
+        /// The correlation id echoed in the response.
+        id: u64,
+    },
+    /// Reads one design object version from the retained snapshot at
+    /// `seq`, visibility-scoped to the session's bound user; answered
+    /// with `data` or `fail`.
+    HistoryRead {
+        /// The correlation id echoed in the response.
+        id: u64,
+        /// The retained commit sequence to read at.
+        seq: u64,
+        /// The design object version, raw id form.
+        dov: u64,
+    },
+    /// Evaluates the impact query on the retained snapshot at `seq`;
+    /// answered with `impact` or `fail`.
+    HistoryImpact {
+        /// The correlation id echoed in the response.
+        id: u64,
+        /// The retained commit sequence to query at.
+        seq: u64,
+        /// The cell version whose derivation cone is queried, raw id
+        /// form.
+        cv: u64,
+    },
     /// A clean goodbye; the server closes after draining.
     Bye,
 }
@@ -209,6 +249,25 @@ impl Request {
                 &[("id", id.to_string()), ("op", hex(op.to_line().as_bytes()))],
             ),
             Request::Ping { id } => assemble("ping", &[("id", id.to_string())]),
+            Request::HistoryRetained { id } => {
+                assemble("history-retained", &[("id", id.to_string())])
+            }
+            Request::HistoryRead { id, seq, dov } => assemble(
+                "history-read",
+                &[
+                    ("id", id.to_string()),
+                    ("seq", seq.to_string()),
+                    ("dov", dov.to_string()),
+                ],
+            ),
+            Request::HistoryImpact { id, seq, cv } => assemble(
+                "history-impact",
+                &[
+                    ("id", id.to_string()),
+                    ("seq", seq.to_string()),
+                    ("cv", cv.to_string()),
+                ],
+            ),
             Request::Bye => "bye".to_owned(),
         }
     }
@@ -240,10 +299,107 @@ impl Request {
             "ping" => Ok(Request::Ping {
                 id: f.u64("id").map_err(WireError::Malformed)?,
             }),
+            "history-retained" => Ok(Request::HistoryRetained {
+                id: f.u64("id").map_err(WireError::Malformed)?,
+            }),
+            "history-read" => Ok(Request::HistoryRead {
+                id: f.u64("id").map_err(WireError::Malformed)?,
+                seq: f.u64("seq").map_err(WireError::Malformed)?,
+                dov: f.u64("dov").map_err(WireError::Malformed)?,
+            }),
+            "history-impact" => Ok(Request::HistoryImpact {
+                id: f.u64("id").map_err(WireError::Malformed)?,
+                seq: f.u64("seq").map_err(WireError::Malformed)?,
+                cv: f.u64("cv").map_err(WireError::Malformed)?,
+            }),
             "bye" => Ok(Request::Bye),
             other => Err(WireError::Malformed(format!("unknown request {other:?}"))),
         }
     }
+}
+
+/// One FMCAD-mirrored cellview in an `impact` response: the stale
+/// design object version plus the mirror coordinates a designer needs
+/// to find it on the slave side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Impacted {
+    /// The stale design object version, raw id form.
+    pub dov: u64,
+    /// The mirrored cellview version number.
+    pub version: u32,
+    /// The FMCAD library (mapped from the JCF project).
+    pub library: String,
+    /// The FMCAD cell (mapped from the JCF cell version).
+    pub cell: String,
+    /// The FMCAD view (mapped from the JCF viewtype).
+    pub view: String,
+}
+
+/// Encodes a seq list as `1,2,3`; an empty list is the empty string.
+fn enc_u64_list(seqs: &[u64]) -> String {
+    seqs.iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a `1,2,3` seq list; the empty string is the empty list.
+fn parse_u64_list(raw: &str) -> Result<Vec<u64>, String> {
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|s| s.parse().map_err(|_| format!("bad number {s:?} in list")))
+        .collect()
+}
+
+/// Encodes impacted items as `dov:version:lib:cell:view` (strings
+/// hex-armoured) joined with `;`; an empty list is the empty string.
+fn enc_impacted(items: &[Impacted]) -> String {
+    items
+        .iter()
+        .map(|i| {
+            format!(
+                "{}:{}:{}:{}:{}",
+                i.dov,
+                i.version,
+                enc_str(&i.library),
+                enc_str(&i.cell),
+                enc_str(&i.view)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses the `enc_impacted` form back.
+fn parse_impacted(raw: &str) -> Result<Vec<Impacted>, String> {
+    fn dearmour(part: &str) -> Result<String, String> {
+        String::from_utf8(unhex(part).ok_or("bad hex in impacted item")?)
+            .map_err(|_| "impacted item is not utf-8".to_owned())
+    }
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(';')
+        .map(|item| {
+            let parts: Vec<&str> = item.split(':').collect();
+            let [dov, version, library, cell, view] = parts[..] else {
+                return Err(format!("bad impacted item {item:?}"));
+            };
+            Ok(Impacted {
+                dov: dov
+                    .parse()
+                    .map_err(|_| format!("bad dov in impacted item {item:?}"))?,
+                version: version
+                    .parse()
+                    .map_err(|_| format!("bad version in impacted item {item:?}"))?,
+                library: dearmour(library)?,
+                cell: dearmour(cell)?,
+                view: dearmour(view)?,
+            })
+        })
+        .collect()
 }
 
 /// A server-to-client message.
@@ -291,6 +447,31 @@ pub enum Response {
     Pong {
         /// The correlation id of the request.
         id: u64,
+    },
+    /// The answer to a `history-retained`: the commit seqs the
+    /// retention ring currently holds, ascending, pins included.
+    Retained {
+        /// The correlation id of the request.
+        id: u64,
+        /// The retained commit seqs, ascending.
+        seqs: Vec<u64>,
+    },
+    /// The answer to a successful `history-read`: the design data
+    /// bytes from the retained snapshot.
+    Data {
+        /// The correlation id of the request.
+        id: u64,
+        /// The design data payload.
+        data: Vec<u8>,
+    },
+    /// The answer to a successful `history-impact`.
+    Impact {
+        /// The correlation id of the request.
+        id: u64,
+        /// The full stale derivation cone, raw dov ids, ascending.
+        stale: Vec<u64>,
+        /// The FMCAD-mirrored subset with mirror coordinates.
+        impacted: Vec<Impacted>,
     },
     /// A terminal protocol error; the server closes after sending it.
     Err {
@@ -341,6 +522,25 @@ impl Response {
                 &[("id", id.to_string()), ("depth", depth.to_string())],
             ),
             Response::Pong { id } => assemble("pong", &[("id", id.to_string())]),
+            Response::Retained { id, seqs } => assemble(
+                "retained",
+                &[("id", id.to_string()), ("seqs", enc_u64_list(seqs))],
+            ),
+            Response::Data { id, data } => {
+                assemble("data", &[("id", id.to_string()), ("data", hex(data))])
+            }
+            Response::Impact {
+                id,
+                stale,
+                impacted,
+            } => assemble(
+                "impact",
+                &[
+                    ("id", id.to_string()),
+                    ("stale", enc_u64_list(stale)),
+                    ("impacted", enc_impacted(impacted)),
+                ],
+            ),
             Response::Err { code, msg } => {
                 assemble("err", &[("code", code.clone()), ("msg", enc_str(msg))])
             }
@@ -385,6 +585,25 @@ impl Response {
             }),
             "pong" => Ok(Response::Pong {
                 id: f.u64("id").map_err(WireError::Malformed)?,
+            }),
+            "retained" => Ok(Response::Retained {
+                id: f.u64("id").map_err(WireError::Malformed)?,
+                seqs: parse_u64_list(f.get("seqs").map_err(WireError::Malformed)?)
+                    .map_err(WireError::Malformed)?,
+            }),
+            "data" => {
+                let id = f.u64("id").map_err(WireError::Malformed)?;
+                let armoured = f.get("data").map_err(WireError::Malformed)?;
+                let data = unhex(armoured)
+                    .ok_or_else(|| WireError::Malformed("bad hex in \"data\"".to_owned()))?;
+                Ok(Response::Data { id, data })
+            }
+            "impact" => Ok(Response::Impact {
+                id: f.u64("id").map_err(WireError::Malformed)?,
+                stale: parse_u64_list(f.get("stale").map_err(WireError::Malformed)?)
+                    .map_err(WireError::Malformed)?,
+                impacted: parse_impacted(f.get("impacted").map_err(WireError::Malformed)?)
+                    .map_err(WireError::Malformed)?,
             }),
             "err" => Ok(Response::Err {
                 code: f.get("code").map_err(WireError::Malformed)?.to_owned(),
@@ -451,6 +670,17 @@ mod tests {
                 op: Op::CreateProject { name: "p".into() },
             },
             Request::Ping { id: 9 },
+            Request::HistoryRetained { id: 10 },
+            Request::HistoryRead {
+                id: 11,
+                seq: 42,
+                dov: 7,
+            },
+            Request::HistoryImpact {
+                id: 12,
+                seq: u64::MAX,
+                cv: 3,
+            },
             Request::Bye,
         ];
         for req in reqs {
@@ -470,6 +700,47 @@ mod tests {
             },
             Response::Busy { id: 5, depth: 900 },
             Response::Pong { id: 6 },
+            Response::Retained {
+                id: 7,
+                seqs: vec![0, 8, u64::MAX],
+            },
+            Response::Retained {
+                id: 8,
+                seqs: vec![],
+            },
+            Response::Data {
+                id: 9,
+                data: b"netlist adder\n".to_vec(),
+            },
+            Response::Data {
+                id: 10,
+                data: vec![],
+            },
+            Response::Impact {
+                id: 11,
+                stale: vec![3, 4],
+                impacted: vec![
+                    Impacted {
+                        dov: 3,
+                        version: 2,
+                        library: "alu16".into(),
+                        cell: "adder|=:;odd".into(),
+                        view: "layout".into(),
+                    },
+                    Impacted {
+                        dov: 4,
+                        version: 1,
+                        library: "".into(),
+                        cell: "c".into(),
+                        view: "v".into(),
+                    },
+                ],
+            },
+            Response::Impact {
+                id: 12,
+                stale: vec![],
+                impacted: vec![],
+            },
             Response::Err {
                 code: "proto".into(),
                 msg: "bad frame".into(),
@@ -477,6 +748,30 @@ mod tests {
         ];
         for resp in resps {
             assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_history_payloads_are_rejected() {
+        for line in [
+            "history-read|id=1|seq=zz|dov=2",
+            "history-impact|id=1|seq=0",
+        ] {
+            assert!(
+                matches!(Request::parse(line), Err(WireError::Malformed(_))),
+                "{line:?} should be rejected"
+            );
+        }
+        for line in [
+            "retained|id=1|seqs=1,,2",
+            "impact|id=1|stale=|impacted=3:1:zz:63:76",
+            "impact|id=1|stale=|impacted=3:1:6c",
+            "data|id=1|data=0g",
+        ] {
+            assert!(
+                matches!(Response::parse(line), Err(WireError::Malformed(_))),
+                "{line:?} should be rejected"
+            );
         }
     }
 }

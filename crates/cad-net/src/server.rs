@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hybrid::Op;
-use jcf::UserId;
+use jcf::{CellVersionId, DovId, UserId};
 
 use crate::backend::Backend;
 use crate::policy::permits;
@@ -97,6 +97,7 @@ struct NetStats {
     frames_out: AtomicU64,
     ops_ok: AtomicU64,
     ops_failed: AtomicU64,
+    history_queries: AtomicU64,
     busy: AtomicU64,
     identity_rejections: AtomicU64,
     protocol_errors: AtomicU64,
@@ -124,6 +125,10 @@ pub struct NetStatsView {
     pub ops_ok: u64,
     /// Ops the engine rejected.
     pub ops_failed: u64,
+    /// History requests served off retained snapshots (never the
+    /// write path): `history-retained`, `history-read`,
+    /// `history-impact`.
+    pub history_queries: u64,
     /// Ops answered `busy` without being executed.
     pub busy: u64,
     /// Ops rejected by the session identity policy.
@@ -148,6 +153,7 @@ impl NetStats {
             frames_out: self.frames_out.load(Ordering::Relaxed),
             ops_ok: self.ops_ok.load(Ordering::Relaxed),
             ops_failed: self.ops_failed.load(Ordering::Relaxed),
+            history_queries: self.history_queries.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
             identity_rejections: self.identity_rejections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
@@ -293,6 +299,19 @@ enum Work {
     },
     Ping {
         id: u64,
+    },
+    HistoryRetained {
+        id: u64,
+    },
+    HistoryRead {
+        id: u64,
+        seq: u64,
+        dov: u64,
+    },
+    HistoryImpact {
+        id: u64,
+        seq: u64,
+        cv: u64,
     },
     /// The reader hit a terminal condition; the executor sends the
     /// `err` frame (if any) after draining earlier responses, then
@@ -508,6 +527,21 @@ fn reader_loop(
                     return;
                 }
             }
+            Ok(Request::HistoryRetained { id }) => {
+                if tx.send(Work::HistoryRetained { id }).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::HistoryRead { id, seq, dov }) => {
+                if tx.send(Work::HistoryRead { id, seq, dov }).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::HistoryImpact { id, seq, cv }) => {
+                if tx.send(Work::HistoryImpact { id, seq, cv }).is_err() {
+                    return;
+                }
+            }
             Ok(Request::Bye) => {
                 let _ = tx.send(Work::Terminal(None));
                 return;
@@ -586,6 +620,48 @@ fn executor_loop<B: Backend>(
                             }
                         }
                     }
+                }
+            }
+            Work::HistoryRetained { id } => {
+                stats.history_queries.fetch_add(1, Ordering::Relaxed);
+                Response::Retained {
+                    id,
+                    seqs: backend.retained_seqs(),
+                }
+            }
+            Work::HistoryRead { id, seq, dov } => {
+                stats.history_queries.fetch_add(1, Ordering::Relaxed);
+                match backend.history_read(identity.user, seq, DovId::from_raw(dov)) {
+                    Ok(data) => Response::Data { id, data },
+                    Err(e) => Response::Fail {
+                        id,
+                        kind: e.kind().to_owned(),
+                        msg: e.to_string(),
+                    },
+                }
+            }
+            Work::HistoryImpact { id, seq, cv } => {
+                stats.history_queries.fetch_add(1, Ordering::Relaxed);
+                match backend.history_impact(seq, CellVersionId::from_raw(cv)) {
+                    Ok((stale, impacted)) => Response::Impact {
+                        id,
+                        stale: stale.iter().map(|d| d.raw()).collect(),
+                        impacted: impacted
+                            .iter()
+                            .map(|(dov, mirror)| crate::proto::Impacted {
+                                dov: dov.raw(),
+                                version: mirror.version,
+                                library: mirror.library.clone(),
+                                cell: mirror.cell.clone(),
+                                view: mirror.view.clone(),
+                            })
+                            .collect(),
+                    },
+                    Err(e) => Response::Fail {
+                        id,
+                        kind: e.kind().to_owned(),
+                        msg: e.to_string(),
+                    },
                 }
             }
             Work::Terminal(terminal) => {

@@ -30,7 +30,7 @@ use crate::future::FutureFeatures;
 ///
 /// Obtained from [`Engine::builder`]; every knob has the same default
 /// as a plain `Engine::new()`, so `Engine::builder().build()` is the
-/// fully-defaulted installation. Unlike the deprecated post-hoc
+/// fully-defaulted installation. Unlike the retired post-hoc
 /// setters, builder configuration happens *before* the bootstrap is
 /// observable and is therefore never journaled: two engines built with
 /// the same configuration replay identically from sequence number 0.
@@ -193,14 +193,21 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_setters_still_work_as_journaled_shims() {
-        #[allow(deprecated)]
-        {
-            let mut en = Engine::new();
-            en.set_staging_mode(StagingMode::DeepCopy).unwrap();
-            en.set_future_features(FutureFeatures::all()).unwrap();
-            assert_eq!(en.seq(), 2, "the shims journal like before");
-            assert_eq!(en.staging_mode(), StagingMode::DeepCopy);
-        }
+    fn retired_setter_ops_stay_replayable() {
+        // The post-hoc setter methods are gone; their journaled `Op`
+        // variants remain applyable so journals written by older
+        // releases keep replaying to the same state.
+        let mut en = Engine::new();
+        en.apply(Op::SetStagingMode {
+            mode: StagingMode::DeepCopy,
+        })
+        .unwrap();
+        en.apply(Op::SetFutureFeatures {
+            features: FutureFeatures::all(),
+        })
+        .unwrap();
+        assert_eq!(en.seq(), 2, "the replay-only ops journal like before");
+        assert_eq!(en.staging_mode(), StagingMode::DeepCopy);
+        assert!(en.future_features().procedural_interface);
     }
 }

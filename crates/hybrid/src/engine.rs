@@ -30,7 +30,7 @@ use jcf::{
 use crate::consistency::ConsistencyFinding;
 use crate::encapsulation::{ToolOutput, ToolSession};
 use crate::error::{HybridError, HybridResult};
-use crate::events::{CounterSink, Event, EventSink, JournalEntry, TraceSink};
+use crate::events::{CounterSink, Event, EventSink, JournalEntry, MergeConflict, TraceSink};
 use crate::framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, BOOTSTRAP_SCRIPT};
 use crate::future::FutureFeatures;
 use crate::import::ImportReport;
@@ -237,16 +237,6 @@ impl Engine {
         &self.counters
     }
 
-    /// Subscribes an additional [`EventSink`]; it is notified after
-    /// the built-in sinks, in subscription order.
-    #[deprecated(
-        since = "0.4.0",
-        note = "register sinks at construction with `Engine::builder().sink(..)`"
-    )]
-    pub fn subscribe(&mut self, sink: Box<dyn EventSink + Send>) {
-        self.extra.push(sink);
-    }
-
     /// Applies one operation: executes it against the coupled
     /// frameworks, journals it (success or failure — failed ops can
     /// have partial effects, e.g. a started activity execution, that a
@@ -385,6 +375,70 @@ impl Engine {
             Op::MarkEquivalent { a, b } => {
                 hy.jcf.mark_equivalent(*a, *b)?;
                 Ok(Event::MarkedEquivalent(*a, *b))
+            }
+            Op::MergeForward {
+                user,
+                cv,
+                base_seq: _,
+                expected,
+                writes,
+            } => {
+                // Reject inconsistent workspaces before touching any
+                // state: every staged write must target a design
+                // object that lives under the merged cell version.
+                for (design_object, _) in writes {
+                    let variant = hy
+                        .jcf
+                        .variant_of_design_object(*design_object)
+                        .map_err(|e| HybridError::Merge(format!("staged write: {e}")))?;
+                    let owner = hy
+                        .jcf
+                        .cell_version_of(variant)
+                        .map_err(|e| HybridError::Merge(format!("staged write: {e}")))?;
+                    if owner != *cv {
+                        return Err(HybridError::Merge(format!(
+                            "staged write to {design_object} which belongs to {owner}, not {cv}"
+                        )));
+                    }
+                }
+                // Conflict detection is a pure read: a reservation held
+                // by someone else first, then every design object that
+                // advanced past its branch-point version count, in the
+                // workspace's staging order.
+                let mut conflicts = Vec::new();
+                if let Some(holder) = hy.jcf.reserver(*cv) {
+                    if holder != *user {
+                        conflicts.push(MergeConflict::ReservedByOther { holder });
+                    }
+                }
+                for (design_object, expected_count) in expected {
+                    let found = hy.jcf.versions_of_design_object(*design_object).len() as u32;
+                    if found != *expected_count {
+                        conflicts.push(MergeConflict::DesignObjectAdvanced {
+                            design_object: *design_object,
+                            expected: *expected_count,
+                            found,
+                        });
+                    }
+                }
+                if !conflicts.is_empty() {
+                    return Ok(Event::MergeConflict { cv: *cv, conflicts });
+                }
+                // Clean merge: one atomic reserve → write → publish.
+                let already_holder = hy.jcf.reserver(*cv) == Some(*user);
+                if !already_holder {
+                    hy.jcf.reserve(*user, *cv)?;
+                }
+                let mut dovs = Vec::with_capacity(writes.len());
+                for (design_object, data) in writes {
+                    dovs.push(hy.jcf.add_design_object_version(
+                        *user,
+                        *design_object,
+                        data.clone(),
+                    )?);
+                }
+                hy.jcf.publish(*user, *cv)?;
+                Ok(Event::MergeApplied { cv: *cv, dovs })
             }
             Op::RunActivity {
                 user,
@@ -1035,42 +1089,6 @@ impl Engine {
             Event::LvsRun(report) => Ok(report),
             other => Self::unreachable_event(other),
         }
-    }
-
-    /// Switches the future-work feature set.
-    ///
-    /// Unlike builder configuration, this shim journals a
-    /// [`Op::SetFutureFeatures`] entry; the op variant stays so that
-    /// journals written by older releases keep replaying.
-    ///
-    /// # Errors
-    ///
-    /// Infallible today; journaling keeps the signature fallible.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `Engine::builder().future_features(..)`"
-    )]
-    pub fn set_future_features(&mut self, features: FutureFeatures) -> HybridResult<()> {
-        self.apply(Op::SetFutureFeatures { features })?;
-        Ok(())
-    }
-
-    /// Switches how design data moves through the staging area.
-    ///
-    /// Unlike builder configuration, this shim journals a
-    /// [`Op::SetStagingMode`] entry; the op variant stays so that
-    /// journals written by older releases keep replaying.
-    ///
-    /// # Errors
-    ///
-    /// Infallible today; journaling keeps the signature fallible.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `Engine::builder().staging_mode(..)`"
-    )]
-    pub fn set_staging_mode(&mut self, mode: StagingMode) -> HybridResult<()> {
-        self.apply(Op::SetStagingMode { mode })?;
-        Ok(())
     }
 
     /// Imports an uncoupled FMCAD library into the master (Table 1).
@@ -2062,36 +2080,6 @@ pub struct RecoveryReport {
 }
 
 impl Engine {
-    /// Writes a full checkpoint into `dir` of the `backup` file
-    /// system: the OMS database image, the shared file system image,
-    /// the coupling state, and an (empty) ops journal tail. The
-    /// in-memory journal is cleared — ops applied afterwards land in
-    /// the tail that [`Engine::sync_journal`] persists.
-    ///
-    /// Reading the live file system charges its meter; the image
-    /// records the meter *after* the walk, so a restored engine resumes
-    /// with exactly the live instance's charges.
-    ///
-    /// The checkpoint is a *group commit*: all four files are first
-    /// staged in full at sibling `*.tmp` paths (the only writes that
-    /// can fail), then renamed into place back-to-back — metadata-only
-    /// moves that cannot tear. A crash anywhere during staging leaves
-    /// every destination file exactly as the previous commit wrote it,
-    /// and the in-memory journal is cleared only after the commit, so
-    /// a failed checkpoint loses nothing.
-    ///
-    /// # Errors
-    ///
-    /// Returns image encoding and backup file system errors.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `checkpoint()`, which writes O(Δ) delta checkpoints once a base exists; \
-                `checkpoint_to` now forces a full rebase of the chain"
-    )]
-    pub fn checkpoint_to(&mut self, backup: &mut Vfs, dir: &VfsPath) -> HybridResult<()> {
-        self.checkpoint_full(backup, dir)
-    }
-
     /// Checkpoints the engine into `dir` of the `backup` file system,
     /// doing **O(Δ) work**: the first call (per directory) writes a
     /// full base image; every later call writes a *delta checkpoint* —

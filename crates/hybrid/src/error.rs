@@ -83,6 +83,13 @@ pub enum HybridError {
         /// The closest boundary the chain could have restored instead.
         reachable: u64,
     },
+    /// A branch workspace merge was rejected before any mutation: a
+    /// staged write targets a design object outside the merged cell
+    /// version, or the workspace is otherwise inconsistent with the
+    /// head it is merging into. (Concurrent-edit conflicts are *not*
+    /// errors — they come back as a
+    /// [`MergeConflict`](crate::Event::MergeConflict) event.)
+    Merge(String),
 }
 
 impl fmt::Display for HybridError {
@@ -123,6 +130,7 @@ impl fmt::Display for HybridError {
                 "sequence {requested} is not reachable from the persisted chain \
                  (closest boundary: {reachable})"
             ),
+            HybridError::Merge(what) => write!(f, "merge: {what}"),
         }
     }
 }
@@ -147,13 +155,8 @@ impl HybridError {
             HybridError::ShardRouting(_) => "shard-routing",
             HybridError::DeltaChain(_) => "delta-chain",
             HybridError::SeqUnreachable { .. } => "seq-unreachable",
+            HybridError::Merge(_) => "merge",
         }
-    }
-
-    /// The stable kind name of this error (failure-counter key).
-    #[deprecated(since = "0.4.0", note = "renamed to `kind()`")]
-    pub fn kind_name(&self) -> &'static str {
-        self.kind()
     }
 }
 

@@ -70,6 +70,27 @@ pub enum Event {
     DovAdded(DovId),
     /// Two design object versions were marked equivalent.
     MarkedEquivalent(DovId, DovId),
+    /// A branch workspace merged forward cleanly; carries the versions
+    /// it published.
+    MergeApplied {
+        /// The cell version merged into.
+        cv: CellVersionId,
+        /// The design object versions the merge created.
+        dovs: Vec<DovId>,
+    },
+    /// A branch workspace could not merge forward; nothing changed.
+    ///
+    /// This is a *successful* op outcome — the conflict set is the
+    /// answer, journaled and replayed like any other event — so a
+    /// conflicted merge never poisons the journal with partial state.
+    MergeConflict {
+        /// The cell version the merge targeted.
+        cv: CellVersionId,
+        /// Every conflict found, in deterministic order: a reservation
+        /// conflict first, then design-object conflicts in the
+        /// workspace's staging order.
+        conflicts: Vec<MergeConflict>,
+    },
     /// An encapsulated activity ran; carries the versions it created.
     ActivityRun {
         /// The design object versions the run produced.
@@ -121,6 +142,27 @@ pub enum Event {
     FmcadFileWritten,
 }
 
+/// One reason a [`Workspace`](crate::Workspace) merge could not go
+/// forward, carried by [`Event::MergeConflict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeConflict {
+    /// The target cell version is reserved by another designer.
+    ReservedByOther {
+        /// The designer currently holding the reservation.
+        holder: UserId,
+    },
+    /// A design object gained versions since the workspace's branch
+    /// point, so the staged write would silently overwrite them.
+    DesignObjectAdvanced {
+        /// The design object that moved.
+        design_object: DesignObjectId,
+        /// The version count recorded at the branch point.
+        expected: u32,
+        /// The version count found at merge time.
+        found: u32,
+    },
+}
+
 impl Event {
     /// The stable kind name of this event.
     pub fn kind_name(&self) -> &'static str {
@@ -147,6 +189,8 @@ impl Event {
             Event::DesignObjectCreated(_) => "design-object-created",
             Event::DovAdded(_) => "dov-added",
             Event::MarkedEquivalent(..) => "marked-equivalent",
+            Event::MergeApplied { .. } => "merge-applied",
+            Event::MergeConflict { .. } => "merge-conflict",
             Event::ActivityRun { .. } => "activity-run",
             Event::Browsed { .. } => "browsed",
             Event::DesignDataRead { .. } => "design-data-read",
@@ -278,6 +322,63 @@ fn parse_lvs(f: &Fields<'_>) -> Result<LvsReport, String> {
     })
 }
 
+fn enc_conflicts(conflicts: &[MergeConflict]) -> String {
+    conflicts
+        .iter()
+        .map(|c| match c {
+            MergeConflict::ReservedByOther { holder } => format!("r:{}", holder.raw()),
+            MergeConflict::DesignObjectAdvanced {
+                design_object,
+                expected,
+                found,
+            } => format!("a:{}:{expected}:{found}", design_object.raw()),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn parse_conflicts(f: &Fields<'_>) -> Result<Vec<MergeConflict>, String> {
+    let raw = f.get("conflicts")?;
+    let mut conflicts = Vec::new();
+    if !raw.is_empty() {
+        for entry in raw.split(';') {
+            let (tag, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| "bad merge conflict".to_owned())?;
+            conflicts.push(match tag {
+                "r" => MergeConflict::ReservedByOther {
+                    holder: UserId::from_raw(
+                        rest.parse().map_err(|_| "bad conflict holder".to_owned())?,
+                    ),
+                },
+                "a" => {
+                    let mut parts = rest.splitn(3, ':');
+                    let design_object = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .map(DesignObjectId::from_raw)
+                        .ok_or_else(|| "bad conflict design object".to_owned())?;
+                    let expected = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| "bad conflict expected count".to_owned())?;
+                    let found = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| "bad conflict found count".to_owned())?;
+                    MergeConflict::DesignObjectAdvanced {
+                        design_object,
+                        expected,
+                        found,
+                    }
+                }
+                other => return Err(format!("unknown merge conflict tag {other:?}")),
+            });
+        }
+    }
+    Ok(conflicts)
+}
+
 fn enc_standard_flow(flow: &StandardFlow) -> Vec<(&'static str, String)> {
     vec![
         ("flow", flow.flow.raw().to_string()),
@@ -338,6 +439,14 @@ impl Event {
                 f.push(("b", b.raw().to_string()));
             }
             Event::ActivityRun { dovs } => f.push(("dovs", enc_ids(dovs, DovId::raw))),
+            Event::MergeApplied { cv, dovs } => {
+                f.push(("cv", cv.raw().to_string()));
+                f.push(("dovs", enc_ids(dovs, DovId::raw)));
+            }
+            Event::MergeConflict { cv, conflicts } => {
+                f.push(("cv", cv.raw().to_string()));
+                f.push(("conflicts", enc_conflicts(conflicts)));
+            }
             Event::Browsed { data } | Event::DesignDataRead { data } => {
                 f.push(("data", enc_blob(data)));
             }
@@ -419,6 +528,14 @@ impl Event {
             }
             "activity-run" => Event::ActivityRun {
                 dovs: f.ids("dovs", DovId::from_raw)?,
+            },
+            "merge-applied" => Event::MergeApplied {
+                cv: f.id("cv", CellVersionId::from_raw)?,
+                dovs: f.ids("dovs", DovId::from_raw)?,
+            },
+            "merge-conflict" => Event::MergeConflict {
+                cv: f.id("cv", CellVersionId::from_raw)?,
+                conflicts: parse_conflicts(&f)?,
             },
             "browsed" => Event::Browsed {
                 data: f.blob("data")?,
@@ -638,6 +755,27 @@ mod tests {
                 dovs: vec![DovId::from_raw(0), DovId::from_raw(u64::MAX)],
             },
             Event::ActivityRun { dovs: vec![] },
+            Event::MergeApplied {
+                cv: CellVersionId::from_raw(13),
+                dovs: vec![DovId::from_raw(17), DovId::from_raw(18)],
+            },
+            Event::MergeConflict {
+                cv: CellVersionId::from_raw(13),
+                conflicts: vec![
+                    MergeConflict::ReservedByOther {
+                        holder: UserId::from_raw(4),
+                    },
+                    MergeConflict::DesignObjectAdvanced {
+                        design_object: DesignObjectId::from_raw(16),
+                        expected: 2,
+                        found: 5,
+                    },
+                ],
+            },
+            Event::MergeConflict {
+                cv: CellVersionId::from_raw(13),
+                conflicts: vec![],
+            },
             Event::Browsed {
                 data: (0u8..=255).collect::<Vec<_>>().into(),
             },
@@ -685,6 +823,7 @@ mod tests {
         assert!(Event::parse_line("no-such-event|id=1").is_err());
         assert!(Event::parse_line("user-added|id=zz").is_err());
         assert!(Event::parse_line("lvs-run|matched=1|violations=warp:00").is_err());
+        assert!(Event::parse_line("merge-conflict|cv=1|conflicts=z:0").is_err());
     }
 
     #[test]

@@ -81,6 +81,7 @@ mod error;
 mod events;
 mod framework;
 mod future;
+mod history;
 mod import;
 pub mod mapping;
 mod ops;
@@ -94,15 +95,18 @@ pub use consistency::ConsistencyFinding;
 pub use encapsulation::{ToolOutput, ToolSession, STAGING_ROOT};
 pub use engine::{BaseImage, Engine, RecoveryReport};
 pub use error::{HybridError, HybridResult};
-pub use events::{CounterSink, Event, EventSink, JournalEntry, TraceSink, TRACE_CAPACITY};
+pub use events::{
+    CounterSink, Event, EventSink, JournalEntry, MergeConflict, TraceSink, TRACE_CAPACITY,
+};
 pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};
 pub use future::FutureFeatures;
+pub use history::{HistoryView, RetentionPolicy, Workspace};
 pub use import::ImportReport;
 pub use ops::Op;
 pub use release::ExportManifest;
 pub use service::{Service, ServiceStats, Session};
 pub use shard::{
-    shard_of_name, RouterView, ShardLaneStats, ShardStats, ShardView, ShardedService,
-    ShardedServiceBuilder, ShardedSession, VIRT_BASE,
+    shard_of_name, RouterView, ShardHistoryView, ShardLaneStats, ShardStats, ShardView,
+    ShardedService, ShardedServiceBuilder, ShardedSession, VIRT_BASE,
 };
 pub use snapshot::Snapshot;

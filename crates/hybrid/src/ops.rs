@@ -207,6 +207,28 @@ pub enum Op {
         /// The other version.
         b: DovId,
     },
+    /// Merge a branch workspace forward into the current head: one
+    /// atomic reserve → write → publish against a cell version, with
+    /// optimistic conflict detection against the recorded branch
+    /// point. The op *succeeds* with either
+    /// [`Event::MergeApplied`](crate::Event::MergeApplied) (state
+    /// changed) or
+    /// [`Event::MergeConflict`](crate::Event::MergeConflict) (typed
+    /// conflicts, no state change), so a replay reproduces the same
+    /// outcome deterministically.
+    MergeForward {
+        /// The merging designer.
+        user: UserId,
+        /// The cell version merged into.
+        cv: CellVersionId,
+        /// The retained commit sequence the workspace branched from.
+        base_seq: u64,
+        /// Per design object, the version count observed at the branch
+        /// point; a higher count at merge time is a conflict.
+        expected: Vec<(DesignObjectId, u32)>,
+        /// The staged writes: one new version per design object.
+        writes: Vec<(DesignObjectId, Blob)>,
+    },
     /// Run one encapsulated tool session as a JCF activity. The
     /// recorded `outputs` are what the tool produced (viewtype name,
     /// data); on replay they are fed back through the full §2.4
@@ -404,6 +426,7 @@ impl Op {
             Op::CreateDesignObject { .. } => "create-design-object",
             Op::AddDesignObjectVersion { .. } => "add-design-object-version",
             Op::MarkEquivalent { .. } => "mark-equivalent",
+            Op::MergeForward { .. } => "merge-forward",
             Op::RunActivity { .. } => "run-activity",
             Op::Browse { .. } => "browse",
             Op::ReadDesignData { .. } => "read-design-data",
@@ -461,6 +484,15 @@ impl Op {
                 data.len()
             ),
             Op::MarkEquivalent { a, b } => format!("mark-equivalent {a} {b}"),
+            Op::MergeForward {
+                cv,
+                base_seq,
+                writes,
+                ..
+            } => format!(
+                "merge-forward {cv} from seq {base_seq} ({} write(s))",
+                writes.len()
+            ),
             Op::RunActivity {
                 variant,
                 activity,
@@ -670,6 +702,29 @@ impl Op {
             Op::MarkEquivalent { a, b } => {
                 f.push(("a", a.raw().to_string()));
                 f.push(("b", b.raw().to_string()));
+            }
+            Op::MergeForward {
+                user,
+                cv,
+                base_seq,
+                expected,
+                writes,
+            } => {
+                f.push(("user", user.raw().to_string()));
+                f.push(("cv", cv.raw().to_string()));
+                f.push(("base_seq", base_seq.to_string()));
+                let exp = expected
+                    .iter()
+                    .map(|(d, n)| format!("{}:{}", d.raw(), n))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                f.push(("expected", exp));
+                let wr = writes
+                    .iter()
+                    .map(|(d, data)| format!("{}:{}", d.raw(), enc_blob(data)))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                f.push(("writes", wr));
             }
             Op::RunActivity {
                 user,
@@ -941,6 +996,44 @@ impl Op {
                 a: f.id("a", DovId::from_raw)?,
                 b: f.id("b", DovId::from_raw)?,
             },
+            "merge-forward" => {
+                let raw_expected = f.get("expected")?;
+                let mut expected = Vec::new();
+                if !raw_expected.is_empty() {
+                    for pair in raw_expected.split(';') {
+                        let (d, n) = pair
+                            .split_once(':')
+                            .ok_or_else(|| "bad expected pair".to_owned())?;
+                        let design_object = DesignObjectId::from_raw(
+                            d.parse().map_err(|_| "bad expected id".to_owned())?,
+                        );
+                        let count: u32 = n.parse().map_err(|_| "bad expected count".to_owned())?;
+                        expected.push((design_object, count));
+                    }
+                }
+                let raw_writes = f.get("writes")?;
+                let mut writes = Vec::new();
+                if !raw_writes.is_empty() {
+                    for pair in raw_writes.split(';') {
+                        let (d, data) = pair
+                            .split_once(':')
+                            .ok_or_else(|| "bad write pair".to_owned())?;
+                        let design_object = DesignObjectId::from_raw(
+                            d.parse().map_err(|_| "bad write id".to_owned())?,
+                        );
+                        let blob =
+                            Blob::from(unhex(data).ok_or_else(|| "bad write data hex".to_owned())?);
+                        writes.push((design_object, blob));
+                    }
+                }
+                Op::MergeForward {
+                    user: f.id("user", UserId::from_raw)?,
+                    cv: f.id("cv", CellVersionId::from_raw)?,
+                    base_seq: f.u64("base_seq")?,
+                    expected,
+                    writes,
+                }
+            }
             "run-activity" => {
                 let raw_outputs = f.get("outputs")?;
                 let mut outputs = Vec::new();
@@ -1178,6 +1271,26 @@ mod tests {
         round_trip(Op::MarkEquivalent {
             a: DovId::from_raw(17),
             b: DovId::from_raw(18),
+        });
+        round_trip(Op::MergeForward {
+            user: UserId::from_raw(3),
+            cv: CellVersionId::from_raw(13),
+            base_seq: 42,
+            expected: vec![
+                (DesignObjectId::from_raw(16), 2),
+                (DesignObjectId::from_raw(21), 1),
+            ],
+            writes: vec![
+                (DesignObjectId::from_raw(16), b"netlist y\n".to_vec().into()),
+                (DesignObjectId::from_raw(21), Blob::new()),
+            ],
+        });
+        round_trip(Op::MergeForward {
+            user: UserId::from_raw(3),
+            cv: CellVersionId::from_raw(13),
+            base_seq: 0,
+            expected: vec![],
+            writes: vec![],
         });
         round_trip(Op::RunActivity {
             user: UserId::from_raw(3),

@@ -48,6 +48,7 @@ use crate::engine::Engine;
 use crate::error::{HybridError, HybridResult};
 use crate::events::Event;
 use crate::framework::StandardFlow;
+use crate::history::{HistoryRing, HistoryView, MergeBackend, RetentionPolicy, Workspace};
 use crate::ops::Op;
 use crate::snapshot::Snapshot;
 
@@ -159,6 +160,10 @@ struct Inner {
     published_seq: AtomicU64,
     /// Per-session event queues, keyed by session id.
     subscribers: Mutex<Vec<(u64, EventQueue)>>,
+    /// The time-travel retention ring: recently published snapshots by
+    /// commit seq, plus pins (§15). Only writers touch it (once per
+    /// committed op); history reads clone an `Arc` out and leave.
+    history: Mutex<HistoryRing<Arc<Snapshot>>>,
     next_session: AtomicU64,
     stats: Stats,
     admin: UserId,
@@ -184,11 +189,20 @@ impl std::fmt::Debug for Service {
 
 impl Service {
     /// Wraps an engine (typically from [`Engine::builder`]) into a
-    /// service and publishes the initial snapshot.
+    /// service and publishes the initial snapshot. History is retained
+    /// under the default [`RetentionPolicy`]; use
+    /// [`Service::with_retention`] to pick another.
     pub fn new(engine: Engine) -> Service {
+        Service::with_retention(engine, RetentionPolicy::default())
+    }
+
+    /// Like [`Service::new`] with an explicit history retention policy.
+    pub fn with_retention(engine: Engine, policy: RetentionPolicy) -> Service {
         let admin = engine.admin();
         let seq = engine.seq();
         let snapshot = engine.snapshot();
+        let mut history = HistoryRing::new(policy);
+        history.observe(seq, Arc::clone(&snapshot));
         Service {
             inner: Arc::new(Inner {
                 engine: Mutex::new(engine),
@@ -199,6 +213,7 @@ impl Service {
                 snapshot: Mutex::new(snapshot),
                 published_seq: AtomicU64::new(seq),
                 subscribers: Mutex::new(Vec::new()),
+                history: Mutex::new(history),
                 next_session: AtomicU64::new(1),
                 stats: Stats::default(),
                 admin,
@@ -272,6 +287,7 @@ impl Service {
     pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
         let mut engine = lock(&self.inner.engine);
         let out = f(&mut engine);
+        lock(&self.inner.history).observe(engine.seq(), engine.snapshot());
         self.republish(&engine);
         out
     }
@@ -290,7 +306,7 @@ impl Service {
     }
 
     /// Submits one op on behalf of session `session`.
-    fn submit_from(&self, session: u64, op: Op) -> HybridResult<(u64, Event)> {
+    pub(crate) fn submit_from(&self, session: u64, op: Op) -> HybridResult<(u64, Event)> {
         let slot = Slot::new();
         let lead = {
             let mut queue = lock(&self.inner.queue);
@@ -347,6 +363,10 @@ impl Service {
                 if let Ok(event) = &result {
                     fanout.push((session, seq, event.clone()));
                 }
+                // Offer every committed seq to the retention ring —
+                // O(1) per op (the snapshot cache hands back one Arc
+                // per seq) and entirely off the read path.
+                lock(&self.inner.history).observe(seq, engine.snapshot());
                 results.push((slot, result.map(|event| (seq, event))));
             }
             // One republish and one fan-out per batch, not per op — and
@@ -383,6 +403,40 @@ impl Service {
 
     fn close_session(&self, id: u64) {
         lock(&self.inner.subscribers).retain(|(sid, _)| *sid != id);
+    }
+
+    // --- the time-travel surface (§15) ------------------------------------
+
+    /// The snapshot retained at exactly commit seq `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::SeqUnreachable`] (naming the closest
+    /// retained boundary) when `seq` was never retained or has been
+    /// evicted.
+    pub fn at(&self, seq: u64) -> HybridResult<Arc<Snapshot>> {
+        let history = lock(&self.inner.history);
+        history.get(seq).ok_or_else(|| history.unreachable(seq))
+    }
+
+    /// Pins a retained seq so it survives ring eviction until
+    /// [`Service::unpin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::SeqUnreachable`] for unretained seqs.
+    pub fn pin(&self, seq: u64) -> HybridResult<()> {
+        lock(&self.inner.history).pin(seq)
+    }
+
+    /// Drops a pin; returns whether one existed.
+    pub fn unpin(&self, seq: u64) -> bool {
+        lock(&self.inner.history).unpin(seq)
+    }
+
+    /// Every currently retained seq (ring and pins), sorted ascending.
+    pub fn retained_seqs(&self) -> Vec<u64> {
+        lock(&self.inner.history).retained()
     }
 }
 
@@ -459,9 +513,55 @@ impl Session {
     ///
     /// Returns whatever the op returns on the engine.
     pub fn apply(&self, op: Op) -> HybridResult<Event> {
-        self.service
-            .submit_from(self.id, op)
-            .map(|(_, event)| event)
+        self.apply_seq(op).map(|(_, event)| event)
+    }
+
+    /// Like [`Session::apply`], also returning the engine sequence
+    /// number the op committed at — the handle read-your-writes
+    /// time-travel needs: `let (seq, _) = s.apply_seq(op)?;
+    /// s.at(seq)?` sees exactly that write (given it was retained).
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the op returns on the engine.
+    pub fn apply_seq(&self, op: Op) -> HybridResult<(u64, Event)> {
+        self.service.submit_from(self.id, op)
+    }
+
+    /// This session's reads against the snapshot retained at commit
+    /// seq `seq` — time travel. The returned [`HistoryView`] answers
+    /// every zero-copy read of the live session at that fixed seq,
+    /// `&self`, without ever touching the write path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::SeqUnreachable`] when `seq` is not
+    /// retained (see [`Service::at`]).
+    pub fn at(&self, seq: u64) -> HybridResult<HistoryView> {
+        Ok(HistoryView::new(self.user, self.service.at(seq)?))
+    }
+
+    /// Opens a branch [`Workspace`] on `cv` against the snapshot
+    /// retained at `seq`. Unlike [`Session::reserve`], this takes no
+    /// lock on the head — the reservation happens atomically inside
+    /// [`Workspace::merge_forward`], and concurrent edits surface
+    /// there as typed [`Event::MergeConflict`] outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridError::SeqUnreachable`] when `seq` is not
+    /// retained.
+    pub fn reserve_at(&self, cv: CellVersionId, seq: u64) -> HybridResult<Workspace> {
+        let base = self.service.at(seq)?;
+        Ok(Workspace::open(
+            MergeBackend::Single {
+                service: self.service.clone(),
+                session: self.id,
+            },
+            self.user,
+            cv,
+            &base,
+        ))
     }
 
     /// Reads design data from the published snapshot: zero-copy, in

@@ -91,9 +91,10 @@ use oms::{PMap, PmapKey};
 
 use crate::engine::{Engine, RecoveryReport};
 use crate::error::{HybridError, HybridResult};
-use crate::events::Event;
-use crate::framework::{StagingMode, StandardFlow};
+use crate::events::{Event, MergeConflict};
+use crate::framework::{MirrorLocation, StagingMode, StandardFlow};
 use crate::future::FutureFeatures;
+use crate::history::{HistoryRing, RetentionPolicy, Workspace};
 use crate::ops::Op;
 use crate::snapshot::Snapshot;
 
@@ -117,6 +118,28 @@ const EPOCH_META: &str = "epoch.meta";
 /// whole service down).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The design objects `event` created implicitly (an activity's first
+/// output for a viewtype), shard-local ids in order of each object's
+/// first produced dov. An object is fresh exactly when its first
+/// version is one of the activity's dovs, so the answer — and the
+/// vid slots derived from it — cannot depend on the shard count.
+fn fresh_activity_objects(engine: &Engine, event: &Event) -> Vec<u64> {
+    let Event::ActivityRun { dovs } = event else {
+        return Vec::new();
+    };
+    let mut fresh = Vec::new();
+    for dov in dovs {
+        if let Ok(d) = engine.jcf().design_object_of(*dov) {
+            if engine.jcf().versions_of_design_object(d).first() == Some(dov)
+                && !fresh.contains(&d.raw())
+            {
+                fresh.push(d.raw());
+            }
+        }
+    }
+    fresh
 }
 
 /// FNV-1a 64, the router's placement and fingerprint hash.
@@ -485,6 +508,7 @@ impl ShardRouter {
             RunLvs { variant, .. } => self.plan_by_id(variant.raw())?,
             DeclareCompOf { cv, child, .. } => self.plan_cross(cv.raw(), child.raw())?,
             MarkEquivalent { a, b } => self.plan_cross(a.raw(), b.raw())?,
+            MergeForward { cv, .. } => self.plan_by_id(cv.raw())?,
         })
     }
 
@@ -637,6 +661,25 @@ impl ShardRouter {
             MarkEquivalent { a, b } => MarkEquivalent {
                 a: self.tr(*a, shard)?,
                 b: self.tr(*b, shard)?,
+            },
+            MergeForward {
+                user,
+                cv,
+                base_seq,
+                expected,
+                writes,
+            } => MergeForward {
+                user: self.tr(*user, shard)?,
+                cv: self.tr(*cv, shard)?,
+                base_seq: *base_seq,
+                expected: expected
+                    .iter()
+                    .map(|(d, n)| Ok((self.tr(*d, shard)?, *n)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                writes: writes
+                    .iter()
+                    .map(|(d, data)| Ok((self.tr(*d, shard)?, data.clone())))
+                    .collect::<Result<Vec<_>, String>>()?,
             },
             RunActivity {
                 user,
@@ -839,6 +882,31 @@ impl ShardRouter {
         self.translate_outcome(seq, std::slice::from_ref(event), Some((shard, part)))
     }
 
+    /// Registers virtual ids for the design objects an activity created
+    /// implicitly. They appear in no event — the engine numbers them
+    /// behind [`Event::ActivityRun`] — but the branch-workspace surface
+    /// addresses them across shard counts, so they need vids like any
+    /// created id. Slots continue after the activity's dov slots,
+    /// ordered by each object's first produced dov, which makes every
+    /// vid a pure function of the global seq.
+    fn register_activity_objects(
+        &mut self,
+        seq: u64,
+        part: Option<u32>,
+        first_slot: u64,
+        locals: &[u64],
+    ) {
+        let part = part.expect("activities run on an owning partition");
+        for (j, &local) in locals.iter().enumerate() {
+            let k = first_slot + j as u64;
+            assert!(k < VID_STRIDE, "one op created {k}+ ids");
+            self.register(
+                VIRT_BASE + seq * VID_STRIDE + k,
+                VirtEntry::Sharded { part, local },
+            );
+        }
+    }
+
     fn absorb_bcast(&mut self, seq: u64, events: &[Event]) -> Event {
         self.translate_outcome(seq, events, None)
     }
@@ -977,6 +1045,41 @@ impl ShardRouter {
                 }
                 Event::ActivityRun { dovs: virt }
             }
+            Event::MergeApplied { cv, dovs } => {
+                let virt_cv = self.rv(ref_shard, cv);
+                let mut virt = Vec::with_capacity(dovs.len());
+                for k in 0..dovs.len() {
+                    virt.push(DovId::from_raw(
+                        slot!(k as u64, Event::MergeApplied { dovs, .. } => dovs[k].raw()),
+                    ));
+                }
+                Event::MergeApplied {
+                    cv: virt_cv,
+                    dovs: virt,
+                }
+            }
+            Event::MergeConflict { cv, conflicts } => Event::MergeConflict {
+                cv: self.rv(ref_shard, cv),
+                conflicts: conflicts
+                    .into_iter()
+                    .map(|c| match c {
+                        MergeConflict::ReservedByOther { holder } => {
+                            MergeConflict::ReservedByOther {
+                                holder: self.rv(ref_shard, holder),
+                            }
+                        }
+                        MergeConflict::DesignObjectAdvanced {
+                            design_object,
+                            expected,
+                            found,
+                        } => MergeConflict::DesignObjectAdvanced {
+                            design_object: self.rv(ref_shard, design_object),
+                            expected,
+                            found,
+                        },
+                    })
+                    .collect(),
+            },
             Event::ConfigurationCreated(_) => Event::ConfigurationCreated(ConfigId::from_raw(
                 slot!(0, Event::ConfigurationCreated(x) => x.raw()),
             )),
@@ -1259,6 +1362,9 @@ struct ShardInner {
     /// revalidate their cached [`ShardView`] against it.
     version: AtomicU64,
     view: Mutex<Option<Arc<ShardView>>>,
+    /// The retention ring of composed views, keyed by global commit
+    /// seq — the sharded twin of the single-engine service's ring.
+    history: Mutex<HistoryRing<Arc<ShardView>>>,
     admin: UserId,
 }
 
@@ -1295,19 +1401,28 @@ impl ShardedService {
         ShardedService::builder().shards(shards).build()
     }
 
-    fn from_engines(engines: Vec<Engine>, router: ShardRouter) -> ShardedService {
+    fn from_engines(
+        engines: Vec<Engine>,
+        router: ShardRouter,
+        retention: RetentionPolicy,
+    ) -> ShardedService {
         let admin = engines[0].admin();
         let lanes = engines.into_iter().map(Lane::new).collect();
-        ShardedService {
+        let service = ShardedService {
             inner: Arc::new(ShardInner {
                 lanes,
                 router: Mutex::new(router),
                 router_ns: AtomicU64::new(0),
                 version: AtomicU64::new(1),
                 view: Mutex::new(None),
+                history: Mutex::new(HistoryRing::new(retention)),
                 admin,
             }),
-        }
+        };
+        // A recovered service re-seeds its ring with the recovered
+        // head; a fresh one has no commits to retain yet.
+        service.observe_history();
+        service
     }
 
     /// The built-in framework administrator (identical on every shard).
@@ -1411,12 +1526,35 @@ impl ShardedService {
             for (op, plan, slot) in batch {
                 results.push((slot, self.run_plan(home, &mut engine, &op, plan)));
             }
-            // Republish before any submitter wakes (read-your-writes).
+            // Republish before any submitter wakes (read-your-writes),
+            // then offer the fresh composed view to the history ring.
             self.publish_lane(home, &engine);
+            self.observe_history();
             for (slot, result) in results {
                 slot.fill(result);
             }
         }
+    }
+
+    /// Absorbs a local apply outcome, also registering vids for the
+    /// design objects an activity created implicitly (which no event
+    /// carries — see [`ShardRouter::register_activity_objects`]).
+    fn absorb_local_with_objects(
+        &self,
+        seq: u64,
+        shard: usize,
+        part: Option<u32>,
+        engine: &Engine,
+        event: &Event,
+    ) -> Event {
+        let fresh = fresh_activity_objects(engine, event);
+        self.with_router(|r| {
+            let virt = r.absorb_local(seq, shard, part, event);
+            if let Event::ActivityRun { dovs } = event {
+                r.register_activity_objects(seq, part, dovs.len() as u64, &fresh);
+            }
+            virt
+        })
     }
 
     /// Executes one planned op while holding the home lane's engine.
@@ -1444,7 +1582,7 @@ impl ShardedService {
                 let event = result?;
                 Ok((
                     seq,
-                    self.with_router(|r| r.absorb_local(seq, shard, part, &event)),
+                    self.absorb_local_with_objects(seq, shard, part, engine, &event),
                 ))
             }
             RoutePlan::NewPart { shard, name } => {
@@ -1528,6 +1666,47 @@ impl ShardedService {
                 Ok(out)
             }
         }
+    }
+
+    /// Offers the current composed view to the retention ring, keyed
+    /// by the last committed global sequence. The ring skips repeat
+    /// offers at an unchanged seq, so this is safe to call from every
+    /// publication site.
+    fn observe_history(&self) {
+        let view = self.view();
+        if let Some(seq) = view.seq().checked_sub(1) {
+            lock(&self.inner.history).observe(seq, view);
+        }
+    }
+
+    /// The retained composed view at exactly commit seq `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] (naming the closest retained
+    /// boundary) when `seq` was never retained or has been evicted.
+    pub fn at(&self, seq: u64) -> HybridResult<Arc<ShardView>> {
+        let history = lock(&self.inner.history);
+        history.get(seq).ok_or_else(|| history.unreachable(seq))
+    }
+
+    /// Pins a retained seq so it survives ring eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] when `seq` is not retained.
+    pub fn pin(&self, seq: u64) -> HybridResult<()> {
+        lock(&self.inner.history).pin(seq)
+    }
+
+    /// Drops a pin; returns whether one existed.
+    pub fn unpin(&self, seq: u64) -> bool {
+        lock(&self.inner.history).unpin(seq)
+    }
+
+    /// Every retained commit seq (ring and pins), sorted ascending.
+    pub fn retained_seqs(&self) -> Vec<u64> {
+        lock(&self.inner.history).retained()
     }
 
     /// A copy of the service's concurrency counters.
@@ -1935,7 +2114,16 @@ impl ShardedService {
                                 .pre_local(shard, &op, Some(seq))
                                 .map_err(HybridError::Journal)?;
                             if let Ok(event) = engines[shard].apply(translated) {
+                                let fresh = fresh_activity_objects(&engines[shard], &event);
                                 router.absorb_local(seq, shard, part, &event);
+                                if let Event::ActivityRun { dovs } = &event {
+                                    router.register_activity_objects(
+                                        seq,
+                                        part,
+                                        dovs.len() as u64,
+                                        &fresh,
+                                    );
+                                }
                             }
                         }
                         RoutePlan::NewPart {
@@ -2033,7 +2221,13 @@ impl ShardedService {
             chain_break: None,
             rolled_back_prepares,
         };
-        Ok((ShardedService::from_engines(engines, router), report))
+        // Retention is a runtime knob, not persisted state: a
+        // recovered service starts with the default policy and the
+        // recovered head as its only retained seq.
+        Ok((
+            ShardedService::from_engines(engines, router, RetentionPolicy::default()),
+            report,
+        ))
     }
 }
 
@@ -2049,6 +2243,7 @@ pub struct ShardedServiceBuilder {
     staging: Option<StagingMode>,
     features: Option<FutureFeatures>,
     trace_capacity: Option<usize>,
+    retention: Option<RetentionPolicy>,
 }
 
 impl ShardedServiceBuilder {
@@ -2059,6 +2254,7 @@ impl ShardedServiceBuilder {
             staging: None,
             features: None,
             trace_capacity: None,
+            retention: None,
         }
     }
 
@@ -2086,6 +2282,12 @@ impl ShardedServiceBuilder {
         self
     }
 
+    /// The history retention policy of the composed-view ring.
+    pub fn retention(mut self, policy: RetentionPolicy) -> ShardedServiceBuilder {
+        self.retention = Some(policy);
+        self
+    }
+
     /// Builds the service: `shards` identically configured engines
     /// behind one router.
     pub fn build(self) -> ShardedService {
@@ -2104,7 +2306,11 @@ impl ShardedServiceBuilder {
                 builder.build()
             })
             .collect();
-        ShardedService::from_engines(engines, ShardRouter::new(self.shards))
+        ShardedService::from_engines(
+            engines,
+            ShardRouter::new(self.shards),
+            self.retention.unwrap_or_default(),
+        )
     }
 }
 
@@ -2148,6 +2354,36 @@ impl ShardedSession {
     /// Submits one raw op; see [`ShardedService::submit`].
     pub fn apply(&self, op: Op) -> HybridResult<(u64, Event)> {
         self.service.submit(op)
+    }
+
+    /// This session's read handle on the retained composed view at
+    /// commit seq `seq` — the sharded
+    /// [`Session::at`](crate::Session::at).
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] when `seq` is not retained.
+    pub fn at(&self, seq: u64) -> HybridResult<ShardHistoryView> {
+        Ok(ShardHistoryView {
+            user: self.user,
+            seq,
+            view: self.service.at(seq)?,
+        })
+    }
+
+    /// Opens a branch [`Workspace`] on `cv` against the retained view
+    /// at `seq` — the sharded
+    /// [`Session::reserve_at`](crate::Session::reserve_at). The merge
+    /// routes to `cv`'s owning shard like any other single-partition
+    /// op.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::SeqUnreachable`] when `seq` is not retained;
+    /// [`HybridError::ShardRouting`] when `cv` was unknown at `seq`.
+    pub fn reserve_at(&self, cv: CellVersionId, seq: u64) -> HybridResult<Workspace> {
+        let base = self.service.at(seq)?;
+        Workspace::open_sharded(self.service.clone(), self.user, cv, seq, &base)
     }
 
     /// Adds a user (broadcast). Admin-only names are enforced by the
@@ -2466,6 +2702,205 @@ impl ShardView {
             HybridError::ShardRouting(format!("user {} is unknown on shard {shard}", user.raw()))
         })?;
         Ok((shard, UserId::from_raw(local_user), DovId::from_raw(local)))
+    }
+
+    /// Per-shard reverse id maps (local → virtual), derived from the
+    /// frozen forward map. Built lazily per query; the impact walks
+    /// need to lift every shard-local neighbour back into virtual
+    /// space.
+    fn reverse_maps(&self) -> Vec<BTreeMap<u64, u64>> {
+        let mut rev: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); self.snaps.len()];
+        for (vid, entry) in self.router.forward.iter() {
+            match entry {
+                VirtEntry::Broadcast { locals } => {
+                    for (shard, local) in locals.iter().enumerate() {
+                        rev[shard].insert(*local, vid);
+                    }
+                }
+                VirtEntry::Sharded { part, local } => {
+                    if let Some(shard) = self.router.part_shard.get(part) {
+                        rev[*shard as usize].insert(*local, vid);
+                    }
+                }
+            }
+        }
+        rev
+    }
+
+    /// The virtual id of shard-local `local` on `shard`. Bootstrap ids
+    /// (below [`VIRT_BASE`]) pass through untranslated.
+    fn vid_of(rev: &[BTreeMap<u64, u64>], shard: usize, local: u64) -> Option<u64> {
+        rev[shard]
+            .get(&local)
+            .copied()
+            .or((local < VIRT_BASE).then_some(local))
+    }
+
+    fn resolve_cv(&self, cv: CellVersionId) -> HybridResult<(usize, CellVersionId)> {
+        let (shard, local) = self.router.resolve(cv.raw()).ok_or_else(|| {
+            HybridError::ShardRouting(format!("cell version {} has no owning shard", cv.raw()))
+        })?;
+        Ok((shard, CellVersionId::from_raw(local)))
+    }
+
+    /// Everything that goes stale if `cv` changes — the cross-shard
+    /// twin of [`Snapshot::stale_dovs`]: each shard's local
+    /// derivation/equivalence walk, glued together through the
+    /// router's cross-partition equivalence edges, answered in virtual
+    /// ids. Sorted by id, so the answer is invariant across shard
+    /// counts for the same op stream.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::ShardRouting`] for ids the view does not know.
+    pub fn stale_dovs(&self, cv: CellVersionId) -> HybridResult<Vec<DovId>> {
+        let (cv_shard, local_cv) = self.resolve_cv(cv)?;
+        let rev = self.reverse_maps();
+        let mut cross: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (a, b) in self.router.cross_equivalences() {
+            cross.entry(*a).or_default().push(*b);
+            cross.entry(*b).or_default().push(*a);
+        }
+        let seeds: Vec<u64> = self.snaps[cv_shard]
+            .dovs_under(local_cv)
+            .into_iter()
+            .filter_map(|d| ShardView::vid_of(&rev, cv_shard, d.raw()))
+            .collect();
+        let stale = oms::graph::reachable(&seeds, |vid| {
+            let mut out = Vec::new();
+            if let Some((shard, local)) = self.router.resolve(vid) {
+                for n in self.snaps[shard].impact_neighbors(DovId::from_raw(local)) {
+                    out.extend(ShardView::vid_of(&rev, shard, n));
+                }
+            }
+            if let Some(glued) = cross.get(&vid) {
+                out.extend(glued.iter().copied());
+            }
+            out
+        });
+        Ok(stale.into_iter().map(DovId::from_raw).collect())
+    }
+
+    /// The stale set of [`ShardView::stale_dovs`] narrowed to versions
+    /// mirrored into FMCAD, with their Table-1 mirror locations.
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::ShardRouting`] for ids the view does not know.
+    pub fn impacted_cellviews(
+        &self,
+        cv: CellVersionId,
+    ) -> HybridResult<Vec<(DovId, Arc<MirrorLocation>)>> {
+        let mut out = Vec::new();
+        for dov in self.stale_dovs(cv)? {
+            if let Some((shard, local)) = self.router.resolve(dov.raw()) {
+                if let Some(mirror) = self.snaps[shard].mirror_arc(DovId::from_raw(local)) {
+                    out.push((dov, mirror));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per design object under `cv`, its version count — in virtual
+    /// ids, sorted by object. The optimistic-concurrency baseline of a
+    /// sharded [`Workspace`].
+    pub(crate) fn design_object_versions(
+        &self,
+        cv: CellVersionId,
+    ) -> HybridResult<Vec<(DesignObjectId, u32)>> {
+        let (shard, local_cv) = self.resolve_cv(cv)?;
+        let rev = self.reverse_maps();
+        let snap = &self.snaps[shard];
+        let mut out = Vec::new();
+        for variant in snap.jcf().variants_of(local_cv) {
+            for design_object in snap.jcf().design_objects_of(variant) {
+                let count = snap.jcf().versions_of_design_object(design_object).len() as u32;
+                let vid = ShardView::vid_of(&rev, shard, design_object.raw()).ok_or_else(|| {
+                    HybridError::ShardRouting(format!(
+                        "design object {} has no virtual id",
+                        design_object.raw()
+                    ))
+                })?;
+                out.push((DesignObjectId::from_raw(vid), count));
+            }
+        }
+        out.sort_unstable_by_key(|(d, _)| *d);
+        out.dedup();
+        Ok(out)
+    }
+}
+
+/// A sharded session's read handle on one retained composed view: the
+/// cross-shard twin of [`HistoryView`](crate::HistoryView). All
+/// methods are `&self` and never touch any write lane.
+///
+/// Created by [`ShardedSession::at`].
+#[derive(Debug, Clone)]
+pub struct ShardHistoryView {
+    user: UserId,
+    seq: u64,
+    view: Arc<ShardView>,
+}
+
+impl ShardHistoryView {
+    /// The commit seq this view is fixed at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The user the owning session acts as.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The underlying retained [`ShardView`], for arbitrary queries.
+    pub fn view(&self) -> &Arc<ShardView> {
+        &self.view
+    }
+
+    /// Browses a design object version as it stood at this seq
+    /// (zero-copy, owning shard's snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same routing and visibility errors as the live
+    /// [`ShardView::browse`].
+    pub fn browse(&self, dov: DovId) -> HybridResult<Blob> {
+        self.view.browse(self.user, dov)
+    }
+
+    /// Reads design data via the desktop as it stood at this seq.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same routing and visibility errors as the live
+    /// [`ShardView::read_design_data`].
+    pub fn read_design_data(&self, dov: DovId) -> HybridResult<Blob> {
+        self.view.read_design_data(self.user, dov)
+    }
+
+    /// Everything that goes stale if `cv` changes, evaluated on this
+    /// seq's cross-shard graph (see [`ShardView::stale_dovs`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::ShardRouting`] for ids the view does not know.
+    pub fn stale_dovs(&self, cv: CellVersionId) -> HybridResult<Vec<DovId>> {
+        self.view.stale_dovs(cv)
+    }
+
+    /// The stale set narrowed to FMCAD-mirrored cellviews
+    /// (see [`ShardView::impacted_cellviews`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HybridError::ShardRouting`] for ids the view does not know.
+    pub fn impacted_cellviews(
+        &self,
+        cv: CellVersionId,
+    ) -> HybridResult<Vec<(DovId, Arc<MirrorLocation>)>> {
+        self.view.impacted_cellviews(cv)
     }
 }
 

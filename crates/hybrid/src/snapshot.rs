@@ -163,6 +163,64 @@ impl Snapshot {
     pub fn mirror_of(&self, dov: DovId) -> Option<&MirrorLocation> {
         self.dov_mirror.get(&dov).map(|m| &**m)
     }
+
+    /// [`Snapshot::mirror_of`] as a shared handle, for composed views
+    /// that outlive the borrow.
+    pub(crate) fn mirror_arc(&self, dov: DovId) -> Option<Arc<MirrorLocation>> {
+        self.dov_mirror.get(&dov).map(Arc::clone)
+    }
+
+    /// Every design object version under `cv`: all versions of all
+    /// design objects of all of its variants, in sorted id order. The
+    /// seed set of the impact queries.
+    pub(crate) fn dovs_under(&self, cv: CellVersionId) -> Vec<DovId> {
+        let mut out: Vec<DovId> = Vec::new();
+        for variant in self.jcf.variants_of(cv) {
+            for design_object in self.jcf.design_objects_of(variant) {
+                out.extend(self.jcf.versions_of_design_object(design_object));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The impact neighbours of one design object version: everything
+    /// derived from it plus everything marked equivalent to it.
+    pub(crate) fn impact_neighbors(&self, dov: DovId) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .jcf
+            .derivations_of(dov)
+            .into_iter()
+            .map(DovId::raw)
+            .collect();
+        out.extend(self.jcf.equivalents_of(dov).into_iter().map(DovId::raw));
+        out
+    }
+
+    /// Everything that goes stale if `cv` changes: the design object
+    /// versions reachable from any version under `cv` through the
+    /// derivation and equivalence graphs ("It's a Complete Haystack" —
+    /// the dependency-impact answer the 1995 coupling could not give).
+    /// Versions under `cv` itself are excluded; the answer is sorted by
+    /// id, so equal states give byte-equal answers.
+    pub fn stale_dovs(&self, cv: CellVersionId) -> Vec<DovId> {
+        let seeds: Vec<u64> = self.dovs_under(cv).into_iter().map(DovId::raw).collect();
+        oms::graph::reachable(&seeds, |id| self.impact_neighbors(DovId::from_raw(id)))
+            .into_iter()
+            .map(DovId::from_raw)
+            .collect()
+    }
+
+    /// The stale set of [`Snapshot::stale_dovs`] narrowed to versions
+    /// mirrored into FMCAD: the cellviews an ECAD user would actually
+    /// see go out of date, with their Table-1 mirror locations.
+    pub fn impacted_cellviews(&self, cv: CellVersionId) -> Vec<(DovId, Arc<MirrorLocation>)> {
+        self.stale_dovs(cv)
+            .into_iter()
+            .filter_map(|dov| self.dov_mirror.get(&dov).map(|m| (dov, Arc::clone(m))))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -443,6 +443,19 @@ impl Jcf {
         Ok(())
     }
 
+    /// The design object versions marked equivalent to this one, in
+    /// either direction: the `equivalent` relation is stored as a
+    /// directed link but means an undirected pairing, so the symmetric
+    /// neighbourhood is the union of link sources and targets, sorted
+    /// and deduplicated.
+    pub fn equivalents_of(&self, dov: DovId) -> Vec<DovId> {
+        let mut out = self.db.targets(self.rels.dov_equivalent, dov.0);
+        out.extend(self.db.sources(self.rels.dov_equivalent, dov.0));
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter().map(DovId).collect()
+    }
+
     /// The what-belongs-to-what report for a variant: for every design
     /// object version, which versions it was derived from and which
     /// execution created it. FMCAD has no equivalent (§3.5).

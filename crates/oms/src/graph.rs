@@ -1,0 +1,99 @@
+//! Generic reachability walks over id graphs.
+//!
+//! The relationship tables of a [`Database`](crate::Database) are edge
+//! sets over plain `u64` object ids; every derivation / equivalence /
+//! impact question the frameworks ask bottoms out in "which ids are
+//! reachable from these seeds under this neighbour function". This
+//! module provides that walk once, deterministically: breadth-first,
+//! visiting ids in insertion order and returning the closure as a
+//! sorted set, so two walks over equal edge sets always produce equal
+//! answers regardless of seed order.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// The forward closure of `seeds` under `neighbors`, including the
+/// seeds themselves.
+///
+/// `neighbors` is queried once per discovered id; duplicate edges and
+/// cycles are tolerated (each id is expanded at most once). The result
+/// is a [`BTreeSet`], so iteration order is the sorted id order — a
+/// deterministic fingerprint-friendly rendering of the closure.
+pub fn closure<I, F>(seeds: I, mut neighbors: F) -> BTreeSet<u64>
+where
+    I: IntoIterator<Item = u64>,
+    F: FnMut(u64) -> Vec<u64>,
+{
+    let mut seen = BTreeSet::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    for seed in seeds {
+        if seen.insert(seed) {
+            queue.push_back(seed);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for next in neighbors(id) {
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen
+}
+
+/// [`closure`] minus the seeds: only the ids *reached*, not the ones
+/// asked about. The impact queries of the coupling layer ("what
+/// becomes stale if this changes?") want exactly this set.
+pub fn reachable<F>(seeds: &[u64], neighbors: F) -> BTreeSet<u64>
+where
+    F: FnMut(u64) -> Vec<u64>,
+{
+    let mut out = closure(seeds.iter().copied(), neighbors);
+    for seed in seeds {
+        out.remove(seed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(u64, u64)]) -> impl Fn(u64) -> Vec<u64> + '_ {
+        move |id| {
+            pairs
+                .iter()
+                .filter(|(from, _)| *from == id)
+                .map(|(_, to)| *to)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn closure_includes_seeds_and_follows_chains() {
+        let pairs = [(1, 2), (2, 3), (3, 4)];
+        let got = closure([1], edges(&pairs));
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cycles_terminate_and_duplicates_collapse() {
+        let pairs = [(1, 2), (2, 1), (2, 2), (1, 2)];
+        let got = closure([1, 1], edges(&pairs));
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reachable_excludes_the_seeds() {
+        let pairs = [(1, 2), (2, 3)];
+        let got = reachable(&[1, 2], edges(&pairs));
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn seed_order_does_not_change_the_answer() {
+        let pairs = [(5, 1), (1, 9), (9, 5), (2, 9)];
+        let a = closure([5, 2], edges(&pairs));
+        let b = closure([2, 5], edges(&pairs));
+        assert_eq!(a, b);
+    }
+}

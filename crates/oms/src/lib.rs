@@ -51,6 +51,7 @@
 #![deny(clippy::redundant_clone)]
 
 mod error;
+pub mod graph;
 pub mod persist;
 pub mod pmap;
 mod schema;

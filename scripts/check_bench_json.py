@@ -26,6 +26,13 @@ BENCH_E16.json (the wire-protocol flood) is gated too: every op of
 every client must get a typed committed reply, the server must count
 zero panics, protocol errors and timeouts, and ops/sec must stay
 above the floor derived from scripts/e16_baseline.json.
+
+BENCH_E17.json (the time-travel history layer) is gated on its §15
+contract: history reads off retained snapshots must stay zero-copy,
+the retention ring must stay bounded by its policy, impact queries
+against a pinned historical seq must not track installation size, and
+merge-forward throughput must stay above the floor derived from
+scripts/e17_baseline.json.
 """
 
 import json
@@ -143,6 +150,7 @@ def main():
     check_e14()
     check_e15()
     check_e16()
+    check_e17()
 
 
 E12_COUNTERS = (
@@ -639,6 +647,94 @@ def check_e16():
         print(
             "OK: E16 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e16["seed"]
+            )
+        )
+
+
+E17_ROW_FIELDS = (
+    "objects",
+    "impact_p50_ns",
+    "impact_p99_ns",
+    "merge_ops_per_sec",
+    "merges",
+    "zero_copy",
+    "retained",
+    "retention_bounded",
+)
+
+# The largest size has ~10x the objects of the smallest; an impact
+# query that walked the installation would grow its p50 by about that
+# factor. The query walks one cellview's impact graph, so the growth
+# must stay a small multiple (matches E17Report::holds in
+# crates/bench/src/e17_history.rs: growth < size_growth / 2).
+E17_MAX_IMPACT_GROWTH = 5.0
+
+# A fresh run's merge-forward throughput must reach at least this
+# fraction of the committed baseline in scripts/e17_baseline.json.
+E17_REGRESSION_FLOOR = 0.5
+
+
+def check_e17():
+    e17 = load("BENCH_E17.json")
+    rows = e17.get("rows")
+    if "seed" not in e17 or not rows:
+        sys.exit("FAIL: BENCH_E17.json lacks a seed or has no rows")
+    for row in rows:
+        for field in E17_ROW_FIELDS:
+            if field not in row:
+                sys.exit(
+                    f"FAIL: BENCH_E17.json row lacks {field!r} "
+                    "(the history-layer counters regressed)"
+                )
+        if not row["zero_copy"]:
+            sys.exit(
+                "FAIL: E17 history reads at {} objects copied payload bytes "
+                "(retained-snapshot reads must be zero-copy)".format(row["objects"])
+            )
+        if not row["retention_bounded"]:
+            sys.exit(
+                "FAIL: E17 retention ring at {} objects held {} seqs "
+                "(the LastN policy stopped bounding the ring)".format(
+                    row["objects"], row["retained"]
+                )
+            )
+        if row["merges"] < 1:
+            sys.exit("FAIL: E17 measured no clean merge-forward cycles")
+
+    first, last = rows[0], rows[-1]
+    size_growth = last["objects"] / max(first["objects"], 1)
+    impact_growth = last["impact_p50_ns"] / max(first["impact_p50_ns"], 1)
+    if impact_growth > E17_MAX_IMPACT_GROWTH:
+        sys.exit(
+            "FAIL: E17 impact p50 grew {:.1f}x over a {:.0f}x object growth "
+            "(> {:.0f}x cap — impact queries track the installation again)".format(
+                impact_growth, size_growth, E17_MAX_IMPACT_GROWTH
+            )
+        )
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e17_baseline.json")
+    baseline = load(baseline_path)
+    if e17["seed"] == baseline.get("seed"):
+        recorded = baseline_metric(baseline, baseline_path, "merge_ops_per_sec")
+        floor = recorded * E17_REGRESSION_FLOOR
+        worst = min(row["merge_ops_per_sec"] for row in rows)
+        if worst < floor:
+            sys.exit(
+                "FAIL: E17 merge-forward throughput regressed >50%: {:.0f} < "
+                "floor {:.0f} (baseline {:.0f}, see scripts/e17_baseline.json)".format(
+                    worst, floor, recorded
+                )
+            )
+        print(
+            "OK: E17 history ({} sizes, impact p50 grew {:.1f}x over {:.0f}x objects, "
+            "worst merge rate {:.0f}/s, reads zero-copy, ring bounded)".format(
+                len(rows), impact_growth, size_growth, worst
+            )
+        )
+    else:
+        print(
+            "OK: E17 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e17["seed"]
             )
         )
 

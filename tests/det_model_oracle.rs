@@ -17,7 +17,8 @@ use std::collections::BTreeMap;
 
 use cad_vfs::{Blob, SplitMix64, Vfs, VfsPath};
 use hybrid::{
-    Engine, Event, HybridError, Op, ShardedService, ShardedSession, StagingMode, StandardFlow,
+    Engine, Event, HybridError, Op, RetentionPolicy, Service, ShardedService, ShardedSession,
+    StagingMode, StandardFlow,
 };
 use jcf::{CellId, CellVersionId, DesignObjectId, DovId, UserId, VariantId, ViewTypeId};
 use test_support::pick_index as pick;
@@ -668,9 +669,13 @@ struct ShardRig {
 /// Boots a sharded service with the same cast as [`bootstrap`]:
 /// a team, two designers with open sessions, and one standard flow.
 fn bootstrap_sharded(shards: usize, mode: StagingMode) -> ShardRig {
+    // A wide retention window so the time-travel oracle below can
+    // interrogate every commit of a campaign; the transcript tests
+    // are unaffected (retention only keeps read views alive).
     let service = ShardedService::builder()
         .shards(shards)
         .staging_mode(mode)
+        .retention(RetentionPolicy::LastN(512))
         .build();
     let admin = service.open_session(service.admin());
     let team = admin.add_team("asic").expect("fresh team");
@@ -900,6 +905,360 @@ fn sharded_recovery_lands_on_the_live_fingerprint_at_every_count() {
                 &transcript, want,
                 "{shards}-shard transcript around the checkpoint"
             ),
+        }
+    }
+}
+
+// --- time-travel vs point-in-time recovery ------------------------------
+//
+// §15's flagship equivalence: `Session::at(seq)` — a zero-copy read
+// view served out of the retention ring — must answer every read
+// *identically* to a fresh engine recovered to the same seq with
+// `Engine::recover_at`. The ring is an optimization over replay, so
+// any divergence between the two is a correctness bug in one of them.
+
+/// Renders one read result as a comparable line: payload bytes on
+/// success, the typed error kind on failure.
+fn render_read(result: Result<Blob, HybridError>) -> String {
+    match result {
+        Ok(blob) => format!("ok|{:x?}", blob.as_slice()),
+        Err(e) => format!("err|{}", e.kind()),
+    }
+}
+
+/// Pools of live ids plus per-commit marks of how large each pool was,
+/// so a retained seq can be interrogated with exactly the ids that
+/// existed then.
+#[derive(Default)]
+struct HistoryPools {
+    projects: Vec<jcf::ProjectId>,
+    cvs: Vec<CellVersionId>,
+    cells: Vec<CellId>,
+    variants: Vec<VariantId>,
+    dovs: Vec<DovId>,
+    fresh: usize,
+    /// `(seq, dovs.len(), cvs.len())` after each successful op.
+    marks: Vec<(u64, usize, usize)>,
+}
+
+impl HistoryPools {
+    /// The pool sizes as of commit `seq`.
+    fn sizes_at(&self, seq: u64) -> (usize, usize) {
+        self.marks
+            .iter()
+            .rev()
+            .find(|(s, ..)| *s <= seq)
+            .map(|&(_, d, c)| (d, c))
+            .unwrap_or((0, 0))
+    }
+
+    /// Draws the next op — the same §2.1 mix as the sharded
+    /// transcript driver, expressed over this rig's ids.
+    fn draw(
+        &mut self,
+        rng: &mut SplitMix64,
+        user: UserId,
+        team: jcf::TeamId,
+        flow: &StandardFlow,
+    ) -> Op {
+        let fresh = |p: &mut HistoryPools| {
+            p.fresh += 1;
+            Op::CreateProject {
+                name: format!("hp{}", p.fresh),
+            }
+        };
+        match rng.below(10) {
+            0 => fresh(self),
+            1 => Op::CreateProject { name: "hp1".into() },
+            2 => match pick(rng, self.projects.len()) {
+                Some(p) => {
+                    self.fresh += 1;
+                    Op::CreateCell {
+                        project: self.projects[p],
+                        name: format!("hc{}", self.fresh),
+                    }
+                }
+                None => fresh(self),
+            },
+            3 => match pick(rng, self.cells.len()) {
+                Some(c) => Op::CreateCellVersion {
+                    cell: self.cells[c],
+                    flow: flow.flow,
+                    team,
+                },
+                None => fresh(self),
+            },
+            4 => match pick(rng, self.cvs.len()) {
+                Some(c) => Op::Reserve {
+                    user,
+                    cv: self.cvs[c],
+                },
+                None => fresh(self),
+            },
+            5 => match pick(rng, self.cvs.len()) {
+                Some(c) => Op::Publish {
+                    user,
+                    cv: self.cvs[c],
+                },
+                None => fresh(self),
+            },
+            6 | 7 => match pick(rng, self.variants.len()) {
+                Some(v) => Op::RunActivity {
+                    user,
+                    variant: self.variants[v],
+                    activity: flow.enter_schematic,
+                    override_pending: false,
+                    outputs: vec![(
+                        "schematic".into(),
+                        Blob::from(format!("netlist {}", rng.next_u64())),
+                    )],
+                    session_error: None,
+                },
+                None => fresh(self),
+            },
+            _ => match (pick(rng, self.dovs.len()), pick(rng, self.dovs.len())) {
+                (Some(a), Some(b)) => Op::MarkEquivalent {
+                    a: self.dovs[a],
+                    b: self.dovs[b],
+                },
+                _ => fresh(self),
+            },
+        }
+    }
+
+    /// Absorbs a committed `(seq, event)` into the pools.
+    fn absorb(&mut self, seq: u64, event: &Event) {
+        match event {
+            Event::ProjectCreated(id) => self.projects.push(*id),
+            Event::CellCreated(id) => self.cells.push(*id),
+            Event::CellVersionCreated(cv, variant) => {
+                self.cvs.push(*cv);
+                self.variants.push(*variant);
+            }
+            Event::VariantDerived(id) => self.variants.push(*id),
+            Event::ActivityRun { dovs } => self.dovs.extend(dovs.iter().copied()),
+            _ => {}
+        }
+        self.marks.push((seq, self.dovs.len(), self.cvs.len()));
+    }
+}
+
+/// Drives a retained [`Service`] with a durable journal, then proves
+/// every retained seq answers every read — desktop read, browse,
+/// library name, impact queries — exactly like `Engine::recover_at`
+/// replaying the persisted chain to the same seq.
+fn history_matches_recovery_campaign(mode: StagingMode, seed: u64, ops: usize) {
+    let dir = VfsPath::parse("/backup/history-oracle").expect("valid path");
+    let service = Service::with_retention(
+        Engine::builder().staging_mode(mode).build(),
+        RetentionPolicy::LastN(512),
+    );
+    let mut backup = Vfs::new();
+    // Base checkpoint at seq 0: every later commit is reachable by
+    // point-in-time recovery, so no retained seq needs skipping.
+    service
+        .with_engine(|en| en.checkpoint(&mut backup, &dir))
+        .expect("base checkpoint");
+    let admin = service.open_session(service.admin());
+    let alice = admin.add_user("alice", false).expect("alice");
+    let bob = admin.add_user("bob", false).expect("bob");
+    let team = admin.add_team("asic").expect("team");
+    admin.add_team_member(team, alice).expect("alice joins");
+    admin.add_team_member(team, bob).expect("bob joins");
+    let flow = admin.standard_flow("asic").expect("flow");
+    let sessions = [service.open_session(alice), service.open_session(bob)];
+    let users = [alice, bob];
+    let mut rng = SplitMix64::new(seed);
+    let mut pools = HistoryPools::default();
+    pools.marks.push((service.snapshot().seq(), 0, 0));
+    for n in 0..ops {
+        let who = rng.below(2);
+        let op = pools.draw(&mut rng, users[who], team, &flow);
+        if let Ok((seq, event)) = sessions[who].apply_seq(op) {
+            pools.absorb(seq, &event);
+        }
+        if n % 25 == 24 {
+            service
+                .with_engine(|en| en.sync_journal(&mut backup, &dir))
+                .expect("periodic sync");
+        }
+    }
+    service
+        .with_engine(|en| en.sync_journal(&mut backup, &dir))
+        .expect("final sync");
+
+    let retained = service.retained_seqs();
+    assert!(
+        retained.len() > ops / 2,
+        "the 512-window ring must retain the whole campaign, got {}",
+        retained.len()
+    );
+    let project = pools.projects.first().copied();
+    for &seq in &retained {
+        let mut disk = backup.clone();
+        let (recovered, _) = Engine::recover_at(&mut disk, &dir, seq)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: recover_at({seq}) failed: {e}"));
+        assert_eq!(recovered.seq(), seq, "recovery landed on the wrong seq");
+        let rsnap = recovered.snapshot();
+        let (ndovs, ncvs) = pools.sizes_at(seq);
+        for (who, user) in users.into_iter().enumerate() {
+            let at = format!("seed {seed:#x} {mode:?} seq {seq} user {who}");
+            let hv = sessions[who]
+                .at(seq)
+                .unwrap_or_else(|e| panic!("{at}: retained seq rejected: {e}"));
+            assert_eq!(hv.seq(), seq, "{at}: view seq");
+            for &dov in &pools.dovs[..ndovs] {
+                assert_eq!(
+                    render_read(hv.read_design_data(dov)),
+                    render_read(rsnap.read_design_data(user, dov)),
+                    "{at}: read_design_data({dov}) diverged from recovery"
+                );
+                assert_eq!(
+                    render_read(hv.browse(dov)),
+                    render_read(rsnap.browse(user, dov)),
+                    "{at}: browse({dov}) diverged from recovery"
+                );
+            }
+            for &cv in &pools.cvs[..ncvs] {
+                assert_eq!(
+                    hv.stale_dovs(cv),
+                    rsnap.stale_dovs(cv),
+                    "{at}: stale_dovs({cv}) diverged from recovery"
+                );
+                assert_eq!(
+                    format!("{:?}", hv.impacted_cellviews(cv)),
+                    format!("{:?}", rsnap.impacted_cellviews(cv)),
+                    "{at}: impacted_cellviews({cv}) diverged from recovery"
+                );
+            }
+            if let Some(project) = project {
+                assert_eq!(
+                    hv.library_of(project).ok().map(str::to_owned),
+                    rsnap.library_of(project).ok().map(str::to_owned),
+                    "{at}: library_of diverged from recovery"
+                );
+            }
+        }
+    }
+}
+
+/// The single-engine flagship: both staging modes, two seeds, every
+/// retained seq cross-checked against point-in-time recovery.
+#[test]
+fn history_views_answer_like_point_in_time_recovery() {
+    for seed in [0x1995_0306_0000_0021, 0x5EED_CAFE_0000_0007] {
+        for mode in [StagingMode::ZeroCopy, StagingMode::DeepCopy] {
+            history_matches_recovery_campaign(mode, seed, 100);
+        }
+    }
+}
+
+/// The sharded twin: a seeded campaign per shard count with a durable
+/// chain, then sampled retained seqs interrogated through
+/// `ShardedSession::at` and cross-checked against
+/// `ShardedService::recover_at` — and the per-seq answers compared
+/// across 1/2/4 shards, since the virtual-id surface promises
+/// shard-count invariance for reads too.
+fn sharded_history_digest(shards: usize, mode: StagingMode, seed: u64) -> Vec<String> {
+    let root = VfsPath::parse("/backup/history-oracle-shards").expect("valid path");
+    let mut rig = bootstrap_sharded(shards, mode);
+    let mut backup = Vfs::new();
+    rig.service
+        .checkpoint(&mut backup, &root)
+        .expect("base checkpoint");
+    let base = rig.service.stats().seq;
+    let mut rng = SplitMix64::new(seed);
+    for n in 0..120 {
+        shard_step(&mut rig, &mut rng);
+        if n % 30 == 29 {
+            rig.service.sync(&mut backup, &root).expect("periodic sync");
+        }
+    }
+    rig.service.sync(&mut backup, &root).expect("final sync");
+
+    let session = rig.service.open_session(rig.sessions[0].user());
+    let user = session.user();
+    let retained: Vec<u64> = rig
+        .service
+        .retained_seqs()
+        .into_iter()
+        .filter(|&s| s >= base)
+        .collect();
+    assert!(
+        retained.len() > 60,
+        "{shards}-shard ring kept {} reachable seqs",
+        retained.len()
+    );
+    // Every 7th retained seq plus the newest: enough boundaries to
+    // cross sealed/open segments without recovering 120 services.
+    let sampled: Vec<u64> = retained
+        .iter()
+        .copied()
+        .step_by(7)
+        .chain(retained.last().copied())
+        .collect();
+    let mut digest = Vec::new();
+    for &seq in &sampled {
+        let mut disk = backup.clone();
+        let (recovered, _) = ShardedService::recover_at(&mut disk, &root, seq)
+            .unwrap_or_else(|e| panic!("{shards}-shard recover_at({seq}) failed: {e}"));
+        assert_eq!(recovered.stats().seq, seq + 1, "recovery landed off target");
+        let rview = recovered.view();
+        let hv = session
+            .at(seq)
+            .unwrap_or_else(|e| panic!("{shards}-shard at({seq}) rejected: {e}"));
+        let mut lines = Vec::new();
+        for &dov in &rig.dovs {
+            let line = render_read(hv.read_design_data(dov));
+            assert_eq!(
+                line,
+                render_read(rview.read_design_data(user, dov)),
+                "{shards}-shard seq {seq}: read_design_data({dov}) diverged from recovery"
+            );
+            lines.push(format!("{seq}|{dov}|{line}"));
+        }
+        for &cv in &rig.cvs {
+            let stale = hv.view().stale_dovs(cv);
+            let recovered_stale = rview.stale_dovs(cv);
+            let line = match (&stale, &recovered_stale) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{shards}-shard seq {seq}: stale_dovs({cv}) diverged");
+                    format!("ok|{a:?}")
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        a.kind(),
+                        b.kind(),
+                        "{shards}-shard seq {seq}: stale_dovs({cv}) error kind diverged"
+                    );
+                    format!("err|{}", a.kind())
+                }
+                (a, b) => panic!(
+                    "{shards}-shard seq {seq}: stale_dovs({cv}) split: live {a:?} vs recovered {b:?}"
+                ),
+            };
+            lines.push(format!("{seq}|{cv}|{line}"));
+        }
+        digest.extend(lines);
+    }
+    digest
+}
+
+/// Sharded flagship: the per-seq digest (reads + impact sets, each
+/// already proven equal to its own recovery) must also be identical
+/// across shard counts, both staging modes.
+#[test]
+fn sharded_history_views_answer_like_recovery_at_every_count() {
+    for mode in [StagingMode::ZeroCopy, StagingMode::DeepCopy] {
+        let seed = 0x51AD_0015_1995_0306;
+        let reference = sharded_history_digest(1, mode, seed);
+        assert!(!reference.is_empty());
+        for shards in [2usize, 4] {
+            assert_eq!(
+                sharded_history_digest(shards, mode, seed),
+                reference,
+                "{shards}-shard history digest diverged ({mode:?})"
+            );
         }
     }
 }

@@ -55,6 +55,7 @@ fn assert_sampled(op: &Op) {
         | Op::CreateDesignObject { .. }
         | Op::AddDesignObjectVersion { .. }
         | Op::MarkEquivalent { .. }
+        | Op::MergeForward { .. }
         | Op::RunActivity { .. }
         | Op::Browse { .. }
         | Op::ReadDesignData { .. }
@@ -77,7 +78,7 @@ fn assert_sampled(op: &Op) {
 
 /// The number of distinct op kinds `wire_samples` must produce — bump
 /// together with `assert_sampled` when the vocabulary grows.
-const OP_KIND_COUNT: usize = 39;
+const OP_KIND_COUNT: usize = 40;
 
 /// One instance of every op kind. Values need not be *valid* against
 /// a fresh engine — an engine rejection is a typed `fail` reply and
@@ -184,6 +185,13 @@ fn wire_samples() -> Vec<Op> {
         Op::MarkEquivalent {
             a: DovId::from_raw(1),
             b: DovId::from_raw(2),
+        },
+        Op::MergeForward {
+            user,
+            cv: CellVersionId::from_raw(1),
+            base_seq: 0,
+            expected: vec![(DesignObjectId::from_raw(1), 1)],
+            writes: vec![(DesignObjectId::from_raw(1), b"merged".to_vec().into())],
         },
         Op::RunActivity {
             user,

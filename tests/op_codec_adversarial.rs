@@ -75,6 +75,7 @@ fn assert_sampled(op: &Op) {
         | Op::CreateDesignObject { .. }
         | Op::AddDesignObjectVersion { .. }
         | Op::MarkEquivalent { .. }
+        | Op::MergeForward { .. }
         | Op::RunActivity { .. }
         | Op::Browse { .. }
         | Op::ReadDesignData { .. }
@@ -97,7 +98,7 @@ fn assert_sampled(op: &Op) {
 
 /// The number of distinct op kinds `samples` must produce — bump this
 /// together with `assert_sampled` when the vocabulary grows.
-const OP_KIND_COUNT: usize = 39;
+const OP_KIND_COUNT: usize = 40;
 
 /// Every `Op` variant instantiated with every nasty string, blob and
 /// boundary id that fits its shape.
@@ -298,6 +299,28 @@ fn samples() -> Vec<Op> {
             version: 0,
             data: data.clone(),
         });
+        // A merge with boundary baselines and this payload staged,
+        // plus an empty-baseline merge.
+        ops.push(Op::MergeForward {
+            user,
+            cv: CellVersionId::from_raw(13),
+            base_seq: u64::MAX,
+            expected: vec![
+                (DesignObjectId::from_raw(0), 0),
+                (DesignObjectId::from_raw(u64::MAX), u32::MAX),
+            ],
+            writes: vec![
+                (DesignObjectId::from_raw(16), data.clone()),
+                (DesignObjectId::from_raw(17), Blob::new()),
+            ],
+        });
+        ops.push(Op::MergeForward {
+            user,
+            cv: CellVersionId::from_raw(13),
+            base_seq: 0,
+            expected: vec![],
+            writes: vec![],
+        });
         // Multi-output activity pairing every nasty viewtype name with
         // this payload, plus an empty trailing output.
         ops.push(Op::RunActivity {
@@ -385,6 +408,11 @@ fn malformed_lines_are_rejected_not_misparsed() {
         "run-activity|user=3|variant=14|activity=7|override=true|outputs=61:zz|session_error=-",
         "run-activity|user=3|variant=14|activity=7|override=true|outputs=61|session_error=-",
         "set-staging-mode|mode=warp",
+        "merge-forward|user=3|cv=13|base_seq=zz|expected=|writes=",
+        "merge-forward|user=3|cv=13|base_seq=0|expected=16|writes=",
+        "merge-forward|user=3|cv=13|base_seq=0|expected=16:x|writes=",
+        "merge-forward|user=3|cv=13|base_seq=0|expected=|writes=16",
+        "merge-forward|user=3|cv=13|base_seq=0|expected=|writes=16:zz",
         "fmcad-purge-version|user=75|library=6c|cell=63|view=76|version=-3",
     ];
     for line in cases {
