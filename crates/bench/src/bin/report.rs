@@ -1,17 +1,17 @@
 //! Prints the full evaluation report: every table, figure and §3
 //! criterion of the paper, regenerated from the reproduction.
 //!
-//! Usage: `cargo run -p bench --bin report [e1|...|e17|verdicts|--json]
+//! Usage: `cargo run -p bench --bin report [e1|...|e18|verdicts|--json]
 //! [--seed <u64>]`
 //!
 //! `--json` reruns the E9 tick sweep, the E10 throughput workload, the
 //! E12 session benchmark, the E13 publish sweep, the E14 shard
-//! scaling sweep, the E15 durability sweep and the E16 wire-protocol
-//! flood and the E17 history-layer sweep, and writes the
-//! machine-readable `BENCH_E9.json` /
+//! scaling sweep, the E15 durability sweep, the E16 wire-protocol
+//! flood, the E17 history-layer sweep and the E18 compiled-script
+//! benchmark, and writes the machine-readable `BENCH_E9.json` /
 //! `BENCH_E10.json` / `BENCH_E12.json` / `BENCH_E13.json` /
 //! `BENCH_E14.json` / `BENCH_E15.json` / `BENCH_E16.json` /
-//! `BENCH_E17.json` files at
+//! `BENCH_E17.json` / `BENCH_E18.json` files at
 //! the repository root, seeding the performance trajectory.
 //! `--seed` changes the SplitMix64 seed of the random-logic workload
 //! generators (default 42, the golden-value seed); the seed used is
@@ -21,8 +21,8 @@ use std::env;
 
 use bench::{
     e10_throughput, e11_faults, e12_sessions, e13_publish, e14_shards, e15_durability, e16_net,
-    e17_history, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy, e7_ui,
-    e8_flow, e9_performance,
+    e17_history, e18_fml, e1_mapping, e2_e3_schemas, e4_concurrency, e5_consistency, e6_hierarchy,
+    e7_ui, e8_flow, e9_performance,
 };
 
 /// Evaluates every paper claim against a fresh measured run and prints
@@ -254,6 +254,25 @@ fn print_verdicts() {
                 "zero-copy"
             } else {
                 "copied"
+            }
+        ),
+    });
+
+    let e18 = e18_fml::run(42);
+    rows.push(Row {
+        exp: "E18",
+        claim: "compiled triggers outrun the tree-walker without changing results",
+        holds: e18.holds(),
+        measured: format!(
+            "arith {:.1}x, closure {:.1}x, string {:.1}x, trigger batch {:.1}x, values {}",
+            e18.row("arith-loop").speedup(),
+            e18.row("closure").speedup(),
+            e18.row("string").speedup(),
+            e18.trigger.speedup(),
+            if e18.rows.iter().all(|r| r.agree) {
+                "agree"
+            } else {
+                "diverge"
             }
         ),
     });
@@ -535,6 +554,39 @@ fn write_json_reports(seed: u64) -> std::io::Result<()> {
     let e17_path = format!("{root}/BENCH_E17.json");
     std::fs::write(&e17_path, e17)?;
     println!("wrote {e17_path}");
+
+    let r = e18_fml::run(seed);
+    println!("{r}");
+    let mut e18 = format!("{{\"seed\": {seed}, \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        e18.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"reps\": {}, \"vm_ns\": {}, \"tw_ns\": {}, \"speedup\": {:.2}, \"vm_fuel\": {}, \"tw_fuel\": {}, \"fuel_ratio\": {:.2}, \"agree\": {}}}{}\n",
+            row.workload,
+            row.reps,
+            row.vm_ns,
+            row.tw_ns,
+            row.speedup(),
+            row.vm_fuel,
+            row.tw_fuel,
+            row.fuel_ratio(),
+            row.agree,
+            if i + 1 == r.rows.len() { "" } else { "," }
+        ));
+    }
+    e18.push_str(&format!(
+        "],\n\"trigger\": {{\"ops\": {}, \"vm_ns\": {}, \"tw_ns\": {}, \"vm_ops_per_sec\": {:.0}, \"tw_ops_per_sec\": {:.0}, \"speedup\": {:.2}, \"verified\": {}}},\n\"holds\": {}}}\n",
+        r.trigger.ops,
+        r.trigger.vm_ns,
+        r.trigger.tw_ns,
+        r.trigger.vm_ops_per_sec(),
+        r.trigger.tw_ops_per_sec(),
+        r.trigger.speedup(),
+        r.trigger.verified,
+        r.holds()
+    ));
+    let e18_path = format!("{root}/BENCH_E18.json");
+    std::fs::write(&e18_path, e18)?;
+    println!("wrote {e18_path}");
     Ok(())
 }
 
@@ -647,9 +699,13 @@ fn main() {
         println!("{}", e17_history::run(seed));
         printed = true;
     }
+    if want("e18") {
+        println!("{}", e18_fml::run(seed));
+        printed = true;
+    }
 
     if !printed {
-        eprintln!("unknown experiment filter; use e1..e17 or no argument for all");
+        eprintln!("unknown experiment filter; use e1..e18 or no argument for all");
         std::process::exit(2);
     }
 }

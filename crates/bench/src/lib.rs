@@ -21,6 +21,7 @@
 //! | [`e15_durability`] | incremental O(Δ) durability: delta checkpoints, warm restarts |
 //! | [`e16_net`] | wire-protocol front-end under 1000 concurrent TCP clients |
 //! | [`e17_history`] | time-travel history layer: retained snapshots, merges |
+//! | [`e18_fml`] | compiled extension-language fast path (bytecode VM vs tree-walker) |
 //!
 //! The `report` binary prints every experiment
 //! (`cargo run -p bench --bin report`); the Criterion benches in
@@ -37,6 +38,7 @@ pub mod e14_shards;
 pub mod e15_durability;
 pub mod e16_net;
 pub mod e17_history;
+pub mod e18_fml;
 pub mod e1_mapping;
 pub mod e2_e3_schemas;
 pub mod e4_concurrency;

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use fml::{FmlError, FmlResult, Host, Interp, Value};
+use fml::{ExecMode, FmlError, FmlResult, Host, Interp, Value};
 
 use crate::error::{FmcadError, FmcadResult};
 use crate::library::Fmcad;
@@ -76,6 +76,20 @@ impl Customization {
     /// Creates an empty customisation layer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects how scripts execute: the compiled bytecode VM (the
+    /// default fast path) or the tree-walking reference interpreter.
+    ///
+    /// Definitions do not migrate between the two global stores, so
+    /// switch **before** running any customisation script.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.interp.set_mode(mode);
+    }
+
+    /// The currently selected script execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.interp.mode()
     }
 
     /// Runs an extension-language script.
@@ -243,6 +257,23 @@ mod tests {
             fm.fire_trigger("nothing", &[Value::Int(1)]),
             Ok(v) if v.is_empty()
         ));
+    }
+
+    #[test]
+    fn exec_mode_is_switchable_and_triggers_fire_in_both() {
+        for mode in [ExecMode::Vm, ExecMode::TreeWalk] {
+            let mut fm = Fmcad::new();
+            fm.customization_mut().set_exec_mode(mode);
+            assert_eq!(fm.customization().exec_mode(), mode);
+            fm.run_script(
+                "(define (on-check cell) (host-call \"log\" cell) #t)
+                 (host-call \"register-trigger\" \"checkin\" \"on-check\")",
+            )
+            .unwrap();
+            fm.fire_trigger("checkin", &[Value::Str("alu".into())])
+                .unwrap();
+            assert_eq!(fm.customization().log(), ["alu"], "{mode:?}");
+        }
     }
 
     #[test]

@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        let e: FmcadError = FmlError::UnexpectedEof.into();
+        let e: FmcadError = FmlError::UnexpectedEof {
+            open: fml::Span::new(1, 1),
+        }
+        .into();
         assert!(Error::source(&e).is_some());
     }
 }

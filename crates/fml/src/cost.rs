@@ -1,0 +1,95 @@
+//! The per-builtin fuel cost table shared by both execution modes.
+//!
+//! Fuel is the extension language's defence against runaway
+//! customisation scripts *and* its accounting currency against the
+//! engine's tick economy: a `host-call` re-enters the framework and
+//! must cost more than pure arithmetic, and allocating builtins must
+//! charge for the size of what they build, or a script could fabricate
+//! megabytes of list for one fuel unit.
+//!
+//! Both the bytecode VM and the tree-walking oracle charge one base
+//! unit per dispatch step (instruction or `eval` call) plus the table
+//! cost below when invoking a builtin, so the two modes trap runaway
+//! scripts at comparable budgets (the `det_vm_oracle` differential
+//! fuel campaign holds them to it).
+
+use crate::value::Value;
+
+/// Fuel charged for a `host-call` on top of the base dispatch unit.
+/// Host calls cross back into the framework (trigger bodies, menu
+/// locks) and their real cost is framework work, not interpreter work.
+pub const HOST_CALL_COST: u64 = 16;
+
+/// Fuel charged per builtin invocation, on top of the one base unit
+/// the dispatch loop already charged. Size-dependent builtins
+/// (`range`, `append`, `string-append`) charge proportionally to the
+/// amount of data they produce, derived *only* from the argument
+/// values so both execution modes compute the identical figure.
+pub fn builtin_cost(name: &str, args: &[Value]) -> u64 {
+    match name {
+        "host-call" => HOST_CALL_COST,
+        "print" | "to-string" => 4,
+        "string-append" => {
+            let bytes: u64 = args
+                .iter()
+                .map(|a| match a {
+                    Value::Str(s) => s.len() as u64,
+                    _ => 8,
+                })
+                .sum();
+            4 + bytes / 16
+        }
+        "append" => {
+            let elems: u64 = args
+                .iter()
+                .map(|a| match a {
+                    Value::List(l) => l.len() as u64,
+                    _ => 0,
+                })
+                .sum();
+            2 + elems / 4
+        }
+        "range" => {
+            let len = match args {
+                [Value::Int(n)] => (*n).max(0) as u64,
+                [Value::Int(a), Value::Int(b)] => b.saturating_sub(*a).max(0) as u64,
+                _ => 0,
+            };
+            2 + len / 4
+        }
+        "list" | "cons" | "first" | "rest" | "nth" | "length" | "null?" | "apply" | "map"
+        | "filter" | "reduce" => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_calls_cost_more_than_arithmetic() {
+        assert!(builtin_cost("host-call", &[]) > 10 * builtin_cost("+", &[]));
+    }
+
+    #[test]
+    fn range_charges_for_its_length() {
+        let small = builtin_cost("range", &[Value::Int(4)]);
+        let large = builtin_cost("range", &[Value::Int(4000)]);
+        assert!(large > 100 * small / 2, "{large} vs {small}");
+        let window = builtin_cost("range", &[Value::Int(10), Value::Int(4010)]);
+        assert_eq!(window, large);
+        // A reversed window is empty, never negative.
+        assert_eq!(
+            builtin_cost("range", &[Value::Int(10), Value::Int(0)]),
+            builtin_cost("range", &[Value::Int(0)])
+        );
+    }
+
+    #[test]
+    fn string_append_charges_for_bytes() {
+        let long = Value::Str("x".repeat(1600));
+        assert!(builtin_cost("string-append", std::slice::from_ref(&long)) >= 100);
+        assert_eq!(builtin_cost("string-append", &[Value::Str("ab".into())]), 4);
+    }
+}

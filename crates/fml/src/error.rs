@@ -3,27 +3,54 @@
 use std::error::Error;
 use std::fmt;
 
+/// A source position: 1-based line and column of a character in the
+/// script text. Lexer and parser errors carry one so a bad trigger
+/// script names where it broke.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters, not bytes).
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span from 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
 /// Error raised while lexing, parsing or evaluating FML source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FmlError {
     /// A character that cannot start any token.
     LexError {
-        /// 1-based line of the offending character.
-        line: usize,
+        /// Position of the offending character.
+        span: Span,
         /// The offending character.
         found: char,
     },
     /// An unterminated string literal.
     UnterminatedString {
-        /// 1-based line where the string started.
-        line: usize,
+        /// Position where the string started.
+        span: Span,
     },
-    /// The parser hit the end of input with open parentheses.
-    UnexpectedEof,
+    /// The parser hit the end of input with an unclosed construct.
+    UnexpectedEof {
+        /// Position of the opener (a `(` or `'`) left dangling.
+        open: Span,
+    },
     /// A closing parenthesis without a matching opener.
     UnbalancedParen {
-        /// 1-based line of the stray parenthesis.
-        line: usize,
+        /// Position of the stray parenthesis.
+        span: Span,
     },
     /// Evaluation of an unbound symbol.
     Unbound(String),
@@ -57,17 +84,56 @@ pub enum FmlError {
     AssertionFailed(String),
 }
 
+impl FmlError {
+    /// A stable machine-readable name of the error variant, ignoring
+    /// payloads. The differential VM/tree-walker oracle compares error
+    /// *kinds* because payload renderings (e.g. a closure's display
+    /// form) are representation details.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FmlError::LexError { .. } => "lex",
+            FmlError::UnterminatedString { .. } => "unterminated-string",
+            FmlError::UnexpectedEof { .. } => "unexpected-eof",
+            FmlError::UnbalancedParen { .. } => "unbalanced-paren",
+            FmlError::Unbound(_) => "unbound",
+            FmlError::TypeError { .. } => "type",
+            FmlError::ArityMismatch { .. } => "arity",
+            FmlError::NotCallable(_) => "not-callable",
+            FmlError::FuelExhausted => "fuel-exhausted",
+            FmlError::DivisionByZero => "division-by-zero",
+            FmlError::UserError(_) => "user",
+            FmlError::HostError(_) => "host",
+            FmlError::AssertionFailed(_) => "assertion",
+        }
+    }
+
+    /// The source position attached to the error, if this is a lex or
+    /// parse error (evaluation errors have no spans: the syntax tree
+    /// is plain data).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            FmlError::LexError { span, .. }
+            | FmlError::UnterminatedString { span }
+            | FmlError::UnbalancedParen { span } => Some(*span),
+            FmlError::UnexpectedEof { open } => Some(*open),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for FmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FmlError::LexError { line, found } => {
-                write!(f, "line {line}: unexpected character {found:?}")
+            FmlError::LexError { span, found } => {
+                write!(f, "{span}: unexpected character {found:?}")
             }
-            FmlError::UnterminatedString { line } => {
-                write!(f, "line {line}: unterminated string literal")
+            FmlError::UnterminatedString { span } => {
+                write!(f, "{span}: unterminated string literal")
             }
-            FmlError::UnexpectedEof => write!(f, "unexpected end of input"),
-            FmlError::UnbalancedParen { line } => write!(f, "line {line}: unbalanced parenthesis"),
+            FmlError::UnexpectedEof { open } => {
+                write!(f, "unexpected end of input (construct opened at {open})")
+            }
+            FmlError::UnbalancedParen { span } => write!(f, "{span}: unbalanced parenthesis"),
             FmlError::Unbound(name) => write!(f, "unbound symbol {name}"),
             FmlError::TypeError { expected, found } => {
                 write!(f, "type error: expected {expected}, found {found}")
@@ -102,5 +168,32 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FmlError>();
+    }
+
+    #[test]
+    fn spans_render_and_expose() {
+        let e = FmlError::LexError {
+            span: Span::new(3, 7),
+            found: '{',
+        };
+        assert_eq!(e.span(), Some(Span::new(3, 7)));
+        assert_eq!(e.kind(), "lex");
+        assert!(e.to_string().contains("line 3, col 7"));
+        assert_eq!(FmlError::FuelExhausted.span(), None);
+    }
+
+    #[test]
+    fn kinds_are_distinct_per_variant() {
+        let kinds = [
+            FmlError::Unbound("x".into()).kind(),
+            FmlError::FuelExhausted.kind(),
+            FmlError::DivisionByZero.kind(),
+            FmlError::UserError(String::new()).kind(),
+            FmlError::HostError(String::new()).kind(),
+            FmlError::AssertionFailed(String::new()).kind(),
+            FmlError::NotCallable(String::new()).kind(),
+        ];
+        let unique: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
     }
 }

@@ -1,9 +1,25 @@
 //! The FML evaluator and its host interface.
+//!
+//! [`Interp`] fronts two execution engines behind one API:
+//!
+//! * [`ExecMode::Vm`] (the default) compiles scripts to bytecode and
+//!   runs them on the register-free stack machine in [`crate::vm`] —
+//!   the fast path for trigger procedures fired on every write.
+//! * [`ExecMode::TreeWalk`] evaluates the syntax tree directly — the
+//!   original engine, kept as a differential oracle: same values, same
+//!   error kinds, same host transcripts.
+//!
+//! Both engines share the builtin dispatch and the per-builtin fuel
+//! cost table, so scripts are charged comparably in either mode.
 
+use crate::builtins::{self, Applier};
+use crate::compile::Compiler;
+use crate::cost;
 use crate::env::Env;
 use crate::error::{FmlError, FmlResult};
 use crate::parser::parse;
 use crate::value::Value;
+use crate::vm::{Globals, Machine};
 use std::sync::Arc;
 
 /// The host side of the extension language: framework functions the
@@ -38,49 +54,23 @@ impl Host for NoHost {
 /// enough to stop runaway loops quickly.
 pub const DEFAULT_FUEL: u64 = 1_000_000;
 
-const BUILTINS: &[&str] = &[
-    "+",
-    "-",
-    "*",
-    "/",
-    "mod",
-    "<",
-    ">",
-    "<=",
-    ">=",
-    "=",
-    "!=",
-    "not",
-    "min",
-    "max",
-    "abs",
-    "list",
-    "first",
-    "rest",
-    "cons",
-    "nth",
-    "length",
-    "append",
-    "null?",
-    "number?",
-    "string?",
-    "list?",
-    "symbol?",
-    "print",
-    "string-append",
-    "to-string",
-    "error",
-    "assert",
-    "host-call",
-    "apply",
-    "map",
-    "filter",
-    "reduce",
-    "range",
-];
+/// Which engine executes scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compile to bytecode and run on the VM (the fast default).
+    #[default]
+    Vm,
+    /// Walk the syntax tree directly (the differential oracle).
+    TreeWalk,
+}
 
-/// The FML interpreter: global environment, fuel budget and captured
+/// The FML interpreter: global bindings, fuel budget and captured
 /// print output.
+///
+/// Each mode keeps its own global store (an environment chain for the
+/// tree-walker, an interned slot vector for the VM), so pick the mode
+/// **before** running scripts; definitions do not migrate across a
+/// switch. Use [`Interp::define_global`] to pre-seed both stores.
 ///
 /// # Examples
 ///
@@ -96,7 +86,9 @@ const BUILTINS: &[&str] = &[
 /// ```
 #[derive(Debug)]
 pub struct Interp {
+    mode: ExecMode,
     global: Env,
+    globals: Globals,
     fuel_limit: u64,
     fuel: u64,
     output: Vec<String>,
@@ -109,18 +101,40 @@ impl Default for Interp {
 }
 
 impl Interp {
-    /// Creates an interpreter with the standard builtins bound.
+    /// Creates an interpreter with the standard builtins bound,
+    /// running in the default [`ExecMode::Vm`].
     pub fn new() -> Self {
         let global = Env::root();
-        for name in BUILTINS {
+        for name in builtins::NAMES {
             global.define(name, Value::Builtin(name));
         }
         Interp {
+            mode: ExecMode::default(),
             global,
+            globals: Globals::new(),
             fuel_limit: DEFAULT_FUEL,
             fuel: DEFAULT_FUEL,
             output: Vec::new(),
         }
+    }
+
+    /// Creates an interpreter running in the given mode.
+    pub fn with_mode(mode: ExecMode) -> Self {
+        let mut i = Self::new();
+        i.mode = mode;
+        i
+    }
+
+    /// The active execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Switches the execution mode. Definitions made by scripts that
+    /// already ran do not migrate between the two global stores, so
+    /// switch before running anything.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
     }
 
     /// Sets the per-run fuel budget (evaluation steps).
@@ -128,9 +142,23 @@ impl Interp {
         self.fuel_limit = fuel;
     }
 
-    /// The global environment (to predefine host-specific bindings).
+    /// Fuel consumed by the most recent [`Interp::run`] or
+    /// [`Interp::call`].
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_limit - self.fuel
+    }
+
+    /// The tree-walker's global environment. Bindings made here are
+    /// invisible to the VM — prefer [`Interp::define_global`], which
+    /// seeds both stores.
     pub fn global_env(&self) -> &Env {
         &self.global
+    }
+
+    /// Defines a global binding visible in **both** execution modes.
+    pub fn define_global(&mut self, name: &str, value: Value) {
+        self.global.define(name, value.clone());
+        self.globals.define_by_name(name, value);
     }
 
     /// Returns and clears everything the script `print`ed so far.
@@ -139,9 +167,13 @@ impl Interp {
     }
 
     /// Returns `true` if a global binding with `name` exists (e.g. a
-    /// trigger procedure the host wants to fire).
+    /// trigger procedure the host wants to fire) in the active mode's
+    /// store.
     pub fn has_definition(&self, name: &str) -> bool {
-        self.global.lookup(name).is_some()
+        match self.mode {
+            ExecMode::Vm => self.globals.get_by_name(name).is_some(),
+            ExecMode::TreeWalk => self.global.lookup(name).is_some(),
+        }
     }
 
     /// Parses and evaluates `source`, returning the last expression's
@@ -153,12 +185,21 @@ impl Interp {
     pub fn run(&mut self, source: &str, host: &mut dyn Host) -> FmlResult<Value> {
         self.fuel = self.fuel_limit;
         let exprs = parse(source)?;
-        let mut last = Value::nil();
-        let env = self.global.clone();
-        for expr in exprs {
-            last = self.eval(&expr, &env, host)?;
+        match self.mode {
+            ExecMode::Vm => {
+                let proto = Compiler::script(&mut self.globals, &exprs)?;
+                let mut machine = Machine::new(&mut self.globals, &mut self.fuel, &mut self.output);
+                machine.run_proto(proto, host)
+            }
+            ExecMode::TreeWalk => {
+                let mut last = Value::nil();
+                let env = self.global.clone();
+                for expr in exprs {
+                    last = self.eval(&expr, &env, host)?;
+                }
+                Ok(last)
+            }
         }
-        Ok(last)
     }
 
     /// Calls a previously defined procedure by name — how the host
@@ -170,18 +211,42 @@ impl Interp {
     /// any evaluation error from the body.
     pub fn call(&mut self, name: &str, args: &[Value], host: &mut dyn Host) -> FmlResult<Value> {
         self.fuel = self.fuel_limit;
-        let callee = self
-            .global
-            .lookup(name)
-            .ok_or_else(|| FmlError::Unbound(name.to_owned()))?;
-        self.apply(&callee, args.to_vec(), host)
+        match self.mode {
+            ExecMode::Vm => {
+                let callee = self
+                    .globals
+                    .get_by_name(name)
+                    .cloned()
+                    .ok_or_else(|| FmlError::Unbound(name.to_owned()))?;
+                let mut machine = Machine::new(&mut self.globals, &mut self.fuel, &mut self.output);
+                machine.apply_value(&callee, args.to_vec(), host)
+            }
+            ExecMode::TreeWalk => {
+                let callee = self
+                    .global
+                    .lookup(name)
+                    .ok_or_else(|| FmlError::Unbound(name.to_owned()))?;
+                self.apply(&callee, args.to_vec(), host)
+            }
+        }
     }
+
+    // --- the tree-walking oracle --------------------------------------
 
     fn burn(&mut self) -> FmlResult<()> {
         if self.fuel == 0 {
             return Err(FmlError::FuelExhausted);
         }
         self.fuel -= 1;
+        Ok(())
+    }
+
+    fn charge(&mut self, n: u64) -> FmlResult<()> {
+        if self.fuel < n {
+            self.fuel = 0;
+            return Err(FmlError::FuelExhausted);
+        }
+        self.fuel -= n;
         Ok(())
     }
 
@@ -192,6 +257,7 @@ impl Interp {
             | Value::Str(_)
             | Value::Bool(_)
             | Value::Lambda { .. }
+            | Value::Closure(_)
             | Value::Builtin(_) => Ok(expr.clone()),
             Value::Sym(name) => env
                 .lookup(name)
@@ -241,7 +307,10 @@ impl Interp {
 
     fn apply(&mut self, callee: &Value, args: Vec<Value>, host: &mut dyn Host) -> FmlResult<Value> {
         match callee {
-            Value::Builtin(name) => self.call_builtin(name, args, host),
+            Value::Builtin(name) => {
+                self.charge(cost::builtin_cost(name, &args))?;
+                builtins::call_builtin(self, name, args, host)
+            }
             Value::Lambda {
                 params,
                 body,
@@ -270,7 +339,7 @@ impl Interp {
     fn special_quote(&mut self, items: &[Value]) -> FmlResult<Value> {
         match items {
             [_, quoted] => Ok(quoted.clone()),
-            _ => Err(arity("quote", "1", items.len() - 1)),
+            _ => Err(builtins::arity("quote", "1", items.len() - 1)),
         }
     }
 
@@ -290,7 +359,7 @@ impl Interp {
                     self.eval(else_branch, env, host)
                 }
             }
-            _ => Err(arity("if", "2 or 3", items.len() - 1)),
+            _ => Err(builtins::arity("if", "2 or 3", items.len() - 1)),
         }
     }
 
@@ -343,7 +412,7 @@ impl Interp {
                 }
                 let body: Vec<Value> = items[2..].to_vec();
                 if body.is_empty() {
-                    return Err(arity("define", "a body", 0));
+                    return Err(builtins::arity("define", "a body", 0));
                 }
                 env.define(
                     fname,
@@ -356,7 +425,7 @@ impl Interp {
                 );
                 Ok(Value::Sym(fname.clone()))
             }
-            _ => Err(arity("define", "2", items.len() - 1)),
+            _ => Err(builtins::arity("define", "2", items.len() - 1)),
         }
     }
 
@@ -370,7 +439,7 @@ impl Interp {
                     Err(FmlError::Unbound(name.clone()))
                 }
             }
-            _ => Err(arity("set!", "2", items.len() - 1)),
+            _ => Err(builtins::arity("set!", "2", items.len() - 1)),
         }
     }
 
@@ -396,7 +465,7 @@ impl Interp {
                     name: None,
                 })
             }
-            _ => Err(arity(
+            _ => Err(builtins::arity(
                 "lambda",
                 "a parameter list and body",
                 items.len() - 1,
@@ -430,7 +499,11 @@ impl Interp {
                 }
                 self.eval_sequence(&items[2..], &frame, host)
             }
-            _ => Err(arity("let", "bindings and a body", items.len() - 1)),
+            _ => Err(builtins::arity(
+                "let",
+                "bindings and a body",
+                items.len() - 1,
+            )),
         }
     }
 
@@ -441,7 +514,11 @@ impl Interp {
         host: &mut dyn Host,
     ) -> FmlResult<Value> {
         if items.len() < 2 {
-            return Err(arity("while", "a condition and body", items.len() - 1));
+            return Err(builtins::arity(
+                "while",
+                "a condition and body",
+                items.len() - 1,
+            ));
         }
         let cond = &items[1];
         let mut last = Value::nil();
@@ -495,305 +572,20 @@ impl Interp {
         }
         Ok(Value::nil())
     }
+}
 
-    // --- builtins -------------------------------------------------------
-
-    fn call_builtin(
+impl Applier for Interp {
+    fn apply_value(
         &mut self,
-        name: &str,
+        callee: &Value,
         args: Vec<Value>,
         host: &mut dyn Host,
     ) -> FmlResult<Value> {
-        match name {
-            "+" | "-" | "*" | "/" | "mod" | "min" | "max" => self.numeric(name, args),
-            "<" | ">" | "<=" | ">=" => self.comparison(name, args),
-            "=" => match args.as_slice() {
-                [a, b] => Ok(Value::Bool(a.equals(b))),
-                _ => Err(arity("=", "2", args.len())),
-            },
-            "!=" => match args.as_slice() {
-                [a, b] => Ok(Value::Bool(!a.equals(b))),
-                _ => Err(arity("!=", "2", args.len())),
-            },
-            "not" => match args.as_slice() {
-                [a] => Ok(Value::Bool(!a.truthy())),
-                _ => Err(arity("not", "1", args.len())),
-            },
-            "abs" => match args.as_slice() {
-                [Value::Int(i)] => Ok(Value::Int(i.abs())),
-                [other] => Err(FmlError::TypeError {
-                    expected: "int",
-                    found: other.to_string(),
-                }),
-                _ => Err(arity("abs", "1", args.len())),
-            },
-            "list" => Ok(Value::List(args)),
-            "first" => match args.as_slice() {
-                [Value::List(l)] => Ok(l.first().cloned().unwrap_or_else(Value::nil)),
-                [other] => Err(FmlError::TypeError {
-                    expected: "list",
-                    found: other.to_string(),
-                }),
-                _ => Err(arity("first", "1", args.len())),
-            },
-            "rest" => match args.as_slice() {
-                [Value::List(l)] => Ok(Value::List(l.iter().skip(1).cloned().collect())),
-                [other] => Err(FmlError::TypeError {
-                    expected: "list",
-                    found: other.to_string(),
-                }),
-                _ => Err(arity("rest", "1", args.len())),
-            },
-            "cons" => match args.as_slice() {
-                [head, Value::List(tail)] => {
-                    let mut l = Vec::with_capacity(tail.len() + 1);
-                    l.push(head.clone());
-                    l.extend(tail.iter().cloned());
-                    Ok(Value::List(l))
-                }
-                [_, other] => Err(FmlError::TypeError {
-                    expected: "list",
-                    found: other.to_string(),
-                }),
-                _ => Err(arity("cons", "2", args.len())),
-            },
-            "nth" => match args.as_slice() {
-                [Value::Int(i), Value::List(l)] => {
-                    Ok(l.get(*i as usize).cloned().unwrap_or_else(Value::nil))
-                }
-                _ => Err(arity("nth", "an index and a list", args.len())),
-            },
-            "length" => match args.as_slice() {
-                [Value::List(l)] => Ok(Value::Int(l.len() as i64)),
-                [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
-                [other] => Err(FmlError::TypeError {
-                    expected: "list or string",
-                    found: other.to_string(),
-                }),
-                _ => Err(arity("length", "1", args.len())),
-            },
-            "append" => {
-                let mut out = Vec::new();
-                for a in &args {
-                    match a {
-                        Value::List(l) => out.extend(l.iter().cloned()),
-                        other => {
-                            return Err(FmlError::TypeError {
-                                expected: "list",
-                                found: other.to_string(),
-                            })
-                        }
-                    }
-                }
-                Ok(Value::List(out))
-            }
-            "null?" => match args.as_slice() {
-                [Value::List(l)] => Ok(Value::Bool(l.is_empty())),
-                [_] => Ok(Value::Bool(false)),
-                _ => Err(arity("null?", "1", args.len())),
-            },
-            "number?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Int(_)]))),
-            "string?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Str(_)]))),
-            "list?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::List(_)]))),
-            "symbol?" => Ok(Value::Bool(matches!(args.as_slice(), [Value::Sym(_)]))),
-            "print" => {
-                let line = args
-                    .iter()
-                    .map(|a| match a {
-                        Value::Str(s) => s.clone(),
-                        other => other.to_string(),
-                    })
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                self.output.push(line);
-                Ok(Value::nil())
-            }
-            "string-append" => {
-                let mut out = String::new();
-                for a in &args {
-                    match a {
-                        Value::Str(s) => out.push_str(s),
-                        other => out.push_str(&other.to_string()),
-                    }
-                }
-                Ok(Value::Str(out))
-            }
-            "to-string" => match args.as_slice() {
-                [Value::Str(s)] => Ok(Value::Str(s.clone())),
-                [other] => Ok(Value::Str(other.to_string())),
-                _ => Err(arity("to-string", "1", args.len())),
-            },
-            "error" => match args.as_slice() {
-                [Value::Str(msg)] => Err(FmlError::UserError(msg.clone())),
-                [other] => Err(FmlError::UserError(other.to_string())),
-                _ => Err(arity("error", "1", args.len())),
-            },
-            "assert" => match args.as_slice() {
-                [cond] => {
-                    if cond.truthy() {
-                        Ok(Value::Bool(true))
-                    } else {
-                        Err(FmlError::AssertionFailed(cond.to_string()))
-                    }
-                }
-                [cond, Value::Str(msg)] => {
-                    if cond.truthy() {
-                        Ok(Value::Bool(true))
-                    } else {
-                        Err(FmlError::AssertionFailed(msg.clone()))
-                    }
-                }
-                _ => Err(arity("assert", "1 or 2", args.len())),
-            },
-            "host-call" => match args.split_first() {
-                Some((Value::Str(fn_name), rest)) => host.host_call(fn_name, rest),
-                Some((other, _)) => Err(FmlError::TypeError {
-                    expected: "string",
-                    found: other.to_string(),
-                }),
-                None => Err(arity("host-call", "at least 1", 0)),
-            },
-            "apply" => match args.split_first() {
-                Some((callee, [Value::List(list_args)])) => {
-                    self.apply(callee, list_args.clone(), host)
-                }
-                _ => Err(arity(
-                    "apply",
-                    "a procedure and an argument list",
-                    args.len(),
-                )),
-            },
-            "map" => match args.as_slice() {
-                [callee, Value::List(items)] => {
-                    let mut out = Vec::with_capacity(items.len());
-                    for item in items {
-                        out.push(self.apply(callee, vec![item.clone()], host)?);
-                    }
-                    Ok(Value::List(out))
-                }
-                _ => Err(arity("map", "a procedure and a list", args.len())),
-            },
-            "filter" => match args.as_slice() {
-                [callee, Value::List(items)] => {
-                    let mut out = Vec::new();
-                    for item in items {
-                        if self.apply(callee, vec![item.clone()], host)?.truthy() {
-                            out.push(item.clone());
-                        }
-                    }
-                    Ok(Value::List(out))
-                }
-                _ => Err(arity("filter", "a procedure and a list", args.len())),
-            },
-            "reduce" => match args.as_slice() {
-                [callee, init, Value::List(items)] => {
-                    let mut acc = init.clone();
-                    for item in items {
-                        acc = self.apply(callee, vec![acc, item.clone()], host)?;
-                    }
-                    Ok(acc)
-                }
-                _ => Err(arity(
-                    "reduce",
-                    "a procedure, an initial value and a list",
-                    args.len(),
-                )),
-            },
-            "range" => match args.as_slice() {
-                [Value::Int(n)] => Ok(Value::List((0..*n.max(&0)).map(Value::Int).collect())),
-                [Value::Int(a), Value::Int(b)] => {
-                    Ok(Value::List((*a..*b).map(Value::Int).collect()))
-                }
-                _ => Err(arity("range", "1 or 2 integers", args.len())),
-            },
-            other => Err(FmlError::Unbound(other.to_owned())),
-        }
+        self.apply(callee, args, host)
     }
 
-    fn numeric(&mut self, op: &str, args: Vec<Value>) -> FmlResult<Value> {
-        let mut nums = Vec::with_capacity(args.len());
-        for a in &args {
-            match a {
-                Value::Int(i) => nums.push(*i),
-                other => {
-                    return Err(FmlError::TypeError {
-                        expected: "int",
-                        found: other.to_string(),
-                    })
-                }
-            }
-        }
-        if nums.is_empty() {
-            return Err(arity(op, "at least 1", 0));
-        }
-        let first = nums[0];
-        let rest = &nums[1..];
-        let result = match op {
-            "+" => nums.iter().fold(0i64, |a, b| a.wrapping_add(*b)),
-            "*" => nums.iter().fold(1i64, |a, b| a.wrapping_mul(*b)),
-            "-" => {
-                if rest.is_empty() {
-                    first.wrapping_neg()
-                } else {
-                    rest.iter().fold(first, |a, b| a.wrapping_sub(*b))
-                }
-            }
-            "/" => {
-                let mut acc = first;
-                for b in rest {
-                    if *b == 0 {
-                        return Err(FmlError::DivisionByZero);
-                    }
-                    acc /= b;
-                }
-                acc
-            }
-            "mod" => {
-                if rest.len() != 1 {
-                    return Err(arity("mod", "2", nums.len()));
-                }
-                if rest[0] == 0 {
-                    return Err(FmlError::DivisionByZero);
-                }
-                first.rem_euclid(rest[0])
-            }
-            "min" => nums.iter().copied().min().expect("non-empty"),
-            "max" => nums.iter().copied().max().expect("non-empty"),
-            _ => unreachable!("numeric dispatch covers all operators"),
-        };
-        Ok(Value::Int(result))
-    }
-
-    fn comparison(&mut self, op: &str, args: Vec<Value>) -> FmlResult<Value> {
-        match args.as_slice() {
-            [Value::Int(a), Value::Int(b)] => Ok(Value::Bool(match op {
-                "<" => a < b,
-                ">" => a > b,
-                "<=" => a <= b,
-                ">=" => a >= b,
-                _ => unreachable!("comparison dispatch covers all operators"),
-            })),
-            [Value::Str(a), Value::Str(b)] => Ok(Value::Bool(match op {
-                "<" => a < b,
-                ">" => a > b,
-                "<=" => a <= b,
-                ">=" => a >= b,
-                _ => unreachable!("comparison dispatch covers all operators"),
-            })),
-            [a, b] => Err(FmlError::TypeError {
-                expected: "two ints or two strings",
-                found: format!("{a} and {b}"),
-            }),
-            _ => Err(arity(op, "2", args.len())),
-        }
-    }
-}
-
-fn arity(callee: &str, expected: &str, found: usize) -> FmlError {
-    FmlError::ArityMismatch {
-        callee: callee.to_owned(),
-        expected: expected.to_owned(),
-        found,
+    fn output_mut(&mut self) -> &mut Vec<String> {
+        &mut self.output
     }
 }
 
@@ -803,6 +595,10 @@ mod tests {
 
     fn eval(src: &str) -> FmlResult<Value> {
         Interp::new().run(src, &mut NoHost)
+    }
+
+    fn eval_tw(src: &str) -> FmlResult<Value> {
+        Interp::with_mode(ExecMode::TreeWalk).run(src, &mut NoHost)
     }
 
     #[test]
@@ -872,6 +668,44 @@ mod tests {
     }
 
     #[test]
+    fn closure_counter_shares_captured_cell() {
+        let src = "
+            (define (make-counter)
+              (let ((n 0))
+                (lambda () (set! n (+ n 1)) n)))
+            (define c (make-counter))
+            (c) (c) (c)";
+        assert_eq!(eval_int(src), 3);
+    }
+
+    #[test]
+    fn let_in_loop_captures_fresh_binding_each_iteration() {
+        // Each iteration's `let` frame is distinct; the closures must
+        // not share state — in either mode.
+        let src = "
+            (define fns '())
+            (define i 0)
+            (while (< i 3)
+              (let ((captured i))
+                (set! fns (cons (lambda () captured) fns)))
+              (set! i (+ i 1)))
+            (list ((nth 0 fns)) ((nth 1 fns)) ((nth 2 fns)))";
+        assert_eq!(eval(src).unwrap().to_string(), "(2 1 0)");
+        assert_eq!(eval_tw(src).unwrap().to_string(), "(2 1 0)");
+    }
+
+    #[test]
+    fn local_recursion_via_define() {
+        let src = "
+            (define (outer n)
+              (define (down k) (if (<= k 0) 0 (+ k (down (- k 1)))))
+              (down n))
+            (outer 4)";
+        assert_eq!(eval_int(src), 10);
+        assert!(matches!(eval_tw(src).unwrap(), Value::Int(10)));
+    }
+
+    #[test]
     fn if_and_cond() {
         assert_eq!(eval_int("(if (> 2 1) 10 20)"), 10);
         assert_eq!(eval_int("(if (> 1 2) 10 20)"), 20);
@@ -884,6 +718,12 @@ mod tests {
     fn let_binds_locally() {
         assert_eq!(eval_int("(define x 1) (let ((x 10) (y 5)) (+ x y))"), 15);
         assert_eq!(eval_int("(define x 1) (let ((x 10)) x) x"), 1);
+    }
+
+    #[test]
+    fn let_initialisers_see_outer_scope() {
+        // Parallel let: `y`'s initialiser must see the outer `x`.
+        assert_eq!(eval_int("(define x 1) (let ((x 10) (y x)) (+ x y))"), 11);
     }
 
     #[test]
@@ -902,6 +742,9 @@ mod tests {
     fn and_or_short_circuit() {
         assert_eq!(eval_int("(or 0 #f 7 (error \"not reached\"))"), 7);
         assert!(!eval("(and 1 #f (error \"not reached\"))").unwrap().truthy());
+        assert_eq!(eval("(or 0 #f)").unwrap().to_string(), "#f");
+        assert_eq!(eval("(and)").unwrap().to_string(), "#t");
+        assert_eq!(eval("(or)").unwrap().to_string(), "#f");
     }
 
     #[test]
@@ -922,11 +765,27 @@ mod tests {
     }
 
     #[test]
-    fn fuel_stops_infinite_loops() {
+    fn deep_recursion_does_not_overflow_the_vm() {
+        // The VM keeps frames on the heap; a recursion depth that
+        // would threaten the Rust stack in a tree-walker is fine.
+        let src = "(define (down n) (if (<= n 0) 0 (down (- n 1)))) (down 20000)";
         let mut interp = Interp::new();
-        interp.set_fuel(10_000);
-        let err = interp.run("(while 1 0)", &mut NoHost).unwrap_err();
-        assert_eq!(err, FmlError::FuelExhausted);
+        interp.set_fuel(10_000_000);
+        assert!(matches!(
+            interp.run(src, &mut NoHost).unwrap(),
+            Value::Int(0)
+        ));
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        for mode in [ExecMode::Vm, ExecMode::TreeWalk] {
+            let mut interp = Interp::with_mode(mode);
+            interp.set_fuel(10_000);
+            let err = interp.run("(while 1 0)", &mut NoHost).unwrap_err();
+            assert_eq!(err, FmlError::FuelExhausted, "{mode:?}");
+            assert_eq!(interp.fuel_used(), 10_000, "{mode:?} drains the budget");
+        }
     }
 
     #[test]
@@ -981,6 +840,26 @@ mod tests {
     }
 
     #[test]
+    fn malformed_forms_error_only_when_reached() {
+        // The tree-walker checks form shapes lazily; the compiler
+        // defers them to the same evaluation point via Fail.
+        assert!(eval("(if #f (lambda (1) 1) 7)").is_ok());
+        assert!(eval("(cond (#t 1) bogus)").is_ok());
+        assert!(matches!(
+            eval("(cond (#f 1) bogus)").unwrap_err(),
+            FmlError::TypeError { .. }
+        ));
+        assert!(matches!(
+            eval("(lambda (1) 1)").unwrap_err(),
+            FmlError::TypeError { .. }
+        ));
+        assert!(matches!(
+            eval("(set! 1 2)").unwrap_err(),
+            FmlError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
     fn host_call_reaches_host() {
         struct Recorder(Vec<String>);
         impl Host for Recorder {
@@ -1008,19 +887,31 @@ mod tests {
 
     #[test]
     fn call_invokes_defined_trigger() {
-        let mut interp = Interp::new();
-        interp
-            .run(
-                "(define (on-save file) (string-append \"saved:\" file))",
-                &mut NoHost,
-            )
-            .unwrap();
-        assert!(interp.has_definition("on-save"));
-        let v = interp
-            .call("on-save", &[Value::Str("top.sch".into())], &mut NoHost)
-            .unwrap();
-        assert!(matches!(v, Value::Str(s) if s == "saved:top.sch"));
-        assert!(interp.call("missing", &[], &mut NoHost).is_err());
+        for mode in [ExecMode::Vm, ExecMode::TreeWalk] {
+            let mut interp = Interp::with_mode(mode);
+            interp
+                .run(
+                    "(define (on-save file) (string-append \"saved:\" file))",
+                    &mut NoHost,
+                )
+                .unwrap();
+            assert!(interp.has_definition("on-save"));
+            let v = interp
+                .call("on-save", &[Value::Str("top.sch".into())], &mut NoHost)
+                .unwrap();
+            assert!(matches!(v, Value::Str(s) if s == "saved:top.sch"));
+            assert!(interp.call("missing", &[], &mut NoHost).is_err());
+        }
+    }
+
+    #[test]
+    fn define_global_visible_in_both_modes() {
+        for mode in [ExecMode::Vm, ExecMode::TreeWalk] {
+            let mut interp = Interp::with_mode(mode);
+            interp.define_global("seeded", Value::Int(33));
+            let v = interp.run("(+ seeded 9)", &mut NoHost).unwrap();
+            assert!(matches!(v, Value::Int(42)), "{mode:?}");
+        }
     }
 
     #[test]
@@ -1043,6 +934,19 @@ mod tests {
         assert_eq!(eval_int("(reduce + 0 (range 1 11))"), 55);
         assert_eq!(eval_int("(reduce max 0 '(3 9 4))"), 9);
         assert!(eval("(map 1 '(1))").is_err());
+    }
+
+    #[test]
+    fn procedures_display_identically_across_modes() {
+        for src in [
+            "(define (f a b) a)  f",
+            "(define g (lambda (x) x)) g",
+            "(lambda (x y z) x)",
+        ] {
+            let vm = eval(src).unwrap().to_string();
+            let tw = eval_tw(src).unwrap().to_string();
+            assert_eq!(vm, tw, "{src}");
+        }
     }
 
     #[test]

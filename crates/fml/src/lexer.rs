@@ -1,59 +1,42 @@
 //! Tokeniser for FML source text.
 
-use crate::error::{FmlError, FmlResult};
+use crate::error::{FmlError, FmlResult, Span};
 
-/// One lexical token with its source line (for diagnostics).
+/// The kind (and payload) of one lexical token.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Token {
+pub enum TokenKind {
     /// `(`
-    LParen {
-        /// 1-based source line.
-        line: usize,
-    },
+    LParen,
     /// `)`
-    RParen {
-        /// 1-based source line.
-        line: usize,
-    },
+    RParen,
     /// `'` — quote shorthand.
-    Quote {
-        /// 1-based source line.
-        line: usize,
-    },
+    Quote,
     /// An integer literal.
-    Int {
-        /// The literal value.
-        value: i64,
-        /// 1-based source line.
-        line: usize,
-    },
+    Int(i64),
     /// A string literal (escapes already resolved).
-    Str {
-        /// The literal value.
-        value: String,
-        /// 1-based source line.
-        line: usize,
-    },
+    Str(String),
     /// A symbol (identifier or operator).
-    Sym {
-        /// The symbol text.
-        name: String,
-        /// 1-based source line.
-        line: usize,
-    },
+    Sym(String),
+}
+
+/// One lexical token with its source span (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts in the source text.
+    pub span: Span,
 }
 
 impl Token {
-    /// The source line of the token.
-    pub fn line(&self) -> usize {
-        match self {
-            Token::LParen { line }
-            | Token::RParen { line }
-            | Token::Quote { line }
-            | Token::Int { line, .. }
-            | Token::Str { line, .. }
-            | Token::Sym { line, .. } => *line,
-        }
+    /// The 1-based source line of the token.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
+
+    /// The 1-based source column of the token.
+    pub fn col(&self) -> u32 {
+        self.span.col
     }
 }
 
@@ -61,96 +44,134 @@ fn is_symbol_char(c: char) -> bool {
     c.is_alphanumeric() || "+-*/<>=!?_.:&%$@^~#".contains(c)
 }
 
+/// A character cursor that tracks 1-based line/column positions.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consumes one character, advancing the position past it.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// The span of the *next* (unconsumed) character.
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+}
+
 /// Tokenises FML source.
 ///
 /// Comments run from `;` to end of line. String escapes `\"`, `\\` and
-/// `\n` are supported.
+/// `\n` are supported. Every token carries the [`Span`] of its first
+/// character.
 ///
 /// # Errors
 ///
 /// Returns [`FmlError::LexError`] for characters outside the token
-/// grammar and [`FmlError::UnterminatedString`] for unclosed strings.
+/// grammar and [`FmlError::UnterminatedString`] for unclosed strings,
+/// both naming the offending line and column.
 pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
     let mut tokens = Vec::new();
-    let mut chars = source.chars().peekable();
-    let mut line = 1usize;
-    while let Some(&c) = chars.peek() {
+    let mut cur = Cursor {
+        chars: source.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    while let Some(c) = cur.peek() {
+        let span = cur.span();
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                cur.bump();
             }
             ';' => {
-                for c in chars.by_ref() {
+                while let Some(c) = cur.bump() {
                     if c == '\n' {
-                        line += 1;
                         break;
                     }
                 }
             }
             '(' => {
-                tokens.push(Token::LParen { line });
-                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span,
+                });
+                cur.bump();
             }
             ')' => {
-                tokens.push(Token::RParen { line });
-                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span,
+                });
+                cur.bump();
             }
             '\'' => {
-                tokens.push(Token::Quote { line });
-                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Quote,
+                    span,
+                });
+                cur.bump();
             }
             '"' => {
-                chars.next();
-                let start_line = line;
+                cur.bump();
                 let mut value = String::new();
                 loop {
-                    match chars.next() {
-                        None => return Err(FmlError::UnterminatedString { line: start_line }),
+                    match cur.bump() {
+                        None => return Err(FmlError::UnterminatedString { span }),
                         Some('"') => break,
-                        Some('\\') => match chars.next() {
+                        Some('\\') => match cur.bump() {
                             Some('n') => value.push('\n'),
                             Some('\\') => value.push('\\'),
                             Some('"') => value.push('"'),
                             Some(other) => value.push(other),
-                            None => return Err(FmlError::UnterminatedString { line: start_line }),
+                            None => return Err(FmlError::UnterminatedString { span }),
                         },
-                        Some('\n') => {
-                            line += 1;
-                            value.push('\n');
-                        }
                         Some(other) => value.push(other),
                     }
                 }
-                tokens.push(Token::Str {
-                    value,
-                    line: start_line,
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    span,
                 });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(d) = cur.peek() {
                     if d.is_ascii_digit() {
                         text.push(d);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
                 let value = text
                     .parse::<i64>()
-                    .map_err(|_| FmlError::LexError { line, found: c })?;
-                tokens.push(Token::Int { value, line });
+                    .map_err(|_| FmlError::LexError { span, found: c })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span,
+                });
             }
             c if is_symbol_char(c) => {
                 let mut name = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(d) = cur.peek() {
                     if is_symbol_char(d) {
                         name.push(d);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
@@ -162,13 +183,21 @@ pub fn tokenize(source: &str) -> FmlResult<Vec<Token>> {
                 {
                     let value = name
                         .parse::<i64>()
-                        .map_err(|_| FmlError::LexError { line, found: c })?;
-                    tokens.push(Token::Int { value, line });
+                        .map_err(|_| FmlError::LexError { span, found: c })?;
+                    tokens.push(Token {
+                        kind: TokenKind::Int(value),
+                        span,
+                    });
                 } else {
-                    tokens.push(Token::Sym { name, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Sym(name),
+                        span,
+                    });
                 }
             }
-            other => return Err(FmlError::LexError { line, found: other }),
+            other => {
+                return Err(FmlError::LexError { span, found: other });
+            }
         }
     }
     Ok(tokens)
@@ -182,29 +211,34 @@ mod tests {
     fn tokenizes_basic_forms() {
         let tokens = tokenize("(define x 42)").unwrap();
         assert_eq!(tokens.len(), 5);
-        assert!(matches!(tokens[0], Token::LParen { .. }));
-        assert!(matches!(&tokens[1], Token::Sym { name, .. } if name == "define"));
-        assert!(matches!(tokens[3], Token::Int { value: 42, .. }));
+        assert!(matches!(tokens[0].kind, TokenKind::LParen));
+        assert!(matches!(&tokens[1].kind, TokenKind::Sym(name) if name == "define"));
+        assert!(matches!(tokens[3].kind, TokenKind::Int(42)));
     }
 
     #[test]
     fn negative_numbers_and_minus_symbol() {
         let tokens = tokenize("-5 - -x").unwrap();
-        assert!(matches!(tokens[0], Token::Int { value: -5, .. }));
-        assert!(matches!(&tokens[1], Token::Sym { name, .. } if name == "-"));
-        assert!(matches!(&tokens[2], Token::Sym { name, .. } if name == "-x"));
+        assert!(matches!(tokens[0].kind, TokenKind::Int(-5)));
+        assert!(matches!(&tokens[1].kind, TokenKind::Sym(name) if name == "-"));
+        assert!(matches!(&tokens[2].kind, TokenKind::Sym(name) if name == "-x"));
     }
 
     #[test]
     fn strings_with_escapes() {
         let tokens = tokenize(r#""a\"b\n\\c""#).unwrap();
-        assert!(matches!(&tokens[0], Token::Str { value, .. } if value == "a\"b\n\\c"));
+        assert!(matches!(&tokens[0].kind, TokenKind::Str(value) if value == "a\"b\n\\c"));
     }
 
     #[test]
-    fn unterminated_string_reports_start_line() {
-        let err = tokenize("\n\"oops").unwrap_err();
-        assert_eq!(err, FmlError::UnterminatedString { line: 2 });
+    fn unterminated_string_reports_start_position() {
+        let err = tokenize("\n  \"oops").unwrap_err();
+        assert_eq!(
+            err,
+            FmlError::UnterminatedString {
+                span: Span::new(2, 3)
+            }
+        );
     }
 
     #[test]
@@ -212,24 +246,45 @@ mod tests {
         let tokens = tokenize("; a comment\n42 ; trailing\n").unwrap();
         assert_eq!(tokens.len(), 1);
         assert_eq!(tokens[0].line(), 2);
+        assert_eq!(tokens[0].col(), 1);
     }
 
     #[test]
     fn quote_shorthand() {
         let tokens = tokenize("'(1 2)").unwrap();
-        assert!(matches!(tokens[0], Token::Quote { .. }));
+        assert!(matches!(tokens[0].kind, TokenKind::Quote));
     }
 
     #[test]
-    fn line_numbers_advance() {
-        let tokens = tokenize("a\nb\nc").unwrap();
-        assert_eq!(tokens[0].line(), 1);
-        assert_eq!(tokens[1].line(), 2);
-        assert_eq!(tokens[2].line(), 3);
+    fn line_and_column_numbers_advance() {
+        let tokens = tokenize("a bb\n  c").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(1, 3));
+        assert_eq!(tokens[2].span, Span::new(2, 3));
     }
 
     #[test]
-    fn rejects_stray_characters() {
-        assert!(matches!(tokenize("{"), Err(FmlError::LexError { .. })));
+    fn columns_count_characters_inside_forms() {
+        let tokens = tokenize("(define x 42)").unwrap();
+        let cols: Vec<u32> = tokens.iter().map(Token::col).collect();
+        assert_eq!(cols, vec![1, 2, 9, 11, 13]);
+    }
+
+    #[test]
+    fn rejects_stray_characters_with_position() {
+        let err = tokenize("ok\n   {").unwrap_err();
+        assert_eq!(
+            err,
+            FmlError::LexError {
+                span: Span::new(2, 4),
+                found: '{'
+            }
+        );
+    }
+
+    #[test]
+    fn string_newlines_advance_lines() {
+        let tokens = tokenize("\"a\nb\" x").unwrap();
+        assert_eq!(tokens[1].span, Span::new(2, 4));
     }
 }

@@ -39,16 +39,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builtins;
+mod compile;
+pub mod cost;
 mod env;
 mod error;
 mod interp;
 mod lexer;
 mod parser;
 mod value;
+mod vm;
 
 pub use env::Env;
-pub use error::{FmlError, FmlResult};
-pub use interp::{Host, Interp, NoHost, DEFAULT_FUEL};
-pub use lexer::{tokenize, Token};
+pub use error::{FmlError, FmlResult, Span};
+pub use interp::{ExecMode, Host, Interp, NoHost, DEFAULT_FUEL};
+pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse;
 pub use value::Value;
+pub use vm::Closure;

@@ -1,15 +1,16 @@
 //! Parser: tokens to expression trees.
 
 use crate::error::{FmlError, FmlResult};
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize, Token, TokenKind};
 use crate::value::Value;
 
 /// Parses FML source into a sequence of top-level expressions.
 ///
 /// # Errors
 ///
-/// Returns lexer errors, [`FmlError::UnexpectedEof`] for unclosed lists
-/// and [`FmlError::UnbalancedParen`] for stray closers.
+/// Returns lexer errors, [`FmlError::UnexpectedEof`] for unclosed
+/// constructs (naming the opener's position) and
+/// [`FmlError::UnbalancedParen`] for stray closers (naming theirs).
 pub fn parse(source: &str) -> FmlResult<Vec<Value>> {
     let tokens = tokenize(source)?;
     let mut pos = 0usize;
@@ -23,11 +24,17 @@ pub fn parse(source: &str) -> FmlResult<Vec<Value>> {
 }
 
 fn parse_expr(tokens: &[Token], pos: usize) -> FmlResult<(Value, usize)> {
-    match tokens.get(pos) {
-        None => Err(FmlError::UnexpectedEof),
-        Some(Token::Int { value, .. }) => Ok((Value::Int(*value), pos + 1)),
-        Some(Token::Str { value, .. }) => Ok((Value::Str(value.clone()), pos + 1)),
-        Some(Token::Sym { name, .. }) => Ok((
+    let Some(token) = tokens.get(pos) else {
+        // Only reachable below an opener: top level stops at the end
+        // of the token stream, so there is always a previous token to
+        // blame (the quote or parenthesis left dangling).
+        let open = tokens.last().map(|t| t.span).unwrap_or_default();
+        return Err(FmlError::UnexpectedEof { open });
+    };
+    match &token.kind {
+        TokenKind::Int(value) => Ok((Value::Int(*value), pos + 1)),
+        TokenKind::Str(value) => Ok((Value::Str(value.clone()), pos + 1)),
+        TokenKind::Sym(name) => Ok((
             match name.as_str() {
                 "#t" | "true" => Value::Bool(true),
                 "#f" | "false" => Value::Bool(false),
@@ -36,21 +43,27 @@ fn parse_expr(tokens: &[Token], pos: usize) -> FmlResult<(Value, usize)> {
             },
             pos + 1,
         )),
-        Some(Token::Quote { .. }) => {
+        TokenKind::Quote => {
+            if tokens.get(pos + 1).is_none() {
+                return Err(FmlError::UnexpectedEof { open: token.span });
+            }
             let (quoted, next) = parse_expr(tokens, pos + 1)?;
             Ok((
                 Value::List(vec![Value::Sym("quote".to_owned()), quoted]),
                 next,
             ))
         }
-        Some(Token::LParen { .. }) => {
+        TokenKind::LParen => {
+            let open = token.span;
             let mut items = Vec::new();
             let mut cursor = pos + 1;
             loop {
                 match tokens.get(cursor) {
-                    None => return Err(FmlError::UnexpectedEof),
-                    Some(Token::RParen { .. }) => return Ok((Value::List(items), cursor + 1)),
-                    _ => {
+                    None => return Err(FmlError::UnexpectedEof { open }),
+                    Some(t) if t.kind == TokenKind::RParen => {
+                        return Ok((Value::List(items), cursor + 1))
+                    }
+                    Some(_) => {
                         let (item, next) = parse_expr(tokens, cursor)?;
                         items.push(item);
                         cursor = next;
@@ -58,13 +71,14 @@ fn parse_expr(tokens: &[Token], pos: usize) -> FmlResult<(Value, usize)> {
                 }
             }
         }
-        Some(Token::RParen { line }) => Err(FmlError::UnbalancedParen { line: *line }),
+        TokenKind::RParen => Err(FmlError::UnbalancedParen { span: token.span }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Span;
 
     #[test]
     fn parses_atoms() {
@@ -92,16 +106,39 @@ mod tests {
     }
 
     #[test]
-    fn unclosed_list_reports_eof() {
-        assert_eq!(parse("(a (b)").unwrap_err(), FmlError::UnexpectedEof);
+    fn unclosed_list_blames_the_opener() {
+        assert_eq!(
+            parse("(a (b)").unwrap_err(),
+            FmlError::UnexpectedEof {
+                open: Span::new(1, 1)
+            }
+        );
+        assert_eq!(
+            parse("(a\n   (b").unwrap_err(),
+            FmlError::UnexpectedEof {
+                open: Span::new(2, 4)
+            }
+        );
     }
 
     #[test]
-    fn stray_paren_reports_line() {
-        assert!(matches!(
-            parse("\n)").unwrap_err(),
-            FmlError::UnbalancedParen { line: 2 }
-        ));
+    fn dangling_quote_blames_the_quote() {
+        assert_eq!(
+            parse("(a) '").unwrap_err(),
+            FmlError::UnexpectedEof {
+                open: Span::new(1, 5)
+            }
+        );
+    }
+
+    #[test]
+    fn stray_paren_reports_position() {
+        assert_eq!(
+            parse("\n  )").unwrap_err(),
+            FmlError::UnbalancedParen {
+                span: Span::new(2, 3)
+            }
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::env::Env;
+use crate::vm::Closure;
 
 /// A runtime FML value.
 ///
@@ -21,7 +22,8 @@ pub enum Value {
     Sym(String),
     /// Proper list; the empty list is also the nil value.
     List(Vec<Value>),
-    /// A user-defined procedure (lambda) with captured environment.
+    /// A user-defined procedure (lambda) with captured environment —
+    /// the tree-walking representation.
     Lambda {
         /// Parameter names.
         params: Arc<Vec<String>>,
@@ -32,6 +34,11 @@ pub enum Value {
         /// Optional name for diagnostics (set by `define`).
         name: Option<String>,
     },
+    /// A compiled procedure: bytecode proto plus captured upvalue
+    /// cells — the VM representation. Displays identically to
+    /// [`Value::Lambda`] (`#<procedure name/arity>`), so transcripts
+    /// and printed output agree across execution modes.
+    Closure(Arc<Closure>),
     /// A built-in procedure identified by name (dispatched by the
     /// evaluator).
     Builtin(&'static str),
@@ -62,7 +69,7 @@ impl Value {
             Value::Bool(_) => "bool",
             Value::Sym(_) => "symbol",
             Value::List(_) => "list",
-            Value::Lambda { .. } => "procedure",
+            Value::Lambda { .. } | Value::Closure(_) => "procedure",
             Value::Builtin(_) => "builtin",
         }
     }
@@ -103,6 +110,10 @@ impl fmt::Display for Value {
             Value::Lambda { name, params, .. } => match name {
                 Some(n) => write!(f, "#<procedure {n}/{}>", params.len()),
                 None => write!(f, "#<procedure/{}>", params.len()),
+            },
+            Value::Closure(c) => match c.name() {
+                Some(n) => write!(f, "#<procedure {n}/{}>", c.arity()),
+                None => write!(f, "#<procedure/{}>", c.arity()),
             },
             Value::Builtin(name) => write!(f, "#<builtin {name}>"),
         }

@@ -20,6 +20,7 @@
 use std::fmt;
 
 use cad_vfs::FaultPlan;
+use fml::ExecMode;
 
 use crate::engine::Engine;
 use crate::events::{EventSink, TraceSink, TRACE_CAPACITY};
@@ -41,6 +42,8 @@ pub struct EngineBuilder {
     fault_plan: Option<FaultPlan>,
     trace_capacity: usize,
     sinks: Vec<Box<dyn EventSink + Send>>,
+    fml_exec_mode: ExecMode,
+    custom_scripts: Vec<String>,
 }
 
 impl fmt::Debug for EngineBuilder {
@@ -51,6 +54,8 @@ impl fmt::Debug for EngineBuilder {
             .field("fault_plan", &self.fault_plan.is_some())
             .field("trace_capacity", &self.trace_capacity)
             .field("sinks", &self.sinks.len())
+            .field("fml_exec_mode", &self.fml_exec_mode)
+            .field("custom_scripts", &self.custom_scripts.len())
             .finish()
     }
 }
@@ -63,6 +68,8 @@ impl Default for EngineBuilder {
             fault_plan: None,
             trace_capacity: TRACE_CAPACITY,
             sinks: Vec::new(),
+            fml_exec_mode: ExecMode::default(),
+            custom_scripts: Vec::new(),
         }
     }
 }
@@ -95,6 +102,28 @@ impl EngineBuilder {
         self
     }
 
+    /// How FMCAD extension-language scripts execute (default:
+    /// [`ExecMode::Vm`], the compiled fast path). The mode is in
+    /// force before the §2.4 bootstrap runs, so the consistency
+    /// wrappers and all trigger procedures execute under it. Like the
+    /// fault plan, it is session-local: recovery re-bootstraps under
+    /// the default mode.
+    pub fn fml_exec_mode(mut self, mode: ExecMode) -> EngineBuilder {
+        self.fml_exec_mode = mode;
+        self
+    }
+
+    /// Queues a customisation script to run at construction, after
+    /// the §2.4 bootstrap and in queue order. Site customisation is
+    /// an installation decision, not a design-flow step: the scripts
+    /// are not journaled and — like the fault plan — are not re-run
+    /// by recovery. Triggers they register fire on subsequent engine
+    /// operations.
+    pub fn custom_script(mut self, source: impl Into<String>) -> EngineBuilder {
+        self.custom_scripts.push(source.into());
+        self
+    }
+
     /// Capacity of the built-in trace ring (default:
     /// [`TRACE_CAPACITY`]).
     pub fn trace_capacity(mut self, capacity: usize) -> EngineBuilder {
@@ -112,13 +141,25 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine: runs the [`Hybrid`] bootstrap, applies the
-    /// configuration directly to the frameworks (journaling nothing)
-    /// and arms the fault plan, if any.
+    /// Builds the engine: runs the [`Hybrid`] bootstrap under the
+    /// selected script execution mode, runs any queued customisation
+    /// scripts, applies the configuration directly to the frameworks
+    /// (journaling nothing) and arms the fault plan, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued [`custom_script`](Self::custom_script)
+    /// fails — constructor-time customisation is installation code,
+    /// and a broken installation must not come up half-configured.
     pub fn build(self) -> Engine {
-        let mut hy = Hybrid::new();
+        let mut hy = Hybrid::with_exec_mode(self.fml_exec_mode);
         hy.set_staging_mode(self.staging_mode);
         hy.set_future_features(self.features);
+        for script in &self.custom_scripts {
+            if let Err(e) = hy.fmcad_mut().run_script(script) {
+                panic!("constructor-time customisation script failed: {e}");
+            }
+        }
         if let Some(plan) = self.fault_plan {
             hy.fmcad().fs_ref().arm_faults(plan);
         }
@@ -190,6 +231,53 @@ mod tests {
         let entries: Vec<JournalEntry> = en.trace().entries().cloned().collect();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].seq, 2);
+    }
+
+    #[test]
+    fn custom_scripts_register_triggers_that_fire_on_ops() {
+        // A constructor-time script hooks the coupling trigger; the
+        // first project creation couples a library and must fire it —
+        // under either execution mode.
+        for mode in [ExecMode::Vm, ExecMode::TreeWalk] {
+            let mut en = Engine::builder()
+                .fml_exec_mode(mode)
+                .custom_script(
+                    "(define (note lib) (host-call \"log\" (string-append \"coupled:\" lib)))
+                     (host-call \"register-trigger\" \"library-coupled\" \"note\")",
+                )
+                .build();
+            assert_eq!(en.fmcad().customization().exec_mode(), mode);
+            en.create_project("chip").unwrap();
+            let log = en.fmcad().customization().log();
+            assert!(
+                log.iter().any(|l| l.starts_with("coupled:")),
+                "{mode:?}: {log:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_walk_mode_bootstrap_still_guards_menus() {
+        // The §2.4 wrappers are defined under whatever mode is in
+        // force at bootstrap; the oracle interpreter must end up with
+        // the same locked menus as the VM.
+        let vm = Engine::builder().fml_exec_mode(ExecMode::Vm).build();
+        let tw = Engine::builder().fml_exec_mode(ExecMode::TreeWalk).build();
+        for menu in ["Delete Version", "Purge"] {
+            assert_eq!(
+                vm.fmcad().customization().is_menu_locked(menu),
+                tw.fmcad().customization().is_menu_locked(menu),
+                "{menu}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "customisation script failed")]
+    fn broken_custom_script_fails_construction() {
+        let _ = Engine::builder()
+            .custom_script("(error \"site config broken\")")
+            .build();
     }
 
     #[test]

@@ -168,6 +168,14 @@ impl Hybrid {
     /// Never panics; the fixed bootstrap is infallible by construction
     /// and the `expect`s guard against schema edits.
     pub(crate) fn new() -> Self {
+        Self::with_exec_mode(fml::ExecMode::default())
+    }
+
+    /// Like [`Hybrid::new`], but selects the extension-language
+    /// execution mode *before* the §2.4 bootstrap runs — definitions
+    /// do not migrate between the VM and tree-walker global stores,
+    /// so the mode has to be in force when the wrappers are defined.
+    pub(crate) fn with_exec_mode(mode: fml::ExecMode) -> Self {
         let mut jcf = Jcf::new();
         let admin = jcf
             .add_user("framework-admin", true)
@@ -191,6 +199,7 @@ impl Hybrid {
         }
         // §2.4: extension-language wrappers lock the FMCAD menus whose
         // free use would corrupt the master's bookkeeping.
+        fmcad.customization_mut().set_exec_mode(mode);
         fmcad
             .run_script(BOOTSTRAP_SCRIPT)
             .expect("bootstrap script is well-formed");

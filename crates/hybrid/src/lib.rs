@@ -98,6 +98,7 @@ pub use error::{HybridError, HybridResult};
 pub use events::{
     CounterSink, Event, EventSink, JournalEntry, MergeConflict, TraceSink, TRACE_CAPACITY,
 };
+pub use fml::ExecMode;
 pub use framework::{Hybrid, MirrorLocation, StagingMode, StandardFlow, COUPLER};
 pub use future::FutureFeatures;
 pub use history::{HistoryView, RetentionPolicy, Workspace};

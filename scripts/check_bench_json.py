@@ -33,6 +33,16 @@ the retention ring must stay bounded by its policy, impact queries
 against a pinned historical seq must not track installation size, and
 merge-forward throughput must stay above the floor derived from
 scripts/e17_baseline.json.
+
+BENCH_E18.json (the compiled fml fast path) is gated on the §16
+contract: every script workload must produce the identical value under
+the bytecode VM and the tree-walking oracle, the shared cost table
+must keep the fuel the two modes charge within a 3x band, the VM must
+beat the tree-walker by at least 3x on the loop workloads (arith-loop
+and closure — the committed floor), the end-to-end trigger batch must
+verify firing and run faster under the VM, and VM-mode trigger
+throughput must stay above the floor derived from
+scripts/e18_baseline.json.
 """
 
 import json
@@ -151,6 +161,7 @@ def main():
     check_e15()
     check_e16()
     check_e17()
+    check_e18()
 
 
 E12_COUNTERS = (
@@ -735,6 +746,147 @@ def check_e17():
         print(
             "OK: E17 parsed (non-golden seed {}, baseline comparison skipped)".format(
                 e17["seed"]
+            )
+        )
+
+
+E18_ROW_FIELDS = (
+    "workload",
+    "reps",
+    "vm_ns",
+    "tw_ns",
+    "speedup",
+    "vm_fuel",
+    "tw_fuel",
+    "fuel_ratio",
+    "agree",
+)
+
+E18_TRIGGER_FIELDS = (
+    "ops",
+    "vm_ns",
+    "tw_ns",
+    "vm_ops_per_sec",
+    "tw_ops_per_sec",
+    "speedup",
+    "verified",
+)
+
+E18_WORKLOADS = ("arith-loop", "closure", "string")
+
+# The committed floor of the §16 redesign: on the loop workloads the
+# VM must deliver at least 3x the tree-walker's throughput. The
+# speedup is a same-machine ratio, so the floor applies at any seed.
+E18_LOOP_WORKLOADS = ("arith-loop", "closure")
+E18_MIN_LOOP_SPEEDUP = 3.0
+
+# The end-to-end trigger batch carries Service-layer overhead that is
+# identical in both modes, so its floor is lower.
+E18_MIN_TRIGGER_SPEEDUP = 1.2
+
+# Both modes charge fuel through the shared cost table; the per-call
+# totals may differ only by dispatch shape, never by a model change.
+E18_MAX_FUEL_RATIO = 3.0
+
+# A fresh run's VM-mode trigger throughput must reach at least this
+# fraction of the committed baseline (the batch runs through the full
+# Service write path, so the floor is generous).
+E18_REGRESSION_FLOOR = 0.3
+
+
+def check_e18():
+    e18 = load("BENCH_E18.json")
+    rows = e18.get("rows")
+    trigger = e18.get("trigger")
+    if "seed" not in e18 or not rows or not isinstance(trigger, dict):
+        sys.exit("FAIL: BENCH_E18.json lacks a seed, rows or a trigger block")
+
+    by_name = {}
+    for row in rows:
+        for field in E18_ROW_FIELDS:
+            if field not in row:
+                sys.exit(
+                    f"FAIL: BENCH_E18.json row lacks {field!r} "
+                    "(the VM benchmark counters regressed)"
+                )
+        if not row["agree"]:
+            sys.exit(
+                "FAIL: E18 workload {!r} produced different values under "
+                "the VM and the tree-walker".format(row["workload"])
+            )
+        ratio = row["fuel_ratio"]
+        if ratio > E18_MAX_FUEL_RATIO or ratio < 1.0 / E18_MAX_FUEL_RATIO:
+            sys.exit(
+                "FAIL: E18 workload {!r} fuel ratio {:.2f} left the "
+                "[1/{:.0f}, {:.0f}] band — the shared cost table diverged "
+                "between modes".format(
+                    row["workload"], ratio, E18_MAX_FUEL_RATIO, E18_MAX_FUEL_RATIO
+                )
+            )
+        by_name[row["workload"]] = row
+    for name in E18_WORKLOADS:
+        if name not in by_name:
+            sys.exit(f"FAIL: BENCH_E18.json has no row for workload {name!r}")
+
+    for name in E18_LOOP_WORKLOADS:
+        speedup = by_name[name]["speedup"]
+        if speedup < E18_MIN_LOOP_SPEEDUP:
+            sys.exit(
+                "FAIL: E18 VM speedup on {!r} is {:.2f}x < the committed "
+                "{:.1f}x floor (the compiled fast path regressed)".format(
+                    name, speedup, E18_MIN_LOOP_SPEEDUP
+                )
+            )
+
+    for field in E18_TRIGGER_FIELDS:
+        if field not in trigger:
+            sys.exit(
+                f"FAIL: BENCH_E18.json trigger block lacks {field!r} "
+                "(the trigger-batch counters regressed)"
+            )
+    if not trigger["verified"]:
+        sys.exit(
+            "FAIL: E18 trigger batch did not verify that the registered "
+            "trigger fires"
+        )
+    if trigger["speedup"] < E18_MIN_TRIGGER_SPEEDUP:
+        sys.exit(
+            "FAIL: E18 trigger-batch speedup {:.2f}x < {:.1f}x — compiled "
+            "triggers stopped being the fast path".format(
+                trigger["speedup"], E18_MIN_TRIGGER_SPEEDUP
+            )
+        )
+    if e18.get("holds") is not True:
+        sys.exit("FAIL: E18 reports its own gated properties as lost")
+
+    baseline_path = os.path.join(os.path.dirname(__file__), "e18_baseline.json")
+    baseline = load(baseline_path)
+    if e18["seed"] == baseline.get("seed"):
+        recorded = baseline_metric(baseline, baseline_path, "trigger_vm_ops_per_sec")
+        floor = recorded * E18_REGRESSION_FLOOR
+        if trigger["vm_ops_per_sec"] < floor:
+            sys.exit(
+                "FAIL: E18 VM trigger throughput regressed >70%: {:.0f} < "
+                "floor {:.0f} (baseline {:.0f}, see scripts/e18_baseline.json)".format(
+                    trigger["vm_ops_per_sec"], floor, recorded
+                )
+            )
+        print(
+            "OK: E18 fml fast path ({} workloads agree, loop speedups "
+            "{:.1f}x/{:.1f}x >= {:.1f}x floor, trigger batch {:.1f}x at "
+            "{:.0f} ops/s, fuel in band)".format(
+                len(rows),
+                by_name["arith-loop"]["speedup"],
+                by_name["closure"]["speedup"],
+                E18_MIN_LOOP_SPEEDUP,
+                trigger["speedup"],
+                trigger["vm_ops_per_sec"],
+            )
+        )
+    else:
+        print(
+            "OK: E18 parsed (non-golden seed {}, baseline comparison skipped)".format(
+                e18["seed"]
             )
         )
 
