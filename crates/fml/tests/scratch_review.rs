@@ -1,0 +1,28 @@
+use fml::{ExecMode, Interp, NoHost};
+
+#[test]
+fn min_div_neg1() {
+    let mut i = Interp::new();
+    let r = i.run("(/ -9223372036854775808 -1)", &mut NoHost);
+    println!("vm div: {r:?}");
+    let mut t = Interp::with_mode(ExecMode::TreeWalk);
+    let r2 = t.run("(/ -9223372036854775808 -1)", &mut NoHost);
+    println!("tw div: {r2:?}");
+}
+
+#[test]
+fn min_mod_neg1() {
+    let mut i = Interp::new();
+    let r = i.run("(mod -9223372036854775808 -1)", &mut NoHost);
+    println!("vm mod: {r:?}");
+}
+
+#[test]
+fn dup_let_names() {
+    let mut v = Interp::new();
+    let rv = v.run("(let ((x 1) (x 2)) x)", &mut NoHost);
+    let mut t = Interp::with_mode(ExecMode::TreeWalk);
+    let rt = t.run("(let ((x 1) (x 2)) x)", &mut NoHost);
+    println!("vm: {rv:?} tw: {rt:?}");
+    assert_eq!(format!("{rv:?}"), format!("{rt:?}"), "mode divergence");
+}
